@@ -1,0 +1,34 @@
+//! # jafar-accel — an Aladdin-like accelerator modelling tool
+//!
+//! The paper evaluates JAFAR with **Aladdin** \[48\], a pre-RTL power/
+//! performance model: the accelerated kernel is converted into a *dynamic
+//! data dependence graph* (DDDG) capturing compute, memory and control
+//! operations; the graph is optimised (loop unrolling, pipelining) and then
+//! "executed cycle-by-cycle by a breadth-first traversal that also takes
+//! into account constraints like memory bandwidth and available functional
+//! units" (§3.1). No such tool exists in Rust, so this crate implements the
+//! same methodology:
+//!
+//! - [`ir`]: a tiny operation IR for loop kernels, with per-op latencies
+//!   and a builder for expressing a loop body plus loop-carried
+//!   dependences;
+//! - [`dddg`]: trace expansion of a kernel over N iterations into a DDDG,
+//!   with loop unrolling (eliminating replicated induction overhead);
+//! - [`schedule`]: resource-constrained list scheduling (breadth-first,
+//!   cycle-by-cycle) under functional-unit counts and memory bandwidth,
+//!   yielding total cycles and the steady-state initiation interval;
+//! - [`power`]: per-op energy + static leakage, Aladdin's other output.
+//!
+//! `jafar-core` uses this tool to *derive* the JAFAR device's throughput
+//! (one 64-bit word per 0.5 ns cycle with two ALUs — §2.2) rather than
+//! hard-coding it.
+
+pub mod dddg;
+pub mod ir;
+pub mod power;
+pub mod schedule;
+
+pub use dddg::Dddg;
+pub use ir::{Kernel, KernelBuilder, Op, OpKind};
+pub use power::{EnergyModel, EnergyReport};
+pub use schedule::{Resources, Schedule};

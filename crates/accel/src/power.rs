@@ -1,0 +1,99 @@
+//! Energy modelling — Aladdin's second output.
+//!
+//! A coarse pre-RTL model in the Aladdin style: each issued operation costs
+//! a per-class dynamic energy, and each provisioned functional unit leaks a
+//! static power for the whole schedule. Constants are representative 40 nm
+//! ASIC figures (order-of-magnitude; the reproduction uses them only for
+//! relative comparisons such as JAFAR-vs-CPU energy per row).
+
+use crate::schedule::{Resources, Schedule};
+
+/// Per-class energy parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyModel {
+    /// Dynamic energy per ALU op, picojoules.
+    pub alu_pj: f64,
+    /// Dynamic energy per bitwise op, picojoules.
+    pub bitwise_pj: f64,
+    /// Dynamic energy per memory-port word transfer, picojoules.
+    pub memory_pj: f64,
+    /// Static leakage per provisioned functional unit per cycle, picojoules.
+    pub leakage_pj_per_fu_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            alu_pj: 0.5,
+            bitwise_pj: 0.1,
+            memory_pj: 2.0,
+            leakage_pj_per_fu_cycle: 0.02,
+        }
+    }
+}
+
+/// Energy breakdown for one schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyReport {
+    /// Switching energy, picojoules.
+    pub dynamic_pj: f64,
+    /// Leakage energy, picojoules.
+    pub static_pj: f64,
+}
+
+impl EnergyReport {
+    /// Evaluates `model` over a computed schedule and its provisioning.
+    pub fn evaluate(schedule: &Schedule, resources: &Resources, model: &EnergyModel) -> Self {
+        let (alu, bitw, mem) = schedule.issued;
+        let dynamic_pj =
+            alu as f64 * model.alu_pj + bitw as f64 * model.bitwise_pj + mem as f64 * model.memory_pj;
+        let fus = (resources.alus + resources.bitops + resources.mem_ports) as f64;
+        let static_pj = fus * schedule.cycles as f64 * model.leakage_pj_per_fu_cycle;
+        EnergyReport {
+            dynamic_pj,
+            static_pj,
+        }
+    }
+
+    /// Total energy, picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.dynamic_pj + self.static_pj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dddg::Dddg;
+    use crate::ir::jafar_filter_kernel;
+
+    #[test]
+    fn energy_scales_with_iterations() {
+        let k = jafar_filter_kernel();
+        let r = Resources::jafar_default();
+        let m = EnergyModel::default();
+        let e1 = {
+            let s = Schedule::compute(&Dddg::expand(&k, 100, 8), &r);
+            EnergyReport::evaluate(&s, &r, &m).total_pj()
+        };
+        let e2 = {
+            let s = Schedule::compute(&Dddg::expand(&k, 200, 8), &r);
+            EnergyReport::evaluate(&s, &r, &m).total_pj()
+        };
+        assert!(e2 > e1 * 1.8 && e2 < e1 * 2.2, "e1={e1} e2={e2}");
+    }
+
+    #[test]
+    fn breakdown_components_positive() {
+        let k = jafar_filter_kernel();
+        let r = Resources::jafar_default();
+        let s = Schedule::compute(&Dddg::expand(&k, 10, 1), &r);
+        let e = EnergyReport::evaluate(&s, &r, &EnergyModel::default());
+        assert!(e.dynamic_pj > 0.0);
+        assert!(e.static_pj > 0.0);
+        assert_eq!(e.total_pj(), e.dynamic_pj + e.static_pj);
+        // Per-iteration dynamic energy: 2 alu (1.0) + 3 bitwise (0.3) +
+        // 1 load (2.0) = 3.3 pJ.
+        assert!((e.dynamic_pj - 33.0).abs() < 1e-9);
+    }
+}

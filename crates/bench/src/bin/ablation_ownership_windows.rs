@@ -1,0 +1,208 @@
+//! Ablation A7 — ownership windows: the §3.3 scheduling proposal, built.
+//!
+//! "The query manager can grant 'ownership' of a DRAM rank to JAFAR for a
+//! specified number of cycles, knowing that JAFAR will finish its allotted
+//! work in that amount of time. ... This opens up many interesting
+//! questions about how to schedule DRAM ownership transfers in order to
+//! minimize the impact on the rest of the system."
+//!
+//! The experiment: a latency-sensitive host (random reads on rank 1, one
+//! every 200 ns) shares the channel with a JAFAR select over a rank-0
+//! column. A time-sliced scheduler alternates device windows of length W
+//! with host windows of equal length. Small W keeps host latency low but
+//! pays per-window handoff/startup cost in device progress; large W
+//! starves the host — exactly the §3.3 trade-off.
+//!
+//! Usage: `ablation_ownership_windows [--rows N] [--host-reqs M]`
+
+use jafar_bench::{arg, f1, f2, print_table};
+use jafar_common::rng::SplitMix64;
+use jafar_common::time::Tick;
+use jafar_core::{grant_ownership, JafarDevice, Predicate, SelectJob};
+use jafar_dram::{AddressMapping, DramGeometry, DramModule, DramTiming, PhysAddr};
+use jafar_memctl::controller::{ControllerConfig, MemoryController};
+use jafar_memctl::MemRequest;
+
+struct Outcome {
+    device_done: Tick,
+    host_done: Tick,
+    host_p50_ns: f64,
+    host_p95_ns: f64,
+}
+
+/// Runs the co-schedule with device windows of `window` (Tick::MAX =
+/// device-first, no slicing; Tick::ZERO = host-only baseline).
+fn co_run(rows: u64, host_reqs: u64, window: Tick) -> Outcome {
+    let module = DramModule::new(
+        DramGeometry::gem5_2gb(),
+        DramTiming::ddr3_paper().without_refresh(),
+        AddressMapping::RankRowBankBlock,
+    );
+    let mut mc = MemoryController::new(module, ControllerConfig::default());
+    // Column on rank 0; host data on rank 1 (second half of the space).
+    let rank1_base = DramGeometry::gem5_2gb().rank_bytes();
+    for i in 0..rows {
+        mc.module_mut()
+            .data_mut()
+            .write_i64(PhysAddr(i * 8), (i % 1000) as i64);
+    }
+    let t0 = if window > Tick::ZERO {
+        mc.set_rank_ownership(0, true, Tick::ZERO).expect("quiesced")
+    } else {
+        Tick::ZERO
+    };
+    let mut device = JafarDevice::paper_default();
+
+    // Host arrival stream: uniform 200 ns spacing, random rank-1 lines.
+    let mut rng = SplitMix64::new(0xA7);
+    let arrivals: Vec<(Tick, PhysAddr)> = (0..host_reqs)
+        .map(|i| {
+            (
+                t0 + Tick::from_ns(200 * (i + 1)),
+                PhysAddr(rank1_base + (rng.next_below(1 << 24) & !63)),
+            )
+        })
+        .collect();
+
+    let page_rows = 4096u64; // ~512 bursts ≈ 2.2 µs of device streaming
+    let out_addr = PhysAddr(512 << 20); // rank 0
+    let mut row = 0u64;
+    let mut t = t0;
+    let mut device_done = t0;
+    let mut next_arrival = 0usize;
+    let mut latencies_ns: Vec<f64> = Vec::with_capacity(arrivals.len());
+    let mut host_done = t0;
+    let mut device_turn = window > Tick::ZERO;
+
+    while row < rows || next_arrival < arrivals.len() {
+        if device_turn && row < rows {
+            // Device window: run pages until the window budget is used.
+            let window_end = t.checked_add(window).unwrap_or(Tick::MAX);
+            while row < rows && t < window_end {
+                let n = page_rows.min(rows - row);
+                let run = device
+                    .run_select(
+                        mc.module_mut(),
+                        SelectJob {
+                            col_addr: PhysAddr(row * 8),
+                            rows: n,
+                            predicate: Predicate::Lt(500),
+                            out_addr: PhysAddr(out_addr.0 + row / 8),
+                        },
+                        t,
+                    )
+                    .expect("owned");
+                t = run.end;
+                row += n;
+            }
+            device_done = t;
+        } else {
+            // Host window: serve everything that has arrived by now (and,
+            // in the host-only/leftover phase, jump to the next arrival).
+            let window_end = if window > Tick::ZERO && row < rows {
+                t + window
+            } else {
+                Tick::MAX
+            };
+            if next_arrival < arrivals.len() && arrivals[next_arrival].0 > t {
+                t = arrivals[next_arrival].0.min(window_end);
+            }
+            while next_arrival < arrivals.len() && arrivals[next_arrival].0 <= window_end.min(t.max(arrivals[next_arrival].0)) {
+                let (arr, addr) = arrivals[next_arrival];
+                if arr > window_end {
+                    break;
+                }
+                mc.enqueue(MemRequest::read(addr, arr)).expect("capacity 1-at-a-time");
+                next_arrival += 1;
+                mc.advance_cursor(t.max(arr));
+                for c in mc.drain() {
+                    latencies_ns.push((c.done - arr).as_ns_f64());
+                    host_done = host_done.max(c.done);
+                    t = t.max(c.done);
+                }
+                if next_arrival < arrivals.len() && arrivals[next_arrival].0 > window_end {
+                    break;
+                }
+                if next_arrival < arrivals.len() {
+                    t = t.max(arrivals[next_arrival].0.min(window_end));
+                }
+            }
+            t = t.max(window_end.min(
+                arrivals
+                    .get(next_arrival)
+                    .map(|(a, _)| *a)
+                    .unwrap_or(window_end),
+            ));
+            if window_end != Tick::MAX {
+                t = window_end;
+            }
+        }
+        if window > Tick::ZERO && row < rows {
+            device_turn = !device_turn;
+        } else {
+            device_turn = false;
+        }
+    }
+
+    latencies_ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let pct = |p: f64| {
+        if latencies_ns.is_empty() {
+            0.0
+        } else {
+            latencies_ns[((latencies_ns.len() - 1) as f64 * p) as usize]
+        }
+    };
+    Outcome {
+        device_done,
+        host_done,
+        host_p50_ns: pct(0.5),
+        host_p95_ns: pct(0.95),
+    }
+}
+
+fn main() {
+    let rows: u64 = arg("--rows", 1_000_000);
+    let host_reqs: u64 = arg("--host-reqs", 10_000);
+    println!("# Ablation A7: rank-ownership windows (the 3.3 scheduler proposal)");
+    println!("# device: select over {rows} rank-0 rows; host: {host_reqs} random rank-1 reads, 1/200ns");
+    println!();
+
+    let mut out = Vec::new();
+    for (label, window) in [
+        ("host only (no device)", Tick::ZERO),
+        ("W = 2 us", Tick::from_us(2)),
+        ("W = 8 us", Tick::from_us(8)),
+        ("W = 32 us", Tick::from_us(32)),
+        ("W = 128 us", Tick::from_us(128)),
+        ("device first (W = inf)", Tick::MAX),
+    ] {
+        let rows_here = if window == Tick::ZERO { 0 } else { rows };
+        let o = co_run(rows_here, host_reqs, window);
+        out.push(vec![
+            label.to_owned(),
+            if rows_here == 0 {
+                "-".to_owned()
+            } else {
+                f2(o.device_done.as_ms_f64())
+            },
+            f2(o.host_done.as_ms_f64()),
+            f1(o.host_p50_ns),
+            f1(o.host_p95_ns),
+        ]);
+    }
+    print_table(
+        &[
+            "schedule",
+            "device done (ms)",
+            "host done (ms)",
+            "host p50 (ns)",
+            "host p95 (ns)",
+        ],
+        &out,
+    );
+    println!();
+    println!("# expectation: small windows keep host tail latency near the no-device");
+    println!("# baseline while the device makes steady progress; giant windows finish the");
+    println!("# device soonest but blow up the host's tail — the trade-off 3.3 leaves to");
+    println!("# future memory-access schedulers.");
+}

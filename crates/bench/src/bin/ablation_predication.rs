@@ -1,0 +1,83 @@
+//! Ablation A1 — the §3.2 predication discussion.
+//!
+//! "Here we do not use predication for the software that run the selects
+//! in the CPU. Thus, JAFAR would materialize even bigger benefits for
+//! lower selectivity against a database system that uses predication for
+//! robustness, because while predication leads to more stable and better
+//! performance on average, for lower selectivity it has adverse impact.
+//! Essentially, JAFAR implements predication at the hardware level at
+//! zero cost."
+//!
+//! This binary runs the Figure-3 sweep with all three CPU select kernels —
+//! branching (the paper's baseline), predicated, and vectorized — and
+//! reports JAFAR's speedup against each.
+//!
+//! Usage: `ablation_predication [--rows N] [--points P]`
+
+use jafar_bench::{arg, f2, print_table};
+use jafar_common::rng::SplitMix64;
+use jafar_common::time::Tick;
+use jafar_cpu::ScanVariant;
+use jafar_sim::{System, SystemConfig};
+
+fn main() {
+    let rows: u64 = arg("--rows", 2_000_000);
+    let points: u64 = arg("--points", 5);
+    let value_range = 1_000_000i64;
+
+    println!("# Ablation A1: CPU select kernel variants vs JAFAR");
+    println!("# workload: {rows} rows, uniform integers in [0, {value_range})");
+    println!();
+
+    let mut rng = SplitMix64::new(0xAB1);
+    let values: Vec<i64> = (0..rows)
+        .map(|_| rng.next_range_inclusive(0, value_range - 1))
+        .collect();
+
+    let variants = [
+        ("branching", ScanVariant::Branching),
+        ("predicated", ScanVariant::Predicated),
+        ("vectorized", ScanVariant::Vectorized { lanes: 4 }),
+    ];
+
+    let mut out_rows: Vec<Vec<String>> = Vec::new();
+    for p in 0..=points {
+        let target = p as f64 / points as f64;
+        let hi = (target * value_range as f64) as i64 - 1;
+
+        let mut sys_jf = System::new(SystemConfig::gem5_like());
+        let col = sys_jf.write_column(&values);
+        let jf = sys_jf.run_select_jafar(col, rows, 0, hi, Tick::ZERO);
+        let jf_ms = jf.end.as_ms_f64();
+
+        let mut row = vec![format!("{:.0}%", target * 100.0), f2(jf_ms)];
+        for (_, variant) in variants {
+            let mut sys = System::new(SystemConfig::gem5_like());
+            let col = sys.write_column(&values);
+            let cpu = sys.run_select_cpu(col, rows, 0, hi, variant, Tick::ZERO);
+            let ms = cpu.end.as_ms_f64();
+            row.push(f2(ms));
+            row.push(f2(ms / jf_ms));
+        }
+        out_rows.push(row);
+    }
+
+    print_table(
+        &[
+            "selectivity",
+            "JAFAR (ms)",
+            "branch (ms)",
+            "speedup",
+            "pred (ms)",
+            "speedup",
+            "vec (ms)",
+            "speedup",
+        ],
+        &out_rows,
+    );
+    println!();
+    println!("# expectations (3.2): predicated is flat across selectivity and slower than");
+    println!("# branching at low selectivity (its 'adverse impact'), so JAFAR's win over a");
+    println!("# predicated engine is larger at low selectivity; vectorization narrows the");
+    println!("# gap but JAFAR still avoids moving the column entirely.");
+}

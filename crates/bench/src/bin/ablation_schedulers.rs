@@ -1,0 +1,161 @@
+//! Ablation A3 — §3.3 memory-access scheduling.
+//!
+//! "Past work has shown that reordering DRAM reads and writes can provide
+//! large increases in memory bandwidth and overall system performance ...
+//! In this context, JAFAR is simply an additional agent of memory
+//! requests, but one that is highly sensitive to intervening requests."
+//!
+//! Part 1 compares FCFS against FR-FCFS on a mixed (streaming + random)
+//! host workload: row-hit rate and completion time.
+//!
+//! Part 2 quantifies JAFAR's sensitivity to interruptions: streaming a
+//! region with exclusive rank ownership versus being interrupted (rows
+//! closed by intervening host-style accesses) every k bursts.
+//!
+//! Usage: `ablation_schedulers [--reqs N]`
+
+use jafar_bench::{arg, f1, f2, print_table};
+use jafar_common::rng::SplitMix64;
+use jafar_common::time::Tick;
+use jafar_dram::{
+    AddressMapping, Coord, DramGeometry, DramModule, DramTiming, PhysAddr, Requester,
+};
+use jafar_memctl::controller::{ControllerConfig, MemoryController};
+use jafar_memctl::{MemRequest, Policy};
+
+fn mixed_workload(n: u64) -> Vec<MemRequest> {
+    // Two interleaved agents: a streaming scan and a random walker, plus
+    // 20% writebacks — the access mix of a query with a hash table.
+    let mut rng = SplitMix64::new(0xA3);
+    let mut out = Vec::with_capacity(n as usize);
+    let mut stream_line = 0u64;
+    for i in 0..n {
+        let arrival = Tick::from_ps(i * 3_000); // ~3 ns between requests
+        let req = if i % 3 == 0 {
+            let addr = PhysAddr(rng.next_below(1 << 26) & !63);
+            if rng.next_bool(0.3) {
+                MemRequest::writeback(addr, arrival)
+            } else {
+                MemRequest::read(addr, arrival)
+            }
+        } else {
+            stream_line += 1;
+            MemRequest::read(PhysAddr((1 << 27) + stream_line * 64), arrival)
+        };
+        out.push(req);
+    }
+    out
+}
+
+fn run_policy(policy: Policy, reqs: &[MemRequest]) -> (Tick, f64) {
+    let module = DramModule::new(
+        DramGeometry::gem5_2gb(),
+        DramTiming::ddr3_paper().without_refresh(),
+        AddressMapping::RankRowBankBlock,
+    );
+    let mut mc = MemoryController::new(
+        module,
+        ControllerConfig {
+            policy,
+            ..ControllerConfig::default()
+        },
+    );
+    let mut done = Tick::ZERO;
+    for chunk in reqs.chunks(24) {
+        for r in chunk {
+            mc.enqueue(*r).expect("sized below capacity");
+        }
+        for c in mc.drain() {
+            done = done.max(c.done);
+        }
+    }
+    let hits = mc.counters().row_hits.get();
+    let total = hits + mc.counters().row_misses.get() + mc.counters().row_conflicts.get();
+    (done, hits as f64 / total.max(1) as f64)
+}
+
+fn main() {
+    let reqs: u64 = arg("--reqs", 100_000);
+    println!("# Ablation A3: memory-access scheduling");
+    println!();
+    println!("## Part 1: host scheduler policies on a mixed workload ({reqs} requests)");
+    let workload = mixed_workload(reqs);
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("FCFS", Policy::Fcfs),
+        ("FR-FCFS cap=4", Policy::FrFcfs { cap: 4 }),
+        ("FR-FCFS cap=16", Policy::FrFcfs { cap: 16 }),
+    ] {
+        let (done, hit_rate) = run_policy(policy, &workload);
+        rows.push(vec![
+            name.to_owned(),
+            f2(done.as_ms_f64()),
+            format!("{:.1}%", hit_rate * 100.0),
+        ]);
+    }
+    print_table(&["policy", "completion (ms)", "row-hit rate"], &rows);
+    println!();
+
+    println!("## Part 2: JAFAR's sensitivity to intervening requests");
+    // Stream 4096 bursts from rank 0; interrupt every k bursts with a
+    // host-style access to a different row of the same bank (closing the
+    // device's open row) — what §3.3's missing scheduler would cause.
+    let stream_bursts = 4096u64;
+    let mut rows = Vec::new();
+    for interrupt_every in [0u64, 512, 128, 32, 8] {
+        let mut module = DramModule::new(
+            DramGeometry::gem5_2gb(),
+            DramTiming::ddr3_paper().without_refresh(),
+            AddressMapping::RankRowBankBlock,
+        );
+        // No MPR ownership here: both agents issue as Host to model the
+        // unarbitrated case.
+        let mut now = Tick::ZERO;
+        let start = now;
+        let decoder = *module.decoder();
+        for burst in 0..stream_bursts {
+            let access = module
+                .serve_addr(PhysAddr(burst * 64), false, Requester::Host, now, None)
+                .expect("in range");
+            now = access
+                .data_ready
+                .saturating_sub(module.timing().cl + module.timing().t_burst)
+                .max(now)
+                + module.timing().bus_clock.period();
+            if interrupt_every > 0 && burst % interrupt_every == interrupt_every - 1 {
+                // Intervening request: same bank, far-away row.
+                let c = decoder.decode(PhysAddr(burst * 64));
+                let other = Coord {
+                    row: (c.row + 1000) % module.geometry().rows_per_bank,
+                    ..c
+                };
+                let access = module
+                    .serve_block(other, false, Requester::Host, now, None)
+                    .expect("in range");
+                now = access.data_ready;
+            }
+        }
+        // Wait for the final burst to complete.
+        let span = now + module.timing().cl + module.timing().t_burst - start;
+        let ns_per_burst = span.as_ns_f64() / stream_bursts as f64;
+        let label = if interrupt_every == 0 {
+            "exclusive (owned rank)".to_owned()
+        } else {
+            format!("interrupted every {interrupt_every}")
+        };
+        rows.push(vec![
+            label,
+            f2(span.as_us_f64()),
+            f2(ns_per_burst),
+            f1(module.stats().row_hit_rate().unwrap_or(0.0) * 100.0),
+        ]);
+    }
+    print_table(
+        &["streaming mode", "span (us)", "ns/burst", "row-hit %"],
+        &rows,
+    );
+    println!();
+    println!("# expectations: FR-FCFS beats FCFS on row locality; JAFAR streams at ~4-5 ns");
+    println!("# per burst with exclusive ownership and degrades sharply as intervening");
+    println!("# requests flush its active rows — the (3.3) case for ownership windows.");
+}

@@ -1,0 +1,127 @@
+//! Figure 4 — "Memory controller idle time estimates for several TPC-H
+//! queries."
+//!
+//! §3.3's methodology, reproduced end to end: run filter-heavy TPC-H
+//! queries (Q1, Q3, Q6, Q18, Q22) on the column-store, profile the memory
+//! controller, and compute the paper's counter-based estimate
+//!
+//! ```text
+//! MC_empty        = total_cycles − RC_busy − WC_busy
+//! mean_idle_period = MC_empty / (#reads + #writes)
+//! ```
+//!
+//! Because the simulated controller records exact busy intervals, the
+//! ground-truth idle-period distribution is reported alongside, validating
+//! the paper's "this is a pessimistic estimate" claim. Expected shape
+//! (paper): idle periods between ≈200 and ≈800 memory-bus cycles, average
+//! ≈500.
+//!
+//! Usage: `fig4_idle [--sf X]` (scale factor; default 0.02 ≈ 130 k
+//! lineitems, an order of magnitude over the modelled cache capacity —
+//! the paper's own sampling argument, §3.1).
+
+use jafar_bench::{arg, f1, print_table};
+use jafar_columnstore::{ExecContext, Planner};
+use jafar_common::time::Tick;
+use jafar_sim::{PlacedDb, QueryReplayer, ReplayCosts, System, SystemConfig};
+use jafar_tpch::queries::QueryId;
+use jafar_tpch::{queries, TpchConfig, TpchDb};
+
+fn main() {
+    let sf: f64 = arg("--sf", 0.02);
+    // The host load factor stands in for the profiled machine's traffic
+    // dilution (8 memory channels, 4 sockets) and MonetDB's interpreted
+    // per-tuple overhead relative to the tight kernels modelled here —
+    // the single tuned constant of this experiment (see EXPERIMENTS.md).
+    let load_factor: f64 = arg("--load-factor", 45.0);
+    println!("# Figure 4: memory-controller idle periods for TPC-H queries");
+    let cfg = SystemConfig::xeon_like();
+    println!(
+        "# platform: {}; TPC-H-like sf = {sf}; host load factor = {load_factor}",
+        cfg.name
+    );
+    let db = TpchDb::generate(TpchConfig { sf, seed: 0x7C }) ;
+    println!(
+        "# dataset: {} customers, {} orders, {} lineitems ({} MiB)",
+        db.customer.rows(),
+        db.orders.rows(),
+        db.lineitem.rows(),
+        db.bytes() / (1 << 20)
+    );
+    println!();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut estimates = Vec::new();
+    for q in QueryId::ALL {
+        let mut cx = ExecContext::new(Planner::default());
+        match q {
+            QueryId::Q1 => {
+                queries::q1(&db, &mut cx);
+            }
+            QueryId::Q3 => {
+                queries::q3(&db, &mut cx, 10);
+            }
+            QueryId::Q6 => {
+                queries::q6(&db, &mut cx);
+            }
+            QueryId::Q18 => {
+                queries::q18(&db, &mut cx, 300, 100);
+            }
+            QueryId::Q22 => {
+                queries::q22(&db, &mut cx);
+            }
+        }
+        // Fresh system per query (cold caches, clean counters), as when
+        // profiling isolated query executions.
+        let mut sys = System::new(SystemConfig::xeon_like());
+        let placed = PlacedDb::place(&mut sys, &db);
+        sys.begin_measurement();
+        let mut replayer =
+            QueryReplayer::new(&mut sys, ReplayCosts::default().scaled(load_factor))
+                .with_scan_factor(load_factor);
+        let end = replayer.replay(cx.trace(), &placed, Tick::ZERO);
+        let report = sys.idle_report(end);
+        let est = report.mean_idle_period_estimate();
+        estimates.push(est);
+        rows.push(vec![
+            q.label().to_owned(),
+            f1(est),
+            f1(report.mean_idle_period_exact()),
+            format!("{}", report.reads),
+            format!("{}", report.writes),
+            format!("{}", report.total_cycles()),
+            format!("{:.1}%", 100.0 * report.exact_idle_cycles as f64
+                / report.total_cycles().max(1) as f64),
+        ]);
+    }
+    let avg: f64 = estimates.iter().sum::<f64>() / estimates.len() as f64;
+    rows.push(vec![
+        "AVG".to_owned(),
+        f1(avg),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    print_table(
+        &[
+            "query",
+            "mean idle est (cyc)",
+            "mean idle exact (cyc)",
+            "reads",
+            "writes",
+            "total cyc",
+            "idle frac",
+        ],
+        &rows,
+    );
+    println!();
+    println!("# paper: idle periods range 200-800 bus cycles across queries, average ~500;");
+    println!("# the counter-based estimate is a pessimistic lower bound of the exact value.");
+    println!(
+        "# JAFAR work per average idle period: {} bytes ({} 32-byte blocks at 4 cycles each)",
+        (avg as u64 / 4) * 32,
+        avg as u64 / 4
+    );
+}

@@ -1,0 +1,26 @@
+//! Table 1 — "Specifications of our evaluation platforms."
+//!
+//! Prints the two platform configurations the reproduction models: the
+//! gem5-like simulated host (used to isolate JAFAR's raw speedup,
+//! Figure 3) and the Xeon-like profiling host (used for the
+//! memory-contention study, Figure 4), side by side with the paper's
+//! values.
+
+use jafar_bench::print_table;
+use jafar_sim::SystemConfig;
+
+fn main() {
+    println!("# Table 1: evaluation platform specifications");
+    println!("# (left column: gem5 simulation host; right: Xeon profiling host)");
+    println!();
+    let rows: Vec<Vec<String>> = SystemConfig::table1()
+        .into_iter()
+        .map(|(spec, gem5, xeon)| vec![spec.to_owned(), gem5, xeon])
+        .collect();
+    print_table(&["spec", "gem5-like", "Xeon E7-4820 v2-like"], &rows);
+    println!();
+    println!("# paper values: gem5 = 1 OoO CPU, 1 GHz, 1 socket, 64kB L1 / 128kB L2, 2GB DRAM;");
+    println!("# Xeon = 8x 2-way SMT cores, 2 GHz, 4 sockets, 256kB L1 / 2MB L2 / 16MB L3, 1TB DDR3.");
+    println!("# Substitutions: one core per host is modelled; shared caches are scaled to");
+    println!("# one core's effective share; DRAM capacity is capped at 2GiB (sparse backing).");
+}

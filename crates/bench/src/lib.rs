@@ -1,0 +1,104 @@
+//! # jafar-bench — the experiment harness
+//!
+//! One binary per paper artifact (see DESIGN.md's per-experiment index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1_platforms` | Table 1 (platform specifications) |
+//! | `fig3_speedup` | Figure 3 (select speedup vs selectivity) |
+//! | `fig4_idle` | Figure 4 (memory-controller idle periods, TPC-H) |
+//! | `intext_claims` | §2.2/§3.1/§3.3 in-text numbers |
+//! | `ablation_predication` | §3.2 predication discussion |
+//! | `ablation_interleaving` | §2.2 multi-DIMM interleaving |
+//! | `ablation_schedulers` | §3.3 memory-access scheduling |
+//! | `ablation_extensions` | §4 aggregation/projection/row-store NDP |
+//!
+//! Criterion micro-benches over the hot simulator paths live in
+//! `benches/`.
+//!
+//! This library provides the small shared utilities: argument parsing and
+//! aligned table printing.
+
+use std::fmt::Display;
+
+/// Reads `--key value` style arguments with a default.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// True if `--flag` is present.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Prints an aligned table: header row + data rows.
+pub fn print_table<R: AsRef<[String]>>(headers: &[&str], rows: &[R]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.as_ref().iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("| {} |", joined.join(" | "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row.as_ref().to_vec());
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn fmt(v: impl Display) -> String {
+    format!("{v}")
+}
+
+/// Formats a float to 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float to 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(fmt(42), "42");
+    }
+
+    #[test]
+    fn table_renders_without_panic() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".to_string(), "2".to_string()]],
+        );
+    }
+}

@@ -1,0 +1,336 @@
+//! A single set-associative, write-back, write-allocate cache level.
+
+use crate::stats::CacheStats;
+use jafar_common::size::{is_pow2, CACHE_LINE};
+
+/// Physical address alias (the cache crate avoids a dependency on
+/// `jafar-dram`; addresses are plain block-aligned `u64`s here).
+pub type Addr = u64;
+
+/// Configuration of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Ways per set.
+    pub associativity: u32,
+    /// Hit latency in CPU cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the configuration.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / CACHE_LINE / self.associativity as u64
+    }
+
+    /// Checks the configuration is realisable.
+    ///
+    /// # Panics
+    /// Panics on a zero or non-power-of-two set count.
+    pub fn validate(&self) {
+        assert!(self.associativity > 0, "associativity must be positive");
+        assert!(
+            self.size_bytes.is_multiple_of(CACHE_LINE * self.associativity as u64),
+            "size must be a whole number of sets"
+        );
+        assert!(
+            is_pow2(self.num_sets()),
+            "set count must be a power of two, got {}",
+            self.num_sets()
+        );
+    }
+}
+
+/// Result of a lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// The line was present.
+    Hit,
+    /// The line was absent; the caller must fetch it and call
+    /// [`SetAssocCache::fill`].
+    Miss,
+}
+
+/// A line evicted by a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Victim {
+    /// Base address of the evicted line.
+    pub addr: Addr,
+    /// Whether it must be written back to the next level.
+    pub dirty: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// One cache level: tags, LRU state, and statistics.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Way>,
+    set_mask: u64,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Builds an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        let num_sets = config.num_sets();
+        SetAssocCache {
+            config,
+            sets: vec![Way::default(); (num_sets * config.associativity as u64) as usize],
+            set_mask: num_sets - 1,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The level's configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn line_index(addr: Addr) -> u64 {
+        addr / CACHE_LINE
+    }
+
+    fn set_range(&self, addr: Addr) -> std::ops::Range<usize> {
+        let set = (Self::line_index(addr) & self.set_mask) as usize;
+        let ways = self.config.associativity as usize;
+        set * ways..(set + 1) * ways
+    }
+
+    /// Looks up the line containing `addr`; a write hit marks it dirty.
+    /// On a miss, the cache is *not* modified — fetch the line and
+    /// [`SetAssocCache::fill`] it.
+    pub fn access(&mut self, addr: Addr, is_write: bool) -> Lookup {
+        self.clock += 1;
+        let tag = Self::line_index(addr);
+        let range = self.set_range(addr);
+        for way in &mut self.sets[range] {
+            if way.valid && way.tag == tag {
+                way.last_use = self.clock;
+                if is_write {
+                    way.dirty = true;
+                    self.stats.write_hits.inc();
+                } else {
+                    self.stats.read_hits.inc();
+                }
+                return Lookup::Hit;
+            }
+        }
+        if is_write {
+            self.stats.write_misses.inc();
+        } else {
+            self.stats.read_misses.inc();
+        }
+        Lookup::Miss
+    }
+
+    /// True if the line containing `addr` is present (no LRU/stat update).
+    pub fn probe(&self, addr: Addr) -> bool {
+        let tag = Self::line_index(addr);
+        self.sets[self.set_range(addr)]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Installs the line containing `addr` (write-allocate passes
+    /// `dirty = true` for a store miss). Returns the victim if a valid line
+    /// was evicted.
+    pub fn fill(&mut self, addr: Addr, dirty: bool) -> Option<Victim> {
+        self.clock += 1;
+        let tag = Self::line_index(addr);
+        let range = self.set_range(addr);
+        // Already present (e.g. prefetch raced a demand fill): update flags.
+        if let Some(way) = self.sets[range.clone()]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
+        {
+            way.dirty |= dirty;
+            way.last_use = self.clock;
+            return None;
+        }
+        let clock = self.clock;
+        // Choose an invalid way, else the LRU way.
+        let slot = {
+            let set = &mut self.sets[range];
+            let idx = set
+                .iter()
+                .position(|w| !w.valid)
+                .unwrap_or_else(|| {
+                    set.iter()
+                        .enumerate()
+                        .min_by_key(|(_, w)| w.last_use)
+                        .expect("associativity > 0")
+                        .0
+                });
+            &mut set[idx]
+        };
+        let victim = slot.valid.then(|| Victim {
+            addr: slot.tag * CACHE_LINE,
+            dirty: slot.dirty,
+        });
+        if let Some(v) = &victim {
+            self.stats.evictions.inc();
+            if v.dirty {
+                self.stats.writebacks.inc();
+            }
+        }
+        *slot = Way {
+            tag,
+            valid: true,
+            dirty,
+            last_use: clock,
+        };
+        victim
+    }
+
+    /// Invalidates the line containing `addr`, returning it as a victim if
+    /// it was present and dirty.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<Victim> {
+        let tag = Self::line_index(addr);
+        let range = self.set_range(addr);
+        for way in &mut self.sets[range] {
+            if way.valid && way.tag == tag {
+                let dirty = way.dirty;
+                way.valid = false;
+                way.dirty = false;
+                return dirty.then_some(Victim {
+                    addr: tag * CACHE_LINE,
+                    dirty: true,
+                });
+            }
+        }
+        None
+    }
+
+    /// Number of valid lines (for tests).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        // 4 sets x 2 ways x 64 B = 512 B.
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 512,
+            associativity: 2,
+            hit_latency: 2,
+        })
+    }
+
+    #[test]
+    fn config_geometry() {
+        let c = CacheConfig {
+            size_bytes: 64 * 1024,
+            associativity: 8,
+            hit_latency: 2,
+        };
+        c.validate();
+        assert_eq!(c.num_sets(), 128);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        assert_eq!(c.access(0x100, false), Lookup::Miss);
+        assert_eq!(c.fill(0x100, false), None);
+        assert_eq!(c.access(0x100, false), Lookup::Hit);
+        assert_eq!(c.access(0x13F, false), Lookup::Hit, "same line");
+        assert_eq!(c.stats().read_hits.get(), 2);
+        assert_eq!(c.stats().read_misses.get(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Set index = (addr/64) & 3. Lines 0, 4, 8 all map to set 0.
+        let line = |i: u64| i * 4 * 64; // stride of 4 lines keeps set 0
+        c.fill(line(0), false);
+        c.fill(line(1), false);
+        // Touch line 0 so line 1 becomes LRU.
+        assert_eq!(c.access(line(0), false), Lookup::Hit);
+        let victim = c.fill(line(2), false).expect("set is full");
+        assert_eq!(victim.addr, line(1));
+        assert!(!victim.dirty);
+        assert!(c.probe(line(0)));
+        assert!(!c.probe(line(1)));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        let line = |i: u64| i * 4 * 64;
+        c.fill(line(0), true); // dirty fill (store miss, write-allocate)
+        c.fill(line(1), false);
+        let victim = c.fill(line(2), false).expect("evicts LRU = line 0");
+        assert_eq!(victim.addr, line(0));
+        assert!(victim.dirty);
+        assert_eq!(c.stats().writebacks.get(), 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.fill(0x0, false);
+        assert_eq!(c.access(0x0, true), Lookup::Hit);
+        let v = c.invalidate(0x0).expect("was dirty");
+        assert!(v.dirty);
+    }
+
+    #[test]
+    fn fill_existing_line_merges_dirty() {
+        let mut c = small();
+        c.fill(0x0, false);
+        assert_eq!(c.fill(0x0, true), None, "no eviction re-filling");
+        assert!(c.invalidate(0x0).is_some(), "dirty was merged in");
+    }
+
+    #[test]
+    fn invalidate_clean_line_returns_none() {
+        let mut c = small();
+        c.fill(0x40, false);
+        assert_eq!(c.invalidate(0x40), None);
+        assert!(!c.probe(0x40));
+        assert_eq!(c.invalidate(0x40), None, "already gone");
+    }
+
+    #[test]
+    fn resident_line_count() {
+        let mut c = small();
+        for i in 0..8u64 {
+            c.fill(i * 64, false);
+        }
+        assert_eq!(c.resident_lines(), 8, "fills exactly fit 512 B");
+        c.fill(8 * 64, false);
+        assert_eq!(c.resident_lines(), 8, "capacity bounded");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 192,
+            associativity: 1,
+            hit_latency: 1,
+        });
+    }
+}

@@ -1,0 +1,34 @@
+//! # jafar-cache — the host cache hierarchy
+//!
+//! The CPU-only select baseline of Figure 3 is a streaming scan whose
+//! performance is set by how the cache hierarchy turns per-row loads into
+//! per-line memory traffic (one 64-byte line per eight 8-byte values), how
+//! much latency cache hits cost, and how dirty result lines flow back to
+//! memory as writebacks. One of the paper's motivating observations is
+//! **cache pollution**: a scan streams the entire column through L1/L2 and
+//! evicts everything else, while JAFAR leaves the caches untouched.
+//!
+//! The model is a classic tags-only set-associative hierarchy:
+//!
+//! - [`cache::SetAssocCache`]: LRU, write-back, write-allocate, with
+//!   configurable size/associativity/latency;
+//! - [`hierarchy::Hierarchy`]: L1 → L2 → optional L3, with a combined
+//!   access returning the hit level, the latency of the cache traversal,
+//!   and any dirty victims that must be written back to memory;
+//! - [`prefetch::StreamPrefetcher`]: a tagged next-N-line prefetcher, since
+//!   a streaming scan on a modern core is heavily prefetched;
+//! - [`stats`]: per-level hit/miss/writeback counters.
+//!
+//! Caches are *timing + tag state* only. Functional data lives in the DRAM
+//! backing store; the simulation layer applies stores synchronously. This
+//! is the standard decoupling for trace-driven memory-system models.
+
+pub mod cache;
+pub mod hierarchy;
+pub mod prefetch;
+pub mod stats;
+
+pub use cache::{CacheConfig, Lookup, SetAssocCache, Victim};
+pub use hierarchy::{AccessOutcome, Hierarchy, HierarchyConfig, HitLevel};
+pub use prefetch::StreamPrefetcher;
+pub use stats::CacheStats;

@@ -1,0 +1,57 @@
+//! Cache statistics.
+
+use jafar_common::stats::Counter;
+
+/// Hit/miss/traffic counters for one cache level.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Read (load) hits.
+    pub read_hits: Counter,
+    /// Read misses.
+    pub read_misses: Counter,
+    /// Write (store) hits.
+    pub write_hits: Counter,
+    /// Write misses.
+    pub write_misses: Counter,
+    /// Valid lines evicted by fills.
+    pub evictions: Counter,
+    /// Dirty lines written back to the next level.
+    pub writebacks: Counter,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.read_hits.get() + self.read_misses.get() + self.write_hits.get()
+            + self.write_misses.get()
+    }
+
+    /// Overall hit rate, or `None` with no accesses.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.accesses();
+        (total > 0).then(|| (self.read_hits.get() + self.write_hits.get()) as f64 / total as f64)
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses.get() + self.write_misses.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_rate(), None);
+        s.read_hits.add(3);
+        s.read_misses.add(1);
+        s.write_hits.add(1);
+        s.write_misses.add(0);
+        assert_eq!(s.accesses(), 5);
+        assert_eq!(s.hit_rate(), Some(0.8));
+        assert_eq!(s.misses(), 1);
+    }
+}

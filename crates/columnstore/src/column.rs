@@ -1,0 +1,167 @@
+//! Dense column storage.
+
+use crate::dict::Dictionary;
+use crate::value::{DataType, Date, Decimal};
+use std::sync::Arc;
+
+/// One column: a name, a logical type, and a dense `i64` vector (plus the
+/// dictionary for string columns).
+#[derive(Clone, Debug)]
+pub struct Column {
+    name: String,
+    dtype: DataType,
+    data: Vec<i64>,
+    dict: Option<Arc<Dictionary>>,
+}
+
+impl Column {
+    /// An integer column.
+    pub fn int<S: Into<String>>(name: S, data: Vec<i64>) -> Self {
+        Column {
+            name: name.into(),
+            dtype: DataType::Int,
+            data,
+            dict: None,
+        }
+    }
+
+    /// A date column.
+    pub fn date<S: Into<String>>(name: S, data: Vec<Date>) -> Self {
+        Column {
+            name: name.into(),
+            dtype: DataType::Date,
+            data: data.into_iter().map(Date::raw).collect(),
+            dict: None,
+        }
+    }
+
+    /// A decimal column.
+    pub fn decimal<S: Into<String>>(name: S, data: Vec<Decimal>) -> Self {
+        Column {
+            name: name.into(),
+            dtype: DataType::Decimal,
+            data: data.into_iter().map(Decimal::raw).collect(),
+            dict: None,
+        }
+    }
+
+    /// A dictionary-encoded string column.
+    pub fn strings<S: Into<String>, V: AsRef<str>>(
+        name: S,
+        values: &[V],
+        dict: Arc<Dictionary>,
+    ) -> Self {
+        let data = dict.encode_column(values);
+        Column {
+            name: name.into(),
+            dtype: DataType::Str,
+            data,
+            dict: Some(dict),
+        }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logical type.
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The raw physical values.
+    pub fn data(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// The dictionary (string columns only).
+    pub fn dict(&self) -> Option<&Dictionary> {
+        self.dict.as_deref()
+    }
+
+    /// Physical value at `row`.
+    pub fn get(&self, row: usize) -> i64 {
+        self.data[row]
+    }
+
+    /// Value at `row` as a date.
+    ///
+    /// # Panics
+    /// Panics if the column is not a date column.
+    pub fn get_date(&self, row: usize) -> Date {
+        assert_eq!(self.dtype, DataType::Date);
+        Date(self.data[row])
+    }
+
+    /// Value at `row` as a decimal.
+    ///
+    /// # Panics
+    /// Panics if the column is not a decimal column.
+    pub fn get_decimal(&self, row: usize) -> Decimal {
+        assert_eq!(self.dtype, DataType::Decimal);
+        Decimal(self.data[row])
+    }
+
+    /// Value at `row` as a string.
+    ///
+    /// # Panics
+    /// Panics if the column is not a string column.
+    pub fn get_str(&self, row: usize) -> &str {
+        self.dict
+            .as_deref()
+            .expect("not a string column")
+            .decode(self.data[row])
+    }
+
+    /// Size of the physical data in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.data.len() as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_constructors() {
+        let c = Column::int("x", vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.dtype(), DataType::Int);
+        assert_eq!(c.get(1), 2);
+        assert_eq!(c.bytes(), 24);
+
+        let d = Column::date("d", vec![Date::from_ymd(1995, 6, 1)]);
+        assert_eq!(d.get_date(0).to_string(), "1995-06-01");
+
+        let m = Column::decimal("m", vec![Decimal::new(3, 50)]);
+        assert_eq!(m.get_decimal(0).to_string(), "3.50");
+    }
+
+    #[test]
+    fn string_column_round_trip() {
+        let dict = Arc::new(Dictionary::from_domain(&["A", "N", "R"]));
+        let c = Column::strings("flag", &["R", "A", "N", "A"], dict);
+        assert_eq!(c.dtype(), DataType::Str);
+        assert_eq!(c.get_str(0), "R");
+        assert_eq!(c.get_str(3), "A");
+        assert!(c.dict().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a string column")]
+    fn wrong_type_access_panics() {
+        Column::int("x", vec![1]).get_str(0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Order-preserving dictionary encoding for string columns.
+//!
+//! §4 ("Data Types"): "many modern systems effectively handle string
+//! columns as integers using dictionary compression (e.g., to handle
+//! equality predicates)." The dictionary here is built over the column's
+//! (static) domain and assigns codes in lexicographic order, so both
+//! equality *and* range predicates over strings compile to the integer
+//! range filters JAFAR evaluates natively.
+
+use std::collections::HashMap;
+
+/// An order-preserving string dictionary.
+///
+/// ```
+/// use jafar_columnstore::Dictionary;
+///
+/// let dict = Dictionary::from_domain(&["SHIP", "AIR", "RAIL"]);
+/// // Codes preserve lexicographic order, so string ranges become the
+/// // integer ranges JAFAR filters natively.
+/// assert!(dict.encode("AIR") < dict.encode("SHIP"));
+/// let (lo, hi) = dict.code_range("A", "RZ").unwrap();
+/// assert_eq!(dict.decode(lo), "AIR");
+/// assert_eq!(dict.decode(hi), "RAIL");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Dictionary {
+    /// Sorted distinct values; index = code.
+    values: Vec<String>,
+    /// Reverse map.
+    codes: HashMap<String, i64>,
+}
+
+impl Dictionary {
+    /// Builds a dictionary over the given domain (duplicates allowed).
+    pub fn from_domain<S: AsRef<str>>(domain: &[S]) -> Self {
+        let mut values: Vec<String> = domain.iter().map(|s| s.as_ref().to_owned()).collect();
+        values.sort_unstable();
+        values.dedup();
+        let codes = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as i64))
+            .collect();
+        Dictionary { values, codes }
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The code of `value`, if in the domain.
+    pub fn encode(&self, value: &str) -> Option<i64> {
+        self.codes.get(value).copied()
+    }
+
+    /// The value of `code`.
+    ///
+    /// # Panics
+    /// Panics for out-of-domain codes.
+    pub fn decode(&self, code: i64) -> &str {
+        &self.values[code as usize]
+    }
+
+    /// Encodes a whole column of values.
+    ///
+    /// # Panics
+    /// Panics if a value is outside the domain.
+    pub fn encode_column<S: AsRef<str>>(&self, values: &[S]) -> Vec<i64> {
+        values
+            .iter()
+            .map(|v| {
+                self.encode(v.as_ref())
+                    .unwrap_or_else(|| panic!("value {:?} not in dictionary", v.as_ref()))
+            })
+            .collect()
+    }
+
+    /// The inclusive code range equivalent to the string range
+    /// `[lo, hi]` — meaningful because codes are order-preserving.
+    /// Returns `None` when the range selects nothing.
+    pub fn code_range(&self, lo: &str, hi: &str) -> Option<(i64, i64)> {
+        let lo_code = self.values.partition_point(|v| v.as_str() < lo) as i64;
+        let hi_code = self.values.partition_point(|v| v.as_str() <= hi) as i64 - 1;
+        (lo_code <= hi_code).then_some((lo_code, hi_code))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dict() -> Dictionary {
+        Dictionary::from_domain(&["MAIL", "SHIP", "AIR", "TRUCK", "RAIL", "AIR"])
+    }
+
+    #[test]
+    fn codes_are_sorted_and_deduped() {
+        let d = dict();
+        assert_eq!(d.len(), 5);
+        // Lexicographic: AIR < MAIL < RAIL < SHIP < TRUCK.
+        assert_eq!(d.encode("AIR"), Some(0));
+        assert_eq!(d.encode("MAIL"), Some(1));
+        assert_eq!(d.encode("TRUCK"), Some(4));
+        assert_eq!(d.encode("BARGE"), None);
+        assert_eq!(d.decode(3), "SHIP");
+    }
+
+    #[test]
+    fn order_preservation() {
+        let d = dict();
+        let a = d.encode("AIR").unwrap();
+        let m = d.encode("MAIL").unwrap();
+        assert!(a < m, "codes must preserve lexicographic order");
+    }
+
+    #[test]
+    fn column_encode_decode_round_trip() {
+        let d = dict();
+        let col = d.encode_column(&["SHIP", "AIR", "SHIP"]);
+        let back: Vec<&str> = col.iter().map(|&c| d.decode(c)).collect();
+        assert_eq!(back, vec!["SHIP", "AIR", "SHIP"]);
+    }
+
+    #[test]
+    fn code_range_for_string_predicates() {
+        let d = dict();
+        // ["MAIL", "SHIP"] covers MAIL, RAIL, SHIP.
+        let (lo, hi) = d.code_range("MAIL", "SHIP").unwrap();
+        assert_eq!((lo, hi), (1, 3));
+        // A range between values: ("N", "S") covers only RAIL ("SHIP" > "S").
+        let (lo, hi) = d.code_range("N", "S").unwrap();
+        assert_eq!(d.decode(lo), "RAIL");
+        assert_eq!(lo, hi);
+        // Empty range.
+        assert!(d.code_range("X", "Z").is_none());
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::from_domain::<&str>(&[]);
+        assert!(d.is_empty());
+        assert_eq!(d.encode("A"), None);
+    }
+}

@@ -1,0 +1,245 @@
+//! Hash group-by aggregation.
+
+use std::collections::HashMap;
+
+/// Aggregate functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggKind {
+    /// Sum of the input expression.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Row count (input expression ignored).
+    Count,
+    /// Average, reported as (sum, count) → f64 via [`GroupedResult::avg`].
+    Avg,
+}
+
+/// One aggregate: a function over an input vector.
+#[derive(Clone, Debug)]
+pub struct AggSpec<'a> {
+    /// The function.
+    pub kind: AggKind,
+    /// The input values, one per (selected) row. For `Count` an empty
+    /// slice is allowed.
+    pub input: &'a [i64],
+}
+
+/// Grouped aggregation output.
+#[derive(Clone, Debug)]
+pub struct GroupedResult {
+    /// One key tuple per group (column-major: `keys[k][g]` is key column
+    /// `k` of group `g`).
+    pub keys: Vec<Vec<i64>>,
+    /// One vector per aggregate (column-major): `aggs[a][g]`.
+    pub aggs: Vec<Vec<i64>>,
+    /// Row count per group.
+    pub counts: Vec<u64>,
+}
+
+impl GroupedResult {
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Average for aggregate `a` in group `g` (sum stored ÷ count).
+    pub fn avg(&self, a: usize, g: usize) -> f64 {
+        self.aggs[a][g] as f64 / self.counts[g] as f64
+    }
+
+    /// Sorts groups by their key tuple, ascending (canonical output
+    /// order for result comparison).
+    pub fn sorted_by_keys(mut self) -> GroupedResult {
+        let n = self.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            self.keys
+                .iter()
+                .map(|k| k[a].cmp(&k[b]))
+                .find(|o| !o.is_eq())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let permute = |v: &mut Vec<i64>| {
+            let old = std::mem::take(v);
+            *v = order.iter().map(|&i| old[i]).collect();
+        };
+        for k in &mut self.keys {
+            permute(k);
+        }
+        for a in &mut self.aggs {
+            permute(a);
+        }
+        let old_counts = std::mem::take(&mut self.counts);
+        self.counts = order.iter().map(|&i| old_counts[i]).collect();
+        self
+    }
+}
+
+/// Groups rows by the tuple of `group_cols` values and evaluates `aggs`
+/// per group. All input slices must have equal length (= selected rows).
+///
+/// # Panics
+/// Panics on input length mismatches.
+pub fn hash_group_by(group_cols: &[&[i64]], aggs: &[AggSpec<'_>]) -> GroupedResult {
+    let rows = group_cols.first().map_or_else(
+        || {
+            aggs.iter()
+                .map(|a| a.input.len())
+                .max()
+                .unwrap_or(0)
+        },
+        |c| c.len(),
+    );
+    for c in group_cols {
+        assert_eq!(c.len(), rows, "group column length mismatch");
+    }
+    for a in aggs {
+        assert!(
+            a.kind == AggKind::Count || a.input.len() == rows,
+            "aggregate input length mismatch"
+        );
+    }
+    let mut index: HashMap<Vec<i64>, usize> = HashMap::new();
+    let mut keys: Vec<Vec<i64>> = vec![Vec::new(); group_cols.len()];
+    let mut acc: Vec<Vec<i64>> = vec![Vec::new(); aggs.len()];
+    let mut counts: Vec<u64> = Vec::new();
+
+    for r in 0..rows {
+        let key: Vec<i64> = group_cols.iter().map(|c| c[r]).collect();
+        let g = *index.entry(key.clone()).or_insert_with(|| {
+            for (k, col) in keys.iter_mut().enumerate() {
+                col.push(key[k]);
+            }
+            for (a, spec) in aggs.iter().enumerate() {
+                acc[a].push(match spec.kind {
+                    AggKind::Sum | AggKind::Avg | AggKind::Count => 0,
+                    AggKind::Min => i64::MAX,
+                    AggKind::Max => i64::MIN,
+                });
+            }
+            counts.push(0);
+            counts.len() - 1
+        });
+        counts[g] += 1;
+        for (a, spec) in aggs.iter().enumerate() {
+            let slot = &mut acc[a][g];
+            match spec.kind {
+                AggKind::Sum | AggKind::Avg => *slot += spec.input[r],
+                AggKind::Min => *slot = (*slot).min(spec.input[r]),
+                AggKind::Max => *slot = (*slot).max(spec.input[r]),
+                AggKind::Count => *slot += 1,
+            }
+        }
+    }
+
+    GroupedResult {
+        keys,
+        aggs: acc,
+        counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_key_sum_and_count() {
+        let keys = [1i64, 2, 1, 2, 1];
+        let vals = [10i64, 20, 30, 40, 50];
+        let g = hash_group_by(
+            &[&keys],
+            &[
+                AggSpec {
+                    kind: AggKind::Sum,
+                    input: &vals,
+                },
+                AggSpec {
+                    kind: AggKind::Count,
+                    input: &[],
+                },
+            ],
+        )
+        .sorted_by_keys();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.keys[0], vec![1, 2]);
+        assert_eq!(g.aggs[0], vec![90, 60]);
+        assert_eq!(g.aggs[1], vec![3, 2]);
+        assert_eq!(g.counts, vec![3, 2]);
+    }
+
+    #[test]
+    fn compound_keys() {
+        // The Q1 shape: group by (returnflag, linestatus).
+        let k1 = [0i64, 0, 1, 1, 0];
+        let k2 = [0i64, 1, 0, 0, 0];
+        let v = [1i64, 2, 3, 4, 5];
+        let g = hash_group_by(
+            &[&k1, &k2],
+            &[AggSpec {
+                kind: AggKind::Sum,
+                input: &v,
+            }],
+        )
+        .sorted_by_keys();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.keys[0], vec![0, 0, 1]);
+        assert_eq!(g.keys[1], vec![0, 1, 0]);
+        assert_eq!(g.aggs[0], vec![6, 2, 7]);
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let keys = [5i64, 5, 5];
+        let vals = [3i64, 9, 6];
+        let g = hash_group_by(
+            &[&keys],
+            &[
+                AggSpec {
+                    kind: AggKind::Min,
+                    input: &vals,
+                },
+                AggSpec {
+                    kind: AggKind::Max,
+                    input: &vals,
+                },
+                AggSpec {
+                    kind: AggKind::Avg,
+                    input: &vals,
+                },
+            ],
+        );
+        assert_eq!(g.aggs[0], vec![3]);
+        assert_eq!(g.aggs[1], vec![9]);
+        assert_eq!(g.avg(2, 0), 6.0);
+    }
+
+    #[test]
+    fn global_aggregate_without_keys() {
+        // No group columns → one implicit group (the Q6 shape).
+        let vals = [2i64, 3, 4];
+        let g = hash_group_by(
+            &[],
+            &[AggSpec {
+                kind: AggKind::Sum,
+                input: &vals,
+            }],
+        );
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.aggs[0], vec![9]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = hash_group_by(&[&[]], &[]);
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Hash join over position-pruned inputs.
+//!
+//! Bulk processing style: build a hash table over the (already selected)
+//! build-side keys, probe with the (already selected) probe-side keys,
+//! emit matching position pairs. §4 notes joins "may produce more tuples
+//! than \[their\] input", which is why they stay on the CPU in this design.
+
+use std::collections::HashMap;
+
+/// Joins `build_keys[i]` with `probe_keys[j]`, returning `(i, j)` index
+/// pairs (indices into the *input slices*, which the caller maps back to
+/// table positions). Handles duplicate keys on both sides (full cross
+/// products per key).
+pub fn hash_join(build_keys: &[i64], probe_keys: &[i64]) -> Vec<(u32, u32)> {
+    let mut table: HashMap<i64, Vec<u32>> = HashMap::with_capacity(build_keys.len());
+    for (i, &k) in build_keys.iter().enumerate() {
+        table.entry(k).or_default().push(i as u32);
+    }
+    let mut out = Vec::new();
+    for (j, &k) in probe_keys.iter().enumerate() {
+        if let Some(is) = table.get(&k) {
+            for &i in is {
+                out.push((i, j as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Semi-join: probe-side indices with at least one build-side match
+/// (used for `IN` / `EXISTS` subqueries).
+pub fn semi_join(build_keys: &[i64], probe_keys: &[i64]) -> Vec<u32> {
+    let set: std::collections::HashSet<i64> = build_keys.iter().copied().collect();
+    probe_keys
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| set.contains(k))
+        .map(|(j, _)| j as u32)
+        .collect()
+}
+
+/// Anti-join: probe-side indices with *no* build-side match
+/// (used for `NOT EXISTS`, e.g. TPC-H Q22's customers without orders).
+pub fn anti_join(build_keys: &[i64], probe_keys: &[i64]) -> Vec<u32> {
+    let set: std::collections::HashSet<i64> = build_keys.iter().copied().collect();
+    probe_keys
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| !set.contains(k))
+        .map(|(j, _)| j as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_join_pairs() {
+        let build = [1i64, 2, 3];
+        let probe = [3i64, 1, 4, 1];
+        let mut pairs = hash_join(&build, &probe);
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (0, 3), (2, 0)]);
+    }
+
+    #[test]
+    fn duplicate_keys_cross_product() {
+        let build = [7i64, 7];
+        let probe = [7i64, 7, 8];
+        let pairs = hash_join(&build, &probe);
+        assert_eq!(pairs.len(), 4, "2 build × 2 probe matches");
+    }
+
+    #[test]
+    fn join_can_amplify_output() {
+        // The §4 caveat: output larger than either input.
+        let build = vec![1i64; 10];
+        let probe = vec![1i64; 10];
+        assert_eq!(hash_join(&build, &probe).len(), 100);
+    }
+
+    #[test]
+    fn semi_and_anti_partition_probe() {
+        let build = [2i64, 4];
+        let probe = [1i64, 2, 3, 4, 5];
+        assert_eq!(semi_join(&build, &probe), vec![1, 3]);
+        assert_eq!(anti_join(&build, &probe), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn empty_sides() {
+        assert!(hash_join(&[], &[1, 2]).is_empty());
+        assert!(hash_join(&[1, 2], &[]).is_empty());
+        assert_eq!(anti_join(&[], &[1]), vec![0]);
+    }
+}

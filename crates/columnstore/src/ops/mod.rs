@@ -1,0 +1,13 @@
+//! Bulk (column-at-a-time) operators.
+
+pub mod agg;
+pub mod join;
+pub mod project;
+pub mod scan;
+pub mod sort;
+
+pub use agg::{AggKind, AggSpec, GroupedResult};
+pub use join::hash_join;
+pub use project::gather;
+pub use scan::{scan, ScanPredicate};
+pub use sort::sort_rows_by;

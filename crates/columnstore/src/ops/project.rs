@@ -1,0 +1,43 @@
+//! The project (tuple reconstruction) operator: gather values at
+//! positions. "Every query plan has at least N − 1 project operators where
+//! N is the number of columns referenced in the query" (§4).
+
+use crate::column::Column;
+use crate::positions::PositionList;
+
+/// Gathers `column[p]` for each position `p`.
+///
+/// # Panics
+/// Panics if a position is out of range.
+pub fn gather(column: &Column, positions: &PositionList) -> Vec<i64> {
+    positions
+        .as_slice()
+        .iter()
+        .map(|&p| column.get(p as usize))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gathers_in_position_order() {
+        let c = Column::int("v", vec![10, 20, 30, 40]);
+        let p = PositionList::from_sorted(vec![0, 2, 3]);
+        assert_eq!(gather(&c, &p), vec![10, 30, 40]);
+    }
+
+    #[test]
+    fn empty_positions() {
+        let c = Column::int("v", vec![1, 2]);
+        assert!(gather(&c, &PositionList::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_position_panics() {
+        let c = Column::int("v", vec![1]);
+        gather(&c, &PositionList::from_sorted(vec![5]));
+    }
+}

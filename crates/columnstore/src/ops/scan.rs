@@ -1,0 +1,138 @@
+//! The select operator (functional reference).
+//!
+//! The functional scan produces the qualifying positions; *how long* it
+//! takes — CPU branching/predicated/vectorized kernel or JAFAR pushdown —
+//! is decided by the planner annotation and timed by the simulator
+//! replaying the operator trace.
+
+use crate::column::Column;
+use crate::positions::PositionList;
+
+/// A scan predicate over the physical `i64` values (dates, decimals and
+/// dictionary codes all compare as integers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScanPredicate {
+    /// `v = x`
+    Eq(i64),
+    /// `v < x`
+    Lt(i64),
+    /// `v > x`
+    Gt(i64),
+    /// `v ≤ x`
+    Le(i64),
+    /// `v ≥ x`
+    Ge(i64),
+    /// `lo ≤ v ≤ hi`
+    Between(i64, i64),
+}
+
+impl ScanPredicate {
+    /// Inclusive bounds form (the JAFAR-compatible compilation); empty
+    /// predicates yield `(MAX, MIN)`.
+    pub fn bounds(self) -> (i64, i64) {
+        match self {
+            ScanPredicate::Eq(x) => (x, x),
+            ScanPredicate::Lt(i64::MIN) => (i64::MAX, i64::MIN),
+            ScanPredicate::Lt(x) => (i64::MIN, x - 1),
+            ScanPredicate::Gt(i64::MAX) => (i64::MAX, i64::MIN),
+            ScanPredicate::Gt(x) => (x + 1, i64::MAX),
+            ScanPredicate::Le(x) => (i64::MIN, x),
+            ScanPredicate::Ge(x) => (x, i64::MAX),
+            ScanPredicate::Between(lo, hi) => (lo, hi),
+        }
+    }
+
+    /// Evaluates the predicate.
+    pub fn eval(self, v: i64) -> bool {
+        let (lo, hi) = self.bounds();
+        lo <= v && v <= hi
+    }
+}
+
+/// Scans `column`, returning qualifying positions.
+pub fn scan(column: &Column, predicate: ScanPredicate) -> PositionList {
+    let (lo, hi) = predicate.bounds();
+    column
+        .data()
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| lo <= v && v <= hi)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Scans only at the given positions (a conjunctive refinement: apply a
+/// second predicate to the survivors of a first).
+pub fn scan_at(column: &Column, positions: &PositionList, predicate: ScanPredicate) -> PositionList {
+    let (lo, hi) = predicate.bounds();
+    positions
+        .as_slice()
+        .iter()
+        .copied()
+        .filter(|&p| {
+            let v = column.get(p as usize);
+            lo <= v && v <= hi
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col() -> Column {
+        Column::int("v", vec![5, 1, 9, 3, 7, 3, 0, 10])
+    }
+
+    #[test]
+    fn full_scan_forms() {
+        let c = col();
+        assert_eq!(scan(&c, ScanPredicate::Eq(3)).as_slice(), &[3, 5]);
+        assert_eq!(scan(&c, ScanPredicate::Lt(3)).as_slice(), &[1, 6]);
+        assert_eq!(scan(&c, ScanPredicate::Ge(9)).as_slice(), &[2, 7]);
+        assert_eq!(scan(&c, ScanPredicate::Between(3, 5)).as_slice(), &[0, 3, 5]);
+        assert_eq!(scan(&c, ScanPredicate::Between(100, 200)).len(), 0);
+    }
+
+    #[test]
+    fn refinement_scan() {
+        let a = col();
+        let b = Column::int("w", vec![0, 0, 1, 1, 1, 0, 0, 1]);
+        let first = scan(&a, ScanPredicate::Ge(3)); // 0,2,3,4,5,7
+        let refined = scan_at(&b, &first, ScanPredicate::Eq(1));
+        assert_eq!(refined.as_slice(), &[2, 3, 4, 7]);
+        // Equivalent to intersecting independent scans.
+        let second = scan(&b, ScanPredicate::Eq(1));
+        assert_eq!(refined, first.intersect(&second));
+    }
+
+    #[test]
+    fn predicate_bounds_match_eval() {
+        for v in -5..15i64 {
+            for p in [
+                ScanPredicate::Eq(7),
+                ScanPredicate::Lt(7),
+                ScanPredicate::Gt(7),
+                ScanPredicate::Le(7),
+                ScanPredicate::Ge(7),
+                ScanPredicate::Between(2, 11),
+            ] {
+                let naive = match p {
+                    ScanPredicate::Eq(x) => v == x,
+                    ScanPredicate::Lt(x) => v < x,
+                    ScanPredicate::Gt(x) => v > x,
+                    ScanPredicate::Le(x) => v <= x,
+                    ScanPredicate::Ge(x) => v >= x,
+                    ScanPredicate::Between(lo, hi) => lo <= v && v <= hi,
+                };
+                assert_eq!(p.eval(v), naive, "{p:?} on {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = Column::int("e", vec![]);
+        assert!(scan(&c, ScanPredicate::Ge(0)).is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Order-by support: sort row indices by key columns.
+
+/// Sort direction per key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// Returns the row indices `0..n` ordered by the given `(column, dir)`
+/// keys, most-significant first. Stable, so ties preserve input order.
+///
+/// # Panics
+/// Panics if key columns have differing lengths.
+pub fn sort_rows_by(keys: &[(&[i64], Dir)]) -> Vec<u32> {
+    let n = keys.first().map_or(0, |(c, _)| c.len());
+    for (c, _) in keys {
+        assert_eq!(c.len(), n, "key column length mismatch");
+    }
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_by(|&a, &b| {
+        for (col, dir) in keys {
+            let (x, y) = (col[a as usize], col[b as usize]);
+            let ord = match dir {
+                Dir::Asc => x.cmp(&y),
+                Dir::Desc => y.cmp(&x),
+            };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_key_asc_desc() {
+        let v = [3i64, 1, 2];
+        assert_eq!(sort_rows_by(&[(&v, Dir::Asc)]), vec![1, 2, 0]);
+        assert_eq!(sort_rows_by(&[(&v, Dir::Desc)]), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn compound_keys_with_ties() {
+        // The Q3 shape: ORDER BY revenue DESC, orderdate ASC.
+        let revenue = [10i64, 30, 10, 30];
+        let date = [5i64, 9, 2, 1];
+        let order = sort_rows_by(&[(&revenue, Dir::Desc), (&date, Dir::Asc)]);
+        assert_eq!(order, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn stability_on_full_ties() {
+        let v = [7i64, 7, 7];
+        assert_eq!(sort_rows_by(&[(&v, Dir::Asc)]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(sort_rows_by(&[]).is_empty());
+        assert!(sort_rows_by(&[(&[], Dir::Asc)]).is_empty());
+    }
+}

@@ -1,0 +1,461 @@
+//! Declarative query plans over the bulk operators.
+//!
+//! The hand-written TPC-H pipelines in `jafar-tpch` show the
+//! operator-at-a-time style directly; this module adds the declarative
+//! layer a downstream user composes instead: a [`Plan`] tree of
+//! select-project-join-aggregate-sort-limit nodes, evaluated by
+//! [`execute`] against a [`Catalog`] through an [`ExecContext`] — so every
+//! plan automatically records the operator trace the simulator times, and
+//! every leading full-column filter goes through the pushdown planner.
+//!
+//! Data flows between nodes as a [`Frame`]: named, equal-length `i64`
+//! columns (the physical currency of the whole store).
+
+use crate::exec::ExecContext;
+use crate::ops::agg::{AggKind, AggSpec};
+use crate::ops::scan::ScanPredicate;
+use crate::ops::sort::Dir;
+use crate::positions::PositionList;
+use crate::table::Table;
+use std::collections::HashMap;
+
+/// Named tables a plan can reference.
+#[derive(Default)]
+pub struct Catalog<'a> {
+    tables: HashMap<String, &'a Table>,
+}
+
+impl<'a> Catalog<'a> {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a table under its own name.
+    pub fn add(mut self, table: &'a Table) -> Self {
+        self.tables.insert(table.name().to_owned(), table);
+        self
+    }
+
+    /// Looks a table up.
+    ///
+    /// # Panics
+    /// Panics if absent — unknown table names are plan bugs.
+    pub fn table(&self, name: &str) -> &'a Table {
+        self.tables
+            .get(name)
+            .unwrap_or_else(|| panic!("catalog has no table {name}"))
+    }
+}
+
+/// An intermediate result: named, equal-length columns.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Frame {
+    columns: Vec<(String, Vec<i64>)>,
+}
+
+impl Frame {
+    /// An empty frame.
+    pub fn new() -> Self {
+        Frame::default()
+    }
+
+    /// Adds a column.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or duplicate name.
+    pub fn with(mut self, name: impl Into<String>, data: Vec<i64>) -> Self {
+        let name = name.into();
+        if let Some((_, first)) = self.columns.first() {
+            assert_eq!(first.len(), data.len(), "frame column length mismatch");
+        }
+        assert!(
+            self.columns.iter().all(|(n, _)| *n != name),
+            "duplicate frame column {name}"
+        );
+        self.columns.push((name, data));
+        self
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, |(_, c)| c.len())
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// A column by name.
+    ///
+    /// # Panics
+    /// Panics if absent.
+    pub fn column(&self, name: &str) -> &[i64] {
+        &self
+            .columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("frame has no column {name}"))
+            .1
+    }
+
+    /// Keeps only the rows at `idx`, in that order.
+    fn take(&self, idx: &[u32]) -> Frame {
+        Frame {
+            columns: self
+                .columns
+                .iter()
+                .map(|(n, c)| {
+                    (
+                        n.clone(),
+                        idx.iter().map(|&i| c[i as usize]).collect::<Vec<i64>>(),
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A plan node.
+#[derive(Clone, Debug)]
+pub enum Plan {
+    /// Filter `table` by the conjunction of predicates (the first runs as
+    /// a full-column scan — the pushdown candidate — the rest as
+    /// positional refinements), then project `columns` into a frame.
+    Scan {
+        /// Table name in the catalog.
+        table: String,
+        /// Conjunctive predicates, applied in order.
+        filters: Vec<(String, ScanPredicate)>,
+        /// Columns to project for downstream nodes.
+        columns: Vec<String>,
+    },
+    /// Inner equi-join of two frames on one key column each; output
+    /// carries all columns of both inputs (right side wins name clashes
+    /// being forbidden — qualify names upstream).
+    Join {
+        /// Build side (usually the smaller input).
+        build: Box<Plan>,
+        /// Probe side.
+        probe: Box<Plan>,
+        /// Key column in the build frame.
+        build_key: String,
+        /// Key column in the probe frame.
+        probe_key: String,
+    },
+    /// Hash group-by: `keys` ⟶ one row per distinct tuple, with aggregate
+    /// outputs named `out`.
+    GroupBy {
+        /// Input.
+        input: Box<Plan>,
+        /// Grouping key columns.
+        keys: Vec<String>,
+        /// `(input column, function, output name)` triples. For
+        /// `AggKind::Count` the input column is ignored (use any key).
+        aggs: Vec<(String, AggKind, String)>,
+    },
+    /// Order by the given `(column, direction)` keys.
+    Sort {
+        /// Input.
+        input: Box<Plan>,
+        /// Most-significant key first.
+        keys: Vec<(String, Dir)>,
+    },
+    /// Keep the first `n` rows.
+    Limit {
+        /// Input.
+        input: Box<Plan>,
+        /// Row cap.
+        n: usize,
+    },
+}
+
+/// Evaluates `plan` against `catalog`, recording the operator trace in
+/// `cx`.
+///
+/// # Panics
+/// Panics on plan bugs (unknown tables/columns, name clashes) — plans are
+/// code, not user input, in this prototype.
+pub fn execute(plan: &Plan, catalog: &Catalog<'_>, cx: &mut ExecContext) -> Frame {
+    match plan {
+        Plan::Scan {
+            table,
+            filters,
+            columns,
+        } => {
+            let t = catalog.table(table);
+            let mut positions: Option<PositionList> = None;
+            for (col, pred) in filters {
+                positions = Some(match positions {
+                    None => cx.select(t, col, *pred),
+                    Some(p) => cx.select_at(t, col, &p, *pred),
+                });
+            }
+            let positions =
+                positions.unwrap_or_else(|| (0..t.rows() as u32).collect::<PositionList>());
+            let mut frame = Frame::new();
+            for col in columns {
+                frame = frame.with(col.clone(), cx.project(t, col, &positions));
+            }
+            frame
+        }
+        Plan::Join {
+            build,
+            probe,
+            build_key,
+            probe_key,
+        } => {
+            let b = execute(build, catalog, cx);
+            let p = execute(probe, catalog, cx);
+            let pairs = cx.join(b.column(build_key), p.column(probe_key));
+            let b_idx: Vec<u32> = pairs.iter().map(|&(i, _)| i).collect();
+            let p_idx: Vec<u32> = pairs.iter().map(|&(_, j)| j).collect();
+            let mut out = b.take(&b_idx);
+            for (name, col) in p.take(&p_idx).columns {
+                out = out.with(name, col);
+            }
+            out
+        }
+        Plan::GroupBy { input, keys, aggs } => {
+            let f = execute(input, catalog, cx);
+            let key_cols: Vec<&[i64]> = keys.iter().map(|k| f.column(k)).collect();
+            let specs: Vec<AggSpec<'_>> = aggs
+                .iter()
+                .map(|(col, kind, _)| AggSpec {
+                    kind: *kind,
+                    input: f.column(col),
+                })
+                .collect();
+            let grouped = cx.group_by(&key_cols, &specs);
+            let mut out = Frame::new();
+            for (k, name) in keys.iter().enumerate() {
+                out = out.with(name.clone(), grouped.keys[k].clone());
+            }
+            for (a, (_, kind, out_name)) in aggs.iter().enumerate() {
+                let col = if *kind == AggKind::Count {
+                    grouped.counts.iter().map(|&c| c as i64).collect()
+                } else {
+                    grouped.aggs[a].clone()
+                };
+                out = out.with(out_name.clone(), col);
+            }
+            out
+        }
+        Plan::Sort { input, keys } => {
+            let f = execute(input, catalog, cx);
+            let key_cols: Vec<(&[i64], Dir)> =
+                keys.iter().map(|(k, d)| (f.column(k), *d)).collect();
+            let order = cx.sort(&key_cols);
+            f.take(&order)
+        }
+        Plan::Limit { input, n } => {
+            let f = execute(input, catalog, cx);
+            let take: Vec<u32> = (0..f.rows().min(*n) as u32).collect();
+            cx.materialize(take.len() as u64, f.names().len() as u64);
+            f.take(&take)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::pushdown::Planner;
+
+    fn sales() -> Table {
+        Table::new(
+            "sales",
+            vec![
+                Column::int("region", vec![0, 1, 0, 1, 2, 0, 2, 1]),
+                Column::int("amount", vec![10, 20, 30, 40, 50, 60, 70, 80]),
+                Column::int("year", vec![94, 94, 95, 95, 94, 95, 95, 94]),
+            ],
+        )
+    }
+
+    fn regions() -> Table {
+        Table::new(
+            "regions",
+            vec![
+                Column::int("r_id", vec![0, 1, 2]),
+                Column::int("r_zone", vec![100, 200, 100]),
+            ],
+        )
+    }
+
+    #[test]
+    fn scan_with_conjunction_and_projection() {
+        let t = sales();
+        let catalog = Catalog::new().add(&t);
+        let mut cx = ExecContext::new(Planner::default());
+        let plan = Plan::Scan {
+            table: "sales".into(),
+            filters: vec![
+                ("year".into(), ScanPredicate::Eq(95)),
+                ("amount".into(), ScanPredicate::Ge(40)),
+            ],
+            columns: vec!["region".into(), "amount".into()],
+        };
+        let f = execute(&plan, &catalog, &mut cx);
+        assert_eq!(f.column("amount"), &[40, 60, 70]);
+        assert_eq!(f.column("region"), &[1, 0, 2]);
+        // Trace: 1 full scan, 1 refine, 2 gathers.
+        assert_eq!(cx.trace().len(), 4);
+    }
+
+    #[test]
+    fn group_by_sort_limit_pipeline() {
+        // SELECT region, SUM(amount), COUNT(*) FROM sales
+        // GROUP BY region ORDER BY sum DESC LIMIT 2
+        let t = sales();
+        let catalog = Catalog::new().add(&t);
+        let mut cx = ExecContext::new(Planner::default());
+        let plan = Plan::Limit {
+            n: 2,
+            input: Box::new(Plan::Sort {
+                keys: vec![("total".into(), Dir::Desc)],
+                input: Box::new(Plan::GroupBy {
+                    input: Box::new(Plan::Scan {
+                        table: "sales".into(),
+                        filters: vec![],
+                        columns: vec!["region".into(), "amount".into()],
+                    }),
+                    keys: vec!["region".into()],
+                    aggs: vec![
+                        ("amount".into(), AggKind::Sum, "total".into()),
+                        ("region".into(), AggKind::Count, "n".into()),
+                    ],
+                }),
+            }),
+        };
+        let f = execute(&plan, &catalog, &mut cx);
+        assert_eq!(f.rows(), 2);
+        // Totals: region 0 → 100, region 1 → 140, region 2 → 120.
+        assert_eq!(f.column("region"), &[1, 2]);
+        assert_eq!(f.column("total"), &[140, 120]);
+        assert_eq!(f.column("n"), &[3, 2]);
+    }
+
+    #[test]
+    fn join_combines_frames() {
+        // SELECT r_zone, SUM(amount) FROM sales JOIN regions ON region = r_id
+        // GROUP BY r_zone
+        let s = sales();
+        let r = regions();
+        let catalog = Catalog::new().add(&s).add(&r);
+        let mut cx = ExecContext::new(Planner::default());
+        let plan = Plan::GroupBy {
+            keys: vec!["r_zone".into()],
+            aggs: vec![("amount".into(), AggKind::Sum, "total".into())],
+            input: Box::new(Plan::Join {
+                build: Box::new(Plan::Scan {
+                    table: "regions".into(),
+                    filters: vec![],
+                    columns: vec!["r_id".into(), "r_zone".into()],
+                }),
+                probe: Box::new(Plan::Scan {
+                    table: "sales".into(),
+                    filters: vec![],
+                    columns: vec!["region".into(), "amount".into()],
+                }),
+                build_key: "r_id".into(),
+                probe_key: "region".into(),
+            }),
+        };
+        let mut f = execute(&plan, &catalog, &mut cx);
+        // Normalise group order for comparison.
+        let order = crate::ops::sort::sort_rows_by(&[(f.column("r_zone"), Dir::Asc)]);
+        f = f.take(&order);
+        // Zone 100 = regions 0 and 2 → 100 + 120 = 220; zone 200 → 140.
+        assert_eq!(f.column("r_zone"), &[100, 200]);
+        assert_eq!(f.column("total"), &[220, 140]);
+    }
+
+    #[test]
+    fn q6_as_a_plan_matches_handwritten() {
+        use crate::exec::Pred;
+        use jafar_common::rng::SplitMix64;
+        // A Q6-shaped query on synthetic data: the plan result must equal
+        // the hand-written bulk pipeline.
+        let mut rng = SplitMix64::new(66);
+        let n = 5000;
+        let shipdate: Vec<i64> = (0..n).map(|_| rng.next_range_inclusive(0, 365)).collect();
+        let discount: Vec<i64> = (0..n).map(|_| rng.next_range_inclusive(0, 10)).collect();
+        let price: Vec<i64> = (0..n).map(|_| rng.next_range_inclusive(100, 10_000)).collect();
+        let t = Table::new(
+            "li",
+            vec![
+                Column::int("shipdate", shipdate.clone()),
+                Column::int("discount", discount.clone()),
+                Column::int("price", price.clone()),
+            ],
+        );
+        let catalog = Catalog::new().add(&t);
+        let mut cx = ExecContext::new(Planner::default());
+        let plan = Plan::Scan {
+            table: "li".into(),
+            filters: vec![
+                ("shipdate".into(), ScanPredicate::Between(100, 199)),
+                ("discount".into(), ScanPredicate::Between(5, 7)),
+            ],
+            columns: vec!["price".into(), "discount".into()],
+        };
+        let f = execute(&plan, &catalog, &mut cx);
+        let plan_revenue: i64 = f
+            .column("price")
+            .iter()
+            .zip(f.column("discount"))
+            .map(|(&p, &d)| p * d / 100)
+            .sum();
+
+        let mut cx2 = ExecContext::new(Planner::default());
+        let by_date = cx2.select(&t, "shipdate", Pred::Between(100, 199));
+        let by_disc = cx2.select_at(&t, "discount", &by_date, Pred::Between(5, 7));
+        let p = cx2.project(&t, "price", &by_disc);
+        let d = cx2.project(&t, "discount", &by_disc);
+        let hand_revenue: i64 = p.iter().zip(&d).map(|(&p, &d)| p * d / 100).sum();
+        assert_eq!(plan_revenue, hand_revenue);
+    }
+
+    #[test]
+    #[should_panic(expected = "no table")]
+    fn unknown_table_panics() {
+        let catalog = Catalog::new();
+        let mut cx = ExecContext::new(Planner::default());
+        execute(
+            &Plan::Scan {
+                table: "ghost".into(),
+                filters: vec![],
+                columns: vec![],
+            },
+            &catalog,
+            &mut cx,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate frame column")]
+    fn join_name_clash_rejected() {
+        let s = sales();
+        let catalog = Catalog::new().add(&s);
+        let mut cx = ExecContext::new(Planner::default());
+        // Joining a frame with itself clashes on every column name.
+        let scan = Plan::Scan {
+            table: "sales".into(),
+            filters: vec![],
+            columns: vec!["region".into()],
+        };
+        execute(
+            &Plan::Join {
+                build: Box::new(scan.clone()),
+                probe: Box::new(scan),
+                build_key: "region".into(),
+                probe_key: "region".into(),
+            },
+            &catalog,
+            &mut cx,
+        );
+    }
+}

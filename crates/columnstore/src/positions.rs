@@ -1,0 +1,186 @@
+//! Position lists — the currency of late materialization.
+//!
+//! A select produces *positions* (qualifying row indices); projects gather
+//! values at those positions; the final materialization happens as late as
+//! possible (§2.2: "to fit column-stores with a late materialization
+//! execution engine, JAFAR is designed to consume one complete column at a
+//! time" — its bitset output converts to a position list).
+
+use jafar_common::bitset::BitSet;
+
+/// A sorted list of qualifying row indices.
+///
+/// ```
+/// use jafar_columnstore::PositionList;
+///
+/// // Conjunctive selects intersect their position lists.
+/// let by_date = PositionList::from_sorted(vec![1, 4, 7, 9]);
+/// let by_qty = PositionList::from_sorted(vec![4, 5, 9]);
+/// assert_eq!(by_date.intersect(&by_qty).as_slice(), &[4, 9]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PositionList(pub Vec<u32>);
+
+impl PositionList {
+    /// An empty list.
+    pub fn new() -> Self {
+        PositionList(Vec::new())
+    }
+
+    /// From a raw (sorted) vector.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if not strictly ascending.
+    pub fn from_sorted(v: Vec<u32>) -> Self {
+        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "positions not sorted");
+        PositionList(v)
+    }
+
+    /// From a selection bitmap.
+    pub fn from_bitset(b: &BitSet) -> Self {
+        PositionList(b.to_positions())
+    }
+
+    /// To a selection bitmap over `len` rows.
+    ///
+    /// # Panics
+    /// Panics if a position is out of range.
+    pub fn to_bitset(&self, len: usize) -> BitSet {
+        let mut b = BitSet::new(len);
+        for &p in &self.0 {
+            b.set(p as usize);
+        }
+        b
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The positions.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Intersection with another sorted list (conjunctive selects).
+    pub fn intersect(&self, other: &PositionList) -> PositionList {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::with_capacity(self.len().min(other.len()));
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.0[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        PositionList(out)
+    }
+
+    /// Union with another sorted list (disjunctive selects).
+    pub fn union(&self, other: &PositionList) -> PositionList {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        while i < self.0.len() || j < other.0.len() {
+            let take_left = match (self.0.get(i), other.0.get(j)) {
+                (Some(a), Some(b)) => a <= b,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => unreachable!("loop condition"),
+            };
+            if take_left {
+                let v = self.0[i];
+                if out.last() != Some(&v) {
+                    out.push(v);
+                }
+                i += 1;
+            } else {
+                let v = other.0[j];
+                if out.last() != Some(&v) {
+                    out.push(v);
+                }
+                j += 1;
+            }
+        }
+        PositionList(out)
+    }
+
+    /// Selectivity relative to `total` rows.
+    pub fn selectivity(&self, total: usize) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.len() as f64 / total as f64
+        }
+    }
+}
+
+impl FromIterator<u32> for PositionList {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        PositionList(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bitset_round_trip() {
+        let p = PositionList::from_sorted(vec![0, 5, 63, 64, 99]);
+        let b = p.to_bitset(100);
+        assert_eq!(PositionList::from_bitset(&b), p);
+        assert_eq!(b.count_ones(), 5);
+    }
+
+    #[test]
+    fn intersect_union_basics() {
+        let a = PositionList::from_sorted(vec![1, 3, 5, 7]);
+        let b = PositionList::from_sorted(vec![3, 4, 5, 8]);
+        assert_eq!(a.intersect(&b).as_slice(), &[3, 5]);
+        assert_eq!(a.union(&b).as_slice(), &[1, 3, 4, 5, 7, 8]);
+        assert_eq!(a.intersect(&PositionList::new()).len(), 0);
+        assert_eq!(a.union(&PositionList::new()), a);
+    }
+
+    #[test]
+    fn selectivity() {
+        let p = PositionList::from_sorted(vec![0, 1, 2]);
+        assert_eq!(p.selectivity(12), 0.25);
+        assert_eq!(PositionList::new().selectivity(0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn intersect_union_agree_with_sets(
+            a in proptest::collection::btree_set(0u32..200, 0..50),
+            b in proptest::collection::btree_set(0u32..200, 0..50),
+        ) {
+            let pa = PositionList::from_sorted(a.iter().copied().collect());
+            let pb = PositionList::from_sorted(b.iter().copied().collect());
+            let want_i: Vec<u32> = a.intersection(&b).copied().collect();
+            let want_u: Vec<u32> = a.union(&b).copied().collect();
+            let got_i = pa.intersect(&pb);
+            let got_u = pa.union(&pb);
+            prop_assert_eq!(got_i.as_slice(), &want_i[..]);
+            prop_assert_eq!(got_u.as_slice(), &want_u[..]);
+        }
+
+        #[test]
+        fn bitset_round_trip_prop(set in proptest::collection::btree_set(0u32..500, 0..100)) {
+            let p = PositionList::from_sorted(set.iter().copied().collect());
+            let b = p.to_bitset(500);
+            prop_assert_eq!(PositionList::from_bitset(&b), p);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Tables: named collections of equal-length columns.
+
+use crate::column::Column;
+
+/// A table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Builds a table, checking column lengths agree.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or duplicate column names.
+    pub fn new<S: Into<String>>(name: S, columns: Vec<Column>) -> Self {
+        if let Some(first) = columns.first() {
+            for c in &columns {
+                assert_eq!(
+                    c.len(),
+                    first.len(),
+                    "column {} length differs from {}",
+                    c.name(),
+                    first.name()
+                );
+            }
+        }
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                assert_ne!(a.name(), b.name(), "duplicate column {}", a.name());
+            }
+        }
+        Table {
+            name: name.into(),
+            columns,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Looks up a column by name.
+    ///
+    /// # Panics
+    /// Panics if absent — schema errors are programming errors here.
+    pub fn column(&self, name: &str) -> &Column {
+        self.columns
+            .iter()
+            .find(|c| c.name() == name)
+            .unwrap_or_else(|| panic!("table {} has no column {name}", self.name))
+    }
+
+    /// True if the table has a column named `name`.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.columns.iter().any(|c| c.name() == name)
+    }
+
+    /// Total bytes across all columns.
+    pub fn bytes(&self) -> u64 {
+        self.columns.iter().map(Column::bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_shape() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::int("a", vec![1, 2]),
+                Column::int("b", vec![10, 20]),
+            ],
+        );
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.column("b").get(1), 20);
+        assert!(t.has_column("a"));
+        assert!(!t.has_column("c"));
+        assert_eq!(t.bytes(), 32);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("e", vec![]);
+        assert_eq!(t.rows(), 0);
+        assert_eq!(t.bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length differs")]
+    fn ragged_columns_rejected() {
+        Table::new(
+            "t",
+            vec![Column::int("a", vec![1]), Column::int("b", vec![1, 2])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_rejected() {
+        Table::new(
+            "t",
+            vec![Column::int("a", vec![1]), Column::int("a", vec![2])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn missing_column_panics() {
+        Table::new("t", vec![]).column("x");
+    }
+}

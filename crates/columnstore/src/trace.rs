@@ -1,0 +1,186 @@
+//! Operator traces: what a query execution *did*, for the simulator to
+//! time.
+//!
+//! Functional query processing (this crate) and performance modelling
+//! (`jafar-sim`) are decoupled through a trace of operator events. Each
+//! event names the data touched (table/column, row counts, output
+//! cardinality) and, for scans, the chosen implementation; the simulator
+//! replays events against the memory hierarchy to obtain timing and the
+//! memory-controller counters of Figure 4.
+
+use crate::pushdown::ScanImpl;
+
+/// One operator event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A full-column select.
+    Scan {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// Input rows.
+        rows: u64,
+        /// Qualifying rows.
+        matches: u64,
+        /// Inclusive predicate bounds (for replaying the exact filter).
+        bounds: (i64, i64),
+        /// Chosen implementation.
+        implementation: ScanImpl,
+    },
+    /// A positional refinement scan (reads only `positions` rows).
+    ScanAt {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// Positions examined.
+        positions: u64,
+        /// Qualifying rows.
+        matches: u64,
+    },
+    /// A gather (project) of `positions` values from a column.
+    Gather {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// Values gathered.
+        positions: u64,
+    },
+    /// Hash-table build over `rows` keys.
+    HashBuild {
+        /// Build-side rows.
+        rows: u64,
+    },
+    /// Hash-table probe with `rows` keys producing `matches` pairs.
+    HashProbe {
+        /// Probe-side rows.
+        rows: u64,
+        /// Output pairs.
+        matches: u64,
+    },
+    /// Group-by aggregation over `rows` input rows into `groups` groups
+    /// with `aggregates` aggregate columns.
+    Aggregate {
+        /// Input rows.
+        rows: u64,
+        /// Output groups.
+        groups: u64,
+        /// Aggregate count.
+        aggregates: u64,
+    },
+    /// Sort of `rows` rows.
+    Sort {
+        /// Rows sorted.
+        rows: u64,
+    },
+    /// Result materialization of `rows` × `columns` values.
+    Materialize {
+        /// Result rows.
+        rows: u64,
+        /// Result columns.
+        columns: u64,
+    },
+}
+
+/// A query's operator trace.
+#[derive(Clone, Debug, Default)]
+pub struct OpTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl OpTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        OpTrace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in execution order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total rows read by scans (full + positional).
+    pub fn rows_scanned(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Scan { rows, .. } => *rows,
+                TraceEvent::ScanAt { positions, .. } => *positions,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Scans annotated for JAFAR pushdown.
+    pub fn jafar_scans(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Scan {
+                        implementation: ScanImpl::Jafar,
+                        ..
+                    }
+                )
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = OpTrace::new();
+        t.push(TraceEvent::Scan {
+            table: "l".into(),
+            column: "a".into(),
+            rows: 100,
+            matches: 10,
+            bounds: (0, 5),
+            implementation: ScanImpl::Jafar,
+        });
+        t.push(TraceEvent::Gather {
+            table: "l".into(),
+            column: "b".into(),
+            positions: 10,
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows_scanned(), 100);
+        assert_eq!(t.jafar_scans(), 1);
+        assert!(matches!(t.events()[1], TraceEvent::Gather { .. }));
+    }
+
+    #[test]
+    fn scan_at_counts_positions() {
+        let mut t = OpTrace::new();
+        t.push(TraceEvent::ScanAt {
+            table: "l".into(),
+            column: "c".into(),
+            positions: 42,
+            matches: 7,
+        });
+        assert_eq!(t.rows_scanned(), 42);
+        assert_eq!(t.jafar_scans(), 0);
+    }
+}

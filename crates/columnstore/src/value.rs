@@ -1,0 +1,173 @@
+//! Logical types over the physical `i64` representation.
+//!
+//! Every column is physically a dense `i64` vector — the representation
+//! JAFAR filters natively ("integers are sufficient to capture most
+//! datatypes in modern data systems", §2.2). Logical types define how
+//! those integers are produced and formatted: calendar dates as day
+//! numbers, fixed-point decimals as scaled integers, strings as dictionary
+//! codes.
+
+use std::fmt;
+
+/// Logical column types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataType {
+    /// Plain 64-bit integer.
+    Int,
+    /// Calendar date stored as days since 1970-01-01.
+    Date,
+    /// Fixed-point decimal with two fractional digits, stored ×100.
+    Decimal,
+    /// Dictionary-encoded string (code into the column's [`crate::dict::Dictionary`]).
+    Str,
+}
+
+/// A calendar date (proleptic Gregorian), physically a day number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Date(pub i64);
+
+impl Date {
+    /// Builds a date from year/month/day.
+    ///
+    /// # Panics
+    /// Panics on out-of-range month/day.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Self {
+        assert!((1..=12).contains(&month), "month {month}");
+        assert!((1..=31).contains(&day), "day {day}");
+        // Howard Hinnant's days_from_civil algorithm.
+        let y = year as i64 - i64::from(month <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let mp = (month as i64 + 9) % 12;
+        let doy = (153 * mp + 2) / 5 + day as i64 - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        Date(era * 146_097 + doe - 719_468)
+    }
+
+    /// Decomposes into (year, month, day).
+    pub fn to_ymd(self) -> (i32, u32, u32) {
+        let z = self.0 + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = doy - (153 * mp + 2) / 5 + 1;
+        let m = if mp < 10 { mp + 3 } else { mp - 9 };
+        ((y + i64::from(m <= 2)) as i32, m as u32, d as u32)
+    }
+
+    /// The date `days` later.
+    pub fn plus_days(self, days: i64) -> Date {
+        Date(self.0 + days)
+    }
+
+    /// The raw day number (the column value).
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.to_ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// A two-fractional-digit fixed-point decimal, physically the value ×100.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Decimal(pub i64);
+
+impl Decimal {
+    /// Builds from whole and hundredth parts, e.g. `(12, 34)` = 12.34 and
+    /// `(-12, 34)` = −12.34.
+    pub fn new(whole: i64, cents: u32) -> Self {
+        assert!(cents < 100);
+        let magnitude = (whole.unsigned_abs() * 100 + cents as u64) as i64;
+        Decimal(if whole < 0 { -magnitude } else { magnitude })
+    }
+
+    /// From a raw scaled value.
+    pub fn from_raw(raw: i64) -> Self {
+        Decimal(raw)
+    }
+
+    /// The raw scaled value (the column value).
+    pub fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// As `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / 100.0
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let a = self.0.abs();
+        write!(f, "{sign}{}.{:02}", a / 100, a % 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_round_trip() {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (1992, 2, 29),
+            (1998, 12, 1),
+            (1995, 3, 15),
+            (2000, 1, 1),
+            (1900, 3, 1),
+        ] {
+            let date = Date::from_ymd(y, m, d);
+            assert_eq!(date.to_ymd(), (y, m, d));
+        }
+        assert_eq!(Date::from_ymd(1970, 1, 1).raw(), 0);
+        assert_eq!(Date::from_ymd(1970, 1, 2).raw(), 1);
+    }
+
+    #[test]
+    fn date_ordering_matches_chronology() {
+        let a = Date::from_ymd(1994, 1, 1);
+        let b = Date::from_ymd(1994, 12, 31);
+        let c = Date::from_ymd(1995, 1, 1);
+        assert!(a < b && b < c);
+        assert_eq!(a.plus_days(364), b);
+        assert_eq!(b.plus_days(1), c);
+    }
+
+    #[test]
+    fn date_display() {
+        assert_eq!(Date::from_ymd(1998, 9, 2).to_string(), "1998-09-02");
+    }
+
+    #[test]
+    fn tpch_interval_arithmetic() {
+        // Q1's `l_shipdate <= date '1998-12-01' - interval '90' day`.
+        let cutoff = Date::from_ymd(1998, 12, 1).plus_days(-90);
+        assert_eq!(cutoff.to_string(), "1998-09-02");
+    }
+
+    #[test]
+    fn decimal_round_trip() {
+        let d = Decimal::new(12, 34);
+        assert_eq!(d.raw(), 1234);
+        assert_eq!(d.to_string(), "12.34");
+        assert_eq!(d.to_f64(), 12.34);
+        assert_eq!(Decimal::new(0, 5).to_string(), "0.05");
+        assert_eq!(Decimal::from_raw(-1234).to_string(), "-12.34");
+    }
+
+    #[test]
+    fn decimal_ordering() {
+        assert!(Decimal::new(1, 99) < Decimal::new(2, 0));
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared foundation for the JAFAR near-data-processing simulator workspace.
+//!
+//! This crate provides the small, dependency-free building blocks every other
+//! crate in the workspace relies on:
+//!
+//! - [`time`]: picosecond-resolution simulation time ([`Tick`]) and clock
+//!   domains ([`ClockDomain`]) so components running at 1 GHz (host CPU and
+//!   DDR3 data bus), 250 MHz (DRAM internal arrays) and 2 GHz (the JAFAR
+//!   device) can be co-simulated on one timeline.
+//! - [`bitset`]: the fixed-capacity bitset JAFAR accumulates filter results
+//!   into, plus the growable position bitmap the column-store uses.
+//! - [`stats`]: counters, streaming summary statistics and power-of-two
+//!   histograms used for memory-controller idle-period accounting.
+//! - [`rng`]: a deterministic SplitMix64 generator so every experiment is
+//!   exactly reproducible from a seed.
+//! - [`size`]: byte-size helpers and alignment utilities.
+//!
+//! [`Tick`]: time::Tick
+//! [`ClockDomain`]: time::ClockDomain
+
+pub mod bitset;
+pub mod rng;
+pub mod size;
+pub mod stats;
+pub mod time;
+
+pub use bitset::{BitSet, FixedBitBuf};
+pub use rng::SplitMix64;
+pub use size::{align_down, align_up, is_pow2, KIB, MIB};
+pub use stats::{Counter, Histogram, Summary};
+pub use time::{ClockDomain, Cycles, Tick};

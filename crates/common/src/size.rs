@@ -1,0 +1,104 @@
+//! Byte-size constants and alignment helpers.
+
+/// One kibibyte.
+pub const KIB: u64 = 1024;
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+/// A 64-byte cache line / DRAM burst, the transfer granularity everywhere in
+/// the simulated system (8n-prefetch of 64-bit words = 64 bytes).
+pub const CACHE_LINE: u64 = 64;
+
+/// True if `x` is a power of two (zero is not).
+pub const fn is_pow2(x: u64) -> bool {
+    x != 0 && x & (x - 1) == 0
+}
+
+/// Rounds `x` down to a multiple of `align`.
+///
+/// # Panics
+/// Panics (in debug builds) if `align` is not a power of two.
+pub const fn align_down(x: u64, align: u64) -> u64 {
+    debug_assert!(is_pow2(align));
+    x & !(align - 1)
+}
+
+/// Rounds `x` up to a multiple of `align`.
+///
+/// # Panics
+/// Panics (in debug builds) if `align` is not a power of two.
+pub const fn align_up(x: u64, align: u64) -> u64 {
+    debug_assert!(is_pow2(align));
+    (x + align - 1) & !(align - 1)
+}
+
+/// log2 of a power of two.
+///
+/// # Panics
+/// Panics if `x` is not a power of two.
+pub fn log2_exact(x: u64) -> u32 {
+    assert!(is_pow2(x), "{x} is not a power of two");
+    x.trailing_zeros()
+}
+
+/// Formats a byte count with a binary unit suffix, e.g. `"64KiB"`.
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= GIB && bytes.is_multiple_of(GIB) {
+        format!("{}GiB", bytes / GIB)
+    } else if bytes >= MIB && bytes.is_multiple_of(MIB) {
+        format!("{}MiB", bytes / MIB)
+    } else if bytes >= KIB && bytes.is_multiple_of(KIB) {
+        format!("{}KiB", bytes / KIB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_detection() {
+        assert!(is_pow2(1));
+        assert!(is_pow2(64));
+        assert!(is_pow2(1 << 40));
+        assert!(!is_pow2(0));
+        assert!(!is_pow2(3));
+        assert!(!is_pow2(96));
+    }
+
+    #[test]
+    fn alignment() {
+        assert_eq!(align_down(127, 64), 64);
+        assert_eq!(align_down(128, 64), 128);
+        assert_eq!(align_up(1, 64), 64);
+        assert_eq!(align_up(64, 64), 64);
+        assert_eq!(align_up(65, 64), 128);
+        assert_eq!(align_up(0, 4096), 0);
+    }
+
+    #[test]
+    fn log2() {
+        assert_eq!(log2_exact(1), 0);
+        assert_eq!(log2_exact(CACHE_LINE), 6);
+        assert_eq!(log2_exact(8 * KIB), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn log2_rejects_non_pow2() {
+        log2_exact(12);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(64), "64B");
+        assert_eq!(fmt_bytes(64 * KIB), "64KiB");
+        assert_eq!(fmt_bytes(128 * KIB), "128KiB");
+        assert_eq!(fmt_bytes(2 * GIB), "2GiB");
+        assert_eq!(fmt_bytes(1500), "1500B");
+    }
+}

@@ -1,0 +1,350 @@
+//! Counters, streaming summaries, and histograms.
+//!
+//! These are the accounting primitives behind every number the benchmarks
+//! report: memory-controller busy-cycle counters (`RC_busy`, `WC_busy`),
+//! exact idle-period distributions (Figure 4), row-buffer hit rates, and so
+//! on.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Streaming min / max / mean / variance over `u64` samples
+/// (Welford's algorithm; numerically stable, O(1) memory).
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            min: u64::MAX,
+            ..Default::default()
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let delta = value as f64 - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value as f64 - self.mean);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation, or 0 if fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.mean = mean;
+        self.m2 = m2;
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={:.1} sd={:.1} min={} max={}",
+            self.count,
+            self.mean(),
+            self.stddev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+/// A histogram over `u64` values with logarithmic (power-of-two) buckets.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))`, except bucket 0 which covers `[0, 2)`.
+/// Used for idle-period-length distributions where the dynamic range spans
+/// several orders of magnitude.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    summary: Summary,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 65],
+            summary: Summary::new(),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = if value < 2 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.summary.record(value);
+    }
+
+    /// The streaming summary over all recorded samples.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// Count in the bucket covering `value`.
+    pub fn bucket_for(&self, value: u64) -> u64 {
+        let idx = if value < 2 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
+        self.buckets[idx]
+    }
+
+    /// `(bucket_low_bound, count)` pairs for non-empty buckets, ascending.
+    pub fn nonempty_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+            .collect()
+    }
+
+    /// Approximate quantile via bucket interpolation: the value below which
+    /// at least `q` (0..=1) of samples fall. Coarse (power-of-two buckets)
+    /// but adequate for reporting idle-period tails.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target.max(1) {
+                return if i == 0 { 1 } else { 1u64 << (i + 1) };
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(5);
+        assert_eq!(c.get(), 6);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let mut s = Summary::new();
+        for v in [2u64, 4, 4, 4, 5, 5, 7, 9] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.sum(), 40);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2));
+        assert_eq!(s.max(), Some(9));
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(format!("{s}"), "n=0");
+    }
+
+    #[test]
+    fn summary_merge_matches_sequential() {
+        let mut all = Summary::new();
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for v in 0..100u64 {
+            all.record(v * v % 37);
+            if v % 2 == 0 {
+                a.record(v * v % 37);
+            } else {
+                b.record(v * v % 37);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.stddev() - all.stddev()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn summary_merge_with_empty() {
+        let mut a = Summary::new();
+        a.record(10);
+        let empty = Summary::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+        let mut e2 = Summary::new();
+        e2.merge(&a);
+        assert_eq!(e2.count(), 1);
+        assert_eq!(e2.max(), Some(10));
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1024, 1500] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_for(0), 2); // 0 and 1
+        assert_eq!(h.bucket_for(2), 2); // 2 and 3
+        assert_eq!(h.bucket_for(4), 2); // 4 and 7
+        assert_eq!(h.bucket_for(8), 1);
+        assert_eq!(h.bucket_for(1024), 2); // 1024 and 1500
+        assert_eq!(h.count(), 9);
+        let buckets = h.nonempty_buckets();
+        assert_eq!(buckets, vec![(0, 2), (2, 2), (4, 2), (8, 1), (1024, 2)]);
+    }
+
+    #[test]
+    fn histogram_quantile_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let q50 = h.quantile(0.5);
+        let q90 = h.quantile(0.9);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q90 && q90 <= q99);
+        assert!((256..=1024).contains(&q50), "q50={q50}");
+    }
+
+    #[test]
+    fn histogram_summary_consistent() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.summary().count(), 3);
+        assert!((h.summary().mean() - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,385 @@
+//! Simulation time and clock domains.
+//!
+//! The whole workspace shares one global timeline measured in **picoseconds**
+//! ([`Tick`]). Picoseconds are the coarsest unit that represents every clock
+//! in the paper exactly: the JAFAR device runs at 2 GHz (500 ps), the DDR3
+//! data bus at 1 GHz (1000 ps), the simulated host CPU at 1 GHz, and the DRAM
+//! internal arrays at 250 MHz (4000 ps). A `u64` of picoseconds overflows
+//! after ~213 days of simulated time, far beyond any experiment here.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A point on (or a span of) the global simulation timeline, in picoseconds.
+///
+/// ```
+/// use jafar_common::time::Tick;
+///
+/// let cas_latency = Tick::from_ns(13);
+/// let burst = Tick::from_ns(4);
+/// assert_eq!(cas_latency + burst, Tick::from_ps(17_000));
+/// assert_eq!(format!("{}", cas_latency), "13.000ns");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tick(pub u64);
+
+/// A whole number of cycles of some [`ClockDomain`].
+pub type Cycles = u64;
+
+impl Tick {
+    /// Time zero.
+    pub const ZERO: Tick = Tick(0);
+    /// The farthest representable future; used as "no pending event".
+    pub const MAX: Tick = Tick(u64::MAX);
+
+    /// Constructs a tick from a picosecond count.
+    pub const fn from_ps(ps: u64) -> Self {
+        Tick(ps)
+    }
+
+    /// Constructs a tick from a nanosecond count.
+    pub const fn from_ns(ns: u64) -> Self {
+        Tick(ns * 1_000)
+    }
+
+    /// Constructs a tick from a microsecond count.
+    pub const fn from_us(us: u64) -> Self {
+        Tick(us * 1_000_000)
+    }
+
+    /// Constructs a tick from a millisecond count.
+    pub const fn from_ms(ms: u64) -> Self {
+        Tick(ms * 1_000_000_000)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This tick expressed in (truncated) whole nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// This tick expressed in fractional nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// This tick expressed in fractional microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This tick expressed in fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction: `self - other`, clamped at zero.
+    pub fn saturating_sub(self, other: Tick) -> Tick {
+        Tick(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, other: Tick) -> Option<Tick> {
+        self.0.checked_add(other.0).map(Tick)
+    }
+
+    /// The larger of two ticks.
+    pub fn max(self, other: Tick) -> Tick {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two ticks.
+    pub fn min(self, other: Tick) -> Tick {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True if this tick is `Tick::MAX`, i.e. "never".
+    pub fn is_never(self) -> bool {
+        self == Tick::MAX
+    }
+}
+
+impl Add for Tick {
+    type Output = Tick;
+    fn add(self, rhs: Tick) -> Tick {
+        Tick(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Tick {
+    fn add_assign(&mut self, rhs: Tick) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Tick {
+    type Output = Tick;
+    fn sub(self, rhs: Tick) -> Tick {
+        debug_assert!(self.0 >= rhs.0, "tick subtraction underflow");
+        Tick(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Tick {
+    fn sub_assign(&mut self, rhs: Tick) {
+        debug_assert!(self.0 >= rhs.0, "tick subtraction underflow");
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Tick {
+    type Output = Tick;
+    fn mul(self, rhs: u64) -> Tick {
+        Tick(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Tick {
+    type Output = Tick;
+    fn div(self, rhs: u64) -> Tick {
+        Tick(self.0 / rhs)
+    }
+}
+
+impl Div<Tick> for Tick {
+    type Output = u64;
+    fn div(self, rhs: Tick) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<Tick> for Tick {
+    type Output = Tick;
+    fn rem(self, rhs: Tick) -> Tick {
+        Tick(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Tick {
+    fn sum<I: Iterator<Item = Tick>>(iter: I) -> Tick {
+        iter.fold(Tick::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_never() {
+            return write!(f, "never");
+        }
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A fixed-frequency clock that converts between cycle counts and [`Tick`]s.
+///
+/// Frequencies are stored as an exact period in picoseconds, so the common
+/// simulation clocks (2 GHz = 500 ps, 1 GHz = 1000 ps, 250 MHz = 4000 ps)
+/// round-trip without error.
+///
+/// ```
+/// use jafar_common::time::{ClockDomain, Tick};
+///
+/// // The paper's clock domains: JAFAR runs at twice the 1 GHz data bus.
+/// let bus = ClockDomain::from_ghz(1);
+/// let jafar = ClockDomain::from_ghz(2);
+/// assert_eq!(bus.period(), jafar.period() * 2);
+/// // An 8-word burst takes 4 bus cycles = 8 device cycles.
+/// assert_eq!(bus.cycles_to_tick(4), jafar.cycles_to_tick(8));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClockDomain {
+    period_ps: u64,
+}
+
+impl ClockDomain {
+    /// Creates a clock with the given period in picoseconds.
+    ///
+    /// # Panics
+    /// Panics if `period_ps` is zero.
+    pub const fn from_period_ps(period_ps: u64) -> Self {
+        assert!(period_ps > 0, "clock period must be nonzero");
+        ClockDomain { period_ps }
+    }
+
+    /// Creates a clock from a frequency in MHz. The frequency must divide
+    /// 1 THz so the period is an exact picosecond count (true for every clock
+    /// used in the paper).
+    ///
+    /// # Panics
+    /// Panics if `mhz` is zero or does not yield an integral period.
+    pub const fn from_mhz(mhz: u64) -> Self {
+        assert!(mhz > 0, "clock frequency must be nonzero");
+        assert!(
+            1_000_000 % mhz == 0,
+            "frequency must divide 1 THz for an exact picosecond period"
+        );
+        ClockDomain {
+            period_ps: 1_000_000 / mhz,
+        }
+    }
+
+    /// Creates a clock from a frequency in GHz.
+    pub const fn from_ghz(ghz: u64) -> Self {
+        Self::from_mhz(ghz * 1000)
+    }
+
+    /// The clock period.
+    pub const fn period(self) -> Tick {
+        Tick(self.period_ps)
+    }
+
+    /// The clock frequency in MHz (truncated).
+    pub const fn freq_mhz(self) -> u64 {
+        1_000_000 / self.period_ps
+    }
+
+    /// Converts a cycle count into a time span.
+    pub const fn cycles_to_tick(self, cycles: Cycles) -> Tick {
+        Tick(cycles * self.period_ps)
+    }
+
+    /// How many *complete* cycles fit in `span`.
+    pub const fn ticks_to_cycles(self, span: Tick) -> Cycles {
+        span.0 / self.period_ps
+    }
+
+    /// How many cycles are needed to cover `span` (rounds up).
+    pub const fn ticks_to_cycles_ceil(self, span: Tick) -> Cycles {
+        span.0.div_ceil(self.period_ps)
+    }
+
+    /// The earliest clock edge at or after `t`.
+    pub const fn next_edge(self, t: Tick) -> Tick {
+        let rem = t.0 % self.period_ps;
+        if rem == 0 {
+            t
+        } else {
+            Tick(t.0 + (self.period_ps - rem))
+        }
+    }
+
+    /// The edge number (cycle index) of the edge at or after `t`.
+    pub const fn edge_index(self, t: Tick) -> Cycles {
+        self.next_edge(t).0 / self.period_ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_constructors_round_trip() {
+        assert_eq!(Tick::from_ns(13).as_ps(), 13_000);
+        assert_eq!(Tick::from_us(2).as_ns(), 2_000);
+        assert_eq!(Tick::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(Tick::from_ps(999).as_ns(), 0);
+    }
+
+    #[test]
+    fn tick_arithmetic() {
+        let a = Tick::from_ns(10);
+        let b = Tick::from_ns(4);
+        assert_eq!(a + b, Tick::from_ns(14));
+        assert_eq!(a - b, Tick::from_ns(6));
+        assert_eq!(a * 3, Tick::from_ns(30));
+        assert_eq!(a / 2, Tick::from_ns(5));
+        assert_eq!(a / b, 2);
+        assert_eq!(b.saturating_sub(a), Tick::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    #[cfg(debug_assertions)]
+    fn tick_subtraction_underflow_panics_in_debug() {
+        let _ = Tick::from_ns(1) - Tick::from_ns(2);
+    }
+
+    #[test]
+    fn tick_sum() {
+        let total: Tick = (1..=4).map(Tick::from_ns).sum();
+        assert_eq!(total, Tick::from_ns(10));
+    }
+
+    #[test]
+    fn tick_display_units() {
+        assert_eq!(format!("{}", Tick::from_ps(500)), "500ps");
+        assert_eq!(format!("{}", Tick::from_ns(13)), "13.000ns");
+        assert_eq!(format!("{}", Tick::from_us(5)), "5.000us");
+        assert_eq!(format!("{}", Tick::from_ms(2)), "2.000ms");
+        assert_eq!(format!("{}", Tick::MAX), "never");
+    }
+
+    #[test]
+    fn paper_clock_domains_are_exact() {
+        // The four clocks named in the paper (Section 2).
+        let jafar = ClockDomain::from_ghz(2);
+        let bus = ClockDomain::from_ghz(1);
+        let cpu = ClockDomain::from_ghz(1);
+        let array = ClockDomain::from_mhz(250);
+        assert_eq!(jafar.period(), Tick::from_ps(500));
+        assert_eq!(bus.period(), Tick::from_ps(1000));
+        assert_eq!(cpu.period(), Tick::from_ps(1000));
+        assert_eq!(array.period(), Tick::from_ps(4000));
+        // Paper: "JAFAR generates its own clock that is twice as fast as the
+        // data bus clock"; "the data bus clock domain must be four times
+        // faster than the internal array clock".
+        assert_eq!(bus.period().as_ps(), jafar.period().as_ps() * 2);
+        assert_eq!(array.period().as_ps(), bus.period().as_ps() * 4);
+    }
+
+    #[test]
+    fn cycle_tick_conversions() {
+        let bus = ClockDomain::from_ghz(1);
+        assert_eq!(bus.cycles_to_tick(4), Tick::from_ns(4));
+        assert_eq!(bus.ticks_to_cycles(Tick::from_ps(3500)), 3);
+        assert_eq!(bus.ticks_to_cycles_ceil(Tick::from_ps(3500)), 4);
+        assert_eq!(bus.ticks_to_cycles_ceil(Tick::from_ps(3000)), 3);
+        assert_eq!(bus.freq_mhz(), 1000);
+    }
+
+    #[test]
+    fn next_edge_alignment() {
+        let array = ClockDomain::from_mhz(250); // 4 ns period
+        assert_eq!(array.next_edge(Tick::ZERO), Tick::ZERO);
+        assert_eq!(array.next_edge(Tick::from_ps(1)), Tick::from_ps(4000));
+        assert_eq!(array.next_edge(Tick::from_ps(4000)), Tick::from_ps(4000));
+        assert_eq!(array.next_edge(Tick::from_ps(4001)), Tick::from_ps(8000));
+        assert_eq!(array.edge_index(Tick::from_ps(4001)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact picosecond period")]
+    fn inexact_frequency_rejected() {
+        let _ = ClockDomain::from_mhz(3); // 1 THz / 3 is not integral
+    }
+}

@@ -1,0 +1,535 @@
+//! The JAFAR device: the in-DIMM streaming filter engine.
+//!
+//! Operation per §2.2:
+//!
+//! - JAFAR "requests data from DRAM in the same way that a CPU would",
+//!   issuing read bursts against its owned rank and receiving 64-byte
+//!   bursts from the module IO buffer;
+//! - it processes **one 64-bit word per device cycle**; the device clock is
+//!   2× the data-bus clock ("rather than building ALUs and latches for a
+//!   dual-pumped clock, JAFAR generates its own clock that is twice as fast
+//!   as the data bus clock"). The per-word rate is *derived* from the
+//!   Aladdin-style schedule of the filter kernel under the two-ALU
+//!   provisioning, not hard-coded;
+//! - filter outcomes accumulate in an *n*-bit output buffer; "every n
+//!   cycles, the output buffer is fully filled and its contents are written
+//!   back to DRAM at a pre-programmed location" — the write does not stall
+//!   the filter pipeline (it contends for DRAM banks/bus naturally);
+//! - completion is signalled through the STATUS register, which the host
+//!   polls.
+
+use crate::predicate::Predicate;
+use crate::regs::RegisterFile;
+use jafar_accel::ir::jafar_filter_kernel;
+use jafar_accel::schedule::{Resources, Schedule};
+use jafar_common::bitset::FixedBitBuf;
+use jafar_common::stats::Counter;
+use jafar_common::time::{ClockDomain, Tick};
+use jafar_dram::{DramModule, IssueError, PhysAddr, Requester};
+
+/// Device configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceConfig {
+    /// Device clock (2 GHz: twice the 1 GHz data-bus clock, §2.2).
+    pub clock: ClockDomain,
+    /// Output buffer size in bits (*n*); written back every *n* filter
+    /// operations. 512 bits = one 64-byte burst per writeback.
+    pub out_buf_bits: usize,
+    /// Datapath provisioning for the Aladdin-style throughput derivation.
+    pub resources: Resources,
+    /// Loop unrolling applied to the filter kernel datapath.
+    pub unroll: u64,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            clock: ClockDomain::from_ghz(2),
+            out_buf_bits: 512,
+            resources: Resources::jafar_default(),
+            unroll: 8,
+        }
+    }
+}
+
+/// Why the device rejected a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The target rank is not owned (MPR not enabled) — acquire ownership
+    /// first (§2.2's MR3 handoff).
+    NotOwned,
+    /// Input and output must be 64-byte aligned (burst granularity).
+    Misaligned,
+    /// The job's data spans more than one rank; JAFAR "can only process
+    /// data that is resident on its DIMM" (§4, Memory Management) — and in
+    /// this design, on its owned rank.
+    SpansRanks,
+}
+
+/// One select invocation (one page worth, in the Figure-2 API).
+#[derive(Clone, Copy, Debug)]
+pub struct SelectJob {
+    /// 64-byte-aligned base of the packed `i64` column segment.
+    pub col_addr: PhysAddr,
+    /// Rows in this segment.
+    pub rows: u64,
+    /// The filter predicate.
+    pub predicate: Predicate,
+    /// 64-byte-aligned base of the output bitset region.
+    pub out_addr: PhysAddr,
+}
+
+/// Outcome and timing of one select invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SelectRun {
+    /// First device activity.
+    pub start: Tick,
+    /// Filter complete, all writebacks issued, STATUS = DONE.
+    pub end: Tick,
+    /// Rows that passed the filter.
+    pub matched: u64,
+    /// Input bursts read from DRAM.
+    pub bursts_read: u64,
+    /// Output bursts written to DRAM.
+    pub bursts_written: u64,
+    /// Time the datapath sat waiting for DRAM data.
+    pub dram_wait: Tick,
+}
+
+/// Accumulated device statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeviceStats {
+    /// Select jobs executed.
+    pub jobs: Counter,
+    /// Words filtered.
+    pub words: Counter,
+    /// Input bursts read.
+    pub bursts_read: Counter,
+    /// Output bursts written.
+    pub bursts_written: Counter,
+}
+
+/// Pre-opens the row containing `addr` (precharge + activate as needed) so
+/// a later sequential access finds it open — the device's row lookahead
+/// for its strictly sequential stream. Best-effort: a blocked command
+/// (e.g. tRAS not yet satisfied) simply skips the lookahead and the access
+/// pays the row switch itself.
+pub(crate) fn preopen_row(module: &mut DramModule, addr: PhysAddr, now: Tick) {
+    let coord = module.decoder().decode(addr.block_base());
+    let open = module.bank(coord.rank, coord.bank).open_row();
+    if open == Some(coord.row) {
+        return;
+    }
+    if open.is_some() {
+        let pre = jafar_dram::DramCommand::precharge(coord);
+        let Ok(at) = module.earliest_issue(pre, Requester::Ndp, now) else {
+            return;
+        };
+        if module.issue(pre, Requester::Ndp, at, None).is_err() {
+            return;
+        }
+    }
+    let act = jafar_dram::DramCommand::activate(coord);
+    if let Ok(at) = module.earliest_issue(act, Requester::Ndp, now) {
+        let _ = module.issue(act, Requester::Ndp, at, None);
+    }
+}
+
+/// The device.
+pub struct JafarDevice {
+    config: DeviceConfig,
+    regs: RegisterFile,
+    /// Picoseconds per filtered word, derived from the kernel schedule.
+    ps_per_word: u64,
+    stats: DeviceStats,
+}
+
+impl JafarDevice {
+    /// Builds a device, deriving its per-word throughput from the
+    /// Aladdin-style schedule of the filter kernel.
+    pub fn new(config: DeviceConfig) -> Self {
+        let ii = Schedule::steady_state_ii(&jafar_filter_kernel(), &config.resources, config.unroll);
+        let ps_per_word = (ii * config.clock.period().as_ps() as f64).round() as u64;
+        assert!(ps_per_word > 0, "degenerate device throughput");
+        JafarDevice {
+            config,
+            regs: RegisterFile::new(),
+            ps_per_word,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// A device with the paper's §2.2 parameters (2 GHz, two ALUs, 512-bit
+    /// output buffer). Asserts the derived rate is the paper's one word
+    /// per 0.5 ns cycle.
+    pub fn paper_default() -> Self {
+        let d = JafarDevice::new(DeviceConfig::default());
+        debug_assert_eq!(d.ps_per_word, 500, "§2.2: one word per 2 GHz cycle");
+        d
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Derived datapath rate: picoseconds per 64-bit word.
+    pub fn ps_per_word(&self) -> u64 {
+        self.ps_per_word
+    }
+
+    /// The control register block (host-visible).
+    pub fn regs(&self) -> &RegisterFile {
+        &self.regs
+    }
+
+    /// Mutable register access (the memory-mapped write path).
+    pub fn regs_mut(&mut self) -> &mut RegisterFile {
+        &mut self.regs
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    fn validate(&self, module: &DramModule, job: &SelectJob) -> Result<u32, DeviceError> {
+        if job.col_addr.block_offset() != 0 || job.out_addr.block_offset() != 0 {
+            return Err(DeviceError::Misaligned);
+        }
+        if job.rows == 0 {
+            // Trivially valid; rank check on the first block only.
+        }
+        let first = module.decoder().decode(job.col_addr);
+        let rank = first.rank;
+        if job.rows > 0 {
+            let last_in = PhysAddr(job.col_addr.0 + (job.rows - 1) * 8);
+            let out_bytes = job.rows.div_ceil(8);
+            let last_out = PhysAddr(job.out_addr.0 + out_bytes.saturating_sub(1));
+            for probe in [last_in, job.out_addr, last_out] {
+                if module.decoder().decode(probe).rank != rank {
+                    return Err(DeviceError::SpansRanks);
+                }
+            }
+        }
+        if !module.rank_owned_by_ndp(rank) {
+            return Err(DeviceError::NotOwned);
+        }
+        Ok(rank)
+    }
+
+    /// Executes one select job against `module`, starting no earlier than
+    /// `start`. The rank holding the data must already be owned (see
+    /// [`crate::ownership`]).
+    ///
+    /// # Errors
+    /// Returns a [`DeviceError`] (and latches STATUS.ERROR) without
+    /// touching DRAM if the job is invalid.
+    pub fn run_select(
+        &mut self,
+        module: &mut DramModule,
+        job: SelectJob,
+        start: Tick,
+    ) -> Result<SelectRun, DeviceError> {
+        let _rank = self.validate(module, &job).inspect_err(|_| {
+            self.regs.set_error();
+        })?;
+        self.regs.set_busy();
+        let (lo, hi) = job.predicate.bounds();
+        let t = *module.timing();
+        let cas_pipeline = t.cl + t.t_burst;
+
+        let mut out_buf = FixedBitBuf::new(self.config.out_buf_bits);
+        let mut issue_cursor = start; // when the next read may be requested
+        let mut proc_free = start; // when the datapath frees up
+        let mut dram_wait = Tick::ZERO;
+        let mut matched = 0u64;
+        let mut bursts_read = 0u64;
+        let mut bursts_written = 0u64;
+        let mut out_cursor = job.out_addr.0;
+
+        let bursts_per_row = module.geometry().bursts_per_row() as u64;
+        let total_bursts = job.rows.div_ceil(8);
+        for burst in 0..total_bursts {
+            let addr = PhysAddr(job.col_addr.0 + burst * 64);
+            // Hardware row lookahead: at the start of each row group, open
+            // the *next* group's row so the row switch hides under the
+            // current group's streaming (the device knows its access
+            // pattern is strictly sequential).
+            if burst % bursts_per_row == 0 && burst + bursts_per_row < total_bursts {
+                let next = PhysAddr(job.col_addr.0 + (burst + bursts_per_row) * 64);
+                preopen_row(module, next, issue_cursor);
+            }
+            let access = module
+                .serve_addr(addr, false, Requester::Ndp, issue_cursor, None)
+                .map_err(|e| match e {
+                    IssueError::NdpWithoutOwnership => DeviceError::NotOwned,
+                    other => unreachable!("unexpected issue error: {other:?}"),
+                })?;
+            bursts_read += 1;
+            // Pipelined command issue: the next read may be requested one
+            // bus cycle after this one's CAS went out.
+            let cas_at = access.data_ready.saturating_sub(cas_pipeline);
+            issue_cursor = cas_at.max(issue_cursor) + t.bus_clock.period();
+
+            let data = access.data.expect("read returns data");
+            let ready = access.data_ready;
+            if ready > proc_free {
+                dram_wait += ready - proc_free;
+                proc_free = ready;
+            }
+            let words = (job.rows - burst * 8).min(8);
+            for w in 0..words {
+                let off = (w * 8) as usize;
+                let v = i64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"));
+                let hit = lo <= v && v <= hi;
+                matched += u64::from(hit);
+                out_buf.push(hit);
+                if out_buf.is_full() {
+                    let bytes = out_buf.drain_bytes();
+                    out_cursor = self.write_bitset_chunk(
+                        module,
+                        out_cursor,
+                        &bytes,
+                        proc_free,
+                        &mut bursts_written,
+                    );
+                }
+            }
+            proc_free += Tick::from_ps(words * self.ps_per_word);
+        }
+        // Final partial flush.
+        if !out_buf.is_empty() {
+            let bytes = out_buf.drain_bytes();
+            self.write_bitset_chunk(module, out_cursor, &bytes, proc_free, &mut bursts_written);
+        }
+
+        self.regs.set_done(matched);
+        self.stats.jobs.inc();
+        self.stats.words.add(job.rows);
+        self.stats.bursts_read.add(bursts_read);
+        self.stats.bursts_written.add(bursts_written);
+        Ok(SelectRun {
+            start,
+            end: proc_free,
+            matched,
+            bursts_read,
+            bursts_written,
+            dram_wait,
+        })
+    }
+
+    /// Writes a drained output-buffer chunk back to DRAM as whole bursts
+    /// (zero-padding the tail). Returns the advanced output cursor.
+    fn write_bitset_chunk(
+        &self,
+        module: &mut DramModule,
+        out_cursor: u64,
+        bytes: &[u8],
+        at: Tick,
+        bursts_written: &mut u64,
+    ) -> u64 {
+        let mut cursor = out_cursor;
+        for chunk in bytes.chunks(64) {
+            let mut burst = [0u8; 64];
+            burst[..chunk.len()].copy_from_slice(chunk);
+            module
+                .serve_addr(PhysAddr(cursor & !63), true, Requester::Ndp, at, Some(&burst))
+                .expect("output rank validated at job start");
+            *bursts_written += 1;
+            cursor += chunk.len() as u64;
+        }
+        cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ownership::grant_ownership;
+    use jafar_common::bitset::BitSet;
+    use jafar_common::rng::SplitMix64;
+    use jafar_dram::{AddressMapping, DramGeometry, DramTiming};
+
+    fn owned_module() -> (DramModule, Tick) {
+        let mut m = DramModule::new(
+            DramGeometry::tiny(),
+            DramTiming::ddr3_paper().without_refresh(),
+            AddressMapping::RankRowBankBlock,
+        );
+        let lease = grant_ownership(&mut m, 0, Tick::ZERO).expect("fresh module");
+        let t0 = lease.acquired_at;
+        (m, t0)
+    }
+
+    fn put_column(m: &mut DramModule, addr: u64, values: &[i64]) {
+        for (i, v) in values.iter().enumerate() {
+            m.data_mut().write_i64(PhysAddr(addr + i as u64 * 8), *v);
+        }
+    }
+
+    fn job(rows: u64, lo: i64, hi: i64) -> SelectJob {
+        SelectJob {
+            col_addr: PhysAddr(0),
+            rows,
+            predicate: Predicate::Between(lo, hi),
+            out_addr: PhysAddr(128 * 1024), // rank 0 under tiny/RankRowBankBlock
+        }
+    }
+
+    #[test]
+    fn paper_throughput_derivation() {
+        let d = JafarDevice::paper_default();
+        // §2.2: "JAFAR can process one [word] per clock cycle (0.5ns) for a
+        // total of 4ns" per 8-word access.
+        assert_eq!(d.ps_per_word(), 500);
+        assert_eq!(Tick::from_ps(8 * d.ps_per_word()), Tick::from_ns(4));
+    }
+
+    #[test]
+    fn bitset_matches_software_reference() {
+        let (mut m, t0) = owned_module();
+        let mut rng = SplitMix64::new(99);
+        let values: Vec<i64> = (0..2000).map(|_| rng.next_range_inclusive(0, 999)).collect();
+        put_column(&mut m, 0, &values);
+        let mut d = JafarDevice::paper_default();
+        let j = job(2000, 100, 499);
+        let run = d.run_select(&mut m, j, t0).unwrap();
+
+        let expect: Vec<u32> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| (100..=499).contains(&v))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(run.matched as usize, expect.len());
+        // Read the bitset back out of DRAM.
+        let nbytes = 2000usize.div_ceil(8);
+        let mut bytes = vec![0u8; nbytes];
+        m.data().read(j.out_addr, &mut bytes);
+        let got = BitSet::from_bytes(&bytes, 2000);
+        assert_eq!(got.to_positions(), expect);
+        assert!(d.regs().done());
+        assert_eq!(d.regs().read(crate::regs::Reg::OutCount), run.matched);
+    }
+
+    #[test]
+    fn runtime_is_selectivity_independent() {
+        // §3.2: "JAFAR has constant execution time irrespective of the
+        // query selectivity."
+        let run_with = |hi: i64| {
+            let (mut m, t0) = owned_module();
+            let mut rng = SplitMix64::new(5);
+            let values: Vec<i64> = (0..4000).map(|_| rng.next_range_inclusive(0, 999)).collect();
+            put_column(&mut m, 0, &values);
+            let mut d = JafarDevice::paper_default();
+            d.run_select(&mut m, job(4000, 0, hi), t0).unwrap()
+        };
+        let none = run_with(-1);
+        let all = run_with(999);
+        assert_eq!(none.matched, 0);
+        assert_eq!(all.matched, 4000);
+        let delta = all.end.as_ps().abs_diff(none.end.as_ps());
+        // Identical burst counts; any difference is noise (there is none —
+        // the writeback schedule is selectivity-independent too).
+        assert_eq!(delta, 0, "none={:?} all={:?}", none.end, all.end);
+        assert_eq!(none.bursts_written, all.bursts_written);
+    }
+
+    #[test]
+    fn streaming_rate_matches_paper_arithmetic() {
+        // Streaming from an owned rank: DRAM delivers one 64-byte burst per
+        // 4 ns (row hits) and the datapath consumes it in exactly 4 ns —
+        // the 9-of-13-ns-waiting arithmetic of §2.2 applies per access, but
+        // pipelined accesses sustain one burst per tBURST.
+        let (mut m, t0) = owned_module();
+        let rows = 64 * 1024 / 8; // one full rank row-pass in tiny geometry
+        let values: Vec<i64> = (0..rows as i64).collect();
+        put_column(&mut m, 0, &values);
+        let mut d = JafarDevice::paper_default();
+        let run = d.run_select(&mut m, job(rows as u64, 0, i64::MAX), t0).unwrap();
+        let span = run.end - run.start;
+        let ns_per_burst = span.as_ns_f64() / run.bursts_read as f64;
+        assert!(
+            (3.9..5.5).contains(&ns_per_burst),
+            "ns/burst = {ns_per_burst} (span {span}, {} bursts)",
+            run.bursts_read
+        );
+    }
+
+    #[test]
+    fn writeback_cadence_every_n_bits() {
+        let (mut m, t0) = owned_module();
+        let values: Vec<i64> = (0..1536).collect();
+        put_column(&mut m, 0, &values);
+        let mut d = JafarDevice::paper_default();
+        // 1536 rows / 512-bit buffer = 3 full writebacks, no partial.
+        let run = d.run_select(&mut m, job(1536, 0, i64::MAX), t0).unwrap();
+        assert_eq!(run.bursts_written, 3);
+        // 1537 rows → 3 full + 1 partial.
+        let (mut m2, t0b) = owned_module();
+        let values2: Vec<i64> = (0..1537).collect();
+        put_column(&mut m2, 0, &values2);
+        let mut d2 = JafarDevice::paper_default();
+        let run2 = d2.run_select(&mut m2, job(1537, 0, i64::MAX), t0b).unwrap();
+        assert_eq!(run2.bursts_written, 4);
+    }
+
+    #[test]
+    fn unowned_rank_rejected() {
+        let mut m = DramModule::new(
+            DramGeometry::tiny(),
+            DramTiming::ddr3_paper().without_refresh(),
+            AddressMapping::RankRowBankBlock,
+        );
+        let mut d = JafarDevice::paper_default();
+        let err = d.run_select(&mut m, job(100, 0, 10), Tick::ZERO).unwrap_err();
+        assert_eq!(err, DeviceError::NotOwned);
+        assert!(d.regs().errored());
+    }
+
+    #[test]
+    fn misaligned_job_rejected() {
+        let (mut m, t0) = owned_module();
+        let mut d = JafarDevice::paper_default();
+        let mut j = job(8, 0, 10);
+        j.col_addr = PhysAddr(8);
+        assert_eq!(d.run_select(&mut m, j, t0), Err(DeviceError::Misaligned));
+    }
+
+    #[test]
+    fn cross_rank_job_rejected() {
+        let (mut m, t0) = owned_module();
+        let mut d = JafarDevice::paper_default();
+        // tiny + RankRowBankBlock: rank 0 is the first 256 KiB. A column
+        // ending past that spans ranks.
+        let rank_bytes = DramGeometry::tiny().rank_bytes();
+        let mut j = job((rank_bytes / 8) + 8, 0, 10);
+        j.out_addr = PhysAddr(0); // overlaps, but rank check fires first
+        assert_eq!(d.run_select(&mut m, j, t0), Err(DeviceError::SpansRanks));
+    }
+
+    #[test]
+    fn zero_rows_is_a_noop() {
+        let (mut m, t0) = owned_module();
+        let mut d = JafarDevice::paper_default();
+        let run = d.run_select(&mut m, job(0, 0, 10), t0).unwrap();
+        assert_eq!(run.matched, 0);
+        assert_eq!(run.bursts_read, 0);
+        assert_eq!(run.bursts_written, 0);
+        assert_eq!(run.end, t0);
+    }
+
+    #[test]
+    fn stats_accumulate_across_jobs() {
+        let (mut m, t0) = owned_module();
+        let values: Vec<i64> = (0..512).collect();
+        put_column(&mut m, 0, &values);
+        let mut d = JafarDevice::paper_default();
+        let r1 = d.run_select(&mut m, job(512, 0, 100), t0).unwrap();
+        d.run_select(&mut m, job(512, 0, 100), r1.end).unwrap();
+        assert_eq!(d.stats().jobs.get(), 2);
+        assert_eq!(d.stats().words.get(), 1024);
+        assert_eq!(d.stats().bursts_read.get(), 128);
+    }
+}

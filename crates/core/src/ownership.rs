@@ -1,0 +1,148 @@
+//! Rank-ownership transfer via the DDR3 mode registers.
+//!
+//! §2.2 ("Coordinating DRAM Access"): the query execution manager grants
+//! JAFAR exclusive ownership of a DRAM rank by repurposing mode register 3:
+//! enabling the multipurpose register (MPR) blocks the host memory
+//! controller from issuing ordinary reads and writes to the rank, and
+//! "mode registers can be set via user-level code at runtime". Ownership is
+//! granted for a bounded amount of work whose duration is predictable —
+//! "knowing that JAFAR will finish its allotted work in that amount of
+//! time".
+//!
+//! The host-side path that also drains controller queues lives in
+//! `jafar_memctl::MemoryController::set_rank_ownership`; the functions here
+//! operate directly on the module and are what the device/driver layer
+//! uses once the controller has quiesced.
+
+use jafar_common::time::Tick;
+use jafar_dram::{DramCommand, DramModule, IssueError, Requester};
+
+/// Evidence of an acquired rank. Consume it with [`release_ownership`].
+#[must_use = "ownership must be released; pass the lease to release_ownership"]
+#[derive(Debug)]
+pub struct Lease {
+    /// The owned rank.
+    pub rank: u32,
+    /// When ownership became effective.
+    pub acquired_at: Tick,
+}
+
+fn set_mpr(
+    module: &mut DramModule,
+    rank: u32,
+    owned: bool,
+    now: Tick,
+) -> Result<Tick, IssueError> {
+    // Quiesce the rank: run due refreshes, close open rows.
+    let after_refresh = module.maintain_refresh(rank, now, Requester::Host);
+    let pre = DramCommand::PrechargeAll { rank };
+    let at = module.earliest_issue(pre, Requester::Host, after_refresh)?;
+    module.issue(pre, Requester::Host, at, None)?;
+    let value = module.mode_regs(rank).mr3_with_ownership(owned);
+    let mrs = DramCommand::ModeRegisterSet {
+        rank,
+        mr: 3,
+        value,
+    };
+    let at = module.earliest_issue(mrs, Requester::Host, at)?;
+    module.issue(mrs, Requester::Host, at, None)?;
+    Ok(at + module.timing().t_mod)
+}
+
+/// Grants rank ownership to the NDP device. Returns a lease recording when
+/// the grant became effective.
+///
+/// # Errors
+/// Propagates mode-register issue errors (e.g. the rank cannot quiesce).
+pub fn grant_ownership(
+    module: &mut DramModule,
+    rank: u32,
+    now: Tick,
+) -> Result<Lease, IssueError> {
+    let acquired_at = set_mpr(module, rank, true, now)?;
+    Ok(Lease { rank, acquired_at })
+}
+
+/// Releases a previously granted rank. Returns when the release became
+/// effective (host traffic may resume).
+///
+/// # Errors
+/// Propagates mode-register issue errors.
+pub fn release_ownership(
+    module: &mut DramModule,
+    lease: Lease,
+    now: Tick,
+) -> Result<Tick, IssueError> {
+    set_mpr(module, lease.rank, false, now.max(lease.acquired_at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jafar_dram::{AddressMapping, Coord, DramGeometry, DramTiming};
+
+    fn module() -> DramModule {
+        DramModule::new(
+            DramGeometry::tiny(),
+            DramTiming::ddr3_paper().without_refresh(),
+            AddressMapping::RankRowBankBlock,
+        )
+    }
+
+    #[test]
+    fn grant_then_release_round_trip() {
+        let mut m = module();
+        assert!(!m.rank_owned_by_ndp(0));
+        let lease = grant_ownership(&mut m, 0, Tick::ZERO).unwrap();
+        assert!(m.rank_owned_by_ndp(0));
+        assert!(lease.acquired_at >= m.timing().t_mod);
+        let released = release_ownership(&mut m, lease, Tick::from_us(1)).unwrap();
+        assert!(!m.rank_owned_by_ndp(0));
+        assert!(released > Tick::from_us(1));
+    }
+
+    #[test]
+    fn grant_quiesces_open_rows() {
+        let mut m = module();
+        // Open a row via a host read.
+        m.serve_block(
+            Coord {
+                rank: 0,
+                bank: 0,
+                row: 3,
+                block: 0,
+            },
+            false,
+            Requester::Host,
+            Tick::ZERO,
+            None,
+        )
+        .unwrap();
+        let lease = grant_ownership(&mut m, 0, Tick::from_ns(100)).unwrap();
+        // The grant had to wait for tRAS before precharging.
+        assert!(lease.acquired_at > Tick::from_ns(100));
+        assert!(m.rank_owned_by_ndp(0));
+        let _ = release_ownership(&mut m, lease, Tick::from_us(1)).unwrap();
+    }
+
+    #[test]
+    fn grant_runs_due_refreshes_first() {
+        let mut m = DramModule::new(
+            DramGeometry::tiny(),
+            DramTiming::ddr3_paper(), // refresh on
+            AddressMapping::RankRowBankBlock,
+        );
+        let lease = grant_ownership(&mut m, 0, Tick::from_us(20)).unwrap();
+        assert!(m.stats().refreshes.get() >= 2, "two deadlines passed");
+        let _ = release_ownership(&mut m, lease, Tick::from_us(25)).unwrap();
+    }
+
+    #[test]
+    fn independent_ranks() {
+        let mut m = module();
+        let lease = grant_ownership(&mut m, 1, Tick::ZERO).unwrap();
+        assert!(m.rank_owned_by_ndp(1));
+        assert!(!m.rank_owned_by_ndp(0));
+        let _ = release_ownership(&mut m, lease, Tick::from_us(1)).unwrap();
+    }
+}

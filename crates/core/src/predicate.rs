@@ -1,0 +1,111 @@
+//! Predicates.
+//!
+//! §2.2: "Our current design supports the following predicates: =, <, >,
+//! ≤, and ≥ and works over integer data." The datapath evaluates an
+//! inclusive range with two parallel ALUs, so every supported predicate is
+//! compiled to `[lo, hi]` bounds; single-sided predicates pin the other
+//! bound at the integer extreme.
+
+/// A select predicate over 64-bit integers.
+///
+/// ```
+/// use jafar_core::Predicate;
+///
+/// // Every predicate compiles to the inclusive range the two ALUs check.
+/// assert_eq!(Predicate::Le(10).bounds(), (i64::MIN, 10));
+/// assert_eq!(Predicate::Between(5, 9).bounds(), (5, 9));
+/// assert!(Predicate::Gt(100).eval(101));
+/// assert!(!Predicate::Gt(100).eval(100));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Predicate {
+    /// `v = x`
+    Eq(i64),
+    /// `v < x`
+    Lt(i64),
+    /// `v > x`
+    Gt(i64),
+    /// `v ≤ x`
+    Le(i64),
+    /// `v ≥ x`
+    Ge(i64),
+    /// `lo ≤ v ≤ hi` (the two-ALU range filter of Figure 1(b)).
+    Between(i64, i64),
+}
+
+impl Predicate {
+    /// Compiles to the inclusive `[lo, hi]` bounds the hardware evaluates.
+    /// Predicates that match nothing compile to the canonical empty range
+    /// `(MAX, MIN)`.
+    pub fn bounds(self) -> (i64, i64) {
+        match self {
+            Predicate::Eq(x) => (x, x),
+            Predicate::Lt(i64::MIN) => (i64::MAX, i64::MIN),
+            Predicate::Lt(x) => (i64::MIN, x - 1),
+            Predicate::Gt(i64::MAX) => (i64::MAX, i64::MIN),
+            Predicate::Gt(x) => (x + 1, i64::MAX),
+            Predicate::Le(x) => (i64::MIN, x),
+            Predicate::Ge(x) => (x, i64::MAX),
+            Predicate::Between(lo, hi) => (lo, hi),
+        }
+    }
+
+    /// Software-reference evaluation.
+    pub fn eval(self, v: i64) -> bool {
+        let (lo, hi) = self.bounds();
+        lo <= v && v <= hi
+    }
+
+    /// True if the compiled range is empty (matches nothing).
+    pub fn is_empty(self) -> bool {
+        let (lo, hi) = self.bounds();
+        lo > hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_compilation() {
+        assert_eq!(Predicate::Eq(5).bounds(), (5, 5));
+        assert_eq!(Predicate::Lt(5).bounds(), (i64::MIN, 4));
+        assert_eq!(Predicate::Gt(5).bounds(), (6, i64::MAX));
+        assert_eq!(Predicate::Le(5).bounds(), (i64::MIN, 5));
+        assert_eq!(Predicate::Ge(5).bounds(), (5, i64::MAX));
+        assert_eq!(Predicate::Between(2, 9).bounds(), (2, 9));
+    }
+
+    #[test]
+    fn eval_agrees_with_semantics() {
+        for v in -10..=10i64 {
+            assert_eq!(Predicate::Eq(3).eval(v), v == 3);
+            assert_eq!(Predicate::Lt(3).eval(v), v < 3);
+            assert_eq!(Predicate::Gt(3).eval(v), v > 3);
+            assert_eq!(Predicate::Le(3).eval(v), v <= 3);
+            assert_eq!(Predicate::Ge(3).eval(v), v >= 3);
+            assert_eq!(Predicate::Between(-2, 4).eval(v), (-2..=4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn extreme_operands_saturate() {
+        // Lt(i64::MIN) matches nothing; Gt(i64::MAX) matches nothing —
+        // saturation must not wrap around.
+        assert!(Predicate::Lt(i64::MIN).is_empty());
+        assert!(Predicate::Gt(i64::MAX).is_empty());
+        assert!(!Predicate::Le(i64::MIN).is_empty());
+        assert!(Predicate::Le(i64::MIN).eval(i64::MIN));
+        assert!(Predicate::Ge(i64::MAX).eval(i64::MAX));
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        let p = Predicate::Between(10, 5);
+        assert!(p.is_empty());
+        for v in 0..20 {
+            assert!(!p.eval(v));
+        }
+    }
+}

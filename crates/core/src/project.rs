@@ -1,0 +1,330 @@
+//! NDP projection (§4, "Projections").
+//!
+//! In a late-materialization column-store, a project (tuple reconstruction)
+//! fetches qualifying values of one column given the position list / bitset
+//! produced by a select on another column — "every query plan has at least
+//! N − 1 project operators where N is the number of columns referenced".
+//! The in-memory version here streams the selection bitset and the value
+//! column from the owned rank and writes the qualifying values, densely
+//! packed, to a pre-allocated output region — none of it crossing the
+//! memory bus.
+
+use crate::device::{DeviceError, JafarDevice};
+use jafar_common::time::Tick;
+use jafar_dram::{DramModule, PhysAddr, Requester};
+
+/// A projection job.
+#[derive(Clone, Copy, Debug)]
+pub struct ProjectJob {
+    /// 64-byte-aligned base of the packed `i64` value column.
+    pub col_addr: PhysAddr,
+    /// Rows in the column.
+    pub rows: u64,
+    /// 64-byte-aligned base of the selection bitset (as produced by a
+    /// JAFAR select over another column).
+    pub bitset_addr: PhysAddr,
+    /// 64-byte-aligned base of the packed output region.
+    pub out_addr: PhysAddr,
+}
+
+/// Result of a projection.
+#[derive(Clone, Copy, Debug)]
+pub struct ProjectRun {
+    /// Completion tick.
+    pub end: Tick,
+    /// Values emitted.
+    pub emitted: u64,
+    /// Bursts read (bitset + column).
+    pub bursts_read: u64,
+    /// Bursts written (packed output).
+    pub bursts_written: u64,
+}
+
+impl JafarDevice {
+    /// Executes an in-memory projection over an owned rank.
+    ///
+    /// # Errors
+    /// Same validation rules as [`JafarDevice::run_select`].
+    pub fn run_project(
+        &mut self,
+        module: &mut DramModule,
+        job: ProjectJob,
+        start: Tick,
+    ) -> Result<ProjectRun, DeviceError> {
+        if job.col_addr.block_offset() != 0
+            || job.bitset_addr.block_offset() != 0
+            || job.out_addr.block_offset() != 0
+        {
+            return Err(DeviceError::Misaligned);
+        }
+        let rank = module.decoder().decode(job.col_addr).rank;
+        if !module.rank_owned_by_ndp(rank) {
+            return Err(DeviceError::NotOwned);
+        }
+        let t = *module.timing();
+        let cas_pipeline = t.cl + t.t_burst;
+        let ps_per_word = self.ps_per_word();
+
+        let mut issue_cursor = start;
+        let mut proc_free = start;
+        let mut bursts_read = 0u64;
+        let mut bursts_written = 0u64;
+        let mut out_buf = [0u8; 64];
+        let mut out_fill = 0usize;
+        let mut out_cursor = job.out_addr.0;
+        let mut emitted = 0u64;
+        // Current bitset burst cache: covers 512 rows.
+        let mut bitset_cache: Option<(u64, [u8; 64])> = None;
+
+        let total_bursts = job.rows.div_ceil(8);
+        for burst in 0..total_bursts {
+            // Bitset burst covering these rows (rows 512*k .. 512*k+511);
+            // this data burst covers rows 8*burst .. 8*burst+7.
+            let bitset_burst = burst * 8 / 512;
+            if bitset_cache.map(|(b, _)| b) != Some(bitset_burst) {
+                let access = module
+                    .serve_addr(
+                        PhysAddr(job.bitset_addr.0 + bitset_burst * 64),
+                        false,
+                        Requester::Ndp,
+                        issue_cursor,
+                        None,
+                    )
+                    .map_err(|_| DeviceError::NotOwned)?;
+                bursts_read += 1;
+                let cas_at = access.data_ready.saturating_sub(cas_pipeline);
+                issue_cursor = cas_at.max(issue_cursor) + t.bus_clock.period();
+                proc_free = proc_free.max(access.data_ready);
+                bitset_cache = Some((bitset_burst, access.data.expect("read")));
+            }
+            let access = module
+                .serve_addr(
+                    PhysAddr(job.col_addr.0 + burst * 64),
+                    false,
+                    Requester::Ndp,
+                    issue_cursor,
+                    None,
+                )
+                .map_err(|_| DeviceError::NotOwned)?;
+            bursts_read += 1;
+            let cas_at = access.data_ready.saturating_sub(cas_pipeline);
+            issue_cursor = cas_at.max(issue_cursor) + t.bus_clock.period();
+            proc_free = proc_free.max(access.data_ready);
+            let data = access.data.expect("read");
+            let (_, bits) = bitset_cache.expect("fetched above");
+
+            let words = (job.rows - burst * 8).min(8);
+            for w in 0..words {
+                let row = burst * 8 + w;
+                let bit_in_cache = (row - bitset_burst * 512) as usize;
+                let selected = bits[bit_in_cache / 8] >> (bit_in_cache % 8) & 1 == 1;
+                if selected {
+                    let off = (w * 8) as usize;
+                    out_buf[out_fill..out_fill + 8].copy_from_slice(&data[off..off + 8]);
+                    out_fill += 8;
+                    emitted += 1;
+                    if out_fill == 64 {
+                        module
+                            .serve_addr(
+                                PhysAddr(out_cursor),
+                                true,
+                                Requester::Ndp,
+                                proc_free,
+                                Some(&out_buf),
+                            )
+                            .expect("rank validated");
+                        bursts_written += 1;
+                        out_cursor += 64;
+                        out_fill = 0;
+                        out_buf = [0u8; 64];
+                    }
+                }
+            }
+            proc_free += Tick::from_ps(words * ps_per_word);
+        }
+        if out_fill > 0 {
+            module
+                .serve_addr(
+                    PhysAddr(out_cursor),
+                    true,
+                    Requester::Ndp,
+                    proc_free,
+                    Some(&out_buf),
+                )
+                .expect("rank validated");
+            bursts_written += 1;
+        }
+
+        Ok(ProjectRun {
+            end: proc_free,
+            emitted,
+            bursts_read,
+            bursts_written,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SelectJob;
+    use crate::ownership::grant_ownership;
+    use crate::predicate::Predicate;
+    use jafar_common::rng::SplitMix64;
+    use jafar_dram::{AddressMapping, DramGeometry, DramTiming};
+
+    fn setup() -> (JafarDevice, DramModule, Tick) {
+        let mut m = DramModule::new(
+            DramGeometry::tiny(),
+            DramTiming::ddr3_paper().without_refresh(),
+            AddressMapping::RankRowBankBlock,
+        );
+        let lease = grant_ownership(&mut m, 0, Tick::ZERO).unwrap();
+        let t0 = lease.acquired_at;
+
+        (JafarDevice::paper_default(), m, t0)
+    }
+
+    fn put(m: &mut DramModule, addr: u64, values: &[i64]) {
+        for (i, v) in values.iter().enumerate() {
+            m.data_mut().write_i64(PhysAddr(addr + i as u64 * 8), *v);
+        }
+    }
+
+    #[test]
+    fn select_then_project_reconstructs_tuples() {
+        // The canonical late-materialization plan: select on column A,
+        // project column B at the qualifying positions — entirely in
+        // memory.
+        let (mut d, mut m, t0) = setup();
+        let mut rng = SplitMix64::new(31);
+        let rows = 1500u64;
+        let a: Vec<i64> = (0..rows).map(|_| rng.next_range_inclusive(0, 99)).collect();
+        let b: Vec<i64> = (0..rows).map(|i| i as i64 * 1000).collect();
+        let a_addr = 0u64;
+        let b_addr = 32 * 1024u64;
+        let bitset_addr = 64 * 1024u64;
+        let out_addr = 96 * 1024u64;
+        put(&mut m, a_addr, &a);
+        put(&mut m, b_addr, &b);
+
+        let sel = d
+            .run_select(
+                &mut m,
+                SelectJob {
+                    col_addr: PhysAddr(a_addr),
+                    rows,
+                    predicate: Predicate::Lt(30),
+                    out_addr: PhysAddr(bitset_addr),
+                },
+                t0,
+            )
+            .unwrap();
+        let proj = d
+            .run_project(
+                &mut m,
+                ProjectJob {
+                    col_addr: PhysAddr(b_addr),
+                    rows,
+                    bitset_addr: PhysAddr(bitset_addr),
+                    out_addr: PhysAddr(out_addr),
+                },
+                sel.end,
+            )
+            .unwrap();
+        assert_eq!(proj.emitted, sel.matched);
+        // The packed output equals the reference projection.
+        let expect: Vec<i64> = a
+            .iter()
+            .zip(&b)
+            .filter(|(&av, _)| av < 30)
+            .map(|(_, &bv)| bv)
+            .collect();
+        for (i, want) in expect.iter().enumerate() {
+            let got = m.data().read_i64(PhysAddr(out_addr + i as u64 * 8));
+            assert_eq!(got, *want, "slot {i}");
+        }
+        assert!(proj.end > sel.end);
+    }
+
+    #[test]
+    fn empty_selection_projects_nothing() {
+        let (mut d, mut m, t0) = setup();
+        let rows = 128u64;
+        put(&mut m, 0, &vec![5i64; rows as usize]);
+        // Bitset region left zeroed → nothing selected.
+        let proj = d
+            .run_project(
+                &mut m,
+                ProjectJob {
+                    col_addr: PhysAddr(0),
+                    rows,
+                    bitset_addr: PhysAddr(16 * 1024),
+                    out_addr: PhysAddr(32 * 1024),
+                },
+                t0,
+            )
+            .unwrap();
+        assert_eq!(proj.emitted, 0);
+        assert_eq!(proj.bursts_written, 0);
+    }
+
+    #[test]
+    fn output_traffic_proportional_to_selectivity() {
+        let (mut d, mut m, t0) = setup();
+        let rows = 4096u64;
+        let values: Vec<i64> = (0..rows as i64).collect();
+        put(&mut m, 0, &values);
+        // Select all.
+        let sel = d
+            .run_select(
+                &mut m,
+                SelectJob {
+                    col_addr: PhysAddr(0),
+                    rows,
+                    predicate: Predicate::Ge(i64::MIN),
+                    out_addr: PhysAddr(64 * 1024),
+                },
+                t0,
+            )
+            .unwrap();
+        let proj = d
+            .run_project(
+                &mut m,
+                ProjectJob {
+                    col_addr: PhysAddr(0),
+                    rows,
+                    bitset_addr: PhysAddr(64 * 1024),
+                    out_addr: PhysAddr(96 * 1024),
+                },
+                sel.end,
+            )
+            .unwrap();
+        // All rows selected → output bursts = input column bursts.
+        assert_eq!(proj.bursts_written, rows / 8);
+        assert_eq!(proj.emitted, rows);
+    }
+
+    #[test]
+    fn unowned_rejected() {
+        let mut m = DramModule::new(
+            DramGeometry::tiny(),
+            DramTiming::ddr3_paper().without_refresh(),
+            AddressMapping::RankRowBankBlock,
+        );
+        let mut d = JafarDevice::paper_default();
+        let err = d
+            .run_project(
+                &mut m,
+                ProjectJob {
+                    col_addr: PhysAddr(0),
+                    rows: 8,
+                    bitset_addr: PhysAddr(1024),
+                    out_addr: PhysAddr(2048),
+                },
+                Tick::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err, DeviceError::NotOwned);
+    }
+}

@@ -1,0 +1,145 @@
+//! Memory-mapped accelerator control registers.
+//!
+//! §2.2: "The CPU controls the operation of JAFAR via memory-mapped
+//! accelerator control registers and is currently notified of JAFAR
+//! operation completion by polling a shared memory location." The register
+//! block below is the minimal set the Figure-2 API needs; the host writes
+//! them through uncached stores (charged by the simulation layer), kicks
+//! `CTRL.START`, and polls `STATUS`.
+
+/// Register identifiers (doubling as word offsets in the mapped block).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum Reg {
+    /// Bit 0 = START (self-clearing), bit 1 = interleaved mode.
+    Ctrl = 0,
+    /// Bit 0 = BUSY, bit 1 = DONE, bit 2 = ERROR.
+    Status = 1,
+    /// Physical base address of the column data (page-aligned).
+    ColAddr = 2,
+    /// Number of input rows in this invocation.
+    NumRows = 3,
+    /// Inclusive lower bound of the range filter.
+    RangeLo = 4,
+    /// Inclusive upper bound of the range filter.
+    RangeHi = 5,
+    /// Physical base address of the output bitset.
+    OutAddr = 6,
+    /// Number of rows that passed the filter (set by the device).
+    OutCount = 7,
+}
+
+/// Number of 64-bit registers in the block.
+pub const NUM_REGS: usize = 8;
+
+/// STATUS bit: device is filtering.
+pub const STATUS_BUSY: u64 = 1 << 0;
+/// STATUS bit: last operation completed.
+pub const STATUS_DONE: u64 = 1 << 1;
+/// STATUS bit: last operation aborted with an error.
+pub const STATUS_ERROR: u64 = 1 << 2;
+/// CTRL bit: start the programmed operation.
+pub const CTRL_START: u64 = 1 << 0;
+
+/// The register file.
+#[derive(Clone, Debug, Default)]
+pub struct RegisterFile {
+    regs: [u64; NUM_REGS],
+}
+
+impl RegisterFile {
+    /// A zeroed register block.
+    pub fn new() -> Self {
+        RegisterFile::default()
+    }
+
+    /// Reads a register.
+    pub fn read(&self, reg: Reg) -> u64 {
+        self.regs[reg as usize]
+    }
+
+    /// Writes a register.
+    pub fn write(&mut self, reg: Reg, value: u64) {
+        self.regs[reg as usize] = value;
+    }
+
+    /// Reads by word offset (the memory-mapped path).
+    ///
+    /// # Panics
+    /// Panics for offsets outside the block.
+    pub fn read_offset(&self, offset: u32) -> u64 {
+        self.regs[offset as usize]
+    }
+
+    /// Writes by word offset (the memory-mapped path).
+    ///
+    /// # Panics
+    /// Panics for offsets outside the block.
+    pub fn write_offset(&mut self, offset: u32, value: u64) {
+        self.regs[offset as usize] = value;
+    }
+
+    /// True while the device is filtering.
+    pub fn busy(&self) -> bool {
+        self.read(Reg::Status) & STATUS_BUSY != 0
+    }
+
+    /// True once the programmed operation has completed.
+    pub fn done(&self) -> bool {
+        self.read(Reg::Status) & STATUS_DONE != 0
+    }
+
+    /// True if the last operation errored.
+    pub fn errored(&self) -> bool {
+        self.read(Reg::Status) & STATUS_ERROR != 0
+    }
+
+    /// Device-side: transition to busy.
+    pub fn set_busy(&mut self) {
+        self.write(Reg::Status, STATUS_BUSY);
+    }
+
+    /// Device-side: transition to done (clearing busy).
+    pub fn set_done(&mut self, matched: u64) {
+        self.write(Reg::Status, STATUS_DONE);
+        self.write(Reg::OutCount, matched);
+    }
+
+    /// Device-side: transition to error.
+    pub fn set_error(&mut self) {
+        self.write(Reg::Status, STATUS_ERROR | STATUS_DONE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_and_offset_views_agree() {
+        let mut r = RegisterFile::new();
+        r.write(Reg::RangeLo, 0x1234);
+        assert_eq!(r.read_offset(Reg::RangeLo as u32), 0x1234);
+        r.write_offset(Reg::RangeHi as u32, 99);
+        assert_eq!(r.read(Reg::RangeHi), 99);
+    }
+
+    #[test]
+    fn status_protocol() {
+        let mut r = RegisterFile::new();
+        assert!(!r.busy() && !r.done());
+        r.set_busy();
+        assert!(r.busy() && !r.done());
+        r.set_done(42);
+        assert!(!r.busy() && r.done() && !r.errored());
+        assert_eq!(r.read(Reg::OutCount), 42);
+        r.set_error();
+        assert!(r.errored() && r.done());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_block_offset_panics() {
+        RegisterFile::new().read_offset(NUM_REGS as u32);
+    }
+}

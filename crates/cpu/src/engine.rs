@@ -1,0 +1,372 @@
+//! The scan engine: executes a select kernel over a column, co-simulating
+//! compute with a pluggable memory backend.
+//!
+//! Per 64-byte line the engine (1) asks the backend for the line's data and
+//! readiness tick, (2) evaluates the predicate on each of the line's eight
+//! 64-bit values, charging the kernel's µop costs and any branch-mispredict
+//! penalties from the live two-bit predictor, and (3) issues position-list
+//! stores through the backend so output traffic (write-allocates,
+//! writebacks) is modelled. Elapsed time per line is
+//! `max(data ready, compute so far) + line compute` — prefetching inside
+//! the backend is what lets the memory stream run ahead of compute, exactly
+//! as on a real core.
+
+use crate::branch::TwoBitPredictor;
+use crate::kernels::{KernelParams, ScanVariant};
+use jafar_common::time::{ClockDomain, Tick};
+
+/// Where the engine gets memory from. Implemented over the full cache +
+/// memory-controller stack in `jafar-sim`; a fixed-latency test double is
+/// provided here.
+pub trait MemoryBackend {
+    /// Demand-loads the 64-byte line containing `addr`, issued at `at`.
+    /// Returns the tick at which the data is available and the line bytes.
+    fn load_line(&mut self, addr: u64, at: Tick) -> (Tick, [u8; 64]);
+
+    /// Stores `bytes` at `addr` at tick `at` (fire-and-forget through the
+    /// store buffer; the returned tick is when the store retires, normally
+    /// `at` — traffic effects are the backend's concern).
+    fn store(&mut self, addr: u64, bytes: &[u8], at: Tick) -> Tick;
+}
+
+/// What to scan and how.
+#[derive(Clone, Copy, Debug)]
+pub struct ScanSpec {
+    /// Base address of the packed `i64` column.
+    pub col_addr: u64,
+    /// Number of rows.
+    pub rows: u64,
+    /// Inclusive lower bound of the range predicate.
+    pub lo: i64,
+    /// Inclusive upper bound of the range predicate.
+    pub hi: i64,
+    /// Base address of the `u32` position-list output.
+    pub out_addr: u64,
+    /// Kernel variant.
+    pub variant: ScanVariant,
+}
+
+/// Outcome of a scan.
+#[derive(Clone, Debug)]
+pub struct ScanResult {
+    /// Completion tick.
+    pub end: Tick,
+    /// Number of matching rows.
+    pub matches: u64,
+    /// Matching row indices, in order (the functional result).
+    pub positions: Vec<u32>,
+    /// Time spent waiting for memory beyond compute.
+    pub stall: Tick,
+    /// Time spent in compute.
+    pub compute: Tick,
+    /// Branch mispredictions charged.
+    pub mispredicts: u64,
+}
+
+/// The engine: one host core running one select kernel.
+pub struct ScanEngine {
+    clock: ClockDomain,
+    params: KernelParams,
+}
+
+impl ScanEngine {
+    /// An engine on the given core clock with the given µop costs.
+    pub fn new(clock: ClockDomain, params: KernelParams) -> Self {
+        ScanEngine { clock, params }
+    }
+
+    /// The Table-1 gem5 host: 1 GHz, default kernel costs.
+    pub fn gem5_like() -> Self {
+        ScanEngine::new(ClockDomain::from_ghz(1), KernelParams::default())
+    }
+
+    /// Runs `spec` starting at `start` against `backend`.
+    pub fn run(
+        &self,
+        backend: &mut impl MemoryBackend,
+        spec: ScanSpec,
+        start: Tick,
+    ) -> ScanResult {
+        let period_ps = self.clock.period().as_ps() as f64;
+        let mut predictor = TwoBitPredictor::new();
+        let mut now = start;
+        let mut stall = Tick::ZERO;
+        let mut compute_ps = 0.0f64;
+        let mut carry_ps = 0.0f64;
+        let mut positions: Vec<u32> = Vec::new();
+        let lines = spec.rows.div_ceil(8);
+
+        for line in 0..lines {
+            let line_addr = spec.col_addr + line * 64;
+            let (ready, data) = backend.load_line(line_addr, now);
+            if ready > now {
+                stall += ready - now;
+                now = ready;
+            }
+            let rows_here = (spec.rows - line * 8).min(8);
+            let mut line_cycles = 0.0f64;
+            for i in 0..rows_here {
+                let off = (i * 8) as usize;
+                let v = i64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"));
+                let matched = spec.lo <= v && v <= spec.hi;
+                line_cycles += self.params.row_cycles(spec.variant, matched);
+                if self.params.has_branch(spec.variant)
+                    && !predictor.predict_and_update(matched)
+                {
+                    line_cycles += self.params.mispredict_penalty;
+                }
+                // The store executes for matches (all variants) and
+                // unconditionally for the predicated kernel; only matches
+                // advance the output cursor, so the predicated kernel
+                // re-stores the same slot on non-matches.
+                let row_idx = (line * 8 + i) as u32;
+                let store_slot = positions.len() as u64;
+                if matched {
+                    positions.push(row_idx);
+                    backend.store(
+                        spec.out_addr + store_slot * 4,
+                        &row_idx.to_le_bytes(),
+                        now,
+                    );
+                } else if matches!(spec.variant, ScanVariant::Predicated) {
+                    backend.store(
+                        spec.out_addr + store_slot * 4,
+                        &row_idx.to_le_bytes(),
+                        now,
+                    );
+                }
+            }
+            let advance_ps = line_cycles * period_ps + carry_ps;
+            let whole = advance_ps.floor();
+            carry_ps = advance_ps - whole;
+            let adv = Tick::from_ps(whole as u64);
+            compute_ps += line_cycles * period_ps;
+            now += adv;
+        }
+
+        ScanResult {
+            end: now,
+            matches: positions.len() as u64,
+            positions,
+            stall,
+            compute: Tick::from_ps(compute_ps as u64),
+            mispredicts: predictor.mispredictions(),
+        }
+    }
+}
+
+/// A deterministic test backend: fixed line-load latency over a flat byte
+/// image, zero-latency stores applied functionally.
+pub struct FixedLatencyBackend {
+    /// The memory image.
+    pub memory: Vec<u8>,
+    /// Per-line load latency.
+    pub load_latency: Tick,
+    /// Lines loaded.
+    pub loads: u64,
+    /// Stores applied.
+    pub stores: u64,
+}
+
+impl FixedLatencyBackend {
+    /// An image of `size` zero bytes with the given load latency.
+    pub fn new(size: usize, load_latency: Tick) -> Self {
+        FixedLatencyBackend {
+            memory: vec![0; size],
+            load_latency,
+            loads: 0,
+            stores: 0,
+        }
+    }
+
+    /// Writes an `i64` column at `addr`.
+    pub fn put_column(&mut self, addr: u64, values: &[i64]) {
+        for (i, v) in values.iter().enumerate() {
+            let off = addr as usize + i * 8;
+            self.memory[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+impl MemoryBackend for FixedLatencyBackend {
+    fn load_line(&mut self, addr: u64, at: Tick) -> (Tick, [u8; 64]) {
+        self.loads += 1;
+        let base = (addr & !63) as usize;
+        let mut line = [0u8; 64];
+        let end = (base + 64).min(self.memory.len());
+        line[..end - base].copy_from_slice(&self.memory[base..end]);
+        (at + self.load_latency, line)
+    }
+
+    fn store(&mut self, addr: u64, bytes: &[u8], at: Tick) -> Tick {
+        self.stores += 1;
+        let a = addr as usize;
+        if a + bytes.len() <= self.memory.len() {
+            self.memory[a..a + bytes.len()].copy_from_slice(bytes);
+        }
+        at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jafar_common::rng::SplitMix64;
+
+    fn spec(rows: u64, lo: i64, hi: i64, variant: ScanVariant) -> ScanSpec {
+        ScanSpec {
+            col_addr: 0,
+            rows,
+            lo,
+            hi,
+            out_addr: 1 << 20,
+            variant,
+        }
+    }
+
+    fn backend_with_column(values: &[i64]) -> FixedLatencyBackend {
+        let mut b = FixedLatencyBackend::new(2 << 20, Tick::from_ns(20));
+        b.put_column(0, values);
+        b
+    }
+
+    fn reference_positions(values: &[i64], lo: i64, hi: i64) -> Vec<u32> {
+        values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| lo <= v && v <= hi)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn positions_match_reference() {
+        let mut rng = SplitMix64::new(7);
+        let values: Vec<i64> = (0..1000).map(|_| rng.next_range_inclusive(0, 99)).collect();
+        let mut b = backend_with_column(&values);
+        let engine = ScanEngine::gem5_like();
+        for variant in [
+            ScanVariant::Branching,
+            ScanVariant::Predicated,
+            ScanVariant::Vectorized { lanes: 4 },
+        ] {
+            let r = engine.run(&mut b, spec(1000, 20, 60, variant), Tick::ZERO);
+            assert_eq!(r.positions, reference_positions(&values, 20, 60));
+            assert_eq!(r.matches as usize, r.positions.len());
+        }
+    }
+
+    #[test]
+    fn functional_store_lands_in_backend_memory() {
+        let values: Vec<i64> = (0..16).collect();
+        let mut b = backend_with_column(&values);
+        let engine = ScanEngine::gem5_like();
+        let s = spec(16, 5, 8, ScanVariant::Branching);
+        let r = engine.run(&mut b, s, Tick::ZERO);
+        assert_eq!(r.positions, vec![5, 6, 7, 8]);
+        for (slot, pos) in r.positions.iter().enumerate() {
+            let off = (s.out_addr as usize) + slot * 4;
+            let got = u32::from_le_bytes(b.memory[off..off + 4].try_into().unwrap());
+            assert_eq!(got, *pos);
+        }
+    }
+
+    #[test]
+    fn runtime_grows_with_selectivity_for_branching() {
+        let mut rng = SplitMix64::new(3);
+        let values: Vec<i64> = (0..8000).map(|_| rng.next_range_inclusive(0, 999)).collect();
+        let engine = ScanEngine::gem5_like();
+        let run = |hi: i64| {
+            let mut b = backend_with_column(&values);
+            engine
+                .run(&mut b, spec(8000, 0, hi, ScanVariant::Branching), Tick::ZERO)
+                .end
+        };
+        let t0 = run(-1); // 0% selectivity
+        let t100 = run(999); // 100%
+        assert!(t100 > t0, "t0={t0} t100={t100}");
+        // Roughly the documented anchors: (base+match)/base ≈ 1.8×.
+        let ratio = t100.as_ps() as f64 / t0.as_ps() as f64;
+        assert!((1.4..2.2).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn predicated_runtime_is_selectivity_independent() {
+        let mut rng = SplitMix64::new(5);
+        let values: Vec<i64> = (0..8000).map(|_| rng.next_range_inclusive(0, 999)).collect();
+        let engine = ScanEngine::gem5_like();
+        let run = |hi: i64| {
+            let mut b = backend_with_column(&values);
+            engine
+                .run(&mut b, spec(8000, 0, hi, ScanVariant::Predicated), Tick::ZERO)
+                .end
+        };
+        let t0 = run(-1);
+        let t100 = run(999);
+        // Identical compute; both runs time out to the same tick.
+        assert_eq!(t0, t100);
+    }
+
+    #[test]
+    fn mispredicts_peak_mid_selectivity() {
+        let mut rng = SplitMix64::new(11);
+        let values: Vec<i64> = (0..20_000).map(|_| rng.next_range_inclusive(0, 999)).collect();
+        let engine = ScanEngine::gem5_like();
+        let miss = |hi: i64| {
+            let mut b = backend_with_column(&values);
+            engine
+                .run(&mut b, spec(20_000, 0, hi, ScanVariant::Branching), Tick::ZERO)
+                .mispredicts
+        };
+        let low = miss(49); // 5%
+        let mid = miss(499); // 50%
+        let high = miss(949); // 95%
+        assert!(mid > low && mid > high, "low={low} mid={mid} high={high}");
+    }
+
+    #[test]
+    fn stall_reflects_memory_latency() {
+        let values: Vec<i64> = (0..80).collect();
+        let mut b = backend_with_column(&values);
+        b.load_latency = Tick::from_us(1); // brutally slow memory
+        let engine = ScanEngine::gem5_like();
+        let r = engine.run(&mut b, spec(80, 0, -1, ScanVariant::Branching), Tick::ZERO);
+        // 10 lines x 1 µs dominates; compute is negligible.
+        assert!(r.stall >= Tick::from_us(10));
+        assert!(r.compute < Tick::from_us(1));
+        assert_eq!(b.loads, 10);
+    }
+
+    #[test]
+    fn partial_last_line_handled() {
+        let values: Vec<i64> = (0..13).collect();
+        let mut b = backend_with_column(&values);
+        let engine = ScanEngine::gem5_like();
+        let r = engine.run(&mut b, spec(13, 0, 100, ScanVariant::Branching), Tick::ZERO);
+        assert_eq!(r.matches, 13);
+        assert_eq!(b.loads, 2);
+    }
+
+    #[test]
+    fn zero_rows() {
+        let mut b = FixedLatencyBackend::new(1 << 10, Tick::from_ns(20));
+        let engine = ScanEngine::gem5_like();
+        let r = engine.run(&mut b, spec(0, 0, 10, ScanVariant::Branching), Tick::from_ns(5));
+        assert_eq!(r.end, Tick::from_ns(5));
+        assert_eq!(r.matches, 0);
+        assert_eq!(b.loads, 0);
+    }
+
+    #[test]
+    fn vectorized_faster_than_branching_mid_selectivity() {
+        let mut rng = SplitMix64::new(13);
+        let values: Vec<i64> = (0..8000).map(|_| rng.next_range_inclusive(0, 999)).collect();
+        let engine = ScanEngine::gem5_like();
+        let run = |variant| {
+            let mut b = backend_with_column(&values);
+            b.load_latency = Tick::ZERO; // isolate compute
+            engine.run(&mut b, spec(8000, 0, 499, variant), Tick::ZERO).end
+        };
+        assert!(run(ScanVariant::Vectorized { lanes: 4 }) < run(ScanVariant::Branching));
+    }
+}

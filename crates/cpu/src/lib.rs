@@ -1,0 +1,36 @@
+//! # jafar-cpu — the host CPU timing model
+//!
+//! Figure 3's baseline is "CPU-only execution" of a select over 4 M
+//! unsorted integers on the Table-1 gem5 platform (one out-of-order core at
+//! 1 GHz). The paper attributes the baseline's selectivity-dependence to two
+//! mechanisms (§3.2):
+//!
+//! 1. "The CPU executes additional code to record when a row passes the
+//!    filter" — per-match position-list bookkeeping;
+//! 2. the select is *not* predicated, so the data-dependent branch
+//!    mispredicts on random data.
+//!
+//! This crate models exactly those mechanisms:
+//!
+//! - [`branch::TwoBitPredictor`]: a saturating two-bit predictor fed the
+//!   real per-row outcome sequence;
+//! - [`kernels`]: the three classic select kernels — branching, predicated
+//!   and vectorized — as µop cost descriptors, with the calibration
+//!   constants documented in one place;
+//! - [`engine::ScanEngine`]: executes a select kernel over a column,
+//!   obtaining line data and latency from a [`engine::MemoryBackend`]
+//!   (implemented over the cache hierarchy + memory controller in
+//!   `jafar-sim`; a fixed-latency backend is provided for unit tests).
+//!
+//! Compute and memory overlap in the natural streaming way: per 64-byte
+//! line, elapsed time is `max(line data ready, previous compute done)` plus
+//! the line's compute time — prefetching in the backend is what makes
+//! the stream run ahead, mirroring a real core.
+
+pub mod branch;
+pub mod engine;
+pub mod kernels;
+
+pub use branch::TwoBitPredictor;
+pub use engine::{FixedLatencyBackend, MemoryBackend, ScanEngine, ScanResult};
+pub use kernels::{KernelParams, ScanVariant};

@@ -1,0 +1,397 @@
+//! Physical-address ↔ DRAM-coordinate mapping.
+//!
+//! The memory controller decodes a physical address into (rank, bank, row,
+//! column) coordinates — the RAS/CAS decomposition of paper §2.1. The order
+//! in which address bits are assigned to those fields is a policy decision
+//! with large performance consequences:
+//!
+//! - [`AddressMapping::RowBankRankBlock`] keeps consecutive addresses inside
+//!   one row buffer (maximum row-hit locality for streaming scans — what a
+//!   column-store wants and what JAFAR's §2.2 sequential consumption model
+//!   assumes);
+//! - [`AddressMapping::BankInterleavedBlock`] spreads consecutive 64-byte
+//!   blocks across banks (classic bank interleaving: more bank-level
+//!   parallelism for random traffic, fewer row hits for streams).
+//!
+//! Addresses are decomposed at 64-byte **block** granularity, the burst
+//! transfer size; the low 6 bits are the byte offset within a burst.
+
+use crate::geometry::DramGeometry;
+use jafar_common::size::log2_exact;
+use std::fmt;
+
+/// A physical memory address (byte-granular).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// The 64-byte-aligned block base containing this address.
+    pub fn block_base(self) -> PhysAddr {
+        PhysAddr(self.0 & !63)
+    }
+
+    /// Byte offset within the 64-byte block.
+    pub fn block_offset(self) -> u32 {
+        (self.0 & 63) as u32
+    }
+
+    /// Block index (address divided by the burst size).
+    pub fn block_index(self) -> u64 {
+        self.0 >> 6
+    }
+}
+
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PA({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// DRAM coordinates of one 64-byte block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// Rank on the module.
+    pub rank: u32,
+    /// Bank within the rank.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u32,
+    /// Block (burst-sized column group) within the row.
+    pub block: u32,
+}
+
+/// Bit-assignment policy for decoding physical addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AddressMapping {
+    /// `row : bank : rank : block` (MSB → LSB). Consecutive addresses walk
+    /// through a whole row in one bank, then the same row index in the next
+    /// rank/bank. Streaming-friendly; the default.
+    #[default]
+    RowBankRankBlock,
+    /// `row : block : bank : rank` (MSB → LSB). Consecutive 64-byte blocks
+    /// alternate ranks, then banks — classic fine-grained interleaving.
+    BankInterleavedBlock,
+    /// `rank : row : bank : block` (MSB → LSB). Each rank owns one
+    /// contiguous half of the address space; within a rank, consecutive
+    /// addresses fill a row, then the same row of the next bank. This is
+    /// the placement §2.2 assumes for JAFAR: "the database storage engine
+    /// can explicitly shuffle column data so that the physical layout is
+    /// contiguous" within the rank the accelerator owns.
+    RankRowBankBlock,
+}
+
+/// Decoder bound to a geometry: slices addresses into coordinate fields.
+#[derive(Clone, Copy, Debug)]
+pub struct AddressDecoder {
+    mapping: AddressMapping,
+    block_bits: u32,
+    bank_bits: u32,
+    rank_bits: u32,
+    row_bits: u32,
+}
+
+impl AddressDecoder {
+    /// Creates a decoder for `geometry` under `mapping`.
+    pub fn new(geometry: DramGeometry, mapping: AddressMapping) -> Self {
+        geometry.validate();
+        AddressDecoder {
+            mapping,
+            block_bits: log2_exact(geometry.bursts_per_row() as u64),
+            bank_bits: log2_exact(geometry.banks_per_rank as u64),
+            rank_bits: log2_exact(geometry.ranks as u64),
+            row_bits: log2_exact(geometry.rows_per_bank as u64),
+        }
+    }
+
+    /// The mapping policy this decoder implements.
+    pub fn mapping(&self) -> AddressMapping {
+        self.mapping
+    }
+
+    /// Number of addressable bytes.
+    pub fn capacity(&self) -> u64 {
+        1u64 << (6 + self.block_bits + self.bank_bits + self.rank_bits + self.row_bits)
+    }
+
+    /// Decodes an address into DRAM coordinates.
+    ///
+    /// # Panics
+    /// Panics if the address is beyond the module capacity.
+    pub fn decode(&self, addr: PhysAddr) -> Coord {
+        assert!(
+            addr.0 < self.capacity(),
+            "address {addr} beyond module capacity {:#x}",
+            self.capacity()
+        );
+        let mut bits = addr.block_index();
+        let mut take = |n: u32| {
+            let v = (bits & ((1u64 << n) - 1)) as u32;
+            bits >>= n;
+            v
+        };
+        match self.mapping {
+            AddressMapping::RowBankRankBlock => {
+                let block = take(self.block_bits);
+                let rank = take(self.rank_bits);
+                let bank = take(self.bank_bits);
+                let row = take(self.row_bits);
+                Coord {
+                    rank,
+                    bank,
+                    row,
+                    block,
+                }
+            }
+            AddressMapping::BankInterleavedBlock => {
+                let rank = take(self.rank_bits);
+                let bank = take(self.bank_bits);
+                let block = take(self.block_bits);
+                let row = take(self.row_bits);
+                Coord {
+                    rank,
+                    bank,
+                    row,
+                    block,
+                }
+            }
+            AddressMapping::RankRowBankBlock => {
+                let block = take(self.block_bits);
+                let bank = take(self.bank_bits);
+                let row = take(self.row_bits);
+                let rank = take(self.rank_bits);
+                Coord {
+                    rank,
+                    bank,
+                    row,
+                    block,
+                }
+            }
+        }
+    }
+
+    /// Encodes DRAM coordinates back into the base address of the block.
+    ///
+    /// # Panics
+    /// Panics if any coordinate exceeds its field width.
+    pub fn encode(&self, coord: Coord) -> PhysAddr {
+        assert!(coord.block < 1 << self.block_bits, "block out of range");
+        assert!(coord.bank < 1 << self.bank_bits, "bank out of range");
+        assert!(coord.rank < 1 << self.rank_bits, "rank out of range");
+        assert!(coord.row < 1 << self.row_bits, "row out of range");
+        let mut bits: u64 = 0;
+        let mut shift = 0u32;
+        let mut put = |v: u32, n: u32| {
+            bits |= (v as u64) << shift;
+            shift += n;
+        };
+        match self.mapping {
+            AddressMapping::RowBankRankBlock => {
+                put(coord.block, self.block_bits);
+                put(coord.rank, self.rank_bits);
+                put(coord.bank, self.bank_bits);
+                put(coord.row, self.row_bits);
+            }
+            AddressMapping::BankInterleavedBlock => {
+                put(coord.rank, self.rank_bits);
+                put(coord.bank, self.bank_bits);
+                put(coord.block, self.block_bits);
+                put(coord.row, self.row_bits);
+            }
+            AddressMapping::RankRowBankBlock => {
+                put(coord.block, self.block_bits);
+                put(coord.bank, self.bank_bits);
+                put(coord.row, self.row_bits);
+                put(coord.rank, self.rank_bits);
+            }
+        }
+        PhysAddr(bits << 6)
+    }
+
+    /// The contiguous byte range owned by `rank` under the
+    /// rank-contiguous mapping.
+    ///
+    /// # Panics
+    /// Panics for mappings where ranks are not contiguous.
+    pub fn rank_range(&self, rank: u32) -> std::ops::Range<u64> {
+        assert_eq!(
+            self.mapping,
+            AddressMapping::RankRowBankBlock,
+            "ranks are only contiguous under RankRowBankBlock"
+        );
+        let rank_bytes = self.capacity() >> self.rank_bits;
+        let start = rank as u64 * rank_bytes;
+        start..start + rank_bytes
+    }
+
+    /// The byte range of `rank` under this decoder, if ranks occupy
+    /// contiguous address sub-ranges — they do **not** in general (rank bits
+    /// sit below row bits), so this returns the rank of a specific address
+    /// instead; use [`AddressDecoder::decode`].
+    pub fn rank_of(&self, addr: PhysAddr) -> u32 {
+        self.decode(addr).rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn decoder(mapping: AddressMapping) -> AddressDecoder {
+        AddressDecoder::new(DramGeometry::tiny(), mapping)
+    }
+
+    #[test]
+    fn phys_addr_block_math() {
+        let a = PhysAddr(0x1234);
+        assert_eq!(a.block_base(), PhysAddr(0x1200));
+        assert_eq!(a.block_offset(), 0x34);
+        assert_eq!(a.block_index(), 0x48);
+        assert_eq!(format!("{a}"), "0x1234");
+    }
+
+    #[test]
+    fn capacity_matches_geometry() {
+        let g = DramGeometry::tiny();
+        let d = AddressDecoder::new(g, AddressMapping::RowBankRankBlock);
+        assert_eq!(d.capacity(), g.capacity_bytes());
+        let g2 = DramGeometry::gem5_2gb();
+        let d2 = AddressDecoder::new(g2, AddressMapping::RowBankRankBlock);
+        assert_eq!(d2.capacity(), g2.capacity_bytes());
+    }
+
+    #[test]
+    fn streaming_mapping_stays_in_row() {
+        // tiny(): 1 KB rows = 16 blocks. The first 16 consecutive blocks must
+        // share (rank, bank, row) under the streaming mapping.
+        let d = decoder(AddressMapping::RowBankRankBlock);
+        let first = d.decode(PhysAddr(0));
+        for blk in 0..16u64 {
+            let c = d.decode(PhysAddr(blk * 64));
+            assert_eq!((c.rank, c.bank, c.row), (first.rank, first.bank, first.row));
+            assert_eq!(c.block, blk as u32);
+        }
+        // Block 16 moves to the next rank (rank bits sit directly above
+        // block bits in this mapping).
+        let c = d.decode(PhysAddr(16 * 64));
+        assert_eq!(c.rank, 1);
+        assert_eq!(c.block, 0);
+    }
+
+    #[test]
+    fn interleaved_mapping_alternates_ranks_then_banks() {
+        let d = decoder(AddressMapping::BankInterleavedBlock);
+        let c0 = d.decode(PhysAddr(0));
+        let c1 = d.decode(PhysAddr(64));
+        let c2 = d.decode(PhysAddr(128));
+        assert_eq!(c0.rank, 0);
+        assert_eq!(c1.rank, 1);
+        assert_eq!((c0.bank, c1.bank), (0, 0));
+        assert_eq!(c2.rank, 0);
+        assert_eq!(c2.bank, 1);
+    }
+
+    #[test]
+    fn row_walk_order_differs_between_mappings() {
+        // Under streaming mapping, one row's worth of consecutive addresses
+        // produces 1 distinct (rank,bank); under interleaving, several.
+        let count_distinct = |m: AddressMapping| {
+            let d = decoder(m);
+            let mut set = std::collections::HashSet::new();
+            for blk in 0..16u64 {
+                let c = d.decode(PhysAddr(blk * 64));
+                set.insert((c.rank, c.bank));
+            }
+            set.len()
+        };
+        assert_eq!(count_distinct(AddressMapping::RowBankRankBlock), 1);
+        assert_eq!(count_distinct(AddressMapping::BankInterleavedBlock), 8);
+    }
+
+    #[test]
+    fn rank_contiguous_mapping() {
+        let g = DramGeometry::tiny(); // 2 ranks x 4 banks x 64 rows x 1 KB
+        let d = AddressDecoder::new(g, AddressMapping::RankRowBankBlock);
+        let half = g.capacity_bytes() / 2;
+        assert_eq!(d.rank_range(0), 0..half);
+        assert_eq!(d.rank_range(1), half..g.capacity_bytes());
+        // Everything below `half` decodes to rank 0, above to rank 1.
+        for probe in [0, 64, half - 64, half, g.capacity_bytes() - 64] {
+            let c = d.decode(PhysAddr(probe));
+            assert_eq!(c.rank, u32::from(probe >= half), "probe={probe:#x}");
+        }
+        // Within a rank, one row's worth of blocks shares (bank, row), then
+        // the next row's worth moves to the next bank.
+        let first = d.decode(PhysAddr(0));
+        for blk in 0..16u64 {
+            let c = d.decode(PhysAddr(blk * 64));
+            assert_eq!((c.bank, c.row), (first.bank, first.row));
+        }
+        let next = d.decode(PhysAddr(16 * 64));
+        assert_eq!(next.bank, first.bank + 1);
+        assert_eq!(next.row, first.row);
+    }
+
+    #[test]
+    fn rank_contiguous_round_trip() {
+        let d = decoder(AddressMapping::RankRowBankBlock);
+        for addr in (0..DramGeometry::tiny().capacity_bytes()).step_by(4096 + 64) {
+            let a = PhysAddr(addr);
+            assert_eq!(d.encode(d.decode(a)), a.block_base());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only contiguous")]
+    fn rank_range_requires_contiguous_mapping() {
+        decoder(AddressMapping::RowBankRankBlock).rank_range(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond module capacity")]
+    fn out_of_range_decode_panics() {
+        let d = decoder(AddressMapping::RowBankRankBlock);
+        d.decode(PhysAddr(DramGeometry::tiny().capacity_bytes()));
+    }
+
+    proptest! {
+        #[test]
+        fn decode_encode_round_trip(addr in 0u64..DramGeometry::tiny().capacity_bytes(),
+                                    interleaved in proptest::bool::ANY) {
+            let m = if interleaved {
+                AddressMapping::BankInterleavedBlock
+            } else {
+                AddressMapping::RowBankRankBlock
+            };
+            let d = decoder(m);
+            let a = PhysAddr(addr);
+            let coord = d.decode(a);
+            prop_assert_eq!(d.encode(coord), a.block_base());
+        }
+
+        #[test]
+        fn decode_is_injective_on_blocks(a in 0u64..8192, b in 0u64..8192) {
+            let d = decoder(AddressMapping::RowBankRankBlock);
+            let ca = d.decode(PhysAddr(a * 64));
+            let cb = d.decode(PhysAddr(b * 64));
+            prop_assert_eq!(ca == cb, a == b);
+        }
+
+        #[test]
+        fn coordinates_in_bounds(addr in 0u64..DramGeometry::tiny().capacity_bytes()) {
+            let g = DramGeometry::tiny();
+            let d = decoder(AddressMapping::BankInterleavedBlock);
+            let c = d.decode(PhysAddr(addr));
+            prop_assert!(c.rank < g.ranks);
+            prop_assert!(c.bank < g.banks_per_rank);
+            prop_assert!(c.row < g.rows_per_bank);
+            prop_assert!(c.block < g.bursts_per_row());
+        }
+    }
+}

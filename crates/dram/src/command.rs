@@ -1,0 +1,174 @@
+//! The DRAM command set.
+//!
+//! These are the commands a memory controller (or JAFAR, acting as its own
+//! command agent on an owned rank) drives over the command/address bus. The
+//! subset here is what a DDR3 device needs for normal operation: ACTIVATE
+//! (the RAS of §2.1), READ/WRITE (the CAS), PRECHARGE, REFRESH, and
+//! MODE REGISTER SET (used by §2.2's ownership-transfer proposal).
+
+use crate::address::Coord;
+
+/// Who is driving the command — the host memory controller or the on-DIMM
+/// JAFAR device. The mode-register MPR mechanism (see [`crate::mode`])
+/// blocks host data commands while a rank is owned by the accelerator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Requester {
+    /// The host memory controller.
+    Host,
+    /// The near-data accelerator on the DIMM.
+    Ndp,
+}
+
+/// One DRAM command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DramCommand {
+    /// Open `row` in (`rank`, `bank`): load the row into the bank's row
+    /// buffer (RAS).
+    Activate { rank: u32, bank: u32, row: u32 },
+    /// Read one 64-byte burst from the open row of (`rank`, `bank`) at
+    /// block-column `block` (CAS).
+    Read { rank: u32, bank: u32, block: u32 },
+    /// Write one 64-byte burst to the open row of (`rank`, `bank`) at
+    /// block-column `block`.
+    Write { rank: u32, bank: u32, block: u32 },
+    /// Close the open row of (`rank`, `bank`).
+    Precharge { rank: u32, bank: u32 },
+    /// Close all open rows of `rank`.
+    PrechargeAll { rank: u32 },
+    /// Refresh `rank` (all banks must be precharged; rank busy for tRFC).
+    Refresh { rank: u32 },
+    /// Write `value` into mode register `mr` (0–3) of `rank`.
+    ModeRegisterSet { rank: u32, mr: u8, value: u16 },
+}
+
+impl DramCommand {
+    /// The rank this command addresses.
+    pub fn rank(&self) -> u32 {
+        match *self {
+            DramCommand::Activate { rank, .. }
+            | DramCommand::Read { rank, .. }
+            | DramCommand::Write { rank, .. }
+            | DramCommand::Precharge { rank, .. }
+            | DramCommand::PrechargeAll { rank }
+            | DramCommand::Refresh { rank }
+            | DramCommand::ModeRegisterSet { rank, .. } => rank,
+        }
+    }
+
+    /// The bank this command addresses, if bank-scoped.
+    pub fn bank(&self) -> Option<u32> {
+        match *self {
+            DramCommand::Activate { bank, .. }
+            | DramCommand::Read { bank, .. }
+            | DramCommand::Write { bank, .. }
+            | DramCommand::Precharge { bank, .. } => Some(bank),
+            _ => None,
+        }
+    }
+
+    /// True for READ/WRITE (the commands that move data and that the MPR
+    /// mechanism blocks for non-owners).
+    pub fn is_data_command(&self) -> bool {
+        matches!(
+            self,
+            DramCommand::Read { .. } | DramCommand::Write { .. }
+        )
+    }
+
+    /// Convenience constructor: ACTIVATE targeting a coordinate's row.
+    pub fn activate(c: Coord) -> Self {
+        DramCommand::Activate {
+            rank: c.rank,
+            bank: c.bank,
+            row: c.row,
+        }
+    }
+
+    /// Convenience constructor: READ targeting a coordinate's block.
+    pub fn read(c: Coord) -> Self {
+        DramCommand::Read {
+            rank: c.rank,
+            bank: c.bank,
+            block: c.block,
+        }
+    }
+
+    /// Convenience constructor: WRITE targeting a coordinate's block.
+    pub fn write(c: Coord) -> Self {
+        DramCommand::Write {
+            rank: c.rank,
+            bank: c.bank,
+            block: c.block,
+        }
+    }
+
+    /// Convenience constructor: PRECHARGE for a coordinate's bank.
+    pub fn precharge(c: Coord) -> Self {
+        DramCommand::Precharge {
+            rank: c.rank,
+            bank: c.bank,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coord() -> Coord {
+        Coord {
+            rank: 1,
+            bank: 3,
+            row: 42,
+            block: 7,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let c = coord();
+        assert_eq!(DramCommand::activate(c).rank(), 1);
+        assert_eq!(DramCommand::activate(c).bank(), Some(3));
+        assert_eq!(DramCommand::Refresh { rank: 0 }.bank(), None);
+        assert_eq!(
+            DramCommand::ModeRegisterSet {
+                rank: 1,
+                mr: 3,
+                value: 4
+            }
+            .rank(),
+            1
+        );
+    }
+
+    #[test]
+    fn data_command_classification() {
+        let c = coord();
+        assert!(DramCommand::read(c).is_data_command());
+        assert!(DramCommand::write(c).is_data_command());
+        assert!(!DramCommand::activate(c).is_data_command());
+        assert!(!DramCommand::precharge(c).is_data_command());
+        assert!(!DramCommand::Refresh { rank: 0 }.is_data_command());
+    }
+
+    #[test]
+    fn constructors_carry_coordinates() {
+        let c = coord();
+        assert_eq!(
+            DramCommand::read(c),
+            DramCommand::Read {
+                rank: 1,
+                bank: 3,
+                block: 7
+            }
+        );
+        assert_eq!(
+            DramCommand::activate(c),
+            DramCommand::Activate {
+                rank: 1,
+                bank: 3,
+                row: 42
+            }
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! DRAM module geometry.
+//!
+//! Paper §2.1: "A DIMM is composed of one or two *ranks*, which are
+//! collections of separately packaged SDRAM chips. Each chip is comprised of
+//! multiple independently addressable *banks*, where each bank is a
+//! collection of *arrays*." Data is interleaved across the arrays of a bank,
+//! so from a timing perspective the unit of row-buffer state is the
+//! (rank, bank) pair, and a "row" spans all chips of the rank — 8 KB in the
+//! Micron parts the paper cites \[34\].
+
+use jafar_common::size::{fmt_bytes, is_pow2};
+
+/// Static geometry of one DRAM module (one DIMM on one channel).
+///
+/// All dimensions must be powers of two so physical addresses can be sliced
+/// into coordinate fields without division.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramGeometry {
+    /// Ranks on the DIMM (1 or 2 for DDR3 DIMMs).
+    pub ranks: u32,
+    /// Banks per rank (8 for DDR3).
+    pub banks_per_rank: u32,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Bytes per row across the whole rank (the row-buffer size; 8 KB in the
+    /// Micron 1 Gb parts the paper cites).
+    pub row_bytes: u32,
+}
+
+impl DramGeometry {
+    /// The configuration used throughout the paper's analysis: 2 GB of DDR3
+    /// (Table 1, gem5 column) as one dual-rank DIMM with 8 banks per rank
+    /// and 8 KB rows.
+    ///
+    /// 2 ranks × 8 banks × 16384 rows × 8 KB = 2 GiB.
+    pub fn gem5_2gb() -> Self {
+        let g = DramGeometry {
+            ranks: 2,
+            banks_per_rank: 8,
+            rows_per_bank: 16_384,
+            row_bytes: 8 * 1024,
+        };
+        g.validate();
+        g
+    }
+
+    /// A small geometry for fast unit tests: 2 ranks × 4 banks × 64 rows ×
+    /// 1 KB = 512 KiB.
+    pub fn tiny() -> Self {
+        let g = DramGeometry {
+            ranks: 2,
+            banks_per_rank: 4,
+            rows_per_bank: 64,
+            row_bytes: 1024,
+        };
+        g.validate();
+        g
+    }
+
+    /// Checks all dimensions are nonzero powers of two.
+    ///
+    /// # Panics
+    /// Panics if any dimension is invalid.
+    pub fn validate(&self) {
+        assert!(is_pow2(self.ranks as u64), "ranks must be a power of two");
+        assert!(
+            is_pow2(self.banks_per_rank as u64),
+            "banks_per_rank must be a power of two"
+        );
+        assert!(
+            is_pow2(self.rows_per_bank as u64),
+            "rows_per_bank must be a power of two"
+        );
+        assert!(
+            is_pow2(self.row_bytes as u64) && self.row_bytes >= 64,
+            "row_bytes must be a power of two and hold at least one burst"
+        );
+    }
+
+    /// Total capacity of the module in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.ranks as u64
+            * self.banks_per_rank as u64
+            * self.rows_per_bank as u64
+            * self.row_bytes as u64
+    }
+
+    /// Capacity of a single rank in bytes.
+    pub fn rank_bytes(&self) -> u64 {
+        self.capacity_bytes() / self.ranks as u64
+    }
+
+    /// 64-byte bursts per row (the paper's "32-byte data blocks" arithmetic
+    /// uses half-bursts; we count full 8-word bursts).
+    pub fn bursts_per_row(&self) -> u32 {
+        self.row_bytes / super::BURST_BYTES as u32
+    }
+
+    /// Total number of banks across all ranks.
+    pub fn total_banks(&self) -> u32 {
+        self.ranks * self.banks_per_rank
+    }
+
+    /// Human-readable description, e.g. `2 ranks x 8 banks x 16384 rows x 8KiB = 2GiB`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} ranks x {} banks x {} rows x {} = {}",
+            self.ranks,
+            self.banks_per_rank,
+            self.rows_per_bank,
+            fmt_bytes(self.row_bytes as u64),
+            fmt_bytes(self.capacity_bytes())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gem5_geometry_is_2gib() {
+        let g = DramGeometry::gem5_2gb();
+        assert_eq!(g.capacity_bytes(), 2 * 1024 * 1024 * 1024);
+        assert_eq!(g.rank_bytes(), 1024 * 1024 * 1024);
+        assert_eq!(g.total_banks(), 16);
+        // Paper §3.3: "commercial DDR3 chips whose banks store 8KB of data
+        // per row" — 128 bursts of 64 B.
+        assert_eq!(g.bursts_per_row(), 128);
+        assert_eq!(g.describe(), "2 ranks x 8 banks x 16384 rows x 8KiB = 2GiB");
+    }
+
+    #[test]
+    fn tiny_geometry() {
+        let g = DramGeometry::tiny();
+        assert_eq!(g.capacity_bytes(), 512 * 1024);
+        assert_eq!(g.bursts_per_row(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_rejected() {
+        DramGeometry {
+            ranks: 3,
+            banks_per_rank: 8,
+            rows_per_bank: 64,
+            row_bytes: 1024,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one burst")]
+    fn tiny_rows_rejected() {
+        DramGeometry {
+            ranks: 1,
+            banks_per_rank: 8,
+            rows_per_bank: 64,
+            row_bytes: 32,
+        }
+        .validate();
+    }
+}

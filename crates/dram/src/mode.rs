@@ -1,0 +1,113 @@
+//! Mode registers and the MPR rank-ownership mechanism.
+//!
+//! Paper §2.2 ("Coordinating DRAM Access"): DDR3 mode register 3 activates
+//! the multipurpose register (MPR); "when the MPR is enabled, the memory
+//! controller is only permitted to send read/write commands to the MPR, not
+//! to the DRAM chips. This effectively blocks the memory controller from
+//! issuing any ordinary reads and writes." JAFAR repurposes this to take
+//! exclusive ownership of a rank: the query execution manager sets MR3 to
+//! enable the MPR, JAFAR streams the rank undisturbed, and clears it when
+//! done.
+
+/// Number of DDR3 mode registers.
+pub const NUM_MODE_REGS: usize = 4;
+
+/// The MR3 bit that enables the multipurpose register (A2 in DDR3).
+pub const MR3_MPR_ENABLE: u16 = 1 << 2;
+
+/// Per-rank mode-register file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ModeRegs {
+    regs: [u16; NUM_MODE_REGS],
+}
+
+impl ModeRegs {
+    /// Power-on state: all registers zero, MPR disabled.
+    pub fn new() -> Self {
+        ModeRegs::default()
+    }
+
+    /// Reads mode register `mr`.
+    ///
+    /// # Panics
+    /// Panics if `mr >= 4`.
+    pub fn get(&self, mr: u8) -> u16 {
+        self.regs[mr as usize]
+    }
+
+    /// Writes mode register `mr` (the MRS command payload).
+    ///
+    /// # Panics
+    /// Panics if `mr >= 4`.
+    pub fn set(&mut self, mr: u8, value: u16) {
+        self.regs[mr as usize] = value;
+    }
+
+    /// True when the multipurpose register is enabled — i.e. ordinary host
+    /// reads/writes to this rank are blocked and the rank is considered
+    /// owned by the on-DIMM accelerator.
+    pub fn mpr_enabled(&self) -> bool {
+        self.regs[3] & MR3_MPR_ENABLE != 0
+    }
+
+    /// Convenience: the MR3 value that grants NDP ownership, preserving the
+    /// other MR3 fields.
+    pub fn mr3_with_ownership(&self, owned: bool) -> u16 {
+        if owned {
+            self.regs[3] | MR3_MPR_ENABLE
+        } else {
+            self.regs[3] & !MR3_MPR_ENABLE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_on_state_is_unowned() {
+        let m = ModeRegs::new();
+        assert!(!m.mpr_enabled());
+        for mr in 0..4 {
+            assert_eq!(m.get(mr), 0);
+        }
+    }
+
+    #[test]
+    fn mpr_bit_controls_ownership() {
+        let mut m = ModeRegs::new();
+        m.set(3, MR3_MPR_ENABLE);
+        assert!(m.mpr_enabled());
+        m.set(3, 0);
+        assert!(!m.mpr_enabled());
+    }
+
+    #[test]
+    fn ownership_helper_preserves_other_fields() {
+        let mut m = ModeRegs::new();
+        m.set(3, 0b1000_0001); // unrelated MR3 fields set
+        let owned = m.mr3_with_ownership(true);
+        assert_eq!(owned, 0b1000_0101);
+        m.set(3, owned);
+        assert!(m.mpr_enabled());
+        let released = m.mr3_with_ownership(false);
+        assert_eq!(released, 0b1000_0001);
+    }
+
+    #[test]
+    fn other_registers_independent() {
+        let mut m = ModeRegs::new();
+        m.set(0, 0x1234);
+        m.set(1, 0x0044);
+        assert!(!m.mpr_enabled());
+        assert_eq!(m.get(0), 0x1234);
+        assert_eq!(m.get(1), 0x0044);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_register_index_panics() {
+        ModeRegs::new().get(4);
+    }
+}

@@ -1,0 +1,954 @@
+//! The DRAM module: banks + ranks + shared data bus + mode registers +
+//! functional storage, behind a checked command interface.
+//!
+//! Two agents drive commands at this interface: the host memory controller
+//! (`jafar-memctl`) and the JAFAR device (`jafar-core`), which §2.2 describes
+//! as "request\[ing\] data from DRAM in the same way that a CPU would". The
+//! module enforces:
+//!
+//! - per-bank timing reservations ([`crate::bank`]);
+//! - rank-level constraints: tRRD and the four-activate window tFAW,
+//!   write-to-read turnaround tWTR, periodic refresh;
+//! - the shared data bus: one burst at a time, with direction/rank
+//!   turnaround gaps;
+//! - MPR-based rank ownership: while a rank's MR3 MPR bit is set, *host*
+//!   READ/WRITE commands are rejected ([`IssueError::RankOwnedByNdp`]) and
+//!   *NDP* data commands are only accepted on owned ranks
+//!   ([`IssueError::NdpWithoutOwnership`]) — the contract §2.2 builds the
+//!   ownership handoff on.
+//!
+//! Command-bus contention is not modelled (commands are assumed to find a
+//! free command slot); for the workloads studied here the data bus and bank
+//! timing dominate, which is the standard simplification in trace-driven
+//! DRAM models.
+
+use crate::address::{AddressDecoder, AddressMapping, Coord, PhysAddr};
+use crate::bank::{Bank, BankState};
+use crate::command::{DramCommand, Requester};
+use crate::data::DramData;
+use crate::geometry::DramGeometry;
+use crate::mode::ModeRegs;
+use crate::stats::DramStats;
+use crate::timing::DramTiming;
+use jafar_common::time::Tick;
+use std::collections::VecDeque;
+
+/// Why a command could not issue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IssueError {
+    /// A host data command targeted a rank whose MPR is enabled (owned by
+    /// the NDP device).
+    RankOwnedByNdp,
+    /// An NDP data command targeted a rank it does not own.
+    NdpWithoutOwnership,
+    /// The command is illegal in the bank's current state (e.g. READ on an
+    /// idle bank, ACTIVATE with a row already open). The payload names the
+    /// violated expectation.
+    WrongState(&'static str),
+    /// The command is legal but not yet: it may issue at the contained tick.
+    TooEarly(Tick),
+    /// REFRESH/MRS targeted a rank with open rows.
+    RanksNotQuiesced,
+}
+
+/// Result of a successfully issued READ.
+#[derive(Clone, Debug)]
+pub struct ReadResult {
+    /// The 64 bytes of the burst.
+    pub data: [u8; 64],
+    /// When the first beat appears on the data bus (CAS + CL).
+    pub bus_start: Tick,
+    /// When the last beat has transferred (burst complete).
+    pub data_ready: Tick,
+}
+
+/// Row-buffer outcome of a block-level access (for locality statistics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// The row was already open.
+    Hit,
+    /// The bank was idle; one ACTIVATE was needed.
+    Miss,
+    /// A different row was open; PRECHARGE + ACTIVATE were needed.
+    Conflict,
+}
+
+/// Result of a block-level access performed by [`DramModule::serve_block`].
+#[derive(Clone, Debug)]
+pub struct BlockAccess {
+    /// Row-buffer outcome.
+    pub outcome: RowOutcome,
+    /// When the burst completed on the data bus.
+    pub data_ready: Tick,
+    /// The bytes read (reads only).
+    pub data: Option<[u8; 64]>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BusOp {
+    is_write: bool,
+    rank: u32,
+    end: Tick,
+}
+
+#[derive(Clone, Debug)]
+struct RankState {
+    mode: ModeRegs,
+    /// Issue ticks of recent ACTIVATEs (pruned to the tFAW window).
+    act_history: VecDeque<Tick>,
+    /// Earliest next ACTIVATE anywhere in the rank (tRRD).
+    rrd_allowed: Tick,
+    /// Earliest next READ CAS in the rank after a write burst (tWTR).
+    wtr_until: Tick,
+    /// Next scheduled refresh deadline.
+    next_refresh: Tick,
+}
+
+impl RankState {
+    fn new(t: &DramTiming) -> Self {
+        RankState {
+            mode: ModeRegs::new(),
+            act_history: VecDeque::with_capacity(8),
+            rrd_allowed: Tick::ZERO,
+            wtr_until: Tick::ZERO,
+            next_refresh: t.t_refi,
+        }
+    }
+}
+
+/// One DRAM module (DIMM) on a memory channel.
+///
+/// ```
+/// use jafar_common::time::Tick;
+/// use jafar_dram::{AddressMapping, DramGeometry, DramModule, DramTiming, PhysAddr, Requester};
+///
+/// let mut module = DramModule::new(
+///     DramGeometry::tiny(),
+///     DramTiming::ddr3_paper().without_refresh(),
+///     AddressMapping::RankRowBankBlock,
+/// );
+/// module.data_mut().write_i64(PhysAddr(0), 42);
+///
+/// // A closed-row read pays ACT + tRCD + CL + burst = 30 ns.
+/// let access = module
+///     .serve_addr(PhysAddr(0), false, Requester::Host, Tick::ZERO, None)
+///     .unwrap();
+/// assert_eq!(access.data_ready, Tick::from_ns(30));
+/// let data = access.data.unwrap();
+/// assert_eq!(i64::from_le_bytes(data[..8].try_into().unwrap()), 42);
+/// ```
+pub struct DramModule {
+    geometry: DramGeometry,
+    timing: DramTiming,
+    decoder: AddressDecoder,
+    banks: Vec<Bank>,
+    ranks: Vec<RankState>,
+    bus: Option<BusOp>,
+    data: DramData,
+    stats: DramStats,
+}
+
+impl DramModule {
+    /// Builds a module with the given geometry, timing, and address mapping.
+    pub fn new(geometry: DramGeometry, timing: DramTiming, mapping: AddressMapping) -> Self {
+        geometry.validate();
+        timing.validate();
+        DramModule {
+            geometry,
+            timing,
+            decoder: AddressDecoder::new(geometry, mapping),
+            banks: (0..geometry.total_banks()).map(|_| Bank::new()).collect(),
+            ranks: (0..geometry.ranks).map(|_| RankState::new(&timing)).collect(),
+            bus: None,
+            data: DramData::new(geometry.capacity_bytes()),
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Module geometry.
+    pub fn geometry(&self) -> DramGeometry {
+        self.geometry
+    }
+
+    /// Timing rulebook.
+    pub fn timing(&self) -> &DramTiming {
+        &self.timing
+    }
+
+    /// Address decoder (shared with the memory controller).
+    pub fn decoder(&self) -> &AddressDecoder {
+        &self.decoder
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Per-bank state (for inspection/tests).
+    pub fn bank(&self, rank: u32, bank: u32) -> &Bank {
+        &self.banks[self.bank_index(rank, bank)]
+    }
+
+    /// Functional backing store (read-only).
+    pub fn data(&self) -> &DramData {
+        &self.data
+    }
+
+    /// Functional backing store (mutable, for zero-time initialisation of
+    /// workload data — the simulation-setup equivalent of data already being
+    /// resident in memory).
+    pub fn data_mut(&mut self) -> &mut DramData {
+        &mut self.data
+    }
+
+    /// Mode registers of `rank`.
+    pub fn mode_regs(&self, rank: u32) -> &ModeRegs {
+        &self.ranks[rank as usize].mode
+    }
+
+    /// True if `rank` is currently owned by the NDP device (MPR enabled).
+    pub fn rank_owned_by_ndp(&self, rank: u32) -> bool {
+        self.ranks[rank as usize].mode.mpr_enabled()
+    }
+
+    /// True if `rank` has a refresh deadline at or before `now`.
+    pub fn refresh_due(&self, rank: u32, now: Tick) -> bool {
+        self.timing.refresh_enabled && now >= self.ranks[rank as usize].next_refresh
+    }
+
+    /// The next refresh deadline of `rank` (`Tick::MAX` if refresh disabled).
+    pub fn refresh_deadline(&self, rank: u32) -> Tick {
+        if self.timing.refresh_enabled {
+            self.ranks[rank as usize].next_refresh
+        } else {
+            Tick::MAX
+        }
+    }
+
+    fn bank_index(&self, rank: u32, bank: u32) -> usize {
+        debug_assert!(rank < self.geometry.ranks && bank < self.geometry.banks_per_rank);
+        (rank * self.geometry.banks_per_rank + bank) as usize
+    }
+
+    /// Bus-availability constraint for a burst whose data phase starts
+    /// `lead` after the command: earliest command tick ≥ `now`.
+    fn bus_constraint(&self, now: Tick, lead: Tick, is_write: bool, rank: u32) -> Tick {
+        match self.bus {
+            None => now,
+            Some(op) => {
+                // Direction or rank switches need a turnaround bubble.
+                let gap = if op.is_write != is_write || op.rank != rank {
+                    Tick::from_ps(2 * self.timing.bus_clock.period().as_ps())
+                } else {
+                    Tick::ZERO
+                };
+                let earliest_data = op.end + gap;
+                if earliest_data <= now + lead {
+                    now
+                } else {
+                    earliest_data - lead
+                }
+            }
+        }
+    }
+
+    fn check_ownership(&self, cmd: &DramCommand, requester: Requester) -> Result<(), IssueError> {
+        if !cmd.is_data_command() {
+            return Ok(());
+        }
+        let owned = self.rank_owned_by_ndp(cmd.rank());
+        match (requester, owned) {
+            (Requester::Host, true) => Err(IssueError::RankOwnedByNdp),
+            (Requester::Ndp, false) => Err(IssueError::NdpWithoutOwnership),
+            _ => Ok(()),
+        }
+    }
+
+    /// The earliest tick ≥ `now` at which `cmd` may legally issue, or why it
+    /// cannot.
+    pub fn earliest_issue(
+        &self,
+        cmd: DramCommand,
+        requester: Requester,
+        now: Tick,
+    ) -> Result<Tick, IssueError> {
+        self.check_ownership(&cmd, requester)?;
+        let t = &self.timing;
+        match cmd {
+            DramCommand::Activate { rank, bank, .. } => {
+                let b = &self.banks[self.bank_index(rank, bank)];
+                let base = b
+                    .earliest_activate(now)
+                    .ok_or(IssueError::WrongState("ACTIVATE requires an idle bank"))?;
+                let rs = &self.ranks[rank as usize];
+                let mut earliest = base.max(rs.rrd_allowed);
+                if rs.act_history.len() >= 4 {
+                    let fourth_back = rs.act_history[rs.act_history.len() - 4];
+                    earliest = earliest.max(fourth_back + t.t_faw);
+                }
+                Ok(earliest.max(now))
+            }
+            DramCommand::Read { rank, bank, .. } => {
+                let b = &self.banks[self.bank_index(rank, bank)];
+                let row = b
+                    .open_row()
+                    .ok_or(IssueError::WrongState("READ requires an open row"))?;
+                let base = b.earliest_read(row, now).expect("row is open");
+                let rs = &self.ranks[rank as usize];
+                // tWTR: reads must wait after a write burst to the rank.
+                let wtr = rs.wtr_until;
+                let cas = base.max(wtr).max(now);
+                Ok(self.bus_constraint(cas, t.cl, false, rank))
+            }
+            DramCommand::Write { rank, bank, .. } => {
+                let b = &self.banks[self.bank_index(rank, bank)];
+                let row = b
+                    .open_row()
+                    .ok_or(IssueError::WrongState("WRITE requires an open row"))?;
+                let base = b.earliest_write(row, now).expect("row is open");
+                Ok(self.bus_constraint(base.max(now), t.cwl, true, rank))
+            }
+            DramCommand::Precharge { rank, bank } => {
+                let b = &self.banks[self.bank_index(rank, bank)];
+                Ok(b.earliest_precharge(now))
+            }
+            DramCommand::PrechargeAll { rank } => {
+                let mut earliest = now;
+                for bank in 0..self.geometry.banks_per_rank {
+                    earliest =
+                        earliest.max(self.banks[self.bank_index(rank, bank)].earliest_precharge(now));
+                }
+                Ok(earliest)
+            }
+            DramCommand::Refresh { rank } | DramCommand::ModeRegisterSet { rank, .. } => {
+                let mut earliest = now;
+                for bank in 0..self.geometry.banks_per_rank {
+                    let b = &self.banks[self.bank_index(rank, bank)];
+                    match b.refresh_ready(now) {
+                        Some(ready) => earliest = earliest.max(ready),
+                        None => return Err(IssueError::RanksNotQuiesced),
+                    }
+                }
+                Ok(earliest)
+            }
+        }
+    }
+
+    /// Issues `cmd` at tick `at`. For WRITE commands, `write_data` is the
+    /// burst payload; pass `None` for a *timing-only* write (the functional
+    /// store was applied synchronously by a higher layer, e.g. the cache
+    /// hierarchy's write-through-at-store-time model). Non-write commands
+    /// must pass `None`. Returns the read burst for READ commands.
+    ///
+    /// # Errors
+    /// Propagates [`IssueError`], including [`IssueError::TooEarly`] when
+    /// `at` violates a timing reservation.
+    ///
+    /// # Panics
+    /// Panics if `write_data` is supplied for a non-write command.
+    pub fn issue(
+        &mut self,
+        cmd: DramCommand,
+        requester: Requester,
+        at: Tick,
+        write_data: Option<&[u8; 64]>,
+    ) -> Result<Option<ReadResult>, IssueError> {
+        assert!(
+            write_data.is_none() || matches!(cmd, DramCommand::Write { .. }),
+            "write payload supplied for a non-write command"
+        );
+        let earliest = match self.earliest_issue(cmd, requester, at) {
+            Ok(e) => e,
+            Err(e) => {
+                if matches!(e, IssueError::RankOwnedByNdp) {
+                    self.stats.ownership_rejections.inc();
+                }
+                return Err(e);
+            }
+        };
+        if at < earliest {
+            return Err(IssueError::TooEarly(earliest));
+        }
+        let t = self.timing;
+        match cmd {
+            DramCommand::Activate { rank, bank, row } => {
+                let idx = self.bank_index(rank, bank);
+                self.banks[idx].activate(row, at, &t);
+                let rs = &mut self.ranks[rank as usize];
+                rs.rrd_allowed = rs.rrd_allowed.max(at + t.t_rrd);
+                rs.act_history.push_back(at);
+                while let Some(&front) = rs.act_history.front() {
+                    if rs.act_history.len() > 4 && front + t.t_faw <= at {
+                        rs.act_history.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(None)
+            }
+            DramCommand::Read { rank, bank, block } => {
+                let idx = self.bank_index(rank, bank);
+                let row = self.banks[idx].open_row().expect("checked");
+                let (bus_start, data_ready) = self.banks[idx].read(at, &t);
+                self.bus = Some(BusOp {
+                    is_write: false,
+                    rank,
+                    end: data_ready,
+                });
+                let addr = self.decoder.encode(Coord {
+                    rank,
+                    bank,
+                    row,
+                    block,
+                });
+                let data = self.data.read_burst(addr);
+                self.stats.read_bursts.inc();
+                Ok(Some(ReadResult {
+                    data,
+                    bus_start,
+                    data_ready,
+                }))
+            }
+            DramCommand::Write { rank, bank, block } => {
+                let idx = self.bank_index(rank, bank);
+                let row = self.banks[idx].open_row().expect("checked");
+                let (_, data_end) = self.banks[idx].write(at, &t);
+                self.bus = Some(BusOp {
+                    is_write: true,
+                    rank,
+                    end: data_end,
+                });
+                let rs = &mut self.ranks[rank as usize];
+                rs.wtr_until = rs.wtr_until.max(data_end + t.t_wtr);
+                if let Some(payload) = write_data {
+                    let addr = self.decoder.encode(Coord {
+                        rank,
+                        bank,
+                        row,
+                        block,
+                    });
+                    self.data.write_burst(addr, payload);
+                }
+                self.stats.write_bursts.inc();
+                Ok(None)
+            }
+            DramCommand::Precharge { rank, bank } => {
+                let idx = self.bank_index(rank, bank);
+                self.banks[idx].precharge(at, &t);
+                Ok(None)
+            }
+            DramCommand::PrechargeAll { rank } => {
+                for bank in 0..self.geometry.banks_per_rank {
+                    let idx = self.bank_index(rank, bank);
+                    self.banks[idx].precharge(at, &t);
+                }
+                Ok(None)
+            }
+            DramCommand::Refresh { rank } => {
+                let until = at + t.t_rfc;
+                for bank in 0..self.geometry.banks_per_rank {
+                    let idx = self.bank_index(rank, bank);
+                    self.banks[idx].block_until(until);
+                }
+                let rs = &mut self.ranks[rank as usize];
+                rs.next_refresh = (rs.next_refresh + t.t_refi).max(at);
+                self.stats.refreshes.inc();
+                Ok(None)
+            }
+            DramCommand::ModeRegisterSet { rank, mr, value } => {
+                let until = at + t.t_mod;
+                for bank in 0..self.geometry.banks_per_rank {
+                    let idx = self.bank_index(rank, bank);
+                    self.banks[idx].block_until(until);
+                }
+                self.ranks[rank as usize].mode.set(mr, value);
+                self.stats.mode_sets.inc();
+                Ok(None)
+            }
+        }
+    }
+
+    /// Performs any overdue refreshes on `rank`, closing open rows as
+    /// needed. Returns the tick at which the rank is available again (≥
+    /// `now`). Idempotent when no refresh is due.
+    pub fn maintain_refresh(&mut self, rank: u32, now: Tick, requester: Requester) -> Tick {
+        let mut cursor = now;
+        while self.refresh_due(rank, cursor) {
+            // Quiesce: close all open rows first.
+            let needs_close = (0..self.geometry.banks_per_rank).any(|b| {
+                matches!(
+                    self.banks[self.bank_index(rank, b)].state(),
+                    BankState::Active { .. }
+                )
+            });
+            if needs_close {
+                let at = self
+                    .earliest_issue(DramCommand::PrechargeAll { rank }, requester, cursor)
+                    .expect("precharge-all is always legal");
+                self.issue(DramCommand::PrechargeAll { rank }, requester, at, None)
+                    .expect("legal by construction");
+                cursor = at;
+            }
+            let at = match self.earliest_issue(DramCommand::Refresh { rank }, requester, cursor) {
+                Ok(at) => at,
+                Err(IssueError::RanksNotQuiesced) => unreachable!("just precharged"),
+                Err(e) => panic!("refresh scheduling failed: {e:?}"),
+            };
+            self.issue(DramCommand::Refresh { rank }, requester, at, None)
+                .expect("legal by construction");
+            cursor = at + self.timing.t_rfc;
+        }
+        cursor
+    }
+
+    /// Serves one 64-byte block access as an atomic transaction under an
+    /// open-page policy: precharge/activate as needed, then CAS — each step
+    /// at its earliest legal tick ≥ `now`. This is the transaction-level
+    /// interface the memory controller and the JAFAR device both use.
+    ///
+    /// For writes, `write_data` of `None` performs a timing-only write (see
+    /// [`DramModule::issue`]).
+    ///
+    /// # Errors
+    /// Propagates ownership errors.
+    ///
+    /// # Panics
+    /// Panics if `write_data` is supplied for a read.
+    pub fn serve_block(
+        &mut self,
+        coord: Coord,
+        is_write: bool,
+        requester: Requester,
+        now: Tick,
+        write_data: Option<&[u8; 64]>,
+    ) -> Result<BlockAccess, IssueError> {
+        assert!(write_data.is_none() || is_write, "payload supplied for a read");
+        // Fast ownership check before mutating anything.
+        let probe = if is_write {
+            DramCommand::write(coord)
+        } else {
+            DramCommand::read(coord)
+        };
+        self.check_ownership(&probe, requester).inspect_err(|e| {
+            if matches!(e, IssueError::RankOwnedByNdp) {
+                self.stats.ownership_rejections.inc();
+            }
+        })?;
+
+        let mut cursor = if self.timing.refresh_enabled {
+            self.maintain_refresh(coord.rank, now, requester)
+        } else {
+            now
+        };
+
+        let idx = self.bank_index(coord.rank, coord.bank);
+        let outcome = match self.banks[idx].state() {
+            BankState::Active { row } if row == coord.row => RowOutcome::Hit,
+            BankState::Idle => RowOutcome::Miss,
+            BankState::Active { .. } => RowOutcome::Conflict,
+        };
+        match outcome {
+            RowOutcome::Hit => {}
+            RowOutcome::Conflict => {
+                let pre = DramCommand::precharge(coord);
+                let at = self
+                    .earliest_issue(pre, requester, cursor)
+                    .expect("precharge always legal");
+                self.issue(pre, requester, at, None).expect("legal");
+                cursor = at;
+                let act = DramCommand::activate(coord);
+                let at = self
+                    .earliest_issue(act, requester, cursor)
+                    .expect("bank now idle");
+                self.issue(act, requester, at, None).expect("legal");
+                cursor = at;
+            }
+            RowOutcome::Miss => {
+                let act = DramCommand::activate(coord);
+                let at = self
+                    .earliest_issue(act, requester, cursor)
+                    .expect("bank idle");
+                self.issue(act, requester, at, None).expect("legal");
+                cursor = at;
+            }
+        }
+        match outcome {
+            RowOutcome::Hit => self.stats.row_hits.inc(),
+            RowOutcome::Miss => self.stats.row_misses.inc(),
+            RowOutcome::Conflict => self.stats.row_conflicts.inc(),
+        }
+
+        if is_write {
+            let cmd = DramCommand::write(coord);
+            let at = self
+                .earliest_issue(cmd, requester, cursor)
+                .expect("row open");
+            self.issue(cmd, requester, at, write_data)
+                .expect("legal by construction");
+            let data_ready = at + self.timing.cwl + self.timing.t_burst;
+            Ok(BlockAccess {
+                outcome,
+                data_ready,
+                data: None,
+            })
+        } else {
+            let cmd = DramCommand::read(coord);
+            let at = self
+                .earliest_issue(cmd, requester, cursor)
+                .expect("row open");
+            let result = self
+                .issue(cmd, requester, at, None)
+                .expect("legal by construction")
+                .expect("read returns data");
+            Ok(BlockAccess {
+                outcome,
+                data_ready: result.data_ready,
+                data: Some(result.data),
+            })
+        }
+    }
+
+    /// Serves a block access by physical address (decode + [`Self::serve_block`]).
+    ///
+    /// # Errors
+    /// Propagates ownership errors.
+    pub fn serve_addr(
+        &mut self,
+        addr: PhysAddr,
+        is_write: bool,
+        requester: Requester,
+        now: Tick,
+        write_data: Option<&[u8; 64]>,
+    ) -> Result<BlockAccess, IssueError> {
+        let coord = self.decoder.decode(addr.block_base());
+        self.serve_block(coord, is_write, requester, now, write_data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::MR3_MPR_ENABLE;
+
+    fn module() -> DramModule {
+        DramModule::new(
+            DramGeometry::tiny(),
+            DramTiming::ddr3_paper().without_refresh(),
+            AddressMapping::RowBankRankBlock,
+        )
+    }
+
+    fn coord(rank: u32, bank: u32, row: u32, block: u32) -> Coord {
+        Coord {
+            rank,
+            bank,
+            row,
+            block,
+        }
+    }
+
+    #[test]
+    fn closed_row_read_end_to_end_latency() {
+        let mut m = module();
+        let c = coord(0, 0, 0, 0);
+        let access = m
+            .serve_block(c, false, Requester::Host, Tick::ZERO, None)
+            .unwrap();
+        assert_eq!(access.outcome, RowOutcome::Miss);
+        // ACT@0 → RD@tRCD → data done @ tRCD + CL + tBURST = 13+13+4 = 30 ns.
+        assert_eq!(access.data_ready, Tick::from_ns(30));
+    }
+
+    #[test]
+    fn row_hit_stream_saturates_bus() {
+        let mut m = module();
+        let mut now = Tick::ZERO;
+        let mut ready = Vec::new();
+        for block in 0..8 {
+            let a = m
+                .serve_block(coord(0, 0, 0, block), false, Requester::Host, now, None)
+                .unwrap();
+            now = a.data_ready.saturating_sub(m.timing().cl + m.timing().t_burst);
+            ready.push(a.data_ready);
+        }
+        // After the first access, every subsequent burst completes exactly
+        // tCCD (= tBURST = 4 ns) after the previous: streaming at full
+        // bandwidth, the §2.2 regime where JAFAR sees one burst per 4 ns.
+        for pair in ready.windows(2) {
+            assert_eq!(pair[1] - pair[0], Tick::from_ns(4), "ready={ready:?}");
+        }
+        assert_eq!(m.stats().row_hits.get(), 7);
+        assert_eq!(m.stats().row_misses.get(), 1);
+    }
+
+    #[test]
+    fn row_conflict_costs_precharge_plus_activate() {
+        let mut m = module();
+        let a0 = m
+            .serve_block(coord(0, 0, 0, 0), false, Requester::Host, Tick::ZERO, None)
+            .unwrap();
+        let a1 = m
+            .serve_block(coord(0, 0, 1, 0), false, Requester::Host, a0.data_ready, None)
+            .unwrap();
+        assert_eq!(a1.outcome, RowOutcome::Conflict);
+        // Conflict path: wait for tRAS (35ns from ACT@0), PRE, +tRP, ACT,
+        // +tRCD, RD, +CL+tBURST → 35+13+13+13+4 = 78 ns.
+        assert_eq!(a1.data_ready, Tick::from_ns(78));
+        assert_eq!(m.stats().row_conflicts.get(), 1);
+    }
+
+    #[test]
+    fn banks_overlap_but_bus_serialises() {
+        let mut m = module();
+        // Same rank, different banks, issued "simultaneously".
+        let a = m
+            .serve_block(coord(0, 0, 0, 0), false, Requester::Host, Tick::ZERO, None)
+            .unwrap();
+        let b = m
+            .serve_block(coord(0, 1, 0, 0), false, Requester::Host, Tick::ZERO, None)
+            .unwrap();
+        // Bank 1's ACT can overlap bank 0's, but its data burst must queue
+        // behind bank 0's on the shared bus: at least tBURST later.
+        assert!(b.data_ready >= a.data_ready + m.timing().t_burst);
+        // And much sooner than a serial closed-row access pair (60 ns).
+        assert!(b.data_ready < Tick::from_ns(60));
+    }
+
+    #[test]
+    fn write_then_read_pays_wtr() {
+        let mut m = module();
+        let payload = [7u8; 64];
+        let w = m
+            .serve_block(
+                coord(0, 0, 0, 0),
+                true,
+                Requester::Host,
+                Tick::ZERO,
+                Some(&payload),
+            )
+            .unwrap();
+        let r = m
+            .serve_block(coord(0, 0, 0, 1), false, Requester::Host, w.data_ready, None)
+            .unwrap();
+        // Read CAS must wait tWTR after write data end; data returns CL later.
+        assert!(r.data_ready >= w.data_ready + m.timing().t_wtr + m.timing().cl);
+        // Functional: the write landed.
+        assert_eq!(m.data().read_burst(PhysAddr(0)), payload);
+    }
+
+    #[test]
+    fn functional_read_returns_stored_bytes() {
+        let mut m = module();
+        let mut want = [0u8; 64];
+        for (i, b) in want.iter_mut().enumerate() {
+            *b = (i * 3) as u8;
+        }
+        // Block 5 of rank 0, bank 0, row 0 under RowBankRankBlock mapping is
+        // plain address 5*64.
+        m.data_mut().write_burst(PhysAddr(5 * 64), &want);
+        let a = m
+            .serve_block(coord(0, 0, 0, 5), false, Requester::Host, Tick::ZERO, None)
+            .unwrap();
+        assert_eq!(a.data.unwrap(), want);
+    }
+
+    #[test]
+    fn ownership_blocks_host_data_commands() {
+        let mut m = module();
+        // Grant rank 0 to the NDP device via MRS (rank must be quiesced —
+        // it is, freshly powered on).
+        let at = m
+            .earliest_issue(
+                DramCommand::ModeRegisterSet {
+                    rank: 0,
+                    mr: 3,
+                    value: MR3_MPR_ENABLE,
+                },
+                Requester::Host,
+                Tick::ZERO,
+            )
+            .unwrap();
+        m.issue(
+            DramCommand::ModeRegisterSet {
+                rank: 0,
+                mr: 3,
+                value: MR3_MPR_ENABLE,
+            },
+            Requester::Host,
+            at,
+            None,
+        )
+        .unwrap();
+        assert!(m.rank_owned_by_ndp(0));
+
+        let t = Tick::from_ns(100);
+        // Host reads on rank 0 rejected; NDP reads accepted.
+        let host = m.serve_block(coord(0, 0, 0, 0), false, Requester::Host, t, None);
+        assert_eq!(host.unwrap_err(), IssueError::RankOwnedByNdp);
+        assert_eq!(m.stats().ownership_rejections.get(), 1);
+        let ndp = m.serve_block(coord(0, 0, 0, 0), false, Requester::Ndp, t, None);
+        assert!(ndp.is_ok());
+        // Rank 1 is unaffected: host proceeds, NDP is rejected.
+        assert!(m
+            .serve_block(coord(1, 0, 0, 0), false, Requester::Host, t, None)
+            .is_ok());
+        assert_eq!(
+            m.serve_block(coord(1, 0, 0, 0), false, Requester::Ndp, t, None)
+                .unwrap_err(),
+            IssueError::NdpWithoutOwnership
+        );
+    }
+
+    #[test]
+    fn ndp_needs_ownership_for_data_commands() {
+        let mut m = module();
+        let err = m
+            .serve_block(coord(0, 0, 0, 0), false, Requester::Ndp, Tick::ZERO, None)
+            .unwrap_err();
+        assert_eq!(err, IssueError::NdpWithoutOwnership);
+    }
+
+    #[test]
+    fn mrs_requires_quiesced_rank() {
+        let mut m = module();
+        m.serve_block(coord(0, 0, 0, 0), false, Requester::Host, Tick::ZERO, None)
+            .unwrap();
+        // Row open in bank 0 → MRS rejected.
+        let e = m.earliest_issue(
+            DramCommand::ModeRegisterSet {
+                rank: 0,
+                mr: 3,
+                value: MR3_MPR_ENABLE,
+            },
+            Requester::Host,
+            Tick::from_us(1),
+        );
+        assert_eq!(e.unwrap_err(), IssueError::RanksNotQuiesced);
+    }
+
+    #[test]
+    fn too_early_issue_reports_earliest() {
+        let mut m = module();
+        let act = DramCommand::Activate {
+            rank: 0,
+            bank: 0,
+            row: 0,
+        };
+        m.issue(act, Requester::Host, Tick::ZERO, None).unwrap();
+        // Read before tRCD.
+        let rd = DramCommand::Read {
+            rank: 0,
+            bank: 0,
+            block: 0,
+        };
+        let err = m
+            .issue(rd, Requester::Host, Tick::from_ns(5), None)
+            .unwrap_err();
+        assert_eq!(err, IssueError::TooEarly(Tick::from_ns(13)));
+    }
+
+    #[test]
+    fn refresh_maintenance_fires_on_schedule() {
+        let mut m = DramModule::new(
+            DramGeometry::tiny(),
+            DramTiming::ddr3_paper(),
+            AddressMapping::RowBankRankBlock,
+        );
+        assert!(!m.refresh_due(0, Tick::ZERO));
+        let deadline = m.refresh_deadline(0);
+        assert_eq!(deadline, Tick::from_ns(7_800));
+        // Open a row, then run maintenance past the deadline: the row is
+        // closed, the refresh applied, and the deadline advances.
+        m.serve_block(coord(0, 0, 0, 0), false, Requester::Host, Tick::ZERO, None)
+            .unwrap();
+        let after = m.maintain_refresh(0, Tick::from_us(8), Requester::Host);
+        assert!(after >= Tick::from_us(8) + m.timing().t_rfc);
+        assert_eq!(m.stats().refreshes.get(), 1);
+        assert!(m.refresh_deadline(0) > deadline);
+        // Subsequent access pays the refresh shadow.
+        let a = m
+            .serve_block(coord(0, 0, 0, 1), false, Requester::Host, Tick::from_us(8), None)
+            .unwrap();
+        assert!(a.data_ready >= after);
+    }
+
+    #[test]
+    fn refresh_happens_inside_serve_block() {
+        let mut m = DramModule::new(
+            DramGeometry::tiny(),
+            DramTiming::ddr3_paper(),
+            AddressMapping::RowBankRankBlock,
+        );
+        // Jump far past several deadlines; serve_block must catch up.
+        m.serve_block(coord(0, 0, 0, 0), false, Requester::Host, Tick::from_us(40), None)
+            .unwrap();
+        assert!(m.stats().refreshes.get() >= 1);
+    }
+
+    #[test]
+    fn tfaw_limits_activate_bursts() {
+        let mut m = module();
+        let t = *m.timing();
+        // Issue 4 activates to different banks as fast as tRRD allows.
+        let mut at = Tick::ZERO;
+        let mut times = Vec::new();
+        for bank in 0..4 {
+            let cmd = DramCommand::Activate {
+                rank: 0,
+                bank,
+                row: 0,
+            };
+            at = m.earliest_issue(cmd, Requester::Host, at).unwrap();
+            m.issue(cmd, Requester::Host, at, None).unwrap();
+            times.push(at);
+        }
+        // All four went at tRRD spacing (tiny geometry has 4 banks/rank —
+        // reuse rank 1 bank 0 for the fifth activate? No: tFAW is per rank).
+        assert_eq!(times[3] - times[0], t.t_rrd * 3);
+        // Fifth activate to the same rank must respect tFAW from the first.
+        // (All 4 banks are active; precharge bank 0 first.)
+        let pre_at = m
+            .earliest_issue(
+                DramCommand::Precharge { rank: 0, bank: 0 },
+                Requester::Host,
+                at,
+            )
+            .unwrap();
+        m.issue(
+            DramCommand::Precharge { rank: 0, bank: 0 },
+            Requester::Host,
+            pre_at,
+            None,
+        )
+        .unwrap();
+        let fifth = m
+            .earliest_issue(
+                DramCommand::Activate {
+                    rank: 0,
+                    bank: 0,
+                    row: 1,
+                },
+                Requester::Host,
+                pre_at,
+            )
+            .unwrap();
+        assert!(
+            fifth >= times[0] + t.t_faw,
+            "fifth={fifth} first={} tFAW={}",
+            times[0],
+            t.t_faw
+        );
+    }
+
+    #[test]
+    fn serve_addr_matches_serve_block() {
+        let mut m = module();
+        m.data_mut().write_u64(PhysAddr(64), 0xABCD);
+        let a = m
+            .serve_addr(PhysAddr(64 + 8), false, Requester::Host, Tick::ZERO, None)
+            .unwrap();
+        let data = a.data.unwrap();
+        assert_eq!(u64::from_le_bytes(data[0..8].try_into().unwrap()), 0xABCD);
+    }
+}

@@ -1,0 +1,80 @@
+//! DRAM statistics: per-bank command counts and module-level traffic /
+//! row-buffer locality metrics.
+
+use jafar_common::stats::Counter;
+
+/// Command counts for one bank.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BankStats {
+    /// ACTIVATE commands applied.
+    pub activates: Counter,
+    /// READ CAS commands applied.
+    pub reads: Counter,
+    /// WRITE CAS commands applied.
+    pub writes: Counter,
+    /// PRECHARGE commands that closed an open row.
+    pub precharges: Counter,
+}
+
+/// Module-level statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DramStats {
+    /// Data-moving accesses (READ or WRITE CAS) that found their row already
+    /// open — no ACTIVATE was needed since the previous access to the bank.
+    pub row_hits: Counter,
+    /// Accesses that required opening a row in an idle bank.
+    pub row_misses: Counter,
+    /// Accesses that required closing a different row first (precharge +
+    /// activate): the expensive case §3.3 warns interruptions cause.
+    pub row_conflicts: Counter,
+    /// Total read bursts served.
+    pub read_bursts: Counter,
+    /// Total write bursts served.
+    pub write_bursts: Counter,
+    /// REFRESH commands applied.
+    pub refreshes: Counter,
+    /// Mode-register-set commands applied.
+    pub mode_sets: Counter,
+    /// Host data commands rejected because the rank was NDP-owned.
+    pub ownership_rejections: Counter,
+}
+
+impl DramStats {
+    /// Row-buffer hit rate over all data accesses, or `None` if no accesses.
+    pub fn row_hit_rate(&self) -> Option<f64> {
+        let total = self.row_hits.get() + self.row_misses.get() + self.row_conflicts.get();
+        (total > 0).then(|| self.row_hits.get() as f64 / total as f64)
+    }
+
+    /// Total bytes moved over the data bus.
+    pub fn bytes_transferred(&self) -> u64 {
+        (self.read_bursts.get() + self.write_bursts.get()) * crate::BURST_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_empty_is_none() {
+        assert_eq!(DramStats::default().row_hit_rate(), None);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut s = DramStats::default();
+        s.row_hits.add(3);
+        s.row_misses.add(1);
+        s.row_conflicts.add(0);
+        assert_eq!(s.row_hit_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn bytes_transferred() {
+        let mut s = DramStats::default();
+        s.read_bursts.add(10);
+        s.write_bursts.add(5);
+        assert_eq!(s.bytes_transferred(), 15 * 64);
+    }
+}

@@ -1,0 +1,200 @@
+//! DDR3 timing parameters.
+//!
+//! Paper §2.1 names the four first-order parameters — CL, tRCD, tRP, tRAS —
+//! and §2.2 pins the clock domains: data bus ≈ 1 GHz, JAFAR = 2× bus, DRAM
+//! internal arrays = bus/4, CAS latency ≈ 13 ns (Micron \[34\]). The full DDR3
+//! rulebook needs several more constraints for a *legal* command stream; we
+//! carry the ones that shape streaming and mixed read/write traffic.
+
+use jafar_common::time::{ClockDomain, Tick};
+
+/// The timing rulebook for one DRAM module. All values are absolute time
+/// spans; cycle-denominated JEDEC values are pre-multiplied by the bus clock
+/// period so the module never needs to know the clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramTiming {
+    /// Data-bus (command) clock.
+    pub bus_clock: ClockDomain,
+    /// CAS latency: READ command to first data beat.
+    pub cl: Tick,
+    /// CAS write latency: WRITE command to first data beat.
+    pub cwl: Tick,
+    /// Row-to-column delay: ACTIVATE to first READ/WRITE.
+    pub t_rcd: Tick,
+    /// Row precharge time: PRECHARGE to next ACTIVATE of the same bank.
+    pub t_rp: Tick,
+    /// Activate-to-precharge: minimum row-open time.
+    pub t_ras: Tick,
+    /// Activate-to-activate, same bank (usually tRAS + tRP).
+    pub t_rc: Tick,
+    /// Column-to-column delay: minimum spacing of CAS commands (burst length
+    /// 8 ⇒ 4 bus cycles).
+    pub t_ccd: Tick,
+    /// Burst duration on the data bus (BL8 ⇒ 4 bus cycles, dual data rate).
+    pub t_burst: Tick,
+    /// Read-to-precharge.
+    pub t_rtp: Tick,
+    /// Write recovery: end of write data to precharge.
+    pub t_wr: Tick,
+    /// Write-to-read turnaround: end of write data to next READ, same rank.
+    pub t_wtr: Tick,
+    /// Activate-to-activate, different banks of one rank.
+    pub t_rrd: Tick,
+    /// Four-activate window per rank.
+    pub t_faw: Tick,
+    /// Average refresh interval (one REFRESH per tREFI per rank).
+    pub t_refi: Tick,
+    /// Refresh cycle time (rank unavailable during refresh).
+    pub t_rfc: Tick,
+    /// Mode-register-set update delay (rank quiesced after MRS).
+    pub t_mod: Tick,
+    /// Whether refresh is modelled at all (off simplifies microbenchmarks).
+    pub refresh_enabled: bool,
+}
+
+impl DramTiming {
+    /// The paper's configuration: DDR3 with a ~1 GHz data-bus clock and
+    /// ≈13 ns CAS latency (§2.2, citing Micron \[34\]). JEDEC-style cycle
+    /// counts at tCK = 1 ns.
+    pub fn ddr3_paper() -> Self {
+        let bus = ClockDomain::from_ghz(1);
+        let ck = |n: u64| Tick::from_ps(n * bus.period().as_ps());
+        DramTiming {
+            bus_clock: bus,
+            cl: ck(13),
+            cwl: ck(9),
+            t_rcd: ck(13),
+            t_rp: ck(13),
+            t_ras: ck(35),
+            t_rc: ck(48),
+            t_ccd: ck(4),
+            t_burst: ck(4),
+            t_rtp: ck(8),
+            t_wr: ck(15),
+            t_wtr: ck(8),
+            t_rrd: ck(6),
+            t_faw: ck(30),
+            t_refi: Tick::from_ns(7_800),
+            t_rfc: Tick::from_ns(160),
+            t_mod: ck(12),
+            refresh_enabled: true,
+        }
+    }
+
+    /// DDR3-1600 (tCK = 1.25 ns), the common JEDEC bin: CL-tRCD-tRP 11-11-11.
+    /// Used for sensitivity studies.
+    pub fn ddr3_1600() -> Self {
+        let bus = ClockDomain::from_mhz(800);
+        let ck = |n: u64| Tick::from_ps(n * bus.period().as_ps());
+        DramTiming {
+            bus_clock: bus,
+            cl: ck(11),
+            cwl: ck(8),
+            t_rcd: ck(11),
+            t_rp: ck(11),
+            t_ras: ck(28),
+            t_rc: ck(39),
+            t_ccd: ck(4),
+            t_burst: ck(4),
+            t_rtp: ck(6),
+            t_wr: ck(12),
+            t_wtr: ck(6),
+            t_rrd: ck(5),
+            t_faw: ck(24),
+            t_refi: Tick::from_ns(7_800),
+            t_rfc: Tick::from_ns(160),
+            t_mod: ck(12),
+            refresh_enabled: true,
+        }
+    }
+
+    /// Returns a copy with refresh modelling disabled (for deterministic
+    /// microbenchmarks and latency unit tests).
+    pub fn without_refresh(mut self) -> Self {
+        self.refresh_enabled = false;
+        self
+    }
+
+    /// Sanity-checks internal consistency of the rulebook.
+    ///
+    /// # Panics
+    /// Panics if a derived constraint is violated (e.g. tRC < tRAS + tRP).
+    pub fn validate(&self) {
+        assert!(
+            self.t_rc >= self.t_ras + self.t_rp,
+            "tRC must cover tRAS + tRP"
+        );
+        assert!(self.t_ccd >= self.t_burst, "tCCD must cover the burst");
+        assert!(self.t_faw >= self.t_rrd, "tFAW must exceed tRRD");
+        assert!(
+            self.t_refi > self.t_rfc,
+            "refresh interval must exceed refresh cycle time"
+        );
+    }
+
+    /// Idealised closed-row read latency: ACT → RD (tRCD) → first data (CL).
+    pub fn closed_row_read_latency(&self) -> Tick {
+        self.t_rcd + self.cl
+    }
+
+    /// Idealised open-row (row-hit) read latency: RD → first data (CL).
+    pub fn open_row_read_latency(&self) -> Tick {
+        self.cl
+    }
+
+    /// Row-conflict read latency: PRE (tRP) → ACT (tRCD) → data (CL).
+    pub fn row_conflict_read_latency(&self) -> Tick {
+        self.t_rp + self.t_rcd + self.cl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_matches_section_2_2() {
+        let t = DramTiming::ddr3_paper();
+        t.validate();
+        // "current DDR3 SDRAM devices typically have CAS latencies of around
+        // 13ns" — §2.2.
+        assert_eq!(t.cl, Tick::from_ns(13));
+        // "the data bus clock frequency (which is around 1GHz on DDR3)".
+        assert_eq!(t.bus_clock.freq_mhz(), 1000);
+        // "Each DRAM access retrieves up to eight 64-bit words ... over four
+        // data bus clock cycles".
+        assert_eq!(t.t_burst, Tick::from_ns(4));
+        assert_eq!(t.bus_clock.ticks_to_cycles(t.t_burst), 4);
+    }
+
+    #[test]
+    fn latency_composition() {
+        let t = DramTiming::ddr3_paper();
+        assert_eq!(t.open_row_read_latency(), Tick::from_ns(13));
+        assert_eq!(t.closed_row_read_latency(), Tick::from_ns(26));
+        assert_eq!(t.row_conflict_read_latency(), Tick::from_ns(39));
+    }
+
+    #[test]
+    fn ddr3_1600_preset_valid() {
+        let t = DramTiming::ddr3_1600();
+        t.validate();
+        assert_eq!(t.bus_clock.period(), Tick::from_ps(1250));
+        assert_eq!(t.cl, Tick::from_ps(11 * 1250)); // 13.75 ns
+    }
+
+    #[test]
+    fn without_refresh() {
+        let t = DramTiming::ddr3_paper().without_refresh();
+        assert!(!t.refresh_enabled);
+        t.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "tRC must cover")]
+    fn inconsistent_trc_rejected() {
+        let mut t = DramTiming::ddr3_paper();
+        t.t_rc = Tick::from_ns(10);
+        t.validate();
+    }
+}

@@ -1,0 +1,187 @@
+//! Multi-channel composition.
+//!
+//! The Xeon platform of Table 1 has four sockets with integrated memory
+//! controllers; the paper's Figure 4 profiles "the integrated memory
+//! controllers" (plural). `MultiChannel` composes N independent
+//! [`MemoryController`]s with 64-byte interleaving across channels: global
+//! block index bits `[0, log2 N)` select the channel, the remaining bits
+//! form the channel-local block address.
+
+use crate::controller::{EnqueueError, MemoryController};
+use crate::counters::IdleReport;
+use crate::request::{Completion, MemRequest, ReqId};
+use jafar_common::size::is_pow2;
+use jafar_common::time::Tick;
+use jafar_dram::PhysAddr;
+
+/// N interleaved memory channels.
+pub struct MultiChannel {
+    channels: Vec<MemoryController>,
+    channel_bits: u32,
+}
+
+impl MultiChannel {
+    /// Composes the given controllers (one per channel).
+    ///
+    /// # Panics
+    /// Panics unless the channel count is a nonzero power of two.
+    pub fn new(channels: Vec<MemoryController>) -> Self {
+        assert!(
+            is_pow2(channels.len() as u64),
+            "channel count must be a power of two"
+        );
+        let channel_bits = (channels.len() as u64).trailing_zeros();
+        MultiChannel {
+            channels,
+            channel_bits,
+        }
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Total capacity across channels.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| c.module().geometry().capacity_bytes())
+            .sum()
+    }
+
+    /// Splits a global address into `(channel, local address)`.
+    pub fn route(&self, addr: PhysAddr) -> (usize, PhysAddr) {
+        let block = addr.block_index();
+        let channel = (block & ((1 << self.channel_bits) - 1)) as usize;
+        let local_block = block >> self.channel_bits;
+        (channel, PhysAddr((local_block << 6) | addr.block_offset() as u64))
+    }
+
+    /// Reconstructs the global address of a channel-local block.
+    pub fn unroute(&self, channel: usize, local: PhysAddr) -> PhysAddr {
+        let local_block = local.block_index();
+        PhysAddr(
+            (((local_block << self.channel_bits) | channel as u64) << 6)
+                | local.block_offset() as u64,
+        )
+    }
+
+    /// Enqueues a request onto its channel. Returns `(channel, id)`.
+    ///
+    /// # Errors
+    /// Propagates the channel controller's [`EnqueueError`].
+    pub fn enqueue(&mut self, req: MemRequest) -> Result<(usize, ReqId), EnqueueError> {
+        let (channel, local) = self.route(req.addr);
+        let mut local_req = req;
+        local_req.addr = local;
+        let id = self.channels[channel].enqueue(local_req)?;
+        Ok((channel, id))
+    }
+
+    /// Drains every channel; completions are returned sorted by finish time,
+    /// with request addresses translated back to global.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        for (ch, ctrl) in self.channels.iter_mut().enumerate() {
+            let completions = ctrl.drain();
+            let bits = self.channel_bits;
+            out.extend(completions.into_iter().map(|mut c| {
+                let local_block = c.request.addr.block_index();
+                c.request.addr =
+                    PhysAddr(((local_block << bits) | ch as u64) << 6);
+                c
+            }));
+        }
+        out.sort_by_key(|c| c.done);
+        out
+    }
+
+    /// Access one channel's controller.
+    pub fn channel(&self, i: usize) -> &MemoryController {
+        &self.channels[i]
+    }
+
+    /// Mutable access to one channel's controller.
+    pub fn channel_mut(&mut self, i: usize) -> &mut MemoryController {
+        &mut self.channels[i]
+    }
+
+    /// Per-channel idle reports over `[0, span)`.
+    pub fn finalize(&self, span: Tick) -> Vec<IdleReport> {
+        self.channels.iter().map(|c| c.finalize(span)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerConfig;
+    use jafar_dram::{AddressMapping, DramGeometry, DramModule, DramTiming};
+
+    fn multi(n: usize) -> MultiChannel {
+        let mk = || {
+            MemoryController::new(
+                DramModule::new(
+                    DramGeometry::tiny(),
+                    DramTiming::ddr3_paper().without_refresh(),
+                    AddressMapping::RowBankRankBlock,
+                ),
+                ControllerConfig::default(),
+            )
+        };
+        MultiChannel::new((0..n).map(|_| mk()).collect())
+    }
+
+    #[test]
+    fn route_unroute_round_trip() {
+        let m = multi(4);
+        for block in 0..64u64 {
+            let addr = PhysAddr(block * 64 + 13);
+            let (ch, local) = m.route(addr);
+            assert_eq!(ch as u64, block % 4);
+            assert_eq!(m.unroute(ch, local), addr);
+        }
+    }
+
+    #[test]
+    fn consecutive_blocks_alternate_channels() {
+        let m = multi(2);
+        assert_eq!(m.route(PhysAddr(0)).0, 0);
+        assert_eq!(m.route(PhysAddr(64)).0, 1);
+        assert_eq!(m.route(PhysAddr(128)).0, 0);
+    }
+
+    #[test]
+    fn parallel_channels_halve_stream_time() {
+        // 8 blocks over 1 channel vs 2 channels.
+        let run = |n: usize| {
+            let mut m = multi(n);
+            for i in 0..8u64 {
+                m.enqueue(MemRequest::read(PhysAddr(i * 64), Tick::ZERO))
+                    .unwrap();
+            }
+            let completions = m.drain();
+            assert_eq!(completions.len(), 8);
+            completions.last().unwrap().done
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(
+            two < one,
+            "two channels should finish sooner: {two} vs {one}"
+        );
+    }
+
+    #[test]
+    fn capacity_sums_channels() {
+        let m = multi(2);
+        assert_eq!(m.capacity_bytes(), 2 * DramGeometry::tiny().capacity_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_channel_count_rejected() {
+        multi(3);
+    }
+}

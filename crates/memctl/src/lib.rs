@@ -1,0 +1,40 @@
+//! # jafar-memctl — the host memory controller
+//!
+//! The paper's contention study (§3.3, Figure 4) is entirely a story about
+//! the memory controller: JAFAR can only run while the controller is idle,
+//! so the length of controller idle periods bounds how much work the
+//! accelerator can do between interruptions. The paper measures idle periods
+//! on a real Xeon through the integrated memory controller's performance
+//! counters: cycles the read queue is busy (`RC_busy`), cycles the write
+//! queue is busy (`WC_busy`), and the read/write counts, combined with the
+//! estimator
+//!
+//! ```text
+//! MC_empty = total_cycles − RC_busy − WC_busy          (lower bound)
+//! mean_idle_period = MC_empty / (#reads + #writes)
+//! ```
+//!
+//! This crate reproduces both sides of that methodology:
+//!
+//! - [`controller::MemoryController`] services 64-byte read/write
+//!   transactions from queues through a [`jafar_dram::DramModule`], under a
+//!   pluggable scheduling policy ([`sched`]: FCFS or FR-FCFS with a
+//!   starvation cap, plus write-drain watermarks);
+//! - [`counters`] tracks the exact per-queue busy intervals and exposes
+//!   *both* the paper's counter-based estimate and the ground-truth idle
+//!   period distribution, letting us validate the "pessimistic estimate"
+//!   claim;
+//! - [`channel`] composes multiple controllers into an interleaved
+//!   multi-channel memory system.
+
+pub mod channel;
+pub mod controller;
+pub mod counters;
+pub mod request;
+pub mod sched;
+
+pub use channel::MultiChannel;
+pub use controller::{EnqueueError, MemoryController, OwnershipError};
+pub use counters::{IdleReport, IntervalSet, McCounters};
+pub use request::{Completion, MemRequest, Origin, ReqId};
+pub use sched::Policy;

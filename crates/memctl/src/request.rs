@@ -1,0 +1,104 @@
+//! Memory transactions as seen by the controller: 64-byte block reads and
+//! writes with an arrival time and an origin tag.
+
+use jafar_common::time::Tick;
+use jafar_dram::{PhysAddr, RowOutcome};
+
+/// Controller-assigned request identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReqId(pub u64);
+
+/// Who generated a memory request — used for statistics and for scheduling
+/// studies (a JAFAR-aware scheduler treats accelerator traffic specially).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Origin {
+    /// CPU demand miss (load).
+    CpuDemand,
+    /// Dirty-line writeback from the cache hierarchy.
+    CpuWriteback,
+    /// Hardware prefetcher.
+    Prefetch,
+    /// The JAFAR device writing its result bitset through the host path
+    /// (used in the interleaved-DIMM configuration).
+    NdpWriteback,
+}
+
+/// One 64-byte transaction presented to the controller.
+#[derive(Clone, Copy, Debug)]
+pub struct MemRequest {
+    /// 64-byte-aligned physical address.
+    pub addr: PhysAddr,
+    /// Write (true) or read (false).
+    pub is_write: bool,
+    /// Arrival time at the controller queues.
+    pub arrival: Tick,
+    /// Traffic source.
+    pub origin: Origin,
+}
+
+impl MemRequest {
+    /// A demand read of the block containing `addr`.
+    pub fn read(addr: PhysAddr, arrival: Tick) -> Self {
+        MemRequest {
+            addr: addr.block_base(),
+            is_write: false,
+            arrival,
+            origin: Origin::CpuDemand,
+        }
+    }
+
+    /// A writeback of the block containing `addr`.
+    pub fn writeback(addr: PhysAddr, arrival: Tick) -> Self {
+        MemRequest {
+            addr: addr.block_base(),
+            is_write: true,
+            arrival,
+            origin: Origin::CpuWriteback,
+        }
+    }
+
+    /// Same request with a different origin.
+    pub fn with_origin(mut self, origin: Origin) -> Self {
+        self.origin = origin;
+        self
+    }
+}
+
+/// A finished transaction.
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    /// The controller-assigned id.
+    pub id: ReqId,
+    /// The request that completed.
+    pub request: MemRequest,
+    /// When the burst finished on the data bus (data available to the
+    /// hierarchy for reads; globally visible for writes).
+    pub done: Tick,
+    /// Row-buffer outcome in DRAM.
+    pub outcome: RowOutcome,
+    /// The 64 bytes read (reads only).
+    pub data: Option<[u8; 64]>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_align_addresses() {
+        let r = MemRequest::read(PhysAddr(0x1234), Tick::from_ns(5));
+        assert_eq!(r.addr, PhysAddr(0x1200));
+        assert!(!r.is_write);
+        assert_eq!(r.origin, Origin::CpuDemand);
+        let w = MemRequest::writeback(PhysAddr(0x7F), Tick::ZERO);
+        assert_eq!(w.addr, PhysAddr(0x40));
+        assert!(w.is_write);
+        assert_eq!(w.origin, Origin::CpuWriteback);
+    }
+
+    #[test]
+    fn origin_override() {
+        let r = MemRequest::read(PhysAddr(0), Tick::ZERO).with_origin(Origin::Prefetch);
+        assert_eq!(r.origin, Origin::Prefetch);
+    }
+}

@@ -1,0 +1,206 @@
+//! Memory-access scheduling policies.
+//!
+//! §3.3 closes by motivating "additional work in memory access scheduling"
+//! and cites the classic reordering literature [35, 36, 45]. We implement
+//! the two canonical ends of that spectrum plus the starvation-capped
+//! variant used in practice:
+//!
+//! - **FCFS**: strictly oldest-first. Simple, fair, poor row locality.
+//! - **FR-FCFS**: first-ready (row hit) first, then oldest. The standard
+//!   open-page policy; maximises row-buffer hits.
+//! - **FR-FCFS with cap**: a row hit may bypass the oldest request at most
+//!   `cap` times, bounding starvation.
+//!
+//! Policies pick among *queued, arrived* requests; write-drain mode decides
+//! which queue is being served (see [`crate::controller`]).
+
+use crate::request::MemRequest;
+use jafar_dram::DramModule;
+use jafar_common::time::Tick;
+
+/// Scheduling policy for picking the next transaction from a queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Strict first-come-first-served.
+    Fcfs,
+    /// First-ready FCFS: row hits first, oldest among equals, with a
+    /// starvation cap (a pending oldest request can be bypassed at most
+    /// `cap` consecutive times).
+    FrFcfs {
+        /// Maximum consecutive bypasses of the oldest request.
+        cap: u32,
+    },
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        // The cap of 16 follows common practice (bounded bypassing).
+        Policy::FrFcfs { cap: 16 }
+    }
+}
+
+/// Picks the index of the next request to service from `queue` (already
+/// filtered to servable requests), or `None` if the queue is empty.
+///
+/// `bypass_count` is the running count of consecutive times the oldest
+/// request has been bypassed; the caller resets it whenever the oldest is
+/// served.
+pub fn pick(
+    policy: Policy,
+    queue: &[(u64, MemRequest)],
+    module: &DramModule,
+    now: Tick,
+    bypass_count: u32,
+) -> Option<usize> {
+    if queue.is_empty() {
+        return None;
+    }
+    // Only consider requests that have arrived.
+    let arrived: Vec<usize> = (0..queue.len())
+        .filter(|&i| queue[i].1.arrival <= now)
+        .collect();
+    if arrived.is_empty() {
+        return None;
+    }
+    let oldest = *arrived
+        .iter()
+        .min_by_key(|&&i| (queue[i].1.arrival, queue[i].0))
+        .expect("nonempty");
+    match policy {
+        Policy::Fcfs => Some(oldest),
+        Policy::FrFcfs { cap } => {
+            if bypass_count >= cap {
+                return Some(oldest);
+            }
+            // Row hit: the target row is open in its bank right now.
+            let is_hit = |req: &MemRequest| {
+                let c = module.decoder().decode(req.addr);
+                module.bank(c.rank, c.bank).open_row() == Some(c.row)
+            };
+            let hit = arrived
+                .iter()
+                .copied()
+                .filter(|&i| is_hit(&queue[i].1))
+                .min_by_key(|&i| (queue[i].1.arrival, queue[i].0));
+            Some(hit.unwrap_or(oldest))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jafar_dram::{
+        AddressMapping, Coord, DramGeometry, DramModule, DramTiming, PhysAddr, Requester,
+    };
+
+    fn module_with_open_row() -> DramModule {
+        let mut m = DramModule::new(
+            DramGeometry::tiny(),
+            DramTiming::ddr3_paper().without_refresh(),
+            AddressMapping::RowBankRankBlock,
+        );
+        // Open row 2 of (rank 0, bank 0).
+        m.serve_block(
+            Coord {
+                rank: 0,
+                bank: 0,
+                row: 2,
+                block: 0,
+            },
+            false,
+            Requester::Host,
+            Tick::ZERO,
+            None,
+        )
+        .unwrap();
+        m
+    }
+
+    /// Address of (rank 0, bank 0, row, block) under the tiny geometry's
+    /// streaming mapping.
+    fn addr(m: &DramModule, row: u32, block: u32) -> PhysAddr {
+        m.decoder().encode(Coord {
+            rank: 0,
+            bank: 0,
+            row,
+            block,
+        })
+    }
+
+    fn q(reqs: &[MemRequest]) -> Vec<(u64, MemRequest)> {
+        reqs.iter().copied().enumerate().map(|(i, r)| (i as u64, r)).collect()
+    }
+
+    #[test]
+    fn fcfs_picks_oldest() {
+        let m = module_with_open_row();
+        let queue = q(&[
+            MemRequest::read(addr(&m, 2, 1), Tick::from_ns(10)), // row hit, newer
+            MemRequest::read(addr(&m, 5, 0), Tick::from_ns(5)),  // miss, older
+        ]);
+        let picked = pick(Policy::Fcfs, &queue, &m, Tick::from_ns(100), 0);
+        assert_eq!(picked, Some(1));
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hit() {
+        let m = module_with_open_row();
+        let queue = q(&[
+            MemRequest::read(addr(&m, 2, 1), Tick::from_ns(10)), // hit, newer
+            MemRequest::read(addr(&m, 5, 0), Tick::from_ns(5)),  // miss, older
+        ]);
+        let picked = pick(Policy::FrFcfs { cap: 16 }, &queue, &m, Tick::from_ns(100), 0);
+        assert_eq!(picked, Some(0));
+    }
+
+    #[test]
+    fn frfcfs_cap_forces_oldest() {
+        let m = module_with_open_row();
+        let queue = q(&[
+            MemRequest::read(addr(&m, 2, 1), Tick::from_ns(10)),
+            MemRequest::read(addr(&m, 5, 0), Tick::from_ns(5)),
+        ]);
+        let picked = pick(Policy::FrFcfs { cap: 4 }, &queue, &m, Tick::from_ns(100), 4);
+        assert_eq!(picked, Some(1), "cap reached — oldest must be served");
+    }
+
+    #[test]
+    fn future_arrivals_invisible() {
+        let m = module_with_open_row();
+        let queue = q(&[MemRequest::read(addr(&m, 2, 1), Tick::from_ns(50))]);
+        assert_eq!(pick(Policy::Fcfs, &queue, &m, Tick::from_ns(10), 0), None);
+        assert_eq!(
+            pick(Policy::Fcfs, &queue, &m, Tick::from_ns(50), 0),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn empty_queue() {
+        let m = module_with_open_row();
+        assert_eq!(pick(Policy::default(), &[], &m, Tick::ZERO, 0), None);
+    }
+
+    #[test]
+    fn frfcfs_all_misses_falls_back_to_oldest() {
+        let m = module_with_open_row();
+        let queue = q(&[
+            MemRequest::read(addr(&m, 7, 0), Tick::from_ns(9)),
+            MemRequest::read(addr(&m, 8, 0), Tick::from_ns(3)),
+        ]);
+        let picked = pick(Policy::default(), &queue, &m, Tick::from_ns(100), 0);
+        assert_eq!(picked, Some(1));
+    }
+
+    #[test]
+    fn tiebreak_on_equal_arrival_uses_id() {
+        let m = module_with_open_row();
+        let queue = q(&[
+            MemRequest::read(addr(&m, 7, 0), Tick::from_ns(5)),
+            MemRequest::read(addr(&m, 8, 0), Tick::from_ns(5)),
+        ]);
+        let picked = pick(Policy::Fcfs, &queue, &m, Tick::from_ns(100), 0);
+        assert_eq!(picked, Some(0), "lower id wins the tie");
+    }
+}

@@ -1,0 +1,96 @@
+//! Simulated physical-memory placement.
+//!
+//! §4 ("Memory Management"): "prior to invoking JAFAR, the operating
+//! system must first pin the memory pages JAFAR will access to specific
+//! DIMMs" — in this single-DIMM model, to a specific **rank**, since
+//! ownership is granted per rank. The allocator is a simple bump allocator
+//! that can be confined to a rank's contiguous range (under the
+//! rank-contiguous mapping) to model pinned, JAFAR-consumable placement.
+
+use jafar_dram::PhysAddr;
+
+/// A bump allocator over a physical address range.
+#[derive(Clone, Debug)]
+pub struct SimAlloc {
+    cursor: u64,
+    limit: u64,
+}
+
+impl SimAlloc {
+    /// Covers `[start, start + len)`.
+    pub fn new(start: PhysAddr, len: u64) -> Self {
+        SimAlloc {
+            cursor: start.0,
+            limit: start.0 + len,
+        }
+    }
+
+    /// Remaining bytes.
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.cursor
+    }
+
+    /// Allocates `bytes` aligned to `align` (a power of two).
+    ///
+    /// # Panics
+    /// Panics when out of simulated memory — placement bugs should fail
+    /// loudly in experiments.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> PhysAddr {
+        let base = jafar_common::size::align_up(self.cursor, align);
+        assert!(
+            base + bytes <= self.limit,
+            "simulated memory exhausted: want {bytes} at {base:#x}, limit {:#x}",
+            self.limit
+        );
+        self.cursor = base + bytes;
+        PhysAddr(base)
+    }
+
+    /// Allocates a 64-byte-aligned region (burst granularity, what both
+    /// the device and the cache hierarchy want).
+    pub fn alloc_blocks(&mut self, bytes: u64) -> PhysAddr {
+        self.alloc(bytes, 64)
+    }
+
+    /// Resets the allocator to its start (scratch arenas between queries).
+    pub fn reset_to(&mut self, addr: PhysAddr) {
+        assert!(addr.0 <= self.limit);
+        self.cursor = addr.0;
+    }
+
+    /// Current cursor.
+    pub fn cursor(&self) -> PhysAddr {
+        PhysAddr(self.cursor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_align() {
+        let mut a = SimAlloc::new(PhysAddr(100), 1000);
+        let x = a.alloc(10, 64);
+        assert_eq!(x, PhysAddr(128));
+        let y = a.alloc_blocks(64);
+        assert_eq!(y, PhysAddr(192));
+        assert_eq!(a.remaining(), 1100 - 256);
+    }
+
+    #[test]
+    fn reset() {
+        let mut a = SimAlloc::new(PhysAddr(0), 1 << 20);
+        let mark = a.cursor();
+        a.alloc_blocks(4096);
+        a.reset_to(mark);
+        assert_eq!(a.cursor(), mark);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut a = SimAlloc::new(PhysAddr(0), 128);
+        a.alloc(129, 1);
+    }
+}

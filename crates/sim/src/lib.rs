@@ -1,0 +1,37 @@
+//! # jafar-sim — the full-system simulator
+//!
+//! The gem5-equivalent of the reproduction: it assembles the substrates —
+//! host CPU scan engine (`jafar-cpu`), cache hierarchy (`jafar-cache`),
+//! memory controller (`jafar-memctl`), DDR3 module (`jafar-dram`) and the
+//! JAFAR device (`jafar-core`) — into one timed system and runs the
+//! paper's experiments on it:
+//!
+//! - [`config`]: the Table-1 platform presets (the simulated gem5 host and
+//!   the Xeon profiling host);
+//! - [`alloc`]: simulated physical-memory placement, including
+//!   rank-resident placement for JAFAR-consumable columns (§4's
+//!   page-pinning discussion);
+//! - [`backend`]: the [`jafar_cpu::MemoryBackend`] implementation over the
+//!   cache hierarchy + memory controller, with stream prefetching — the
+//!   CPU's view of memory;
+//! - [`system`]: the assembled [`System`] with the two select paths:
+//!   CPU-only ([`System::run_select_cpu`]) and JAFAR pushdown
+//!   ([`System::run_select_jafar`], the per-page Figure-2 driver with
+//!   rank-ownership handoff and completion polling) — Figure 3's two
+//!   curves;
+//! - [`replay`]: operator-trace replay for whole queries — Figure 4's
+//!   memory-controller profiling of TPC-H runs.
+
+pub mod alloc;
+pub mod backend;
+pub mod config;
+pub mod energy;
+pub mod replay;
+pub mod system;
+
+pub use alloc::SimAlloc;
+pub use backend::SimBackend;
+pub use config::SystemConfig;
+pub use energy::{HostEnergyModel, SelectEnergy};
+pub use replay::{PlacedDb, QueryReplayer, ReplayCosts};
+pub use system::{CpuSelectStats, JafarSelectStats, System};

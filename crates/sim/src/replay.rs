@@ -1,0 +1,488 @@
+//! Operator-trace replay — the Figure-4 measurement path.
+//!
+//! A TPC-H query executed by `jafar-columnstore` leaves behind an operator
+//! trace. The replayer runs that trace against the simulated memory
+//! system: scans execute the *actual* scan kernel over the *actual* column
+//! bytes placed in simulated DRAM (full fidelity, including branch
+//! behaviour and prefetching); positional, hash, aggregation, sort and
+//! materialisation operators generate their characteristic access
+//! patterns (strided gathers, scattered hash-table traffic, sequential
+//! result writes) with per-tuple compute costs in the MonetDB
+//! bulk-processing ballpark ([`ReplayCosts`]). The memory controller's
+//! busy/idle accounting across the whole replay is exactly what §3.3
+//! samples from the Xeon's performance counters.
+
+use crate::system::System;
+use jafar_columnstore::{OpTrace, TraceEvent};
+use jafar_common::rng::SplitMix64;
+use jafar_common::time::Tick;
+use jafar_cpu::engine::ScanSpec;
+use jafar_cpu::{MemoryBackend, ScanEngine, ScanVariant};
+use jafar_dram::PhysAddr;
+use jafar_tpch::TpchDb;
+use std::collections::HashMap;
+
+/// Per-tuple compute costs (CPU cycles) for the non-scan operators.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayCosts {
+    /// Per examined position in a positional refinement scan.
+    pub scan_at: f64,
+    /// Per gathered value.
+    pub gather: f64,
+    /// Per hash-table insert.
+    pub hash_build: f64,
+    /// Per hash-table probe.
+    pub hash_probe: f64,
+    /// Per emitted join pair.
+    pub probe_match: f64,
+    /// Per aggregated input row (plus `agg_per_agg` per aggregate).
+    pub agg_base: f64,
+    /// Per (row, aggregate) update.
+    pub agg_per_agg: f64,
+    /// Per row·log2(rows) comparison in sorts.
+    pub sort: f64,
+    /// Per materialised value.
+    pub materialize: f64,
+}
+
+impl Default for ReplayCosts {
+    fn default() -> Self {
+        ReplayCosts {
+            scan_at: 6.0,
+            gather: 4.0,
+            hash_build: 16.0,
+            hash_probe: 12.0,
+            probe_match: 4.0,
+            agg_base: 6.0,
+            agg_per_agg: 3.0,
+            sort: 4.0,
+            materialize: 2.0,
+        }
+    }
+}
+
+impl ReplayCosts {
+    /// Scales every per-tuple cost by `factor`.
+    ///
+    /// The Figure-4 host is a 4-socket, 8-channel Xeon running MonetDB's
+    /// interpreted bulk operators: each memory controller sees a fraction
+    /// of the traffic, separated by far more per-tuple host work than the
+    /// tight compiled kernels modelled here. The reproduction models one
+    /// controller and one core, so the harness applies a single documented
+    /// *host load factor* to all compute costs to stand in for that
+    /// dilution — the only tuned constant in the Figure-4 pipeline (see
+    /// EXPERIMENTS.md).
+    pub fn scaled(self, factor: f64) -> ReplayCosts {
+        ReplayCosts {
+            scan_at: self.scan_at * factor,
+            gather: self.gather * factor,
+            hash_build: self.hash_build * factor,
+            hash_probe: self.hash_probe * factor,
+            probe_match: self.probe_match * factor,
+            agg_base: self.agg_base * factor,
+            agg_per_agg: self.agg_per_agg * factor,
+            sort: self.sort * factor,
+            materialize: self.materialize * factor,
+        }
+    }
+}
+
+/// The placed database: where each column lives in simulated DRAM.
+pub struct PlacedDb {
+    columns: HashMap<(String, String), (PhysAddr, u64)>,
+}
+
+impl PlacedDb {
+    /// Copies every column of `db` into the system's pinned region.
+    pub fn place(system: &mut System, db: &TpchDb) -> PlacedDb {
+        let mut columns = HashMap::new();
+        for table in [&db.customer, &db.orders, &db.lineitem] {
+            for col in table.columns() {
+                let addr = system.write_column(col.data());
+                columns.insert(
+                    (table.name().to_owned(), col.name().to_owned()),
+                    (addr, col.len() as u64),
+                );
+            }
+        }
+        PlacedDb { columns }
+    }
+
+    /// Looks up a column's placement.
+    ///
+    /// # Panics
+    /// Panics if the column was never placed.
+    pub fn get(&self, table: &str, column: &str) -> (PhysAddr, u64) {
+        self.columns[&(table.to_owned(), column.to_owned())]
+    }
+
+    /// Number of placed columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if nothing was placed.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+/// The replayer.
+pub struct QueryReplayer<'a> {
+    system: &'a mut System,
+    costs: ReplayCosts,
+    scan_cost_factor: f64,
+    rng: SplitMix64,
+}
+
+impl<'a> QueryReplayer<'a> {
+    /// Builds a replayer over `system`.
+    pub fn new(system: &'a mut System, costs: ReplayCosts) -> Self {
+        QueryReplayer {
+            system,
+            costs,
+            scan_cost_factor: 1.0,
+            rng: SplitMix64::new(0xF164),
+        }
+    }
+
+    /// Scales the full-scan kernel's per-row costs by `factor` (the same
+    /// host load factor as [`ReplayCosts::scaled`], applied to the scan
+    /// operators).
+    pub fn with_scan_factor(mut self, factor: f64) -> Self {
+        self.scan_cost_factor = factor;
+        self
+    }
+
+    /// Replays `trace` starting at `start`; returns the completion tick.
+    pub fn replay(&mut self, trace: &OpTrace, placed: &PlacedDb, start: Tick) -> Tick {
+        let scratch_mark = self.system.scratch.cursor();
+        let mut now = start;
+        let mut last_build_region: Option<(PhysAddr, u64)> = None;
+        for event in trace.events() {
+            now = match event {
+                TraceEvent::Scan {
+                    table,
+                    column,
+                    rows,
+                    bounds,
+                    ..
+                } => {
+                    let (addr, placed_rows) = placed.get(table, column);
+                    debug_assert_eq!(*rows, placed_rows);
+                    let out = self.system.scratch.alloc_blocks((*rows).max(8) * 4);
+                    let spec = ScanSpec {
+                        col_addr: addr.0,
+                        rows: *rows,
+                        lo: bounds.0,
+                        hi: bounds.1,
+                        out_addr: out.0,
+                        variant: ScanVariant::Branching,
+                    };
+                    let mut kernel = self.system.config().kernel;
+                    kernel.base_cycles_per_row *= self.scan_cost_factor;
+                    kernel.match_cycles *= self.scan_cost_factor;
+                    kernel.mispredict_penalty *= self.scan_cost_factor;
+                    let engine = ScanEngine::new(self.system.config().cpu_clock, kernel);
+                    let mut backend = self.system.backend();
+                    engine.run(&mut backend, spec, now).end
+                }
+                TraceEvent::ScanAt {
+                    table,
+                    column,
+                    positions,
+                    ..
+                } => {
+                    let (addr, rows) = placed.get(table, column);
+                    self.strided_reads(addr, rows, *positions, self.costs.scan_at, now)
+                }
+                TraceEvent::Gather {
+                    table,
+                    column,
+                    positions,
+                } => {
+                    let (addr, rows) = placed.get(table, column);
+                    let t = self.strided_reads(addr, rows, *positions, self.costs.gather, now);
+                    let out = self.system.scratch.alloc_blocks((*positions).max(8) * 8);
+                    self.sequential_writes(out, positions * 8, 0.5, t)
+                }
+                TraceEvent::HashBuild { rows } => {
+                    let region_bytes =
+                        ((*rows).max(16).next_power_of_two() * 2 * 16).min(64 << 20);
+                    let region = self.system.scratch.alloc_blocks(region_bytes);
+                    last_build_region = Some((region, region_bytes));
+                    self.random_writes(region, region_bytes, *rows, self.costs.hash_build, now)
+                }
+                TraceEvent::HashProbe { rows, matches } => {
+                    let (region, bytes) = last_build_region
+                        .unwrap_or_else(|| (self.system.scratch.alloc_blocks(4096), 4096));
+                    let t =
+                        self.random_reads(region, bytes, *rows, self.costs.hash_probe, now);
+                    self.compute(*matches as f64 * self.costs.probe_match, t)
+                }
+                TraceEvent::Aggregate {
+                    rows,
+                    groups,
+                    aggregates,
+                } => {
+                    let table_bytes = ((*groups).max(1) * 64).next_power_of_two();
+                    let region = self.system.scratch.alloc_blocks(table_bytes);
+                    let per_row =
+                        self.costs.agg_base + self.costs.agg_per_agg * *aggregates as f64;
+                    self.random_writes(region, table_bytes, *rows, per_row, now)
+                }
+                TraceEvent::Sort { rows } => {
+                    if *rows == 0 {
+                        now
+                    } else {
+                        let bytes = rows * 8;
+                        let region = self.system.scratch.alloc_blocks(bytes.max(64));
+                        let log2 = (64 - rows.leading_zeros() as u64).max(1) as f64;
+                        let t = self.compute(*rows as f64 * log2 * self.costs.sort, now);
+                        let t = self.sequential_reads(region, bytes, 0.5, t);
+                        self.sequential_writes(region, bytes, 0.5, t)
+                    }
+                }
+                TraceEvent::Materialize { rows, columns } => {
+                    let bytes = rows * columns * 8;
+                    if bytes == 0 {
+                        now
+                    } else {
+                        let region = self.system.scratch.alloc_blocks(bytes.max(64));
+                        self.sequential_writes(
+                            region,
+                            bytes,
+                            self.costs.materialize,
+                            now,
+                        )
+                    }
+                }
+            };
+        }
+        self.system.mc_mut().drain();
+        self.system.scratch.reset_to(scratch_mark);
+        now
+    }
+
+    /// Advances time by `cycles` of compute.
+    fn compute(&self, cycles: f64, now: Tick) -> Tick {
+        let ps = cycles * self.system.config().cpu_clock.period().as_ps() as f64;
+        now + Tick::from_ps(ps as u64)
+    }
+
+    /// Evenly strided positional reads over a column region: `count`
+    /// accesses with `cycles` compute each.
+    fn strided_reads(
+        &mut self,
+        base: PhysAddr,
+        rows: u64,
+        count: u64,
+        cycles: f64,
+        start: Tick,
+    ) -> Tick {
+        if count == 0 || rows == 0 {
+            return start;
+        }
+        let stride = (rows / count).max(1);
+        let period = self.system.config().cpu_clock.period().as_ps() as f64;
+        let mut backend = self.system.backend_dependent();
+        let mut now = start;
+        let mut carry = 0.0f64;
+        for i in 0..count {
+            let row = (i * stride) % rows;
+            let (ready, _) = backend.load_line(base.0 + row * 8, now);
+            now = now.max(ready);
+            let adv = cycles * period + carry;
+            carry = adv.fract();
+            now += Tick::from_ps(adv as u64);
+        }
+        now
+    }
+
+    /// Sequential reads of `bytes` from `base` with `cycles` per value (8 B).
+    fn sequential_reads(&mut self, base: PhysAddr, bytes: u64, cycles: f64, start: Tick) -> Tick {
+        let period = self.system.config().cpu_clock.period().as_ps() as f64;
+        let mut backend = self.system.backend();
+        let mut now = start;
+        let lines = bytes.div_ceil(64);
+        for l in 0..lines {
+            let (ready, _) = backend.load_line(base.0 + l * 64, now);
+            now = now.max(ready) + Tick::from_ps((8.0 * cycles * period) as u64);
+        }
+        now
+    }
+
+    /// Sequential writes of `bytes` to `base` with `cycles` per value (8 B).
+    fn sequential_writes(&mut self, base: PhysAddr, bytes: u64, cycles: f64, start: Tick) -> Tick {
+        let period = self.system.config().cpu_clock.period().as_ps() as f64;
+        let mut backend = self.system.backend();
+        let mut now = start;
+        let payload = [0u8; 8];
+        for off in (0..bytes).step_by(8) {
+            backend.store(base.0 + off, &payload, now);
+            now += Tick::from_ps((cycles * period) as u64);
+        }
+        now
+    }
+
+    /// `count` random accesses within `[base, base+bytes)` with `cycles`
+    /// compute each; writes if `write`.
+    fn random_access(
+        &mut self,
+        base: PhysAddr,
+        bytes: u64,
+        count: u64,
+        cycles: f64,
+        start: Tick,
+        write: bool,
+    ) -> Tick {
+        let period = self.system.config().cpu_clock.period().as_ps() as f64;
+        let slots = (bytes / 8).max(1);
+        let mut offsets: Vec<u64> = (0..count).map(|_| self.rng.next_below(slots) * 8).collect();
+        let mut backend = self.system.backend_dependent();
+        let mut now = start;
+        let payload = [0u8; 8];
+        for off in offsets.drain(..) {
+            if write {
+                // Hash update = read-modify-write; the read drives timing.
+                let (ready, _) = backend.load_line(base.0 + off, now);
+                now = now.max(ready);
+                backend.store(base.0 + off, &payload, now);
+            } else {
+                let (ready, _) = backend.load_line(base.0 + off, now);
+                now = now.max(ready);
+            }
+            now += Tick::from_ps((cycles * period) as u64);
+        }
+        now
+    }
+
+    fn random_writes(
+        &mut self,
+        base: PhysAddr,
+        bytes: u64,
+        count: u64,
+        cycles: f64,
+        start: Tick,
+    ) -> Tick {
+        self.random_access(base, bytes, count, cycles, start, true)
+    }
+
+    fn random_reads(
+        &mut self,
+        base: PhysAddr,
+        bytes: u64,
+        count: u64,
+        cycles: f64,
+        start: Tick,
+    ) -> Tick {
+        self.random_access(base, bytes, count, cycles, start, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use jafar_columnstore::{ExecContext, Planner};
+    use jafar_tpch::{queries, TpchConfig};
+
+    fn tiny_db() -> TpchDb {
+        TpchDb::generate(TpchConfig {
+            sf: 0.00008, // ≈ a dozen customers; fits the tiny test DRAM
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn placement_covers_all_columns() {
+        let mut sys = System::new(SystemConfig::test_small());
+        let db = tiny_db();
+        let placed = PlacedDb::place(&mut sys, &db);
+        assert_eq!(placed.len(), 4 + 5 + 8);
+        let (addr, rows) = placed.get("lineitem", "l_shipdate");
+        assert_eq!(rows, db.lineitem.rows() as u64);
+        // Functional data round-trips.
+        let got = sys.mc().module().data().read_i64(addr);
+        assert_eq!(got, db.lineitem.column("l_shipdate").get(0));
+    }
+
+    #[test]
+    fn q6_replay_advances_time_and_touches_memory() {
+        let mut sys = System::new(SystemConfig::test_small());
+        let db = tiny_db();
+        let placed = PlacedDb::place(&mut sys, &db);
+        let mut cx = ExecContext::new(Planner::default());
+        let revenue = queries::q6(&db, &mut cx);
+        let _ = revenue;
+        sys.begin_measurement();
+        let mut replayer = QueryReplayer::new(&mut sys, ReplayCosts::default());
+        let end = replayer.replay(cx.trace(), &placed, Tick::ZERO);
+        assert!(end > Tick::ZERO);
+        let report = sys.idle_report(end);
+        assert!(report.reads > 0, "the scan must reach DRAM");
+    }
+
+    #[test]
+    fn all_five_queries_replay() {
+        let mut sys = System::new(SystemConfig::test_small());
+        let db = tiny_db();
+        let placed = PlacedDb::place(&mut sys, &db);
+        let mut end = Tick::ZERO;
+        for q in queries::QueryId::ALL {
+            let mut cx = ExecContext::new(Planner::default());
+            match q {
+                queries::QueryId::Q1 => {
+                    queries::q1(&db, &mut cx);
+                }
+                queries::QueryId::Q3 => {
+                    queries::q3(&db, &mut cx, 10);
+                }
+                queries::QueryId::Q6 => {
+                    queries::q6(&db, &mut cx);
+                }
+                queries::QueryId::Q18 => {
+                    queries::q18(&db, &mut cx, 100, 100);
+                }
+                queries::QueryId::Q22 => {
+                    queries::q22(&db, &mut cx);
+                }
+            }
+            let mut replayer = QueryReplayer::new(&mut sys, ReplayCosts::default());
+            let new_end = replayer.replay(cx.trace(), &placed, end);
+            assert!(new_end > end, "{q:?} must consume time");
+            end = new_end;
+        }
+    }
+
+    #[test]
+    fn scan_heavy_trace_has_shorter_idle_periods_than_compute_heavy() {
+        // The Figure-4 mechanism: Q6-like scans keep the controller busy;
+        // Q18-like hash/aggregate work leaves it idle between misses.
+        let db = tiny_db();
+        let run = |which: &str| {
+            let mut sys = System::new(SystemConfig::test_small());
+            let placed = PlacedDb::place(&mut sys, &db);
+            let mut cx = ExecContext::new(Planner::default());
+            match which {
+                "q6" => {
+                    queries::q6(&db, &mut cx);
+                }
+                _ => {
+                    queries::q18(&db, &mut cx, 100, 100);
+                }
+            }
+            sys.begin_measurement();
+            let mut replayer = QueryReplayer::new(&mut sys, ReplayCosts::default());
+            let end = replayer.replay(cx.trace(), &placed, Tick::ZERO);
+            let report = sys.idle_report(end);
+            report.mean_idle_period_estimate()
+        };
+        let q6_idle = run("q6");
+        let q18_idle = run("q18");
+        assert!(
+            q18_idle > q6_idle,
+            "q18 idle {q18_idle} vs q6 idle {q6_idle}"
+        );
+    }
+}

@@ -1,0 +1,457 @@
+//! The assembled system and the two select paths of Figure 3.
+//!
+//! A [`System`] is one host (core + caches + memory controller + DDR3
+//! module) with an optional JAFAR device on the DIMM. The two measured
+//! paths:
+//!
+//! - [`System::run_select_cpu`]: the baseline — the scan kernel streams
+//!   the column through the cache hierarchy, recording positions;
+//! - [`System::run_select_jafar`]: the pushdown — the query manager
+//!   drains the controller, grants rank ownership via MR3/MPR, then the
+//!   driver invokes `select_jafar` once per (huge) page, polling the
+//!   completion flag, and finally releases the rank.
+//!
+//! Both runs are preceded by the same fixed query-setup overhead
+//! (planning, allocation, result finalisation) so the in-text "93% of
+//! execution time is inside the accelerated region" accounting can be
+//! reproduced.
+
+use crate::alloc::SimAlloc;
+use crate::backend::SimBackend;
+use crate::config::SystemConfig;
+use jafar_cache::{Hierarchy, StreamPrefetcher};
+use jafar_common::time::Tick;
+use jafar_core::api::{select_jafar, SelectArgs};
+use jafar_core::{grant_ownership, release_ownership, JafarDevice};
+use jafar_cpu::{ScanEngine, ScanVariant};
+use jafar_dram::{DramModule, PhysAddr};
+use jafar_memctl::controller::MemoryController;
+use jafar_memctl::IdleReport;
+use std::collections::HashMap;
+
+/// Result of a CPU-only select run.
+#[derive(Clone, Debug)]
+pub struct CpuSelectStats {
+    /// End of the run (including setup overhead).
+    pub end: Tick,
+    /// Matching rows.
+    pub matches: u64,
+    /// Matching positions (functional result).
+    pub positions: Vec<u32>,
+    /// Time inside the scan kernel (the "accelerated region" in the
+    /// pushdown comparison).
+    pub kernel: Tick,
+    /// Fixed query-setup/driver time outside the kernel.
+    pub driver: Tick,
+    /// Kernel time lost to memory stalls.
+    pub stall: Tick,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// 64-byte lines moved over the memory bus to the CPU.
+    pub lines_from_dram: u64,
+}
+
+/// Result of a JAFAR pushdown select run.
+#[derive(Clone, Debug)]
+pub struct JafarSelectStats {
+    /// End of the run (ownership released, results visible).
+    pub end: Tick,
+    /// Matching rows.
+    pub matched: u64,
+    /// Physical address of the output bitset.
+    pub out_addr: PhysAddr,
+    /// Time the device spent filtering/writing (the accelerated region).
+    pub device: Tick,
+    /// Host driver time: register programming + completion discovery.
+    pub driver: Tick,
+    /// CPU time burned spin-waiting (zero under interrupt completion —
+    /// the §2.2 utilization trade-off).
+    pub cpu_wait: Tick,
+    /// Ownership handoff time (grant + release).
+    pub ownership: Tick,
+    /// Fixed query-setup time.
+    pub setup: Tick,
+    /// `select_jafar` invocations (pages).
+    pub pages: u64,
+    /// Bursts the device read on the DIMM (never crossing the bus).
+    pub device_bursts_read: u64,
+}
+
+/// One simulated host system.
+pub struct System {
+    cfg: SystemConfig,
+    mc: MemoryController,
+    hierarchy: Hierarchy,
+    prefetcher: Option<StreamPrefetcher>,
+    inflight: HashMap<u64, Tick>,
+    device: Option<JafarDevice>,
+    /// Allocator over rank 0 (the NDP-consumable, pinned region).
+    pub alloc: SimAlloc,
+    /// Allocator over the remaining ranks (CPU-private scratch).
+    pub scratch: SimAlloc,
+}
+
+impl System {
+    /// Builds a system from a configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let module = DramModule::new(cfg.dram_geometry, cfg.dram_timing, cfg.mapping);
+        let rank_bytes = cfg.dram_geometry.rank_bytes();
+        let capacity = cfg.dram_geometry.capacity_bytes();
+        System {
+            mc: MemoryController::new(module, cfg.controller),
+            hierarchy: Hierarchy::new(cfg.hierarchy),
+            prefetcher: cfg.prefetcher.map(|(n, d)| StreamPrefetcher::new(n, d)),
+            inflight: HashMap::new(),
+            device: cfg.device.map(JafarDevice::new),
+            alloc: SimAlloc::new(PhysAddr(0), rank_bytes),
+            scratch: SimAlloc::new(PhysAddr(rank_bytes), capacity - rank_bytes),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The memory controller (counters, idle reports).
+    pub fn mc(&self) -> &MemoryController {
+        &self.mc
+    }
+
+    /// Mutable controller access (experiment plumbing).
+    pub fn mc_mut(&mut self) -> &mut MemoryController {
+        &mut self.mc
+    }
+
+    /// The JAFAR device, if configured.
+    pub fn device(&self) -> Option<&JafarDevice> {
+        self.device.as_ref()
+    }
+
+    /// Allocates a column in the pinned (rank-0) region and writes its
+    /// values functionally. Returns the base address.
+    pub fn write_column(&mut self, values: &[i64]) -> PhysAddr {
+        let addr = self.alloc.alloc_blocks(values.len() as u64 * 8);
+        let data = self.mc.module_mut().data_mut();
+        for (i, v) in values.iter().enumerate() {
+            data.write_i64(PhysAddr(addr.0 + i as u64 * 8), *v);
+        }
+        addr
+    }
+
+    /// A CPU memory backend for independent streaming access (scans): the
+    /// out-of-order window hides cache-hit latency.
+    pub fn backend(&mut self) -> SimBackend<'_> {
+        SimBackend::new(
+            &mut self.mc,
+            &mut self.hierarchy,
+            self.prefetcher.as_mut(),
+            &mut self.inflight,
+            self.cfg.cpu_clock,
+        )
+        .streaming()
+    }
+
+    /// A CPU memory backend for dependent access chains (hash probes,
+    /// gathers): every hit pays its full cache-traversal latency.
+    pub fn backend_dependent(&mut self) -> SimBackend<'_> {
+        SimBackend::new(
+            &mut self.mc,
+            &mut self.hierarchy,
+            self.prefetcher.as_mut(),
+            &mut self.inflight,
+            self.cfg.cpu_clock,
+        )
+    }
+
+    /// Resets memory-controller accounting (between measured phases).
+    pub fn begin_measurement(&mut self) {
+        self.mc.reset_accounting();
+    }
+
+    /// Finalises controller accounting into the Figure-4 idle report over
+    /// `[0, span)`.
+    pub fn idle_report(&self, span: Tick) -> IdleReport {
+        self.mc.finalize(span)
+    }
+
+    /// Runs the CPU-only select of `rows` packed `i64`s at `col_addr`,
+    /// with the inclusive range `[lo, hi]`, writing the position list to
+    /// scratch memory.
+    pub fn run_select_cpu(
+        &mut self,
+        col_addr: PhysAddr,
+        rows: u64,
+        lo: i64,
+        hi: i64,
+        variant: ScanVariant,
+        start: Tick,
+    ) -> CpuSelectStats {
+        let setup = self.cfg.query_overhead;
+        let out_addr = self.scratch.alloc_blocks(rows.max(1) * 4);
+        let engine = ScanEngine::new(self.cfg.cpu_clock, self.cfg.kernel);
+        let spec = jafar_cpu::engine::ScanSpec {
+            col_addr: col_addr.0,
+            rows,
+            lo,
+            hi,
+            out_addr: out_addr.0,
+            variant,
+        };
+        let kernel_start = start + setup;
+        let mut backend = self.backend();
+        let result = engine.run(&mut backend, spec, kernel_start);
+        let lines = backend.demand_fetches;
+        // Flush outstanding writebacks/RFOs (timing accounted in MC).
+        self.mc.drain();
+        CpuSelectStats {
+            end: result.end,
+            matches: result.matches,
+            positions: result.positions,
+            kernel: result.end - kernel_start,
+            driver: setup,
+            stall: result.stall,
+            mispredicts: result.mispredicts,
+            lines_from_dram: lines,
+        }
+    }
+
+    /// Runs the JAFAR pushdown select: ownership handoff, per-page
+    /// `select_jafar` invocations with completion polling, release.
+    ///
+    /// # Panics
+    /// Panics if the system has no device or a page fails (placement bugs
+    /// are programming errors in experiments).
+    pub fn run_select_jafar(
+        &mut self,
+        col_addr: PhysAddr,
+        rows: u64,
+        lo: i64,
+        hi: i64,
+        start: Tick,
+    ) -> JafarSelectStats {
+        assert!(self.device.is_some(), "system has no JAFAR device");
+        let setup = self.cfg.query_overhead;
+        let page_bytes = self.cfg.page_bytes;
+        let out_addr = self.alloc.alloc_blocks(rows.div_ceil(8).max(64));
+        let rank = self.mc.module().decoder().decode(col_addr).rank;
+
+        let mut t = start + setup;
+        // Quiesce host traffic, then hand the rank to the device.
+        self.mc.drain();
+        self.mc.advance_cursor(t);
+        let module = self.mc.module_mut();
+        let lease = grant_ownership(module, rank, t).expect("rank quiesced");
+        let owned_at = lease.acquired_at;
+        let mut ownership = owned_at - t;
+        t = owned_at;
+
+        let device = self.device.as_mut().expect("checked above");
+        let rows_per_page = page_bytes / 8;
+        let mut pages = 0u64;
+        let mut device_time = Tick::ZERO;
+        let mut driver_time = Tick::ZERO;
+        let mut cpu_wait = Tick::ZERO;
+        let mut matched = 0u64;
+        let mut row = 0u64;
+        while row < rows {
+            let page_rows = rows_per_page.min(rows - row);
+            let invoke_at = t + self.cfg.driver.setup;
+            let outcome = select_jafar(
+                device,
+                module,
+                SelectArgs {
+                    col_data: PhysAddr(col_addr.0 + row * 8),
+                    range_low: lo,
+                    range_high: hi,
+                    out_buf: PhysAddr(out_addr.0 + row / 8),
+                    num_input_rows: page_rows,
+                },
+                invoke_at,
+            );
+            assert_eq!(outcome.errno, 0, "select_jafar failed: {}", outcome.errno);
+            let run = outcome.run.expect("success carries a run");
+            matched += outcome.num_output_rows;
+            // Completion discovery: the next poll edge, or interrupt
+            // delivery (§2.2's two mechanisms).
+            let (observed_done, cpu_waited) =
+                self.cfg.driver.completion.observe(invoke_at, run.end);
+            cpu_wait += cpu_waited;
+            device_time += run.end - invoke_at;
+            driver_time += observed_done.saturating_sub(run.end) + self.cfg.driver.setup;
+            t = observed_done.max(run.end);
+            row += page_rows;
+            pages += 1;
+        }
+
+        // Release the rank back to the host.
+        let released = release_ownership(module, lease, t).expect("release");
+        ownership += released - t;
+        self.mc.advance_cursor(released);
+        let bursts = device.stats().bursts_read.get();
+
+        JafarSelectStats {
+            end: released,
+            matched,
+            out_addr,
+            device: device_time,
+            driver: driver_time,
+            cpu_wait,
+            ownership,
+            setup,
+            pages,
+            device_bursts_read: bursts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use jafar_common::bitset::BitSet;
+    use jafar_common::rng::SplitMix64;
+
+    fn values(n: usize, max: i64, seed: u64) -> Vec<i64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_range_inclusive(0, max)).collect()
+    }
+
+    fn small_system() -> System {
+        let mut cfg = SystemConfig::test_small();
+        cfg.query_overhead = Tick::from_ns(500);
+        cfg.page_bytes = 4096;
+        System::new(cfg)
+    }
+
+    #[test]
+    fn cpu_and_jafar_agree_functionally() {
+        let mut sys = small_system();
+        let vals = values(8000, 999, 42);
+        let col = sys.write_column(&vals);
+        let cpu = sys.run_select_cpu(col, 8000, 100, 399, ScanVariant::Branching, Tick::ZERO);
+        let jf = sys.run_select_jafar(col, 8000, 100, 399, cpu.end);
+        assert_eq!(cpu.matches, jf.matched);
+        // The bitset in DRAM equals the CPU's position list.
+        let mut bytes = vec![0u8; 1000];
+        sys.mc().module().data().read(jf.out_addr, &mut bytes);
+        let bits = BitSet::from_bytes(&bytes, 8000);
+        assert_eq!(bits.to_positions(), cpu.positions);
+    }
+
+    #[test]
+    fn jafar_is_faster_on_the_select() {
+        let mut sys = small_system();
+        let vals = values(16_000, 999, 7);
+        let col = sys.write_column(&vals);
+        let cpu = sys.run_select_cpu(col, 16_000, 0, 499, ScanVariant::Branching, Tick::ZERO);
+        let jf = sys.run_select_jafar(col, 16_000, 0, 499, cpu.end);
+        let cpu_time = cpu.end;
+        let jf_time = jf.end - cpu.end;
+        assert!(
+            jf_time < cpu_time,
+            "JAFAR {jf_time:?} should beat CPU {cpu_time:?}"
+        );
+    }
+
+    #[test]
+    fn jafar_time_is_selectivity_independent() {
+        let run = |hi: i64| {
+            let mut sys = small_system();
+            let vals = values(8000, 999, 3);
+            let col = sys.write_column(&vals);
+            let jf = sys.run_select_jafar(col, 8000, 0, hi, Tick::ZERO);
+            jf.end
+        };
+        let none = run(-1);
+        let all = run(999);
+        let ratio = all.as_ps() as f64 / none.as_ps() as f64;
+        assert!((0.98..1.02).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn cpu_time_grows_with_selectivity() {
+        let run = |hi: i64| {
+            let mut sys = small_system();
+            let vals = values(8000, 999, 3);
+            let col = sys.write_column(&vals);
+            sys.run_select_cpu(col, 8000, 0, hi, ScanVariant::Branching, Tick::ZERO)
+                .end
+        };
+        assert!(run(999) > run(-1));
+    }
+
+    #[test]
+    fn device_traffic_stays_off_the_host_bus() {
+        let mut sys = small_system();
+        let vals = values(8000, 999, 9);
+        let col = sys.write_column(&vals);
+        sys.begin_measurement();
+        let jf = sys.run_select_jafar(col, 8000, 0, 499, Tick::ZERO);
+        // The device read 1000 bursts on the DIMM; the host controller saw
+        // none of them.
+        assert_eq!(jf.device_bursts_read, 1000);
+        assert_eq!(sys.mc().counters().reads.get(), 0);
+        // The CPU baseline moves every line across the bus (demand +
+        // prefetch fills together cover the 1000-line column, plus the
+        // output's write-allocate traffic).
+        let mut sys2 = small_system();
+        let col2 = sys2.write_column(&vals);
+        sys2.begin_measurement();
+        let cpu = sys2.run_select_cpu(col2, 8000, 0, 499, ScanVariant::Branching, Tick::ZERO);
+        assert!(cpu.matches > 0);
+        assert!(
+            sys2.mc().counters().reads.get() >= 1000,
+            "reads={}",
+            sys2.mc().counters().reads.get()
+        );
+    }
+
+    #[test]
+    fn page_iteration_counts() {
+        let mut sys = small_system(); // 4 KiB pages = 512 rows
+        let vals = values(2048, 9, 1);
+        let col = sys.write_column(&vals);
+        let jf = sys.run_select_jafar(col, 2048, 0, 4, Tick::ZERO);
+        assert_eq!(jf.pages, 4);
+    }
+
+    #[test]
+    fn interrupt_completion_frees_the_cpu() {
+        // §2.2: polling burns CPU; interrupts free it at some latency cost.
+        let run = |completion| {
+            let mut cfg = SystemConfig::test_small();
+            cfg.query_overhead = Tick::from_ns(500);
+            cfg.page_bytes = 4096;
+            cfg.driver.completion = completion;
+            let mut sys = System::new(cfg);
+            let vals = values(8000, 999, 4);
+            let col = sys.write_column(&vals);
+            sys.run_select_jafar(col, 8000, 0, 499, Tick::ZERO)
+        };
+        let polled = run(jafar_core::CompletionMode::Polling {
+            gap: Tick::from_ns(100),
+        });
+        let interrupted = run(jafar_core::CompletionMode::Interrupt {
+            latency: Tick::from_ns(400),
+        });
+        assert_eq!(polled.matched, interrupted.matched);
+        assert!(polled.cpu_wait > Tick::ZERO, "polling spins");
+        assert_eq!(interrupted.cpu_wait, Tick::ZERO, "interrupts do not");
+        // With a long interrupt latency per page, polling finishes sooner —
+        // the CPU-utilization-vs-latency trade-off.
+        assert!(interrupted.end > polled.end);
+    }
+
+    #[test]
+    fn host_traffic_resumes_after_release() {
+        let mut sys = small_system();
+        let vals = values(1024, 9, 2);
+        let col = sys.write_column(&vals);
+        let jf = sys.run_select_jafar(col, 1024, 0, 4, Tick::ZERO);
+        // CPU can scan the same column afterwards.
+        let cpu = sys.run_select_cpu(col, 1024, 0, 4, ScanVariant::Branching, jf.end);
+        assert_eq!(cpu.matches, jf.matched);
+    }
+}

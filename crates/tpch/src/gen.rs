@@ -1,0 +1,322 @@
+//! The deterministic TPC-H-like generator.
+//!
+//! Value distributions follow the TPC-H specification where it matters to
+//! the five queries:
+//!
+//! - one customer per 1 500·sf; ten orders per customer on average, but a
+//!   third of customers have no orders (the Q22 population);
+//! - orders dated uniformly in [1992-01-01, 1998-08-02];
+//! - 1–7 lineitems per order; `l_shipdate = o_orderdate + 1..121` days,
+//!   `l_receiptdate = l_shipdate + 1..30`;
+//! - `l_returnflag` is `R`/`A` for items received before 1995-06-17 and
+//!   `N` otherwise; `l_linestatus` is `F` before that date and `O` after;
+//! - `l_quantity` 1–50; `l_discount` 0–10 %; `l_tax` 0–8 %;
+//! - `c_mktsegment` uniform over the five TPC-H segments; `c_acctbal`
+//!   uniform in [−999.99, 9999.99]; phone country codes 10–34.
+
+use jafar_columnstore::value::{Date, Decimal};
+use jafar_columnstore::{Column, Dictionary, Table};
+use jafar_common::rng::SplitMix64;
+use std::sync::Arc;
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TpchConfig {
+    /// Scale factor (1.0 = 150 k customers / ≈6 M lineitems).
+    pub sf: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            sf: 0.0001,
+            seed: 0x7C_1995,
+        }
+    }
+}
+
+/// The generated database.
+pub struct TpchDb {
+    /// `customer(c_custkey, c_mktsegment, c_acctbal, c_phone_cc)`.
+    pub customer: Table,
+    /// `orders(o_orderkey, o_custkey, o_orderdate, o_shippriority, o_totalprice)`.
+    pub orders: Table,
+    /// `lineitem(l_orderkey, l_quantity, l_extendedprice, l_discount,
+    /// l_tax, l_returnflag, l_linestatus, l_shipdate)`.
+    pub lineitem: Table,
+    /// Dictionary for `l_returnflag`.
+    pub returnflag_dict: Arc<Dictionary>,
+    /// Dictionary for `l_linestatus`.
+    pub linestatus_dict: Arc<Dictionary>,
+    /// Dictionary for `c_mktsegment`.
+    pub segment_dict: Arc<Dictionary>,
+}
+
+/// The five TPC-H market segments.
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
+
+impl TpchDb {
+    /// Generates the database.
+    pub fn generate(config: TpchConfig) -> TpchDb {
+        let mut rng = SplitMix64::new(config.seed);
+        // TPC-H spec scaling: 150 000 customers per unit scale factor;
+        // orders and lineitem follow from the per-customer/per-order
+        // fan-outs below (≈1.5 M orders and ≈6 M lineitems at sf = 1).
+        let customers = ((150_000.0 * config.sf) as usize).max(10);
+        let avg_orders_per_customer = 10usize;
+
+        let order_start = Date::from_ymd(1992, 1, 1);
+        let order_end = Date::from_ymd(1998, 8, 2);
+        let order_span = order_end.raw() - order_start.raw();
+        let cutoff = Date::from_ymd(1995, 6, 17); // returnflag/linestatus pivot
+
+        // Customers. A third (custkey % 3 == 0) place no orders — Q22's
+        // target population.
+        let segment_dict = Arc::new(Dictionary::from_domain(&SEGMENTS));
+        let c_custkey: Vec<i64> = (1..=customers as i64).collect();
+        let c_segment: Vec<&str> = (0..customers)
+            .map(|_| SEGMENTS[rng.next_below(5) as usize])
+            .collect();
+        let c_acctbal: Vec<Decimal> = (0..customers)
+            .map(|_| Decimal::from_raw(rng.next_range_inclusive(-99_999, 999_999)))
+            .collect();
+        let c_phone_cc: Vec<i64> = (0..customers)
+            .map(|_| rng.next_range_inclusive(10, 34))
+            .collect();
+
+        // Orders.
+        let mut o_orderkey = Vec::new();
+        let mut o_custkey = Vec::new();
+        let mut o_orderdate = Vec::new();
+        let mut o_totalprice = Vec::new();
+        let mut key = 1i64;
+        for &ck in &c_custkey {
+            if ck % 3 == 0 {
+                continue; // customer without orders
+            }
+            // 1.5× to keep total order mass ≈ 10·customers over the 2/3
+            // of customers that do order.
+            let n = 1 + rng.next_below(avg_orders_per_customer as u64 * 3 - 1) as usize;
+            for _ in 0..n {
+                o_orderkey.push(key);
+                o_custkey.push(ck);
+                o_orderdate.push(order_start.plus_days(rng.next_below(order_span as u64) as i64));
+                o_totalprice.push(Decimal::from_raw(rng.next_range_inclusive(90_000, 50_000_000)));
+                key += 1;
+            }
+        }
+        let n_orders = o_orderkey.len();
+
+        // Lineitems.
+        let returnflag_dict = Arc::new(Dictionary::from_domain(&["A", "N", "R"]));
+        let linestatus_dict = Arc::new(Dictionary::from_domain(&["F", "O"]));
+        let mut l_orderkey = Vec::new();
+        let mut l_quantity = Vec::new();
+        let mut l_extendedprice = Vec::new();
+        let mut l_discount = Vec::new();
+        let mut l_tax = Vec::new();
+        let mut l_returnflag: Vec<&str> = Vec::new();
+        let mut l_linestatus: Vec<&str> = Vec::new();
+        let mut l_shipdate = Vec::new();
+        for o in 0..n_orders {
+            let lines = 1 + rng.next_below(7) as usize;
+            for _ in 0..lines {
+                l_orderkey.push(o_orderkey[o]);
+                l_quantity.push(rng.next_range_inclusive(1, 50));
+                l_extendedprice
+                    .push(Decimal::from_raw(rng.next_range_inclusive(90_100, 10_500_000)));
+                l_discount.push(rng.next_range_inclusive(0, 10));
+                l_tax.push(rng.next_range_inclusive(0, 8));
+                let ship = o_orderdate[o].plus_days(1 + rng.next_below(120) as i64);
+                let receipt = ship.plus_days(1 + rng.next_below(30) as i64);
+                l_shipdate.push(ship);
+                l_returnflag.push(if receipt <= cutoff {
+                    if rng.next_bool(0.5) {
+                        "R"
+                    } else {
+                        "A"
+                    }
+                } else {
+                    "N"
+                });
+                l_linestatus.push(if ship <= cutoff { "F" } else { "O" });
+            }
+        }
+
+        TpchDb {
+            customer: Table::new(
+                "customer",
+                vec![
+                    Column::int("c_custkey", c_custkey),
+                    Column::strings("c_mktsegment", &c_segment, segment_dict.clone()),
+                    Column::decimal("c_acctbal", c_acctbal),
+                    Column::int("c_phone_cc", c_phone_cc),
+                ],
+            ),
+            orders: Table::new(
+                "orders",
+                vec![
+                    Column::int("o_orderkey", o_orderkey),
+                    Column::int("o_custkey", o_custkey),
+                    Column::date("o_orderdate", o_orderdate),
+                    Column::int("o_shippriority", vec![0; n_orders]),
+                    Column::decimal("o_totalprice", o_totalprice),
+                ],
+            ),
+            lineitem: Table::new(
+                "lineitem",
+                vec![
+                    Column::int("l_orderkey", l_orderkey),
+                    Column::int("l_quantity", l_quantity),
+                    Column::decimal("l_extendedprice", l_extendedprice),
+                    Column::int("l_discount", l_discount),
+                    Column::int("l_tax", l_tax),
+                    Column::strings("l_returnflag", &l_returnflag, returnflag_dict.clone()),
+                    Column::strings("l_linestatus", &l_linestatus, linestatus_dict.clone()),
+                    Column::date("l_shipdate", l_shipdate),
+                ],
+            ),
+            returnflag_dict,
+            linestatus_dict,
+            segment_dict,
+        }
+    }
+
+    /// Total bytes across all tables (the working set).
+    pub fn bytes(&self) -> u64 {
+        self.customer.bytes() + self.orders.bytes() + self.lineitem.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TpchDb {
+        TpchDb::generate(TpchConfig {
+            sf: 0.005,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.lineitem.rows(), b.lineitem.rows());
+        assert_eq!(
+            a.lineitem.column("l_extendedprice").data(),
+            b.lineitem.column("l_extendedprice").data()
+        );
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let db = small();
+        let customers = db.customer.rows();
+        assert!(customers >= 7, "≈1500·0.005");
+        // Roughly 10 orders per ordering customer × 2/3 of customers,
+        // 1–7 lines per order.
+        assert!(db.orders.rows() > customers * 3);
+        assert!(db.lineitem.rows() > db.orders.rows() * 2);
+        assert!(db.lineitem.rows() < db.orders.rows() * 8);
+    }
+
+    #[test]
+    fn a_third_of_customers_have_no_orders() {
+        let db = small();
+        let with_orders: std::collections::HashSet<i64> =
+            db.orders.column("o_custkey").data().iter().copied().collect();
+        let total = db.customer.rows();
+        let without = db
+            .customer
+            .column("c_custkey")
+            .data()
+            .iter()
+            .filter(|k| !with_orders.contains(k))
+            .count();
+        let frac = without as f64 / total as f64;
+        assert!((0.25..0.45).contains(&frac), "frac={frac}");
+    }
+
+    #[test]
+    fn date_chains_are_consistent() {
+        let db = small();
+        // Every lineitem ships after its order date.
+        let order_dates: std::collections::HashMap<i64, i64> = db
+            .orders
+            .column("o_orderkey")
+            .data()
+            .iter()
+            .zip(db.orders.column("o_orderdate").data())
+            .map(|(&k, &d)| (k, d))
+            .collect();
+        for (ok, sd) in db
+            .lineitem
+            .column("l_orderkey")
+            .data()
+            .iter()
+            .zip(db.lineitem.column("l_shipdate").data())
+        {
+            let od = order_dates[ok];
+            assert!(*sd > od && *sd <= od + 121, "ship {sd} vs order {od}");
+        }
+    }
+
+    #[test]
+    fn returnflag_correlates_with_cutoff() {
+        let db = small();
+        let cutoff = Date::from_ymd(1995, 6, 17).raw();
+        let flag_n = db.returnflag_dict.encode("N").unwrap();
+        for (flag, ship) in db
+            .lineitem
+            .column("l_returnflag")
+            .data()
+            .iter()
+            .zip(db.lineitem.column("l_shipdate").data())
+        {
+            // Items shipped well after the cutoff must be received after
+            // it too (receipt ≤ ship + 30): N.
+            if *ship > cutoff {
+                assert_eq!(*flag, flag_n);
+            }
+        }
+    }
+
+    #[test]
+    fn value_domains() {
+        let db = small();
+        for &q in db.lineitem.column("l_quantity").data() {
+            assert!((1..=50).contains(&q));
+        }
+        for &d in db.lineitem.column("l_discount").data() {
+            assert!((0..=10).contains(&d));
+        }
+        for &t in db.lineitem.column("l_tax").data() {
+            assert!((0..=8).contains(&t));
+        }
+        for &cc in db.customer.column("c_phone_cc").data() {
+            assert!((10..=34).contains(&cc));
+        }
+    }
+
+    #[test]
+    fn working_set_size_positive() {
+        let db = small();
+        assert!(db.bytes() > 20_000, "{}", db.bytes());
+        // And it grows with scale factor.
+        let bigger = TpchDb::generate(TpchConfig {
+            sf: 0.02,
+            seed: 42,
+        });
+        assert!(bigger.bytes() > db.bytes() * 2);
+    }
+}

@@ -1,0 +1,23 @@
+//! # jafar-tpch — TPC-H-like workload for the contention study
+//!
+//! Figure 4 profiles "several filter-heavy TPC-H queries" — Q1, Q3, Q6,
+//! Q18 and Q22 — on MonetDB to measure memory-controller idle periods.
+//! This crate provides:
+//!
+//! - [`gen`]: a deterministic, seeded generator for the TPC-H tables those
+//!   queries touch (`customer`, `orders`, `lineitem`), with the schema
+//!   reduced to the referenced columns and TPC-H-like value distributions
+//!   (dates correlated through order→ship→receipt chains, dictionary-
+//!   encoded flag/segment strings, scaled-decimal prices);
+//! - [`queries`]: the five queries implemented as bulk operator pipelines
+//!   on the [`jafar_columnstore::ExecContext`], each returning a typed
+//!   result and leaving behind the operator trace the simulator times.
+//!
+//! Scale factors are fractional: `sf = 1.0` is the standard 6 M-row
+//! lineitem; the Figure-4 reproduction samples at small `sf` exactly as
+//! the paper samples with a 4 M-row dataset (§3.1's sampling argument).
+
+pub mod gen;
+pub mod queries;
+
+pub use gen::{TpchConfig, TpchDb};

@@ -1,0 +1,57 @@
+//! The five filter-heavy TPC-H queries of Figure 4, as bulk operator
+//! pipelines over the column-store execution context.
+//!
+//! Monetary units: `*_price` columns are scaled decimals (×100);
+//! `l_discount` and `l_tax` are whole percents. Derived revenues keep the
+//! ×100 scaling (`price_raw × (100 − disc) / 100`), matching how a
+//! fixed-point engine would evaluate them.
+
+pub mod plans;
+pub mod q1;
+pub mod q18;
+pub mod q22;
+pub mod q3;
+pub mod q6;
+
+pub use q1::{run as q1, Q1Row};
+pub use q18::{run as q18, Q18Row};
+pub use q22::{run as q22, Q22Row};
+pub use q3::{run as q3, Q3Row};
+pub use q6::run as q6;
+
+/// A Figure-4 query identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryId {
+    /// Pricing summary report.
+    Q1,
+    /// Shipping priority.
+    Q3,
+    /// Forecasting revenue change.
+    Q6,
+    /// Large volume customer.
+    Q18,
+    /// Global sales opportunity.
+    Q22,
+}
+
+impl QueryId {
+    /// All five, in Figure-4 order.
+    pub const ALL: [QueryId; 5] = [
+        QueryId::Q1,
+        QueryId::Q3,
+        QueryId::Q6,
+        QueryId::Q18,
+        QueryId::Q22,
+    ];
+
+    /// Display label ("Q1", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryId::Q1 => "Q1",
+            QueryId::Q3 => "Q3",
+            QueryId::Q6 => "Q6",
+            QueryId::Q18 => "Q18",
+            QueryId::Q22 => "Q22",
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! TPC-H Q1 — pricing summary report.
+//!
+//! ```sql
+//! SELECT l_returnflag, l_linestatus,
+//!        SUM(l_quantity), SUM(l_extendedprice),
+//!        SUM(l_extendedprice·(1−l_discount)),
+//!        SUM(l_extendedprice·(1−l_discount)·(1+l_tax)),
+//!        AVG(l_quantity), AVG(l_extendedprice), AVG(l_discount), COUNT(*)
+//! FROM lineitem
+//! WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+//! GROUP BY l_returnflag, l_linestatus
+//! ORDER BY l_returnflag, l_linestatus
+//! ```
+//!
+//! Aggregation-heavy: one selective-ish scan, then heavy per-row
+//! arithmetic — the high-idle-period end of Figure 4.
+
+use crate::gen::TpchDb;
+use jafar_columnstore::exec::{ExecContext, Pred};
+use jafar_columnstore::ops::agg::{AggKind, AggSpec};
+use jafar_columnstore::value::Date;
+
+/// One Q1 result row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Q1Row {
+    /// `l_returnflag` (dictionary code).
+    pub returnflag: i64,
+    /// `l_linestatus` (dictionary code).
+    pub linestatus: i64,
+    /// `SUM(l_quantity)`.
+    pub sum_qty: i64,
+    /// `SUM(l_extendedprice)` (raw ×100).
+    pub sum_base_price: i64,
+    /// `SUM(l_extendedprice·(1−l_discount))` (raw ×100).
+    pub sum_disc_price: i64,
+    /// `SUM(l_extendedprice·(1−l_discount)·(1+l_tax))` (raw ×100).
+    pub sum_charge: i64,
+    /// `COUNT(*)`.
+    pub count: u64,
+}
+
+/// Runs Q1.
+pub fn run(db: &TpchDb, cx: &mut ExecContext) -> Vec<Q1Row> {
+    let cutoff = Date::from_ymd(1998, 12, 1).plus_days(-90);
+    let li = &db.lineitem;
+
+    let pos = cx.select(li, "l_shipdate", Pred::Le(cutoff.raw()));
+    let flag = cx.project(li, "l_returnflag", &pos);
+    let status = cx.project(li, "l_linestatus", &pos);
+    let qty = cx.project(li, "l_quantity", &pos);
+    let price = cx.project(li, "l_extendedprice", &pos);
+    let disc = cx.project(li, "l_discount", &pos);
+    let tax = cx.project(li, "l_tax", &pos);
+
+    // Derived expressions (fixed-point, ×100 preserved).
+    let disc_price: Vec<i64> = price
+        .iter()
+        .zip(&disc)
+        .map(|(&p, &d)| p * (100 - d) / 100)
+        .collect();
+    let charge: Vec<i64> = disc_price
+        .iter()
+        .zip(&tax)
+        .map(|(&dp, &t)| dp * (100 + t) / 100)
+        .collect();
+
+    let grouped = cx
+        .group_by(
+            &[&flag, &status],
+            &[
+                AggSpec {
+                    kind: AggKind::Sum,
+                    input: &qty,
+                },
+                AggSpec {
+                    kind: AggKind::Sum,
+                    input: &price,
+                },
+                AggSpec {
+                    kind: AggKind::Sum,
+                    input: &disc_price,
+                },
+                AggSpec {
+                    kind: AggKind::Sum,
+                    input: &charge,
+                },
+            ],
+        )
+        .sorted_by_keys();
+    cx.materialize(grouped.len() as u64, 7);
+
+    (0..grouped.len())
+        .map(|g| Q1Row {
+            returnflag: grouped.keys[0][g],
+            linestatus: grouped.keys[1][g],
+            sum_qty: grouped.aggs[0][g],
+            sum_base_price: grouped.aggs[1][g],
+            sum_disc_price: grouped.aggs[2][g],
+            sum_charge: grouped.aggs[3][g],
+            count: grouped.counts[g],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TpchConfig;
+    use jafar_columnstore::{ExecContext, Planner};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn matches_row_wise_reference() {
+        let db = TpchDb::generate(TpchConfig {
+            sf: 0.003,
+            seed: 7,
+        });
+        let mut cx = ExecContext::new(Planner::default());
+        let got = run(&db, &mut cx);
+
+        // Naive reference.
+        let cutoff = Date::from_ymd(1998, 12, 1).plus_days(-90).raw();
+        let li = &db.lineitem;
+        type Acc = (i64, i64, i64, i64, u64); // qty, base, disc, charge, n
+        let mut groups: BTreeMap<(i64, i64), Acc> = BTreeMap::new();
+        for r in 0..li.rows() {
+            if li.column("l_shipdate").get(r) > cutoff {
+                continue;
+            }
+            let key = (
+                li.column("l_returnflag").get(r),
+                li.column("l_linestatus").get(r),
+            );
+            let p = li.column("l_extendedprice").get(r);
+            let d = li.column("l_discount").get(r);
+            let t = li.column("l_tax").get(r);
+            let dp = p * (100 - d) / 100;
+            let ch = dp * (100 + t) / 100;
+            let e = groups.entry(key).or_default();
+            e.0 += li.column("l_quantity").get(r);
+            e.1 += p;
+            e.2 += dp;
+            e.3 += ch;
+            e.4 += 1;
+        }
+        let want: Vec<Q1Row> = groups
+            .into_iter()
+            .map(|((rf, ls), (q, bp, dp, ch, n))| Q1Row {
+                returnflag: rf,
+                linestatus: ls,
+                sum_qty: q,
+                sum_base_price: bp,
+                sum_disc_price: dp,
+                sum_charge: ch,
+                count: n,
+            })
+            .collect();
+        assert_eq!(got, want);
+        // TPC-H Q1 famously returns 4 groups (A/F, N/F, N/O, R/F).
+        assert_eq!(got.len(), 4);
+    }
+
+    #[test]
+    fn trace_shape() {
+        let db = TpchDb::generate(TpchConfig::default());
+        let mut cx = ExecContext::new(Planner::default());
+        let _ = run(&db, &mut cx);
+        let trace = cx.trace();
+        // 1 scan + 6 gathers + 1 aggregate + 1 materialize.
+        assert_eq!(trace.len(), 9);
+        assert!(trace.rows_scanned() >= db.lineitem.rows() as u64);
+    }
+}

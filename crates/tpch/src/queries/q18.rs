@@ -1,0 +1,163 @@
+//! TPC-H Q18 — large volume customer.
+//!
+//! ```sql
+//! SELECT c_custkey, o_orderkey, o_orderdate, o_totalprice, SUM(l_quantity)
+//! FROM customer, orders, lineitem
+//! WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem
+//!                      GROUP BY l_orderkey HAVING SUM(l_quantity) > :t)
+//!   AND c_custkey = o_custkey AND o_orderkey = l_orderkey
+//! GROUP BY c_custkey, o_orderkey, o_orderdate, o_totalprice
+//! ORDER BY o_totalprice DESC, o_orderdate
+//! LIMIT 100
+//! ```
+//!
+//! Join/aggregation heavy with *no* selective scan — the least
+//! JAFAR-friendly of the five, and among the longest idle periods in
+//! Figure 4 (lots of hash-table compute per byte streamed).
+
+use crate::gen::TpchDb;
+use jafar_columnstore::exec::{ExecContext, SortDir};
+use jafar_columnstore::ops::agg::{AggKind, AggSpec};
+use jafar_columnstore::positions::PositionList;
+
+/// One Q18 result row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Q18Row {
+    /// Customer key.
+    pub custkey: i64,
+    /// Order key.
+    pub orderkey: i64,
+    /// Order date (raw day number).
+    pub orderdate: i64,
+    /// Order total price (raw ×100).
+    pub totalprice: i64,
+    /// Total quantity across the order's lineitems.
+    pub sum_qty: i64,
+}
+
+/// Runs Q18 with quantity threshold `threshold` (the spec uses 300) and
+/// LIMIT `limit` (the spec uses 100).
+pub fn run(db: &TpchDb, cx: &mut ExecContext, threshold: i64, limit: usize) -> Vec<Q18Row> {
+    let li = &db.lineitem;
+    let all_li: PositionList = (0..li.rows() as u32).collect();
+    let li_key = cx.project(li, "l_orderkey", &all_li);
+    let li_qty = cx.project(li, "l_quantity", &all_li);
+
+    // HAVING subquery: orders whose lineitems sum past the threshold.
+    let per_order = cx.group_by(
+        &[&li_key],
+        &[AggSpec {
+            kind: AggKind::Sum,
+            input: &li_qty,
+        }],
+    );
+    let big_orders: Vec<i64> = (0..per_order.len())
+        .filter(|&g| per_order.aggs[0][g] > threshold)
+        .map(|g| per_order.keys[0][g])
+        .collect();
+    let big_qty: Vec<i64> = (0..per_order.len())
+        .filter(|&g| per_order.aggs[0][g] > threshold)
+        .map(|g| per_order.aggs[0][g])
+        .collect();
+
+    // Join with orders on o_orderkey.
+    let all_o: PositionList = (0..db.orders.rows() as u32).collect();
+    let o_key = cx.project(&db.orders, "o_orderkey", &all_o);
+    let o_cust = cx.project(&db.orders, "o_custkey", &all_o);
+    let o_date = cx.project(&db.orders, "o_orderdate", &all_o);
+    let o_total = cx.project(&db.orders, "o_totalprice", &all_o);
+    let pairs = cx.join(&big_orders, &o_key);
+
+    let mut rows: Vec<Q18Row> = pairs
+        .iter()
+        .map(|&(b, o)| Q18Row {
+            custkey: o_cust[o as usize],
+            orderkey: o_key[o as usize],
+            orderdate: o_date[o as usize],
+            totalprice: o_total[o as usize],
+            sum_qty: big_qty[b as usize],
+        })
+        .collect();
+
+    // ORDER BY o_totalprice DESC, o_orderdate; LIMIT.
+    let totals: Vec<i64> = rows.iter().map(|r| r.totalprice).collect();
+    let dates: Vec<i64> = rows.iter().map(|r| r.orderdate).collect();
+    let order = cx.sort(&[(&totals, SortDir::Desc), (&dates, SortDir::Asc)]);
+    let take = order.len().min(limit);
+    cx.materialize(take as u64, 5);
+    rows = order[..take].iter().map(|&i| rows[i as usize].clone()).collect();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TpchConfig;
+    use jafar_columnstore::{ExecContext, Planner};
+    use std::collections::HashMap;
+
+    #[test]
+    fn matches_row_wise_reference() {
+        let db = TpchDb::generate(TpchConfig {
+            sf: 0.004,
+            seed: 3,
+        });
+        // A lower threshold so the small sample yields matches.
+        let threshold = 180;
+        let mut cx = ExecContext::new(Planner::default());
+        let got = run(&db, &mut cx, threshold, 100);
+
+        let mut qty: HashMap<i64, i64> = HashMap::new();
+        for r in 0..db.lineitem.rows() {
+            *qty.entry(db.lineitem.column("l_orderkey").get(r)).or_default() +=
+                db.lineitem.column("l_quantity").get(r);
+        }
+        let mut want: Vec<Q18Row> = (0..db.orders.rows())
+            .filter_map(|r| {
+                let ok = db.orders.column("o_orderkey").get(r);
+                let q = *qty.get(&ok)?;
+                (q > threshold).then(|| Q18Row {
+                    custkey: db.orders.column("o_custkey").get(r),
+                    orderkey: ok,
+                    orderdate: db.orders.column("o_orderdate").get(r),
+                    totalprice: db.orders.column("o_totalprice").get(r),
+                    sum_qty: q,
+                })
+            })
+            .collect();
+        want.sort_by(|a, b| {
+            b.totalprice
+                .cmp(&a.totalprice)
+                .then(a.orderdate.cmp(&b.orderdate))
+                .then(a.orderkey.cmp(&b.orderkey))
+        });
+        want.truncate(100);
+        assert!(!want.is_empty(), "threshold {threshold} should match");
+        assert_eq!(got.len(), want.len());
+        // Compare as sets keyed by orderkey (tie order on equal
+        // totalprice+date is unspecified).
+        let mut got_sorted = got.clone();
+        got_sorted.sort_by_key(|r| r.orderkey);
+        let mut want_sorted = want.clone();
+        want_sorted.sort_by_key(|r| r.orderkey);
+        assert_eq!(got_sorted, want_sorted);
+    }
+
+    #[test]
+    fn high_threshold_yields_empty() {
+        let db = TpchDb::generate(TpchConfig::default());
+        let mut cx = ExecContext::new(Planner::default());
+        let got = run(&db, &mut cx, 10_000, 100);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn result_ordered_by_totalprice_desc() {
+        let db = TpchDb::generate(TpchConfig::default());
+        let mut cx = ExecContext::new(Planner::default());
+        let got = run(&db, &mut cx, 200, 50);
+        for w in got.windows(2) {
+            assert!(w[0].totalprice >= w[1].totalprice);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! TPC-H Q22 — global sales opportunity.
+//!
+//! ```sql
+//! SELECT cntrycode, COUNT(*), SUM(c_acctbal)
+//! FROM (SELECT phone_country(c_phone) AS cntrycode, c_acctbal
+//!       FROM customer
+//!       WHERE phone_country(c_phone) IN (13, 31, 23, 29, 30, 18, 17)
+//!         AND c_acctbal > (SELECT AVG(c_acctbal) FROM customer
+//!                          WHERE c_acctbal > 0
+//!                            AND phone_country(c_phone) IN (...))
+//!         AND NOT EXISTS (SELECT * FROM orders
+//!                         WHERE o_custkey = c_custkey))
+//! GROUP BY cntrycode ORDER BY cntrycode
+//! ```
+//!
+//! The phone country code is materialised as the integer column
+//! `c_phone_cc` (dictionary-style pre-extraction of `substring(c_phone,
+//! 1, 2)`), so the `IN` list becomes a disjunction of integer equality
+//! scans — the JAFAR-native form.
+
+use crate::gen::TpchDb;
+use jafar_columnstore::exec::{ExecContext, Pred};
+use jafar_columnstore::ops::agg::{AggKind, AggSpec};
+use jafar_columnstore::positions::PositionList;
+
+/// The spec's country-code list.
+pub const COUNTRY_CODES: [i64; 7] = [13, 31, 23, 29, 30, 18, 17];
+
+/// One Q22 result row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Q22Row {
+    /// Country code.
+    pub cntrycode: i64,
+    /// Number of qualifying customers.
+    pub numcust: u64,
+    /// Their total account balance (raw ×100).
+    pub totacctbal: i64,
+}
+
+/// Runs Q22.
+pub fn run(db: &TpchDb, cx: &mut ExecContext) -> Vec<Q22Row> {
+    let cust = &db.customer;
+
+    // IN-list as a union of equality selects (bulk style).
+    let mut in_list = PositionList::new();
+    for &cc in &COUNTRY_CODES {
+        let p = cx.select(cust, "c_phone_cc", Pred::Eq(cc));
+        in_list = in_list.union(&p);
+    }
+
+    // Scalar subquery: AVG(c_acctbal) over positive balances in the list.
+    let pos_bal = cx.select_at(cust, "c_acctbal", &in_list, Pred::Gt(0));
+    let balances = cx.project(cust, "c_acctbal", &pos_bal);
+    let avg = if balances.is_empty() {
+        0
+    } else {
+        balances.iter().sum::<i64>() / balances.len() as i64
+    };
+
+    // Filter: balance above average.
+    let above = cx.select_at(cust, "c_acctbal", &in_list, Pred::Gt(avg));
+
+    // NOT EXISTS orders: anti-join on custkey.
+    let above_keys = cx.project(cust, "c_custkey", &above);
+    let all_orders: PositionList = (0..db.orders.rows() as u32).collect();
+    let o_cust = cx.project(&db.orders, "o_custkey", &all_orders);
+    let no_orders_idx = cx.anti_join(&o_cust, &above_keys);
+
+    let final_pos: PositionList = no_orders_idx
+        .iter()
+        .map(|&i| above.as_slice()[i as usize])
+        .collect();
+    let cc = cx.project(cust, "c_phone_cc", &final_pos);
+    let bal = cx.project(cust, "c_acctbal", &final_pos);
+
+    let grouped = cx
+        .group_by(
+            &[&cc],
+            &[AggSpec {
+                kind: AggKind::Sum,
+                input: &bal,
+            }],
+        )
+        .sorted_by_keys();
+    cx.materialize(grouped.len() as u64, 3);
+
+    (0..grouped.len())
+        .map(|g| Q22Row {
+            cntrycode: grouped.keys[0][g],
+            numcust: grouped.counts[g],
+            totacctbal: grouped.aggs[0][g],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TpchConfig;
+    use jafar_columnstore::{ExecContext, Planner};
+    use std::collections::{BTreeMap, HashSet};
+
+    #[test]
+    fn matches_row_wise_reference() {
+        let db = TpchDb::generate(TpchConfig {
+            sf: 0.01,
+            seed: 5,
+        });
+        let mut cx = ExecContext::new(Planner::default());
+        let got = run(&db, &mut cx);
+
+        // Reference.
+        let codes: HashSet<i64> = COUNTRY_CODES.into_iter().collect();
+        let cust = &db.customer;
+        let in_list: Vec<usize> = (0..cust.rows())
+            .filter(|&r| codes.contains(&cust.column("c_phone_cc").get(r)))
+            .collect();
+        let positives: Vec<i64> = in_list
+            .iter()
+            .map(|&r| cust.column("c_acctbal").get(r))
+            .filter(|&b| b > 0)
+            .collect();
+        let avg = positives.iter().sum::<i64>() / positives.len().max(1) as i64;
+        let with_orders: HashSet<i64> =
+            db.orders.column("o_custkey").data().iter().copied().collect();
+        let mut groups: BTreeMap<i64, (u64, i64)> = BTreeMap::new();
+        for &r in &in_list {
+            let bal = cust.column("c_acctbal").get(r);
+            let key = cust.column("c_custkey").get(r);
+            if bal > avg && !with_orders.contains(&key) {
+                let e = groups.entry(cust.column("c_phone_cc").get(r)).or_default();
+                e.0 += 1;
+                e.1 += bal;
+            }
+        }
+        let want: Vec<Q22Row> = groups
+            .into_iter()
+            .map(|(cc, (n, t))| Q22Row {
+                cntrycode: cc,
+                numcust: n,
+                totacctbal: t,
+            })
+            .collect();
+        assert_eq!(got, want);
+        assert!(!got.is_empty(), "a third of customers have no orders");
+    }
+
+    #[test]
+    fn output_sorted_by_country_code() {
+        let db = TpchDb::generate(TpchConfig::default());
+        let mut cx = ExecContext::new(Planner::default());
+        let got = run(&db, &mut cx);
+        for w in got.windows(2) {
+            assert!(w[0].cntrycode < w[1].cntrycode);
+        }
+        for r in &got {
+            assert!(COUNTRY_CODES.contains(&r.cntrycode));
+        }
+    }
+}

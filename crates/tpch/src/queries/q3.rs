@@ -1,0 +1,176 @@
+//! TPC-H Q3 — shipping priority.
+//!
+//! ```sql
+//! SELECT l_orderkey, SUM(l_extendedprice·(1−l_discount)) AS revenue,
+//!        o_orderdate, o_shippriority
+//! FROM customer, orders, lineitem
+//! WHERE c_mktsegment = 'BUILDING'
+//!   AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+//!   AND o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15'
+//! GROUP BY l_orderkey, o_orderdate, o_shippriority
+//! ORDER BY revenue DESC, o_orderdate
+//! LIMIT 10
+//! ```
+
+use crate::gen::TpchDb;
+use jafar_columnstore::exec::{ExecContext, Pred, SortDir};
+use jafar_columnstore::ops::agg::{AggKind, AggSpec};
+use jafar_columnstore::value::Date;
+
+/// One Q3 result row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Q3Row {
+    /// The order key.
+    pub orderkey: i64,
+    /// Revenue (raw ×100).
+    pub revenue: i64,
+    /// Order date (raw day number).
+    pub orderdate: i64,
+    /// Ship priority.
+    pub shippriority: i64,
+}
+
+/// Runs Q3, returning at most `limit` rows (the spec's LIMIT 10).
+pub fn run(db: &TpchDb, cx: &mut ExecContext, limit: usize) -> Vec<Q3Row> {
+    let pivot = Date::from_ymd(1995, 3, 15).raw();
+    let seg = db
+        .segment_dict
+        .encode("BUILDING")
+        .expect("segment in domain");
+
+    // Selections.
+    let cust_pos = cx.select(&db.customer, "c_mktsegment", Pred::Eq(seg));
+    let cust_keys = cx.project(&db.customer, "c_custkey", &cust_pos);
+
+    let ord_pos = cx.select(&db.orders, "o_orderdate", Pred::Lt(pivot));
+    let ord_cust = cx.project(&db.orders, "o_custkey", &ord_pos);
+    let ord_key = cx.project(&db.orders, "o_orderkey", &ord_pos);
+    let ord_date = cx.project(&db.orders, "o_orderdate", &ord_pos);
+    let ord_prio = cx.project(&db.orders, "o_shippriority", &ord_pos);
+
+    let li_pos = cx.select(&db.lineitem, "l_shipdate", Pred::Gt(pivot));
+    let li_key = cx.project(&db.lineitem, "l_orderkey", &li_pos);
+    let li_price = cx.project(&db.lineitem, "l_extendedprice", &li_pos);
+    let li_disc = cx.project(&db.lineitem, "l_discount", &li_pos);
+
+    // customer ⋈ orders (semi-join suffices: customers only filter).
+    let ord_surviving = cx.semi_join(&cust_keys, &ord_cust);
+    let surv_key: Vec<i64> = ord_surviving.iter().map(|&i| ord_key[i as usize]).collect();
+    let surv_date: Vec<i64> = ord_surviving.iter().map(|&i| ord_date[i as usize]).collect();
+    let surv_prio: Vec<i64> = ord_surviving.iter().map(|&i| ord_prio[i as usize]).collect();
+
+    // orders ⋈ lineitem.
+    let pairs = cx.join(&surv_key, &li_key);
+    let g_key: Vec<i64> = pairs.iter().map(|&(b, _)| surv_key[b as usize]).collect();
+    let g_date: Vec<i64> = pairs.iter().map(|&(b, _)| surv_date[b as usize]).collect();
+    let g_prio: Vec<i64> = pairs.iter().map(|&(b, _)| surv_prio[b as usize]).collect();
+    let g_rev: Vec<i64> = pairs
+        .iter()
+        .map(|&(_, p)| {
+            let price = li_price[p as usize];
+            let d = li_disc[p as usize];
+            price * (100 - d) / 100
+        })
+        .collect();
+
+    let grouped = cx.group_by(
+        &[&g_key, &g_date, &g_prio],
+        &[AggSpec {
+            kind: AggKind::Sum,
+            input: &g_rev,
+        }],
+    );
+
+    // ORDER BY revenue DESC, o_orderdate ASC; LIMIT.
+    let order = cx.sort(&[(&grouped.aggs[0], SortDir::Desc), (&grouped.keys[1], SortDir::Asc)]);
+    let take = order.len().min(limit);
+    cx.materialize(take as u64, 4);
+    order[..take]
+        .iter()
+        .map(|&g| Q3Row {
+            orderkey: grouped.keys[0][g as usize],
+            revenue: grouped.aggs[0][g as usize],
+            orderdate: grouped.keys[1][g as usize],
+            shippriority: grouped.keys[2][g as usize],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TpchConfig;
+    use jafar_columnstore::{ExecContext, Planner};
+    use std::collections::HashMap;
+
+    #[test]
+    fn matches_row_wise_reference() {
+        let db = TpchDb::generate(TpchConfig {
+            sf: 0.01,
+            seed: 21,
+        });
+        let mut cx = ExecContext::new(Planner::default());
+        let got = run(&db, &mut cx, 10);
+
+        // Reference.
+        let pivot = Date::from_ymd(1995, 3, 15).raw();
+        let seg = db.segment_dict.encode("BUILDING").unwrap();
+        let building: std::collections::HashSet<i64> = (0..db.customer.rows())
+            .filter(|&r| db.customer.column("c_mktsegment").get(r) == seg)
+            .map(|r| db.customer.column("c_custkey").get(r))
+            .collect();
+        let mut order_info: HashMap<i64, (i64, i64)> = HashMap::new();
+        for r in 0..db.orders.rows() {
+            let od = db.orders.column("o_orderdate").get(r);
+            let ck = db.orders.column("o_custkey").get(r);
+            if od < pivot && building.contains(&ck) {
+                order_info.insert(
+                    db.orders.column("o_orderkey").get(r),
+                    (od, db.orders.column("o_shippriority").get(r)),
+                );
+            }
+        }
+        let mut rev: HashMap<i64, i64> = HashMap::new();
+        for r in 0..db.lineitem.rows() {
+            let ok = db.lineitem.column("l_orderkey").get(r);
+            if db.lineitem.column("l_shipdate").get(r) > pivot && order_info.contains_key(&ok) {
+                let p = db.lineitem.column("l_extendedprice").get(r);
+                let d = db.lineitem.column("l_discount").get(r);
+                *rev.entry(ok).or_default() += p * (100 - d) / 100;
+            }
+        }
+        let mut want: Vec<Q3Row> = rev
+            .into_iter()
+            .map(|(ok, revenue)| {
+                let (od, prio) = order_info[&ok];
+                Q3Row {
+                    orderkey: ok,
+                    revenue,
+                    orderdate: od,
+                    shippriority: prio,
+                }
+            })
+            .collect();
+        want.sort_by(|a, b| b.revenue.cmp(&a.revenue).then(a.orderdate.cmp(&b.orderdate)));
+        want.truncate(10);
+        // Revenue/date ordering is deterministic; on full ties of both the
+        // tie-break is unspecified, so compare the sorted key sets.
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!((g.revenue, g.orderdate), (w.revenue, w.orderdate));
+        }
+        assert!(!got.is_empty(), "BUILDING segment should produce results");
+    }
+
+    #[test]
+    fn limit_respected() {
+        let db = TpchDb::generate(TpchConfig::default());
+        let mut cx = ExecContext::new(Planner::default());
+        let got = run(&db, &mut cx, 3);
+        assert!(got.len() <= 3);
+        // Descending revenue.
+        for w in got.windows(2) {
+            assert!(w[0].revenue >= w[1].revenue);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! # jafar — Near-Data Processing for Databases
+//!
+//! Facade crate re-exporting the whole JAFAR reproduction workspace: a
+//! from-scratch Rust implementation of the system described in *"Beyond the
+//! Wall: Near-Data Processing for Databases"* (Xi, Babarinsa, Athanassoulis,
+//! Idreos — DaMoN 2015), including every substrate the paper's evaluation
+//! relied on (DDR3 timing model, memory controller, cache hierarchy, host CPU
+//! model, an Aladdin-like accelerator modelling tool, a prototype
+//! column-store, and a TPC-H-like workload generator).
+//!
+//! See the individual crates for details:
+//!
+//! - [`common`]: ticks, clocks, bitsets, statistics.
+//! - [`dram`]: functional + timing DDR3 SDRAM model.
+//! - [`memctl`]: memory controller with FR-FCFS scheduling and the
+//!   performance counters Figure 4 samples.
+//! - [`cache`]: set-associative write-back cache hierarchy.
+//! - [`cpu`]: host CPU scan-kernel timing model.
+//! - [`accel`]: dependence-graph accelerator modelling (Aladdin-like).
+//! - [`core`]: the JAFAR device, its host API, and the §4 extensions.
+//! - [`columnstore`]: the prototype column-store with JAFAR pushdown.
+//! - [`tpch`]: TPC-H-like generator and queries Q1/Q3/Q6/Q18/Q22.
+//! - [`sim`]: the full-system simulator tying everything together.
+//!
+//! # Example: one select, both ways
+//!
+//! ```
+//! use jafar::common::time::Tick;
+//! use jafar::cpu::ScanVariant;
+//! use jafar::sim::{System, SystemConfig};
+//!
+//! let mut system = System::new(SystemConfig::test_small());
+//! let values: Vec<i64> = (0..4096).map(|i| i % 100).collect();
+//! let column = system.write_column(&values);
+//!
+//! let cpu = system.run_select_cpu(column, 4096, 0, 49, ScanVariant::Branching, Tick::ZERO);
+//! let jafar = system.run_select_jafar(column, 4096, 0, 49, cpu.end);
+//! assert_eq!(cpu.matches, jafar.matched);
+//! assert!(jafar.end - cpu.end < cpu.end, "the pushdown wins");
+//! ```
+
+pub use jafar_accel as accel;
+pub use jafar_cache as cache;
+pub use jafar_columnstore as columnstore;
+pub use jafar_common as common;
+pub use jafar_core as core;
+pub use jafar_cpu as cpu;
+pub use jafar_dram as dram;
+pub use jafar_memctl as memctl;
+pub use jafar_sim as sim;
+pub use jafar_tpch as tpch;

@@ -1,0 +1,142 @@
+//! End-to-end cross-validation of the select paths: the CPU scan engine,
+//! the JAFAR device, and the column-store's functional operator must all
+//! agree on every workload, and their timing must satisfy the paper's
+//! qualitative claims.
+
+use jafar::columnstore::ops::{scan, ScanPredicate};
+use jafar::columnstore::Column;
+use jafar::common::bitset::BitSet;
+use jafar::common::rng::SplitMix64;
+use jafar::common::time::Tick;
+use jafar::cpu::ScanVariant;
+use jafar::sim::{System, SystemConfig};
+use proptest::prelude::*;
+
+fn values(n: usize, max: i64, seed: u64) -> Vec<i64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_range_inclusive(0, max)).collect()
+}
+
+fn small_system() -> System {
+    let mut cfg = SystemConfig::test_small();
+    cfg.query_overhead = Tick::from_ns(500);
+    System::new(cfg)
+}
+
+#[test]
+fn three_implementations_agree() {
+    let vals = values(10_000, 999, 77);
+    let (lo, hi) = (137, 664);
+
+    // 1. Column-store functional reference.
+    let column = Column::int("v", vals.clone());
+    let reference = scan(&column, ScanPredicate::Between(lo, hi));
+
+    // 2. CPU timing path.
+    let mut sys = small_system();
+    let col = sys.write_column(&vals);
+    let cpu = sys.run_select_cpu(col, 10_000, lo, hi, ScanVariant::Branching, Tick::ZERO);
+    assert_eq!(cpu.positions, reference.as_slice());
+
+    // 3. JAFAR device path (bitset out of simulated DRAM).
+    let jf = sys.run_select_jafar(col, 10_000, lo, hi, cpu.end);
+    let mut bytes = vec![0u8; 10_000usize.div_ceil(8)];
+    sys.mc().module().data().read(jf.out_addr, &mut bytes);
+    let bits = BitSet::from_bytes(&bytes, 10_000);
+    assert_eq!(bits.to_positions(), reference.as_slice());
+}
+
+#[test]
+fn all_cpu_variants_agree_with_device() {
+    let vals = values(4_096, 99, 3);
+    for variant in [
+        ScanVariant::Branching,
+        ScanVariant::Predicated,
+        ScanVariant::Vectorized { lanes: 4 },
+    ] {
+        let mut sys = small_system();
+        let col = sys.write_column(&vals);
+        let cpu = sys.run_select_cpu(col, 4_096, 25, 74, variant, Tick::ZERO);
+        let jf = sys.run_select_jafar(col, 4_096, 25, 74, cpu.end);
+        assert_eq!(cpu.matches, jf.matched, "{variant:?}");
+    }
+}
+
+#[test]
+fn figure3_shape_holds_at_small_scale() {
+    // The qualitative Figure-3 claims at integration-test scale:
+    // monotone-ish increasing speedup, constant JAFAR time.
+    // Tiny test geometry: rank 0 holds 256 KiB — the column plus the
+    // device's bitset must fit.
+    let rows = 16_384u64;
+    let vals = values(rows as usize, 999, 15);
+    let mut speedups = Vec::new();
+    let mut jafar_times = Vec::new();
+    for hi in [-1i64, 249, 499, 749, 999] {
+        let mut sys = small_system();
+        let col = sys.write_column(&vals);
+        let cpu = sys.run_select_cpu(col, rows, 0, hi, ScanVariant::Branching, Tick::ZERO);
+        let mut sys2 = small_system();
+        let col2 = sys2.write_column(&vals);
+        let jf = sys2.run_select_jafar(col2, rows, 0, hi, Tick::ZERO);
+        speedups.push(cpu.end.as_ps() as f64 / jf.end.as_ps() as f64);
+        jafar_times.push(jf.end);
+    }
+    // JAFAR time constant across selectivity.
+    let t0 = jafar_times[0];
+    for t in &jafar_times {
+        let ratio = t.as_ps() as f64 / t0.as_ps() as f64;
+        assert!((0.99..1.01).contains(&ratio), "ratio={ratio}");
+    }
+    // Speedup grows from 0% to 100% selectivity.
+    assert!(
+        speedups.last().unwrap() > speedups.first().unwrap(),
+        "{speedups:?}"
+    );
+    // And every point shows a JAFAR win.
+    for s in &speedups {
+        assert!(*s > 1.0, "{speedups:?}");
+    }
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let vals = values(8_192, 999, 21);
+    let run = || {
+        let mut sys = small_system();
+        let col = sys.write_column(&vals);
+        let cpu = sys.run_select_cpu(col, 8_192, 0, 499, ScanVariant::Branching, Tick::ZERO);
+        let jf = sys.run_select_jafar(col, 8_192, 0, 499, cpu.end);
+        (cpu.end, jf.end, cpu.matches)
+    };
+    assert_eq!(run(), run(), "simulation must be exactly reproducible");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn device_bitset_equals_reference_for_any_predicate(
+        seed in 0u64..1_000,
+        lo in -50i64..150,
+        span in 0i64..100,
+    ) {
+        let rows = 2_048usize;
+        let vals = values(rows, 99, seed);
+        let hi = lo + span;
+        let mut sys = small_system();
+        let col = sys.write_column(&vals);
+        let jf = sys.run_select_jafar(col, rows as u64, lo, hi, Tick::ZERO);
+        let expect: Vec<u32> = vals
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| lo <= v && v <= hi)
+            .map(|(i, _)| i as u32)
+            .collect();
+        prop_assert_eq!(jf.matched as usize, expect.len());
+        let mut bytes = vec![0u8; rows.div_ceil(8)];
+        sys.mc().module().data().read(jf.out_addr, &mut bytes);
+        let bits = BitSet::from_bytes(&bytes, rows);
+        prop_assert_eq!(bits.to_positions(), expect);
+    }
+}

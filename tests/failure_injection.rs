@@ -1,0 +1,176 @@
+//! Failure injection: the system must degrade loudly and recover cleanly
+//! when the §2.2 protocol is violated mid-flight.
+
+use jafar::common::rng::SplitMix64;
+use jafar::common::time::Tick;
+use jafar::core::api::{errno, select_jafar, SelectArgs};
+use jafar::core::{grant_ownership, release_ownership, JafarDevice, Predicate, SelectJob};
+use jafar::dram::{AddressMapping, DramGeometry, DramModule, DramTiming, PhysAddr};
+
+fn module_with_column(rows: u64, seed: u64) -> (DramModule, Vec<i64>) {
+    let mut m = DramModule::new(
+        DramGeometry::tiny(),
+        DramTiming::ddr3_paper().without_refresh(),
+        AddressMapping::RankRowBankBlock,
+    );
+    let mut rng = SplitMix64::new(seed);
+    let values: Vec<i64> = (0..rows).map(|_| rng.next_range_inclusive(0, 999)).collect();
+    for (i, v) in values.iter().enumerate() {
+        m.data_mut().write_i64(PhysAddr(i as u64 * 8), *v);
+    }
+    (m, values)
+}
+
+#[test]
+fn ownership_revoked_between_pages_fails_loudly_then_recovers() {
+    let (mut m, values) = module_with_column(2048, 1);
+    let mut device = JafarDevice::paper_default();
+    let out = PhysAddr(64 * 1024);
+
+    // Page 1 succeeds under a valid grant.
+    let lease = grant_ownership(&mut m, 0, Tick::ZERO).expect("grant");
+    let t = lease.acquired_at;
+    let page1 = select_jafar(
+        &mut device,
+        &mut m,
+        SelectArgs {
+            col_data: PhysAddr(0),
+            range_low: 0,
+            range_high: 499,
+            out_buf: out,
+            num_input_rows: 1024,
+        },
+        t,
+    );
+    assert_eq!(page1.errno, errno::OK);
+
+    // The query manager revokes ownership before page 2 (a scheduling bug
+    // or a pre-emption): the device call must fail with EACCES and latch
+    // STATUS.ERROR, not silently read a rank it no longer owns.
+    let t = release_ownership(&mut m, lease, page1.run.expect("ok").end).expect("release");
+    let page2 = select_jafar(
+        &mut device,
+        &mut m,
+        SelectArgs {
+            col_data: PhysAddr(1024 * 8),
+            range_low: 0,
+            range_high: 499,
+            out_buf: PhysAddr(out.0 + 128),
+            num_input_rows: 1024,
+        },
+        t,
+    );
+    assert_eq!(page2.errno, errno::EACCES);
+    assert!(device.regs().errored());
+
+    // Recovery: re-grant and finish the column; totals match the software
+    // reference.
+    let lease = grant_ownership(&mut m, 0, t).expect("re-grant");
+    let retry = select_jafar(
+        &mut device,
+        &mut m,
+        SelectArgs {
+            col_data: PhysAddr(1024 * 8),
+            range_low: 0,
+            range_high: 499,
+            out_buf: PhysAddr(out.0 + 128),
+            num_input_rows: 1024,
+        },
+        lease.acquired_at,
+    );
+    assert_eq!(retry.errno, errno::OK);
+    let expect = values.iter().filter(|&&v| (0..=499).contains(&v)).count() as u64;
+    assert_eq!(page1.num_output_rows + retry.num_output_rows, expect);
+    let _ = release_ownership(&mut m, lease, retry.run.expect("ok").end);
+}
+
+#[test]
+fn pre_garbaged_output_region_is_fully_overwritten() {
+    let (mut m, values) = module_with_column(1024, 2);
+    let out = PhysAddr(64 * 1024);
+    // Poison the output region.
+    m.data_mut().write(out, &vec![0xFFu8; 1024 / 8]);
+    let lease = grant_ownership(&mut m, 0, Tick::ZERO).expect("grant");
+    let mut device = JafarDevice::paper_default();
+    let run = device
+        .run_select(
+            &mut m,
+            SelectJob {
+                col_addr: PhysAddr(0),
+                rows: 1024,
+                predicate: Predicate::Lt(100),
+                out_addr: out,
+            },
+            lease.acquired_at,
+        )
+        .expect("owned");
+    let mut bytes = vec![0u8; 1024 / 8];
+    m.data().read(out, &mut bytes);
+    let got = jafar::common::bitset::BitSet::from_bytes(&bytes, 1024);
+    let expect: Vec<u32> = values
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v < 100)
+        .map(|(i, _)| i as u32)
+        .collect();
+    assert_eq!(got.to_positions(), expect, "stale bits must not survive");
+    assert_eq!(run.matched as usize, expect.len());
+    let _ = release_ownership(&mut m, lease, run.end);
+}
+
+#[test]
+fn double_grant_is_idempotent_and_release_restores_host() {
+    let (mut m, _) = module_with_column(64, 3);
+    let lease1 = grant_ownership(&mut m, 0, Tick::ZERO).expect("grant");
+    // A second grant of an already-owned rank (manager retry after a
+    // timeout) is harmless: MR3's MPR bit is already set.
+    let lease2 = grant_ownership(&mut m, 0, lease1.acquired_at).expect("re-grant");
+    assert!(m.rank_owned_by_ndp(0));
+    // One release clears the bit (the MPR flag is level, not a count).
+    let t = release_ownership(&mut m, lease2, Tick::from_us(1)).expect("release");
+    assert!(!m.rank_owned_by_ndp(0));
+    // Host traffic works; the stale first lease's release is a no-op
+    // state-wise (sets the already-clear bit).
+    let _ = release_ownership(&mut m, lease1, t).expect("stale release");
+    assert!(!m.rank_owned_by_ndp(0));
+    assert!(m
+        .serve_addr(PhysAddr(0), false, jafar::dram::Requester::Host, Tick::from_us(2), None)
+        .is_ok());
+}
+
+#[test]
+fn device_error_does_not_wedge_subsequent_jobs() {
+    let (mut m, _) = module_with_column(512, 4);
+    let lease = grant_ownership(&mut m, 0, Tick::ZERO).expect("grant");
+    let t = lease.acquired_at;
+    let mut device = JafarDevice::paper_default();
+    // Misaligned job → error latched.
+    let bad = device.run_select(
+        &mut m,
+        SelectJob {
+            col_addr: PhysAddr(4),
+            rows: 8,
+            predicate: Predicate::Lt(10),
+            out_addr: PhysAddr(32 * 1024),
+        },
+        t,
+    );
+    assert!(bad.is_err());
+    assert!(device.regs().errored());
+    // A subsequent well-formed job clears the error and runs.
+    let good = device
+        .run_select(
+            &mut m,
+            SelectJob {
+                col_addr: PhysAddr(0),
+                rows: 512,
+                predicate: Predicate::Lt(500),
+                out_addr: PhysAddr(32 * 1024),
+            },
+            t,
+        )
+        .expect("well-formed job proceeds");
+    assert!(good.matched > 0);
+    assert!(device.regs().done() && !device.regs().errored());
+    let _ = release_ownership(&mut m, lease, good.end);
+}

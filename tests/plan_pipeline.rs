@@ -1,0 +1,102 @@
+//! The declarative path end to end: a plan-built query runs on the
+//! column-store, its trace replays in the simulator, and the pushdown
+//! annotation flows from planner to trace — the full stack a downstream
+//! user of the plan API touches.
+
+use jafar::columnstore::ops::agg::AggKind;
+use jafar::columnstore::ops::scan::ScanPredicate;
+use jafar::columnstore::ops::sort::Dir;
+use jafar::columnstore::plan::{execute, Catalog, Plan};
+use jafar::columnstore::{ExecContext, Planner, TraceEvent};
+use jafar::common::time::Tick;
+use jafar::sim::{PlacedDb, QueryReplayer, ReplayCosts, System, SystemConfig};
+use jafar::tpch::{queries, TpchConfig, TpchDb};
+
+fn db() -> TpchDb {
+    TpchDb::generate(TpchConfig {
+        sf: 0.0001,
+        seed: 31,
+    })
+}
+
+#[test]
+fn plan_trace_replays_in_the_simulator() {
+    let db = db();
+    let mut cx = ExecContext::new(Planner::default());
+    let revenue = queries::plans::q6_plan(&db, &mut cx);
+    assert!(revenue >= 0);
+
+    let mut sys = System::new(SystemConfig::test_small());
+    let placed = PlacedDb::place(&mut sys, &db);
+    sys.begin_measurement();
+    let mut replayer = QueryReplayer::new(&mut sys, ReplayCosts::default());
+    let end = replayer.replay(cx.trace(), &placed, Tick::ZERO);
+    assert!(end > Tick::ZERO);
+    let report = sys.idle_report(end);
+    assert!(report.reads > 0);
+}
+
+#[test]
+fn plan_scans_carry_pushdown_annotations() {
+    let db = db();
+    let planner = Planner {
+        min_rows_for_pushdown: 64,
+        ..Planner::with_jafar()
+    };
+    let mut cx = ExecContext::new(planner);
+    let plan = Plan::Scan {
+        table: "lineitem".into(),
+        filters: vec![
+            ("l_quantity".into(), ScanPredicate::Le(25)),
+            ("l_discount".into(), ScanPredicate::Ge(5)),
+        ],
+        columns: vec!["l_extendedprice".into()],
+    };
+    let catalog = Catalog::new().add(&db.lineitem);
+    let f = execute(&plan, &catalog, &mut cx);
+    assert!(f.rows() > 0);
+    // The leading filter is a pushdown-eligible full scan; the refinement
+    // is positional CPU work.
+    assert_eq!(cx.trace().jafar_scans(), 1);
+    assert!(cx
+        .trace()
+        .events()
+        .iter()
+        .any(|e| matches!(e, TraceEvent::ScanAt { .. })));
+}
+
+#[test]
+fn composed_plan_aggregation_consistent_with_direct_ops() {
+    // SUM(l_quantity) grouped by returnflag via a plan equals a direct
+    // group_by over the same projected columns.
+    let db = db();
+    let mut cx = ExecContext::new(Planner::default());
+    let plan = Plan::Sort {
+        keys: vec![("l_returnflag".into(), Dir::Asc)],
+        input: Box::new(Plan::GroupBy {
+            keys: vec!["l_returnflag".into()],
+            aggs: vec![("l_quantity".into(), AggKind::Sum, "qty".into())],
+            input: Box::new(Plan::Scan {
+                table: "lineitem".into(),
+                filters: vec![],
+                columns: vec!["l_returnflag".into(), "l_quantity".into()],
+            }),
+        }),
+    };
+    let catalog = Catalog::new().add(&db.lineitem);
+    let frame = execute(&plan, &catalog, &mut cx);
+
+    // Direct computation.
+    use std::collections::BTreeMap;
+    let mut want: BTreeMap<i64, i64> = BTreeMap::new();
+    let flag = db.lineitem.column("l_returnflag");
+    let qty = db.lineitem.column("l_quantity");
+    for r in 0..db.lineitem.rows() {
+        *want.entry(flag.get(r)).or_default() += qty.get(r);
+    }
+    assert_eq!(frame.rows(), want.len());
+    for (g, (k, v)) in want.into_iter().enumerate() {
+        assert_eq!(frame.column("l_returnflag")[g], k);
+        assert_eq!(frame.column("qty")[g], v);
+    }
+}

@@ -1,0 +1,114 @@
+//! Integration of the TPC-H pipeline: generation → column-store execution
+//! → operator trace → simulator replay → memory-controller profiling. The
+//! Figure-4 mechanism must hold end to end.
+
+use jafar::columnstore::{ExecContext, Planner};
+use jafar::common::time::Tick;
+use jafar::sim::{PlacedDb, QueryReplayer, ReplayCosts, System, SystemConfig};
+use jafar::tpch::queries::QueryId;
+use jafar::tpch::{queries, TpchConfig, TpchDb};
+
+fn db() -> TpchDb {
+    TpchDb::generate(TpchConfig {
+        sf: 0.0001,
+        seed: 19,
+    })
+}
+
+#[test]
+fn all_queries_execute_and_replay_with_idle_reports() {
+    let db = db();
+    for q in QueryId::ALL {
+        let mut cx = ExecContext::new(Planner::default());
+        match q {
+            QueryId::Q1 => {
+                assert!(!queries::q1(&db, &mut cx).is_empty());
+            }
+            QueryId::Q3 => {
+                queries::q3(&db, &mut cx, 10);
+            }
+            QueryId::Q6 => {
+                queries::q6(&db, &mut cx);
+            }
+            QueryId::Q18 => {
+                queries::q18(&db, &mut cx, 50, 100);
+            }
+            QueryId::Q22 => {
+                queries::q22(&db, &mut cx);
+            }
+        }
+        let mut sys = System::new(SystemConfig::test_small());
+        let placed = PlacedDb::place(&mut sys, &db);
+        sys.begin_measurement();
+        let mut replayer = QueryReplayer::new(&mut sys, ReplayCosts::default());
+        let end = replayer.replay(cx.trace(), &placed, Tick::ZERO);
+        let report = sys.idle_report(end);
+        assert!(report.reads > 0, "{q:?}: no memory traffic?");
+        assert!(
+            report.mean_idle_period_estimate() >= 0.0,
+            "{q:?}: estimator broken"
+        );
+        // The paper's lower-bound property must hold for every query.
+        assert!(
+            report.mc_empty_estimate() <= report.exact_idle_cycles,
+            "{q:?}: estimate {} > exact {}",
+            report.mc_empty_estimate(),
+            report.exact_idle_cycles
+        );
+    }
+}
+
+#[test]
+fn load_factor_scales_idle_periods_up() {
+    let db = db();
+    let mut cx = ExecContext::new(Planner::default());
+    queries::q6(&db, &mut cx);
+    let run = |factor: f64| {
+        let mut sys = System::new(SystemConfig::test_small());
+        let placed = PlacedDb::place(&mut sys, &db);
+        sys.begin_measurement();
+        let mut replayer = QueryReplayer::new(&mut sys, ReplayCosts::default().scaled(factor))
+            .with_scan_factor(factor);
+        let end = replayer.replay(cx.trace(), &placed, Tick::ZERO);
+        sys.idle_report(end).mean_idle_period_estimate()
+    };
+    let low = run(1.0);
+    let high = run(8.0);
+    assert!(high > low * 2.0, "low={low} high={high}");
+}
+
+#[test]
+fn pushdown_planner_marks_q6_scan_only() {
+    let db = TpchDb::generate(TpchConfig {
+        sf: 0.001,
+        seed: 2,
+    });
+    let planner = Planner {
+        min_rows_for_pushdown: 64,
+        ..Planner::with_jafar()
+    };
+    // Q6: exactly one pushdown-eligible scan (the leading date filter).
+    let mut cx = ExecContext::new(planner);
+    queries::q6(&db, &mut cx);
+    assert_eq!(cx.trace().jafar_scans(), 1);
+    // Q1's scan is eligible too.
+    let mut cx = ExecContext::new(planner);
+    queries::q1(&db, &mut cx);
+    assert_eq!(cx.trace().jafar_scans(), 1);
+    // Q18 has no full-column scan at all (join/aggregate only).
+    let mut cx = ExecContext::new(planner);
+    queries::q18(&db, &mut cx, 50, 100);
+    assert_eq!(cx.trace().jafar_scans(), 0);
+}
+
+#[test]
+fn query_results_stable_across_trace_recording() {
+    // Recording a trace must not perturb results: two executions with
+    // different planners agree.
+    let db = db();
+    let mut a = ExecContext::new(Planner::default());
+    let mut b = ExecContext::new(Planner::with_jafar());
+    assert_eq!(queries::q6(&db, &mut a), queries::q6(&db, &mut b));
+    assert_eq!(queries::q1(&db, &mut a), queries::q1(&db, &mut b));
+    assert_eq!(queries::q22(&db, &mut a), queries::q22(&db, &mut b));
+}
