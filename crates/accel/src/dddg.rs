@@ -87,10 +87,7 @@ impl Dddg {
             prev_iter = group_last;
             done += group;
         }
-        Dddg {
-            nodes,
-            iterations,
-        }
+        Dddg { nodes, iterations }
     }
 
     /// Node count.

@@ -43,7 +43,11 @@ impl OpKind {
     pub fn latency(self) -> u64 {
         match self {
             OpKind::Load | OpKind::Store => 1,
-            OpKind::ICmp | OpKind::And | OpKind::Or | OpKind::Add | OpKind::Shl
+            OpKind::ICmp
+            | OpKind::And
+            | OpKind::Or
+            | OpKind::Add
+            | OpKind::Shl
             | OpKind::Select => 1,
             OpKind::Mul => 3,
             OpKind::Hash => 4,

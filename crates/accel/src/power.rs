@@ -45,8 +45,9 @@ impl EnergyReport {
     /// Evaluates `model` over a computed schedule and its provisioning.
     pub fn evaluate(schedule: &Schedule, resources: &Resources, model: &EnergyModel) -> Self {
         let (alu, bitw, mem) = schedule.issued;
-        let dynamic_pj =
-            alu as f64 * model.alu_pj + bitw as f64 * model.bitwise_pj + mem as f64 * model.memory_pj;
+        let dynamic_pj = alu as f64 * model.alu_pj
+            + bitw as f64 * model.bitwise_pj
+            + mem as f64 * model.memory_pj;
         let fus = (resources.alus + resources.bitops + resources.mem_ports) as f64;
         let static_pj = fus * schedule.cycles as f64 * model.leakage_pj_per_fu_cycle;
         EnergyReport {

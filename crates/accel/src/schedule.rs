@@ -136,8 +136,8 @@ impl Schedule {
             }
             // Refill bandwidth tokens for elapsed cycles.
             if cycle > last_refill_cycle {
-                let earned = (cycle - last_refill_cycle)
-                    .saturating_mul(resources.mem_bytes_per_cycle);
+                let earned =
+                    (cycle - last_refill_cycle).saturating_mul(resources.mem_bytes_per_cycle);
                 bw_tokens = (bw_tokens + earned).min(bw_cap);
                 last_refill_cycle = cycle;
             }
@@ -256,7 +256,10 @@ mod tests {
         b.carry(mul, mul);
         let k = b.build();
         let ii = Schedule::steady_state_ii(&k, &Resources::jafar_default(), 1);
-        assert!((ii - 3.0).abs() < 0.1, "carried 3-cycle chain → II 3, got {ii}");
+        assert!(
+            (ii - 3.0).abs() < 0.1,
+            "carried 3-cycle chain → II 3, got {ii}"
+        );
     }
 
     #[test]

@@ -1,62 +1,49 @@
 //! Micro-benchmarks of the cache hierarchy and stream prefetcher.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jafar_bench::micro;
 use jafar_cache::{Hierarchy, HierarchyConfig, StreamPrefetcher};
 use std::hint::black_box;
 
-fn hierarchy_streaming(c: &mut Criterion) {
-    c.bench_function("cache/streaming_8k_accesses", |b| {
-        b.iter_batched(
-            || Hierarchy::new(HierarchyConfig::gem5_like()),
-            |mut h| {
-                let mut misses = 0u64;
-                for i in 0..8192u64 {
-                    let outcome = h.access(i * 8, false);
-                    misses += u64::from(outcome.level == jafar_cache::HitLevel::Memory);
-                }
-                misses
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
+fn main() {
+    micro::run_batched(
+        "cache/streaming_8k_accesses",
+        || Hierarchy::new(HierarchyConfig::gem5_like()),
+        |mut h| {
+            let mut misses = 0u64;
+            for i in 0..8192u64 {
+                let outcome = h.access(i * 8, false);
+                misses += u64::from(outcome.level == jafar_cache::HitLevel::Memory);
+            }
+            misses
+        },
+    );
 
-fn hierarchy_random(c: &mut Criterion) {
-    c.bench_function("cache/random_8k_accesses", |b| {
-        b.iter_batched(
-            || Hierarchy::new(HierarchyConfig::gem5_like()),
-            |mut h| {
-                let mut state = 88172645463325252u64;
-                let mut misses = 0u64;
-                for _ in 0..8192 {
-                    state ^= state << 13;
-                    state ^= state >> 7;
-                    state ^= state << 17;
-                    let outcome = h.access((state % (1 << 26)) & !7, false);
-                    misses += u64::from(outcome.level == jafar_cache::HitLevel::Memory);
-                }
-                misses
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
+    micro::run_batched(
+        "cache/random_8k_accesses",
+        || Hierarchy::new(HierarchyConfig::gem5_like()),
+        |mut h| {
+            let mut state = 88172645463325252u64;
+            let mut misses = 0u64;
+            for _ in 0..8192 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let outcome = h.access((state % (1 << 26)) & !7, false);
+                misses += u64::from(outcome.level == jafar_cache::HitLevel::Memory);
+            }
+            misses
+        },
+    );
 
-fn prefetcher(c: &mut Criterion) {
-    c.bench_function("cache/prefetcher_observe_8k", |b| {
-        b.iter_batched(
-            || StreamPrefetcher::new(8, 8),
-            |mut p| {
-                let mut issued = 0usize;
-                for i in 0..8192u64 {
-                    issued += p.observe(black_box(i * 64)).len();
-                }
-                issued
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    micro::run_batched(
+        "cache/prefetcher_observe_8k",
+        || StreamPrefetcher::new(8, 8),
+        |mut p| {
+            let mut issued = 0usize;
+            for i in 0..8192u64 {
+                issued += p.observe(black_box(i * 64)).len();
+            }
+            issued
+        },
+    );
 }
-
-criterion_group!(benches, hierarchy_streaming, hierarchy_random, prefetcher);
-criterion_main!(benches);

@@ -1,53 +1,54 @@
 //! Micro-benchmarks of the column-store's bulk operators.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use jafar_columnstore::ops::agg::{AggKind, AggSpec};
-use jafar_columnstore::ops::{hash_join, scan, ScanPredicate};
-use jafar_columnstore::ops::agg::hash_group_by;
+use jafar_bench::micro;
+use jafar_columnstore::ops::agg::{hash_group_by, AggKind, AggSpec};
 use jafar_columnstore::ops::project::gather;
+use jafar_columnstore::ops::{hash_join, scan, ScanPredicate};
 use jafar_columnstore::{Column, PositionList};
 use jafar_common::rng::SplitMix64;
 use std::hint::black_box;
 
-fn ops(c: &mut Criterion) {
+fn main() {
     let mut rng = SplitMix64::new(1);
     let n = 262_144usize;
-    let col = Column::int("v", (0..n).map(|_| rng.next_range_inclusive(0, 999)).collect());
-    c.bench_function("columnstore/scan_256k", |b| {
-        b.iter(|| scan(black_box(&col), ScanPredicate::Between(100, 499)))
+    let col = Column::int(
+        "v",
+        (0..n).map(|_| rng.next_range_inclusive(0, 999)).collect(),
+    );
+    micro::run("columnstore/scan_256k", || {
+        scan(black_box(&col), ScanPredicate::Between(100, 499))
     });
 
     let positions = scan(&col, ScanPredicate::Between(100, 499));
-    c.bench_function("columnstore/gather_100k", |b| {
-        b.iter(|| gather(black_box(&col), black_box(&positions)))
+    micro::run("columnstore/gather_100k", || {
+        gather(black_box(&col), black_box(&positions))
     });
 
-    let build: Vec<i64> = (0..32_768).map(|_| rng.next_range_inclusive(0, 1 << 20)).collect();
-    let probe: Vec<i64> = (0..131_072).map(|_| rng.next_range_inclusive(0, 1 << 20)).collect();
-    c.bench_function("columnstore/hash_join_32k_x_128k", |b| {
-        b.iter(|| hash_join(black_box(&build), black_box(&probe)))
+    let build: Vec<i64> = (0..32_768)
+        .map(|_| rng.next_range_inclusive(0, 1 << 20))
+        .collect();
+    let probe: Vec<i64> = (0..131_072)
+        .map(|_| rng.next_range_inclusive(0, 1 << 20))
+        .collect();
+    micro::run("columnstore/hash_join_32k_x_128k", || {
+        hash_join(black_box(&build), black_box(&probe))
     });
 
     let keys: Vec<i64> = (0..n).map(|_| rng.next_range_inclusive(0, 63)).collect();
     let vals: Vec<i64> = (0..n).map(|_| rng.next_range_inclusive(0, 100)).collect();
-    c.bench_function("columnstore/group_by_256k_64_groups", |b| {
-        b.iter(|| {
-            hash_group_by(
-                &[black_box(&keys[..])],
-                &[AggSpec {
-                    kind: AggKind::Sum,
-                    input: &vals,
-                }],
-            )
-        })
+    micro::run("columnstore/group_by_256k_64_groups", || {
+        hash_group_by(
+            &[black_box(&keys[..])],
+            &[AggSpec {
+                kind: AggKind::Sum,
+                input: &vals,
+            }],
+        )
     });
 
     let a = PositionList::from_sorted((0..200_000u32).step_by(2).collect());
     let b_list = PositionList::from_sorted((0..200_000u32).step_by(3).collect());
-    c.bench_function("columnstore/position_intersect_100k", |bch| {
-        bch.iter(|| black_box(&a).intersect(black_box(&b_list)))
+    micro::run("columnstore/position_intersect_100k", || {
+        black_box(&a).intersect(black_box(&b_list))
     });
 }
-
-criterion_group!(benches, ops);
-criterion_main!(benches);

@@ -1,63 +1,54 @@
 //! Micro-benchmarks of the JAFAR device simulation and the Aladdin-like
 //! scheduler it derives its throughput from.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use jafar_accel::ir::jafar_filter_kernel;
 use jafar_accel::{Dddg, Resources, Schedule};
+use jafar_bench::micro;
 use jafar_common::time::Tick;
 use jafar_core::{grant_ownership, JafarDevice, Predicate, SelectJob};
 use jafar_dram::{AddressMapping, DramGeometry, DramModule, DramTiming, PhysAddr};
 
-fn device_select(c: &mut Criterion) {
-    c.bench_function("device/select_64k_rows", |b| {
-        b.iter_batched(
-            || {
-                let mut module = DramModule::new(
-                    DramGeometry::gem5_2gb(),
-                    DramTiming::ddr3_paper().without_refresh(),
-                    AddressMapping::RankRowBankBlock,
-                );
-                for i in 0..65_536u64 {
-                    module
-                        .data_mut()
-                        .write_i64(PhysAddr(i * 8), (i % 1000) as i64);
-                }
-                let lease = grant_ownership(&mut module, 0, Tick::ZERO).expect("fresh");
-                let t0 = lease.acquired_at;
+fn main() {
+    micro::run_batched(
+        "device/select_64k_rows",
+        || {
+            let mut module = DramModule::new(
+                DramGeometry::gem5_2gb(),
+                DramTiming::ddr3_paper().without_refresh(),
+                AddressMapping::RankRowBankBlock,
+            );
+            for i in 0..65_536u64 {
+                module
+                    .data_mut()
+                    .write_i64(PhysAddr(i * 8), (i % 1000) as i64);
+            }
+            let lease = grant_ownership(&mut module, 0, Tick::ZERO).expect("fresh");
+            let t0 = lease.acquired_at;
 
-                (module, JafarDevice::paper_default(), t0)
-            },
-            |(mut module, mut device, t0)| {
-                device
-                    .run_select(
-                        &mut module,
-                        SelectJob {
-                            col_addr: PhysAddr(0),
-                            rows: 65_536,
-                            predicate: Predicate::Between(100, 499),
-                            out_addr: PhysAddr(1 << 20),
-                        },
-                        t0,
-                    )
-                    .expect("owned")
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
+            (module, JafarDevice::paper_default(), t0)
+        },
+        |(mut module, mut device, t0)| {
+            device
+                .run_select(
+                    &mut module,
+                    SelectJob {
+                        col_addr: PhysAddr(0),
+                        rows: 65_536,
+                        predicate: Predicate::Between(100, 499),
+                        out_addr: PhysAddr(1 << 20),
+                    },
+                    t0,
+                )
+                .expect("owned")
+        },
+    );
 
-fn aladdin_schedule(c: &mut Criterion) {
     let kernel = jafar_filter_kernel();
-    c.bench_function("accel/schedule_1k_iterations", |b| {
-        b.iter(|| {
-            let graph = Dddg::expand(&kernel, 1024, 8);
-            Schedule::compute(&graph, &Resources::jafar_default())
-        })
+    micro::run("accel/schedule_1k_iterations", || {
+        let graph = Dddg::expand(&kernel, 1024, 8);
+        Schedule::compute(&graph, &Resources::jafar_default())
     });
-    c.bench_function("accel/steady_state_ii", |b| {
-        b.iter(|| Schedule::steady_state_ii(&kernel, &Resources::jafar_default(), 8))
+    micro::run("accel/steady_state_ii", || {
+        Schedule::steady_state_ii(&kernel, &Resources::jafar_default(), 8)
     });
 }
-
-criterion_group!(benches, device_select, aladdin_schedule);
-criterion_main!(benches);

@@ -2,79 +2,58 @@
 //! bank state machine, and transaction-level streaming — the inner loops
 //! every Figure-3/Figure-4 simulation spends its time in.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jafar_bench::micro;
 use jafar_common::time::Tick;
 use jafar_dram::{
     AddressDecoder, AddressMapping, DramGeometry, DramModule, DramTiming, PhysAddr, Requester,
 };
 use std::hint::black_box;
 
-fn address_decode(c: &mut Criterion) {
+fn module() -> DramModule {
+    DramModule::new(
+        DramGeometry::gem5_2gb(),
+        DramTiming::ddr3_paper().without_refresh(),
+        AddressMapping::RankRowBankBlock,
+    )
+}
+
+fn main() {
     let decoder = AddressDecoder::new(DramGeometry::gem5_2gb(), AddressMapping::RankRowBankBlock);
-    c.bench_function("dram/decode_encode_round_trip", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
+    micro::run("dram/decode_encode_round_trip", || {
+        let mut acc = 0u64;
+        for i in 0..1024u64 {
+            let coord = decoder.decode(black_box(PhysAddr(i * 64)));
+            acc += decoder.encode(coord).0;
+        }
+        acc
+    });
+
+    micro::run_batched(
+        "dram/serve_block_streaming_1k_bursts",
+        module,
+        |mut module| {
+            let mut now = Tick::ZERO;
             for i in 0..1024u64 {
-                let coord = decoder.decode(black_box(PhysAddr(i * 64)));
-                acc += decoder.encode(coord).0;
+                let access = module
+                    .serve_addr(PhysAddr(i * 64), false, Requester::Host, now, None)
+                    .expect("in range");
+                now = access.data_ready;
             }
-            acc
-        })
+            now
+        },
+    );
+
+    micro::run_batched("dram/serve_block_random_1k_bursts", module, |mut module| {
+        let mut now = Tick::ZERO;
+        let mut addr = 0x9E3779B97F4A7C15u64;
+        for _ in 0..1024 {
+            addr = addr.wrapping_mul(0xD1342543DE82EF95).wrapping_add(1);
+            let a = PhysAddr((addr % (1 << 30)) & !63);
+            let access = module
+                .serve_addr(a, false, Requester::Host, now, None)
+                .expect("in range");
+            now = access.data_ready;
+        }
+        now
     });
 }
-
-fn streaming_row_hits(c: &mut Criterion) {
-    c.bench_function("dram/serve_block_streaming_1k_bursts", |b| {
-        b.iter_batched(
-            || {
-                DramModule::new(
-                    DramGeometry::gem5_2gb(),
-                    DramTiming::ddr3_paper().without_refresh(),
-                    AddressMapping::RankRowBankBlock,
-                )
-            },
-            |mut module| {
-                let mut now = Tick::ZERO;
-                for i in 0..1024u64 {
-                    let access = module
-                        .serve_addr(PhysAddr(i * 64), false, Requester::Host, now, None)
-                        .expect("in range");
-                    now = access.data_ready;
-                }
-                now
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn random_conflicts(c: &mut Criterion) {
-    c.bench_function("dram/serve_block_random_1k_bursts", |b| {
-        b.iter_batched(
-            || {
-                DramModule::new(
-                    DramGeometry::gem5_2gb(),
-                    DramTiming::ddr3_paper().without_refresh(),
-                    AddressMapping::RankRowBankBlock,
-                )
-            },
-            |mut module| {
-                let mut now = Tick::ZERO;
-                let mut addr = 0x9E3779B97F4A7C15u64;
-                for _ in 0..1024 {
-                    addr = addr.wrapping_mul(0xD1342543DE82EF95).wrapping_add(1);
-                    let a = PhysAddr((addr % (1 << 30)) & !63);
-                    let access = module
-                        .serve_addr(a, false, Requester::Host, now, None)
-                        .expect("in range");
-                    now = access.data_ready;
-                }
-                now
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-criterion_group!(benches, address_decode, streaming_row_hits, random_conflicts);
-criterion_main!(benches);

@@ -1,63 +1,55 @@
 //! Micro-benchmarks of the CPU scan engine (over the fixed-latency test
 //! backend, isolating the kernel model) and the branch predictor.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jafar_bench::micro;
 use jafar_common::rng::SplitMix64;
 use jafar_common::time::Tick;
 use jafar_cpu::engine::ScanSpec;
 use jafar_cpu::{FixedLatencyBackend, ScanEngine, ScanVariant, TwoBitPredictor};
 use std::hint::black_box;
 
-fn scan_variants(c: &mut Criterion) {
+fn main() {
     let mut rng = SplitMix64::new(42);
-    let values: Vec<i64> = (0..65_536).map(|_| rng.next_range_inclusive(0, 999)).collect();
+    let values: Vec<i64> = (0..65_536)
+        .map(|_| rng.next_range_inclusive(0, 999))
+        .collect();
     for (name, variant) in [
         ("branching", ScanVariant::Branching),
         ("predicated", ScanVariant::Predicated),
         ("vectorized", ScanVariant::Vectorized { lanes: 4 }),
     ] {
-        c.bench_function(&format!("cpu/scan_64k_{name}"), |b| {
-            b.iter_batched(
-                || {
-                    let mut backend =
-                        FixedLatencyBackend::new(2 << 20, Tick::from_ns(20));
-                    backend.put_column(0, &values);
-                    backend
-                },
-                |mut backend| {
-                    let engine = ScanEngine::gem5_like();
-                    engine.run(
-                        &mut backend,
-                        ScanSpec {
-                            col_addr: 0,
-                            rows: values.len() as u64,
-                            lo: 0,
-                            hi: 499,
-                            out_addr: 1 << 20,
-                            variant,
-                        },
-                        Tick::ZERO,
-                    )
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        micro::run_batched(
+            &format!("cpu/scan_64k_{name}"),
+            || {
+                let mut backend = FixedLatencyBackend::new(2 << 20, Tick::from_ns(20));
+                backend.put_column(0, &values);
+                backend
+            },
+            |mut backend| {
+                let engine = ScanEngine::gem5_like();
+                engine.run(
+                    &mut backend,
+                    ScanSpec {
+                        col_addr: 0,
+                        rows: values.len() as u64,
+                        lo: 0,
+                        hi: 499,
+                        out_addr: 1 << 20,
+                        variant,
+                    },
+                    Tick::ZERO,
+                )
+            },
+        );
     }
-}
 
-fn predictor(c: &mut Criterion) {
     let mut rng = SplitMix64::new(7);
     let outcomes: Vec<bool> = (0..65_536).map(|_| rng.next_bool(0.5)).collect();
-    c.bench_function("cpu/two_bit_predictor_64k", |b| {
-        b.iter(|| {
-            let mut p = TwoBitPredictor::new();
-            for &o in &outcomes {
-                p.predict_and_update(black_box(o));
-            }
-            p.mispredictions()
-        })
+    micro::run("cpu/two_bit_predictor_64k", || {
+        let mut p = TwoBitPredictor::new();
+        for &o in &outcomes {
+            p.predict_and_update(black_box(o));
+        }
+        p.mispredictions()
     });
 }
-
-criterion_group!(benches, scan_variants, predictor);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the memory controller: enqueue/drain throughput
 //! under both scheduling policies, and idle-report finalisation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jafar_bench::micro;
 use jafar_common::time::Tick;
 use jafar_dram::{AddressMapping, DramGeometry, DramModule, DramTiming, PhysAddr};
 use jafar_memctl::controller::{ControllerConfig, MemoryController};
@@ -21,51 +21,47 @@ fn controller(policy: Policy) -> MemoryController {
     )
 }
 
-fn drain_throughput(c: &mut Criterion) {
-    for (name, policy) in [("fcfs", Policy::Fcfs), ("frfcfs", Policy::FrFcfs { cap: 16 })] {
-        c.bench_function(&format!("memctl/drain_1k_requests_{name}"), |b| {
-            b.iter_batched(
-                || controller(policy),
-                |mut mc| {
-                    let mut done = Tick::ZERO;
-                    let mut seq = 0u64;
-                    for batch in 0..42u64 {
-                        for i in 0..24u64 {
-                            let addr = PhysAddr(((batch * 31 + i * 7919) % (1 << 24)) & !63);
-                            mc.enqueue(MemRequest::read(addr, Tick::from_ps(seq * 3000)))
-                                .expect("capacity");
-                            seq += 1;
-                        }
-                        for completion in mc.drain() {
-                            done = done.max(completion.done);
-                        }
+fn main() {
+    for (name, policy) in [
+        ("fcfs", Policy::Fcfs),
+        ("frfcfs", Policy::FrFcfs { cap: 16 }),
+    ] {
+        micro::run_batched(
+            &format!("memctl/drain_1k_requests_{name}"),
+            || controller(policy),
+            |mut mc| {
+                let mut done = Tick::ZERO;
+                let mut seq = 0u64;
+                for batch in 0..42u64 {
+                    for i in 0..24u64 {
+                        let addr = PhysAddr(((batch * 31 + i * 7919) % (1 << 24)) & !63);
+                        mc.enqueue(MemRequest::read(addr, Tick::from_ps(seq * 3000)))
+                            .expect("capacity");
+                        seq += 1;
                     }
-                    done
-                },
-                BatchSize::SmallInput,
-            )
-        });
+                    for completion in mc.drain() {
+                        done = done.max(completion.done);
+                    }
+                }
+                done
+            },
+        );
     }
-}
 
-fn idle_report(c: &mut Criterion) {
     // A controller with many completed requests; measure finalisation.
     let mut mc = controller(Policy::default());
-    let mut seq = 0u64;
     for batch in 0..200u64 {
         for i in 0..24u64 {
             let addr = PhysAddr(((batch * 131 + i * 6151) % (1 << 24)) & !63);
-            mc.enqueue(MemRequest::read(addr, Tick::from_us(batch) + Tick::from_ps(i * 500)))
-                .expect("capacity");
-            seq += 1;
+            mc.enqueue(MemRequest::read(
+                addr,
+                Tick::from_us(batch) + Tick::from_ps(i * 500),
+            ))
+            .expect("capacity");
         }
         mc.drain();
     }
-    let _ = seq;
-    c.bench_function("memctl/idle_report_4800_intervals", |b| {
-        b.iter(|| mc.finalize(Tick::from_us(250)))
+    micro::run("memctl/idle_report_4800_intervals", || {
+        mc.finalize(Tick::from_us(250))
     });
 }
-
-criterion_group!(benches, drain_throughput, idle_report);
-criterion_main!(benches);

@@ -74,11 +74,7 @@ fn main() {
             .map(|r| (r.reads + r.writes) as f64)
             .sum::<f64>()
             / reports.len() as f64;
-        rows.push(vec![
-            format!("{channels}"),
-            f1(per_ctrl_reqs),
-            f1(mean_est),
-        ]);
+        rows.push(vec![format!("{channels}"), f1(per_ctrl_reqs), f1(mean_est)]);
     }
     print_table(
         &["channels", "requests/controller", "mean idle est (cyc)"],

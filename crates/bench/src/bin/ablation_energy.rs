@@ -22,7 +22,9 @@ fn main() {
     println!();
 
     let mut rng = SplitMix64::new(0xA6);
-    let values: Vec<i64> = (0..rows).map(|_| rng.next_range_inclusive(0, 999)).collect();
+    let values: Vec<i64> = (0..rows)
+        .map(|_| rng.next_range_inclusive(0, 999))
+        .collect();
     let model = HostEnergyModel::default();
 
     // CPU path.
@@ -35,7 +37,7 @@ fn main() {
     let e_cpu = SelectEnergy::cpu_path(&cpu, bus_bursts, clock, &model);
 
     // JAFAR path under both completion mechanisms.
-    let mut run_jafar = |completion| {
+    let run_jafar = |completion| {
         let mut cfg = SystemConfig::gem5_like();
         cfg.driver.completion = completion;
         let mut sys = System::new(cfg);
@@ -64,7 +66,14 @@ fn main() {
         ]
     };
     print_table(
-        &["path", "time (ms)", "CPU (uJ)", "device (uJ)", "memory (uJ)", "total (uJ)"],
+        &[
+            "path",
+            "time (ms)",
+            "CPU (uJ)",
+            "device (uJ)",
+            "memory (uJ)",
+            "total (uJ)",
+        ],
         &[
             row("CPU only", &e_cpu, cpu.end.as_ms_f64()),
             row("JAFAR + polling", &e_poll, jf_poll.end.as_ms_f64()),

@@ -31,8 +31,12 @@ fn main() {
     println!();
 
     let mut rng = SplitMix64::new(0xA4);
-    let col_a: Vec<i64> = (0..rows).map(|_| rng.next_range_inclusive(0, 999)).collect();
-    let col_b: Vec<i64> = (0..rows).map(|_| rng.next_range_inclusive(0, 1 << 30)).collect();
+    let col_a: Vec<i64> = (0..rows)
+        .map(|_| rng.next_range_inclusive(0, 999))
+        .collect();
+    let col_b: Vec<i64> = (0..rows)
+        .map(|_| rng.next_range_inclusive(0, 1 << 30))
+        .collect();
 
     let mut out: Vec<Vec<String>> = Vec::new();
 
@@ -43,7 +47,14 @@ fn main() {
         let mut sys = System::new(SystemConfig::gem5_like());
         let a = sys.write_column(&col_a);
         sys.begin_measurement();
-        let cpu = sys.run_select_cpu(a, rows, i64::MIN, i64::MAX, ScanVariant::Predicated, Tick::ZERO);
+        let cpu = sys.run_select_cpu(
+            a,
+            rows,
+            i64::MIN,
+            i64::MAX,
+            ScanVariant::Predicated,
+            Tick::ZERO,
+        );
         let cpu_bytes = sys.mc().counters().reads.get() * 64;
         let cpu_ms = cpu.end.as_ms_f64();
 
@@ -221,7 +232,14 @@ fn main() {
         let mut sys = System::new(SystemConfig::gem5_like());
         let a = sys.write_column(&col_b);
         sys.begin_measurement();
-        let read = sys.run_select_cpu(a, rows, i64::MIN, i64::MAX, ScanVariant::Predicated, Tick::ZERO);
+        let read = sys.run_select_cpu(
+            a,
+            rows,
+            i64::MIN,
+            i64::MAX,
+            ScanVariant::Predicated,
+            Tick::ZERO,
+        );
         let log2 = 64 - rows.leading_zeros() as u64;
         let compute = Tick::from_ps(rows * log2 * 4 * 1000);
         let cpu_ms = (read.end + compute).as_ms_f64();
@@ -249,8 +267,12 @@ fn main() {
             .expect("owned");
         // Verify sortedness from DRAM.
         let first = module.data().read_i64(run.result_addr);
-        let mid = module.data().read_i64(PhysAddr(run.result_addr.0 + (rows / 2) * 8));
-        let last = module.data().read_i64(PhysAddr(run.result_addr.0 + (rows - 1) * 8));
+        let mid = module
+            .data()
+            .read_i64(PhysAddr(run.result_addr.0 + (rows / 2) * 8));
+        let last = module
+            .data()
+            .read_i64(PhysAddr(run.result_addr.0 + (rows - 1) * 8));
         assert!(first <= mid && mid <= last);
         out.push(vec![
             format!("sort ({} passes)", run.passes),

@@ -32,7 +32,9 @@ fn main() {
     println!();
 
     let mut rng = SplitMix64::new(0xA2);
-    let values: Vec<i64> = (0..rows).map(|_| rng.next_range_inclusive(0, 999)).collect();
+    let values: Vec<i64> = (0..rows)
+        .map(|_| rng.next_range_inclusive(0, 999))
+        .collect();
     let predicate = Predicate::Lt(500);
 
     let mut module = DramModule::new(
@@ -42,7 +44,6 @@ fn main() {
     );
     let lease = grant_ownership(&mut module, 0, Tick::ZERO).expect("fresh module");
     let t0 = lease.acquired_at;
-
 
     // Layouts: slices[phase] packed at distinct bases; plus a contiguous
     // copy of the whole column.
@@ -56,7 +57,9 @@ fn main() {
         module
             .data_mut()
             .write_i64(PhysAddr(slice_base(phase).0 + local * 8), *v);
-        module.data_mut().write_i64(PhysAddr(contig_base.0 + i as u64 * 8), *v);
+        module
+            .data_mut()
+            .write_i64(PhysAddr(contig_base.0 + i as u64 * 8), *v);
     }
 
     // Interleaved: each phase filters its slice + masked RMW writeback.
@@ -113,11 +116,19 @@ fn main() {
     let bb = BitSet::from_bytes(&b, rows as usize);
     assert_eq!(ba.count_ones(), bb.count_ones());
     assert_eq!(ba.to_positions(), bb.to_positions());
-    println!("# functional check: both placements produce identical bitsets ({} set)", ba.count_ones());
+    println!(
+        "# functional check: both placements produce identical bitsets ({} set)",
+        ba.count_ones()
+    );
     println!();
 
     print_table(
-        &["placement", "filter+WB time (ms)", "output writes", "RMW reads"],
+        &[
+            "placement",
+            "filter+WB time (ms)",
+            "output writes",
+            "RMW reads",
+        ],
         &[
             vec![
                 "interleaved".to_owned(),

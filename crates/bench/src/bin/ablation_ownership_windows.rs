@@ -18,7 +18,7 @@
 use jafar_bench::{arg, f1, f2, print_table};
 use jafar_common::rng::SplitMix64;
 use jafar_common::time::Tick;
-use jafar_core::{grant_ownership, JafarDevice, Predicate, SelectJob};
+use jafar_core::{JafarDevice, Predicate, SelectJob};
 use jafar_dram::{AddressMapping, DramGeometry, DramModule, DramTiming, PhysAddr};
 use jafar_memctl::controller::{ControllerConfig, MemoryController};
 use jafar_memctl::MemRequest;
@@ -47,7 +47,8 @@ fn co_run(rows: u64, host_reqs: u64, window: Tick) -> Outcome {
             .write_i64(PhysAddr(i * 8), (i % 1000) as i64);
     }
     let t0 = if window > Tick::ZERO {
-        mc.set_rank_ownership(0, true, Tick::ZERO).expect("quiesced")
+        mc.set_rank_ownership(0, true, Tick::ZERO)
+            .expect("quiesced")
     } else {
         Tick::ZERO
     };
@@ -107,12 +108,15 @@ fn co_run(rows: u64, host_reqs: u64, window: Tick) -> Outcome {
             if next_arrival < arrivals.len() && arrivals[next_arrival].0 > t {
                 t = arrivals[next_arrival].0.min(window_end);
             }
-            while next_arrival < arrivals.len() && arrivals[next_arrival].0 <= window_end.min(t.max(arrivals[next_arrival].0)) {
+            while next_arrival < arrivals.len()
+                && arrivals[next_arrival].0 <= window_end.min(t.max(arrivals[next_arrival].0))
+            {
                 let (arr, addr) = arrivals[next_arrival];
                 if arr > window_end {
                     break;
                 }
-                mc.enqueue(MemRequest::read(addr, arr)).expect("capacity 1-at-a-time");
+                mc.enqueue(MemRequest::read(addr, arr))
+                    .expect("capacity 1-at-a-time");
                 next_arrival += 1;
                 mc.advance_cursor(t.max(arr));
                 for c in mc.drain() {
@@ -127,12 +131,14 @@ fn co_run(rows: u64, host_reqs: u64, window: Tick) -> Outcome {
                     t = t.max(arrivals[next_arrival].0.min(window_end));
                 }
             }
-            t = t.max(window_end.min(
-                arrivals
-                    .get(next_arrival)
-                    .map(|(a, _)| *a)
-                    .unwrap_or(window_end),
-            ));
+            t = t.max(
+                window_end.min(
+                    arrivals
+                        .get(next_arrival)
+                        .map(|(a, _)| *a)
+                        .unwrap_or(window_end),
+                ),
+            );
             if window_end != Tick::MAX {
                 t = window_end;
             }
@@ -164,7 +170,9 @@ fn main() {
     let rows: u64 = arg("--rows", 1_000_000);
     let host_reqs: u64 = arg("--host-reqs", 10_000);
     println!("# Ablation A7: rank-ownership windows (the 3.3 scheduler proposal)");
-    println!("# device: select over {rows} rank-0 rows; host: {host_reqs} random rank-1 reads, 1/200ns");
+    println!(
+        "# device: select over {rows} rank-0 rows; host: {host_reqs} random rank-1 reads, 1/200ns"
+    );
     println!();
 
     let mut out = Vec::new();

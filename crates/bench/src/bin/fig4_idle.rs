@@ -40,7 +40,7 @@ fn main() {
         "# platform: {}; TPC-H-like sf = {sf}; host load factor = {load_factor}",
         cfg.name
     );
-    let db = TpchDb::generate(TpchConfig { sf, seed: 0x7C }) ;
+    let db = TpchDb::generate(TpchConfig { sf, seed: 0x7C });
     println!(
         "# dataset: {} customers, {} orders, {} lineitems ({} MiB)",
         db.customer.rows(),
@@ -76,9 +76,8 @@ fn main() {
         let mut sys = System::new(SystemConfig::xeon_like());
         let placed = PlacedDb::place(&mut sys, &db);
         sys.begin_measurement();
-        let mut replayer =
-            QueryReplayer::new(&mut sys, ReplayCosts::default().scaled(load_factor))
-                .with_scan_factor(load_factor);
+        let mut replayer = QueryReplayer::new(&mut sys, ReplayCosts::default().scaled(load_factor))
+            .with_scan_factor(load_factor);
         let end = replayer.replay(cx.trace(), &placed, Tick::ZERO);
         let report = sys.idle_report(end);
         let est = report.mean_idle_period_estimate();
@@ -90,8 +89,10 @@ fn main() {
             format!("{}", report.reads),
             format!("{}", report.writes),
             format!("{}", report.total_cycles()),
-            format!("{:.1}%", 100.0 * report.exact_idle_cycles as f64
-                / report.total_cycles().max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * report.exact_idle_cycles as f64 / report.total_cycles().max(1) as f64
+            ),
         ]);
     }
     let avg: f64 = estimates.iter().sum::<f64>() / estimates.len() as f64;

@@ -34,7 +34,10 @@ fn main() {
     let cas = timing.cl;
     let waiting = cas.saturating_sub(process_8);
     println!("## T1 (2.2): burst-processing headroom");
-    println!("  device clock period     : {} (paper: 0.5ns)", device.config().clock.period());
+    println!(
+        "  device clock period     : {} (paper: 0.5ns)",
+        device.config().clock.period()
+    );
     println!("  derived rate            : {ps_per_word} ps/word (paper: one word per cycle)");
     println!("  8-word burst processing : {process_8} (paper: 4ns)");
     println!("  CAS latency             : {cas} (paper: ~13ns)");
@@ -64,7 +67,9 @@ fn main() {
     println!("## T3 (3.1): fraction of CPU-only time inside the accelerated region");
     println!("  workload: {rows} rows, 0% selectivity, gem5-like host");
     let mut rng = SplitMix64::new(0xC1A1);
-    let values: Vec<i64> = (0..rows).map(|_| rng.next_range_inclusive(0, 999_999)).collect();
+    let values: Vec<i64> = (0..rows)
+        .map(|_| rng.next_range_inclusive(0, 999_999))
+        .collect();
     let mut sys = System::new(SystemConfig::gem5_like());
     let col = sys.write_column(&values);
     let cpu = sys.run_select_cpu(col, rows, 0, -1, ScanVariant::Branching, Tick::ZERO);

@@ -20,7 +20,9 @@ fn main() {
     print_table(&["spec", "gem5-like", "Xeon E7-4820 v2-like"], &rows);
     println!();
     println!("# paper values: gem5 = 1 OoO CPU, 1 GHz, 1 socket, 64kB L1 / 128kB L2, 2GB DRAM;");
-    println!("# Xeon = 8x 2-way SMT cores, 2 GHz, 4 sockets, 256kB L1 / 2MB L2 / 16MB L3, 1TB DDR3.");
+    println!(
+        "# Xeon = 8x 2-way SMT cores, 2 GHz, 4 sockets, 256kB L1 / 2MB L2 / 16MB L3, 1TB DDR3."
+    );
     println!("# Substitutions: one core per host is modelled; shared caches are scaled to");
     println!("# one core's effective share; DRAM capacity is capped at 2GiB (sparse backing).");
 }

@@ -13,13 +13,94 @@
 //! | `ablation_schedulers` | §3.3 memory-access scheduling |
 //! | `ablation_extensions` | §4 aggregation/projection/row-store NDP |
 //!
-//! Criterion micro-benches over the hot simulator paths live in
-//! `benches/`.
+//! Micro-benches over the hot simulator paths live in `benches/` and run
+//! on the in-tree [`micro`] harness (the workspace builds offline, so it
+//! cannot depend on Criterion).
 //!
-//! This library provides the small shared utilities: argument parsing and
-//! aligned table printing.
+//! This library provides the small shared utilities: argument parsing,
+//! aligned table printing, and the micro-benchmark harness.
 
 use std::fmt::Display;
+
+/// A minimal wall-clock micro-benchmark harness: warm up, then run batches
+/// until enough time has elapsed, and report the mean per-iteration time.
+///
+/// Each `benches/*.rs` target is a plain `fn main()` (`harness = false`)
+/// that calls [`micro::run`] / [`micro::run_batched`]. Use `--bench-filter
+/// substring` to run a subset and `--bench-ms N` to change the measurement
+/// budget per benchmark.
+pub mod micro {
+    use std::time::{Duration, Instant};
+
+    fn wants(name: &str) -> bool {
+        let args: Vec<String> = std::env::args().collect();
+        match args.iter().position(|a| a == "--bench-filter") {
+            Some(i) => args
+                .get(i + 1)
+                .map(|needle| name.contains(needle.as_str()))
+                .unwrap_or(true),
+            None => true,
+        }
+    }
+
+    fn budget() -> Duration {
+        Duration::from_millis(crate::arg("--bench-ms", 200u64))
+    }
+
+    fn report(name: &str, iters: u64, elapsed: Duration) {
+        let per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+        let (value, unit) = if per_iter >= 1e6 {
+            (per_iter / 1e6, "ms")
+        } else if per_iter >= 1e3 {
+            (per_iter / 1e3, "µs")
+        } else {
+            (per_iter, "ns")
+        };
+        println!("{name:<48} {value:>10.2} {unit}/iter  ({iters} iters)");
+    }
+
+    /// Benchmarks `f`, timing every call.
+    pub fn run<T>(name: &str, mut f: impl FnMut() -> T) {
+        if !wants(name) {
+            return;
+        }
+        for _ in 0..3 {
+            std::hint::black_box(f());
+        }
+        let budget = budget();
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < budget {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            elapsed += t0.elapsed();
+            iters += 1;
+        }
+        report(name, iters, elapsed);
+    }
+
+    /// Benchmarks `f` with a fresh `setup()` value per iteration; only the
+    /// time inside `f` is measured.
+    pub fn run_batched<S, T>(name: &str, mut setup: impl FnMut() -> S, mut f: impl FnMut(S) -> T) {
+        if !wants(name) {
+            return;
+        }
+        for _ in 0..2 {
+            std::hint::black_box(f(setup()));
+        }
+        let budget = budget();
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < budget {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(f(input));
+            elapsed += t0.elapsed();
+            iters += 1;
+        }
+        report(name, iters, elapsed);
+    }
+}
 
 /// Reads `--key value` style arguments with a default.
 pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -96,9 +177,6 @@ mod tests {
 
     #[test]
     fn table_renders_without_panic() {
-        print_table(
-            &["a", "bb"],
-            &[vec!["1".to_string(), "2".to_string()]],
-        );
+        print_table(&["a", "bb"], &[vec!["1".to_string(), "2".to_string()]]);
     }
 }

@@ -31,7 +31,8 @@ impl CacheConfig {
     pub fn validate(&self) {
         assert!(self.associativity > 0, "associativity must be positive");
         assert!(
-            self.size_bytes.is_multiple_of(CACHE_LINE * self.associativity as u64),
+            self.size_bytes
+                .is_multiple_of(CACHE_LINE * self.associativity as u64),
             "size must be a whole number of sets"
         );
         assert!(
@@ -168,16 +169,13 @@ impl SetAssocCache {
         // Choose an invalid way, else the LRU way.
         let slot = {
             let set = &mut self.sets[range];
-            let idx = set
-                .iter()
-                .position(|w| !w.valid)
-                .unwrap_or_else(|| {
-                    set.iter()
-                        .enumerate()
-                        .min_by_key(|(_, w)| w.last_use)
-                        .expect("associativity > 0")
-                        .0
-                });
+            let idx = set.iter().position(|w| !w.valid).unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.last_use)
+                    .expect("associativity > 0")
+                    .0
+            });
             &mut set[idx]
         };
         let victim = slot.valid.then(|| Victim {

@@ -291,17 +291,17 @@ mod tests {
         h.access(0, true); // dirty in L1
         h.access(128, false);
         let a = h.access(2 * 128, false); // evicts dirty line 0 from L1
-        assert!(
-            a.writebacks.is_empty(),
-            "dirty L1 victim is absorbed by L2"
-        );
+        assert!(a.writebacks.is_empty(), "dirty L1 victim is absorbed by L2");
         // Line 0 is dirty in L2 now; push it out of L2 with set-conflicting
         // fills (L2 set = line & 7; lines 0, 8, 16 share set 0).
         h.access(8 * 64, false);
         let out = h.access(16 * 64, false);
         // One of these fills evicted dirty line 0 from L2 → memory writeback.
         let all_wb: Vec<u64> = out.writebacks;
-        assert!(all_wb.contains(&0), "dirty line 0 leaves the hierarchy: {all_wb:?}");
+        assert!(
+            all_wb.contains(&0),
+            "dirty line 0 leaves the hierarchy: {all_wb:?}"
+        );
     }
 
     #[test]

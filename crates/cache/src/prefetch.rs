@@ -133,8 +133,8 @@ mod tests {
         p.observe(0); // stream A expects line 1
         p.observe(64 * 100); // stream B expects line 101
         p.observe(64 * 200); // stream C evicts A (LRU)
-        // Line 1 no longer triggers (A evicted); this allocates stream D,
-        // evicting B which is now the LRU.
+                             // Line 1 no longer triggers (A evicted); this allocates stream D,
+                             // evicting B which is now the LRU.
         assert!(p.observe(64).is_empty());
         // C is still live and confirms here.
         assert!(!p.observe(64 * 201).is_empty());

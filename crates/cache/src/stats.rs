@@ -22,7 +22,9 @@ pub struct CacheStats {
 impl CacheStats {
     /// Total accesses.
     pub fn accesses(&self) -> u64 {
-        self.read_hits.get() + self.read_misses.get() + self.write_hits.get()
+        self.read_hits.get()
+            + self.read_misses.get()
+            + self.write_hits.get()
             + self.write_misses.get()
     }
 

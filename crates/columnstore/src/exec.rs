@@ -12,21 +12,25 @@ use crate::ops::project::gather;
 use crate::ops::scan::{scan, scan_at, ScanPredicate};
 use crate::ops::sort::{sort_rows_by, Dir};
 use crate::positions::PositionList;
-use crate::pushdown::Planner;
+use crate::pushdown::{CircuitBreaker, Planner, ScanImpl};
 use crate::table::Table;
 use crate::trace::{OpTrace, TraceEvent};
 
-/// A query execution context: planner + trace.
+/// A query execution context: planner + pushdown health + trace.
 pub struct ExecContext {
     planner: Planner,
+    breaker: CircuitBreaker,
+    fallback_scans: u64,
     trace: OpTrace,
 }
 
 impl ExecContext {
-    /// A context with the given planner.
+    /// A context with the given planner and a closed circuit breaker.
     pub fn new(planner: Planner) -> Self {
         ExecContext {
             planner,
+            breaker: CircuitBreaker::default(),
+            fallback_scans: 0,
             trace: OpTrace::new(),
         }
     }
@@ -41,6 +45,25 @@ impl ExecContext {
         self.trace
     }
 
+    /// The pushdown circuit breaker. The driving layer reports device-path
+    /// outcomes here ([`CircuitBreaker::record_success`] /
+    /// [`CircuitBreaker::record_failure`]); while it is open, scans the
+    /// planner would push down run on the CPU kernel instead.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Mutable breaker access for outcome reporting.
+    pub fn breaker_mut(&mut self) -> &mut CircuitBreaker {
+        &mut self.breaker
+    }
+
+    /// Scans the planner wanted on the device but the breaker sent to the
+    /// CPU.
+    pub fn fallback_scans(&self) -> u64 {
+        self.fallback_scans
+    }
+
     /// Full-column select on `table.column`.
     pub fn select(
         &mut self,
@@ -50,13 +73,18 @@ impl ExecContext {
     ) -> PositionList {
         let col = table.column(column);
         let out = scan(col, predicate);
+        let mut implementation = self.planner.choose(col.len() as u64, predicate);
+        if implementation == ScanImpl::Jafar && !self.breaker.allow() {
+            implementation = self.planner.cpu_kernel;
+            self.fallback_scans += 1;
+        }
         self.trace.push(TraceEvent::Scan {
             table: table.name().to_owned(),
             column: column.to_owned(),
             rows: col.len() as u64,
             matches: out.len() as u64,
             bounds: predicate.bounds(),
-            implementation: self.planner.choose(col.len() as u64, predicate),
+            implementation,
         });
         out
     }
@@ -82,12 +110,7 @@ impl ExecContext {
     }
 
     /// Project: gather `table.column` values at `positions`.
-    pub fn project(
-        &mut self,
-        table: &Table,
-        column: &str,
-        positions: &PositionList,
-    ) -> Vec<i64> {
+    pub fn project(&mut self, table: &Table, column: &str, positions: &PositionList) -> Vec<i64> {
         let col = table.column(column);
         let out = gather(col, positions);
         self.trace.push(TraceEvent::Gather {
@@ -262,6 +285,26 @@ mod tests {
         let mut cx = ExecContext::new(Planner::with_jafar());
         let pos = cx.select(&t, "x", Pred::Lt(100));
         assert_eq!(pos.len(), 100);
+        assert_eq!(cx.trace().jafar_scans(), 1);
+    }
+
+    #[test]
+    fn open_breaker_routes_pushdown_scans_to_cpu() {
+        let t = Table::new("big", vec![Column::int("x", (0..10_000).collect())]);
+        let mut cx = ExecContext::new(Planner::with_jafar());
+        // Two consecutive device failures (reported by the driving layer)
+        // trip the default breaker.
+        cx.breaker_mut().record_failure();
+        cx.breaker_mut().record_failure();
+        assert!(cx.breaker().is_open());
+        let pos = cx.select(&t, "x", Pred::Lt(100));
+        assert_eq!(pos.len(), 100, "results identical on the CPU path");
+        assert_eq!(cx.trace().jafar_scans(), 0, "scan was rerouted");
+        assert_eq!(cx.fallback_scans(), 1);
+        // A healthy report closes it again and pushdown resumes.
+        while !cx.breaker_mut().allow() {}
+        cx.breaker_mut().record_success();
+        cx.select(&t, "x", Pred::Lt(100));
         assert_eq!(cx.trace().jafar_scans(), 1);
     }
 

@@ -37,7 +37,7 @@ pub use dict::Dictionary;
 pub use exec::ExecContext;
 pub use plan::{execute, Catalog, Frame, Plan};
 pub use positions::PositionList;
-pub use pushdown::{Planner, ScanImpl};
+pub use pushdown::{CircuitBreaker, Planner, ScanImpl};
 pub use table::Table;
 pub use trace::{OpTrace, TraceEvent};
-pub use value::{Date, DataType, Decimal};
+pub use value::{DataType, Date, Decimal};

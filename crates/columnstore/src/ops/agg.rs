@@ -90,12 +90,7 @@ impl GroupedResult {
 /// Panics on input length mismatches.
 pub fn hash_group_by(group_cols: &[&[i64]], aggs: &[AggSpec<'_>]) -> GroupedResult {
     let rows = group_cols.first().map_or_else(
-        || {
-            aggs.iter()
-                .map(|a| a.input.len())
-                .max()
-                .unwrap_or(0)
-        },
+        || aggs.iter().map(|a| a.input.len()).max().unwrap_or(0),
         |c| c.len(),
     );
     for c in group_cols {

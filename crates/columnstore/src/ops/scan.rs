@@ -63,7 +63,11 @@ pub fn scan(column: &Column, predicate: ScanPredicate) -> PositionList {
 
 /// Scans only at the given positions (a conjunctive refinement: apply a
 /// second predicate to the survivors of a first).
-pub fn scan_at(column: &Column, positions: &PositionList, predicate: ScanPredicate) -> PositionList {
+pub fn scan_at(
+    column: &Column,
+    positions: &PositionList,
+    predicate: ScanPredicate,
+) -> PositionList {
     let (lo, hi) = predicate.bounds();
     positions
         .as_slice()
@@ -90,7 +94,10 @@ mod tests {
         assert_eq!(scan(&c, ScanPredicate::Eq(3)).as_slice(), &[3, 5]);
         assert_eq!(scan(&c, ScanPredicate::Lt(3)).as_slice(), &[1, 6]);
         assert_eq!(scan(&c, ScanPredicate::Ge(9)).as_slice(), &[2, 7]);
-        assert_eq!(scan(&c, ScanPredicate::Between(3, 5)).as_slice(), &[0, 3, 5]);
+        assert_eq!(
+            scan(&c, ScanPredicate::Between(3, 5)).as_slice(),
+            &[0, 3, 5]
+        );
         assert_eq!(scan(&c, ScanPredicate::Between(100, 200)).len(), 0);
     }
 

@@ -32,6 +32,7 @@ impl<'a> Catalog<'a> {
     }
 
     /// Registers a table under its own name.
+    #[allow(clippy::should_implement_trait)] // builder-style `add`, not arithmetic
     pub fn add(mut self, table: &'a Table) -> Self {
         self.tables.insert(table.name().to_owned(), table);
         self
@@ -383,7 +384,9 @@ mod tests {
         let n = 5000;
         let shipdate: Vec<i64> = (0..n).map(|_| rng.next_range_inclusive(0, 365)).collect();
         let discount: Vec<i64> = (0..n).map(|_| rng.next_range_inclusive(0, 10)).collect();
-        let price: Vec<i64> = (0..n).map(|_| rng.next_range_inclusive(100, 10_000)).collect();
+        let price: Vec<i64> = (0..n)
+            .map(|_| rng.next_range_inclusive(100, 10_000))
+            .collect();
         let t = Table::new(
             "li",
             vec![

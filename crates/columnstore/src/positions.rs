@@ -133,7 +133,19 @@ impl FromIterator<u32> for PositionList {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use jafar_common::check::forall;
+    use jafar_common::rng::SplitMix64;
+
+    fn random_set(
+        rng: &mut SplitMix64,
+        bound: u32,
+        max_len: u64,
+    ) -> std::collections::BTreeSet<u32> {
+        let len = rng.next_below(max_len + 1);
+        (0..len)
+            .map(|_| rng.next_below(bound as u64) as u32)
+            .collect()
+    }
 
     #[test]
     fn bitset_round_trip() {
@@ -160,27 +172,27 @@ mod tests {
         assert_eq!(PositionList::new().selectivity(0), 0.0);
     }
 
-    proptest! {
-        #[test]
-        fn intersect_union_agree_with_sets(
-            a in proptest::collection::btree_set(0u32..200, 0..50),
-            b in proptest::collection::btree_set(0u32..200, 0..50),
-        ) {
+    #[test]
+    fn intersect_union_agree_with_sets() {
+        forall("intersect_union_agree_with_sets", 64, |rng| {
+            let a = random_set(rng, 200, 49);
+            let b = random_set(rng, 200, 49);
             let pa = PositionList::from_sorted(a.iter().copied().collect());
             let pb = PositionList::from_sorted(b.iter().copied().collect());
             let want_i: Vec<u32> = a.intersection(&b).copied().collect();
             let want_u: Vec<u32> = a.union(&b).copied().collect();
-            let got_i = pa.intersect(&pb);
-            let got_u = pa.union(&pb);
-            prop_assert_eq!(got_i.as_slice(), &want_i[..]);
-            prop_assert_eq!(got_u.as_slice(), &want_u[..]);
-        }
+            assert_eq!(pa.intersect(&pb).as_slice(), &want_i[..]);
+            assert_eq!(pa.union(&pb).as_slice(), &want_u[..]);
+        });
+    }
 
-        #[test]
-        fn bitset_round_trip_prop(set in proptest::collection::btree_set(0u32..500, 0..100)) {
+    #[test]
+    fn bitset_round_trip_prop() {
+        forall("bitset_round_trip_prop", 64, |rng| {
+            let set = random_set(rng, 500, 99);
             let p = PositionList::from_sorted(set.iter().copied().collect());
             let b = p.to_bitset(500);
-            prop_assert_eq!(PositionList::from_bitset(&b), p);
-        }
+            assert_eq!(PositionList::from_bitset(&b), p);
+        });
     }
 }

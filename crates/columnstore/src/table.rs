@@ -82,10 +82,7 @@ mod tests {
     fn lookup_and_shape() {
         let t = Table::new(
             "t",
-            vec![
-                Column::int("a", vec![1, 2]),
-                Column::int("b", vec![10, 20]),
-            ],
+            vec![Column::int("a", vec![1, 2]), Column::int("b", vec![10, 20])],
         );
         assert_eq!(t.rows(), 2);
         assert_eq!(t.column("b").get(1), 20);

@@ -13,12 +13,15 @@
 //!   histograms used for memory-controller idle-period accounting.
 //! - [`rng`]: a deterministic SplitMix64 generator so every experiment is
 //!   exactly reproducible from a seed.
+//! - [`check`]: a tiny seeded property-test harness (the workspace builds
+//!   offline, so it vendors this instead of depending on `proptest`).
 //! - [`size`]: byte-size helpers and alignment utilities.
 //!
 //! [`Tick`]: time::Tick
 //! [`ClockDomain`]: time::ClockDomain
 
 pub mod bitset;
+pub mod check;
 pub mod rng;
 pub mod size;
 pub mod stats;
@@ -27,5 +30,5 @@ pub mod time;
 pub use bitset::{BitSet, FixedBitBuf};
 pub use rng::SplitMix64;
 pub use size::{align_down, align_up, is_pow2, KIB, MIB};
-pub use stats::{Counter, Histogram, Summary};
+pub use stats::{Counter, Histogram, Scoreboard, Summary};
 pub use time::{ClockDomain, Cycles, Tick};

@@ -131,7 +131,10 @@ mod tests {
         for &c in &counts {
             // Within 5% of expectation — loose enough never to flake with a
             // fixed seed, tight enough to catch gross bias.
-            assert!((c as f64 - expect).abs() < expect * 0.05, "counts={counts:?}");
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.05,
+                "counts={counts:?}"
+            );
         }
     }
 

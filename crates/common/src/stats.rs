@@ -237,6 +237,80 @@ impl Histogram {
     }
 }
 
+/// An ordered set of named counters, used where a component wants to report
+/// a variable mix of events (e.g. the resilient driver's retries, renewals,
+/// watchdog fires) without a fixed struct per report format.
+///
+/// Insertion order is preserved so reports render in a stable, readable
+/// order; lookups are linear, which is fine for the ~dozen entries these
+/// scoreboards hold.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Scoreboard {
+    entries: Vec<(String, u64)>,
+}
+
+impl Scoreboard {
+    /// An empty scoreboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the named counter, creating it at `n` if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        match self.entries.iter_mut().find(|(k, _)| k == name) {
+            Some((_, v)) => *v += n,
+            None => self.entries.push((name.to_string(), n)),
+        }
+    }
+
+    /// Increments the named counter by one.
+    pub fn bump(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of the named counter (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Iterates `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// True if no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of every counter — handy for "did anything at all happen" checks.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Folds another scoreboard into this one, key by key.
+    pub fn merge(&mut self, other: &Scoreboard) {
+        for (name, v) in other.iter() {
+            self.add(name, v);
+        }
+    }
+}
+
+impl fmt::Display for Scoreboard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (name, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{name}={v}")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,5 +420,28 @@ mod tests {
         }
         assert_eq!(h.summary().count(), 3);
         assert!((h.summary().mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scoreboard_preserves_order_and_merges() {
+        let mut a = Scoreboard::new();
+        a.bump("retries");
+        a.add("renewals", 2);
+        a.bump("retries");
+        assert_eq!(a.get("retries"), 2);
+        assert_eq!(a.get("renewals"), 2);
+        assert_eq!(a.get("absent"), 0);
+        assert_eq!(a.total(), 4);
+        assert_eq!(format!("{a}"), "retries=2 renewals=2");
+
+        let mut b = Scoreboard::new();
+        b.add("renewals", 1);
+        b.add("fallbacks", 3);
+        a.merge(&b);
+        assert_eq!(a.get("renewals"), 3);
+        assert_eq!(
+            a.iter().map(|(k, _)| k).collect::<Vec<_>>(),
+            vec!["retries", "renewals", "fallbacks"]
+        );
     }
 }

@@ -347,7 +347,9 @@ mod tests {
     fn sum_min_max_count_match_reference() {
         let (mut d, mut m, t0) = setup();
         let mut rng = SplitMix64::new(17);
-        let values: Vec<i64> = (0..500).map(|_| rng.next_range_inclusive(-50, 50)).collect();
+        let values: Vec<i64> = (0..500)
+            .map(|_| rng.next_range_inclusive(-50, 50))
+            .collect();
         put(&mut m, 0, &values);
         let mut run = |op| {
             let mut dd = JafarDevice::paper_default();

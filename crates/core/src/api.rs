@@ -25,15 +25,67 @@ use jafar_common::time::Tick;
 use jafar_dram::{DramModule, PhysAddr};
 
 /// POSIX-flavoured error codes for the Figure-2 contract.
+///
+/// Every [`DeviceError`] and [`jafar_dram::IssueError`] variant maps to a
+/// *distinct* code (see [`device_errno`] / [`issue_errno`]) so a host-side
+/// log line pins down exactly what failed; the resilient driver keys its
+/// recovery policy off these values.
 pub mod errno {
     /// Success.
     pub const OK: i32 = 0;
+    /// Operation not permitted: an NDP command targeted an unowned rank.
+    pub const EPERM: i32 = 1;
+    /// I/O error: uncorrectable (double-bit) ECC failure in a read burst.
+    pub const EIO: i32 = 5;
+    /// No such device or address: command illegal in the bank's state.
+    pub const ENXIO: i32 = 6;
+    /// Try again: the command is legal but may not issue yet.
+    pub const EAGAIN: i32 = 11;
     /// Permission denied: the rank is not owned by the device.
     pub const EACCES: i32 = 13;
     /// Bad address: the job spans ranks.
     pub const EFAULT: i32 = 14;
+    /// Device busy: a host data command hit an NDP-owned rank.
+    pub const EBUSY: i32 = 16;
     /// Invalid argument: misalignment.
     pub const EINVAL: i32 = 22;
+    /// Not empty: REFRESH/MRS targeted a rank with open rows.
+    pub const ENOTEMPTY: i32 = 39;
+    /// Protocol error: a ModeRegisterSet was transiently ignored (retry).
+    pub const EPROTO: i32 = 71;
+    /// Bad message: uncorrectable ECC surfaced at the command layer.
+    pub const EBADMSG: i32 = 74;
+    /// Timed out: the driver's watchdog fired before completion.
+    pub const ETIMEDOUT: i32 = 110;
+    /// Key expired: the job was admitted after the lease deadline.
+    pub const EKEYEXPIRED: i32 = 127;
+}
+
+/// Maps a device-level rejection to its errno. Total and injective: every
+/// variant gets its own code, distinct from every [`issue_errno`] code.
+pub fn device_errno(e: DeviceError) -> i32 {
+    match e {
+        DeviceError::NotOwned => errno::EACCES,
+        DeviceError::Misaligned => errno::EINVAL,
+        DeviceError::SpansRanks => errno::EFAULT,
+        DeviceError::LeaseExpired => errno::EKEYEXPIRED,
+        DeviceError::Uncorrectable => errno::EIO,
+    }
+}
+
+/// Maps a DRAM command-layer rejection to its errno. Total and injective
+/// across the union with [`device_errno`].
+pub fn issue_errno(e: jafar_dram::IssueError) -> i32 {
+    use jafar_dram::IssueError;
+    match e {
+        IssueError::RankOwnedByNdp => errno::EBUSY,
+        IssueError::NdpWithoutOwnership => errno::EPERM,
+        IssueError::WrongState(_) => errno::ENXIO,
+        IssueError::TooEarly(_) => errno::EAGAIN,
+        IssueError::RanksNotQuiesced => errno::ENOTEMPTY,
+        IssueError::Uncorrectable => errno::EBADMSG,
+        IssueError::MrsGlitch => errno::EPROTO,
+    }
 }
 
 /// Arguments of one `select_jafar` call (one page of the column).
@@ -151,11 +203,7 @@ pub fn select_jafar(
             run: Some(run),
         },
         Err(e) => SelectOutcome {
-            errno: match e {
-                DeviceError::NotOwned => errno::EACCES,
-                DeviceError::SpansRanks => errno::EFAULT,
-                DeviceError::Misaligned => errno::EINVAL,
-            },
+            errno: device_errno(e),
             num_output_rows: 0,
             run: None,
         },
@@ -275,6 +323,47 @@ mod tests {
             at = out.run.unwrap().end;
         }
         assert_eq!(total, expect, "digits 0–4 of (i % 10)");
+    }
+
+    #[test]
+    fn errno_mapping_is_total_and_injective() {
+        use jafar_dram::IssueError;
+        // Every variant of both error enums, exhaustively. A new variant
+        // extends one of these arrays or the match in its mapping fails to
+        // compile — either way this test stays honest.
+        let device = [
+            DeviceError::NotOwned,
+            DeviceError::Misaligned,
+            DeviceError::SpansRanks,
+            DeviceError::LeaseExpired,
+            DeviceError::Uncorrectable,
+        ];
+        let issue = [
+            IssueError::RankOwnedByNdp,
+            IssueError::NdpWithoutOwnership,
+            IssueError::WrongState("x"),
+            IssueError::TooEarly(Tick::ZERO),
+            IssueError::RanksNotQuiesced,
+            IssueError::Uncorrectable,
+            IssueError::MrsGlitch,
+        ];
+        let mut codes: Vec<i32> = device
+            .iter()
+            .map(|&e| device_errno(e))
+            .chain(issue.iter().map(|&e| issue_errno(e)))
+            .collect();
+        for &c in &codes {
+            assert_ne!(c, errno::OK, "an error never maps to success");
+            assert!(c > 0, "errno values are positive");
+        }
+        let n = codes.len();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(
+            codes.len(),
+            n,
+            "distinct errno per variant across the union"
+        );
     }
 
     #[test]

@@ -64,6 +64,17 @@ pub enum DeviceError {
     /// data that is resident on its DIMM" (§4, Memory Management) — and in
     /// this design, on its owned rank.
     SpansRanks,
+    /// The job was admitted at or after the lease's expiry deadline. §2.2's
+    /// contract is that JAFAR "will finish its allotted work" inside the
+    /// granted window, so expiry is enforced at *admission*: a job admitted
+    /// one tick before the deadline runs to completion, a job admitted at
+    /// the deadline is refused. Renew the lease and retry.
+    LeaseExpired,
+    /// A read burst failed SECDED ECC with a double-bit error (injected by
+    /// the DRAM fault layer). The job aborted mid-stream; the output region
+    /// is partially written. Retrying the page is safe — the functional
+    /// store was never corrupted.
+    Uncorrectable,
 }
 
 /// One select invocation (one page worth, in the Figure-2 API).
@@ -148,7 +159,8 @@ impl JafarDevice {
     /// Builds a device, deriving its per-word throughput from the
     /// Aladdin-style schedule of the filter kernel.
     pub fn new(config: DeviceConfig) -> Self {
-        let ii = Schedule::steady_state_ii(&jafar_filter_kernel(), &config.resources, config.unroll);
+        let ii =
+            Schedule::steady_state_ii(&jafar_filter_kernel(), &config.resources, config.unroll);
         let ps_per_word = (ii * config.clock.period().as_ps() as f64).round() as u64;
         assert!(ps_per_word > 0, "degenerate device throughput");
         JafarDevice {
@@ -193,7 +205,12 @@ impl JafarDevice {
         &self.stats
     }
 
-    fn validate(&self, module: &DramModule, job: &SelectJob) -> Result<u32, DeviceError> {
+    fn validate(
+        &self,
+        module: &DramModule,
+        job: &SelectJob,
+        start: Tick,
+    ) -> Result<u32, DeviceError> {
         if job.col_addr.block_offset() != 0 || job.out_addr.block_offset() != 0 {
             return Err(DeviceError::Misaligned);
         }
@@ -215,6 +232,9 @@ impl JafarDevice {
         if !module.rank_owned_by_ndp(rank) {
             return Err(DeviceError::NotOwned);
         }
+        if start >= module.ndp_deadline(rank) {
+            return Err(DeviceError::LeaseExpired);
+        }
         Ok(rank)
     }
 
@@ -231,7 +251,7 @@ impl JafarDevice {
         job: SelectJob,
         start: Tick,
     ) -> Result<SelectRun, DeviceError> {
-        let _rank = self.validate(module, &job).inspect_err(|_| {
+        let _rank = self.validate(module, &job, start).inspect_err(|_| {
             self.regs.set_error();
         })?;
         self.regs.set_busy();
@@ -260,12 +280,17 @@ impl JafarDevice {
                 let next = PhysAddr(job.col_addr.0 + (burst + bursts_per_row) * 64);
                 preopen_row(module, next, issue_cursor);
             }
-            let access = module
-                .serve_addr(addr, false, Requester::Ndp, issue_cursor, None)
-                .map_err(|e| match e {
-                    IssueError::NdpWithoutOwnership => DeviceError::NotOwned,
-                    other => unreachable!("unexpected issue error: {other:?}"),
-                })?;
+            let access = match module.serve_addr(addr, false, Requester::Ndp, issue_cursor, None) {
+                Ok(a) => a,
+                Err(e) => {
+                    self.regs.set_error();
+                    return Err(match e {
+                        IssueError::NdpWithoutOwnership => DeviceError::NotOwned,
+                        IssueError::Uncorrectable => DeviceError::Uncorrectable,
+                        other => unreachable!("unexpected issue error: {other:?}"),
+                    });
+                }
+            };
             bursts_read += 1;
             // Pipelined command issue: the next read may be requested one
             // bus cycle after this one's CAS went out.
@@ -293,7 +318,7 @@ impl JafarDevice {
                         &bytes,
                         proc_free,
                         &mut bursts_written,
-                    );
+                    )?;
                 }
             }
             proc_free += Tick::from_ps(words * self.ps_per_word);
@@ -301,7 +326,7 @@ impl JafarDevice {
         // Final partial flush.
         if !out_buf.is_empty() {
             let bytes = out_buf.drain_bytes();
-            self.write_bitset_chunk(module, out_cursor, &bytes, proc_free, &mut bursts_written);
+            self.write_bitset_chunk(module, out_cursor, &bytes, proc_free, &mut bursts_written)?;
         }
 
         self.regs.set_done(matched);
@@ -322,24 +347,35 @@ impl JafarDevice {
     /// Writes a drained output-buffer chunk back to DRAM as whole bursts
     /// (zero-padding the tail). Returns the advanced output cursor.
     fn write_bitset_chunk(
-        &self,
+        &mut self,
         module: &mut DramModule,
         out_cursor: u64,
         bytes: &[u8],
         at: Tick,
         bursts_written: &mut u64,
-    ) -> u64 {
+    ) -> Result<u64, DeviceError> {
         let mut cursor = out_cursor;
         for chunk in bytes.chunks(64) {
             let mut burst = [0u8; 64];
             burst[..chunk.len()].copy_from_slice(chunk);
-            module
-                .serve_addr(PhysAddr(cursor & !63), true, Requester::Ndp, at, Some(&burst))
-                .expect("output rank validated at job start");
+            let served = module.serve_addr(
+                PhysAddr(cursor & !63),
+                true,
+                Requester::Ndp,
+                at,
+                Some(&burst),
+            );
+            if let Err(e) = served {
+                self.regs.set_error();
+                return Err(match e {
+                    IssueError::NdpWithoutOwnership => DeviceError::NotOwned,
+                    other => unreachable!("output rank validated at job start: {other:?}"),
+                });
+            }
             *bursts_written += 1;
             cursor += chunk.len() as u64;
         }
-        cursor
+        Ok(cursor)
     }
 }
 
@@ -390,7 +426,9 @@ mod tests {
     fn bitset_matches_software_reference() {
         let (mut m, t0) = owned_module();
         let mut rng = SplitMix64::new(99);
-        let values: Vec<i64> = (0..2000).map(|_| rng.next_range_inclusive(0, 999)).collect();
+        let values: Vec<i64> = (0..2000)
+            .map(|_| rng.next_range_inclusive(0, 999))
+            .collect();
         put_column(&mut m, 0, &values);
         let mut d = JafarDevice::paper_default();
         let j = job(2000, 100, 499);
@@ -420,7 +458,9 @@ mod tests {
         let run_with = |hi: i64| {
             let (mut m, t0) = owned_module();
             let mut rng = SplitMix64::new(5);
-            let values: Vec<i64> = (0..4000).map(|_| rng.next_range_inclusive(0, 999)).collect();
+            let values: Vec<i64> = (0..4000)
+                .map(|_| rng.next_range_inclusive(0, 999))
+                .collect();
             put_column(&mut m, 0, &values);
             let mut d = JafarDevice::paper_default();
             d.run_select(&mut m, job(4000, 0, hi), t0).unwrap()
@@ -447,7 +487,9 @@ mod tests {
         let values: Vec<i64> = (0..rows as i64).collect();
         put_column(&mut m, 0, &values);
         let mut d = JafarDevice::paper_default();
-        let run = d.run_select(&mut m, job(rows as u64, 0, i64::MAX), t0).unwrap();
+        let run = d
+            .run_select(&mut m, job(rows as u64, 0, i64::MAX), t0)
+            .unwrap();
         let span = run.end - run.start;
         let ns_per_burst = span.as_ns_f64() / run.bursts_read as f64;
         assert!(
@@ -483,7 +525,9 @@ mod tests {
             AddressMapping::RankRowBankBlock,
         );
         let mut d = JafarDevice::paper_default();
-        let err = d.run_select(&mut m, job(100, 0, 10), Tick::ZERO).unwrap_err();
+        let err = d
+            .run_select(&mut m, job(100, 0, 10), Tick::ZERO)
+            .unwrap_err();
         assert_eq!(err, DeviceError::NotOwned);
         assert!(d.regs().errored());
     }
@@ -507,6 +551,36 @@ mod tests {
         let mut j = job((rank_bytes / 8) + 8, 0, 10);
         j.out_addr = PhysAddr(0); // overlaps, but rank check fires first
         assert_eq!(d.run_select(&mut m, j, t0), Err(DeviceError::SpansRanks));
+    }
+
+    #[test]
+    fn lease_expiry_is_enforced_at_admission_only() {
+        use crate::ownership::{grant_ownership_for, release_ownership};
+        let mut m = DramModule::new(
+            DramGeometry::tiny(),
+            DramTiming::ddr3_paper().without_refresh(),
+            AddressMapping::RankRowBankBlock,
+        );
+        let lease = grant_ownership_for(&mut m, 0, Tick::ZERO, Tick::from_us(2)).unwrap();
+        let values: Vec<i64> = (0..512).collect();
+        put_column(&mut m, 0, &values);
+        let mut d = JafarDevice::paper_default();
+
+        // A job admitted exactly at the deadline is refused.
+        let at_deadline = d.run_select(&mut m, job(512, 0, i64::MAX), lease.expires_at);
+        assert_eq!(at_deadline, Err(DeviceError::LeaseExpired));
+        assert!(d.regs().errored());
+
+        // One tick before the deadline it is admitted — and per the §2.2
+        // allotted-work contract it runs to completion even though it
+        // finishes after the expiry tick.
+        let just_in_time = lease.expires_at - Tick::from_ps(1);
+        let run = d
+            .run_select(&mut m, job(512, 0, i64::MAX), just_in_time)
+            .expect("admitted before expiry");
+        assert_eq!(run.matched, 512);
+        assert!(run.end > lease.expires_at, "work outlives the lease window");
+        let _ = release_ownership(&mut m, lease, run.end).unwrap();
     }
 
     #[test]

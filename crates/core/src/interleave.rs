@@ -223,7 +223,8 @@ mod tests {
             m.data_mut().write_i64(PhysAddr(i as u64 * 8), *v);
         }
         for (i, v) in odd.iter().enumerate() {
-            m.data_mut().write_i64(PhysAddr(32 * 1024 + i as u64 * 8), *v);
+            m.data_mut()
+                .write_i64(PhysAddr(32 * 1024 + i as u64 * 8), *v);
         }
         let out_addr = 64 * 1024u64;
         let r0 = d

@@ -20,7 +20,11 @@
 //! - [`api`]: the Figure-2 host API `select_jafar(col_data, range_low,
 //!   range_high, out_buf, num_input_rows, num_output_rows)`, invoked once
 //!   per virtual-memory page;
-//! - [`ownership`]: rank-ownership transfer via the MR3/MPR mechanism;
+//! - [`ownership`]: rank-ownership transfer via the MR3/MPR mechanism,
+//!   with bounded (expiring, renewable) leases;
+//! - [`driver`]: the resilient host driver — watchdog timeouts, bounded
+//!   exponential backoff, lease renewal, a circuit breaker and a CPU-scan
+//!   fallback, so queries survive the fault plans `jafar-dram` injects;
 //! - the §4 roadmap extensions: [`aggregate`] (sum/min/max/count/avg and
 //!   bounded-bucket hash group-by with hierarchical overflow), [`project`]
 //!   (position-driven gather in memory), [`rowstore`] (parallel
@@ -32,6 +36,7 @@
 pub mod aggregate;
 pub mod api;
 pub mod device;
+pub mod driver;
 pub mod interleave;
 pub mod ownership;
 pub mod predicate;
@@ -40,8 +45,11 @@ pub mod regs;
 pub mod rowstore;
 pub mod sort;
 
-pub use api::{select_jafar, CompletionMode, DriverCosts, SelectArgs, SelectOutcome};
+pub use api::{
+    device_errno, issue_errno, select_jafar, CompletionMode, DriverCosts, SelectArgs, SelectOutcome,
+};
 pub use device::{DeviceConfig, DeviceError, JafarDevice, SelectJob, SelectRun};
-pub use ownership::{grant_ownership, release_ownership, Lease};
+pub use driver::{DriverRun, DriverStats, ResilienceConfig, ResilientDriver, SelectRequest};
+pub use ownership::{grant_ownership, grant_ownership_for, release_ownership, renew_lease, Lease};
 pub use predicate::Predicate;
-pub use regs::{RegisterFile, Reg};
+pub use regs::{Reg, RegisterFile};

@@ -25,46 +25,90 @@ pub struct Lease {
     pub rank: u32,
     /// When ownership became effective.
     pub acquired_at: Tick,
+    /// When the grant lapses. §2.2 hands the rank over "knowing that JAFAR
+    /// will finish its allotted work in that amount of time": jobs
+    /// *admitted* at or after this tick are rejected with
+    /// `DeviceError::LeaseExpired`, while a job admitted one tick earlier
+    /// runs to completion even if it finishes later (the allotted-work
+    /// contract). `Tick::MAX` means unbounded.
+    pub expires_at: Tick,
 }
 
-fn set_mpr(
-    module: &mut DramModule,
-    rank: u32,
-    owned: bool,
-    now: Tick,
-) -> Result<Tick, IssueError> {
+impl Lease {
+    /// True once `now` has reached the expiry deadline.
+    pub fn is_expired(&self, now: Tick) -> bool {
+        now >= self.expires_at
+    }
+}
+
+fn set_mpr(module: &mut DramModule, rank: u32, owned: bool, now: Tick) -> Result<Tick, IssueError> {
     // Quiesce the rank: run due refreshes, close open rows.
     let after_refresh = module.maintain_refresh(rank, now, Requester::Host);
     let pre = DramCommand::PrechargeAll { rank };
     let at = module.earliest_issue(pre, Requester::Host, after_refresh)?;
     module.issue(pre, Requester::Host, at, None)?;
     let value = module.mode_regs(rank).mr3_with_ownership(owned);
-    let mrs = DramCommand::ModeRegisterSet {
-        rank,
-        mr: 3,
-        value,
-    };
+    let mrs = DramCommand::ModeRegisterSet { rank, mr: 3, value };
     let at = module.earliest_issue(mrs, Requester::Host, at)?;
     module.issue(mrs, Requester::Host, at, None)?;
     Ok(at + module.timing().t_mod)
 }
 
-/// Grants rank ownership to the NDP device. Returns a lease recording when
-/// the grant became effective.
+/// Grants rank ownership to the NDP device for an unbounded window.
+/// Returns a lease recording when the grant became effective.
 ///
 /// # Errors
 /// Propagates mode-register issue errors (e.g. the rank cannot quiesce).
-pub fn grant_ownership(
+pub fn grant_ownership(module: &mut DramModule, rank: u32, now: Tick) -> Result<Lease, IssueError> {
+    grant_ownership_for(module, rank, now, Tick::MAX)
+}
+
+/// Grants rank ownership to the NDP device for a bounded `window` starting
+/// when the grant becomes effective. The expiry deadline is recorded on the
+/// module so the device can refuse to *admit* jobs past it.
+///
+/// # Errors
+/// Propagates mode-register issue errors (e.g. the rank cannot quiesce, or
+/// an injected MRS glitch — retry in that case).
+pub fn grant_ownership_for(
     module: &mut DramModule,
     rank: u32,
     now: Tick,
+    window: Tick,
 ) -> Result<Lease, IssueError> {
     let acquired_at = set_mpr(module, rank, true, now)?;
-    Ok(Lease { rank, acquired_at })
+    let expires_at = acquired_at.checked_add(window).unwrap_or(Tick::MAX);
+    module.set_ndp_deadline(rank, expires_at);
+    Ok(Lease {
+        rank,
+        acquired_at,
+        expires_at,
+    })
+}
+
+/// Extends an existing lease by `window` from `now` without a release /
+/// re-grant round trip: the MPR bit is re-asserted (a level, so this is
+/// idempotent) and the deadline pushed out. Returns when the renewal became
+/// effective.
+///
+/// # Errors
+/// Propagates mode-register issue errors; the lease deadline is unchanged
+/// on failure.
+pub fn renew_lease(
+    module: &mut DramModule,
+    lease: &mut Lease,
+    now: Tick,
+    window: Tick,
+) -> Result<Tick, IssueError> {
+    let renewed_at = set_mpr(module, lease.rank, true, now.max(lease.acquired_at))?;
+    lease.expires_at = renewed_at.checked_add(window).unwrap_or(Tick::MAX);
+    module.set_ndp_deadline(lease.rank, lease.expires_at);
+    Ok(renewed_at)
 }
 
 /// Releases a previously granted rank. Returns when the release became
-/// effective (host traffic may resume).
+/// effective (host traffic may resume). Releasing a stale lease (the rank
+/// already handed back) is a harmless no-op state-wise.
 ///
 /// # Errors
 /// Propagates mode-register issue errors.
@@ -73,7 +117,9 @@ pub fn release_ownership(
     lease: Lease,
     now: Tick,
 ) -> Result<Tick, IssueError> {
-    set_mpr(module, lease.rank, false, now.max(lease.acquired_at))
+    let released = set_mpr(module, lease.rank, false, now.max(lease.acquired_at))?;
+    module.set_ndp_deadline(lease.rank, Tick::MAX);
+    Ok(released)
 }
 
 #[cfg(test)]
@@ -135,6 +181,41 @@ mod tests {
         let lease = grant_ownership(&mut m, 0, Tick::from_us(20)).unwrap();
         assert!(m.stats().refreshes.get() >= 2, "two deadlines passed");
         let _ = release_ownership(&mut m, lease, Tick::from_us(25)).unwrap();
+    }
+
+    #[test]
+    fn bounded_grant_records_deadline_and_release_clears_it() {
+        let mut m = module();
+        let lease = grant_ownership_for(&mut m, 0, Tick::ZERO, Tick::from_us(5)).unwrap();
+        assert_eq!(lease.expires_at, lease.acquired_at + Tick::from_us(5));
+        assert_eq!(m.ndp_deadline(0), lease.expires_at);
+        assert!(!lease.is_expired(lease.expires_at - Tick::from_ps(1)));
+        assert!(lease.is_expired(lease.expires_at));
+        let _ = release_ownership(&mut m, lease, Tick::from_us(10)).unwrap();
+        assert_eq!(m.ndp_deadline(0), Tick::MAX, "release clears the deadline");
+    }
+
+    #[test]
+    fn unbounded_grant_never_expires() {
+        let mut m = module();
+        let lease = grant_ownership(&mut m, 0, Tick::ZERO).unwrap();
+        assert_eq!(lease.expires_at, Tick::MAX);
+        assert!(!lease.is_expired(Tick::from_ms(10)));
+        let _ = release_ownership(&mut m, lease, Tick::from_us(1)).unwrap();
+    }
+
+    #[test]
+    fn renewal_extends_the_deadline_in_place() {
+        let mut m = module();
+        let mut lease = grant_ownership_for(&mut m, 0, Tick::ZERO, Tick::from_us(2)).unwrap();
+        let old_expiry = lease.expires_at;
+        let renewed_at =
+            renew_lease(&mut m, &mut lease, Tick::from_us(1), Tick::from_us(2)).unwrap();
+        assert_eq!(lease.expires_at, renewed_at + Tick::from_us(2));
+        assert!(lease.expires_at > old_expiry);
+        assert_eq!(m.ndp_deadline(0), lease.expires_at);
+        assert!(m.rank_owned_by_ndp(0), "renewal keeps the rank owned");
+        let _ = release_ownership(&mut m, lease, Tick::from_us(10)).unwrap();
     }
 
     #[test]

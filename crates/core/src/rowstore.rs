@@ -130,9 +130,8 @@ impl JafarDevice {
                 let row_bytes = &pending[consumed..consumed + stride];
                 let hit = job.predicates.iter().all(|p| {
                     let off = p.offset as usize;
-                    let v = i64::from_le_bytes(
-                        row_bytes[off..off + 8].try_into().expect("8 bytes"),
-                    );
+                    let v =
+                        i64::from_le_bytes(row_bytes[off..off + 8].try_into().expect("8 bytes"));
                     p.predicate.eval(v)
                 });
                 matched += u64::from(hit);
@@ -369,9 +368,7 @@ mod tests {
             out_addr: PhysAddr(96 * 1024),
         };
         let one = d.run_row_filter(&mut m, &mk_job(1), t0).unwrap();
-        let four = d
-            .run_row_filter(&mut m, &mk_job(4), one.end)
-            .unwrap();
+        let four = d.run_row_filter(&mut m, &mk_job(4), one.end).unwrap();
         assert!(four.end - one.end > one.end - t0, "4 waves must be slower");
         assert_eq!(one.matched, 512);
         assert_eq!(four.matched, 512);

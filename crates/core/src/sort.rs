@@ -104,7 +104,9 @@ impl JafarDevice {
         // the network fill.
         let mut values = vec![0i64; job.rows as usize];
         for (i, v) in values.iter_mut().enumerate() {
-            *v = module.data().read_i64(PhysAddr(job.col_addr.0 + i as u64 * 8));
+            *v = module
+                .data()
+                .read_i64(PhysAddr(job.col_addr.0 + i as u64 * 8));
         }
         let mut now = start;
         let mut bursts_moved = 0u64;
@@ -120,7 +122,13 @@ impl JafarDevice {
                 let mut issue = now;
                 for b in 0..total_bursts {
                     let access = module
-                        .serve_addr(PhysAddr(from.0 + b * 64), false, Requester::Ndp, issue, None)
+                        .serve_addr(
+                            PhysAddr(from.0 + b * 64),
+                            false,
+                            Requester::Ndp,
+                            issue,
+                            None,
+                        )
                         .expect("rank validated");
                     let cas_at = access.data_ready.saturating_sub(cas_pipeline);
                     issue = cas_at.max(issue) + timing.bus_clock.period();
@@ -175,7 +183,11 @@ impl JafarDevice {
         }
 
         // Write the functional result to wherever the last pass landed.
-        let result_addr = if src_is_out { job.out_addr } else { job.col_addr };
+        let result_addr = if src_is_out {
+            job.out_addr
+        } else {
+            job.col_addr
+        };
         for (i, v) in values.iter().enumerate() {
             module
                 .data_mut()
@@ -220,7 +232,9 @@ mod tests {
     fn sorts_random_data() {
         let (mut d, mut m, t0) = setup();
         let mut rng = SplitMix64::new(9);
-        let values: Vec<i64> = (0..3000).map(|_| rng.next_range_inclusive(-500, 500)).collect();
+        let values: Vec<i64> = (0..3000)
+            .map(|_| rng.next_range_inclusive(-500, 500))
+            .collect();
         put(&mut m, 0, &values);
         let run = d
             .run_sort(
@@ -236,7 +250,9 @@ mod tests {
         let mut expect = values.clone();
         expect.sort_unstable();
         for (i, want) in expect.iter().enumerate() {
-            let got = m.data().read_i64(PhysAddr(run.result_addr.0 + i as u64 * 8));
+            let got = m
+                .data()
+                .read_i64(PhysAddr(run.result_addr.0 + i as u64 * 8));
             assert_eq!(got, *want, "slot {i}");
         }
         // 3000 elements / 64-run network → runs, then ceil(log2(3000/64))
@@ -262,7 +278,8 @@ mod tests {
         assert_eq!(run.passes, 1, "fits one network pass");
         for (i, want) in [1i64, 2, 3].iter().enumerate() {
             assert_eq!(
-                m.data().read_i64(PhysAddr(run.result_addr.0 + i as u64 * 8)),
+                m.data()
+                    .read_i64(PhysAddr(run.result_addr.0 + i as u64 * 8)),
                 *want
             );
         }
@@ -287,7 +304,9 @@ mod tests {
         let (mut d, mut m, t0) = setup();
         let mut rng = SplitMix64::new(2);
         let small: Vec<i64> = (0..512).map(|_| rng.next_range_inclusive(0, 999)).collect();
-        let large: Vec<i64> = (0..2048).map(|_| rng.next_range_inclusive(0, 999)).collect();
+        let large: Vec<i64> = (0..2048)
+            .map(|_| rng.next_range_inclusive(0, 999))
+            .collect();
         put(&mut m, 0, &small);
         let run_small = d
             .run_sort(

@@ -81,12 +81,7 @@ impl ScanEngine {
     }
 
     /// Runs `spec` starting at `start` against `backend`.
-    pub fn run(
-        &self,
-        backend: &mut impl MemoryBackend,
-        spec: ScanSpec,
-        start: Tick,
-    ) -> ScanResult {
+    pub fn run(&self, backend: &mut impl MemoryBackend, spec: ScanSpec, start: Tick) -> ScanResult {
         let period_ps = self.clock.period().as_ps() as f64;
         let mut predictor = TwoBitPredictor::new();
         let mut now = start;
@@ -110,9 +105,7 @@ impl ScanEngine {
                 let v = i64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"));
                 let matched = spec.lo <= v && v <= spec.hi;
                 line_cycles += self.params.row_cycles(spec.variant, matched);
-                if self.params.has_branch(spec.variant)
-                    && !predictor.predict_and_update(matched)
-                {
+                if self.params.has_branch(spec.variant) && !predictor.predict_and_update(matched) {
                     line_cycles += self.params.mispredict_penalty;
                 }
                 // The store executes for matches (all variants) and
@@ -123,17 +116,9 @@ impl ScanEngine {
                 let store_slot = positions.len() as u64;
                 if matched {
                     positions.push(row_idx);
-                    backend.store(
-                        spec.out_addr + store_slot * 4,
-                        &row_idx.to_le_bytes(),
-                        now,
-                    );
+                    backend.store(spec.out_addr + store_slot * 4, &row_idx.to_le_bytes(), now);
                 } else if matches!(spec.variant, ScanVariant::Predicated) {
-                    backend.store(
-                        spec.out_addr + store_slot * 4,
-                        &row_idx.to_le_bytes(),
-                        now,
-                    );
+                    backend.store(spec.out_addr + store_slot * 4, &row_idx.to_le_bytes(), now);
                 }
             }
             let advance_ps = line_cycles * period_ps + carry_ps;
@@ -274,12 +259,18 @@ mod tests {
     #[test]
     fn runtime_grows_with_selectivity_for_branching() {
         let mut rng = SplitMix64::new(3);
-        let values: Vec<i64> = (0..8000).map(|_| rng.next_range_inclusive(0, 999)).collect();
+        let values: Vec<i64> = (0..8000)
+            .map(|_| rng.next_range_inclusive(0, 999))
+            .collect();
         let engine = ScanEngine::gem5_like();
         let run = |hi: i64| {
             let mut b = backend_with_column(&values);
             engine
-                .run(&mut b, spec(8000, 0, hi, ScanVariant::Branching), Tick::ZERO)
+                .run(
+                    &mut b,
+                    spec(8000, 0, hi, ScanVariant::Branching),
+                    Tick::ZERO,
+                )
                 .end
         };
         let t0 = run(-1); // 0% selectivity
@@ -293,12 +284,18 @@ mod tests {
     #[test]
     fn predicated_runtime_is_selectivity_independent() {
         let mut rng = SplitMix64::new(5);
-        let values: Vec<i64> = (0..8000).map(|_| rng.next_range_inclusive(0, 999)).collect();
+        let values: Vec<i64> = (0..8000)
+            .map(|_| rng.next_range_inclusive(0, 999))
+            .collect();
         let engine = ScanEngine::gem5_like();
         let run = |hi: i64| {
             let mut b = backend_with_column(&values);
             engine
-                .run(&mut b, spec(8000, 0, hi, ScanVariant::Predicated), Tick::ZERO)
+                .run(
+                    &mut b,
+                    spec(8000, 0, hi, ScanVariant::Predicated),
+                    Tick::ZERO,
+                )
                 .end
         };
         let t0 = run(-1);
@@ -310,12 +307,18 @@ mod tests {
     #[test]
     fn mispredicts_peak_mid_selectivity() {
         let mut rng = SplitMix64::new(11);
-        let values: Vec<i64> = (0..20_000).map(|_| rng.next_range_inclusive(0, 999)).collect();
+        let values: Vec<i64> = (0..20_000)
+            .map(|_| rng.next_range_inclusive(0, 999))
+            .collect();
         let engine = ScanEngine::gem5_like();
         let miss = |hi: i64| {
             let mut b = backend_with_column(&values);
             engine
-                .run(&mut b, spec(20_000, 0, hi, ScanVariant::Branching), Tick::ZERO)
+                .run(
+                    &mut b,
+                    spec(20_000, 0, hi, ScanVariant::Branching),
+                    Tick::ZERO,
+                )
                 .mispredicts
         };
         let low = miss(49); // 5%
@@ -351,7 +354,11 @@ mod tests {
     fn zero_rows() {
         let mut b = FixedLatencyBackend::new(1 << 10, Tick::from_ns(20));
         let engine = ScanEngine::gem5_like();
-        let r = engine.run(&mut b, spec(0, 0, 10, ScanVariant::Branching), Tick::from_ns(5));
+        let r = engine.run(
+            &mut b,
+            spec(0, 0, 10, ScanVariant::Branching),
+            Tick::from_ns(5),
+        );
         assert_eq!(r.end, Tick::from_ns(5));
         assert_eq!(r.matches, 0);
         assert_eq!(b.loads, 0);
@@ -360,12 +367,16 @@ mod tests {
     #[test]
     fn vectorized_faster_than_branching_mid_selectivity() {
         let mut rng = SplitMix64::new(13);
-        let values: Vec<i64> = (0..8000).map(|_| rng.next_range_inclusive(0, 999)).collect();
+        let values: Vec<i64> = (0..8000)
+            .map(|_| rng.next_range_inclusive(0, 999))
+            .collect();
         let engine = ScanEngine::gem5_like();
         let run = |variant| {
             let mut b = backend_with_column(&values);
             b.load_latency = Tick::ZERO; // isolate compute
-            engine.run(&mut b, spec(8000, 0, 499, variant), Tick::ZERO).end
+            engine
+                .run(&mut b, spec(8000, 0, 499, variant), Tick::ZERO)
+                .end
         };
         assert!(run(ScanVariant::Vectorized { lanes: 4 }) < run(ScanVariant::Branching));
     }

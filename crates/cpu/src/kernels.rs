@@ -89,7 +89,11 @@ impl KernelParams {
             ScanVariant::Predicated => self.base_cycles_per_row + self.predication_overhead,
             ScanVariant::Vectorized { lanes } => {
                 self.vector_op_cycles / lanes as f64
-                    + if matched { self.vector_match_cycles } else { 0.0 }
+                    + if matched {
+                        self.vector_match_cycles
+                    } else {
+                        0.0
+                    }
             }
         }
     }

@@ -241,7 +241,7 @@ impl AddressDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use jafar_common::check::forall;
 
     fn decoder(mapping: AddressMapping) -> AddressDecoder {
         AddressDecoder::new(DramGeometry::tiny(), mapping)
@@ -360,11 +360,11 @@ mod tests {
         d.decode(PhysAddr(DramGeometry::tiny().capacity_bytes()));
     }
 
-    proptest! {
-        #[test]
-        fn decode_encode_round_trip(addr in 0u64..DramGeometry::tiny().capacity_bytes(),
-                                    interleaved in proptest::bool::ANY) {
-            let m = if interleaved {
+    #[test]
+    fn decode_encode_round_trip() {
+        forall("decode_encode_round_trip", 256, |rng| {
+            let addr = rng.next_below(DramGeometry::tiny().capacity_bytes());
+            let m = if rng.next_bool(0.5) {
                 AddressMapping::BankInterleavedBlock
             } else {
                 AddressMapping::RowBankRankBlock
@@ -372,26 +372,33 @@ mod tests {
             let d = decoder(m);
             let a = PhysAddr(addr);
             let coord = d.decode(a);
-            prop_assert_eq!(d.encode(coord), a.block_base());
-        }
+            assert_eq!(d.encode(coord), a.block_base());
+        });
+    }
 
-        #[test]
-        fn decode_is_injective_on_blocks(a in 0u64..8192, b in 0u64..8192) {
+    #[test]
+    fn decode_is_injective_on_blocks() {
+        forall("decode_is_injective_on_blocks", 256, |rng| {
+            let a = rng.next_below(8192);
+            let b = rng.next_below(8192);
             let d = decoder(AddressMapping::RowBankRankBlock);
             let ca = d.decode(PhysAddr(a * 64));
             let cb = d.decode(PhysAddr(b * 64));
-            prop_assert_eq!(ca == cb, a == b);
-        }
+            assert_eq!(ca == cb, a == b);
+        });
+    }
 
-        #[test]
-        fn coordinates_in_bounds(addr in 0u64..DramGeometry::tiny().capacity_bytes()) {
+    #[test]
+    fn coordinates_in_bounds() {
+        forall("coordinates_in_bounds", 256, |rng| {
+            let addr = rng.next_below(DramGeometry::tiny().capacity_bytes());
             let g = DramGeometry::tiny();
             let d = decoder(AddressMapping::BankInterleavedBlock);
             let c = d.decode(PhysAddr(addr));
-            prop_assert!(c.rank < g.ranks);
-            prop_assert!(c.bank < g.banks_per_rank);
-            prop_assert!(c.row < g.rows_per_bank);
-            prop_assert!(c.block < g.bursts_per_row());
-        }
+            assert!(c.rank < g.ranks);
+            assert!(c.bank < g.banks_per_rank);
+            assert!(c.row < g.rows_per_bank);
+            assert!(c.block < g.bursts_per_row());
+        });
     }
 }

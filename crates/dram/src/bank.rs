@@ -339,10 +339,7 @@ mod tests {
         let timing = t();
         let mut b = Bank::new();
         b.block_until(Tick::from_ns(500));
-        assert_eq!(
-            b.earliest_activate(Tick::ZERO).unwrap(),
-            Tick::from_ns(500)
-        );
+        assert_eq!(b.earliest_activate(Tick::ZERO).unwrap(), Tick::from_ns(500));
         assert_eq!(b.earliest_precharge(Tick::ZERO), Tick::from_ns(500));
         b.activate(0, Tick::from_ns(500), &timing);
     }

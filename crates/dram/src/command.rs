@@ -69,10 +69,7 @@ impl DramCommand {
     /// True for READ/WRITE (the commands that move data and that the MPR
     /// mechanism blocks for non-owners).
     pub fn is_data_command(&self) -> bool {
-        matches!(
-            self,
-            DramCommand::Read { .. } | DramCommand::Write { .. }
-        )
+        matches!(self, DramCommand::Read { .. } | DramCommand::Write { .. })
     }
 
     /// Convenience constructor: ACTIVATE targeting a coordinate's row.

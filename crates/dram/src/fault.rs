@@ -1,0 +1,435 @@
+//! Deterministic fault injection for the DRAM module.
+//!
+//! Production NDP systems treat the in-DIMM accelerator as an untrusted
+//! co-processor: data can be garbled on the way out of the arrays, a
+//! completion can stall or vanish, a mode-register write can glitch, and
+//! refresh can preempt the device at the worst moment. This module gives
+//! the simulator a *seeded, reproducible* model of those failure modes so
+//! the host driver's recovery machinery (`jafar-core::driver`) can be
+//! exercised exhaustively:
+//!
+//! - **Read bit flips** with a SECDED (single-error-correct,
+//!   double-error-detect) ECC model: single-bit flips are corrected in
+//!   place and counted; double-bit flips are detected and surfaced as
+//!   [`IssueError::Uncorrectable`]. With ECC disabled, flips silently
+//!   corrupt the *returned* burst (the functional backing store is never
+//!   touched, so a later retry or CPU fallback still sees good data —
+//!   exactly like a transient disturbance on the output path).
+//! - **Completion stalls and drops**: the burst's `data_ready` is pushed
+//!   far into the future while bank/bus reservations stay normal — the
+//!   transfer slot was consumed, but the requester never observes the
+//!   completion in time. Drops use a delay long past any sane watchdog.
+//! - **Transient MRS glitches**: a `ModeRegisterSet` is ignored by the
+//!   rank ([`IssueError::MrsGlitch`]) — the ownership handoff must be
+//!   retried.
+//! - **Refresh storms**: a transaction is preempted by `n` back-to-back
+//!   refreshes, blocking the rank for `n * tRFC`.
+//!
+//! All randomness comes from one [`SplitMix64`] stream consumed in
+//! deterministic call order, so a `(FaultPlan, workload)` pair always
+//! produces the same fault sequence.
+//!
+//! [`IssueError::Uncorrectable`]: crate::module::IssueError::Uncorrectable
+//! [`IssueError::MrsGlitch`]: crate::module::IssueError::MrsGlitch
+
+use jafar_common::rng::SplitMix64;
+use jafar_common::stats::{Counter, Scoreboard};
+use jafar_common::time::Tick;
+
+/// A seeded description of which faults to inject and how often.
+///
+/// Probabilities are per-event (per read burst, per MRS, per transaction).
+/// The plan is `Copy` so tests can build variations cheaply.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Seed for the injector's private RNG stream.
+    pub seed: u64,
+    /// Per read burst: probability that bits flip in the returned data.
+    pub read_flip_p: f64,
+    /// Given a flip event, probability that *two* bits flip (beyond SECDED
+    /// correction) instead of one.
+    pub double_flip_p: f64,
+    /// Per read burst: probability the completion stalls by [`Self::stall`].
+    pub stall_p: f64,
+    /// How long a stalled completion is delayed.
+    pub stall: Tick,
+    /// Per read burst: probability the completion is dropped entirely
+    /// (modelled as a [`Self::drop_delay`] stall — far past any watchdog).
+    pub drop_p: f64,
+    /// The "never arrives" delay for dropped completions.
+    pub drop_delay: Tick,
+    /// Per ModeRegisterSet: probability the rank ignores the command.
+    pub mrs_glitch_p: f64,
+    /// Per transaction: probability of a refresh storm preempting it.
+    pub storm_p: f64,
+    /// How many back-to-back refreshes a storm performs.
+    pub storm_refreshes: u32,
+    /// Deterministic override: while the global read-burst index is inside
+    /// this half-open range, every read stalls (and `stall_p` is ignored).
+    /// Lets tests schedule a stuck completion at an exact point in a run.
+    pub stall_burst_range: Option<(u64, u64)>,
+    /// SECDED ECC on the data path. When false, flips are silent.
+    pub ecc: bool,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the baseline control).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            read_flip_p: 0.0,
+            double_flip_p: 0.0,
+            stall_p: 0.0,
+            stall: Tick::from_us(100),
+            drop_p: 0.0,
+            drop_delay: Tick::from_ms(10),
+            mrs_glitch_p: 0.0,
+            storm_p: 0.0,
+            storm_refreshes: 4,
+            stall_burst_range: None,
+            ecc: true,
+        }
+    }
+
+    /// A mild mix of every fault class: rare flips, occasional stalls and
+    /// MRS glitches. Queries complete with a handful of retries.
+    pub fn light(seed: u64) -> Self {
+        FaultPlan {
+            read_flip_p: 0.002,
+            double_flip_p: 0.1,
+            stall_p: 0.0005,
+            mrs_glitch_p: 0.05,
+            storm_p: 0.001,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// An aggressive plan: frequent flips, stalls, drops, glitches and
+    /// storms. Exercises watchdog, backoff, and CPU fallback together.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            read_flip_p: 0.01,
+            double_flip_p: 0.25,
+            stall_p: 0.005,
+            drop_p: 0.001,
+            mrs_glitch_p: 0.2,
+            storm_p: 0.01,
+            storm_refreshes: 8,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// True if every fault probability is zero and no deterministic stall
+    /// window is scheduled — the injector can never fire.
+    pub fn is_empty(&self) -> bool {
+        self.read_flip_p == 0.0
+            && self.stall_p == 0.0
+            && self.drop_p == 0.0
+            && self.mrs_glitch_p == 0.0
+            && self.storm_p == 0.0
+            && self.stall_burst_range.is_none()
+    }
+}
+
+/// Counters of what the injector actually did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultStats {
+    /// Read bursts whose data was disturbed (single- or double-bit).
+    pub flips_injected: Counter,
+    /// Single-bit flips corrected by the SECDED model.
+    pub ecc_corrected: Counter,
+    /// Double-bit flips detected (surfaced as `Uncorrectable`).
+    pub ecc_uncorrectable: Counter,
+    /// Silent flips delivered with ECC disabled.
+    pub silent_corruptions: Counter,
+    /// Completions delayed by a stall.
+    pub stalls: Counter,
+    /// Completions dropped (never observable inside a watchdog window).
+    pub drops: Counter,
+    /// ModeRegisterSet commands transiently ignored.
+    pub mrs_glitches: Counter,
+    /// Refresh storms triggered.
+    pub refresh_storms: Counter,
+}
+
+impl FaultStats {
+    /// Sum of every fault event — zero iff the injector never fired.
+    pub fn total(&self) -> u64 {
+        self.flips_injected.get()
+            + self.stalls.get()
+            + self.drops.get()
+            + self.mrs_glitches.get()
+            + self.refresh_storms.get()
+    }
+
+    /// The counters as a named scoreboard for run reports.
+    pub fn scoreboard(&self) -> Scoreboard {
+        let mut s = Scoreboard::new();
+        s.add("flips_injected", self.flips_injected.get());
+        s.add("ecc_corrected", self.ecc_corrected.get());
+        s.add("ecc_uncorrectable", self.ecc_uncorrectable.get());
+        s.add("silent_corruptions", self.silent_corruptions.get());
+        s.add("stalls", self.stalls.get());
+        s.add("drops", self.drops.get());
+        s.add("mrs_glitches", self.mrs_glitches.get());
+        s.add("refresh_storms", self.refresh_storms.get());
+        s
+    }
+}
+
+/// What a read-path fault did to one burst.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadDisturbance {
+    /// Extra delay before the requester observes the completion. Applied to
+    /// the reported `data_ready` only — bank and bus reservations advance
+    /// normally, so a retry is not poisoned by the hung transfer.
+    pub extra_delay: Tick,
+    /// The SECDED model detected more errors than it can correct; the
+    /// module must fail the read with `IssueError::Uncorrectable`.
+    pub uncorrectable: bool,
+}
+
+/// The stateful injector: one RNG stream + the plan + event counters.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    stats: FaultStats,
+    bursts_seen: u64,
+}
+
+impl FaultInjector {
+    /// Builds an injector from a plan (the RNG is seeded from the plan).
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            rng: SplitMix64::new(plan.seed),
+            stats: FaultStats::default(),
+            bursts_seen: 0,
+        }
+    }
+
+    /// The plan this injector runs.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// What has been injected so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Applies read-path faults to one burst. `data` is the copy about to
+    /// be returned to the requester; the functional store is not touched.
+    pub fn on_read_burst(&mut self, data: &mut [u8; 64]) -> ReadDisturbance {
+        let burst_index = self.bursts_seen;
+        self.bursts_seen += 1;
+        let mut disturbance = ReadDisturbance::default();
+
+        // Data-path flips, filtered through the SECDED model. The code is
+        // behavioral: we know how many bits flipped, so correction capacity
+        // (1 correctable, 2 detectable) decides the outcome directly.
+        if self.plan.read_flip_p > 0.0 && self.rng.next_bool(self.plan.read_flip_p) {
+            self.stats.flips_injected.inc();
+            let double = self.rng.next_bool(self.plan.double_flip_p);
+            let first = self.rng.next_below(512);
+            data[(first / 8) as usize] ^= 1 << (first % 8);
+            if double {
+                // Force a distinct second position so it is genuinely a
+                // double-bit error within the burst.
+                let second = (first + 1 + self.rng.next_below(511)) % 512;
+                data[(second / 8) as usize] ^= 1 << (second % 8);
+            }
+            if self.plan.ecc {
+                if double {
+                    self.stats.ecc_uncorrectable.inc();
+                    disturbance.uncorrectable = true;
+                } else {
+                    // SECDED corrects the single flip: undo it and count.
+                    data[(first / 8) as usize] ^= 1 << (first % 8);
+                    self.stats.ecc_corrected.inc();
+                }
+            } else {
+                self.stats.silent_corruptions.inc();
+            }
+        }
+
+        // Completion stall/drop. The deterministic window takes precedence
+        // over the sampled probabilities so tests can pin a stuck completion
+        // to an exact stretch of the run.
+        let in_window = self
+            .plan
+            .stall_burst_range
+            .is_some_and(|(lo, hi)| (lo..hi).contains(&burst_index));
+        if in_window {
+            self.stats.stalls.inc();
+            disturbance.extra_delay = self.plan.stall;
+        } else if self.plan.drop_p > 0.0 && self.rng.next_bool(self.plan.drop_p) {
+            self.stats.drops.inc();
+            disturbance.extra_delay = self.plan.drop_delay;
+        } else if self.plan.stall_p > 0.0 && self.rng.next_bool(self.plan.stall_p) {
+            self.stats.stalls.inc();
+            disturbance.extra_delay = self.plan.stall;
+        }
+
+        disturbance
+    }
+
+    /// Samples a transient MRS glitch. True means the rank ignored the
+    /// command and the module must fail it with `IssueError::MrsGlitch`.
+    pub fn on_mode_register_set(&mut self) -> bool {
+        if self.plan.mrs_glitch_p > 0.0 && self.rng.next_bool(self.plan.mrs_glitch_p) {
+            self.stats.mrs_glitches.inc();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Samples a refresh storm for one transaction. `Some(n)` means the
+    /// rank is preempted by `n` back-to-back refreshes before the
+    /// transaction proceeds.
+    pub fn refresh_storm(&mut self) -> Option<u32> {
+        if self.plan.storm_p > 0.0 && self.rng.next_bool(self.plan.storm_p) {
+            self.stats.refresh_storms.inc();
+            Some(self.plan.storm_refreshes.max(1))
+        } else {
+            None
+        }
+    }
+
+    /// Global read-burst counter (drives [`FaultPlan::stall_burst_range`]).
+    pub fn bursts_seen(&self) -> u64 {
+        self.bursts_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut inj = FaultInjector::new(FaultPlan::none(1));
+        let mut data = [0xA5u8; 64];
+        for _ in 0..10_000 {
+            let d = inj.on_read_burst(&mut data);
+            assert_eq!(d, ReadDisturbance::default());
+            assert!(!inj.on_mode_register_set());
+            assert!(inj.refresh_storm().is_none());
+        }
+        assert_eq!(data, [0xA5u8; 64]);
+        assert_eq!(inj.stats().total(), 0);
+        assert!(FaultPlan::none(1).is_empty());
+        assert!(!FaultPlan::light(1).is_empty());
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut inj = FaultInjector::new(FaultPlan::chaos(seed));
+            let mut outcomes = Vec::new();
+            let mut data = [0u8; 64];
+            for _ in 0..2_000 {
+                data = [0u8; 64];
+                outcomes.push(inj.on_read_burst(&mut data));
+            }
+            (outcomes, data, *inj.stats())
+        };
+        let (a, da, sa) = run(7);
+        let (b, db, sb) = run(7);
+        assert_eq!(a, b);
+        assert_eq!(da, db);
+        assert_eq!(sa.total(), sb.total());
+        let (c, _, _) = run(8);
+        assert_ne!(a, c, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn secded_corrects_singles_and_detects_doubles() {
+        // Force flips on every burst; split singles vs doubles by outcome.
+        let plan = FaultPlan {
+            read_flip_p: 1.0,
+            double_flip_p: 0.5,
+            ..FaultPlan::none(3)
+        };
+        let mut inj = FaultInjector::new(plan);
+        let golden = [0x5Au8; 64];
+        let mut corrected = 0u64;
+        let mut uncorrectable = 0u64;
+        for _ in 0..500 {
+            let mut data = golden;
+            let d = inj.on_read_burst(&mut data);
+            if d.uncorrectable {
+                uncorrectable += 1;
+                // Exactly two bits differ from the golden burst.
+                let flipped: u32 = data
+                    .iter()
+                    .zip(golden.iter())
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                assert_eq!(flipped, 2);
+            } else {
+                corrected += 1;
+                assert_eq!(data, golden, "corrected burst must be clean");
+            }
+        }
+        assert_eq!(inj.stats().ecc_corrected.get(), corrected);
+        assert_eq!(inj.stats().ecc_uncorrectable.get(), uncorrectable);
+        assert!(corrected > 100 && uncorrectable > 100);
+    }
+
+    #[test]
+    fn without_ecc_flips_are_silent() {
+        let plan = FaultPlan {
+            read_flip_p: 1.0,
+            double_flip_p: 0.0,
+            ecc: false,
+            ..FaultPlan::none(9)
+        };
+        let mut inj = FaultInjector::new(plan);
+        let mut data = [0u8; 64];
+        let d = inj.on_read_burst(&mut data);
+        assert!(!d.uncorrectable);
+        let flipped: u32 = data.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "one silently flipped bit");
+        assert_eq!(inj.stats().silent_corruptions.get(), 1);
+    }
+
+    #[test]
+    fn stall_window_pins_stalls_to_burst_indices() {
+        let plan = FaultPlan {
+            stall_burst_range: Some((3, 5)),
+            stall: Tick::from_us(7),
+            ..FaultPlan::none(0)
+        };
+        let mut inj = FaultInjector::new(plan);
+        let mut data = [0u8; 64];
+        let delays: Vec<Tick> = (0..8)
+            .map(|_| inj.on_read_burst(&mut data).extra_delay)
+            .collect();
+        let want: Vec<Tick> = (0..8)
+            .map(|i| {
+                if (3..5).contains(&i) {
+                    Tick::from_us(7)
+                } else {
+                    Tick::ZERO
+                }
+            })
+            .collect();
+        assert_eq!(delays, want);
+        assert_eq!(inj.stats().stalls.get(), 2);
+    }
+
+    #[test]
+    fn scoreboard_reflects_counters() {
+        let mut inj = FaultInjector::new(FaultPlan {
+            mrs_glitch_p: 1.0,
+            ..FaultPlan::none(2)
+        });
+        assert!(inj.on_mode_register_set());
+        let board = inj.stats().scoreboard();
+        assert_eq!(board.get("mrs_glitches"), 1);
+        assert_eq!(board.get("stalls"), 0);
+    }
+}

@@ -18,7 +18,11 @@
 //!   repurpose for granting JAFAR exclusive rank ownership ([`mode`]);
 //! - a **functional backing store** so reads return real bytes and the
 //!   accelerator's outputs can be checked against software references
-//!   ([`data`]).
+//!   ([`data`]);
+//! - a **deterministic fault-injection layer** — seeded bit flips filtered
+//!   through a SECDED ECC model, completion stalls/drops, transient MRS
+//!   glitches, refresh storms — so the host driver's recovery paths can be
+//!   exercised reproducibly ([`fault`]).
 //!
 //! The model is *reservation-based*: each bank tracks the earliest tick at
 //! which each command class may legally issue, and [`DramModule::earliest_issue`]
@@ -33,6 +37,7 @@ pub mod address;
 pub mod bank;
 pub mod command;
 pub mod data;
+pub mod fault;
 pub mod geometry;
 pub mod mode;
 pub mod module;
@@ -43,6 +48,7 @@ pub use address::{AddressDecoder, AddressMapping, Coord, PhysAddr};
 pub use bank::{Bank, BankState};
 pub use command::{DramCommand, Requester};
 pub use data::DramData;
+pub use fault::{FaultInjector, FaultPlan, FaultStats, ReadDisturbance};
 pub use geometry::DramGeometry;
 pub use mode::ModeRegs;
 pub use module::{BlockAccess, DramModule, IssueError, ReadResult, RowOutcome};

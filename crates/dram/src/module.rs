@@ -26,6 +26,7 @@ use crate::address::{AddressDecoder, AddressMapping, Coord, PhysAddr};
 use crate::bank::{Bank, BankState};
 use crate::command::{DramCommand, Requester};
 use crate::data::DramData;
+use crate::fault::{FaultInjector, FaultStats};
 use crate::geometry::DramGeometry;
 use crate::mode::ModeRegs;
 use crate::stats::DramStats;
@@ -49,6 +50,13 @@ pub enum IssueError {
     TooEarly(Tick),
     /// REFRESH/MRS targeted a rank with open rows.
     RanksNotQuiesced,
+    /// The SECDED ECC model detected a double-bit error in the read burst
+    /// (injected by [`crate::fault::FaultInjector`]). The transfer happened
+    /// — bank and bus state advanced — but the data must not be consumed.
+    Uncorrectable,
+    /// A ModeRegisterSet was transiently ignored by the rank (injected
+    /// fault). The command had no effect and may simply be retried.
+    MrsGlitch,
 }
 
 /// Result of a successfully issued READ.
@@ -102,6 +110,12 @@ struct RankState {
     wtr_until: Tick,
     /// Next scheduled refresh deadline.
     next_refresh: Tick,
+    /// Deadline of the current NDP ownership lease (`Tick::MAX` when the
+    /// lease is unbounded or the rank is host-owned). The module records
+    /// it; admission control against it happens at job-issue time in the
+    /// device (§2.2's contract is that granted work finishes within the
+    /// allotted window, so per-command policing would be too strict).
+    ndp_deadline: Tick,
 }
 
 impl RankState {
@@ -112,6 +126,7 @@ impl RankState {
             rrd_allowed: Tick::ZERO,
             wtr_until: Tick::ZERO,
             next_refresh: t.t_refi,
+            ndp_deadline: Tick::MAX,
         }
     }
 }
@@ -146,6 +161,7 @@ pub struct DramModule {
     bus: Option<BusOp>,
     data: DramData,
     stats: DramStats,
+    fault: Option<FaultInjector>,
 }
 
 impl DramModule {
@@ -158,11 +174,42 @@ impl DramModule {
             timing,
             decoder: AddressDecoder::new(geometry, mapping),
             banks: (0..geometry.total_banks()).map(|_| Bank::new()).collect(),
-            ranks: (0..geometry.ranks).map(|_| RankState::new(&timing)).collect(),
+            ranks: (0..geometry.ranks)
+                .map(|_| RankState::new(&timing))
+                .collect(),
             bus: None,
             data: DramData::new(geometry.capacity_bytes()),
             stats: DramStats::default(),
+            fault: None,
         }
+    }
+
+    /// Installs (or removes) a fault injector on this module's data and
+    /// command paths. Passing `None` restores fault-free operation.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.fault = injector;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// What the installed injector has done so far (`None` if fault-free).
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fault.as_ref().map(FaultInjector::stats)
+    }
+
+    /// Records the expiry deadline of the current NDP lease on `rank`.
+    /// `Tick::MAX` means unbounded. Enforced at job admission by the
+    /// device, not per command (see [`RankState`]'s field docs).
+    pub fn set_ndp_deadline(&mut self, rank: u32, deadline: Tick) {
+        self.ranks[rank as usize].ndp_deadline = deadline;
+    }
+
+    /// The NDP lease deadline of `rank` (`Tick::MAX` if unbounded).
+    pub fn ndp_deadline(&self, rank: u32) -> Tick {
+        self.ranks[rank as usize].ndp_deadline
     }
 
     /// Module geometry.
@@ -316,8 +363,8 @@ impl DramModule {
             DramCommand::PrechargeAll { rank } => {
                 let mut earliest = now;
                 for bank in 0..self.geometry.banks_per_rank {
-                    earliest =
-                        earliest.max(self.banks[self.bank_index(rank, bank)].earliest_precharge(now));
+                    earliest = earliest
+                        .max(self.banks[self.bank_index(rank, bank)].earliest_precharge(now));
                 }
                 Ok(earliest)
             }
@@ -390,7 +437,7 @@ impl DramModule {
             DramCommand::Read { rank, bank, block } => {
                 let idx = self.bank_index(rank, bank);
                 let row = self.banks[idx].open_row().expect("checked");
-                let (bus_start, data_ready) = self.banks[idx].read(at, &t);
+                let (bus_start, mut data_ready) = self.banks[idx].read(at, &t);
                 self.bus = Some(BusOp {
                     is_write: false,
                     rank,
@@ -402,8 +449,20 @@ impl DramModule {
                     row,
                     block,
                 });
-                let data = self.data.read_burst(addr);
+                let mut data = self.data.read_burst(addr);
                 self.stats.read_bursts.inc();
+                if let Some(fault) = self.fault.as_mut() {
+                    // Faults perturb only the returned copy and the
+                    // requester-observed completion time; bank/bus
+                    // reservations stay normal so retries can recover.
+                    let disturbance = fault.on_read_burst(&mut data);
+                    data_ready = data_ready
+                        .checked_add(disturbance.extra_delay)
+                        .unwrap_or(Tick::MAX);
+                    if disturbance.uncorrectable {
+                        return Err(IssueError::Uncorrectable);
+                    }
+                }
                 Ok(Some(ReadResult {
                     data,
                     bus_start,
@@ -457,6 +516,13 @@ impl DramModule {
                 Ok(None)
             }
             DramCommand::ModeRegisterSet { rank, mr, value } => {
+                if let Some(fault) = self.fault.as_mut() {
+                    if fault.on_mode_register_set() {
+                        // Transient glitch: the rank ignored the command.
+                        // No state changed; the caller may retry.
+                        return Err(IssueError::MrsGlitch);
+                    }
+                }
                 let until = at + t.t_mod;
                 for bank in 0..self.geometry.banks_per_rank {
                     let idx = self.bank_index(rank, bank);
@@ -523,7 +589,10 @@ impl DramModule {
         now: Tick,
         write_data: Option<&[u8; 64]>,
     ) -> Result<BlockAccess, IssueError> {
-        assert!(write_data.is_none() || is_write, "payload supplied for a read");
+        assert!(
+            write_data.is_none() || is_write,
+            "payload supplied for a read"
+        );
         // Fast ownership check before mutating anything.
         let probe = if is_write {
             DramCommand::write(coord)
@@ -541,6 +610,35 @@ impl DramModule {
         } else {
             now
         };
+
+        // Injected refresh storm: the rank is preempted by back-to-back
+        // refreshes before this transaction proceeds (independent of the
+        // regular tREFI schedule, which may be disabled). Like regular
+        // refresh, the storm quiesces the rank — open rows close first.
+        if let Some(n) = self.fault.as_mut().and_then(FaultInjector::refresh_storm) {
+            let needs_close = (0..self.geometry.banks_per_rank).any(|b| {
+                matches!(
+                    self.banks[self.bank_index(coord.rank, b)].state(),
+                    BankState::Active { .. }
+                )
+            });
+            if needs_close {
+                let pre = DramCommand::PrechargeAll { rank: coord.rank };
+                let at = self
+                    .earliest_issue(pre, requester, cursor)
+                    .expect("precharge-all is always legal");
+                self.issue(pre, requester, at, None)
+                    .expect("legal by construction");
+                cursor = at;
+            }
+            let until = cursor + self.timing.t_rfc * n as u64;
+            for bank in 0..self.geometry.banks_per_rank {
+                let idx = self.bank_index(coord.rank, bank);
+                self.banks[idx].block_until(until);
+            }
+            self.stats.refreshes.add(n as u64);
+            cursor = until;
+        }
 
         let idx = self.bank_index(coord.rank, coord.bank);
         let outcome = match self.banks[idx].state() {
@@ -597,10 +695,13 @@ impl DramModule {
             let at = self
                 .earliest_issue(cmd, requester, cursor)
                 .expect("row open");
-            let result = self
-                .issue(cmd, requester, at, None)
-                .expect("legal by construction")
-                .expect("read returns data");
+            let result = match self.issue(cmd, requester, at, None) {
+                Ok(r) => r.expect("read returns data"),
+                // The only fallible outcome of a read scheduled at its
+                // earliest legal tick is an injected ECC failure.
+                Err(e @ IssueError::Uncorrectable) => return Err(e),
+                Err(e) => unreachable!("read scheduled at its earliest legal tick: {e:?}"),
+            };
             Ok(BlockAccess {
                 outcome,
                 data_ready: result.data_ready,
@@ -669,7 +770,9 @@ mod tests {
             let a = m
                 .serve_block(coord(0, 0, 0, block), false, Requester::Host, now, None)
                 .unwrap();
-            now = a.data_ready.saturating_sub(m.timing().cl + m.timing().t_burst);
+            now = a
+                .data_ready
+                .saturating_sub(m.timing().cl + m.timing().t_burst);
             ready.push(a.data_ready);
         }
         // After the first access, every subsequent burst completes exactly
@@ -689,7 +792,13 @@ mod tests {
             .serve_block(coord(0, 0, 0, 0), false, Requester::Host, Tick::ZERO, None)
             .unwrap();
         let a1 = m
-            .serve_block(coord(0, 0, 1, 0), false, Requester::Host, a0.data_ready, None)
+            .serve_block(
+                coord(0, 0, 1, 0),
+                false,
+                Requester::Host,
+                a0.data_ready,
+                None,
+            )
             .unwrap();
         assert_eq!(a1.outcome, RowOutcome::Conflict);
         // Conflict path: wait for tRAS (35ns from ACT@0), PRE, +tRP, ACT,
@@ -729,7 +838,13 @@ mod tests {
             )
             .unwrap();
         let r = m
-            .serve_block(coord(0, 0, 0, 1), false, Requester::Host, w.data_ready, None)
+            .serve_block(
+                coord(0, 0, 0, 1),
+                false,
+                Requester::Host,
+                w.data_ready,
+                None,
+            )
             .unwrap();
         // Read CAS must wait tWTR after write data end; data returns CL later.
         assert!(r.data_ready >= w.data_ready + m.timing().t_wtr + m.timing().cl);
@@ -868,7 +983,13 @@ mod tests {
         assert!(m.refresh_deadline(0) > deadline);
         // Subsequent access pays the refresh shadow.
         let a = m
-            .serve_block(coord(0, 0, 0, 1), false, Requester::Host, Tick::from_us(8), None)
+            .serve_block(
+                coord(0, 0, 0, 1),
+                false,
+                Requester::Host,
+                Tick::from_us(8),
+                None,
+            )
             .unwrap();
         assert!(a.data_ready >= after);
     }
@@ -881,8 +1002,14 @@ mod tests {
             AddressMapping::RowBankRankBlock,
         );
         // Jump far past several deadlines; serve_block must catch up.
-        m.serve_block(coord(0, 0, 0, 0), false, Requester::Host, Tick::from_us(40), None)
-            .unwrap();
+        m.serve_block(
+            coord(0, 0, 0, 0),
+            false,
+            Requester::Host,
+            Tick::from_us(40),
+            None,
+        )
+        .unwrap();
         assert!(m.stats().refreshes.get() >= 1);
     }
 

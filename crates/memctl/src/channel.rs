@@ -55,7 +55,10 @@ impl MultiChannel {
         let block = addr.block_index();
         let channel = (block & ((1 << self.channel_bits) - 1)) as usize;
         let local_block = block >> self.channel_bits;
-        (channel, PhysAddr((local_block << 6) | addr.block_offset() as u64))
+        (
+            channel,
+            PhysAddr((local_block << 6) | addr.block_offset() as u64),
+        )
     }
 
     /// Reconstructs the global address of a channel-local block.
@@ -88,8 +91,7 @@ impl MultiChannel {
             let bits = self.channel_bits;
             out.extend(completions.into_iter().map(|mut c| {
                 let local_block = c.request.addr.block_index();
-                c.request.addr =
-                    PhysAddr(((local_block << bits) | ch as u64) << 6);
+                c.request.addr = PhysAddr(((local_block << bits) | ch as u64) << 6);
                 c
             }));
         }
@@ -176,7 +178,10 @@ mod tests {
     #[test]
     fn capacity_sums_channels() {
         let m = multi(2);
-        assert_eq!(m.capacity_bytes(), 2 * DramGeometry::tiny().capacity_bytes());
+        assert_eq!(
+            m.capacity_bytes(),
+            2 * DramGeometry::tiny().capacity_bytes()
+        );
     }
 
     #[test]

@@ -214,14 +214,24 @@ impl MemoryController {
         let now = self.cursor.max(self.earliest_arrival()?);
         let use_writes = self.choose_write_queue(now)?;
         let module = &self.module;
-        let queue = if use_writes { &self.write_q } else { &self.read_q };
+        let queue = if use_writes {
+            &self.write_q
+        } else {
+            &self.read_q
+        };
         // Hold requests to NDP-owned ranks: filter, pick, then map back.
         let candidates: Vec<(u64, MemRequest)> = queue
             .iter()
             .filter(|(_, r)| self.servable(r))
             .copied()
             .collect();
-        let picked = pick(self.config.policy, &candidates, module, now, self.bypass_count)?;
+        let picked = pick(
+            self.config.policy,
+            &candidates,
+            module,
+            now,
+            self.bypass_count,
+        )?;
         let (id, req) = candidates[picked];
 
         // Starvation-cap accounting: did we bypass the oldest arrived one?
@@ -236,8 +246,15 @@ impl MemoryController {
             self.bypass_count += 1;
         }
 
-        let queue = if use_writes { &mut self.write_q } else { &mut self.read_q };
-        let pos = queue.iter().position(|(qid, _)| *qid == id).expect("present");
+        let queue = if use_writes {
+            &mut self.write_q
+        } else {
+            &mut self.read_q
+        };
+        let pos = queue
+            .iter()
+            .position(|(qid, _)| *qid == id)
+            .expect("present");
         queue.remove(pos);
 
         let access = self
@@ -312,11 +329,7 @@ impl MemoryController {
             .issue(pre, Requester::Host, at, None)
             .map_err(OwnershipError::Mrs)?;
         let value = self.module.mode_regs(rank).mr3_with_ownership(owned);
-        let mrs = DramCommand::ModeRegisterSet {
-            rank,
-            mr: 3,
-            value,
-        };
+        let mrs = DramCommand::ModeRegisterSet { rank, mr: 3, value };
         let at = self
             .module
             .earliest_issue(mrs, Requester::Host, at)
@@ -385,7 +398,8 @@ mod tests {
     #[test]
     fn single_read_latency() {
         let mut mc = controller(Policy::default());
-        mc.enqueue(MemRequest::read(PhysAddr(0), Tick::ZERO)).unwrap();
+        mc.enqueue(MemRequest::read(PhysAddr(0), Tick::ZERO))
+            .unwrap();
         let c = mc.service_one().unwrap();
         // Closed row: ACT + tRCD + CL + tBURST = 30 ns.
         assert_eq!(c.done, Tick::from_ns(30));
@@ -418,12 +432,29 @@ mod tests {
         let run = |policy: Policy| {
             let mut mc = controller(policy);
             let dec = *mc.module().decoder();
-            let a0 = dec.encode(jafar_dram::Coord { rank: 0, bank: 0, row: 0, block: 0 });
-            let b = dec.encode(jafar_dram::Coord { rank: 0, bank: 0, row: 1, block: 0 });
-            let a1 = dec.encode(jafar_dram::Coord { rank: 0, bank: 0, row: 0, block: 1 });
+            let a0 = dec.encode(jafar_dram::Coord {
+                rank: 0,
+                bank: 0,
+                row: 0,
+                block: 0,
+            });
+            let b = dec.encode(jafar_dram::Coord {
+                rank: 0,
+                bank: 0,
+                row: 1,
+                block: 0,
+            });
+            let a1 = dec.encode(jafar_dram::Coord {
+                rank: 0,
+                bank: 0,
+                row: 0,
+                block: 1,
+            });
             mc.enqueue(MemRequest::read(a0, Tick::ZERO)).unwrap();
-            mc.enqueue(MemRequest::read(b, Tick::from_ps(1000))).unwrap();
-            mc.enqueue(MemRequest::read(a1, Tick::from_ps(2000))).unwrap();
+            mc.enqueue(MemRequest::read(b, Tick::from_ps(1000)))
+                .unwrap();
+            mc.enqueue(MemRequest::read(a1, Tick::from_ps(2000)))
+                .unwrap();
             let completions = mc.drain();
             (
                 completions.last().unwrap().done,
@@ -445,7 +476,8 @@ mod tests {
             mc.enqueue(MemRequest::writeback(PhysAddr(i * 64), Tick::ZERO))
                 .unwrap();
         }
-        mc.enqueue(MemRequest::read(PhysAddr(0), Tick::ZERO)).unwrap();
+        mc.enqueue(MemRequest::read(PhysAddr(0), Tick::ZERO))
+            .unwrap();
         // First service call should pick a WRITE (drain mode).
         let first = mc.service_one().unwrap();
         assert!(first.request.is_write);
@@ -469,7 +501,8 @@ mod tests {
             mc.enqueue(MemRequest::writeback(PhysAddr(i * 64), Tick::ZERO))
                 .unwrap();
         }
-        mc.enqueue(MemRequest::read(PhysAddr(0), Tick::ZERO)).unwrap();
+        mc.enqueue(MemRequest::read(PhysAddr(0), Tick::ZERO))
+            .unwrap();
         let first = mc.service_one().unwrap();
         assert!(!first.request.is_write, "read must bypass buffered writes");
     }
@@ -502,7 +535,12 @@ mod tests {
     fn ownership_holds_requests_for_owned_rank() {
         let mut mc = controller(Policy::default());
         let dec = *mc.module().decoder();
-        let rank1_addr = dec.encode(jafar_dram::Coord { rank: 1, bank: 0, row: 0, block: 0 });
+        let rank1_addr = dec.encode(jafar_dram::Coord {
+            rank: 1,
+            bank: 0,
+            row: 0,
+            block: 0,
+        });
         // Grant rank 0 to NDP.
         let t = mc.set_rank_ownership(0, true, Tick::ZERO).unwrap();
         assert!(mc.module().rank_owned_by_ndp(0));
@@ -538,7 +576,8 @@ mod tests {
     #[test]
     fn idle_report_sees_gap_between_batches() {
         let mut mc = controller(Policy::default());
-        mc.enqueue(MemRequest::read(PhysAddr(0), Tick::ZERO)).unwrap();
+        mc.enqueue(MemRequest::read(PhysAddr(0), Tick::ZERO))
+            .unwrap();
         let c1 = mc.drain().pop().unwrap();
         // Second batch arrives 1 µs later (CPU was computing).
         let later = c1.done + Tick::from_us(1);
@@ -557,7 +596,8 @@ mod tests {
     fn completion_carries_functional_data() {
         let mut mc = controller(Policy::default());
         mc.module_mut().data_mut().write_u64(PhysAddr(128), 77);
-        mc.enqueue(MemRequest::read(PhysAddr(128), Tick::ZERO)).unwrap();
+        mc.enqueue(MemRequest::read(PhysAddr(128), Tick::ZERO))
+            .unwrap();
         let c = mc.drain().pop().unwrap();
         let data = c.data.unwrap();
         assert_eq!(u64::from_le_bytes(data[0..8].try_into().unwrap()), 77);
@@ -572,7 +612,8 @@ mod tests {
         assert_eq!(mc.cursor(), Tick::from_ns(100));
         // A request arriving earlier than the cursor is served at the
         // cursor, not before.
-        mc.enqueue(MemRequest::read(PhysAddr(0), Tick::ZERO)).unwrap();
+        mc.enqueue(MemRequest::read(PhysAddr(0), Tick::ZERO))
+            .unwrap();
         let c = mc.service_one().unwrap();
         assert!(c.done >= Tick::from_ns(100));
     }

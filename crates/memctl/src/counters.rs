@@ -238,7 +238,10 @@ mod tests {
         s.push(ns(10), ns(20));
         s.push(ns(30), ns(40));
         let gaps = s.gaps(ns(0), ns(50));
-        assert_eq!(gaps, vec![(ns(0), ns(10)), (ns(20), ns(30)), (ns(40), ns(50))]);
+        assert_eq!(
+            gaps,
+            vec![(ns(0), ns(10)), (ns(20), ns(30)), (ns(40), ns(50))]
+        );
     }
 
     #[test]

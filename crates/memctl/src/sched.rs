@@ -15,8 +15,8 @@
 //! which queue is being served (see [`crate::controller`]).
 
 use crate::request::MemRequest;
-use jafar_dram::DramModule;
 use jafar_common::time::Tick;
+use jafar_dram::DramModule;
 
 /// Scheduling policy for picking the next transaction from a queue.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,7 +129,11 @@ mod tests {
     }
 
     fn q(reqs: &[MemRequest]) -> Vec<(u64, MemRequest)> {
-        reqs.iter().copied().enumerate().map(|(i, r)| (i as u64, r)).collect()
+        reqs.iter()
+            .copied()
+            .enumerate()
+            .map(|(i, r)| (i as u64, r))
+            .collect()
     }
 
     #[test]
@@ -150,7 +154,13 @@ mod tests {
             MemRequest::read(addr(&m, 2, 1), Tick::from_ns(10)), // hit, newer
             MemRequest::read(addr(&m, 5, 0), Tick::from_ns(5)),  // miss, older
         ]);
-        let picked = pick(Policy::FrFcfs { cap: 16 }, &queue, &m, Tick::from_ns(100), 0);
+        let picked = pick(
+            Policy::FrFcfs { cap: 16 },
+            &queue,
+            &m,
+            Tick::from_ns(100),
+            0,
+        );
         assert_eq!(picked, Some(0));
     }
 

@@ -15,7 +15,7 @@ use jafar_cache::{Hierarchy, HitLevel, StreamPrefetcher};
 use jafar_common::time::{ClockDomain, Tick};
 use jafar_cpu::MemoryBackend;
 use jafar_dram::PhysAddr;
-use jafar_memctl::{EnqueueError, MemoryController, MemRequest, Origin};
+use jafar_memctl::{EnqueueError, MemRequest, MemoryController, Origin};
 use std::collections::HashMap;
 
 /// The backend; borrows the system's components for the duration of one
@@ -176,10 +176,7 @@ impl MemoryBackend for SimBackend<'_> {
 
     fn store(&mut self, addr: u64, bytes: &[u8], at: Tick) -> Tick {
         // Functional write-through: the backing store stays authoritative.
-        self.mc
-            .module_mut()
-            .data_mut()
-            .write(PhysAddr(addr), bytes);
+        self.mc.module_mut().data_mut().write(PhysAddr(addr), bytes);
         let line = addr & !63;
         let outcome = self.hierarchy.access(line, true);
         for wb in &outcome.writebacks {

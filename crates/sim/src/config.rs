@@ -129,7 +129,10 @@ impl SystemConfig {
                 jafar_common::size::fmt_bytes(h.l2.size_bytes)
             );
             if let Some(l3) = h.l3 {
-                s.push_str(&format!(", {} L3", jafar_common::size::fmt_bytes(l3.size_bytes)));
+                s.push_str(&format!(
+                    ", {} L3",
+                    jafar_common::size::fmt_bytes(l3.size_bytes)
+                ));
             }
             s
         };
@@ -144,7 +147,11 @@ impl SystemConfig {
                 format!("{} MHz", g.cpu_clock.freq_mhz()),
                 format!("{} MHz", x.cpu_clock.freq_mhz()),
             ),
-            ("sockets", "1 socket".to_owned(), "4-socket server (one modelled)".to_owned()),
+            (
+                "sockets",
+                "1 socket".to_owned(),
+                "4-socket server (one modelled)".to_owned(),
+            ),
             ("caches", cache(&g.hierarchy), cache(&x.hierarchy)),
             (
                 "DRAM",
@@ -181,7 +188,11 @@ mod tests {
     fn table1_rows_render() {
         let rows = SystemConfig::table1();
         assert_eq!(rows.len(), 5);
-        assert!(rows.iter().any(|(s, g, _)| *s == "caches" && g.contains("64KiB L1")));
-        assert!(rows.iter().any(|(s, _, x)| *s == "caches" && x.contains("L3")));
+        assert!(rows
+            .iter()
+            .any(|(s, g, _)| *s == "caches" && g.contains("64KiB L1")));
+        assert!(rows
+            .iter()
+            .any(|(s, _, x)| *s == "caches" && x.contains("L3")));
     }
 }

@@ -109,7 +109,8 @@ impl SelectEnergy {
         let sample = 4096u64.min(rows.max(1));
         let graph = Dddg::expand(&jafar_filter_kernel(), sample, 8);
         let schedule = Schedule::compute(&graph, device_resources);
-        let report = EnergyReport::evaluate(&schedule, device_resources, &AccelEnergyModel::default());
+        let report =
+            EnergyReport::evaluate(&schedule, device_resources, &AccelEnergyModel::default());
         let device_pj = report.total_pj() * rows as f64 / sample as f64;
 
         let bursts = stats.device_bursts_read + rows.div_ceil(512); // + bitset writebacks
@@ -138,7 +139,9 @@ mod tests {
         let mut sys = System::new(cfg);
         let mut rng = SplitMix64::new(3);
         let rows = 16_384u64;
-        let vals: Vec<i64> = (0..rows).map(|_| rng.next_range_inclusive(0, 999)).collect();
+        let vals: Vec<i64> = (0..rows)
+            .map(|_| rng.next_range_inclusive(0, 999))
+            .collect();
         let col = sys.write_column(&vals);
         sys.begin_measurement();
         let cpu = sys.run_select_cpu(col, rows, 0, 499, ScanVariant::Branching, Tick::ZERO);

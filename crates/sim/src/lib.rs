@@ -34,4 +34,4 @@ pub use backend::SimBackend;
 pub use config::SystemConfig;
 pub use energy::{HostEnergyModel, SelectEnergy};
 pub use replay::{PlacedDb, QueryReplayer, ReplayCosts};
-pub use system::{CpuSelectStats, JafarSelectStats, System};
+pub use system::{CpuSelectStats, JafarSelectStats, ResilientSelectStats, System};

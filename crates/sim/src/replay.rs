@@ -207,8 +207,7 @@ impl<'a> QueryReplayer<'a> {
                     self.sequential_writes(out, positions * 8, 0.5, t)
                 }
                 TraceEvent::HashBuild { rows } => {
-                    let region_bytes =
-                        ((*rows).max(16).next_power_of_two() * 2 * 16).min(64 << 20);
+                    let region_bytes = ((*rows).max(16).next_power_of_two() * 2 * 16).min(64 << 20);
                     let region = self.system.scratch.alloc_blocks(region_bytes);
                     last_build_region = Some((region, region_bytes));
                     self.random_writes(region, region_bytes, *rows, self.costs.hash_build, now)
@@ -216,8 +215,7 @@ impl<'a> QueryReplayer<'a> {
                 TraceEvent::HashProbe { rows, matches } => {
                     let (region, bytes) = last_build_region
                         .unwrap_or_else(|| (self.system.scratch.alloc_blocks(4096), 4096));
-                    let t =
-                        self.random_reads(region, bytes, *rows, self.costs.hash_probe, now);
+                    let t = self.random_reads(region, bytes, *rows, self.costs.hash_probe, now);
                     self.compute(*matches as f64 * self.costs.probe_match, t)
                 }
                 TraceEvent::Aggregate {
@@ -227,8 +225,7 @@ impl<'a> QueryReplayer<'a> {
                 } => {
                     let table_bytes = ((*groups).max(1) * 64).next_power_of_two();
                     let region = self.system.scratch.alloc_blocks(table_bytes);
-                    let per_row =
-                        self.costs.agg_base + self.costs.agg_per_agg * *aggregates as f64;
+                    let per_row = self.costs.agg_base + self.costs.agg_per_agg * *aggregates as f64;
                     self.random_writes(region, table_bytes, *rows, per_row, now)
                 }
                 TraceEvent::Sort { rows } => {
@@ -249,12 +246,7 @@ impl<'a> QueryReplayer<'a> {
                         now
                     } else {
                         let region = self.system.scratch.alloc_blocks(bytes.max(64));
-                        self.sequential_writes(
-                            region,
-                            bytes,
-                            self.costs.materialize,
-                            now,
-                        )
+                        self.sequential_writes(region, bytes, self.costs.materialize, now)
                     }
                 }
             };

@@ -20,14 +20,19 @@ use crate::alloc::SimAlloc;
 use crate::backend::SimBackend;
 use crate::config::SystemConfig;
 use jafar_cache::{Hierarchy, StreamPrefetcher};
+use jafar_common::stats::Scoreboard;
 use jafar_common::time::Tick;
 use jafar_core::api::{select_jafar, SelectArgs};
-use jafar_core::{grant_ownership, release_ownership, JafarDevice};
+use jafar_core::{
+    grant_ownership, release_ownership, DriverStats, JafarDevice, ResilienceConfig,
+    ResilientDriver, SelectRequest,
+};
 use jafar_cpu::{ScanEngine, ScanVariant};
-use jafar_dram::{DramModule, PhysAddr};
+use jafar_dram::{DramModule, FaultInjector, FaultPlan, FaultStats, PhysAddr};
 use jafar_memctl::controller::MemoryController;
 use jafar_memctl::IdleReport;
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 /// Result of a CPU-only select run.
 #[derive(Clone, Debug)]
@@ -75,6 +80,63 @@ pub struct JafarSelectStats {
     pub pages: u64,
     /// Bursts the device read on the DIMM (never crossing the bus).
     pub device_bursts_read: u64,
+}
+
+/// Result of a resilient JAFAR pushdown run under (possible) fault
+/// injection: the [`JafarSelectStats`]-shaped timing plus the recovery and
+/// fault counters the run report is built from.
+#[derive(Clone, Debug)]
+pub struct ResilientSelectStats {
+    /// End of the run (ownership released, results visible).
+    pub end: Tick,
+    /// Matching rows.
+    pub matched: u64,
+    /// Physical address of the output bitset.
+    pub out_addr: PhysAddr,
+    /// `select_jafar` invocations plus CPU fallback pages.
+    pub pages: u64,
+    /// CPU time burned spin-waiting (polling and watchdog windows).
+    pub cpu_wait: Tick,
+    /// Time inside successful device page runs.
+    pub device: Tick,
+    /// Host driver time: setup, completion discovery, backoff waits.
+    pub driver: Tick,
+    /// What the recovery machinery did.
+    pub recovery: DriverStats,
+    /// What the injector did (absent when no plan was installed).
+    pub faults: Option<FaultStats>,
+}
+
+impl ResilientSelectStats {
+    /// The run report: one line of outcome, one of recovery counters, one
+    /// of injected-fault counters — "what it cost" under the fault plan.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "resilient select: end={} matched={} pages={} cpu_wait={}",
+            self.end, self.matched, self.pages, self.cpu_wait
+        );
+        let _ = writeln!(out, "  recovery: {}", self.recovery.scoreboard());
+        match &self.faults {
+            Some(f) => {
+                let _ = writeln!(out, "  faults injected: {}", f.scoreboard());
+            }
+            None => {
+                let _ = writeln!(out, "  faults injected: (no plan installed)");
+            }
+        }
+        out
+    }
+
+    /// All counters (recovery + faults) as one scoreboard.
+    pub fn scoreboard(&self) -> Scoreboard {
+        let mut board = self.recovery.scoreboard();
+        if let Some(f) = &self.faults {
+            board.merge(&f.scoreboard());
+        }
+        board
+    }
 }
 
 /// One simulated host system.
@@ -163,6 +225,19 @@ impl System {
             &mut self.inflight,
             self.cfg.cpu_clock,
         )
+    }
+
+    /// Installs a seeded fault plan on the DRAM module. Subsequent runs —
+    /// device or host — see its bit flips, stalls, glitches and storms.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.mc
+            .module_mut()
+            .set_fault_injector(Some(FaultInjector::new(plan)));
+    }
+
+    /// Counters of what the installed injector actually did, if any.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.mc.module().fault_stats()
     }
 
     /// Resets memory-controller accounting (between measured phases).
@@ -304,6 +379,71 @@ impl System {
             device_bursts_read: bursts,
         }
     }
+
+    /// Runs the JAFAR pushdown select under the resilient driver: expiring
+    /// leases with renewal, watchdog timeouts, bounded retry/backoff, a
+    /// circuit breaker and a CPU-scan fallback. Under an empty fault plan
+    /// this takes exactly as long as [`System::run_select_jafar`]; under
+    /// any seeded plan the bitset still equals the software reference and
+    /// the returned [`ResilientSelectStats::report`] says what it cost.
+    ///
+    /// The per-invocation costs and the page size come from the system
+    /// config (mirroring the bare driver); the rest of the recovery policy
+    /// from `resilience`.
+    ///
+    /// # Panics
+    /// Panics if the system has no device.
+    pub fn run_select_jafar_resilient(
+        &mut self,
+        col_addr: PhysAddr,
+        rows: u64,
+        lo: i64,
+        hi: i64,
+        start: Tick,
+        resilience: ResilienceConfig,
+    ) -> ResilientSelectStats {
+        assert!(self.device.is_some(), "system has no JAFAR device");
+        let out_addr = self.alloc.alloc_blocks(rows.div_ceil(8).max(64));
+        let rcfg = ResilienceConfig {
+            costs: self.cfg.driver,
+            page_bytes: self.cfg.page_bytes,
+            ..resilience
+        };
+
+        let t = start + self.cfg.query_overhead;
+        // Quiesce host traffic before the first grant, as the bare path
+        // does.
+        self.mc.drain();
+        self.mc.advance_cursor(t);
+        let module = self.mc.module_mut();
+        let device = self.device.as_mut().expect("checked above");
+        let mut driver = ResilientDriver::new(rcfg);
+        let run = driver.run_select(
+            device,
+            module,
+            SelectRequest {
+                col_addr,
+                rows,
+                lo,
+                hi,
+                out_addr,
+            },
+            t,
+        );
+        self.mc.advance_cursor(run.end);
+
+        ResilientSelectStats {
+            end: run.end,
+            matched: run.matched,
+            out_addr,
+            pages: run.pages,
+            cpu_wait: run.cpu_wait,
+            device: run.device,
+            driver: run.driver,
+            recovery: *driver.stats(),
+            faults: self.mc.module().fault_stats().copied(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -442,6 +582,70 @@ mod tests {
         // With a long interrupt latency per page, polling finishes sooner —
         // the CPU-utilization-vs-latency trade-off.
         assert!(interrupted.end > polled.end);
+    }
+
+    #[test]
+    fn resilient_path_matches_bare_path_under_empty_plan() {
+        // Identical systems, identical columns; the resilient driver with
+        // no faults injected must cost exactly what the bare per-page loop
+        // costs and touch none of its recovery machinery.
+        let vals = values(8000, 999, 21);
+        let mut bare = small_system();
+        let col_b = bare.write_column(&vals);
+        let plain = bare.run_select_jafar(col_b, 8000, 100, 399, Tick::ZERO);
+
+        let mut sys = small_system();
+        let col = sys.write_column(&vals);
+        sys.inject_faults(FaultPlan::none(5));
+        let resilient = sys.run_select_jafar_resilient(
+            col,
+            8000,
+            100,
+            399,
+            Tick::ZERO,
+            ResilienceConfig::default(),
+        );
+        assert_eq!(resilient.matched, plain.matched);
+        assert_eq!(resilient.pages, plain.pages);
+        assert_eq!(resilient.end, plain.end, "empty plan: timing parity");
+        assert_eq!(resilient.recovery.recovery_total(), 0);
+        assert_eq!(resilient.faults.expect("plan installed").total(), 0);
+        let mut bytes = vec![0u8; 1000];
+        sys.mc()
+            .module()
+            .data()
+            .read(resilient.out_addr, &mut bytes);
+        let mut bytes_b = vec![0u8; 1000];
+        bare.mc().module().data().read(plain.out_addr, &mut bytes_b);
+        assert_eq!(bytes, bytes_b, "bit-identical output");
+    }
+
+    #[test]
+    fn resilient_path_survives_light_faults_and_reports_them() {
+        let mut sys = small_system();
+        let vals = values(8000, 999, 22);
+        let col = sys.write_column(&vals);
+        let cpu = sys.run_select_cpu(col, 8000, 100, 399, ScanVariant::Branching, Tick::ZERO);
+        sys.inject_faults(FaultPlan::light(77));
+        let jf = sys.run_select_jafar_resilient(
+            col,
+            8000,
+            100,
+            399,
+            cpu.end,
+            ResilienceConfig::default(),
+        );
+        assert_eq!(jf.matched, cpu.matches);
+        let mut bytes = vec![0u8; 1000];
+        sys.mc().module().data().read(jf.out_addr, &mut bytes);
+        let bits = BitSet::from_bytes(&bytes, 8000);
+        assert_eq!(bits.to_positions(), cpu.positions);
+        let report = jf.report();
+        assert!(report.contains("recovery:"));
+        assert!(report.contains("faults injected:"));
+        // The injector fired at least once under the light plan on 1000+
+        // bursts; the combined scoreboard reflects it.
+        assert!(jf.faults.expect("plan installed").total() > 0);
     }
 
     #[test]

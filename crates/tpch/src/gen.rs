@@ -109,7 +109,9 @@ impl TpchDb {
                 o_orderkey.push(key);
                 o_custkey.push(ck);
                 o_orderdate.push(order_start.plus_days(rng.next_below(order_span as u64) as i64));
-                o_totalprice.push(Decimal::from_raw(rng.next_range_inclusive(90_000, 50_000_000)));
+                o_totalprice.push(Decimal::from_raw(
+                    rng.next_range_inclusive(90_000, 50_000_000),
+                ));
                 key += 1;
             }
         }
@@ -131,8 +133,9 @@ impl TpchDb {
             for _ in 0..lines {
                 l_orderkey.push(o_orderkey[o]);
                 l_quantity.push(rng.next_range_inclusive(1, 50));
-                l_extendedprice
-                    .push(Decimal::from_raw(rng.next_range_inclusive(90_100, 10_500_000)));
+                l_extendedprice.push(Decimal::from_raw(
+                    rng.next_range_inclusive(90_100, 10_500_000),
+                ));
                 l_discount.push(rng.next_range_inclusive(0, 10));
                 l_tax.push(rng.next_range_inclusive(0, 8));
                 let ship = o_orderdate[o].plus_days(1 + rng.next_below(120) as i64);
@@ -233,8 +236,13 @@ mod tests {
     #[test]
     fn a_third_of_customers_have_no_orders() {
         let db = small();
-        let with_orders: std::collections::HashSet<i64> =
-            db.orders.column("o_custkey").data().iter().copied().collect();
+        let with_orders: std::collections::HashSet<i64> = db
+            .orders
+            .column("o_custkey")
+            .data()
+            .iter()
+            .copied()
+            .collect();
         let total = db.customer.rows();
         let without = db
             .customer
@@ -313,10 +321,7 @@ mod tests {
         let db = small();
         assert!(db.bytes() > 20_000, "{}", db.bytes());
         // And it grows with scale factor.
-        let bigger = TpchDb::generate(TpchConfig {
-            sf: 0.02,
-            seed: 42,
-        });
+        let bigger = TpchDb::generate(TpchConfig { sf: 0.02, seed: 42 });
         assert!(bigger.bytes() > db.bytes() * 2);
     }
 }

@@ -48,7 +48,11 @@ pub fn q1_plan(db: &TpchDb, cx: &mut ExecContext) -> Frame {
             keys: vec!["l_returnflag".into(), "l_linestatus".into()],
             aggs: vec![
                 ("l_quantity".into(), AggKind::Sum, "sum_qty".into()),
-                ("l_extendedprice".into(), AggKind::Sum, "sum_base_price".into()),
+                (
+                    "l_extendedprice".into(),
+                    AggKind::Sum,
+                    "sum_base_price".into(),
+                ),
                 ("l_quantity".into(), AggKind::Count, "count_order".into()),
             ],
             input: Box::new(Plan::Scan {
@@ -80,7 +84,11 @@ pub fn q3_plan(db: &TpchDb, cx: &mut ExecContext, limit: usize) -> Frame {
     let orders = Plan::Scan {
         table: "orders".into(),
         filters: vec![("o_orderdate".into(), ScanPredicate::Lt(pivot))],
-        columns: vec!["o_custkey".into(), "o_orderkey".into(), "o_orderdate".into()],
+        columns: vec![
+            "o_custkey".into(),
+            "o_orderkey".into(),
+            "o_orderdate".into(),
+        ],
     };
     let lineitems = Plan::Scan {
         table: "lineitem".into(),
@@ -90,7 +98,10 @@ pub fn q3_plan(db: &TpchDb, cx: &mut ExecContext, limit: usize) -> Frame {
     let plan = Plan::Limit {
         n: limit,
         input: Box::new(Plan::Sort {
-            keys: vec![("revenue_base".into(), Dir::Desc), ("o_orderdate".into(), Dir::Asc)],
+            keys: vec![
+                ("revenue_base".into(), Dir::Desc),
+                ("o_orderdate".into(), Dir::Asc),
+            ],
             input: Box::new(Plan::GroupBy {
                 keys: vec!["o_orderkey".into(), "o_orderdate".into()],
                 aggs: vec![(
@@ -138,10 +149,7 @@ mod tests {
         let db = db();
         let mut cx_plan = ExecContext::new(Planner::default());
         let mut cx_hand = ExecContext::new(Planner::default());
-        assert_eq!(
-            q6_plan(&db, &mut cx_plan),
-            queries::q6(&db, &mut cx_hand)
-        );
+        assert_eq!(q6_plan(&db, &mut cx_plan), queries::q6(&db, &mut cx_hand));
         // Same scan structure → same rows scanned.
         assert_eq!(
             cx_plan.trace().rows_scanned(),
@@ -168,10 +176,7 @@ mod tests {
 
     #[test]
     fn q3_plan_group_count_matches_handwritten() {
-        let db = TpchDb::generate(TpchConfig {
-            sf: 0.01,
-            seed: 21,
-        });
+        let db = TpchDb::generate(TpchConfig { sf: 0.01, seed: 21 });
         let mut cx_plan = ExecContext::new(Planner::default());
         let frame = q3_plan(&db, &mut cx_plan, 10);
         let mut cx_hand = ExecContext::new(Planner::default());
@@ -187,9 +192,12 @@ mod tests {
             frame.column("o_orderkey").iter().copied().collect();
         // The hand-written query ranks by discounted revenue, so the top-k
         // sets can differ at the margin; require substantial overlap.
-        let hand_keys: std::collections::HashSet<i64> =
-            rows.iter().map(|r| r.orderkey).collect();
+        let hand_keys: std::collections::HashSet<i64> = rows.iter().map(|r| r.orderkey).collect();
         let overlap = plan_keys.intersection(&hand_keys).count();
-        assert!(overlap * 2 >= rows.len(), "overlap {overlap} of {}", rows.len());
+        assert!(
+            overlap * 2 >= rows.len(),
+            "overlap {overlap} of {}",
+            rows.len()
+        );
     }
 }

@@ -111,10 +111,7 @@ mod tests {
 
     #[test]
     fn matches_row_wise_reference() {
-        let db = TpchDb::generate(TpchConfig {
-            sf: 0.003,
-            seed: 7,
-        });
+        let db = TpchDb::generate(TpchConfig { sf: 0.003, seed: 7 });
         let mut cx = ExecContext::new(Planner::default());
         let got = run(&db, &mut cx);
 

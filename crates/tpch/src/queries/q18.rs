@@ -85,7 +85,10 @@ pub fn run(db: &TpchDb, cx: &mut ExecContext, threshold: i64, limit: usize) -> V
     let order = cx.sort(&[(&totals, SortDir::Desc), (&dates, SortDir::Asc)]);
     let take = order.len().min(limit);
     cx.materialize(take as u64, 5);
-    rows = order[..take].iter().map(|&i| rows[i as usize].clone()).collect();
+    rows = order[..take]
+        .iter()
+        .map(|&i| rows[i as usize].clone())
+        .collect();
     rows
 }
 
@@ -98,10 +101,7 @@ mod tests {
 
     #[test]
     fn matches_row_wise_reference() {
-        let db = TpchDb::generate(TpchConfig {
-            sf: 0.004,
-            seed: 3,
-        });
+        let db = TpchDb::generate(TpchConfig { sf: 0.004, seed: 3 });
         // A lower threshold so the small sample yields matches.
         let threshold = 180;
         let mut cx = ExecContext::new(Planner::default());
@@ -109,8 +109,8 @@ mod tests {
 
         let mut qty: HashMap<i64, i64> = HashMap::new();
         for r in 0..db.lineitem.rows() {
-            *qty.entry(db.lineitem.column("l_orderkey").get(r)).or_default() +=
-                db.lineitem.column("l_quantity").get(r);
+            *qty.entry(db.lineitem.column("l_orderkey").get(r))
+                .or_default() += db.lineitem.column("l_quantity").get(r);
         }
         let mut want: Vec<Q18Row> = (0..db.orders.rows())
             .filter_map(|r| {

@@ -102,10 +102,7 @@ mod tests {
 
     #[test]
     fn matches_row_wise_reference() {
-        let db = TpchDb::generate(TpchConfig {
-            sf: 0.01,
-            seed: 5,
-        });
+        let db = TpchDb::generate(TpchConfig { sf: 0.01, seed: 5 });
         let mut cx = ExecContext::new(Planner::default());
         let got = run(&db, &mut cx);
 
@@ -121,8 +118,13 @@ mod tests {
             .filter(|&b| b > 0)
             .collect();
         let avg = positives.iter().sum::<i64>() / positives.len().max(1) as i64;
-        let with_orders: HashSet<i64> =
-            db.orders.column("o_custkey").data().iter().copied().collect();
+        let with_orders: HashSet<i64> = db
+            .orders
+            .column("o_custkey")
+            .data()
+            .iter()
+            .copied()
+            .collect();
         let mut groups: BTreeMap<i64, (u64, i64)> = BTreeMap::new();
         for &r in &in_list {
             let bal = cust.column("c_acctbal").get(r);

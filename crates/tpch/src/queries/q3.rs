@@ -56,8 +56,14 @@ pub fn run(db: &TpchDb, cx: &mut ExecContext, limit: usize) -> Vec<Q3Row> {
     // customer ⋈ orders (semi-join suffices: customers only filter).
     let ord_surviving = cx.semi_join(&cust_keys, &ord_cust);
     let surv_key: Vec<i64> = ord_surviving.iter().map(|&i| ord_key[i as usize]).collect();
-    let surv_date: Vec<i64> = ord_surviving.iter().map(|&i| ord_date[i as usize]).collect();
-    let surv_prio: Vec<i64> = ord_surviving.iter().map(|&i| ord_prio[i as usize]).collect();
+    let surv_date: Vec<i64> = ord_surviving
+        .iter()
+        .map(|&i| ord_date[i as usize])
+        .collect();
+    let surv_prio: Vec<i64> = ord_surviving
+        .iter()
+        .map(|&i| ord_prio[i as usize])
+        .collect();
 
     // orders ⋈ lineitem.
     let pairs = cx.join(&surv_key, &li_key);
@@ -82,7 +88,10 @@ pub fn run(db: &TpchDb, cx: &mut ExecContext, limit: usize) -> Vec<Q3Row> {
     );
 
     // ORDER BY revenue DESC, o_orderdate ASC; LIMIT.
-    let order = cx.sort(&[(&grouped.aggs[0], SortDir::Desc), (&grouped.keys[1], SortDir::Asc)]);
+    let order = cx.sort(&[
+        (&grouped.aggs[0], SortDir::Desc),
+        (&grouped.keys[1], SortDir::Asc),
+    ]);
     let take = order.len().min(limit);
     cx.materialize(take as u64, 4);
     order[..take]
@@ -105,10 +114,7 @@ mod tests {
 
     #[test]
     fn matches_row_wise_reference() {
-        let db = TpchDb::generate(TpchConfig {
-            sf: 0.01,
-            seed: 21,
-        });
+        let db = TpchDb::generate(TpchConfig { sf: 0.01, seed: 21 });
         let mut cx = ExecContext::new(Planner::default());
         let got = run(&db, &mut cx, 10);
 
@@ -151,7 +157,11 @@ mod tests {
                 }
             })
             .collect();
-        want.sort_by(|a, b| b.revenue.cmp(&a.revenue).then(a.orderdate.cmp(&b.orderdate)));
+        want.sort_by(|a, b| {
+            b.revenue
+                .cmp(&a.revenue)
+                .then(a.orderdate.cmp(&b.orderdate))
+        });
         want.truncate(10);
         // Revenue/date ordering is deterministic; on full ties of both the
         // tie-break is unspecified, so compare the sorted key sets.

@@ -31,11 +31,7 @@ pub fn run(db: &TpchDb, cx: &mut ExecContext) -> i64 {
     let price = cx.project(li, "l_extendedprice", &by_qty);
     let disc = cx.project(li, "l_discount", &by_qty);
     cx.materialize(1, 1);
-    price
-        .iter()
-        .zip(&disc)
-        .map(|(&p, &d)| p * d / 100)
-        .sum()
+    price.iter().zip(&disc).map(|(&p, &d)| p * d / 100).sum()
 }
 
 #[cfg(test)]

@@ -32,15 +32,21 @@ fn main() {
     let mut rng = SplitMix64::new(4);
 
     let rows = 200_000u64;
-    let sales: Vec<i64> = (0..rows).map(|_| rng.next_range_inclusive(1, 10_000)).collect();
+    let sales: Vec<i64> = (0..rows)
+        .map(|_| rng.next_range_inclusive(1, 10_000))
+        .collect();
     let region: Vec<i64> = (0..rows).map(|_| rng.next_range_inclusive(0, 7)).collect();
     let sales_addr = PhysAddr(0);
     let region_addr = PhysAddr(16 << 20);
     for (i, v) in sales.iter().enumerate() {
-        module.data_mut().write_i64(PhysAddr(sales_addr.0 + i as u64 * 8), *v);
+        module
+            .data_mut()
+            .write_i64(PhysAddr(sales_addr.0 + i as u64 * 8), *v);
     }
     for (i, v) in region.iter().enumerate() {
-        module.data_mut().write_i64(PhysAddr(region_addr.0 + i as u64 * 8), *v);
+        module
+            .data_mut()
+            .write_i64(PhysAddr(region_addr.0 + i as u64 * 8), *v);
     }
 
     let lease = grant_ownership(&mut module, 0, Tick::ZERO).expect("fresh module");
@@ -91,7 +97,10 @@ fn main() {
         gb.groups.len(),
         gb.spilled_rows
     );
-    println!("   bucket mass {} (+ spills merged by the CPU — the hierarchical scheme)", total_in_groups);
+    println!(
+        "   bucket mass {} (+ spills merged by the CPU — the hierarchical scheme)",
+        total_in_groups
+    );
     t = gb.end;
 
     // 3. Select + in-memory projection.
@@ -146,8 +155,14 @@ fn main() {
                 row_bytes: 32,
                 rows: 50_000,
                 predicates: vec![
-                    ColPredicate { offset: 0, predicate: Predicate::Lt(50) },
-                    ColPredicate { offset: 24, predicate: Predicate::Ge(50) },
+                    ColPredicate {
+                        offset: 0,
+                        predicate: Predicate::Lt(50),
+                    },
+                    ColPredicate {
+                        offset: 24,
+                        predicate: Predicate::Ge(50),
+                    },
                 ],
                 out_addr: PhysAddr(128 << 20),
             },
@@ -169,10 +184,14 @@ fn main() {
     let even_addr = PhysAddr(192 << 20);
     let odd_addr = PhysAddr(224 << 20);
     for (i, v) in evens.iter().enumerate() {
-        module.data_mut().write_i64(PhysAddr(even_addr.0 + i as u64 * 8), *v);
+        module
+            .data_mut()
+            .write_i64(PhysAddr(even_addr.0 + i as u64 * 8), *v);
     }
     for (i, v) in odds.iter().enumerate() {
-        module.data_mut().write_i64(PhysAddr(odd_addr.0 + i as u64 * 8), *v);
+        module
+            .data_mut()
+            .write_i64(PhysAddr(odd_addr.0 + i as u64 * 8), *v);
     }
     let r0 = device
         .run_select_interleaved(

@@ -23,25 +23,48 @@ fn main() {
     // Generate and place the column in simulated DRAM (pinned to rank 0,
     // the rank the query manager can grant to the device).
     let mut rng = SplitMix64::new(2026);
-    let values: Vec<i64> = (0..rows).map(|_| rng.next_range_inclusive(0, 999_999)).collect();
+    let values: Vec<i64> = (0..rows)
+        .map(|_| rng.next_range_inclusive(0, 999_999))
+        .collect();
 
     let mut system = System::new(SystemConfig::gem5_like());
     let column = system.write_column(&values);
 
     // CPU-only: the classic branchy scan, streaming the column through
     // the cache hierarchy.
-    let cpu = system.run_select_cpu(column, rows, 250_000, 500_000, ScanVariant::Branching, Tick::ZERO);
-    println!("CPU scan   : {:>8.3} ms  ({} matches, {} mispredicts)",
-        cpu.end.as_ms_f64(), cpu.matches, cpu.mispredicts);
+    let cpu = system.run_select_cpu(
+        column,
+        rows,
+        250_000,
+        500_000,
+        ScanVariant::Branching,
+        Tick::ZERO,
+    );
+    println!(
+        "CPU scan   : {:>8.3} ms  ({} matches, {} mispredicts)",
+        cpu.end.as_ms_f64(),
+        cpu.matches,
+        cpu.mispredicts
+    );
 
     // JAFAR pushdown: rank-ownership handoff via MR3/MPR, per-page
     // select_jafar() invocations, completion polling, release.
     let jafar = system.run_select_jafar(column, rows, 250_000, 500_000, cpu.end);
     let jafar_time = jafar.end - cpu.end;
-    println!("JAFAR      : {:>8.3} ms  ({} matches over {} pages)",
-        jafar_time.as_ms_f64(), jafar.matched, jafar.pages);
-    println!("  device   : {:>8.3} ms filtering in memory", jafar.device.as_ms_f64());
-    println!("  ownership: {:>8.3} us MR3/MPR handoff", jafar.ownership.as_us_f64());
+    println!(
+        "JAFAR      : {:>8.3} ms  ({} matches over {} pages)",
+        jafar_time.as_ms_f64(),
+        jafar.matched,
+        jafar.pages
+    );
+    println!(
+        "  device   : {:>8.3} ms filtering in memory",
+        jafar.device.as_ms_f64()
+    );
+    println!(
+        "  ownership: {:>8.3} us MR3/MPR handoff",
+        jafar.ownership.as_us_f64()
+    );
 
     assert_eq!(cpu.matches, jafar.matched, "both paths agree");
     let speedup = cpu.end.as_ps() as f64 / jafar_time.as_ps() as f64;

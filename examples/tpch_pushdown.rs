@@ -19,10 +19,7 @@ use jafar::tpch::{queries, TpchConfig, TpchDb};
 
 fn main() {
     println!("== TPC-H Q6 with JAFAR select pushdown ==\n");
-    let db = TpchDb::generate(TpchConfig {
-        sf: 0.01,
-        seed: 6,
-    });
+    let db = TpchDb::generate(TpchConfig { sf: 0.01, seed: 6 });
     println!(
         "dataset: {} lineitems ({} KiB lineitem table)",
         db.lineitem.rows(),
@@ -35,7 +32,11 @@ fn main() {
     let mut jf_cx = ExecContext::new(Planner::with_jafar());
     let revenue_jf = queries::q6(&db, &mut jf_cx);
     assert_eq!(revenue_cpu, revenue_jf);
-    println!("Q6 revenue: {}.{:02}\n", revenue_cpu / 100, (revenue_cpu % 100).abs());
+    println!(
+        "Q6 revenue: {}.{:02}\n",
+        revenue_cpu / 100,
+        (revenue_cpu % 100).abs()
+    );
 
     println!("operator trace (JAFAR planner):");
     for event in jf_cx.trace().events() {
@@ -46,14 +47,18 @@ fn main() {
                 matches,
                 implementation,
                 ..
-            } => println!("  scan {column:<16} {rows:>8} rows -> {matches:>7} [{implementation:?}]"),
+            } => {
+                println!("  scan {column:<16} {rows:>8} rows -> {matches:>7} [{implementation:?}]")
+            }
             TraceEvent::ScanAt {
                 column,
                 positions,
                 matches,
                 ..
             } => println!("  scan@ {column:<15} {positions:>8} pos  -> {matches:>7} [CPU refine]"),
-            TraceEvent::Gather { column, positions, .. } => {
+            TraceEvent::Gather {
+                column, positions, ..
+            } => {
                 println!("  gather {column:<14} {positions:>8} values")
             }
             other => println!("  {other:?}"),
@@ -74,6 +79,9 @@ fn main() {
     assert_eq!(cpu.matches, jf.matched);
     println!("\nleading scan (l_shipdate, {rows} rows):");
     println!("  CPU   : {:>8.3} ms", cpu.end.as_ms_f64());
-    println!("  JAFAR : {:>8.3} ms  (device {:.3} ms; only the bitset crosses the bus)",
-        (jf.end - cpu.end).as_ms_f64(), jf.device.as_ms_f64());
+    println!(
+        "  JAFAR : {:>8.3} ms  (device {:.3} ms; only the bitset crosses the bus)",
+        (jf.end - cpu.end).as_ms_f64(),
+        jf.device.as_ms_f64()
+    );
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_channels-62d3c2263b1a0cfc.d: crates/bench/src/bin/ablation_channels.rs
+
+/root/repo/target/debug/deps/libablation_channels-62d3c2263b1a0cfc.rmeta: crates/bench/src/bin/ablation_channels.rs
+
+crates/bench/src/bin/ablation_channels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_channels-824833110facd896.d: crates/bench/src/bin/ablation_channels.rs
+
+/root/repo/target/debug/deps/ablation_channels-824833110facd896: crates/bench/src/bin/ablation_channels.rs
+
+crates/bench/src/bin/ablation_channels.rs:

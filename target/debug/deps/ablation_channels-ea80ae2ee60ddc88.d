@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_channels-ea80ae2ee60ddc88.d: crates/bench/src/bin/ablation_channels.rs
+
+/root/repo/target/debug/deps/libablation_channels-ea80ae2ee60ddc88.rmeta: crates/bench/src/bin/ablation_channels.rs
+
+crates/bench/src/bin/ablation_channels.rs:

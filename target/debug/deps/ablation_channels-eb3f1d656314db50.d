@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_channels-eb3f1d656314db50.d: crates/bench/src/bin/ablation_channels.rs
+
+/root/repo/target/debug/deps/ablation_channels-eb3f1d656314db50: crates/bench/src/bin/ablation_channels.rs
+
+crates/bench/src/bin/ablation_channels.rs:

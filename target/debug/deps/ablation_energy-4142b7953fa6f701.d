@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_energy-4142b7953fa6f701.d: crates/bench/src/bin/ablation_energy.rs
+
+/root/repo/target/debug/deps/ablation_energy-4142b7953fa6f701: crates/bench/src/bin/ablation_energy.rs
+
+crates/bench/src/bin/ablation_energy.rs:

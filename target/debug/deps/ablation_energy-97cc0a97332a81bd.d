@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_energy-97cc0a97332a81bd.d: crates/bench/src/bin/ablation_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_energy-97cc0a97332a81bd.rmeta: crates/bench/src/bin/ablation_energy.rs Cargo.toml
+
+crates/bench/src/bin/ablation_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_energy-9c58ebb5f863b721.d: crates/bench/src/bin/ablation_energy.rs
+
+/root/repo/target/debug/deps/ablation_energy-9c58ebb5f863b721: crates/bench/src/bin/ablation_energy.rs
+
+crates/bench/src/bin/ablation_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_energy-b17e151acca42623.d: crates/bench/src/bin/ablation_energy.rs
+
+/root/repo/target/debug/deps/libablation_energy-b17e151acca42623.rmeta: crates/bench/src/bin/ablation_energy.rs
+
+crates/bench/src/bin/ablation_energy.rs:

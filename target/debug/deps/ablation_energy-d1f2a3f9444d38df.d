@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_energy-d1f2a3f9444d38df.d: crates/bench/src/bin/ablation_energy.rs
+
+/root/repo/target/debug/deps/libablation_energy-d1f2a3f9444d38df.rmeta: crates/bench/src/bin/ablation_energy.rs
+
+crates/bench/src/bin/ablation_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_extensions-026eef8729fbb0fa.d: crates/bench/src/bin/ablation_extensions.rs
+
+/root/repo/target/debug/deps/libablation_extensions-026eef8729fbb0fa.rmeta: crates/bench/src/bin/ablation_extensions.rs
+
+crates/bench/src/bin/ablation_extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_extensions-0d963e48dad4aef0.d: crates/bench/src/bin/ablation_extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_extensions-0d963e48dad4aef0.rmeta: crates/bench/src/bin/ablation_extensions.rs Cargo.toml
+
+crates/bench/src/bin/ablation_extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

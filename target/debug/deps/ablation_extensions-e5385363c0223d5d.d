@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_extensions-e5385363c0223d5d.d: crates/bench/src/bin/ablation_extensions.rs
+
+/root/repo/target/debug/deps/ablation_extensions-e5385363c0223d5d: crates/bench/src/bin/ablation_extensions.rs
+
+crates/bench/src/bin/ablation_extensions.rs:

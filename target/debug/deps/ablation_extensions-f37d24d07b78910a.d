@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_extensions-f37d24d07b78910a.d: crates/bench/src/bin/ablation_extensions.rs
+
+/root/repo/target/debug/deps/libablation_extensions-f37d24d07b78910a.rmeta: crates/bench/src/bin/ablation_extensions.rs
+
+crates/bench/src/bin/ablation_extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_extensions-ff192542f653da27.d: crates/bench/src/bin/ablation_extensions.rs
+
+/root/repo/target/debug/deps/ablation_extensions-ff192542f653da27: crates/bench/src/bin/ablation_extensions.rs
+
+crates/bench/src/bin/ablation_extensions.rs:

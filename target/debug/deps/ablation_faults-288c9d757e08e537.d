@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_faults-288c9d757e08e537.d: crates/bench/src/bin/ablation_faults.rs
+
+/root/repo/target/debug/deps/ablation_faults-288c9d757e08e537: crates/bench/src/bin/ablation_faults.rs
+
+crates/bench/src/bin/ablation_faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_faults-fd122e003ea1b728.d: crates/bench/src/bin/ablation_faults.rs
+
+/root/repo/target/debug/deps/ablation_faults-fd122e003ea1b728: crates/bench/src/bin/ablation_faults.rs
+
+crates/bench/src/bin/ablation_faults.rs:

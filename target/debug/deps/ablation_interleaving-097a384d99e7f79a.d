@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_interleaving-097a384d99e7f79a.d: crates/bench/src/bin/ablation_interleaving.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_interleaving-097a384d99e7f79a.rmeta: crates/bench/src/bin/ablation_interleaving.rs Cargo.toml
+
+crates/bench/src/bin/ablation_interleaving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_interleaving-29bdc7a1f849e1f3.d: crates/bench/src/bin/ablation_interleaving.rs
+
+/root/repo/target/debug/deps/libablation_interleaving-29bdc7a1f849e1f3.rmeta: crates/bench/src/bin/ablation_interleaving.rs
+
+crates/bench/src/bin/ablation_interleaving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_interleaving-2aca132658a45f6b.d: crates/bench/src/bin/ablation_interleaving.rs
+
+/root/repo/target/debug/deps/libablation_interleaving-2aca132658a45f6b.rmeta: crates/bench/src/bin/ablation_interleaving.rs
+
+crates/bench/src/bin/ablation_interleaving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_interleaving-53f479975a0f8ee2.d: crates/bench/src/bin/ablation_interleaving.rs
+
+/root/repo/target/debug/deps/ablation_interleaving-53f479975a0f8ee2: crates/bench/src/bin/ablation_interleaving.rs
+
+crates/bench/src/bin/ablation_interleaving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_interleaving-925290a74e11b461.d: crates/bench/src/bin/ablation_interleaving.rs
+
+/root/repo/target/debug/deps/ablation_interleaving-925290a74e11b461: crates/bench/src/bin/ablation_interleaving.rs
+
+crates/bench/src/bin/ablation_interleaving.rs:

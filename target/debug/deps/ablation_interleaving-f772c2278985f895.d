@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_interleaving-f772c2278985f895.d: crates/bench/src/bin/ablation_interleaving.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_interleaving-f772c2278985f895.rmeta: crates/bench/src/bin/ablation_interleaving.rs Cargo.toml
+
+crates/bench/src/bin/ablation_interleaving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

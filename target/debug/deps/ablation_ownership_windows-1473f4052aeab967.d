@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ownership_windows-1473f4052aeab967.d: crates/bench/src/bin/ablation_ownership_windows.rs
+
+/root/repo/target/debug/deps/ablation_ownership_windows-1473f4052aeab967: crates/bench/src/bin/ablation_ownership_windows.rs
+
+crates/bench/src/bin/ablation_ownership_windows.rs:

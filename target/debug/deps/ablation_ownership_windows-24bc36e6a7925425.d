@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_ownership_windows-24bc36e6a7925425.d: crates/bench/src/bin/ablation_ownership_windows.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_ownership_windows-24bc36e6a7925425.rmeta: crates/bench/src/bin/ablation_ownership_windows.rs Cargo.toml
+
+crates/bench/src/bin/ablation_ownership_windows.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ownership_windows-83d7a8fba3266b71.d: crates/bench/src/bin/ablation_ownership_windows.rs
+
+/root/repo/target/debug/deps/libablation_ownership_windows-83d7a8fba3266b71.rmeta: crates/bench/src/bin/ablation_ownership_windows.rs
+
+crates/bench/src/bin/ablation_ownership_windows.rs:

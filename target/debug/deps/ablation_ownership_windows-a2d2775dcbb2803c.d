@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ownership_windows-a2d2775dcbb2803c.d: crates/bench/src/bin/ablation_ownership_windows.rs
+
+/root/repo/target/debug/deps/libablation_ownership_windows-a2d2775dcbb2803c.rmeta: crates/bench/src/bin/ablation_ownership_windows.rs
+
+crates/bench/src/bin/ablation_ownership_windows.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_ownership_windows-d440cdefff32c618.d: crates/bench/src/bin/ablation_ownership_windows.rs
+
+/root/repo/target/debug/deps/ablation_ownership_windows-d440cdefff32c618: crates/bench/src/bin/ablation_ownership_windows.rs
+
+crates/bench/src/bin/ablation_ownership_windows.rs:

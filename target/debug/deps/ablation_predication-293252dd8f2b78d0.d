@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_predication-293252dd8f2b78d0.d: crates/bench/src/bin/ablation_predication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_predication-293252dd8f2b78d0.rmeta: crates/bench/src/bin/ablation_predication.rs Cargo.toml
+
+crates/bench/src/bin/ablation_predication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_predication-45033906ddb5f8ff.d: crates/bench/src/bin/ablation_predication.rs
+
+/root/repo/target/debug/deps/libablation_predication-45033906ddb5f8ff.rmeta: crates/bench/src/bin/ablation_predication.rs
+
+crates/bench/src/bin/ablation_predication.rs:

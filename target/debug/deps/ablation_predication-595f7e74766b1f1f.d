@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_predication-595f7e74766b1f1f.d: crates/bench/src/bin/ablation_predication.rs
+
+/root/repo/target/debug/deps/ablation_predication-595f7e74766b1f1f: crates/bench/src/bin/ablation_predication.rs
+
+crates/bench/src/bin/ablation_predication.rs:

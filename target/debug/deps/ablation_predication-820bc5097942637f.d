@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_predication-820bc5097942637f.d: crates/bench/src/bin/ablation_predication.rs
+
+/root/repo/target/debug/deps/ablation_predication-820bc5097942637f: crates/bench/src/bin/ablation_predication.rs
+
+crates/bench/src/bin/ablation_predication.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_predication-c51cc33df48e819e.d: crates/bench/src/bin/ablation_predication.rs
+
+/root/repo/target/debug/deps/libablation_predication-c51cc33df48e819e.rmeta: crates/bench/src/bin/ablation_predication.rs
+
+crates/bench/src/bin/ablation_predication.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_predication-cc2906fa0e4bbf75.d: crates/bench/src/bin/ablation_predication.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_predication-cc2906fa0e4bbf75.rmeta: crates/bench/src/bin/ablation_predication.rs Cargo.toml
+
+crates/bench/src/bin/ablation_predication.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_schedulers-517caeffbf711ca9.d: crates/bench/src/bin/ablation_schedulers.rs
+
+/root/repo/target/debug/deps/ablation_schedulers-517caeffbf711ca9: crates/bench/src/bin/ablation_schedulers.rs
+
+crates/bench/src/bin/ablation_schedulers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_schedulers-a6bfbd30e15ec548.d: crates/bench/src/bin/ablation_schedulers.rs
+
+/root/repo/target/debug/deps/libablation_schedulers-a6bfbd30e15ec548.rmeta: crates/bench/src/bin/ablation_schedulers.rs
+
+crates/bench/src/bin/ablation_schedulers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_schedulers-d29bc4cf8ff20d10.d: crates/bench/src/bin/ablation_schedulers.rs
+
+/root/repo/target/debug/deps/libablation_schedulers-d29bc4cf8ff20d10.rmeta: crates/bench/src/bin/ablation_schedulers.rs
+
+crates/bench/src/bin/ablation_schedulers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_schedulers-ddc9a7ee449808d6.d: crates/bench/src/bin/ablation_schedulers.rs
+
+/root/repo/target/debug/deps/ablation_schedulers-ddc9a7ee449808d6: crates/bench/src/bin/ablation_schedulers.rs
+
+crates/bench/src/bin/ablation_schedulers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_schedulers-fbc0f01f43269218.d: crates/bench/src/bin/ablation_schedulers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_schedulers-fbc0f01f43269218.rmeta: crates/bench/src/bin/ablation_schedulers.rs Cargo.toml
+
+crates/bench/src/bin/ablation_schedulers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

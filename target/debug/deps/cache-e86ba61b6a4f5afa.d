@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache-e86ba61b6a4f5afa.d: crates/bench/benches/cache.rs
+
+/root/repo/target/debug/deps/libcache-e86ba61b6a4f5afa.rmeta: crates/bench/benches/cache.rs
+
+crates/bench/benches/cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/columnstore-17ccddd9062aac0a.d: crates/bench/benches/columnstore.rs
+
+/root/repo/target/debug/deps/libcolumnstore-17ccddd9062aac0a.rmeta: crates/bench/benches/columnstore.rs
+
+crates/bench/benches/columnstore.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/columnstore-2f926ab919d852eb.d: crates/bench/benches/columnstore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcolumnstore-2f926ab919d852eb.rmeta: crates/bench/benches/columnstore.rs Cargo.toml
+
+crates/bench/benches/columnstore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

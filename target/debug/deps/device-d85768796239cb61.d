@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/device-d85768796239cb61.d: crates/bench/benches/device.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdevice-d85768796239cb61.rmeta: crates/bench/benches/device.rs Cargo.toml
+
+crates/bench/benches/device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

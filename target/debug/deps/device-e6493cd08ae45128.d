@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device-e6493cd08ae45128.d: crates/bench/benches/device.rs
+
+/root/repo/target/debug/deps/libdevice-e6493cd08ae45128.rmeta: crates/bench/benches/device.rs
+
+crates/bench/benches/device.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dram-0ac3d908eae88ff5.d: crates/bench/benches/dram.rs
+
+/root/repo/target/debug/deps/libdram-0ac3d908eae88ff5.rmeta: crates/bench/benches/dram.rs
+
+crates/bench/benches/dram.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dram-ca26d0fe1b00bf58.d: crates/bench/benches/dram.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdram-ca26d0fe1b00bf58.rmeta: crates/bench/benches/dram.rs Cargo.toml
+
+crates/bench/benches/dram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_select-620986b2b94e6e5f.d: tests/end_to_end_select.rs
+
+/root/repo/target/debug/deps/end_to_end_select-620986b2b94e6e5f: tests/end_to_end_select.rs
+
+tests/end_to_end_select.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-68d715a26e3a7daa.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-68d715a26e3a7daa: tests/failure_injection.rs
+
+tests/failure_injection.rs:

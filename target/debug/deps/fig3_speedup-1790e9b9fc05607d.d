@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_speedup-1790e9b9fc05607d.d: crates/bench/src/bin/fig3_speedup.rs
+
+/root/repo/target/debug/deps/fig3_speedup-1790e9b9fc05607d: crates/bench/src/bin/fig3_speedup.rs
+
+crates/bench/src/bin/fig3_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_speedup-3f481d50ab601c60.d: crates/bench/src/bin/fig3_speedup.rs
+
+/root/repo/target/debug/deps/libfig3_speedup-3f481d50ab601c60.rmeta: crates/bench/src/bin/fig3_speedup.rs
+
+crates/bench/src/bin/fig3_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_speedup-9312d5e3b6e2c4a6.d: crates/bench/src/bin/fig3_speedup.rs
+
+/root/repo/target/debug/deps/libfig3_speedup-9312d5e3b6e2c4a6.rmeta: crates/bench/src/bin/fig3_speedup.rs
+
+crates/bench/src/bin/fig3_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_speedup-a0476ac4926e329e.d: crates/bench/src/bin/fig3_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_speedup-a0476ac4926e329e.rmeta: crates/bench/src/bin/fig3_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig3_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_speedup-f04fe6d5c5ee7824.d: crates/bench/src/bin/fig3_speedup.rs
+
+/root/repo/target/debug/deps/fig3_speedup-f04fe6d5c5ee7824: crates/bench/src/bin/fig3_speedup.rs
+
+crates/bench/src/bin/fig3_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_speedup-f4ce3f8f5214a516.d: crates/bench/src/bin/fig3_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_speedup-f4ce3f8f5214a516.rmeta: crates/bench/src/bin/fig3_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig3_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_idle-0b6098474a5ac143.d: crates/bench/src/bin/fig4_idle.rs
+
+/root/repo/target/debug/deps/fig4_idle-0b6098474a5ac143: crates/bench/src/bin/fig4_idle.rs
+
+crates/bench/src/bin/fig4_idle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_idle-1e2864c3c500bc9f.d: crates/bench/src/bin/fig4_idle.rs
+
+/root/repo/target/debug/deps/libfig4_idle-1e2864c3c500bc9f.rmeta: crates/bench/src/bin/fig4_idle.rs
+
+crates/bench/src/bin/fig4_idle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_idle-37f93815e4a5d202.d: crates/bench/src/bin/fig4_idle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_idle-37f93815e4a5d202.rmeta: crates/bench/src/bin/fig4_idle.rs Cargo.toml
+
+crates/bench/src/bin/fig4_idle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_idle-4709bdb3d9a92a17.d: crates/bench/src/bin/fig4_idle.rs
+
+/root/repo/target/debug/deps/libfig4_idle-4709bdb3d9a92a17.rmeta: crates/bench/src/bin/fig4_idle.rs
+
+crates/bench/src/bin/fig4_idle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_idle-53740f569743d6e2.d: crates/bench/src/bin/fig4_idle.rs
+
+/root/repo/target/debug/deps/fig4_idle-53740f569743d6e2: crates/bench/src/bin/fig4_idle.rs
+
+crates/bench/src/bin/fig4_idle.rs:

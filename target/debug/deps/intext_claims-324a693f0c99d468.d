@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/intext_claims-324a693f0c99d468.d: crates/bench/src/bin/intext_claims.rs
+
+/root/repo/target/debug/deps/libintext_claims-324a693f0c99d468.rmeta: crates/bench/src/bin/intext_claims.rs
+
+crates/bench/src/bin/intext_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/intext_claims-545b6dc3102540c3.d: crates/bench/src/bin/intext_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintext_claims-545b6dc3102540c3.rmeta: crates/bench/src/bin/intext_claims.rs Cargo.toml
+
+crates/bench/src/bin/intext_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/intext_claims-602ddb1d3ce21bf8.d: crates/bench/src/bin/intext_claims.rs
+
+/root/repo/target/debug/deps/intext_claims-602ddb1d3ce21bf8: crates/bench/src/bin/intext_claims.rs
+
+crates/bench/src/bin/intext_claims.rs:

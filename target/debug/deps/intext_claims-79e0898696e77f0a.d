@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/intext_claims-79e0898696e77f0a.d: crates/bench/src/bin/intext_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintext_claims-79e0898696e77f0a.rmeta: crates/bench/src/bin/intext_claims.rs Cargo.toml
+
+crates/bench/src/bin/intext_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/intext_claims-bae2b6dbd2fed84e.d: crates/bench/src/bin/intext_claims.rs
+
+/root/repo/target/debug/deps/intext_claims-bae2b6dbd2fed84e: crates/bench/src/bin/intext_claims.rs
+
+crates/bench/src/bin/intext_claims.rs:

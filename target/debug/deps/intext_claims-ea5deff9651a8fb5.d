@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/intext_claims-ea5deff9651a8fb5.d: crates/bench/src/bin/intext_claims.rs
+
+/root/repo/target/debug/deps/libintext_claims-ea5deff9651a8fb5.rmeta: crates/bench/src/bin/intext_claims.rs
+
+crates/bench/src/bin/intext_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jafar-24190f9bb26e7615.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjafar-24190f9bb26e7615.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/jafar-8a2870b7d087a31d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libjafar-8a2870b7d087a31d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libjafar-8a2870b7d087a31d.rmeta: src/lib.rs
+
+src/lib.rs:

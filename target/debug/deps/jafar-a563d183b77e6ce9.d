@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jafar-a563d183b77e6ce9.d: src/lib.rs
+
+/root/repo/target/debug/deps/jafar-a563d183b77e6ce9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jafar_accel-0a987a5c0a65927c.d: crates/accel/src/lib.rs crates/accel/src/dddg.rs crates/accel/src/ir.rs crates/accel/src/power.rs crates/accel/src/schedule.rs
+
+/root/repo/target/debug/deps/libjafar_accel-0a987a5c0a65927c.rmeta: crates/accel/src/lib.rs crates/accel/src/dddg.rs crates/accel/src/ir.rs crates/accel/src/power.rs crates/accel/src/schedule.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/dddg.rs:
+crates/accel/src/ir.rs:
+crates/accel/src/power.rs:
+crates/accel/src/schedule.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/jafar_accel-4b404b045acc0b6e.d: crates/accel/src/lib.rs crates/accel/src/dddg.rs crates/accel/src/ir.rs crates/accel/src/power.rs crates/accel/src/schedule.rs
+
+/root/repo/target/debug/deps/libjafar_accel-4b404b045acc0b6e.rlib: crates/accel/src/lib.rs crates/accel/src/dddg.rs crates/accel/src/ir.rs crates/accel/src/power.rs crates/accel/src/schedule.rs
+
+/root/repo/target/debug/deps/libjafar_accel-4b404b045acc0b6e.rmeta: crates/accel/src/lib.rs crates/accel/src/dddg.rs crates/accel/src/ir.rs crates/accel/src/power.rs crates/accel/src/schedule.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/dddg.rs:
+crates/accel/src/ir.rs:
+crates/accel/src/power.rs:
+crates/accel/src/schedule.rs:

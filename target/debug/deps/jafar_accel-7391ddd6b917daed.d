@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/jafar_accel-7391ddd6b917daed.d: crates/accel/src/lib.rs crates/accel/src/dddg.rs crates/accel/src/ir.rs crates/accel/src/power.rs crates/accel/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjafar_accel-7391ddd6b917daed.rmeta: crates/accel/src/lib.rs crates/accel/src/dddg.rs crates/accel/src/ir.rs crates/accel/src/power.rs crates/accel/src/schedule.rs Cargo.toml
+
+crates/accel/src/lib.rs:
+crates/accel/src/dddg.rs:
+crates/accel/src/ir.rs:
+crates/accel/src/power.rs:
+crates/accel/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jafar_accel-e2ef7e1f13011e0e.d: crates/accel/src/lib.rs crates/accel/src/dddg.rs crates/accel/src/ir.rs crates/accel/src/power.rs crates/accel/src/schedule.rs
+
+/root/repo/target/debug/deps/jafar_accel-e2ef7e1f13011e0e: crates/accel/src/lib.rs crates/accel/src/dddg.rs crates/accel/src/ir.rs crates/accel/src/power.rs crates/accel/src/schedule.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/dddg.rs:
+crates/accel/src/ir.rs:
+crates/accel/src/power.rs:
+crates/accel/src/schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jafar_bench-26acf19d9873523a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/jafar_bench-26acf19d9873523a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/jafar_bench-60f72ad097360840.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libjafar_bench-60f72ad097360840.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libjafar_bench-60f72ad097360840.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jafar_bench-6e978450c03afa6f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libjafar_bench-6e978450c03afa6f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/jafar_bench-72580d19e6c832d6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libjafar_bench-72580d19e6c832d6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

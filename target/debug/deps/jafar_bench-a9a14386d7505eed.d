@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jafar_bench-a9a14386d7505eed.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjafar_bench-a9a14386d7505eed.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jafar_bench-b25d933e5da8c78c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjafar_bench-b25d933e5da8c78c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jafar_cache-2d5c85a5fcccabe1.d: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/libjafar_cache-2d5c85a5fcccabe1.rmeta: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/prefetch.rs:
+crates/cache/src/stats.rs:

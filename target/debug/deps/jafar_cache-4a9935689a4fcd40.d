@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/jafar_cache-4a9935689a4fcd40.d: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/jafar_cache-4a9935689a4fcd40: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/prefetch.rs:
+crates/cache/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/jafar_cache-895d6283560fab8e.d: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/libjafar_cache-895d6283560fab8e.rlib: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+/root/repo/target/debug/deps/libjafar_cache-895d6283560fab8e.rmeta: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/prefetch.rs:
+crates/cache/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/jafar_cache-e8a5bd8b9f0e4498.d: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjafar_cache-e8a5bd8b9f0e4498.rmeta: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs Cargo.toml
+
+crates/cache/src/lib.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/prefetch.rs:
+crates/cache/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

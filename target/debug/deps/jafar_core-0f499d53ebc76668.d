@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/jafar_core-0f499d53ebc76668.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/api.rs crates/core/src/device.rs crates/core/src/driver.rs crates/core/src/interleave.rs crates/core/src/ownership.rs crates/core/src/predicate.rs crates/core/src/project.rs crates/core/src/regs.rs crates/core/src/rowstore.rs crates/core/src/sort.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjafar_core-0f499d53ebc76668.rmeta: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/api.rs crates/core/src/device.rs crates/core/src/driver.rs crates/core/src/interleave.rs crates/core/src/ownership.rs crates/core/src/predicate.rs crates/core/src/project.rs crates/core/src/regs.rs crates/core/src/rowstore.rs crates/core/src/sort.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/api.rs:
+crates/core/src/device.rs:
+crates/core/src/driver.rs:
+crates/core/src/interleave.rs:
+crates/core/src/ownership.rs:
+crates/core/src/predicate.rs:
+crates/core/src/project.rs:
+crates/core/src/regs.rs:
+crates/core/src/rowstore.rs:
+crates/core/src/sort.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

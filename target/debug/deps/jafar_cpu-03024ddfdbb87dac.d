@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/jafar_cpu-03024ddfdbb87dac.d: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/engine.rs crates/cpu/src/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjafar_cpu-03024ddfdbb87dac.rmeta: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/engine.rs crates/cpu/src/kernels.rs Cargo.toml
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/branch.rs:
+crates/cpu/src/engine.rs:
+crates/cpu/src/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/jafar_cpu-6db6c04ab16e1e86.d: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/engine.rs crates/cpu/src/kernels.rs
+
+/root/repo/target/debug/deps/libjafar_cpu-6db6c04ab16e1e86.rlib: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/engine.rs crates/cpu/src/kernels.rs
+
+/root/repo/target/debug/deps/libjafar_cpu-6db6c04ab16e1e86.rmeta: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/engine.rs crates/cpu/src/kernels.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/branch.rs:
+crates/cpu/src/engine.rs:
+crates/cpu/src/kernels.rs:

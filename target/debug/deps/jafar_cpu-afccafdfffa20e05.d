@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/jafar_cpu-afccafdfffa20e05.d: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/engine.rs crates/cpu/src/kernels.rs
+
+/root/repo/target/debug/deps/jafar_cpu-afccafdfffa20e05: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/engine.rs crates/cpu/src/kernels.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/branch.rs:
+crates/cpu/src/engine.rs:
+crates/cpu/src/kernels.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/jafar_cpu-c55f12d9d0eab11a.d: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/engine.rs crates/cpu/src/kernels.rs
+
+/root/repo/target/debug/deps/libjafar_cpu-c55f12d9d0eab11a.rmeta: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/engine.rs crates/cpu/src/kernels.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/branch.rs:
+crates/cpu/src/engine.rs:
+crates/cpu/src/kernels.rs:

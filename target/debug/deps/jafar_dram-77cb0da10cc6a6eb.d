@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/jafar_dram-77cb0da10cc6a6eb.d: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/data.rs crates/dram/src/fault.rs crates/dram/src/geometry.rs crates/dram/src/mode.rs crates/dram/src/module.rs crates/dram/src/stats.rs crates/dram/src/timing.rs
+
+/root/repo/target/debug/deps/jafar_dram-77cb0da10cc6a6eb: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/data.rs crates/dram/src/fault.rs crates/dram/src/geometry.rs crates/dram/src/mode.rs crates/dram/src/module.rs crates/dram/src/stats.rs crates/dram/src/timing.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/address.rs:
+crates/dram/src/bank.rs:
+crates/dram/src/command.rs:
+crates/dram/src/data.rs:
+crates/dram/src/fault.rs:
+crates/dram/src/geometry.rs:
+crates/dram/src/mode.rs:
+crates/dram/src/module.rs:
+crates/dram/src/stats.rs:
+crates/dram/src/timing.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/jafar_dram-9262e10ea941c110.d: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/data.rs crates/dram/src/fault.rs crates/dram/src/geometry.rs crates/dram/src/mode.rs crates/dram/src/module.rs crates/dram/src/stats.rs crates/dram/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjafar_dram-9262e10ea941c110.rmeta: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/data.rs crates/dram/src/fault.rs crates/dram/src/geometry.rs crates/dram/src/mode.rs crates/dram/src/module.rs crates/dram/src/stats.rs crates/dram/src/timing.rs Cargo.toml
+
+crates/dram/src/lib.rs:
+crates/dram/src/address.rs:
+crates/dram/src/bank.rs:
+crates/dram/src/command.rs:
+crates/dram/src/data.rs:
+crates/dram/src/fault.rs:
+crates/dram/src/geometry.rs:
+crates/dram/src/mode.rs:
+crates/dram/src/module.rs:
+crates/dram/src/stats.rs:
+crates/dram/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

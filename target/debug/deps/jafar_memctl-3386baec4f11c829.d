@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/jafar_memctl-3386baec4f11c829.d: crates/memctl/src/lib.rs crates/memctl/src/channel.rs crates/memctl/src/controller.rs crates/memctl/src/counters.rs crates/memctl/src/request.rs crates/memctl/src/sched.rs
+
+/root/repo/target/debug/deps/libjafar_memctl-3386baec4f11c829.rlib: crates/memctl/src/lib.rs crates/memctl/src/channel.rs crates/memctl/src/controller.rs crates/memctl/src/counters.rs crates/memctl/src/request.rs crates/memctl/src/sched.rs
+
+/root/repo/target/debug/deps/libjafar_memctl-3386baec4f11c829.rmeta: crates/memctl/src/lib.rs crates/memctl/src/channel.rs crates/memctl/src/controller.rs crates/memctl/src/counters.rs crates/memctl/src/request.rs crates/memctl/src/sched.rs
+
+crates/memctl/src/lib.rs:
+crates/memctl/src/channel.rs:
+crates/memctl/src/controller.rs:
+crates/memctl/src/counters.rs:
+crates/memctl/src/request.rs:
+crates/memctl/src/sched.rs:

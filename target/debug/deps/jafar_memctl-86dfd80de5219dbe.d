@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/jafar_memctl-86dfd80de5219dbe.d: crates/memctl/src/lib.rs crates/memctl/src/channel.rs crates/memctl/src/controller.rs crates/memctl/src/counters.rs crates/memctl/src/request.rs crates/memctl/src/sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjafar_memctl-86dfd80de5219dbe.rmeta: crates/memctl/src/lib.rs crates/memctl/src/channel.rs crates/memctl/src/controller.rs crates/memctl/src/counters.rs crates/memctl/src/request.rs crates/memctl/src/sched.rs Cargo.toml
+
+crates/memctl/src/lib.rs:
+crates/memctl/src/channel.rs:
+crates/memctl/src/controller.rs:
+crates/memctl/src/counters.rs:
+crates/memctl/src/request.rs:
+crates/memctl/src/sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/jafar_memctl-907a5073edb9d304.d: crates/memctl/src/lib.rs crates/memctl/src/channel.rs crates/memctl/src/controller.rs crates/memctl/src/counters.rs crates/memctl/src/request.rs crates/memctl/src/sched.rs
+
+/root/repo/target/debug/deps/jafar_memctl-907a5073edb9d304: crates/memctl/src/lib.rs crates/memctl/src/channel.rs crates/memctl/src/controller.rs crates/memctl/src/counters.rs crates/memctl/src/request.rs crates/memctl/src/sched.rs
+
+crates/memctl/src/lib.rs:
+crates/memctl/src/channel.rs:
+crates/memctl/src/controller.rs:
+crates/memctl/src/counters.rs:
+crates/memctl/src/request.rs:
+crates/memctl/src/sched.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/jafar_sim-4e0f0db4c619ac2c.d: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backend.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/replay.rs crates/sim/src/system.rs
+
+/root/repo/target/debug/deps/jafar_sim-4e0f0db4c619ac2c: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backend.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/replay.rs crates/sim/src/system.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/alloc.rs:
+crates/sim/src/backend.rs:
+crates/sim/src/config.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/replay.rs:
+crates/sim/src/system.rs:

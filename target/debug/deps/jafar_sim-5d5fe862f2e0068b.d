@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/jafar_sim-5d5fe862f2e0068b.d: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backend.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/replay.rs crates/sim/src/system.rs
+
+/root/repo/target/debug/deps/libjafar_sim-5d5fe862f2e0068b.rmeta: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backend.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/replay.rs crates/sim/src/system.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/alloc.rs:
+crates/sim/src/backend.rs:
+crates/sim/src/config.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/replay.rs:
+crates/sim/src/system.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/jafar_sim-623a6b1dbc9e1bc5.d: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backend.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/replay.rs crates/sim/src/system.rs
+
+/root/repo/target/debug/deps/libjafar_sim-623a6b1dbc9e1bc5.rlib: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backend.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/replay.rs crates/sim/src/system.rs
+
+/root/repo/target/debug/deps/libjafar_sim-623a6b1dbc9e1bc5.rmeta: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backend.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/replay.rs crates/sim/src/system.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/alloc.rs:
+crates/sim/src/backend.rs:
+crates/sim/src/config.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/replay.rs:
+crates/sim/src/system.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/jafar_sim-de351aa773fd6dc7.d: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backend.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/replay.rs crates/sim/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjafar_sim-de351aa773fd6dc7.rmeta: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backend.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/replay.rs crates/sim/src/system.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/alloc.rs:
+crates/sim/src/backend.rs:
+crates/sim/src/config.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/replay.rs:
+crates/sim/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/jafar_tpch-202866d25289e406.d: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/plans.rs crates/tpch/src/queries/q1.rs crates/tpch/src/queries/q18.rs crates/tpch/src/queries/q22.rs crates/tpch/src/queries/q3.rs crates/tpch/src/queries/q6.rs
+
+/root/repo/target/debug/deps/libjafar_tpch-202866d25289e406.rmeta: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/plans.rs crates/tpch/src/queries/q1.rs crates/tpch/src/queries/q18.rs crates/tpch/src/queries/q22.rs crates/tpch/src/queries/q3.rs crates/tpch/src/queries/q6.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/gen.rs:
+crates/tpch/src/queries/mod.rs:
+crates/tpch/src/queries/plans.rs:
+crates/tpch/src/queries/q1.rs:
+crates/tpch/src/queries/q18.rs:
+crates/tpch/src/queries/q22.rs:
+crates/tpch/src/queries/q3.rs:
+crates/tpch/src/queries/q6.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/jafar_tpch-9c93f9d7a5e44273.d: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/plans.rs crates/tpch/src/queries/q1.rs crates/tpch/src/queries/q18.rs crates/tpch/src/queries/q22.rs crates/tpch/src/queries/q3.rs crates/tpch/src/queries/q6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjafar_tpch-9c93f9d7a5e44273.rmeta: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/plans.rs crates/tpch/src/queries/q1.rs crates/tpch/src/queries/q18.rs crates/tpch/src/queries/q22.rs crates/tpch/src/queries/q3.rs crates/tpch/src/queries/q6.rs Cargo.toml
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/gen.rs:
+crates/tpch/src/queries/mod.rs:
+crates/tpch/src/queries/plans.rs:
+crates/tpch/src/queries/q1.rs:
+crates/tpch/src/queries/q18.rs:
+crates/tpch/src/queries/q22.rs:
+crates/tpch/src/queries/q3.rs:
+crates/tpch/src/queries/q6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

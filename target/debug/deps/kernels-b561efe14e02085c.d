@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-b561efe14e02085c.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/libkernels-b561efe14e02085c.rmeta: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

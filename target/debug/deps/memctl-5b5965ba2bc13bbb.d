@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memctl-5b5965ba2bc13bbb.d: crates/bench/benches/memctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemctl-5b5965ba2bc13bbb.rmeta: crates/bench/benches/memctl.rs Cargo.toml
+
+crates/bench/benches/memctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memctl-673ddc58207c9138.d: crates/bench/benches/memctl.rs
+
+/root/repo/target/debug/deps/libmemctl-673ddc58207c9138.rmeta: crates/bench/benches/memctl.rs
+
+crates/bench/benches/memctl.rs:

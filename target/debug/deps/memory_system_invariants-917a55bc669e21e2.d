@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memory_system_invariants-917a55bc669e21e2.d: tests/memory_system_invariants.rs
+
+/root/repo/target/debug/deps/memory_system_invariants-917a55bc669e21e2: tests/memory_system_invariants.rs
+
+tests/memory_system_invariants.rs:

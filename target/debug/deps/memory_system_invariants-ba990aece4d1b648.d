@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memory_system_invariants-ba990aece4d1b648.d: tests/memory_system_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory_system_invariants-ba990aece4d1b648.rmeta: tests/memory_system_invariants.rs Cargo.toml
+
+tests/memory_system_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ownership_protocol-65c8ec110228aa72.d: tests/ownership_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libownership_protocol-65c8ec110228aa72.rmeta: tests/ownership_protocol.rs Cargo.toml
+
+tests/ownership_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ownership_protocol-d2d515c104c0f49b.d: tests/ownership_protocol.rs
+
+/root/repo/target/debug/deps/ownership_protocol-d2d515c104c0f49b: tests/ownership_protocol.rs
+
+tests/ownership_protocol.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_pipeline-d77c52b043950432.d: tests/plan_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_pipeline-d77c52b043950432.rmeta: tests/plan_pipeline.rs Cargo.toml
+
+tests/plan_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_pipeline-e5e0dbc057bfb4ea.d: tests/plan_pipeline.rs
+
+/root/repo/target/debug/deps/plan_pipeline-e5e0dbc057bfb4ea: tests/plan_pipeline.rs
+
+tests/plan_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_platforms-1807a0647f78ca8e.d: crates/bench/src/bin/table1_platforms.rs
+
+/root/repo/target/debug/deps/libtable1_platforms-1807a0647f78ca8e.rmeta: crates/bench/src/bin/table1_platforms.rs
+
+crates/bench/src/bin/table1_platforms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_platforms-3bfe45dd93ad852d.d: crates/bench/src/bin/table1_platforms.rs
+
+/root/repo/target/debug/deps/libtable1_platforms-3bfe45dd93ad852d.rmeta: crates/bench/src/bin/table1_platforms.rs
+
+crates/bench/src/bin/table1_platforms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_platforms-40a62468b900d925.d: crates/bench/src/bin/table1_platforms.rs
+
+/root/repo/target/debug/deps/table1_platforms-40a62468b900d925: crates/bench/src/bin/table1_platforms.rs
+
+crates/bench/src/bin/table1_platforms.rs:

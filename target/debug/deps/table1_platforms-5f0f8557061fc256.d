@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_platforms-5f0f8557061fc256.d: crates/bench/src/bin/table1_platforms.rs
+
+/root/repo/target/debug/deps/table1_platforms-5f0f8557061fc256: crates/bench/src/bin/table1_platforms.rs
+
+crates/bench/src/bin/table1_platforms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tpch_pipeline-4450b5092bd9e3a6.d: tests/tpch_pipeline.rs
+
+/root/repo/target/debug/deps/tpch_pipeline-4450b5092bd9e3a6: tests/tpch_pipeline.rs
+
+tests/tpch_pipeline.rs:

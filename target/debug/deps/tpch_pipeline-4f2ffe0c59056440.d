@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tpch_pipeline-4f2ffe0c59056440.d: tests/tpch_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtpch_pipeline-4f2ffe0c59056440.rmeta: tests/tpch_pipeline.rs Cargo.toml
+
+tests/tpch_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/contention_study-7a4a8708a5758541.d: examples/contention_study.rs
+
+/root/repo/target/debug/examples/contention_study-7a4a8708a5758541: examples/contention_study.rs
+
+examples/contention_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ndp_roadmap-094039662efe00e0.d: examples/ndp_roadmap.rs Cargo.toml
+
+/root/repo/target/debug/examples/libndp_roadmap-094039662efe00e0.rmeta: examples/ndp_roadmap.rs Cargo.toml
+
+examples/ndp_roadmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

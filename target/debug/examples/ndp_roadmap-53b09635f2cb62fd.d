@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ndp_roadmap-53b09635f2cb62fd.d: examples/ndp_roadmap.rs
+
+/root/repo/target/debug/examples/ndp_roadmap-53b09635f2cb62fd: examples/ndp_roadmap.rs
+
+examples/ndp_roadmap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fbdd1af2e214b62a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fbdd1af2e214b62a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpch_pushdown-0498c116472cf38b.d: examples/tpch_pushdown.rs
+
+/root/repo/target/debug/examples/tpch_pushdown-0498c116472cf38b: examples/tpch_pushdown.rs
+
+examples/tpch_pushdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tpch_pushdown-29d8e0d14e42bcce.d: examples/tpch_pushdown.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtpch_pushdown-29d8e0d14e42bcce.rmeta: examples/tpch_pushdown.rs Cargo.toml
+
+examples/tpch_pushdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

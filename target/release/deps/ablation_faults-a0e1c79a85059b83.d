@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_faults-a0e1c79a85059b83.d: crates/bench/src/bin/ablation_faults.rs
+
+/root/repo/target/release/deps/ablation_faults-a0e1c79a85059b83: crates/bench/src/bin/ablation_faults.rs
+
+crates/bench/src/bin/ablation_faults.rs:

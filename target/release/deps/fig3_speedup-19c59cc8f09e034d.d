@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_speedup-19c59cc8f09e034d.d: crates/bench/src/bin/fig3_speedup.rs
+
+/root/repo/target/release/deps/fig3_speedup-19c59cc8f09e034d: crates/bench/src/bin/fig3_speedup.rs
+
+crates/bench/src/bin/fig3_speedup.rs:

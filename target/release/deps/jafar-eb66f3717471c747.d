@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/jafar-eb66f3717471c747.d: src/lib.rs
+
+/root/repo/target/release/deps/libjafar-eb66f3717471c747.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libjafar-eb66f3717471c747.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/jafar_accel-fdfacfe2c17edac4.d: crates/accel/src/lib.rs crates/accel/src/dddg.rs crates/accel/src/ir.rs crates/accel/src/power.rs crates/accel/src/schedule.rs
+
+/root/repo/target/release/deps/libjafar_accel-fdfacfe2c17edac4.rlib: crates/accel/src/lib.rs crates/accel/src/dddg.rs crates/accel/src/ir.rs crates/accel/src/power.rs crates/accel/src/schedule.rs
+
+/root/repo/target/release/deps/libjafar_accel-fdfacfe2c17edac4.rmeta: crates/accel/src/lib.rs crates/accel/src/dddg.rs crates/accel/src/ir.rs crates/accel/src/power.rs crates/accel/src/schedule.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/dddg.rs:
+crates/accel/src/ir.rs:
+crates/accel/src/power.rs:
+crates/accel/src/schedule.rs:

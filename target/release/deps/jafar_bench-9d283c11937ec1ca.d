@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/jafar_bench-9d283c11937ec1ca.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libjafar_bench-9d283c11937ec1ca.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libjafar_bench-9d283c11937ec1ca.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

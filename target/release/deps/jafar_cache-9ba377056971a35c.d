@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/jafar_cache-9ba377056971a35c.d: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+/root/repo/target/release/deps/libjafar_cache-9ba377056971a35c.rlib: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+/root/repo/target/release/deps/libjafar_cache-9ba377056971a35c.rmeta: crates/cache/src/lib.rs crates/cache/src/cache.rs crates/cache/src/hierarchy.rs crates/cache/src/prefetch.rs crates/cache/src/stats.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/cache.rs:
+crates/cache/src/hierarchy.rs:
+crates/cache/src/prefetch.rs:
+crates/cache/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/jafar_cpu-b4f247af5d5cf94d.d: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/engine.rs crates/cpu/src/kernels.rs
+
+/root/repo/target/release/deps/libjafar_cpu-b4f247af5d5cf94d.rlib: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/engine.rs crates/cpu/src/kernels.rs
+
+/root/repo/target/release/deps/libjafar_cpu-b4f247af5d5cf94d.rmeta: crates/cpu/src/lib.rs crates/cpu/src/branch.rs crates/cpu/src/engine.rs crates/cpu/src/kernels.rs
+
+crates/cpu/src/lib.rs:
+crates/cpu/src/branch.rs:
+crates/cpu/src/engine.rs:
+crates/cpu/src/kernels.rs:

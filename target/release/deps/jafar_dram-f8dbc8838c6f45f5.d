@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/jafar_dram-f8dbc8838c6f45f5.d: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/data.rs crates/dram/src/fault.rs crates/dram/src/geometry.rs crates/dram/src/mode.rs crates/dram/src/module.rs crates/dram/src/stats.rs crates/dram/src/timing.rs
+
+/root/repo/target/release/deps/libjafar_dram-f8dbc8838c6f45f5.rlib: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/data.rs crates/dram/src/fault.rs crates/dram/src/geometry.rs crates/dram/src/mode.rs crates/dram/src/module.rs crates/dram/src/stats.rs crates/dram/src/timing.rs
+
+/root/repo/target/release/deps/libjafar_dram-f8dbc8838c6f45f5.rmeta: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/data.rs crates/dram/src/fault.rs crates/dram/src/geometry.rs crates/dram/src/mode.rs crates/dram/src/module.rs crates/dram/src/stats.rs crates/dram/src/timing.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/address.rs:
+crates/dram/src/bank.rs:
+crates/dram/src/command.rs:
+crates/dram/src/data.rs:
+crates/dram/src/fault.rs:
+crates/dram/src/geometry.rs:
+crates/dram/src/mode.rs:
+crates/dram/src/module.rs:
+crates/dram/src/stats.rs:
+crates/dram/src/timing.rs:

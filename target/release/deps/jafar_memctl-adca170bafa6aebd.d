@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/jafar_memctl-adca170bafa6aebd.d: crates/memctl/src/lib.rs crates/memctl/src/channel.rs crates/memctl/src/controller.rs crates/memctl/src/counters.rs crates/memctl/src/request.rs crates/memctl/src/sched.rs
+
+/root/repo/target/release/deps/libjafar_memctl-adca170bafa6aebd.rlib: crates/memctl/src/lib.rs crates/memctl/src/channel.rs crates/memctl/src/controller.rs crates/memctl/src/counters.rs crates/memctl/src/request.rs crates/memctl/src/sched.rs
+
+/root/repo/target/release/deps/libjafar_memctl-adca170bafa6aebd.rmeta: crates/memctl/src/lib.rs crates/memctl/src/channel.rs crates/memctl/src/controller.rs crates/memctl/src/counters.rs crates/memctl/src/request.rs crates/memctl/src/sched.rs
+
+crates/memctl/src/lib.rs:
+crates/memctl/src/channel.rs:
+crates/memctl/src/controller.rs:
+crates/memctl/src/counters.rs:
+crates/memctl/src/request.rs:
+crates/memctl/src/sched.rs:

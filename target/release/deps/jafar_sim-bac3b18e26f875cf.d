@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/jafar_sim-bac3b18e26f875cf.d: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backend.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/replay.rs crates/sim/src/system.rs
+
+/root/repo/target/release/deps/libjafar_sim-bac3b18e26f875cf.rlib: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backend.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/replay.rs crates/sim/src/system.rs
+
+/root/repo/target/release/deps/libjafar_sim-bac3b18e26f875cf.rmeta: crates/sim/src/lib.rs crates/sim/src/alloc.rs crates/sim/src/backend.rs crates/sim/src/config.rs crates/sim/src/energy.rs crates/sim/src/replay.rs crates/sim/src/system.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/alloc.rs:
+crates/sim/src/backend.rs:
+crates/sim/src/config.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/replay.rs:
+crates/sim/src/system.rs:

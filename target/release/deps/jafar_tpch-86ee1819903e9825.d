@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/jafar_tpch-86ee1819903e9825.d: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/plans.rs crates/tpch/src/queries/q1.rs crates/tpch/src/queries/q18.rs crates/tpch/src/queries/q22.rs crates/tpch/src/queries/q3.rs crates/tpch/src/queries/q6.rs
+
+/root/repo/target/release/deps/libjafar_tpch-86ee1819903e9825.rlib: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/plans.rs crates/tpch/src/queries/q1.rs crates/tpch/src/queries/q18.rs crates/tpch/src/queries/q22.rs crates/tpch/src/queries/q3.rs crates/tpch/src/queries/q6.rs
+
+/root/repo/target/release/deps/libjafar_tpch-86ee1819903e9825.rmeta: crates/tpch/src/lib.rs crates/tpch/src/gen.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/plans.rs crates/tpch/src/queries/q1.rs crates/tpch/src/queries/q18.rs crates/tpch/src/queries/q22.rs crates/tpch/src/queries/q3.rs crates/tpch/src/queries/q6.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/gen.rs:
+crates/tpch/src/queries/mod.rs:
+crates/tpch/src/queries/plans.rs:
+crates/tpch/src/queries/q1.rs:
+crates/tpch/src/queries/q18.rs:
+crates/tpch/src/queries/q22.rs:
+crates/tpch/src/queries/q3.rs:
+crates/tpch/src/queries/q6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-801b1a0df0d70bdf.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-801b1a0df0d70bdf: examples/quickstart.rs
+
+examples/quickstart.rs:

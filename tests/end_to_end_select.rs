@@ -6,11 +6,11 @@
 use jafar::columnstore::ops::{scan, ScanPredicate};
 use jafar::columnstore::Column;
 use jafar::common::bitset::BitSet;
+use jafar::common::check::forall;
 use jafar::common::rng::SplitMix64;
 use jafar::common::time::Tick;
 use jafar::cpu::ScanVariant;
 use jafar::sim::{System, SystemConfig};
-use proptest::prelude::*;
 
 fn values(n: usize, max: i64, seed: u64) -> Vec<i64> {
     let mut rng = SplitMix64::new(seed);
@@ -112,31 +112,32 @@ fn repeated_runs_are_deterministic() {
     assert_eq!(run(), run(), "simulation must be exactly reproducible");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn device_bitset_equals_reference_for_any_predicate(
-        seed in 0u64..1_000,
-        lo in -50i64..150,
-        span in 0i64..100,
-    ) {
-        let rows = 2_048usize;
-        let vals = values(rows, 99, seed);
-        let hi = lo + span;
-        let mut sys = small_system();
-        let col = sys.write_column(&vals);
-        let jf = sys.run_select_jafar(col, rows as u64, lo, hi, Tick::ZERO);
-        let expect: Vec<u32> = vals
-            .iter()
-            .enumerate()
-            .filter(|(_, &v)| lo <= v && v <= hi)
-            .map(|(i, _)| i as u32)
-            .collect();
-        prop_assert_eq!(jf.matched as usize, expect.len());
-        let mut bytes = vec![0u8; rows.div_ceil(8)];
-        sys.mc().module().data().read(jf.out_addr, &mut bytes);
-        let bits = BitSet::from_bytes(&bytes, rows);
-        prop_assert_eq!(bits.to_positions(), expect);
-    }
+#[test]
+fn device_bitset_equals_reference_for_any_predicate() {
+    forall(
+        "device_bitset_equals_reference_for_any_predicate",
+        16,
+        |rng| {
+            let seed = rng.next_below(1_000);
+            let lo = rng.next_range_inclusive(-50, 149);
+            let span = rng.next_range_inclusive(0, 99);
+            let rows = 2_048usize;
+            let vals = values(rows, 99, seed);
+            let hi = lo + span;
+            let mut sys = small_system();
+            let col = sys.write_column(&vals);
+            let jf = sys.run_select_jafar(col, rows as u64, lo, hi, Tick::ZERO);
+            let expect: Vec<u32> = vals
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| lo <= v && v <= hi)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(jf.matched as usize, expect.len());
+            let mut bytes = vec![0u8; rows.div_ceil(8)];
+            sys.mc().module().data().read(jf.out_addr, &mut bytes);
+            let bits = BitSet::from_bytes(&bytes, rows);
+            assert_eq!(bits.to_positions(), expect);
+        },
+    );
 }

@@ -1,11 +1,17 @@
 //! Failure injection: the system must degrade loudly and recover cleanly
 //! when the §2.2 protocol is violated mid-flight.
 
+use jafar::common::bitset::BitSet;
 use jafar::common::rng::SplitMix64;
 use jafar::common::time::Tick;
 use jafar::core::api::{errno, select_jafar, SelectArgs};
-use jafar::core::{grant_ownership, release_ownership, JafarDevice, Predicate, SelectJob};
-use jafar::dram::{AddressMapping, DramGeometry, DramModule, DramTiming, PhysAddr};
+use jafar::core::{
+    grant_ownership, release_ownership, JafarDevice, Predicate, ResilienceConfig, ResilientDriver,
+    SelectJob, SelectRequest,
+};
+use jafar::dram::{
+    AddressMapping, DramGeometry, DramModule, DramTiming, FaultInjector, FaultPlan, PhysAddr,
+};
 
 fn module_with_column(rows: u64, seed: u64) -> (DramModule, Vec<i64>) {
     let mut m = DramModule::new(
@@ -14,7 +20,9 @@ fn module_with_column(rows: u64, seed: u64) -> (DramModule, Vec<i64>) {
         AddressMapping::RankRowBankBlock,
     );
     let mut rng = SplitMix64::new(seed);
-    let values: Vec<i64> = (0..rows).map(|_| rng.next_range_inclusive(0, 999)).collect();
+    let values: Vec<i64> = (0..rows)
+        .map(|_| rng.next_range_inclusive(0, 999))
+        .collect();
     for (i, v) in values.iter().enumerate() {
         m.data_mut().write_i64(PhysAddr(i as u64 * 8), *v);
     }
@@ -89,7 +97,7 @@ fn pre_garbaged_output_region_is_fully_overwritten() {
     let (mut m, values) = module_with_column(1024, 2);
     let out = PhysAddr(64 * 1024);
     // Poison the output region.
-    m.data_mut().write(out, &vec![0xFFu8; 1024 / 8]);
+    m.data_mut().write(out, &[0xFFu8; 1024 / 8]);
     let lease = grant_ownership(&mut m, 0, Tick::ZERO).expect("grant");
     let mut device = JafarDevice::paper_default();
     let run = device
@@ -134,8 +142,183 @@ fn double_grant_is_idempotent_and_release_restores_host() {
     let _ = release_ownership(&mut m, lease1, t).expect("stale release");
     assert!(!m.rank_owned_by_ndp(0));
     assert!(m
-        .serve_addr(PhysAddr(0), false, jafar::dram::Requester::Host, Tick::from_us(2), None)
+        .serve_addr(
+            PhysAddr(0),
+            false,
+            jafar::dram::Requester::Host,
+            Tick::from_us(2),
+            None
+        )
         .is_ok());
+}
+
+fn reference(values: &[i64], lo: i64, hi: i64) -> Vec<u32> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| lo <= v && v <= hi)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+fn bitset_at(m: &DramModule, addr: PhysAddr, rows: u64) -> Vec<u32> {
+    let mut bytes = vec![0u8; rows.div_ceil(8) as usize];
+    m.data().read(addr, &mut bytes);
+    BitSet::from_bytes(&bytes, rows as usize).to_positions()
+}
+
+const OUT: PhysAddr = PhysAddr(64 * 1024);
+
+/// The headline acceptance scenario: a completion that sticks mid-column
+/// (every read burst stalls from page 5 on) *and* a lease window far
+/// shorter than the query. The resilient driver must finish anyway —
+/// renewing the lease between early pages, tripping the watchdog on the
+/// stuck ones, burning its retries, and scanning the remainder on the CPU
+/// — and the bitset must equal the software reference bit for bit.
+#[test]
+fn resilient_driver_survives_stuck_completion_and_expiring_lease() {
+    let (mut m, values) = module_with_column(4096, 21);
+    // Default pages are 4 KB = 512 rows = 64 device bursts; the column is
+    // 8 pages. Bursts 300+ (mid page 5) stall forever.
+    m.set_fault_injector(Some(FaultInjector::new(FaultPlan {
+        stall_burst_range: Some((300, u64::MAX)),
+        ..FaultPlan::none(0)
+    })));
+    let mut device = JafarDevice::paper_default();
+    let mut driver = ResilientDriver::new(ResilienceConfig {
+        // ~2 µs of ownership per grant; a page takes ~1 µs plus setup, so
+        // the lease must be renewed as the run progresses.
+        lease_window: Tick::from_us(2),
+        renew_margin: Tick::from_us(1),
+        ..ResilienceConfig::default()
+    });
+    let run = driver.run_select(
+        &mut device,
+        &mut m,
+        SelectRequest {
+            col_addr: PhysAddr(0),
+            rows: 4096,
+            lo: 100,
+            hi: 599,
+            out_addr: OUT,
+        },
+        Tick::ZERO,
+    );
+
+    let expect = reference(&values, 100, 599);
+    assert_eq!(run.matched as usize, expect.len());
+    assert_eq!(
+        bitset_at(&m, OUT, 4096),
+        expect,
+        "bitset == software reference"
+    );
+    let s = driver.stats();
+    assert!(
+        s.watchdog_fires.get() >= 1,
+        "stuck completion fires the watchdog"
+    );
+    assert!(s.lease_renewals.get() >= 1, "short window forces renewal");
+    assert!(s.pages_cpu.get() >= 1, "stuck pages finish on the CPU");
+    assert!(s.retries.get() >= 1);
+    assert_eq!(s.pages_jafar.get() + s.pages_cpu.get(), run.pages);
+    assert_eq!(run.pages, 8);
+    assert!(!m.rank_owned_by_ndp(0), "rank handed back to the host");
+}
+
+/// Property sweep: the Fig. 3 select under ~20 seeded fault plans. The
+/// result bitset must equal the software reference under every plan, and
+/// whenever a driver-visible fault fired (stall, drop, glitch,
+/// uncorrectable read) the recovery counters must be nonzero — failures
+/// are survived loudly, never silently.
+#[test]
+fn randomized_fault_plans_never_corrupt_the_result() {
+    let mut plans: Vec<FaultPlan> = Vec::new();
+    for seed in 0..10u64 {
+        plans.push(FaultPlan::light(seed));
+        plans.push(FaultPlan::chaos(seed));
+    }
+    let mut any_faults = 0u64;
+    let mut any_recovery = 0u64;
+    for (i, plan) in plans.into_iter().enumerate() {
+        let (mut m, values) = module_with_column(2048, 99);
+        m.set_fault_injector(Some(FaultInjector::new(plan)));
+        let mut device = JafarDevice::paper_default();
+        let mut driver = ResilientDriver::new(ResilienceConfig::default());
+        let run = driver.run_select(
+            &mut device,
+            &mut m,
+            SelectRequest {
+                col_addr: PhysAddr(0),
+                rows: 2048,
+                lo: 250,
+                hi: 749,
+                out_addr: OUT,
+            },
+            Tick::ZERO,
+        );
+        let expect = reference(&values, 250, 749);
+        assert_eq!(
+            bitset_at(&m, OUT, 2048),
+            expect,
+            "plan {i}: bitset diverged from the reference"
+        );
+        assert_eq!(run.matched as usize, expect.len(), "plan {i}");
+        let f = m.fault_stats().expect("injector installed");
+        let visible =
+            f.stalls.get() + f.drops.get() + f.mrs_glitches.get() + f.ecc_uncorrectable.get();
+        let recovered = driver.stats().recovery_total();
+        if visible > 0 {
+            assert!(
+                recovered > 0,
+                "plan {i}: {visible} driver-visible faults but no recovery recorded"
+            );
+        }
+        any_faults += f.total();
+        any_recovery += recovered;
+    }
+    assert!(any_faults > 0, "the sweep must actually inject faults");
+    assert!(
+        any_recovery > 0,
+        "the sweep must actually exercise recovery"
+    );
+}
+
+/// An installed-but-empty plan is indistinguishable from no injector at
+/// all: same end tick, same bitset, and every fault and recovery counter
+/// at zero.
+#[test]
+fn empty_fault_plan_changes_nothing() {
+    let run_once = |inject: bool| {
+        let (mut m, values) = module_with_column(2048, 7);
+        if inject {
+            m.set_fault_injector(Some(FaultInjector::new(FaultPlan::none(5))));
+        }
+        let mut device = JafarDevice::paper_default();
+        let mut driver = ResilientDriver::new(ResilienceConfig::default());
+        let run = driver.run_select(
+            &mut device,
+            &mut m,
+            SelectRequest {
+                col_addr: PhysAddr(0),
+                rows: 2048,
+                lo: 0,
+                hi: 499,
+                out_addr: OUT,
+            },
+            Tick::ZERO,
+        );
+        assert_eq!(driver.stats().recovery_total(), 0, "no recovery events");
+        if inject {
+            assert_eq!(m.fault_stats().expect("installed").total(), 0);
+        }
+        (run.end, run.matched, bitset_at(&m, OUT, 2048), values)
+    };
+    let (end_a, matched_a, bits_a, values) = run_once(false);
+    let (end_b, matched_b, bits_b, _) = run_once(true);
+    assert_eq!(end_a, end_b, "empty plan must not perturb timing");
+    assert_eq!(matched_a, matched_b);
+    assert_eq!(bits_a, bits_b);
+    assert_eq!(bits_a, reference(&values, 0, 499));
 }
 
 #[test]

@@ -2,14 +2,12 @@
 //! correctness through every access path, timing monotonicity, and
 //! conservation laws the simulator must never violate.
 
+use jafar::common::check::forall;
 use jafar::common::rng::SplitMix64;
 use jafar::common::time::Tick;
-use jafar::dram::{
-    AddressMapping, DramGeometry, DramModule, DramTiming, PhysAddr, Requester,
-};
+use jafar::dram::{AddressMapping, DramGeometry, DramModule, DramTiming, PhysAddr, Requester};
 use jafar::memctl::controller::{ControllerConfig, MemoryController};
 use jafar::memctl::{MemRequest, Policy};
-use proptest::prelude::*;
 
 fn module() -> DramModule {
     DramModule::new(
@@ -19,21 +17,20 @@ fn module() -> DramModule {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Whatever interleaving of reads and writes the controller schedules,
-    /// read completions must return the bytes most recently written to
-    /// each address (writes here go through the functional store).
-    #[test]
-    fn reads_return_latest_functional_data(ops in proptest::collection::vec(
-        (0u64..4096, proptest::bool::ANY), 1..64))
-    {
+/// Whatever interleaving of reads and writes the controller schedules,
+/// read completions must return the bytes most recently written to
+/// each address (writes here go through the functional store).
+#[test]
+fn reads_return_latest_functional_data() {
+    forall("reads_return_latest_functional_data", 24, |rng| {
+        let n_ops = 1 + rng.next_below(63);
         let mut mc = MemoryController::new(module(), ControllerConfig::default());
         let mut shadow: std::collections::HashMap<u64, u64> = Default::default();
         let mut arrival = Tick::ZERO;
         let mut queued: Vec<(u64, jafar::memctl::ReqId)> = Vec::new();
-        for (slot, is_write) in ops {
+        for _ in 0..n_ops {
+            let slot = rng.next_below(4096);
+            let is_write = rng.next_bool(0.5);
             let addr = slot * 64;
             arrival += Tick::from_ns(10);
             if is_write {
@@ -46,20 +43,27 @@ proptest! {
                 queued.push((addr, id));
             }
             if mc.pending() > 24 {
-                check_and_drain(&mut mc, &mut queued, &shadow)?;
+                check_and_drain(&mut mc, &mut queued, &shadow);
             }
         }
-        check_and_drain(&mut mc, &mut queued, &shadow)?;
-    }
+        check_and_drain(&mut mc, &mut queued, &shadow);
+    });
+}
 
-    /// Completion times respect arrival order causality: no transaction
-    /// completes before it arrives plus the minimum device latency.
-    #[test]
-    fn completions_respect_causality(slots in proptest::collection::vec(0u64..2048, 1..48)) {
-        let mut mc = MemoryController::new(module(), ControllerConfig {
-            policy: Policy::FrFcfs { cap: 8 },
-            ..ControllerConfig::default()
-        });
+/// Completion times respect arrival order causality: no transaction
+/// completes before it arrives plus the minimum device latency.
+#[test]
+fn completions_respect_causality() {
+    forall("completions_respect_causality", 24, |rng| {
+        let n_slots = 1 + rng.next_below(47);
+        let slots: Vec<u64> = (0..n_slots).map(|_| rng.next_below(2048)).collect();
+        let mut mc = MemoryController::new(
+            module(),
+            ControllerConfig {
+                policy: Policy::FrFcfs { cap: 8 },
+                ..ControllerConfig::default()
+            },
+        );
         let t = *mc.module().timing();
         let min_latency = t.cl + t.t_burst;
         let mut arrival = Tick::ZERO;
@@ -71,23 +75,27 @@ proptest! {
             }
             if mc.pending() >= 24 {
                 for c in mc.drain() {
-                    prop_assert!(c.done >= arrivals[&c.id] + min_latency);
+                    assert!(c.done >= arrivals[&c.id] + min_latency);
                 }
             }
         }
         for c in mc.drain() {
-            prop_assert!(c.done >= arrivals[&c.id] + min_latency);
+            assert!(c.done >= arrivals[&c.id] + min_latency);
         }
-    }
+    });
+}
 
-    /// Counter conservation: completed reads + writes equals enqueued
-    /// requests (none lost, none duplicated) when no rank is owned.
-    #[test]
-    fn no_request_lost(slots in proptest::collection::vec(0u64..512, 1..96)) {
+/// Counter conservation: completed reads + writes equals enqueued
+/// requests (none lost, none duplicated) when no rank is owned.
+#[test]
+fn no_request_lost() {
+    forall("no_request_lost", 24, |rng| {
+        let n_slots = 1 + rng.next_below(95);
         let mut mc = MemoryController::new(module(), ControllerConfig::default());
         let mut accepted = 0u64;
         let mut arrival = Tick::ZERO;
-        for slot in slots {
+        for _ in 0..n_slots {
+            let slot = rng.next_below(512);
             arrival += Tick::from_ns(2);
             let req = if slot % 3 == 0 {
                 MemRequest::writeback(PhysAddr(slot * 64), arrival)
@@ -105,30 +113,32 @@ proptest! {
         }
         mc.drain();
         let served = mc.counters().reads.get() + mc.counters().writes.get();
-        prop_assert_eq!(served, accepted);
-        prop_assert_eq!(mc.pending(), 0);
-    }
+        assert_eq!(served, accepted);
+        assert_eq!(mc.pending(), 0);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The shared data bus carries one burst at a time: the completion
-    /// (burst-end) ticks of any two transactions must be at least one
-    /// burst duration apart, whatever the mix of reads and writes and
-    /// however the scheduler reorders them.
-    #[test]
-    fn data_bus_never_double_booked(ops in proptest::collection::vec(
-        (0u64..1024, proptest::bool::ANY), 2..80))
-    {
-        let mut mc = MemoryController::new(module(), ControllerConfig {
-            policy: Policy::FrFcfs { cap: 8 },
-            ..ControllerConfig::default()
-        });
+/// The shared data bus carries one burst at a time: the completion
+/// (burst-end) ticks of any two transactions must be at least one
+/// burst duration apart, whatever the mix of reads and writes and
+/// however the scheduler reorders them.
+#[test]
+fn data_bus_never_double_booked() {
+    forall("data_bus_never_double_booked", 24, |rng| {
+        let n_ops = 2 + rng.next_below(78);
+        let mut mc = MemoryController::new(
+            module(),
+            ControllerConfig {
+                policy: Policy::FrFcfs { cap: 8 },
+                ..ControllerConfig::default()
+            },
+        );
         let t_burst = mc.module().timing().t_burst;
         let mut ends: Vec<Tick> = Vec::new();
         let mut arrival = Tick::ZERO;
-        for (slot, is_write) in ops {
+        for _ in 0..n_ops {
+            let slot = rng.next_below(1024);
+            let is_write = rng.next_bool(0.5);
             arrival += Tick::from_ns(1);
             let req = if is_write {
                 MemRequest::writeback(PhysAddr(slot * 64), arrival)
@@ -143,12 +153,14 @@ proptest! {
         ends.extend(mc.drain().into_iter().map(|c| c.done));
         ends.sort_unstable();
         for pair in ends.windows(2) {
-            prop_assert!(
+            assert!(
                 pair[1] - pair[0] >= t_burst,
-                "bursts overlap: {:?} then {:?}", pair[0], pair[1]
+                "bursts overlap: {:?} then {:?}",
+                pair[0],
+                pair[1]
             );
         }
-    }
+    });
 }
 
 #[test]
@@ -192,7 +204,7 @@ fn check_and_drain(
     mc: &mut MemoryController,
     queued: &mut Vec<(u64, jafar::memctl::ReqId)>,
     shadow: &std::collections::HashMap<u64, u64>,
-) -> Result<(), TestCaseError> {
+) {
     let completions = mc.drain();
     for c in completions {
         if let Some(pos) = queued.iter().position(|(_, id)| *id == c.id) {
@@ -200,8 +212,7 @@ fn check_and_drain(
             let data = c.data.expect("read returns data");
             let got = u64::from_le_bytes(data[..8].try_into().expect("8 bytes"));
             let want = shadow.get(&addr).copied().unwrap_or(0);
-            prop_assert_eq!(got, want, "addr {}", addr);
+            assert_eq!(got, want, "addr {addr}");
         }
     }
-    Ok(())
 }

@@ -25,13 +25,19 @@ fn host_requests_held_during_device_run_then_drain() {
     let mut mc = controller();
     // Place data on rank 0.
     for i in 0..512u64 {
-        mc.module_mut().data_mut().write_i64(PhysAddr(i * 8), i as i64);
+        mc.module_mut()
+            .data_mut()
+            .write_i64(PhysAddr(i * 8), i as i64);
     }
-    let owned_at = mc.set_rank_ownership(0, true, Tick::ZERO).expect("quiesced");
+    let owned_at = mc
+        .set_rank_ownership(0, true, Tick::ZERO)
+        .expect("quiesced");
 
     // The host queues requests for the owned rank: they must be held.
-    mc.enqueue(MemRequest::read(PhysAddr(0), owned_at)).expect("capacity");
-    mc.enqueue(MemRequest::read(PhysAddr(64), owned_at)).expect("capacity");
+    mc.enqueue(MemRequest::read(PhysAddr(0), owned_at))
+        .expect("capacity");
+    mc.enqueue(MemRequest::read(PhysAddr(64), owned_at))
+        .expect("capacity");
     assert!(mc.drain().is_empty(), "owned-rank requests must be held");
     assert_eq!(mc.pending(), 2);
 
@@ -57,6 +63,7 @@ fn host_requests_held_during_device_run_then_drain() {
     let lease = jafar::core::Lease {
         rank: 0,
         acquired_at: owned_at,
+        expires_at: Tick::MAX,
     };
     let released = release_ownership(mc.module_mut(), lease, run.end).expect("release");
     mc.advance_cursor(released);
@@ -70,8 +77,11 @@ fn host_requests_held_during_device_run_then_drain() {
 #[test]
 fn controller_refuses_release_with_pending_requests() {
     let mut mc = controller();
-    let t = mc.set_rank_ownership(0, true, Tick::ZERO).expect("quiesced");
-    mc.enqueue(MemRequest::read(PhysAddr(0), t)).expect("capacity");
+    let t = mc
+        .set_rank_ownership(0, true, Tick::ZERO)
+        .expect("quiesced");
+    mc.enqueue(MemRequest::read(PhysAddr(0), t))
+        .expect("capacity");
     assert_eq!(
         mc.set_rank_ownership(0, false, t),
         Err(OwnershipError::PendingRequests)

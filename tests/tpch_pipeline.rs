@@ -79,10 +79,7 @@ fn load_factor_scales_idle_periods_up() {
 
 #[test]
 fn pushdown_planner_marks_q6_scan_only() {
-    let db = TpchDb::generate(TpchConfig {
-        sf: 0.001,
-        seed: 2,
-    });
+    let db = TpchDb::generate(TpchConfig { sf: 0.001, seed: 2 });
     let planner = Planner {
         min_rows_for_pushdown: 64,
         ..Planner::with_jafar()
