@@ -27,18 +27,20 @@ fn main() {
             },
             |mut backend| {
                 let engine = ScanEngine::gem5_like();
-                engine.run(
-                    &mut backend,
-                    ScanSpec {
-                        col_addr: 0,
-                        rows: values.len() as u64,
-                        lo: 0,
-                        hi: 499,
-                        out_addr: 1 << 20,
-                        variant,
-                    },
-                    Tick::ZERO,
-                )
+                engine
+                    .run(
+                        &mut backend,
+                        ScanSpec {
+                            col_addr: 0,
+                            rows: values.len() as u64,
+                            lo: 0,
+                            hi: 499,
+                            out_addr: 1 << 20,
+                            variant,
+                        },
+                        Tick::ZERO,
+                    )
+                    .expect("column placed in range")
             },
         );
     }

@@ -31,7 +31,9 @@ fn main() {
     let mut sys = System::new(SystemConfig::gem5_like());
     let col = sys.write_column(&values);
     sys.begin_measurement();
-    let cpu = sys.run_select_cpu(col, rows, 0, 499, ScanVariant::Branching, Tick::ZERO);
+    let cpu = sys
+        .run_select_cpu(col, rows, 0, 499, ScanVariant::Branching, Tick::ZERO)
+        .expect("column placed in range");
     let bus_bursts = sys.mc().counters().reads.get() + sys.mc().counters().writes.get();
     let clock = sys.config().cpu_clock;
     let e_cpu = SelectEnergy::cpu_path(&cpu, bus_bursts, clock, &model);

@@ -47,14 +47,16 @@ fn main() {
         let mut sys = System::new(SystemConfig::gem5_like());
         let a = sys.write_column(&col_a);
         sys.begin_measurement();
-        let cpu = sys.run_select_cpu(
-            a,
-            rows,
-            i64::MIN,
-            i64::MAX,
-            ScanVariant::Predicated,
-            Tick::ZERO,
-        );
+        let cpu = sys
+            .run_select_cpu(
+                a,
+                rows,
+                i64::MIN,
+                i64::MAX,
+                ScanVariant::Predicated,
+                Tick::ZERO,
+            )
+            .expect("column placed in range");
         let cpu_bytes = sys.mc().counters().reads.get() * 64;
         let cpu_ms = cpu.end.as_ms_f64();
 
@@ -96,13 +98,17 @@ fn main() {
         let a = sys.write_column(&col_a);
         let b = sys.write_column(&col_b);
         sys.begin_measurement();
-        let cpu_sel = sys.run_select_cpu(a, rows, 0, 99, ScanVariant::Branching, Tick::ZERO);
+        let cpu_sel = sys
+            .run_select_cpu(a, rows, 0, 99, ScanVariant::Branching, Tick::ZERO)
+            .expect("column placed in range");
         // CPU project: gather B at positions — stream B's touched lines up.
         let matches = cpu_sel.matches;
         let mut backend = sys.backend_dependent();
         let mut t = cpu_sel.end;
         for (i, pos) in cpu_sel.positions.iter().enumerate() {
-            let (ready, _) = backend.load_line(b.0 + *pos as u64 * 8, t);
+            let (ready, _) = backend
+                .load_line(b.0 + *pos as u64 * 8, t)
+                .expect("column placed in range");
             t = t.max(ready) + Tick::from_ps(4_000);
             let _ = i;
         }
@@ -173,14 +179,16 @@ fn main() {
         sys.begin_measurement();
         // The CPU streams the whole row-major region (modelled as a scan
         // over rows*width values).
-        let cpu = sys.run_select_cpu(
-            base,
-            rows * width,
-            0,
-            99,
-            ScanVariant::Predicated,
-            Tick::ZERO,
-        );
+        let cpu = sys
+            .run_select_cpu(
+                base,
+                rows * width,
+                0,
+                99,
+                ScanVariant::Predicated,
+                Tick::ZERO,
+            )
+            .expect("column placed in range");
         let cpu_bytes = sys.mc().counters().reads.get() * 64;
         let cpu_ms = cpu.end.as_ms_f64();
 
@@ -232,14 +240,16 @@ fn main() {
         let mut sys = System::new(SystemConfig::gem5_like());
         let a = sys.write_column(&col_b);
         sys.begin_measurement();
-        let read = sys.run_select_cpu(
-            a,
-            rows,
-            i64::MIN,
-            i64::MAX,
-            ScanVariant::Predicated,
-            Tick::ZERO,
-        );
+        let read = sys
+            .run_select_cpu(
+                a,
+                rows,
+                i64::MIN,
+                i64::MAX,
+                ScanVariant::Predicated,
+                Tick::ZERO,
+            )
+            .expect("column placed in range");
         let log2 = 64 - rows.leading_zeros() as u64;
         let compute = Tick::from_ps(rows * log2 * 4 * 1000);
         let cpu_ms = (read.end + compute).as_ms_f64();

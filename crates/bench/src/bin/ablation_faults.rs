@@ -7,9 +7,13 @@
 //! exercised) and tabulates correctness, wall-clock and the recovery
 //! counters side by side with what the injector actually did.
 //!
-//! Usage: `ablation_faults [--rows N] [--seed S] [--verbose]`
+//! Usage: `ablation_faults [--rows N] [--seed S] [--verbose]
+//! [--trace PREFIX] [--timeline]`. `--trace PREFIX` writes one Chrome
+//! `trace_event` JSON file per fault plan (`PREFIX-light.json`, …);
+//! `--timeline` prints the tail of each case's event timeline and the
+//! unified metrics snapshot alongside its recovery report.
 
-use jafar_bench::{arg, f2, flag, print_table};
+use jafar_bench::{arg, arg_opt, f2, flag, print_table, slug};
 use jafar_common::bitset::BitSet;
 use jafar_common::rng::SplitMix64;
 use jafar_common::time::Tick;
@@ -24,13 +28,17 @@ fn run_plan(
     plan: Option<FaultPlan>,
     resilience: ResilienceConfig,
     page_bytes: Option<u64>,
-) -> (ResilientSelectStats, bool) {
+    trace: bool,
+) -> (ResilientSelectStats, bool, System) {
     let rows = values.len() as u64;
     let mut cfg = SystemConfig::gem5_like();
     if let Some(pb) = page_bytes {
         cfg.page_bytes = pb;
     }
     let mut sys = System::new(cfg);
+    if trace {
+        sys.enable_tracing(1 << 16);
+    }
     let col = sys.write_column(values);
     if let Some(plan) = plan {
         sys.inject_faults(plan);
@@ -48,13 +56,15 @@ fn run_plan(
     sys.mc().module().data().read(stats.out_addr, &mut bytes);
     let bits = BitSet::from_bytes(&bytes, rows as usize);
     let ok = stats.matched == reference.len() as u64 && bits.to_positions() == reference;
-    (stats, ok)
+    (stats, ok, sys)
 }
 
 fn main() {
     let rows: u64 = arg("--rows", 262_144);
     let seed: u64 = arg("--seed", 0xFA);
     let verbose = flag("--verbose");
+    let trace_prefix = arg_opt("--trace");
+    let timeline = flag("--timeline");
 
     println!("# Ablation A8: seeded fault plans vs the resilient driver");
     println!("# workload: Fig. 3 select, {rows} uniform rows, 50% selectivity");
@@ -109,7 +119,29 @@ fn main() {
     let mut table = Vec::new();
     let mut reports = Vec::new();
     for (label, plan, resilience, page_bytes) in cases {
-        let (stats, ok) = run_plan(&values, lo, hi, plan, resilience, page_bytes);
+        let tracing = trace_prefix.is_some() || timeline;
+        let (stats, ok, sys) = run_plan(&values, lo, hi, plan, resilience, page_bytes, tracing);
+        if let Some(prefix) = &trace_prefix {
+            let path = format!("{prefix}-{}.json", slug(label));
+            let json = sys.chrome_trace().expect("tracing enabled");
+            std::fs::write(&path, &json).expect("writing trace file");
+            println!("# wrote {path} ({} bytes)", json.len());
+        }
+        if timeline {
+            let text = sys.trace_timeline().expect("tracing enabled");
+            let lines: Vec<&str> = text.lines().collect();
+            let tail = 24usize.min(lines.len());
+            println!(
+                "## {label} timeline (last {tail} of {} events)",
+                lines.len()
+            );
+            for line in &lines[lines.len() - tail..] {
+                println!("{line}");
+            }
+            println!("## {label} metrics");
+            print!("{}", sys.metrics());
+            println!();
+        }
         let r = &stats.recovery;
         table.push(vec![
             label.to_owned(),

@@ -54,7 +54,9 @@ fn main() {
         for (_, variant) in variants {
             let mut sys = System::new(SystemConfig::gem5_like());
             let col = sys.write_column(&values);
-            let cpu = sys.run_select_cpu(col, rows, 0, hi, variant, Tick::ZERO);
+            let cpu = sys
+                .run_select_cpu(col, rows, 0, hi, variant, Tick::ZERO)
+                .expect("column placed in range");
             let ms = cpu.end.as_ms_f64();
             row.push(f2(ms));
             row.push(f2(ms / jf_ms));

@@ -59,7 +59,9 @@ fn main() {
 
         let mut sys_cpu = System::new(config());
         let col = sys_cpu.write_column(&values);
-        let cpu = sys_cpu.run_select_cpu(col, rows, 0, hi, ScanVariant::Branching, Tick::ZERO);
+        let cpu = sys_cpu
+            .run_select_cpu(col, rows, 0, hi, ScanVariant::Branching, Tick::ZERO)
+            .expect("column placed in range");
 
         let mut sys_jf = System::new(config());
         let col = sys_jf.write_column(&values);

@@ -16,11 +16,15 @@
 //! (paper): idle periods between ≈200 and ≈800 memory-bus cycles, average
 //! ≈500.
 //!
-//! Usage: `fig4_idle [--sf X]` (scale factor; default 0.02 ≈ 130 k
-//! lineitems, an order of magnitude over the modelled cache capacity —
-//! the paper's own sampling argument, §3.1).
+//! Usage: `fig4_idle [--sf X] [--trace PREFIX] [--timeline]`. `--sf` is
+//! the scale factor (default 0.02 ≈ 130 k lineitems, an order of magnitude
+//! over the modelled cache capacity — the paper's own sampling argument,
+//! §3.1). `--trace PREFIX` writes one Chrome `trace_event` JSON file per
+//! query (`PREFIX-q1.json`, …; load at `chrome://tracing`); `--timeline`
+//! prints the tail of each query's event timeline and the unified metrics
+//! snapshot.
 
-use jafar_bench::{arg, f1, print_table};
+use jafar_bench::{arg, arg_opt, f1, flag, print_table, slug};
 use jafar_columnstore::{ExecContext, Planner};
 use jafar_common::time::Tick;
 use jafar_sim::{PlacedDb, QueryReplayer, ReplayCosts, System, SystemConfig};
@@ -34,6 +38,8 @@ fn main() {
     // per-tuple overhead relative to the tight kernels modelled here —
     // the single tuned constant of this experiment (see EXPERIMENTS.md).
     let load_factor: f64 = arg("--load-factor", 45.0);
+    let trace_prefix = arg_opt("--trace");
+    let timeline = flag("--timeline");
     println!("# Figure 4: memory-controller idle periods for TPC-H queries");
     let cfg = SystemConfig::xeon_like();
     println!(
@@ -74,6 +80,9 @@ fn main() {
         // Fresh system per query (cold caches, clean counters), as when
         // profiling isolated query executions.
         let mut sys = System::new(SystemConfig::xeon_like());
+        if trace_prefix.is_some() || timeline {
+            sys.enable_tracing(1 << 16);
+        }
         let placed = PlacedDb::place(&mut sys, &db);
         sys.begin_measurement();
         let mut replayer = QueryReplayer::new(&mut sys, ReplayCosts::default().scaled(load_factor))
@@ -94,6 +103,28 @@ fn main() {
                 100.0 * report.exact_idle_cycles as f64 / report.total_cycles().max(1) as f64
             ),
         ]);
+        if let Some(prefix) = &trace_prefix {
+            let path = format!("{prefix}-{}.json", slug(q.label()));
+            let json = sys.chrome_trace().expect("tracing enabled");
+            std::fs::write(&path, &json).expect("writing trace file");
+            println!("# wrote {path} ({} bytes)", json.len());
+        }
+        if timeline {
+            let text = sys.trace_timeline().expect("tracing enabled");
+            let lines: Vec<&str> = text.lines().collect();
+            let tail = 24usize.min(lines.len());
+            println!(
+                "## {} timeline (last {tail} of {} events)",
+                q.label(),
+                lines.len()
+            );
+            for line in &lines[lines.len() - tail..] {
+                println!("{line}");
+            }
+            println!("## {} metrics", q.label());
+            print!("{}", sys.metrics());
+            println!();
+        }
     }
     let avg: f64 = estimates.iter().sum::<f64>() / estimates.len() as f64;
     rows.push(vec![

@@ -72,7 +72,9 @@ fn main() {
         .collect();
     let mut sys = System::new(SystemConfig::gem5_like());
     let col = sys.write_column(&values);
-    let cpu = sys.run_select_cpu(col, rows, 0, -1, ScanVariant::Branching, Tick::ZERO);
+    let cpu = sys
+        .run_select_cpu(col, rows, 0, -1, ScanVariant::Branching, Tick::ZERO)
+        .expect("column placed in range");
     let frac = cpu.kernel.as_ps() as f64 / cpu.end.as_ps() as f64;
     println!(
         "  kernel {} / total {} = {:.1}% (paper: 93%)",

@@ -117,6 +117,36 @@ pub fn flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// The raw value following `--name`, if present — for path-valued options
+/// with no meaningful default (e.g. `--trace out/run`).
+pub fn arg_opt(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Lowercases `label` into a filename-safe slug (`a-z0-9-`), collapsing
+/// runs of other characters to single dashes.
+pub fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut dash = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+            dash = false;
+        } else if !dash && !out.is_empty() {
+            out.push('-');
+            dash = true;
+        }
+    }
+    while out.ends_with('-') {
+        out.pop();
+    }
+    out
+}
+
 /// Prints an aligned table: header row + data rows.
 pub fn print_table<R: AsRef<[String]>>(headers: &[&str], rows: &[R]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

@@ -1,6 +1,7 @@
 //! Dense column storage.
 
 use crate::dict::Dictionary;
+use crate::error::PlanError;
 use crate::value::{DataType, Date, Decimal};
 use std::sync::Arc;
 
@@ -46,18 +47,36 @@ impl Column {
     }
 
     /// A dictionary-encoded string column.
+    ///
+    /// # Panics
+    /// Panics if a value is outside the dictionary's domain; use
+    /// [`Column::try_strings`] to handle that as a typed error.
     pub fn strings<S: Into<String>, V: AsRef<str>>(
         name: S,
         values: &[V],
         dict: Arc<Dictionary>,
     ) -> Self {
-        let data = dict.encode_column(values);
-        Column {
+        Column::try_strings(name, values, dict).expect("dictionary covers the column's values")
+    }
+
+    /// A dictionary-encoded string column, surfacing out-of-domain values
+    /// as [`PlanError::ValueNotInDictionary`].
+    ///
+    /// # Errors
+    /// [`PlanError::ValueNotInDictionary`] for the first value outside
+    /// the dictionary's domain.
+    pub fn try_strings<S: Into<String>, V: AsRef<str>>(
+        name: S,
+        values: &[V],
+        dict: Arc<Dictionary>,
+    ) -> Result<Self, PlanError> {
+        let data = dict.encode_column(values)?;
+        Ok(Column {
             name: name.into(),
             dtype: DataType::Str,
             data,
             dict: Some(dict),
-        }
+        })
     }
 
     /// Column name.

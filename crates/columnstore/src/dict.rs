@@ -7,6 +7,7 @@
 //! equality *and* range predicates over strings compile to the integer
 //! range filters JAFAR evaluates natively.
 
+use crate::error::PlanError;
 use std::collections::HashMap;
 
 /// An order-preserving string dictionary.
@@ -69,14 +70,17 @@ impl Dictionary {
 
     /// Encodes a whole column of values.
     ///
-    /// # Panics
-    /// Panics if a value is outside the domain.
-    pub fn encode_column<S: AsRef<str>>(&self, values: &[S]) -> Vec<i64> {
+    /// # Errors
+    /// [`PlanError::ValueNotInDictionary`] for the first value outside
+    /// the domain.
+    pub fn encode_column<S: AsRef<str>>(&self, values: &[S]) -> Result<Vec<i64>, PlanError> {
         values
             .iter()
             .map(|v| {
                 self.encode(v.as_ref())
-                    .unwrap_or_else(|| panic!("value {:?} not in dictionary", v.as_ref()))
+                    .ok_or_else(|| PlanError::ValueNotInDictionary {
+                        value: v.as_ref().to_owned(),
+                    })
             })
             .collect()
     }
@@ -122,7 +126,7 @@ mod tests {
     #[test]
     fn column_encode_decode_round_trip() {
         let d = dict();
-        let col = d.encode_column(&["SHIP", "AIR", "SHIP"]);
+        let col = d.encode_column(&["SHIP", "AIR", "SHIP"]).unwrap();
         let back: Vec<&str> = col.iter().map(|&c| d.decode(c)).collect();
         assert_eq!(back, vec!["SHIP", "AIR", "SHIP"]);
     }

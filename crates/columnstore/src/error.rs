@@ -1,0 +1,74 @@
+//! Typed errors for plan and schema lookups.
+//!
+//! Unknown table, column, or dictionary-value references used to abort
+//! with a panic deep inside the store. They are *plan* bugs, but a plan
+//! may be assembled from user input or replayed from a recorded trace, so
+//! the library surfaces them as [`PlanError`] and lets the embedding
+//! decide — the hand-written TPC-H pipelines `expect` them away at their
+//! static-schema boundary.
+
+/// A name the plan referenced that the schema does not define.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// The catalog has no table by this name.
+    UnknownTable {
+        /// The missing table name.
+        name: String,
+    },
+    /// The table exists but has no such column.
+    UnknownColumn {
+        /// The table searched.
+        table: String,
+        /// The missing column name.
+        column: String,
+    },
+    /// An intermediate frame has no such column.
+    UnknownFrameColumn {
+        /// The missing column name.
+        name: String,
+    },
+    /// A string value is outside a dictionary's domain.
+    ValueNotInDictionary {
+        /// The unencodable value.
+        value: String,
+    },
+}
+
+impl core::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PlanError::UnknownTable { name } => write!(f, "catalog has no table {name}"),
+            PlanError::UnknownColumn { table, column } => {
+                write!(f, "table {table} has no column {column}")
+            }
+            PlanError::UnknownFrameColumn { name } => write!(f, "frame has no column {name}"),
+            PlanError::ValueNotInDictionary { value } => {
+                write!(f, "value {value:?} not in dictionary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_missing_item() {
+        let e = PlanError::UnknownTable {
+            name: "orders".into(),
+        };
+        assert_eq!(e.to_string(), "catalog has no table orders");
+        let e = PlanError::UnknownColumn {
+            table: "sales".into(),
+            column: "x".into(),
+        };
+        assert_eq!(e.to_string(), "table sales has no column x");
+        let e = PlanError::ValueNotInDictionary {
+            value: "AIR".into(),
+        };
+        assert_eq!(e.to_string(), "value \"AIR\" not in dictionary");
+    }
+}

@@ -6,6 +6,7 @@
 //! results) and *traced* (for the simulator's timing replay). This is the
 //! operator-at-a-time, full-column style of the paper's in-house prototype.
 
+use crate::error::PlanError;
 use crate::ops::agg::{hash_group_by, AggSpec, GroupedResult};
 use crate::ops::join::{anti_join, hash_join, semi_join};
 use crate::ops::project::gather;
@@ -65,13 +66,16 @@ impl ExecContext {
     }
 
     /// Full-column select on `table.column`.
+    ///
+    /// # Errors
+    /// [`PlanError::UnknownColumn`] if the table has no such column.
     pub fn select(
         &mut self,
         table: &Table,
         column: &str,
         predicate: ScanPredicate,
-    ) -> PositionList {
-        let col = table.column(column);
+    ) -> Result<PositionList, PlanError> {
+        let col = table.column(column)?;
         let out = scan(col, predicate);
         let mut implementation = self.planner.choose(col.len() as u64, predicate);
         if implementation == ScanImpl::Jafar && !self.breaker.allow() {
@@ -86,19 +90,22 @@ impl ExecContext {
             bounds: predicate.bounds(),
             implementation,
         });
-        out
+        Ok(out)
     }
 
     /// Conjunctive refinement: apply `predicate` to `column` only at
     /// `positions`.
+    ///
+    /// # Errors
+    /// [`PlanError::UnknownColumn`] if the table has no such column.
     pub fn select_at(
         &mut self,
         table: &Table,
         column: &str,
         positions: &PositionList,
         predicate: ScanPredicate,
-    ) -> PositionList {
-        let col = table.column(column);
+    ) -> Result<PositionList, PlanError> {
+        let col = table.column(column)?;
         let out = scan_at(col, positions, predicate);
         self.trace.push(TraceEvent::ScanAt {
             table: table.name().to_owned(),
@@ -106,19 +113,27 @@ impl ExecContext {
             positions: positions.len() as u64,
             matches: out.len() as u64,
         });
-        out
+        Ok(out)
     }
 
     /// Project: gather `table.column` values at `positions`.
-    pub fn project(&mut self, table: &Table, column: &str, positions: &PositionList) -> Vec<i64> {
-        let col = table.column(column);
+    ///
+    /// # Errors
+    /// [`PlanError::UnknownColumn`] if the table has no such column.
+    pub fn project(
+        &mut self,
+        table: &Table,
+        column: &str,
+        positions: &PositionList,
+    ) -> Result<Vec<i64>, PlanError> {
+        let col = table.column(column)?;
         let out = gather(col, positions);
         self.trace.push(TraceEvent::Gather {
             table: table.name().to_owned(),
             column: column.to_owned(),
             positions: positions.len() as u64,
         });
-        out
+        Ok(out)
     }
 
     /// Hash join of pre-gathered key vectors; returns `(build, probe)`
@@ -193,19 +208,22 @@ impl ExecContext {
 
     /// Reusable helper: late-materialized select-project — select on one
     /// column, project others at the survivors.
+    ///
+    /// # Errors
+    /// [`PlanError::UnknownColumn`] if any named column is absent.
     pub fn select_project(
         &mut self,
         table: &Table,
         select_col: &str,
         predicate: ScanPredicate,
         project_cols: &[&str],
-    ) -> (PositionList, Vec<Vec<i64>>) {
-        let positions = self.select(table, select_col, predicate);
+    ) -> Result<(PositionList, Vec<Vec<i64>>), PlanError> {
+        let positions = self.select(table, select_col, predicate)?;
         let projected = project_cols
             .iter()
             .map(|c| self.project(table, c, &positions))
-            .collect();
-        (positions, projected)
+            .collect::<Result<_, _>>()?;
+        Ok((positions, projected))
     }
 }
 
@@ -235,7 +253,9 @@ mod tests {
     fn select_project_pipeline() {
         let t = table();
         let mut cx = ExecContext::new(Planner::default());
-        let (pos, cols) = cx.select_project(&t, "k", Pred::Ge(4), &["v", "g"]);
+        let (pos, cols) = cx
+            .select_project(&t, "k", Pred::Ge(4), &["v", "g"])
+            .unwrap();
         assert_eq!(pos.as_slice(), &[3, 4, 5]);
         assert_eq!(cols[0], vec![40, 50, 60]);
         assert_eq!(cols[1], vec![1, 0, 1]);
@@ -246,8 +266,8 @@ mod tests {
     fn select_at_refinement_traced() {
         let t = table();
         let mut cx = ExecContext::new(Planner::default());
-        let first = cx.select(&t, "k", Pred::Ge(2));
-        let refined = cx.select_at(&t, "g", &first, Pred::Eq(1));
+        let first = cx.select(&t, "k", Pred::Ge(2)).unwrap();
+        let refined = cx.select_at(&t, "g", &first, Pred::Eq(1)).unwrap();
         assert_eq!(refined.as_slice(), &[1, 3, 5]);
         assert_eq!(cx.trace().rows_scanned(), 6 + 5);
     }
@@ -257,11 +277,11 @@ mod tests {
         let t = table();
         let mut cx = ExecContext::new(Planner::default());
         let all: PositionList = (0..6u32).collect();
-        let k = cx.project(&t, "k", &all);
+        let k = cx.project(&t, "k", &all).unwrap();
         let pairs = cx.join(&k, &[2, 4, 9]);
         assert_eq!(pairs.len(), 2);
-        let g = cx.project(&t, "g", &all);
-        let v = cx.project(&t, "v", &all);
+        let g = cx.project(&t, "g", &all).unwrap();
+        let v = cx.project(&t, "v", &all).unwrap();
         let grouped = cx.group_by(
             &[&g],
             &[AggSpec {
@@ -283,7 +303,7 @@ mod tests {
     fn pushdown_annotation_in_trace() {
         let t = Table::new("big", vec![Column::int("x", (0..10_000).collect())]);
         let mut cx = ExecContext::new(Planner::with_jafar());
-        let pos = cx.select(&t, "x", Pred::Lt(100));
+        let pos = cx.select(&t, "x", Pred::Lt(100)).unwrap();
         assert_eq!(pos.len(), 100);
         assert_eq!(cx.trace().jafar_scans(), 1);
     }
@@ -297,14 +317,14 @@ mod tests {
         cx.breaker_mut().record_failure();
         cx.breaker_mut().record_failure();
         assert!(cx.breaker().is_open());
-        let pos = cx.select(&t, "x", Pred::Lt(100));
+        let pos = cx.select(&t, "x", Pred::Lt(100)).unwrap();
         assert_eq!(pos.len(), 100, "results identical on the CPU path");
         assert_eq!(cx.trace().jafar_scans(), 0, "scan was rerouted");
         assert_eq!(cx.fallback_scans(), 1);
         // A healthy report closes it again and pushdown resumes.
         while !cx.breaker_mut().allow() {}
         cx.breaker_mut().record_success();
-        cx.select(&t, "x", Pred::Lt(100));
+        cx.select(&t, "x", Pred::Lt(100)).unwrap();
         assert_eq!(cx.trace().jafar_scans(), 1);
     }
 
@@ -313,7 +333,7 @@ mod tests {
         let t = table();
         let mut cx = ExecContext::new(Planner::default());
         let all: PositionList = (0..6u32).collect();
-        let v = cx.project(&t, "v", &all);
+        let v = cx.project(&t, "v", &all).unwrap();
         let order = cx.sort(&[(&v, SortDir::Desc)]);
         assert_eq!(order[0], 5);
         assert!(matches!(

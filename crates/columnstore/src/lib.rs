@@ -23,6 +23,7 @@
 
 pub mod column;
 pub mod dict;
+pub mod error;
 pub mod exec;
 pub mod ops;
 pub mod plan;
@@ -34,6 +35,7 @@ pub mod value;
 
 pub use column::Column;
 pub use dict::Dictionary;
+pub use error::PlanError;
 pub use exec::ExecContext;
 pub use plan::{execute, Catalog, Frame, Plan};
 pub use positions::PositionList;

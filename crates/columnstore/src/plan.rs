@@ -11,6 +11,7 @@
 //! Data flows between nodes as a [`Frame`]: named, equal-length `i64`
 //! columns (the physical currency of the whole store).
 
+use crate::error::PlanError;
 use crate::exec::ExecContext;
 use crate::ops::agg::{AggKind, AggSpec};
 use crate::ops::scan::ScanPredicate;
@@ -40,12 +41,17 @@ impl<'a> Catalog<'a> {
 
     /// Looks a table up.
     ///
-    /// # Panics
-    /// Panics if absent — unknown table names are plan bugs.
-    pub fn table(&self, name: &str) -> &'a Table {
+    /// # Errors
+    /// [`PlanError::UnknownTable`] if absent — unknown table names are
+    /// plan bugs, surfaced as typed errors so the embedding can report
+    /// them instead of aborting.
+    pub fn table(&self, name: &str) -> Result<&'a Table, PlanError> {
         self.tables
             .get(name)
-            .unwrap_or_else(|| panic!("catalog has no table {name}"))
+            .copied()
+            .ok_or_else(|| PlanError::UnknownTable {
+                name: name.to_owned(),
+            })
     }
 }
 
@@ -90,15 +96,16 @@ impl Frame {
 
     /// A column by name.
     ///
-    /// # Panics
-    /// Panics if absent.
-    pub fn column(&self, name: &str) -> &[i64] {
-        &self
-            .columns
+    /// # Errors
+    /// [`PlanError::UnknownFrameColumn`] if absent.
+    pub fn column(&self, name: &str) -> Result<&[i64], PlanError> {
+        self.columns
             .iter()
             .find(|(n, _)| n == name)
-            .unwrap_or_else(|| panic!("frame has no column {name}"))
-            .1
+            .map(|(_, c)| c.as_slice())
+            .ok_or_else(|| PlanError::UnknownFrameColumn {
+                name: name.to_owned(),
+            })
     }
 
     /// Keeps only the rows at `idx`, in that order.
@@ -175,31 +182,37 @@ pub enum Plan {
 /// Evaluates `plan` against `catalog`, recording the operator trace in
 /// `cx`.
 ///
-/// # Panics
-/// Panics on plan bugs (unknown tables/columns, name clashes) — plans are
-/// code, not user input, in this prototype.
-pub fn execute(plan: &Plan, catalog: &Catalog<'_>, cx: &mut ExecContext) -> Frame {
+/// # Errors
+/// [`PlanError`] on plan bugs (unknown tables or columns). Name clashes
+/// in frame assembly still panic — plans are code, not user input, in
+/// this prototype, but *lookups* are surfaced as typed errors because a
+/// plan may be deserialized or replayed.
+pub fn execute(
+    plan: &Plan,
+    catalog: &Catalog<'_>,
+    cx: &mut ExecContext,
+) -> Result<Frame, PlanError> {
     match plan {
         Plan::Scan {
             table,
             filters,
             columns,
         } => {
-            let t = catalog.table(table);
+            let t = catalog.table(table)?;
             let mut positions: Option<PositionList> = None;
             for (col, pred) in filters {
                 positions = Some(match positions {
-                    None => cx.select(t, col, *pred),
-                    Some(p) => cx.select_at(t, col, &p, *pred),
+                    None => cx.select(t, col, *pred)?,
+                    Some(p) => cx.select_at(t, col, &p, *pred)?,
                 });
             }
             let positions =
                 positions.unwrap_or_else(|| (0..t.rows() as u32).collect::<PositionList>());
             let mut frame = Frame::new();
             for col in columns {
-                frame = frame.with(col.clone(), cx.project(t, col, &positions));
+                frame = frame.with(col.clone(), cx.project(t, col, &positions)?);
             }
-            frame
+            Ok(frame)
         }
         Plan::Join {
             build,
@@ -207,27 +220,30 @@ pub fn execute(plan: &Plan, catalog: &Catalog<'_>, cx: &mut ExecContext) -> Fram
             build_key,
             probe_key,
         } => {
-            let b = execute(build, catalog, cx);
-            let p = execute(probe, catalog, cx);
-            let pairs = cx.join(b.column(build_key), p.column(probe_key));
+            let b = execute(build, catalog, cx)?;
+            let p = execute(probe, catalog, cx)?;
+            let pairs = cx.join(b.column(build_key)?, p.column(probe_key)?);
             let b_idx: Vec<u32> = pairs.iter().map(|&(i, _)| i).collect();
             let p_idx: Vec<u32> = pairs.iter().map(|&(_, j)| j).collect();
             let mut out = b.take(&b_idx);
             for (name, col) in p.take(&p_idx).columns {
                 out = out.with(name, col);
             }
-            out
+            Ok(out)
         }
         Plan::GroupBy { input, keys, aggs } => {
-            let f = execute(input, catalog, cx);
-            let key_cols: Vec<&[i64]> = keys.iter().map(|k| f.column(k)).collect();
+            let f = execute(input, catalog, cx)?;
+            let key_cols: Vec<&[i64]> =
+                keys.iter().map(|k| f.column(k)).collect::<Result<_, _>>()?;
             let specs: Vec<AggSpec<'_>> = aggs
                 .iter()
-                .map(|(col, kind, _)| AggSpec {
-                    kind: *kind,
-                    input: f.column(col),
+                .map(|(col, kind, _)| {
+                    Ok(AggSpec {
+                        kind: *kind,
+                        input: f.column(col)?,
+                    })
                 })
-                .collect();
+                .collect::<Result<_, PlanError>>()?;
             let grouped = cx.group_by(&key_cols, &specs);
             let mut out = Frame::new();
             for (k, name) in keys.iter().enumerate() {
@@ -241,20 +257,22 @@ pub fn execute(plan: &Plan, catalog: &Catalog<'_>, cx: &mut ExecContext) -> Fram
                 };
                 out = out.with(out_name.clone(), col);
             }
-            out
+            Ok(out)
         }
         Plan::Sort { input, keys } => {
-            let f = execute(input, catalog, cx);
-            let key_cols: Vec<(&[i64], Dir)> =
-                keys.iter().map(|(k, d)| (f.column(k), *d)).collect();
+            let f = execute(input, catalog, cx)?;
+            let key_cols: Vec<(&[i64], Dir)> = keys
+                .iter()
+                .map(|(k, d)| Ok((f.column(k)?, *d)))
+                .collect::<Result<_, PlanError>>()?;
             let order = cx.sort(&key_cols);
-            f.take(&order)
+            Ok(f.take(&order))
         }
         Plan::Limit { input, n } => {
-            let f = execute(input, catalog, cx);
+            let f = execute(input, catalog, cx)?;
             let take: Vec<u32> = (0..f.rows().min(*n) as u32).collect();
             cx.materialize(take.len() as u64, f.names().len() as u64);
-            f.take(&take)
+            Ok(f.take(&take))
         }
     }
 }
@@ -299,9 +317,9 @@ mod tests {
             ],
             columns: vec!["region".into(), "amount".into()],
         };
-        let f = execute(&plan, &catalog, &mut cx);
-        assert_eq!(f.column("amount"), &[40, 60, 70]);
-        assert_eq!(f.column("region"), &[1, 0, 2]);
+        let f = execute(&plan, &catalog, &mut cx).unwrap();
+        assert_eq!(f.column("amount").unwrap(), &[40, 60, 70]);
+        assert_eq!(f.column("region").unwrap(), &[1, 0, 2]);
         // Trace: 1 full scan, 1 refine, 2 gathers.
         assert_eq!(cx.trace().len(), 4);
     }
@@ -331,12 +349,12 @@ mod tests {
                 }),
             }),
         };
-        let f = execute(&plan, &catalog, &mut cx);
+        let f = execute(&plan, &catalog, &mut cx).unwrap();
         assert_eq!(f.rows(), 2);
         // Totals: region 0 → 100, region 1 → 140, region 2 → 120.
-        assert_eq!(f.column("region"), &[1, 2]);
-        assert_eq!(f.column("total"), &[140, 120]);
-        assert_eq!(f.column("n"), &[3, 2]);
+        assert_eq!(f.column("region").unwrap(), &[1, 2]);
+        assert_eq!(f.column("total").unwrap(), &[140, 120]);
+        assert_eq!(f.column("n").unwrap(), &[3, 2]);
     }
 
     #[test]
@@ -365,13 +383,13 @@ mod tests {
                 probe_key: "region".into(),
             }),
         };
-        let mut f = execute(&plan, &catalog, &mut cx);
+        let mut f = execute(&plan, &catalog, &mut cx).unwrap();
         // Normalise group order for comparison.
-        let order = crate::ops::sort::sort_rows_by(&[(f.column("r_zone"), Dir::Asc)]);
+        let order = crate::ops::sort::sort_rows_by(&[(f.column("r_zone").unwrap(), Dir::Asc)]);
         f = f.take(&order);
         // Zone 100 = regions 0 and 2 → 100 + 120 = 220; zone 200 → 140.
-        assert_eq!(f.column("r_zone"), &[100, 200]);
-        assert_eq!(f.column("total"), &[220, 140]);
+        assert_eq!(f.column("r_zone").unwrap(), &[100, 200]);
+        assert_eq!(f.column("total").unwrap(), &[220, 140]);
     }
 
     #[test]
@@ -405,29 +423,31 @@ mod tests {
             ],
             columns: vec!["price".into(), "discount".into()],
         };
-        let f = execute(&plan, &catalog, &mut cx);
+        let f = execute(&plan, &catalog, &mut cx).unwrap();
         let plan_revenue: i64 = f
             .column("price")
+            .unwrap()
             .iter()
-            .zip(f.column("discount"))
+            .zip(f.column("discount").unwrap())
             .map(|(&p, &d)| p * d / 100)
             .sum();
 
         let mut cx2 = ExecContext::new(Planner::default());
-        let by_date = cx2.select(&t, "shipdate", Pred::Between(100, 199));
-        let by_disc = cx2.select_at(&t, "discount", &by_date, Pred::Between(5, 7));
-        let p = cx2.project(&t, "price", &by_disc);
-        let d = cx2.project(&t, "discount", &by_disc);
+        let by_date = cx2.select(&t, "shipdate", Pred::Between(100, 199)).unwrap();
+        let by_disc = cx2
+            .select_at(&t, "discount", &by_date, Pred::Between(5, 7))
+            .unwrap();
+        let p = cx2.project(&t, "price", &by_disc).unwrap();
+        let d = cx2.project(&t, "discount", &by_disc).unwrap();
         let hand_revenue: i64 = p.iter().zip(&d).map(|(&p, &d)| p * d / 100).sum();
         assert_eq!(plan_revenue, hand_revenue);
     }
 
     #[test]
-    #[should_panic(expected = "no table")]
-    fn unknown_table_panics() {
+    fn unknown_table_is_typed_error() {
         let catalog = Catalog::new();
         let mut cx = ExecContext::new(Planner::default());
-        execute(
+        let err = execute(
             &Plan::Scan {
                 table: "ghost".into(),
                 filters: vec![],
@@ -435,6 +455,37 @@ mod tests {
             },
             &catalog,
             &mut cx,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::UnknownTable {
+                name: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_plan_column_is_typed_error() {
+        let t = sales();
+        let catalog = Catalog::new().add(&t);
+        let mut cx = ExecContext::new(Planner::default());
+        let err = execute(
+            &Plan::Scan {
+                table: "sales".into(),
+                filters: vec![("ghost_col".into(), ScanPredicate::Eq(1))],
+                columns: vec![],
+            },
+            &catalog,
+            &mut cx,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::UnknownColumn {
+                table: "sales".into(),
+                column: "ghost_col".into(),
+            }
         );
     }
 
@@ -459,6 +510,7 @@ mod tests {
             },
             &catalog,
             &mut cx,
-        );
+        )
+        .ok();
     }
 }

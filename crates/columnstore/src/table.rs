@@ -1,6 +1,7 @@
 //! Tables: named collections of equal-length columns.
 
 use crate::column::Column;
+use crate::error::PlanError;
 
 /// A table.
 #[derive(Clone, Debug)]
@@ -54,13 +55,18 @@ impl Table {
 
     /// Looks up a column by name.
     ///
-    /// # Panics
-    /// Panics if absent — schema errors are programming errors here.
-    pub fn column(&self, name: &str) -> &Column {
+    /// # Errors
+    /// [`PlanError::UnknownColumn`] if absent. Callers with a static
+    /// schema (the hand-written TPC-H pipelines) `expect` this away at
+    /// their boundary; plan-driven callers propagate it.
+    pub fn column(&self, name: &str) -> Result<&Column, PlanError> {
         self.columns
             .iter()
             .find(|c| c.name() == name)
-            .unwrap_or_else(|| panic!("table {} has no column {name}", self.name))
+            .ok_or_else(|| PlanError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.to_owned(),
+            })
     }
 
     /// True if the table has a column named `name`.
@@ -85,7 +91,7 @@ mod tests {
             vec![Column::int("a", vec![1, 2]), Column::int("b", vec![10, 20])],
         );
         assert_eq!(t.rows(), 2);
-        assert_eq!(t.column("b").get(1), 20);
+        assert_eq!(t.column("b").unwrap().get(1), 20);
         assert!(t.has_column("a"));
         assert!(!t.has_column("c"));
         assert_eq!(t.bytes(), 32);
@@ -117,8 +123,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no column")]
-    fn missing_column_panics() {
-        Table::new("t", vec![]).column("x");
+    fn missing_column_is_typed_error() {
+        let err = Table::new("t", vec![]).column("x").unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::UnknownColumn {
+                table: "t".into(),
+                column: "x".into(),
+            }
+        );
     }
 }

@@ -22,6 +22,7 @@
 
 pub mod bitset;
 pub mod check;
+pub mod obs;
 pub mod rng;
 pub mod size;
 pub mod stats;

@@ -57,6 +57,9 @@ pub mod errno {
     pub const EBADMSG: i32 = 74;
     /// Timed out: the driver's watchdog fired before completion.
     pub const ETIMEDOUT: i32 = 110;
+    /// Interrupted: the DRAM stream was preempted mid-job by a transient
+    /// rank-level condition (e.g. a refresh storm) — retry the page.
+    pub const ERESTART: i32 = 85;
     /// Key expired: the job was admitted after the lease deadline.
     pub const EKEYEXPIRED: i32 = 127;
 }
@@ -70,6 +73,7 @@ pub fn device_errno(e: DeviceError) -> i32 {
         DeviceError::SpansRanks => errno::EFAULT,
         DeviceError::LeaseExpired => errno::EKEYEXPIRED,
         DeviceError::Uncorrectable => errno::EIO,
+        DeviceError::Interrupted => errno::ERESTART,
     }
 }
 
@@ -337,6 +341,7 @@ mod tests {
             DeviceError::SpansRanks,
             DeviceError::LeaseExpired,
             DeviceError::Uncorrectable,
+            DeviceError::Interrupted,
         ];
         let issue = [
             IssueError::RankOwnedByNdp,

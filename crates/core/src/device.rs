@@ -23,6 +23,7 @@ use crate::regs::RegisterFile;
 use jafar_accel::ir::jafar_filter_kernel;
 use jafar_accel::schedule::{Resources, Schedule};
 use jafar_common::bitset::FixedBitBuf;
+use jafar_common::obs::{EventKind, SharedTracer};
 use jafar_common::stats::Counter;
 use jafar_common::time::{ClockDomain, Tick};
 use jafar_dram::{DramModule, IssueError, PhysAddr, Requester};
@@ -75,6 +76,11 @@ pub enum DeviceError {
     /// is partially written. Retrying the page is safe — the functional
     /// store was never corrupted.
     Uncorrectable,
+    /// The DRAM stream was preempted mid-job by a transient rank-level
+    /// condition (e.g. an injected refresh storm colliding with a due
+    /// refresh). The output region may be partially written; retrying the
+    /// page is safe.
+    Interrupted,
 }
 
 /// One select invocation (one page worth, in the Figure-2 API).
@@ -153,6 +159,7 @@ pub struct JafarDevice {
     /// Picoseconds per filtered word, derived from the kernel schedule.
     ps_per_word: u64,
     stats: DeviceStats,
+    tracer: SharedTracer,
 }
 
 impl JafarDevice {
@@ -168,7 +175,14 @@ impl JafarDevice {
             regs: RegisterFile::new(),
             ps_per_word,
             stats: DeviceStats::default(),
+            tracer: SharedTracer::disabled(),
         }
+    }
+
+    /// Attaches an event tracer: pipeline stages and bitset write-backs are
+    /// emitted into it. Purely observational — no timing changes.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = tracer;
     }
 
     /// A device with the paper's §2.2 parameters (2 GHz, two ALUs, 512-bit
@@ -255,6 +269,13 @@ impl JafarDevice {
             self.regs.set_error();
         })?;
         self.regs.set_busy();
+        self.tracer.emit(
+            start,
+            EventKind::AccelStage {
+                stage: "select-start",
+                page: job.col_addr.0,
+            },
+        );
         let (lo, hi) = job.predicate.bounds();
         let t = *module.timing();
         let cas_pipeline = t.cl + t.t_burst;
@@ -287,7 +308,7 @@ impl JafarDevice {
                     return Err(match e {
                         IssueError::NdpWithoutOwnership => DeviceError::NotOwned,
                         IssueError::Uncorrectable => DeviceError::Uncorrectable,
-                        other => unreachable!("unexpected issue error: {other:?}"),
+                        _ => DeviceError::Interrupted,
                     });
                 }
             };
@@ -330,6 +351,13 @@ impl JafarDevice {
         }
 
         self.regs.set_done(matched);
+        self.tracer.emit(
+            proc_free,
+            EventKind::AccelStage {
+                stage: "select-done",
+                page: job.col_addr.0,
+            },
+        );
         self.stats.jobs.inc();
         self.stats.words.add(job.rows);
         self.stats.bursts_read.add(bursts_read);
@@ -369,10 +397,18 @@ impl JafarDevice {
                 self.regs.set_error();
                 return Err(match e {
                     IssueError::NdpWithoutOwnership => DeviceError::NotOwned,
-                    other => unreachable!("output rank validated at job start: {other:?}"),
+                    IssueError::Uncorrectable => DeviceError::Uncorrectable,
+                    _ => DeviceError::Interrupted,
                 });
             }
             *bursts_written += 1;
+            self.tracer.emit(
+                at,
+                EventKind::BitsetWriteback {
+                    addr: cursor & !63,
+                    bytes: chunk.len() as u32,
+                },
+            );
             cursor += chunk.len() as u64;
         }
         Ok(cursor)

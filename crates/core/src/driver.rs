@@ -36,6 +36,7 @@
 use crate::api::{errno, issue_errno, select_jafar, DriverCosts, SelectArgs};
 use crate::device::JafarDevice;
 use crate::ownership::{grant_ownership_for, release_ownership, renew_lease, Lease};
+use jafar_common::obs::{EventKind, SharedTracer};
 use jafar_common::stats::{Counter, Scoreboard};
 use jafar_common::time::Tick;
 use jafar_dram::{DramModule, PhysAddr, Requester};
@@ -208,6 +209,7 @@ pub struct ResilientDriver {
     lease: Option<Lease>,
     consecutive_failures: u32,
     breaker_open: bool,
+    tracer: SharedTracer,
 }
 
 impl ResilientDriver {
@@ -219,7 +221,14 @@ impl ResilientDriver {
             lease: None,
             consecutive_failures: 0,
             breaker_open: false,
+            tracer: SharedTracer::disabled(),
         }
+    }
+
+    /// Attaches an event tracer: lease transitions, retries, watchdog and
+    /// breaker events are emitted into it. Purely observational.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = tracer;
     }
 
     /// The policy.
@@ -311,8 +320,11 @@ impl ResilientDriver {
                         if self.consecutive_failures >= self.cfg.breaker_threshold {
                             self.breaker_open = true;
                             self.stats.breaker_trips.inc();
+                            self.tracer
+                                .emit(t, EventKind::BreakerTransition { open: true });
                         }
                     }
+                    self.tracer.emit(t, EventKind::CpuFallback { page: pages });
                     matched += self.run_page_cpu(module, args, &mut t);
                     self.stats.pages_cpu.inc();
                 }
@@ -357,13 +369,24 @@ impl ResilientDriver {
                 match grant_ownership_for(module, rank, *t, self.cfg.lease_window) {
                     Ok(lease) => {
                         self.stats.lease_grants.inc();
+                        self.tracer.emit(
+                            lease.acquired_at,
+                            EventKind::LeaseGrant {
+                                rank,
+                                until: lease.expires_at,
+                            },
+                        );
                         *t = lease.acquired_at;
                         self.lease = Some(lease);
                     }
                     Err(e) => {
-                        debug_assert_eq!(issue_errno(e), errno::EPROTO, "grants only glitch");
-                        self.stats.mrs_retries.inc();
-                        if !self.note_failure(&mut attempt, t, driver_time) {
+                        // Glitched MRS or a refresh storm preempting the
+                        // quiesce — both transient; retry with backoff.
+                        let code = issue_errno(e);
+                        if code == errno::EPROTO {
+                            self.stats.mrs_retries.inc();
+                        }
+                        if !self.note_failure(&mut attempt, t, driver_time, code) {
                             return PageVerdict::GiveUp;
                         }
                         continue;
@@ -380,13 +403,23 @@ impl ResilientDriver {
                     match renew_lease(module, &mut renewed, *t, self.cfg.lease_window) {
                         Ok(renewed_at) => {
                             self.stats.lease_renewals.inc();
+                            self.tracer.emit(
+                                renewed_at,
+                                EventKind::LeaseRenew {
+                                    rank,
+                                    until: renewed.expires_at,
+                                },
+                            );
                             *t = renewed_at;
                             self.lease = Some(renewed);
                         }
-                        Err(_) => {
+                        Err(e) => {
                             self.lease = Some(renewed); // deadline unchanged
-                            self.stats.mrs_retries.inc();
-                            if !self.note_failure(&mut attempt, t, driver_time) {
+                            let code = issue_errno(e);
+                            if code == errno::EPROTO {
+                                self.stats.mrs_retries.inc();
+                            }
+                            if !self.note_failure(&mut attempt, t, driver_time, code) {
                                 return PageVerdict::GiveUp;
                             }
                             continue;
@@ -408,9 +441,15 @@ impl ResilientDriver {
                         // The completion never showed inside the window:
                         // the host abandons the wait at the timeout.
                         self.stats.watchdog_fires.inc();
+                        self.tracer.emit(
+                            deadline,
+                            EventKind::WatchdogFire {
+                                page: args.col_data.0,
+                            },
+                        );
                         *cpu_wait += budget;
                         *t = deadline;
-                        if !self.note_failure(&mut attempt, t, driver_time) {
+                        if !self.note_failure(&mut attempt, t, driver_time, errno::ETIMEDOUT) {
                             return PageVerdict::GiveUp;
                         }
                     } else {
@@ -425,8 +464,9 @@ impl ResilientDriver {
                     // The deadline raced past during a backoff; the device
                     // refused admission cheaply. Renew on the next attempt.
                     self.stats.lease_expiries.inc();
+                    self.tracer.emit(invoke_at, EventKind::LeaseExpire { rank });
                     *t = invoke_at;
-                    if !self.note_failure(&mut attempt, t, driver_time) {
+                    if !self.note_failure(&mut attempt, t, driver_time, x) {
                         return PageVerdict::GiveUp;
                     }
                 }
@@ -435,7 +475,7 @@ impl ResilientDriver {
                     // drop the stale lease and re-grant.
                     self.lease = None;
                     *t = invoke_at;
-                    if !self.note_failure(&mut attempt, t, driver_time) {
+                    if !self.note_failure(&mut attempt, t, driver_time, x) {
                         return PageVerdict::GiveUp;
                     }
                 }
@@ -444,7 +484,16 @@ impl ResilientDriver {
                     // intact; a retry re-reads clean data.
                     self.stats.uncorrectable.inc();
                     *t = invoke_at;
-                    if !self.note_failure(&mut attempt, t, driver_time) {
+                    if !self.note_failure(&mut attempt, t, driver_time, x) {
+                        return PageVerdict::GiveUp;
+                    }
+                }
+                x if x == errno::ERESTART => {
+                    // The DRAM stream was preempted mid-job (e.g. a refresh
+                    // storm collided with a due refresh). Transient by
+                    // construction — the storm was consumed — so retry.
+                    *t = invoke_at;
+                    if !self.note_failure(&mut attempt, t, driver_time, x) {
                         return PageVerdict::GiveUp;
                     }
                 }
@@ -458,8 +507,15 @@ impl ResilientDriver {
     }
 
     /// Books one failed attempt: counts the retry, waits out the backoff.
-    /// False means the attempt budget is exhausted.
-    fn note_failure(&mut self, attempt: &mut u32, t: &mut Tick, driver_time: &mut Tick) -> bool {
+    /// False means the attempt budget is exhausted. `cause` is the errno of
+    /// the failed attempt (for the trace record).
+    fn note_failure(
+        &mut self,
+        attempt: &mut u32,
+        t: &mut Tick,
+        driver_time: &mut Tick,
+        cause: i32,
+    ) -> bool {
         if *attempt >= self.cfg.max_retries {
             return false;
         }
@@ -468,6 +524,13 @@ impl ResilientDriver {
         *driver_time += pause;
         *attempt += 1;
         self.stats.retries.inc();
+        self.tracer.emit(
+            *t,
+            EventKind::DriverRetry {
+                attempt: *attempt,
+                errno: cause,
+            },
+        );
         true
     }
 
@@ -550,8 +613,11 @@ impl ResilientDriver {
                     return;
                 }
                 Err(e) => {
-                    debug_assert_eq!(issue_errno(e), errno::EPROTO, "releases only glitch");
-                    self.stats.mrs_retries.inc();
+                    // A glitched MRS or a refresh storm preempting the
+                    // quiesce; both transient.
+                    if issue_errno(e) == errno::EPROTO {
+                        self.stats.mrs_retries.inc();
+                    }
                     *t += self.backoff(attempt);
                     pending = Lease {
                         rank,

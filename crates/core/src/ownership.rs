@@ -42,8 +42,10 @@ impl Lease {
 }
 
 fn set_mpr(module: &mut DramModule, rank: u32, owned: bool, now: Tick) -> Result<Tick, IssueError> {
-    // Quiesce the rank: run due refreshes, close open rows.
-    let after_refresh = module.maintain_refresh(rank, now, Requester::Host);
+    // Quiesce the rank: run due refreshes, close open rows. A refresh
+    // storm preempting the schedule surfaces as `TooEarly` — retry once
+    // the storm drains.
+    let after_refresh = module.maintain_refresh(rank, now, Requester::Host)?;
     let pre = DramCommand::PrechargeAll { rank };
     let at = module.earliest_issue(pre, Requester::Host, after_refresh)?;
     module.issue(pre, Requester::Host, at, None)?;

@@ -15,18 +15,48 @@ use crate::branch::TwoBitPredictor;
 use crate::kernels::{KernelParams, ScanVariant};
 use jafar_common::time::{ClockDomain, Tick};
 
+/// A memory access the backend could not perform. Surfaced as a typed
+/// error (instead of a backend panic) so callers — notably the resilient
+/// driver's CPU-fallback path — can report or recover.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemoryFault {
+    /// The physical address lies beyond the backing memory's capacity.
+    OutOfRange {
+        /// The faulting byte address.
+        addr: u64,
+    },
+}
+
+impl core::fmt::Display for MemoryFault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MemoryFault::OutOfRange { addr } => {
+                write!(f, "memory access at {addr:#x} beyond backing capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoryFault {}
+
 /// Where the engine gets memory from. Implemented over the full cache +
 /// memory-controller stack in `jafar-sim`; a fixed-latency test double is
 /// provided here.
 pub trait MemoryBackend {
     /// Demand-loads the 64-byte line containing `addr`, issued at `at`.
     /// Returns the tick at which the data is available and the line bytes.
-    fn load_line(&mut self, addr: u64, at: Tick) -> (Tick, [u8; 64]);
+    ///
+    /// # Errors
+    /// [`MemoryFault::OutOfRange`] when `addr` exceeds backing capacity.
+    fn load_line(&mut self, addr: u64, at: Tick) -> Result<(Tick, [u8; 64]), MemoryFault>;
 
     /// Stores `bytes` at `addr` at tick `at` (fire-and-forget through the
     /// store buffer; the returned tick is when the store retires, normally
     /// `at` — traffic effects are the backend's concern).
-    fn store(&mut self, addr: u64, bytes: &[u8], at: Tick) -> Tick;
+    ///
+    /// # Errors
+    /// [`MemoryFault::OutOfRange`] when `addr` exceeds backing capacity.
+    fn store(&mut self, addr: u64, bytes: &[u8], at: Tick) -> Result<Tick, MemoryFault>;
 }
 
 /// What to scan and how.
@@ -81,7 +111,17 @@ impl ScanEngine {
     }
 
     /// Runs `spec` starting at `start` against `backend`.
-    pub fn run(&self, backend: &mut impl MemoryBackend, spec: ScanSpec, start: Tick) -> ScanResult {
+    ///
+    /// # Errors
+    /// Propagates the backend's [`MemoryFault`] if any load or store in the
+    /// scan touches memory the backend cannot serve (e.g. a column placed
+    /// beyond simulated DRAM capacity).
+    pub fn run(
+        &self,
+        backend: &mut impl MemoryBackend,
+        spec: ScanSpec,
+        start: Tick,
+    ) -> Result<ScanResult, MemoryFault> {
         let period_ps = self.clock.period().as_ps() as f64;
         let mut predictor = TwoBitPredictor::new();
         let mut now = start;
@@ -93,7 +133,7 @@ impl ScanEngine {
 
         for line in 0..lines {
             let line_addr = spec.col_addr + line * 64;
-            let (ready, data) = backend.load_line(line_addr, now);
+            let (ready, data) = backend.load_line(line_addr, now)?;
             if ready > now {
                 stall += ready - now;
                 now = ready;
@@ -116,9 +156,9 @@ impl ScanEngine {
                 let store_slot = positions.len() as u64;
                 if matched {
                     positions.push(row_idx);
-                    backend.store(spec.out_addr + store_slot * 4, &row_idx.to_le_bytes(), now);
+                    backend.store(spec.out_addr + store_slot * 4, &row_idx.to_le_bytes(), now)?;
                 } else if matches!(spec.variant, ScanVariant::Predicated) {
-                    backend.store(spec.out_addr + store_slot * 4, &row_idx.to_le_bytes(), now);
+                    backend.store(spec.out_addr + store_slot * 4, &row_idx.to_le_bytes(), now)?;
                 }
             }
             let advance_ps = line_cycles * period_ps + carry_ps;
@@ -129,14 +169,14 @@ impl ScanEngine {
             now += adv;
         }
 
-        ScanResult {
+        Ok(ScanResult {
             end: now,
             matches: positions.len() as u64,
             positions,
             stall,
             compute: Tick::from_ps(compute_ps as u64),
             mispredicts: predictor.mispredictions(),
-        }
+        })
     }
 }
 
@@ -174,22 +214,26 @@ impl FixedLatencyBackend {
 }
 
 impl MemoryBackend for FixedLatencyBackend {
-    fn load_line(&mut self, addr: u64, at: Tick) -> (Tick, [u8; 64]) {
-        self.loads += 1;
+    fn load_line(&mut self, addr: u64, at: Tick) -> Result<(Tick, [u8; 64]), MemoryFault> {
         let base = (addr & !63) as usize;
+        if base >= self.memory.len() {
+            return Err(MemoryFault::OutOfRange { addr });
+        }
+        self.loads += 1;
         let mut line = [0u8; 64];
         let end = (base + 64).min(self.memory.len());
         line[..end - base].copy_from_slice(&self.memory[base..end]);
-        (at + self.load_latency, line)
+        Ok((at + self.load_latency, line))
     }
 
-    fn store(&mut self, addr: u64, bytes: &[u8], at: Tick) -> Tick {
-        self.stores += 1;
+    fn store(&mut self, addr: u64, bytes: &[u8], at: Tick) -> Result<Tick, MemoryFault> {
         let a = addr as usize;
-        if a + bytes.len() <= self.memory.len() {
-            self.memory[a..a + bytes.len()].copy_from_slice(bytes);
+        if a + bytes.len() > self.memory.len() {
+            return Err(MemoryFault::OutOfRange { addr });
         }
-        at
+        self.stores += 1;
+        self.memory[a..a + bytes.len()].copy_from_slice(bytes);
+        Ok(at)
     }
 }
 
@@ -235,7 +279,9 @@ mod tests {
             ScanVariant::Predicated,
             ScanVariant::Vectorized { lanes: 4 },
         ] {
-            let r = engine.run(&mut b, spec(1000, 20, 60, variant), Tick::ZERO);
+            let r = engine
+                .run(&mut b, spec(1000, 20, 60, variant), Tick::ZERO)
+                .unwrap();
             assert_eq!(r.positions, reference_positions(&values, 20, 60));
             assert_eq!(r.matches as usize, r.positions.len());
         }
@@ -247,7 +293,7 @@ mod tests {
         let mut b = backend_with_column(&values);
         let engine = ScanEngine::gem5_like();
         let s = spec(16, 5, 8, ScanVariant::Branching);
-        let r = engine.run(&mut b, s, Tick::ZERO);
+        let r = engine.run(&mut b, s, Tick::ZERO).unwrap();
         assert_eq!(r.positions, vec![5, 6, 7, 8]);
         for (slot, pos) in r.positions.iter().enumerate() {
             let off = (s.out_addr as usize) + slot * 4;
@@ -271,6 +317,7 @@ mod tests {
                     spec(8000, 0, hi, ScanVariant::Branching),
                     Tick::ZERO,
                 )
+                .unwrap()
                 .end
         };
         let t0 = run(-1); // 0% selectivity
@@ -296,6 +343,7 @@ mod tests {
                     spec(8000, 0, hi, ScanVariant::Predicated),
                     Tick::ZERO,
                 )
+                .unwrap()
                 .end
         };
         let t0 = run(-1);
@@ -319,6 +367,7 @@ mod tests {
                     spec(20_000, 0, hi, ScanVariant::Branching),
                     Tick::ZERO,
                 )
+                .unwrap()
                 .mispredicts
         };
         let low = miss(49); // 5%
@@ -333,7 +382,9 @@ mod tests {
         let mut b = backend_with_column(&values);
         b.load_latency = Tick::from_us(1); // brutally slow memory
         let engine = ScanEngine::gem5_like();
-        let r = engine.run(&mut b, spec(80, 0, -1, ScanVariant::Branching), Tick::ZERO);
+        let r = engine
+            .run(&mut b, spec(80, 0, -1, ScanVariant::Branching), Tick::ZERO)
+            .unwrap();
         // 10 lines x 1 µs dominates; compute is negligible.
         assert!(r.stall >= Tick::from_us(10));
         assert!(r.compute < Tick::from_us(1));
@@ -345,7 +396,9 @@ mod tests {
         let values: Vec<i64> = (0..13).collect();
         let mut b = backend_with_column(&values);
         let engine = ScanEngine::gem5_like();
-        let r = engine.run(&mut b, spec(13, 0, 100, ScanVariant::Branching), Tick::ZERO);
+        let r = engine
+            .run(&mut b, spec(13, 0, 100, ScanVariant::Branching), Tick::ZERO)
+            .unwrap();
         assert_eq!(r.matches, 13);
         assert_eq!(b.loads, 2);
     }
@@ -354,14 +407,44 @@ mod tests {
     fn zero_rows() {
         let mut b = FixedLatencyBackend::new(1 << 10, Tick::from_ns(20));
         let engine = ScanEngine::gem5_like();
-        let r = engine.run(
-            &mut b,
-            spec(0, 0, 10, ScanVariant::Branching),
-            Tick::from_ns(5),
-        );
+        let r = engine
+            .run(
+                &mut b,
+                spec(0, 0, 10, ScanVariant::Branching),
+                Tick::from_ns(5),
+            )
+            .unwrap();
         assert_eq!(r.end, Tick::from_ns(5));
         assert_eq!(r.matches, 0);
         assert_eq!(b.loads, 0);
+    }
+
+    #[test]
+    fn scan_beyond_capacity_surfaces_typed_fault() {
+        // Column claimed to be longer than the backing image: the load past
+        // the end must surface as a typed fault, not a panic.
+        let mut b = FixedLatencyBackend::new(1 << 10, Tick::from_ns(20));
+        let engine = ScanEngine::gem5_like();
+        let s = ScanSpec {
+            col_addr: 0,
+            rows: 1 << 12, // 32 KiB of column in a 1 KiB image
+            lo: 0,
+            hi: 0,
+            out_addr: 1 << 9,
+            variant: ScanVariant::Branching,
+        };
+        let err = engine.run(&mut b, s, Tick::ZERO).unwrap_err();
+        assert_eq!(err, MemoryFault::OutOfRange { addr: 1 << 10 });
+        assert!(err.to_string().contains("beyond backing capacity"));
+    }
+
+    #[test]
+    fn out_of_range_store_surfaces_typed_fault() {
+        let mut b = FixedLatencyBackend::new(1 << 10, Tick::ZERO);
+        let err = b
+            .store(1 << 20, &7u32.to_le_bytes(), Tick::ZERO)
+            .unwrap_err();
+        assert_eq!(err, MemoryFault::OutOfRange { addr: 1 << 20 });
     }
 
     #[test]
@@ -376,6 +459,7 @@ mod tests {
             b.load_latency = Tick::ZERO; // isolate compute
             engine
                 .run(&mut b, spec(8000, 0, 499, variant), Tick::ZERO)
+                .unwrap()
                 .end
         };
         assert!(run(ScanVariant::Vectorized { lanes: 4 }) < run(ScanVariant::Branching));

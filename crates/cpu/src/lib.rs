@@ -32,5 +32,5 @@ pub mod engine;
 pub mod kernels;
 
 pub use branch::TwoBitPredictor;
-pub use engine::{FixedLatencyBackend, MemoryBackend, ScanEngine, ScanResult};
+pub use engine::{FixedLatencyBackend, MemoryBackend, MemoryFault, ScanEngine, ScanResult};
 pub use kernels::{KernelParams, ScanVariant};

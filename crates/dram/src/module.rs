@@ -31,6 +31,7 @@ use crate::geometry::DramGeometry;
 use crate::mode::ModeRegs;
 use crate::stats::DramStats;
 use crate::timing::DramTiming;
+use jafar_common::obs::{EventKind, SharedTracer};
 use jafar_common::time::Tick;
 use std::collections::VecDeque;
 
@@ -162,6 +163,16 @@ pub struct DramModule {
     data: DramData,
     stats: DramStats,
     fault: Option<FaultInjector>,
+    tracer: SharedTracer,
+}
+
+impl Requester {
+    fn label(self) -> &'static str {
+        match self {
+            Requester::Host => "host",
+            Requester::Ndp => "ndp",
+        }
+    }
 }
 
 impl DramModule {
@@ -181,7 +192,20 @@ impl DramModule {
             data: DramData::new(geometry.capacity_bytes()),
             stats: DramStats::default(),
             fault: None,
+            tracer: SharedTracer::disabled(),
         }
+    }
+
+    /// Attaches an event tracer. All DRAM commands, row-buffer outcomes and
+    /// fault injections are emitted into it. Tracing is observational only:
+    /// it never changes any simulated timing.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer handle (disabled by default).
+    pub fn tracer(&self) -> &SharedTracer {
+        &self.tracer
     }
 
     /// Installs (or removes) a fault injector on this module's data and
@@ -202,7 +226,7 @@ impl DramModule {
 
     /// Records the expiry deadline of the current NDP lease on `rank`.
     /// `Tick::MAX` means unbounded. Enforced at job admission by the
-    /// device, not per command (see [`RankState`]'s field docs).
+    /// device, not per command (see `RankState`'s field docs).
     pub fn set_ndp_deadline(&mut self, rank: u32, deadline: Tick) {
         self.ranks[rank as usize].ndp_deadline = deadline;
     }
@@ -417,6 +441,26 @@ impl DramModule {
         if at < earliest {
             return Err(IssueError::TooEarly(earliest));
         }
+        if self.tracer.is_enabled() {
+            let (name, rank, bank) = match cmd {
+                DramCommand::Activate { rank, bank, .. } => ("ACT", rank, bank),
+                DramCommand::Read { rank, bank, .. } => ("RD", rank, bank),
+                DramCommand::Write { rank, bank, .. } => ("WR", rank, bank),
+                DramCommand::Precharge { rank, bank } => ("PRE", rank, bank),
+                DramCommand::PrechargeAll { rank } => ("PREA", rank, 0),
+                DramCommand::Refresh { rank } => ("REF", rank, 0),
+                DramCommand::ModeRegisterSet { rank, .. } => ("MRS", rank, 0),
+            };
+            self.tracer.emit(
+                at,
+                EventKind::DramCmd {
+                    cmd: name,
+                    rank,
+                    bank,
+                    requester: requester.label(),
+                },
+            );
+        }
         let t = self.timing;
         match cmd {
             DramCommand::Activate { rank, bank, row } => {
@@ -459,7 +503,17 @@ impl DramModule {
                     data_ready = data_ready
                         .checked_add(disturbance.extra_delay)
                         .unwrap_or(Tick::MAX);
+                    if disturbance.extra_delay > Tick::ZERO {
+                        self.tracer
+                            .emit(at, EventKind::FaultInjected { kind: "stall" });
+                    }
                     if disturbance.uncorrectable {
+                        self.tracer.emit(
+                            at,
+                            EventKind::FaultInjected {
+                                kind: "uncorrectable",
+                            },
+                        );
                         return Err(IssueError::Uncorrectable);
                     }
                 }
@@ -520,6 +574,8 @@ impl DramModule {
                     if fault.on_mode_register_set() {
                         // Transient glitch: the rank ignored the command.
                         // No state changed; the caller may retry.
+                        self.tracer
+                            .emit(at, EventKind::FaultInjected { kind: "mrs-glitch" });
                         return Err(IssueError::MrsGlitch);
                     }
                 }
@@ -528,19 +584,106 @@ impl DramModule {
                     let idx = self.bank_index(rank, bank);
                     self.banks[idx].block_until(until);
                 }
+                let was_ndp = self.rank_owned_by_ndp(rank);
                 self.ranks[rank as usize].mode.set(mr, value);
                 self.stats.mode_sets.inc();
+                let now_ndp = self.rank_owned_by_ndp(rank);
+                if now_ndp != was_ndp {
+                    self.tracer.emit(
+                        until,
+                        EventKind::OwnershipChange {
+                            rank,
+                            to_ndp: now_ndp,
+                        },
+                    );
+                }
                 Ok(None)
             }
         }
     }
 
+    /// Closes any open rows on `rank` (precharge-all) and applies an
+    /// injected refresh storm of `n` back-to-back refreshes starting at
+    /// `cursor`. Returns the tick at which the rank is available again.
+    ///
+    /// # Errors
+    /// Propagates [`IssueError`] from the quiescing precharge (e.g. an
+    /// ownership rejection).
+    fn apply_refresh_storm(
+        &mut self,
+        rank: u32,
+        requester: Requester,
+        mut cursor: Tick,
+        n: u32,
+    ) -> Result<Tick, IssueError> {
+        let needs_close = (0..self.geometry.banks_per_rank).any(|b| {
+            matches!(
+                self.banks[self.bank_index(rank, b)].state(),
+                BankState::Active { .. }
+            )
+        });
+        if needs_close {
+            let pre = DramCommand::PrechargeAll { rank };
+            let at = self.earliest_issue(pre, requester, cursor)?;
+            self.issue(pre, requester, at, None)?;
+            cursor = at;
+        }
+        let until = cursor + self.timing.t_rfc * n as u64;
+        for bank in 0..self.geometry.banks_per_rank {
+            let idx = self.bank_index(rank, bank);
+            self.banks[idx].block_until(until);
+        }
+        self.stats.refreshes.add(n as u64);
+        if self.timing.refresh_enabled {
+            // The storm's refreshes count toward the schedule: the rank
+            // was just fully refreshed, so the next regular refresh is due
+            // one tREFI after the storm drains. Without this, a retry at
+            // `until` would find the same refresh still due and livelock.
+            let rs = &mut self.ranks[rank as usize];
+            rs.next_refresh = rs.next_refresh.max(until + self.timing.t_refi);
+        }
+        self.tracer.emit(
+            cursor,
+            EventKind::FaultInjected {
+                kind: "refresh-storm",
+            },
+        );
+        Ok(until)
+    }
+
     /// Performs any overdue refreshes on `rank`, closing open rows as
     /// needed. Returns the tick at which the rank is available again (≥
     /// `now`). Idempotent when no refresh is due.
-    pub fn maintain_refresh(&mut self, rank: u32, now: Tick, requester: Requester) -> Tick {
+    ///
+    /// # Errors
+    /// Returns [`IssueError::TooEarly`] when an injected refresh storm
+    /// preempts a *due* scheduled refresh: the storm seizes the rank for
+    /// `n × tRFC` and the caller's transaction cannot proceed this attempt.
+    /// The storm is consumed here, so retrying at the returned tick
+    /// succeeds. Other scheduling failures (e.g. ownership rejections) are
+    /// propagated instead of panicking.
+    pub fn maintain_refresh(
+        &mut self,
+        rank: u32,
+        now: Tick,
+        requester: Requester,
+    ) -> Result<Tick, IssueError> {
         let mut cursor = now;
         while self.refresh_due(rank, cursor) {
+            // An injected refresh storm colliding with a due scheduled
+            // refresh preempts it: surface a recoverable error instead of
+            // silently stretching the transaction.
+            if let Some(n) = self.fault.as_mut().and_then(FaultInjector::refresh_storm) {
+                let until = self.apply_refresh_storm(rank, requester, cursor, n)?;
+                self.tracer.emit(
+                    cursor,
+                    EventKind::ErrorSurfaced {
+                        site: "refresh",
+                        detail: "storm-preempted",
+                    },
+                );
+                return Err(IssueError::TooEarly(until));
+            }
             // Quiesce: close all open rows first.
             let needs_close = (0..self.geometry.banks_per_rank).any(|b| {
                 matches!(
@@ -549,23 +692,28 @@ impl DramModule {
                 )
             });
             if needs_close {
-                let at = self
-                    .earliest_issue(DramCommand::PrechargeAll { rank }, requester, cursor)
-                    .expect("precharge-all is always legal");
-                self.issue(DramCommand::PrechargeAll { rank }, requester, at, None)
-                    .expect("legal by construction");
+                let at =
+                    self.earliest_issue(DramCommand::PrechargeAll { rank }, requester, cursor)?;
+                self.issue(DramCommand::PrechargeAll { rank }, requester, at, None)?;
                 cursor = at;
             }
             let at = match self.earliest_issue(DramCommand::Refresh { rank }, requester, cursor) {
                 Ok(at) => at,
-                Err(IssueError::RanksNotQuiesced) => unreachable!("just precharged"),
-                Err(e) => panic!("refresh scheduling failed: {e:?}"),
+                Err(e) => {
+                    self.tracer.emit(
+                        cursor,
+                        EventKind::ErrorSurfaced {
+                            site: "refresh",
+                            detail: "schedule-failed",
+                        },
+                    );
+                    return Err(e);
+                }
             };
-            self.issue(DramCommand::Refresh { rank }, requester, at, None)
-                .expect("legal by construction");
+            self.issue(DramCommand::Refresh { rank }, requester, at, None)?;
             cursor = at + self.timing.t_rfc;
         }
-        cursor
+        Ok(cursor)
     }
 
     /// Serves one 64-byte block access as an atomic transaction under an
@@ -606,7 +754,7 @@ impl DramModule {
         })?;
 
         let mut cursor = if self.timing.refresh_enabled {
-            self.maintain_refresh(coord.rank, now, requester)
+            self.maintain_refresh(coord.rank, now, requester)?
         } else {
             now
         };
@@ -616,28 +764,7 @@ impl DramModule {
         // regular tREFI schedule, which may be disabled). Like regular
         // refresh, the storm quiesces the rank — open rows close first.
         if let Some(n) = self.fault.as_mut().and_then(FaultInjector::refresh_storm) {
-            let needs_close = (0..self.geometry.banks_per_rank).any(|b| {
-                matches!(
-                    self.banks[self.bank_index(coord.rank, b)].state(),
-                    BankState::Active { .. }
-                )
-            });
-            if needs_close {
-                let pre = DramCommand::PrechargeAll { rank: coord.rank };
-                let at = self
-                    .earliest_issue(pre, requester, cursor)
-                    .expect("precharge-all is always legal");
-                self.issue(pre, requester, at, None)
-                    .expect("legal by construction");
-                cursor = at;
-            }
-            let until = cursor + self.timing.t_rfc * n as u64;
-            for bank in 0..self.geometry.banks_per_rank {
-                let idx = self.bank_index(coord.rank, bank);
-                self.banks[idx].block_until(until);
-            }
-            self.stats.refreshes.add(n as u64);
-            cursor = until;
+            cursor = self.apply_refresh_storm(coord.rank, requester, cursor, n)?;
         }
 
         let idx = self.bank_index(coord.rank, coord.bank);
@@ -646,6 +773,18 @@ impl DramModule {
             BankState::Idle => RowOutcome::Miss,
             BankState::Active { .. } => RowOutcome::Conflict,
         };
+        self.tracer.emit(
+            cursor,
+            EventKind::RowAccess {
+                outcome: match outcome {
+                    RowOutcome::Hit => "hit",
+                    RowOutcome::Miss => "miss",
+                    RowOutcome::Conflict => "conflict",
+                },
+                rank: coord.rank,
+                bank: coord.bank,
+            },
+        );
         match outcome {
             RowOutcome::Hit => {}
             RowOutcome::Conflict => {
@@ -977,7 +1116,9 @@ mod tests {
         // closed, the refresh applied, and the deadline advances.
         m.serve_block(coord(0, 0, 0, 0), false, Requester::Host, Tick::ZERO, None)
             .unwrap();
-        let after = m.maintain_refresh(0, Tick::from_us(8), Requester::Host);
+        let after = m
+            .maintain_refresh(0, Tick::from_us(8), Requester::Host)
+            .unwrap();
         assert!(after >= Tick::from_us(8) + m.timing().t_rfc);
         assert_eq!(m.stats().refreshes.get(), 1);
         assert!(m.refresh_deadline(0) > deadline);
@@ -992,6 +1133,87 @@ mod tests {
             )
             .unwrap();
         assert!(a.data_ready >= after);
+    }
+
+    #[test]
+    fn refresh_storm_preempts_due_refresh_as_recoverable_error() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut m = DramModule::new(
+            DramGeometry::tiny(),
+            DramTiming::ddr3_paper(),
+            AddressMapping::RowBankRankBlock,
+        );
+        m.set_fault_injector(Some(FaultInjector::new(FaultPlan {
+            storm_p: 1.0,
+            storm_refreshes: 4,
+            ..FaultPlan::none(7)
+        })));
+        let (tracer, ring) = jafar_common::obs::SharedTracer::ring(64);
+        m.set_tracer(tracer);
+        // Far past the first deadline: refresh is due, and the injected
+        // storm preempts it. The error is recoverable — the returned tick
+        // says when to retry, and the retry succeeds because the storm was
+        // consumed (and its refreshes advanced the schedule).
+        let now = Tick::from_us(40);
+        let err = m
+            .serve_block(coord(0, 0, 0, 0), false, Requester::Host, now, None)
+            .unwrap_err();
+        let until = match err {
+            IssueError::TooEarly(t) => t,
+            other => panic!("expected TooEarly, got {other:?}"),
+        };
+        assert!(until >= now + m.timing().t_rfc * 4);
+        assert_eq!(m.stats().refreshes.get(), 4);
+        // The retry rolls a fresh storm (p = 1.0), but refresh is no longer
+        // due, so it takes the non-colliding serve_block storm path and the
+        // access completes.
+        let a = m
+            .serve_block(coord(0, 0, 0, 0), false, Requester::Host, until, None)
+            .unwrap();
+        assert!(a.data_ready > until);
+        let ring = ring.borrow();
+        let kinds: Vec<&str> = ring.events().map(|e| e.kind.name()).collect();
+        assert!(kinds.contains(&"fault"), "kinds={kinds:?}");
+        assert!(kinds.contains(&"error"), "kinds={kinds:?}");
+        assert!(kinds.contains(&"row-access"), "kinds={kinds:?}");
+    }
+
+    #[test]
+    fn tracer_records_commands_without_changing_timing() {
+        let mut traced = module();
+        let (tracer, ring) = jafar_common::obs::SharedTracer::ring(1024);
+        traced.set_tracer(tracer);
+        let mut plain = module();
+        for block in 0..4 {
+            let a = traced
+                .serve_block(
+                    coord(0, 0, 0, block),
+                    false,
+                    Requester::Host,
+                    Tick::ZERO,
+                    None,
+                )
+                .unwrap();
+            let b = plain
+                .serve_block(
+                    coord(0, 0, 0, block),
+                    false,
+                    Requester::Host,
+                    Tick::ZERO,
+                    None,
+                )
+                .unwrap();
+            assert_eq!(a.data_ready, b.data_ready);
+            assert_eq!(a.outcome, b.outcome);
+        }
+        let ring = ring.borrow();
+        assert!(!ring.is_empty());
+        // ACT + 4 RDs on the command stream, plus 4 row-access events.
+        let cmds = ring
+            .events()
+            .filter(|e| e.kind.name() == "dram-cmd")
+            .count();
+        assert_eq!(cmds, 5);
     }
 
     #[test]

@@ -25,8 +25,9 @@
 use crate::counters::{IdleReport, IntervalSet, McCounters};
 use crate::request::{Completion, MemRequest, ReqId};
 use crate::sched::{pick, Policy};
+use jafar_common::obs::{EventKind, SharedTracer};
 use jafar_common::time::Tick;
-use jafar_dram::{DramCommand, DramModule, IssueError, Requester, RowOutcome};
+use jafar_dram::{BlockAccess, DramCommand, DramModule, IssueError, Requester, RowOutcome};
 
 /// Why a request could not be enqueued.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -88,6 +89,7 @@ pub struct MemoryController {
     counters: McCounters,
     read_busy: IntervalSet,
     write_busy: IntervalSet,
+    tracer: SharedTracer,
 }
 
 impl MemoryController {
@@ -107,7 +109,21 @@ impl MemoryController {
             counters: McCounters::default(),
             read_busy: IntervalSet::new(),
             write_busy: IntervalSet::new(),
+            tracer: SharedTracer::disabled(),
         }
+    }
+
+    /// Attaches an event tracer to the controller *and* its DRAM module.
+    /// Scheduling decisions, ownership transfers and all DRAM-level events
+    /// are emitted into it. Purely observational — no timing changes.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.module.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn tracer(&self) -> &SharedTracer {
+        &self.tracer
     }
 
     /// The DRAM module behind this controller.
@@ -210,57 +226,111 @@ impl MemoryController {
     /// Advances the internal decision cursor; requests that have not yet
     /// arrived by the cursor are waited for (the cursor jumps to the next
     /// arrival when all queues are momentarily empty of arrived requests).
+    ///
+    /// A transaction rejected by a transient DRAM condition (e.g. an
+    /// injected refresh storm preempting a due refresh) is requeued with
+    /// its arrival bumped to the earliest retry tick; the controller moves
+    /// on rather than panicking or spinning.
     pub fn service_one(&mut self) -> Option<Completion> {
-        let now = self.cursor.max(self.earliest_arrival()?);
-        let use_writes = self.choose_write_queue(now)?;
-        let module = &self.module;
-        let queue = if use_writes {
-            &self.write_q
-        } else {
-            &self.read_q
-        };
-        // Hold requests to NDP-owned ranks: filter, pick, then map back.
-        let candidates: Vec<(u64, MemRequest)> = queue
-            .iter()
-            .filter(|(_, r)| self.servable(r))
-            .copied()
-            .collect();
-        let picked = pick(
-            self.config.policy,
-            &candidates,
-            module,
-            now,
-            self.bypass_count,
-        )?;
-        let (id, req) = candidates[picked];
+        loop {
+            let now = self.cursor.max(self.earliest_arrival()?);
+            let use_writes = self.choose_write_queue(now)?;
+            let module = &self.module;
+            let queue = if use_writes {
+                &self.write_q
+            } else {
+                &self.read_q
+            };
+            // Hold requests to NDP-owned ranks: filter, pick, then map back.
+            let candidates: Vec<(u64, MemRequest)> = queue
+                .iter()
+                .filter(|(_, r)| self.servable(r))
+                .copied()
+                .collect();
+            let picked = pick(
+                self.config.policy,
+                &candidates,
+                module,
+                now,
+                self.bypass_count,
+            )?;
+            let (id, req) = candidates[picked];
 
-        // Starvation-cap accounting: did we bypass the oldest arrived one?
-        let oldest = candidates
-            .iter()
-            .filter(|(_, r)| r.arrival <= now)
-            .min_by_key(|(cid, r)| (r.arrival, *cid))
-            .map(|(cid, _)| *cid);
-        if oldest == Some(id) {
-            self.bypass_count = 0;
-        } else {
-            self.bypass_count += 1;
+            // Starvation-cap accounting: did we bypass the oldest arrived one?
+            let oldest = candidates
+                .iter()
+                .filter(|(_, r)| r.arrival <= now)
+                .min_by_key(|(cid, r)| (r.arrival, *cid))
+                .map(|(cid, _)| *cid);
+            if oldest == Some(id) {
+                self.bypass_count = 0;
+            } else {
+                self.bypass_count += 1;
+            }
+
+            self.tracer.emit(
+                now,
+                EventKind::SchedDecision {
+                    queue: if use_writes { "write" } else { "read" },
+                    picked: id,
+                    queued: (self.read_q.len() + self.write_q.len()) as u32,
+                },
+            );
+
+            let queue = if use_writes {
+                &mut self.write_q
+            } else {
+                &mut self.read_q
+            };
+            let pos = queue
+                .iter()
+                .position(|(qid, _)| *qid == id)
+                .expect("present");
+            queue.remove(pos);
+
+            let access =
+                match self
+                    .module
+                    .serve_addr(req.addr, req.is_write, Requester::Host, now, None)
+                {
+                    Ok(a) => a,
+                    Err(e) => {
+                        // Requeue with the arrival bumped to the earliest
+                        // retry tick and advance the cursor by at least one
+                        // bus cycle so the decision loop makes progress.
+                        let retry_at = match e {
+                            IssueError::TooEarly(t) => t,
+                            _ => now + self.module.timing().bus_clock.period(),
+                        };
+                        let mut requeued = req;
+                        requeued.arrival = requeued.arrival.max(retry_at);
+                        let queue = if req.is_write {
+                            &mut self.write_q
+                        } else {
+                            &mut self.read_q
+                        };
+                        queue.push((id, requeued));
+                        self.counters.requeued.inc();
+                        // The next iteration recomputes `now` from the
+                        // earliest arrival, so a lone requeued request is
+                        // retried exactly at `retry_at`.
+                        self.cursor =
+                            self.cursor.max(now) + self.module.timing().bus_clock.period();
+                        self.tracer.emit(
+                            now,
+                            EventKind::ErrorSurfaced {
+                                site: "memctl",
+                                detail: "requeued",
+                            },
+                        );
+                        continue;
+                    }
+                };
+            return Some(self.complete(id, req, access, now));
         }
+    }
 
-        let queue = if use_writes {
-            &mut self.write_q
-        } else {
-            &mut self.read_q
-        };
-        let pos = queue
-            .iter()
-            .position(|(qid, _)| *qid == id)
-            .expect("present");
-        queue.remove(pos);
-
-        let access = self
-            .module
-            .serve_addr(req.addr, req.is_write, Requester::Host, now, None)
-            .expect("servable was checked");
+    fn complete(&mut self, id: u64, req: MemRequest, access: BlockAccess, now: Tick) -> Completion {
         match access.outcome {
             RowOutcome::Hit => self.counters.row_hits.inc(),
             RowOutcome::Miss => self.counters.row_misses.inc(),
@@ -281,13 +351,13 @@ impl MemoryController {
         let cas_at = access.data_ready.saturating_sub(cas_lead + t.t_burst);
         self.cursor = cas_at.max(now) + t.bus_clock.period();
 
-        Some(Completion {
+        Completion {
             id: ReqId(id),
             request: req,
             done: access.data_ready,
             outcome: access.outcome,
             data: access.data,
-        })
+        }
     }
 
     /// Services every servable queued transaction, in policy order. Requests
@@ -318,8 +388,13 @@ impl MemoryController {
             return Err(OwnershipError::PendingRequests);
         }
         let now = now.max(self.cursor);
-        // Quiesce: close any open rows, run due refreshes first.
-        let after_refresh = self.module.maintain_refresh(rank, now, Requester::Host);
+        // Quiesce: close any open rows, run due refreshes first. A refresh
+        // storm preempting the schedule surfaces here as a recoverable
+        // `Mrs(TooEarly)` — retry once the storm drains.
+        let after_refresh = self
+            .module
+            .maintain_refresh(rank, now, Requester::Host)
+            .map_err(OwnershipError::Mrs)?;
         let pre = DramCommand::PrechargeAll { rank };
         let at = self
             .module
@@ -337,6 +412,8 @@ impl MemoryController {
         self.module
             .issue(mrs, Requester::Host, at, None)
             .map_err(OwnershipError::Mrs)?;
+        // The module emits the OwnershipChange event at the flip itself,
+        // so both this path and the driver's direct grant trace uniformly.
         let effective = at + self.module.timing().t_mod;
         self.cursor = self.cursor.max(effective);
         Ok(effective)

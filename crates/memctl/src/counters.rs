@@ -115,6 +115,9 @@ pub struct McCounters {
     pub row_misses: Counter,
     /// Row-buffer conflicts (wrong row open).
     pub row_conflicts: Counter,
+    /// Transactions requeued after a transient DRAM rejection (e.g. an
+    /// injected refresh storm preempting a due refresh).
+    pub requeued: Counter,
 }
 
 /// The end-of-run idle analysis of one controller.

@@ -12,8 +12,9 @@
 //! hides their latency from the core.
 
 use jafar_cache::{Hierarchy, HitLevel, StreamPrefetcher};
+use jafar_common::obs::EventKind;
 use jafar_common::time::{ClockDomain, Tick};
-use jafar_cpu::MemoryBackend;
+use jafar_cpu::{MemoryBackend, MemoryFault};
 use jafar_dram::PhysAddr;
 use jafar_memctl::{EnqueueError, MemRequest, MemoryController, Origin};
 use std::collections::HashMap;
@@ -65,9 +66,9 @@ impl<'a> SimBackend<'a> {
         self
     }
 
-    fn enqueue_or_drain(&mut self, req: MemRequest) -> jafar_memctl::ReqId {
+    fn enqueue_or_drain(&mut self, req: MemRequest) -> Result<jafar_memctl::ReqId, MemoryFault> {
         match self.mc.enqueue(req) {
-            Ok(id) => id,
+            Ok(id) => Ok(id),
             Err(EnqueueError::QueueFull) => {
                 // Drain in-flight transactions (their completion times are
                 // already determined), recording prefetch arrivals.
@@ -77,10 +78,17 @@ impl<'a> SimBackend<'a> {
                         self.inflight.insert(c.request.addr.0, c.done);
                     }
                 }
-                self.mc.enqueue(req).expect("queue drained")
+                Ok(self.mc.enqueue(req).expect("queue drained"))
             }
             Err(EnqueueError::OutOfRange) => {
-                panic!("simulated access beyond DRAM capacity: {:?}", req.addr)
+                self.mc.tracer().emit(
+                    req.arrival,
+                    EventKind::ErrorSurfaced {
+                        site: "sim-backend",
+                        detail: "out-of-range",
+                    },
+                );
+                Err(MemoryFault::OutOfRange { addr: req.addr.0 })
             }
         }
     }
@@ -117,12 +125,25 @@ impl<'a> SimBackend<'a> {
 }
 
 impl MemoryBackend for SimBackend<'_> {
-    fn load_line(&mut self, addr: u64, at: Tick) -> (Tick, [u8; 64]) {
+    fn load_line(&mut self, addr: u64, at: Tick) -> Result<(Tick, [u8; 64]), MemoryFault> {
         let line = addr & !63;
+        // Reject before touching the hierarchy: an out-of-range line must
+        // not be installed as a tag (a later access would "hit" it and read
+        // the backing store out of bounds).
+        if line >= self.mc.module().geometry().capacity_bytes() {
+            self.mc.tracer().emit(
+                at,
+                EventKind::ErrorSurfaced {
+                    site: "sim-backend",
+                    detail: "out-of-range",
+                },
+            );
+            return Err(MemoryFault::OutOfRange { addr });
+        }
         let outcome = self.hierarchy.access(line, false);
         for wb in &outcome.writebacks {
             let req = MemRequest::writeback(PhysAddr(*wb), at);
-            self.enqueue_or_drain(req);
+            self.enqueue_or_drain(req)?;
         }
         let traversal = if self.streaming {
             Tick::ZERO
@@ -156,12 +177,12 @@ impl MemoryBackend for SimBackend<'_> {
                 }
                 None => {}
             }
-            return (ready, self.functional_line(line));
+            return Ok((ready, self.functional_line(line)));
         }
 
         // Full miss: fetch the demand line.
         self.demand_fetches += 1;
-        let id = self.enqueue_or_drain(MemRequest::read(PhysAddr(line), at));
+        let id = self.enqueue_or_drain(MemRequest::read(PhysAddr(line), at))?;
         let completions = self.mc.drain();
         let mut ready = at;
         for c in completions {
@@ -171,24 +192,34 @@ impl MemoryBackend for SimBackend<'_> {
                 self.inflight.insert(c.request.addr.0, c.done);
             }
         }
-        (ready + traversal, self.functional_line(line))
+        Ok((ready + traversal, self.functional_line(line)))
     }
 
-    fn store(&mut self, addr: u64, bytes: &[u8], at: Tick) -> Tick {
+    fn store(&mut self, addr: u64, bytes: &[u8], at: Tick) -> Result<Tick, MemoryFault> {
+        let line = addr & !63;
+        if line >= self.mc.module().geometry().capacity_bytes() {
+            self.mc.tracer().emit(
+                at,
+                EventKind::ErrorSurfaced {
+                    site: "sim-backend",
+                    detail: "out-of-range",
+                },
+            );
+            return Err(MemoryFault::OutOfRange { addr });
+        }
         // Functional write-through: the backing store stays authoritative.
         self.mc.module_mut().data_mut().write(PhysAddr(addr), bytes);
-        let line = addr & !63;
         let outcome = self.hierarchy.access(line, true);
         for wb in &outcome.writebacks {
             let req = MemRequest::writeback(PhysAddr(*wb), at);
-            self.enqueue_or_drain(req);
+            self.enqueue_or_drain(req)?;
         }
         if outcome.level == HitLevel::Memory {
             // Write-allocate: fetch-for-ownership traffic; the store
             // buffer hides its latency from the core.
-            self.enqueue_or_drain(MemRequest::read(PhysAddr(line), at));
+            self.enqueue_or_drain(MemRequest::read(PhysAddr(line), at))?;
         }
-        at
+        Ok(at)
     }
 }
 
@@ -218,10 +249,10 @@ mod tests {
         mc.module_mut().data_mut().write_u64(PhysAddr(0), 0xBEEF);
         let clock = ClockDomain::from_ghz(1);
         let mut b = SimBackend::new(&mut mc, &mut h, None, &mut infl, clock);
-        let (t1, data) = b.load_line(0, Tick::ZERO);
+        let (t1, data) = b.load_line(0, Tick::ZERO).unwrap();
         assert!(t1 >= Tick::from_ns(30), "full DRAM latency, got {t1}");
         assert_eq!(u64::from_le_bytes(data[..8].try_into().unwrap()), 0xBEEF);
-        let (t2, _) = b.load_line(8, t1);
+        let (t2, _) = b.load_line(8, t1).unwrap();
         assert_eq!(t2, t1 + clock.cycles_to_tick(2), "L1 hit");
         assert_eq!(b.demand_fetches, 1);
     }
@@ -241,7 +272,7 @@ mod tests {
             );
             let mut now = Tick::ZERO;
             for i in 0..128u64 {
-                let (ready, _) = b.load_line(i * 64, now);
+                let (ready, _) = b.load_line(i * 64, now).unwrap();
                 now = ready.max(now) + Tick::from_ns(2); // 2 ns compute/line
             }
             now
@@ -261,16 +292,16 @@ mod tests {
         let clock = ClockDomain::from_ghz(1);
         let mut b = SimBackend::new(&mut mc, &mut h, Some(&mut pf), &mut infl, clock);
         // Train the stream: lines 0, 1 (miss + confirm → prefetch 2..).
-        let (t0, _) = b.load_line(0, Tick::ZERO);
-        let (t1, _) = b.load_line(64, t0);
+        let (t0, _) = b.load_line(0, Tick::ZERO).unwrap();
+        let (t1, _) = b.load_line(64, t0).unwrap();
         // Immediately touch line 2: it is cached (installed) but its fill
         // completes later than an L1 hit would.
-        let (t2, _) = b.load_line(128, t1);
+        let (t2, _) = b.load_line(128, t1).unwrap();
         assert!(t2 >= t1, "fill time respected");
         // After enough time, line 3 is a plain hit (prefetches install in
         // the last level, so it costs the L1+L2 traversal).
         let far = t2 + Tick::from_us(1);
-        let (t3, _) = b.load_line(192, far);
+        let (t3, _) = b.load_line(192, far).unwrap();
         assert!(t3 <= far + clock.cycles_to_tick(14), "t3={t3} far={far}");
     }
 
@@ -279,7 +310,7 @@ mod tests {
         let (mut mc, mut h, mut infl) = parts();
         let clock = ClockDomain::from_ghz(1);
         let mut b = SimBackend::new(&mut mc, &mut h, None, &mut infl, clock);
-        let t = b.store(4096, &7u64.to_le_bytes(), Tick::ZERO);
+        let t = b.store(4096, &7u64.to_le_bytes(), Tick::ZERO).unwrap();
         assert_eq!(t, Tick::ZERO, "store buffer hides latency");
         // Functional value visible.
         assert_eq!(b.mc.module().data().read_u64(PhysAddr(4096)), 7);
@@ -290,13 +321,35 @@ mod tests {
     }
 
     #[test]
+    fn access_beyond_capacity_is_typed_error_not_panic() {
+        use jafar_common::obs::SharedTracer;
+        let (mut mc, mut h, mut infl) = parts();
+        let (tracer, ring) = SharedTracer::ring(16);
+        mc.set_tracer(tracer);
+        let capacity = mc.module().geometry().capacity_bytes();
+        let clock = ClockDomain::from_ghz(1);
+        let mut b = SimBackend::new(&mut mc, &mut h, None, &mut infl, clock);
+        let err = b.load_line(capacity + 64, Tick::ZERO).unwrap_err();
+        assert!(matches!(err, MemoryFault::OutOfRange { addr } if addr > capacity));
+        let err = b.store(capacity, &[1u8], Tick::ZERO).unwrap_err();
+        assert_eq!(err, MemoryFault::OutOfRange { addr: capacity });
+        // Both faults left a trace of the surfaced error.
+        let surfaced = ring
+            .borrow()
+            .events()
+            .filter(|e| e.kind.name() == "error")
+            .count();
+        assert_eq!(surfaced, 2);
+    }
+
+    #[test]
     fn queue_pressure_drains_automatically() {
         let (mut mc, mut h, mut infl) = parts();
         let clock = ClockDomain::from_ghz(1);
         let mut b = SimBackend::new(&mut mc, &mut h, None, &mut infl, clock);
         // Far more stores than the write queue holds.
         for i in 0..200u64 {
-            b.store(i * 64, &[1u8], Tick::ZERO);
+            b.store(i * 64, &[1u8], Tick::ZERO).unwrap();
         }
         b.mc.drain();
         assert!(b.mc.counters().reads.get() >= 200, "RFOs all issued");

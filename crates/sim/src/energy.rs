@@ -144,7 +144,9 @@ mod tests {
             .collect();
         let col = sys.write_column(&vals);
         sys.begin_measurement();
-        let cpu = sys.run_select_cpu(col, rows, 0, 499, ScanVariant::Branching, Tick::ZERO);
+        let cpu = sys
+            .run_select_cpu(col, rows, 0, 499, ScanVariant::Branching, Tick::ZERO)
+            .unwrap();
         let bus_bursts = sys.mc().counters().reads.get() + sys.mc().counters().writes.get();
         let jf = sys.run_select_jafar(col, rows, 0, 499, cpu.end);
 

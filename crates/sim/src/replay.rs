@@ -185,7 +185,10 @@ impl<'a> QueryReplayer<'a> {
                     kernel.mispredict_penalty *= self.scan_cost_factor;
                     let engine = ScanEngine::new(self.system.config().cpu_clock, kernel);
                     let mut backend = self.system.backend();
-                    engine.run(&mut backend, spec, now).end
+                    engine
+                        .run(&mut backend, spec, now)
+                        .expect("replayed scan stays within DRAM capacity")
+                        .end
                 }
                 TraceEvent::ScanAt {
                     table,
@@ -282,7 +285,9 @@ impl<'a> QueryReplayer<'a> {
         let mut carry = 0.0f64;
         for i in 0..count {
             let row = (i * stride) % rows;
-            let (ready, _) = backend.load_line(base.0 + row * 8, now);
+            let (ready, _) = backend
+                .load_line(base.0 + row * 8, now)
+                .expect("replayed access stays within DRAM capacity");
             now = now.max(ready);
             let adv = cycles * period + carry;
             carry = adv.fract();
@@ -298,7 +303,9 @@ impl<'a> QueryReplayer<'a> {
         let mut now = start;
         let lines = bytes.div_ceil(64);
         for l in 0..lines {
-            let (ready, _) = backend.load_line(base.0 + l * 64, now);
+            let (ready, _) = backend
+                .load_line(base.0 + l * 64, now)
+                .expect("replayed access stays within DRAM capacity");
             now = now.max(ready) + Tick::from_ps((8.0 * cycles * period) as u64);
         }
         now
@@ -311,7 +318,9 @@ impl<'a> QueryReplayer<'a> {
         let mut now = start;
         let payload = [0u8; 8];
         for off in (0..bytes).step_by(8) {
-            backend.store(base.0 + off, &payload, now);
+            backend
+                .store(base.0 + off, &payload, now)
+                .expect("replayed access stays within DRAM capacity");
             now += Tick::from_ps((cycles * period) as u64);
         }
         now
@@ -337,11 +346,17 @@ impl<'a> QueryReplayer<'a> {
         for off in offsets.drain(..) {
             if write {
                 // Hash update = read-modify-write; the read drives timing.
-                let (ready, _) = backend.load_line(base.0 + off, now);
+                let (ready, _) = backend
+                    .load_line(base.0 + off, now)
+                    .expect("replayed access stays within DRAM capacity");
                 now = now.max(ready);
-                backend.store(base.0 + off, &payload, now);
+                backend
+                    .store(base.0 + off, &payload, now)
+                    .expect("replayed access stays within DRAM capacity");
             } else {
-                let (ready, _) = backend.load_line(base.0 + off, now);
+                let (ready, _) = backend
+                    .load_line(base.0 + off, now)
+                    .expect("replayed access stays within DRAM capacity");
                 now = now.max(ready);
             }
             now += Tick::from_ps((cycles * period) as u64);
@@ -396,7 +411,7 @@ mod tests {
         assert_eq!(rows, db.lineitem.rows() as u64);
         // Functional data round-trips.
         let got = sys.mc().module().data().read_i64(addr);
-        assert_eq!(got, db.lineitem.column("l_shipdate").get(0));
+        assert_eq!(got, db.lineitem.column("l_shipdate").unwrap().get(0));
     }
 
     #[test]

@@ -20,6 +20,9 @@ use crate::alloc::SimAlloc;
 use crate::backend::SimBackend;
 use crate::config::SystemConfig;
 use jafar_cache::{Hierarchy, StreamPrefetcher};
+use jafar_common::obs::{
+    chrome_trace_json, render_timeline, Event, MetricsRegistry, RingTracer, SharedTracer,
+};
 use jafar_common::stats::Scoreboard;
 use jafar_common::time::Tick;
 use jafar_core::api::{select_jafar, SelectArgs};
@@ -31,8 +34,10 @@ use jafar_cpu::{ScanEngine, ScanVariant};
 use jafar_dram::{DramModule, FaultInjector, FaultPlan, FaultStats, PhysAddr};
 use jafar_memctl::controller::MemoryController;
 use jafar_memctl::IdleReport;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::rc::Rc;
 
 /// Result of a CPU-only select run.
 #[derive(Clone, Debug)]
@@ -151,6 +156,8 @@ pub struct System {
     pub alloc: SimAlloc,
     /// Allocator over the remaining ranks (CPU-private scratch).
     pub scratch: SimAlloc,
+    tracer: SharedTracer,
+    trace_ring: Option<Rc<RefCell<RingTracer>>>,
 }
 
 impl System {
@@ -168,7 +175,93 @@ impl System {
             alloc: SimAlloc::new(PhysAddr(0), rank_bytes),
             scratch: SimAlloc::new(PhysAddr(rank_bytes), capacity - rank_bytes),
             cfg,
+            tracer: SharedTracer::disabled(),
+            trace_ring: None,
         }
+    }
+
+    /// Turns on cycle-stamped event tracing across every instrumented
+    /// component (DRAM module, memory controller, JAFAR device, resilient
+    /// driver), backed by a bounded ring holding the `capacity` most
+    /// recent events. Purely observational: enabling tracing never changes
+    /// a simulated tick count (asserted by `tracer_does_not_change_timing`).
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        let (tracer, ring) = SharedTracer::ring(capacity);
+        self.mc.set_tracer(tracer.clone());
+        if let Some(device) = self.device.as_mut() {
+            device.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+        self.trace_ring = Some(ring);
+    }
+
+    /// Snapshot of the recorded events, oldest first. Empty when tracing
+    /// was never enabled.
+    pub fn trace_events(&self) -> Vec<Event> {
+        self.trace_ring
+            .as_ref()
+            .map(|r| r.borrow().snapshot())
+            .unwrap_or_default()
+    }
+
+    /// The recorded events as Chrome `trace_event` JSON (load the string
+    /// at `chrome://tracing` or in Perfetto). `None` when tracing was
+    /// never enabled. Same seed, same run → byte-identical output.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.trace_ring
+            .as_ref()
+            .map(|r| chrome_trace_json(&r.borrow().snapshot()))
+    }
+
+    /// The recorded events as a human-readable timeline, one line per
+    /// event. `None` when tracing was never enabled.
+    pub fn trace_timeline(&self) -> Option<String> {
+        self.trace_ring
+            .as_ref()
+            .map(|r| render_timeline(&r.borrow().snapshot()))
+    }
+
+    /// Snapshots every counter in the stack — DRAM module, memory
+    /// controller, device, fault injector, and the trace ring itself —
+    /// into one ordered [`MetricsRegistry`] for unified run reports.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let dram = self.mc.module().stats();
+        reg.counter("dram.row_hits", dram.row_hits.get());
+        reg.counter("dram.row_misses", dram.row_misses.get());
+        reg.counter("dram.row_conflicts", dram.row_conflicts.get());
+        reg.counter("dram.read_bursts", dram.read_bursts.get());
+        reg.counter("dram.write_bursts", dram.write_bursts.get());
+        reg.counter("dram.refreshes", dram.refreshes.get());
+        reg.counter("dram.mode_sets", dram.mode_sets.get());
+        reg.counter("dram.ownership_rejections", dram.ownership_rejections.get());
+        let mc = self.mc.counters();
+        reg.counter("memctl.reads", mc.reads.get());
+        reg.counter("memctl.writes", mc.writes.get());
+        reg.counter("memctl.rejected", mc.rejected.get());
+        reg.counter("memctl.requeued", mc.requeued.get());
+        if let Some(device) = self.device.as_ref() {
+            let d = device.stats();
+            reg.counter("device.jobs", d.jobs.get());
+            reg.counter("device.words", d.words.get());
+            reg.counter("device.bursts_read", d.bursts_read.get());
+            reg.counter("device.bursts_written", d.bursts_written.get());
+        }
+        if let Some(f) = self.mc.module().fault_stats() {
+            reg.counter("faults.flips_injected", f.flips_injected.get());
+            reg.counter("faults.ecc_corrected", f.ecc_corrected.get());
+            reg.counter("faults.ecc_uncorrectable", f.ecc_uncorrectable.get());
+            reg.counter("faults.stalls", f.stalls.get());
+            reg.counter("faults.drops", f.drops.get());
+            reg.counter("faults.mrs_glitches", f.mrs_glitches.get());
+            reg.counter("faults.refresh_storms", f.refresh_storms.get());
+        }
+        if let Some(ring) = self.trace_ring.as_ref() {
+            let ring = ring.borrow();
+            reg.counter("trace.emitted", ring.emitted());
+            reg.counter("trace.dropped", ring.dropped());
+        }
+        reg
     }
 
     /// The configuration.
@@ -254,6 +347,11 @@ impl System {
     /// Runs the CPU-only select of `rows` packed `i64`s at `col_addr`,
     /// with the inclusive range `[lo, hi]`, writing the position list to
     /// scratch memory.
+    ///
+    /// # Errors
+    /// [`jafar_cpu::MemoryFault`] if the column (or the scratch output)
+    /// extends beyond simulated DRAM capacity — a placement error surfaced
+    /// as a typed fault rather than a backend panic.
     pub fn run_select_cpu(
         &mut self,
         col_addr: PhysAddr,
@@ -262,7 +360,7 @@ impl System {
         hi: i64,
         variant: ScanVariant,
         start: Tick,
-    ) -> CpuSelectStats {
+    ) -> Result<CpuSelectStats, jafar_cpu::MemoryFault> {
         let setup = self.cfg.query_overhead;
         let out_addr = self.scratch.alloc_blocks(rows.max(1) * 4);
         let engine = ScanEngine::new(self.cfg.cpu_clock, self.cfg.kernel);
@@ -278,9 +376,11 @@ impl System {
         let mut backend = self.backend();
         let result = engine.run(&mut backend, spec, kernel_start);
         let lines = backend.demand_fetches;
-        // Flush outstanding writebacks/RFOs (timing accounted in MC).
+        // Flush outstanding writebacks/RFOs (timing accounted in MC) even
+        // when the scan faulted partway through.
         self.mc.drain();
-        CpuSelectStats {
+        let result = result?;
+        Ok(CpuSelectStats {
             end: result.end,
             matches: result.matches,
             positions: result.positions,
@@ -289,7 +389,7 @@ impl System {
             stall: result.stall,
             mispredicts: result.mispredicts,
             lines_from_dram: lines,
-        }
+        })
     }
 
     /// Runs the JAFAR pushdown select: ownership handoff, per-page
@@ -418,6 +518,7 @@ impl System {
         let module = self.mc.module_mut();
         let device = self.device.as_mut().expect("checked above");
         let mut driver = ResilientDriver::new(rcfg);
+        driver.set_tracer(self.tracer.clone());
         let run = driver.run_select(
             device,
             module,
@@ -470,7 +571,9 @@ mod tests {
         let mut sys = small_system();
         let vals = values(8000, 999, 42);
         let col = sys.write_column(&vals);
-        let cpu = sys.run_select_cpu(col, 8000, 100, 399, ScanVariant::Branching, Tick::ZERO);
+        let cpu = sys
+            .run_select_cpu(col, 8000, 100, 399, ScanVariant::Branching, Tick::ZERO)
+            .unwrap();
         let jf = sys.run_select_jafar(col, 8000, 100, 399, cpu.end);
         assert_eq!(cpu.matches, jf.matched);
         // The bitset in DRAM equals the CPU's position list.
@@ -485,7 +588,9 @@ mod tests {
         let mut sys = small_system();
         let vals = values(16_000, 999, 7);
         let col = sys.write_column(&vals);
-        let cpu = sys.run_select_cpu(col, 16_000, 0, 499, ScanVariant::Branching, Tick::ZERO);
+        let cpu = sys
+            .run_select_cpu(col, 16_000, 0, 499, ScanVariant::Branching, Tick::ZERO)
+            .unwrap();
         let jf = sys.run_select_jafar(col, 16_000, 0, 499, cpu.end);
         let cpu_time = cpu.end;
         let jf_time = jf.end - cpu.end;
@@ -517,6 +622,7 @@ mod tests {
             let vals = values(8000, 999, 3);
             let col = sys.write_column(&vals);
             sys.run_select_cpu(col, 8000, 0, hi, ScanVariant::Branching, Tick::ZERO)
+                .unwrap()
                 .end
         };
         assert!(run(999) > run(-1));
@@ -539,7 +645,9 @@ mod tests {
         let mut sys2 = small_system();
         let col2 = sys2.write_column(&vals);
         sys2.begin_measurement();
-        let cpu = sys2.run_select_cpu(col2, 8000, 0, 499, ScanVariant::Branching, Tick::ZERO);
+        let cpu = sys2
+            .run_select_cpu(col2, 8000, 0, 499, ScanVariant::Branching, Tick::ZERO)
+            .unwrap();
         assert!(cpu.matches > 0);
         assert!(
             sys2.mc().counters().reads.get() >= 1000,
@@ -625,7 +733,9 @@ mod tests {
         let mut sys = small_system();
         let vals = values(8000, 999, 22);
         let col = sys.write_column(&vals);
-        let cpu = sys.run_select_cpu(col, 8000, 100, 399, ScanVariant::Branching, Tick::ZERO);
+        let cpu = sys
+            .run_select_cpu(col, 8000, 100, 399, ScanVariant::Branching, Tick::ZERO)
+            .unwrap();
         sys.inject_faults(FaultPlan::light(77));
         let jf = sys.run_select_jafar_resilient(
             col,
@@ -649,13 +759,82 @@ mod tests {
     }
 
     #[test]
+    fn tracer_does_not_change_timing() {
+        // The zero-cost-when-disabled contract's stronger half: *enabling*
+        // the tracer must not bend the simulated timeline either. Identical
+        // workloads, traced and untraced, end on the same tick.
+        let vals = values(8000, 999, 13);
+        let mut plain = small_system();
+        let col_p = plain.write_column(&vals);
+        let cpu_p = plain
+            .run_select_cpu(col_p, 8000, 100, 399, ScanVariant::Branching, Tick::ZERO)
+            .unwrap();
+        let jf_p = plain.run_select_jafar(col_p, 8000, 100, 399, cpu_p.end);
+
+        let mut traced = small_system();
+        traced.enable_tracing(1 << 14);
+        let col_t = traced.write_column(&vals);
+        let cpu_t = traced
+            .run_select_cpu(col_t, 8000, 100, 399, ScanVariant::Branching, Tick::ZERO)
+            .unwrap();
+        let jf_t = traced.run_select_jafar(col_t, 8000, 100, 399, cpu_t.end);
+
+        assert_eq!(cpu_t.end, cpu_p.end, "tracing changed CPU-path timing");
+        assert_eq!(jf_t.end, jf_p.end, "tracing changed device-path timing");
+        assert_eq!(cpu_t.matches, cpu_p.matches);
+        assert_eq!(jf_t.matched, jf_p.matched);
+        // And the traced run actually recorded the runs it observed.
+        assert!(!traced.trace_events().is_empty());
+        assert!(plain.trace_events().is_empty());
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_the_stack() {
+        let mut sys = small_system();
+        sys.enable_tracing(1024);
+        let vals = values(4096, 99, 5);
+        let col = sys.write_column(&vals);
+        let cpu = sys
+            .run_select_cpu(col, 4096, 0, 49, ScanVariant::Branching, Tick::ZERO)
+            .unwrap();
+        sys.run_select_jafar(col, 4096, 0, 49, cpu.end);
+        let reg = sys.metrics();
+        assert!(reg.get_counter("dram.read_bursts").unwrap() > 0);
+        assert!(reg.get_counter("memctl.reads").unwrap() > 0);
+        assert!(reg.get_counter("device.jobs").unwrap() > 0);
+        assert!(reg.get_counter("trace.emitted").unwrap() > 0);
+        // The rendered report lists every registered name.
+        let report = reg.to_string();
+        assert!(report.contains("dram.row_hits = "));
+        assert!(report.contains("device.bursts_read = "));
+    }
+
+    #[test]
+    fn trace_exports_render_the_run() {
+        let mut sys = small_system();
+        sys.enable_tracing(1 << 14);
+        let vals = values(2048, 9, 8);
+        let col = sys.write_column(&vals);
+        sys.run_select_jafar(col, 2048, 0, 4, Tick::ZERO);
+        let json = sys.chrome_trace().expect("tracing enabled");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"cat\":\"accel\""), "device stages traced");
+        assert!(json.contains("\"cat\":\"ownership\""), "handoff traced");
+        let timeline = sys.trace_timeline().expect("tracing enabled");
+        assert!(timeline.lines().count() > 0);
+        assert!(timeline.contains("accel"));
+    }
+
+    #[test]
     fn host_traffic_resumes_after_release() {
         let mut sys = small_system();
         let vals = values(1024, 9, 2);
         let col = sys.write_column(&vals);
         let jf = sys.run_select_jafar(col, 1024, 0, 4, Tick::ZERO);
         // CPU can scan the same column afterwards.
-        let cpu = sys.run_select_cpu(col, 1024, 0, 4, ScanVariant::Branching, jf.end);
+        let cpu = sys
+            .run_select_cpu(col, 1024, 0, 4, ScanVariant::Branching, jf.end)
+            .unwrap();
         assert_eq!(cpu.matches, jf.matched);
     }
 }

@@ -216,8 +216,14 @@ mod tests {
         let b = small();
         assert_eq!(a.lineitem.rows(), b.lineitem.rows());
         assert_eq!(
-            a.lineitem.column("l_extendedprice").data(),
-            b.lineitem.column("l_extendedprice").data()
+            a.lineitem
+                .column("l_extendedprice")
+                .expect("static TPC-H schema")
+                .data(),
+            b.lineitem
+                .column("l_extendedprice")
+                .expect("static TPC-H schema")
+                .data()
         );
     }
 
@@ -239,6 +245,7 @@ mod tests {
         let with_orders: std::collections::HashSet<i64> = db
             .orders
             .column("o_custkey")
+            .expect("static TPC-H schema")
             .data()
             .iter()
             .copied()
@@ -247,6 +254,7 @@ mod tests {
         let without = db
             .customer
             .column("c_custkey")
+            .expect("static TPC-H schema")
             .data()
             .iter()
             .filter(|k| !with_orders.contains(k))
@@ -262,17 +270,29 @@ mod tests {
         let order_dates: std::collections::HashMap<i64, i64> = db
             .orders
             .column("o_orderkey")
+            .expect("static TPC-H schema")
             .data()
             .iter()
-            .zip(db.orders.column("o_orderdate").data())
+            .zip(
+                db.orders
+                    .column("o_orderdate")
+                    .expect("static TPC-H schema")
+                    .data(),
+            )
             .map(|(&k, &d)| (k, d))
             .collect();
         for (ok, sd) in db
             .lineitem
             .column("l_orderkey")
+            .expect("static TPC-H schema")
             .data()
             .iter()
-            .zip(db.lineitem.column("l_shipdate").data())
+            .zip(
+                db.lineitem
+                    .column("l_shipdate")
+                    .expect("static TPC-H schema")
+                    .data(),
+            )
         {
             let od = order_dates[ok];
             assert!(*sd > od && *sd <= od + 121, "ship {sd} vs order {od}");
@@ -287,9 +307,15 @@ mod tests {
         for (flag, ship) in db
             .lineitem
             .column("l_returnflag")
+            .expect("static TPC-H schema")
             .data()
             .iter()
-            .zip(db.lineitem.column("l_shipdate").data())
+            .zip(
+                db.lineitem
+                    .column("l_shipdate")
+                    .expect("static TPC-H schema")
+                    .data(),
+            )
         {
             // Items shipped well after the cutoff must be received after
             // it too (receipt ≤ ship + 30): N.
@@ -302,16 +328,36 @@ mod tests {
     #[test]
     fn value_domains() {
         let db = small();
-        for &q in db.lineitem.column("l_quantity").data() {
+        for &q in db
+            .lineitem
+            .column("l_quantity")
+            .expect("static TPC-H schema")
+            .data()
+        {
             assert!((1..=50).contains(&q));
         }
-        for &d in db.lineitem.column("l_discount").data() {
+        for &d in db
+            .lineitem
+            .column("l_discount")
+            .expect("static TPC-H schema")
+            .data()
+        {
             assert!((0..=10).contains(&d));
         }
-        for &t in db.lineitem.column("l_tax").data() {
+        for &t in db
+            .lineitem
+            .column("l_tax")
+            .expect("static TPC-H schema")
+            .data()
+        {
             assert!((0..=8).contains(&t));
         }
-        for &cc in db.customer.column("c_phone_cc").data() {
+        for &cc in db
+            .customer
+            .column("c_phone_cc")
+            .expect("static TPC-H schema")
+            .data()
+        {
             assert!((10..=34).contains(&cc));
         }
     }

@@ -25,10 +25,11 @@ pub fn q6_plan(db: &TpchDb, cx: &mut ExecContext) -> i64 {
         columns: vec!["l_extendedprice".into(), "l_discount".into()],
     };
     let catalog = Catalog::new().add(&db.lineitem);
-    let f = execute(&plan, &catalog, cx);
+    let f = execute(&plan, &catalog, cx).expect("static TPC-H schema");
     f.column("l_extendedprice")
+        .expect("static TPC-H schema")
         .iter()
-        .zip(f.column("l_discount"))
+        .zip(f.column("l_discount").expect("static TPC-H schema"))
         .map(|(&p, &d)| p * d / 100)
         .sum()
 }
@@ -68,7 +69,7 @@ pub fn q1_plan(db: &TpchDb, cx: &mut ExecContext) -> Frame {
         }),
     };
     let catalog = Catalog::new().add(&db.lineitem);
-    execute(&plan, &catalog, cx)
+    execute(&plan, &catalog, cx).expect("static TPC-H schema")
 }
 
 /// The Q3 join skeleton as a plan: BUILDING customers ⋈ early orders ⋈
@@ -127,7 +128,7 @@ pub fn q3_plan(db: &TpchDb, cx: &mut ExecContext, limit: usize) -> Frame {
         .add(&db.customer)
         .add(&db.orders)
         .add(&db.lineitem);
-    execute(&plan, &catalog, cx)
+    execute(&plan, &catalog, cx).expect("static TPC-H schema")
 }
 
 #[cfg(test)]
@@ -166,11 +167,26 @@ mod tests {
         let rows = queries::q1(&db, &mut cx_hand);
         assert_eq!(frame.rows(), rows.len());
         for (g, row) in rows.iter().enumerate() {
-            assert_eq!(frame.column("l_returnflag")[g], row.returnflag);
-            assert_eq!(frame.column("l_linestatus")[g], row.linestatus);
-            assert_eq!(frame.column("sum_qty")[g], row.sum_qty);
-            assert_eq!(frame.column("sum_base_price")[g], row.sum_base_price);
-            assert_eq!(frame.column("count_order")[g] as u64, row.count);
+            assert_eq!(
+                frame.column("l_returnflag").expect("static TPC-H schema")[g],
+                row.returnflag
+            );
+            assert_eq!(
+                frame.column("l_linestatus").expect("static TPC-H schema")[g],
+                row.linestatus
+            );
+            assert_eq!(
+                frame.column("sum_qty").expect("static TPC-H schema")[g],
+                row.sum_qty
+            );
+            assert_eq!(
+                frame.column("sum_base_price").expect("static TPC-H schema")[g],
+                row.sum_base_price
+            );
+            assert_eq!(
+                frame.column("count_order").expect("static TPC-H schema")[g] as u64,
+                row.count
+            );
         }
     }
 
@@ -183,13 +199,17 @@ mod tests {
         let rows = queries::q3(&db, &mut cx_hand, 10);
         assert_eq!(frame.rows(), rows.len());
         // Revenue-base (pre-discount) descending ordering must hold.
-        let rev = frame.column("revenue_base");
+        let rev = frame.column("revenue_base").expect("static TPC-H schema");
         for pair in rev.windows(2) {
             assert!(pair[0] >= pair[1]);
         }
         // Same order keys in the result set (orders are identified by key).
-        let plan_keys: std::collections::HashSet<i64> =
-            frame.column("o_orderkey").iter().copied().collect();
+        let plan_keys: std::collections::HashSet<i64> = frame
+            .column("o_orderkey")
+            .expect("static TPC-H schema")
+            .iter()
+            .copied()
+            .collect();
         // The hand-written query ranks by discounted revenue, so the top-k
         // sets can differ at the margin; require substantial overlap.
         let hand_keys: std::collections::HashSet<i64> = rows.iter().map(|r| r.orderkey).collect();

@@ -44,13 +44,25 @@ pub fn run(db: &TpchDb, cx: &mut ExecContext) -> Vec<Q1Row> {
     let cutoff = Date::from_ymd(1998, 12, 1).plus_days(-90);
     let li = &db.lineitem;
 
-    let pos = cx.select(li, "l_shipdate", Pred::Le(cutoff.raw()));
-    let flag = cx.project(li, "l_returnflag", &pos);
-    let status = cx.project(li, "l_linestatus", &pos);
-    let qty = cx.project(li, "l_quantity", &pos);
-    let price = cx.project(li, "l_extendedprice", &pos);
-    let disc = cx.project(li, "l_discount", &pos);
-    let tax = cx.project(li, "l_tax", &pos);
+    let pos = cx
+        .select(li, "l_shipdate", Pred::Le(cutoff.raw()))
+        .expect("static TPC-H schema");
+    let flag = cx
+        .project(li, "l_returnflag", &pos)
+        .expect("static TPC-H schema");
+    let status = cx
+        .project(li, "l_linestatus", &pos)
+        .expect("static TPC-H schema");
+    let qty = cx
+        .project(li, "l_quantity", &pos)
+        .expect("static TPC-H schema");
+    let price = cx
+        .project(li, "l_extendedprice", &pos)
+        .expect("static TPC-H schema");
+    let disc = cx
+        .project(li, "l_discount", &pos)
+        .expect("static TPC-H schema");
+    let tax = cx.project(li, "l_tax", &pos).expect("static TPC-H schema");
 
     // Derived expressions (fixed-point, ×100 preserved).
     let disc_price: Vec<i64> = price
@@ -121,20 +133,27 @@ mod tests {
         type Acc = (i64, i64, i64, i64, u64); // qty, base, disc, charge, n
         let mut groups: BTreeMap<(i64, i64), Acc> = BTreeMap::new();
         for r in 0..li.rows() {
-            if li.column("l_shipdate").get(r) > cutoff {
+            if li.column("l_shipdate").expect("static TPC-H schema").get(r) > cutoff {
                 continue;
             }
             let key = (
-                li.column("l_returnflag").get(r),
-                li.column("l_linestatus").get(r),
+                li.column("l_returnflag")
+                    .expect("static TPC-H schema")
+                    .get(r),
+                li.column("l_linestatus")
+                    .expect("static TPC-H schema")
+                    .get(r),
             );
-            let p = li.column("l_extendedprice").get(r);
-            let d = li.column("l_discount").get(r);
-            let t = li.column("l_tax").get(r);
+            let p = li
+                .column("l_extendedprice")
+                .expect("static TPC-H schema")
+                .get(r);
+            let d = li.column("l_discount").expect("static TPC-H schema").get(r);
+            let t = li.column("l_tax").expect("static TPC-H schema").get(r);
             let dp = p * (100 - d) / 100;
             let ch = dp * (100 + t) / 100;
             let e = groups.entry(key).or_default();
-            e.0 += li.column("l_quantity").get(r);
+            e.0 += li.column("l_quantity").expect("static TPC-H schema").get(r);
             e.1 += p;
             e.2 += dp;
             e.3 += ch;

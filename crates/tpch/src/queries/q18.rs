@@ -40,8 +40,12 @@ pub struct Q18Row {
 pub fn run(db: &TpchDb, cx: &mut ExecContext, threshold: i64, limit: usize) -> Vec<Q18Row> {
     let li = &db.lineitem;
     let all_li: PositionList = (0..li.rows() as u32).collect();
-    let li_key = cx.project(li, "l_orderkey", &all_li);
-    let li_qty = cx.project(li, "l_quantity", &all_li);
+    let li_key = cx
+        .project(li, "l_orderkey", &all_li)
+        .expect("static TPC-H schema");
+    let li_qty = cx
+        .project(li, "l_quantity", &all_li)
+        .expect("static TPC-H schema");
 
     // HAVING subquery: orders whose lineitems sum past the threshold.
     let per_order = cx.group_by(
@@ -62,10 +66,18 @@ pub fn run(db: &TpchDb, cx: &mut ExecContext, threshold: i64, limit: usize) -> V
 
     // Join with orders on o_orderkey.
     let all_o: PositionList = (0..db.orders.rows() as u32).collect();
-    let o_key = cx.project(&db.orders, "o_orderkey", &all_o);
-    let o_cust = cx.project(&db.orders, "o_custkey", &all_o);
-    let o_date = cx.project(&db.orders, "o_orderdate", &all_o);
-    let o_total = cx.project(&db.orders, "o_totalprice", &all_o);
+    let o_key = cx
+        .project(&db.orders, "o_orderkey", &all_o)
+        .expect("static TPC-H schema");
+    let o_cust = cx
+        .project(&db.orders, "o_custkey", &all_o)
+        .expect("static TPC-H schema");
+    let o_date = cx
+        .project(&db.orders, "o_orderdate", &all_o)
+        .expect("static TPC-H schema");
+    let o_total = cx
+        .project(&db.orders, "o_totalprice", &all_o)
+        .expect("static TPC-H schema");
     let pairs = cx.join(&big_orders, &o_key);
 
     let mut rows: Vec<Q18Row> = pairs
@@ -109,18 +121,43 @@ mod tests {
 
         let mut qty: HashMap<i64, i64> = HashMap::new();
         for r in 0..db.lineitem.rows() {
-            *qty.entry(db.lineitem.column("l_orderkey").get(r))
-                .or_default() += db.lineitem.column("l_quantity").get(r);
+            *qty.entry(
+                db.lineitem
+                    .column("l_orderkey")
+                    .expect("static TPC-H schema")
+                    .get(r),
+            )
+            .or_default() += db
+                .lineitem
+                .column("l_quantity")
+                .expect("static TPC-H schema")
+                .get(r);
         }
         let mut want: Vec<Q18Row> = (0..db.orders.rows())
             .filter_map(|r| {
-                let ok = db.orders.column("o_orderkey").get(r);
+                let ok = db
+                    .orders
+                    .column("o_orderkey")
+                    .expect("static TPC-H schema")
+                    .get(r);
                 let q = *qty.get(&ok)?;
                 (q > threshold).then(|| Q18Row {
-                    custkey: db.orders.column("o_custkey").get(r),
+                    custkey: db
+                        .orders
+                        .column("o_custkey")
+                        .expect("static TPC-H schema")
+                        .get(r),
                     orderkey: ok,
-                    orderdate: db.orders.column("o_orderdate").get(r),
-                    totalprice: db.orders.column("o_totalprice").get(r),
+                    orderdate: db
+                        .orders
+                        .column("o_orderdate")
+                        .expect("static TPC-H schema")
+                        .get(r),
+                    totalprice: db
+                        .orders
+                        .column("o_totalprice")
+                        .expect("static TPC-H schema")
+                        .get(r),
                     sum_qty: q,
                 })
             })

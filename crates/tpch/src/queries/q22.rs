@@ -44,13 +44,19 @@ pub fn run(db: &TpchDb, cx: &mut ExecContext) -> Vec<Q22Row> {
     // IN-list as a union of equality selects (bulk style).
     let mut in_list = PositionList::new();
     for &cc in &COUNTRY_CODES {
-        let p = cx.select(cust, "c_phone_cc", Pred::Eq(cc));
+        let p = cx
+            .select(cust, "c_phone_cc", Pred::Eq(cc))
+            .expect("static TPC-H schema");
         in_list = in_list.union(&p);
     }
 
     // Scalar subquery: AVG(c_acctbal) over positive balances in the list.
-    let pos_bal = cx.select_at(cust, "c_acctbal", &in_list, Pred::Gt(0));
-    let balances = cx.project(cust, "c_acctbal", &pos_bal);
+    let pos_bal = cx
+        .select_at(cust, "c_acctbal", &in_list, Pred::Gt(0))
+        .expect("static TPC-H schema");
+    let balances = cx
+        .project(cust, "c_acctbal", &pos_bal)
+        .expect("static TPC-H schema");
     let avg = if balances.is_empty() {
         0
     } else {
@@ -58,20 +64,30 @@ pub fn run(db: &TpchDb, cx: &mut ExecContext) -> Vec<Q22Row> {
     };
 
     // Filter: balance above average.
-    let above = cx.select_at(cust, "c_acctbal", &in_list, Pred::Gt(avg));
+    let above = cx
+        .select_at(cust, "c_acctbal", &in_list, Pred::Gt(avg))
+        .expect("static TPC-H schema");
 
     // NOT EXISTS orders: anti-join on custkey.
-    let above_keys = cx.project(cust, "c_custkey", &above);
+    let above_keys = cx
+        .project(cust, "c_custkey", &above)
+        .expect("static TPC-H schema");
     let all_orders: PositionList = (0..db.orders.rows() as u32).collect();
-    let o_cust = cx.project(&db.orders, "o_custkey", &all_orders);
+    let o_cust = cx
+        .project(&db.orders, "o_custkey", &all_orders)
+        .expect("static TPC-H schema");
     let no_orders_idx = cx.anti_join(&o_cust, &above_keys);
 
     let final_pos: PositionList = no_orders_idx
         .iter()
         .map(|&i| above.as_slice()[i as usize])
         .collect();
-    let cc = cx.project(cust, "c_phone_cc", &final_pos);
-    let bal = cx.project(cust, "c_acctbal", &final_pos);
+    let cc = cx
+        .project(cust, "c_phone_cc", &final_pos)
+        .expect("static TPC-H schema");
+    let bal = cx
+        .project(cust, "c_acctbal", &final_pos)
+        .expect("static TPC-H schema");
 
     let grouped = cx
         .group_by(
@@ -110,27 +126,51 @@ mod tests {
         let codes: HashSet<i64> = COUNTRY_CODES.into_iter().collect();
         let cust = &db.customer;
         let in_list: Vec<usize> = (0..cust.rows())
-            .filter(|&r| codes.contains(&cust.column("c_phone_cc").get(r)))
+            .filter(|&r| {
+                codes.contains(
+                    &cust
+                        .column("c_phone_cc")
+                        .expect("static TPC-H schema")
+                        .get(r),
+                )
+            })
             .collect();
         let positives: Vec<i64> = in_list
             .iter()
-            .map(|&r| cust.column("c_acctbal").get(r))
+            .map(|&r| {
+                cust.column("c_acctbal")
+                    .expect("static TPC-H schema")
+                    .get(r)
+            })
             .filter(|&b| b > 0)
             .collect();
         let avg = positives.iter().sum::<i64>() / positives.len().max(1) as i64;
         let with_orders: HashSet<i64> = db
             .orders
             .column("o_custkey")
+            .expect("static TPC-H schema")
             .data()
             .iter()
             .copied()
             .collect();
         let mut groups: BTreeMap<i64, (u64, i64)> = BTreeMap::new();
         for &r in &in_list {
-            let bal = cust.column("c_acctbal").get(r);
-            let key = cust.column("c_custkey").get(r);
+            let bal = cust
+                .column("c_acctbal")
+                .expect("static TPC-H schema")
+                .get(r);
+            let key = cust
+                .column("c_custkey")
+                .expect("static TPC-H schema")
+                .get(r);
             if bal > avg && !with_orders.contains(&key) {
-                let e = groups.entry(cust.column("c_phone_cc").get(r)).or_default();
+                let e = groups
+                    .entry(
+                        cust.column("c_phone_cc")
+                            .expect("static TPC-H schema")
+                            .get(r),
+                    )
+                    .or_default();
                 e.0 += 1;
                 e.1 += bal;
             }

@@ -39,19 +39,41 @@ pub fn run(db: &TpchDb, cx: &mut ExecContext, limit: usize) -> Vec<Q3Row> {
         .expect("segment in domain");
 
     // Selections.
-    let cust_pos = cx.select(&db.customer, "c_mktsegment", Pred::Eq(seg));
-    let cust_keys = cx.project(&db.customer, "c_custkey", &cust_pos);
+    let cust_pos = cx
+        .select(&db.customer, "c_mktsegment", Pred::Eq(seg))
+        .expect("static TPC-H schema");
+    let cust_keys = cx
+        .project(&db.customer, "c_custkey", &cust_pos)
+        .expect("static TPC-H schema");
 
-    let ord_pos = cx.select(&db.orders, "o_orderdate", Pred::Lt(pivot));
-    let ord_cust = cx.project(&db.orders, "o_custkey", &ord_pos);
-    let ord_key = cx.project(&db.orders, "o_orderkey", &ord_pos);
-    let ord_date = cx.project(&db.orders, "o_orderdate", &ord_pos);
-    let ord_prio = cx.project(&db.orders, "o_shippriority", &ord_pos);
+    let ord_pos = cx
+        .select(&db.orders, "o_orderdate", Pred::Lt(pivot))
+        .expect("static TPC-H schema");
+    let ord_cust = cx
+        .project(&db.orders, "o_custkey", &ord_pos)
+        .expect("static TPC-H schema");
+    let ord_key = cx
+        .project(&db.orders, "o_orderkey", &ord_pos)
+        .expect("static TPC-H schema");
+    let ord_date = cx
+        .project(&db.orders, "o_orderdate", &ord_pos)
+        .expect("static TPC-H schema");
+    let ord_prio = cx
+        .project(&db.orders, "o_shippriority", &ord_pos)
+        .expect("static TPC-H schema");
 
-    let li_pos = cx.select(&db.lineitem, "l_shipdate", Pred::Gt(pivot));
-    let li_key = cx.project(&db.lineitem, "l_orderkey", &li_pos);
-    let li_price = cx.project(&db.lineitem, "l_extendedprice", &li_pos);
-    let li_disc = cx.project(&db.lineitem, "l_discount", &li_pos);
+    let li_pos = cx
+        .select(&db.lineitem, "l_shipdate", Pred::Gt(pivot))
+        .expect("static TPC-H schema");
+    let li_key = cx
+        .project(&db.lineitem, "l_orderkey", &li_pos)
+        .expect("static TPC-H schema");
+    let li_price = cx
+        .project(&db.lineitem, "l_extendedprice", &li_pos)
+        .expect("static TPC-H schema");
+    let li_disc = cx
+        .project(&db.lineitem, "l_discount", &li_pos)
+        .expect("static TPC-H schema");
 
     // customer ⋈ orders (semi-join suffices: customers only filter).
     let ord_surviving = cx.semi_join(&cust_keys, &ord_cust);
@@ -122,26 +144,73 @@ mod tests {
         let pivot = Date::from_ymd(1995, 3, 15).raw();
         let seg = db.segment_dict.encode("BUILDING").unwrap();
         let building: std::collections::HashSet<i64> = (0..db.customer.rows())
-            .filter(|&r| db.customer.column("c_mktsegment").get(r) == seg)
-            .map(|r| db.customer.column("c_custkey").get(r))
+            .filter(|&r| {
+                db.customer
+                    .column("c_mktsegment")
+                    .expect("static TPC-H schema")
+                    .get(r)
+                    == seg
+            })
+            .map(|r| {
+                db.customer
+                    .column("c_custkey")
+                    .expect("static TPC-H schema")
+                    .get(r)
+            })
             .collect();
         let mut order_info: HashMap<i64, (i64, i64)> = HashMap::new();
         for r in 0..db.orders.rows() {
-            let od = db.orders.column("o_orderdate").get(r);
-            let ck = db.orders.column("o_custkey").get(r);
+            let od = db
+                .orders
+                .column("o_orderdate")
+                .expect("static TPC-H schema")
+                .get(r);
+            let ck = db
+                .orders
+                .column("o_custkey")
+                .expect("static TPC-H schema")
+                .get(r);
             if od < pivot && building.contains(&ck) {
                 order_info.insert(
-                    db.orders.column("o_orderkey").get(r),
-                    (od, db.orders.column("o_shippriority").get(r)),
+                    db.orders
+                        .column("o_orderkey")
+                        .expect("static TPC-H schema")
+                        .get(r),
+                    (
+                        od,
+                        db.orders
+                            .column("o_shippriority")
+                            .expect("static TPC-H schema")
+                            .get(r),
+                    ),
                 );
             }
         }
         let mut rev: HashMap<i64, i64> = HashMap::new();
         for r in 0..db.lineitem.rows() {
-            let ok = db.lineitem.column("l_orderkey").get(r);
-            if db.lineitem.column("l_shipdate").get(r) > pivot && order_info.contains_key(&ok) {
-                let p = db.lineitem.column("l_extendedprice").get(r);
-                let d = db.lineitem.column("l_discount").get(r);
+            let ok = db
+                .lineitem
+                .column("l_orderkey")
+                .expect("static TPC-H schema")
+                .get(r);
+            if db
+                .lineitem
+                .column("l_shipdate")
+                .expect("static TPC-H schema")
+                .get(r)
+                > pivot
+                && order_info.contains_key(&ok)
+            {
+                let p = db
+                    .lineitem
+                    .column("l_extendedprice")
+                    .expect("static TPC-H schema")
+                    .get(r);
+                let d = db
+                    .lineitem
+                    .column("l_discount")
+                    .expect("static TPC-H schema")
+                    .get(r);
                 *rev.entry(ok).or_default() += p * (100 - d) / 100;
             }
         }

@@ -24,12 +24,22 @@ pub fn run(db: &TpchDb, cx: &mut ExecContext) -> i64 {
     let lo = Date::from_ymd(1994, 1, 1).raw();
     let hi = Date::from_ymd(1995, 1, 1).raw();
 
-    let by_date = cx.select(li, "l_shipdate", Pred::Between(lo, hi - 1));
-    let by_disc = cx.select_at(li, "l_discount", &by_date, Pred::Between(5, 7));
-    let by_qty = cx.select_at(li, "l_quantity", &by_disc, Pred::Lt(24));
+    let by_date = cx
+        .select(li, "l_shipdate", Pred::Between(lo, hi - 1))
+        .expect("static TPC-H schema");
+    let by_disc = cx
+        .select_at(li, "l_discount", &by_date, Pred::Between(5, 7))
+        .expect("static TPC-H schema");
+    let by_qty = cx
+        .select_at(li, "l_quantity", &by_disc, Pred::Lt(24))
+        .expect("static TPC-H schema");
 
-    let price = cx.project(li, "l_extendedprice", &by_qty);
-    let disc = cx.project(li, "l_discount", &by_qty);
+    let price = cx
+        .project(li, "l_extendedprice", &by_qty)
+        .expect("static TPC-H schema");
+    let disc = cx
+        .project(li, "l_discount", &by_qty)
+        .expect("static TPC-H schema");
     cx.materialize(1, 1);
     price.iter().zip(&disc).map(|(&p, &d)| p * d / 100).sum()
 }
@@ -54,11 +64,16 @@ mod tests {
         let hi = Date::from_ymd(1995, 1, 1).raw();
         let mut want = 0i64;
         for r in 0..li.rows() {
-            let sd = li.column("l_shipdate").get(r);
-            let d = li.column("l_discount").get(r);
-            let q = li.column("l_quantity").get(r);
+            let sd = li.column("l_shipdate").expect("static TPC-H schema").get(r);
+            let d = li.column("l_discount").expect("static TPC-H schema").get(r);
+            let q = li.column("l_quantity").expect("static TPC-H schema").get(r);
             if sd >= lo && sd < hi && (5..=7).contains(&d) && q < 24 {
-                want += li.column("l_extendedprice").get(r) * d / 100;
+                want += li
+                    .column("l_extendedprice")
+                    .expect("static TPC-H schema")
+                    .get(r)
+                    * d
+                    / 100;
             }
         }
         assert_eq!(got, want);

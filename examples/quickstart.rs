@@ -32,14 +32,16 @@ fn main() {
 
     // CPU-only: the classic branchy scan, streaming the column through
     // the cache hierarchy.
-    let cpu = system.run_select_cpu(
-        column,
-        rows,
-        250_000,
-        500_000,
-        ScanVariant::Branching,
-        Tick::ZERO,
-    );
+    let cpu = system
+        .run_select_cpu(
+            column,
+            rows,
+            250_000,
+            500_000,
+            ScanVariant::Branching,
+            Tick::ZERO,
+        )
+        .expect("column placed in range");
     println!(
         "CPU scan   : {:>8.3} ms  ({} matches, {} mispredicts)",
         cpu.end.as_ms_f64(),

@@ -66,7 +66,10 @@ fn main() {
     }
 
     // Time the leading full-column scan (the pushdown candidate) both ways.
-    let shipdate = db.lineitem.column("l_shipdate");
+    let shipdate = db
+        .lineitem
+        .column("l_shipdate")
+        .expect("static TPC-H schema");
     let rows = shipdate.len() as u64;
     let (lo, hi) = match jf_cx.trace().events().first() {
         Some(TraceEvent::Scan { bounds, .. }) => *bounds,
@@ -74,7 +77,9 @@ fn main() {
     };
     let mut system = System::new(SystemConfig::gem5_like());
     let col = system.write_column(shipdate.data());
-    let cpu = system.run_select_cpu(col, rows, lo, hi, ScanVariant::Branching, Tick::ZERO);
+    let cpu = system
+        .run_select_cpu(col, rows, lo, hi, ScanVariant::Branching, Tick::ZERO)
+        .expect("column placed in range");
     let jf = system.run_select_jafar(col, rows, lo, hi, cpu.end);
     assert_eq!(cpu.matches, jf.matched);
     println!("\nleading scan (l_shipdate, {rows} rows):");

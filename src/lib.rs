@@ -33,7 +33,9 @@
 //! let values: Vec<i64> = (0..4096).map(|i| i % 100).collect();
 //! let column = system.write_column(&values);
 //!
-//! let cpu = system.run_select_cpu(column, 4096, 0, 49, ScanVariant::Branching, Tick::ZERO);
+//! let cpu = system
+//!     .run_select_cpu(column, 4096, 0, 49, ScanVariant::Branching, Tick::ZERO)
+//!     .expect("column placed in range");
 //! let jafar = system.run_select_jafar(column, 4096, 0, 49, cpu.end);
 //! assert_eq!(cpu.matches, jafar.matched);
 //! assert!(jafar.end - cpu.end < cpu.end, "the pushdown wins");

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache-6a88b8fe070faf00.d: crates/bench/benches/cache.rs
+
+/root/repo/target/debug/deps/cache-6a88b8fe070faf00: crates/bench/benches/cache.rs
+
+crates/bench/benches/cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/columnstore-8870888e8f82c697.d: crates/bench/benches/columnstore.rs
+
+/root/repo/target/debug/deps/columnstore-8870888e8f82c697: crates/bench/benches/columnstore.rs
+
+crates/bench/benches/columnstore.rs:

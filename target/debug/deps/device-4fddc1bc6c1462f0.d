@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/device-4fddc1bc6c1462f0.d: crates/bench/benches/device.rs
+
+/root/repo/target/debug/deps/device-4fddc1bc6c1462f0: crates/bench/benches/device.rs
+
+crates/bench/benches/device.rs:

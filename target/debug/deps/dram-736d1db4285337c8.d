@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dram-736d1db4285337c8.d: crates/bench/benches/dram.rs
+
+/root/repo/target/debug/deps/dram-736d1db4285337c8: crates/bench/benches/dram.rs
+
+crates/bench/benches/dram.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/jafar_columnstore-f02eb3293cd32bb7.d: crates/columnstore/src/lib.rs crates/columnstore/src/column.rs crates/columnstore/src/dict.rs crates/columnstore/src/exec.rs crates/columnstore/src/ops/mod.rs crates/columnstore/src/ops/agg.rs crates/columnstore/src/ops/join.rs crates/columnstore/src/ops/project.rs crates/columnstore/src/ops/scan.rs crates/columnstore/src/ops/sort.rs crates/columnstore/src/plan.rs crates/columnstore/src/positions.rs crates/columnstore/src/pushdown.rs crates/columnstore/src/table.rs crates/columnstore/src/trace.rs crates/columnstore/src/value.rs Cargo.toml
+/root/repo/target/debug/deps/jafar_columnstore-f02eb3293cd32bb7.d: crates/columnstore/src/lib.rs crates/columnstore/src/column.rs crates/columnstore/src/dict.rs crates/columnstore/src/error.rs crates/columnstore/src/exec.rs crates/columnstore/src/ops/mod.rs crates/columnstore/src/ops/agg.rs crates/columnstore/src/ops/join.rs crates/columnstore/src/ops/project.rs crates/columnstore/src/ops/scan.rs crates/columnstore/src/ops/sort.rs crates/columnstore/src/plan.rs crates/columnstore/src/positions.rs crates/columnstore/src/pushdown.rs crates/columnstore/src/table.rs crates/columnstore/src/trace.rs crates/columnstore/src/value.rs Cargo.toml
 
-/root/repo/target/debug/deps/libjafar_columnstore-f02eb3293cd32bb7.rmeta: crates/columnstore/src/lib.rs crates/columnstore/src/column.rs crates/columnstore/src/dict.rs crates/columnstore/src/exec.rs crates/columnstore/src/ops/mod.rs crates/columnstore/src/ops/agg.rs crates/columnstore/src/ops/join.rs crates/columnstore/src/ops/project.rs crates/columnstore/src/ops/scan.rs crates/columnstore/src/ops/sort.rs crates/columnstore/src/plan.rs crates/columnstore/src/positions.rs crates/columnstore/src/pushdown.rs crates/columnstore/src/table.rs crates/columnstore/src/trace.rs crates/columnstore/src/value.rs Cargo.toml
+/root/repo/target/debug/deps/libjafar_columnstore-f02eb3293cd32bb7.rmeta: crates/columnstore/src/lib.rs crates/columnstore/src/column.rs crates/columnstore/src/dict.rs crates/columnstore/src/error.rs crates/columnstore/src/exec.rs crates/columnstore/src/ops/mod.rs crates/columnstore/src/ops/agg.rs crates/columnstore/src/ops/join.rs crates/columnstore/src/ops/project.rs crates/columnstore/src/ops/scan.rs crates/columnstore/src/ops/sort.rs crates/columnstore/src/plan.rs crates/columnstore/src/positions.rs crates/columnstore/src/pushdown.rs crates/columnstore/src/table.rs crates/columnstore/src/trace.rs crates/columnstore/src/value.rs Cargo.toml
 
 crates/columnstore/src/lib.rs:
 crates/columnstore/src/column.rs:
 crates/columnstore/src/dict.rs:
+crates/columnstore/src/error.rs:
 crates/columnstore/src/exec.rs:
 crates/columnstore/src/ops/mod.rs:
 crates/columnstore/src/ops/agg.rs:
@@ -20,5 +21,5 @@ crates/columnstore/src/trace.rs:
 crates/columnstore/src/value.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

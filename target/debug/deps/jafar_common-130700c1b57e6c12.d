@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/jafar_common-130700c1b57e6c12.d: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
+/root/repo/target/debug/deps/jafar_common-130700c1b57e6c12.d: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/obs.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
 
-/root/repo/target/debug/deps/libjafar_common-130700c1b57e6c12.rlib: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
+/root/repo/target/debug/deps/libjafar_common-130700c1b57e6c12.rlib: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/obs.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
 
-/root/repo/target/debug/deps/libjafar_common-130700c1b57e6c12.rmeta: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
+/root/repo/target/debug/deps/libjafar_common-130700c1b57e6c12.rmeta: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/obs.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
 
 crates/common/src/lib.rs:
 crates/common/src/bitset.rs:
 crates/common/src/check.rs:
+crates/common/src/obs.rs:
 crates/common/src/rng.rs:
 crates/common/src/size.rs:
 crates/common/src/stats.rs:

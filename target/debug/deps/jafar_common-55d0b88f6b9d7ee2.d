@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/jafar_common-55d0b88f6b9d7ee2.d: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
+/root/repo/target/debug/deps/jafar_common-55d0b88f6b9d7ee2.d: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/obs.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
 
-/root/repo/target/debug/deps/jafar_common-55d0b88f6b9d7ee2: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
+/root/repo/target/debug/deps/jafar_common-55d0b88f6b9d7ee2: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/obs.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
 
 crates/common/src/lib.rs:
 crates/common/src/bitset.rs:
 crates/common/src/check.rs:
+crates/common/src/obs.rs:
 crates/common/src/rng.rs:
 crates/common/src/size.rs:
 crates/common/src/stats.rs:

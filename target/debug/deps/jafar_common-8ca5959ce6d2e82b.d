@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/jafar_common-8ca5959ce6d2e82b.d: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
+/root/repo/target/debug/deps/jafar_common-8ca5959ce6d2e82b.d: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/obs.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
 
-/root/repo/target/debug/deps/libjafar_common-8ca5959ce6d2e82b.rmeta: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
+/root/repo/target/debug/deps/libjafar_common-8ca5959ce6d2e82b.rmeta: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/obs.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
 
 crates/common/src/lib.rs:
 crates/common/src/bitset.rs:
 crates/common/src/check.rs:
+crates/common/src/obs.rs:
 crates/common/src/rng.rs:
 crates/common/src/size.rs:
 crates/common/src/stats.rs:

@@ -1,15 +1,16 @@
-/root/repo/target/debug/deps/jafar_common-bd121c54cf5f05b2.d: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/jafar_common-bd121c54cf5f05b2.d: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/obs.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs Cargo.toml
 
-/root/repo/target/debug/deps/libjafar_common-bd121c54cf5f05b2.rmeta: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/libjafar_common-bd121c54cf5f05b2.rmeta: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/obs.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs Cargo.toml
 
 crates/common/src/lib.rs:
 crates/common/src/bitset.rs:
 crates/common/src/check.rs:
+crates/common/src/obs.rs:
 crates/common/src/rng.rs:
 crates/common/src/size.rs:
 crates/common/src/stats.rs:
 crates/common/src/time.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/jafar_core-b241c1da785a6f37.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/api.rs crates/core/src/device.rs crates/core/src/interleave.rs crates/core/src/ownership.rs crates/core/src/predicate.rs crates/core/src/project.rs crates/core/src/regs.rs crates/core/src/rowstore.rs crates/core/src/sort.rs
+/root/repo/target/debug/deps/jafar_core-b241c1da785a6f37.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/api.rs crates/core/src/device.rs crates/core/src/driver.rs crates/core/src/interleave.rs crates/core/src/ownership.rs crates/core/src/predicate.rs crates/core/src/project.rs crates/core/src/regs.rs crates/core/src/rowstore.rs crates/core/src/sort.rs
 
-/root/repo/target/debug/deps/libjafar_core-b241c1da785a6f37.rmeta: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/api.rs crates/core/src/device.rs crates/core/src/interleave.rs crates/core/src/ownership.rs crates/core/src/predicate.rs crates/core/src/project.rs crates/core/src/regs.rs crates/core/src/rowstore.rs crates/core/src/sort.rs
+/root/repo/target/debug/deps/libjafar_core-b241c1da785a6f37.rmeta: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/api.rs crates/core/src/device.rs crates/core/src/driver.rs crates/core/src/interleave.rs crates/core/src/ownership.rs crates/core/src/predicate.rs crates/core/src/project.rs crates/core/src/regs.rs crates/core/src/rowstore.rs crates/core/src/sort.rs
 
 crates/core/src/lib.rs:
 crates/core/src/aggregate.rs:
 crates/core/src/api.rs:
 crates/core/src/device.rs:
+crates/core/src/driver.rs:
 crates/core/src/interleave.rs:
 crates/core/src/ownership.rs:
 crates/core/src/predicate.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/jafar_dram-92988e8b49bc1406.d: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/data.rs crates/dram/src/geometry.rs crates/dram/src/mode.rs crates/dram/src/module.rs crates/dram/src/stats.rs crates/dram/src/timing.rs
+/root/repo/target/debug/deps/jafar_dram-92988e8b49bc1406.d: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/data.rs crates/dram/src/fault.rs crates/dram/src/geometry.rs crates/dram/src/mode.rs crates/dram/src/module.rs crates/dram/src/stats.rs crates/dram/src/timing.rs
 
-/root/repo/target/debug/deps/libjafar_dram-92988e8b49bc1406.rmeta: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/data.rs crates/dram/src/geometry.rs crates/dram/src/mode.rs crates/dram/src/module.rs crates/dram/src/stats.rs crates/dram/src/timing.rs
+/root/repo/target/debug/deps/libjafar_dram-92988e8b49bc1406.rmeta: crates/dram/src/lib.rs crates/dram/src/address.rs crates/dram/src/bank.rs crates/dram/src/command.rs crates/dram/src/data.rs crates/dram/src/fault.rs crates/dram/src/geometry.rs crates/dram/src/mode.rs crates/dram/src/module.rs crates/dram/src/stats.rs crates/dram/src/timing.rs
 
 crates/dram/src/lib.rs:
 crates/dram/src/address.rs:
 crates/dram/src/bank.rs:
 crates/dram/src/command.rs:
 crates/dram/src/data.rs:
+crates/dram/src/fault.rs:
 crates/dram/src/geometry.rs:
 crates/dram/src/mode.rs:
 crates/dram/src/module.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-e7039c6b0da403ad.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-e7039c6b0da403ad: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

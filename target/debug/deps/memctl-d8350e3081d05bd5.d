@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memctl-d8350e3081d05bd5.d: crates/bench/benches/memctl.rs
+
+/root/repo/target/debug/deps/memctl-d8350e3081d05bd5: crates/bench/benches/memctl.rs
+
+crates/bench/benches/memctl.rs:

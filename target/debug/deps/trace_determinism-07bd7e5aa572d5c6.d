@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_determinism-07bd7e5aa572d5c6.d: tests/trace_determinism.rs
+
+/root/repo/target/debug/deps/trace_determinism-07bd7e5aa572d5c6: tests/trace_determinism.rs
+
+tests/trace_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_determinism-62259c13e67c5e88.d: tests/trace_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_determinism-62259c13e67c5e88.rmeta: tests/trace_determinism.rs Cargo.toml
+
+tests/trace_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

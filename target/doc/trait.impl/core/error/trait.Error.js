@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["jafar_columnstore",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"jafar_columnstore/error/enum.PlanError.html\" title=\"enum jafar_columnstore::error::PlanError\">PlanError</a>",0]]],["jafar_cpu",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/error/trait.Error.html\" title=\"trait core::error::Error\">Error</a> for <a class=\"enum\" href=\"jafar_cpu/engine/enum.MemoryFault.html\" title=\"enum jafar_cpu::engine::MemoryFault\">MemoryFault</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[308,293]}

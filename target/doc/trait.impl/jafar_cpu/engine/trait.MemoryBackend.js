@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["jafar_cpu",[]],["jafar_sim",[["impl <a class=\"trait\" href=\"jafar_cpu/engine/trait.MemoryBackend.html\" title=\"trait jafar_cpu::engine::MemoryBackend\">MemoryBackend</a> for <a class=\"struct\" href=\"jafar_sim/backend/struct.SimBackend.html\" title=\"struct jafar_sim::backend::SimBackend\">SimBackend</a>&lt;'_&gt;",0]]],["jafar_sim",[["impl MemoryBackend for <a class=\"struct\" href=\"jafar_sim/backend/struct.SimBackend.html\" title=\"struct jafar_sim::backend::SimBackend\">SimBackend</a>&lt;'_&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[16,311,188]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_idle-4e2d122cdde84c89.d: crates/bench/src/bin/fig4_idle.rs
+
+/root/repo/target/release/deps/fig4_idle-4e2d122cdde84c89: crates/bench/src/bin/fig4_idle.rs
+
+crates/bench/src/bin/fig4_idle.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/jafar_columnstore-90aa659be58fc046.d: crates/columnstore/src/lib.rs crates/columnstore/src/column.rs crates/columnstore/src/dict.rs crates/columnstore/src/exec.rs crates/columnstore/src/ops/mod.rs crates/columnstore/src/ops/agg.rs crates/columnstore/src/ops/join.rs crates/columnstore/src/ops/project.rs crates/columnstore/src/ops/scan.rs crates/columnstore/src/ops/sort.rs crates/columnstore/src/plan.rs crates/columnstore/src/positions.rs crates/columnstore/src/pushdown.rs crates/columnstore/src/table.rs crates/columnstore/src/trace.rs crates/columnstore/src/value.rs
+/root/repo/target/release/deps/jafar_columnstore-90aa659be58fc046.d: crates/columnstore/src/lib.rs crates/columnstore/src/column.rs crates/columnstore/src/dict.rs crates/columnstore/src/error.rs crates/columnstore/src/exec.rs crates/columnstore/src/ops/mod.rs crates/columnstore/src/ops/agg.rs crates/columnstore/src/ops/join.rs crates/columnstore/src/ops/project.rs crates/columnstore/src/ops/scan.rs crates/columnstore/src/ops/sort.rs crates/columnstore/src/plan.rs crates/columnstore/src/positions.rs crates/columnstore/src/pushdown.rs crates/columnstore/src/table.rs crates/columnstore/src/trace.rs crates/columnstore/src/value.rs
 
-/root/repo/target/release/deps/libjafar_columnstore-90aa659be58fc046.rlib: crates/columnstore/src/lib.rs crates/columnstore/src/column.rs crates/columnstore/src/dict.rs crates/columnstore/src/exec.rs crates/columnstore/src/ops/mod.rs crates/columnstore/src/ops/agg.rs crates/columnstore/src/ops/join.rs crates/columnstore/src/ops/project.rs crates/columnstore/src/ops/scan.rs crates/columnstore/src/ops/sort.rs crates/columnstore/src/plan.rs crates/columnstore/src/positions.rs crates/columnstore/src/pushdown.rs crates/columnstore/src/table.rs crates/columnstore/src/trace.rs crates/columnstore/src/value.rs
+/root/repo/target/release/deps/libjafar_columnstore-90aa659be58fc046.rlib: crates/columnstore/src/lib.rs crates/columnstore/src/column.rs crates/columnstore/src/dict.rs crates/columnstore/src/error.rs crates/columnstore/src/exec.rs crates/columnstore/src/ops/mod.rs crates/columnstore/src/ops/agg.rs crates/columnstore/src/ops/join.rs crates/columnstore/src/ops/project.rs crates/columnstore/src/ops/scan.rs crates/columnstore/src/ops/sort.rs crates/columnstore/src/plan.rs crates/columnstore/src/positions.rs crates/columnstore/src/pushdown.rs crates/columnstore/src/table.rs crates/columnstore/src/trace.rs crates/columnstore/src/value.rs
 
-/root/repo/target/release/deps/libjafar_columnstore-90aa659be58fc046.rmeta: crates/columnstore/src/lib.rs crates/columnstore/src/column.rs crates/columnstore/src/dict.rs crates/columnstore/src/exec.rs crates/columnstore/src/ops/mod.rs crates/columnstore/src/ops/agg.rs crates/columnstore/src/ops/join.rs crates/columnstore/src/ops/project.rs crates/columnstore/src/ops/scan.rs crates/columnstore/src/ops/sort.rs crates/columnstore/src/plan.rs crates/columnstore/src/positions.rs crates/columnstore/src/pushdown.rs crates/columnstore/src/table.rs crates/columnstore/src/trace.rs crates/columnstore/src/value.rs
+/root/repo/target/release/deps/libjafar_columnstore-90aa659be58fc046.rmeta: crates/columnstore/src/lib.rs crates/columnstore/src/column.rs crates/columnstore/src/dict.rs crates/columnstore/src/error.rs crates/columnstore/src/exec.rs crates/columnstore/src/ops/mod.rs crates/columnstore/src/ops/agg.rs crates/columnstore/src/ops/join.rs crates/columnstore/src/ops/project.rs crates/columnstore/src/ops/scan.rs crates/columnstore/src/ops/sort.rs crates/columnstore/src/plan.rs crates/columnstore/src/positions.rs crates/columnstore/src/pushdown.rs crates/columnstore/src/table.rs crates/columnstore/src/trace.rs crates/columnstore/src/value.rs
 
 crates/columnstore/src/lib.rs:
 crates/columnstore/src/column.rs:
 crates/columnstore/src/dict.rs:
+crates/columnstore/src/error.rs:
 crates/columnstore/src/exec.rs:
 crates/columnstore/src/ops/mod.rs:
 crates/columnstore/src/ops/agg.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/jafar_common-a4c28440c86ed9d2.d: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
+/root/repo/target/release/deps/jafar_common-a4c28440c86ed9d2.d: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/obs.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
 
-/root/repo/target/release/deps/libjafar_common-a4c28440c86ed9d2.rlib: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
+/root/repo/target/release/deps/libjafar_common-a4c28440c86ed9d2.rlib: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/obs.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
 
-/root/repo/target/release/deps/libjafar_common-a4c28440c86ed9d2.rmeta: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
+/root/repo/target/release/deps/libjafar_common-a4c28440c86ed9d2.rmeta: crates/common/src/lib.rs crates/common/src/bitset.rs crates/common/src/check.rs crates/common/src/obs.rs crates/common/src/rng.rs crates/common/src/size.rs crates/common/src/stats.rs crates/common/src/time.rs
 
 crates/common/src/lib.rs:
 crates/common/src/bitset.rs:
 crates/common/src/check.rs:
+crates/common/src/obs.rs:
 crates/common/src/rng.rs:
 crates/common/src/size.rs:
 crates/common/src/stats.rs:

@@ -35,7 +35,9 @@ fn three_implementations_agree() {
     // 2. CPU timing path.
     let mut sys = small_system();
     let col = sys.write_column(&vals);
-    let cpu = sys.run_select_cpu(col, 10_000, lo, hi, ScanVariant::Branching, Tick::ZERO);
+    let cpu = sys
+        .run_select_cpu(col, 10_000, lo, hi, ScanVariant::Branching, Tick::ZERO)
+        .unwrap();
     assert_eq!(cpu.positions, reference.as_slice());
 
     // 3. JAFAR device path (bitset out of simulated DRAM).
@@ -56,7 +58,9 @@ fn all_cpu_variants_agree_with_device() {
     ] {
         let mut sys = small_system();
         let col = sys.write_column(&vals);
-        let cpu = sys.run_select_cpu(col, 4_096, 25, 74, variant, Tick::ZERO);
+        let cpu = sys
+            .run_select_cpu(col, 4_096, 25, 74, variant, Tick::ZERO)
+            .unwrap();
         let jf = sys.run_select_jafar(col, 4_096, 25, 74, cpu.end);
         assert_eq!(cpu.matches, jf.matched, "{variant:?}");
     }
@@ -75,7 +79,9 @@ fn figure3_shape_holds_at_small_scale() {
     for hi in [-1i64, 249, 499, 749, 999] {
         let mut sys = small_system();
         let col = sys.write_column(&vals);
-        let cpu = sys.run_select_cpu(col, rows, 0, hi, ScanVariant::Branching, Tick::ZERO);
+        let cpu = sys
+            .run_select_cpu(col, rows, 0, hi, ScanVariant::Branching, Tick::ZERO)
+            .unwrap();
         let mut sys2 = small_system();
         let col2 = sys2.write_column(&vals);
         let jf = sys2.run_select_jafar(col2, rows, 0, hi, Tick::ZERO);
@@ -105,7 +111,9 @@ fn repeated_runs_are_deterministic() {
     let run = || {
         let mut sys = small_system();
         let col = sys.write_column(&vals);
-        let cpu = sys.run_select_cpu(col, 8_192, 0, 499, ScanVariant::Branching, Tick::ZERO);
+        let cpu = sys
+            .run_select_cpu(col, 8_192, 0, 499, ScanVariant::Branching, Tick::ZERO)
+            .unwrap();
         let jf = sys.run_select_jafar(col, 8_192, 0, 499, cpu.end);
         (cpu.end, jf.end, cpu.matches)
     };

@@ -53,7 +53,7 @@ fn plan_scans_carry_pushdown_annotations() {
         columns: vec!["l_extendedprice".into()],
     };
     let catalog = Catalog::new().add(&db.lineitem);
-    let f = execute(&plan, &catalog, &mut cx);
+    let f = execute(&plan, &catalog, &mut cx).unwrap();
     assert!(f.rows() > 0);
     // The leading filter is a pushdown-eligible full scan; the refinement
     // is positional CPU work.
@@ -84,19 +84,19 @@ fn composed_plan_aggregation_consistent_with_direct_ops() {
         }),
     };
     let catalog = Catalog::new().add(&db.lineitem);
-    let frame = execute(&plan, &catalog, &mut cx);
+    let frame = execute(&plan, &catalog, &mut cx).unwrap();
 
     // Direct computation.
     use std::collections::BTreeMap;
     let mut want: BTreeMap<i64, i64> = BTreeMap::new();
-    let flag = db.lineitem.column("l_returnflag");
-    let qty = db.lineitem.column("l_quantity");
+    let flag = db.lineitem.column("l_returnflag").unwrap();
+    let qty = db.lineitem.column("l_quantity").unwrap();
     for r in 0..db.lineitem.rows() {
         *want.entry(flag.get(r)).or_default() += qty.get(r);
     }
     assert_eq!(frame.rows(), want.len());
     for (g, (k, v)) in want.into_iter().enumerate() {
-        assert_eq!(frame.column("l_returnflag")[g], k);
-        assert_eq!(frame.column("qty")[g], v);
+        assert_eq!(frame.column("l_returnflag").unwrap()[g], k);
+        assert_eq!(frame.column("qty").unwrap()[g], v);
     }
 }
