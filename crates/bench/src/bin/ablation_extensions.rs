@@ -119,8 +119,8 @@ fn main() {
         let mut sys = System::new(SystemConfig::gem5_like());
         let a = sys.write_column(&col_a);
         let b = sys.write_column(&col_b);
-        let bitset = sys.alloc.alloc_blocks(rows.div_ceil(8).max(64));
-        let proj_out = sys.alloc.alloc_blocks(rows.max(8) * 8);
+        let bitset = sys.alloc().alloc_blocks(rows.div_ceil(8).max(64));
+        let proj_out = sys.alloc().alloc_blocks(rows.max(8) * 8);
         sys.mc_mut().drain();
         let module = sys.mc_mut().module_mut();
         let lease = grant_ownership(module, 0, Tick::ZERO).expect("fresh");
@@ -194,7 +194,7 @@ fn main() {
 
         let mut sys = System::new(SystemConfig::gem5_like());
         let base = sys.write_column(&rowmajor);
-        let bitset = sys.alloc.alloc_blocks(rows.div_ceil(8).max(64));
+        let bitset = sys.alloc().alloc_blocks(rows.div_ceil(8).max(64));
         sys.mc_mut().drain();
         let module = sys.mc_mut().module_mut();
         let lease = grant_ownership(module, 0, Tick::ZERO).expect("fresh");
@@ -257,7 +257,7 @@ fn main() {
 
         let mut sys = System::new(SystemConfig::gem5_like());
         let a = sys.write_column(&col_b);
-        let out_region = sys.alloc.alloc_blocks(rows * 8);
+        let out_region = sys.alloc().alloc_blocks(rows * 8);
         sys.mc_mut().drain();
         let module = sys.mc_mut().module_mut();
         let lease = grant_ownership(module, 0, Tick::ZERO).expect("fresh");

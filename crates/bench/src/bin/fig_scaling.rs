@@ -1,0 +1,198 @@
+//! Rank-parallel scaling — one JAFAR per rank, the discussion section's
+//! natural scaling axis.
+//!
+//! The column is striped across K ranks on DRAM-row-aligned boundaries;
+//! each rank's device filters its shard concurrently under its own lease
+//! and resilient driver, and the per-rank bitsets are merged into one
+//! selection vector. This sweep measures completion time for K = 1..max
+//! ranks over the same dataset, checking three things along the way:
+//!
+//! - every merged result is bit-identical to the CPU reference and to the
+//!   single-device pushdown bitset;
+//! - speedup over one device increases monotonically with K (each added
+//!   rank shortens the longest shard);
+//! - with a rank-scoped fault injected, the faulty shard falls back to
+//!   the CPU scan without disturbing its siblings, and the merged result
+//!   is still exact.
+//!
+//! Usage: `fig_scaling [--rows N] [--ranks K] [--csv]`
+
+use jafar_bench::{arg, f2, flag, print_table};
+use jafar_common::rng::SplitMix64;
+use jafar_common::time::Tick;
+use jafar_core::ResilienceConfig;
+use jafar_cpu::ScanVariant;
+use jafar_dram::{DramGeometry, FaultPlan};
+use jafar_sim::{System, SystemConfig};
+
+/// gem5-like host over an 8-rank DIMM: 7 NDP ranks with a device each,
+/// the last rank as CPU scratch. Query overhead is trimmed so the sweep
+/// measures the accelerated region, not fixed planning cost.
+fn config() -> SystemConfig {
+    let mut cfg = SystemConfig::gem5_like();
+    cfg.dram_geometry = DramGeometry {
+        ranks: 8,
+        banks_per_rank: 8,
+        rows_per_bank: 1024,
+        row_bytes: 8 * 1024,
+    };
+    cfg.query_overhead = Tick::from_us(5);
+    cfg
+}
+
+fn reference(values: &[i64], lo: i64, hi: i64) -> Vec<u32> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| lo <= v && v <= hi)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+fn main() {
+    let rows: u64 = arg("--rows", 1_000_000);
+    let max_ranks: usize = arg("--ranks", 7);
+    let csv = flag("--csv");
+    let (lo, hi) = (0i64, 499i64); // ~50 % selectivity over [0, 999]
+
+    assert!(
+        (1..=7).contains(&max_ranks),
+        "--ranks must be 1..=7 (8-rank DIMM, one rank reserved for the host)"
+    );
+
+    println!("# Rank-parallel JAFAR scaling, 1..{max_ranks} ranks");
+    println!("# workload: {rows} rows, uniform integers in [0, 1000), predicate [{lo}, {hi}]");
+    let cfg = config();
+    println!(
+        "# platform: {} / {}",
+        cfg.name,
+        cfg.dram_geometry.describe()
+    );
+    println!();
+
+    let mut rng = SplitMix64::new(0x5CA1E);
+    let values: Vec<i64> = (0..rows)
+        .map(|_| rng.next_range_inclusive(0, 999))
+        .collect();
+    let expect = reference(&values, lo, hi);
+
+    // CPU baseline (timing) on the same host.
+    let mut sys_cpu = System::new(config());
+    let col = sys_cpu.write_column(&values);
+    let cpu = sys_cpu
+        .run_select_cpu(col, rows, lo, hi, ScanVariant::Branching, Tick::ZERO)
+        .expect("column placed in range");
+    assert_eq!(cpu.positions, expect, "CPU reference");
+
+    // Single-device pushdown: the bit-identity baseline for every K.
+    let mut sys_one = System::new(config());
+    let col = sys_one.write_column(&values);
+    let one = sys_one.run_select_jafar(col, rows, lo, hi, Tick::ZERO);
+    let mut one_bytes = vec![0u8; rows.div_ceil(8) as usize];
+    sys_one
+        .mc()
+        .module()
+        .data()
+        .read(one.out_addr, &mut one_bytes);
+
+    if csv {
+        println!("ranks,time_ms,speedup_vs_1,speedup_vs_cpu,longest_shard_rows");
+    }
+    let mut out_rows: Vec<Vec<String>> = Vec::new();
+    let mut prev_end: Option<Tick> = None;
+    let mut base_ms = 0.0f64;
+    for k in 1..=max_ranks {
+        let mut sys = System::new(config());
+        let col = sys.write_column_partitioned(&values, k);
+        let par =
+            sys.run_select_jafar_parallel(&col, lo, hi, Tick::ZERO, ResilienceConfig::default());
+
+        assert_eq!(par.selection.to_positions(), expect, "k={k}: merged == CPU");
+        assert_eq!(
+            par.selection.to_bytes(),
+            one_bytes[..],
+            "k={k}: merged == single-device bitset"
+        );
+        if let Some(prev) = prev_end {
+            assert!(
+                par.end < prev,
+                "k={k}: {} must beat k-1's {} (monotonic scaling)",
+                par.end,
+                prev
+            );
+        }
+        prev_end = Some(par.end);
+
+        let ms = par.end.as_ms_f64();
+        if k == 1 {
+            base_ms = ms;
+        }
+        let longest = col.shards.iter().map(|s| s.rows).max().unwrap_or(0);
+        if csv {
+            println!(
+                "{k},{:.4},{:.3},{:.3},{longest}",
+                ms,
+                base_ms / ms,
+                cpu.end.as_ms_f64() / ms
+            );
+        }
+        out_rows.push(vec![
+            format!("{k}"),
+            f2(ms),
+            f2(base_ms / ms),
+            f2(cpu.end.as_ms_f64() / ms),
+            format!("{longest}"),
+        ]);
+    }
+
+    if !csv {
+        print_table(
+            &[
+                "ranks",
+                "time (ms)",
+                "speedup vs 1",
+                "speedup vs CPU",
+                "longest shard",
+            ],
+            &out_rows,
+        );
+        println!();
+    }
+
+    // Resilience spot-check: rank 0's reads all stall past the watchdog,
+    // so its shard degrades to the CPU scan while the siblings stream at
+    // device speed. The merged result must still be exact.
+    let k = max_ranks;
+    let mut sys = System::new(config());
+    let col = sys.write_column_partitioned(&values, k);
+    sys.inject_faults(FaultPlan {
+        stall_burst_range: Some((0, u64::MAX)),
+        rank_scope: Some(0),
+        ..FaultPlan::none(1)
+    });
+    let par = sys.run_select_jafar_parallel(
+        &col,
+        lo,
+        hi,
+        Tick::ZERO,
+        ResilienceConfig {
+            max_retries: 1,
+            breaker_threshold: 1,
+            ..ResilienceConfig::default()
+        },
+    );
+    assert_eq!(
+        par.selection.to_positions(),
+        expect,
+        "faulted run stays bit-identical"
+    );
+    assert!(par.recovery[0].pages_cpu.get() >= 1, "rank 0 fell back");
+    for (i, r) in par.recovery.iter().enumerate().skip(1) {
+        assert_eq!(r.recovery_total(), 0, "sibling shard {i} undisturbed");
+    }
+    println!(
+        "# fault run (rank 0 stalled, {k} ranks): end={} — merged result exact,",
+        f2(par.end.as_ms_f64())
+    );
+    println!("#   faulty shard fell back to the CPU scan; siblings untouched.");
+}

@@ -13,7 +13,7 @@ use crate::ops::project::gather;
 use crate::ops::scan::{scan, scan_at, ScanPredicate};
 use crate::ops::sort::{sort_rows_by, Dir};
 use crate::positions::PositionList;
-use crate::pushdown::{CircuitBreaker, Planner, ScanImpl};
+use crate::pushdown::{CircuitBreaker, Planner};
 use crate::table::Table;
 use crate::trace::{OpTrace, TraceEvent};
 
@@ -78,7 +78,7 @@ impl ExecContext {
         let col = table.column(column)?;
         let out = scan(col, predicate);
         let mut implementation = self.planner.choose(col.len() as u64, predicate);
-        if implementation == ScanImpl::Jafar && !self.breaker.allow() {
+        if implementation.is_pushdown() && !self.breaker.allow() {
             implementation = self.planner.cpu_kernel;
             self.fallback_scans += 1;
         }
@@ -326,6 +326,25 @@ mod tests {
         cx.breaker_mut().record_success();
         cx.select(&t, "x", Pred::Lt(100)).unwrap();
         assert_eq!(cx.trace().jafar_scans(), 1);
+    }
+
+    #[test]
+    fn open_breaker_also_reroutes_parallel_pushdown() {
+        let t = Table::new("big", vec![Column::int("x", (0..10_000).collect())]);
+        let mut cx = ExecContext::new(Planner::with_jafar_parallel(4));
+        cx.select(&t, "x", Pred::Lt(100)).unwrap();
+        assert_eq!(
+            cx.trace().jafar_scans(),
+            1,
+            "parallel scans count as pushdown"
+        );
+        cx.breaker_mut().record_failure();
+        cx.breaker_mut().record_failure();
+        assert!(cx.breaker().is_open());
+        let pos = cx.select(&t, "x", Pred::Lt(100)).unwrap();
+        assert_eq!(pos.len(), 100);
+        assert_eq!(cx.trace().jafar_scans(), 1, "second scan rerouted to CPU");
+        assert_eq!(cx.fallback_scans(), 1);
     }
 
     #[test]

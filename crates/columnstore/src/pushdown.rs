@@ -24,6 +24,16 @@ pub enum ScanImpl {
     CpuVectorized,
     /// Pushed down to the JAFAR device.
     Jafar,
+    /// Pushed down to K per-rank JAFAR devices over a rank-partitioned
+    /// column (the discussion section's one-device-per-rank scaling).
+    JafarParallel,
+}
+
+impl ScanImpl {
+    /// True for either device pushdown flavour.
+    pub fn is_pushdown(self) -> bool {
+        matches!(self, ScanImpl::Jafar | ScanImpl::JafarParallel)
+    }
 }
 
 /// The pushdown planner.
@@ -31,6 +41,10 @@ pub enum ScanImpl {
 pub struct Planner {
     /// Whether a JAFAR device is available to this query.
     pub jafar_available: bool,
+    /// Ranks with their own device that a scan may be striped across.
+    /// `<= 1` keeps pushdown on the single-device path; `>= 2` makes the
+    /// planner choose [`ScanImpl::JafarParallel`] for eligible scans.
+    pub parallel_ranks: u32,
     /// Minimum rows for pushdown to amortise invocation/ownership costs.
     pub min_rows_for_pushdown: u64,
     /// The CPU kernel used when not pushing down.
@@ -41,6 +55,7 @@ impl Default for Planner {
     fn default() -> Self {
         Planner {
             jafar_available: false,
+            parallel_ranks: 1,
             min_rows_for_pushdown: 4096,
             cpu_kernel: ScanImpl::CpuBranching,
         }
@@ -56,12 +71,25 @@ impl Planner {
         }
     }
 
+    /// A planner with rank-parallel JAFAR enabled over `ranks` ranks.
+    pub fn with_jafar_parallel(ranks: u32) -> Self {
+        Planner {
+            jafar_available: true,
+            parallel_ranks: ranks,
+            ..Planner::default()
+        }
+    }
+
     /// Chooses the implementation for a full scan of `rows` rows.
     pub fn choose(&self, rows: u64, predicate: ScanPredicate) -> ScanImpl {
         let (lo, hi) = predicate.bounds();
         let nontrivial = lo <= hi;
         if self.jafar_available && nontrivial && rows >= self.min_rows_for_pushdown {
-            ScanImpl::Jafar
+            if self.parallel_ranks >= 2 {
+                ScanImpl::JafarParallel
+            } else {
+                ScanImpl::Jafar
+            }
         } else {
             self.cpu_kernel
         }
@@ -189,6 +217,27 @@ mod tests {
             p.choose(100, ScanPredicate::Lt(5)),
             ScanImpl::CpuBranching,
             "too small to amortise invocation cost"
+        );
+    }
+
+    #[test]
+    fn parallel_pushdown_when_ranks_available() {
+        let p = Planner::with_jafar_parallel(4);
+        assert_eq!(
+            p.choose(1_000_000, ScanPredicate::Lt(5)),
+            ScanImpl::JafarParallel
+        );
+        assert!(ScanImpl::JafarParallel.is_pushdown());
+        assert_eq!(
+            p.choose(100, ScanPredicate::Lt(5)),
+            ScanImpl::CpuBranching,
+            "size threshold applies to the parallel flavour too"
+        );
+        // One rank degenerates to the single-device plan.
+        let single = Planner::with_jafar_parallel(1);
+        assert_eq!(
+            single.choose(1_000_000, ScanPredicate::Lt(5)),
+            ScanImpl::Jafar
         );
     }
 

@@ -128,17 +128,14 @@ impl OpTrace {
             .sum()
     }
 
-    /// Scans annotated for JAFAR pushdown.
+    /// Scans annotated for JAFAR pushdown (single-device or rank-parallel).
     pub fn jafar_scans(&self) -> usize {
         self.events
             .iter()
             .filter(|e| {
                 matches!(
                     e,
-                    TraceEvent::Scan {
-                        implementation: ScanImpl::Jafar,
-                        ..
-                    }
+                    TraceEvent::Scan { implementation, .. } if implementation.is_pushdown()
                 )
             })
             .count()

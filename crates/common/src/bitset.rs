@@ -54,10 +54,17 @@ impl BitSet {
             bytes.len(),
             len
         );
+        let nbytes = len.div_ceil(8);
         let mut set = BitSet::new(len);
-        for i in 0..len {
-            if bytes[i / 8] >> (i % 8) & 1 == 1 {
-                set.set(i);
+        for (w, chunk) in set.words.iter_mut().zip(bytes[..nbytes].chunks(8)) {
+            let mut le = [0u8; 8];
+            le[..chunk.len()].copy_from_slice(chunk);
+            *w = u64::from_le_bytes(le);
+        }
+        // Padding bits past `len` in the source image must not leak in.
+        if !len.is_multiple_of(WORD_BITS) {
+            if let Some(last) = set.words.last_mut() {
+                *last &= (1u64 << (len % WORD_BITS)) - 1;
             }
         }
         set
@@ -159,8 +166,25 @@ impl BitSet {
     }
 
     /// Collects set-bit indices into a vector of row positions.
+    ///
+    /// # Panics
+    /// Panics if the bitmap holds positions that do not fit in `u32`
+    /// (columns of 2^32 rows or more) — use
+    /// [`BitSet::to_positions_u64`] for those.
     pub fn to_positions(&self) -> Vec<u32> {
+        assert!(
+            self.len as u64 <= u64::from(u32::MAX) + 1,
+            "bitmap of {} bits has positions beyond u32::MAX; use to_positions_u64",
+            self.len
+        );
         self.iter_ones().map(|i| i as u32).collect()
+    }
+
+    /// Collects set-bit indices into a vector of `u64` row positions —
+    /// the overload for columns of 2^32 rows or more, where
+    /// [`BitSet::to_positions`] would silently truncate.
+    pub fn to_positions_u64(&self) -> Vec<u64> {
+        self.iter_ones().map(|i| i as u64).collect()
     }
 }
 
@@ -360,6 +384,39 @@ mod tests {
         assert_eq!(bytes[2], 0b0000_0100);
         let back = BitSet::from_bytes(&bytes, 19);
         assert_eq!(back, b);
+    }
+
+    #[test]
+    fn from_bytes_masks_padding_bits_and_ignores_excess_bytes() {
+        // All-ones image, 19 valid bits: the 5 padding bits in byte 2 and
+        // the entire spare byte 3 must not leak into the bitmap.
+        let bytes = [0xFFu8; 4];
+        let b = BitSet::from_bytes(&bytes, 19);
+        assert_eq!(b.count_ones(), 19);
+        assert_eq!(b.iter_ones().last(), Some(18));
+    }
+
+    #[test]
+    fn from_bytes_word_boundaries_round_trip() {
+        for len in [1usize, 7, 8, 63, 64, 65, 127, 128, 129, 500] {
+            let mut b = BitSet::new(len);
+            for i in (0..len).step_by(3) {
+                b.set(i);
+            }
+            b.set(len - 1);
+            let back = BitSet::from_bytes(&b.to_bytes(), len);
+            assert_eq!(back, b, "round trip failed at len {len}");
+        }
+    }
+
+    #[test]
+    fn positions_u64_matches_u32_overload() {
+        let mut b = BitSet::new(200);
+        for i in [0usize, 64, 65, 199] {
+            b.set(i);
+        }
+        let narrow: Vec<u64> = b.to_positions().iter().map(|&p| p as u64).collect();
+        assert_eq!(b.to_positions_u64(), narrow);
     }
 
     #[test]

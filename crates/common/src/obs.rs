@@ -136,6 +136,24 @@ pub enum EventKind {
         /// Chunk length in bytes.
         bytes: u32,
     },
+    /// The parallel scheduler advanced one shard by one page.
+    ShardStep {
+        /// Index of the shard within the parallel select.
+        shard: u32,
+        /// DRAM rank the shard's device runs on.
+        rank: u32,
+        /// First row of the page the step processed.
+        at_row: u64,
+    },
+    /// A shard of a parallel select finished its timeline.
+    ShardDone {
+        /// Index of the shard within the parallel select.
+        shard: u32,
+        /// DRAM rank the shard's device ran on.
+        rank: u32,
+        /// Number of rows the shard's predicate matched.
+        matched: u64,
+    },
     /// A library error path was taken (the former panic sites).
     ErrorSurfaced {
         /// Where (`"sim-backend"`, `"refresh"`, `"plan"`).
@@ -163,6 +181,8 @@ impl EventKind {
             EventKind::FaultInjected { .. } => "fault",
             EventKind::AccelStage { .. } => "accel",
             EventKind::BitsetWriteback { .. } => "bitset-wb",
+            EventKind::ShardStep { .. } => "shard-step",
+            EventKind::ShardDone { .. } => "shard-done",
             EventKind::ErrorSurfaced { .. } => "error",
         }
     }
@@ -181,7 +201,10 @@ impl EventKind {
             | EventKind::BreakerTransition { .. }
             | EventKind::CpuFallback { .. } => "driver",
             EventKind::FaultInjected { .. } => "fault",
-            EventKind::AccelStage { .. } | EventKind::BitsetWriteback { .. } => "accel",
+            EventKind::AccelStage { .. }
+            | EventKind::BitsetWriteback { .. }
+            | EventKind::ShardStep { .. }
+            | EventKind::ShardDone { .. } => "accel",
             EventKind::ErrorSurfaced { .. } => "error",
         }
     }
@@ -244,6 +267,20 @@ impl EventKind {
             }
             EventKind::BitsetWriteback { addr, bytes } => {
                 let _ = write!(out, "addr={addr} bytes={bytes}");
+            }
+            EventKind::ShardStep {
+                shard,
+                rank,
+                at_row,
+            } => {
+                let _ = write!(out, "shard={shard} rank={rank} at_row={at_row}");
+            }
+            EventKind::ShardDone {
+                shard,
+                rank,
+                matched,
+            } => {
+                let _ = write!(out, "shard={shard} rank={rank} matched={matched}");
             }
             EventKind::ErrorSurfaced { site, detail } => {
                 let _ = write!(out, "site={site} detail={detail}");

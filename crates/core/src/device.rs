@@ -293,13 +293,20 @@ impl JafarDevice {
         let total_bursts = job.rows.div_ceil(8);
         for burst in 0..total_bursts {
             let addr = PhysAddr(job.col_addr.0 + burst * 64);
-            // Hardware row lookahead: at the start of each row group, open
-            // the *next* group's row so the row switch hides under the
-            // current group's streaming (the device knows its access
-            // pattern is strictly sequential).
-            if burst % bursts_per_row == 0 && burst + bursts_per_row < total_bursts {
-                let next = PhysAddr(job.col_addr.0 + (burst + bursts_per_row) * 64);
-                preopen_row(module, next, issue_cursor);
+            // Hardware row lookahead: on entering each row group, open the
+            // *next* group's row so the row switch hides under the current
+            // group's streaming (the device knows its access pattern is
+            // strictly sequential). Row groups are address-space-absolute —
+            // `SimAlloc` only guarantees 64-byte alignment, so the job may
+            // start mid-group and the crossings must be computed from the
+            // absolute block index, not the job-relative burst count.
+            let abs_block = job.col_addr.0 / 64 + burst;
+            if burst == 0 || abs_block.is_multiple_of(bursts_per_row) {
+                let next_block = (abs_block / bursts_per_row + 1) * bursts_per_row;
+                let next_burst = next_block - job.col_addr.0 / 64;
+                if next_burst < total_bursts {
+                    preopen_row(module, PhysAddr(next_block * 64), issue_cursor);
+                }
             }
             let access = match module.serve_addr(addr, false, Requester::Ndp, issue_cursor, None) {
                 Ok(a) => a,
@@ -372,8 +379,12 @@ impl JafarDevice {
         })
     }
 
-    /// Writes a drained output-buffer chunk back to DRAM as whole bursts
-    /// (zero-padding the tail). Returns the advanced output cursor.
+    /// Writes a drained output-buffer chunk back to DRAM as whole bursts.
+    /// Chunks are split on 64-byte line boundaries *relative to the
+    /// cursor*: a partial line (cursor mid-burst, or a short tail) is
+    /// read-modified-written so neighbouring bitset bytes written by
+    /// earlier flushes survive, while full lines are written outright.
+    /// Returns the advanced output cursor.
     fn write_bitset_chunk(
         &mut self,
         module: &mut DramModule,
@@ -383,16 +394,21 @@ impl JafarDevice {
         bursts_written: &mut u64,
     ) -> Result<u64, DeviceError> {
         let mut cursor = out_cursor;
-        for chunk in bytes.chunks(64) {
+        let mut remaining = bytes;
+        while !remaining.is_empty() {
+            let line_base = cursor & !63;
+            let off = (cursor - line_base) as usize;
+            let take = (64 - off).min(remaining.len());
             let mut burst = [0u8; 64];
-            burst[..chunk.len()].copy_from_slice(chunk);
-            let served = module.serve_addr(
-                PhysAddr(cursor & !63),
-                true,
-                Requester::Ndp,
-                at,
-                Some(&burst),
-            );
+            if off != 0 || take != 64 {
+                // Partial line: merge into the existing contents. The read
+                // is functional only — the hardware holds the line in its
+                // writeback buffer, so no extra DRAM traffic is modelled.
+                module.data().read(PhysAddr(line_base), &mut burst);
+            }
+            burst[off..off + take].copy_from_slice(&remaining[..take]);
+            let served =
+                module.serve_addr(PhysAddr(line_base), true, Requester::Ndp, at, Some(&burst));
             if let Err(e) = served {
                 self.regs.set_error();
                 return Err(match e {
@@ -405,11 +421,12 @@ impl JafarDevice {
             self.tracer.emit(
                 at,
                 EventKind::BitsetWriteback {
-                    addr: cursor & !63,
-                    bytes: chunk.len() as u32,
+                    addr: line_base,
+                    bytes: take as u32,
                 },
             );
-            cursor += chunk.len() as u64;
+            cursor += take as u64;
+            remaining = &remaining[take..];
         }
         Ok(cursor)
     }
@@ -551,6 +568,73 @@ mod tests {
         let mut d2 = JafarDevice::paper_default();
         let run2 = d2.run_select(&mut m2, job(1537, 0, i64::MAX), t0b).unwrap();
         assert_eq!(run2.bursts_written, 4);
+    }
+
+    #[test]
+    fn unaligned_column_preopen_hides_row_switch() {
+        // tiny geometry: 16 bursts per (bank,row) group. `SimAlloc` only
+        // guarantees 64-byte alignment, so a column may start mid-group; a
+        // 16-burst job based 8 blocks into a group crosses into the next
+        // group at burst 8, and the lookahead must hide that switch.
+        //
+        // Baseline: an aligned 32-burst job, whose single group crossing
+        // (at burst 16) is hidden by the same lookahead, and which issues
+        // the same single preopen before its first access. Perfect
+        // streaming means the datapath only ever waits for DRAM during the
+        // shared startup (preopen + first activate + first CAS), so the
+        // two runs must report *identical* dram_wait.
+        let bursts_per_row = DramGeometry::tiny().bursts_per_row() as u64;
+        let run_at = |col_addr: u64, bursts: u64| {
+            let (mut m, t0) = owned_module();
+            let rows = bursts * 8;
+            let values: Vec<i64> = (0..rows as i64).collect();
+            put_column(&mut m, col_addr, &values);
+            let mut d = JafarDevice::paper_default();
+            let mut j = job(rows, 0, i64::MAX);
+            j.col_addr = PhysAddr(col_addr);
+            d.run_select(&mut m, j, t0).unwrap()
+        };
+        let aligned = run_at(0, 2 * bursts_per_row);
+        let unaligned = run_at(bursts_per_row / 2 * 64, bursts_per_row);
+        assert_eq!(
+            unaligned.dram_wait, aligned.dram_wait,
+            "the mid-job row switch of an unaligned column must be hidden \
+             by the lookahead (aligned wait {:?}, unaligned wait {:?})",
+            aligned.dram_wait, unaligned.dram_wait
+        );
+    }
+
+    #[test]
+    fn partial_buffer_writebacks_preserve_earlier_bytes() {
+        // A 136-bit output buffer drains 17 bytes at a time, so every
+        // writeback after the first lands mid-burst. Each partial burst
+        // must read-modify-write its 64-byte line, not clobber the
+        // previously written bytes with zero padding.
+        let (mut m, t0) = owned_module();
+        let mut rng = SplitMix64::new(7);
+        let rows = 400u64;
+        let values: Vec<i64> = (0..rows).map(|_| rng.next_range_inclusive(0, 99)).collect();
+        put_column(&mut m, 0, &values);
+        let mut d = JafarDevice::new(DeviceConfig {
+            out_buf_bits: 136,
+            ..DeviceConfig::default()
+        });
+        let j = job(rows, 0, 49);
+        let run = d.run_select(&mut m, j, t0).unwrap();
+
+        let mut expect = BitSet::new(rows as usize);
+        for (i, &v) in values.iter().enumerate() {
+            expect.assign(i, (0..=49).contains(&v));
+        }
+        let nbytes = (rows as usize).div_ceil(8);
+        let mut bytes = vec![0u8; nbytes];
+        m.data().read(j.out_addr, &mut bytes);
+        let got = BitSet::from_bytes(&bytes, rows as usize);
+        assert_eq!(run.matched as usize, expect.count_ones());
+        assert_eq!(
+            got, expect,
+            "device bitset must be bit-identical to the CPU reference"
+        );
     }
 
     #[test]

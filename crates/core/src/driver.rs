@@ -201,6 +201,65 @@ enum PageVerdict {
     GiveUp,
 }
 
+/// A select in progress, steppable one page at a time.
+///
+/// [`ResilientDriver::run_select`] is simply `start_session` + `step_page`
+/// until done; the rank-parallel scheduler ([`crate::parallel`]) instead
+/// holds one session per rank and always steps the one whose simulated
+/// clock is furthest behind, interleaving the per-rank timelines without
+/// any shard ever observing another's future.
+pub struct SelectSession {
+    req: SelectRequest,
+    rank: u32,
+    row: u64,
+    t: Tick,
+    matched: u64,
+    pages: u64,
+    cpu_wait: Tick,
+    device_time: Tick,
+    driver_time: Tick,
+    done: bool,
+}
+
+impl SelectSession {
+    /// The session's simulated clock: everything this shard has done so
+    /// far happened at or before this tick.
+    pub fn cursor(&self) -> Tick {
+        self.t
+    }
+
+    /// True once the final page completed and the lease was released.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The rank this session's column lives on.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// The next unprocessed row (page-granular progress).
+    pub fn next_row(&self) -> u64 {
+        self.row
+    }
+
+    /// Folds the finished session into a [`DriverRun`].
+    ///
+    /// # Panics
+    /// Panics if the session is not done yet.
+    pub fn into_run(self) -> DriverRun {
+        assert!(self.done, "session still has pages to run");
+        DriverRun {
+            end: self.t,
+            matched: self.matched,
+            pages: self.pages,
+            cpu_wait: self.cpu_wait,
+            device: self.device_time,
+            driver: self.driver_time,
+        }
+    }
+}
+
 /// The resilient driver. Owns the recovery policy, the current lease and
 /// the circuit-breaker state; accumulates [`DriverStats`] across runs.
 pub struct ResilientDriver {
@@ -274,77 +333,108 @@ impl ResilientDriver {
         req: SelectRequest,
         start: Tick,
     ) -> DriverRun {
-        let rank = module.decoder().decode(req.col_addr).rank;
-        let rows_per_page = self.cfg.page_bytes / 8;
-        let mut t = start;
-        let mut matched = 0u64;
-        let mut pages = 0u64;
-        let mut cpu_wait = Tick::ZERO;
-        let mut device_time = Tick::ZERO;
-        let mut driver_time = Tick::ZERO;
+        let mut session = self.start_session(module, req, start);
+        while !session.is_done() {
+            self.step_page(device, module, &mut session);
+        }
+        session.into_run()
+    }
 
-        let mut row = 0u64;
-        while row < req.rows {
-            let page_rows = rows_per_page.min(req.rows - row);
-            let args = SelectArgs {
-                col_data: PhysAddr(req.col_addr.0 + row * 8),
-                range_low: req.lo,
-                range_high: req.hi,
-                out_buf: PhysAddr(req.out_addr.0 + row / 8),
-                num_input_rows: page_rows,
-            };
-            self.stats.pages.inc();
-            let verdict = if self.breaker_open {
-                PageVerdict::GiveUp
-            } else {
-                self.run_page_jafar(
-                    device,
-                    module,
-                    rank,
-                    args,
-                    &mut t,
-                    &mut cpu_wait,
-                    &mut device_time,
-                    &mut driver_time,
-                )
-            };
-            match verdict {
-                PageVerdict::Done(n) => {
-                    matched += n;
-                    self.stats.pages_jafar.inc();
-                    self.consecutive_failures = 0;
-                }
-                PageVerdict::GiveUp => {
-                    if !self.breaker_open {
-                        self.consecutive_failures += 1;
-                        if self.consecutive_failures >= self.cfg.breaker_threshold {
-                            self.breaker_open = true;
-                            self.stats.breaker_trips.inc();
-                            self.tracer
-                                .emit(t, EventKind::BreakerTransition { open: true });
-                        }
-                    }
-                    self.tracer.emit(t, EventKind::CpuFallback { page: pages });
-                    matched += self.run_page_cpu(module, args, &mut t);
-                    self.stats.pages_cpu.inc();
-                }
+    /// Opens a steppable session for `req`. Pair with
+    /// [`ResilientDriver::step_page`]; [`ResilientDriver::run_select`] is
+    /// the convenience loop over the two.
+    pub fn start_session(
+        &self,
+        module: &DramModule,
+        req: SelectRequest,
+        start: Tick,
+    ) -> SelectSession {
+        SelectSession {
+            rank: module.decoder().decode(req.col_addr).rank,
+            req,
+            row: 0,
+            t: start,
+            matched: 0,
+            pages: 0,
+            cpu_wait: Tick::ZERO,
+            device_time: Tick::ZERO,
+            driver_time: Tick::ZERO,
+            done: false,
+        }
+    }
+
+    /// Advances `session` by one page (device attempt with full recovery,
+    /// or CPU fallback), or — once every page is processed — releases the
+    /// lease and marks the session done. No-op on a done session.
+    pub fn step_page(
+        &mut self,
+        device: &mut JafarDevice,
+        module: &mut DramModule,
+        session: &mut SelectSession,
+    ) {
+        if session.done {
+            return;
+        }
+        if session.row >= session.req.rows {
+            // Hand the rank back so host traffic resumes.
+            if self.lease.is_some() {
+                self.release_current(module, &mut session.t);
             }
-            row += page_rows;
-            pages += 1;
+            session.done = true;
+            return;
         }
-
-        // Hand the rank back so host traffic resumes.
-        if self.lease.is_some() {
-            self.release_current(module, &mut t);
+        let rows_per_page = self.cfg.page_bytes / 8;
+        let page_rows = rows_per_page.min(session.req.rows - session.row);
+        let args = SelectArgs {
+            col_data: PhysAddr(session.req.col_addr.0 + session.row * 8),
+            range_low: session.req.lo,
+            range_high: session.req.hi,
+            out_buf: PhysAddr(session.req.out_addr.0 + session.row / 8),
+            num_input_rows: page_rows,
+        };
+        self.stats.pages.inc();
+        let verdict = if self.breaker_open {
+            PageVerdict::GiveUp
+        } else {
+            self.run_page_jafar(
+                device,
+                module,
+                session.rank,
+                args,
+                &mut session.t,
+                &mut session.cpu_wait,
+                &mut session.device_time,
+                &mut session.driver_time,
+            )
+        };
+        match verdict {
+            PageVerdict::Done(n) => {
+                session.matched += n;
+                self.stats.pages_jafar.inc();
+                self.consecutive_failures = 0;
+            }
+            PageVerdict::GiveUp => {
+                if !self.breaker_open {
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures >= self.cfg.breaker_threshold {
+                        self.breaker_open = true;
+                        self.stats.breaker_trips.inc();
+                        self.tracer
+                            .emit(session.t, EventKind::BreakerTransition { open: true });
+                    }
+                }
+                self.tracer.emit(
+                    session.t,
+                    EventKind::CpuFallback {
+                        page: session.pages,
+                    },
+                );
+                session.matched += self.run_page_cpu(module, args, &mut session.t);
+                self.stats.pages_cpu.inc();
+            }
         }
-        DriverRun {
-            end: t,
-            matched,
-            pages,
-            cpu_wait,
-            device: device_time,
-            driver: driver_time,
-        }
+        session.row += page_rows;
+        session.pages += 1;
     }
 
     /// One page on the device: lease upkeep, invocation, watchdog, bounded

@@ -39,6 +39,7 @@ pub mod device;
 pub mod driver;
 pub mod interleave;
 pub mod ownership;
+pub mod parallel;
 pub mod predicate;
 pub mod project;
 pub mod regs;
@@ -51,5 +52,6 @@ pub use api::{
 pub use device::{DeviceConfig, DeviceError, JafarDevice, SelectJob, SelectRun};
 pub use driver::{DriverRun, DriverStats, ResilienceConfig, ResilientDriver, SelectRequest};
 pub use ownership::{grant_ownership, grant_ownership_for, release_ownership, renew_lease, Lease};
+pub use parallel::{run_select_parallel, ParallelRun, ShardRun};
 pub use predicate::Predicate;
 pub use regs::{Reg, RegisterFile};

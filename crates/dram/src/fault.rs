@@ -68,6 +68,13 @@ pub struct FaultPlan {
     /// this half-open range, every read stalls (and `stall_p` is ignored).
     /// Lets tests schedule a stuck completion at an exact point in a run.
     pub stall_burst_range: Option<(u64, u64)>,
+    /// Restrict injection to one rank. `None` means faults can hit any
+    /// rank; `Some(r)` lets every other rank's traffic pass untouched —
+    /// without consuming the RNG stream or advancing the burst counter, so
+    /// the scoped rank's fault sequence is independent of how much
+    /// sibling-rank traffic interleaves with it. Models a single failing
+    /// DIMM rank under rank-parallel execution.
+    pub rank_scope: Option<u32>,
     /// SECDED ECC on the data path. When false, flips are silent.
     pub ecc: bool,
 }
@@ -87,6 +94,7 @@ impl FaultPlan {
             storm_p: 0.0,
             storm_refreshes: 4,
             stall_burst_range: None,
+            rank_scope: None,
             ecc: true,
         }
     }
@@ -219,9 +227,18 @@ impl FaultInjector {
         &self.stats
     }
 
-    /// Applies read-path faults to one burst. `data` is the copy about to
-    /// be returned to the requester; the functional store is not touched.
-    pub fn on_read_burst(&mut self, data: &mut [u8; 64]) -> ReadDisturbance {
+    /// True when the plan scopes faults to one rank and `rank` is not it.
+    fn scoped_out(&self, rank: u32) -> bool {
+        self.plan.rank_scope.is_some_and(|r| r != rank)
+    }
+
+    /// Applies read-path faults to one burst of `rank`. `data` is the copy
+    /// about to be returned to the requester; the functional store is not
+    /// touched. Bursts outside the plan's rank scope pass through clean.
+    pub fn on_read_burst(&mut self, data: &mut [u8; 64], rank: u32) -> ReadDisturbance {
+        if self.scoped_out(rank) {
+            return ReadDisturbance::default();
+        }
         let burst_index = self.bursts_seen;
         self.bursts_seen += 1;
         let mut disturbance = ReadDisturbance::default();
@@ -275,9 +292,13 @@ impl FaultInjector {
         disturbance
     }
 
-    /// Samples a transient MRS glitch. True means the rank ignored the
-    /// command and the module must fail it with `IssueError::MrsGlitch`.
-    pub fn on_mode_register_set(&mut self) -> bool {
+    /// Samples a transient MRS glitch on `rank`. True means the rank
+    /// ignored the command and the module must fail it with
+    /// `IssueError::MrsGlitch`. Ranks outside the plan's scope never glitch.
+    pub fn on_mode_register_set(&mut self, rank: u32) -> bool {
+        if self.scoped_out(rank) {
+            return false;
+        }
         if self.plan.mrs_glitch_p > 0.0 && self.rng.next_bool(self.plan.mrs_glitch_p) {
             self.stats.mrs_glitches.inc();
             true
@@ -286,10 +307,13 @@ impl FaultInjector {
         }
     }
 
-    /// Samples a refresh storm for one transaction. `Some(n)` means the
-    /// rank is preempted by `n` back-to-back refreshes before the
-    /// transaction proceeds.
-    pub fn refresh_storm(&mut self) -> Option<u32> {
+    /// Samples a refresh storm for one transaction on `rank`. `Some(n)`
+    /// means the rank is preempted by `n` back-to-back refreshes before the
+    /// transaction proceeds. Ranks outside the plan's scope are never hit.
+    pub fn refresh_storm(&mut self, rank: u32) -> Option<u32> {
+        if self.scoped_out(rank) {
+            return None;
+        }
         if self.plan.storm_p > 0.0 && self.rng.next_bool(self.plan.storm_p) {
             self.stats.refresh_storms.inc();
             Some(self.plan.storm_refreshes.max(1))
@@ -313,10 +337,10 @@ mod tests {
         let mut inj = FaultInjector::new(FaultPlan::none(1));
         let mut data = [0xA5u8; 64];
         for _ in 0..10_000 {
-            let d = inj.on_read_burst(&mut data);
+            let d = inj.on_read_burst(&mut data, 0);
             assert_eq!(d, ReadDisturbance::default());
-            assert!(!inj.on_mode_register_set());
-            assert!(inj.refresh_storm().is_none());
+            assert!(!inj.on_mode_register_set(0));
+            assert!(inj.refresh_storm(0).is_none());
         }
         assert_eq!(data, [0xA5u8; 64]);
         assert_eq!(inj.stats().total(), 0);
@@ -332,7 +356,7 @@ mod tests {
             let mut data = [0u8; 64];
             for _ in 0..2_000 {
                 data = [0u8; 64];
-                outcomes.push(inj.on_read_burst(&mut data));
+                outcomes.push(inj.on_read_burst(&mut data, 0));
             }
             (outcomes, data, *inj.stats())
         };
@@ -359,7 +383,7 @@ mod tests {
         let mut uncorrectable = 0u64;
         for _ in 0..500 {
             let mut data = golden;
-            let d = inj.on_read_burst(&mut data);
+            let d = inj.on_read_burst(&mut data, 0);
             if d.uncorrectable {
                 uncorrectable += 1;
                 // Exactly two bits differ from the golden burst.
@@ -389,7 +413,7 @@ mod tests {
         };
         let mut inj = FaultInjector::new(plan);
         let mut data = [0u8; 64];
-        let d = inj.on_read_burst(&mut data);
+        let d = inj.on_read_burst(&mut data, 0);
         assert!(!d.uncorrectable);
         let flipped: u32 = data.iter().map(|b| b.count_ones()).sum();
         assert_eq!(flipped, 1, "one silently flipped bit");
@@ -406,7 +430,7 @@ mod tests {
         let mut inj = FaultInjector::new(plan);
         let mut data = [0u8; 64];
         let delays: Vec<Tick> = (0..8)
-            .map(|_| inj.on_read_burst(&mut data).extra_delay)
+            .map(|_| inj.on_read_burst(&mut data, 0).extra_delay)
             .collect();
         let want: Vec<Tick> = (0..8)
             .map(|i| {
@@ -422,12 +446,39 @@ mod tests {
     }
 
     #[test]
+    fn rank_scope_confines_faults_and_rng_consumption() {
+        let plan = FaultPlan {
+            read_flip_p: 1.0,
+            mrs_glitch_p: 1.0,
+            storm_p: 1.0,
+            rank_scope: Some(1),
+            ..FaultPlan::none(5)
+        };
+        let mut inj = FaultInjector::new(plan);
+        let golden = [0x77u8; 64];
+        // Rank 0 traffic passes through untouched and consumes nothing.
+        let mut data = golden;
+        assert_eq!(inj.on_read_burst(&mut data, 0), ReadDisturbance::default());
+        assert_eq!(data, golden);
+        assert!(!inj.on_mode_register_set(0));
+        assert!(inj.refresh_storm(0).is_none());
+        assert_eq!(inj.stats().total(), 0);
+        assert_eq!(inj.bursts_seen(), 0, "scoped-out bursts are not counted");
+        // Rank 1 is hit as usual.
+        let mut data = golden;
+        inj.on_read_burst(&mut data, 1);
+        assert!(inj.on_mode_register_set(1));
+        assert!(inj.refresh_storm(1).is_some());
+        assert!(inj.stats().total() >= 3);
+    }
+
+    #[test]
     fn scoreboard_reflects_counters() {
         let mut inj = FaultInjector::new(FaultPlan {
             mrs_glitch_p: 1.0,
             ..FaultPlan::none(2)
         });
-        assert!(inj.on_mode_register_set());
+        assert!(inj.on_mode_register_set(0));
         let board = inj.stats().scoreboard();
         assert_eq!(board.get("mrs_glitches"), 1);
         assert_eq!(board.get("stalls"), 0);

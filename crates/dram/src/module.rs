@@ -9,8 +9,12 @@
 //! - per-bank timing reservations ([`crate::bank`]);
 //! - rank-level constraints: tRRD and the four-activate window tFAW,
 //!   write-to-read turnaround tWTR, periodic refresh;
-//! - the shared data bus: one burst at a time, with direction/rank
-//!   turnaround gaps;
+//! - the data buses: host traffic shares the single channel bus (one burst
+//!   at a time, with direction/rank turnaround gaps), while each rank's
+//!   NDP device streams over that rank's local IO path — JAFAR sits in the
+//!   DIMM's buffer chip, so its bursts never cross the memory channel
+//!   (§2.2), and devices on *different* ranks do not serialise against
+//!   each other or against host traffic to other ranks;
 //! - MPR-based rank ownership: while a rank's MR3 MPR bit is set, *host*
 //!   READ/WRITE commands are rejected ([`IssueError::RankOwnedByNdp`]) and
 //!   *NDP* data commands are only accepted on owned ranks
@@ -159,7 +163,11 @@ pub struct DramModule {
     decoder: AddressDecoder,
     banks: Vec<Bank>,
     ranks: Vec<RankState>,
-    bus: Option<BusOp>,
+    /// The shared memory-channel data bus (host traffic).
+    host_bus: Option<BusOp>,
+    /// Per-rank local IO paths (NDP traffic): the device's bursts stay
+    /// inside the DIMM, one stream per rank.
+    ndp_bus: Vec<Option<BusOp>>,
     data: DramData,
     stats: DramStats,
     fault: Option<FaultInjector>,
@@ -188,7 +196,8 @@ impl DramModule {
             ranks: (0..geometry.ranks)
                 .map(|_| RankState::new(&timing))
                 .collect(),
-            bus: None,
+            host_bus: None,
+            ndp_bus: vec![None; geometry.ranks as usize],
             data: DramData::new(geometry.capacity_bytes()),
             stats: DramStats::default(),
             fault: None,
@@ -302,10 +311,36 @@ impl DramModule {
         (rank * self.geometry.banks_per_rank + bank) as usize
     }
 
+    /// The data-bus slot `requester`'s burst on `rank` occupies: the shared
+    /// channel bus for the host, the rank's local IO path for the NDP
+    /// device.
+    fn bus_slot(&self, requester: Requester, rank: u32) -> &Option<BusOp> {
+        match requester {
+            Requester::Host => &self.host_bus,
+            Requester::Ndp => &self.ndp_bus[rank as usize],
+        }
+    }
+
+    fn bus_slot_mut(&mut self, requester: Requester, rank: u32) -> &mut Option<BusOp> {
+        match requester {
+            Requester::Host => &mut self.host_bus,
+            Requester::Ndp => &mut self.ndp_bus[rank as usize],
+        }
+    }
+
     /// Bus-availability constraint for a burst whose data phase starts
-    /// `lead` after the command: earliest command tick ≥ `now`.
-    fn bus_constraint(&self, now: Tick, lead: Tick, is_write: bool, rank: u32) -> Tick {
-        match self.bus {
+    /// `lead` after the command: earliest command tick ≥ `now`. The same
+    /// turnaround rules apply on every bus; which bus the burst occupies
+    /// depends on the requester (see [`DramModule::bus_slot`]).
+    fn bus_constraint(
+        &self,
+        now: Tick,
+        lead: Tick,
+        is_write: bool,
+        rank: u32,
+        requester: Requester,
+    ) -> Tick {
+        match *self.bus_slot(requester, rank) {
             None => now,
             Some(op) => {
                 // Direction or rank switches need a turnaround bubble.
@@ -370,7 +405,7 @@ impl DramModule {
                 // tWTR: reads must wait after a write burst to the rank.
                 let wtr = rs.wtr_until;
                 let cas = base.max(wtr).max(now);
-                Ok(self.bus_constraint(cas, t.cl, false, rank))
+                Ok(self.bus_constraint(cas, t.cl, false, rank, requester))
             }
             DramCommand::Write { rank, bank, .. } => {
                 let b = &self.banks[self.bank_index(rank, bank)];
@@ -378,7 +413,7 @@ impl DramModule {
                     .open_row()
                     .ok_or(IssueError::WrongState("WRITE requires an open row"))?;
                 let base = b.earliest_write(row, now).expect("row is open");
-                Ok(self.bus_constraint(base.max(now), t.cwl, true, rank))
+                Ok(self.bus_constraint(base.max(now), t.cwl, true, rank, requester))
             }
             DramCommand::Precharge { rank, bank } => {
                 let b = &self.banks[self.bank_index(rank, bank)];
@@ -482,7 +517,7 @@ impl DramModule {
                 let idx = self.bank_index(rank, bank);
                 let row = self.banks[idx].open_row().expect("checked");
                 let (bus_start, mut data_ready) = self.banks[idx].read(at, &t);
-                self.bus = Some(BusOp {
+                *self.bus_slot_mut(requester, rank) = Some(BusOp {
                     is_write: false,
                     rank,
                     end: data_ready,
@@ -499,7 +534,7 @@ impl DramModule {
                     // Faults perturb only the returned copy and the
                     // requester-observed completion time; bank/bus
                     // reservations stay normal so retries can recover.
-                    let disturbance = fault.on_read_burst(&mut data);
+                    let disturbance = fault.on_read_burst(&mut data, rank);
                     data_ready = data_ready
                         .checked_add(disturbance.extra_delay)
                         .unwrap_or(Tick::MAX);
@@ -527,7 +562,7 @@ impl DramModule {
                 let idx = self.bank_index(rank, bank);
                 let row = self.banks[idx].open_row().expect("checked");
                 let (_, data_end) = self.banks[idx].write(at, &t);
-                self.bus = Some(BusOp {
+                *self.bus_slot_mut(requester, rank) = Some(BusOp {
                     is_write: true,
                     rank,
                     end: data_end,
@@ -571,7 +606,7 @@ impl DramModule {
             }
             DramCommand::ModeRegisterSet { rank, mr, value } => {
                 if let Some(fault) = self.fault.as_mut() {
-                    if fault.on_mode_register_set() {
+                    if fault.on_mode_register_set(rank) {
                         // Transient glitch: the rank ignored the command.
                         // No state changed; the caller may retry.
                         self.tracer
@@ -673,7 +708,7 @@ impl DramModule {
             // An injected refresh storm colliding with a due scheduled
             // refresh preempts it: surface a recoverable error instead of
             // silently stretching the transaction.
-            if let Some(n) = self.fault.as_mut().and_then(FaultInjector::refresh_storm) {
+            if let Some(n) = self.fault.as_mut().and_then(|f| f.refresh_storm(rank)) {
                 let until = self.apply_refresh_storm(rank, requester, cursor, n)?;
                 self.tracer.emit(
                     cursor,
@@ -763,7 +798,11 @@ impl DramModule {
         // refreshes before this transaction proceeds (independent of the
         // regular tREFI schedule, which may be disabled). Like regular
         // refresh, the storm quiesces the rank — open rows close first.
-        if let Some(n) = self.fault.as_mut().and_then(FaultInjector::refresh_storm) {
+        if let Some(n) = self
+            .fault
+            .as_mut()
+            .and_then(|f| f.refresh_storm(coord.rank))
+        {
             cursor = self.apply_refresh_storm(coord.rank, requester, cursor, n)?;
         }
 
@@ -961,6 +1000,56 @@ mod tests {
         assert!(b.data_ready >= a.data_ready + m.timing().t_burst);
         // And much sooner than a serial closed-row access pair (60 ns).
         assert!(b.data_ready < Tick::from_ns(60));
+    }
+
+    #[test]
+    fn ndp_streams_use_per_rank_io_not_the_channel_bus() {
+        use crate::mode::MR3_MPR_ENABLE;
+        let mut m = module();
+        // Hand both ranks to NDP devices.
+        for rank in 0..2 {
+            let mrs = DramCommand::ModeRegisterSet {
+                rank,
+                mr: 3,
+                value: MR3_MPR_ENABLE,
+            };
+            let at = m.earliest_issue(mrs, Requester::Host, Tick::ZERO).unwrap();
+            m.issue(mrs, Requester::Host, at, None).unwrap();
+        }
+        // A burst on rank 0's local IO path must not delay a simultaneous
+        // burst on rank 1's: both devices see identical first-access
+        // latency, where the old shared bus would queue the second burst.
+        let a = m
+            .serve_block(coord(0, 0, 0, 0), false, Requester::Ndp, Tick::ZERO, None)
+            .unwrap();
+        let b = m
+            .serve_block(coord(1, 0, 0, 0), false, Requester::Ndp, Tick::ZERO, None)
+            .unwrap();
+        assert_eq!(a.data_ready, b.data_ready, "rank-local IO paths overlap");
+        // Host traffic on an unowned rank? Both ranks are owned here, so
+        // release rank 1 and check the channel bus ignores NDP activity.
+        let quiet = Tick::from_us(1);
+        let pre = DramCommand::PrechargeAll { rank: 1 };
+        let at = m.earliest_issue(pre, Requester::Host, quiet).unwrap();
+        m.issue(pre, Requester::Host, at, None).unwrap();
+        let mrs = DramCommand::ModeRegisterSet {
+            rank: 1,
+            mr: 3,
+            value: 0,
+        };
+        let at = m.earliest_issue(mrs, Requester::Host, at).unwrap();
+        m.issue(mrs, Requester::Host, at, None).unwrap();
+        let host_t0 = at + m.timing().t_mod;
+        let ndp = m
+            .serve_block(coord(0, 0, 0, 1), false, Requester::Ndp, host_t0, None)
+            .unwrap();
+        let host = m
+            .serve_block(coord(1, 0, 0, 0), false, Requester::Host, host_t0, None)
+            .unwrap();
+        // The host's burst ends one row cycle after issue, unaffected by
+        // the NDP burst occupying rank 0's IO path at the same instant.
+        assert_eq!(host.data_ready, host_t0 + Tick::from_ns(30));
+        assert!(ndp.data_ready <= host.data_ready);
     }
 
     #[test]

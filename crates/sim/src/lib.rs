@@ -34,4 +34,7 @@ pub use backend::SimBackend;
 pub use config::SystemConfig;
 pub use energy::{HostEnergyModel, SelectEnergy};
 pub use replay::{PlacedDb, QueryReplayer, ReplayCosts};
-pub use system::{CpuSelectStats, JafarSelectStats, ResilientSelectStats, System};
+pub use system::{
+    ColumnShard, CpuSelectStats, JafarSelectStats, ParallelSelectStats, PartitionedColumn,
+    ResilientSelectStats, System,
+};

@@ -20,6 +20,7 @@ use crate::alloc::SimAlloc;
 use crate::backend::SimBackend;
 use crate::config::SystemConfig;
 use jafar_cache::{Hierarchy, StreamPrefetcher};
+use jafar_common::bitset::BitSet;
 use jafar_common::obs::{
     chrome_trace_json, render_timeline, Event, MetricsRegistry, RingTracer, SharedTracer,
 };
@@ -27,8 +28,8 @@ use jafar_common::stats::Scoreboard;
 use jafar_common::time::Tick;
 use jafar_core::api::{select_jafar, SelectArgs};
 use jafar_core::{
-    grant_ownership, release_ownership, DriverStats, JafarDevice, ResilienceConfig,
-    ResilientDriver, SelectRequest,
+    grant_ownership, release_ownership, run_select_parallel, DriverStats, JafarDevice,
+    ResilienceConfig, ResilientDriver, SelectRequest, ShardRun,
 };
 use jafar_cpu::{ScanEngine, ScanVariant};
 use jafar_dram::{DramModule, FaultInjector, FaultPlan, FaultStats, PhysAddr};
@@ -144,6 +145,49 @@ impl ResilientSelectStats {
     }
 }
 
+/// One shard of a rank-partitioned column: a contiguous run of rows
+/// living entirely on one rank, so one device can filter it while its
+/// siblings work on other ranks.
+#[derive(Clone, Copy, Debug)]
+pub struct ColumnShard {
+    /// The rank the shard's data (and its output bitset) live on.
+    pub rank: u32,
+    /// 64-byte-aligned base of the shard's packed `i64` rows.
+    pub addr: PhysAddr,
+    /// Rows in this shard.
+    pub rows: u64,
+    /// Index of the shard's first row within the whole column. Always a
+    /// multiple of the rows-per-DRAM-row (and hence of 8), so the merged
+    /// bitset can be assembled byte-at-a-time.
+    pub row_offset: u64,
+}
+
+/// A column striped across K ranks on DRAM-row-aligned boundaries.
+#[derive(Clone, Debug)]
+pub struct PartitionedColumn {
+    /// The shards, in row order; `shards[i]` lives on rank `i`.
+    pub shards: Vec<ColumnShard>,
+    /// Total rows across all shards.
+    pub rows: u64,
+}
+
+/// Result of a rank-parallel JAFAR pushdown run.
+#[derive(Clone, Debug)]
+pub struct ParallelSelectStats {
+    /// When the slowest shard finished (ownership released everywhere).
+    pub end: Tick,
+    /// Matching rows across all shards.
+    pub matched: u64,
+    /// The merged selection vector over the whole column.
+    pub selection: BitSet,
+    /// Per-shard timings, in shard order.
+    pub shards: Vec<ShardRun>,
+    /// Per-shard recovery counters, in shard order.
+    pub recovery: Vec<DriverStats>,
+    /// What the injector did (absent when no plan was installed).
+    pub faults: Option<FaultStats>,
+}
+
 /// One simulated host system.
 pub struct System {
     cfg: SystemConfig,
@@ -151,10 +195,12 @@ pub struct System {
     hierarchy: Hierarchy,
     prefetcher: Option<StreamPrefetcher>,
     inflight: HashMap<u64, Tick>,
-    device: Option<JafarDevice>,
-    /// Allocator over rank 0 (the NDP-consumable, pinned region).
-    pub alloc: SimAlloc,
-    /// Allocator over the remaining ranks (CPU-private scratch).
+    /// One device per NDP rank (empty when the config has no device).
+    devices: Vec<JafarDevice>,
+    /// Per-rank NDP arenas: `arenas[r]` allocates within rank `r` of the
+    /// pinned, device-consumable region (every rank but the last).
+    arenas: Vec<SimAlloc>,
+    /// Allocator over the last rank (CPU-private scratch).
     pub scratch: SimAlloc,
     tracer: SharedTracer,
     trace_ring: Option<Rc<RefCell<RingTracer>>>,
@@ -166,14 +212,28 @@ impl System {
         let module = DramModule::new(cfg.dram_geometry, cfg.dram_timing, cfg.mapping);
         let rank_bytes = cfg.dram_geometry.rank_bytes();
         let capacity = cfg.dram_geometry.capacity_bytes();
+        // Every rank but the last is an NDP arena with its own device slot;
+        // the last rank stays CPU-private so host traffic always has
+        // somewhere to go while devices own their ranks.
+        let ndp_ranks = (cfg.dram_geometry.ranks as usize).saturating_sub(1).max(1);
+        let arenas = (0..ndp_ranks)
+            .map(|r| SimAlloc::new(PhysAddr(r as u64 * rank_bytes), rank_bytes))
+            .collect();
+        let devices = match cfg.device {
+            Some(d) => (0..ndp_ranks).map(|_| JafarDevice::new(d)).collect(),
+            None => Vec::new(),
+        };
         System {
             mc: MemoryController::new(module, cfg.controller),
             hierarchy: Hierarchy::new(cfg.hierarchy),
             prefetcher: cfg.prefetcher.map(|(n, d)| StreamPrefetcher::new(n, d)),
             inflight: HashMap::new(),
-            device: cfg.device.map(JafarDevice::new),
-            alloc: SimAlloc::new(PhysAddr(0), rank_bytes),
-            scratch: SimAlloc::new(PhysAddr(rank_bytes), capacity - rank_bytes),
+            devices,
+            arenas,
+            scratch: SimAlloc::new(
+                PhysAddr(ndp_ranks as u64 * rank_bytes),
+                capacity - ndp_ranks as u64 * rank_bytes,
+            ),
             cfg,
             tracer: SharedTracer::disabled(),
             trace_ring: None,
@@ -188,7 +248,7 @@ impl System {
     pub fn enable_tracing(&mut self, capacity: usize) {
         let (tracer, ring) = SharedTracer::ring(capacity);
         self.mc.set_tracer(tracer.clone());
-        if let Some(device) = self.device.as_mut() {
+        for device in &mut self.devices {
             device.set_tracer(tracer.clone());
         }
         self.tracer = tracer;
@@ -240,12 +300,20 @@ impl System {
         reg.counter("memctl.writes", mc.writes.get());
         reg.counter("memctl.rejected", mc.rejected.get());
         reg.counter("memctl.requeued", mc.requeued.get());
-        if let Some(device) = self.device.as_ref() {
-            let d = device.stats();
-            reg.counter("device.jobs", d.jobs.get());
-            reg.counter("device.words", d.words.get());
-            reg.counter("device.bursts_read", d.bursts_read.get());
-            reg.counter("device.bursts_written", d.bursts_written.get());
+        if !self.devices.is_empty() {
+            // One logical "device" line summed across the per-rank devices.
+            let (mut jobs, mut words, mut reads, mut writes) = (0u64, 0u64, 0u64, 0u64);
+            for device in &self.devices {
+                let d = device.stats();
+                jobs += d.jobs.get();
+                words += d.words.get();
+                reads += d.bursts_read.get();
+                writes += d.bursts_written.get();
+            }
+            reg.counter("device.jobs", jobs);
+            reg.counter("device.words", words);
+            reg.counter("device.bursts_read", reads);
+            reg.counter("device.bursts_written", writes);
         }
         if let Some(f) = self.mc.module().fault_stats() {
             reg.counter("faults.flips_injected", f.flips_injected.get());
@@ -279,20 +347,76 @@ impl System {
         &mut self.mc
     }
 
-    /// The JAFAR device, if configured.
+    /// The rank-0 JAFAR device, if configured.
     pub fn device(&self) -> Option<&JafarDevice> {
-        self.device.as_ref()
+        self.devices.first()
+    }
+
+    /// All per-rank devices (empty when the config has no device).
+    pub fn devices(&self) -> &[JafarDevice] {
+        &self.devices
+    }
+
+    /// The rank-0 NDP arena (the region [`System::write_column`] pins
+    /// into).
+    pub fn alloc(&mut self) -> &mut SimAlloc {
+        &mut self.arenas[0]
     }
 
     /// Allocates a column in the pinned (rank-0) region and writes its
     /// values functionally. Returns the base address.
     pub fn write_column(&mut self, values: &[i64]) -> PhysAddr {
-        let addr = self.alloc.alloc_blocks(values.len() as u64 * 8);
+        let addr = self.arenas[0].alloc_blocks(values.len() as u64 * 8);
         let data = self.mc.module_mut().data_mut();
         for (i, v) in values.iter().enumerate() {
             data.write_i64(PhysAddr(addr.0 + i as u64 * 8), *v);
         }
         addr
+    }
+
+    /// Stripes a column across (up to) `k` NDP ranks on DRAM-row-aligned
+    /// boundaries and writes the shards functionally: shard `i` lives in
+    /// rank `i`'s arena. Row alignment keeps every shard's first row on a
+    /// byte boundary of the merged bitset, so results concatenate without
+    /// bit shifting. Columns smaller than `k` aligned chunks produce fewer
+    /// shards.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty, `k` is zero, or `k` exceeds the number
+    /// of NDP ranks.
+    pub fn write_column_partitioned(&mut self, values: &[i64], k: usize) -> PartitionedColumn {
+        assert!(!values.is_empty(), "cannot partition an empty column");
+        assert!(k >= 1, "need at least one shard");
+        assert!(
+            k <= self.arenas.len(),
+            "{k} shards but only {} NDP rank(s)",
+            self.arenas.len()
+        );
+        let rows = values.len() as u64;
+        let rows_per_dram_row = self.cfg.dram_geometry.row_bytes as u64 / 8;
+        let chunk = rows.div_ceil(k as u64).div_ceil(rows_per_dram_row) * rows_per_dram_row;
+        let mut shards = Vec::new();
+        let mut offset = 0u64;
+        while offset < rows {
+            let i = shards.len();
+            let len = chunk.min(rows - offset);
+            let addr = self.arenas[i].alloc_blocks(len * 8);
+            let data = self.mc.module_mut().data_mut();
+            for (j, v) in values[offset as usize..(offset + len) as usize]
+                .iter()
+                .enumerate()
+            {
+                data.write_i64(PhysAddr(addr.0 + j as u64 * 8), *v);
+            }
+            shards.push(ColumnShard {
+                rank: i as u32,
+                addr,
+                rows: len,
+                row_offset: offset,
+            });
+            offset += len;
+        }
+        PartitionedColumn { shards, rows }
     }
 
     /// A CPU memory backend for independent streaming access (scans): the
@@ -406,10 +530,10 @@ impl System {
         hi: i64,
         start: Tick,
     ) -> JafarSelectStats {
-        assert!(self.device.is_some(), "system has no JAFAR device");
+        assert!(!self.devices.is_empty(), "system has no JAFAR device");
         let setup = self.cfg.query_overhead;
         let page_bytes = self.cfg.page_bytes;
-        let out_addr = self.alloc.alloc_blocks(rows.div_ceil(8).max(64));
+        let out_addr = self.arenas[0].alloc_blocks(rows.div_ceil(8).max(64));
         let rank = self.mc.module().decoder().decode(col_addr).rank;
 
         let mut t = start + setup;
@@ -422,7 +546,7 @@ impl System {
         let mut ownership = owned_at - t;
         t = owned_at;
 
-        let device = self.device.as_mut().expect("checked above");
+        let device = self.devices.first_mut().expect("checked above");
         let rows_per_page = page_bytes / 8;
         let mut pages = 0u64;
         let mut device_time = Tick::ZERO;
@@ -502,8 +626,8 @@ impl System {
         start: Tick,
         resilience: ResilienceConfig,
     ) -> ResilientSelectStats {
-        assert!(self.device.is_some(), "system has no JAFAR device");
-        let out_addr = self.alloc.alloc_blocks(rows.div_ceil(8).max(64));
+        assert!(!self.devices.is_empty(), "system has no JAFAR device");
+        let out_addr = self.arenas[0].alloc_blocks(rows.div_ceil(8).max(64));
         let rcfg = ResilienceConfig {
             costs: self.cfg.driver,
             page_bytes: self.cfg.page_bytes,
@@ -516,7 +640,7 @@ impl System {
         self.mc.drain();
         self.mc.advance_cursor(t);
         let module = self.mc.module_mut();
-        let device = self.device.as_mut().expect("checked above");
+        let device = self.devices.first_mut().expect("checked above");
         let mut driver = ResilientDriver::new(rcfg);
         driver.set_tracer(self.tracer.clone());
         let run = driver.run_select(
@@ -542,6 +666,99 @@ impl System {
             device: run.device,
             driver: run.driver,
             recovery: *driver.stats(),
+            faults: self.mc.module().fault_stats().copied(),
+        }
+    }
+
+    /// Runs the rank-parallel JAFAR pushdown select over a partitioned
+    /// column: K independent leases, K devices filtering concurrently on
+    /// their own ranks, per-shard resilient drivers (a faulty rank falls
+    /// back to the CPU scan on its own timeline without stalling its
+    /// siblings), and the per-rank bitsets merged into one selection
+    /// vector. With a single shard this is the resilient single-device
+    /// path.
+    ///
+    /// # Panics
+    /// Panics if the column has no shards or more shards than the system
+    /// has devices.
+    pub fn run_select_jafar_parallel(
+        &mut self,
+        col: &PartitionedColumn,
+        lo: i64,
+        hi: i64,
+        start: Tick,
+        resilience: ResilienceConfig,
+    ) -> ParallelSelectStats {
+        let k = col.shards.len();
+        assert!(k >= 1, "partitioned column has no shards");
+        assert!(
+            k <= self.devices.len(),
+            "{k} shards but only {} device(s)",
+            self.devices.len()
+        );
+        let rcfg = ResilienceConfig {
+            costs: self.cfg.driver,
+            page_bytes: self.cfg.page_bytes,
+            ..resilience
+        };
+        // Each shard's output bitset lives in its own rank's arena — the
+        // device requires its output on the rank it owns.
+        let reqs: Vec<SelectRequest> = col
+            .shards
+            .iter()
+            .map(|s| SelectRequest {
+                col_addr: s.addr,
+                rows: s.rows,
+                lo,
+                hi,
+                out_addr: self.arenas[s.rank as usize].alloc_blocks(s.rows.div_ceil(8).max(64)),
+            })
+            .collect();
+
+        let t = start + self.cfg.query_overhead;
+        // Quiesce host traffic before the grants, as the single-device
+        // paths do.
+        self.mc.drain();
+        self.mc.advance_cursor(t);
+        let mut drivers: Vec<ResilientDriver> = (0..k)
+            .map(|_| {
+                let mut d = ResilientDriver::new(rcfg);
+                d.set_tracer(self.tracer.clone());
+                d
+            })
+            .collect();
+        let run = run_select_parallel(
+            &mut drivers,
+            &mut self.devices[..k],
+            self.mc.module_mut(),
+            &reqs,
+            t,
+            &self.tracer,
+        );
+        self.mc.advance_cursor(run.end);
+
+        // Merge the per-rank bitsets into one selection vector. Row-aligned
+        // striping puts every shard's first row on a byte boundary, so this
+        // is a straight byte copy; `from_bytes` masks the final shard's
+        // padding bits.
+        let mut bytes = vec![0u8; col.rows.div_ceil(8) as usize];
+        for (s, req) in col.shards.iter().zip(&reqs) {
+            debug_assert_eq!(s.row_offset % 8, 0, "striping must be byte-aligned");
+            let nbytes = s.rows.div_ceil(8) as usize;
+            let at = (s.row_offset / 8) as usize;
+            self.mc
+                .module()
+                .data()
+                .read(req.out_addr, &mut bytes[at..at + nbytes]);
+        }
+        let selection = BitSet::from_bytes(&bytes, col.rows as usize);
+
+        ParallelSelectStats {
+            end: run.end,
+            matched: run.matched,
+            selection,
+            shards: run.shards,
+            recovery: drivers.iter().map(|d| *d.stats()).collect(),
             faults: self.mc.module().fault_stats().copied(),
         }
     }
@@ -823,6 +1040,139 @@ mod tests {
         let timeline = sys.trace_timeline().expect("tracing enabled");
         assert!(timeline.lines().count() > 0);
         assert!(timeline.contains("accel"));
+    }
+
+    /// A `test_small` variant with more ranks: `ranks - 1` NDP arenas and
+    /// devices, the last rank as scratch.
+    fn multi_rank_system(ranks: u32) -> System {
+        let mut cfg = SystemConfig::test_small();
+        cfg.dram_geometry = jafar_dram::DramGeometry {
+            ranks,
+            banks_per_rank: 4,
+            rows_per_bank: 64,
+            row_bytes: 1024,
+        };
+        System::new(cfg)
+    }
+
+    fn reference_positions(vals: &[i64], lo: i64, hi: i64) -> Vec<u32> {
+        vals.iter()
+            .enumerate()
+            .filter(|(_, &v)| (lo..=hi).contains(&v))
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn partitioning_is_row_aligned_and_rank_local() {
+        let mut sys = multi_rank_system(4);
+        let vals = values(1000, 9, 17); // not divisible by 8
+        let col = sys.write_column_partitioned(&vals, 3);
+        assert_eq!(col.rows, 1000);
+        assert_eq!(col.shards.iter().map(|s| s.rows).sum::<u64>(), 1000);
+        let rows_per_dram_row = 1024 / 8;
+        let decoder = *sys.mc().module().decoder();
+        for (i, s) in col.shards.iter().enumerate() {
+            assert_eq!(s.rank, i as u32);
+            assert_eq!(s.row_offset % rows_per_dram_row, 0, "row-aligned stripe");
+            assert_eq!(
+                decoder.decode(s.addr).rank,
+                s.rank,
+                "shard data in its rank"
+            );
+        }
+        // A single-shard partition degenerates to the plain layout.
+        let one = sys.write_column_partitioned(&vals, 1);
+        assert_eq!(one.shards.len(), 1);
+        assert_eq!(one.shards[0].rows, 1000);
+    }
+
+    #[test]
+    fn parallel_select_matches_cpu_and_single_device_and_is_faster() {
+        let vals = values(24_000, 999, 31);
+        let expect = reference_positions(&vals, 100, 399);
+
+        // Single-device run for the timing and bit-identity baseline.
+        let mut solo = multi_rank_system(4);
+        let col1 = solo.write_column(&vals);
+        let jf = solo.run_select_jafar(col1, 24_000, 100, 399, Tick::ZERO);
+        let mut solo_bytes = vec![0u8; 3000];
+        solo.mc().module().data().read(jf.out_addr, &mut solo_bytes);
+        let solo_bits = BitSet::from_bytes(&solo_bytes, 24_000);
+        assert_eq!(solo_bits.to_positions(), expect);
+
+        // Three-rank parallel run over the same values.
+        let mut sys = multi_rank_system(4);
+        let col = sys.write_column_partitioned(&vals, 3);
+        assert_eq!(col.shards.len(), 3);
+        let par =
+            sys.run_select_jafar_parallel(&col, 100, 399, Tick::ZERO, ResilienceConfig::default());
+        assert_eq!(par.matched as usize, expect.len());
+        assert_eq!(par.selection.to_positions(), expect, "merged == reference");
+        assert_eq!(
+            par.selection.to_bytes(),
+            solo_bits.to_bytes(),
+            "merged == single-device bitset"
+        );
+        // No shard needed recovery, and the sharded run beats the single
+        // device on the same column.
+        for r in &par.recovery {
+            assert_eq!(r.recovery_total(), 0);
+        }
+        assert!(
+            par.end < jf.end,
+            "3-rank parallel ({:?}) should beat one device ({:?})",
+            par.end,
+            jf.end
+        );
+    }
+
+    #[test]
+    fn parallel_single_rank_fault_degrades_only_that_shard() {
+        let vals = values(12_000, 999, 33);
+        let expect = reference_positions(&vals, 100, 399);
+        let mut sys = multi_rank_system(4);
+        let col = sys.write_column_partitioned(&vals, 3);
+        // Rank 1's reads all stall past the watchdog; ranks 0 and 2 are
+        // untouched.
+        sys.inject_faults(FaultPlan {
+            stall_burst_range: Some((0, u64::MAX)),
+            rank_scope: Some(1),
+            ..FaultPlan::none(3)
+        });
+        let par = sys.run_select_jafar_parallel(
+            &col,
+            100,
+            399,
+            Tick::ZERO,
+            ResilienceConfig {
+                max_retries: 1,
+                breaker_threshold: 1,
+                ..ResilienceConfig::default()
+            },
+        );
+        assert_eq!(par.selection.to_positions(), expect, "still bit-identical");
+        assert!(
+            par.recovery[1].pages_cpu.get() >= 1,
+            "faulty rank fell back"
+        );
+        assert_eq!(par.recovery[0].recovery_total(), 0, "sibling untouched");
+        assert_eq!(par.recovery[2].recovery_total(), 0, "sibling untouched");
+        // The faulted shard is the long pole.
+        assert_eq!(par.end, par.shards.iter().map(|s| s.run.end).max().unwrap());
+        assert!(par.shards[1].run.end > par.shards[0].run.end);
+    }
+
+    #[test]
+    fn parallel_trace_carries_shard_events() {
+        let mut sys = multi_rank_system(4);
+        sys.enable_tracing(1 << 14);
+        let vals = values(4096, 9, 6);
+        let col = sys.write_column_partitioned(&vals, 2);
+        sys.run_select_jafar_parallel(&col, 0, 4, Tick::ZERO, ResilienceConfig::default());
+        let timeline = sys.trace_timeline().expect("tracing enabled");
+        assert!(timeline.contains("shard-step"));
+        assert!(timeline.contains("shard-done"));
     }
 
     #[test]
