@@ -15,7 +15,11 @@
 //!   the CPU scan without disturbing its siblings, and the merged result
 //!   is still exact.
 //!
-//! Usage: `fig_scaling [--rows N] [--ranks K] [--csv]`
+//! Usage: `fig_scaling [--rows N] [--ranks K] [--csv] [--smoke]`
+//!
+//! `--smoke` shrinks the defaults (40 k rows, 3 ranks) so CI can execute
+//! the whole sweep — assertions included — in seconds; explicit `--rows`
+//! / `--ranks` still override it.
 
 use jafar_bench::{arg, f2, flag, print_table};
 use jafar_common::rng::SplitMix64;
@@ -50,8 +54,9 @@ fn reference(values: &[i64], lo: i64, hi: i64) -> Vec<u32> {
 }
 
 fn main() {
-    let rows: u64 = arg("--rows", 1_000_000);
-    let max_ranks: usize = arg("--ranks", 7);
+    let smoke = flag("--smoke");
+    let rows: u64 = arg("--rows", if smoke { 40_000 } else { 1_000_000 });
+    let max_ranks: usize = arg("--ranks", if smoke { 3 } else { 7 });
     let csv = flag("--csv");
     let (lo, hi) = (0i64, 499i64); // ~50 % selectivity over [0, 999]
 

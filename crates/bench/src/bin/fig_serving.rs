@@ -1,0 +1,312 @@
+//! Served-load sweep — the saturation knee of the multi-tenant serving
+//! subsystem (beyond the paper).
+//!
+//! A TPC-H-Q6-style predicate mix over the `lineitem.l_shipdate` column
+//! is served as an open-loop Poisson stream through `System::serve`,
+//! sweeping offered load from far below to far above the machine's
+//! service capacity. Three properties are asserted as the sweep runs:
+//!
+//! - **zero result divergence**: every completed query's selection
+//!   vector is bit-identical to running the same predicate alone through
+//!   `run_select_jafar` (and hence to the CPU reference, which the solo
+//!   path is already tested against);
+//! - **throughput saturates**: past the knee, doubling offered load no
+//!   longer buys proportional throughput;
+//! - **tail latency rises past the knee**: p99 at the heaviest load is a
+//!   multiple of p99 at the lightest, driven by queue wait rather than
+//!   service time.
+//!
+//! A final run repeats a moderate load under a rank-scoped stall fault
+//! with an SLO attached: the sick rank's circuit breaker opens, the
+//! rank-affinity policy steers work away from it, SLO-threatened queries
+//! degrade to the host CPU rung — and every completed query, on whatever
+//! rung, is still bit-identical to its solo run.
+//!
+//! Usage: `fig_serving [--sf F] [--queries N] [--csv] [--smoke]`
+//!
+//! `--smoke` shrinks the defaults (sf 0.003, 16 queries, two load
+//! points) so CI can execute the sweep — assertions included — in
+//! seconds.
+
+use jafar_bench::{arg, f1, f2, flag, print_table};
+use jafar_common::time::Tick;
+use jafar_core::ResilienceConfig;
+use jafar_dram::{DramGeometry, FaultPlan};
+use jafar_serve::engine::ServeConfig;
+use jafar_serve::workload::q6_shipdate_column;
+use jafar_serve::{ExecMode, PredicateMix, SchedPolicy, Workload};
+use jafar_sim::{System, SystemConfig};
+use jafar_tpch::gen::{TpchConfig, TpchDb};
+use std::collections::BTreeMap;
+
+const SEED: u64 = 0x6EA7;
+
+/// Same gem5-like 8-rank host as `fig_scaling`: 7 NDP ranks with a
+/// device each, the last rank as CPU scratch.
+fn config() -> SystemConfig {
+    let mut cfg = SystemConfig::gem5_like();
+    cfg.dram_geometry = DramGeometry {
+        ranks: 8,
+        banks_per_rank: 8,
+        rows_per_bank: 1024,
+        row_bytes: 8 * 1024,
+    };
+    cfg.query_overhead = Tick::from_us(5);
+    cfg
+}
+
+fn main() {
+    let smoke = flag("--smoke");
+    let sf: f64 = arg("--sf", if smoke { 0.003 } else { 0.01 });
+    let n: usize = arg("--queries", if smoke { 16 } else { 48 });
+    let csv = flag("--csv");
+
+    let db = TpchDb::generate(TpchConfig { sf, seed: 7 });
+    let values = q6_shipdate_column(&db).to_vec();
+    let rows = values.len() as u64;
+    let mix = PredicateMix::tpch_q6();
+
+    println!("# Served-load sweep: {n} Q6-style queries over {rows} lineitem shipdates (sf {sf})");
+    let cfg = config();
+    println!(
+        "# platform: {} / {} — {} NDP ranks, fanout {}",
+        cfg.name,
+        cfg.dram_geometry.describe(),
+        cfg.dram_geometry.ranks - 1,
+        ServeConfig::default().fanout,
+    );
+    println!();
+
+    // Solo baselines: every distinct predicate run alone on a fresh
+    // system. The served runs must reproduce these bytes exactly.
+    let specs = mix.generate(n, SEED);
+    let mut solo: BTreeMap<(i64, i64), (Vec<u8>, u64, Tick)> = BTreeMap::new();
+    for s in &specs {
+        solo.entry((s.lo, s.hi)).or_insert_with(|| {
+            let mut sys = System::new(config());
+            let col = sys.write_column(&values);
+            let run = sys.run_select_jafar(col, rows, s.lo, s.hi, Tick::ZERO);
+            let mut bytes = vec![0u8; rows.div_ceil(8) as usize];
+            sys.mc().module().data().read(run.out_addr, &mut bytes);
+            (bytes, run.matched, run.end)
+        });
+    }
+    // Offered load is normalised to the solo service time: load x means
+    // a mean inter-arrival gap of (solo end) / x.
+    let svc = solo
+        .values()
+        .map(|(_, _, end)| *end)
+        .max()
+        .expect("at least one query");
+    println!(
+        "# solo service time (worst distinct predicate): {} ms across {} distinct predicates",
+        f2(svc.as_ms_f64()),
+        solo.len()
+    );
+    println!();
+
+    let loads: &[f64] = if smoke {
+        &[0.5, 16.0]
+    } else {
+        &[0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
+    };
+
+    if csv {
+        println!("load,gap_us,completed,shed,throughput_qps,p50_ms,p95_ms,p99_ms,mean_wait_ms,mean_service_ms");
+    }
+    let mut table: Vec<Vec<String>> = Vec::new();
+    // (p99 ms, tput q/s, offered q/s, shed, mean wait ms, mean service ms)
+    let mut sweep: Vec<(f64, f64, f64, usize, f64, f64)> = Vec::new();
+    for &load in loads {
+        let gap = Tick::from_ps(((svc.as_ps() as f64) / load).round().max(1.0) as u64);
+        let offered = 1e12 / gap.as_ps() as f64;
+        let workload = Workload::poisson(mix, n, gap, SEED);
+        let mut sys = System::new(config());
+        let run = sys.serve(
+            &values,
+            &workload,
+            SchedPolicy::Fifo,
+            &ServeConfig::default(),
+        );
+        let report = &run.report;
+
+        assert_eq!(
+            report.completed() + report.shed(),
+            n,
+            "load {load}: every query completes or is shed"
+        );
+        for rec in &report.records {
+            if rec.done.is_none() {
+                continue;
+            }
+            let (bytes, matched, _) = &solo[&(rec.lo, rec.hi)];
+            assert_eq!(
+                &rec.bitset, bytes,
+                "load {load}: query {} diverged from its solo run",
+                rec.id
+            );
+            assert_eq!(rec.matched, *matched, "load {load}: query {} count", rec.id);
+        }
+
+        let ms = |t: Option<Tick>| t.map_or(f64::NAN, |t| t.as_ms_f64());
+        let p99 = ms(report.p99());
+        let tput = report.throughput_qps();
+        sweep.push((
+            p99,
+            tput,
+            offered,
+            report.shed(),
+            ms(report.mean_queue_wait()),
+            ms(report.mean_service()),
+        ));
+        if csv {
+            println!(
+                "{load},{:.2},{},{},{:.1},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                gap.as_ms_f64() * 1e3,
+                report.completed(),
+                report.shed(),
+                tput,
+                ms(report.p50()),
+                ms(report.p95()),
+                p99,
+                ms(report.mean_queue_wait()),
+                ms(report.mean_service()),
+            );
+        }
+        table.push(vec![
+            f2(load),
+            f2(gap.as_ms_f64() * 1e3),
+            format!("{}", report.completed()),
+            format!("{}", report.shed()),
+            f1(tput),
+            f2(ms(report.p50())),
+            f2(p99),
+            f2(ms(report.mean_queue_wait())),
+            f2(ms(report.mean_service())),
+        ]);
+    }
+
+    if !csv {
+        print_table(
+            &[
+                "load",
+                "gap (µs)",
+                "done",
+                "shed",
+                "q/s",
+                "p50 (ms)",
+                "p99 (ms)",
+                "wait (ms)",
+                "svc (ms)",
+            ],
+            &table,
+        );
+        println!();
+    }
+
+    // The knee: tail latency must blow up with offered load, and achieved
+    // throughput must fall behind the offered rate (or admission must
+    // shed) once the machine saturates. Comparing achieved vs *offered*
+    // (rather than vs the previous point) keeps the check meaningful even
+    // with the two-point smoke sweep, where throughput at light load is
+    // arrival-limited, not capacity-limited.
+    let (p99_light, _, _, _, wait_light, svc_light) = sweep[0];
+    let (p99_heavy, tput_heavy, offered_heavy, shed_heavy, _, _) = sweep[sweep.len() - 1];
+    assert!(
+        p99_heavy > 2.0 * p99_light,
+        "p99 must rise past the knee: {p99_heavy} ms heavy vs {p99_light} ms light"
+    );
+    assert!(
+        wait_light < 0.5 * svc_light,
+        "light load must be service-dominated, not queueing: mean wait {wait_light} ms vs mean service {svc_light} ms"
+    );
+    assert!(
+        tput_heavy < 0.7 * offered_heavy || shed_heavy > 0,
+        "heaviest load must saturate: {tput_heavy} q/s achieved vs {offered_heavy} offered, {shed_heavy} shed"
+    );
+    println!(
+        "# knee confirmed: p99 {}x the light-load tail; heaviest point sheds {shed_heavy} and",
+        f1(p99_heavy / p99_light)
+    );
+    println!(
+        "#   achieves only {}% of its offered rate.",
+        f1(100.0 * tput_heavy / offered_heavy),
+    );
+    println!();
+
+    // Rank-scoped fault + SLO: the full ladder under contention. Rank 0
+    // stalls every burst; its breaker opens on the first query that
+    // touches it and rank affinity steers later queries away. Load is set
+    // well past the capacity of the surviving ranks so the queue actually
+    // builds, and the SLO sits one solo-service-time above the host-scan
+    // estimate — a queued query degrades to the CPU rung once it has
+    // waited about one solo service time.
+    let scfg = ServeConfig {
+        resilience: ResilienceConfig {
+            max_retries: 1,
+            breaker_threshold: 1,
+            ..ResilienceConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let est_cpu = scfg.cpu_fixed + scfg.cpu_per_row * rows;
+    let slo = est_cpu + Tick::from_ps((svc.as_ps() / 2).max(1));
+    let gap = Tick::from_ps((svc.as_ps() / 16).max(1));
+    let workload = Workload::poisson(mix, n, gap, SEED).with_slo(slo);
+    let mut sys = System::new(config());
+    sys.inject_faults(FaultPlan {
+        stall_burst_range: Some((0, u64::MAX)),
+        rank_scope: Some(0),
+        ..FaultPlan::none(11)
+    });
+    let run = sys.serve(&values, &workload, SchedPolicy::RankAffinity, &scfg);
+    let report = &run.report;
+    assert_eq!(
+        report.completed() + report.shed(),
+        n,
+        "fault run: every query completes or is shed"
+    );
+    let mut cpu_rung = 0usize;
+    for rec in &report.records {
+        if rec.done.is_none() {
+            continue;
+        }
+        if rec.mode == ExecMode::Cpu {
+            cpu_rung += 1;
+        }
+        let (bytes, matched, _) = &solo[&(rec.lo, rec.hi)];
+        assert_eq!(
+            &rec.bitset, bytes,
+            "fault run: query {} diverged from its solo run",
+            rec.id
+        );
+        assert_eq!(rec.matched, *matched, "fault run: query {} count", rec.id);
+    }
+    assert!(
+        run.recovery[0].recovery_total() >= 1,
+        "rank 0 exercised its recovery ladder"
+    );
+    assert!(
+        cpu_rung >= 1,
+        "at least one SLO-threatened query degraded to the host CPU rung"
+    );
+    for (r, stats) in run.recovery.iter().enumerate().skip(1) {
+        assert_eq!(
+            stats.recovery_total(),
+            0,
+            "healthy rank {r} untouched by the rank-0 fault"
+        );
+    }
+    println!(
+        "# fault run (rank 0 stalled, SLO {} ms): {} completed ({} on the CPU rung), {} shed,",
+        f2(slo.as_ms_f64()),
+        report.completed(),
+        cpu_rung,
+        report.shed(),
+    );
+    println!(
+        "#   p99 {} ms, {} deadline misses — all completed results bit-identical to solo runs.",
+        f2(report.p99().map_or(f64::NAN, |t| t.as_ms_f64())),
+        report.deadline_misses(),
+    );
+}

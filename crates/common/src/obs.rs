@@ -161,6 +161,36 @@ pub enum EventKind {
         /// Short machine-readable detail.
         detail: &'static str,
     },
+    /// The serving engine admitted a query into the bounded queue.
+    QueryAdmitted {
+        /// Submission index of the query within the served workload.
+        query: u32,
+        /// Queue depth right after admission.
+        depth: u32,
+    },
+    /// The serving engine dispatched a query onto an execution rung.
+    QueryStarted {
+        /// Submission index of the query within the served workload.
+        query: u32,
+        /// Rung mnemonic (`"parallel"`, `"single"`, `"cpu"`).
+        mode: &'static str,
+        /// Device ranks granted to the query (0 on the CPU rung).
+        ranks: u32,
+    },
+    /// A served query completed (all its shards finished).
+    QueryDone {
+        /// Submission index of the query within the served workload.
+        query: u32,
+        /// Rows the query's predicate matched.
+        matched: u64,
+    },
+    /// Admission control shed a query (queue at its depth bound).
+    QueryShed {
+        /// Submission index of the query within the served workload.
+        query: u32,
+        /// Queue depth at the rejection.
+        depth: u32,
+    },
 }
 
 impl EventKind {
@@ -184,6 +214,10 @@ impl EventKind {
             EventKind::ShardStep { .. } => "shard-step",
             EventKind::ShardDone { .. } => "shard-done",
             EventKind::ErrorSurfaced { .. } => "error",
+            EventKind::QueryAdmitted { .. } => "query-admitted",
+            EventKind::QueryStarted { .. } => "query-started",
+            EventKind::QueryDone { .. } => "query-done",
+            EventKind::QueryShed { .. } => "query-shed",
         }
     }
 
@@ -206,6 +240,10 @@ impl EventKind {
             | EventKind::ShardStep { .. }
             | EventKind::ShardDone { .. } => "accel",
             EventKind::ErrorSurfaced { .. } => "error",
+            EventKind::QueryAdmitted { .. }
+            | EventKind::QueryStarted { .. }
+            | EventKind::QueryDone { .. }
+            | EventKind::QueryShed { .. } => "serve",
         }
     }
 
@@ -284,6 +322,18 @@ impl EventKind {
             }
             EventKind::ErrorSurfaced { site, detail } => {
                 let _ = write!(out, "site={site} detail={detail}");
+            }
+            EventKind::QueryAdmitted { query, depth } => {
+                let _ = write!(out, "query={query} depth={depth}");
+            }
+            EventKind::QueryStarted { query, mode, ranks } => {
+                let _ = write!(out, "query={query} mode={mode} ranks={ranks}");
+            }
+            EventKind::QueryDone { query, matched } => {
+                let _ = write!(out, "query={query} matched={matched}");
+            }
+            EventKind::QueryShed { query, depth } => {
+                let _ = write!(out, "query={query} depth={depth}");
             }
         }
     }

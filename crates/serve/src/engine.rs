@@ -1,0 +1,834 @@
+//! The discrete-event serving engine.
+//!
+//! # Queue model
+//!
+//! Queries arrive (open- or closed-loop, see [`crate::workload`]), pass
+//! admission control — a bounded FIFO queue that sheds arrivals once
+//! [`ServeConfig::max_queue`] queries are waiting, the backpressure signal
+//! an upstream client would see as a fast-fail — and are dispatched onto
+//! free JAFAR ranks by the configured [`SchedPolicy`]. A dispatched query
+//! is sharded over up to [`ServeConfig::fanout`] free ranks and runs as
+//! one steppable [`SelectSession`] per shard, exactly the PR-3 rank-
+//! parallel machinery, so many in-flight queries interleave in simulated
+//! time instead of serializing.
+//!
+//! # Event loop and determinism
+//!
+//! The engine is a discrete-event simulation with four event classes —
+//! CPU-scan completion, query arrival, rank-free, SLO degradation — kept
+//! in explicit queues and processed in strict `(time, class, id)` order.
+//! Device work is *not* an event: between events the engine always steps
+//! the furthest-behind live session (ties by query id then rank), the
+//! same min-cursor discipline as [`jafar_core::parallel`], and only
+//! processes the next event once every live session's clock has passed
+//! it. Stepping a session makes no scheduling decisions, so letting
+//! shards run ahead of the event clock is safe: ranks are timing-
+//! independent, and every *decision* (admit, shed, dispatch, degrade)
+//! happens at an event, in deterministic order. A serve run is therefore
+//! a pure function of `(workload, policy, config)` — the golden tests
+//! hold byte-for-byte.
+//!
+//! # Degradation ladder
+//!
+//! A dispatched query gets the widest healthy slice of the machine the
+//! policy allows: rank-parallel when several ranks are free, single-
+//! device when only one is. Queries with an SLO that are still *queued*
+//! are watched by a degradation deadline: at
+//! `max(now, host_free, deadline − est_cpu, submitted)` — the last
+//! instant the host CPU scan can still make the deadline, never earlier
+//! than submission — the query abandons the device queue and runs on the
+//! host instead. The CPU rung is timed analytically
+//! ([`ServeConfig::cpu_fixed`] + [`ServeConfig::cpu_per_row`]·rows) but
+//! its *result* is computed functionally, so it is bit-identical to the
+//! device path. Within the device path each rank keeps its own
+//! [`ResilientDriver`] across queries, so the PR-1 recovery ladder
+//! (watchdog → retries → circuit breaker → CPU-scan fallback) composes
+//! underneath: a faulty rank's breaker stays open between queries and
+//! the rank-affinity policy steers new work away from it.
+
+use crate::policy::SchedPolicy;
+use crate::report::{ExecMode, QueryRecord, ServeReport};
+use crate::workload::{Arrivals, Workload};
+use jafar_common::obs::{EventKind, SharedTracer};
+use jafar_common::time::Tick;
+use jafar_core::device::JafarDevice;
+use jafar_core::driver::{ResilienceConfig, ResilientDriver, SelectRequest, SelectSession};
+use jafar_dram::{DramModule, PhysAddr};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Shards start on 512-row boundaries: 512 rows of bitset are 64 bytes,
+/// so per-rank output offsets stay 64-byte aligned (the driver's CPU
+/// fallback writes whole aligned lines) and shard boundaries fall on
+/// exact bitset bytes.
+const CHUNK_ROWS: u64 = 512;
+
+/// Tuning knobs of the serving engine.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Admission-queue bound: arrivals beyond this many waiting queries
+    /// are shed (backpressure). At least 1.
+    pub max_queue: usize,
+    /// Maximum ranks one query is sharded over. At least 1.
+    pub fanout: usize,
+    /// Fixed cost of a degraded host CPU scan (setup + planning).
+    pub cpu_fixed: Tick,
+    /// Per-row cost of a degraded host CPU scan.
+    pub cpu_per_row: Tick,
+    /// Recovery policy for the per-rank resilient drivers.
+    pub resilience: ResilienceConfig,
+    /// Simulated instant the serve run (and its first arrivals) starts.
+    pub start: Tick,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_queue: 16,
+            fanout: 4,
+            cpu_fixed: Tick::from_us(2),
+            cpu_per_row: Tick::from_ps(1000),
+            resilience: ResilienceConfig::default(),
+            start: Tick::ZERO,
+        }
+    }
+}
+
+/// Borrowed machine state the engine schedules onto. The caller (usually
+/// `jafar_sim::System::serve`) owns the DRAM module, the per-rank devices
+/// and drivers, and the per-rank column replicas + output buffers; the
+/// engine only decides who runs where and when.
+pub struct ServeEnv<'a> {
+    /// The shared DRAM module every rank lives in.
+    pub module: &'a mut DramModule,
+    /// One JAFAR device per NDP rank; `devices[r]` serves rank `r`.
+    pub devices: &'a mut [JafarDevice],
+    /// One persistent resilient driver per rank (breaker state spans
+    /// queries). Must be as long as `devices`.
+    pub drivers: &'a mut [ResilientDriver],
+    /// Per-rank 64-byte-aligned base of the column replica on that rank.
+    pub replicas: &'a [PhysAddr],
+    /// Per-rank 64-byte-aligned base of that rank's output bitset buffer
+    /// (reused across queries; a rank runs one shard at a time).
+    pub outs: &'a [PhysAddr],
+    /// Host copy of the column, for the degraded CPU rung's functional
+    /// result. Every query scans this full column.
+    pub values: &'a [i64],
+    /// Trace sink for the `QueryAdmitted/Started/Done/Shed` events.
+    pub tracer: &'a SharedTracer,
+}
+
+/// One in-flight shard: which query and rank it belongs to and where its
+/// rows sit within the column.
+struct ActiveShard {
+    qid: u32,
+    rank: usize,
+    off: u64,
+    rows: u64,
+    session: SelectSession,
+}
+
+/// Progress of a dispatched device query across its shards.
+struct Inflight {
+    remaining: u32,
+    matched: u64,
+    end: Tick,
+}
+
+/// Event classes, in tie-break priority order at equal times: CPU
+/// completions release the host before new decisions, arrivals enter the
+/// queue before rank-free dispatch can consider them, and degradation —
+/// the last resort — only fires if nothing else happens at that instant.
+const CLASS_CPU_DONE: u8 = 0;
+const CLASS_ARRIVAL: u8 = 1;
+const CLASS_RANK_FREE: u8 = 2;
+const CLASS_DEGRADE: u8 = 3;
+
+struct Engine<'a, 'e> {
+    env: &'a mut ServeEnv<'e>,
+    cfg: &'a ServeConfig,
+    policy: SchedPolicy,
+    /// Per-query SLO (spec override or workload default), by query id.
+    slos: Vec<Option<Tick>>,
+    has_slo: bool,
+    think: Option<Tick>,
+    records: Vec<QueryRecord>,
+    queue: VecDeque<u32>,
+    active: Vec<ActiveShard>,
+    inflight: Vec<Option<Inflight>>,
+    rank_busy: Vec<bool>,
+    served_count: Vec<u64>,
+    arrivals: BinaryHeap<Reverse<(Tick, u32)>>,
+    rank_free_ev: BinaryHeap<Reverse<(Tick, u32)>>,
+    cpu_done: BinaryHeap<Reverse<(Tick, u32)>>,
+    host_free: Tick,
+    now: Tick,
+    next_spec: usize,
+    makespan: Tick,
+}
+
+/// Runs `workload` against the machine in `env` under `policy` and
+/// returns the per-query records and latency aggregates.
+///
+/// # Panics
+/// Panics if `env` has no ranks, mismatched per-rank slices, or an empty
+/// column.
+pub fn run_serve(
+    mut env: ServeEnv<'_>,
+    workload: &Workload,
+    policy: SchedPolicy,
+    cfg: &ServeConfig,
+) -> ServeReport {
+    let nranks = env.devices.len();
+    assert!(nranks > 0, "serving needs at least one NDP rank");
+    assert_eq!(env.drivers.len(), nranks, "one driver per rank");
+    assert_eq!(env.replicas.len(), nranks, "one column replica per rank");
+    assert_eq!(env.outs.len(), nranks, "one output buffer per rank");
+    assert!(!env.values.is_empty(), "cannot serve an empty column");
+
+    let n = workload.len();
+    let records: Vec<QueryRecord> = workload
+        .specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| QueryRecord {
+            id: i as u32,
+            lo: s.lo,
+            hi: s.hi,
+            submitted: Tick::ZERO,
+            started: None,
+            done: None,
+            deadline: Tick::MAX,
+            mode: ExecMode::Pending,
+            matched: 0,
+            bitset: Vec::new(),
+        })
+        .collect();
+
+    let slos: Vec<Option<Tick>> = workload
+        .specs
+        .iter()
+        .map(|s| s.slo.or(workload.slo))
+        .collect();
+    let has_slo = slos.iter().any(|s| s.is_some());
+    let mut eng = Engine {
+        cfg,
+        policy,
+        slos,
+        has_slo,
+        think: None,
+        records,
+        queue: VecDeque::new(),
+        active: Vec::new(),
+        inflight: (0..n).map(|_| None).collect(),
+        rank_busy: vec![false; nranks],
+        served_count: vec![0; nranks],
+        arrivals: BinaryHeap::new(),
+        rank_free_ev: BinaryHeap::new(),
+        cpu_done: BinaryHeap::new(),
+        host_free: cfg.start,
+        now: cfg.start,
+        next_spec: 0,
+        makespan: cfg.start,
+        env: &mut env,
+    };
+
+    match &workload.arrivals {
+        Arrivals::Open(times) => {
+            assert_eq!(times.len(), n, "one arrival instant per query");
+            for (i, &t) in times.iter().enumerate() {
+                eng.arrivals.push(Reverse((cfg.start + t, i as u32)));
+            }
+            eng.next_spec = n;
+        }
+        Arrivals::Closed { clients, think } => {
+            eng.think = Some(*think);
+            let first = (*clients as usize).min(n);
+            for i in 0..first {
+                eng.arrivals.push(Reverse((cfg.start, i as u32)));
+            }
+            eng.next_spec = first;
+        }
+    }
+
+    eng.run();
+
+    let makespan = eng.makespan.saturating_sub(cfg.start);
+    let records = eng.records;
+    debug_assert!(
+        records
+            .iter()
+            .all(|r| r.done.is_some() || r.mode == ExecMode::Shed),
+        "every query completes or is shed"
+    );
+    ServeReport {
+        records,
+        makespan,
+        policy: policy.name(),
+    }
+}
+
+impl Engine<'_, '_> {
+    fn run(&mut self) {
+        loop {
+            let event = self.best_event();
+            // Always advance the furthest-behind shard first; decisions
+            // only happen at events, once every shard's clock passed them.
+            let min_shard = self
+                .active
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ((s.session.cursor(), s.qid, s.rank), i))
+                .min()
+                .map(|((cursor, _, _), i)| (cursor, i));
+            match (min_shard, event) {
+                (Some((cursor, idx)), Some((t, _, _))) if cursor <= t => self.step_shard(idx),
+                (Some((_, idx)), None) => self.step_shard(idx),
+                (_, Some((t, class, payload))) => self.process_event(t, class, payload),
+                (None, None) => break,
+            }
+        }
+    }
+
+    /// The next event as `(time, class, payload)`, minimal by `(time,
+    /// class)`; within one class the heap already yields the smallest id.
+    fn best_event(&self) -> Option<(Tick, u8, u32)> {
+        let mut best: Option<(Tick, u8, u32)> = None;
+        let mut consider = |t: Tick, class: u8, payload: u32| {
+            let t = t.max(self.now);
+            if best.is_none_or(|(bt, bc, _)| (t, class) < (bt, bc)) {
+                best = Some((t, class, payload));
+            }
+        };
+        if let Some(&Reverse((t, qid))) = self.cpu_done.peek() {
+            consider(t, CLASS_CPU_DONE, qid);
+        }
+        if let Some(&Reverse((t, qid))) = self.arrivals.peek() {
+            consider(t, CLASS_ARRIVAL, qid);
+        }
+        if let Some(&Reverse((t, rank))) = self.rank_free_ev.peek() {
+            consider(t, CLASS_RANK_FREE, rank);
+        }
+        if let Some((t, qid)) = self.degrade_candidate() {
+            consider(t, CLASS_DEGRADE, qid);
+        }
+        best
+    }
+
+    fn process_event(&mut self, t: Tick, class: u8, payload: u32) {
+        self.now = t;
+        match class {
+            CLASS_CPU_DONE => {
+                self.cpu_done.pop();
+                self.finish_query(payload, t);
+            }
+            CLASS_ARRIVAL => {
+                self.arrivals.pop();
+                self.arrive(payload, t);
+            }
+            CLASS_RANK_FREE => {
+                self.rank_free_ev.pop();
+                self.rank_busy[payload as usize] = false;
+                self.try_dispatch(t);
+            }
+            _ => self.degrade(payload, t),
+        }
+    }
+
+    fn arrive(&mut self, qid: u32, t: Tick) {
+        let slo = self.slos[qid as usize];
+        let rec = &mut self.records[qid as usize];
+        rec.submitted = t;
+        rec.deadline = slo.map_or(Tick::MAX, |s| t + s);
+        if self.queue.len() >= self.cfg.max_queue.max(1) {
+            rec.mode = ExecMode::Shed;
+            let depth = self.queue.len() as u32;
+            self.env
+                .tracer
+                .emit(t, EventKind::QueryShed { query: qid, depth });
+            self.schedule_next_client(t);
+        } else {
+            self.queue.push_back(qid);
+            let depth = self.queue.len() as u32;
+            self.env
+                .tracer
+                .emit(t, EventKind::QueryAdmitted { query: qid, depth });
+            self.try_dispatch(t);
+        }
+    }
+
+    /// In a closed loop, a finished (or shed) query frees its client to
+    /// submit the next spec one think-time later.
+    fn schedule_next_client(&mut self, t: Tick) {
+        if let Some(think) = self.think {
+            if self.next_spec < self.records.len() {
+                self.arrivals
+                    .push(Reverse((t + think, self.next_spec as u32)));
+                self.next_spec += 1;
+            }
+        }
+    }
+
+    /// Drains the queue onto free ranks until one of them runs out.
+    fn try_dispatch(&mut self, t: Tick) {
+        loop {
+            if self.queue.is_empty() {
+                return;
+            }
+            let mut free: Vec<usize> = (0..self.rank_busy.len())
+                .filter(|&r| !self.rank_busy[r])
+                .collect();
+            if free.is_empty() {
+                return;
+            }
+            let pick = match self.policy {
+                SchedPolicy::Fifo | SchedPolicy::RankAffinity => 0,
+                SchedPolicy::Edf => self
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &q)| (self.records[q as usize].deadline, q))
+                    .map(|(i, _)| i)
+                    .expect("queue checked non-empty"),
+            };
+            let qid = self.queue.remove(pick).expect("index from enumerate");
+            if self.policy == SchedPolicy::RankAffinity {
+                free.sort_by_key(|&r| {
+                    (self.env.drivers[r].breaker_open(), self.served_count[r], r)
+                });
+            }
+            self.dispatch_device(qid, &free, t);
+        }
+    }
+
+    /// Shards `qid` over up to `fanout` of the `free` ranks (in the
+    /// policy's preference order) and opens one session per shard.
+    fn dispatch_device(&mut self, qid: u32, free: &[usize], t: Tick) {
+        let rows = self.env.values.len() as u64;
+        let k = free.len().min(self.cfg.fanout.max(1)) as u64;
+        let chunk = rows.div_ceil(k).div_ceil(CHUNK_ROWS) * CHUNK_ROWS;
+        let mut off = 0u64;
+        let mut used = 0u32;
+        for &r in free {
+            if off >= rows {
+                break;
+            }
+            let len = chunk.min(rows - off);
+            let req = SelectRequest {
+                col_addr: PhysAddr(self.env.replicas[r].0 + off * 8),
+                rows: len,
+                lo: self.records[qid as usize].lo,
+                hi: self.records[qid as usize].hi,
+                out_addr: PhysAddr(self.env.outs[r].0 + off / 8),
+            };
+            let session = self.env.drivers[r].start_session(self.env.module, req, t);
+            self.active.push(ActiveShard {
+                qid,
+                rank: r,
+                off,
+                rows: len,
+                session,
+            });
+            self.rank_busy[r] = true;
+            self.served_count[r] += 1;
+            off += len;
+            used += 1;
+        }
+        self.inflight[qid as usize] = Some(Inflight {
+            remaining: used,
+            matched: 0,
+            end: Tick::ZERO,
+        });
+        let rec = &mut self.records[qid as usize];
+        rec.started = Some(t);
+        rec.mode = ExecMode::Device { ranks: used };
+        rec.bitset = vec![0u8; rows.div_ceil(8) as usize];
+        self.env.tracer.emit(
+            t,
+            EventKind::QueryStarted {
+                query: qid,
+                mode: if used > 1 { "parallel" } else { "single" },
+                ranks: used,
+            },
+        );
+    }
+
+    fn step_shard(&mut self, idx: usize) {
+        let shard = &mut self.active[idx];
+        self.env.drivers[shard.rank].step_page(
+            &mut self.env.devices[shard.rank],
+            self.env.module,
+            &mut shard.session,
+        );
+        if !shard.session.is_done() {
+            return;
+        }
+        let shard = self.active.swap_remove(idx);
+        let run = shard.session.into_run();
+        // Pull the shard's slice of the selection vector out of DRAM now:
+        // the rank is reused only after its rank-free event, which is
+        // processed strictly later.
+        let nbytes = shard.rows.div_ceil(8) as usize;
+        let at = (shard.off / 8) as usize;
+        let rec = &mut self.records[shard.qid as usize];
+        self.env.module.data().read(
+            PhysAddr(self.env.outs[shard.rank].0 + shard.off / 8),
+            &mut rec.bitset[at..at + nbytes],
+        );
+        if !shard.rows.is_multiple_of(8) {
+            // The buffer is reused across queries and the device
+            // preserves (rather than zeroes) bits past the last row in
+            // the final partial byte — mask the stale tail off.
+            rec.bitset[at + nbytes - 1] &= (1u8 << (shard.rows % 8)) - 1;
+        }
+        self.rank_free_ev
+            .push(Reverse((run.end.max(self.now), shard.rank as u32)));
+        let fl = self.inflight[shard.qid as usize]
+            .as_mut()
+            .expect("shard of a dispatched query");
+        fl.remaining -= 1;
+        fl.matched += run.matched;
+        fl.end = fl.end.max(run.end);
+        if fl.remaining == 0 {
+            let (end, matched) = (fl.end, fl.matched);
+            let rec = &mut self.records[shard.qid as usize];
+            rec.matched = matched;
+            self.finish_query(shard.qid, end);
+        }
+    }
+
+    fn finish_query(&mut self, qid: u32, end: Tick) {
+        let rec = &mut self.records[qid as usize];
+        rec.done = Some(end);
+        self.makespan = self.makespan.max(end);
+        let matched = rec.matched;
+        self.env.tracer.emit(
+            end,
+            EventKind::QueryDone {
+                query: qid,
+                matched,
+            },
+        );
+        self.schedule_next_client(end);
+    }
+
+    /// The queued query whose degradation deadline comes first, if any:
+    /// the last instant `max(now, host_free, deadline − est_cpu,
+    /// submitted)` at which the host scan still protects its SLO.
+    fn degrade_candidate(&self) -> Option<(Tick, u32)> {
+        if !self.has_slo {
+            return None;
+        }
+        let est = self.cpu_estimate();
+        self.queue
+            .iter()
+            .filter(|&&q| self.records[q as usize].deadline < Tick::MAX)
+            .map(|&q| {
+                let rec = &self.records[q as usize];
+                let t = self
+                    .now
+                    .max(self.host_free)
+                    .max(rec.deadline.saturating_sub(est))
+                    .max(rec.submitted);
+                (t, q)
+            })
+            .min()
+    }
+
+    fn cpu_estimate(&self) -> Tick {
+        self.cfg.cpu_fixed + self.cfg.cpu_per_row * self.env.values.len() as u64
+    }
+
+    /// Pulls `qid` off the device queue and runs it on the host: timed
+    /// analytically, computed functionally (bit-identical by definition).
+    fn degrade(&mut self, qid: u32, t: Tick) {
+        let pos = self
+            .queue
+            .iter()
+            .position(|&q| q == qid)
+            .expect("degrade candidate is queued");
+        self.queue.remove(pos);
+        let done = t + self.cpu_estimate();
+        self.host_free = done;
+        let rec = &mut self.records[qid as usize];
+        rec.started = Some(t);
+        rec.mode = ExecMode::Cpu;
+        let mut bytes = vec![0u8; self.env.values.len().div_ceil(8)];
+        let mut matched = 0u64;
+        for (i, &v) in self.env.values.iter().enumerate() {
+            if v >= rec.lo && v <= rec.hi {
+                bytes[i / 8] |= 1 << (i % 8);
+                matched += 1;
+            }
+        }
+        rec.bitset = bytes;
+        rec.matched = matched;
+        self.cpu_done.push(Reverse((done, qid)));
+        self.env.tracer.emit(
+            t,
+            EventKind::QueryStarted {
+                query: qid,
+                mode: "cpu",
+                ranks: 0,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{PredicateMix, QuerySpec};
+    use jafar_common::rng::SplitMix64;
+    use jafar_dram::{AddressMapping, DramGeometry, DramTiming};
+
+    const ROWS: u64 = 2048;
+
+    /// A self-contained serving machine over an explicit module: every
+    /// rank carries a full replica of the same seeded column plus an
+    /// output buffer, one device + persistent driver each.
+    struct Rig {
+        module: DramModule,
+        devices: Vec<JafarDevice>,
+        drivers: Vec<ResilientDriver>,
+        replicas: Vec<PhysAddr>,
+        outs: Vec<PhysAddr>,
+        values: Vec<i64>,
+        tracer: SharedTracer,
+    }
+
+    fn rig(nranks: u32, seed: u64) -> Rig {
+        let geom = DramGeometry {
+            ranks: nranks,
+            banks_per_rank: 4,
+            rows_per_bank: 64,
+            row_bytes: 1024,
+        };
+        let mut module = DramModule::new(
+            geom,
+            DramTiming::ddr3_paper().without_refresh(),
+            AddressMapping::RankRowBankBlock,
+        );
+        let mut rng = SplitMix64::new(seed);
+        let values: Vec<i64> = (0..ROWS)
+            .map(|_| rng.next_range_inclusive(0, 999))
+            .collect();
+        let rank_bytes = geom.rank_bytes();
+        let mut replicas = Vec::new();
+        let mut outs = Vec::new();
+        for r in 0..nranks as u64 {
+            let col = PhysAddr(r * rank_bytes);
+            for (i, &v) in values.iter().enumerate() {
+                module
+                    .data_mut()
+                    .write_i64(PhysAddr(col.0 + i as u64 * 8), v);
+            }
+            replicas.push(col);
+            outs.push(PhysAddr(r * rank_bytes + 192 * 1024));
+        }
+        Rig {
+            module,
+            devices: (0..nranks).map(|_| JafarDevice::paper_default()).collect(),
+            drivers: (0..nranks)
+                .map(|_| ResilientDriver::new(ResilienceConfig::default()))
+                .collect(),
+            replicas,
+            outs,
+            values,
+            tracer: SharedTracer::disabled(),
+        }
+    }
+
+    impl Rig {
+        fn serve(
+            &mut self,
+            workload: &Workload,
+            policy: SchedPolicy,
+            cfg: &ServeConfig,
+        ) -> ServeReport {
+            run_serve(
+                ServeEnv {
+                    module: &mut self.module,
+                    devices: &mut self.devices,
+                    drivers: &mut self.drivers,
+                    replicas: &self.replicas,
+                    outs: &self.outs,
+                    values: &self.values,
+                    tracer: &self.tracer,
+                },
+                workload,
+                policy,
+                cfg,
+            )
+        }
+    }
+
+    fn reference_bytes(values: &[i64], lo: i64, hi: i64) -> Vec<u8> {
+        let mut bytes = vec![0u8; values.len().div_ceil(8)];
+        for (i, &v) in values.iter().enumerate() {
+            if v >= lo && v <= hi {
+                bytes[i / 8] |= 1 << (i % 8);
+            }
+        }
+        bytes
+    }
+
+    fn spec(lo: i64, hi: i64, slo: Option<Tick>) -> QuerySpec {
+        QuerySpec { lo, hi, slo }
+    }
+
+    #[test]
+    fn fifo_poisson_completes_all_bit_identically() {
+        let mut rig = rig(4, 5);
+        let mix = PredicateMix::UniformRange {
+            min: 0,
+            max: 999,
+            width: 200,
+        };
+        let workload = Workload::poisson(mix, 6, Tick::from_us(2), 17);
+        let report = rig.serve(&workload, SchedPolicy::Fifo, &ServeConfig::default());
+        assert_eq!(report.completed(), 6);
+        assert_eq!(report.shed(), 0);
+        for rec in &report.records {
+            assert!(matches!(rec.mode, ExecMode::Device { ranks } if ranks >= 1));
+            assert!(rec.done.unwrap() >= rec.started.unwrap());
+            assert_eq!(
+                rec.bitset,
+                reference_bytes(&rig.values, rec.lo, rec.hi),
+                "query {} selection vector",
+                rec.id
+            );
+            assert_eq!(
+                rec.matched,
+                rec.bitset
+                    .iter()
+                    .map(|b| b.count_ones() as u64)
+                    .sum::<u64>()
+            );
+        }
+        assert!(report.makespan > Tick::ZERO);
+        assert!(report.p99() >= report.p50());
+    }
+
+    #[test]
+    fn serve_is_deterministic() {
+        let mix = PredicateMix::UniformRange {
+            min: 0,
+            max: 999,
+            width: 150,
+        };
+        let workload =
+            Workload::poisson(mix, 8, Tick::from_ns(800), 23).with_slo(Tick::from_us(400));
+        let a = rig(2, 9).serve(
+            &workload,
+            SchedPolicy::RankAffinity,
+            &ServeConfig::default(),
+        );
+        let b = rig(2, 9).serve(
+            &workload,
+            SchedPolicy::RankAffinity,
+            &ServeConfig::default(),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn burst_sheds_at_the_queue_bound() {
+        let mut rig = rig(2, 7);
+        let workload = Workload {
+            specs: (0..6).map(|_| spec(100, 399, None)).collect(),
+            arrivals: Arrivals::Open(vec![Tick::ZERO; 6]),
+            slo: None,
+        };
+        let cfg = ServeConfig {
+            max_queue: 1,
+            fanout: 2,
+            ..ServeConfig::default()
+        };
+        let report = rig.serve(&workload, SchedPolicy::Fifo, &cfg);
+        // q0 takes both ranks, q1 fills the depth-1 queue, the rest shed.
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.shed(), 4);
+        for rec in &report.records[2..] {
+            assert_eq!(rec.mode, ExecMode::Shed);
+            assert!(rec.done.is_none());
+            assert!(rec.bitset.is_empty());
+        }
+        assert_eq!(
+            report.records[0].mode,
+            ExecMode::Device { ranks: 2 },
+            "burst head fans out over both ranks"
+        );
+    }
+
+    #[test]
+    fn edf_dispatches_the_tightest_deadline_first() {
+        let specs = vec![
+            spec(0, 499, None),
+            spec(0, 499, Some(Tick::from_ms(3))),
+            spec(0, 499, Some(Tick::from_ms(1))),
+        ];
+        let workload = Workload {
+            specs,
+            arrivals: Arrivals::Open(vec![Tick::ZERO; 3]),
+            slo: None,
+        };
+        let fifo = rig(1, 3).serve(&workload, SchedPolicy::Fifo, &ServeConfig::default());
+        let edf = rig(1, 3).serve(&workload, SchedPolicy::Edf, &ServeConfig::default());
+        assert!(fifo.records[1].started.unwrap() < fifo.records[2].started.unwrap());
+        assert!(edf.records[2].started.unwrap() < edf.records[1].started.unwrap());
+        // Scheduling order changes; results don't.
+        for report in [&fifo, &edf] {
+            assert_eq!(report.completed(), 3);
+            assert_eq!(report.deadline_misses(), 0);
+        }
+    }
+
+    #[test]
+    fn hopeless_deadline_degrades_to_the_host_cpu() {
+        let mut rig = rig(1, 13);
+        // q0 occupies the only rank; q1's SLO is far below even the CPU
+        // estimate, so its degradation deadline is "now" — it abandons
+        // the device queue immediately and still completes, correctly.
+        let workload = Workload {
+            specs: vec![spec(200, 799, None), spec(300, 599, Some(Tick::from_ns(1)))],
+            arrivals: Arrivals::Open(vec![Tick::ZERO, Tick::ZERO]),
+            slo: None,
+        };
+        let cfg = ServeConfig::default();
+        let est = cfg.cpu_fixed + cfg.cpu_per_row * ROWS;
+        let report = rig.serve(&workload, SchedPolicy::Fifo, &cfg);
+        assert_eq!(report.completed(), 2);
+        let q1 = &report.records[1];
+        assert_eq!(q1.mode, ExecMode::Cpu);
+        assert_eq!(q1.done.unwrap(), q1.started.unwrap() + est);
+        assert_eq!(q1.bitset, reference_bytes(&rig.values, 300, 599));
+        assert!(q1.missed_deadline(), "hopeless SLO is still a miss");
+        assert_eq!(report.cpu_queries(), 1);
+    }
+
+    #[test]
+    fn closed_loop_throttles_to_the_client_population() {
+        let mut rig = rig(2, 19);
+        let mix = PredicateMix::UniformRange {
+            min: 0,
+            max: 999,
+            width: 300,
+        };
+        let think = Tick::from_us(1);
+        let workload = Workload::closed(mix, 8, 2, think, 29);
+        let report = rig.serve(&workload, SchedPolicy::Fifo, &ServeConfig::default());
+        assert_eq!(report.completed(), 8);
+        assert_eq!(report.shed(), 0);
+        // Two clients: queries 0 and 1 arrive at start, every later one
+        // only a think-time after some predecessor finished.
+        assert_eq!(report.records[0].submitted, Tick::ZERO);
+        assert_eq!(report.records[1].submitted, Tick::ZERO);
+        for rec in &report.records[2..] {
+            assert!(rec.submitted >= think);
+        }
+        for rec in &report.records {
+            assert_eq!(rec.bitset, reference_bytes(&rig.values, rec.lo, rec.hi));
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # jafar-serve — deterministic multi-tenant query serving
+//!
+//! Every other entry point in the workspace runs exactly one query in
+//! isolation; this crate is the serving layer on top — the leap the
+//! ROADMAP's north star ("serves heavy traffic") requires and that
+//! production NDP systems make from single-operator offload to request
+//! serving. It is a discrete-event engine that accepts a *stream* of
+//! select queries and multiplexes them over the shared JAFAR ranks:
+//!
+//! - [`workload`]: seeded query streams — open-loop Poisson and
+//!   closed-loop arrival generators over uniform or TPC-H-Q6-style
+//!   predicate mixes, plus an optional per-query latency SLO;
+//! - [`policy`]: pluggable scheduling policies — FIFO,
+//!   earliest-deadline-first, and contention-aware rank affinity;
+//! - [`engine`]: admission control (bounded queue with shedding),
+//!   dispatch onto free ranks via the PR-3 steppable-session min-cursor
+//!   machinery, and the SLO degradation ladder (rank-parallel →
+//!   single-device → host CPU scan) composed over the PR-1 resilient
+//!   drivers;
+//! - [`report`]: per-query records (queue-wait vs service-time
+//!   breakdown, execution rung, selection vector) and aggregate
+//!   p50/p95/p99 latency + throughput;
+//! - [`submit`]: lifting `jafar-columnstore` scan plans into served
+//!   queries.
+//!
+//! Everything is deterministic: workloads are pure functions of their
+//! seeds, and the engine makes every scheduling decision at an explicit
+//! event in strict `(time, class, id)` order, so a serve run — including
+//! its trace stream — is a pure function of `(workload, policy, config)`.
+//! Each served query's selection vector is bit-identical to running the
+//! same predicate alone.
+//!
+//! The usual entry point is `jafar_sim::System::serve`, which owns the
+//! DRAM module, replicates the column across the NDP ranks and hands the
+//! engine a [`engine::ServeEnv`].
+
+pub mod engine;
+pub mod policy;
+pub mod report;
+pub mod submit;
+pub mod workload;
+
+pub use engine::{run_serve, ServeConfig, ServeEnv};
+pub use policy::SchedPolicy;
+pub use report::{ExecMode, QueryRecord, ServeReport};
+pub use workload::{Arrivals, PredicateMix, QuerySpec, Workload};

@@ -1,0 +1,35 @@
+//! Pluggable scheduling policies for the serving engine.
+
+/// How the engine picks the next queued query and the ranks to run it on.
+///
+/// All three policies are deterministic: ties are broken by submission
+/// index (queries) and by rank index (ranks), so a serve run is a pure
+/// function of its workload and configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// First-in first-out: dispatch in admission order onto the
+    /// lowest-numbered free ranks.
+    Fifo,
+    /// Earliest-deadline-first: dispatch the queued query with the
+    /// nearest deadline (admission order among equals). Falls back to
+    /// FIFO when the workload carries no SLO.
+    Edf,
+    /// Contention-aware rank affinity: dispatch in admission order, but
+    /// prefer healthy, lightly-used ranks — ranks whose circuit breaker
+    /// is open sort last, then by queries served so far, then by index.
+    /// Under a rank-scoped fault this steers load away from the sick
+    /// rank instead of feeding it queries that will crawl through the
+    /// recovery ladder.
+    RankAffinity,
+}
+
+impl SchedPolicy {
+    /// Stable lower-case mnemonic for reports and CSV output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::Edf => "edf",
+            SchedPolicy::RankAffinity => "rank-affinity",
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Per-query records and the aggregate [`ServeReport`].
+
+use jafar_common::time::Tick;
+use std::fmt;
+
+/// Which rung of the degradation ladder a query ended up on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Not yet arrived or still queued. Only observable mid-serve; a
+    /// finished [`ServeReport`] never contains pending records.
+    Pending,
+    /// Rejected at admission (queue full). Never ran; no result.
+    Shed,
+    /// Ran on JAFAR devices across `ranks` ranks (1 = single-device).
+    Device {
+        /// Ranks the query's scan was sharded over.
+        ranks: u32,
+    },
+    /// Degraded to the host CPU scan to protect its deadline.
+    Cpu,
+}
+
+/// The full life of one submitted query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryRecord {
+    /// Submission index within the workload.
+    pub id: u32,
+    /// Inclusive predicate lower bound.
+    pub lo: i64,
+    /// Inclusive predicate upper bound.
+    pub hi: i64,
+    /// When the query arrived at admission control.
+    pub submitted: Tick,
+    /// When it was dispatched (left the queue); `None` if shed.
+    pub started: Option<Tick>,
+    /// When its last shard finished; `None` if shed.
+    pub done: Option<Tick>,
+    /// Its deadline (`submitted + slo`); `Tick::MAX` without an SLO.
+    pub deadline: Tick,
+    /// The rung it ran on.
+    pub mode: ExecMode,
+    /// Rows matched (0 if shed).
+    pub matched: u64,
+    /// The selection vector it produced, bit per row, LSB-first within
+    /// each byte — bit-identical to a solo run of the same predicate.
+    /// Empty if shed.
+    pub bitset: Vec<u8>,
+}
+
+impl QueryRecord {
+    /// Submission-to-completion latency; `None` if shed.
+    pub fn latency(&self) -> Option<Tick> {
+        self.done.map(|d| d.saturating_sub(self.submitted))
+    }
+
+    /// Time spent queued before dispatch; `None` if shed.
+    pub fn queue_wait(&self) -> Option<Tick> {
+        self.started.map(|s| s.saturating_sub(self.submitted))
+    }
+
+    /// Dispatch-to-completion service time; `None` if shed.
+    pub fn service(&self) -> Option<Tick> {
+        match (self.started, self.done) {
+            (Some(s), Some(d)) => Some(d.saturating_sub(s)),
+            _ => None,
+        }
+    }
+
+    /// True when the query completed after its deadline (shed queries
+    /// never complete, so they do not count as misses here).
+    pub fn missed_deadline(&self) -> bool {
+        self.done.is_some_and(|d| d > self.deadline)
+    }
+}
+
+/// Aggregate outcome of one [`crate::engine::run_serve`] call.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeReport {
+    /// Every submitted query, in submission order (shed ones included).
+    pub records: Vec<QueryRecord>,
+    /// When the last query finished, measured from serve start.
+    pub makespan: Tick,
+    /// Name of the scheduling policy that produced this report.
+    pub policy: &'static str,
+}
+
+impl ServeReport {
+    /// Queries that ran to completion.
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.done.is_some()).count()
+    }
+
+    /// Queries rejected at admission.
+    pub fn shed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.mode == ExecMode::Shed)
+            .count()
+    }
+
+    /// Completed queries that ran on JAFAR devices.
+    pub fn device_queries(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.mode, ExecMode::Device { .. }))
+            .count()
+    }
+
+    /// Completed queries degraded to the CPU rung.
+    pub fn cpu_queries(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.mode == ExecMode::Cpu)
+            .count()
+    }
+
+    /// Completed queries that finished past their deadline.
+    pub fn deadline_misses(&self) -> usize {
+        self.records.iter().filter(|r| r.missed_deadline()).count()
+    }
+
+    fn sorted_latencies(&self) -> Vec<Tick> {
+        let mut lats: Vec<Tick> = self.records.iter().filter_map(|r| r.latency()).collect();
+        lats.sort_unstable();
+        lats
+    }
+
+    /// Nearest-rank latency percentile over completed queries (`pct` in
+    /// 1..=100); `None` when nothing completed.
+    pub fn latency_percentile(&self, pct: u64) -> Option<Tick> {
+        let lats = self.sorted_latencies();
+        if lats.is_empty() {
+            return None;
+        }
+        let idx = (pct.clamp(1, 100) as usize * lats.len()).div_ceil(100) - 1;
+        Some(lats[idx])
+    }
+
+    /// Median completion latency.
+    pub fn p50(&self) -> Option<Tick> {
+        self.latency_percentile(50)
+    }
+
+    /// 95th-percentile completion latency.
+    pub fn p95(&self) -> Option<Tick> {
+        self.latency_percentile(95)
+    }
+
+    /// 99th-percentile completion latency.
+    pub fn p99(&self) -> Option<Tick> {
+        self.latency_percentile(99)
+    }
+
+    /// Mean time completed queries spent queued before dispatch.
+    pub fn mean_queue_wait(&self) -> Option<Tick> {
+        mean(self.records.iter().filter_map(|r| r.queue_wait()))
+    }
+
+    /// Mean dispatch-to-completion service time of completed queries.
+    pub fn mean_service(&self) -> Option<Tick> {
+        mean(self.records.iter().filter_map(|r| r.service()))
+    }
+
+    /// Completed queries per second of makespan.
+    pub fn throughput_qps(&self) -> f64 {
+        let secs = self.makespan.as_ps() as f64 * 1e-12;
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed() as f64 / secs
+    }
+}
+
+fn mean(iter: impl Iterator<Item = Tick>) -> Option<Tick> {
+    let (mut sum, mut n) = (0u64, 0u64);
+    for t in iter {
+        sum += t.as_ps();
+        n += 1;
+    }
+    (n > 0).then(|| Tick::from_ps(sum / n))
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "serve[{}]: {} submitted, {} completed ({} device / {} cpu), {} shed, {} deadline misses",
+            self.policy,
+            self.records.len(),
+            self.completed(),
+            self.device_queries(),
+            self.cpu_queries(),
+            self.shed(),
+            self.deadline_misses(),
+        )?;
+        writeln!(
+            f,
+            "  makespan {:.3} ms, throughput {:.1} q/s",
+            self.makespan.as_ms_f64(),
+            self.throughput_qps(),
+        )?;
+        let ms = |t: Option<Tick>| t.map_or(f64::NAN, |t| t.as_ms_f64());
+        writeln!(
+            f,
+            "  latency p50 {:.3} / p95 {:.3} / p99 {:.3} ms; mean queue-wait {:.3} ms, mean service {:.3} ms",
+            ms(self.p50()),
+            ms(self.p95()),
+            ms(self.p99()),
+            ms(self.mean_queue_wait()),
+            ms(self.mean_service()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u32, submitted: u64, started: u64, done: u64) -> QueryRecord {
+        QueryRecord {
+            id,
+            lo: 0,
+            hi: 0,
+            submitted: Tick::from_ps(submitted),
+            started: Some(Tick::from_ps(started)),
+            done: Some(Tick::from_ps(done)),
+            deadline: Tick::MAX,
+            mode: ExecMode::Device { ranks: 1 },
+            matched: 0,
+            bitset: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let records: Vec<QueryRecord> = (0..100)
+            .map(|i| record(i, 0, 0, (i as u64 + 1) * 1000))
+            .collect();
+        let report = ServeReport {
+            records,
+            makespan: Tick::from_ps(100_000),
+            policy: "fifo",
+        };
+        assert_eq!(report.p50(), Some(Tick::from_ps(50_000)));
+        assert_eq!(report.p95(), Some(Tick::from_ps(95_000)));
+        assert_eq!(report.p99(), Some(Tick::from_ps(99_000)));
+        assert_eq!(report.latency_percentile(100), Some(Tick::from_ps(100_000)));
+    }
+
+    #[test]
+    fn breakdown_sums_to_latency() {
+        let r = record(0, 100, 250, 700);
+        assert_eq!(r.queue_wait(), Some(Tick::from_ps(150)));
+        assert_eq!(r.service(), Some(Tick::from_ps(450)));
+        assert_eq!(r.latency(), Some(Tick::from_ps(600)));
+    }
+
+    #[test]
+    fn empty_report_has_no_percentiles() {
+        let report = ServeReport {
+            records: Vec::new(),
+            makespan: Tick::ZERO,
+            policy: "fifo",
+        };
+        assert_eq!(report.p99(), None);
+        assert_eq!(report.throughput_qps(), 0.0);
+    }
+}

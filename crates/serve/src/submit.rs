@@ -1,0 +1,103 @@
+//! Query submission from column-store plans.
+//!
+//! The serving engine speaks [`QuerySpec`] — an inclusive range over one
+//! column. A column-store client speaks [`Plan`]s. This module is the
+//! bridge: it lifts the *pushdown candidate* of a scan plan (its first
+//! filter, the one `jafar-columnstore`'s planner offloads) into a served
+//! query, so a stream of plans can be replayed through
+//! `System::serve` with the same admission/scheduling treatment as a
+//! synthetic workload.
+
+use crate::workload::{Arrivals, QuerySpec, Workload};
+use jafar_columnstore::plan::Plan;
+use jafar_common::time::Tick;
+
+/// Extracts the servable range predicate from a plan: the first filter
+/// of a `Plan::Scan`, compiled to inclusive bounds exactly as the
+/// pushdown planner would. Returns `None` for non-scan plans and for
+/// scans with no filter (a full scan has nothing to push down).
+pub fn spec_from_plan(plan: &Plan) -> Option<QuerySpec> {
+    match plan {
+        Plan::Scan { filters, .. } => filters.first().map(|(_, pred)| {
+            let (lo, hi) = pred.bounds();
+            QuerySpec { lo, hi, slo: None }
+        }),
+        _ => None,
+    }
+}
+
+/// Builds a served workload from a stream of plans: every plan with a
+/// servable predicate becomes one query, in plan order. `arrivals` must
+/// cover the servable plans (for [`Arrivals::Open`], one instant per
+/// extracted query).
+pub fn workload_from_plans(plans: &[Plan], arrivals: Arrivals, slo: Option<Tick>) -> Workload {
+    let specs: Vec<QuerySpec> = plans.iter().filter_map(spec_from_plan).collect();
+    Workload {
+        specs,
+        arrivals,
+        slo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jafar_columnstore::ops::scan::ScanPredicate;
+
+    fn scan(pred: ScanPredicate) -> Plan {
+        Plan::Scan {
+            table: "t".into(),
+            filters: vec![("c".into(), pred)],
+            columns: vec!["c".into()],
+        }
+    }
+
+    #[test]
+    fn scan_plans_become_specs() {
+        assert_eq!(
+            spec_from_plan(&scan(ScanPredicate::Between(3, 9))),
+            Some(QuerySpec {
+                lo: 3,
+                hi: 9,
+                slo: None
+            })
+        );
+        assert_eq!(
+            spec_from_plan(&scan(ScanPredicate::Lt(5))),
+            Some(QuerySpec {
+                lo: i64::MIN,
+                hi: 4,
+                slo: None
+            })
+        );
+    }
+
+    #[test]
+    fn unfiltered_scans_are_not_servable() {
+        let plan = Plan::Scan {
+            table: "t".into(),
+            filters: Vec::new(),
+            columns: vec!["c".into()],
+        };
+        assert_eq!(spec_from_plan(&plan), None);
+    }
+
+    #[test]
+    fn workload_keeps_plan_order() {
+        let plans = vec![scan(ScanPredicate::Eq(1)), scan(ScanPredicate::Eq(2))];
+        let w = workload_from_plans(
+            &plans,
+            Arrivals::Closed {
+                clients: 1,
+                think: Tick::ZERO,
+            },
+            None,
+        );
+        let spec = |x: i64| QuerySpec {
+            lo: x,
+            hi: x,
+            slo: None,
+        };
+        assert_eq!(w.specs, vec![spec(1), spec(2)]);
+    }
+}

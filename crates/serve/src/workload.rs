@@ -1,0 +1,255 @@
+//! Seeded query streams: predicate mixes and arrival processes.
+//!
+//! A served workload is (a) a list of range predicates — the *what* — and
+//! (b) an arrival process — the *when*. Both are generated from explicit
+//! seeds through [`jafar_common::rng::SplitMix64`], so a workload is a
+//! pure function of its parameters: the same `(mix, n, seed)` triple
+//! always produces the same query stream, which is what makes the serving
+//! golden tests (and the bit-identity acceptance check) possible.
+//!
+//! Two arrival shapes cover the standard serving experiments:
+//!
+//! - **Open loop** ([`Arrivals::Open`]): absolute submission instants,
+//!   typically Poisson ([`Workload::poisson`]). Offered load is fixed by
+//!   the mean inter-arrival gap regardless of how the system keeps up —
+//!   this is the shape that exposes the saturation knee.
+//! - **Closed loop** ([`Arrivals::Closed`]): a fixed client population,
+//!   each submitting its next query a think-time after its previous one
+//!   finishes (or is shed). Load self-throttles with service time.
+
+use jafar_columnstore::value::Date;
+use jafar_common::rng::SplitMix64;
+use jafar_common::time::Tick;
+use jafar_tpch::gen::TpchDb;
+
+/// One select query: an inclusive range predicate over the served column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+    /// Per-query latency SLO, overriding the workload-wide
+    /// [`Workload::slo`] — how multi-tenant workloads give different
+    /// tenants different deadlines. `None` falls back to the workload
+    /// default.
+    pub slo: Option<Tick>,
+}
+
+/// How queries are drawn for a workload.
+#[derive(Clone, Copy, Debug)]
+pub enum PredicateMix {
+    /// Uniform random sub-ranges of `[min, max]`, each spanning `width`.
+    UniformRange {
+        /// Domain lower bound.
+        min: i64,
+        /// Domain upper bound.
+        max: i64,
+        /// Width of each query's range (clamped to the domain).
+        width: i64,
+    },
+    /// TPC-H Q6-style shipdate windows: `l_shipdate >= date and
+    /// l_shipdate < date + window` with a random first-of-month start
+    /// date, mirroring Q6's `[1994-01-01, 1995-01-01)` year slice.
+    TpchQ6Shipdate {
+        /// Window length in days (Q6 proper uses 365).
+        window_days: i64,
+    },
+}
+
+impl PredicateMix {
+    /// The Q6 mix with the query's own one-year window.
+    pub fn tpch_q6() -> Self {
+        PredicateMix::TpchQ6Shipdate { window_days: 365 }
+    }
+
+    /// Draws `n` query specs from the mix, deterministically from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<QuerySpec> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| match *self {
+                PredicateMix::UniformRange { min, max, width } => {
+                    let width = width.clamp(0, max.saturating_sub(min));
+                    let lo = rng.next_range_inclusive(min, max - width);
+                    QuerySpec {
+                        lo,
+                        hi: lo + width,
+                        slo: None,
+                    }
+                }
+                PredicateMix::TpchQ6Shipdate { window_days } => {
+                    // Q6 dates start on the first of a month inside the
+                    // lineitem shipdate domain (1992-01 .. 1997-12).
+                    let year = 1992 + rng.next_below(6) as i32;
+                    let month = 1 + rng.next_below(12) as u32;
+                    let lo = Date::from_ymd(year, month, 1).raw();
+                    QuerySpec {
+                        lo,
+                        hi: lo + window_days.max(1) - 1,
+                        slo: None,
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// The arrival process of a workload.
+#[derive(Clone, Debug)]
+pub enum Arrivals {
+    /// Open loop: absolute submission instants, one per query spec,
+    /// non-decreasing. Queries arrive on schedule no matter how the
+    /// system is doing.
+    Open(Vec<Tick>),
+    /// Closed loop: `clients` concurrent submitters, each issuing its
+    /// next query `think` after its previous one completes or is shed.
+    /// The first `clients` queries all arrive at serve start.
+    Closed {
+        /// Concurrent client count (at least 1).
+        clients: u32,
+        /// Per-client think time between completion and next submission.
+        think: Tick,
+    },
+}
+
+/// A complete served workload: query specs, their arrival process, and an
+/// optional per-query latency SLO.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The query stream, in submission order.
+    pub specs: Vec<QuerySpec>,
+    /// When each query is submitted.
+    pub arrivals: Arrivals,
+    /// Workload-wide deadline default: a query submitted at `t` must
+    /// finish by `t + slo` — past-due risk triggers the degradation
+    /// ladder. Overridden per query by [`QuerySpec::slo`].
+    pub slo: Option<Tick>,
+}
+
+impl Workload {
+    /// Open-loop Poisson workload: `n` queries from `mix`, exponential
+    /// inter-arrival gaps with the given mean. Fully determined by
+    /// `(mix, n, mean_gap, seed)`.
+    pub fn poisson(mix: PredicateMix, n: usize, mean_gap: Tick, seed: u64) -> Self {
+        let specs = mix.generate(n, seed);
+        let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mean = mean_gap.as_ps().max(1) as f64;
+        let mut at = 0u64;
+        let arrivals = (0..n)
+            .map(|_| {
+                // Inverse-CDF exponential draw; 1 - u is in (0, 1] so the
+                // log is finite, and the gap is clamped to >= 1 ps.
+                let u = rng.next_f64();
+                let gap = (-(1.0 - u).ln() * mean).round() as u64;
+                at += gap.max(1);
+                Tick::from_ps(at)
+            })
+            .collect();
+        Workload {
+            specs,
+            arrivals: Arrivals::Open(arrivals),
+            slo: None,
+        }
+    }
+
+    /// Closed-loop workload: `n` queries from `mix` issued by `clients`
+    /// concurrent clients with the given think time.
+    pub fn closed(mix: PredicateMix, n: usize, clients: u32, think: Tick, seed: u64) -> Self {
+        Workload {
+            specs: mix.generate(n, seed),
+            arrivals: Arrivals::Closed {
+                clients: clients.max(1),
+                think,
+            },
+            slo: None,
+        }
+    }
+
+    /// Attaches a uniform latency SLO (enables the degradation ladder).
+    pub fn with_slo(mut self, slo: Tick) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Assigns tenant SLO classes round-robin: query `i` gets
+    /// `classes[i % classes.len()]`, so an interleaved multi-tenant mix
+    /// (say latency-critical and batch tenants) shares one queue.
+    pub fn with_slo_classes(mut self, classes: &[Tick]) -> Self {
+        if !classes.is_empty() {
+            for (i, spec) in self.specs.iter_mut().enumerate() {
+                spec.slo = Some(classes[i % classes.len()]);
+            }
+        }
+        self
+    }
+
+    /// Number of queries in the stream.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// The `l_shipdate` column a [`PredicateMix::TpchQ6Shipdate`] workload
+/// scans, as raw epoch-day `i64`s ready for `System::write_column`.
+pub fn q6_shipdate_column(db: &TpchDb) -> &[i64] {
+    db.lineitem
+        .column("l_shipdate")
+        .expect("static TPC-H schema")
+        .data()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_deterministic_and_monotonic() {
+        let mix = PredicateMix::UniformRange {
+            min: 0,
+            max: 1000,
+            width: 100,
+        };
+        let a = Workload::poisson(mix, 64, Tick::from_ns(500), 7);
+        let b = Workload::poisson(mix, 64, Tick::from_ns(500), 7);
+        assert_eq!(a.specs, b.specs);
+        let (Arrivals::Open(ta), Arrivals::Open(tb)) = (&a.arrivals, &b.arrivals) else {
+            panic!("poisson workloads are open-loop");
+        };
+        assert_eq!(ta, tb);
+        assert!(ta.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        let c = Workload::poisson(mix, 64, Tick::from_ns(500), 8);
+        let Arrivals::Open(tc) = &c.arrivals else {
+            panic!("poisson workloads are open-loop");
+        };
+        assert_ne!(ta, tc, "different seeds, different schedules");
+    }
+
+    #[test]
+    fn q6_mix_draws_first_of_month_year_windows() {
+        let specs = PredicateMix::tpch_q6().generate(32, 11);
+        let lo_min = Date::from_ymd(1992, 1, 1).raw();
+        let hi_max = Date::from_ymd(1998, 12, 31).raw();
+        for s in specs {
+            assert!(s.lo >= lo_min && s.hi <= hi_max);
+            assert_eq!(s.hi - s.lo, 364);
+        }
+    }
+
+    #[test]
+    fn uniform_mix_respects_domain() {
+        let specs = PredicateMix::UniformRange {
+            min: -50,
+            max: 50,
+            width: 10,
+        }
+        .generate(100, 3);
+        for s in specs {
+            assert!(s.lo >= -50 && s.hi <= 50 && s.hi - s.lo == 10);
+        }
+    }
+}

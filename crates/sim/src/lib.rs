@@ -21,6 +21,11 @@
 //!   curves;
 //! - [`replay`]: operator-trace replay for whole queries — Figure 4's
 //!   memory-controller profiling of TPC-H runs.
+//!
+//! Beyond the paper, [`System::serve`] runs a *stream* of select queries
+//! through the `jafar-serve` multi-tenant engine (admission control,
+//! scheduling policies, SLO-driven degradation) over this system's
+//! devices and ranks.
 
 pub mod alloc;
 pub mod backend;
@@ -36,5 +41,5 @@ pub use energy::{HostEnergyModel, SelectEnergy};
 pub use replay::{PlacedDb, QueryReplayer, ReplayCosts};
 pub use system::{
     ColumnShard, CpuSelectStats, JafarSelectStats, ParallelSelectStats, PartitionedColumn,
-    ResilientSelectStats, System,
+    ResilientSelectStats, ServeRun, System,
 };

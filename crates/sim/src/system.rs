@@ -35,6 +35,8 @@ use jafar_cpu::{ScanEngine, ScanVariant};
 use jafar_dram::{DramModule, FaultInjector, FaultPlan, FaultStats, PhysAddr};
 use jafar_memctl::controller::MemoryController;
 use jafar_memctl::IdleReport;
+use jafar_serve::engine::{run_serve, ServeConfig, ServeEnv};
+use jafar_serve::{SchedPolicy, ServeReport, Workload};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -183,6 +185,20 @@ pub struct ParallelSelectStats {
     /// Per-shard timings, in shard order.
     pub shards: Vec<ShardRun>,
     /// Per-shard recovery counters, in shard order.
+    pub recovery: Vec<DriverStats>,
+    /// What the injector did (absent when no plan was installed).
+    pub faults: Option<FaultStats>,
+}
+
+/// Result of a [`System::serve`] run: the engine's per-query report plus
+/// the machinery counters the report alone cannot carry.
+#[derive(Clone, Debug)]
+pub struct ServeRun {
+    /// Per-query records and latency/throughput aggregates.
+    pub report: ServeReport,
+    /// Per-rank recovery counters of the persistent drivers, in rank
+    /// order — under a rank-scoped fault plan the sick rank's ladder
+    /// activity shows up here.
     pub recovery: Vec<DriverStats>,
     /// What the injector did (absent when no plan was installed).
     pub faults: Option<FaultStats>,
@@ -762,6 +778,91 @@ impl System {
             faults: self.mc.module().fault_stats().copied(),
         }
     }
+
+    /// Serves a stream of select queries over `values` through the
+    /// `jafar-serve` engine: the column is replicated into every NDP
+    /// rank's arena (so any query can shard onto any free rank), one
+    /// *persistent* resilient driver is built per rank — its circuit-
+    /// breaker state spans queries, which is what lets the rank-affinity
+    /// policy steer load away from a sick rank — and the workload runs
+    /// through admission control, the scheduling policy and the SLO
+    /// degradation ladder. See [`jafar_serve::engine`] for the queue
+    /// model and the determinism argument.
+    ///
+    /// Unlike the single-query paths, no per-query
+    /// [`SystemConfig::query_overhead`] is charged: a serving system
+    /// amortizes planning/setup across the stream, and the degraded CPU
+    /// rung's fixed cost is modelled by [`ServeConfig::cpu_fixed`]
+    /// instead. Driver costs and page size still come from this system's
+    /// config; the rest of the recovery policy from `cfg.resilience`.
+    ///
+    /// # Panics
+    /// Panics if the config has no JAFAR device, `values` is empty, or a
+    /// rank arena cannot hold a replica plus its output buffer.
+    pub fn serve(
+        &mut self,
+        values: &[i64],
+        workload: &Workload,
+        policy: SchedPolicy,
+        cfg: &ServeConfig,
+    ) -> ServeRun {
+        assert!(
+            !self.devices.is_empty(),
+            "serving requires a JAFAR device (SystemConfig::device)"
+        );
+        assert!(!values.is_empty(), "cannot serve an empty column");
+        let rows = values.len() as u64;
+        let nranks = self.devices.len();
+        let mut replicas = Vec::with_capacity(nranks);
+        let mut outs = Vec::with_capacity(nranks);
+        for r in 0..nranks {
+            let col = self.arenas[r].alloc_blocks(rows * 8);
+            for (i, &v) in values.iter().enumerate() {
+                self.mc
+                    .module_mut()
+                    .data_mut()
+                    .write_i64(PhysAddr(col.0 + i as u64 * 8), v);
+            }
+            replicas.push(col);
+            outs.push(self.arenas[r].alloc_blocks(rows.div_ceil(8).max(64)));
+        }
+        let rcfg = ResilienceConfig {
+            costs: self.cfg.driver,
+            page_bytes: self.cfg.page_bytes,
+            ..cfg.resilience
+        };
+        let mut drivers: Vec<ResilientDriver> = (0..nranks)
+            .map(|_| {
+                let mut d = ResilientDriver::new(rcfg);
+                d.set_tracer(self.tracer.clone());
+                d
+            })
+            .collect();
+        // Quiesce host traffic before the stream starts, as the
+        // single-query paths do before their grants.
+        self.mc.drain();
+        self.mc.advance_cursor(cfg.start);
+        let report = run_serve(
+            ServeEnv {
+                module: self.mc.module_mut(),
+                devices: &mut self.devices,
+                drivers: &mut drivers,
+                replicas: &replicas,
+                outs: &outs,
+                values,
+                tracer: &self.tracer,
+            },
+            workload,
+            policy,
+            cfg,
+        );
+        self.mc.advance_cursor(cfg.start + report.makespan);
+        ServeRun {
+            report,
+            recovery: drivers.iter().map(|d| *d.stats()).collect(),
+            faults: self.mc.module().fault_stats().copied(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1186,5 +1287,76 @@ mod tests {
             .run_select_cpu(col, 1024, 0, 4, ScanVariant::Branching, jf.end)
             .unwrap();
         assert_eq!(cpu.matches, jf.matched);
+    }
+
+    #[test]
+    fn serve_completes_a_stream_bit_identically() {
+        use jafar_serve::PredicateMix;
+
+        let mut sys = multi_rank_system(4);
+        sys.enable_tracing(1 << 14);
+        let vals = values(4096, 999, 31);
+        let mix = PredicateMix::UniformRange {
+            min: 0,
+            max: 999,
+            width: 250,
+        };
+        let workload = Workload::poisson(mix, 5, Tick::from_us(1), 41);
+        let run = sys.serve(&vals, &workload, SchedPolicy::Fifo, &ServeConfig::default());
+        assert_eq!(run.report.completed(), 5);
+        assert_eq!(run.report.shed(), 0);
+        assert_eq!(run.recovery.len(), 3, "one persistent driver per NDP rank");
+        assert!(run.recovery.iter().all(|d| d.recovery_total() == 0));
+        for rec in &run.report.records {
+            let expect = reference_positions(&vals, rec.lo, rec.hi);
+            let got = BitSet::from_bytes(&rec.bitset, vals.len()).to_positions();
+            assert_eq!(got, expect, "query {} selection vector", rec.id);
+            assert_eq!(rec.matched as usize, expect.len());
+        }
+        // The serve-layer lifecycle shows up in the unified trace.
+        let timeline = sys.trace_timeline().expect("tracing enabled");
+        assert!(timeline.contains("query-admitted"));
+        assert!(timeline.contains("query-done"));
+    }
+
+    #[test]
+    fn serve_survives_a_rank_scoped_fault() {
+        use jafar_serve::PredicateMix;
+
+        let mut sys = multi_rank_system(4);
+        let vals = values(4096, 999, 33);
+        sys.inject_faults(FaultPlan {
+            stall_burst_range: Some((0, u64::MAX)),
+            rank_scope: Some(0),
+            ..FaultPlan::none(5)
+        });
+        let mix = PredicateMix::UniformRange {
+            min: 0,
+            max: 999,
+            width: 100,
+        };
+        let workload = Workload::poisson(mix, 4, Tick::from_us(2), 43);
+        let cfg = ServeConfig {
+            resilience: ResilienceConfig {
+                max_retries: 1,
+                breaker_threshold: 1,
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let run = sys.serve(&vals, &workload, SchedPolicy::RankAffinity, &cfg);
+        assert_eq!(run.report.completed(), 4, "every query survives the fault");
+        for rec in &run.report.records {
+            let expect = reference_positions(&vals, rec.lo, rec.hi);
+            let got = BitSet::from_bytes(&rec.bitset, vals.len()).to_positions();
+            assert_eq!(got, expect, "query {} still bit-identical", rec.id);
+        }
+        assert!(
+            run.faults.expect("plan installed").stalls.get() >= 1
+                || run.recovery[0].recovery_total() == 0,
+            "either the sick rank was exercised or affinity kept work off it"
+        );
+        assert_eq!(run.recovery[1].recovery_total(), 0, "healthy rank clean");
+        assert_eq!(run.recovery[2].recovery_total(), 0, "healthy rank clean");
     }
 }

@@ -20,6 +20,8 @@
 //! - [`core`]: the JAFAR device, its host API, and the §4 extensions.
 //! - [`columnstore`]: the prototype column-store with JAFAR pushdown.
 //! - [`tpch`]: TPC-H-like generator and queries Q1/Q3/Q6/Q18/Q22.
+//! - [`serve`]: deterministic multi-tenant query-serving engine (admission
+//!   control, scheduling policies, SLO-driven degradation).
 //! - [`sim`]: the full-system simulator tying everything together.
 //!
 //! # Example: one select, both ways
@@ -49,5 +51,6 @@ pub use jafar_core as core;
 pub use jafar_cpu as cpu;
 pub use jafar_dram as dram;
 pub use jafar_memctl as memctl;
+pub use jafar_serve as serve;
 pub use jafar_sim as sim;
 pub use jafar_tpch as tpch;

@@ -1,0 +1,163 @@
+//! The serving-layer determinism contract: a serve run — its per-query
+//! records, its aggregate report, and its full trace stream — is a pure
+//! function of `(workload, policy, config)`, and every query it serves
+//! produces a selection vector bit-identical to running the same
+//! predicate alone. CI runs this file by name.
+
+use jafar::common::bitset::BitSet;
+use jafar::common::check::forall;
+use jafar::common::time::Tick;
+use jafar::dram::DramGeometry;
+use jafar::serve::engine::ServeConfig;
+use jafar::serve::{PredicateMix, SchedPolicy, ServeReport, Workload};
+use jafar::sim::{System, SystemConfig};
+
+fn multi_rank_system(ranks: u32) -> System {
+    let mut cfg = SystemConfig::test_small();
+    cfg.dram_geometry = DramGeometry {
+        ranks,
+        banks_per_rank: 4,
+        rows_per_bank: 64,
+        row_bytes: 1024,
+    };
+    System::new(cfg)
+}
+
+/// Expected selection bytes (LSB-first within each byte), computed
+/// functionally — the ground truth every execution rung must match.
+fn reference_bytes(vals: &[i64], lo: i64, hi: i64) -> Vec<u8> {
+    let mut bytes = vec![0u8; vals.len().div_ceil(8)];
+    for (i, &v) in vals.iter().enumerate() {
+        if (lo..=hi).contains(&v) {
+            bytes[i / 8] |= 1 << (i % 8);
+        }
+    }
+    bytes
+}
+
+fn served_run(seed: u64) -> (ServeReport, String, String, String) {
+    let mut sys = multi_rank_system(4);
+    sys.enable_tracing(1 << 14);
+    let values: Vec<i64> = (0..4096).map(|i| (i * 37 + 11) % 1000).collect();
+    let mix = PredicateMix::UniformRange {
+        min: 0,
+        max: 999,
+        width: 200,
+    };
+    // Two SLO classes so EDF ordering (not just FIFO) is exercised and
+    // the deadline machinery is part of the golden surface.
+    let workload = Workload::poisson(mix, 6, Tick::from_us(1), seed)
+        .with_slo_classes(&[Tick::from_ms(1), Tick::from_us(400)]);
+    let run = sys.serve(
+        &values,
+        &workload,
+        SchedPolicy::Edf,
+        &ServeConfig::default(),
+    );
+    (
+        run.report,
+        sys.chrome_trace().expect("tracing enabled"),
+        sys.trace_timeline().expect("tracing enabled"),
+        sys.metrics().to_string(),
+    )
+}
+
+#[test]
+fn same_seed_serves_are_byte_identical() {
+    let (report_a, json_a, timeline_a, metrics_a) = served_run(23);
+    let (report_b, json_b, timeline_b, metrics_b) = served_run(23);
+    assert_eq!(report_a, report_b, "ServeReports must be identical");
+    assert_eq!(
+        report_a.to_string(),
+        report_b.to_string(),
+        "rendered reports must be identical"
+    );
+    assert_eq!(json_a, json_b, "Chrome trace JSON must be byte-identical");
+    assert_eq!(timeline_a, timeline_b, "timeline must be byte-identical");
+    assert_eq!(metrics_a, metrics_b, "metrics report must be identical");
+    // Sanity: the serve lifecycle actually reached the trace stream.
+    assert!(timeline_a.contains("query-admitted"));
+    assert!(timeline_a.contains("query-started"));
+    assert!(timeline_a.contains("query-done"));
+}
+
+#[test]
+fn different_seeds_serve_differently() {
+    // The workload is a pure function of its seed, so a different seed
+    // must perturb both the report and the trace bytes.
+    let (report_a, json_a, _, _) = served_run(23);
+    let (report_b, json_b, _, _) = served_run(24);
+    assert_ne!(report_a, report_b);
+    assert_ne!(json_a, json_b);
+}
+
+#[test]
+fn served_selections_match_solo_runs_across_random_workloads() {
+    let policies = [
+        SchedPolicy::Fifo,
+        SchedPolicy::Edf,
+        SchedPolicy::RankAffinity,
+    ];
+    let mut case = 0usize;
+    forall("serve-bit-identity", 12, |rng| {
+        let rows = rng.next_range_inclusive(600, 3000) as usize;
+        let values: Vec<i64> = (0..rows)
+            .map(|_| rng.next_range_inclusive(0, 999))
+            .collect();
+        let n = rng.next_range_inclusive(1, 10) as usize;
+        let mix = PredicateMix::UniformRange {
+            min: 0,
+            max: 999,
+            width: rng.next_range_inclusive(0, 600),
+        };
+        let wseed = rng.next_u64();
+        let mut workload = if rng.next_bool(0.5) {
+            let gap = Tick::from_ns(rng.next_range_inclusive(50, 4000) as u64);
+            Workload::poisson(mix, n, gap, wseed)
+        } else {
+            let clients = rng.next_range_inclusive(1, 4) as u32;
+            let think = Tick::from_ns(rng.next_range_inclusive(0, 2000) as u64);
+            Workload::closed(mix, n, clients, think, wseed)
+        };
+        if rng.next_bool(0.3) {
+            // Sometimes tight enough that queries degrade to the CPU rung
+            // — bit-identity must hold on that rung too.
+            workload = workload.with_slo(Tick::from_us(rng.next_range_inclusive(5, 500) as u64));
+        }
+        let policy = policies[case % policies.len()];
+        case += 1;
+
+        let mut sys = multi_rank_system(4);
+        let run = sys.serve(&values, &workload, policy, &ServeConfig::default());
+        assert_eq!(
+            run.report.completed() + run.report.shed(),
+            n,
+            "every query completes or is shed"
+        );
+        for rec in &run.report.records {
+            if rec.done.is_none() {
+                continue;
+            }
+            let expect = reference_bytes(&values, rec.lo, rec.hi);
+            assert_eq!(rec.bitset, expect, "query {} selection bytes", rec.id);
+            let ones: u64 = expect.iter().map(|b| b.count_ones() as u64).sum();
+            assert_eq!(rec.matched, ones, "query {} match count", rec.id);
+        }
+
+        // One full solo-device comparison per case: the served bytes are
+        // the same bytes a dedicated single-device run produces.
+        if let Some(rec) = run.report.records.iter().find(|r| r.done.is_some()) {
+            let mut solo = multi_rank_system(4);
+            let col = solo.write_column(&values);
+            let stats = solo.run_select_jafar(col, rows as u64, rec.lo, rec.hi, Tick::ZERO);
+            let mut bytes = vec![0u8; rows.div_ceil(8)];
+            solo.mc().module().data().read(stats.out_addr, &mut bytes);
+            assert_eq!(rec.bitset, bytes, "served bytes == solo device bytes");
+            assert_eq!(rec.matched, stats.matched);
+            assert_eq!(
+                BitSet::from_bytes(&rec.bitset, rows).to_positions().len() as u64,
+                rec.matched
+            );
+        }
+    });
+}
