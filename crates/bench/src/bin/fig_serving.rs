@@ -2,14 +2,18 @@
 //! subsystem (beyond the paper).
 //!
 //! A TPC-H-Q6-style predicate mix over the `lineitem.l_shipdate` column
-//! is served as an open-loop Poisson stream through `System::serve`,
-//! sweeping offered load from far below to far above the machine's
-//! service capacity. Three properties are asserted as the sweep runs:
+//! is served as an open-loop Poisson stream of **mixed §4 operators**
+//! (select, count, sum/min/max, k-column projection) through
+//! `System::serve`, sweeping offered load from far below to far above
+//! the machine's service capacity. Three properties are asserted as the
+//! sweep runs:
 //!
-//! - **zero result divergence**: every completed query's selection
+//! - **zero result divergence**: every completed select's selection
 //!   vector is bit-identical to running the same predicate alone through
 //!   `run_select_jafar` (and hence to the CPU reference, which the solo
-//!   path is already tested against);
+//!   path is already tested against); every scalar aggregate equals the
+//!   functional fold over the qualifying values, and every projection's
+//!   packed output equals the filtered column;
 //! - **throughput saturates**: past the knee, doubling offered load no
 //!   longer buys proportional throughput;
 //! - **tail latency rises past the knee**: p99 at the heaviest load is a
@@ -20,7 +24,8 @@
 //! with an SLO attached: the sick rank's circuit breaker opens, the
 //! rank-affinity policy steers work away from it, SLO-threatened queries
 //! degrade to the host CPU rung — and every completed query, on whatever
-//! rung, is still bit-identical to its solo run.
+//! rung, is still bit-identical to its solo run (scalar-identical for
+//! aggregates, byte-identical for projections).
 //!
 //! Usage: `fig_serving [--sf F] [--queries N] [--csv] [--smoke]`
 //!
@@ -34,12 +39,64 @@ use jafar_core::ResilienceConfig;
 use jafar_dram::{DramGeometry, FaultPlan};
 use jafar_serve::engine::ServeConfig;
 use jafar_serve::workload::q6_shipdate_column;
-use jafar_serve::{ExecMode, PredicateMix, SchedPolicy, Workload};
+use jafar_serve::{AggFn, ExecMode, PredicateMix, QueryOp, QueryRecord, SchedPolicy, Workload};
 use jafar_sim::{System, SystemConfig};
 use jafar_tpch::gen::{TpchConfig, TpchDb};
 use std::collections::BTreeMap;
 
 const SEED: u64 = 0x6EA7;
+
+/// The §4 operator set the served stream cycles through.
+const OP_MIX: [QueryOp; 6] = [
+    QueryOp::Select,
+    QueryOp::SelectCount,
+    QueryOp::SelectAgg(AggFn::Sum),
+    QueryOp::Project { k: 2 },
+    QueryOp::SelectAgg(AggFn::Min),
+    QueryOp::SelectAgg(AggFn::Max),
+];
+
+/// Solo baseline per distinct predicate: selection bytes, match count,
+/// solo completion time, and the qualifying values in column order.
+type SoloBaselines = BTreeMap<(i64, i64), (Vec<u8>, u64, Tick, Vec<i64>)>;
+
+/// Every completed query, on whatever rung, must reproduce its solo
+/// baseline: selection bytes for selects, the functional fold for
+/// scalar aggregates, the filtered column for projections.
+fn check_record(tag: &str, rec: &QueryRecord, solo: &SoloBaselines) {
+    let (bytes, matched, _, qualifying) = &solo[&(rec.lo, rec.hi)];
+    assert_eq!(rec.matched, *matched, "{tag}: query {} count", rec.id);
+    match rec.op {
+        QueryOp::Select | QueryOp::Project { .. } => {
+            assert_eq!(
+                &rec.bitset, bytes,
+                "{tag}: query {} diverged from its solo run",
+                rec.id
+            );
+            if matches!(rec.op, QueryOp::Project { .. }) {
+                assert_eq!(
+                    &rec.projected, qualifying,
+                    "{tag}: query {} packed projection",
+                    rec.id
+                );
+            }
+        }
+        QueryOp::SelectCount => assert_eq!(
+            rec.agg,
+            Some(*matched as i64),
+            "{tag}: query {} count scalar",
+            rec.id
+        ),
+        QueryOp::SelectAgg(f) => {
+            let expect = match f {
+                AggFn::Sum => qualifying.iter().copied().reduce(|a, b| a.wrapping_add(b)),
+                AggFn::Min => qualifying.iter().copied().min(),
+                AggFn::Max => qualifying.iter().copied().max(),
+            };
+            assert_eq!(rec.agg, expect, "{tag}: query {} aggregate scalar", rec.id);
+        }
+    }
+}
 
 /// Same gem5-like 8-rank host as `fig_scaling`: 7 NDP ranks with a
 /// device each, the last rank as CPU scratch.
@@ -66,7 +123,9 @@ fn main() {
     let rows = values.len() as u64;
     let mix = PredicateMix::tpch_q6();
 
-    println!("# Served-load sweep: {n} Q6-style queries over {rows} lineitem shipdates (sf {sf})");
+    println!(
+        "# Served-load sweep: {n} mixed-operator Q6-style queries over {rows} lineitem shipdates (sf {sf})"
+    );
     let cfg = config();
     println!(
         "# platform: {} / {} — {} NDP ranks, fanout {}",
@@ -80,7 +139,7 @@ fn main() {
     // Solo baselines: every distinct predicate run alone on a fresh
     // system. The served runs must reproduce these bytes exactly.
     let specs = mix.generate(n, SEED);
-    let mut solo: BTreeMap<(i64, i64), (Vec<u8>, u64, Tick)> = BTreeMap::new();
+    let mut solo: SoloBaselines = BTreeMap::new();
     for s in &specs {
         solo.entry((s.lo, s.hi)).or_insert_with(|| {
             let mut sys = System::new(config());
@@ -88,14 +147,19 @@ fn main() {
             let run = sys.run_select_jafar(col, rows, s.lo, s.hi, Tick::ZERO);
             let mut bytes = vec![0u8; rows.div_ceil(8) as usize];
             sys.mc().module().data().read(run.out_addr, &mut bytes);
-            (bytes, run.matched, run.end)
+            let qualifying: Vec<i64> = values
+                .iter()
+                .copied()
+                .filter(|v| (s.lo..=s.hi).contains(v))
+                .collect();
+            (bytes, run.matched, run.end, qualifying)
         });
     }
     // Offered load is normalised to the solo service time: load x means
     // a mean inter-arrival gap of (solo end) / x.
     let svc = solo
         .values()
-        .map(|(_, _, end)| *end)
+        .map(|(_, _, end, _)| *end)
         .max()
         .expect("at least one query");
     println!(
@@ -120,7 +184,7 @@ fn main() {
     for &load in loads {
         let gap = Tick::from_ps(((svc.as_ps() as f64) / load).round().max(1.0) as u64);
         let offered = 1e12 / gap.as_ps() as f64;
-        let workload = Workload::poisson(mix, n, gap, SEED);
+        let workload = Workload::poisson(mix, n, gap, SEED).with_op_mix(&OP_MIX);
         let mut sys = System::new(config());
         let run = sys.serve(
             &values,
@@ -139,13 +203,7 @@ fn main() {
             if rec.done.is_none() {
                 continue;
             }
-            let (bytes, matched, _) = &solo[&(rec.lo, rec.hi)];
-            assert_eq!(
-                &rec.bitset, bytes,
-                "load {load}: query {} diverged from its solo run",
-                rec.id
-            );
-            assert_eq!(rec.matched, *matched, "load {load}: query {} count", rec.id);
+            check_record(&format!("load {load}"), rec, &solo);
         }
 
         let ms = |t: Option<Tick>| t.map_or(f64::NAN, |t| t.as_ms_f64());
@@ -249,10 +307,17 @@ fn main() {
         },
         ..ServeConfig::default()
     };
-    let est_cpu = scfg.cpu_fixed + scfg.cpu_per_row * rows;
+    // Per-operator host-scan estimate, anchored on the select shape
+    // (bitset output: one bit per row). Projections estimate higher and
+    // so degrade sooner; scalar aggregates estimate lower — the CPU
+    // rung must return identical results on all of them.
+    let est_cpu =
+        scfg.cpu_fixed + scfg.cpu_per_row * rows + scfg.cpu_per_out_byte * rows.div_ceil(8);
     let slo = est_cpu + Tick::from_ps((svc.as_ps() / 2).max(1));
     let gap = Tick::from_ps((svc.as_ps() / 16).max(1));
-    let workload = Workload::poisson(mix, n, gap, SEED).with_slo(slo);
+    let workload = Workload::poisson(mix, n, gap, SEED)
+        .with_slo(slo)
+        .with_op_mix(&OP_MIX);
     let mut sys = System::new(config());
     sys.inject_faults(FaultPlan {
         stall_burst_range: Some((0, u64::MAX)),
@@ -274,13 +339,7 @@ fn main() {
         if rec.mode == ExecMode::Cpu {
             cpu_rung += 1;
         }
-        let (bytes, matched, _) = &solo[&(rec.lo, rec.hi)];
-        assert_eq!(
-            &rec.bitset, bytes,
-            "fault run: query {} diverged from its solo run",
-            rec.id
-        );
-        assert_eq!(rec.matched, *matched, "fault run: query {} count", rec.id);
+        check_record("fault run", rec, &solo);
     }
     assert!(
         run.recovery[0].recovery_total() >= 1,
@@ -309,4 +368,16 @@ fn main() {
         f2(report.p99().map_or(f64::NAN, |t| t.as_ms_f64())),
         report.deadline_misses(),
     );
+    println!("# per-operator breakdown (fault run):");
+    for b in report.op_breakdown() {
+        println!(
+            "#   {:7} {:2} done ({} shed, {} on cpu), p99 {} ms, {} q/s",
+            b.op,
+            b.completed,
+            b.shed,
+            b.cpu,
+            f2(b.p99.map_or(f64::NAN, |t| t.as_ms_f64())),
+            f1(b.throughput_qps),
+        );
+    }
 }

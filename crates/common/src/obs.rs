@@ -174,6 +174,9 @@ pub enum EventKind {
         query: u32,
         /// Rung mnemonic (`"parallel"`, `"single"`, `"cpu"`).
         mode: &'static str,
+        /// Operator mnemonic (`"select"`, `"count"`, `"sum"`, `"min"`,
+        /// `"max"`, `"project"`).
+        op: &'static str,
         /// Device ranks granted to the query (0 on the CPU rung).
         ranks: u32,
     },
@@ -326,8 +329,13 @@ impl EventKind {
             EventKind::QueryAdmitted { query, depth } => {
                 let _ = write!(out, "query={query} depth={depth}");
             }
-            EventKind::QueryStarted { query, mode, ranks } => {
-                let _ = write!(out, "query={query} mode={mode} ranks={ranks}");
+            EventKind::QueryStarted {
+                query,
+                mode,
+                op,
+                ranks,
+            } => {
+                let _ = write!(out, "query={query} mode={mode} op={op} ranks={ranks}");
             }
             EventKind::QueryDone { query, matched } => {
                 let _ = write!(out, "query={query} matched={matched}");

@@ -33,9 +33,11 @@
 //! cost. Under an empty fault plan the driver's timing is identical to the
 //! bare per-page loop (`jafar-sim`'s `run_select_jafar`).
 
+use crate::aggregate::{AggOp, AggregateJob};
 use crate::api::{errno, issue_errno, select_jafar, DriverCosts, SelectArgs};
-use crate::device::JafarDevice;
+use crate::device::{DeviceError, JafarDevice};
 use crate::ownership::{grant_ownership_for, release_ownership, renew_lease, Lease};
+use crate::project::ProjectJob;
 use jafar_common::obs::{EventKind, SharedTracer};
 use jafar_common::stats::{Counter, Scoreboard};
 use jafar_common::time::Tick;
@@ -126,6 +128,9 @@ pub struct DriverStats {
     /// 64-byte lines read functionally because the timed host path was
     /// unavailable during a fallback scan.
     pub degraded_lines: Counter,
+    /// One-shot kernels (aggregate / projection) finished by the host scan
+    /// after the device path exhausted its retries.
+    pub kernel_fallbacks: Counter,
 }
 
 impl DriverStats {
@@ -140,6 +145,7 @@ impl DriverStats {
             + self.breaker_trips.get()
             + self.pages_cpu.get()
             + self.degraded_lines.get()
+            + self.kernel_fallbacks.get()
     }
 
     /// The counters as a named scoreboard for run reports.
@@ -157,6 +163,7 @@ impl DriverStats {
         s.add("uncorrectable", self.uncorrectable.get());
         s.add("breaker_trips", self.breaker_trips.get());
         s.add("degraded_lines", self.degraded_lines.get());
+        s.add("kernel_fallbacks", self.kernel_fallbacks.get());
         s
     }
 }
@@ -191,6 +198,33 @@ pub struct DriverRun {
     pub device: Tick,
     /// Host driver time: setup, completion discovery, backoff waits.
     pub driver: Tick,
+}
+
+/// Outcome of one resilient one-shot aggregation.
+#[derive(Clone, Copy, Debug)]
+pub struct AggregateOutcome {
+    /// Completion tick (device run observed, or fallback fold done).
+    pub end: Tick,
+    /// The folded scalar, with the device kernel's exact semantics: sum for
+    /// `Sum`/`Avg`, extremum for `Min`/`Max` (`None` when no row
+    /// qualified), count for `Count` — identical whichever path produced
+    /// it.
+    pub value: Option<i64>,
+    /// Qualifying rows.
+    pub count: u64,
+    /// False when the host fallback fold produced the value.
+    pub on_device: bool,
+}
+
+/// Outcome of one resilient projection pass.
+#[derive(Clone, Copy, Debug)]
+pub struct ProjectOutcome {
+    /// Completion tick (device run observed, or fallback writeback done).
+    pub end: Tick,
+    /// Values packed to `out_addr` — identical whichever path ran.
+    pub emitted: u64,
+    /// False when the host fallback packed the output.
+    pub on_device: bool,
 }
 
 enum PageVerdict {
@@ -718,6 +752,350 @@ impl ResilientDriver {
             }
         }
     }
+
+    /// Runs one scalar aggregation with the full recovery ladder: device
+    /// kernel under lease upkeep / watchdog / bounded retries, then — when
+    /// the device path is exhausted or the breaker is open — a host
+    /// fallback that streams the column over timed reads and folds in
+    /// software. The scalar is identical whichever path produced it; only
+    /// the cost differs. No DRAM writeback: the value travels in the
+    /// returned [`AggregateOutcome`].
+    pub fn run_aggregate(
+        &mut self,
+        device: &mut JafarDevice,
+        module: &mut DramModule,
+        job: AggregateJob,
+        start: Tick,
+    ) -> AggregateOutcome {
+        let rank = module.decoder().decode(job.col_addr).rank;
+        let mut t = start;
+        let run = if self.breaker_open {
+            None
+        } else {
+            self.run_kernel(module, rank, job.rows, job.col_addr.0, &mut t, |m, at| {
+                device.run_aggregate(m, job, at).map(|r| (r.end, r))
+            })
+        };
+        match run {
+            Some(r) => AggregateOutcome {
+                end: t,
+                value: r.value,
+                count: r.count,
+                on_device: true,
+            },
+            None => {
+                self.note_kernel_give_up(t, job.col_addr.0);
+                let (value, count) = self.fallback_aggregate(module, job, &mut t);
+                AggregateOutcome {
+                    end: t,
+                    value,
+                    count,
+                    on_device: false,
+                }
+            }
+        }
+    }
+
+    /// Runs one projection pass with the full recovery ladder. The fallback
+    /// reads the selection bitset functionally (it is host-visible whether
+    /// the select ran on the device or the CPU rung), streams the column
+    /// over timed host reads, packs qualifying values densely and writes
+    /// them back as whole 64-byte lines — byte-identical to the device's
+    /// packed output over the emitted range.
+    pub fn run_project(
+        &mut self,
+        device: &mut JafarDevice,
+        module: &mut DramModule,
+        job: ProjectJob,
+        start: Tick,
+    ) -> ProjectOutcome {
+        let rank = module.decoder().decode(job.col_addr).rank;
+        let mut t = start;
+        let run = if self.breaker_open {
+            None
+        } else {
+            self.run_kernel(module, rank, job.rows, job.col_addr.0, &mut t, |m, at| {
+                device.run_project(m, job, at).map(|r| (r.end, r))
+            })
+        };
+        match run {
+            Some(r) => ProjectOutcome {
+                end: t,
+                emitted: r.emitted,
+                on_device: true,
+            },
+            None => {
+                self.note_kernel_give_up(t, job.col_addr.0);
+                let emitted = self.fallback_project(module, job, &mut t);
+                ProjectOutcome {
+                    end: t,
+                    emitted,
+                    on_device: false,
+                }
+            }
+        }
+    }
+
+    /// One one-shot kernel on the device: the same lease upkeep, watchdog
+    /// and bounded-retry policy as [`ResilientDriver::step_page`], shared
+    /// by every kernel shape via the `invoke` closure. `tag` identifies the
+    /// job in trace events (its column address). `None` means the device
+    /// path is exhausted — the caller falls back to the host.
+    fn run_kernel<R>(
+        &mut self,
+        module: &mut DramModule,
+        rank: u32,
+        rows: u64,
+        tag: u64,
+        t: &mut Tick,
+        mut invoke: impl FnMut(&mut DramModule, Tick) -> Result<(Tick, R), DeviceError>,
+    ) -> Option<R> {
+        let mut attempt = 0u32;
+        // One-shot kernels do not report the per-session time breakdown.
+        let mut sink = Tick::ZERO;
+        loop {
+            if self.lease.is_none() {
+                match grant_ownership_for(module, rank, *t, self.cfg.lease_window) {
+                    Ok(lease) => {
+                        self.stats.lease_grants.inc();
+                        self.tracer.emit(
+                            lease.acquired_at,
+                            EventKind::LeaseGrant {
+                                rank,
+                                until: lease.expires_at,
+                            },
+                        );
+                        *t = lease.acquired_at;
+                        self.lease = Some(lease);
+                    }
+                    Err(e) => {
+                        let code = issue_errno(e);
+                        if code == errno::EPROTO {
+                            self.stats.mrs_retries.inc();
+                        }
+                        if !self.note_failure(&mut attempt, t, &mut sink, code) {
+                            return None;
+                        }
+                        continue;
+                    }
+                }
+            } else {
+                let horizon = *t + self.cfg.costs.setup + self.cfg.renew_margin;
+                let needs_renewal = self
+                    .lease
+                    .as_ref()
+                    .is_some_and(|lease| horizon >= lease.expires_at);
+                if needs_renewal {
+                    let mut renewed = self.lease.take().expect("checked above");
+                    match renew_lease(module, &mut renewed, *t, self.cfg.lease_window) {
+                        Ok(renewed_at) => {
+                            self.stats.lease_renewals.inc();
+                            self.tracer.emit(
+                                renewed_at,
+                                EventKind::LeaseRenew {
+                                    rank,
+                                    until: renewed.expires_at,
+                                },
+                            );
+                            *t = renewed_at;
+                            self.lease = Some(renewed);
+                        }
+                        Err(e) => {
+                            self.lease = Some(renewed); // deadline unchanged
+                            let code = issue_errno(e);
+                            if code == errno::EPROTO {
+                                self.stats.mrs_retries.inc();
+                            }
+                            if !self.note_failure(&mut attempt, t, &mut sink, code) {
+                                return None;
+                            }
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            let invoke_at = *t + self.cfg.costs.setup;
+            match invoke(module, invoke_at) {
+                Ok((end, result)) => {
+                    let (observed, _burned) = self.cfg.costs.completion.observe(invoke_at, end);
+                    let budget = self.cfg.watchdog + self.cfg.watchdog_per_row * rows;
+                    let deadline = invoke_at + budget;
+                    if observed > deadline {
+                        self.stats.watchdog_fires.inc();
+                        self.tracer
+                            .emit(deadline, EventKind::WatchdogFire { page: tag });
+                        *t = deadline;
+                        if !self.note_failure(&mut attempt, t, &mut sink, errno::ETIMEDOUT) {
+                            return None;
+                        }
+                    } else {
+                        *t = observed.max(end);
+                        self.consecutive_failures = 0;
+                        return Some(result);
+                    }
+                }
+                Err(DeviceError::Misaligned) | Err(DeviceError::SpansRanks) => {
+                    // Permanent for this job shape; retrying cannot help.
+                    return None;
+                }
+                Err(e) => {
+                    let code = match e {
+                        DeviceError::NotOwned => {
+                            // Ownership vanished under us: drop the stale
+                            // lease and re-grant on the next attempt.
+                            self.lease = None;
+                            errno::EACCES
+                        }
+                        DeviceError::LeaseExpired => {
+                            self.stats.lease_expiries.inc();
+                            errno::EKEYEXPIRED
+                        }
+                        DeviceError::Uncorrectable => {
+                            self.stats.uncorrectable.inc();
+                            errno::EIO
+                        }
+                        _ => errno::ERESTART,
+                    };
+                    *t = invoke_at;
+                    if !self.note_failure(&mut attempt, t, &mut sink, code) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Books one abandoned one-shot kernel: breaker accounting identical to
+    /// the select page path, plus the dedicated fallback counter.
+    fn note_kernel_give_up(&mut self, t: Tick, tag: u64) {
+        if !self.breaker_open {
+            self.consecutive_failures += 1;
+            if self.consecutive_failures >= self.cfg.breaker_threshold {
+                self.breaker_open = true;
+                self.stats.breaker_trips.inc();
+                self.tracer
+                    .emit(t, EventKind::BreakerTransition { open: true });
+            }
+        }
+        self.stats.kernel_fallbacks.inc();
+        self.tracer.emit(t, EventKind::CpuFallback { page: tag });
+    }
+
+    /// Host fallback for an aggregation: release the lease, stream the
+    /// column over timed reads, fold in software with the device kernel's
+    /// exact semantics (wrapping sum, `None` extremum when nothing
+    /// qualifies).
+    fn fallback_aggregate(
+        &mut self,
+        module: &mut DramModule,
+        job: AggregateJob,
+        t: &mut Tick,
+    ) -> (Option<i64>, u64) {
+        if self.lease.is_some() {
+            self.release_current(module, t);
+        }
+        let bounds = job.filter.map(crate::predicate::Predicate::bounds);
+        let mut cursor = *t;
+        let mut count = 0u64;
+        let mut acc: Option<i64> = None;
+        for b in 0..job.rows.div_ceil(8) {
+            let addr = PhysAddr(job.col_addr.0 + b * 64);
+            let data = self.read_line(module, addr, &mut cursor);
+            let words = (job.rows - b * 8).min(8);
+            for w in 0..words {
+                let off = (w * 8) as usize;
+                let v = i64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"));
+                if bounds.is_none_or(|(lo, hi)| lo <= v && v <= hi) {
+                    count += 1;
+                    acc = Some(match (job.op, acc) {
+                        (AggOp::Sum | AggOp::Avg | AggOp::Count, prev) => {
+                            prev.unwrap_or(0).wrapping_add(match job.op {
+                                AggOp::Count => 1,
+                                _ => v,
+                            })
+                        }
+                        (AggOp::Min, None) => v,
+                        (AggOp::Min, Some(p)) => p.min(v),
+                        (AggOp::Max, None) => v,
+                        (AggOp::Max, Some(p)) => p.max(v),
+                    });
+                }
+            }
+            cursor += self.cfg.cpu_word_cost * words;
+        }
+        *t = cursor;
+        let value = match job.op {
+            AggOp::Count => Some(count as i64),
+            _ => acc,
+        };
+        (value, count)
+    }
+
+    /// Host fallback for a projection: release the lease, read the
+    /// selection bitset functionally, stream the column over timed reads,
+    /// pack qualifying values and write them back as whole 64-byte lines.
+    fn fallback_project(&mut self, module: &mut DramModule, job: ProjectJob, t: &mut Tick) -> u64 {
+        if self.lease.is_some() {
+            self.release_current(module, t);
+        }
+        let mut bits = vec![0u8; job.rows.div_ceil(8) as usize];
+        module.data().read(job.bitset_addr, &mut bits);
+        let mut cursor = *t;
+        let mut out = Vec::new();
+        for b in 0..job.rows.div_ceil(8) {
+            let addr = PhysAddr(job.col_addr.0 + b * 64);
+            let data = self.read_line(module, addr, &mut cursor);
+            let words = (job.rows - b * 8).min(8);
+            for w in 0..words {
+                let bit = b * 8 + w;
+                if bits[(bit / 8) as usize] >> (bit % 8) & 1 == 1 {
+                    let off = (w * 8) as usize;
+                    out.extend_from_slice(&data[off..off + 8]);
+                }
+            }
+            cursor += self.cfg.cpu_word_cost * words;
+        }
+        for (i, chunk) in out.chunks(64).enumerate() {
+            let mut line = [0u8; 64];
+            line[..chunk.len()].copy_from_slice(chunk);
+            let addr = PhysAddr(job.out_addr.0 + i as u64 * 64);
+            match module.serve_addr(addr, true, Requester::Host, cursor, Some(&line)) {
+                Ok(access) => cursor = access.data_ready,
+                Err(_) => {
+                    self.stats.degraded_lines.inc();
+                    module.data_mut().write(addr, &line);
+                    cursor += self.cfg.degraded_line_cost;
+                }
+            }
+        }
+        *t = cursor;
+        (out.len() / 8) as u64
+    }
+
+    /// One 64-byte line over the timed host path, degrading to a
+    /// functional read at a modelled cost when the timed path is
+    /// unavailable (rank still owned, or the burst was uncorrectable).
+    fn read_line(
+        &mut self,
+        module: &mut DramModule,
+        addr: PhysAddr,
+        cursor: &mut Tick,
+    ) -> [u8; 64] {
+        match module.serve_addr(addr, false, Requester::Host, *cursor, None) {
+            Ok(access) => {
+                *cursor = access.data_ready;
+                access.data.expect("read returns data")
+            }
+            Err(_) => {
+                self.stats.degraded_lines.inc();
+                let mut buf = [0u8; 64];
+                module.data().read(addr, &mut buf);
+                *cursor += self.cfg.degraded_line_cost;
+                buf
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -853,6 +1231,91 @@ mod tests {
         );
         assert_eq!(s.pages_jafar.get(), run.pages, "renewals avoid expiry");
         assert_eq!(s.pages_cpu.get(), 0);
+    }
+
+    #[test]
+    fn resilient_aggregate_falls_back_to_the_identical_scalar() {
+        let (mut m, values) = module_with_column(2048, 21);
+        let mut device = JafarDevice::paper_default();
+        let mut driver = ResilientDriver::new(ResilienceConfig::default());
+        let job = AggregateJob {
+            col_addr: PhysAddr(0),
+            rows: 2048,
+            op: AggOp::Sum,
+            filter: Some(crate::predicate::Predicate::Between(100, 499)),
+        };
+        let clean = driver.run_aggregate(&mut device, &mut m, job, Tick::ZERO);
+        let expect: i64 = values
+            .iter()
+            .filter(|&&v| (100..=499).contains(&v))
+            .fold(0i64, |a, &v| a.wrapping_add(v));
+        assert!(clean.on_device);
+        assert_eq!(clean.value, Some(expect));
+        assert_eq!(driver.stats().recovery_total(), 0);
+
+        // Stall every burst: the device path must exhaust its retries and
+        // the host fold must return the identical scalar.
+        m.set_fault_injector(Some(FaultInjector::new(FaultPlan {
+            stall_burst_range: Some((0, u64::MAX)),
+            ..FaultPlan::none(0)
+        })));
+        let mut sick = ResilientDriver::new(ResilienceConfig {
+            max_retries: 1,
+            breaker_threshold: 1,
+            ..ResilienceConfig::default()
+        });
+        let degraded = sick.run_aggregate(&mut device, &mut m, job, Tick::ZERO);
+        assert!(!degraded.on_device);
+        assert_eq!(degraded.value, Some(expect), "fallback scalar differs");
+        assert_eq!(degraded.count, clean.count);
+        let s = sick.stats();
+        assert!(s.kernel_fallbacks.get() >= 1);
+        assert!(s.watchdog_fires.get() >= 1);
+        assert!(s.recovery_total() >= 1);
+    }
+
+    #[test]
+    fn resilient_project_falls_back_to_identical_packed_bytes() {
+        const PROJ: PhysAddr = PhysAddr(128 * 1024);
+        let (mut m, values) = module_with_column(2048, 22);
+        let mut device = JafarDevice::paper_default();
+        let mut driver = ResilientDriver::new(ResilienceConfig::default());
+        driver.run_select(&mut device, &mut m, request(2048, 100, 499), Tick::ZERO);
+        let job = ProjectJob {
+            col_addr: PhysAddr(0),
+            rows: 2048,
+            bitset_addr: OUT,
+            out_addr: PROJ,
+        };
+        let clean = driver.run_project(&mut device, &mut m, job, Tick::ZERO);
+        let expect: Vec<i64> = values
+            .iter()
+            .copied()
+            .filter(|v| (100..=499).contains(v))
+            .collect();
+        assert!(clean.on_device);
+        assert_eq!(clean.emitted as usize, expect.len());
+        let packed = |m: &DramModule| -> Vec<i64> {
+            (0..expect.len())
+                .map(|i| m.data().read_i64(PhysAddr(PROJ.0 + i as u64 * 8)))
+                .collect()
+        };
+        assert_eq!(packed(&m), expect);
+
+        m.set_fault_injector(Some(FaultInjector::new(FaultPlan {
+            stall_burst_range: Some((0, u64::MAX)),
+            ..FaultPlan::none(0)
+        })));
+        let mut sick = ResilientDriver::new(ResilienceConfig {
+            max_retries: 1,
+            breaker_threshold: 1,
+            ..ResilienceConfig::default()
+        });
+        let degraded = sick.run_project(&mut device, &mut m, job, Tick::ZERO);
+        assert!(!degraded.on_device);
+        assert_eq!(degraded.emitted, clean.emitted);
+        assert_eq!(packed(&m), expect, "fallback packed bytes differ");
+        assert!(sick.stats().kernel_fallbacks.get() >= 1);
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub use api::{
     device_errno, issue_errno, select_jafar, CompletionMode, DriverCosts, SelectArgs, SelectOutcome,
 };
 pub use device::{DeviceConfig, DeviceError, JafarDevice, SelectJob, SelectRun};
-pub use driver::{DriverRun, DriverStats, ResilienceConfig, ResilientDriver, SelectRequest};
+pub use driver::{
+    AggregateOutcome, DriverRun, DriverStats, ProjectOutcome, ResilienceConfig, ResilientDriver,
+    SelectRequest,
+};
 pub use ownership::{grant_ownership, grant_ownership_for, release_ownership, renew_lease, Lease};
 pub use parallel::{run_select_parallel, ParallelRun, ShardRun};
 pub use predicate::Predicate;

@@ -37,10 +37,14 @@
 //! `max(now, host_free, deadline − est_cpu, submitted)` — the last
 //! instant the host CPU scan can still make the deadline, never earlier
 //! than submission — the query abandons the device queue and runs on the
-//! host instead. The CPU rung is timed analytically
-//! ([`ServeConfig::cpu_fixed`] + [`ServeConfig::cpu_per_row`]·rows) but
-//! its *result* is computed functionally, so it is bit-identical to the
-//! device path. Within the device path each rank keeps its own
+//! host instead. The CPU rung is timed analytically per operator class
+//! ([`ServeConfig::cpu_fixed`] + [`ServeConfig::cpu_per_row`]·rows +
+//! [`ServeConfig::cpu_per_out_byte`]·out-bytes, where a select emits one
+//! bit per row, a scalar aggregate 8 bytes and a k-column projection up
+//! to k·8·rows bytes) but its *result* is computed functionally, so it
+//! is bit-identical to the device path — including the aggregate scalar,
+//! which a degraded query must return unchanged. Within the device path
+//! each rank keeps its own
 //! [`ResilientDriver`] across queries, so the PR-1 recovery ladder
 //! (watchdog → retries → circuit breaker → CPU-scan fallback) composes
 //! underneath: a faulty rank's breaker stays open between queries and
@@ -48,11 +52,14 @@
 
 use crate::policy::SchedPolicy;
 use crate::report::{ExecMode, QueryRecord, ServeReport};
-use crate::workload::{Arrivals, Workload};
+use crate::workload::{AggFn, Arrivals, QueryOp, Workload};
 use jafar_common::obs::{EventKind, SharedTracer};
 use jafar_common::time::Tick;
+use jafar_core::aggregate::{AggOp, AggregateJob};
 use jafar_core::device::JafarDevice;
 use jafar_core::driver::{ResilienceConfig, ResilientDriver, SelectRequest, SelectSession};
+use jafar_core::predicate::Predicate;
+use jafar_core::project::ProjectJob;
 use jafar_dram::{DramModule, PhysAddr};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -75,6 +82,11 @@ pub struct ServeConfig {
     pub cpu_fixed: Tick,
     /// Per-row cost of a degraded host CPU scan.
     pub cpu_per_row: Tick,
+    /// Per-output-byte cost of a degraded host CPU scan — what
+    /// differentiates the operator classes in the service estimate: a
+    /// select materializes one bit per row, a scalar aggregate a single
+    /// 8-byte value, a k-column projection up to k·8·rows bytes.
+    pub cpu_per_out_byte: Tick,
     /// Recovery policy for the per-rank resilient drivers.
     pub resilience: ResilienceConfig,
     /// Simulated instant the serve run (and its first arrivals) starts.
@@ -88,6 +100,7 @@ impl Default for ServeConfig {
             fanout: 4,
             cpu_fixed: Tick::from_us(2),
             cpu_per_row: Tick::from_ps(1000),
+            cpu_per_out_byte: Tick::from_ps(250),
             resilience: ResilienceConfig::default(),
             start: Tick::ZERO,
         }
@@ -111,6 +124,10 @@ pub struct ServeEnv<'a> {
     /// Per-rank 64-byte-aligned base of that rank's output bitset buffer
     /// (reused across queries; a rank runs one shard at a time).
     pub outs: &'a [PhysAddr],
+    /// Per-rank 64-byte-aligned base of that rank's packed projection
+    /// output region (reused across queries; sized for the full column,
+    /// `values.len() · 8` bytes).
+    pub proj_outs: &'a [PhysAddr],
     /// Host copy of the column, for the degraded CPU rung's functional
     /// result. Every query scans this full column.
     pub values: &'a [i64],
@@ -133,6 +150,9 @@ struct Inflight {
     remaining: u32,
     matched: u64,
     end: Tick,
+    /// Per-shard packed projection slices as `(row offset, values)`;
+    /// concatenated in row order once the last shard lands.
+    proj: Vec<(u64, Vec<i64>)>,
 }
 
 /// Event classes, in tie-break priority order at equal times: CPU
@@ -184,6 +204,11 @@ pub fn run_serve(
     assert_eq!(env.drivers.len(), nranks, "one driver per rank");
     assert_eq!(env.replicas.len(), nranks, "one column replica per rank");
     assert_eq!(env.outs.len(), nranks, "one output buffer per rank");
+    assert_eq!(
+        env.proj_outs.len(),
+        nranks,
+        "one projection buffer per rank"
+    );
     assert!(!env.values.is_empty(), "cannot serve an empty column");
 
     let n = workload.len();
@@ -195,6 +220,7 @@ pub fn run_serve(
             id: i as u32,
             lo: s.lo,
             hi: s.hi,
+            op: s.op,
             submitted: Tick::ZERO,
             started: None,
             done: None,
@@ -202,6 +228,8 @@ pub fn run_serve(
             mode: ExecMode::Pending,
             matched: 0,
             bitset: Vec::new(),
+            agg: None,
+            projected: Vec::new(),
         })
         .collect();
 
@@ -383,11 +411,23 @@ impl Engine<'_, '_> {
             }
             let pick = match self.policy {
                 SchedPolicy::Fifo | SchedPolicy::RankAffinity => 0,
+                // Least laxity by host-rung estimate: with heterogeneous
+                // operator classes the query whose deadline minus service
+                // estimate comes first is the most urgent, not the one
+                // whose bare deadline does. Uniform mixes degenerate to
+                // plain deadline order.
                 SchedPolicy::Edf => self
                     .queue
                     .iter()
                     .enumerate()
-                    .min_by_key(|&(_, &q)| (self.records[q as usize].deadline, q))
+                    .min_by_key(|&(_, &q)| {
+                        let rec = &self.records[q as usize];
+                        (
+                            rec.deadline.saturating_sub(self.cpu_estimate(rec.op)),
+                            rec.deadline,
+                            q,
+                        )
+                    })
                     .map(|(i, _)| i)
                     .expect("queue checked non-empty"),
             };
@@ -401,9 +441,21 @@ impl Engine<'_, '_> {
         }
     }
 
-    /// Shards `qid` over up to `fanout` of the `free` ranks (in the
-    /// policy's preference order) and opens one session per shard.
+    /// Dispatches `qid` onto up to `fanout` of the `free` ranks (in the
+    /// policy's preference order) with the execution shape its operator
+    /// needs: selects and projections open steppable sessions, scalar
+    /// aggregates run eagerly as one-shot kernels.
     fn dispatch_device(&mut self, qid: u32, free: &[usize], t: Tick) {
+        match self.records[qid as usize].op {
+            QueryOp::Select | QueryOp::Project { .. } => self.dispatch_select(qid, free, t),
+            QueryOp::SelectCount => self.dispatch_agg(qid, free, t, AggOp::Count),
+            QueryOp::SelectAgg(f) => self.dispatch_agg(qid, free, t, agg_op(f)),
+        }
+    }
+
+    /// Shards a select (or the select pass of a projection) over the free
+    /// ranks and opens one session per shard.
+    fn dispatch_select(&mut self, qid: u32, free: &[usize], t: Tick) {
         let rows = self.env.values.len() as u64;
         let k = free.len().min(self.cfg.fanout.max(1)) as u64;
         let chunk = rows.div_ceil(k).div_ceil(CHUNK_ROWS) * CHUNK_ROWS;
@@ -438,6 +490,7 @@ impl Engine<'_, '_> {
             remaining: used,
             matched: 0,
             end: Tick::ZERO,
+            proj: Vec::new(),
         });
         let rec = &mut self.records[qid as usize];
         rec.started = Some(t);
@@ -448,9 +501,78 @@ impl Engine<'_, '_> {
             EventKind::QueryStarted {
                 query: qid,
                 mode: if used > 1 { "parallel" } else { "single" },
+                op: rec.op.name(),
                 ranks: used,
             },
         );
+    }
+
+    /// Shards a scalar aggregate over the free ranks as eager one-shot
+    /// kernels under each rank's resilient driver. Aggregates have no
+    /// steppable session, and running a kernel makes no scheduling
+    /// decisions, so executing it ahead of the event clock is the same
+    /// min-cursor argument that lets select shards run ahead: ranks are
+    /// timing-independent, each is freed at its true end via a rank-free
+    /// event, and the query finishes at the max shard end. Partials merge
+    /// in shard (row) order with the device kernel's exact semantics.
+    fn dispatch_agg(&mut self, qid: u32, free: &[usize], t: Tick, op: AggOp) {
+        let rows = self.env.values.len() as u64;
+        let k = free.len().min(self.cfg.fanout.max(1)) as u64;
+        let chunk = rows.div_ceil(k).div_ceil(CHUNK_ROWS) * CHUNK_ROWS;
+        let (lo, hi) = {
+            let rec = &self.records[qid as usize];
+            (rec.lo, rec.hi)
+        };
+        let mut off = 0u64;
+        let mut used = 0u32;
+        let mut count = 0u64;
+        let mut acc: Option<i64> = None;
+        let mut end = t;
+        for &r in free {
+            if off >= rows {
+                break;
+            }
+            let len = chunk.min(rows - off);
+            let job = AggregateJob {
+                col_addr: PhysAddr(self.env.replicas[r].0 + off * 8),
+                rows: len,
+                op,
+                filter: Some(Predicate::Between(lo, hi)),
+            };
+            let out = self.env.drivers[r].run_aggregate(
+                &mut self.env.devices[r],
+                self.env.module,
+                job,
+                t,
+            );
+            count += out.count;
+            acc = merge_agg(op, acc, out.value);
+            end = end.max(out.end);
+            self.rank_busy[r] = true;
+            self.served_count[r] += 1;
+            self.rank_free_ev
+                .push(Reverse((out.end.max(self.now), r as u32)));
+            off += len;
+            used += 1;
+        }
+        let rec = &mut self.records[qid as usize];
+        rec.started = Some(t);
+        rec.mode = ExecMode::Device { ranks: used };
+        rec.matched = count;
+        rec.agg = match op {
+            AggOp::Count => Some(count as i64),
+            _ => acc,
+        };
+        self.env.tracer.emit(
+            t,
+            EventKind::QueryStarted {
+                query: qid,
+                mode: if used > 1 { "parallel" } else { "single" },
+                op: rec.op.name(),
+                ranks: used,
+            },
+        );
+        self.finish_query(qid, end);
     }
 
     fn step_shard(&mut self, idx: usize) {
@@ -481,18 +603,59 @@ impl Engine<'_, '_> {
             // the final partial byte — mask the stale tail off.
             rec.bitset[at + nbytes - 1] &= (1u8 << (shard.rows % 8)) - 1;
         }
+        let op = rec.op;
+        let mut shard_end = run.end;
+        let mut proj_part = None;
+        if let QueryOp::Project { k } = op {
+            // A projection chains k one-shot kernel passes off the
+            // finished select: the engine models projecting k same-width
+            // columns by re-running the kernel k times against the served
+            // replica (each pass reads the shard's bitset slice and packs
+            // one column's worth of qualifying values; passes are
+            // byte-identical so the record keeps a single copy). The
+            // shard's bitset slice starts on a 512-row boundary, so both
+            // it and the packed output stay 64-byte aligned.
+            let job = ProjectJob {
+                col_addr: PhysAddr(self.env.replicas[shard.rank].0 + shard.off * 8),
+                rows: shard.rows,
+                bitset_addr: PhysAddr(self.env.outs[shard.rank].0 + shard.off / 8),
+                out_addr: PhysAddr(self.env.proj_outs[shard.rank].0 + shard.off * 8),
+            };
+            let mut emitted = 0u64;
+            for _ in 0..k.max(1) {
+                let out = self.env.drivers[shard.rank].run_project(
+                    &mut self.env.devices[shard.rank],
+                    self.env.module,
+                    job,
+                    shard_end,
+                );
+                shard_end = out.end;
+                emitted = out.emitted;
+            }
+            let base = self.env.proj_outs[shard.rank].0 + shard.off * 8;
+            let vals: Vec<i64> = (0..emitted)
+                .map(|i| self.env.module.data().read_i64(PhysAddr(base + i * 8)))
+                .collect();
+            proj_part = Some((shard.off, vals));
+        }
         self.rank_free_ev
-            .push(Reverse((run.end.max(self.now), shard.rank as u32)));
+            .push(Reverse((shard_end.max(self.now), shard.rank as u32)));
         let fl = self.inflight[shard.qid as usize]
             .as_mut()
             .expect("shard of a dispatched query");
         fl.remaining -= 1;
         fl.matched += run.matched;
-        fl.end = fl.end.max(run.end);
+        fl.end = fl.end.max(shard_end);
+        if let Some(part) = proj_part {
+            fl.proj.push(part);
+        }
         if fl.remaining == 0 {
             let (end, matched) = (fl.end, fl.matched);
+            let mut proj = std::mem::take(&mut fl.proj);
+            proj.sort_by_key(|&(off, _)| off);
             let rec = &mut self.records[shard.qid as usize];
             rec.matched = matched;
+            rec.projected = proj.into_iter().flat_map(|(_, vals)| vals).collect();
             self.finish_query(shard.qid, end);
         }
     }
@@ -519,7 +682,6 @@ impl Engine<'_, '_> {
         if !self.has_slo {
             return None;
         }
-        let est = self.cpu_estimate();
         self.queue
             .iter()
             .filter(|&&q| self.records[q as usize].deadline < Tick::MAX)
@@ -528,19 +690,33 @@ impl Engine<'_, '_> {
                 let t = self
                     .now
                     .max(self.host_free)
-                    .max(rec.deadline.saturating_sub(est))
+                    .max(rec.deadline.saturating_sub(self.cpu_estimate(rec.op)))
                     .max(rec.submitted);
                 (t, q)
             })
             .min()
     }
 
-    fn cpu_estimate(&self) -> Tick {
-        self.cfg.cpu_fixed + self.cfg.cpu_per_row * self.env.values.len() as u64
+    /// Analytical host-scan time for one query of the given operator
+    /// class: fixed setup, per-row predicate cost, and a per-output-byte
+    /// materialization cost — a select writes one bit per row, a scalar
+    /// aggregate a single 8-byte value, and a k-column projection up to
+    /// k·8·rows bytes (the worst case the host budgets for before it
+    /// knows the selectivity).
+    fn cpu_estimate(&self, op: QueryOp) -> Tick {
+        let rows = self.env.values.len() as u64;
+        let out_bytes = match op {
+            QueryOp::Select => rows.div_ceil(8),
+            QueryOp::SelectCount | QueryOp::SelectAgg(_) => 8,
+            QueryOp::Project { k } => u64::from(k.max(1)) * 8 * rows,
+        };
+        self.cfg.cpu_fixed + self.cfg.cpu_per_row * rows + self.cfg.cpu_per_out_byte * out_bytes
     }
 
     /// Pulls `qid` off the device queue and runs it on the host: timed
-    /// analytically, computed functionally (bit-identical by definition).
+    /// analytically per operator, computed functionally — the bitset is
+    /// bit-identical, the aggregate scalar value-identical and the packed
+    /// projection byte-identical to what the device path would return.
     fn degrade(&mut self, qid: u32, t: Tick) {
         let pos = self
             .queue
@@ -548,30 +724,91 @@ impl Engine<'_, '_> {
             .position(|&q| q == qid)
             .expect("degrade candidate is queued");
         self.queue.remove(pos);
-        let done = t + self.cpu_estimate();
+        let done = t + self.cpu_estimate(self.records[qid as usize].op);
         self.host_free = done;
+        let values = self.env.values;
         let rec = &mut self.records[qid as usize];
         rec.started = Some(t);
         rec.mode = ExecMode::Cpu;
-        let mut bytes = vec![0u8; self.env.values.len().div_ceil(8)];
-        let mut matched = 0u64;
-        for (i, &v) in self.env.values.iter().enumerate() {
-            if v >= rec.lo && v <= rec.hi {
-                bytes[i / 8] |= 1 << (i % 8);
-                matched += 1;
+        let (lo, hi) = (rec.lo, rec.hi);
+        match rec.op {
+            QueryOp::Select | QueryOp::Project { .. } => {
+                let mut bytes = vec![0u8; values.len().div_ceil(8)];
+                let mut matched = 0u64;
+                for (i, &v) in values.iter().enumerate() {
+                    if v >= lo && v <= hi {
+                        bytes[i / 8] |= 1 << (i % 8);
+                        matched += 1;
+                    }
+                }
+                rec.bitset = bytes;
+                rec.matched = matched;
+                if let QueryOp::Project { .. } = rec.op {
+                    rec.projected = values
+                        .iter()
+                        .copied()
+                        .filter(|&v| v >= lo && v <= hi)
+                        .collect();
+                }
+            }
+            QueryOp::SelectCount => {
+                let matched = values.iter().filter(|&&v| v >= lo && v <= hi).count() as u64;
+                rec.matched = matched;
+                rec.agg = Some(matched as i64);
+            }
+            QueryOp::SelectAgg(f) => {
+                // Same fold semantics as the device kernel: wrapping sum,
+                // `None` extremum when no row qualifies — the degraded
+                // scalar must be indistinguishable from the device's.
+                let mut matched = 0u64;
+                let mut acc: Option<i64> = None;
+                for &v in values.iter().filter(|&&v| v >= lo && v <= hi) {
+                    matched += 1;
+                    acc = Some(match (f, acc) {
+                        (AggFn::Sum, prev) => prev.unwrap_or(0).wrapping_add(v),
+                        (AggFn::Min | AggFn::Max, None) => v,
+                        (AggFn::Min, Some(p)) => p.min(v),
+                        (AggFn::Max, Some(p)) => p.max(v),
+                    });
+                }
+                rec.matched = matched;
+                rec.agg = acc;
             }
         }
-        rec.bitset = bytes;
-        rec.matched = matched;
         self.cpu_done.push(Reverse((done, qid)));
         self.env.tracer.emit(
             t,
             EventKind::QueryStarted {
                 query: qid,
                 mode: "cpu",
+                op: rec.op.name(),
                 ranks: 0,
             },
         );
+    }
+}
+
+/// The serving-layer aggregate functions mapped onto the device kernel's
+/// fold ops.
+fn agg_op(f: AggFn) -> AggOp {
+    match f {
+        AggFn::Sum => AggOp::Sum,
+        AggFn::Min => AggOp::Min,
+        AggFn::Max => AggOp::Max,
+    }
+}
+
+/// Shard-order merge of two aggregate partials with the device kernel's
+/// semantics: wrapping sum, `None`-respecting extremum. `Count` totals
+/// are carried in the count field instead.
+fn merge_agg(op: AggOp, a: Option<i64>, b: Option<i64>) -> Option<i64> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(a), Some(b)) => Some(match op {
+            AggOp::Min => a.min(b),
+            AggOp::Max => a.max(b),
+            _ => a.wrapping_add(b),
+        }),
     }
 }
 
@@ -593,6 +830,7 @@ mod tests {
         drivers: Vec<ResilientDriver>,
         replicas: Vec<PhysAddr>,
         outs: Vec<PhysAddr>,
+        proj_outs: Vec<PhysAddr>,
         values: Vec<i64>,
         tracer: SharedTracer,
     }
@@ -616,6 +854,7 @@ mod tests {
         let rank_bytes = geom.rank_bytes();
         let mut replicas = Vec::new();
         let mut outs = Vec::new();
+        let mut proj_outs = Vec::new();
         for r in 0..nranks as u64 {
             let col = PhysAddr(r * rank_bytes);
             for (i, &v) in values.iter().enumerate() {
@@ -625,6 +864,7 @@ mod tests {
             }
             replicas.push(col);
             outs.push(PhysAddr(r * rank_bytes + 192 * 1024));
+            proj_outs.push(PhysAddr(r * rank_bytes + 64 * 1024));
         }
         Rig {
             module,
@@ -634,6 +874,7 @@ mod tests {
                 .collect(),
             replicas,
             outs,
+            proj_outs,
             values,
             tracer: SharedTracer::disabled(),
         }
@@ -653,6 +894,7 @@ mod tests {
                     drivers: &mut self.drivers,
                     replicas: &self.replicas,
                     outs: &self.outs,
+                    proj_outs: &self.proj_outs,
                     values: &self.values,
                     tracer: &self.tracer,
                 },
@@ -674,7 +916,21 @@ mod tests {
     }
 
     fn spec(lo: i64, hi: i64, slo: Option<Tick>) -> QuerySpec {
-        QuerySpec { lo, hi, slo }
+        QuerySpec {
+            lo,
+            hi,
+            op: QueryOp::Select,
+            slo,
+        }
+    }
+
+    fn op_spec(lo: i64, hi: i64, op: QueryOp) -> QuerySpec {
+        QuerySpec {
+            lo,
+            hi,
+            op,
+            slo: None,
+        }
     }
 
     #[test]
@@ -717,8 +973,14 @@ mod tests {
             max: 999,
             width: 150,
         };
-        let workload =
-            Workload::poisson(mix, 8, Tick::from_ns(800), 23).with_slo(Tick::from_us(400));
+        let workload = Workload::poisson(mix, 8, Tick::from_ns(800), 23)
+            .with_slo(Tick::from_us(400))
+            .with_op_mix(&[
+                QueryOp::Select,
+                QueryOp::SelectCount,
+                QueryOp::SelectAgg(AggFn::Sum),
+                QueryOp::Project { k: 2 },
+            ]);
         let a = rig(2, 9).serve(
             &workload,
             SchedPolicy::RankAffinity,
@@ -796,7 +1058,7 @@ mod tests {
             slo: None,
         };
         let cfg = ServeConfig::default();
-        let est = cfg.cpu_fixed + cfg.cpu_per_row * ROWS;
+        let est = cfg.cpu_fixed + cfg.cpu_per_row * ROWS + cfg.cpu_per_out_byte * ROWS.div_ceil(8);
         let report = rig.serve(&workload, SchedPolicy::Fifo, &cfg);
         assert_eq!(report.completed(), 2);
         let q1 = &report.records[1];
@@ -805,6 +1067,128 @@ mod tests {
         assert_eq!(q1.bitset, reference_bytes(&rig.values, 300, 599));
         assert!(q1.missed_deadline(), "hopeless SLO is still a miss");
         assert_eq!(report.cpu_queries(), 1);
+    }
+
+    #[test]
+    fn mixed_operator_stream_serves_every_operator_correctly() {
+        let mut rig = rig(4, 31);
+        let specs = vec![
+            op_spec(100, 499, QueryOp::Select),
+            op_spec(200, 599, QueryOp::SelectCount),
+            op_spec(0, 899, QueryOp::SelectAgg(AggFn::Sum)),
+            op_spec(300, 699, QueryOp::SelectAgg(AggFn::Min)),
+            op_spec(300, 699, QueryOp::SelectAgg(AggFn::Max)),
+            op_spec(400, 799, QueryOp::Project { k: 2 }),
+            // An empty range: Min/Max must come back None, not 0.
+            op_spec(5000, 6000, QueryOp::SelectAgg(AggFn::Min)),
+        ];
+        let n = specs.len();
+        let workload = Workload {
+            specs,
+            arrivals: Arrivals::Open((0..n).map(|i| Tick::from_us(i as u64)).collect()),
+            slo: None,
+        };
+        let report = rig.serve(&workload, SchedPolicy::Fifo, &ServeConfig::default());
+        assert_eq!(report.completed(), n);
+        let filtered = |lo: i64, hi: i64| -> Vec<i64> {
+            rig.values
+                .iter()
+                .copied()
+                .filter(|&v| v >= lo && v <= hi)
+                .collect()
+        };
+        for rec in &report.records {
+            assert!(matches!(rec.mode, ExecMode::Device { ranks } if ranks >= 1));
+            let matching = filtered(rec.lo, rec.hi);
+            assert_eq!(rec.matched as usize, matching.len(), "query {}", rec.id);
+            match rec.op {
+                QueryOp::Select => {
+                    assert_eq!(rec.bitset, reference_bytes(&rig.values, rec.lo, rec.hi));
+                    assert_eq!(rec.agg, None);
+                    assert!(rec.projected.is_empty());
+                }
+                QueryOp::SelectCount => {
+                    assert!(rec.bitset.is_empty(), "scalar ops carry no bitset");
+                    assert_eq!(rec.agg, Some(matching.len() as i64));
+                }
+                QueryOp::SelectAgg(f) => {
+                    assert!(rec.bitset.is_empty(), "scalar ops carry no bitset");
+                    let expect = match f {
+                        AggFn::Sum => matching.iter().copied().reduce(|a, b| a.wrapping_add(b)),
+                        AggFn::Min => matching.iter().copied().min(),
+                        AggFn::Max => matching.iter().copied().max(),
+                    };
+                    assert_eq!(rec.agg, expect, "query {} ({})", rec.id, rec.op.name());
+                }
+                QueryOp::Project { .. } => {
+                    assert_eq!(rec.bitset, reference_bytes(&rig.values, rec.lo, rec.hi));
+                    assert_eq!(rec.projected, matching, "packed projection");
+                }
+            }
+        }
+        // The per-operator breakdown covers every class that was served.
+        let ops = report.ops();
+        for name in ["select", "count", "sum", "min", "max", "project"] {
+            assert!(ops.contains(&name), "missing {name} in {ops:?}");
+        }
+    }
+
+    #[test]
+    fn degraded_aggregate_returns_the_identical_scalar() {
+        let mut sick = rig(1, 37);
+        // q0 occupies the only rank; q1 is a Sum whose SLO is hopeless, so
+        // it degrades to the CPU rung — and must return exactly the scalar
+        // a device run would have produced.
+        let workload = Workload {
+            specs: vec![
+                op_spec(200, 799, QueryOp::Select),
+                QuerySpec {
+                    lo: 100,
+                    hi: 599,
+                    op: QueryOp::SelectAgg(AggFn::Sum),
+                    slo: Some(Tick::from_ns(1)),
+                },
+            ],
+            arrivals: Arrivals::Open(vec![Tick::ZERO, Tick::ZERO]),
+            slo: None,
+        };
+        let cfg = ServeConfig::default();
+        let est = cfg.cpu_fixed + cfg.cpu_per_row * ROWS + cfg.cpu_per_out_byte * 8;
+        let report = sick.serve(&workload, SchedPolicy::Fifo, &cfg);
+        assert_eq!(report.completed(), 2);
+        let q1 = &report.records[1];
+        assert_eq!(q1.mode, ExecMode::Cpu);
+        assert_eq!(q1.done.unwrap(), q1.started.unwrap() + est);
+        let expect = sick
+            .values
+            .iter()
+            .copied()
+            .filter(|&v| (100..=599).contains(&v))
+            .fold(0i64, |a, v| a.wrapping_add(v));
+        assert_eq!(q1.agg, Some(expect));
+        assert!(q1.bitset.is_empty(), "scalar rung materializes no bitset");
+
+        // Reference: the same Sum served alone on a healthy device rung.
+        let mut solo = rig(1, 37);
+        let solo_report = solo.serve(
+            &Workload {
+                specs: vec![QuerySpec {
+                    lo: 100,
+                    hi: 599,
+                    op: QueryOp::SelectAgg(AggFn::Sum),
+                    slo: None,
+                }],
+                arrivals: Arrivals::Open(vec![Tick::ZERO]),
+                slo: None,
+            },
+            SchedPolicy::Fifo,
+            &cfg,
+        );
+        assert!(matches!(
+            solo_report.records[0].mode,
+            ExecMode::Device { .. }
+        ));
+        assert_eq!(solo_report.records[0].agg, q1.agg, "device == degraded");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! ROADMAP's north star ("serves heavy traffic") requires and that
 //! production NDP systems make from single-operator offload to request
 //! serving. It is a discrete-event engine that accepts a *stream* of
-//! select queries and multiplexes them over the shared JAFAR ranks:
+//! select, scalar-aggregate and projection queries (the §4 operator
+//! extensions) and multiplexes them over the shared JAFAR ranks:
 //!
 //! - [`workload`]: seeded query streams — open-loop Poisson and
 //!   closed-loop arrival generators over uniform or TPC-H-Q6-style
@@ -20,8 +21,8 @@
 //! - [`report`]: per-query records (queue-wait vs service-time
 //!   breakdown, execution rung, selection vector) and aggregate
 //!   p50/p95/p99 latency + throughput;
-//! - [`submit`]: lifting `jafar-columnstore` scan plans into served
-//!   queries.
+//! - [`submit`]: lifting `jafar-columnstore` scan, projection and
+//!   global-aggregate plans into served queries.
 //!
 //! Everything is deterministic: workloads are pure functions of their
 //! seeds, and the engine makes every scheduling decision at an explicit
@@ -42,5 +43,6 @@ pub mod workload;
 
 pub use engine::{run_serve, ServeConfig, ServeEnv};
 pub use policy::SchedPolicy;
-pub use report::{ExecMode, QueryRecord, ServeReport};
-pub use workload::{Arrivals, PredicateMix, QuerySpec, Workload};
+pub use report::{ExecMode, OpBreakdown, QueryRecord, ServeReport};
+pub use submit::SubmitError;
+pub use workload::{AggFn, Arrivals, PredicateMix, QueryOp, QuerySpec, Workload};

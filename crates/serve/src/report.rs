@@ -1,5 +1,6 @@
 //! Per-query records and the aggregate [`ServeReport`].
 
+use crate::workload::QueryOp;
 use jafar_common::time::Tick;
 use std::fmt;
 
@@ -29,6 +30,8 @@ pub struct QueryRecord {
     pub lo: i64,
     /// Inclusive predicate upper bound.
     pub hi: i64,
+    /// The operator the query ran over its predicate.
+    pub op: QueryOp,
     /// When the query arrived at admission control.
     pub submitted: Tick,
     /// When it was dispatched (left the queue); `None` if shed.
@@ -39,12 +42,24 @@ pub struct QueryRecord {
     pub deadline: Tick,
     /// The rung it ran on.
     pub mode: ExecMode,
-    /// Rows matched (0 if shed).
+    /// Rows the predicate matched (0 if shed).
     pub matched: u64,
     /// The selection vector it produced, bit per row, LSB-first within
     /// each byte — bit-identical to a solo run of the same predicate.
-    /// Empty if shed.
+    /// Filled for [`QueryOp::Select`] and [`QueryOp::Project`] (where the
+    /// bitset is the select phase's intermediate); empty for the
+    /// scalar-emitting operators on *both* rungs, and if shed.
     pub bitset: Vec<u8>,
+    /// The scalar a [`QueryOp::SelectCount`] / [`QueryOp::SelectAgg`]
+    /// query emitted — identical whichever rung it ran on. `None` for the
+    /// other operators, for `Min`/`Max` over an empty selection, and if
+    /// shed.
+    pub agg: Option<i64>,
+    /// The packed qualifying values a [`QueryOp::Project`] query
+    /// reconstructed (one column's worth — the `k` passes all project the
+    /// served column, so they are byte-identical). Empty for the other
+    /// operators and if shed.
+    pub projected: Vec<i64>,
 }
 
 impl QueryRecord {
@@ -125,15 +140,56 @@ impl ServeReport {
         lats
     }
 
-    /// Nearest-rank latency percentile over completed queries (`pct` in
-    /// 1..=100); `None` when nothing completed.
+    /// Nearest-rank latency percentile over completed queries. `pct` is
+    /// clamped into `1..=100` — `0` behaves as p1 (the minimum over any
+    /// sample smaller than 100) and anything above 100 as p100 (the
+    /// maximum). `None` when nothing completed.
     pub fn latency_percentile(&self, pct: u64) -> Option<Tick> {
-        let lats = self.sorted_latencies();
-        if lats.is_empty() {
-            return None;
+        percentile(&self.sorted_latencies(), pct)
+    }
+
+    /// The distinct operator kinds present in the stream, in submission
+    /// order of first appearance.
+    pub fn ops(&self) -> Vec<&'static str> {
+        let mut ops = Vec::new();
+        for r in &self.records {
+            let name = r.op.name();
+            if !ops.contains(&name) {
+                ops.push(name);
+            }
         }
-        let idx = (pct.clamp(1, 100) as usize * lats.len()).div_ceil(100) - 1;
-        Some(lats[idx])
+        ops
+    }
+
+    /// Per-operator latency/throughput breakdown, one entry per distinct
+    /// operator kind in first-appearance order.
+    pub fn op_breakdown(&self) -> Vec<OpBreakdown> {
+        self.ops()
+            .into_iter()
+            .map(|op| {
+                let recs: Vec<&QueryRecord> =
+                    self.records.iter().filter(|r| r.op.name() == op).collect();
+                let mut lats: Vec<Tick> = recs.iter().filter_map(|r| r.latency()).collect();
+                lats.sort_unstable();
+                let completed = recs.iter().filter(|r| r.done.is_some()).count();
+                let secs = self.makespan.as_ps() as f64 * 1e-12;
+                OpBreakdown {
+                    op,
+                    submitted: recs.len(),
+                    completed,
+                    shed: recs.iter().filter(|r| r.mode == ExecMode::Shed).count(),
+                    cpu: recs.iter().filter(|r| r.mode == ExecMode::Cpu).count(),
+                    p50: percentile(&lats, 50),
+                    p99: percentile(&lats, 99),
+                    mean_service: mean(recs.iter().filter_map(|r| r.service())),
+                    throughput_qps: if secs > 0.0 {
+                        completed as f64 / secs
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect()
     }
 
     /// Median completion latency.
@@ -169,6 +225,39 @@ impl ServeReport {
         }
         self.completed() as f64 / secs
     }
+}
+
+/// One operator kind's slice of a [`ServeReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpBreakdown {
+    /// Operator-kind mnemonic ([`QueryOp::name`]).
+    pub op: &'static str,
+    /// Queries of this kind submitted.
+    pub submitted: usize,
+    /// Queries of this kind that completed.
+    pub completed: usize,
+    /// Queries of this kind rejected at admission.
+    pub shed: usize,
+    /// Completed queries of this kind that ran on the degraded CPU rung.
+    pub cpu: usize,
+    /// Median completion latency of this kind.
+    pub p50: Option<Tick>,
+    /// 99th-percentile completion latency of this kind.
+    pub p99: Option<Tick>,
+    /// Mean dispatch-to-completion service time of this kind.
+    pub mean_service: Option<Tick>,
+    /// Completed queries of this kind per second of (whole-run) makespan.
+    pub throughput_qps: f64,
+}
+
+/// Nearest-rank percentile over sorted latencies; `pct` clamped to
+/// `1..=100`, `None` on an empty sample.
+fn percentile(sorted: &[Tick], pct: u64) -> Option<Tick> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let idx = (pct.clamp(1, 100) as usize * sorted.len()).div_ceil(100) - 1;
+    Some(sorted[idx])
 }
 
 fn mean(iter: impl Iterator<Item = Tick>) -> Option<Tick> {
@@ -208,7 +297,26 @@ impl fmt::Display for ServeReport {
             ms(self.p99()),
             ms(self.mean_queue_wait()),
             ms(self.mean_service()),
-        )
+        )?;
+        let breakdown = self.op_breakdown();
+        if breakdown.len() > 1 {
+            for b in breakdown {
+                writeln!(
+                    f,
+                    "  [{}] {}/{} done ({} cpu, {} shed), p50 {:.3} / p99 {:.3} ms, mean service {:.3} ms, {:.1} q/s",
+                    b.op,
+                    b.completed,
+                    b.submitted,
+                    b.cpu,
+                    b.shed,
+                    ms(b.p50),
+                    ms(b.p99),
+                    ms(b.mean_service),
+                    b.throughput_qps,
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -216,11 +324,14 @@ impl fmt::Display for ServeReport {
 mod tests {
     use super::*;
 
+    use crate::workload::AggFn;
+
     fn record(id: u32, submitted: u64, started: u64, done: u64) -> QueryRecord {
         QueryRecord {
             id,
             lo: 0,
             hi: 0,
+            op: QueryOp::Select,
             submitted: Tick::from_ps(submitted),
             started: Some(Tick::from_ps(started)),
             done: Some(Tick::from_ps(done)),
@@ -228,6 +339,8 @@ mod tests {
             mode: ExecMode::Device { ranks: 1 },
             matched: 0,
             bitset: Vec::new(),
+            agg: None,
+            projected: Vec::new(),
         }
     }
 
@@ -264,5 +377,83 @@ mod tests {
         };
         assert_eq!(report.p99(), None);
         assert_eq!(report.throughput_qps(), 0.0);
+    }
+
+    #[test]
+    fn percentile_input_domain_clamps_to_1_and_100() {
+        // The doc comment promises clamping; pin it down: pct 0 behaves
+        // as p1 (the sample minimum here) and pct > 100 as p100 (the
+        // maximum), never panicking or indexing out of bounds.
+        let records: Vec<QueryRecord> = (0..100)
+            .map(|i| record(i, 0, 0, (i as u64 + 1) * 1000))
+            .collect();
+        let report = ServeReport {
+            records,
+            makespan: Tick::from_ps(100_000),
+            policy: "fifo",
+        };
+        assert_eq!(report.latency_percentile(0), Some(Tick::from_ps(1000)));
+        assert_eq!(
+            report.latency_percentile(0),
+            report.latency_percentile(1),
+            "pct 0 clamps up to p1"
+        );
+        assert_eq!(report.latency_percentile(101), Some(Tick::from_ps(100_000)));
+        assert_eq!(
+            report.latency_percentile(u64::MAX),
+            report.latency_percentile(100),
+            "pct > 100 clamps down to p100"
+        );
+        // A single-element sample returns that element at every pct.
+        let one = ServeReport {
+            records: vec![record(0, 0, 0, 777)],
+            makespan: Tick::from_ps(777),
+            policy: "fifo",
+        };
+        for pct in [0, 1, 50, 100, u64::MAX] {
+            assert_eq!(one.latency_percentile(pct), Some(Tick::from_ps(777)));
+        }
+    }
+
+    #[test]
+    fn op_breakdown_slices_by_operator_kind() {
+        let mut records = Vec::new();
+        // 2 selects (1k, 2k), 1 count on the CPU rung (10k), 1 shed sum.
+        records.push(record(0, 0, 0, 1000));
+        records.push(record(1, 0, 0, 2000));
+        let mut count = record(2, 0, 0, 10_000);
+        count.op = QueryOp::SelectCount;
+        count.mode = ExecMode::Cpu;
+        count.agg = Some(42);
+        records.push(count);
+        let mut sum = record(3, 0, 0, 0);
+        sum.op = QueryOp::SelectAgg(AggFn::Sum);
+        sum.mode = ExecMode::Shed;
+        sum.started = None;
+        sum.done = None;
+        records.push(sum);
+        let report = ServeReport {
+            records,
+            makespan: Tick::from_ps(1_000_000),
+            policy: "edf",
+        };
+        assert_eq!(report.ops(), vec!["select", "count", "sum"]);
+        let breakdown = report.op_breakdown();
+        assert_eq!(breakdown.len(), 3);
+        let sel = &breakdown[0];
+        assert_eq!((sel.op, sel.submitted, sel.completed), ("select", 2, 2));
+        assert_eq!(sel.p99, Some(Tick::from_ps(2000)));
+        let cnt = &breakdown[1];
+        assert_eq!((cnt.op, cnt.completed, cnt.cpu), ("count", 1, 1));
+        assert_eq!(cnt.p50, Some(Tick::from_ps(10_000)));
+        let sm = &breakdown[2];
+        assert_eq!((sm.op, sm.completed, sm.shed), ("sum", 0, 1));
+        assert_eq!(sm.p50, None);
+        assert_eq!(sm.throughput_qps, 0.0);
+        // The rendered report carries the per-operator lines.
+        let shown = report.to_string();
+        assert!(shown.contains("[select]"));
+        assert!(shown.contains("[count]"));
+        assert!(shown.contains("[sum]"));
     }
 }

@@ -1,42 +1,177 @@
 //! Query submission from column-store plans.
 //!
-//! The serving engine speaks [`QuerySpec`] — an inclusive range over one
-//! column. A column-store client speaks [`Plan`]s. This module is the
-//! bridge: it lifts the *pushdown candidate* of a scan plan (its first
-//! filter, the one `jafar-columnstore`'s planner offloads) into a served
-//! query, so a stream of plans can be replayed through
+//! The serving engine speaks [`QuerySpec`] — one operator over one
+//! column, filtered by an inclusive range. A column-store client speaks
+//! [`Plan`]s. This module is the bridge: it lifts servable plans into
+//! served queries so a stream of plans can be replayed through
 //! `System::serve` with the same admission/scheduling treatment as a
 //! synthetic workload.
+//!
+//! # Lifting rules
+//!
+//! - `Plan::Scan` with at least one filter, **all on the same column**:
+//!   the filters are conjuncted into tightened inclusive bounds (the
+//!   engine serves exactly the plan's semantics, not just its first
+//!   filter). An empty `columns` list lifts to [`QueryOp::Select`] (the
+//!   selection vector is the result); a non-empty one to
+//!   [`QueryOp::Project`] with `k = columns.len()`.
+//! - `Plan::GroupBy` with no grouping keys and exactly one aggregate
+//!   over a servable scan: `Count` lifts to [`QueryOp::SelectCount`];
+//!   `Sum`/`Min`/`Max` lift to [`QueryOp::SelectAgg`] when the aggregate
+//!   input column is the filtered column (the engine folds the column it
+//!   filters). `Avg`, grouped aggregation and multi-aggregate plans stay
+//!   on the host.
+//! - Everything else — filterless scans, filters spanning several
+//!   columns, joins, sorts — returns `None`: the engine cannot honor
+//!   those plans, and serving a loosened approximation would silently
+//!   over-match (exactly the bug this module used to have).
 
-use crate::workload::{Arrivals, QuerySpec, Workload};
+use crate::workload::{AggFn, Arrivals, QueryOp, QuerySpec, Workload};
+use jafar_columnstore::ops::agg::AggKind;
 use jafar_columnstore::plan::Plan;
 use jafar_common::time::Tick;
 
-/// Extracts the servable range predicate from a plan: the first filter
-/// of a `Plan::Scan`, compiled to inclusive bounds exactly as the
-/// pushdown planner would. Returns `None` for non-scan plans and for
-/// scans with no filter (a full scan has nothing to push down).
+/// Why a plan stream could not be lifted into a served workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// `Arrivals::Open` carried a different number of instants than
+    /// there are plans (or servable queries) — pairing them positionally
+    /// would silently hand query *i* plan *j*'s arrival time.
+    ArrivalMismatch {
+        /// Plans in the stream.
+        plans: usize,
+        /// Plans that lifted into served queries.
+        servable: usize,
+        /// Arrival instants supplied.
+        arrivals: usize,
+    },
+}
+
+impl core::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SubmitError::ArrivalMismatch {
+                plans,
+                servable,
+                arrivals,
+            } => write!(
+                f,
+                "open-loop arrivals ({arrivals}) match neither the plan stream \
+                 ({plans}) nor its servable queries ({servable})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Conjuncts every filter of a scan into one inclusive range, provided
+/// they all name the same column. Returns `(column, lo, hi)`; `None`
+/// when the scan has no filter or filters several columns.
+fn conjunct_filters(plan: &Plan) -> Option<(&str, i64, i64)> {
+    let Plan::Scan { filters, .. } = plan else {
+        return None;
+    };
+    let (first_col, first_pred) = filters.first()?;
+    let (mut lo, mut hi) = first_pred.bounds();
+    for (col, pred) in &filters[1..] {
+        if col != first_col {
+            return None;
+        }
+        let (l, h) = pred.bounds();
+        lo = lo.max(l);
+        hi = hi.min(h);
+    }
+    Some((first_col, lo, hi))
+}
+
+/// Lifts one plan into a served query per the module-level rules, or
+/// `None` when the engine cannot honor it exactly.
 pub fn spec_from_plan(plan: &Plan) -> Option<QuerySpec> {
     match plan {
-        Plan::Scan { filters, .. } => filters.first().map(|(_, pred)| {
-            let (lo, hi) = pred.bounds();
-            QuerySpec { lo, hi, slo: None }
-        }),
+        Plan::Scan { columns, .. } => {
+            let (_, lo, hi) = conjunct_filters(plan)?;
+            let op = if columns.is_empty() {
+                QueryOp::Select
+            } else {
+                QueryOp::Project {
+                    k: columns.len() as u32,
+                }
+            };
+            Some(QuerySpec {
+                lo,
+                hi,
+                op,
+                slo: None,
+            })
+        }
+        Plan::GroupBy { input, keys, aggs } => {
+            if !keys.is_empty() {
+                return None;
+            }
+            let [(agg_col, kind, _)] = aggs.as_slice() else {
+                return None;
+            };
+            let (scan_col, lo, hi) = conjunct_filters(input)?;
+            let op = match kind {
+                AggKind::Count => QueryOp::SelectCount,
+                AggKind::Sum if agg_col == scan_col => QueryOp::SelectAgg(AggFn::Sum),
+                AggKind::Min if agg_col == scan_col => QueryOp::SelectAgg(AggFn::Min),
+                AggKind::Max if agg_col == scan_col => QueryOp::SelectAgg(AggFn::Max),
+                _ => return None,
+            };
+            Some(QuerySpec {
+                lo,
+                hi,
+                op,
+                slo: None,
+            })
+        }
         _ => None,
     }
 }
 
-/// Builds a served workload from a stream of plans: every plan with a
-/// servable predicate becomes one query, in plan order. `arrivals` must
-/// cover the servable plans (for [`Arrivals::Open`], one instant per
-/// extracted query).
-pub fn workload_from_plans(plans: &[Plan], arrivals: Arrivals, slo: Option<Tick>) -> Workload {
-    let specs: Vec<QuerySpec> = plans.iter().filter_map(spec_from_plan).collect();
-    Workload {
-        specs,
+/// Builds a served workload from a stream of plans: every servable plan
+/// becomes one query, in plan order.
+///
+/// For [`Arrivals::Open`] the instants must align: either one instant
+/// per *plan* (instants paired with non-servable plans are dropped with
+/// them) or one per *servable query*. Anything else is an
+/// [`SubmitError::ArrivalMismatch`] — the silent positional re-pairing
+/// this function used to do handed query *i* plan *j*'s arrival time.
+///
+/// # Errors
+/// [`SubmitError::ArrivalMismatch`] as above.
+pub fn workload_from_plans(
+    plans: &[Plan],
+    arrivals: Arrivals,
+    slo: Option<Tick>,
+) -> Result<Workload, SubmitError> {
+    let lifted: Vec<Option<QuerySpec>> = plans.iter().map(spec_from_plan).collect();
+    let servable = lifted.iter().flatten().count();
+    let arrivals = match arrivals {
+        Arrivals::Open(times) if times.len() == plans.len() => Arrivals::Open(
+            lifted
+                .iter()
+                .zip(&times)
+                .filter(|(s, _)| s.is_some())
+                .map(|(_, &t)| t)
+                .collect(),
+        ),
+        Arrivals::Open(times) if times.len() != servable => {
+            return Err(SubmitError::ArrivalMismatch {
+                plans: plans.len(),
+                servable,
+                arrivals: times.len(),
+            });
+        }
+        other => other,
+    };
+    Ok(Workload {
+        specs: lifted.into_iter().flatten().collect(),
         arrivals,
         slo,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -48,7 +183,27 @@ mod tests {
         Plan::Scan {
             table: "t".into(),
             filters: vec![("c".into(), pred)],
-            columns: vec!["c".into()],
+            columns: Vec::new(),
+        }
+    }
+
+    fn multi_scan(filters: Vec<(&str, ScanPredicate)>) -> Plan {
+        Plan::Scan {
+            table: "t".into(),
+            filters: filters
+                .into_iter()
+                .map(|(c, p)| (c.to_string(), p))
+                .collect(),
+            columns: Vec::new(),
+        }
+    }
+
+    fn select_spec(lo: i64, hi: i64) -> QuerySpec {
+        QuerySpec {
+            lo,
+            hi,
+            op: QueryOp::Select,
+            slo: None,
         }
     }
 
@@ -56,19 +211,11 @@ mod tests {
     fn scan_plans_become_specs() {
         assert_eq!(
             spec_from_plan(&scan(ScanPredicate::Between(3, 9))),
-            Some(QuerySpec {
-                lo: 3,
-                hi: 9,
-                slo: None
-            })
+            Some(select_spec(3, 9))
         );
         assert_eq!(
             spec_from_plan(&scan(ScanPredicate::Lt(5))),
-            Some(QuerySpec {
-                lo: i64::MIN,
-                hi: 4,
-                slo: None
-            })
+            Some(select_spec(i64::MIN, 4))
         );
     }
 
@@ -82,6 +229,79 @@ mod tests {
         assert_eq!(spec_from_plan(&plan), None);
     }
 
+    /// Regression (pre-fix this returned `(5, i64::MAX)` — the `Lt(20)`
+    /// conjunct was silently dropped and the served bitset over-matched
+    /// the plan's semantics).
+    #[test]
+    fn multi_filter_scans_conjunct_into_tightened_bounds() {
+        let plan = multi_scan(vec![
+            ("c", ScanPredicate::Ge(5)),
+            ("c", ScanPredicate::Lt(20)),
+            ("c", ScanPredicate::Between(0, 17)),
+        ]);
+        assert_eq!(spec_from_plan(&plan), Some(select_spec(5, 17)));
+    }
+
+    /// Regression (pre-fix this served the first filter and ignored the
+    /// predicate on the other column entirely).
+    #[test]
+    fn filters_on_several_columns_are_not_servable() {
+        let plan = multi_scan(vec![
+            ("c", ScanPredicate::Ge(5)),
+            ("d", ScanPredicate::Lt(20)),
+        ]);
+        assert_eq!(spec_from_plan(&plan), None);
+    }
+
+    #[test]
+    fn projecting_scans_lift_to_project_ops() {
+        let plan = Plan::Scan {
+            table: "t".into(),
+            filters: vec![("c".into(), ScanPredicate::Between(1, 8))],
+            columns: vec!["c".into(), "d".into()],
+        };
+        assert_eq!(
+            spec_from_plan(&plan),
+            Some(QuerySpec {
+                lo: 1,
+                hi: 8,
+                op: QueryOp::Project { k: 2 },
+                slo: None,
+            })
+        );
+    }
+
+    #[test]
+    fn global_aggregates_lift_to_scalar_ops() {
+        let agg = |kind: AggKind, col: &str| Plan::GroupBy {
+            input: Box::new(scan(ScanPredicate::Between(2, 11))),
+            keys: Vec::new(),
+            aggs: vec![(col.into(), kind, "out".into())],
+        };
+        assert_eq!(
+            spec_from_plan(&agg(AggKind::Count, "anything")).map(|s| s.op),
+            Some(QueryOp::SelectCount)
+        );
+        assert_eq!(
+            spec_from_plan(&agg(AggKind::Sum, "c")).map(|s| s.op),
+            Some(QueryOp::SelectAgg(AggFn::Sum))
+        );
+        assert_eq!(
+            spec_from_plan(&agg(AggKind::Min, "c")).map(|s| s.op),
+            Some(QueryOp::SelectAgg(AggFn::Min))
+        );
+        // Folding a different column than the filter scans, averaging,
+        // or grouping — the engine cannot honor any of these.
+        assert_eq!(spec_from_plan(&agg(AggKind::Sum, "d")), None);
+        assert_eq!(spec_from_plan(&agg(AggKind::Avg, "c")), None);
+        let grouped = Plan::GroupBy {
+            input: Box::new(scan(ScanPredicate::Between(2, 11))),
+            keys: vec!["k".into()],
+            aggs: vec![("c".into(), AggKind::Sum, "out".into())],
+        };
+        assert_eq!(spec_from_plan(&grouped), None);
+    }
+
     #[test]
     fn workload_keeps_plan_order() {
         let plans = vec![scan(ScanPredicate::Eq(1)), scan(ScanPredicate::Eq(2))];
@@ -92,12 +312,64 @@ mod tests {
                 think: Tick::ZERO,
             },
             None,
+        )
+        .expect("closed loops have no arrival alignment to violate");
+        assert_eq!(w.specs, vec![select_spec(1, 1), select_spec(2, 2)]);
+    }
+
+    /// Regression (pre-fix the non-servable middle plan was silently
+    /// dropped while the instants were not, so query 1 — lifted from
+    /// plan 2 — inherited plan 1's arrival time).
+    #[test]
+    fn open_arrivals_stay_paired_when_plans_drop_out() {
+        let plans = vec![
+            scan(ScanPredicate::Eq(1)),
+            Plan::Scan {
+                table: "t".into(),
+                filters: Vec::new(),
+                columns: Vec::new(),
+            },
+            scan(ScanPredicate::Eq(2)),
+        ];
+        let times = vec![Tick::from_us(1), Tick::from_us(2), Tick::from_us(3)];
+        let w = workload_from_plans(&plans, Arrivals::Open(times), None)
+            .expect("per-plan instants align");
+        assert_eq!(w.specs.len(), 2);
+        assert_eq!(
+            w.arrivals,
+            Arrivals::Open(vec![Tick::from_us(1), Tick::from_us(3)]),
+            "query 1 must keep plan 2's instant, not inherit plan 1's"
         );
-        let spec = |x: i64| QuerySpec {
-            lo: x,
-            hi: x,
-            slo: None,
-        };
-        assert_eq!(w.specs, vec![spec(1), spec(2)]);
+
+        // Ambiguously-sized instant lists are an error, not a guess.
+        let err =
+            workload_from_plans(&plans, Arrivals::Open(vec![Tick::ZERO; 5]), None).unwrap_err();
+        assert_eq!(
+            err,
+            SubmitError::ArrivalMismatch {
+                plans: 3,
+                servable: 2,
+                arrivals: 5
+            }
+        );
+    }
+
+    /// One instant per servable query (the post-filter convention) is
+    /// also accepted.
+    #[test]
+    fn open_arrivals_per_servable_query_pass_through() {
+        let plans = vec![
+            scan(ScanPredicate::Eq(1)),
+            Plan::Scan {
+                table: "t".into(),
+                filters: Vec::new(),
+                columns: Vec::new(),
+            },
+            scan(ScanPredicate::Eq(2)),
+        ];
+        let times = vec![Tick::from_us(4), Tick::from_us(5)];
+        let w = workload_from_plans(&plans, Arrivals::Open(times.clone()), None)
+            .expect("per-query instants align");
+        assert_eq!(w.arrivals, Arrivals::Open(times));
     }
 }

@@ -22,13 +22,65 @@ use jafar_common::rng::SplitMix64;
 use jafar_common::time::Tick;
 use jafar_tpch::gen::TpchDb;
 
-/// One select query: an inclusive range predicate over the served column.
+/// The scalar fold of a [`QueryOp::SelectAgg`] query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFn {
+    /// Sum of qualifying values (wrapping, like the device fold).
+    Sum,
+    /// Minimum qualifying value.
+    Min,
+    /// Maximum qualifying value.
+    Max,
+}
+
+/// The operator a served query runs over its range predicate — the §4
+/// extensions lifted into the serving layer. Every operator shares the
+/// same inclusive `[lo, hi]` predicate; they differ in what they *emit*
+/// (and therefore in bytes moved, which drives the engine's per-operator
+/// service estimates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryOp {
+    /// Emit the selection bitset (one bit per row) — the paper's core
+    /// filter and the cheapest writeback.
+    Select,
+    /// Emit only the qualifying-row count (one scalar).
+    SelectCount,
+    /// Emit one folded scalar over the qualifying values.
+    SelectAgg(AggFn),
+    /// Late-materialization projection: emit the qualifying values of
+    /// `k` columns, densely packed — `k`× the value bytes of a select's
+    /// bitset-only writeback.
+    Project {
+        /// Columns reconstructed at the qualifying positions (≥ 1).
+        k: u32,
+    },
+}
+
+impl QueryOp {
+    /// Stable operator-kind mnemonic for reports and CSV output
+    /// (`Project` collapses to `"project"` regardless of `k`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryOp::Select => "select",
+            QueryOp::SelectCount => "count",
+            QueryOp::SelectAgg(AggFn::Sum) => "sum",
+            QueryOp::SelectAgg(AggFn::Min) => "min",
+            QueryOp::SelectAgg(AggFn::Max) => "max",
+            QueryOp::Project { .. } => "project",
+        }
+    }
+}
+
+/// One served query: an operator over an inclusive range predicate on
+/// the served column.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct QuerySpec {
     /// Inclusive lower bound.
     pub lo: i64,
     /// Inclusive upper bound.
     pub hi: i64,
+    /// The operator run over the predicate.
+    pub op: QueryOp,
     /// Per-query latency SLO, overriding the workload-wide
     /// [`Workload::slo`] — how multi-tenant workloads give different
     /// tenants different deadlines. `None` falls back to the workload
@@ -69,11 +121,18 @@ impl PredicateMix {
         (0..n)
             .map(|_| match *self {
                 PredicateMix::UniformRange { min, max, width } => {
-                    let width = width.clamp(0, max.saturating_sub(min));
-                    let lo = rng.next_range_inclusive(min, max - width);
+                    // Normalise a degenerate `min > max` domain instead of
+                    // panicking (clamp and the RNG both assert lo ≤ hi),
+                    // and saturate every bound derivation so extreme
+                    // domains (e.g. spanning the full i64 range) produce a
+                    // clamped spec rather than overflowing.
+                    let (dom_lo, dom_hi) = (min.min(max), max.max(min));
+                    let width = width.clamp(0, dom_hi.saturating_sub(dom_lo));
+                    let lo = rng.next_range_inclusive(dom_lo, dom_hi.saturating_sub(width));
                     QuerySpec {
                         lo,
-                        hi: lo + width,
+                        hi: lo.saturating_add(width).min(dom_hi),
+                        op: QueryOp::Select,
                         slo: None,
                     }
                 }
@@ -85,7 +144,8 @@ impl PredicateMix {
                     let lo = Date::from_ymd(year, month, 1).raw();
                     QuerySpec {
                         lo,
-                        hi: lo + window_days.max(1) - 1,
+                        hi: lo.saturating_add(window_days.max(1) - 1),
+                        op: QueryOp::Select,
                         slo: None,
                     }
                 }
@@ -95,7 +155,7 @@ impl PredicateMix {
 }
 
 /// The arrival process of a workload.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Arrivals {
     /// Open loop: absolute submission instants, one per query spec,
     /// non-decreasing. Queries arrive on schedule no matter how the
@@ -183,6 +243,18 @@ impl Workload {
         self
     }
 
+    /// Assigns operators round-robin: query `i` runs `ops[i % ops.len()]`
+    /// over its generated predicate, turning a single-operator stream
+    /// into an interleaved mixed-operator one (the §4 serving mix).
+    pub fn with_op_mix(mut self, ops: &[QueryOp]) -> Self {
+        if !ops.is_empty() {
+            for (i, spec) in self.specs.iter_mut().enumerate() {
+                spec.op = ops[i % ops.len()];
+            }
+        }
+        self
+    }
+
     /// Number of queries in the stream.
     pub fn len(&self) -> usize {
         self.specs.len()
@@ -251,5 +323,81 @@ mod tests {
         for s in specs {
             assert!(s.lo >= -50 && s.hi <= 50 && s.hi - s.lo == 10);
         }
+    }
+
+    #[test]
+    fn degenerate_and_extreme_uniform_domains_never_panic() {
+        // Regression (pre-fix this panicked): a reversed domain hit
+        // `width.clamp(0, negative)` and `next_range_inclusive(lo > hi)`.
+        let specs = PredicateMix::UniformRange {
+            min: 50,
+            max: -50,
+            width: 10,
+        }
+        .generate(16, 5);
+        for s in &specs {
+            assert!(s.lo >= -50 && s.hi <= 50 && s.lo <= s.hi);
+        }
+        // Property: any (min, max, width) triple — including full-i64
+        // spans whose width arithmetic would overflow unchecked — yields
+        // specs clamped inside the normalised domain.
+        use jafar_common::check::forall;
+        forall("uniform-mix-extreme-bounds", 64, |rng| {
+            let pick = |rng: &mut SplitMix64| match rng.next_below(4) {
+                0 => i64::MIN,
+                1 => i64::MAX,
+                2 => rng.next_range_inclusive(-1000, 1000),
+                _ => rng.next_u64() as i64,
+            };
+            let (min, max) = (pick(rng), pick(rng));
+            let width = pick(rng);
+            let specs = PredicateMix::UniformRange { min, max, width }.generate(8, rng.next_u64());
+            let (dom_lo, dom_hi) = (min.min(max), max.max(min));
+            for s in specs {
+                assert!(
+                    s.lo >= dom_lo && s.hi <= dom_hi && s.lo <= s.hi,
+                    "spec [{}, {}] outside domain [{dom_lo}, {dom_hi}] (width {width})",
+                    s.lo,
+                    s.hi
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn extreme_q6_window_saturates_instead_of_overflowing() {
+        let specs = PredicateMix::TpchQ6Shipdate {
+            window_days: i64::MAX,
+        }
+        .generate(4, 9);
+        for s in specs {
+            assert!(s.lo <= s.hi, "saturated window stays ordered");
+        }
+    }
+
+    #[test]
+    fn op_mix_assigns_round_robin() {
+        let ops = [
+            QueryOp::Select,
+            QueryOp::SelectCount,
+            QueryOp::SelectAgg(AggFn::Sum),
+            QueryOp::Project { k: 3 },
+        ];
+        let w = Workload::poisson(
+            PredicateMix::UniformRange {
+                min: 0,
+                max: 99,
+                width: 10,
+            },
+            10,
+            Tick::from_us(1),
+            7,
+        )
+        .with_op_mix(&ops);
+        for (i, spec) in w.specs.iter().enumerate() {
+            assert_eq!(spec.op, ops[i % ops.len()]);
+        }
+        assert_eq!(w.specs[3].op.name(), "project");
+        assert_eq!(w.specs[2].op.name(), "sum");
     }
 }

@@ -779,8 +779,9 @@ impl System {
         }
     }
 
-    /// Serves a stream of select queries over `values` through the
-    /// `jafar-serve` engine: the column is replicated into every NDP
+    /// Serves a stream of select, scalar-aggregate and projection
+    /// queries over `values` through the `jafar-serve` engine: the
+    /// column is replicated into every NDP
     /// rank's arena (so any query can shard onto any free rank), one
     /// *persistent* resilient driver is built per rank — its circuit-
     /// breaker state spans queries, which is what lets the rank-affinity
@@ -798,7 +799,8 @@ impl System {
     ///
     /// # Panics
     /// Panics if the config has no JAFAR device, `values` is empty, or a
-    /// rank arena cannot hold a replica plus its output buffer.
+    /// rank arena cannot hold a replica plus its bitset and projection
+    /// output buffers.
     pub fn serve(
         &mut self,
         values: &[i64],
@@ -815,6 +817,7 @@ impl System {
         let nranks = self.devices.len();
         let mut replicas = Vec::with_capacity(nranks);
         let mut outs = Vec::with_capacity(nranks);
+        let mut proj_outs = Vec::with_capacity(nranks);
         for r in 0..nranks {
             let col = self.arenas[r].alloc_blocks(rows * 8);
             for (i, &v) in values.iter().enumerate() {
@@ -825,6 +828,8 @@ impl System {
             }
             replicas.push(col);
             outs.push(self.arenas[r].alloc_blocks(rows.div_ceil(8).max(64)));
+            // Packed projection output: worst case every row qualifies.
+            proj_outs.push(self.arenas[r].alloc_blocks(rows * 8));
         }
         let rcfg = ResilienceConfig {
             costs: self.cfg.driver,
@@ -849,6 +854,7 @@ impl System {
                 drivers: &mut drivers,
                 replicas: &replicas,
                 outs: &outs,
+                proj_outs: &proj_outs,
                 values,
                 tracer: &self.tracer,
             },
@@ -1358,5 +1364,100 @@ mod tests {
         );
         assert_eq!(run.recovery[1].recovery_total(), 0, "healthy rank clean");
         assert_eq!(run.recovery[2].recovery_total(), 0, "healthy rank clean");
+    }
+
+    #[test]
+    fn serve_mixes_operators_and_degrades_aggregates_identically_under_fault() {
+        use jafar_serve::{AggFn, Arrivals, ExecMode, QueryOp, QuerySpec};
+
+        let mut sys = multi_rank_system(4);
+        let vals = values(4096, 999, 35);
+        sys.inject_faults(FaultPlan {
+            stall_burst_range: Some((0, u64::MAX)),
+            rank_scope: Some(0),
+            ..FaultPlan::none(7)
+        });
+        let q = |lo: i64, hi: i64, op: QueryOp, slo: Option<Tick>| QuerySpec { lo, hi, op, slo };
+        let specs = vec![
+            q(100, 599, QueryOp::Select, None),
+            // Arrives while q0 holds every rank; its SLO is hopeless, so
+            // it must degrade to the CPU rung — and still return exactly
+            // the scalar a device run would have.
+            q(
+                100,
+                599,
+                QueryOp::SelectAgg(AggFn::Sum),
+                Some(Tick::from_ns(1)),
+            ),
+            q(200, 799, QueryOp::SelectCount, None),
+            q(300, 899, QueryOp::Project { k: 2 }, None),
+            q(400, 999, QueryOp::SelectAgg(AggFn::Max), None),
+        ];
+        let n = specs.len();
+        let workload = Workload {
+            specs,
+            arrivals: Arrivals::Open(vec![Tick::ZERO; n]),
+            slo: None,
+        };
+        let cfg = ServeConfig {
+            resilience: ResilienceConfig {
+                max_retries: 1,
+                breaker_threshold: 1,
+                ..ResilienceConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let run = sys.serve(&vals, &workload, SchedPolicy::RankAffinity, &cfg);
+        assert_eq!(run.report.completed(), n);
+        let matching = |lo: i64, hi: i64| -> Vec<i64> {
+            vals.iter()
+                .copied()
+                .filter(|v| (lo..=hi).contains(v))
+                .collect()
+        };
+        let sum = matching(100, 599)
+            .iter()
+            .fold(0i64, |a, &v| a.wrapping_add(v));
+        let q1 = &run.report.records[1];
+        assert_eq!(q1.mode, ExecMode::Cpu, "hopeless SLO degrades");
+        assert_eq!(q1.agg, Some(sum), "degraded scalar == functional reference");
+
+        // The same Sum served solo on a healthy machine: same scalar.
+        let mut healthy = multi_rank_system(4);
+        let solo = healthy.serve(
+            &vals,
+            &Workload {
+                specs: vec![q(100, 599, QueryOp::SelectAgg(AggFn::Sum), None)],
+                arrivals: Arrivals::Open(vec![Tick::ZERO]),
+                slo: None,
+            },
+            SchedPolicy::Fifo,
+            &cfg,
+        );
+        assert!(matches!(
+            solo.report.records[0].mode,
+            ExecMode::Device { .. }
+        ));
+        assert_eq!(solo.report.records[0].agg, q1.agg, "device == degraded");
+
+        for rec in &run.report.records {
+            let m = matching(rec.lo, rec.hi);
+            assert_eq!(rec.matched as usize, m.len(), "query {}", rec.id);
+            match rec.op {
+                QueryOp::Select | QueryOp::Project { .. } => {
+                    let got = BitSet::from_bytes(&rec.bitset, vals.len()).to_positions();
+                    assert_eq!(got, reference_positions(&vals, rec.lo, rec.hi));
+                    if matches!(rec.op, QueryOp::Project { .. }) {
+                        assert_eq!(rec.projected, m, "query {} packed projection", rec.id);
+                    }
+                }
+                QueryOp::SelectCount => assert_eq!(rec.agg, Some(m.len() as i64)),
+                QueryOp::SelectAgg(AggFn::Max) => assert_eq!(rec.agg, m.iter().copied().max()),
+                QueryOp::SelectAgg(_) => assert_eq!(rec.agg, Some(sum)),
+            }
+        }
+        assert!(run.report.cpu_queries() >= 1);
+        let breakdown = run.report.op_breakdown();
+        assert!(breakdown.len() >= 4, "one breakdown row per operator kind");
     }
 }

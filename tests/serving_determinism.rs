@@ -9,8 +9,18 @@ use jafar::common::check::forall;
 use jafar::common::time::Tick;
 use jafar::dram::DramGeometry;
 use jafar::serve::engine::ServeConfig;
-use jafar::serve::{PredicateMix, SchedPolicy, ServeReport, Workload};
+use jafar::serve::{AggFn, PredicateMix, QueryOp, SchedPolicy, ServeReport, Workload};
 use jafar::sim::{System, SystemConfig};
+
+/// The §4 operator set a mixed stream cycles through.
+const OP_MIX: [QueryOp; 6] = [
+    QueryOp::Select,
+    QueryOp::SelectCount,
+    QueryOp::SelectAgg(AggFn::Sum),
+    QueryOp::Project { k: 2 },
+    QueryOp::SelectAgg(AggFn::Min),
+    QueryOp::SelectAgg(AggFn::Max),
+];
 
 fn multi_rank_system(ranks: u32) -> System {
     let mut cfg = SystemConfig::test_small();
@@ -35,6 +45,18 @@ fn reference_bytes(vals: &[i64], lo: i64, hi: i64) -> Vec<u8> {
     bytes
 }
 
+/// The scalar a JAFAR aggregate kernel folds over the qualifying
+/// values: wrapping sum, or the extremum, and `None` when nothing
+/// qualifies — the contract every rung (device, fallback, CPU
+/// degradation) must reproduce exactly.
+fn reference_agg(f: AggFn, matching: &[i64]) -> Option<i64> {
+    match f {
+        AggFn::Sum => matching.iter().copied().reduce(|a, b| a.wrapping_add(b)),
+        AggFn::Min => matching.iter().copied().min(),
+        AggFn::Max => matching.iter().copied().max(),
+    }
+}
+
 fn served_run(seed: u64) -> (ServeReport, String, String, String) {
     let mut sys = multi_rank_system(4);
     sys.enable_tracing(1 << 14);
@@ -47,7 +69,8 @@ fn served_run(seed: u64) -> (ServeReport, String, String, String) {
     // Two SLO classes so EDF ordering (not just FIFO) is exercised and
     // the deadline machinery is part of the golden surface.
     let workload = Workload::poisson(mix, 6, Tick::from_us(1), seed)
-        .with_slo_classes(&[Tick::from_ms(1), Tick::from_us(400)]);
+        .with_slo_classes(&[Tick::from_ms(1), Tick::from_us(400)])
+        .with_op_mix(&OP_MIX);
     let run = sys.serve(
         &values,
         &workload,
@@ -124,6 +147,16 @@ fn served_selections_match_solo_runs_across_random_workloads() {
             // — bit-identity must hold on that rung too.
             workload = workload.with_slo(Tick::from_us(rng.next_range_inclusive(5, 500) as u64));
         }
+        if rng.next_bool(0.6) {
+            // Most cases serve a mixed stream: the per-op result
+            // contracts below must hold regardless of the mix.
+            let start = rng.next_range_inclusive(0, OP_MIX.len() as i64 - 1) as usize;
+            let len = rng.next_range_inclusive(1, OP_MIX.len() as i64) as usize;
+            let mix: Vec<QueryOp> = (0..len)
+                .map(|i| OP_MIX[(start + i) % OP_MIX.len()])
+                .collect();
+            workload = workload.with_op_mix(&mix);
+        }
         let policy = policies[case % policies.len()];
         case += 1;
 
@@ -138,15 +171,56 @@ fn served_selections_match_solo_runs_across_random_workloads() {
             if rec.done.is_none() {
                 continue;
             }
-            let expect = reference_bytes(&values, rec.lo, rec.hi);
-            assert_eq!(rec.bitset, expect, "query {} selection bytes", rec.id);
-            let ones: u64 = expect.iter().map(|b| b.count_ones() as u64).sum();
-            assert_eq!(rec.matched, ones, "query {} match count", rec.id);
+            let matching: Vec<i64> = values
+                .iter()
+                .copied()
+                .filter(|v| (rec.lo..=rec.hi).contains(v))
+                .collect();
+            assert_eq!(
+                rec.matched as usize,
+                matching.len(),
+                "query {} match count",
+                rec.id
+            );
+            match rec.op {
+                QueryOp::Select | QueryOp::Project { .. } => {
+                    let expect = reference_bytes(&values, rec.lo, rec.hi);
+                    assert_eq!(rec.bitset, expect, "query {} selection bytes", rec.id);
+                    if matches!(rec.op, QueryOp::Project { .. }) {
+                        assert_eq!(
+                            rec.projected, matching,
+                            "query {} packed projection",
+                            rec.id
+                        );
+                    }
+                }
+                QueryOp::SelectCount => {
+                    assert_eq!(
+                        rec.agg,
+                        Some(matching.len() as i64),
+                        "query {} count scalar",
+                        rec.id
+                    );
+                }
+                QueryOp::SelectAgg(f) => {
+                    assert_eq!(
+                        rec.agg,
+                        reference_agg(f, &matching),
+                        "query {} aggregate scalar",
+                        rec.id
+                    );
+                }
+            }
         }
 
         // One full solo-device comparison per case: the served bytes are
         // the same bytes a dedicated single-device run produces.
-        if let Some(rec) = run.report.records.iter().find(|r| r.done.is_some()) {
+        if let Some(rec) = run
+            .report
+            .records
+            .iter()
+            .find(|r| r.done.is_some() && matches!(r.op, QueryOp::Select))
+        {
             let mut solo = multi_rank_system(4);
             let col = solo.write_column(&values);
             let stats = solo.run_select_jafar(col, rows as u64, rec.lo, rec.hi, Tick::ZERO);
@@ -160,4 +234,96 @@ fn served_selections_match_solo_runs_across_random_workloads() {
             );
         }
     });
+}
+
+/// The acceptance bar for scalar operators: under a rank-scoped fault
+/// that forces a query off the device rungs, the degraded aggregate
+/// returns the *identical* scalar a healthy device run produces — not
+/// an approximation, not a recomputation with different overflow
+/// semantics.
+#[test]
+fn degraded_aggregates_return_identical_scalars_under_rank_faults() {
+    use jafar::core::ResilienceConfig;
+    use jafar::dram::FaultPlan;
+    use jafar::serve::{Arrivals, ExecMode, QuerySpec};
+
+    let values: Vec<i64> = (0..4096).map(|i| (i * 53 + 7) % 1000).collect();
+    let q = |lo: i64, hi: i64, op: QueryOp, slo: Option<Tick>| QuerySpec { lo, hi, op, slo };
+    let specs = [
+        // Occupies every free rank first, so the aggregate behind it
+        // with a hopeless SLO must take the CPU rung.
+        q(0, 499, QueryOp::Select, None),
+        q(
+            0,
+            499,
+            QueryOp::SelectAgg(AggFn::Sum),
+            Some(Tick::from_ns(1)),
+        ),
+        q(250, 749, QueryOp::SelectAgg(AggFn::Min), None),
+        q(500, 999, QueryOp::SelectCount, None),
+    ];
+    let workload = |slos: bool| Workload {
+        specs: specs
+            .iter()
+            .map(|s| QuerySpec {
+                slo: if slos { s.slo } else { None },
+                ..*s
+            })
+            .collect(),
+        arrivals: Arrivals::Open(vec![Tick::ZERO; specs.len()]),
+        slo: None,
+    };
+    let cfg = ServeConfig {
+        resilience: ResilienceConfig {
+            max_retries: 1,
+            breaker_threshold: 1,
+            ..ResilienceConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+
+    let mut sick = multi_rank_system(4);
+    sick.inject_faults(FaultPlan {
+        stall_burst_range: Some((0, u64::MAX)),
+        rank_scope: Some(0),
+        ..FaultPlan::none(3)
+    });
+    let run = sick.serve(&values, &workload(true), SchedPolicy::RankAffinity, &cfg);
+    assert_eq!(run.report.completed(), specs.len());
+    assert_eq!(
+        run.report.records[1].mode,
+        ExecMode::Cpu,
+        "hopeless SLO forces the aggregate onto the CPU rung"
+    );
+
+    // The same stream, no SLOs, on a healthy machine: all-device runs.
+    let mut healthy = multi_rank_system(4);
+    let clean = healthy.serve(&values, &workload(false), SchedPolicy::RankAffinity, &cfg);
+    for (sick_rec, clean_rec) in run.report.records.iter().zip(&clean.report.records) {
+        assert!(matches!(clean_rec.mode, ExecMode::Device { .. }));
+        assert_eq!(
+            sick_rec.agg, clean_rec.agg,
+            "query {} scalar identical across rungs",
+            sick_rec.id
+        );
+        let matching: Vec<i64> = values
+            .iter()
+            .copied()
+            .filter(|v| (sick_rec.lo..=sick_rec.hi).contains(v))
+            .collect();
+        match sick_rec.op {
+            QueryOp::Select | QueryOp::Project { .. } => {
+                assert_eq!(
+                    sick_rec.bitset,
+                    reference_bytes(&values, sick_rec.lo, sick_rec.hi)
+                );
+            }
+            QueryOp::SelectCount => {
+                assert_eq!(sick_rec.agg, Some(matching.len() as i64));
+            }
+            QueryOp::SelectAgg(f) => {
+                assert_eq!(sick_rec.agg, reference_agg(f, &matching));
+            }
+        }
+    }
 }
