@@ -1,0 +1,340 @@
+//! Chaos ablation — serving availability under escalating fault regimes.
+//!
+//! The chaos property suite (`tests/chaos.rs`) proves the invariants on
+//! randomized schedules; this bench makes the *cost* of surviving them
+//! visible. It serves the same seeded multi-operator workload under a
+//! grid of fault scenarios × scheduling policies and reports, per cell,
+//! what the failure-domain machinery did (migrations, requeues, canary
+//! probes, per-rank downtime) and what it cost the tenant (p99 latency,
+//! throughput, sheds). Every cell re-asserts the correctness invariants
+//! in-process: every admitted query completes bit-identical to the
+//! fault-free functional reference or is explicitly shed, and a chaotic
+//! cell replays byte-identically from its seed.
+//!
+//! Scenarios, in escalating order:
+//!
+//! - `clean`        — no faults: the baseline row (zero downtime).
+//! - `light`        — sparse transient flips/stalls, recoverable in-ladder.
+//! - `chaos`        — dense transient soup: retries, breakers, CPU rungs.
+//! - `outage-heal`  — rank 1 dark from t=0, repairs at 120 µs: park →
+//!   rescue → quarantine → canary → return to pool.
+//! - `outage-dark`  — rank 0 permanently dark: its work migrates and the
+//!   pool shrinks for the whole run (canaries keep failing).
+//! - `outage+chaos` — a mid-run repairing outage on top of the dense
+//!   transient soup.
+//!
+//! Usage: `ablation_chaos [--queries N] [--rows N] [--csv] [--smoke]`
+
+use jafar_bench::{arg, f1, f2, flag, print_table};
+use jafar_common::bitset::BitSet;
+use jafar_common::rng::SplitMix64;
+use jafar_common::time::Tick;
+use jafar_dram::{DramGeometry, FaultPlan};
+use jafar_serve::engine::ServeConfig;
+use jafar_serve::{AggFn, ExecMode, PredicateMix, QueryOp, SchedPolicy, ServeReport, Workload};
+use jafar_sim::{System, SystemConfig};
+
+const SEED: u64 = 0xC4A05;
+
+/// The §4 operator set every scenario cycles through.
+const OP_MIX: [QueryOp; 6] = [
+    QueryOp::Select,
+    QueryOp::SelectCount,
+    QueryOp::SelectAgg(AggFn::Sum),
+    QueryOp::Project { k: 2 },
+    QueryOp::SelectAgg(AggFn::Min),
+    QueryOp::SelectAgg(AggFn::Max),
+];
+
+/// Four DRAM ranks — three NDP ranks plus the host scratch rank — so a
+/// single outage removes a third of the schedulable pool.
+fn config() -> SystemConfig {
+    let mut cfg = SystemConfig::test_small();
+    cfg.dram_geometry = DramGeometry {
+        ranks: 4,
+        banks_per_rank: 4,
+        rows_per_bank: 64,
+        row_bytes: 1024,
+    };
+    cfg
+}
+
+struct Scenario {
+    name: &'static str,
+    plan: fn(u64) -> FaultPlan,
+}
+
+const SCENARIOS: [Scenario; 6] = [
+    Scenario {
+        name: "clean",
+        plan: FaultPlan::none,
+    },
+    Scenario {
+        name: "light",
+        plan: FaultPlan::light,
+    },
+    Scenario {
+        name: "chaos",
+        plan: FaultPlan::chaos,
+    },
+    Scenario {
+        name: "outage-heal",
+        plan: |seed| FaultPlan::none(seed).with_outage(1, Tick::ZERO, Tick::from_us(120)),
+    },
+    Scenario {
+        name: "outage-dark",
+        plan: |seed| FaultPlan::none(seed).with_outage(0, Tick::ZERO, Tick::MAX),
+    },
+    Scenario {
+        name: "outage+chaos",
+        plan: |seed| FaultPlan::chaos(seed).with_outage(2, Tick::from_us(10), Tick::from_us(150)),
+    },
+];
+
+fn reference_positions(values: &[i64], lo: i64, hi: i64) -> Vec<u32> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| (lo..=hi).contains(&v))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+fn reference_agg(f: AggFn, matching: &[i64]) -> Option<i64> {
+    match f {
+        AggFn::Sum => matching.iter().copied().reduce(|a, b| a.wrapping_add(b)),
+        AggFn::Min => matching.iter().copied().min(),
+        AggFn::Max => matching.iter().copied().max(),
+    }
+}
+
+/// Asserts the chaos invariants on one cell's report: every query done
+/// or shed, and every completed result bit-identical to the functional
+/// reference whatever rung or rank path served it.
+fn check_cell(tag: &str, values: &[i64], n: usize, report: &ServeReport) {
+    assert_eq!(
+        report.completed() + report.shed(),
+        n,
+        "{tag}: every query completes or is explicitly shed"
+    );
+    for rec in &report.records {
+        if rec.done.is_none() {
+            assert_eq!(rec.mode, ExecMode::Shed, "{tag}: query {} lost", rec.id);
+            continue;
+        }
+        let matching: Vec<i64> = values
+            .iter()
+            .copied()
+            .filter(|v| (rec.lo..=rec.hi).contains(v))
+            .collect();
+        assert_eq!(
+            rec.matched as usize,
+            matching.len(),
+            "{tag}: query {} match count",
+            rec.id
+        );
+        match rec.op {
+            QueryOp::Select | QueryOp::Project { .. } => {
+                let got = BitSet::from_bytes(&rec.bitset, values.len()).to_positions();
+                assert_eq!(
+                    got,
+                    reference_positions(values, rec.lo, rec.hi),
+                    "{tag}: query {} selection vector",
+                    rec.id
+                );
+                if matches!(rec.op, QueryOp::Project { .. }) {
+                    assert_eq!(
+                        rec.projected, matching,
+                        "{tag}: query {} projection",
+                        rec.id
+                    );
+                }
+            }
+            QueryOp::SelectCount => {
+                assert_eq!(
+                    rec.agg,
+                    Some(matching.len() as i64),
+                    "{tag}: query {} count",
+                    rec.id
+                );
+            }
+            QueryOp::SelectAgg(f) => {
+                assert_eq!(
+                    rec.agg,
+                    reference_agg(f, &matching),
+                    "{tag}: query {} scalar",
+                    rec.id
+                );
+            }
+        }
+    }
+    for r in &report.availability.ranks {
+        assert!(
+            r.downtime <= report.makespan,
+            "{tag}: rank {} downtime exceeds makespan",
+            r.rank
+        );
+    }
+}
+
+fn run_cell(
+    values: &[i64],
+    workload: &Workload,
+    policy: SchedPolicy,
+    plan: FaultPlan,
+) -> ServeReport {
+    let mut sys = System::new(config());
+    sys.inject_faults(plan);
+    sys.serve(values, workload, policy, &ServeConfig::default())
+        .report
+}
+
+fn main() {
+    let smoke = flag("--smoke");
+    let queries: usize = arg("--queries", if smoke { 8 } else { 24 });
+    let rows: usize = arg("--rows", if smoke { 1536 } else { 4096 });
+    let csv = flag("--csv");
+
+    let mut rng = SplitMix64::new(SEED);
+    let values: Vec<i64> = (0..rows)
+        .map(|_| rng.next_range_inclusive(0, 999))
+        .collect();
+    let workload = Workload::poisson(
+        PredicateMix::UniformRange {
+            min: 0,
+            max: 999,
+            width: 300,
+        },
+        queries,
+        Tick::from_us(30),
+        SEED ^ 0x17,
+    )
+    .with_op_mix(&OP_MIX)
+    .with_slo(Tick::from_us(400));
+
+    let cfg = config();
+    println!("# Chaos ablation: fault scenario x scheduling policy");
+    println!(
+        "# workload: {queries} queries over {rows} rows, Poisson 30 us mean gap, 400 us SLO, {} op mix",
+        OP_MIX.len()
+    );
+    println!(
+        "# platform: {} / {} (3 NDP ranks + host scratch)",
+        cfg.name,
+        cfg.dram_geometry.describe()
+    );
+    println!();
+
+    let policies = [
+        ("fifo", SchedPolicy::Fifo),
+        ("edf", SchedPolicy::Edf),
+        ("affinity", SchedPolicy::RankAffinity),
+    ];
+
+    if csv {
+        println!(
+            "scenario,policy,done,shed,p99_us,tput_qps,migrations,requeues,canary_ok,canary_fail,downtime_us"
+        );
+    }
+    let mut out_rows: Vec<Vec<String>> = Vec::new();
+    for sc in &SCENARIOS {
+        for (pname, policy) in &policies {
+            let tag = format!("{}/{}", sc.name, pname);
+            let report = run_cell(&values, &workload, *policy, (sc.plan)(SEED ^ 0x9E));
+            check_cell(&tag, &values, queries, &report);
+
+            let a = &report.availability;
+            match sc.name {
+                "clean" => {
+                    assert!(!a.disturbed(), "{tag}: clean run must be undisturbed");
+                    assert_eq!(a.total_downtime(), Tick::ZERO, "{tag}: clean downtime");
+                }
+                "outage-heal" => {
+                    assert!(
+                        a.ranks[1].quarantines >= 1,
+                        "{tag}: dark rank 1 never quarantined"
+                    );
+                    assert!(
+                        a.ranks[1].canary_ok >= 1,
+                        "{tag}: the repaired rank must heal through a canary"
+                    );
+                }
+                "outage-dark" => {
+                    assert!(
+                        a.ranks[0].quarantines >= 1,
+                        "{tag}: dark rank 0 never quarantined"
+                    );
+                    assert_eq!(
+                        a.ranks[0].canary_ok, 0,
+                        "{tag}: a canary cannot repair a permanently dark rank"
+                    );
+                    assert!(
+                        a.ranks[0].canary_fail >= 1,
+                        "{tag}: probes against the dark rank must fail"
+                    );
+                    assert!(a.migrations >= 1, "{tag}: rank 0's work must migrate");
+                }
+                _ => {}
+            }
+
+            let (ok, fail) = a.ranks.iter().fold((0u64, 0u64), |(o, f), r| {
+                (o + r.canary_ok, f + r.canary_fail)
+            });
+            let p99_us = report.p99().map(|t| t.as_us_f64()).unwrap_or(0.0);
+            let down_us = a.total_downtime().as_us_f64();
+            if csv {
+                println!(
+                    "{},{},{},{},{:.2},{:.1},{},{},{ok},{fail},{:.1}",
+                    sc.name,
+                    pname,
+                    report.completed(),
+                    report.shed(),
+                    p99_us,
+                    report.throughput_qps(),
+                    a.migrations,
+                    a.requeues,
+                    down_us
+                );
+            }
+            out_rows.push(vec![
+                sc.name.to_string(),
+                pname.to_string(),
+                format!("{}", report.completed()),
+                format!("{}", report.shed()),
+                f2(p99_us),
+                f1(report.throughput_qps()),
+                format!("{}", a.migrations),
+                format!("{}", a.requeues),
+                format!("{ok}/{fail}"),
+                f1(down_us),
+            ]);
+        }
+    }
+
+    if !csv {
+        print_table(
+            &[
+                "scenario",
+                "policy",
+                "done",
+                "shed",
+                "p99 (us)",
+                "tput (q/s)",
+                "migr",
+                "requeue",
+                "canary ok/fail",
+                "downtime (us)",
+            ],
+            &out_rows,
+        );
+        println!();
+    }
+
+    // Replay determinism on the nastiest cell: the same seed must
+    // reproduce the entire report byte-for-byte.
+    let plan = (SCENARIOS[5].plan)(SEED ^ 0x9E);
+    let a = run_cell(&values, &workload, SchedPolicy::Edf, plan);
+    let b = run_cell(&values, &workload, SchedPolicy::Edf, plan);
+    assert_eq!(a, b, "outage+chaos/edf must replay byte-identically");
+    println!("# all cells passed the chaos invariants; outage+chaos/edf replays byte-identically.");
+}

@@ -21,7 +21,7 @@
 //! the whole sweep — assertions included — in seconds; explicit `--rows`
 //! / `--ranks` still override it.
 
-use jafar_bench::{arg, f2, flag, print_table};
+use jafar_bench::{arg, f2, flag, jnum, print_table, write_bench_json};
 use jafar_common::rng::SplitMix64;
 use jafar_common::time::Tick;
 use jafar_core::ResilienceConfig;
@@ -104,6 +104,8 @@ fn main() {
         println!("ranks,time_ms,speedup_vs_1,speedup_vs_cpu,longest_shard_rows");
     }
     let mut out_rows: Vec<Vec<String>> = Vec::new();
+    // (ranks, time ms, speedup vs 1, speedup vs cpu, longest shard rows)
+    let mut points: Vec<(usize, f64, f64, f64, u64)> = Vec::new();
     let mut prev_end: Option<Tick> = None;
     let mut base_ms = 0.0f64;
     for k in 1..=max_ranks {
@@ -141,6 +143,7 @@ fn main() {
                 cpu.end.as_ms_f64() / ms
             );
         }
+        points.push((k, ms, base_ms / ms, cpu.end.as_ms_f64() / ms, longest));
         out_rows.push(vec![
             format!("{k}"),
             f2(ms),
@@ -200,4 +203,29 @@ fn main() {
         f2(par.end.as_ms_f64())
     );
     println!("#   faulty shard fell back to the CPU scan; siblings untouched.");
+
+    // Persist the perf trajectory (ROADMAP open item 3) as a hand-rolled
+    // JSON artifact: the scaling curve plus the fault run's outcome.
+    let points_json: Vec<String> = points
+        .iter()
+        .map(|(k, ms, s1, scpu, longest)| {
+            format!(
+                "    {{\"ranks\": {k}, \"time_ms\": {}, \"speedup_vs_1\": {}, \
+                 \"speedup_vs_cpu\": {}, \"longest_shard_rows\": {longest}}}",
+                jnum(*ms),
+                jnum(*s1),
+                jnum(*scpu),
+            )
+        })
+        .collect();
+    let body = format!(
+        "{{\n  \"bench\": \"fig_scaling\",\n  \"smoke\": {smoke},\n  \"rows\": {rows},\n  \
+         \"cpu_baseline_ms\": {},\n  \"scaling\": [\n{}\n  ],\n  \"fault_run\": {{\"ranks\": {k}, \
+         \"end_ms\": {}, \"rank0_cpu_pages\": {}}}\n}}\n",
+        jnum(cpu.end.as_ms_f64()),
+        points_json.join(",\n"),
+        jnum(par.end.as_ms_f64()),
+        par.recovery[0].pages_cpu.get(),
+    );
+    write_bench_json("BENCH_scaling.json", &body);
 }

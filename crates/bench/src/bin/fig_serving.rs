@@ -33,7 +33,7 @@
 //! points) so CI can execute the sweep — assertions included — in
 //! seconds.
 
-use jafar_bench::{arg, f1, f2, flag, print_table};
+use jafar_bench::{arg, f1, f2, flag, jnum, print_table, write_bench_json};
 use jafar_common::time::Tick;
 use jafar_core::ResilienceConfig;
 use jafar_dram::{DramGeometry, FaultPlan};
@@ -179,8 +179,19 @@ fn main() {
         println!("load,gap_us,completed,shed,throughput_qps,p50_ms,p95_ms,p99_ms,mean_wait_ms,mean_service_ms");
     }
     let mut table: Vec<Vec<String>> = Vec::new();
-    // (p99 ms, tput q/s, offered q/s, shed, mean wait ms, mean service ms)
-    let mut sweep: Vec<(f64, f64, f64, usize, f64, f64)> = Vec::new();
+    struct Point {
+        load: f64,
+        offered: f64,
+        tput: f64,
+        completed: usize,
+        shed: usize,
+        p50: f64,
+        p95: f64,
+        p99: f64,
+        wait: f64,
+        svc: f64,
+    }
+    let mut sweep: Vec<Point> = Vec::new();
     for &load in loads {
         let gap = Tick::from_ps(((svc.as_ps() as f64) / load).round().max(1.0) as u64);
         let offered = 1e12 / gap.as_ps() as f64;
@@ -209,14 +220,18 @@ fn main() {
         let ms = |t: Option<Tick>| t.map_or(f64::NAN, |t| t.as_ms_f64());
         let p99 = ms(report.p99());
         let tput = report.throughput_qps();
-        sweep.push((
-            p99,
-            tput,
+        sweep.push(Point {
+            load,
             offered,
-            report.shed(),
-            ms(report.mean_queue_wait()),
-            ms(report.mean_service()),
-        ));
+            tput,
+            completed: report.completed(),
+            shed: report.shed(),
+            p50: ms(report.p50()),
+            p95: ms(report.p95()),
+            p99,
+            wait: ms(report.mean_queue_wait()),
+            svc: ms(report.mean_service()),
+        });
         if csv {
             println!(
                 "{load},{:.2},{},{},{:.1},{:.4},{:.4},{:.4},{:.4},{:.4}",
@@ -268,8 +283,10 @@ fn main() {
     // (rather than vs the previous point) keeps the check meaningful even
     // with the two-point smoke sweep, where throughput at light load is
     // arrival-limited, not capacity-limited.
-    let (p99_light, _, _, _, wait_light, svc_light) = sweep[0];
-    let (p99_heavy, tput_heavy, offered_heavy, shed_heavy, _, _) = sweep[sweep.len() - 1];
+    let (p99_light, wait_light, svc_light) = (sweep[0].p99, sweep[0].wait, sweep[0].svc);
+    let heavy = &sweep[sweep.len() - 1];
+    let (p99_heavy, tput_heavy, offered_heavy, shed_heavy) =
+        (heavy.p99, heavy.tput, heavy.offered, heavy.shed);
     assert!(
         p99_heavy > 2.0 * p99_light,
         "p99 must rise past the knee: {p99_heavy} ms heavy vs {p99_light} ms light"
@@ -380,4 +397,70 @@ fn main() {
             f1(b.throughput_qps),
         );
     }
+
+    // Persist the perf trajectory (ROADMAP open item 3): the load sweep,
+    // the knee, and the fault run's availability accounting, as one
+    // hand-rolled JSON artifact per run.
+    let points: Vec<String> = sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"load\": {}, \"offered_qps\": {}, \"throughput_qps\": {}, \
+                 \"completed\": {}, \"shed\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \
+                 \"p99_ms\": {}, \"mean_wait_ms\": {}, \"mean_service_ms\": {}}}",
+                jnum(p.load),
+                jnum(p.offered),
+                jnum(p.tput),
+                p.completed,
+                p.shed,
+                jnum(p.p50),
+                jnum(p.p95),
+                jnum(p.p99),
+                jnum(p.wait),
+                jnum(p.svc),
+            )
+        })
+        .collect();
+    let a = &report.availability;
+    let ranks_json: Vec<String> = a
+        .ranks
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"rank\": {}, \"downtime_us\": {}, \"quarantines\": {}, \
+                 \"canary_ok\": {}, \"canary_fail\": {}}}",
+                r.rank,
+                jnum(r.downtime.as_us_f64()),
+                r.quarantines,
+                r.canary_ok,
+                r.canary_fail,
+            )
+        })
+        .collect();
+    let body = format!(
+        "{{\n  \"bench\": \"fig_serving\",\n  \"smoke\": {smoke},\n  \"queries\": {n},\n  \
+         \"rows\": {rows},\n  \"load_sweep\": [\n{}\n  ],\n  \"knee\": {{\"p99_light_ms\": {}, \
+         \"p99_heavy_ms\": {}, \"p99_ratio\": {}, \"heavy_offered_qps\": {}, \
+         \"heavy_throughput_qps\": {}, \"heavy_shed\": {shed_heavy}}},\n  \"fault_run\": {{\n    \
+         \"completed\": {}, \"shed\": {}, \"cpu_rung\": {cpu_rung}, \"p99_ms\": {}, \
+         \"deadline_misses\": {},\n    \"availability\": {{\n      \"migrations\": {}, \
+         \"requeues\": {}, \"sheds_tightened\": {}, \"total_downtime_us\": {},\n      \
+         \"ranks\": [\n{}\n      ]\n    }}\n  }}\n}}\n",
+        points.join(",\n"),
+        jnum(p99_light),
+        jnum(p99_heavy),
+        jnum(p99_heavy / p99_light),
+        jnum(offered_heavy),
+        jnum(tput_heavy),
+        report.completed(),
+        report.shed(),
+        jnum(report.p99().map_or(f64::NAN, |t| t.as_ms_f64())),
+        report.deadline_misses(),
+        a.migrations,
+        a.requeues,
+        a.sheds_tightened,
+        jnum(a.total_downtime().as_us_f64()),
+        ranks_json.join(",\n"),
+    );
+    write_bench_json("BENCH_serving.json", &body);
 }

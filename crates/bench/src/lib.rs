@@ -184,6 +184,24 @@ pub fn print_table<R: AsRef<[String]>>(headers: &[&str], rows: &[R]) {
     }
 }
 
+/// Serializes one JSON number; non-finite values (an empty percentile,
+/// a NaN ratio) become `null` so the artifact stays parseable.
+pub fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Writes a `BENCH_*.json` perf artifact next to the working directory
+/// and notes it on stdout. The workspace builds offline (no serde), so
+/// callers compose the body by hand with [`jnum`] for the numbers.
+pub fn write_bench_json(path: &str, body: &str) {
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+    println!("# wrote {path}");
+}
+
 /// Formats a float with the given precision.
 pub fn fmt(v: impl Display) -> String {
     format!("{v}")

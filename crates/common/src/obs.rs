@@ -194,6 +194,37 @@ pub enum EventKind {
         /// Queue depth at the rejection.
         depth: u32,
     },
+    /// A serving rank moved through its health state machine.
+    RankHealth {
+        /// The rank whose health changed.
+        rank: u32,
+        /// New state (`"suspect"`, `"quarantined"`, `"probing"`,
+        /// `"healthy"`).
+        state: &'static str,
+    },
+    /// A parked shard resumed on a different rank from its checkpoint.
+    ShardMigrated {
+        /// Submission index of the query the shard belongs to.
+        query: u32,
+        /// The rank the shard parked on.
+        from: u32,
+        /// The rank it resumed on.
+        to: u32,
+        /// First row the resumed session processes (the checkpoint).
+        row: u64,
+    },
+    /// A failed shard re-entered the dispatch ladder above host-degrade.
+    QueryRequeued {
+        /// Submission index of the query within the served workload.
+        query: u32,
+    },
+    /// A canary probe against a quarantined rank finished.
+    CanaryProbe {
+        /// The probed rank.
+        rank: u32,
+        /// True when the canary completed on the device (rank repaired).
+        ok: bool,
+    },
 }
 
 impl EventKind {
@@ -221,6 +252,10 @@ impl EventKind {
             EventKind::QueryStarted { .. } => "query-started",
             EventKind::QueryDone { .. } => "query-done",
             EventKind::QueryShed { .. } => "query-shed",
+            EventKind::RankHealth { .. } => "rank-health",
+            EventKind::ShardMigrated { .. } => "shard-migrated",
+            EventKind::QueryRequeued { .. } => "query-requeued",
+            EventKind::CanaryProbe { .. } => "canary-probe",
         }
     }
 
@@ -246,7 +281,11 @@ impl EventKind {
             EventKind::QueryAdmitted { .. }
             | EventKind::QueryStarted { .. }
             | EventKind::QueryDone { .. }
-            | EventKind::QueryShed { .. } => "serve",
+            | EventKind::QueryShed { .. }
+            | EventKind::RankHealth { .. }
+            | EventKind::ShardMigrated { .. }
+            | EventKind::QueryRequeued { .. }
+            | EventKind::CanaryProbe { .. } => "serve",
         }
     }
 
@@ -342,6 +381,23 @@ impl EventKind {
             }
             EventKind::QueryShed { query, depth } => {
                 let _ = write!(out, "query={query} depth={depth}");
+            }
+            EventKind::RankHealth { rank, state } => {
+                let _ = write!(out, "rank={rank} state={state}");
+            }
+            EventKind::ShardMigrated {
+                query,
+                from,
+                to,
+                row,
+            } => {
+                let _ = write!(out, "query={query} from={from} to={to} row={row}");
+            }
+            EventKind::QueryRequeued { query } => {
+                let _ = write!(out, "query={query}");
+            }
+            EventKind::CanaryProbe { rank, ok } => {
+                let _ = write!(out, "rank={rank} ok={ok}");
             }
         }
     }

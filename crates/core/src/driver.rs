@@ -253,6 +253,7 @@ pub struct SelectSession {
     device_time: Tick,
     driver_time: Tick,
     done: bool,
+    parked: bool,
 }
 
 impl SelectSession {
@@ -265,6 +266,20 @@ impl SelectSession {
     /// True once the final page completed and the lease was released.
     pub fn is_done(&self) -> bool {
         self.done
+    }
+
+    /// True when a fail-fast step gave up on the device without falling
+    /// back to the CPU scan: the session is frozen at a page boundary
+    /// ([`SelectSession::next_row`] rows complete,
+    /// [`SelectSession::matched`] matches banked) so a healthy rank can
+    /// resume it via [`ResilientDriver::resume_session`].
+    pub fn is_parked(&self) -> bool {
+        self.parked
+    }
+
+    /// Matches banked so far (complete up to [`SelectSession::next_row`]).
+    pub fn matched(&self) -> u64 {
+        self.matched
     }
 
     /// The rank this session's column lives on.
@@ -394,6 +409,36 @@ impl ResilientDriver {
             device_time: Tick::ZERO,
             driver_time: Tick::ZERO,
             done: false,
+            parked: false,
+        }
+    }
+
+    /// Reopens a session for `req` that a previous rank left parked: the
+    /// first `rows_done` rows are already complete (their bitset bytes
+    /// salvaged by the caller) with `matched` matches banked, and this
+    /// driver's rank continues from that page boundary at `start` under a
+    /// fresh lease. Time accounting restarts at zero — the migrated
+    /// session reports only the work done on the new rank.
+    pub fn resume_session(
+        &self,
+        module: &DramModule,
+        req: SelectRequest,
+        rows_done: u64,
+        matched: u64,
+        start: Tick,
+    ) -> SelectSession {
+        SelectSession {
+            rank: module.decoder().decode(req.col_addr).rank,
+            req,
+            row: rows_done,
+            t: start,
+            matched,
+            pages: 0,
+            cpu_wait: Tick::ZERO,
+            device_time: Tick::ZERO,
+            driver_time: Tick::ZERO,
+            done: false,
+            parked: false,
         }
     }
 
@@ -406,7 +451,33 @@ impl ResilientDriver {
         module: &mut DramModule,
         session: &mut SelectSession,
     ) {
-        if session.done {
+        self.step_page_inner(device, module, session, false);
+    }
+
+    /// Like [`ResilientDriver::step_page`], but a page that exhausts the
+    /// device ladder *parks* the session at its current page boundary
+    /// instead of crawling through the CPU scan: `session.is_parked()`
+    /// turns true, the row cursor does not advance, and the caller decides
+    /// what happens next (typically migrating the shard to a healthy rank
+    /// via [`ResilientDriver::resume_session`]). Breaker accounting is
+    /// identical to the fallback path.
+    pub fn step_page_failfast(
+        &mut self,
+        device: &mut JafarDevice,
+        module: &mut DramModule,
+        session: &mut SelectSession,
+    ) {
+        self.step_page_inner(device, module, session, true);
+    }
+
+    fn step_page_inner(
+        &mut self,
+        device: &mut JafarDevice,
+        module: &mut DramModule,
+        session: &mut SelectSession,
+        failfast: bool,
+    ) {
+        if session.done || session.parked {
             return;
         }
         if session.row >= session.req.rows {
@@ -456,6 +527,13 @@ impl ResilientDriver {
                         self.tracer
                             .emit(session.t, EventKind::BreakerTransition { open: true });
                     }
+                }
+                if failfast {
+                    // Freeze at the page boundary: rows [0, session.row)
+                    // are complete and their bitset bytes are in DRAM;
+                    // the caller re-dispatches the remainder elsewhere.
+                    session.parked = true;
+                    return;
                 }
                 self.tracer.emit(
                     session.t,
@@ -767,6 +845,34 @@ impl ResilientDriver {
         job: AggregateJob,
         start: Tick,
     ) -> AggregateOutcome {
+        match self.try_run_aggregate(device, module, job, start) {
+            Ok(out) => out,
+            Err(mut t) => {
+                self.note_kernel_fallback(t, job.col_addr.0);
+                let (value, count) = self.fallback_aggregate(module, job, &mut t);
+                AggregateOutcome {
+                    end: t,
+                    value,
+                    count,
+                    on_device: false,
+                }
+            }
+        }
+    }
+
+    /// The fallible half of [`ResilientDriver::run_aggregate`]: the device
+    /// kernel under the full ladder, but when the device path is exhausted
+    /// the job is handed *back* instead of folded on the host —
+    /// `Err(tick)` carries the time the ladder gave up, breaker accounting
+    /// already booked. The serving tier uses this to re-dispatch the shard
+    /// onto a healthy rank rather than crawl through a host fold here.
+    pub fn try_run_aggregate(
+        &mut self,
+        device: &mut JafarDevice,
+        module: &mut DramModule,
+        job: AggregateJob,
+        start: Tick,
+    ) -> Result<AggregateOutcome, Tick> {
         let rank = module.decoder().decode(job.col_addr).rank;
         let mut t = start;
         let run = if self.breaker_open {
@@ -777,21 +883,15 @@ impl ResilientDriver {
             })
         };
         match run {
-            Some(r) => AggregateOutcome {
+            Some(r) => Ok(AggregateOutcome {
                 end: t,
                 value: r.value,
                 count: r.count,
                 on_device: true,
-            },
+            }),
             None => {
-                self.note_kernel_give_up(t, job.col_addr.0);
-                let (value, count) = self.fallback_aggregate(module, job, &mut t);
-                AggregateOutcome {
-                    end: t,
-                    value,
-                    count,
-                    on_device: false,
-                }
+                self.note_kernel_failure(t);
+                Err(t)
             }
         }
     }
@@ -809,6 +909,30 @@ impl ResilientDriver {
         job: ProjectJob,
         start: Tick,
     ) -> ProjectOutcome {
+        match self.try_run_project(device, module, job, start) {
+            Ok(out) => out,
+            Err(mut t) => {
+                self.note_kernel_fallback(t, job.col_addr.0);
+                let emitted = self.fallback_project(module, job, &mut t);
+                ProjectOutcome {
+                    end: t,
+                    emitted,
+                    on_device: false,
+                }
+            }
+        }
+    }
+
+    /// The fallible half of [`ResilientDriver::run_project`], mirroring
+    /// [`ResilientDriver::try_run_aggregate`]: `Err(tick)` means the
+    /// device path is exhausted and the caller owns the fallback decision.
+    pub fn try_run_project(
+        &mut self,
+        device: &mut JafarDevice,
+        module: &mut DramModule,
+        job: ProjectJob,
+        start: Tick,
+    ) -> Result<ProjectOutcome, Tick> {
         let rank = module.decoder().decode(job.col_addr).rank;
         let mut t = start;
         let run = if self.breaker_open {
@@ -819,19 +943,14 @@ impl ResilientDriver {
             })
         };
         match run {
-            Some(r) => ProjectOutcome {
+            Some(r) => Ok(ProjectOutcome {
                 end: t,
                 emitted: r.emitted,
                 on_device: true,
-            },
+            }),
             None => {
-                self.note_kernel_give_up(t, job.col_addr.0);
-                let emitted = self.fallback_project(module, job, &mut t);
-                ProjectOutcome {
-                    end: t,
-                    emitted,
-                    on_device: false,
-                }
+                self.note_kernel_failure(t);
+                Err(t)
             }
         }
     }
@@ -966,9 +1085,10 @@ impl ResilientDriver {
         }
     }
 
-    /// Books one abandoned one-shot kernel: breaker accounting identical to
-    /// the select page path, plus the dedicated fallback counter.
-    fn note_kernel_give_up(&mut self, t: Tick, tag: u64) {
+    /// Books one abandoned one-shot kernel attempt: breaker accounting
+    /// identical to the select page path. No fallback is implied — the
+    /// caller may re-dispatch the job elsewhere instead.
+    fn note_kernel_failure(&mut self, t: Tick) {
         if !self.breaker_open {
             self.consecutive_failures += 1;
             if self.consecutive_failures >= self.cfg.breaker_threshold {
@@ -978,6 +1098,12 @@ impl ResilientDriver {
                     .emit(t, EventKind::BreakerTransition { open: true });
             }
         }
+    }
+
+    /// Books the host-fallback half of an abandoned kernel: the dedicated
+    /// counter plus the trace event. Breaker accounting already happened in
+    /// [`ResilientDriver::note_kernel_failure`].
+    fn note_kernel_fallback(&mut self, t: Tick, tag: u64) {
         self.stats.kernel_fallbacks.inc();
         self.tracer.emit(t, EventKind::CpuFallback { page: tag });
     }
@@ -1316,6 +1442,128 @@ mod tests {
         assert_eq!(degraded.emitted, clean.emitted);
         assert_eq!(packed(&m), expect, "fallback packed bytes differ");
         assert!(sick.stats().kernel_fallbacks.get() >= 1);
+    }
+
+    #[test]
+    fn failfast_step_parks_at_a_page_boundary() {
+        let (mut m, _) = module_with_column(2048, 31);
+        let mut device = JafarDevice::paper_default();
+        let mut driver = ResilientDriver::new(ResilienceConfig {
+            max_retries: 1,
+            breaker_threshold: 1,
+            ..ResilienceConfig::default()
+        });
+        let req = request(2048, 100, 499);
+        let mut session = driver.start_session(&m, req, Tick::ZERO);
+        // Two clean pages, then the rank goes dark mid-query.
+        driver.step_page_failfast(&mut device, &mut m, &mut session);
+        driver.step_page_failfast(&mut device, &mut m, &mut session);
+        assert!(!session.is_parked());
+        assert_eq!(session.next_row(), 1024);
+        m.set_fault_injector(Some(FaultInjector::new(FaultPlan::none(0).with_outage(
+            0,
+            Tick::ZERO,
+            Tick::MAX,
+        ))));
+        let banked = session.matched();
+        driver.step_page_failfast(&mut device, &mut m, &mut session);
+        assert!(session.is_parked(), "dark rank must park the session");
+        assert!(!session.is_done());
+        assert_eq!(session.next_row(), 1024, "cursor frozen at the boundary");
+        assert_eq!(session.matched(), banked, "banked matches frozen too");
+        assert_eq!(driver.stats().pages_cpu.get(), 0, "no CPU crawl on park");
+        assert!(driver.breaker_open(), "park still books breaker state");
+        // A parked session refuses further steps.
+        let t = session.cursor();
+        driver.step_page_failfast(&mut device, &mut m, &mut session);
+        assert!(session.is_parked());
+        assert_eq!(session.cursor(), t);
+    }
+
+    #[test]
+    fn resumed_session_finishes_a_parked_query_bit_identically() {
+        let (mut m, values) = module_with_column(2048, 32);
+        let mut device = JafarDevice::paper_default();
+        let mut sick = ResilientDriver::new(ResilienceConfig {
+            max_retries: 1,
+            breaker_threshold: 1,
+            ..ResilienceConfig::default()
+        });
+        let req = request(2048, 100, 499);
+        let mut session = sick.start_session(&m, req, Tick::ZERO);
+        sick.step_page_failfast(&mut device, &mut m, &mut session);
+        m.set_fault_injector(Some(FaultInjector::new(FaultPlan::none(0).with_outage(
+            0,
+            Tick::ZERO,
+            Tick::MAX,
+        ))));
+        sick.step_page_failfast(&mut device, &mut m, &mut session);
+        assert!(session.is_parked());
+        let row = session.next_row();
+        let banked = session.matched();
+        assert_eq!(row, 512, "one clean page before the outage");
+
+        // The rank repairs; a fresh driver resumes from the boundary under
+        // its own lease (the MPR grant is a level, so re-asserting over the
+        // stale one is legal) and the final bitset matches the reference.
+        m.set_fault_injector(None);
+        let mut healthy = ResilientDriver::new(ResilienceConfig::default());
+        let mut resumed = healthy.resume_session(&m, req, row, banked, session.cursor());
+        assert_eq!(resumed.next_row(), row);
+        while !resumed.is_done() {
+            healthy.step_page(&mut device, &mut m, &mut resumed);
+        }
+        let run = resumed.into_run();
+        let expect = reference(&values, 100, 499);
+        assert_eq!(run.matched as usize, expect.len());
+        assert_eq!(bitset_at(&m, OUT, 2048), expect);
+        assert_eq!(healthy.stats().pages_cpu.get(), 0, "all-device resume");
+        assert!(!m.rank_owned_by_ndp(0), "resumed run releases the rank");
+    }
+
+    #[test]
+    fn try_run_aggregate_hands_the_job_back_instead_of_folding() {
+        let (mut m, values) = module_with_column(2048, 33);
+        let mut device = JafarDevice::paper_default();
+        m.set_fault_injector(Some(FaultInjector::new(FaultPlan::none(0).with_outage(
+            0,
+            Tick::ZERO,
+            Tick::MAX,
+        ))));
+        let mut driver = ResilientDriver::new(ResilienceConfig {
+            max_retries: 1,
+            breaker_threshold: 1,
+            ..ResilienceConfig::default()
+        });
+        let job = AggregateJob {
+            col_addr: PhysAddr(0),
+            rows: 2048,
+            op: AggOp::Sum,
+            filter: Some(crate::predicate::Predicate::Between(100, 499)),
+        };
+        let err = driver.try_run_aggregate(&mut device, &mut m, job, Tick::ZERO);
+        let t_fail = err.expect_err("dark rank exhausts the device path");
+        assert!(t_fail > Tick::ZERO);
+        assert!(driver.breaker_open(), "failure still books the breaker");
+        assert_eq!(
+            driver.stats().kernel_fallbacks.get(),
+            0,
+            "no fallback implied: the caller owns the decision"
+        );
+
+        // The same job re-dispatched on a healthy path folds the same
+        // scalar the plain resilient entry point produces.
+        m.set_fault_injector(None);
+        let mut healthy = ResilientDriver::new(ResilienceConfig::default());
+        let out = healthy
+            .try_run_aggregate(&mut device, &mut m, job, t_fail)
+            .expect("healthy rank serves the retried job");
+        let expect: i64 = values
+            .iter()
+            .filter(|&&v| (100..=499).contains(&v))
+            .fold(0i64, |a, &v| a.wrapping_add(v));
+        assert!(out.on_device);
+        assert_eq!(out.value, Some(expect));
     }
 
     #[test]

@@ -24,6 +24,16 @@
 //!   retried.
 //! - **Refresh storms**: a transaction is preempted by `n` back-to-back
 //!   refreshes, blocking the rank for `n * tRFC`.
+//! - **Persistent rank outages** ([`RankOutage`]): a rank goes *dark* at
+//!   a scheduled tick and optionally repairs after a fixed duration.
+//!   While dark, every read completion on that rank is delayed past any
+//!   watchdog (a hard drop) and every mode-register write is ignored, so
+//!   neither data nor ownership handshakes get through — the failure
+//!   domain a serving tier must quarantine and route around, not retry
+//!   through. Outages are purely schedule-driven: they consume **no**
+//!   RNG and do not advance the burst counter, so adding or removing an
+//!   outage never perturbs the transient-fault sequence (RNG isolation,
+//!   same argument as `rank_scope`).
 //!
 //! All randomness comes from one [`SplitMix64`] stream consumed in
 //! deterministic call order, so a `(FaultPlan, workload)` pair always
@@ -35,6 +45,31 @@
 use jafar_common::rng::SplitMix64;
 use jafar_common::stats::{Counter, Scoreboard};
 use jafar_common::time::Tick;
+
+/// A scheduled persistent outage of one rank: the rank is dark — reads
+/// never complete inside a watchdog window, mode-register writes are
+/// ignored — for every access in `[from, until)`. `until == Tick::MAX`
+/// models a rank that never repairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankOutage {
+    /// The rank that goes dark.
+    pub rank: u32,
+    /// First tick of the outage (inclusive).
+    pub from: Tick,
+    /// End of the outage (exclusive); `Tick::MAX` = permanent.
+    pub until: Tick,
+}
+
+impl RankOutage {
+    /// True when this outage blacks out `rank` at instant `at`.
+    pub fn covers(&self, rank: u32, at: Tick) -> bool {
+        self.rank == rank && at >= self.from && at < self.until
+    }
+}
+
+/// How many concurrent outages one plan can schedule (keeps the plan
+/// `Copy`; chaos schedules needing more can compose multiple runs).
+pub const MAX_OUTAGES: usize = 4;
 
 /// A seeded description of which faults to inject and how often.
 ///
@@ -75,6 +110,10 @@ pub struct FaultPlan {
     /// sibling-rank traffic interleaves with it. Models a single failing
     /// DIMM rank under rank-parallel execution.
     pub rank_scope: Option<u32>,
+    /// Scheduled persistent outages (up to [`MAX_OUTAGES`]). Checked
+    /// before everything else and independent of `rank_scope` and the RNG
+    /// stream: an outage fires deterministically by (rank, tick) alone.
+    pub outages: [Option<RankOutage>; MAX_OUTAGES],
     /// SECDED ECC on the data path. When false, flips are silent.
     pub ecc: bool,
 }
@@ -95,8 +134,23 @@ impl FaultPlan {
             storm_refreshes: 4,
             stall_burst_range: None,
             rank_scope: None,
+            outages: [None; MAX_OUTAGES],
             ecc: true,
         }
+    }
+
+    /// Returns the plan with one more outage scheduled (first empty slot).
+    ///
+    /// # Panics
+    /// Panics if all [`MAX_OUTAGES`] slots are taken.
+    pub fn with_outage(mut self, rank: u32, from: Tick, until: Tick) -> Self {
+        let slot = self
+            .outages
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("all outage slots taken");
+        *slot = Some(RankOutage { rank, from, until });
+        self
     }
 
     /// A mild mix of every fault class: rare flips, occasional stalls and
@@ -128,7 +182,7 @@ impl FaultPlan {
     }
 
     /// True if every fault probability is zero and no deterministic stall
-    /// window is scheduled — the injector can never fire.
+    /// window or outage is scheduled — the injector can never fire.
     pub fn is_empty(&self) -> bool {
         self.read_flip_p == 0.0
             && self.stall_p == 0.0
@@ -136,6 +190,7 @@ impl FaultPlan {
             && self.mrs_glitch_p == 0.0
             && self.storm_p == 0.0
             && self.stall_burst_range.is_none()
+            && self.outages.iter().all(Option::is_none)
     }
 }
 
@@ -158,6 +213,10 @@ pub struct FaultStats {
     pub mrs_glitches: Counter,
     /// Refresh storms triggered.
     pub refresh_storms: Counter,
+    /// Read bursts blacked out by a scheduled rank outage.
+    pub outage_blackouts: Counter,
+    /// ModeRegisterSet commands rejected by a scheduled rank outage.
+    pub outage_mrs_rejects: Counter,
 }
 
 impl FaultStats {
@@ -168,6 +227,8 @@ impl FaultStats {
             + self.drops.get()
             + self.mrs_glitches.get()
             + self.refresh_storms.get()
+            + self.outage_blackouts.get()
+            + self.outage_mrs_rejects.get()
     }
 
     /// The counters as a named scoreboard for run reports.
@@ -181,6 +242,8 @@ impl FaultStats {
         s.add("drops", self.drops.get());
         s.add("mrs_glitches", self.mrs_glitches.get());
         s.add("refresh_storms", self.refresh_storms.get());
+        s.add("outage_blackouts", self.outage_blackouts.get());
+        s.add("outage_mrs_rejects", self.outage_mrs_rejects.get());
         s
     }
 }
@@ -232,10 +295,30 @@ impl FaultInjector {
         self.plan.rank_scope.is_some_and(|r| r != rank)
     }
 
-    /// Applies read-path faults to one burst of `rank`. `data` is the copy
-    /// about to be returned to the requester; the functional store is not
-    /// touched. Bursts outside the plan's rank scope pass through clean.
-    pub fn on_read_burst(&mut self, data: &mut [u8; 64], rank: u32) -> ReadDisturbance {
+    /// True when a scheduled outage blacks out `rank` at instant `at`.
+    /// Pure schedule lookup: consumes no RNG, advances no counter.
+    pub fn rank_dark(&self, rank: u32, at: Tick) -> bool {
+        self.plan
+            .outages
+            .iter()
+            .flatten()
+            .any(|o| o.covers(rank, at))
+    }
+
+    /// Applies read-path faults to one burst of `rank` issued at `at`.
+    /// `data` is the copy about to be returned to the requester; the
+    /// functional store is not touched. Bursts outside the plan's rank
+    /// scope pass through clean. A burst inside a scheduled outage is
+    /// dropped (delayed by [`FaultPlan::drop_delay`]) without consuming
+    /// the RNG stream or advancing the burst counter.
+    pub fn on_read_burst(&mut self, data: &mut [u8; 64], rank: u32, at: Tick) -> ReadDisturbance {
+        if self.rank_dark(rank, at) {
+            self.stats.outage_blackouts.inc();
+            return ReadDisturbance {
+                extra_delay: self.plan.drop_delay,
+                uncorrectable: false,
+            };
+        }
         if self.scoped_out(rank) {
             return ReadDisturbance::default();
         }
@@ -292,10 +375,16 @@ impl FaultInjector {
         disturbance
     }
 
-    /// Samples a transient MRS glitch on `rank`. True means the rank
-    /// ignored the command and the module must fail it with
-    /// `IssueError::MrsGlitch`. Ranks outside the plan's scope never glitch.
-    pub fn on_mode_register_set(&mut self, rank: u32) -> bool {
+    /// Samples a transient MRS glitch on `rank` at instant `at`. True
+    /// means the rank ignored the command and the module must fail it with
+    /// `IssueError::MrsGlitch`. Ranks outside the plan's scope never
+    /// glitch; a rank inside a scheduled outage rejects every MRS without
+    /// consuming the RNG stream.
+    pub fn on_mode_register_set(&mut self, rank: u32, at: Tick) -> bool {
+        if self.rank_dark(rank, at) {
+            self.stats.outage_mrs_rejects.inc();
+            return true;
+        }
         if self.scoped_out(rank) {
             return false;
         }
@@ -337,9 +426,9 @@ mod tests {
         let mut inj = FaultInjector::new(FaultPlan::none(1));
         let mut data = [0xA5u8; 64];
         for _ in 0..10_000 {
-            let d = inj.on_read_burst(&mut data, 0);
+            let d = inj.on_read_burst(&mut data, 0, Tick::ZERO);
             assert_eq!(d, ReadDisturbance::default());
-            assert!(!inj.on_mode_register_set(0));
+            assert!(!inj.on_mode_register_set(0, Tick::ZERO));
             assert!(inj.refresh_storm(0).is_none());
         }
         assert_eq!(data, [0xA5u8; 64]);
@@ -356,7 +445,7 @@ mod tests {
             let mut data = [0u8; 64];
             for _ in 0..2_000 {
                 data = [0u8; 64];
-                outcomes.push(inj.on_read_burst(&mut data, 0));
+                outcomes.push(inj.on_read_burst(&mut data, 0, Tick::ZERO));
             }
             (outcomes, data, *inj.stats())
         };
@@ -383,7 +472,7 @@ mod tests {
         let mut uncorrectable = 0u64;
         for _ in 0..500 {
             let mut data = golden;
-            let d = inj.on_read_burst(&mut data, 0);
+            let d = inj.on_read_burst(&mut data, 0, Tick::ZERO);
             if d.uncorrectable {
                 uncorrectable += 1;
                 // Exactly two bits differ from the golden burst.
@@ -413,7 +502,7 @@ mod tests {
         };
         let mut inj = FaultInjector::new(plan);
         let mut data = [0u8; 64];
-        let d = inj.on_read_burst(&mut data, 0);
+        let d = inj.on_read_burst(&mut data, 0, Tick::ZERO);
         assert!(!d.uncorrectable);
         let flipped: u32 = data.iter().map(|b| b.count_ones()).sum();
         assert_eq!(flipped, 1, "one silently flipped bit");
@@ -430,7 +519,7 @@ mod tests {
         let mut inj = FaultInjector::new(plan);
         let mut data = [0u8; 64];
         let delays: Vec<Tick> = (0..8)
-            .map(|_| inj.on_read_burst(&mut data, 0).extra_delay)
+            .map(|_| inj.on_read_burst(&mut data, 0, Tick::ZERO).extra_delay)
             .collect();
         let want: Vec<Tick> = (0..8)
             .map(|i| {
@@ -458,16 +547,19 @@ mod tests {
         let golden = [0x77u8; 64];
         // Rank 0 traffic passes through untouched and consumes nothing.
         let mut data = golden;
-        assert_eq!(inj.on_read_burst(&mut data, 0), ReadDisturbance::default());
+        assert_eq!(
+            inj.on_read_burst(&mut data, 0, Tick::ZERO),
+            ReadDisturbance::default()
+        );
         assert_eq!(data, golden);
-        assert!(!inj.on_mode_register_set(0));
+        assert!(!inj.on_mode_register_set(0, Tick::ZERO));
         assert!(inj.refresh_storm(0).is_none());
         assert_eq!(inj.stats().total(), 0);
         assert_eq!(inj.bursts_seen(), 0, "scoped-out bursts are not counted");
         // Rank 1 is hit as usual.
         let mut data = golden;
-        inj.on_read_burst(&mut data, 1);
-        assert!(inj.on_mode_register_set(1));
+        inj.on_read_burst(&mut data, 1, Tick::ZERO);
+        assert!(inj.on_mode_register_set(1, Tick::ZERO));
         assert!(inj.refresh_storm(1).is_some());
         assert!(inj.stats().total() >= 3);
     }
@@ -478,9 +570,87 @@ mod tests {
             mrs_glitch_p: 1.0,
             ..FaultPlan::none(2)
         });
-        assert!(inj.on_mode_register_set(0));
+        assert!(inj.on_mode_register_set(0, Tick::ZERO));
         let board = inj.stats().scoreboard();
         assert_eq!(board.get("mrs_glitches"), 1);
         assert_eq!(board.get("stalls"), 0);
+    }
+
+    #[test]
+    fn outage_blacks_out_the_rank_for_its_window_only() {
+        let plan = FaultPlan::none(0).with_outage(1, Tick::from_us(10), Tick::from_us(20));
+        assert!(!plan.is_empty(), "a scheduled outage is a fault");
+        let mut inj = FaultInjector::new(plan);
+        let golden = [0x3Cu8; 64];
+        // Before onset: clean.
+        let mut data = golden;
+        let d = inj.on_read_burst(&mut data, 1, Tick::from_us(9));
+        assert_eq!(d, ReadDisturbance::default());
+        assert!(!inj.on_mode_register_set(1, Tick::from_us(9)));
+        // Inside the window: reads drop, MRS is rejected, data untouched.
+        let mut data = golden;
+        let d = inj.on_read_burst(&mut data, 1, Tick::from_us(10));
+        assert_eq!(d.extra_delay, plan.drop_delay);
+        assert!(!d.uncorrectable);
+        assert_eq!(data, golden, "outage never corrupts data");
+        assert!(inj.on_mode_register_set(1, Tick::from_us(15)));
+        assert!(inj.rank_dark(1, Tick::from_us(15)));
+        // A sibling rank inside the window is untouched.
+        let mut data = golden;
+        let d = inj.on_read_burst(&mut data, 0, Tick::from_us(15));
+        assert_eq!(d, ReadDisturbance::default());
+        // After repair (until is exclusive): clean again.
+        let mut data = golden;
+        let d = inj.on_read_burst(&mut data, 1, Tick::from_us(20));
+        assert_eq!(d, ReadDisturbance::default());
+        assert!(!inj.rank_dark(1, Tick::from_us(20)));
+        assert_eq!(inj.stats().outage_blackouts.get(), 1);
+        assert_eq!(inj.stats().outage_mrs_rejects.get(), 1);
+        assert_eq!(inj.stats().scoreboard().get("outage_blackouts"), 1);
+        assert!(inj.stats().total() >= 2);
+    }
+
+    #[test]
+    fn outage_is_rng_isolated_from_transient_faults() {
+        // The same transient plan with and without an outage on another
+        // rank must produce an identical fault sequence on the healthy
+        // rank: outages consume no RNG and advance no counter.
+        let run = |with_outage: bool| {
+            let mut plan = FaultPlan::chaos(11);
+            if with_outage {
+                plan = plan.with_outage(1, Tick::ZERO, Tick::MAX);
+            }
+            let mut inj = FaultInjector::new(plan);
+            let mut outcomes = Vec::new();
+            for i in 0..1_000u64 {
+                let mut data = [0u8; 64];
+                // Interleave dark-rank traffic between healthy bursts.
+                if with_outage && i % 3 == 0 {
+                    inj.on_read_burst(&mut data, 1, Tick::from_ns(i));
+                    inj.on_mode_register_set(1, Tick::from_ns(i));
+                }
+                let mut data = [0u8; 64];
+                outcomes.push(inj.on_read_burst(&mut data, 0, Tick::from_ns(i)));
+            }
+            (outcomes, inj.bursts_seen())
+        };
+        let (clean, clean_bursts) = run(false);
+        let (dark, dark_bursts) = run(true);
+        assert_eq!(clean, dark, "healthy-rank fault sequence perturbed");
+        assert_eq!(clean_bursts, dark_bursts, "dark bursts must not count");
+    }
+
+    #[test]
+    fn permanent_outage_never_repairs() {
+        let mut inj = FaultInjector::new(FaultPlan::none(0).with_outage(0, Tick::ZERO, Tick::MAX));
+        for us in [0u64, 1, 1_000, 1_000_000_000] {
+            assert!(inj.rank_dark(0, Tick::from_us(us)));
+            let mut data = [0u8; 64];
+            assert!(
+                inj.on_read_burst(&mut data, 0, Tick::from_us(us))
+                    .extra_delay
+                    > Tick::ZERO
+            );
+        }
     }
 }

@@ -534,13 +534,18 @@ impl DramModule {
                     // Faults perturb only the returned copy and the
                     // requester-observed completion time; bank/bus
                     // reservations stay normal so retries can recover.
-                    let disturbance = fault.on_read_burst(&mut data, rank);
+                    let dark = fault.rank_dark(rank, at);
+                    let disturbance = fault.on_read_burst(&mut data, rank, at);
                     data_ready = data_ready
                         .checked_add(disturbance.extra_delay)
                         .unwrap_or(Tick::MAX);
                     if disturbance.extra_delay > Tick::ZERO {
-                        self.tracer
-                            .emit(at, EventKind::FaultInjected { kind: "stall" });
+                        self.tracer.emit(
+                            at,
+                            EventKind::FaultInjected {
+                                kind: if dark { "outage" } else { "stall" },
+                            },
+                        );
                     }
                     if disturbance.uncorrectable {
                         self.tracer.emit(
@@ -606,11 +611,17 @@ impl DramModule {
             }
             DramCommand::ModeRegisterSet { rank, mr, value } => {
                 if let Some(fault) = self.fault.as_mut() {
-                    if fault.on_mode_register_set(rank) {
-                        // Transient glitch: the rank ignored the command.
-                        // No state changed; the caller may retry.
-                        self.tracer
-                            .emit(at, EventKind::FaultInjected { kind: "mrs-glitch" });
+                    let dark = fault.rank_dark(rank, at);
+                    if fault.on_mode_register_set(rank, at) {
+                        // Transient glitch (or a dark rank): the rank
+                        // ignored the command. No state changed; the
+                        // caller may retry.
+                        self.tracer.emit(
+                            at,
+                            EventKind::FaultInjected {
+                                kind: if dark { "outage" } else { "mrs-glitch" },
+                            },
+                        );
                         return Err(IssueError::MrsGlitch);
                     }
                 }

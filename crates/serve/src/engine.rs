@@ -14,19 +14,19 @@
 //!
 //! # Event loop and determinism
 //!
-//! The engine is a discrete-event simulation with four event classes —
-//! CPU-scan completion, query arrival, rank-free, SLO degradation — kept
-//! in explicit queues and processed in strict `(time, class, id)` order.
-//! Device work is *not* an event: between events the engine always steps
-//! the furthest-behind live session (ties by query id then rank), the
-//! same min-cursor discipline as [`jafar_core::parallel`], and only
-//! processes the next event once every live session's clock has passed
-//! it. Stepping a session makes no scheduling decisions, so letting
-//! shards run ahead of the event clock is safe: ranks are timing-
-//! independent, and every *decision* (admit, shed, dispatch, degrade)
-//! happens at an event, in deterministic order. A serve run is therefore
-//! a pure function of `(workload, policy, config)` — the golden tests
-//! hold byte-for-byte.
+//! The engine is a discrete-event simulation with six event classes —
+//! CPU-scan completion, query arrival, shard rescue, rank-free, canary
+//! probe, SLO degradation — kept in explicit queues and processed in
+//! strict `(time, class, id)` order. Device work is *not* an event:
+//! between events the engine always steps the furthest-behind live
+//! session (ties by query id then rank), the same min-cursor discipline
+//! as [`jafar_core::parallel`], and only processes the next event once
+//! every live session's clock has passed it. Stepping a session makes no
+//! scheduling decisions, so letting shards run ahead of the event clock
+//! is safe: ranks are timing-independent, and every *decision* (admit,
+//! shed, dispatch, rescue, probe, degrade) happens at an event, in
+//! deterministic order. A serve run is therefore a pure function of
+//! `(workload, policy, config)` — the golden tests hold byte-for-byte.
 //!
 //! # Degradation ladder
 //!
@@ -46,12 +46,40 @@
 //! which a degraded query must return unchanged. Within the device path
 //! each rank keeps its own
 //! [`ResilientDriver`] across queries, so the PR-1 recovery ladder
-//! (watchdog → retries → circuit breaker → CPU-scan fallback) composes
-//! underneath: a faulty rank's breaker stays open between queries and
-//! the rank-affinity policy steers new work away from it.
+//! (watchdog → retries → circuit breaker) composes underneath.
+//!
+//! # Failure domain: park → rescue → migrate → probe
+//!
+//! Shards step with the driver's *fail-fast* ladder: a page that
+//! exhausts its retries parks the session at its page boundary instead
+//! of crawling through the per-page CPU scan. The park marks the rank
+//! **suspect** and schedules a rescue event at the park time; the rescue
+//! **quarantines** the rank (out of the schedulable pool), salvages the
+//! shard's completed bitset prefix functionally — legal even on a dark
+//! rank, since only the timed path is perturbed — and requeues the shard
+//! *above* host-degrade in the ladder. Dispatch serves rescued shards
+//! before queued queries: the salvaged prefix is replayed onto the new
+//! rank's buffer as whole 64-byte lines (shards start on
+//! 512-row boundaries and parks happen at page boundaries, so the prefix
+//! is line-aligned; only the global tail shard can have a partial line,
+//! and the bytes past it are unused buffer), then the session resumes
+//! from its row cursor under a fresh lease. Migration preserves the
+//! min-cursor determinism argument because the rescue decision, the
+//! target rank and the resume time are all fixed at events — the resumed
+//! session is just another timing-independent shard. Failed one-shot
+//! aggregate jobs requeue the same way at shard granularity (the
+//! leftover jobs fold on the host, serialized on `host_free`). A
+//! quarantined rank dwells, then a **canary** select probes it: success
+//! repairs the rank back into the pool (its breaker reset), failure
+//! doubles the dwell. While ranks are quarantined, admission tightens
+//! the shedding bound proportionally to the surviving pool; if *no*
+//! schedulable rank remains, rescued shards finish functionally on the
+//! host and queued queries degrade — so every admitted query still
+//! completes, byte-identical, or was explicitly shed at admission.
 
+use crate::health::{HealthConfig, HealthTracker, RankState};
 use crate::policy::SchedPolicy;
-use crate::report::{ExecMode, QueryRecord, ServeReport};
+use crate::report::{Availability, ExecMode, QueryRecord, ServeReport};
 use crate::workload::{AggFn, Arrivals, QueryOp, Workload};
 use jafar_common::obs::{EventKind, SharedTracer};
 use jafar_common::time::Tick;
@@ -63,6 +91,7 @@ use jafar_core::project::ProjectJob;
 use jafar_dram::{DramModule, PhysAddr};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
 
 /// Shards start on 512-row boundaries: 512 rows of bitset are 64 bytes,
 /// so per-rank output offsets stay 64-byte aligned (the driver's CPU
@@ -89,6 +118,8 @@ pub struct ServeConfig {
     pub cpu_per_out_byte: Tick,
     /// Recovery policy for the per-rank resilient drivers.
     pub resilience: ResilienceConfig,
+    /// Rank health lifecycle knobs (quarantine dwell, canary shape).
+    pub health: HealthConfig,
     /// Simulated instant the serve run (and its first arrivals) starts.
     pub start: Tick,
 }
@@ -102,10 +133,73 @@ impl Default for ServeConfig {
             cpu_per_row: Tick::from_ps(1000),
             cpu_per_out_byte: Tick::from_ps(250),
             resilience: ResilienceConfig::default(),
+            health: HealthConfig::default(),
             start: Tick::ZERO,
         }
     }
 }
+
+/// A violated piece of engine bookkeeping — states the event loop can
+/// only reach through a bug, surfaced as a typed error (and an
+/// `ErrorSurfaced` trace event) instead of a panic, per the workspace's
+/// de-panic convention.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineInvariant {
+    /// The EDF picker ran against an empty queue.
+    EmptyQueue,
+    /// A queue index produced by enumeration no longer resolves.
+    QueueIndexVanished,
+    /// A shard completed for a query with no in-flight bookkeeping.
+    MissingInflight {
+        /// The orphaned query.
+        query: u32,
+    },
+    /// A degrade event fired for a query that is not queued.
+    DegradeCandidateMissing {
+        /// The missing query.
+        query: u32,
+    },
+    /// A rescue event fired for an empty parked-shard slot.
+    MissingParkedShard {
+        /// The empty slot.
+        slot: u32,
+    },
+}
+
+impl EngineInvariant {
+    /// Short machine-readable mnemonic (the `ErrorSurfaced` detail).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineInvariant::EmptyQueue => "empty-queue",
+            EngineInvariant::QueueIndexVanished => "queue-index-vanished",
+            EngineInvariant::MissingInflight { .. } => "missing-inflight",
+            EngineInvariant::DegradeCandidateMissing { .. } => "degrade-candidate-missing",
+            EngineInvariant::MissingParkedShard { .. } => "missing-parked-shard",
+        }
+    }
+}
+
+impl fmt::Display for EngineInvariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineInvariant::EmptyQueue => write!(f, "EDF pick on an empty admission queue"),
+            EngineInvariant::QueueIndexVanished => {
+                write!(f, "admission-queue index vanished between pick and removal")
+            }
+            EngineInvariant::MissingInflight { query } => {
+                write!(f, "query {query} finished a shard with no in-flight entry")
+            }
+            EngineInvariant::DegradeCandidateMissing { query } => {
+                write!(f, "degrade candidate {query} is not in the admission queue")
+            }
+            EngineInvariant::MissingParkedShard { slot } => {
+                write!(f, "rescue event for empty parked-shard slot {slot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineInvariant {}
 
 /// Borrowed machine state the engine schedules onto. The caller (usually
 /// `jafar_sim::System::serve`) owns the DRAM module, the per-rank devices
@@ -155,14 +249,42 @@ struct Inflight {
     proj: Vec<(u64, Vec<i64>)>,
 }
 
+/// A shard frozen at its page boundary because its rank's fail-fast
+/// ladder gave up, waiting for its rescue event.
+struct ParkedShard {
+    qid: u32,
+    from_rank: usize,
+    off: u64,
+    rows: u64,
+    rows_done: u64,
+    matched: u64,
+}
+
+/// A rescued shard in the requeue rung: cursor plus the salvaged bitset
+/// prefix, ready to resume on any healthy rank (or finish on the host if
+/// none remains).
+struct RescueShard {
+    qid: u32,
+    from_rank: usize,
+    off: u64,
+    rows: u64,
+    rows_done: u64,
+    matched: u64,
+    prefix: Vec<u8>,
+}
+
 /// Event classes, in tie-break priority order at equal times: CPU
 /// completions release the host before new decisions, arrivals enter the
-/// queue before rank-free dispatch can consider them, and degradation —
-/// the last resort — only fires if nothing else happens at that instant.
+/// queue before dispatch can consider them, rescues requeue failed
+/// shards before rank-free dispatch hands out the freed capacity, canary
+/// probes run after dispatch has first claim on the instant, and
+/// degradation — the last resort — only fires if nothing else happens.
 const CLASS_CPU_DONE: u8 = 0;
 const CLASS_ARRIVAL: u8 = 1;
-const CLASS_RANK_FREE: u8 = 2;
-const CLASS_DEGRADE: u8 = 3;
+const CLASS_RESCUE: u8 = 2;
+const CLASS_RANK_FREE: u8 = 3;
+const CLASS_PROBE: u8 = 4;
+const CLASS_DEGRADE: u8 = 5;
 
 struct Engine<'a, 'e> {
     env: &'a mut ServeEnv<'e>,
@@ -178,9 +300,20 @@ struct Engine<'a, 'e> {
     inflight: Vec<Option<Inflight>>,
     rank_busy: Vec<bool>,
     served_count: Vec<u64>,
+    health: HealthTracker,
+    /// Slab of shards frozen between their park and their rescue event
+    /// (the rescue event's payload is the slot index).
+    parked: Vec<Option<ParkedShard>>,
+    /// The requeue rung: rescued shards waiting for a healthy rank.
+    rescue_queue: VecDeque<RescueShard>,
     arrivals: BinaryHeap<Reverse<(Tick, u32)>>,
     rank_free_ev: BinaryHeap<Reverse<(Tick, u32)>>,
     cpu_done: BinaryHeap<Reverse<(Tick, u32)>>,
+    rescue_ev: BinaryHeap<Reverse<(Tick, u32)>>,
+    probe_ev: BinaryHeap<Reverse<(Tick, u32)>>,
+    migrations: u64,
+    requeues: u64,
+    sheds_tightened: u64,
     host_free: Tick,
     now: Tick,
     next_spec: usize,
@@ -191,14 +324,37 @@ struct Engine<'a, 'e> {
 /// returns the per-query records and latency aggregates.
 ///
 /// # Panics
-/// Panics if `env` has no ranks, mismatched per-rank slices, or an empty
-/// column.
+/// Panics if `env` has no ranks, mismatched per-rank slices, an empty
+/// column, or (unreachable short of an engine bug) a violated
+/// bookkeeping invariant — use [`run_serve_checked`] to observe the
+/// latter as a typed error instead.
 pub fn run_serve(
-    mut env: ServeEnv<'_>,
+    env: ServeEnv<'_>,
     workload: &Workload,
     policy: SchedPolicy,
     cfg: &ServeConfig,
 ) -> ServeReport {
+    run_serve_checked(env, workload, policy, cfg)
+        .unwrap_or_else(|inv| panic!("engine invariant violated: {inv}"))
+}
+
+/// [`run_serve`] with the engine's bookkeeping invariants surfaced as a
+/// typed [`EngineInvariant`] (and an `ErrorSurfaced` trace event) instead
+/// of a panic.
+///
+/// # Panics
+/// Panics if `env` has no ranks, mismatched per-rank slices, or an empty
+/// column — those are caller contract violations, not engine state.
+///
+/// # Errors
+/// Returns the first violated [`EngineInvariant`]; the trace stream
+/// carries a matching `ErrorSurfaced { site: "serve-engine" }` event.
+pub fn run_serve_checked(
+    mut env: ServeEnv<'_>,
+    workload: &Workload,
+    policy: SchedPolicy,
+    cfg: &ServeConfig,
+) -> Result<ServeReport, EngineInvariant> {
     let nranks = env.devices.len();
     assert!(nranks > 0, "serving needs at least one NDP rank");
     assert_eq!(env.drivers.len(), nranks, "one driver per rank");
@@ -251,9 +407,17 @@ pub fn run_serve(
         inflight: (0..n).map(|_| None).collect(),
         rank_busy: vec![false; nranks],
         served_count: vec![0; nranks],
+        health: HealthTracker::new(nranks, cfg.health),
+        parked: Vec::new(),
+        rescue_queue: VecDeque::new(),
         arrivals: BinaryHeap::new(),
         rank_free_ev: BinaryHeap::new(),
         cpu_done: BinaryHeap::new(),
+        rescue_ev: BinaryHeap::new(),
+        probe_ev: BinaryHeap::new(),
+        migrations: 0,
+        requeues: 0,
+        sheds_tightened: 0,
         host_free: cfg.start,
         now: cfg.start,
         next_spec: 0,
@@ -279,8 +443,24 @@ pub fn run_serve(
         }
     }
 
-    eng.run();
+    if let Err(inv) = eng.run() {
+        eng.env.tracer.emit(
+            eng.now,
+            EventKind::ErrorSurfaced {
+                site: "serve-engine",
+                detail: inv.name(),
+            },
+        );
+        return Err(inv);
+    }
 
+    eng.health.finalize(eng.makespan);
+    let availability = Availability {
+        ranks: (0..nranks).map(|r| eng.health.availability(r)).collect(),
+        migrations: eng.migrations,
+        requeues: eng.requeues,
+        sheds_tightened: eng.sheds_tightened,
+    };
     let makespan = eng.makespan.saturating_sub(cfg.start);
     let records = eng.records;
     debug_assert!(
@@ -289,15 +469,16 @@ pub fn run_serve(
             .all(|r| r.done.is_some() || r.mode == ExecMode::Shed),
         "every query completes or is shed"
     );
-    ServeReport {
+    Ok(ServeReport {
         records,
         makespan,
         policy: policy.name(),
-    }
+        availability,
+    })
 }
 
 impl Engine<'_, '_> {
-    fn run(&mut self) {
+    fn run(&mut self) -> Result<(), EngineInvariant> {
         loop {
             let event = self.best_event();
             // Always advance the furthest-behind shard first; decisions
@@ -310,12 +491,26 @@ impl Engine<'_, '_> {
                 .min()
                 .map(|((cursor, _, _), i)| (cursor, i));
             match (min_shard, event) {
-                (Some((cursor, idx)), Some((t, _, _))) if cursor <= t => self.step_shard(idx),
-                (Some((_, idx)), None) => self.step_shard(idx),
-                (_, Some((t, class, payload))) => self.process_event(t, class, payload),
+                (Some((cursor, idx)), Some((t, _, _))) if cursor <= t => self.step_shard(idx)?,
+                (Some((_, idx)), None) => self.step_shard(idx)?,
+                (_, Some((t, class, payload))) => self.process_event(t, class, payload)?,
                 (None, None) => break,
             }
         }
+        Ok(())
+    }
+
+    /// True while any query's fate is still undecided. Canary probes are
+    /// gated on this: once every query is resolved, pending probes are
+    /// moot and processing them would only stretch the run.
+    fn work_pending(&self) -> bool {
+        !self.queue.is_empty()
+            || !self.rescue_queue.is_empty()
+            || !self.active.is_empty()
+            || !self.arrivals.is_empty()
+            || !self.cpu_done.is_empty()
+            || !self.rescue_ev.is_empty()
+            || self.inflight.iter().any(Option::is_some)
     }
 
     /// The next event as `(time, class, payload)`, minimal by `(time,
@@ -334,8 +529,16 @@ impl Engine<'_, '_> {
         if let Some(&Reverse((t, qid))) = self.arrivals.peek() {
             consider(t, CLASS_ARRIVAL, qid);
         }
+        if let Some(&Reverse((t, slot))) = self.rescue_ev.peek() {
+            consider(t, CLASS_RESCUE, slot);
+        }
         if let Some(&Reverse((t, rank))) = self.rank_free_ev.peek() {
             consider(t, CLASS_RANK_FREE, rank);
+        }
+        if self.work_pending() {
+            if let Some(&Reverse((t, rank))) = self.probe_ev.peek() {
+                consider(t, CLASS_PROBE, rank);
+            }
         }
         if let Some((t, qid)) = self.degrade_candidate() {
             consider(t, CLASS_DEGRADE, qid);
@@ -343,7 +546,7 @@ impl Engine<'_, '_> {
         best
     }
 
-    fn process_event(&mut self, t: Tick, class: u8, payload: u32) {
+    fn process_event(&mut self, t: Tick, class: u8, payload: u32) -> Result<(), EngineInvariant> {
         self.now = t;
         match class {
             CLASS_CPU_DONE => {
@@ -352,23 +555,51 @@ impl Engine<'_, '_> {
             }
             CLASS_ARRIVAL => {
                 self.arrivals.pop();
-                self.arrive(payload, t);
+                self.arrive(payload, t)?;
+            }
+            CLASS_RESCUE => {
+                self.rescue_ev.pop();
+                self.rescue(payload, t)?;
             }
             CLASS_RANK_FREE => {
                 self.rank_free_ev.pop();
                 self.rank_busy[payload as usize] = false;
-                self.try_dispatch(t);
+                self.try_dispatch(t)?;
             }
-            _ => self.degrade(payload, t),
+            CLASS_PROBE => {
+                self.probe_ev.pop();
+                self.probe(payload, t)?;
+            }
+            _ => self.degrade(payload, t)?,
         }
+        Ok(())
     }
 
-    fn arrive(&mut self, qid: u32, t: Tick) {
+    /// The current admission bound: the configured queue capacity scaled
+    /// by the surviving schedulable pool, so quarantined ranks tighten
+    /// shedding instead of letting the queue build up behind capacity the
+    /// machine no longer has. With every rank healthy this is exactly
+    /// `max_queue`.
+    fn admission_bound(&self) -> usize {
+        let cap = self.cfg.max_queue.max(1);
+        (cap * self.health.schedulable_count())
+            .div_ceil(self.rank_busy.len())
+            .max(1)
+    }
+
+    fn arrive(&mut self, qid: u32, t: Tick) -> Result<(), EngineInvariant> {
         let slo = self.slos[qid as usize];
         let rec = &mut self.records[qid as usize];
         rec.submitted = t;
         rec.deadline = slo.map_or(Tick::MAX, |s| t + s);
-        if self.queue.len() >= self.cfg.max_queue.max(1) {
+        let bound = self.admission_bound();
+        if self.queue.len() >= bound {
+            if self.queue.len() < self.cfg.max_queue.max(1) {
+                // Only the tightened bound shed this arrival; the full
+                // queue would have admitted it.
+                self.sheds_tightened += 1;
+            }
+            let rec = &mut self.records[qid as usize];
             rec.mode = ExecMode::Shed;
             let depth = self.queue.len() as u32;
             self.env
@@ -381,8 +612,10 @@ impl Engine<'_, '_> {
             self.env
                 .tracer
                 .emit(t, EventKind::QueryAdmitted { query: qid, depth });
-            self.try_dispatch(t);
+            self.try_dispatch(t)?;
+            self.drain_to_host_if_stranded(t)?;
         }
+        Ok(())
     }
 
     /// In a closed loop, a finished (or shed) query frees its client to
@@ -397,17 +630,35 @@ impl Engine<'_, '_> {
         }
     }
 
-    /// Drains the queue onto free ranks until one of them runs out.
-    fn try_dispatch(&mut self, t: Tick) {
+    /// A free rank in the schedulable pool, lowest index first.
+    fn free_healthy_rank(&self) -> Option<usize> {
+        (0..self.rank_busy.len()).find(|&r| !self.rank_busy[r] && self.health.is_schedulable(r))
+    }
+
+    /// Drains the requeue rung, then the admission queue, onto free
+    /// healthy ranks until one of them runs out. Rescued shards go first:
+    /// requeue-on-failure sits *above* host-degrade in the ladder, and a
+    /// half-done shard blocks its whole query.
+    fn try_dispatch(&mut self, t: Tick) -> Result<(), EngineInvariant> {
+        while !self.rescue_queue.is_empty() {
+            let Some(r) = self.free_healthy_rank() else {
+                break;
+            };
+            let shard = self
+                .rescue_queue
+                .pop_front()
+                .ok_or(EngineInvariant::EmptyQueue)?;
+            self.migrate_shard(shard, r, t);
+        }
         loop {
-            if self.queue.is_empty() {
-                return;
+            if self.queue.is_empty() || !self.rescue_queue.is_empty() {
+                return Ok(());
             }
             let mut free: Vec<usize> = (0..self.rank_busy.len())
-                .filter(|&r| !self.rank_busy[r])
+                .filter(|&r| !self.rank_busy[r] && self.health.is_schedulable(r))
                 .collect();
             if free.is_empty() {
-                return;
+                return Ok(());
             }
             let pick = match self.policy {
                 SchedPolicy::Fifo | SchedPolicy::RankAffinity => 0,
@@ -429,9 +680,12 @@ impl Engine<'_, '_> {
                         )
                     })
                     .map(|(i, _)| i)
-                    .expect("queue checked non-empty"),
+                    .ok_or(EngineInvariant::EmptyQueue)?,
             };
-            let qid = self.queue.remove(pick).expect("index from enumerate");
+            let qid = self
+                .queue
+                .remove(pick)
+                .ok_or(EngineInvariant::QueueIndexVanished)?;
             if self.policy == SchedPolicy::RankAffinity {
                 free.sort_by_key(|&r| {
                     (self.env.drivers[r].breaker_open(), self.served_count[r], r)
@@ -439,6 +693,216 @@ impl Engine<'_, '_> {
             }
             self.dispatch_device(qid, &free, t);
         }
+    }
+
+    /// Freezes a failed shard into the parked slab and schedules its
+    /// rescue event; the rank is suspect until the rescue confirms. The
+    /// rank's busy flag stays set — a dark rank frees no capacity.
+    #[allow(clippy::too_many_arguments)]
+    fn park_shard(
+        &mut self,
+        qid: u32,
+        rank: usize,
+        off: u64,
+        rows: u64,
+        rows_done: u64,
+        matched: u64,
+        at: Tick,
+    ) {
+        if self.health.mark_suspect(rank) {
+            self.env.tracer.emit(
+                at,
+                EventKind::RankHealth {
+                    rank: rank as u32,
+                    state: RankState::Suspect.name(),
+                },
+            );
+        }
+        let slot = self
+            .parked
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                self.parked.push(None);
+                self.parked.len() - 1
+            });
+        self.parked[slot] = Some(ParkedShard {
+            qid,
+            from_rank: rank,
+            off,
+            rows,
+            rows_done,
+            matched,
+        });
+        self.rescue_ev.push(Reverse((at, slot as u32)));
+    }
+
+    /// Quarantines `rank` (idempotent) and schedules its first canary
+    /// probe. The rank leaves the schedulable pool until a canary
+    /// completes on it.
+    fn quarantine_rank(&mut self, rank: usize, at: Tick) {
+        if let Some(probe_at) = self.health.quarantine(rank, at) {
+            self.rank_busy[rank] = true;
+            self.env.tracer.emit(
+                at,
+                EventKind::RankHealth {
+                    rank: rank as u32,
+                    state: RankState::Quarantined.name(),
+                },
+            );
+            self.probe_ev.push(Reverse((probe_at, rank as u32)));
+        }
+    }
+
+    /// The rescue event for a parked shard: quarantine the rank, salvage
+    /// the shard's completed bitset prefix functionally (the functional
+    /// store is intact on a dark rank — only the timed path is
+    /// perturbed), and push the shard onto the requeue rung.
+    fn rescue(&mut self, slot: u32, t: Tick) -> Result<(), EngineInvariant> {
+        let shard = self.parked[slot as usize]
+            .take()
+            .ok_or(EngineInvariant::MissingParkedShard { slot })?;
+        self.quarantine_rank(shard.from_rank, t);
+        let mut prefix = vec![0u8; shard.rows_done.div_ceil(8) as usize];
+        self.env.module.data().read(
+            PhysAddr(self.env.outs[shard.from_rank].0 + shard.off / 8),
+            &mut prefix,
+        );
+        self.rescue_queue.push_back(RescueShard {
+            qid: shard.qid,
+            from_rank: shard.from_rank,
+            off: shard.off,
+            rows: shard.rows,
+            rows_done: shard.rows_done,
+            matched: shard.matched,
+            prefix,
+        });
+        self.requeues += 1;
+        self.env
+            .tracer
+            .emit(t, EventKind::QueryRequeued { query: shard.qid });
+        self.try_dispatch(t)?;
+        self.drain_to_host_if_stranded(t)
+    }
+
+    /// Resumes a rescued shard on healthy rank `r`: the salvaged prefix
+    /// is replayed into the new rank's output buffer as whole zero-padded
+    /// 64-byte lines (parks happen at page boundaries and shards start on
+    /// 512-row boundaries, so the prefix is line-aligned; only the global
+    /// tail shard can end mid-line, and the padded bytes beyond it are
+    /// unused buffer), charged at the driver's degraded-line cost, then
+    /// the session resumes from its row cursor under a fresh lease.
+    fn migrate_shard(&mut self, shard: RescueShard, r: usize, t: Tick) {
+        let base = self.env.outs[r].0 + shard.off / 8;
+        let mut cost = Tick::ZERO;
+        for (i, chunk) in shard.prefix.chunks(64).enumerate() {
+            let mut line = [0u8; 64];
+            line[..chunk.len()].copy_from_slice(chunk);
+            self.env
+                .module
+                .data_mut()
+                .write(PhysAddr(base + i as u64 * 64), &line);
+            cost += self.cfg.resilience.degraded_line_cost;
+        }
+        let rec = &self.records[shard.qid as usize];
+        let req = SelectRequest {
+            col_addr: PhysAddr(self.env.replicas[r].0 + shard.off * 8),
+            rows: shard.rows,
+            lo: rec.lo,
+            hi: rec.hi,
+            out_addr: PhysAddr(base),
+        };
+        let session = self.env.drivers[r].resume_session(
+            self.env.module,
+            req,
+            shard.rows_done,
+            shard.matched,
+            t + cost,
+        );
+        self.active.push(ActiveShard {
+            qid: shard.qid,
+            rank: r,
+            off: shard.off,
+            rows: shard.rows,
+            session,
+        });
+        self.rank_busy[r] = true;
+        self.served_count[r] += 1;
+        self.migrations += 1;
+        self.env.tracer.emit(
+            t,
+            EventKind::ShardMigrated {
+                query: shard.qid,
+                from: shard.from_rank as u32,
+                to: r as u32,
+                row: shard.rows_done,
+            },
+        );
+    }
+
+    /// When no schedulable rank remains, the requeue rung falls through
+    /// to its floor: rescued shards finish functionally on the host
+    /// (serialized on `host_free`) and queued queries degrade — every
+    /// admitted query still completes.
+    fn drain_to_host_if_stranded(&mut self, t: Tick) -> Result<(), EngineInvariant> {
+        if self.health.schedulable_count() > 0 {
+            return Ok(());
+        }
+        while let Some(shard) = self.rescue_queue.pop_front() {
+            self.host_finish_shard(shard, t)?;
+        }
+        while let Some(&qid) = self.queue.front() {
+            let at = t.max(self.host_free);
+            self.degrade(qid, at)?;
+        }
+        Ok(())
+    }
+
+    /// The requeue rung's floor: recompute the full shard functionally on
+    /// the host at the degraded-scan cost, serialized on `host_free`, and
+    /// book it as the shard's completion. The salvaged prefix is ignored
+    /// — recounting the whole shard from the host copy is simpler and
+    /// byte-identical.
+    fn host_finish_shard(&mut self, shard: RescueShard, t: Tick) -> Result<(), EngineInvariant> {
+        let begin = self.host_free.max(t);
+        let rec = &self.records[shard.qid as usize];
+        let (lo, hi, op) = (rec.lo, rec.hi, rec.op);
+        let lo_idx = shard.off as usize;
+        let hi_idx = (shard.off + shard.rows) as usize;
+        let slice = &self.env.values[lo_idx..hi_idx];
+        let mut matched = 0u64;
+        let mut bytes = vec![0u8; shard.rows.div_ceil(8) as usize];
+        for (i, &v) in slice.iter().enumerate() {
+            if v >= lo && v <= hi {
+                bytes[i / 8] |= 1 << (i % 8);
+                matched += 1;
+            }
+        }
+        let proj_part = if let QueryOp::Project { .. } = op {
+            Some((
+                shard.off,
+                slice
+                    .iter()
+                    .copied()
+                    .filter(|&v| v >= lo && v <= hi)
+                    .collect::<Vec<i64>>(),
+            ))
+        } else {
+            None
+        };
+        let out_bytes = match op {
+            QueryOp::Project { k } => u64::from(k.max(1)) * 8 * shard.rows,
+            _ => shard.rows.div_ceil(8),
+        };
+        let cost = self.cfg.cpu_fixed
+            + self.cfg.cpu_per_row * shard.rows
+            + self.cfg.cpu_per_out_byte * out_bytes;
+        let done = begin + cost;
+        self.host_free = done;
+        let at = (shard.off / 8) as usize;
+        let rec = &mut self.records[shard.qid as usize];
+        rec.bitset[at..at + bytes.len()].copy_from_slice(&bytes);
+        self.complete_shard(shard.qid, done, matched, proj_part)
     }
 
     /// Dispatches `qid` onto up to `fanout` of the `free` ranks (in the
@@ -513,8 +977,12 @@ impl Engine<'_, '_> {
     /// decisions, so executing it ahead of the event clock is the same
     /// min-cursor argument that lets select shards run ahead: ranks are
     /// timing-independent, each is freed at its true end via a rank-free
-    /// event, and the query finishes at the max shard end. Partials merge
-    /// in shard (row) order with the device kernel's exact semantics.
+    /// event, and the query finishes at the max shard end. A rank whose
+    /// ladder exhausts hands its job back instead of folding in place:
+    /// the rank is quarantined, the job returns to the head of the list,
+    /// and whatever no healthy rank took folds on the host, serialized on
+    /// `host_free`. Partials merge commutatively with the device kernel's
+    /// exact semantics, so the merge is shard-order independent.
     fn dispatch_agg(&mut self, qid: u32, free: &[usize], t: Tick, op: AggOp) {
         let rows = self.env.values.len() as u64;
         let k = free.len().min(self.cfg.fanout.max(1)) as u64;
@@ -523,41 +991,86 @@ impl Engine<'_, '_> {
             let rec = &self.records[qid as usize];
             (rec.lo, rec.hi)
         };
+        let mut jobs: VecDeque<(u64, u64)> = VecDeque::new();
         let mut off = 0u64;
+        while off < rows {
+            let len = chunk.min(rows - off);
+            jobs.push_back((off, len));
+            off += len;
+        }
         let mut used = 0u32;
         let mut count = 0u64;
         let mut acc: Option<i64> = None;
         let mut end = t;
+        let mut requeued = false;
         for &r in free {
-            if off >= rows {
+            let Some((off, len)) = jobs.pop_front() else {
                 break;
-            }
-            let len = chunk.min(rows - off);
+            };
             let job = AggregateJob {
                 col_addr: PhysAddr(self.env.replicas[r].0 + off * 8),
                 rows: len,
                 op,
                 filter: Some(Predicate::Between(lo, hi)),
             };
-            let out = self.env.drivers[r].run_aggregate(
+            match self.env.drivers[r].try_run_aggregate(
                 &mut self.env.devices[r],
                 self.env.module,
                 job,
                 t,
-            );
-            count += out.count;
-            acc = merge_agg(op, acc, out.value);
-            end = end.max(out.end);
-            self.rank_busy[r] = true;
-            self.served_count[r] += 1;
-            self.rank_free_ev
-                .push(Reverse((out.end.max(self.now), r as u32)));
-            off += len;
-            used += 1;
+            ) {
+                Ok(out) => {
+                    count += out.count;
+                    acc = merge_agg(op, acc, out.value);
+                    end = end.max(out.end);
+                    self.rank_busy[r] = true;
+                    self.served_count[r] += 1;
+                    self.rank_free_ev
+                        .push(Reverse((out.end.max(self.now), r as u32)));
+                    used += 1;
+                }
+                Err(t_fail) => {
+                    jobs.push_front((off, len));
+                    self.quarantine_rank(r, t_fail);
+                    if !requeued {
+                        requeued = true;
+                        self.requeues += 1;
+                        self.env
+                            .tracer
+                            .emit(t_fail, EventKind::QueryRequeued { query: qid });
+                    }
+                }
+            }
+        }
+        while let Some((off, len)) = jobs.pop_front() {
+            let begin = self.host_free.max(t);
+            let slice = &self.env.values[off as usize..(off + len) as usize];
+            let mut c = 0u64;
+            let mut v: Option<i64> = None;
+            for &x in slice.iter().filter(|&&x| x >= lo && x <= hi) {
+                c += 1;
+                v = Some(match (op, v) {
+                    (AggOp::Min, Some(p)) => p.min(x),
+                    (AggOp::Max, Some(p)) => p.max(x),
+                    (AggOp::Min | AggOp::Max, None) => x,
+                    (_, prev) => prev.unwrap_or(0).wrapping_add(x),
+                });
+            }
+            let cost =
+                self.cfg.cpu_fixed + self.cfg.cpu_per_row * len + self.cfg.cpu_per_out_byte * 8;
+            let done = begin + cost;
+            self.host_free = done;
+            end = end.max(done);
+            count += c;
+            acc = merge_agg(op, acc, v);
         }
         let rec = &mut self.records[qid as usize];
         rec.started = Some(t);
-        rec.mode = ExecMode::Device { ranks: used };
+        rec.mode = if used == 0 {
+            ExecMode::Cpu
+        } else {
+            ExecMode::Device { ranks: used }
+        };
         rec.matched = count;
         rec.agg = match op {
             AggOp::Count => Some(count as i64),
@@ -567,7 +1080,11 @@ impl Engine<'_, '_> {
             t,
             EventKind::QueryStarted {
                 query: qid,
-                mode: if used > 1 { "parallel" } else { "single" },
+                mode: match used {
+                    0 => "cpu",
+                    1 => "single",
+                    _ => "parallel",
+                },
                 op: rec.op.name(),
                 ranks: used,
             },
@@ -575,15 +1092,31 @@ impl Engine<'_, '_> {
         self.finish_query(qid, end);
     }
 
-    fn step_shard(&mut self, idx: usize) {
+    fn step_shard(&mut self, idx: usize) -> Result<(), EngineInvariant> {
         let shard = &mut self.active[idx];
-        self.env.drivers[shard.rank].step_page(
+        self.env.drivers[shard.rank].step_page_failfast(
             &mut self.env.devices[shard.rank],
             self.env.module,
             &mut shard.session,
         );
+        if shard.session.is_parked() {
+            // The rank's fail-fast ladder gave up on a page: freeze the
+            // shard at its page boundary and let the rescue event (same
+            // tick, deterministic class order) requeue it.
+            let shard = self.active.swap_remove(idx);
+            self.park_shard(
+                shard.qid,
+                shard.rank,
+                shard.off,
+                shard.rows,
+                shard.session.next_row(),
+                shard.session.matched(),
+                shard.session.cursor(),
+            );
+            return Ok(());
+        }
         if !shard.session.is_done() {
-            return;
+            return Ok(());
         }
         let shard = self.active.swap_remove(idx);
         let run = shard.session.into_run();
@@ -622,15 +1155,40 @@ impl Engine<'_, '_> {
                 out_addr: PhysAddr(self.env.proj_outs[shard.rank].0 + shard.off * 8),
             };
             let mut emitted = 0u64;
+            let mut failed_at = None;
             for _ in 0..k.max(1) {
-                let out = self.env.drivers[shard.rank].run_project(
+                match self.env.drivers[shard.rank].try_run_project(
                     &mut self.env.devices[shard.rank],
                     self.env.module,
                     job,
                     shard_end,
+                ) {
+                    Ok(out) => {
+                        shard_end = out.end;
+                        emitted = out.emitted;
+                    }
+                    Err(t_fail) => {
+                        failed_at = Some(t_fail);
+                        break;
+                    }
+                }
+            }
+            if let Some(t_fail) = failed_at {
+                // The select finished but a projection pass exhausted the
+                // ladder. Park with the full select done (rows_done =
+                // rows): the resumed session completes instantly on the
+                // new rank and the k passes re-run there — passes are
+                // byte-identical, so re-running them all is correct.
+                self.park_shard(
+                    shard.qid,
+                    shard.rank,
+                    shard.off,
+                    shard.rows,
+                    shard.rows,
+                    run.matched,
+                    t_fail,
                 );
-                shard_end = out.end;
-                emitted = out.emitted;
+                return Ok(());
             }
             let base = self.env.proj_outs[shard.rank].0 + shard.off * 8;
             let vals: Vec<i64> = (0..emitted)
@@ -640,24 +1198,116 @@ impl Engine<'_, '_> {
         }
         self.rank_free_ev
             .push(Reverse((shard_end.max(self.now), shard.rank as u32)));
-        let fl = self.inflight[shard.qid as usize]
+        self.complete_shard(shard.qid, shard_end, run.matched, proj_part)
+    }
+
+    /// Books one finished shard (device or host) against its query's
+    /// in-flight bookkeeping; the last shard assembles the record and
+    /// finishes the query.
+    fn complete_shard(
+        &mut self,
+        qid: u32,
+        end: Tick,
+        matched: u64,
+        proj_part: Option<(u64, Vec<i64>)>,
+    ) -> Result<(), EngineInvariant> {
+        let fl = self.inflight[qid as usize]
             .as_mut()
-            .expect("shard of a dispatched query");
+            .ok_or(EngineInvariant::MissingInflight { query: qid })?;
         fl.remaining -= 1;
-        fl.matched += run.matched;
-        fl.end = fl.end.max(shard_end);
+        fl.matched += matched;
+        fl.end = fl.end.max(end);
         if let Some(part) = proj_part {
             fl.proj.push(part);
         }
-        if fl.remaining == 0 {
-            let (end, matched) = (fl.end, fl.matched);
-            let mut proj = std::mem::take(&mut fl.proj);
-            proj.sort_by_key(|&(off, _)| off);
-            let rec = &mut self.records[shard.qid as usize];
-            rec.matched = matched;
-            rec.projected = proj.into_iter().flat_map(|(_, vals)| vals).collect();
-            self.finish_query(shard.qid, end);
+        if fl.remaining > 0 {
+            return Ok(());
         }
+        let fl = self.inflight[qid as usize]
+            .take()
+            .ok_or(EngineInvariant::MissingInflight { query: qid })?;
+        let mut proj = fl.proj;
+        proj.sort_by_key(|&(off, _)| off);
+        let rec = &mut self.records[qid as usize];
+        rec.matched = fl.matched;
+        rec.projected = proj.into_iter().flat_map(|(_, vals)| vals).collect();
+        self.finish_query(qid, fl.end);
+        Ok(())
+    }
+
+    /// The canary probe event for a quarantined rank: reset the rank's
+    /// breaker and send a small empty-predicate select at it. A canary
+    /// that completes on the device repairs the rank (it rejoins the pool
+    /// at a rank-free event); one that parks re-quarantines with the
+    /// dwell doubled. The canary runs entirely at probe time against the
+    /// rank's own buffers — the rank is quarantined, so no live shard can
+    /// be using them, and any parked shard's prefix was already salvaged
+    /// at its rescue.
+    fn probe(&mut self, rank: u32, t: Tick) -> Result<(), EngineInvariant> {
+        let r = rank as usize;
+        if self.health.state(r) != RankState::Quarantined {
+            return Ok(());
+        }
+        self.health.begin_probe(r);
+        self.env.tracer.emit(
+            t,
+            EventKind::RankHealth {
+                rank,
+                state: RankState::Probing.name(),
+            },
+        );
+        self.env.drivers[r].reset_breaker();
+        let rows = self
+            .health
+            .config()
+            .canary_rows
+            .min(self.env.values.len() as u64)
+            .max(1);
+        let req = SelectRequest {
+            col_addr: self.env.replicas[r],
+            rows,
+            lo: 0,
+            hi: -1,
+            out_addr: self.env.outs[r],
+        };
+        let mut session = self.env.drivers[r].start_session(self.env.module, req, t);
+        while !session.is_done() && !session.is_parked() {
+            self.env.drivers[r].step_page_failfast(
+                &mut self.env.devices[r],
+                self.env.module,
+                &mut session,
+            );
+        }
+        if session.is_done() {
+            let end = session.into_run().end;
+            self.health.repaired(r, end);
+            self.env
+                .tracer
+                .emit(end, EventKind::CanaryProbe { rank, ok: true });
+            self.env.tracer.emit(
+                end,
+                EventKind::RankHealth {
+                    rank,
+                    state: RankState::Healthy.name(),
+                },
+            );
+            self.rank_free_ev.push(Reverse((end.max(self.now), rank)));
+        } else {
+            let at = session.cursor().max(t);
+            let next = self.health.probe_failed(r, at);
+            self.env
+                .tracer
+                .emit(at, EventKind::CanaryProbe { rank, ok: false });
+            self.env.tracer.emit(
+                at,
+                EventKind::RankHealth {
+                    rank,
+                    state: RankState::Quarantined.name(),
+                },
+            );
+            self.probe_ev.push(Reverse((next, rank)));
+        }
+        Ok(())
     }
 
     fn finish_query(&mut self, qid: u32, end: Tick) {
@@ -717,12 +1367,12 @@ impl Engine<'_, '_> {
     /// analytically per operator, computed functionally — the bitset is
     /// bit-identical, the aggregate scalar value-identical and the packed
     /// projection byte-identical to what the device path would return.
-    fn degrade(&mut self, qid: u32, t: Tick) {
+    fn degrade(&mut self, qid: u32, t: Tick) -> Result<(), EngineInvariant> {
         let pos = self
             .queue
             .iter()
             .position(|&q| q == qid)
-            .expect("degrade candidate is queued");
+            .ok_or(EngineInvariant::DegradeCandidateMissing { query: qid })?;
         self.queue.remove(pos);
         let done = t + self.cpu_estimate(self.records[qid as usize].op);
         self.host_free = done;
@@ -785,6 +1435,7 @@ impl Engine<'_, '_> {
                 ranks: 0,
             },
         );
+        Ok(())
     }
 }
 
@@ -1214,5 +1865,142 @@ mod tests {
         for rec in &report.records {
             assert_eq!(rec.bitset, reference_bytes(&rig.values, rec.lo, rec.hi));
         }
+    }
+
+    #[test]
+    fn permanent_outage_parks_migrates_and_completes_bit_identically() {
+        use jafar_dram::{FaultInjector, FaultPlan};
+        let mut rig = rig(4, 9);
+        rig.module
+            .set_fault_injector(Some(FaultInjector::new(FaultPlan::none(3).with_outage(
+                0,
+                Tick::ZERO,
+                Tick::MAX,
+            ))));
+        let workload = Workload {
+            specs: vec![spec(100, 420, None)],
+            arrivals: Arrivals::Open(vec![Tick::ZERO]),
+            slo: None,
+        };
+        let report = rig.serve(&workload, SchedPolicy::Fifo, &ServeConfig::default());
+        assert_eq!(report.completed(), 1);
+        let rec = &report.records[0];
+        assert!(matches!(rec.mode, ExecMode::Device { ranks: 4 }));
+        assert_eq!(rec.bitset, reference_bytes(&rig.values, 100, 420));
+        let a = &report.availability;
+        assert!(a.disturbed());
+        assert!(a.requeues >= 1, "the dark rank's shard was rescued");
+        assert!(
+            a.migrations >= 1,
+            "the rescued shard moved to a healthy rank"
+        );
+        assert_eq!(a.ranks[0].quarantines, 1);
+        assert_eq!(a.ranks[0].canary_ok, 0, "a permanent outage never repairs");
+        assert!(
+            a.ranks[0].downtime > Tick::ZERO,
+            "open quarantine booked at makespan"
+        );
+        assert_eq!(a.ranks[1].quarantines, 0);
+        assert_eq!(a.ranks[1].downtime, Tick::ZERO);
+    }
+
+    #[test]
+    fn outage_heals_via_canary_and_the_rank_returns_to_service() {
+        use jafar_dram::{FaultInjector, FaultPlan};
+        let mut rig = rig(2, 21);
+        rig.module
+            .set_fault_injector(Some(FaultInjector::new(FaultPlan::none(5).with_outage(
+                1,
+                Tick::ZERO,
+                Tick::from_us(100),
+            ))));
+        let workload = Workload {
+            specs: vec![spec(0, 500, None), spec(200, 700, None)],
+            arrivals: Arrivals::Open(vec![Tick::ZERO, Tick::from_us(500)]),
+            slo: None,
+        };
+        let report = rig.serve(&workload, SchedPolicy::Fifo, &ServeConfig::default());
+        assert_eq!(report.completed(), 2);
+        for rec in &report.records {
+            assert_eq!(rec.bitset, reference_bytes(&rig.values, rec.lo, rec.hi));
+        }
+        let a = &report.availability;
+        assert_eq!(a.ranks[1].quarantines, 1);
+        assert_eq!(a.ranks[1].canary_ok, 1, "the canary repaired the rank");
+        assert!(a.migrations >= 1);
+        assert!(
+            a.ranks[1].downtime < Tick::from_us(500),
+            "downtime ends at the observed repair, not at makespan"
+        );
+        assert!(
+            matches!(report.records[1].mode, ExecMode::Device { ranks: 2 }),
+            "the repaired rank serves the later query (mode {:?})",
+            report.records[1].mode
+        );
+    }
+
+    #[test]
+    fn quarantined_ranks_tighten_admission_and_shed_excess_arrivals() {
+        use jafar_dram::{FaultInjector, FaultPlan};
+        let mut rig = rig(4, 13);
+        rig.module.set_fault_injector(Some(FaultInjector::new(
+            FaultPlan::none(1)
+                .with_outage(0, Tick::ZERO, Tick::MAX)
+                .with_outage(1, Tick::ZERO, Tick::MAX)
+                .with_outage(2, Tick::ZERO, Tick::MAX),
+        )));
+        // One query up front to trip the three dark ranks into
+        // quarantine, then a burst tighter than the surviving rank can
+        // absorb: with 1 of 4 ranks schedulable the admission bound drops
+        // from 8 to ceil(8/4) = 2, so the burst sheds arrivals the full
+        // queue would have admitted.
+        let mut specs = vec![spec(100, 420, None)];
+        let mut arrivals = vec![Tick::ZERO];
+        for i in 0..8u64 {
+            specs.push(spec(50 + i as i64, 600, None));
+            arrivals.push(Tick::from_us(250) + Tick::from_ns(200) * i);
+        }
+        let workload = Workload {
+            specs,
+            arrivals: Arrivals::Open(arrivals),
+            slo: None,
+        };
+        let cfg = ServeConfig {
+            max_queue: 8,
+            ..ServeConfig::default()
+        };
+        let report = rig.serve(&workload, SchedPolicy::Fifo, &cfg);
+        assert_eq!(report.completed() + report.shed(), 9);
+        assert!(
+            report.shed() >= 1,
+            "the tightened bound shed part of the burst"
+        );
+        assert!(report.availability.sheds_tightened >= 1);
+        assert_eq!(report.shed() as u64, report.availability.sheds_tightened);
+        for rec in report.records.iter().filter(|r| r.done.is_some()) {
+            assert_eq!(rec.bitset, reference_bytes(&rig.values, rec.lo, rec.hi));
+        }
+        for r in 0..3 {
+            assert!(report.availability.ranks[r].quarantines >= 1);
+        }
+    }
+
+    #[test]
+    fn chaotic_serve_replays_byte_identically() {
+        use jafar_dram::{FaultInjector, FaultPlan};
+        let run = || {
+            let mut rig = rig(4, 33);
+            rig.module.set_fault_injector(Some(FaultInjector::new(
+                FaultPlan::chaos(7).with_outage(2, Tick::from_us(5), Tick::from_us(80)),
+            )));
+            let mix = PredicateMix::UniformRange {
+                min: 0,
+                max: 999,
+                width: 300,
+            };
+            let workload = Workload::poisson(mix, 8, Tick::from_us(3), 19);
+            rig.serve(&workload, SchedPolicy::Edf, &ServeConfig::default())
+        };
+        assert_eq!(run(), run());
     }
 }

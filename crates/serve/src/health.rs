@@ -1,0 +1,270 @@
+//! The per-rank health lifecycle behind the serving engine's failure
+//! domain: `healthy → suspect → quarantined → probing → healthy`.
+//!
+//! A rank is **suspect** the instant one of its shards parks (the
+//! resilient driver's fail-fast ladder gave up on a page) and
+//! **quarantined** — out of the schedulable pool — once the engine's
+//! rescue event confirms the failure and re-dispatches the shard. A
+//! quarantined rank dwells for [`HealthConfig::probe_after`], then the
+//! engine sends a **canary** select at it; a canary that completes on the
+//! device repairs the rank back to healthy, one that parks doubles the
+//! dwell (capped at [`HealthConfig::probe_max`]) and re-quarantines.
+//!
+//! [`HealthTracker`] is the pure state machine: it owns no clocks, emits
+//! no trace events and touches no hardware — the engine drives every
+//! transition at a deterministic event time and reports them, which keeps
+//! serve runs a pure function of `(workload, policy, config)` even under
+//! injected rank outages. Downtime accounting runs from quarantine entry
+//! to observed repair (or end of run, via [`HealthTracker::finalize`]).
+
+use crate::report::RankAvailability;
+use jafar_common::time::Tick;
+
+/// Where a rank sits in its failure lifecycle. Only [`RankState::Healthy`]
+/// ranks are schedulable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RankState {
+    /// In the schedulable pool.
+    #[default]
+    Healthy,
+    /// A shard parked on this rank; the rescue event will confirm.
+    Suspect,
+    /// Out of the pool, waiting out its probe dwell.
+    Quarantined,
+    /// A canary query is in flight against it.
+    Probing,
+}
+
+impl RankState {
+    /// The mnemonic the trace stream uses for this state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RankState::Healthy => "healthy",
+            RankState::Suspect => "suspect",
+            RankState::Quarantined => "quarantined",
+            RankState::Probing => "probing",
+        }
+    }
+}
+
+/// Knobs of the rank health lifecycle.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Quarantine dwell before the first canary probe.
+    pub probe_after: Tick,
+    /// Dwell ceiling as failed canaries double it.
+    pub probe_max: Tick,
+    /// Rows the canary select scans (clamped to the served column).
+    pub canary_rows: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            probe_after: Tick::from_us(200),
+            probe_max: Tick::from_ms(5),
+            canary_rows: 512,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct RankHealth {
+    state: RankState,
+    /// When the current quarantine began (meaningful while not healthy).
+    down_since: Tick,
+    /// Current probe dwell (doubles per failed canary, capped).
+    dwell: Tick,
+    downtime: Tick,
+    quarantines: u64,
+    canary_ok: u64,
+    canary_fail: u64,
+}
+
+/// The pure per-rank health state machine. See the module docs for the
+/// lifecycle; every method is a deterministic function of its inputs.
+pub struct HealthTracker {
+    cfg: HealthConfig,
+    ranks: Vec<RankHealth>,
+}
+
+impl HealthTracker {
+    /// A tracker with every rank healthy.
+    pub fn new(nranks: usize, cfg: HealthConfig) -> Self {
+        HealthTracker {
+            cfg,
+            ranks: vec![RankHealth::default(); nranks],
+        }
+    }
+
+    /// The lifecycle knobs this tracker runs under.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Current state of `rank`.
+    pub fn state(&self, rank: usize) -> RankState {
+        self.ranks[rank].state
+    }
+
+    /// True when `rank` may receive new work.
+    pub fn is_schedulable(&self, rank: usize) -> bool {
+        self.ranks[rank].state == RankState::Healthy
+    }
+
+    /// Ranks currently in the schedulable pool.
+    pub fn schedulable_count(&self) -> usize {
+        self.ranks
+            .iter()
+            .filter(|r| r.state == RankState::Healthy)
+            .count()
+    }
+
+    /// Healthy → suspect (a shard parked; the rescue event will decide).
+    /// Returns true on a real transition, false when the rank was already
+    /// somewhere else in the lifecycle.
+    pub fn mark_suspect(&mut self, rank: usize) -> bool {
+        let r = &mut self.ranks[rank];
+        if r.state == RankState::Healthy {
+            r.state = RankState::Suspect;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Healthy/suspect → quarantined at `at`. Returns the tick the first
+    /// canary probe is due, or `None` when the rank was already
+    /// quarantined or probing (no new probe is owed).
+    pub fn quarantine(&mut self, rank: usize, at: Tick) -> Option<Tick> {
+        let r = &mut self.ranks[rank];
+        match r.state {
+            RankState::Healthy | RankState::Suspect => {
+                r.state = RankState::Quarantined;
+                r.down_since = at;
+                r.dwell = self.cfg.probe_after;
+                r.quarantines += 1;
+                Some(at + r.dwell)
+            }
+            RankState::Quarantined | RankState::Probing => None,
+        }
+    }
+
+    /// Quarantined → probing (the canary is being sent).
+    pub fn begin_probe(&mut self, rank: usize) {
+        debug_assert_eq!(self.ranks[rank].state, RankState::Quarantined);
+        self.ranks[rank].state = RankState::Probing;
+    }
+
+    /// The canary parked: probing → quarantined with the dwell doubled
+    /// (capped at [`HealthConfig::probe_max`]). Returns the next probe
+    /// tick.
+    pub fn probe_failed(&mut self, rank: usize, at: Tick) -> Tick {
+        let cap = self.cfg.probe_max;
+        let r = &mut self.ranks[rank];
+        r.state = RankState::Quarantined;
+        r.canary_fail += 1;
+        r.dwell = Tick::from_ps(r.dwell.as_ps().saturating_mul(2)).min(cap);
+        at + r.dwell
+    }
+
+    /// The canary completed on the device: probing → healthy, with the
+    /// quarantine's downtime (entry to observed repair) booked.
+    pub fn repaired(&mut self, rank: usize, at: Tick) {
+        let r = &mut self.ranks[rank];
+        r.state = RankState::Healthy;
+        r.canary_ok += 1;
+        r.downtime += at.saturating_sub(r.down_since);
+    }
+
+    /// Books the open downtime of every rank still out of the pool when
+    /// the run ends at `makespan` (its quarantine never repaired).
+    pub fn finalize(&mut self, makespan: Tick) {
+        for r in &mut self.ranks {
+            if matches!(r.state, RankState::Quarantined | RankState::Probing) {
+                r.downtime += makespan.saturating_sub(r.down_since);
+            }
+        }
+    }
+
+    /// One rank's availability record for the serve report.
+    pub fn availability(&self, rank: usize) -> RankAvailability {
+        let r = &self.ranks[rank];
+        RankAvailability {
+            rank: rank as u32,
+            downtime: r.downtime,
+            quarantines: r.quarantines,
+            canary_ok: r.canary_ok,
+            canary_fail: r.canary_fail,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_walks_suspect_quarantine_probe_repair() {
+        let mut h = HealthTracker::new(2, HealthConfig::default());
+        assert_eq!(h.state(0), RankState::Healthy);
+        assert_eq!(h.schedulable_count(), 2);
+
+        assert!(h.mark_suspect(0));
+        assert!(!h.mark_suspect(0), "second suspect is a no-op");
+        assert_eq!(h.state(0), RankState::Suspect);
+        assert!(!h.is_schedulable(0), "suspect ranks take no new work");
+        assert_eq!(h.schedulable_count(), 1);
+
+        let probe_at = h.quarantine(0, Tick::from_us(10));
+        assert_eq!(
+            probe_at,
+            Some(Tick::from_us(10) + HealthConfig::default().probe_after)
+        );
+        assert!(
+            h.quarantine(0, Tick::from_us(11)).is_none(),
+            "re-quarantine owes no second probe"
+        );
+        assert!(!h.mark_suspect(0));
+
+        h.begin_probe(0);
+        assert_eq!(h.state(0), RankState::Probing);
+        assert!(!h.is_schedulable(0));
+        h.repaired(0, Tick::from_us(300));
+        assert_eq!(h.state(0), RankState::Healthy);
+        assert_eq!(h.schedulable_count(), 2);
+
+        let a = h.availability(0);
+        assert_eq!(a.quarantines, 1);
+        assert_eq!(a.canary_ok, 1);
+        assert_eq!(a.canary_fail, 0);
+        assert_eq!(a.downtime, Tick::from_us(290));
+    }
+
+    #[test]
+    fn failed_probes_double_the_dwell_up_to_the_cap() {
+        let cfg = HealthConfig {
+            probe_after: Tick::from_us(100),
+            probe_max: Tick::from_us(350),
+            canary_rows: 512,
+        };
+        let mut h = HealthTracker::new(1, cfg);
+        h.quarantine(0, Tick::ZERO);
+        h.begin_probe(0);
+        let next = h.probe_failed(0, Tick::from_us(100));
+        assert_eq!(next, Tick::from_us(300), "dwell doubled to 200us");
+        h.begin_probe(0);
+        let next = h.probe_failed(0, next);
+        assert_eq!(next, Tick::from_us(650), "dwell capped at 350us");
+        assert_eq!(h.availability(0).canary_fail, 2);
+    }
+
+    #[test]
+    fn finalize_books_open_downtime_at_makespan() {
+        let mut h = HealthTracker::new(2, HealthConfig::default());
+        h.quarantine(1, Tick::from_us(50));
+        h.finalize(Tick::from_us(450));
+        assert_eq!(h.availability(1).downtime, Tick::from_us(400));
+        assert_eq!(h.availability(0).downtime, Tick::ZERO);
+    }
+}

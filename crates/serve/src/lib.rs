@@ -13,11 +13,17 @@
 //!   predicate mixes, plus an optional per-query latency SLO;
 //! - [`policy`]: pluggable scheduling policies — FIFO,
 //!   earliest-deadline-first, and contention-aware rank affinity;
-//! - [`engine`]: admission control (bounded queue with shedding),
-//!   dispatch onto free ranks via the PR-3 steppable-session min-cursor
-//!   machinery, and the SLO degradation ladder (rank-parallel →
-//!   single-device → host CPU scan) composed over the PR-1 resilient
+//! - [`engine`]: admission control (bounded queue with shedding,
+//!   tightened while ranks are quarantined), dispatch onto free healthy
+//!   ranks via the PR-3 steppable-session min-cursor machinery, and the
+//!   SLO degradation ladder (rank-parallel → single-device → requeue on
+//!   a healthy rank → host CPU scan) composed over the PR-1 resilient
 //!   drivers;
+//! - [`health`]: the per-rank failure lifecycle — a rank whose fail-fast
+//!   ladder parks a shard is quarantined out of the schedulable pool,
+//!   its shard is rescued and re-dispatched mid-query (bitset prefix
+//!   salvaged and replayed), and canary probes repair the rank back into
+//!   the pool;
 //! - [`report`]: per-query records (queue-wait vs service-time
 //!   breakdown, execution rung, selection vector) and aggregate
 //!   p50/p95/p99 latency + throughput;
@@ -36,13 +42,15 @@
 //! engine a [`engine::ServeEnv`].
 
 pub mod engine;
+pub mod health;
 pub mod policy;
 pub mod report;
 pub mod submit;
 pub mod workload;
 
-pub use engine::{run_serve, ServeConfig, ServeEnv};
+pub use engine::{run_serve, run_serve_checked, EngineInvariant, ServeConfig, ServeEnv};
+pub use health::{HealthConfig, RankState};
 pub use policy::SchedPolicy;
-pub use report::{ExecMode, OpBreakdown, QueryRecord, ServeReport};
+pub use report::{Availability, ExecMode, OpBreakdown, QueryRecord, RankAvailability, ServeReport};
 pub use submit::SubmitError;
 pub use workload::{AggFn, Arrivals, PredicateMix, QueryOp, QuerySpec, Workload};

@@ -88,6 +88,56 @@ impl QueryRecord {
     }
 }
 
+/// One rank's slice of the availability picture: how long it sat outside
+/// the schedulable pool and how its canary probes went.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankAvailability {
+    /// The rank.
+    pub rank: u32,
+    /// Total time out of the pool (quarantine entry to observed repair,
+    /// or end of run for a quarantine that never repaired).
+    pub downtime: Tick,
+    /// Times the rank entered quarantine.
+    pub quarantines: u64,
+    /// Canary probes that completed on the device (repairs).
+    pub canary_ok: u64,
+    /// Canary probes that parked (rank still dark).
+    pub canary_fail: u64,
+}
+
+/// Availability metrics of one serve run: the per-rank health ledger plus
+/// the engine's failure-path counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Availability {
+    /// One entry per rank, in rank order.
+    pub ranks: Vec<RankAvailability>,
+    /// Parked shards resumed on a different rank from their checkpoint.
+    pub migrations: u64,
+    /// Shards (or aggregate jobs) that re-entered the dispatch ladder
+    /// after their rank failed mid-query.
+    pub requeues: u64,
+    /// Arrivals shed only because quarantined ranks tightened the
+    /// admission bound below the configured queue capacity.
+    pub sheds_tightened: u64,
+}
+
+impl Availability {
+    /// Sum of every rank's downtime.
+    pub fn total_downtime(&self) -> Tick {
+        self.ranks
+            .iter()
+            .fold(Tick::ZERO, |acc, r| acc + r.downtime)
+    }
+
+    /// True when any failure machinery engaged during the run.
+    pub fn disturbed(&self) -> bool {
+        self.migrations > 0
+            || self.requeues > 0
+            || self.sheds_tightened > 0
+            || self.ranks.iter().any(|r| r.quarantines > 0)
+    }
+}
+
 /// Aggregate outcome of one [`crate::engine::run_serve`] call.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServeReport {
@@ -97,6 +147,8 @@ pub struct ServeReport {
     pub makespan: Tick,
     /// Name of the scheduling policy that produced this report.
     pub policy: &'static str,
+    /// Per-rank downtime, migrations, requeues and canary outcomes.
+    pub availability: Availability,
 }
 
 impl ServeReport {
@@ -298,6 +350,23 @@ impl fmt::Display for ServeReport {
             ms(self.mean_queue_wait()),
             ms(self.mean_service()),
         )?;
+        if self.availability.disturbed() {
+            let a = &self.availability;
+            writeln!(
+                f,
+                "  availability: {} quarantine(s), downtime {:.3} ms, {} migration(s), {} requeue(s), {} tightened shed(s), canary {}/{} ok",
+                a.ranks.iter().map(|r| r.quarantines).sum::<u64>(),
+                a.total_downtime().as_ms_f64(),
+                a.migrations,
+                a.requeues,
+                a.sheds_tightened,
+                a.ranks.iter().map(|r| r.canary_ok).sum::<u64>(),
+                a.ranks
+                    .iter()
+                    .map(|r| r.canary_ok + r.canary_fail)
+                    .sum::<u64>(),
+            )?;
+        }
         let breakdown = self.op_breakdown();
         if breakdown.len() > 1 {
             for b in breakdown {
@@ -353,6 +422,7 @@ mod tests {
             records,
             makespan: Tick::from_ps(100_000),
             policy: "fifo",
+            availability: Availability::default(),
         };
         assert_eq!(report.p50(), Some(Tick::from_ps(50_000)));
         assert_eq!(report.p95(), Some(Tick::from_ps(95_000)));
@@ -374,6 +444,7 @@ mod tests {
             records: Vec::new(),
             makespan: Tick::ZERO,
             policy: "fifo",
+            availability: Availability::default(),
         };
         assert_eq!(report.p99(), None);
         assert_eq!(report.throughput_qps(), 0.0);
@@ -391,6 +462,7 @@ mod tests {
             records,
             makespan: Tick::from_ps(100_000),
             policy: "fifo",
+            availability: Availability::default(),
         };
         assert_eq!(report.latency_percentile(0), Some(Tick::from_ps(1000)));
         assert_eq!(
@@ -409,6 +481,7 @@ mod tests {
             records: vec![record(0, 0, 0, 777)],
             makespan: Tick::from_ps(777),
             policy: "fifo",
+            availability: Availability::default(),
         };
         for pct in [0, 1, 50, 100, u64::MAX] {
             assert_eq!(one.latency_percentile(pct), Some(Tick::from_ps(777)));
@@ -436,6 +509,7 @@ mod tests {
             records,
             makespan: Tick::from_ps(1_000_000),
             policy: "edf",
+            availability: Availability::default(),
         };
         assert_eq!(report.ops(), vec!["select", "count", "sum"]);
         let breakdown = report.op_breakdown();

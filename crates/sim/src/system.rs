@@ -468,6 +468,12 @@ impl System {
             .set_fault_injector(Some(FaultInjector::new(plan)));
     }
 
+    /// Removes any installed fault injector, restoring fault-free
+    /// operation for subsequent runs.
+    pub fn clear_faults(&mut self) {
+        self.mc.module_mut().set_fault_injector(None);
+    }
+
     /// Counters of what the installed injector actually did, if any.
     pub fn fault_stats(&self) -> Option<&FaultStats> {
         self.mc.module().fault_stats()
@@ -1459,5 +1465,60 @@ mod tests {
         assert!(run.report.cpu_queries() >= 1);
         let breakdown = run.report.op_breakdown();
         assert!(breakdown.len() >= 4, "one breakdown row per operator kind");
+    }
+
+    #[test]
+    fn serve_state_does_not_leak_between_runs() {
+        use jafar_serve::PredicateMix;
+
+        // Run 1 under a permanent rank outage trips breakers, quarantines
+        // a rank and parks/migrates shards. After clearing the faults,
+        // two consecutive clean runs on the same System must be pristine
+        // and functionally identical: no breaker, health or served-count
+        // state leaks from one serve call into the next.
+        let mut sys = multi_rank_system(4);
+        let vals = values(4096, 999, 37);
+        let mix = PredicateMix::UniformRange {
+            min: 0,
+            max: 999,
+            width: 200,
+        };
+        let workload = Workload::poisson(mix, 5, Tick::from_us(2), 47);
+        sys.inject_faults(FaultPlan::none(9).with_outage(0, Tick::ZERO, Tick::MAX));
+        let chaotic = sys.serve(&vals, &workload, SchedPolicy::Fifo, &ServeConfig::default());
+        assert!(
+            chaotic.report.availability.disturbed(),
+            "the outage engaged the failure machinery"
+        );
+        assert_eq!(
+            chaotic.report.completed() + chaotic.report.shed(),
+            5,
+            "no query lost under the outage"
+        );
+
+        sys.clear_faults();
+        let clean1 = sys.serve(&vals, &workload, SchedPolicy::Fifo, &ServeConfig::default());
+        let clean2 = sys.serve(&vals, &workload, SchedPolicy::Fifo, &ServeConfig::default());
+        for run in [&clean1, &clean2] {
+            assert!(
+                !run.report.availability.disturbed(),
+                "clean run inherited failure state: {:?}",
+                run.report.availability
+            );
+            assert_eq!(run.report.completed(), 5);
+            assert!(
+                run.recovery.iter().all(|d| d.recovery_total() == 0),
+                "clean run inherited driver recovery state"
+            );
+        }
+        for (a, b) in clean1.report.records.iter().zip(&clean2.report.records) {
+            assert_eq!(a.bitset, b.bitset);
+            assert_eq!(a.matched, b.matched);
+            assert_eq!(a.mode, b.mode);
+        }
+        for rec in &clean1.report.records {
+            let got = BitSet::from_bytes(&rec.bitset, vals.len()).to_positions();
+            assert_eq!(got, reference_positions(&vals, rec.lo, rec.hi));
+        }
     }
 }

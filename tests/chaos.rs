@@ -1,0 +1,316 @@
+//! The chaos harness: seeded random fault schedules — transient fault
+//! soups plus persistent rank outages — thrown at seeded random served
+//! workloads, with the engine's availability invariants checked on every
+//! run. CI runs this file by name as its own job; `jafar_common::check`
+//! prints the failing case seed on any violation so it can be replayed.
+//!
+//! The invariants, per run:
+//! - every submitted query either completes or is explicitly shed at
+//!   admission — never lost, never double-completed;
+//! - every *completed* query's result (selection vector, scalar
+//!   aggregate, packed projection) is byte-identical to the fault-free
+//!   functional reference, whatever rung or rank path served it;
+//! - availability accounting stays sane (per-rank downtime never exceeds
+//!   the run's makespan);
+//! - the whole run — report, Chrome trace, timeline, metrics — replays
+//!   byte-for-byte from the same seed;
+//! - a quarantined rank whose outage ends is repaired by a canary and
+//!   returns to service.
+
+use jafar::common::check::forall;
+use jafar::common::time::Tick;
+use jafar::dram::{DramGeometry, FaultPlan};
+use jafar::serve::engine::ServeConfig;
+use jafar::serve::{
+    AggFn, Arrivals, ExecMode, PredicateMix, QueryOp, QuerySpec, SchedPolicy, ServeReport, Workload,
+};
+use jafar::sim::{System, SystemConfig};
+
+/// The §4 operator set the chaotic streams cycle through.
+const OP_MIX: [QueryOp; 6] = [
+    QueryOp::Select,
+    QueryOp::SelectCount,
+    QueryOp::SelectAgg(AggFn::Sum),
+    QueryOp::Project { k: 2 },
+    QueryOp::SelectAgg(AggFn::Min),
+    QueryOp::SelectAgg(AggFn::Max),
+];
+
+/// NDP ranks in the chaos rig (`multi_rank_system(4)` reserves the last
+/// DRAM rank for the host) — outages are drawn over exactly these.
+const NDP_RANKS: u32 = 3;
+
+fn multi_rank_system(ranks: u32) -> System {
+    let mut cfg = SystemConfig::test_small();
+    cfg.dram_geometry = DramGeometry {
+        ranks,
+        banks_per_rank: 4,
+        rows_per_bank: 64,
+        row_bytes: 1024,
+    };
+    System::new(cfg)
+}
+
+fn reference_positions(vals: &[i64], lo: i64, hi: i64) -> Vec<u32> {
+    vals.iter()
+        .enumerate()
+        .filter(|&(_, &v)| (lo..=hi).contains(&v))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+fn reference_agg(f: AggFn, matching: &[i64]) -> Option<i64> {
+    match f {
+        AggFn::Sum => matching.iter().copied().reduce(|a, b| a.wrapping_add(b)),
+        AggFn::Min => matching.iter().copied().min(),
+        AggFn::Max => matching.iter().copied().max(),
+    }
+}
+
+/// Everything one chaotic serve needs, derived once from the case RNG so
+/// a run can be replayed bit-for-bit.
+#[derive(Clone)]
+struct ChaosCase {
+    values: Vec<i64>,
+    workload: Workload,
+    policy: SchedPolicy,
+    plan: FaultPlan,
+}
+
+fn chaos_case(rng: &mut jafar::common::rng::SplitMix64, case: usize) -> ChaosCase {
+    let rows = rng.next_range_inclusive(600, 2200) as usize;
+    let values: Vec<i64> = (0..rows)
+        .map(|_| rng.next_range_inclusive(0, 999))
+        .collect();
+    let n = rng.next_range_inclusive(2, 8) as usize;
+    let mix = PredicateMix::UniformRange {
+        min: 0,
+        max: 999,
+        width: rng.next_range_inclusive(50, 600),
+    };
+    let wseed = rng.next_u64();
+    let mut workload = if rng.next_bool(0.5) {
+        let gap = Tick::from_ns(rng.next_range_inclusive(100, 8000) as u64);
+        Workload::poisson(mix, n, gap, wseed)
+    } else {
+        let clients = rng.next_range_inclusive(1, 4) as u32;
+        let think = Tick::from_ns(rng.next_range_inclusive(0, 2000) as u64);
+        Workload::closed(mix, n, clients, think, wseed)
+    };
+    if rng.next_bool(0.3) {
+        workload = workload.with_slo(Tick::from_us(rng.next_range_inclusive(20, 800) as u64));
+    }
+    let start = rng.next_range_inclusive(0, OP_MIX.len() as i64 - 1) as usize;
+    let len = rng.next_range_inclusive(1, OP_MIX.len() as i64) as usize;
+    let ops: Vec<QueryOp> = (0..len)
+        .map(|i| OP_MIX[(start + i) % OP_MIX.len()])
+        .collect();
+    workload = workload.with_op_mix(&ops);
+
+    let fseed = rng.next_u64();
+    let mut plan = match rng.next_below(3) {
+        0 => FaultPlan::none(fseed),
+        1 => FaultPlan::light(fseed),
+        _ => FaultPlan::chaos(fseed),
+    };
+    for _ in 0..rng.next_below(3) {
+        let rank = rng.next_below(NDP_RANKS as u64) as u32;
+        let from = Tick::from_ns(rng.next_below(50_000));
+        let until = if rng.next_bool(0.3) {
+            Tick::MAX
+        } else {
+            from + Tick::from_us(rng.next_range_inclusive(20, 200) as u64)
+        };
+        plan = plan.with_outage(rank, from, until);
+    }
+
+    let policies = [
+        SchedPolicy::Fifo,
+        SchedPolicy::Edf,
+        SchedPolicy::RankAffinity,
+    ];
+    ChaosCase {
+        values,
+        workload,
+        policy: policies[case % policies.len()],
+        plan,
+    }
+}
+
+/// One full chaotic serve with tracing: the report plus the rendered
+/// trace surfaces (Chrome JSON, timeline, metrics).
+fn run_case(case: &ChaosCase) -> (ServeReport, String, String, String) {
+    let mut sys = multi_rank_system(4);
+    sys.enable_tracing(1 << 16);
+    sys.inject_faults(case.plan);
+    let run = sys.serve(
+        &case.values,
+        &case.workload,
+        case.policy,
+        &ServeConfig::default(),
+    );
+    (
+        run.report,
+        sys.chrome_trace().expect("tracing enabled"),
+        sys.trace_timeline().expect("tracing enabled"),
+        sys.metrics().to_string(),
+    )
+}
+
+/// Checks every per-run invariant of one chaotic serve.
+fn check_invariants(case: &ChaosCase, report: &ServeReport, timeline: &str) {
+    let n = case.workload.len();
+    assert_eq!(
+        report.completed() + report.shed(),
+        n,
+        "every query completes or is explicitly shed"
+    );
+    for rec in &report.records {
+        if rec.done.is_none() {
+            assert_eq!(rec.mode, ExecMode::Shed, "query {} lost", rec.id);
+            continue;
+        }
+        let matching: Vec<i64> = case
+            .values
+            .iter()
+            .copied()
+            .filter(|v| (rec.lo..=rec.hi).contains(v))
+            .collect();
+        assert_eq!(
+            rec.matched as usize,
+            matching.len(),
+            "query {} match count",
+            rec.id
+        );
+        match rec.op {
+            QueryOp::Select | QueryOp::Project { .. } => {
+                let got = jafar::common::bitset::BitSet::from_bytes(&rec.bitset, case.values.len())
+                    .to_positions();
+                assert_eq!(
+                    got,
+                    reference_positions(&case.values, rec.lo, rec.hi),
+                    "query {} selection vector",
+                    rec.id
+                );
+                if matches!(rec.op, QueryOp::Project { .. }) {
+                    assert_eq!(rec.projected, matching, "query {} projection", rec.id);
+                }
+            }
+            QueryOp::SelectCount => {
+                assert_eq!(
+                    rec.agg,
+                    Some(matching.len() as i64),
+                    "query {} count",
+                    rec.id
+                );
+            }
+            QueryOp::SelectAgg(f) => {
+                assert_eq!(
+                    rec.agg,
+                    reference_agg(f, &matching),
+                    "query {} scalar",
+                    rec.id
+                );
+            }
+        }
+        // Exactly one completion in the trace — never double-completed.
+        let done_lines = timeline
+            .lines()
+            .filter(|l| l.contains("query-done") && l.contains(&format!("query={} ", rec.id)))
+            .count();
+        assert_eq!(done_lines, 1, "query {} completion count in trace", rec.id);
+    }
+    for r in &report.availability.ranks {
+        assert!(
+            r.downtime <= report.makespan,
+            "rank {} downtime {} exceeds makespan {}",
+            r.rank,
+            r.downtime,
+            report.makespan
+        );
+    }
+}
+
+#[test]
+fn chaotic_serves_preserve_results_or_shed_explicitly() {
+    let mut case_no = 0usize;
+    forall("chaos-serve-invariants", 10, |rng| {
+        let case = chaos_case(rng, case_no);
+        case_no += 1;
+        let (report, _, timeline, _) = run_case(&case);
+        check_invariants(&case, &report, &timeline);
+    });
+}
+
+#[test]
+fn chaotic_serves_replay_byte_identically() {
+    let mut case_no = 0usize;
+    forall("chaos-serve-replay", 4, |rng| {
+        let case = chaos_case(rng, case_no);
+        case_no += 1;
+        let (report_a, json_a, timeline_a, metrics_a) = run_case(&case);
+        let (report_b, json_b, timeline_b, metrics_b) = run_case(&case);
+        assert_eq!(report_a, report_b, "ServeReports must be identical");
+        assert_eq!(json_a, json_b, "Chrome trace JSON must be byte-identical");
+        assert_eq!(timeline_a, timeline_b, "timeline must be byte-identical");
+        assert_eq!(metrics_a, metrics_b, "metrics report must be identical");
+    });
+}
+
+#[test]
+fn repairing_outage_heals_through_the_canary_lifecycle() {
+    // A deterministic end-to-end pass through the whole lifecycle: rank 1
+    // goes dark at t=0 and repairs at 100us; the engine must park and
+    // migrate its shard, quarantine the rank, repair it with a canary
+    // once the outage ends, and serve a later query with the full
+    // machine again.
+    let mut sys = multi_rank_system(4);
+    sys.enable_tracing(1 << 16);
+    sys.inject_faults(FaultPlan::none(17).with_outage(1, Tick::ZERO, Tick::from_us(100)));
+    let values: Vec<i64> = (0..3072).map(|i| (i * 41 + 5) % 1000).collect();
+    let q = |lo: i64, hi: i64| QuerySpec {
+        lo,
+        hi,
+        op: QueryOp::Select,
+        slo: None,
+    };
+    let workload = Workload {
+        specs: vec![q(0, 499), q(250, 749)],
+        arrivals: Arrivals::Open(vec![Tick::ZERO, Tick::from_us(600)]),
+        slo: None,
+    };
+    let run = sys.serve(
+        &values,
+        &workload,
+        SchedPolicy::Fifo,
+        &ServeConfig::default(),
+    );
+    assert_eq!(run.report.completed(), 2);
+    for rec in &run.report.records {
+        let got =
+            jafar::common::bitset::BitSet::from_bytes(&rec.bitset, values.len()).to_positions();
+        assert_eq!(got, reference_positions(&values, rec.lo, rec.hi));
+    }
+    let a = &run.report.availability;
+    assert_eq!(a.ranks[1].quarantines, 1, "the dark rank was quarantined");
+    assert_eq!(a.ranks[1].canary_ok, 1, "a canary repaired it");
+    assert!(a.requeues >= 1 && a.migrations >= 1);
+    assert!(
+        matches!(run.report.records[1].mode, ExecMode::Device { ranks: 3 }),
+        "the repaired rank serves the later query (mode {:?})",
+        run.report.records[1].mode
+    );
+    let timeline = sys.trace_timeline().expect("tracing enabled");
+    for needle in [
+        "rank-health",
+        "state=suspect",
+        "state=quarantined",
+        "state=probing",
+        "state=healthy",
+        "query-requeued",
+        "shard-migrated",
+        "canary-probe",
+    ] {
+        assert!(timeline.contains(needle), "timeline missing {needle}");
+    }
+}
