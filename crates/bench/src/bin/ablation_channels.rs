@@ -36,7 +36,8 @@ fn main() {
                 ControllerConfig::default(),
             )
         };
-        let mut multi = MultiChannel::new((0..channels).map(|_| mk()).collect());
+        let mut multi = MultiChannel::new((0..channels).map(|_| mk()).collect())
+            .expect("channel counts in this sweep are powers of two");
         let mut rng = SplitMix64::new(0xA5);
         let mut end = Tick::ZERO;
         let mut stream_line = 0u64;

@@ -168,7 +168,7 @@ fn check_cell(tag: &str, values: &[i64], n: usize, report: &ServeReport) {
             }
         }
     }
-    for r in &report.availability.ranks {
+    for r in &report.availability.units {
         assert!(
             r.downtime <= report.makespan,
             "{tag}: rank {} downtime exceeds makespan",
@@ -251,25 +251,25 @@ fn main() {
                 }
                 "outage-heal" => {
                     assert!(
-                        a.ranks[1].quarantines >= 1,
+                        a.units[1].quarantines >= 1,
                         "{tag}: dark rank 1 never quarantined"
                     );
                     assert!(
-                        a.ranks[1].canary_ok >= 1,
+                        a.units[1].canary_ok >= 1,
                         "{tag}: the repaired rank must heal through a canary"
                     );
                 }
                 "outage-dark" => {
                     assert!(
-                        a.ranks[0].quarantines >= 1,
+                        a.units[0].quarantines >= 1,
                         "{tag}: dark rank 0 never quarantined"
                     );
                     assert_eq!(
-                        a.ranks[0].canary_ok, 0,
+                        a.units[0].canary_ok, 0,
                         "{tag}: a canary cannot repair a permanently dark rank"
                     );
                     assert!(
-                        a.ranks[0].canary_fail >= 1,
+                        a.units[0].canary_fail >= 1,
                         "{tag}: probes against the dark rank must fail"
                     );
                     assert!(a.migrations >= 1, "{tag}: rank 0's work must migrate");
@@ -277,7 +277,7 @@ fn main() {
                 _ => {}
             }
 
-            let (ok, fail) = a.ranks.iter().fold((0u64, 0u64), |(o, f), r| {
+            let (ok, fail) = a.units.iter().fold((0u64, 0u64), |(o, f), r| {
                 (o + r.canary_ok, f + r.canary_fail)
             });
             let p99_us = report.p99().map(|t| t.as_us_f64()).unwrap_or(0.0);

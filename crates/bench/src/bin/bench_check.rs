@@ -1,0 +1,205 @@
+//! Schema check over the `BENCH_*.json` perf artifacts — the CI gate
+//! that keeps the persisted trajectory honest.
+//!
+//! For every artifact present (or explicitly listed on the command
+//! line) this verifies:
+//!
+//! - the expected top-level keys exist;
+//! - every knee/summary field that feeds a plot is a finite number (a
+//!   `null` from an empty percentile would silently flatline a curve);
+//! - the throughput accounting invariant: `throughput_qps <=
+//!   offered_qps` on every sweep point — goodput over the arrival
+//!   window can never exceed the offered load, the exact identity whose
+//!   violation motivated the serving-report accounting fix;
+//! - the channel sweep's knee multiples are present and the 2-channel
+//!   plateau moved by at least 1.7× the single-channel one.
+//!
+//! Usage: `bench_check [FILE...]` — defaults to `BENCH_serving.json`
+//! and `BENCH_scaling.json` in the working directory, skipping missing
+//! defaults but failing on missing explicit arguments. Exits non-zero
+//! with one line per violation.
+
+use jafar_bench::json::Json;
+
+/// Accumulates violations instead of bailing at the first, so one CI
+/// run reports everything wrong with an artifact.
+struct Check {
+    file: String,
+    errors: Vec<String>,
+}
+
+impl Check {
+    fn new(file: &str) -> Check {
+        Check {
+            file: file.to_string(),
+            errors: Vec::new(),
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        self.errors.push(format!("{}: {msg}", self.file));
+    }
+
+    fn require<'a>(&mut self, v: &'a Json, key: &str) -> Option<&'a Json> {
+        let found = v.get(key);
+        if found.is_none() {
+            self.fail(format!("missing key `{key}`"));
+        }
+        found
+    }
+
+    fn finite(&mut self, v: &Json, key: &str) -> Option<f64> {
+        match self.require(v, key).and_then(Json::num) {
+            Some(n) if n.is_finite() => Some(n),
+            Some(n) => {
+                self.fail(format!("`{key}` is not finite: {n}"));
+                None
+            }
+            None => {
+                self.fail(format!("`{key}` is not a finite number"));
+                None
+            }
+        }
+    }
+
+    /// `throughput_qps <= offered_qps` on one sweep point, with a hair
+    /// of float slack.
+    fn throughput_invariant(&mut self, point: &Json, label: &str) {
+        let offered = self.finite(point, "offered_qps");
+        let tput = self.finite(point, "throughput_qps");
+        if let (Some(offered), Some(tput)) = (offered, tput) {
+            if tput > offered * 1.0001 {
+                self.fail(format!(
+                    "{label}: throughput {tput} q/s exceeds offered {offered} q/s"
+                ));
+            }
+        }
+    }
+}
+
+fn check_serving(c: &mut Check, doc: &Json) {
+    for key in ["bench", "smoke", "queries", "rows", "fault_run"] {
+        c.require(doc, key);
+    }
+    if let Some(points) = c.require(doc, "load_sweep").and_then(Json::arr) {
+        if points.is_empty() {
+            c.fail("`load_sweep` is empty".into());
+        }
+        for (i, p) in points.iter().enumerate() {
+            c.throughput_invariant(p, &format!("load_sweep[{i}]"));
+            for key in ["load", "service_rate_qps", "p50_ms", "p99_ms"] {
+                c.finite(p, key);
+            }
+        }
+    }
+    if let Some(knee) = c.require(doc, "knee") {
+        for key in [
+            "p99_light_ms",
+            "p99_heavy_ms",
+            "p99_ratio",
+            "heavy_offered_qps",
+            "heavy_throughput_qps",
+            "heavy_service_rate_qps",
+        ] {
+            c.finite(knee, key);
+        }
+    }
+    if let Some(points) = c.require(doc, "channel_sweep").and_then(Json::arr) {
+        if points.is_empty() {
+            c.fail("`channel_sweep` is empty".into());
+        }
+        for (i, p) in points.iter().enumerate() {
+            c.throughput_invariant(p, &format!("channel_sweep[{i}]"));
+            for key in ["channels", "units", "service_rate_qps"] {
+                c.finite(p, key);
+            }
+        }
+    }
+    if let Some(mult) = c.finite(doc, "knee_2ch_multiple") {
+        if mult < 1.7 {
+            c.fail(format!(
+                "2-channel knee moved only {mult}x the single-channel plateau (< 1.7x)"
+            ));
+        }
+    }
+    c.finite(doc, "knee_4ch_multiple");
+}
+
+fn check_scaling(c: &mut Check, doc: &Json) {
+    for key in ["bench", "smoke", "rows"] {
+        c.require(doc, key);
+    }
+    c.finite(doc, "cpu_baseline_ms");
+    if let Some(points) = c.require(doc, "scaling").and_then(Json::arr) {
+        if points.is_empty() {
+            c.fail("`scaling` is empty".into());
+        }
+        for p in points {
+            for key in ["ranks", "time_ms", "speedup_vs_1", "speedup_vs_cpu"] {
+                c.finite(p, key);
+            }
+        }
+    }
+    if let Some(fault) = c.require(doc, "fault_run") {
+        for key in [
+            "ranks",
+            "end_ms",
+            "rank0_cpu_pages",
+            "stall_passes",
+            "stalled_bursts",
+        ] {
+            c.finite(fault, key);
+        }
+    }
+}
+
+fn main() {
+    let explicit: Vec<String> = std::env::args().skip(1).collect();
+    let defaults = ["BENCH_serving.json", "BENCH_scaling.json"];
+    let files: Vec<(String, bool)> = if explicit.is_empty() {
+        defaults.iter().map(|f| (f.to_string(), false)).collect()
+    } else {
+        explicit.into_iter().map(|f| (f, true)).collect()
+    };
+
+    let mut errors: Vec<String> = Vec::new();
+    let mut checked = 0usize;
+    for (file, required) in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                if *required {
+                    errors.push(format!("{file}: unreadable: {e}"));
+                } else {
+                    println!("# {file}: absent, skipped");
+                }
+                continue;
+            }
+        };
+        let mut c = Check::new(file);
+        match Json::parse(&text) {
+            Err(e) => c.fail(format!("invalid JSON: {e}")),
+            Ok(doc) => match doc.get("bench").and_then(Json::str) {
+                Some("fig_serving") => check_serving(&mut c, &doc),
+                Some("fig_scaling") => check_scaling(&mut c, &doc),
+                other => c.fail(format!("unknown `bench` tag: {other:?}")),
+            },
+        }
+        checked += 1;
+        if c.errors.is_empty() {
+            println!("# {file}: ok");
+        }
+        errors.extend(c.errors);
+    }
+
+    if checked == 0 && errors.is_empty() {
+        errors.push("no BENCH_*.json artifacts found to check".into());
+    }
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("bench_check: {e}");
+        }
+        std::process::exit(1);
+    }
+    println!("# bench_check: {checked} artifact(s) pass");
+}

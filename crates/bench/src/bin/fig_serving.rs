@@ -20,6 +20,13 @@
 //!   multiple of p99 at the lightest, driven by queue wait rather than
 //!   service time.
 //!
+//! A **channel sweep** then re-runs the heaviest load on a
+//! [`jafar_sim::ServeCluster`] with C ∈ {1, 2, 4} memory channels: the
+//! saturation knee (the heavy-load service-rate plateau) must move by
+//! roughly the pool multiple — the 2-channel plateau is asserted at
+//! ≥ 1.7× the single-channel plateau — while every completed query
+//! stays bit-identical to its solo baseline.
+//!
 //! A final run repeats a moderate load under a rank-scoped stall fault
 //! with an SLO attached: the sick rank's circuit breaker opens, the
 //! rank-affinity policy steers work away from it, SLO-threatened queries
@@ -39,8 +46,10 @@ use jafar_core::ResilienceConfig;
 use jafar_dram::{DramGeometry, FaultPlan};
 use jafar_serve::engine::ServeConfig;
 use jafar_serve::workload::q6_shipdate_column;
-use jafar_serve::{AggFn, ExecMode, PredicateMix, QueryOp, QueryRecord, SchedPolicy, Workload};
-use jafar_sim::{System, SystemConfig};
+use jafar_serve::{
+    AggFn, ExecMode, FilterPool, PredicateMix, QueryOp, QueryRecord, SchedPolicy, Workload,
+};
+use jafar_sim::{ServeCluster, System, SystemConfig};
 use jafar_tpch::gen::{TpchConfig, TpchDb};
 use std::collections::BTreeMap;
 
@@ -137,8 +146,11 @@ fn main() {
     println!();
 
     // Solo baselines: every distinct predicate run alone on a fresh
-    // system. The served runs must reproduce these bytes exactly.
-    let specs = mix.generate(n, SEED);
+    // system. The served runs must reproduce these bytes exactly. The
+    // channel sweep below serves a deeper stream (`cn` queries), so
+    // baselines cover that count too.
+    let cn = n.max(128);
+    let specs = mix.generate(cn, SEED);
     let mut solo: SoloBaselines = BTreeMap::new();
     for s in &specs {
         solo.entry((s.lo, s.hi)).or_insert_with(|| {
@@ -183,6 +195,7 @@ fn main() {
         load: f64,
         offered: f64,
         tput: f64,
+        service_rate: f64,
         completed: usize,
         shed: usize,
         p50: f64,
@@ -194,7 +207,6 @@ fn main() {
     let mut sweep: Vec<Point> = Vec::new();
     for &load in loads {
         let gap = Tick::from_ps(((svc.as_ps() as f64) / load).round().max(1.0) as u64);
-        let offered = 1e12 / gap.as_ps() as f64;
         let workload = Workload::poisson(mix, n, gap, SEED).with_op_mix(&OP_MIX);
         let mut sys = System::new(config());
         let run = sys.serve(
@@ -220,10 +232,20 @@ fn main() {
         let ms = |t: Option<Tick>| t.map_or(f64::NAN, |t| t.as_ms_f64());
         let p99 = ms(report.p99());
         let tput = report.throughput_qps();
+        // Realized offered rate over the same arrival window the
+        // throughput uses — the pair the `throughput <= offered`
+        // invariant is stated (and schema-checked) against. The seeded
+        // Poisson stream drifts from the configured `1 / gap`.
+        let offered = report.offered_qps();
+        assert!(
+            tput <= offered * 1.0001,
+            "load {load}: goodput cannot exceed offered load ({tput} vs {offered})"
+        );
         sweep.push(Point {
             load,
             offered,
             tput,
+            service_rate: report.service_rate_qps(),
             completed: report.completed(),
             shed: report.shed(),
             p50: ms(report.p50()),
@@ -277,16 +299,21 @@ fn main() {
         println!();
     }
 
-    // The knee: tail latency must blow up with offered load, and achieved
-    // throughput must fall behind the offered rate (or admission must
-    // shed) once the machine saturates. Comparing achieved vs *offered*
-    // (rather than vs the previous point) keeps the check meaningful even
-    // with the two-point smoke sweep, where throughput at light load is
+    // The knee: tail latency must blow up with offered load, and the
+    // sustained service rate (completed per second of makespan, drain
+    // included) must fall behind the offered rate — or admission must
+    // shed — once the machine saturates. Goodput (`throughput_qps`)
+    // cannot carry this signal any more: it shares the offered-load
+    // denominator, so a zero-shed run keeps up with its offered load by
+    // construction. Comparing the service rate vs *offered* (rather than
+    // vs the previous point) keeps the check meaningful even with the
+    // two-point smoke sweep, where light-load throughput is
     // arrival-limited, not capacity-limited.
     let (p99_light, wait_light, svc_light) = (sweep[0].p99, sweep[0].wait, sweep[0].svc);
     let heavy = &sweep[sweep.len() - 1];
-    let (p99_heavy, tput_heavy, offered_heavy, shed_heavy) =
-        (heavy.p99, heavy.tput, heavy.offered, heavy.shed);
+    let (p99_heavy, rate_heavy, offered_heavy, shed_heavy) =
+        (heavy.p99, heavy.service_rate, heavy.offered, heavy.shed);
+    let tput_heavy = heavy.tput;
     assert!(
         p99_heavy > 2.0 * p99_light,
         "p99 must rise past the knee: {p99_heavy} ms heavy vs {p99_light} ms light"
@@ -296,16 +323,102 @@ fn main() {
         "light load must be service-dominated, not queueing: mean wait {wait_light} ms vs mean service {svc_light} ms"
     );
     assert!(
-        tput_heavy < 0.7 * offered_heavy || shed_heavy > 0,
-        "heaviest load must saturate: {tput_heavy} q/s achieved vs {offered_heavy} offered, {shed_heavy} shed"
+        rate_heavy < 0.7 * offered_heavy || shed_heavy > 0,
+        "heaviest load must saturate: {rate_heavy} q/s sustained vs {offered_heavy} offered, {shed_heavy} shed"
     );
     println!(
         "# knee confirmed: p99 {}x the light-load tail; heaviest point sheds {shed_heavy} and",
         f1(p99_heavy / p99_light)
     );
     println!(
-        "#   achieves only {}% of its offered rate.",
-        f1(100.0 * tput_heavy / offered_heavy),
+        "#   sustains only {}% of its offered rate.",
+        f1(100.0 * rate_heavy / offered_heavy),
+    );
+    println!();
+
+    // Channel sweep: the same overloaded stream on a ServeCluster with
+    // C ∈ {1, 2, 4} memory channels. Every channel carries the same
+    // channel-local column layout, so results stay bit-identical to the
+    // solo baselines, while the saturation knee — the heavy-load service
+    // -rate plateau — moves by roughly the pool multiple. The gap is set
+    // well past even the 4-channel capacity so every width measures its
+    // plateau, not the arrival rate, and the stream is deep enough that
+    // steady-state service dominates the drain tail of the last wave.
+    // The admission queue is widened to hold the whole backlog: shedding
+    // would truncate the drain and turn the makespan into an
+    // arrival-window measurement instead of a capacity one.
+    let cgap = Tick::from_ps((svc.as_ps() / 64).max(1));
+    let cworkload = Workload::poisson(mix, cn, cgap, SEED).with_op_mix(&OP_MIX);
+    let ccfg = ServeConfig {
+        max_queue: cn,
+        ..ServeConfig::default()
+    };
+    struct ChannelPoint {
+        channels: usize,
+        units: usize,
+        offered: f64,
+        tput: f64,
+        service_rate: f64,
+        completed: usize,
+        shed: usize,
+        p99: f64,
+    }
+    let mut channel_sweep: Vec<ChannelPoint> = Vec::new();
+    for channels in [1usize, 2, 4] {
+        let mut cluster = ServeCluster::new(
+            config(),
+            channels,
+            jafar_common::obs::SharedTracer::disabled(),
+        )
+        .expect("power-of-two channel count");
+        let units = cluster.pool().units();
+        let run = cluster.serve(&values, &cworkload, SchedPolicy::RankAffinity, &ccfg);
+        let report = &run.report;
+        assert_eq!(report.completed() + report.shed(), cn);
+        for rec in &report.records {
+            if rec.done.is_some() {
+                check_record(&format!("{channels}-channel sweep"), rec, &solo);
+            }
+        }
+        assert_eq!(report.availability.units.len(), units);
+        channel_sweep.push(ChannelPoint {
+            channels,
+            units,
+            offered: report.offered_qps(),
+            tput: report.throughput_qps(),
+            service_rate: report.service_rate_qps(),
+            completed: report.completed(),
+            shed: report.shed(),
+            p99: report.p99().map_or(f64::NAN, |t| t.as_ms_f64()),
+        });
+    }
+    let knee_1ch = channel_sweep[0].service_rate;
+    let knee_2ch = channel_sweep[1].service_rate;
+    let knee_4ch = channel_sweep[2].service_rate;
+    assert!(
+        knee_2ch >= 1.7 * knee_1ch,
+        "2-channel knee must move ~the pool multiple: {knee_2ch} q/s vs {knee_1ch} q/s single-channel"
+    );
+    assert!(
+        knee_4ch >= 1.2 * knee_2ch,
+        "4-channel knee must keep moving: {knee_4ch} q/s vs {knee_2ch} q/s 2-channel"
+    );
+    println!("# channel sweep (saturated, rank-affinity): knee moves with the pool");
+    for p in &channel_sweep {
+        println!(
+            "#   C={} ({:2} units): {} q/s sustained, {} done / {} shed, p99 {} ms",
+            p.channels,
+            p.units,
+            f1(p.service_rate),
+            p.completed,
+            p.shed,
+            f2(p.p99),
+        );
+    }
+    println!(
+        "#   2-channel plateau {}x single-channel, 4-channel {}x — results bit-identical throughout.",
+        f2(knee_2ch / knee_1ch),
+        f2(knee_4ch / knee_1ch),
     );
     println!();
 
@@ -406,11 +519,12 @@ fn main() {
         .map(|p| {
             format!(
                 "    {{\"load\": {}, \"offered_qps\": {}, \"throughput_qps\": {}, \
-                 \"completed\": {}, \"shed\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \
-                 \"p99_ms\": {}, \"mean_wait_ms\": {}, \"mean_service_ms\": {}}}",
+                 \"service_rate_qps\": {}, \"completed\": {}, \"shed\": {}, \"p50_ms\": {}, \
+                 \"p95_ms\": {}, \"p99_ms\": {}, \"mean_wait_ms\": {}, \"mean_service_ms\": {}}}",
                 jnum(p.load),
                 jnum(p.offered),
                 jnum(p.tput),
+                jnum(p.service_rate),
                 p.completed,
                 p.shed,
                 jnum(p.p50),
@@ -421,14 +535,34 @@ fn main() {
             )
         })
         .collect();
+    let channel_points: Vec<String> = channel_sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"channels\": {}, \"units\": {}, \"offered_qps\": {}, \
+                 \"throughput_qps\": {}, \"service_rate_qps\": {}, \"completed\": {}, \
+                 \"shed\": {}, \"p99_ms\": {}}}",
+                p.channels,
+                p.units,
+                jnum(p.offered),
+                jnum(p.tput),
+                jnum(p.service_rate),
+                p.completed,
+                p.shed,
+                jnum(p.p99),
+            )
+        })
+        .collect();
     let a = &report.availability;
-    let ranks_json: Vec<String> = a
-        .ranks
+    let units_json: Vec<String> = a
+        .units
         .iter()
         .map(|r| {
             format!(
-                "      {{\"rank\": {}, \"downtime_us\": {}, \"quarantines\": {}, \
-                 \"canary_ok\": {}, \"canary_fail\": {}}}",
+                "      {{\"unit\": {}, \"channel\": {}, \"rank\": {}, \"downtime_us\": {}, \
+                 \"quarantines\": {}, \"canary_ok\": {}, \"canary_fail\": {}}}",
+                r.unit,
+                r.channel,
                 r.rank,
                 jnum(r.downtime.as_us_f64()),
                 r.quarantines,
@@ -441,17 +575,23 @@ fn main() {
         "{{\n  \"bench\": \"fig_serving\",\n  \"smoke\": {smoke},\n  \"queries\": {n},\n  \
          \"rows\": {rows},\n  \"load_sweep\": [\n{}\n  ],\n  \"knee\": {{\"p99_light_ms\": {}, \
          \"p99_heavy_ms\": {}, \"p99_ratio\": {}, \"heavy_offered_qps\": {}, \
-         \"heavy_throughput_qps\": {}, \"heavy_shed\": {shed_heavy}}},\n  \"fault_run\": {{\n    \
+         \"heavy_throughput_qps\": {}, \"heavy_service_rate_qps\": {}, \
+         \"heavy_shed\": {shed_heavy}}},\n  \"channel_sweep\": [\n{}\n  ],\n  \
+         \"knee_2ch_multiple\": {},\n  \"knee_4ch_multiple\": {},\n  \"fault_run\": {{\n    \
          \"completed\": {}, \"shed\": {}, \"cpu_rung\": {cpu_rung}, \"p99_ms\": {}, \
          \"deadline_misses\": {},\n    \"availability\": {{\n      \"migrations\": {}, \
          \"requeues\": {}, \"sheds_tightened\": {}, \"total_downtime_us\": {},\n      \
-         \"ranks\": [\n{}\n      ]\n    }}\n  }}\n}}\n",
+         \"units\": [\n{}\n      ]\n    }}\n  }}\n}}\n",
         points.join(",\n"),
         jnum(p99_light),
         jnum(p99_heavy),
         jnum(p99_heavy / p99_light),
         jnum(offered_heavy),
         jnum(tput_heavy),
+        jnum(rate_heavy),
+        channel_points.join(",\n"),
+        jnum(knee_2ch / knee_1ch),
+        jnum(knee_4ch / knee_1ch),
         report.completed(),
         report.shed(),
         jnum(report.p99().map_or(f64::NAN, |t| t.as_ms_f64())),
@@ -460,7 +600,7 @@ fn main() {
         a.requeues,
         a.sheds_tightened,
         jnum(a.total_downtime().as_us_f64()),
-        ranks_json.join(",\n"),
+        units_json.join(",\n"),
     );
     write_bench_json("BENCH_serving.json", &body);
 }

@@ -107,6 +107,186 @@ pub mod micro {
     }
 }
 
+/// A minimal JSON reader for the `BENCH_*.json` artifacts the fig
+/// binaries emit (the workspace builds offline, so there is no serde).
+/// Covers exactly the grammar [`write_bench_json`] callers produce:
+/// objects, arrays, strings without exotic escapes, `f64` numbers,
+/// booleans and `null`. `bench_check` uses it to validate artifact
+/// schemas in CI.
+pub mod json {
+    /// One parsed JSON value. Numbers are uniformly `f64` (the artifacts
+    /// carry nothing outside its exact range); `null` — which [`crate::jnum`]
+    /// emits for non-finite inputs — becomes [`Json::Null`].
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Json {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Parses `text` as one JSON document.
+        pub fn parse(text: &str) -> Result<Json, String> {
+            let bytes = text.as_bytes();
+            let mut pos = 0usize;
+            let v = parse_value(bytes, &mut pos)?;
+            skip_ws(bytes, &mut pos);
+            if pos != bytes.len() {
+                return Err(format!("trailing bytes at offset {pos}"));
+            }
+            Ok(v)
+        }
+
+        /// Object field lookup; `None` on missing key or non-object.
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The numeric value, if this is a number.
+        pub fn num(&self) -> Option<f64> {
+            match self {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// The elements, if this is an array.
+        pub fn arr(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{lit}` at offset {pos}"))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => parse_obj(b, pos),
+            Some(b'[') => parse_arr(b, pos),
+            Some(b'"') => Ok(Json::Str(parse_str(b, pos)?)),
+            Some(b't') => expect(b, pos, "true").map(|_| Json::Bool(true)),
+            Some(b'f') => expect(b, pos, "false").map(|_| Json::Bool(false)),
+            Some(b'n') => expect(b, pos, "null").map(|_| Json::Null),
+            Some(_) => parse_num(b, pos),
+        }
+    }
+
+    fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(b, pos, "{")?;
+        let mut fields = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_str(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, ":")?;
+            let value = parse_value(b, pos)?;
+            fields.push((key, value));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {pos}")),
+            }
+        }
+    }
+
+    fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        expect(b, pos, "[")?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {pos}")),
+            }
+        }
+    }
+
+    fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, "\"")?;
+        let mut out = String::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => other as char,
+                    });
+                }
+                other => out.push(other as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+}
+
 /// Reads `--key value` style arguments with a default.
 pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
     let args: Vec<String> = std::env::args().collect();
@@ -231,5 +411,32 @@ mod tests {
     #[test]
     fn table_renders_without_panic() {
         print_table(&["a", "bb"], &[vec!["1".to_string(), "2".to_string()]]);
+    }
+
+    #[test]
+    fn json_roundtrips_a_bench_artifact_shape() {
+        use super::json::Json;
+        let doc = r#"{
+  "bench": "fig_x", "smoke": false, "n": 3,
+  "sweep": [ {"a": 1.5, "b": null}, {"a": -2e3, "b": true} ]
+}"#;
+        let v = Json::parse(doc).expect("parses");
+        assert_eq!(v.get("bench").and_then(Json::str), Some("fig_x"));
+        assert_eq!(v.get("n").and_then(Json::num), Some(3.0));
+        let sweep = v.get("sweep").and_then(Json::arr).expect("array");
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep[0].get("a").and_then(Json::num), Some(1.5));
+        assert_eq!(sweep[0].get("b"), Some(&Json::Null));
+        assert_eq!(sweep[1].get("a").and_then(Json::num), Some(-2000.0));
+        assert_eq!(sweep[1].get("b"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn json_rejects_malformed_input() {
+        use super::json::Json;
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
     }
 }

@@ -194,21 +194,26 @@ pub enum EventKind {
         /// Queue depth at the rejection.
         depth: u32,
     },
-    /// A serving rank moved through its health state machine.
+    /// A serving filter unit moved through its health state machine.
     RankHealth {
-        /// The rank whose health changed.
+        /// Pool unit id of the unit whose health changed — on a
+        /// single-DIMM pool this equals the rank index; on a wider
+        /// channels × ranks pool it is the channel-major unit id (the
+        /// serving engine's `FilterPool` numbering).
         rank: u32,
         /// New state (`"suspect"`, `"quarantined"`, `"probing"`,
         /// `"healthy"`).
         state: &'static str,
     },
-    /// A parked shard resumed on a different rank from its checkpoint.
+    /// A parked shard resumed on a different filter unit from its
+    /// checkpoint.
     ShardMigrated {
         /// Submission index of the query the shard belongs to.
         query: u32,
-        /// The rank the shard parked on.
+        /// Pool unit id the shard parked on (rank index on a
+        /// single-DIMM pool).
         from: u32,
-        /// The rank it resumed on.
+        /// Pool unit id it resumed on — possibly on another channel.
         to: u32,
         /// First row the resumed session processes (the checkpoint).
         row: u64,
@@ -218,11 +223,12 @@ pub enum EventKind {
         /// Submission index of the query within the served workload.
         query: u32,
     },
-    /// A canary probe against a quarantined rank finished.
+    /// A canary probe against a quarantined filter unit finished.
     CanaryProbe {
-        /// The probed rank.
+        /// Pool unit id of the probed unit (rank index on a single-DIMM
+        /// pool).
         rank: u32,
-        /// True when the canary completed on the device (rank repaired).
+        /// True when the canary completed on the device (unit repaired).
         ok: bool,
     },
 }

@@ -50,6 +50,39 @@ pub struct InterleavedRun {
     pub bursts_written: u64,
 }
 
+/// Rows that phase `phase` of a `ways`-way word interleave owns out of
+/// `global_rows` — the shard-size arithmetic every interleave-aware
+/// scheduler needs. Phases below `global_rows % ways` own one extra row.
+/// `ways == 1` is the contiguous case (the phase owns everything), which
+/// is why the serving layer's per-channel column placement — a column's
+/// stripes land whole on one channel's ranks — sidesteps the §2.2
+/// masked-writeback tax entirely: each unit filters `phase_rows(rows, 1,
+/// 0)` contiguous rows and writes its bitset slice once.
+///
+/// # Panics
+/// Panics if `phase >= ways` or `ways == 0`.
+pub fn phase_rows(global_rows: u64, ways: u32, phase: u32) -> u64 {
+    assert!(ways > 0 && phase < ways, "bad interleave spec");
+    let ways = u64::from(ways);
+    let phase = u64::from(phase);
+    global_rows / ways + u64::from(phase < global_rows % ways)
+}
+
+/// Shard size that splits `rows` across `shards` workers on `align_rows`
+/// boundaries: the smallest multiple of `align_rows` that still covers
+/// the column in `shards` pieces. With `align_rows` = 512 (64 bytes of
+/// bitset) every shard's output slice starts on an exact 64-byte line —
+/// the invariant the serving engine's migration replay and the device's
+/// whole-line writeback both rely on. The tail shard absorbs the
+/// remainder.
+///
+/// # Panics
+/// Panics if `shards == 0` or `align_rows == 0`.
+pub fn aligned_chunk(rows: u64, shards: u64, align_rows: u64) -> u64 {
+    assert!(shards > 0 && align_rows > 0, "bad shard spec");
+    rows.div_ceil(shards).div_ceil(align_rows) * align_rows
+}
+
 /// Merges `local_bits` (one bit per local row of `phase`) into `burst`,
 /// overwriting only global bit positions `phase + k*ways` — the §2.2
 /// masked writeback. `burst_base_bit` is the global bit index of the
@@ -192,6 +225,35 @@ mod tests {
         let t0 = lease.acquired_at;
 
         (JafarDevice::paper_default(), m, t0)
+    }
+
+    #[test]
+    fn phase_rows_partitions_the_column_exactly() {
+        for rows in [0u64, 1, 7, 512, 513, 1_000_003] {
+            for ways in [1u32, 2, 3, 4, 8] {
+                let total: u64 = (0..ways).map(|p| phase_rows(rows, ways, p)).sum();
+                assert_eq!(total, rows, "rows {rows} ways {ways}");
+                // No phase owns more than one row over its siblings.
+                let max = (0..ways).map(|p| phase_rows(rows, ways, p)).max().unwrap();
+                let min = (0..ways).map(|p| phase_rows(rows, ways, p)).min().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+        assert_eq!(phase_rows(10, 1, 0), 10, "contiguous placement owns all");
+    }
+
+    #[test]
+    fn aligned_chunk_covers_and_aligns() {
+        for rows in [1u64, 511, 512, 513, 2048, 99_999] {
+            for shards in [1u64, 2, 3, 4, 7] {
+                let chunk = aligned_chunk(rows, shards, 512);
+                assert_eq!(chunk % 512, 0, "rows {rows} shards {shards}");
+                assert!(chunk * shards >= rows, "covers the column");
+                // Minimal: one alignment quantum smaller could not cover
+                // the column with the same shard count.
+                assert!(chunk == 512 || (chunk - 512) * shards < rows);
+            }
+        }
     }
 
     #[test]

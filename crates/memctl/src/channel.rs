@@ -12,7 +12,34 @@ use crate::counters::IdleReport;
 use crate::request::{Completion, MemRequest, ReqId};
 use jafar_common::size::is_pow2;
 use jafar_common::time::Tick;
-use jafar_dram::PhysAddr;
+use jafar_dram::{DramModule, PhysAddr};
+use std::fmt;
+
+/// Why a [`MultiChannel`] could not be assembled. The channel count
+/// selects address bits, so it must be a nonzero power of two; anything
+/// else is a configuration error the caller can surface (the sim path
+/// reports it as an `ErrorSurfaced` trace event) instead of a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelConfigError {
+    /// The channel count is zero or not a power of two, so block-index
+    /// bits cannot route requests.
+    ChannelCountNotPow2 {
+        /// The rejected channel count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ChannelConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelConfigError::ChannelCountNotPow2 { got } => {
+                write!(f, "channel count must be a nonzero power of two, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelConfigError {}
 
 /// N interleaved memory channels.
 pub struct MultiChannel {
@@ -23,18 +50,20 @@ pub struct MultiChannel {
 impl MultiChannel {
     /// Composes the given controllers (one per channel).
     ///
-    /// # Panics
-    /// Panics unless the channel count is a nonzero power of two.
-    pub fn new(channels: Vec<MemoryController>) -> Self {
-        assert!(
-            is_pow2(channels.len() as u64),
-            "channel count must be a power of two"
-        );
+    /// # Errors
+    /// [`ChannelConfigError::ChannelCountNotPow2`] unless the channel
+    /// count is a nonzero power of two.
+    pub fn new(channels: Vec<MemoryController>) -> Result<Self, ChannelConfigError> {
+        if !is_pow2(channels.len() as u64) {
+            return Err(ChannelConfigError::ChannelCountNotPow2 {
+                got: channels.len(),
+            });
+        }
         let channel_bits = (channels.len() as u64).trailing_zeros();
-        MultiChannel {
+        Ok(MultiChannel {
             channels,
             channel_bits,
-        }
+        })
     }
 
     /// Number of channels.
@@ -109,6 +138,14 @@ impl MultiChannel {
         &mut self.channels[i]
     }
 
+    /// Simultaneous mutable access to every channel's DRAM module, in
+    /// channel order — what a per-channel scheduler (the serving layer's
+    /// channels × ranks filter pool) needs to drive all channels within
+    /// one event loop.
+    pub fn modules_mut(&mut self) -> Vec<&mut DramModule> {
+        self.channels.iter_mut().map(|c| c.module_mut()).collect()
+    }
+
     /// Per-channel idle reports over `[0, span)`.
     pub fn finalize(&self, span: Tick) -> Vec<IdleReport> {
         self.channels.iter().map(|c| c.finalize(span)).collect()
@@ -132,7 +169,7 @@ mod tests {
                 ControllerConfig::default(),
             )
         };
-        MultiChannel::new((0..n).map(|_| mk()).collect())
+        MultiChannel::new((0..n).map(|_| mk()).collect()).expect("pow2 channel count")
     }
 
     #[test]
@@ -185,8 +222,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
-    fn non_pow2_channel_count_rejected() {
-        multi(3);
+    fn non_pow2_channel_count_rejected_as_typed_error() {
+        for n in [0usize, 3, 5, 6, 7] {
+            let mk = || {
+                MemoryController::new(
+                    DramModule::new(
+                        DramGeometry::tiny(),
+                        DramTiming::ddr3_paper().without_refresh(),
+                        AddressMapping::RowBankRankBlock,
+                    ),
+                    ControllerConfig::default(),
+                )
+            };
+            let got = MultiChannel::new((0..n).map(|_| mk()).collect());
+            assert!(
+                matches!(got, Err(ChannelConfigError::ChannelCountNotPow2 { got }) if got == n),
+                "count {n} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn modules_mut_exposes_every_channel_in_order() {
+        let mut m = multi(4);
+        let modules = m.modules_mut();
+        assert_eq!(modules.len(), 4);
+        // Writes through the borrowed modules land on the right channel.
+        modules
+            .into_iter()
+            .enumerate()
+            .for_each(|(i, module)| module.data_mut().write_i64(PhysAddr(0), i as i64));
+        for i in 0..4 {
+            assert_eq!(m.channel(i).module().data().read_i64(PhysAddr(0)), i as i64);
+        }
     }
 }

@@ -33,7 +33,7 @@ pub mod counters;
 pub mod request;
 pub mod sched;
 
-pub use channel::MultiChannel;
+pub use channel::{ChannelConfigError, MultiChannel};
 pub use controller::{EnqueueError, MemoryController, OwnershipError};
 pub use counters::{IdleReport, IntervalSet, McCounters};
 pub use request::{Completion, MemRequest, Origin, ReqId};

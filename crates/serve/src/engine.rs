@@ -1,37 +1,48 @@
 //! The discrete-event serving engine.
 //!
-//! # Queue model
+//! # Queue model and the filter-unit pool
 //!
 //! Queries arrive (open- or closed-loop, see [`crate::workload`]), pass
 //! admission control — a bounded FIFO queue that sheds arrivals once
 //! [`ServeConfig::max_queue`] queries are waiting, the backpressure signal
 //! an upstream client would see as a fast-fail — and are dispatched onto
-//! free JAFAR ranks by the configured [`SchedPolicy`]. A dispatched query
-//! is sharded over up to [`ServeConfig::fanout`] free ranks and runs as
-//! one steppable [`SelectSession`] per shard, exactly the PR-3 rank-
-//! parallel machinery, so many in-flight queries interleave in simulated
-//! time instead of serializing.
+//! free filter units by the configured [`SchedPolicy`]. The schedulable
+//! pool is a first-class [`FilterPool`]: the engine schedules over dense
+//! unit ids and the pool maps each id to its `{channel, rank, bank-group}`
+//! coordinates, so the same event loop drives a single DIMM's rank vector
+//! ([`crate::pool::SingleDimmPool`]) or a channels × ranks pool over an
+//! interleaved multi-channel memory system
+//! ([`crate::pool::ChannelRankPool`]) — every per-unit resource (device,
+//! driver, replica, output buffers) indexes by unit id, and each unit's
+//! DRAM traffic goes to its own channel's module. A dispatched query is
+//! sharded over up to [`ServeConfig::fanout`] free units and runs as one
+//! steppable [`SelectSession`] per shard, exactly the PR-3 rank-parallel
+//! machinery, so many in-flight queries interleave in simulated time
+//! instead of serializing.
 //!
 //! # Event loop and determinism
 //!
 //! The engine is a discrete-event simulation with six event classes —
-//! CPU-scan completion, query arrival, shard rescue, rank-free, canary
+//! CPU-scan completion, query arrival, shard rescue, unit-free, canary
 //! probe, SLO degradation — kept in explicit queues and processed in
 //! strict `(time, class, id)` order. Device work is *not* an event:
 //! between events the engine always steps the furthest-behind live
-//! session (ties by query id then rank), the same min-cursor discipline
+//! session (ties by query id then unit), the same min-cursor discipline
 //! as [`jafar_core::parallel`], and only processes the next event once
 //! every live session's clock has passed it. Stepping a session makes no
 //! scheduling decisions, so letting shards run ahead of the event clock
-//! is safe: ranks are timing-independent, and every *decision* (admit,
-//! shed, dispatch, rescue, probe, degrade) happens at an event, in
+//! is safe: units are timing-independent (channels even more so — they
+//! share no DRAM module at all), and every *decision* (admit, shed,
+//! dispatch, rescue, probe, degrade) happens at an event, in
 //! deterministic order. A serve run is therefore a pure function of
-//! `(workload, policy, config)` — the golden tests hold byte-for-byte.
+//! `(workload, policy, config, pool)` — the golden tests hold
+//! byte-for-byte, and a one-channel pool reproduces the pre-pool engine
+//! exactly.
 //!
 //! # Degradation ladder
 //!
 //! A dispatched query gets the widest healthy slice of the machine the
-//! policy allows: rank-parallel when several ranks are free, single-
+//! policy allows: unit-parallel when several units are free, single-
 //! device when only one is. Queries with an SLO that are still *queued*
 //! are watched by a degradation deadline: at
 //! `max(now, host_free, deadline − est_cpu, submitted)` — the last
@@ -44,7 +55,7 @@
 //! to k·8·rows bytes) but its *result* is computed functionally, so it
 //! is bit-identical to the device path — including the aggregate scalar,
 //! which a degraded query must return unchanged. Within the device path
-//! each rank keeps its own
+//! each unit keeps its own
 //! [`ResilientDriver`] across queries, so the PR-1 recovery ladder
 //! (watchdog → retries → circuit breaker) composes underneath.
 //!
@@ -52,33 +63,36 @@
 //!
 //! Shards step with the driver's *fail-fast* ladder: a page that
 //! exhausts its retries parks the session at its page boundary instead
-//! of crawling through the per-page CPU scan. The park marks the rank
+//! of crawling through the per-page CPU scan. The park marks the unit
 //! **suspect** and schedules a rescue event at the park time; the rescue
-//! **quarantines** the rank (out of the schedulable pool), salvages the
+//! **quarantines** the unit (out of the schedulable pool), salvages the
 //! shard's completed bitset prefix functionally — legal even on a dark
-//! rank, since only the timed path is perturbed — and requeues the shard
+//! unit, since only the timed path is perturbed — and requeues the shard
 //! *above* host-degrade in the ladder. Dispatch serves rescued shards
 //! before queued queries: the salvaged prefix is replayed onto the new
-//! rank's buffer as whole 64-byte lines (shards start on
+//! unit's buffer as whole 64-byte lines (shards start on
 //! 512-row boundaries and parks happen at page boundaries, so the prefix
 //! is line-aligned; only the global tail shard can have a partial line,
 //! and the bytes past it are unused buffer), then the session resumes
-//! from its row cursor under a fresh lease. Migration preserves the
-//! min-cursor determinism argument because the rescue decision, the
-//! target rank and the resume time are all fixed at events — the resumed
-//! session is just another timing-independent shard. Failed one-shot
-//! aggregate jobs requeue the same way at shard granularity (the
-//! leftover jobs fold on the host, serialized on `host_free`). A
-//! quarantined rank dwells, then a **canary** select probes it: success
-//! repairs the rank back into the pool (its breaker reset), failure
-//! doubles the dwell. While ranks are quarantined, admission tightens
-//! the shedding bound proportionally to the surviving pool; if *no*
-//! schedulable rank remains, rescued shards finish functionally on the
-//! host and queued queries degrade — so every admitted query still
-//! completes, byte-identical, or was explicitly shed at admission.
+//! from its row cursor under a fresh lease — the new unit may live on a
+//! different channel, in which case the replay crosses modules. Migration
+//! preserves the min-cursor determinism argument because the rescue
+//! decision, the target unit and the resume time are all fixed at events
+//! — the resumed session is just another timing-independent shard.
+//! Failed one-shot aggregate jobs requeue the same way at shard
+//! granularity (the leftover jobs fold on the host, serialized on
+//! `host_free`). A quarantined unit dwells, then a **canary** select
+//! probes it: success repairs the unit back into the pool (its breaker
+//! reset), failure doubles the dwell. While units are quarantined,
+//! admission tightens the shedding bound proportionally to the surviving
+//! pool; if *no* schedulable unit remains, rescued shards finish
+//! functionally on the host and queued queries degrade — so every
+//! admitted query still completes, byte-identical, or was explicitly
+//! shed at admission.
 
-use crate::health::{HealthConfig, HealthTracker, RankState};
+use crate::health::{HealthConfig, HealthTracker, UnitState};
 use crate::policy::SchedPolicy;
+use crate::pool::FilterPool;
 use crate::report::{Availability, ExecMode, QueryRecord, ServeReport};
 use crate::workload::{AggFn, Arrivals, QueryOp, Workload};
 use jafar_common::obs::{EventKind, SharedTracer};
@@ -86,6 +100,7 @@ use jafar_common::time::Tick;
 use jafar_core::aggregate::{AggOp, AggregateJob};
 use jafar_core::device::JafarDevice;
 use jafar_core::driver::{ResilienceConfig, ResilientDriver, SelectRequest, SelectSession};
+use jafar_core::interleave::aligned_chunk;
 use jafar_core::predicate::Predicate;
 use jafar_core::project::ProjectJob;
 use jafar_dram::{DramModule, PhysAddr};
@@ -94,7 +109,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 /// Shards start on 512-row boundaries: 512 rows of bitset are 64 bytes,
-/// so per-rank output offsets stay 64-byte aligned (the driver's CPU
+/// so per-unit output offsets stay 64-byte aligned (the driver's CPU
 /// fallback writes whole aligned lines) and shard boundaries fall on
 /// exact bitset bytes.
 const CHUNK_ROWS: u64 = 512;
@@ -105,7 +120,7 @@ pub struct ServeConfig {
     /// Admission-queue bound: arrivals beyond this many waiting queries
     /// are shed (backpressure). At least 1.
     pub max_queue: usize,
-    /// Maximum ranks one query is sharded over. At least 1.
+    /// Maximum filter units one query is sharded over. At least 1.
     pub fanout: usize,
     /// Fixed cost of a degraded host CPU scan (setup + planning).
     pub cpu_fixed: Tick,
@@ -116,9 +131,9 @@ pub struct ServeConfig {
     /// select materializes one bit per row, a scalar aggregate a single
     /// 8-byte value, a k-column projection up to k·8·rows bytes.
     pub cpu_per_out_byte: Tick,
-    /// Recovery policy for the per-rank resilient drivers.
+    /// Recovery policy for the per-unit resilient drivers.
     pub resilience: ResilienceConfig,
-    /// Rank health lifecycle knobs (quarantine dwell, canary shape).
+    /// Unit health lifecycle knobs (quarantine dwell, canary shape).
     pub health: HealthConfig,
     /// Simulated instant the serve run (and its first arrivals) starts.
     pub start: Tick,
@@ -202,25 +217,34 @@ impl fmt::Display for EngineInvariant {
 impl std::error::Error for EngineInvariant {}
 
 /// Borrowed machine state the engine schedules onto. The caller (usually
-/// `jafar_sim::System::serve`) owns the DRAM module, the per-rank devices
-/// and drivers, and the per-rank column replicas + output buffers; the
-/// engine only decides who runs where and when.
+/// `jafar_sim::System::serve`) owns the DRAM modules, the pool topology,
+/// the per-unit devices and drivers, and the per-unit column replicas +
+/// output buffers; the engine only decides who runs where and when.
 pub struct ServeEnv<'a> {
-    /// The shared DRAM module every rank lives in.
-    pub module: &'a mut DramModule,
-    /// One JAFAR device per NDP rank; `devices[r]` serves rank `r`.
+    /// One DRAM module per memory channel, indexed by
+    /// [`crate::pool::FilterUnit::channel`]. A single-channel pool is
+    /// `vec![&mut module]` — exactly the pre-pool engine's machine.
+    pub modules: Vec<&'a mut DramModule>,
+    /// The schedulable pool topology: maps dense unit ids to
+    /// `{channel, rank, bank-group}` coordinates. `pool.units()` must
+    /// equal every per-unit slice length and `pool.channels()` the
+    /// module count.
+    pub pool: &'a dyn FilterPool,
+    /// One JAFAR device per filter unit; `devices[u]` serves unit `u`.
     pub devices: &'a mut [JafarDevice],
-    /// One persistent resilient driver per rank (breaker state spans
+    /// One persistent resilient driver per unit (breaker state spans
     /// queries). Must be as long as `devices`.
     pub drivers: &'a mut [ResilientDriver],
-    /// Per-rank 64-byte-aligned base of the column replica on that rank.
+    /// Per-unit 64-byte-aligned base of the column replica on that unit —
+    /// a channel-local address within `modules[pool.unit(u).channel]`.
     pub replicas: &'a [PhysAddr],
-    /// Per-rank 64-byte-aligned base of that rank's output bitset buffer
-    /// (reused across queries; a rank runs one shard at a time).
+    /// Per-unit 64-byte-aligned base of that unit's output bitset buffer
+    /// (channel-local; reused across queries; a unit runs one shard at a
+    /// time).
     pub outs: &'a [PhysAddr],
-    /// Per-rank 64-byte-aligned base of that rank's packed projection
-    /// output region (reused across queries; sized for the full column,
-    /// `values.len() · 8` bytes).
+    /// Per-unit 64-byte-aligned base of that unit's packed projection
+    /// output region (channel-local; reused across queries; sized for
+    /// the full column, `values.len() · 8` bytes).
     pub proj_outs: &'a [PhysAddr],
     /// Host copy of the column, for the degraded CPU rung's functional
     /// result. Every query scans this full column.
@@ -229,11 +253,11 @@ pub struct ServeEnv<'a> {
     pub tracer: &'a SharedTracer,
 }
 
-/// One in-flight shard: which query and rank it belongs to and where its
-/// rows sit within the column.
+/// One in-flight shard: which query and filter unit it belongs to and
+/// where its rows sit within the column.
 struct ActiveShard {
     qid: u32,
-    rank: usize,
+    unit: usize,
     off: u64,
     rows: u64,
     session: SelectSession,
@@ -249,11 +273,11 @@ struct Inflight {
     proj: Vec<(u64, Vec<i64>)>,
 }
 
-/// A shard frozen at its page boundary because its rank's fail-fast
+/// A shard frozen at its page boundary because its unit's fail-fast
 /// ladder gave up, waiting for its rescue event.
 struct ParkedShard {
     qid: u32,
-    from_rank: usize,
+    from_unit: usize,
     off: u64,
     rows: u64,
     rows_done: u64,
@@ -261,11 +285,11 @@ struct ParkedShard {
 }
 
 /// A rescued shard in the requeue rung: cursor plus the salvaged bitset
-/// prefix, ready to resume on any healthy rank (or finish on the host if
+/// prefix, ready to resume on any healthy unit (or finish on the host if
 /// none remains).
 struct RescueShard {
     qid: u32,
-    from_rank: usize,
+    from_unit: usize,
     off: u64,
     rows: u64,
     rows_done: u64,
@@ -276,13 +300,13 @@ struct RescueShard {
 /// Event classes, in tie-break priority order at equal times: CPU
 /// completions release the host before new decisions, arrivals enter the
 /// queue before dispatch can consider them, rescues requeue failed
-/// shards before rank-free dispatch hands out the freed capacity, canary
+/// shards before unit-free dispatch hands out the freed capacity, canary
 /// probes run after dispatch has first claim on the instant, and
 /// degradation — the last resort — only fires if nothing else happens.
 const CLASS_CPU_DONE: u8 = 0;
 const CLASS_ARRIVAL: u8 = 1;
 const CLASS_RESCUE: u8 = 2;
-const CLASS_RANK_FREE: u8 = 3;
+const CLASS_UNIT_FREE: u8 = 3;
 const CLASS_PROBE: u8 = 4;
 const CLASS_DEGRADE: u8 = 5;
 
@@ -298,16 +322,16 @@ struct Engine<'a, 'e> {
     queue: VecDeque<u32>,
     active: Vec<ActiveShard>,
     inflight: Vec<Option<Inflight>>,
-    rank_busy: Vec<bool>,
+    unit_busy: Vec<bool>,
     served_count: Vec<u64>,
     health: HealthTracker,
     /// Slab of shards frozen between their park and their rescue event
     /// (the rescue event's payload is the slot index).
     parked: Vec<Option<ParkedShard>>,
-    /// The requeue rung: rescued shards waiting for a healthy rank.
+    /// The requeue rung: rescued shards waiting for a healthy unit.
     rescue_queue: VecDeque<RescueShard>,
     arrivals: BinaryHeap<Reverse<(Tick, u32)>>,
-    rank_free_ev: BinaryHeap<Reverse<(Tick, u32)>>,
+    unit_free_ev: BinaryHeap<Reverse<(Tick, u32)>>,
     cpu_done: BinaryHeap<Reverse<(Tick, u32)>>,
     rescue_ev: BinaryHeap<Reverse<(Tick, u32)>>,
     probe_ev: BinaryHeap<Reverse<(Tick, u32)>>,
@@ -324,10 +348,11 @@ struct Engine<'a, 'e> {
 /// returns the per-query records and latency aggregates.
 ///
 /// # Panics
-/// Panics if `env` has no ranks, mismatched per-rank slices, an empty
-/// column, or (unreachable short of an engine bug) a violated
-/// bookkeeping invariant — use [`run_serve_checked`] to observe the
-/// latter as a typed error instead.
+/// Panics if `env` has no units, mismatched per-unit slices, a module
+/// count that disagrees with the pool's channel count, an empty column,
+/// or (unreachable short of an engine bug) a violated bookkeeping
+/// invariant — use [`run_serve_checked`] to observe the latter as a
+/// typed error instead.
 pub fn run_serve(
     env: ServeEnv<'_>,
     workload: &Workload,
@@ -343,7 +368,8 @@ pub fn run_serve(
 /// of a panic.
 ///
 /// # Panics
-/// Panics if `env` has no ranks, mismatched per-rank slices, or an empty
+/// Panics if `env` has no units, mismatched per-unit slices, a module
+/// count that disagrees with the pool's channel count, or an empty
 /// column — those are caller contract violations, not engine state.
 ///
 /// # Errors
@@ -355,15 +381,21 @@ pub fn run_serve_checked(
     policy: SchedPolicy,
     cfg: &ServeConfig,
 ) -> Result<ServeReport, EngineInvariant> {
-    let nranks = env.devices.len();
-    assert!(nranks > 0, "serving needs at least one NDP rank");
-    assert_eq!(env.drivers.len(), nranks, "one driver per rank");
-    assert_eq!(env.replicas.len(), nranks, "one column replica per rank");
-    assert_eq!(env.outs.len(), nranks, "one output buffer per rank");
+    let nunits = env.pool.units();
+    assert!(nunits > 0, "serving needs at least one filter unit");
+    assert_eq!(env.devices.len(), nunits, "one device per unit");
+    assert_eq!(env.drivers.len(), nunits, "one driver per unit");
+    assert_eq!(env.replicas.len(), nunits, "one column replica per unit");
+    assert_eq!(env.outs.len(), nunits, "one output buffer per unit");
     assert_eq!(
         env.proj_outs.len(),
-        nranks,
-        "one projection buffer per rank"
+        nunits,
+        "one projection buffer per unit"
+    );
+    assert_eq!(
+        env.modules.len(),
+        env.pool.channels(),
+        "one DRAM module per pool channel"
     );
     assert!(!env.values.is_empty(), "cannot serve an empty column");
 
@@ -405,13 +437,13 @@ pub fn run_serve_checked(
         queue: VecDeque::new(),
         active: Vec::new(),
         inflight: (0..n).map(|_| None).collect(),
-        rank_busy: vec![false; nranks],
-        served_count: vec![0; nranks],
-        health: HealthTracker::new(nranks, cfg.health),
+        unit_busy: vec![false; nunits],
+        served_count: vec![0; nunits],
+        health: HealthTracker::new(nunits, cfg.health),
         parked: Vec::new(),
         rescue_queue: VecDeque::new(),
         arrivals: BinaryHeap::new(),
-        rank_free_ev: BinaryHeap::new(),
+        unit_free_ev: BinaryHeap::new(),
         cpu_done: BinaryHeap::new(),
         rescue_ev: BinaryHeap::new(),
         probe_ev: BinaryHeap::new(),
@@ -456,7 +488,17 @@ pub fn run_serve_checked(
 
     eng.health.finalize(eng.makespan);
     let availability = Availability {
-        ranks: (0..nranks).map(|r| eng.health.availability(r)).collect(),
+        units: (0..nunits)
+            .map(|u| {
+                // The tracker knows only unit ids; stamp the pool's
+                // physical coordinates onto the record here.
+                let mut a = eng.health.availability(u);
+                let fu = eng.env.pool.unit(u);
+                a.channel = fu.channel as u32;
+                a.rank = fu.rank as u32;
+                a
+            })
+            .collect(),
         migrations: eng.migrations,
         requeues: eng.requeues,
         sheds_tightened: eng.sheds_tightened,
@@ -487,7 +529,7 @@ impl Engine<'_, '_> {
                 .active
                 .iter()
                 .enumerate()
-                .map(|(i, s)| ((s.session.cursor(), s.qid, s.rank), i))
+                .map(|(i, s)| ((s.session.cursor(), s.qid, s.unit), i))
                 .min()
                 .map(|((cursor, _, _), i)| (cursor, i));
             match (min_shard, event) {
@@ -532,12 +574,12 @@ impl Engine<'_, '_> {
         if let Some(&Reverse((t, slot))) = self.rescue_ev.peek() {
             consider(t, CLASS_RESCUE, slot);
         }
-        if let Some(&Reverse((t, rank))) = self.rank_free_ev.peek() {
-            consider(t, CLASS_RANK_FREE, rank);
+        if let Some(&Reverse((t, unit))) = self.unit_free_ev.peek() {
+            consider(t, CLASS_UNIT_FREE, unit);
         }
         if self.work_pending() {
-            if let Some(&Reverse((t, rank))) = self.probe_ev.peek() {
-                consider(t, CLASS_PROBE, rank);
+            if let Some(&Reverse((t, unit))) = self.probe_ev.peek() {
+                consider(t, CLASS_PROBE, unit);
             }
         }
         if let Some((t, qid)) = self.degrade_candidate() {
@@ -561,9 +603,9 @@ impl Engine<'_, '_> {
                 self.rescue_ev.pop();
                 self.rescue(payload, t)?;
             }
-            CLASS_RANK_FREE => {
-                self.rank_free_ev.pop();
-                self.rank_busy[payload as usize] = false;
+            CLASS_UNIT_FREE => {
+                self.unit_free_ev.pop();
+                self.unit_busy[payload as usize] = false;
                 self.try_dispatch(t)?;
             }
             CLASS_PROBE => {
@@ -576,14 +618,14 @@ impl Engine<'_, '_> {
     }
 
     /// The current admission bound: the configured queue capacity scaled
-    /// by the surviving schedulable pool, so quarantined ranks tighten
+    /// by the surviving schedulable pool, so quarantined units tighten
     /// shedding instead of letting the queue build up behind capacity the
-    /// machine no longer has. With every rank healthy this is exactly
+    /// machine no longer has. With every unit healthy this is exactly
     /// `max_queue`.
     fn admission_bound(&self) -> usize {
         let cap = self.cfg.max_queue.max(1);
         (cap * self.health.schedulable_count())
-            .div_ceil(self.rank_busy.len())
+            .div_ceil(self.unit_busy.len())
             .max(1)
     }
 
@@ -630,32 +672,44 @@ impl Engine<'_, '_> {
         }
     }
 
-    /// A free rank in the schedulable pool, lowest index first.
-    fn free_healthy_rank(&self) -> Option<usize> {
-        (0..self.rank_busy.len()).find(|&r| !self.rank_busy[r] && self.health.is_schedulable(r))
+    /// A free unit in the schedulable pool, lowest id first.
+    fn free_healthy_unit(&self) -> Option<usize> {
+        (0..self.unit_busy.len()).find(|&u| !self.unit_busy[u] && self.health.is_schedulable(u))
+    }
+
+    /// Per-channel count of busy schedulable units — the cross-channel
+    /// load signal the affinity policy balances on.
+    fn channel_depths(&self) -> Vec<usize> {
+        let mut depths = vec![0usize; self.env.pool.channels()];
+        for u in 0..self.unit_busy.len() {
+            if self.unit_busy[u] {
+                depths[self.env.pool.unit(u).channel] += 1;
+            }
+        }
+        depths
     }
 
     /// Drains the requeue rung, then the admission queue, onto free
-    /// healthy ranks until one of them runs out. Rescued shards go first:
+    /// healthy units until one of them runs out. Rescued shards go first:
     /// requeue-on-failure sits *above* host-degrade in the ladder, and a
     /// half-done shard blocks its whole query.
     fn try_dispatch(&mut self, t: Tick) -> Result<(), EngineInvariant> {
         while !self.rescue_queue.is_empty() {
-            let Some(r) = self.free_healthy_rank() else {
+            let Some(u) = self.free_healthy_unit() else {
                 break;
             };
             let shard = self
                 .rescue_queue
                 .pop_front()
                 .ok_or(EngineInvariant::EmptyQueue)?;
-            self.migrate_shard(shard, r, t);
+            self.migrate_shard(shard, u, t);
         }
         loop {
             if self.queue.is_empty() || !self.rescue_queue.is_empty() {
                 return Ok(());
             }
-            let mut free: Vec<usize> = (0..self.rank_busy.len())
-                .filter(|&r| !self.rank_busy[r] && self.health.is_schedulable(r))
+            let mut free: Vec<usize> = (0..self.unit_busy.len())
+                .filter(|&u| !self.unit_busy[u] && self.health.is_schedulable(u))
                 .collect();
             if free.is_empty() {
                 return Ok(());
@@ -687,8 +741,19 @@ impl Engine<'_, '_> {
                 .remove(pick)
                 .ok_or(EngineInvariant::QueueIndexVanished)?;
             if self.policy == SchedPolicy::RankAffinity {
-                free.sort_by_key(|&r| {
-                    (self.env.drivers[r].breaker_open(), self.served_count[r], r)
+                // Cross-channel load balance folds into affinity: prefer
+                // units on the least-loaded channel, then closed breakers,
+                // then the least-served unit. On a single-channel pool the
+                // depth key is constant and this degenerates to the
+                // pre-pool affinity order.
+                let depths = self.channel_depths();
+                free.sort_by_key(|&u| {
+                    (
+                        depths[self.env.pool.unit(u).channel],
+                        self.env.drivers[u].breaker_open(),
+                        self.served_count[u],
+                        u,
+                    )
                 });
             }
             self.dispatch_device(qid, &free, t);
@@ -696,25 +761,25 @@ impl Engine<'_, '_> {
     }
 
     /// Freezes a failed shard into the parked slab and schedules its
-    /// rescue event; the rank is suspect until the rescue confirms. The
-    /// rank's busy flag stays set — a dark rank frees no capacity.
+    /// rescue event; the unit is suspect until the rescue confirms. The
+    /// unit's busy flag stays set — a dark unit frees no capacity.
     #[allow(clippy::too_many_arguments)]
     fn park_shard(
         &mut self,
         qid: u32,
-        rank: usize,
+        unit: usize,
         off: u64,
         rows: u64,
         rows_done: u64,
         matched: u64,
         at: Tick,
     ) {
-        if self.health.mark_suspect(rank) {
+        if self.health.mark_suspect(unit) {
             self.env.tracer.emit(
                 at,
                 EventKind::RankHealth {
-                    rank: rank as u32,
-                    state: RankState::Suspect.name(),
+                    rank: unit as u32,
+                    state: UnitState::Suspect.name(),
                 },
             );
         }
@@ -728,7 +793,7 @@ impl Engine<'_, '_> {
             });
         self.parked[slot] = Some(ParkedShard {
             qid,
-            from_rank: rank,
+            from_unit: unit,
             off,
             rows,
             rows_done,
@@ -737,40 +802,41 @@ impl Engine<'_, '_> {
         self.rescue_ev.push(Reverse((at, slot as u32)));
     }
 
-    /// Quarantines `rank` (idempotent) and schedules its first canary
-    /// probe. The rank leaves the schedulable pool until a canary
+    /// Quarantines `unit` (idempotent) and schedules its first canary
+    /// probe. The unit leaves the schedulable pool until a canary
     /// completes on it.
-    fn quarantine_rank(&mut self, rank: usize, at: Tick) {
-        if let Some(probe_at) = self.health.quarantine(rank, at) {
-            self.rank_busy[rank] = true;
+    fn quarantine_unit(&mut self, unit: usize, at: Tick) {
+        if let Some(probe_at) = self.health.quarantine(unit, at) {
+            self.unit_busy[unit] = true;
             self.env.tracer.emit(
                 at,
                 EventKind::RankHealth {
-                    rank: rank as u32,
-                    state: RankState::Quarantined.name(),
+                    rank: unit as u32,
+                    state: UnitState::Quarantined.name(),
                 },
             );
-            self.probe_ev.push(Reverse((probe_at, rank as u32)));
+            self.probe_ev.push(Reverse((probe_at, unit as u32)));
         }
     }
 
-    /// The rescue event for a parked shard: quarantine the rank, salvage
+    /// The rescue event for a parked shard: quarantine the unit, salvage
     /// the shard's completed bitset prefix functionally (the functional
-    /// store is intact on a dark rank — only the timed path is
+    /// store is intact on a dark unit — only the timed path is
     /// perturbed), and push the shard onto the requeue rung.
     fn rescue(&mut self, slot: u32, t: Tick) -> Result<(), EngineInvariant> {
         let shard = self.parked[slot as usize]
             .take()
             .ok_or(EngineInvariant::MissingParkedShard { slot })?;
-        self.quarantine_rank(shard.from_rank, t);
+        self.quarantine_unit(shard.from_unit, t);
+        let ch = self.env.pool.unit(shard.from_unit).channel;
         let mut prefix = vec![0u8; shard.rows_done.div_ceil(8) as usize];
-        self.env.module.data().read(
-            PhysAddr(self.env.outs[shard.from_rank].0 + shard.off / 8),
+        self.env.modules[ch].data().read(
+            PhysAddr(self.env.outs[shard.from_unit].0 + shard.off / 8),
             &mut prefix,
         );
         self.rescue_queue.push_back(RescueShard {
             qid: shard.qid,
-            from_rank: shard.from_rank,
+            from_unit: shard.from_unit,
             off: shard.off,
             rows: shard.rows,
             rows_done: shard.rows_done,
@@ -785,35 +851,37 @@ impl Engine<'_, '_> {
         self.drain_to_host_if_stranded(t)
     }
 
-    /// Resumes a rescued shard on healthy rank `r`: the salvaged prefix
-    /// is replayed into the new rank's output buffer as whole zero-padded
+    /// Resumes a rescued shard on healthy unit `u`: the salvaged prefix
+    /// is replayed into the new unit's output buffer as whole zero-padded
     /// 64-byte lines (parks happen at page boundaries and shards start on
     /// 512-row boundaries, so the prefix is line-aligned; only the global
     /// tail shard can end mid-line, and the padded bytes beyond it are
     /// unused buffer), charged at the driver's degraded-line cost, then
-    /// the session resumes from its row cursor under a fresh lease.
-    fn migrate_shard(&mut self, shard: RescueShard, r: usize, t: Tick) {
-        let base = self.env.outs[r].0 + shard.off / 8;
+    /// the session resumes from its row cursor under a fresh lease. The
+    /// new unit may sit on a different channel — the replay simply writes
+    /// into that channel's module.
+    fn migrate_shard(&mut self, shard: RescueShard, u: usize, t: Tick) {
+        let ch = self.env.pool.unit(u).channel;
+        let base = self.env.outs[u].0 + shard.off / 8;
         let mut cost = Tick::ZERO;
         for (i, chunk) in shard.prefix.chunks(64).enumerate() {
             let mut line = [0u8; 64];
             line[..chunk.len()].copy_from_slice(chunk);
-            self.env
-                .module
+            self.env.modules[ch]
                 .data_mut()
                 .write(PhysAddr(base + i as u64 * 64), &line);
             cost += self.cfg.resilience.degraded_line_cost;
         }
         let rec = &self.records[shard.qid as usize];
         let req = SelectRequest {
-            col_addr: PhysAddr(self.env.replicas[r].0 + shard.off * 8),
+            col_addr: PhysAddr(self.env.replicas[u].0 + shard.off * 8),
             rows: shard.rows,
             lo: rec.lo,
             hi: rec.hi,
             out_addr: PhysAddr(base),
         };
-        let session = self.env.drivers[r].resume_session(
-            self.env.module,
+        let session = self.env.drivers[u].resume_session(
+            self.env.modules[ch],
             req,
             shard.rows_done,
             shard.matched,
@@ -821,26 +889,26 @@ impl Engine<'_, '_> {
         );
         self.active.push(ActiveShard {
             qid: shard.qid,
-            rank: r,
+            unit: u,
             off: shard.off,
             rows: shard.rows,
             session,
         });
-        self.rank_busy[r] = true;
-        self.served_count[r] += 1;
+        self.unit_busy[u] = true;
+        self.served_count[u] += 1;
         self.migrations += 1;
         self.env.tracer.emit(
             t,
             EventKind::ShardMigrated {
                 query: shard.qid,
-                from: shard.from_rank as u32,
-                to: r as u32,
+                from: shard.from_unit as u32,
+                to: u as u32,
                 row: shard.rows_done,
             },
         );
     }
 
-    /// When no schedulable rank remains, the requeue rung falls through
+    /// When no schedulable unit remains, the requeue rung falls through
     /// to its floor: rescued shards finish functionally on the host
     /// (serialized on `host_free`) and queued queries degrade — every
     /// admitted query still completes.
@@ -905,7 +973,7 @@ impl Engine<'_, '_> {
         self.complete_shard(shard.qid, done, matched, proj_part)
     }
 
-    /// Dispatches `qid` onto up to `fanout` of the `free` ranks (in the
+    /// Dispatches `qid` onto up to `fanout` of the `free` units (in the
     /// policy's preference order) with the execution shape its operator
     /// needs: selects and projections open steppable sessions, scalar
     /// aggregates run eagerly as one-shot kernels.
@@ -918,35 +986,36 @@ impl Engine<'_, '_> {
     }
 
     /// Shards a select (or the select pass of a projection) over the free
-    /// ranks and opens one session per shard.
+    /// units and opens one session per shard.
     fn dispatch_select(&mut self, qid: u32, free: &[usize], t: Tick) {
         let rows = self.env.values.len() as u64;
         let k = free.len().min(self.cfg.fanout.max(1)) as u64;
-        let chunk = rows.div_ceil(k).div_ceil(CHUNK_ROWS) * CHUNK_ROWS;
+        let chunk = aligned_chunk(rows, k, CHUNK_ROWS);
         let mut off = 0u64;
         let mut used = 0u32;
-        for &r in free {
+        for &u in free {
             if off >= rows {
                 break;
             }
             let len = chunk.min(rows - off);
             let req = SelectRequest {
-                col_addr: PhysAddr(self.env.replicas[r].0 + off * 8),
+                col_addr: PhysAddr(self.env.replicas[u].0 + off * 8),
                 rows: len,
                 lo: self.records[qid as usize].lo,
                 hi: self.records[qid as usize].hi,
-                out_addr: PhysAddr(self.env.outs[r].0 + off / 8),
+                out_addr: PhysAddr(self.env.outs[u].0 + off / 8),
             };
-            let session = self.env.drivers[r].start_session(self.env.module, req, t);
+            let ch = self.env.pool.unit(u).channel;
+            let session = self.env.drivers[u].start_session(self.env.modules[ch], req, t);
             self.active.push(ActiveShard {
                 qid,
-                rank: r,
+                unit: u,
                 off,
                 rows: len,
                 session,
             });
-            self.rank_busy[r] = true;
-            self.served_count[r] += 1;
+            self.unit_busy[u] = true;
+            self.served_count[u] += 1;
             off += len;
             used += 1;
         }
@@ -971,22 +1040,22 @@ impl Engine<'_, '_> {
         );
     }
 
-    /// Shards a scalar aggregate over the free ranks as eager one-shot
-    /// kernels under each rank's resilient driver. Aggregates have no
+    /// Shards a scalar aggregate over the free units as eager one-shot
+    /// kernels under each unit's resilient driver. Aggregates have no
     /// steppable session, and running a kernel makes no scheduling
     /// decisions, so executing it ahead of the event clock is the same
-    /// min-cursor argument that lets select shards run ahead: ranks are
-    /// timing-independent, each is freed at its true end via a rank-free
-    /// event, and the query finishes at the max shard end. A rank whose
+    /// min-cursor argument that lets select shards run ahead: units are
+    /// timing-independent, each is freed at its true end via a unit-free
+    /// event, and the query finishes at the max shard end. A unit whose
     /// ladder exhausts hands its job back instead of folding in place:
-    /// the rank is quarantined, the job returns to the head of the list,
-    /// and whatever no healthy rank took folds on the host, serialized on
+    /// the unit is quarantined, the job returns to the head of the list,
+    /// and whatever no healthy unit took folds on the host, serialized on
     /// `host_free`. Partials merge commutatively with the device kernel's
     /// exact semantics, so the merge is shard-order independent.
     fn dispatch_agg(&mut self, qid: u32, free: &[usize], t: Tick, op: AggOp) {
         let rows = self.env.values.len() as u64;
         let k = free.len().min(self.cfg.fanout.max(1)) as u64;
-        let chunk = rows.div_ceil(k).div_ceil(CHUNK_ROWS) * CHUNK_ROWS;
+        let chunk = aligned_chunk(rows, k, CHUNK_ROWS);
         let (lo, hi) = {
             let rec = &self.records[qid as usize];
             (rec.lo, rec.hi)
@@ -1003,19 +1072,20 @@ impl Engine<'_, '_> {
         let mut acc: Option<i64> = None;
         let mut end = t;
         let mut requeued = false;
-        for &r in free {
+        for &u in free {
             let Some((off, len)) = jobs.pop_front() else {
                 break;
             };
             let job = AggregateJob {
-                col_addr: PhysAddr(self.env.replicas[r].0 + off * 8),
+                col_addr: PhysAddr(self.env.replicas[u].0 + off * 8),
                 rows: len,
                 op,
                 filter: Some(Predicate::Between(lo, hi)),
             };
-            match self.env.drivers[r].try_run_aggregate(
-                &mut self.env.devices[r],
-                self.env.module,
+            let ch = self.env.pool.unit(u).channel;
+            match self.env.drivers[u].try_run_aggregate(
+                &mut self.env.devices[u],
+                self.env.modules[ch],
                 job,
                 t,
             ) {
@@ -1023,15 +1093,15 @@ impl Engine<'_, '_> {
                     count += out.count;
                     acc = merge_agg(op, acc, out.value);
                     end = end.max(out.end);
-                    self.rank_busy[r] = true;
-                    self.served_count[r] += 1;
-                    self.rank_free_ev
-                        .push(Reverse((out.end.max(self.now), r as u32)));
+                    self.unit_busy[u] = true;
+                    self.served_count[u] += 1;
+                    self.unit_free_ev
+                        .push(Reverse((out.end.max(self.now), u as u32)));
                     used += 1;
                 }
                 Err(t_fail) => {
                     jobs.push_front((off, len));
-                    self.quarantine_rank(r, t_fail);
+                    self.quarantine_unit(u, t_fail);
                     if !requeued {
                         requeued = true;
                         self.requeues += 1;
@@ -1094,19 +1164,20 @@ impl Engine<'_, '_> {
 
     fn step_shard(&mut self, idx: usize) -> Result<(), EngineInvariant> {
         let shard = &mut self.active[idx];
-        self.env.drivers[shard.rank].step_page_failfast(
-            &mut self.env.devices[shard.rank],
-            self.env.module,
+        let ch = self.env.pool.unit(shard.unit).channel;
+        self.env.drivers[shard.unit].step_page_failfast(
+            &mut self.env.devices[shard.unit],
+            self.env.modules[ch],
             &mut shard.session,
         );
         if shard.session.is_parked() {
-            // The rank's fail-fast ladder gave up on a page: freeze the
+            // The unit's fail-fast ladder gave up on a page: freeze the
             // shard at its page boundary and let the rescue event (same
             // tick, deterministic class order) requeue it.
             let shard = self.active.swap_remove(idx);
             self.park_shard(
                 shard.qid,
-                shard.rank,
+                shard.unit,
                 shard.off,
                 shard.rows,
                 shard.session.next_row(),
@@ -1121,13 +1192,13 @@ impl Engine<'_, '_> {
         let shard = self.active.swap_remove(idx);
         let run = shard.session.into_run();
         // Pull the shard's slice of the selection vector out of DRAM now:
-        // the rank is reused only after its rank-free event, which is
+        // the unit is reused only after its unit-free event, which is
         // processed strictly later.
         let nbytes = shard.rows.div_ceil(8) as usize;
         let at = (shard.off / 8) as usize;
         let rec = &mut self.records[shard.qid as usize];
-        self.env.module.data().read(
-            PhysAddr(self.env.outs[shard.rank].0 + shard.off / 8),
+        self.env.modules[ch].data().read(
+            PhysAddr(self.env.outs[shard.unit].0 + shard.off / 8),
             &mut rec.bitset[at..at + nbytes],
         );
         if !shard.rows.is_multiple_of(8) {
@@ -1149,17 +1220,17 @@ impl Engine<'_, '_> {
             // shard's bitset slice starts on a 512-row boundary, so both
             // it and the packed output stay 64-byte aligned.
             let job = ProjectJob {
-                col_addr: PhysAddr(self.env.replicas[shard.rank].0 + shard.off * 8),
+                col_addr: PhysAddr(self.env.replicas[shard.unit].0 + shard.off * 8),
                 rows: shard.rows,
-                bitset_addr: PhysAddr(self.env.outs[shard.rank].0 + shard.off / 8),
-                out_addr: PhysAddr(self.env.proj_outs[shard.rank].0 + shard.off * 8),
+                bitset_addr: PhysAddr(self.env.outs[shard.unit].0 + shard.off / 8),
+                out_addr: PhysAddr(self.env.proj_outs[shard.unit].0 + shard.off * 8),
             };
             let mut emitted = 0u64;
             let mut failed_at = None;
             for _ in 0..k.max(1) {
-                match self.env.drivers[shard.rank].try_run_project(
-                    &mut self.env.devices[shard.rank],
-                    self.env.module,
+                match self.env.drivers[shard.unit].try_run_project(
+                    &mut self.env.devices[shard.unit],
+                    self.env.modules[ch],
                     job,
                     shard_end,
                 ) {
@@ -1177,11 +1248,11 @@ impl Engine<'_, '_> {
                 // The select finished but a projection pass exhausted the
                 // ladder. Park with the full select done (rows_done =
                 // rows): the resumed session completes instantly on the
-                // new rank and the k passes re-run there — passes are
+                // new unit and the k passes re-run there — passes are
                 // byte-identical, so re-running them all is correct.
                 self.park_shard(
                     shard.qid,
-                    shard.rank,
+                    shard.unit,
                     shard.off,
                     shard.rows,
                     shard.rows,
@@ -1190,14 +1261,14 @@ impl Engine<'_, '_> {
                 );
                 return Ok(());
             }
-            let base = self.env.proj_outs[shard.rank].0 + shard.off * 8;
+            let base = self.env.proj_outs[shard.unit].0 + shard.off * 8;
             let vals: Vec<i64> = (0..emitted)
-                .map(|i| self.env.module.data().read_i64(PhysAddr(base + i * 8)))
+                .map(|i| self.env.modules[ch].data().read_i64(PhysAddr(base + i * 8)))
                 .collect();
             proj_part = Some((shard.off, vals));
         }
-        self.rank_free_ev
-            .push(Reverse((shard_end.max(self.now), shard.rank as u32)));
+        self.unit_free_ev
+            .push(Reverse((shard_end.max(self.now), shard.unit as u32)));
         self.complete_shard(shard.qid, shard_end, run.matched, proj_part)
     }
 
@@ -1235,28 +1306,28 @@ impl Engine<'_, '_> {
         Ok(())
     }
 
-    /// The canary probe event for a quarantined rank: reset the rank's
+    /// The canary probe event for a quarantined unit: reset the unit's
     /// breaker and send a small empty-predicate select at it. A canary
-    /// that completes on the device repairs the rank (it rejoins the pool
-    /// at a rank-free event); one that parks re-quarantines with the
+    /// that completes on the device repairs the unit (it rejoins the pool
+    /// at a unit-free event); one that parks re-quarantines with the
     /// dwell doubled. The canary runs entirely at probe time against the
-    /// rank's own buffers — the rank is quarantined, so no live shard can
+    /// unit's own buffers — the unit is quarantined, so no live shard can
     /// be using them, and any parked shard's prefix was already salvaged
     /// at its rescue.
-    fn probe(&mut self, rank: u32, t: Tick) -> Result<(), EngineInvariant> {
-        let r = rank as usize;
-        if self.health.state(r) != RankState::Quarantined {
+    fn probe(&mut self, unit: u32, t: Tick) -> Result<(), EngineInvariant> {
+        let u = unit as usize;
+        if self.health.state(u) != UnitState::Quarantined {
             return Ok(());
         }
-        self.health.begin_probe(r);
+        self.health.begin_probe(u);
         self.env.tracer.emit(
             t,
             EventKind::RankHealth {
-                rank,
-                state: RankState::Probing.name(),
+                rank: unit,
+                state: UnitState::Probing.name(),
             },
         );
-        self.env.drivers[r].reset_breaker();
+        self.env.drivers[u].reset_breaker();
         let rows = self
             .health
             .config()
@@ -1264,48 +1335,57 @@ impl Engine<'_, '_> {
             .min(self.env.values.len() as u64)
             .max(1);
         let req = SelectRequest {
-            col_addr: self.env.replicas[r],
+            col_addr: self.env.replicas[u],
             rows,
             lo: 0,
             hi: -1,
-            out_addr: self.env.outs[r],
+            out_addr: self.env.outs[u],
         };
-        let mut session = self.env.drivers[r].start_session(self.env.module, req, t);
+        let ch = self.env.pool.unit(u).channel;
+        let mut session = self.env.drivers[u].start_session(self.env.modules[ch], req, t);
         while !session.is_done() && !session.is_parked() {
-            self.env.drivers[r].step_page_failfast(
-                &mut self.env.devices[r],
-                self.env.module,
+            self.env.drivers[u].step_page_failfast(
+                &mut self.env.devices[u],
+                self.env.modules[ch],
                 &mut session,
             );
         }
         if session.is_done() {
             let end = session.into_run().end;
-            self.health.repaired(r, end);
-            self.env
-                .tracer
-                .emit(end, EventKind::CanaryProbe { rank, ok: true });
+            self.health.repaired(u, end);
+            self.env.tracer.emit(
+                end,
+                EventKind::CanaryProbe {
+                    rank: unit,
+                    ok: true,
+                },
+            );
             self.env.tracer.emit(
                 end,
                 EventKind::RankHealth {
-                    rank,
-                    state: RankState::Healthy.name(),
+                    rank: unit,
+                    state: UnitState::Healthy.name(),
                 },
             );
-            self.rank_free_ev.push(Reverse((end.max(self.now), rank)));
+            self.unit_free_ev.push(Reverse((end.max(self.now), unit)));
         } else {
             let at = session.cursor().max(t);
-            let next = self.health.probe_failed(r, at);
-            self.env
-                .tracer
-                .emit(at, EventKind::CanaryProbe { rank, ok: false });
+            let next = self.health.probe_failed(u, at);
+            self.env.tracer.emit(
+                at,
+                EventKind::CanaryProbe {
+                    rank: unit,
+                    ok: false,
+                },
+            );
             self.env.tracer.emit(
                 at,
                 EventKind::RankHealth {
-                    rank,
-                    state: RankState::Quarantined.name(),
+                    rank: unit,
+                    state: UnitState::Quarantined.name(),
                 },
             );
-            self.probe_ev.push(Reverse((next, rank)));
+            self.probe_ev.push(Reverse((next, unit)));
         }
         Ok(())
     }
@@ -1466,6 +1546,7 @@ fn merge_agg(op: AggOp, a: Option<i64>, b: Option<i64>) -> Option<i64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::{ChannelRankPool, SingleDimmPool};
     use crate::workload::{PredicateMix, QuerySpec};
     use jafar_common::rng::SplitMix64;
     use jafar_dram::{AddressMapping, DramGeometry, DramTiming};
@@ -1538,9 +1619,11 @@ mod tests {
             policy: SchedPolicy,
             cfg: &ServeConfig,
         ) -> ServeReport {
+            let pool = SingleDimmPool::new(self.devices.len());
             run_serve(
                 ServeEnv {
-                    module: &mut self.module,
+                    modules: vec![&mut self.module],
+                    pool: &pool,
                     devices: &mut self.devices,
                     drivers: &mut self.drivers,
                     replicas: &self.replicas,
@@ -1894,14 +1977,14 @@ mod tests {
             a.migrations >= 1,
             "the rescued shard moved to a healthy rank"
         );
-        assert_eq!(a.ranks[0].quarantines, 1);
-        assert_eq!(a.ranks[0].canary_ok, 0, "a permanent outage never repairs");
+        assert_eq!(a.units[0].quarantines, 1);
+        assert_eq!(a.units[0].canary_ok, 0, "a permanent outage never repairs");
         assert!(
-            a.ranks[0].downtime > Tick::ZERO,
+            a.units[0].downtime > Tick::ZERO,
             "open quarantine booked at makespan"
         );
-        assert_eq!(a.ranks[1].quarantines, 0);
-        assert_eq!(a.ranks[1].downtime, Tick::ZERO);
+        assert_eq!(a.units[1].quarantines, 0);
+        assert_eq!(a.units[1].downtime, Tick::ZERO);
     }
 
     #[test]
@@ -1925,11 +2008,11 @@ mod tests {
             assert_eq!(rec.bitset, reference_bytes(&rig.values, rec.lo, rec.hi));
         }
         let a = &report.availability;
-        assert_eq!(a.ranks[1].quarantines, 1);
-        assert_eq!(a.ranks[1].canary_ok, 1, "the canary repaired the rank");
+        assert_eq!(a.units[1].quarantines, 1);
+        assert_eq!(a.units[1].canary_ok, 1, "the canary repaired the rank");
         assert!(a.migrations >= 1);
         assert!(
-            a.ranks[1].downtime < Tick::from_us(500),
+            a.units[1].downtime < Tick::from_us(500),
             "downtime ends at the observed repair, not at makespan"
         );
         assert!(
@@ -1981,7 +2064,7 @@ mod tests {
             assert_eq!(rec.bitset, reference_bytes(&rig.values, rec.lo, rec.hi));
         }
         for r in 0..3 {
-            assert!(report.availability.ranks[r].quarantines >= 1);
+            assert!(report.availability.units[r].quarantines >= 1);
         }
     }
 
@@ -2002,5 +2085,163 @@ mod tests {
             rig.serve(&workload, SchedPolicy::Edf, &ServeConfig::default())
         };
         assert_eq!(run(), run());
+    }
+
+    /// A channels × ranks machine: one module per channel, every
+    /// channel's units laid out at the *same* channel-local addresses as
+    /// the single-channel rig, serving over a [`ChannelRankPool`].
+    struct WideRig {
+        modules: Vec<DramModule>,
+        pool: ChannelRankPool,
+        devices: Vec<JafarDevice>,
+        drivers: Vec<ResilientDriver>,
+        replicas: Vec<PhysAddr>,
+        outs: Vec<PhysAddr>,
+        proj_outs: Vec<PhysAddr>,
+        values: Vec<i64>,
+        tracer: SharedTracer,
+    }
+
+    fn wide_rig(channels: usize, ranks_per: u32, seed: u64) -> WideRig {
+        let geom = DramGeometry {
+            ranks: ranks_per,
+            banks_per_rank: 4,
+            rows_per_bank: 64,
+            row_bytes: 1024,
+        };
+        let mut rng = SplitMix64::new(seed);
+        let values: Vec<i64> = (0..ROWS)
+            .map(|_| rng.next_range_inclusive(0, 999))
+            .collect();
+        let rank_bytes = geom.rank_bytes();
+        let mut modules = Vec::new();
+        let mut replicas = Vec::new();
+        let mut outs = Vec::new();
+        let mut proj_outs = Vec::new();
+        for _ch in 0..channels {
+            let mut module = DramModule::new(
+                geom,
+                DramTiming::ddr3_paper().without_refresh(),
+                AddressMapping::RankRowBankBlock,
+            );
+            for r in 0..ranks_per as u64 {
+                let col = PhysAddr(r * rank_bytes);
+                for (i, &v) in values.iter().enumerate() {
+                    module
+                        .data_mut()
+                        .write_i64(PhysAddr(col.0 + i as u64 * 8), v);
+                }
+                replicas.push(col);
+                outs.push(PhysAddr(r * rank_bytes + 192 * 1024));
+                proj_outs.push(PhysAddr(r * rank_bytes + 64 * 1024));
+            }
+            modules.push(module);
+        }
+        let nunits = channels * ranks_per as usize;
+        WideRig {
+            modules,
+            pool: ChannelRankPool::new(channels, ranks_per as usize),
+            devices: (0..nunits).map(|_| JafarDevice::paper_default()).collect(),
+            drivers: (0..nunits)
+                .map(|_| ResilientDriver::new(ResilienceConfig::default()))
+                .collect(),
+            replicas,
+            outs,
+            proj_outs,
+            values,
+            tracer: SharedTracer::disabled(),
+        }
+    }
+
+    impl WideRig {
+        fn serve(
+            &mut self,
+            workload: &Workload,
+            policy: SchedPolicy,
+            cfg: &ServeConfig,
+        ) -> ServeReport {
+            run_serve(
+                ServeEnv {
+                    modules: self.modules.iter_mut().collect(),
+                    pool: &self.pool,
+                    devices: &mut self.devices,
+                    drivers: &mut self.drivers,
+                    replicas: &self.replicas,
+                    outs: &self.outs,
+                    proj_outs: &self.proj_outs,
+                    values: &self.values,
+                    tracer: &self.tracer,
+                },
+                workload,
+                policy,
+                cfg,
+            )
+        }
+    }
+
+    #[test]
+    fn multi_channel_pool_serves_byte_identically_with_per_unit_coords() {
+        let mix = PredicateMix::UniformRange {
+            min: 0,
+            max: 999,
+            width: 250,
+        };
+        let workload = Workload::poisson(mix, 8, Tick::from_us(2), 41).with_op_mix(&[
+            QueryOp::Select,
+            QueryOp::SelectCount,
+            QueryOp::SelectAgg(AggFn::Sum),
+            QueryOp::Project { k: 2 },
+        ]);
+        let cfg = ServeConfig::default();
+        let mut wide = wide_rig(2, 2, 11);
+        let report = wide.serve(&workload, SchedPolicy::RankAffinity, &cfg);
+        assert_eq!(report.completed(), 8);
+        // Functional results match the single-channel machine exactly.
+        let narrow = rig(4, 11).serve(&workload, SchedPolicy::RankAffinity, &cfg);
+        for (w, n) in report.records.iter().zip(&narrow.records) {
+            assert_eq!(w.bitset, n.bitset, "query {} selection vector", w.id);
+            assert_eq!(w.matched, n.matched);
+            assert_eq!(w.agg, n.agg);
+            assert_eq!(w.projected, n.projected);
+        }
+        // Availability carries the pool's physical coordinates per unit.
+        let a = &report.availability;
+        assert_eq!(a.units.len(), 4);
+        for (u, rec) in a.units.iter().enumerate() {
+            assert_eq!(rec.unit, u as u32);
+            assert_eq!(rec.channel, (u / 2) as u32, "channel-major unit ids");
+            assert_eq!(rec.rank, (u % 2) as u32);
+        }
+    }
+
+    #[test]
+    fn channel_fault_is_confined_to_its_unit_and_heals_cross_channel() {
+        use jafar_dram::{FaultInjector, FaultPlan};
+        // Unit 2 = channel 1, rank 0 dies permanently. Its shard rescues
+        // onto another unit (possibly across channels) and the query
+        // still completes byte-identically; every sibling stays clean.
+        let mut wide = wide_rig(2, 2, 27);
+        wide.modules[1].set_fault_injector(Some(FaultInjector::new(
+            FaultPlan::none(3).with_outage(0, Tick::ZERO, Tick::MAX),
+        )));
+        let workload = Workload {
+            specs: vec![spec(100, 420, None)],
+            arrivals: Arrivals::Open(vec![Tick::ZERO]),
+            slo: None,
+        };
+        let report = wide.serve(&workload, SchedPolicy::Fifo, &ServeConfig::default());
+        assert_eq!(report.completed(), 1);
+        assert_eq!(
+            report.records[0].bitset,
+            reference_bytes(&wide.values, 100, 420)
+        );
+        let a = &report.availability;
+        assert!(a.requeues >= 1 && a.migrations >= 1);
+        assert_eq!(a.units[2].quarantines, 1);
+        assert_eq!((a.units[2].channel, a.units[2].rank), (1, 0));
+        for u in [0, 1, 3] {
+            assert_eq!(a.units[u].quarantines, 0, "unit {u} undisturbed");
+            assert_eq!(a.units[u].downtime, Tick::ZERO);
+        }
     }
 }

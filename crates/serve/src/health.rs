@@ -1,33 +1,39 @@
-//! The per-rank health lifecycle behind the serving engine's failure
+//! The per-unit health lifecycle behind the serving engine's failure
 //! domain: `healthy → suspect → quarantined → probing → healthy`.
 //!
-//! A rank is **suspect** the instant one of its shards parks (the
-//! resilient driver's fail-fast ladder gave up on a page) and
-//! **quarantined** — out of the schedulable pool — once the engine's
-//! rescue event confirms the failure and re-dispatches the shard. A
-//! quarantined rank dwells for [`HealthConfig::probe_after`], then the
-//! engine sends a **canary** select at it; a canary that completes on the
-//! device repairs the rank back to healthy, one that parks doubles the
-//! dwell (capped at [`HealthConfig::probe_max`]) and re-quarantines.
+//! The tracker is keyed by **pool unit id** (one entry per
+//! [`crate::pool::FilterPool`] unit — a `{channel, rank, bank-group}`
+//! coordinate; on a single-DIMM pool `unit == rank`). A unit is
+//! **suspect** the instant one of its shards parks (the resilient
+//! driver's fail-fast ladder gave up on a page) and **quarantined** — out
+//! of the schedulable pool — once the engine's rescue event confirms the
+//! failure and re-dispatches the shard. A quarantined unit dwells for
+//! [`HealthConfig::probe_after`], then the engine sends a **canary**
+//! select at it; a canary that completes on the device repairs the unit
+//! back to healthy, one that parks doubles the dwell (capped at
+//! [`HealthConfig::probe_max`]) and re-quarantines.
 //!
 //! [`HealthTracker`] is the pure state machine: it owns no clocks, emits
 //! no trace events and touches no hardware — the engine drives every
 //! transition at a deterministic event time and reports them, which keeps
 //! serve runs a pure function of `(workload, policy, config)` even under
-//! injected rank outages. Downtime accounting runs from quarantine entry
+//! injected unit outages. Downtime accounting runs from quarantine entry
 //! to observed repair (or end of run, via [`HealthTracker::finalize`]).
+//! Because state is per unit, a failure on one unit never bleeds into its
+//! channel siblings: quarantine, probing and repair are all confined to
+//! the failing unit id.
 
-use crate::report::RankAvailability;
+use crate::report::UnitAvailability;
 use jafar_common::time::Tick;
 
-/// Where a rank sits in its failure lifecycle. Only [`RankState::Healthy`]
-/// ranks are schedulable.
+/// Where a unit sits in its failure lifecycle. Only
+/// [`UnitState::Healthy`] units are schedulable.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum RankState {
+pub enum UnitState {
     /// In the schedulable pool.
     #[default]
     Healthy,
-    /// A shard parked on this rank; the rescue event will confirm.
+    /// A shard parked on this unit; the rescue event will confirm.
     Suspect,
     /// Out of the pool, waiting out its probe dwell.
     Quarantined,
@@ -35,19 +41,19 @@ pub enum RankState {
     Probing,
 }
 
-impl RankState {
+impl UnitState {
     /// The mnemonic the trace stream uses for this state.
     pub fn name(&self) -> &'static str {
         match self {
-            RankState::Healthy => "healthy",
-            RankState::Suspect => "suspect",
-            RankState::Quarantined => "quarantined",
-            RankState::Probing => "probing",
+            UnitState::Healthy => "healthy",
+            UnitState::Suspect => "suspect",
+            UnitState::Quarantined => "quarantined",
+            UnitState::Probing => "probing",
         }
     }
 }
 
-/// Knobs of the rank health lifecycle.
+/// Knobs of the unit health lifecycle.
 #[derive(Clone, Copy, Debug)]
 pub struct HealthConfig {
     /// Quarantine dwell before the first canary probe.
@@ -69,8 +75,8 @@ impl Default for HealthConfig {
 }
 
 #[derive(Clone, Copy, Debug, Default)]
-struct RankHealth {
-    state: RankState,
+struct UnitHealth {
+    state: UnitState,
     /// When the current quarantine began (meaningful while not healthy).
     down_since: Tick,
     /// Current probe dwell (doubles per failed canary, capped).
@@ -81,19 +87,19 @@ struct RankHealth {
     canary_fail: u64,
 }
 
-/// The pure per-rank health state machine. See the module docs for the
+/// The pure per-unit health state machine. See the module docs for the
 /// lifecycle; every method is a deterministic function of its inputs.
 pub struct HealthTracker {
     cfg: HealthConfig,
-    ranks: Vec<RankHealth>,
+    units: Vec<UnitHealth>,
 }
 
 impl HealthTracker {
-    /// A tracker with every rank healthy.
-    pub fn new(nranks: usize, cfg: HealthConfig) -> Self {
+    /// A tracker with every unit healthy.
+    pub fn new(nunits: usize, cfg: HealthConfig) -> Self {
         HealthTracker {
             cfg,
-            ranks: vec![RankHealth::default(); nranks],
+            units: vec![UnitHealth::default(); nunits],
         }
     }
 
@@ -102,31 +108,31 @@ impl HealthTracker {
         &self.cfg
     }
 
-    /// Current state of `rank`.
-    pub fn state(&self, rank: usize) -> RankState {
-        self.ranks[rank].state
+    /// Current state of `unit`.
+    pub fn state(&self, unit: usize) -> UnitState {
+        self.units[unit].state
     }
 
-    /// True when `rank` may receive new work.
-    pub fn is_schedulable(&self, rank: usize) -> bool {
-        self.ranks[rank].state == RankState::Healthy
+    /// True when `unit` may receive new work.
+    pub fn is_schedulable(&self, unit: usize) -> bool {
+        self.units[unit].state == UnitState::Healthy
     }
 
-    /// Ranks currently in the schedulable pool.
+    /// Units currently in the schedulable pool.
     pub fn schedulable_count(&self) -> usize {
-        self.ranks
+        self.units
             .iter()
-            .filter(|r| r.state == RankState::Healthy)
+            .filter(|r| r.state == UnitState::Healthy)
             .count()
     }
 
     /// Healthy → suspect (a shard parked; the rescue event will decide).
-    /// Returns true on a real transition, false when the rank was already
+    /// Returns true on a real transition, false when the unit was already
     /// somewhere else in the lifecycle.
-    pub fn mark_suspect(&mut self, rank: usize) -> bool {
-        let r = &mut self.ranks[rank];
-        if r.state == RankState::Healthy {
-            r.state = RankState::Suspect;
+    pub fn mark_suspect(&mut self, unit: usize) -> bool {
+        let r = &mut self.units[unit];
+        if r.state == UnitState::Healthy {
+            r.state = UnitState::Suspect;
             true
         } else {
             false
@@ -134,35 +140,35 @@ impl HealthTracker {
     }
 
     /// Healthy/suspect → quarantined at `at`. Returns the tick the first
-    /// canary probe is due, or `None` when the rank was already
+    /// canary probe is due, or `None` when the unit was already
     /// quarantined or probing (no new probe is owed).
-    pub fn quarantine(&mut self, rank: usize, at: Tick) -> Option<Tick> {
-        let r = &mut self.ranks[rank];
+    pub fn quarantine(&mut self, unit: usize, at: Tick) -> Option<Tick> {
+        let r = &mut self.units[unit];
         match r.state {
-            RankState::Healthy | RankState::Suspect => {
-                r.state = RankState::Quarantined;
+            UnitState::Healthy | UnitState::Suspect => {
+                r.state = UnitState::Quarantined;
                 r.down_since = at;
                 r.dwell = self.cfg.probe_after;
                 r.quarantines += 1;
                 Some(at + r.dwell)
             }
-            RankState::Quarantined | RankState::Probing => None,
+            UnitState::Quarantined | UnitState::Probing => None,
         }
     }
 
     /// Quarantined → probing (the canary is being sent).
-    pub fn begin_probe(&mut self, rank: usize) {
-        debug_assert_eq!(self.ranks[rank].state, RankState::Quarantined);
-        self.ranks[rank].state = RankState::Probing;
+    pub fn begin_probe(&mut self, unit: usize) {
+        debug_assert_eq!(self.units[unit].state, UnitState::Quarantined);
+        self.units[unit].state = UnitState::Probing;
     }
 
     /// The canary parked: probing → quarantined with the dwell doubled
     /// (capped at [`HealthConfig::probe_max`]). Returns the next probe
     /// tick.
-    pub fn probe_failed(&mut self, rank: usize, at: Tick) -> Tick {
+    pub fn probe_failed(&mut self, unit: usize, at: Tick) -> Tick {
         let cap = self.cfg.probe_max;
-        let r = &mut self.ranks[rank];
-        r.state = RankState::Quarantined;
+        let r = &mut self.units[unit];
+        r.state = UnitState::Quarantined;
         r.canary_fail += 1;
         r.dwell = Tick::from_ps(r.dwell.as_ps().saturating_mul(2)).min(cap);
         at + r.dwell
@@ -170,28 +176,32 @@ impl HealthTracker {
 
     /// The canary completed on the device: probing → healthy, with the
     /// quarantine's downtime (entry to observed repair) booked.
-    pub fn repaired(&mut self, rank: usize, at: Tick) {
-        let r = &mut self.ranks[rank];
-        r.state = RankState::Healthy;
+    pub fn repaired(&mut self, unit: usize, at: Tick) {
+        let r = &mut self.units[unit];
+        r.state = UnitState::Healthy;
         r.canary_ok += 1;
         r.downtime += at.saturating_sub(r.down_since);
     }
 
-    /// Books the open downtime of every rank still out of the pool when
+    /// Books the open downtime of every unit still out of the pool when
     /// the run ends at `makespan` (its quarantine never repaired).
     pub fn finalize(&mut self, makespan: Tick) {
-        for r in &mut self.ranks {
-            if matches!(r.state, RankState::Quarantined | RankState::Probing) {
+        for r in &mut self.units {
+            if matches!(r.state, UnitState::Quarantined | UnitState::Probing) {
                 r.downtime += makespan.saturating_sub(r.down_since);
             }
         }
     }
 
-    /// One rank's availability record for the serve report.
-    pub fn availability(&self, rank: usize) -> RankAvailability {
-        let r = &self.ranks[rank];
-        RankAvailability {
-            rank: rank as u32,
+    /// One unit's availability record for the serve report. The tracker
+    /// knows only unit ids; the engine decorates the record with the
+    /// unit's pool coordinates (channel, rank) before reporting it.
+    pub fn availability(&self, unit: usize) -> UnitAvailability {
+        let r = &self.units[unit];
+        UnitAvailability {
+            unit: unit as u32,
+            channel: 0,
+            rank: unit as u32,
             downtime: r.downtime,
             quarantines: r.quarantines,
             canary_ok: r.canary_ok,
@@ -207,13 +217,13 @@ mod tests {
     #[test]
     fn lifecycle_walks_suspect_quarantine_probe_repair() {
         let mut h = HealthTracker::new(2, HealthConfig::default());
-        assert_eq!(h.state(0), RankState::Healthy);
+        assert_eq!(h.state(0), UnitState::Healthy);
         assert_eq!(h.schedulable_count(), 2);
 
         assert!(h.mark_suspect(0));
         assert!(!h.mark_suspect(0), "second suspect is a no-op");
-        assert_eq!(h.state(0), RankState::Suspect);
-        assert!(!h.is_schedulable(0), "suspect ranks take no new work");
+        assert_eq!(h.state(0), UnitState::Suspect);
+        assert!(!h.is_schedulable(0), "suspect units take no new work");
         assert_eq!(h.schedulable_count(), 1);
 
         let probe_at = h.quarantine(0, Tick::from_us(10));
@@ -228,10 +238,10 @@ mod tests {
         assert!(!h.mark_suspect(0));
 
         h.begin_probe(0);
-        assert_eq!(h.state(0), RankState::Probing);
+        assert_eq!(h.state(0), UnitState::Probing);
         assert!(!h.is_schedulable(0));
         h.repaired(0, Tick::from_us(300));
-        assert_eq!(h.state(0), RankState::Healthy);
+        assert_eq!(h.state(0), UnitState::Healthy);
         assert_eq!(h.schedulable_count(), 2);
 
         let a = h.availability(0);
@@ -266,5 +276,24 @@ mod tests {
         h.finalize(Tick::from_us(450));
         assert_eq!(h.availability(1).downtime, Tick::from_us(400));
         assert_eq!(h.availability(0).downtime, Tick::ZERO);
+    }
+
+    #[test]
+    fn lifecycle_is_confined_to_one_unit_of_a_wide_pool() {
+        // 2 channels × 3 ranks = 6 units; unit 4 (channel 1, rank 1 in
+        // channel-major order) fails. Its siblings — same channel and
+        // other channel alike — stay schedulable throughout.
+        let mut h = HealthTracker::new(6, HealthConfig::default());
+        h.mark_suspect(4);
+        h.quarantine(4, Tick::from_us(5));
+        assert_eq!(h.schedulable_count(), 5);
+        for u in [0, 1, 2, 3, 5] {
+            assert!(h.is_schedulable(u), "unit {u} undisturbed");
+        }
+        h.begin_probe(4);
+        h.repaired(4, Tick::from_us(500));
+        assert_eq!(h.schedulable_count(), 6);
+        assert_eq!(h.availability(3).downtime, Tick::ZERO);
+        assert_eq!(h.availability(5).downtime, Tick::ZERO);
     }
 }

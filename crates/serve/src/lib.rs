@@ -11,8 +11,15 @@
 //! - [`workload`]: seeded query streams — open-loop Poisson and
 //!   closed-loop arrival generators over uniform or TPC-H-Q6-style
 //!   predicate mixes, plus an optional per-query latency SLO;
+//! - [`pool`]: the first-class schedulable pool — a [`FilterPool`] maps
+//!   dense unit ids to `{channel, rank, bank-group}` coordinates, with
+//!   implementations for today's single-DIMM rank vector and a
+//!   channels × ranks pool over the interleaved multi-channel memory
+//!   system;
 //! - [`policy`]: pluggable scheduling policies — FIFO,
-//!   earliest-deadline-first, and contention-aware rank affinity;
+//!   earliest-deadline-first, and contention-aware unit affinity (free
+//!   units ordered by channel queue depth, then breaker state and
+//!   served count);
 //! - [`engine`]: admission control (bounded queue with shedding,
 //!   tightened while ranks are quarantined), dispatch onto free healthy
 //!   ranks via the PR-3 steppable-session min-cursor machinery, and the
@@ -44,13 +51,15 @@
 pub mod engine;
 pub mod health;
 pub mod policy;
+pub mod pool;
 pub mod report;
 pub mod submit;
 pub mod workload;
 
 pub use engine::{run_serve, run_serve_checked, EngineInvariant, ServeConfig, ServeEnv};
-pub use health::{HealthConfig, RankState};
+pub use health::{HealthConfig, UnitState};
 pub use policy::SchedPolicy;
-pub use report::{Availability, ExecMode, OpBreakdown, QueryRecord, RankAvailability, ServeReport};
+pub use pool::{ChannelRankPool, FilterPool, FilterUnit, SingleDimmPool};
+pub use report::{Availability, ExecMode, OpBreakdown, QueryRecord, ServeReport, UnitAvailability};
 pub use submit::SubmitError;
 pub use workload::{AggFn, Arrivals, PredicateMix, QueryOp, QuerySpec, Workload};

@@ -1,25 +1,29 @@
 //! Pluggable scheduling policies for the serving engine.
 
-/// How the engine picks the next queued query and the ranks to run it on.
+/// How the engine picks the next queued query and the filter units to
+/// run it on.
 ///
 /// All three policies are deterministic: ties are broken by submission
-/// index (queries) and by rank index (ranks), so a serve run is a pure
-/// function of its workload and configuration.
+/// index (queries) and by unit id (units), so a serve run is a pure
+/// function of its workload, configuration and pool.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SchedPolicy {
     /// First-in first-out: dispatch in admission order onto the
-    /// lowest-numbered free ranks.
+    /// lowest-numbered free units.
     Fifo,
     /// Earliest-deadline-first: dispatch the queued query with the
     /// nearest deadline (admission order among equals). Falls back to
     /// FIFO when the workload carries no SLO.
     Edf,
-    /// Contention-aware rank affinity: dispatch in admission order, but
-    /// prefer healthy, lightly-used ranks — ranks whose circuit breaker
-    /// is open sort last, then by queries served so far, then by index.
-    /// Under a rank-scoped fault this steers load away from the sick
-    /// rank instead of feeding it queries that will crawl through the
-    /// recovery ladder.
+    /// Contention-aware unit affinity: dispatch in admission order, but
+    /// prefer units on the least-loaded channel (fewest busy siblings),
+    /// then healthy, lightly-used units — units whose circuit breaker is
+    /// open sort last, then by queries served so far, then by id. On a
+    /// single-channel pool the channel key is constant and the order
+    /// reduces to the original rank affinity. Under a rank-scoped fault
+    /// this steers load away from the sick unit instead of feeding it
+    /// queries that will crawl through the recovery ladder; on a
+    /// multi-channel pool it also balances fan-out across channels.
     RankAffinity,
 }
 

@@ -1,0 +1,255 @@
+//! The schedulable filter-unit pool.
+//!
+//! JAFAR places one filter unit per rank, but "the pool" the serving
+//! engine schedules over is not inherently one DIMM's rank vector: with a
+//! multi-channel memory system every channel brings its own ranks, and
+//! bank-group-level designs (Membrane-style) multiply the pool again
+//! within a rank. [`FilterPool`] abstracts that topology: the engine
+//! schedules over opaque **unit ids** `0..units()`, and the pool maps
+//! each id to its physical coordinates — `{channel, rank, bank_group}` —
+//! so dispatch, health tracking, canary probing, fault confinement and
+//! the availability ledger all work per unit rather than per DIMM-rank.
+//!
+//! # Unit id scheme
+//!
+//! Ids are dense and channel-major:
+//!
+//! ```text
+//! unit = (channel · ranks_per_channel + rank) · bank_groups + bank_group
+//! ```
+//!
+//! so a single-channel, one-bank-group pool degenerates to `unit == rank`
+//! — today's single-DIMM layout, byte-for-byte. The id order is also the
+//! engine's deterministic tie-break order, which keeps serve runs pure
+//! functions of `(workload, policy, config, pool)`.
+//!
+//! # Placement rules
+//!
+//! The pool is a topology map only; *placement* — where each unit's
+//! column replica, bitset buffer and projection buffer live — is recorded
+//! in the serve env's per-unit address slices (`replicas[u]`, `outs[u]`,
+//! `proj_outs[u]`, all channel-local addresses within
+//! `modules[unit(u).channel]`). A column's stripes land whole on one
+//! channel's ranks (contiguous placement, `phase_rows(rows, 1, 0)` rows
+//! per replica in [`jafar_core::interleave`] terms), never word-
+//! interleaved across channels: contiguous placement writes each output
+//! line once, where interleaving would pay the §2.2 masked
+//! read-modify-write on every output burst. Because every unit's
+//! arguments are recorded per unit, the byte-identity argument of the
+//! single-DIMM engine carries over unchanged — each unit's shard run is
+//! indistinguishable from the same shard on a single-channel pool.
+//!
+//! Busy/health/affinity state is *engine* state, keyed by unit id: the
+//! busy vector, the [`crate::health::HealthTracker`] lifecycle and the
+//! served-count affinity ledger all index by unit, so quarantine and
+//! canary probing confine failures to one unit without touching its
+//! channel siblings.
+
+/// Physical coordinates of one schedulable filter unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FilterUnit {
+    /// Memory channel the unit's DIMM hangs off.
+    pub channel: usize,
+    /// Rank within that channel the unit filters.
+    pub rank: usize,
+    /// Bank group within the rank (0 for whole-rank units; reserved for
+    /// Membrane-style bank-group-level pools).
+    pub bank_group: usize,
+}
+
+/// A schedulable pool of filter units: the topology the serving engine
+/// dispatches onto. See the module docs for the id scheme and placement
+/// rules.
+pub trait FilterPool {
+    /// Number of schedulable units (dense ids `0..units()`).
+    fn units(&self) -> usize;
+
+    /// Physical coordinates of unit `u`.
+    ///
+    /// # Panics
+    /// Implementations may panic when `u >= units()`.
+    fn unit(&self, u: usize) -> FilterUnit;
+
+    /// Number of memory channels the pool spans. Every
+    /// [`FilterUnit::channel`] is below this.
+    fn channels(&self) -> usize;
+}
+
+/// Today's single-DIMM pool: one channel, one unit per NDP rank, whole
+/// ranks (`unit == rank`). The degenerate case every pre-pool serve run
+/// used implicitly.
+#[derive(Clone, Copy, Debug)]
+pub struct SingleDimmPool {
+    ranks: usize,
+}
+
+impl SingleDimmPool {
+    /// A pool over `ranks` NDP ranks of one DIMM.
+    ///
+    /// # Panics
+    /// Panics if `ranks == 0` — an empty pool can serve nothing.
+    pub fn new(ranks: usize) -> Self {
+        assert!(ranks > 0, "a pool needs at least one unit");
+        SingleDimmPool { ranks }
+    }
+}
+
+impl FilterPool for SingleDimmPool {
+    fn units(&self) -> usize {
+        self.ranks
+    }
+
+    fn unit(&self, u: usize) -> FilterUnit {
+        assert!(u < self.ranks, "unit {u} out of range ({})", self.ranks);
+        FilterUnit {
+            channel: 0,
+            rank: u,
+            bank_group: 0,
+        }
+    }
+
+    fn channels(&self) -> usize {
+        1
+    }
+}
+
+/// A channels × ranks pool over an interleaved multi-channel memory
+/// system (`jafar_memctl::MultiChannel`): every channel brings
+/// `ranks_per_channel` whole-rank units. Unit ids are channel-major, so
+/// `channels == 1` is bit-compatible with [`SingleDimmPool`].
+#[derive(Clone, Copy, Debug)]
+pub struct ChannelRankPool {
+    channels: usize,
+    ranks_per_channel: usize,
+    bank_groups: usize,
+}
+
+impl ChannelRankPool {
+    /// A pool of `channels × ranks_per_channel` whole-rank units.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(channels: usize, ranks_per_channel: usize) -> Self {
+        assert!(
+            channels > 0 && ranks_per_channel > 0,
+            "a pool needs at least one unit"
+        );
+        ChannelRankPool {
+            channels,
+            ranks_per_channel,
+            bank_groups: 1,
+        }
+    }
+
+    /// Splits every rank into `bank_groups` independently schedulable
+    /// units (Membrane-style bank-group parallelism).
+    ///
+    /// # Panics
+    /// Panics if `bank_groups == 0`.
+    pub fn with_bank_groups(mut self, bank_groups: usize) -> Self {
+        assert!(bank_groups > 0, "a rank has at least one bank group");
+        self.bank_groups = bank_groups;
+        self
+    }
+
+    /// Ranks each channel contributes.
+    pub fn ranks_per_channel(&self) -> usize {
+        self.ranks_per_channel
+    }
+
+    /// The dense id of `(channel, rank, bank_group)` — the inverse of
+    /// [`FilterPool::unit`].
+    pub fn id_of(&self, channel: usize, rank: usize, bank_group: usize) -> usize {
+        (channel * self.ranks_per_channel + rank) * self.bank_groups + bank_group
+    }
+}
+
+impl FilterPool for ChannelRankPool {
+    fn units(&self) -> usize {
+        self.channels * self.ranks_per_channel * self.bank_groups
+    }
+
+    fn unit(&self, u: usize) -> FilterUnit {
+        assert!(u < self.units(), "unit {u} out of range ({})", self.units());
+        let bank_group = u % self.bank_groups;
+        let whole = u / self.bank_groups;
+        FilterUnit {
+            channel: whole / self.ranks_per_channel,
+            rank: whole % self.ranks_per_channel,
+            bank_group,
+        }
+    }
+
+    fn channels(&self) -> usize {
+        self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_dimm_pool_is_the_identity_on_ranks() {
+        let p = SingleDimmPool::new(7);
+        assert_eq!(p.units(), 7);
+        assert_eq!(p.channels(), 1);
+        for u in 0..7 {
+            assert_eq!(
+                p.unit(u),
+                FilterUnit {
+                    channel: 0,
+                    rank: u,
+                    bank_group: 0
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn channel_rank_pool_ids_are_channel_major_and_invertible() {
+        let p = ChannelRankPool::new(4, 3);
+        assert_eq!(p.units(), 12);
+        assert_eq!(p.channels(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for u in 0..p.units() {
+            let fu = p.unit(u);
+            assert!(fu.channel < 4 && fu.rank < 3 && fu.bank_group == 0);
+            assert_eq!(p.id_of(fu.channel, fu.rank, fu.bank_group), u);
+            assert!(seen.insert(fu), "ids are distinct coordinates");
+        }
+        // Channel-major: consecutive ids walk ranks within a channel.
+        assert_eq!(p.unit(0).channel, 0);
+        assert_eq!(p.unit(2).channel, 0);
+        assert_eq!(p.unit(3).channel, 1);
+    }
+
+    #[test]
+    fn one_channel_pool_matches_single_dimm_pool() {
+        let a = SingleDimmPool::new(5);
+        let b = ChannelRankPool::new(1, 5);
+        assert_eq!(a.units(), b.units());
+        for u in 0..a.units() {
+            assert_eq!(a.unit(u), b.unit(u));
+        }
+    }
+
+    #[test]
+    fn bank_groups_multiply_the_pool() {
+        let p = ChannelRankPool::new(2, 2).with_bank_groups(4);
+        assert_eq!(p.units(), 16);
+        let fu = p.unit(p.id_of(1, 0, 3));
+        assert_eq!((fu.channel, fu.rank, fu.bank_group), (1, 0, 3));
+        // All 16 coordinates are distinct and round-trip.
+        for u in 0..p.units() {
+            let fu = p.unit(u);
+            assert_eq!(p.id_of(fu.channel, fu.rank, fu.bank_group), u);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn empty_pool_rejected() {
+        SingleDimmPool::new(0);
+    }
+}

@@ -88,43 +88,49 @@ impl QueryRecord {
     }
 }
 
-/// One rank's slice of the availability picture: how long it sat outside
-/// the schedulable pool and how its canary probes went.
+/// One filter unit's slice of the availability picture: how long it sat
+/// outside the schedulable pool and how its canary probes went. A unit is
+/// one entry of the serve run's [`crate::pool::FilterPool`] — on a
+/// single-DIMM pool `unit == rank` with `channel == 0`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct RankAvailability {
-    /// The rank.
+pub struct UnitAvailability {
+    /// The pool unit id.
+    pub unit: u32,
+    /// The unit's memory channel.
+    pub channel: u32,
+    /// The unit's rank within its channel.
     pub rank: u32,
     /// Total time out of the pool (quarantine entry to observed repair,
     /// or end of run for a quarantine that never repaired).
     pub downtime: Tick,
-    /// Times the rank entered quarantine.
+    /// Times the unit entered quarantine.
     pub quarantines: u64,
     /// Canary probes that completed on the device (repairs).
     pub canary_ok: u64,
-    /// Canary probes that parked (rank still dark).
+    /// Canary probes that parked (unit still dark).
     pub canary_fail: u64,
 }
 
-/// Availability metrics of one serve run: the per-rank health ledger plus
+/// Availability metrics of one serve run: the per-unit health ledger plus
 /// the engine's failure-path counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Availability {
-    /// One entry per rank, in rank order.
-    pub ranks: Vec<RankAvailability>,
-    /// Parked shards resumed on a different rank from their checkpoint.
+    /// One entry per pool unit, in unit-id order.
+    pub units: Vec<UnitAvailability>,
+    /// Parked shards resumed on a different unit from their checkpoint.
     pub migrations: u64,
     /// Shards (or aggregate jobs) that re-entered the dispatch ladder
-    /// after their rank failed mid-query.
+    /// after their unit failed mid-query.
     pub requeues: u64,
-    /// Arrivals shed only because quarantined ranks tightened the
+    /// Arrivals shed only because quarantined units tightened the
     /// admission bound below the configured queue capacity.
     pub sheds_tightened: u64,
 }
 
 impl Availability {
-    /// Sum of every rank's downtime.
+    /// Sum of every unit's downtime.
     pub fn total_downtime(&self) -> Tick {
-        self.ranks
+        self.units
             .iter()
             .fold(Tick::ZERO, |acc, r| acc + r.downtime)
     }
@@ -134,7 +140,7 @@ impl Availability {
         self.migrations > 0
             || self.requeues > 0
             || self.sheds_tightened > 0
-            || self.ranks.iter().any(|r| r.quarantines > 0)
+            || self.units.iter().any(|r| r.quarantines > 0)
     }
 }
 
@@ -147,7 +153,7 @@ pub struct ServeReport {
     pub makespan: Tick,
     /// Name of the scheduling policy that produced this report.
     pub policy: &'static str,
-    /// Per-rank downtime, migrations, requeues and canary outcomes.
+    /// Per-unit downtime, migrations, requeues and canary outcomes.
     pub availability: Availability,
 }
 
@@ -269,8 +275,62 @@ impl ServeReport {
         mean(self.records.iter().filter_map(|r| r.service()))
     }
 
-    /// Completed queries per second of makespan.
+    /// Span from the first to the last submission across every record,
+    /// shed arrivals included: the window the offered load actually
+    /// covered. `None` when fewer than two queries arrived or they all
+    /// arrived at one instant (a batch has no arrival span).
+    pub fn offered_window(&self) -> Option<Tick> {
+        let first = self.records.iter().map(|r| r.submitted).min()?;
+        let last = self.records.iter().map(|r| r.submitted).max()?;
+        (last > first).then(|| last.saturating_sub(first))
+    }
+
+    /// The accounting denominator shared by [`Self::offered_qps`] and
+    /// [`Self::throughput_qps`]: the realized arrival window, or the
+    /// makespan when the window is degenerate (a batch or a single
+    /// query). One shared denominator is the point — dividing arrivals
+    /// by one clock and completions by another is exactly the bug that
+    /// let a fully-completed, zero-shed run report throughput below its
+    /// offered load.
+    fn accounting_secs(&self) -> f64 {
+        let span = self.offered_window().unwrap_or(self.makespan);
+        span.as_ps() as f64 * 1e-12
+    }
+
+    /// Realized offered load: submitted queries per second of the
+    /// arrival window (makespan for degenerate windows). For a seeded
+    /// open-loop workload this is the *observed* rate, which can drift a
+    /// few percent from the configured `1 / mean_gap`.
+    pub fn offered_qps(&self) -> f64 {
+        let secs = self.accounting_secs();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.records.len() as f64 / secs
+    }
+
+    /// Goodput against the offered load: completed queries per second of
+    /// the same arrival window [`Self::offered_qps`] uses, so
+    /// `throughput_qps == offered_qps · completed/submitted` holds
+    /// exactly — a zero-shed run keeps up with its offered load by
+    /// construction, and `throughput_qps <= offered_qps` always. For the
+    /// service-limited capacity plateau (the saturation knee), use
+    /// [`Self::service_rate_qps`] instead.
     pub fn throughput_qps(&self) -> f64 {
+        let secs = self.accounting_secs();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed() as f64 / secs
+    }
+
+    /// Sustained service rate: completed queries per second of makespan
+    /// (admission of the first query to completion of the last,
+    /// drain included). Under heavy overload this is the capacity
+    /// plateau — the saturation-knee metric — where
+    /// [`Self::throughput_qps`] measures goodput relative to the offered
+    /// window.
+    pub fn service_rate_qps(&self) -> f64 {
         let secs = self.makespan.as_ps() as f64 * 1e-12;
         if secs <= 0.0 {
             return 0.0;
@@ -336,9 +396,11 @@ impl fmt::Display for ServeReport {
         )?;
         writeln!(
             f,
-            "  makespan {:.3} ms, throughput {:.1} q/s",
+            "  makespan {:.3} ms, offered {:.1} q/s, throughput {:.1} q/s, service rate {:.1} q/s",
             self.makespan.as_ms_f64(),
+            self.offered_qps(),
             self.throughput_qps(),
+            self.service_rate_qps(),
         )?;
         let ms = |t: Option<Tick>| t.map_or(f64::NAN, |t| t.as_ms_f64());
         writeln!(
@@ -355,13 +417,13 @@ impl fmt::Display for ServeReport {
             writeln!(
                 f,
                 "  availability: {} quarantine(s), downtime {:.3} ms, {} migration(s), {} requeue(s), {} tightened shed(s), canary {}/{} ok",
-                a.ranks.iter().map(|r| r.quarantines).sum::<u64>(),
+                a.units.iter().map(|r| r.quarantines).sum::<u64>(),
                 a.total_downtime().as_ms_f64(),
                 a.migrations,
                 a.requeues,
                 a.sheds_tightened,
-                a.ranks.iter().map(|r| r.canary_ok).sum::<u64>(),
-                a.ranks
+                a.units.iter().map(|r| r.canary_ok).sum::<u64>(),
+                a.units
                     .iter()
                     .map(|r| r.canary_ok + r.canary_fail)
                     .sum::<u64>(),
@@ -486,6 +548,80 @@ mod tests {
         for pct in [0, 1, 50, 100, u64::MAX] {
             assert_eq!(one.latency_percentile(pct), Some(Tick::from_ps(777)));
         }
+    }
+
+    #[test]
+    fn zero_shed_throughput_keeps_up_with_offered_load() {
+        // Regression: BENCH_serving.json once reported throughput_qps
+        // 5152 against offered_qps 6185 at load 0.25 with 48/48
+        // completed and 0 shed — impossible for a fully-completed run.
+        // Completions were divided by the makespan (arrival span *plus
+        // drain*) while the offered rate ignored the realized arrival
+        // span; both must share one accounting window.
+        let records: Vec<QueryRecord> = (0..48)
+            .map(|i| {
+                // Uneven (Poisson-ish) gaps, service stretching past the
+                // last arrival so the makespan includes drain.
+                let sub = u64::from(i) * 1000 + (u64::from(i) % 7) * 300;
+                record(i, sub, sub + 50, sub + 2500)
+            })
+            .collect();
+        let makespan = Tick::from_ps(
+            records
+                .iter()
+                .map(|r| r.done.unwrap().as_ps())
+                .max()
+                .unwrap(),
+        );
+        let report = ServeReport {
+            records,
+            makespan,
+            policy: "fifo",
+            availability: Availability::default(),
+        };
+        assert_eq!(report.shed(), 0);
+        assert_eq!(report.completed(), 48);
+        assert!(
+            makespan > report.offered_window().unwrap(),
+            "the scenario must include drain past the last arrival"
+        );
+        let floor = report.offered_qps() * report.completed() as f64 / report.records.len() as f64;
+        assert!(
+            report.throughput_qps() >= floor * (1.0 - 1e-9),
+            "zero-shed throughput {} must keep up with offered {} (floor {})",
+            report.throughput_qps(),
+            report.offered_qps(),
+            floor
+        );
+        assert!(
+            report.throughput_qps() <= report.offered_qps() * (1.0 + 1e-9),
+            "completions cannot outrun arrivals"
+        );
+        // The drain-including service rate stays available — and for this
+        // run it is strictly below the offered rate, which is exactly why
+        // it was the wrong numerator/denominator pair to call throughput.
+        assert!(report.service_rate_qps() < report.offered_qps());
+    }
+
+    #[test]
+    fn batch_arrivals_fall_back_to_the_makespan_window() {
+        // All arrivals at one instant: no arrival span exists, so both
+        // rates fall back to the makespan and the goodput identity
+        // throughput == offered · completed/submitted still holds.
+        let mut records: Vec<QueryRecord> = (0..4).map(|i| record(i, 0, 10, 1000)).collect();
+        records[3].mode = ExecMode::Shed;
+        records[3].started = None;
+        records[3].done = None;
+        let report = ServeReport {
+            records,
+            makespan: Tick::from_ps(1000),
+            policy: "fifo",
+            availability: Availability::default(),
+        };
+        assert_eq!(report.offered_window(), None);
+        assert!((report.offered_qps() - 4.0e12 / 1000.0).abs() < 1e-3);
+        let identity = report.offered_qps() * 3.0 / 4.0;
+        assert!((report.throughput_qps() - identity).abs() < 1e-6);
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! [`Plan`]s. This module is the bridge: it lifts servable plans into
 //! served queries so a stream of plans can be replayed through
 //! `System::serve` with the same admission/scheduling treatment as a
-//! synthetic workload.
+//! synthetic workload. Submission is pool-agnostic: the lifted workload
+//! carries no placement, so the same plan stream serves unchanged over
+//! a single DIMM's rank vector or a channels × ranks
+//! [`crate::pool::FilterPool`].
 //!
 //! # Lifting rules
 //!

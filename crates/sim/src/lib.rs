@@ -25,10 +25,12 @@
 //! Beyond the paper, [`System::serve`] runs a *stream* of select queries
 //! through the `jafar-serve` multi-tenant engine (admission control,
 //! scheduling policies, SLO-driven degradation) over this system's
-//! devices and ranks.
+//! devices and ranks, and [`cluster::ServeCluster`] widens that pool to
+//! channels × ranks over the interleaved multi-channel memory system.
 
 pub mod alloc;
 pub mod backend;
+pub mod cluster;
 pub mod config;
 pub mod energy;
 pub mod replay;
@@ -36,6 +38,7 @@ pub mod system;
 
 pub use alloc::SimAlloc;
 pub use backend::SimBackend;
+pub use cluster::{ClusterServeRun, ServeCluster};
 pub use config::SystemConfig;
 pub use energy::{HostEnergyModel, SelectEnergy};
 pub use replay::{PlacedDb, QueryReplayer, ReplayCosts};

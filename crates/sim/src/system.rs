@@ -36,7 +36,7 @@ use jafar_dram::{DramModule, FaultInjector, FaultPlan, FaultStats, PhysAddr};
 use jafar_memctl::controller::MemoryController;
 use jafar_memctl::IdleReport;
 use jafar_serve::engine::{run_serve, ServeConfig, ServeEnv};
-use jafar_serve::{SchedPolicy, ServeReport, Workload};
+use jafar_serve::{SchedPolicy, ServeReport, SingleDimmPool, Workload};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -853,9 +853,11 @@ impl System {
         // single-query paths do before their grants.
         self.mc.drain();
         self.mc.advance_cursor(cfg.start);
+        let pool = SingleDimmPool::new(nranks);
         let report = run_serve(
             ServeEnv {
-                module: self.mc.module_mut(),
+                modules: vec![self.mc.module_mut()],
+                pool: &pool,
                 devices: &mut self.devices,
                 drivers: &mut drivers,
                 replicas: &replicas,

@@ -220,7 +220,7 @@ fn check_invariants(case: &ChaosCase, report: &ServeReport, timeline: &str) {
             .count();
         assert_eq!(done_lines, 1, "query {} completion count in trace", rec.id);
     }
-    for r in &report.availability.ranks {
+    for r in &report.availability.units {
         assert!(
             r.downtime <= report.makespan,
             "rank {} downtime {} exceeds makespan {}",
@@ -292,8 +292,8 @@ fn repairing_outage_heals_through_the_canary_lifecycle() {
         assert_eq!(got, reference_positions(&values, rec.lo, rec.hi));
     }
     let a = &run.report.availability;
-    assert_eq!(a.ranks[1].quarantines, 1, "the dark rank was quarantined");
-    assert_eq!(a.ranks[1].canary_ok, 1, "a canary repaired it");
+    assert_eq!(a.units[1].quarantines, 1, "the dark rank was quarantined");
+    assert_eq!(a.units[1].canary_ok, 1, "a canary repaired it");
     assert!(a.requeues >= 1 && a.migrations >= 1);
     assert!(
         matches!(run.report.records[1].mode, ExecMode::Device { ranks: 3 }),
