@@ -12,12 +12,19 @@
 //!   window can never exceed the offered load, the exact identity whose
 //!   violation motivated the serving-report accounting fix;
 //! - the channel sweep's knee multiples are present and the 2-channel
-//!   plateau moved by at least 1.7× the single-channel one.
+//!   plateau moved by at least 1.7× the single-channel one;
+//! - the fusion sweep's knee multiple: the fused plateau sits at ≥ 1.3×
+//!   the unfused one on the saturated same-column stream;
+//! - the engine artifact's deterministic invariants: fused service rate
+//!   at least the unfused rate on the contention burst, and batched
+//!   admission processing no more events than one-at-a-time draining
+//!   (wall-clock throughput fields are checked for finiteness only —
+//!   they are machine-dependent).
 //!
-//! Usage: `bench_check [FILE...]` — defaults to `BENCH_serving.json`
-//! and `BENCH_scaling.json` in the working directory, skipping missing
-//! defaults but failing on missing explicit arguments. Exits non-zero
-//! with one line per violation.
+//! Usage: `bench_check [FILE...]` — defaults to `BENCH_serving.json`,
+//! `BENCH_scaling.json` and `BENCH_engine.json` in the working
+//! directory, skipping missing defaults but failing on missing explicit
+//! arguments. Exits non-zero with one line per violation.
 
 use jafar_bench::json::Json;
 
@@ -123,6 +130,87 @@ fn check_serving(c: &mut Check, doc: &Json) {
         }
     }
     c.finite(doc, "knee_4ch_multiple");
+    if let Some(points) = c.require(doc, "fusion_sweep").and_then(Json::arr) {
+        if points.is_empty() {
+            c.fail("`fusion_sweep` is empty".into());
+        }
+        for (i, p) in points.iter().enumerate() {
+            c.throughput_invariant(p, &format!("fusion_sweep[{i}]"));
+            for key in ["fuse_window", "service_rate_qps"] {
+                c.finite(p, key);
+            }
+        }
+    }
+    if let Some(mult) = c.finite(doc, "fused_knee_multiple") {
+        if mult < 1.3 {
+            c.fail(format!(
+                "fused knee moved only {mult}x the unfused plateau (< 1.3x)"
+            ));
+        }
+    }
+}
+
+fn check_engine(c: &mut Check, doc: &Json) {
+    for key in ["bench", "smoke", "queries", "rows"] {
+        c.require(doc, key);
+    }
+    if let Some(points) = c.require(doc, "scenarios").and_then(Json::arr) {
+        if points.is_empty() {
+            c.fail("`scenarios` is empty".into());
+        }
+        for (i, p) in points.iter().enumerate() {
+            let name = p
+                .get("name")
+                .and_then(Json::str)
+                .map_or_else(|| format!("scenarios[{i}]"), str::to_string);
+            for key in [
+                "queries",
+                "completed",
+                "shed",
+                "events",
+                "sim_makespan_ms",
+                "sim_service_rate_qps",
+                "wall_ms",
+                "events_per_sec",
+                "queries_per_sec",
+            ] {
+                if let Some(n) = c.finite(p, key) {
+                    // Wall-clock rates vary by machine but can never be
+                    // zero or negative on a run that processed events.
+                    if matches!(key, "wall_ms" | "events_per_sec" | "queries_per_sec") && n <= 0.0 {
+                        c.fail(format!("{name}: `{key}` is not positive: {n}"));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(cont) = c.require(doc, "contention") {
+        let window = c.finite(cont, "fuse_window");
+        if window.is_some_and(|w| w < 2.0) {
+            c.fail("contention run fused with a window < 2".into());
+        }
+        let unfused = c.finite(cont, "unfused_qps");
+        let fused = c.finite(cont, "fused_qps");
+        if let (Some(unfused), Some(fused)) = (unfused, fused) {
+            if fused < unfused {
+                c.fail(format!(
+                    "fused service rate {fused} q/s fell below unfused {unfused} q/s"
+                ));
+            }
+        }
+        c.finite(cont, "fused_multiple");
+    }
+    if let Some(batching) = c.require(doc, "batching") {
+        let batched = c.finite(batching, "batched_events");
+        let unbatched = c.finite(batching, "unbatched_events");
+        if let (Some(batched), Some(unbatched)) = (batched, unbatched) {
+            if batched > unbatched {
+                c.fail(format!(
+                    "batched admission processed {batched} events vs {unbatched} one-at-a-time"
+                ));
+            }
+        }
+    }
 }
 
 fn check_scaling(c: &mut Check, doc: &Json) {
@@ -155,7 +243,11 @@ fn check_scaling(c: &mut Check, doc: &Json) {
 
 fn main() {
     let explicit: Vec<String> = std::env::args().skip(1).collect();
-    let defaults = ["BENCH_serving.json", "BENCH_scaling.json"];
+    let defaults = [
+        "BENCH_serving.json",
+        "BENCH_scaling.json",
+        "BENCH_engine.json",
+    ];
     let files: Vec<(String, bool)> = if explicit.is_empty() {
         defaults.iter().map(|f| (f.to_string(), false)).collect()
     } else {
@@ -182,6 +274,7 @@ fn main() {
             Ok(doc) => match doc.get("bench").and_then(Json::str) {
                 Some("fig_serving") => check_serving(&mut c, &doc),
                 Some("fig_scaling") => check_scaling(&mut c, &doc),
+                Some("fig_engine") => check_engine(&mut c, &doc),
                 other => c.fail(format!("unknown `bench` tag: {other:?}")),
             },
         }

@@ -27,6 +27,11 @@
 //! ≥ 1.7× the single-channel plateau — while every completed query
 //! stays bit-identical to its solo baseline.
 //!
+//! A **fusion sweep** replays the same saturated load as a pure-select
+//! stream — maximal same-column contention — with the shared-scan fuse
+//! window closed (1) and open (4): the fused knee is asserted at ≥ 1.3×
+//! the unfused plateau, with results still bit-identical to solo runs.
+//!
 //! A final run repeats a moderate load under a rank-scoped stall fault
 //! with an SLO attached: the sick rank's circuit breaker opens, the
 //! rank-affinity policy steers work away from it, SLO-threatened queries
@@ -422,6 +427,72 @@ fn main() {
     );
     println!();
 
+    // Fusion sweep: the same saturated load as a *pure select* stream —
+    // maximal same-column contention, every queued query a candidate
+    // lane for the shared scan. With the fuse window open the engine
+    // folds waiting selects into the running pass as extra predicate
+    // lanes, so the saturation knee (heavy-load service-rate plateau)
+    // must move right: ≥ 1.3× the unfused plateau, while every
+    // completed query stays bit-identical to its solo baseline.
+    let fworkload = Workload::poisson(mix, cn, cgap, SEED);
+    struct FusionPoint {
+        fuse_window: usize,
+        offered: f64,
+        tput: f64,
+        service_rate: f64,
+        completed: usize,
+        shed: usize,
+        p99: f64,
+    }
+    let mut fusion_sweep: Vec<FusionPoint> = Vec::new();
+    for fuse_window in [1usize, 4] {
+        let fcfg = ServeConfig {
+            max_queue: cn,
+            fuse_window,
+            ..ServeConfig::default()
+        };
+        let mut sys = System::new(config());
+        let run = sys.serve(&values, &fworkload, SchedPolicy::RankAffinity, &fcfg);
+        let report = &run.report;
+        assert_eq!(report.completed() + report.shed(), cn);
+        for rec in &report.records {
+            if rec.done.is_some() {
+                check_record(&format!("fusion sweep (window {fuse_window})"), rec, &solo);
+            }
+        }
+        fusion_sweep.push(FusionPoint {
+            fuse_window,
+            offered: report.offered_qps(),
+            tput: report.throughput_qps(),
+            service_rate: report.service_rate_qps(),
+            completed: report.completed(),
+            shed: report.shed(),
+            p99: report.p99().map_or(f64::NAN, |t| t.as_ms_f64()),
+        });
+    }
+    let knee_unfused = fusion_sweep[0].service_rate;
+    let knee_fused = fusion_sweep[1].service_rate;
+    assert!(
+        knee_fused >= 1.3 * knee_unfused,
+        "shared-scan fusion must move the knee right: {knee_fused} q/s fused vs {knee_unfused} q/s unfused"
+    );
+    println!("# fusion sweep (saturated pure-select stream, same column):");
+    for p in &fusion_sweep {
+        println!(
+            "#   fuse_window={}: {} q/s sustained, {} done / {} shed, p99 {} ms",
+            p.fuse_window,
+            f1(p.service_rate),
+            p.completed,
+            p.shed,
+            f2(p.p99),
+        );
+    }
+    println!(
+        "#   fused knee {}x the unfused plateau — results bit-identical throughout.",
+        f2(knee_fused / knee_unfused),
+    );
+    println!();
+
     // Rank-scoped fault + SLO: the full ladder under contention. Rank 0
     // stalls every burst; its breaker opens on the first query that
     // touches it and rank affinity steers later queries away. Load is set
@@ -553,6 +624,22 @@ fn main() {
             )
         })
         .collect();
+    let fusion_points: Vec<String> = fusion_sweep
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"fuse_window\": {}, \"offered_qps\": {}, \"throughput_qps\": {}, \
+                 \"service_rate_qps\": {}, \"completed\": {}, \"shed\": {}, \"p99_ms\": {}}}",
+                p.fuse_window,
+                jnum(p.offered),
+                jnum(p.tput),
+                jnum(p.service_rate),
+                p.completed,
+                p.shed,
+                jnum(p.p99),
+            )
+        })
+        .collect();
     let a = &report.availability;
     let units_json: Vec<String> = a
         .units
@@ -577,7 +664,8 @@ fn main() {
          \"p99_heavy_ms\": {}, \"p99_ratio\": {}, \"heavy_offered_qps\": {}, \
          \"heavy_throughput_qps\": {}, \"heavy_service_rate_qps\": {}, \
          \"heavy_shed\": {shed_heavy}}},\n  \"channel_sweep\": [\n{}\n  ],\n  \
-         \"knee_2ch_multiple\": {},\n  \"knee_4ch_multiple\": {},\n  \"fault_run\": {{\n    \
+         \"knee_2ch_multiple\": {},\n  \"knee_4ch_multiple\": {},\n  \
+         \"fusion_sweep\": [\n{}\n  ],\n  \"fused_knee_multiple\": {},\n  \"fault_run\": {{\n    \
          \"completed\": {}, \"shed\": {}, \"cpu_rung\": {cpu_rung}, \"p99_ms\": {}, \
          \"deadline_misses\": {},\n    \"availability\": {{\n      \"migrations\": {}, \
          \"requeues\": {}, \"sheds_tightened\": {}, \"total_downtime_us\": {},\n      \
@@ -592,6 +680,8 @@ fn main() {
         channel_points.join(",\n"),
         jnum(knee_2ch / knee_1ch),
         jnum(knee_4ch / knee_1ch),
+        fusion_points.join(",\n"),
+        jnum(knee_fused / knee_unfused),
         report.completed(),
         report.shed(),
         jnum(report.p99().map_or(f64::NAN, |t| t.as_ms_f64())),

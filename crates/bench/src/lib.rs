@@ -14,9 +14,10 @@
 //! | `ablation_extensions` | §4 aggregation/projection/row-store NDP |
 //! | `fig_scaling` | rank-parallel scaling sweep (beyond the paper) |
 //! | `fig_serving` | served-load sweep: saturation knee + tail latency (beyond the paper) |
+//! | `fig_engine` | wall-clock engine throughput: fusion + batched admission (beyond the paper) |
 //!
-//! `fig_scaling` and `fig_serving` accept `--smoke` for a seconds-scale
-//! CI run that still executes every assertion.
+//! `fig_scaling`, `fig_serving` and `fig_engine` accept `--smoke` for a
+//! seconds-scale CI run that still executes every assertion.
 //!
 //! Micro-benches over the hot simulator paths live in `benches/` and run
 //! on the in-tree [`micro`] harness (the workspace builds offline, so it

@@ -165,14 +165,19 @@ pub enum EventKind {
     QueryAdmitted {
         /// Submission index of the query within the served workload.
         query: u32,
-        /// Queue depth right after admission.
+        /// Queue depth the admission decision observed — the depth
+        /// *before* this query was pushed, the same snapshot the
+        /// shed/admit bound was tested against. (`QueryShed` reports
+        /// the identical snapshot, so the two events are comparable.)
         depth: u32,
     },
     /// The serving engine dispatched a query onto an execution rung.
     QueryStarted {
         /// Submission index of the query within the served workload.
         query: u32,
-        /// Rung mnemonic (`"parallel"`, `"single"`, `"cpu"`).
+        /// Rung mnemonic (`"parallel"`, `"single"`, `"cpu"`, or
+        /// `"fused"` when the query shares a fused multi-predicate
+        /// scan with other queued selects on the same column).
         mode: &'static str,
         /// Operator mnemonic (`"select"`, `"count"`, `"sum"`, `"min"`,
         /// `"max"`, `"project"`).

@@ -18,7 +18,9 @@
 //! pushdown path, or `jafar-sim`'s driver which also charges the
 //! register-write and polling time) iterates pages.
 
-use crate::device::{DeviceError, JafarDevice, SelectJob, SelectRun};
+use crate::device::{
+    DeviceError, FusedSelectJob, FusedSelectRun, JafarDevice, SelectJob, SelectRun,
+};
 use crate::predicate::Predicate;
 use crate::regs::Reg;
 use jafar_common::time::Tick;
@@ -35,6 +37,10 @@ pub mod errno {
     pub const OK: i32 = 0;
     /// Operation not permitted: an NDP command targeted an unowned rank.
     pub const EPERM: i32 = 1;
+    /// Argument list too long: a fused job named zero or more than
+    /// [`crate::device::MAX_FUSED_LANES`] predicate lanes (or mismatched
+    /// predicate/output counts).
+    pub const E2BIG: i32 = 7;
     /// I/O error: uncorrectable (double-bit) ECC failure in a read burst.
     pub const EIO: i32 = 5;
     /// No such device or address: command illegal in the bank's state.
@@ -74,6 +80,7 @@ pub fn device_errno(e: DeviceError) -> i32 {
         DeviceError::LeaseExpired => errno::EKEYEXPIRED,
         DeviceError::Uncorrectable => errno::EIO,
         DeviceError::Interrupted => errno::ERESTART,
+        DeviceError::LaneOverflow => errno::E2BIG,
     }
 }
 
@@ -214,6 +221,75 @@ pub fn select_jafar(
     }
 }
 
+/// Arguments of one fused `select_jafar_fused` call: `k` predicates over
+/// one page of the column, one output bitset slice per lane.
+#[derive(Clone, Debug)]
+pub struct FusedSelectArgs {
+    /// Physical base of the page's column data.
+    pub col_data: PhysAddr,
+    /// Per-lane inclusive `(low, high)` bounds.
+    pub ranges: Vec<(i64, i64)>,
+    /// Per-lane physical bases of the page's output bitset slices.
+    pub out_bufs: Vec<PhysAddr>,
+    /// Rows in this page.
+    pub num_input_rows: u64,
+}
+
+/// Result of one fused call.
+#[derive(Clone, Debug)]
+pub struct FusedSelectOutcome {
+    /// 0 on success, else an `errno` value.
+    pub errno: i32,
+    /// Per-lane rows that passed.
+    pub num_output_rows: Vec<u64>,
+    /// Device-side timing, when the call succeeded.
+    pub run: Option<FusedSelectRun>,
+}
+
+/// The fused entry point: one register-programming pass per lane (the
+/// lane-indexed register window), one device pass over the page for all
+/// lanes. The driver charges the same per-invocation `setup` cost as the
+/// solo call — the lane registers are written in the same write-combined
+/// MMIO burst.
+pub fn select_jafar_fused(
+    device: &mut JafarDevice,
+    module: &mut DramModule,
+    args: &FusedSelectArgs,
+    at: Tick,
+) -> FusedSelectOutcome {
+    let regs = device.regs_mut();
+    regs.write(Reg::ColAddr, args.col_data.0);
+    regs.write(Reg::NumRows, args.num_input_rows);
+    for (&(lo, hi), out) in args.ranges.iter().zip(&args.out_bufs) {
+        regs.write(Reg::RangeLo, lo as u64);
+        regs.write(Reg::RangeHi, hi as u64);
+        regs.write(Reg::OutAddr, out.0);
+    }
+
+    let job = FusedSelectJob {
+        col_addr: args.col_data,
+        rows: args.num_input_rows,
+        predicates: args
+            .ranges
+            .iter()
+            .map(|&(lo, hi)| Predicate::Between(lo, hi))
+            .collect(),
+        out_addrs: args.out_bufs.clone(),
+    };
+    match device.run_select_fused(module, &job, at) {
+        Ok(run) => FusedSelectOutcome {
+            errno: errno::OK,
+            num_output_rows: run.matched.clone(),
+            run: Some(run),
+        },
+        Err(e) => FusedSelectOutcome {
+            errno: device_errno(e),
+            num_output_rows: vec![],
+            run: None,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +418,7 @@ mod tests {
             DeviceError::LeaseExpired,
             DeviceError::Uncorrectable,
             DeviceError::Interrupted,
+            DeviceError::LaneOverflow,
         ];
         let issue = [
             IssueError::RankOwnedByNdp,

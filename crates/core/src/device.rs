@@ -81,7 +81,22 @@ pub enum DeviceError {
     /// refresh). The output region may be partially written; retrying the
     /// page is safe.
     Interrupted,
+    /// A fused job named zero predicates, more than
+    /// [`MAX_FUSED_LANES`], or mismatched predicate/output counts. The
+    /// comparator array is a fixed hardware resource; the host must split
+    /// wider batches itself.
+    LaneOverflow,
 }
+
+/// Ceiling on fused predicate lanes per pass.
+///
+/// The fused datapath provisions one comparator lane per word of the
+/// 64-byte burst it is already latching, so up to eight range predicates
+/// evaluate against each streamed word in the same device cycle — the
+/// Taurus/Farview-style shared-scan extension. Beyond eight lanes the
+/// comparator array would need another register file port; the host
+/// splits wider batches instead.
+pub const MAX_FUSED_LANES: usize = 8;
 
 /// One select invocation (one page worth, in the Figure-2 API).
 #[derive(Clone, Copy, Debug)]
@@ -94,6 +109,39 @@ pub struct SelectJob {
     pub predicate: Predicate,
     /// 64-byte-aligned base of the output bitset region.
     pub out_addr: PhysAddr,
+}
+
+/// One fused select invocation: `k` range predicates evaluated against
+/// the *same* column stream in a single pass, each lane filling its own
+/// bitset region (1 ≤ k ≤ [`MAX_FUSED_LANES`]).
+#[derive(Clone, Debug)]
+pub struct FusedSelectJob {
+    /// 64-byte-aligned base of the packed `i64` column segment.
+    pub col_addr: PhysAddr,
+    /// Rows in this segment.
+    pub rows: u64,
+    /// Per-lane filter predicates.
+    pub predicates: Vec<Predicate>,
+    /// Per-lane 64-byte-aligned bases of the output bitset regions. Must
+    /// be the same length as `predicates` and on the column's rank.
+    pub out_addrs: Vec<PhysAddr>,
+}
+
+/// Outcome and timing of one fused select invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FusedSelectRun {
+    /// First device activity.
+    pub start: Tick,
+    /// Filter complete, all writebacks issued, STATUS = DONE.
+    pub end: Tick,
+    /// Per-lane rows that passed the filter.
+    pub matched: Vec<u64>,
+    /// Input bursts read from DRAM (the column is streamed once).
+    pub bursts_read: u64,
+    /// Output bursts written to DRAM across all lanes.
+    pub bursts_written: u64,
+    /// Time the datapath sat waiting for DRAM data.
+    pub dram_wait: Tick,
 }
 
 /// Outcome and timing of one select invocation.
@@ -379,6 +427,188 @@ impl JafarDevice {
         })
     }
 
+    fn validate_fused(
+        &self,
+        module: &DramModule,
+        job: &FusedSelectJob,
+        start: Tick,
+    ) -> Result<u32, DeviceError> {
+        let k = job.predicates.len();
+        if k == 0 || k > MAX_FUSED_LANES || job.out_addrs.len() != k {
+            return Err(DeviceError::LaneOverflow);
+        }
+        if job.col_addr.block_offset() != 0 || job.out_addrs.iter().any(|a| a.block_offset() != 0) {
+            return Err(DeviceError::Misaligned);
+        }
+        let rank = module.decoder().decode(job.col_addr).rank;
+        if job.rows > 0 {
+            let last_in = PhysAddr(job.col_addr.0 + (job.rows - 1) * 8);
+            let out_bytes = job.rows.div_ceil(8);
+            if module.decoder().decode(last_in).rank != rank {
+                return Err(DeviceError::SpansRanks);
+            }
+            for out in &job.out_addrs {
+                let last_out = PhysAddr(out.0 + out_bytes.saturating_sub(1));
+                for probe in [*out, last_out] {
+                    if module.decoder().decode(probe).rank != rank {
+                        return Err(DeviceError::SpansRanks);
+                    }
+                }
+            }
+        }
+        if !module.rank_owned_by_ndp(rank) {
+            return Err(DeviceError::NotOwned);
+        }
+        if start >= module.ndp_deadline(rank) {
+            return Err(DeviceError::LeaseExpired);
+        }
+        Ok(rank)
+    }
+
+    /// Executes one *fused* select job: the column is streamed from DRAM
+    /// exactly once and every word is evaluated against all `k` predicate
+    /// lanes in the same device cycle, each lane accumulating into its own
+    /// output buffer and draining to its own bitset region. Per-word time
+    /// is unchanged from [`Self::run_select`] — the comparator lanes run
+    /// in parallel — so one pass serves `k` queries for one scan's worth
+    /// of DRAM traffic and datapath time.
+    ///
+    /// Each lane's bitset bytes are byte-identical to a solo
+    /// [`Self::run_select`] of the same predicate over the same segment:
+    /// the lanes push through the same [`FixedBitBuf`] drain cadence and
+    /// the same line-split writeback path, only the wall-clock stamps of
+    /// the writebacks differ.
+    ///
+    /// # Errors
+    /// Returns a [`DeviceError`] (and latches STATUS.ERROR) without
+    /// touching DRAM if the job is invalid.
+    pub fn run_select_fused(
+        &mut self,
+        module: &mut DramModule,
+        job: &FusedSelectJob,
+        start: Tick,
+    ) -> Result<FusedSelectRun, DeviceError> {
+        let _rank = self.validate_fused(module, job, start).inspect_err(|_| {
+            self.regs.set_error();
+        })?;
+        let k = job.predicates.len();
+        self.regs.set_busy();
+        self.tracer.emit(
+            start,
+            EventKind::AccelStage {
+                stage: "select-fused-start",
+                page: job.col_addr.0,
+            },
+        );
+        let bounds: Vec<(i64, i64)> = job.predicates.iter().map(|p| p.bounds()).collect();
+        let t = *module.timing();
+        let cas_pipeline = t.cl + t.t_burst;
+
+        let mut out_bufs: Vec<FixedBitBuf> = (0..k)
+            .map(|_| FixedBitBuf::new(self.config.out_buf_bits))
+            .collect();
+        let mut out_cursors: Vec<u64> = job.out_addrs.iter().map(|a| a.0).collect();
+        let mut issue_cursor = start;
+        let mut proc_free = start;
+        let mut dram_wait = Tick::ZERO;
+        let mut matched = vec![0u64; k];
+        let mut bursts_read = 0u64;
+        let mut bursts_written = 0u64;
+
+        let bursts_per_row = module.geometry().bursts_per_row() as u64;
+        let total_bursts = job.rows.div_ceil(8);
+        for burst in 0..total_bursts {
+            let addr = PhysAddr(job.col_addr.0 + burst * 64);
+            // Same absolute-block row lookahead as the solo path.
+            let abs_block = job.col_addr.0 / 64 + burst;
+            if burst == 0 || abs_block.is_multiple_of(bursts_per_row) {
+                let next_block = (abs_block / bursts_per_row + 1) * bursts_per_row;
+                let next_burst = next_block - job.col_addr.0 / 64;
+                if next_burst < total_bursts {
+                    preopen_row(module, PhysAddr(next_block * 64), issue_cursor);
+                }
+            }
+            let access = match module.serve_addr(addr, false, Requester::Ndp, issue_cursor, None) {
+                Ok(a) => a,
+                Err(e) => {
+                    self.regs.set_error();
+                    return Err(match e {
+                        IssueError::NdpWithoutOwnership => DeviceError::NotOwned,
+                        IssueError::Uncorrectable => DeviceError::Uncorrectable,
+                        _ => DeviceError::Interrupted,
+                    });
+                }
+            };
+            bursts_read += 1;
+            let cas_at = access.data_ready.saturating_sub(cas_pipeline);
+            issue_cursor = cas_at.max(issue_cursor) + t.bus_clock.period();
+
+            let data = access.data.expect("read returns data");
+            let ready = access.data_ready;
+            if ready > proc_free {
+                dram_wait += ready - proc_free;
+                proc_free = ready;
+            }
+            let words = (job.rows - burst * 8).min(8);
+            for w in 0..words {
+                let off = (w * 8) as usize;
+                let v = i64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"));
+                for lane in 0..k {
+                    let (lo, hi) = bounds[lane];
+                    let hit = lo <= v && v <= hi;
+                    matched[lane] += u64::from(hit);
+                    out_bufs[lane].push(hit);
+                    if out_bufs[lane].is_full() {
+                        let bytes = out_bufs[lane].drain_bytes();
+                        out_cursors[lane] = self.write_bitset_chunk(
+                            module,
+                            out_cursors[lane],
+                            &bytes,
+                            proc_free,
+                            &mut bursts_written,
+                        )?;
+                    }
+                }
+            }
+            proc_free += Tick::from_ps(words * self.ps_per_word);
+        }
+        // Final partial flush per lane.
+        for lane in 0..k {
+            if !out_bufs[lane].is_empty() {
+                let bytes = out_bufs[lane].drain_bytes();
+                self.write_bitset_chunk(
+                    module,
+                    out_cursors[lane],
+                    &bytes,
+                    proc_free,
+                    &mut bursts_written,
+                )?;
+            }
+        }
+
+        let total_matched: u64 = matched.iter().sum();
+        self.regs.set_done(total_matched);
+        self.tracer.emit(
+            proc_free,
+            EventKind::AccelStage {
+                stage: "select-fused-done",
+                page: job.col_addr.0,
+            },
+        );
+        self.stats.jobs.inc();
+        self.stats.words.add(job.rows);
+        self.stats.bursts_read.add(bursts_read);
+        self.stats.bursts_written.add(bursts_written);
+        Ok(FusedSelectRun {
+            start,
+            end: proc_free,
+            matched,
+            bursts_read,
+            bursts_written,
+            dram_wait,
+        })
+    }
+
     /// Writes a drained output-buffer chunk back to DRAM as whole bursts.
     /// Chunks are split on 64-byte line boundaries *relative to the
     /// cursor*: a partial line (cursor mid-burst, or a short tail) is
@@ -635,6 +865,125 @@ mod tests {
             got, expect,
             "device bitset must be bit-identical to the CPU reference"
         );
+    }
+
+    fn fused_job(rows: u64, preds: &[(i64, i64)]) -> FusedSelectJob {
+        FusedSelectJob {
+            col_addr: PhysAddr(0),
+            rows,
+            predicates: preds
+                .iter()
+                .map(|&(lo, hi)| Predicate::Between(lo, hi))
+                .collect(),
+            out_addrs: (0..preds.len())
+                .map(|lane| PhysAddr(128 * 1024 + lane as u64 * 4096))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fused_lanes_are_byte_identical_to_solo_runs() {
+        let rows = 2000u64;
+        let mut rng = SplitMix64::new(0xF05E);
+        let values: Vec<i64> = (0..rows)
+            .map(|_| rng.next_range_inclusive(0, 999))
+            .collect();
+        let preds = [(0, 199), (100, 499), (500, 500), (-5, -1), (0, 999)];
+        let nbytes = (rows as usize).div_ceil(8);
+
+        // Solo baselines, each on a fresh module.
+        let mut solo: Vec<(Vec<u8>, u64)> = Vec::new();
+        for &(lo, hi) in &preds {
+            let (mut m, t0) = owned_module();
+            put_column(&mut m, 0, &values);
+            let mut d = JafarDevice::paper_default();
+            let run = d.run_select(&mut m, job(rows, lo, hi), t0).unwrap();
+            let mut bytes = vec![0u8; nbytes];
+            m.data().read(PhysAddr(128 * 1024), &mut bytes);
+            solo.push((bytes, run.matched));
+        }
+
+        let (mut m, t0) = owned_module();
+        put_column(&mut m, 0, &values);
+        let mut d = JafarDevice::paper_default();
+        let fj = fused_job(rows, &preds);
+        let run = d.run_select_fused(&mut m, &fj, t0).unwrap();
+        assert_eq!(run.matched.len(), preds.len());
+        for (lane, (bytes, matched)) in solo.iter().enumerate() {
+            assert_eq!(run.matched[lane], *matched, "lane {lane} count");
+            let mut got = vec![0u8; nbytes];
+            m.data().read(fj.out_addrs[lane], &mut got);
+            assert_eq!(&got, bytes, "lane {lane} bitset bytes");
+        }
+    }
+
+    #[test]
+    fn fused_pass_costs_one_scan() {
+        // One fused pass streams the column once: same input bursts as a
+        // single solo select. The span runs somewhat longer than solo —
+        // k lanes drain k output buffers into k distinct rows, and those
+        // writebacks contend for banks the solo run never touches — but
+        // stays far under the k solo scans it replaces.
+        let rows = 4096u64;
+        let values: Vec<i64> = (0..rows as i64).collect();
+        let (mut m, t0) = owned_module();
+        put_column(&mut m, 0, &values);
+        let mut d = JafarDevice::paper_default();
+        let solo = d.run_select(&mut m, job(rows, 0, 1999), t0).unwrap();
+
+        let (mut m2, t0b) = owned_module();
+        put_column(&mut m2, 0, &values);
+        let mut d2 = JafarDevice::paper_default();
+        let preds = [(0, 1999), (1000, 2999), (0, 4095), (-1, -1)];
+        let fused = d2
+            .run_select_fused(&mut m2, &fused_job(rows, &preds), t0b)
+            .unwrap();
+        assert_eq!(
+            fused.bursts_read, solo.bursts_read,
+            "the column streams once"
+        );
+        let solo_span = (solo.end - solo.start).as_ps() as f64;
+        let fused_span = (fused.end - fused.start).as_ps() as f64;
+        assert!(
+            fused_span <= solo_span * 1.5,
+            "fused span {fused_span} ps must stay near one solo scan ({solo_span} ps)"
+        );
+        assert!(
+            fused_span < solo_span * preds.len() as f64 / 2.0,
+            "fused span {fused_span} ps must beat the {} solo scans it replaces",
+            preds.len()
+        );
+    }
+
+    #[test]
+    fn fused_lane_overflow_rejected() {
+        let (mut m, t0) = owned_module();
+        let mut d = JafarDevice::paper_default();
+        // Zero lanes.
+        let empty = FusedSelectJob {
+            col_addr: PhysAddr(0),
+            rows: 8,
+            predicates: vec![],
+            out_addrs: vec![],
+        };
+        assert_eq!(
+            d.run_select_fused(&mut m, &empty, t0),
+            Err(DeviceError::LaneOverflow)
+        );
+        // Nine lanes.
+        let preds: Vec<(i64, i64)> = (0..9).map(|i| (0, i)).collect();
+        assert_eq!(
+            d.run_select_fused(&mut m, &fused_job(8, &preds), t0),
+            Err(DeviceError::LaneOverflow)
+        );
+        // Mismatched predicate/output counts.
+        let mut lopsided = fused_job(8, &[(0, 1), (2, 3)]);
+        lopsided.out_addrs.pop();
+        assert_eq!(
+            d.run_select_fused(&mut m, &lopsided, t0),
+            Err(DeviceError::LaneOverflow)
+        );
+        assert!(d.regs().errored());
     }
 
     #[test]

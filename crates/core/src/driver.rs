@@ -34,7 +34,9 @@
 //! bare per-page loop (`jafar-sim`'s `run_select_jafar`).
 
 use crate::aggregate::{AggOp, AggregateJob};
-use crate::api::{errno, issue_errno, select_jafar, DriverCosts, SelectArgs};
+use crate::api::{
+    errno, issue_errno, select_jafar, select_jafar_fused, DriverCosts, FusedSelectArgs, SelectArgs,
+};
 use crate::device::{DeviceError, JafarDevice};
 use crate::ownership::{grant_ownership_for, release_ownership, renew_lease, Lease};
 use crate::project::ProjectJob;
@@ -183,6 +185,38 @@ pub struct SelectRequest {
     pub out_addr: PhysAddr,
 }
 
+/// One full-column *fused* select request: `k` range predicates over the
+/// same column, each with its own output bitset region
+/// (1 ≤ k ≤ [`crate::device::MAX_FUSED_LANES`]).
+#[derive(Clone, Debug)]
+pub struct FusedSelectRequest {
+    /// 64-byte-aligned base of the packed `i64` column.
+    pub col_addr: PhysAddr,
+    /// Rows in the column.
+    pub rows: u64,
+    /// Per-lane inclusive `(lo, hi)` bounds.
+    pub preds: Vec<(i64, i64)>,
+    /// Per-lane 64-byte-aligned bases of the output bitsets.
+    pub out_addrs: Vec<PhysAddr>,
+}
+
+/// Outcome of one resilient fused run.
+#[derive(Clone, Debug)]
+pub struct FusedDriverRun {
+    /// End of the run (ownership released or final fallback write done).
+    pub end: Tick,
+    /// Per-lane matching rows.
+    pub matched: Vec<u64>,
+    /// Pages processed (the column is paged once for all lanes).
+    pub pages: u64,
+    /// CPU time burned spin-waiting on device completions.
+    pub cpu_wait: Tick,
+    /// Time inside device page runs (successful invocations only).
+    pub device: Tick,
+    /// Host driver time: setup, completion discovery, backoff waits.
+    pub driver: Tick,
+}
+
 /// Outcome of one resilient run.
 #[derive(Clone, Copy, Debug)]
 pub struct DriverRun {
@@ -299,6 +333,82 @@ impl SelectSession {
     pub fn into_run(self) -> DriverRun {
         assert!(self.done, "session still has pages to run");
         DriverRun {
+            end: self.t,
+            matched: self.matched,
+            pages: self.pages,
+            cpu_wait: self.cpu_wait,
+            device: self.device_time,
+            driver: self.driver_time,
+        }
+    }
+}
+
+/// A fused select in progress, steppable one page at a time — the
+/// `k`-lane sibling of [`SelectSession`]. One page step streams the page
+/// once and advances every lane together; parking freezes all `k` lanes
+/// at the same page boundary, so a migration salvages `k` bitset
+/// prefixes of identical length.
+pub struct FusedSession {
+    req: FusedSelectRequest,
+    rank: u32,
+    row: u64,
+    t: Tick,
+    matched: Vec<u64>,
+    pages: u64,
+    cpu_wait: Tick,
+    device_time: Tick,
+    driver_time: Tick,
+    done: bool,
+    parked: bool,
+}
+
+impl FusedSession {
+    /// The session's simulated clock.
+    pub fn cursor(&self) -> Tick {
+        self.t
+    }
+
+    /// True once the final page completed and the lease was released.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// True when a fail-fast step parked the session at a page boundary
+    /// (see [`SelectSession::is_parked`]): all `k` lanes are frozen at
+    /// [`FusedSession::next_row`] rows complete.
+    pub fn is_parked(&self) -> bool {
+        self.parked
+    }
+
+    /// Per-lane matches banked so far (complete up to
+    /// [`FusedSession::next_row`]).
+    pub fn matched(&self) -> &[u64] {
+        &self.matched
+    }
+
+    /// The rank this session's column lives on.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// The next unprocessed row (page-granular progress, shared by every
+    /// lane).
+    pub fn next_row(&self) -> u64 {
+        self.row
+    }
+
+    /// Number of fused predicate lanes.
+    pub fn lanes(&self) -> usize {
+        self.req.preds.len()
+    }
+
+    /// Folds the finished session into a [`FusedDriverRun`].
+    ///
+    /// # Panics
+    /// Panics if the session is not done yet.
+    pub fn into_run(self) -> FusedDriverRun {
+        assert!(self.done, "fused session still has pages to run");
+        FusedDriverRun {
             end: self.t,
             matched: self.matched,
             pages: self.pages,
@@ -470,6 +580,257 @@ impl ResilientDriver {
         self.step_page_inner(device, module, session, true);
     }
 
+    /// Runs a full fused select, page by page, recovering from injected
+    /// faults as configured: the `k`-lane sibling of
+    /// [`ResilientDriver::run_select`]. Every lane's bitset at its
+    /// `out_addr` equals the software reference — and is byte-identical
+    /// to `k` solo [`ResilientDriver::run_select`] runs of the same
+    /// predicates — whichever rung produced each page.
+    pub fn run_select_fused(
+        &mut self,
+        device: &mut JafarDevice,
+        module: &mut DramModule,
+        req: FusedSelectRequest,
+        start: Tick,
+    ) -> FusedDriverRun {
+        let mut session = self.start_fused_session(module, req, start);
+        while !session.is_done() {
+            self.step_fused_page(device, module, &mut session);
+        }
+        session.into_run()
+    }
+
+    /// Opens a steppable fused session for `req`.
+    pub fn start_fused_session(
+        &self,
+        module: &DramModule,
+        req: FusedSelectRequest,
+        start: Tick,
+    ) -> FusedSession {
+        let lanes = req.preds.len();
+        FusedSession {
+            rank: module.decoder().decode(req.col_addr).rank,
+            req,
+            row: 0,
+            t: start,
+            matched: vec![0; lanes],
+            pages: 0,
+            cpu_wait: Tick::ZERO,
+            device_time: Tick::ZERO,
+            driver_time: Tick::ZERO,
+            done: false,
+            parked: false,
+        }
+    }
+
+    /// Reopens a fused session that a previous rank left parked: the
+    /// first `rows_done` rows of *every* lane are complete (their bitset
+    /// prefixes salvaged by the caller) with `matched[lane]` matches
+    /// banked, and this driver's rank continues from that shared page
+    /// boundary at `start` under a fresh lease. Time accounting restarts
+    /// at zero, as in [`ResilientDriver::resume_session`].
+    pub fn resume_fused_session(
+        &self,
+        module: &DramModule,
+        req: FusedSelectRequest,
+        rows_done: u64,
+        matched: Vec<u64>,
+        start: Tick,
+    ) -> FusedSession {
+        debug_assert_eq!(matched.len(), req.preds.len());
+        FusedSession {
+            rank: module.decoder().decode(req.col_addr).rank,
+            req,
+            row: rows_done,
+            t: start,
+            matched,
+            pages: 0,
+            cpu_wait: Tick::ZERO,
+            device_time: Tick::ZERO,
+            driver_time: Tick::ZERO,
+            done: false,
+            parked: false,
+        }
+    }
+
+    /// Advances a fused session by one page (device attempt with the full
+    /// recovery ladder, or the `k`-lane CPU fallback), or — once every
+    /// page is processed — releases the lease and marks the session done.
+    pub fn step_fused_page(
+        &mut self,
+        device: &mut JafarDevice,
+        module: &mut DramModule,
+        session: &mut FusedSession,
+    ) {
+        self.step_fused_page_inner(device, module, session, false);
+    }
+
+    /// Like [`ResilientDriver::step_fused_page`], but a page that
+    /// exhausts the device ladder *parks* the session at its page
+    /// boundary — all lanes together — instead of crawling through the
+    /// CPU scan. See [`ResilientDriver::step_page_failfast`].
+    pub fn step_fused_page_failfast(
+        &mut self,
+        device: &mut JafarDevice,
+        module: &mut DramModule,
+        session: &mut FusedSession,
+    ) {
+        self.step_fused_page_inner(device, module, session, true);
+    }
+
+    fn step_fused_page_inner(
+        &mut self,
+        device: &mut JafarDevice,
+        module: &mut DramModule,
+        session: &mut FusedSession,
+        failfast: bool,
+    ) {
+        if session.done || session.parked {
+            return;
+        }
+        if session.row >= session.req.rows {
+            if self.lease.is_some() {
+                self.release_current(module, &mut session.t);
+            }
+            session.done = true;
+            return;
+        }
+        let rows_per_page = self.cfg.page_bytes / 8;
+        let page_rows = rows_per_page.min(session.req.rows - session.row);
+        let args = FusedSelectArgs {
+            col_data: PhysAddr(session.req.col_addr.0 + session.row * 8),
+            ranges: session.req.preds.clone(),
+            out_bufs: session
+                .req
+                .out_addrs
+                .iter()
+                .map(|a| PhysAddr(a.0 + session.row / 8))
+                .collect(),
+            num_input_rows: page_rows,
+        };
+        self.stats.pages.inc();
+        let per_lane = if self.breaker_open {
+            None
+        } else {
+            self.run_page_ladder(
+                module,
+                session.rank,
+                page_rows,
+                args.col_data.0,
+                &mut session.t,
+                &mut session.cpu_wait,
+                &mut session.device_time,
+                &mut session.driver_time,
+                |m, at| {
+                    let out = select_jafar_fused(device, m, &args, at);
+                    let run = out.run.as_ref().map(|r| (r.end, r.matched.clone()));
+                    (out.errno, run)
+                },
+            )
+        };
+        match per_lane {
+            Some(counts) => {
+                for (banked, n) in session.matched.iter_mut().zip(&counts) {
+                    *banked += n;
+                }
+                self.stats.pages_jafar.inc();
+                self.consecutive_failures = 0;
+            }
+            None => {
+                if !self.breaker_open {
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures >= self.cfg.breaker_threshold {
+                        self.breaker_open = true;
+                        self.stats.breaker_trips.inc();
+                        self.tracer
+                            .emit(session.t, EventKind::BreakerTransition { open: true });
+                    }
+                }
+                if failfast {
+                    // Freeze at the page boundary: rows [0, session.row)
+                    // are complete in every lane and their bitset bytes
+                    // are in DRAM; the caller re-dispatches the remainder
+                    // elsewhere, salvaging one prefix per lane.
+                    session.parked = true;
+                    return;
+                }
+                self.tracer.emit(
+                    session.t,
+                    EventKind::CpuFallback {
+                        page: session.pages,
+                    },
+                );
+                let counts = self.run_fused_page_cpu(module, &args, &mut session.t);
+                for (banked, n) in session.matched.iter_mut().zip(&counts) {
+                    *banked += n;
+                }
+                self.stats.pages_cpu.inc();
+            }
+        }
+        session.row += page_rows;
+        session.pages += 1;
+    }
+
+    /// The `k`-lane CPU fallback: release the lease if held, stream the
+    /// page once over timed host reads, evaluate every predicate lane in
+    /// software and write each lane's bitset slice back — byte-identical
+    /// to what the fused device pass would have produced per lane (and
+    /// hence to `k` solo fallbacks). The CPU has no parallel comparator
+    /// array, so predicate evaluation is charged per lane.
+    fn run_fused_page_cpu(
+        &mut self,
+        module: &mut DramModule,
+        args: &FusedSelectArgs,
+        t: &mut Tick,
+    ) -> Vec<u64> {
+        if self.lease.is_some() {
+            self.release_current(module, t);
+        }
+        let k = args.ranges.len();
+        let page_rows = args.num_input_rows;
+        let bursts = page_rows.div_ceil(8);
+        let nbytes = page_rows.div_ceil(8) as usize;
+        let mut out_bytes = vec![vec![0u8; nbytes]; k];
+        let mut matched = vec![0u64; k];
+        let mut cursor = *t;
+        for b in 0..bursts {
+            let addr = PhysAddr(args.col_data.0 + b * 64);
+            let data = self.read_line(module, addr, &mut cursor);
+            let words = (page_rows - b * 8).min(8);
+            for w in 0..words {
+                let off = (w * 8) as usize;
+                let v = i64::from_le_bytes(data[off..off + 8].try_into().expect("8 bytes"));
+                for (lane, &(lo, hi)) in args.ranges.iter().enumerate() {
+                    if lo <= v && v <= hi {
+                        matched[lane] += 1;
+                        let bit = b * 8 + w;
+                        out_bytes[lane][(bit / 8) as usize] |= 1 << (bit % 8);
+                    }
+                }
+            }
+            cursor += self.cfg.cpu_word_cost * (words * k as u64);
+        }
+        // Write each lane's slice back as whole 64-byte lines (zero-padded
+        // tail), matching the device's writeback footprint exactly.
+        for (lane, bytes) in out_bytes.iter().enumerate() {
+            for (i, chunk) in bytes.chunks(64).enumerate() {
+                let mut line = [0u8; 64];
+                line[..chunk.len()].copy_from_slice(chunk);
+                let addr = PhysAddr((args.out_bufs[lane].0 + i as u64 * 64) & !63);
+                match module.serve_addr(addr, true, Requester::Host, cursor, Some(&line)) {
+                    Ok(access) => cursor = access.data_ready,
+                    Err(_) => {
+                        self.stats.degraded_lines.inc();
+                        module.data_mut().write(addr, &line);
+                        cursor += self.cfg.degraded_line_cost;
+                    }
+                }
+            }
+        }
+        *t = cursor;
+        matched
+    }
+
     fn step_page_inner(
         &mut self,
         device: &mut JafarDevice,
@@ -563,6 +924,46 @@ impl ResilientDriver {
         device_time: &mut Tick,
         driver_time: &mut Tick,
     ) -> PageVerdict {
+        let verdict = self.run_page_ladder(
+            module,
+            rank,
+            args.num_input_rows,
+            args.col_data.0,
+            t,
+            cpu_wait,
+            device_time,
+            driver_time,
+            |m, at| {
+                let out = select_jafar(device, m, args, at);
+                (out.errno, out.run.map(|r| (r.end, r.matched)))
+            },
+        );
+        match verdict {
+            Some(matched) => PageVerdict::Done(matched),
+            None => PageVerdict::GiveUp,
+        }
+    }
+
+    /// The page-granular recovery ladder shared by the solo and fused
+    /// select paths: lease upkeep (grant / renew inside the margin),
+    /// invocation through `invoke`, watchdog on the observed completion,
+    /// bounded backoff retries, errno-keyed recovery. `invoke` returns the
+    /// call's errno plus `(device_end, result)` on success; `tag`
+    /// identifies the page in trace events. `None` means the device path
+    /// is exhausted for this page.
+    #[allow(clippy::too_many_arguments)]
+    fn run_page_ladder<R>(
+        &mut self,
+        module: &mut DramModule,
+        rank: u32,
+        rows: u64,
+        tag: u64,
+        t: &mut Tick,
+        cpu_wait: &mut Tick,
+        device_time: &mut Tick,
+        driver_time: &mut Tick,
+        mut invoke: impl FnMut(&mut DramModule, Tick) -> (i32, Option<(Tick, R)>),
+    ) -> Option<R> {
         let mut attempt = 0u32;
         loop {
             // Lease upkeep: acquire if absent, renew if the remaining
@@ -589,7 +990,7 @@ impl ResilientDriver {
                             self.stats.mrs_retries.inc();
                         }
                         if !self.note_failure(&mut attempt, t, driver_time, code) {
-                            return PageVerdict::GiveUp;
+                            return None;
                         }
                         continue;
                     }
@@ -622,7 +1023,7 @@ impl ResilientDriver {
                                 self.stats.mrs_retries.inc();
                             }
                             if !self.note_failure(&mut attempt, t, driver_time, code) {
-                                return PageVerdict::GiveUp;
+                                return None;
                             }
                             continue;
                         }
@@ -631,35 +1032,30 @@ impl ResilientDriver {
             }
 
             let invoke_at = *t + self.cfg.costs.setup;
-            let outcome = select_jafar(device, module, args, invoke_at);
-            match outcome.errno {
+            let (code, run) = invoke(module, invoke_at);
+            match code {
                 x if x == errno::OK => {
-                    let run = outcome.run.expect("success carries a run");
-                    let (observed, burned) = self.cfg.costs.completion.observe(invoke_at, run.end);
-                    let budget =
-                        self.cfg.watchdog + self.cfg.watchdog_per_row * args.num_input_rows;
+                    let (end, result) = run.expect("success carries a run");
+                    let (observed, burned) = self.cfg.costs.completion.observe(invoke_at, end);
+                    let budget = self.cfg.watchdog + self.cfg.watchdog_per_row * rows;
                     let deadline = invoke_at + budget;
                     if observed > deadline {
                         // The completion never showed inside the window:
                         // the host abandons the wait at the timeout.
                         self.stats.watchdog_fires.inc();
-                        self.tracer.emit(
-                            deadline,
-                            EventKind::WatchdogFire {
-                                page: args.col_data.0,
-                            },
-                        );
+                        self.tracer
+                            .emit(deadline, EventKind::WatchdogFire { page: tag });
                         *cpu_wait += budget;
                         *t = deadline;
                         if !self.note_failure(&mut attempt, t, driver_time, errno::ETIMEDOUT) {
-                            return PageVerdict::GiveUp;
+                            return None;
                         }
                     } else {
                         *cpu_wait += burned;
-                        *device_time += run.end - invoke_at;
-                        *driver_time += observed.saturating_sub(run.end) + self.cfg.costs.setup;
-                        *t = observed.max(run.end);
-                        return PageVerdict::Done(run.matched);
+                        *device_time += end - invoke_at;
+                        *driver_time += observed.saturating_sub(end) + self.cfg.costs.setup;
+                        *t = observed.max(end);
+                        return Some(result);
                     }
                 }
                 x if x == errno::EKEYEXPIRED => {
@@ -669,7 +1065,7 @@ impl ResilientDriver {
                     self.tracer.emit(invoke_at, EventKind::LeaseExpire { rank });
                     *t = invoke_at;
                     if !self.note_failure(&mut attempt, t, driver_time, x) {
-                        return PageVerdict::GiveUp;
+                        return None;
                     }
                 }
                 x if x == errno::EACCES => {
@@ -678,7 +1074,7 @@ impl ResilientDriver {
                     self.lease = None;
                     *t = invoke_at;
                     if !self.note_failure(&mut attempt, t, driver_time, x) {
-                        return PageVerdict::GiveUp;
+                        return None;
                     }
                 }
                 x if x == errno::EIO => {
@@ -687,7 +1083,7 @@ impl ResilientDriver {
                     self.stats.uncorrectable.inc();
                     *t = invoke_at;
                     if !self.note_failure(&mut attempt, t, driver_time, x) {
-                        return PageVerdict::GiveUp;
+                        return None;
                     }
                 }
                 x if x == errno::ERESTART => {
@@ -696,13 +1092,14 @@ impl ResilientDriver {
                     // construction — the storm was consumed — so retry.
                     *t = invoke_at;
                     if !self.note_failure(&mut attempt, t, driver_time, x) {
-                        return PageVerdict::GiveUp;
+                        return None;
                     }
                 }
                 _ => {
-                    // Misalignment / rank-spanning: permanent for this
-                    // request shape; retrying cannot help.
-                    return PageVerdict::GiveUp;
+                    // Misalignment / rank-spanning / lane overflow:
+                    // permanent for this request shape; retrying cannot
+                    // help.
+                    return None;
                 }
             }
         }
@@ -1054,7 +1451,9 @@ impl ResilientDriver {
                         return Some(result);
                     }
                 }
-                Err(DeviceError::Misaligned) | Err(DeviceError::SpansRanks) => {
+                Err(DeviceError::Misaligned)
+                | Err(DeviceError::SpansRanks)
+                | Err(DeviceError::LaneOverflow) => {
                     // Permanent for this job shape; retrying cannot help.
                     return None;
                 }
@@ -1564,6 +1963,246 @@ mod tests {
             .fold(0i64, |a, &v| a.wrapping_add(v));
         assert!(out.on_device);
         assert_eq!(out.value, Some(expect));
+    }
+
+    fn fused_request(rows: u64, preds: &[(i64, i64)]) -> FusedSelectRequest {
+        FusedSelectRequest {
+            col_addr: PhysAddr(0),
+            rows,
+            preds: preds.to_vec(),
+            out_addrs: (0..preds.len())
+                .map(|lane| PhysAddr(OUT.0 + lane as u64 * 4096))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fused_run_is_byte_identical_to_solo_runs() {
+        let preds = [(100, 499), (0, 49), (500, 999), (700, 700)];
+        let rows = 2048u64;
+        // Solo baselines, each on a fresh module.
+        let mut solo: Vec<Vec<u32>> = Vec::new();
+        for &(lo, hi) in &preds {
+            let (mut m, values) = module_with_column(rows, 41);
+            let mut device = JafarDevice::paper_default();
+            let mut driver = ResilientDriver::new(ResilienceConfig::default());
+            driver.run_select(
+                &mut device,
+                &mut m,
+                SelectRequest {
+                    col_addr: PhysAddr(0),
+                    rows,
+                    lo,
+                    hi,
+                    out_addr: OUT,
+                },
+                Tick::ZERO,
+            );
+            assert_eq!(bitset_at(&m, OUT, rows), reference(&values, lo, hi));
+            solo.push(reference(&values, lo, hi));
+        }
+
+        let (mut m, _) = module_with_column(rows, 41);
+        let mut device = JafarDevice::paper_default();
+        let mut driver = ResilientDriver::new(ResilienceConfig::default());
+        let req = fused_request(rows, &preds);
+        let run = driver.run_select_fused(&mut device, &mut m, req.clone(), Tick::ZERO);
+        assert_eq!(run.matched.len(), preds.len());
+        for (lane, expect) in solo.iter().enumerate() {
+            assert_eq!(run.matched[lane] as usize, expect.len(), "lane {lane}");
+            assert_eq!(
+                &bitset_at(&m, req.out_addrs[lane], rows),
+                expect,
+                "lane {lane} bitset"
+            );
+        }
+        let s = driver.stats();
+        assert_eq!(s.recovery_total(), 0, "no faults, no recovery");
+        assert_eq!(
+            s.pages_jafar.get(),
+            run.pages,
+            "one paged pass for all lanes"
+        );
+        assert!(!m.rank_owned_by_ndp(0), "lease released at the end");
+    }
+
+    #[test]
+    fn fused_cpu_fallback_reproduces_device_bytes_per_lane() {
+        let preds = [(100, 499), (0, 49), (500, 999)];
+        let rows = 2048u64;
+        let (mut m, values) = module_with_column(rows, 42);
+        // Stall every burst from page 2 onward; the remaining pages crawl
+        // through the k-lane CPU fallback and must still land the exact
+        // solo bytes in every lane.
+        m.set_fault_injector(Some(FaultInjector::new(FaultPlan {
+            stall_burst_range: Some((128, u64::MAX)),
+            ..FaultPlan::none(0)
+        })));
+        let mut device = JafarDevice::paper_default();
+        let mut driver = ResilientDriver::new(ResilienceConfig {
+            max_retries: 1,
+            breaker_threshold: 1,
+            ..ResilienceConfig::default()
+        });
+        let req = fused_request(rows, &preds);
+        let run = driver.run_select_fused(&mut device, &mut m, req.clone(), Tick::ZERO);
+        for (lane, &(lo, hi)) in preds.iter().enumerate() {
+            let expect = reference(&values, lo, hi);
+            assert_eq!(run.matched[lane] as usize, expect.len(), "lane {lane}");
+            assert_eq!(
+                bitset_at(&m, req.out_addrs[lane], rows),
+                expect,
+                "lane {lane} fallback bytes"
+            );
+        }
+        let s = driver.stats();
+        assert!(s.watchdog_fires.get() >= 1);
+        assert!(s.pages_cpu.get() >= 1, "fallback finished the fused run");
+    }
+
+    #[test]
+    fn parked_fused_session_resumes_all_lanes_bit_identically() {
+        let preds = [(100, 499), (0, 249)];
+        let rows = 2048u64;
+        let (mut m, values) = module_with_column(rows, 43);
+        let mut device = JafarDevice::paper_default();
+        let mut sick = ResilientDriver::new(ResilienceConfig {
+            max_retries: 1,
+            breaker_threshold: 1,
+            ..ResilienceConfig::default()
+        });
+        let req = fused_request(rows, &preds);
+        let mut session = sick.start_fused_session(&m, req.clone(), Tick::ZERO);
+        sick.step_fused_page_failfast(&mut device, &mut m, &mut session);
+        assert!(!session.is_parked());
+        m.set_fault_injector(Some(FaultInjector::new(FaultPlan::none(0).with_outage(
+            0,
+            Tick::ZERO,
+            Tick::MAX,
+        ))));
+        sick.step_fused_page_failfast(&mut device, &mut m, &mut session);
+        assert!(session.is_parked(), "dark rank parks every lane together");
+        assert_eq!(session.next_row(), 512, "one clean page before the outage");
+        let banked = session.matched().to_vec();
+        assert_eq!(banked.len(), 2);
+
+        m.set_fault_injector(None);
+        let healthy_driver = ResilientDriver::new(ResilienceConfig::default());
+        let mut healthy = healthy_driver;
+        let mut resumed =
+            healthy.resume_fused_session(&m, req.clone(), 512, banked, session.cursor());
+        while !resumed.is_done() {
+            healthy.step_fused_page(&mut device, &mut m, &mut resumed);
+        }
+        let run = resumed.into_run();
+        for (lane, &(lo, hi)) in preds.iter().enumerate() {
+            let expect = reference(&values, lo, hi);
+            assert_eq!(run.matched[lane] as usize, expect.len(), "lane {lane}");
+            assert_eq!(
+                bitset_at(&m, req.out_addrs[lane], rows),
+                expect,
+                "lane {lane} resumed bytes"
+            );
+        }
+        assert_eq!(healthy.stats().pages_cpu.get(), 0, "all-device resume");
+    }
+
+    #[test]
+    fn forall_fused_lanes_match_solo_runs_even_through_outages() {
+        use jafar_common::check::forall;
+        // Seeded sweep: k ∈ 1..=MAX_FUSED_LANES random same-column
+        // predicates, fused bitsets byte-identical to k independent solo
+        // device runs — on a clean module AND through a unit-scoped
+        // outage that opens at a random instant mid-scan, where the
+        // ladder salvages what the device finished and the CPU fallback
+        // must reproduce the exact device semantics in every lane.
+        forall("fused-lane-identity", 10, |rng| {
+            let rows = 2048u64;
+            let k = rng.next_range_inclusive(1, crate::device::MAX_FUSED_LANES as i64) as usize;
+            let preds: Vec<(i64, i64)> = (0..k)
+                .map(|_| {
+                    let lo = rng.next_range_inclusive(0, 900);
+                    (lo, rng.next_range_inclusive(lo, 999))
+                })
+                .collect();
+            let seed = rng.next_u64();
+            let expect: Vec<Vec<u32>> = {
+                let (_, values) = module_with_column(rows, seed);
+                preds
+                    .iter()
+                    .map(|&(lo, hi)| reference(&values, lo, hi))
+                    .collect()
+            };
+            // Solo device baselines, one fresh module per predicate.
+            for (lane, &(lo, hi)) in preds.iter().enumerate() {
+                let (mut m, _) = module_with_column(rows, seed);
+                let mut device = JafarDevice::paper_default();
+                let mut driver = ResilientDriver::new(ResilienceConfig::default());
+                let run = driver.run_select(
+                    &mut device,
+                    &mut m,
+                    SelectRequest {
+                        col_addr: PhysAddr(0),
+                        rows,
+                        lo,
+                        hi,
+                        out_addr: OUT,
+                    },
+                    Tick::ZERO,
+                );
+                assert_eq!(run.matched as usize, expect[lane].len(), "solo lane {lane}");
+                assert_eq!(bitset_at(&m, OUT, rows), expect[lane], "solo lane {lane}");
+            }
+            let req = fused_request(rows, &preds);
+            // Clean fused pass.
+            {
+                let (mut m, _) = module_with_column(rows, seed);
+                let mut device = JafarDevice::paper_default();
+                let mut driver = ResilientDriver::new(ResilienceConfig::default());
+                let run = driver.run_select_fused(&mut device, &mut m, req.clone(), Tick::ZERO);
+                for (lane, expect) in expect.iter().enumerate() {
+                    assert_eq!(
+                        run.matched[lane] as usize,
+                        expect.len(),
+                        "clean lane {lane}"
+                    );
+                    assert_eq!(
+                        &bitset_at(&m, req.out_addrs[lane], rows),
+                        expect,
+                        "clean lane {lane} bitset"
+                    );
+                }
+            }
+            // Fused pass through a unit outage opening mid-scan.
+            {
+                let (mut m, _) = module_with_column(rows, seed);
+                let dark_from = Tick::from_ns(rng.next_range_inclusive(0, 2000) as u64);
+                m.set_fault_injector(Some(FaultInjector::new(FaultPlan::none(seed).with_outage(
+                    0,
+                    dark_from,
+                    Tick::MAX,
+                ))));
+                let mut device = JafarDevice::paper_default();
+                let mut driver = ResilientDriver::new(ResilienceConfig {
+                    max_retries: 1,
+                    breaker_threshold: 1,
+                    ..ResilienceConfig::default()
+                });
+                let run = driver.run_select_fused(&mut device, &mut m, req.clone(), Tick::ZERO);
+                for (lane, expect) in expect.iter().enumerate() {
+                    assert_eq!(
+                        run.matched[lane] as usize,
+                        expect.len(),
+                        "outage lane {lane} (dark from {dark_from})"
+                    );
+                    assert_eq!(
+                        &bitset_at(&m, req.out_addrs[lane], rows),
+                        expect,
+                        "outage lane {lane} bitset (dark from {dark_from})"
+                    );
+                }
+            }
+        });
     }
 
     #[test]

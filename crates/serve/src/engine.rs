@@ -98,8 +98,11 @@ use crate::workload::{AggFn, Arrivals, QueryOp, Workload};
 use jafar_common::obs::{EventKind, SharedTracer};
 use jafar_common::time::Tick;
 use jafar_core::aggregate::{AggOp, AggregateJob};
-use jafar_core::device::JafarDevice;
-use jafar_core::driver::{ResilienceConfig, ResilientDriver, SelectRequest, SelectSession};
+use jafar_core::device::{JafarDevice, MAX_FUSED_LANES};
+use jafar_core::driver::{
+    FusedSelectRequest, FusedSession, ResilienceConfig, ResilientDriver, SelectRequest,
+    SelectSession,
+};
 use jafar_core::interleave::aligned_chunk;
 use jafar_core::predicate::Predicate;
 use jafar_core::project::ProjectJob;
@@ -135,6 +138,22 @@ pub struct ServeConfig {
     pub resilience: ResilienceConfig,
     /// Unit health lifecycle knobs (quarantine dwell, canary shape).
     pub health: HealthConfig,
+    /// Shared-scan fusion window: when a plain select is dispatched, up
+    /// to `fuse_window - 1` more selects waiting in the queue (they all
+    /// scan the same served column) ride the same device pass as extra
+    /// predicate lanes, each materializing its own bitset. Clamped to
+    /// [`MAX_FUSED_LANES`]; `1` (the default) disables fusion and keeps
+    /// the solo dispatch path byte-for-byte. Callers sizing output
+    /// buffers must provide `fuse_window` bitset slots per unit (one
+    /// full-column bitset rounded up to a 64-byte line, per lane).
+    pub fuse_window: usize,
+    /// Drain every arrival due at an event's instant in that one event
+    /// (admitting/shedding the whole batch under the capacity-aware
+    /// bound) instead of burning one event per arrival. On: the
+    /// default. Identical decisions on fault-free runs — the batch is
+    /// processed in the same `(time, id)` order the per-arrival events
+    /// would have been.
+    pub batch_admission: bool,
     /// Simulated instant the serve run (and its first arrivals) starts.
     pub start: Tick,
 }
@@ -149,6 +168,8 @@ impl Default for ServeConfig {
             cpu_per_out_byte: Tick::from_ps(250),
             resilience: ResilienceConfig::default(),
             health: HealthConfig::default(),
+            fuse_window: 1,
+            batch_admission: true,
             start: Tick::ZERO,
         }
     }
@@ -253,14 +274,63 @@ pub struct ServeEnv<'a> {
     pub tracer: &'a SharedTracer,
 }
 
-/// One in-flight shard: which query and filter unit it belongs to and
-/// where its rows sit within the column.
+/// The steppable session driving one in-flight shard: a solo
+/// [`SelectSession`] for an unfused query, or a [`FusedSession`]
+/// evaluating one predicate lane per fused query in a single shared
+/// scan of the shard's rows.
+enum ShardSession {
+    Solo(SelectSession),
+    Fused(FusedSession),
+}
+
+impl ShardSession {
+    fn cursor(&self) -> Tick {
+        match self {
+            ShardSession::Solo(s) => s.cursor(),
+            ShardSession::Fused(s) => s.cursor(),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        match self {
+            ShardSession::Solo(s) => s.is_done(),
+            ShardSession::Fused(s) => s.is_done(),
+        }
+    }
+
+    fn is_parked(&self) -> bool {
+        match self {
+            ShardSession::Solo(s) => s.is_parked(),
+            ShardSession::Fused(s) => s.is_parked(),
+        }
+    }
+
+    fn next_row(&self) -> u64 {
+        match self {
+            ShardSession::Solo(s) => s.next_row(),
+            ShardSession::Fused(s) => s.next_row(),
+        }
+    }
+
+    /// Per-lane match counts so far — one entry for a solo shard.
+    fn matched(&self) -> Vec<u64> {
+        match self {
+            ShardSession::Solo(s) => vec![s.matched()],
+            ShardSession::Fused(s) => s.matched().to_vec(),
+        }
+    }
+}
+
+/// One in-flight shard: which queries and filter unit it belongs to and
+/// where its rows sit within the column. `qids` has one entry per
+/// predicate lane of the shard's scan — exactly one for a solo shard,
+/// up to [`MAX_FUSED_LANES`] for a fused one.
 struct ActiveShard {
-    qid: u32,
+    qids: Vec<u32>,
     unit: usize,
     off: u64,
     rows: u64,
-    session: SelectSession,
+    session: ShardSession,
 }
 
 /// Progress of a dispatched device query across its shards.
@@ -274,27 +344,28 @@ struct Inflight {
 }
 
 /// A shard frozen at its page boundary because its unit's fail-fast
-/// ladder gave up, waiting for its rescue event.
+/// ladder gave up, waiting for its rescue event. Per-lane match counts
+/// ride along (`matched[i]` belongs to `qids[i]`).
 struct ParkedShard {
-    qid: u32,
+    qids: Vec<u32>,
     from_unit: usize,
     off: u64,
     rows: u64,
     rows_done: u64,
-    matched: u64,
+    matched: Vec<u64>,
 }
 
 /// A rescued shard in the requeue rung: cursor plus the salvaged bitset
-/// prefix, ready to resume on any healthy unit (or finish on the host if
-/// none remains).
+/// prefix of every predicate lane, ready to resume on any healthy unit
+/// (or finish on the host if none remains).
 struct RescueShard {
-    qid: u32,
+    qids: Vec<u32>,
     from_unit: usize,
     off: u64,
     rows: u64,
     rows_done: u64,
-    matched: u64,
-    prefix: Vec<u8>,
+    matched: Vec<u64>,
+    prefixes: Vec<Vec<u8>>,
 }
 
 /// Event classes, in tie-break priority order at equal times: CPU
@@ -338,6 +409,7 @@ struct Engine<'a, 'e> {
     migrations: u64,
     requeues: u64,
     sheds_tightened: u64,
+    events: u64,
     host_free: Tick,
     now: Tick,
     next_spec: usize,
@@ -450,6 +522,7 @@ pub fn run_serve_checked(
         migrations: 0,
         requeues: 0,
         sheds_tightened: 0,
+        events: 0,
         host_free: cfg.start,
         now: cfg.start,
         next_spec: 0,
@@ -516,6 +589,7 @@ pub fn run_serve_checked(
         makespan,
         policy: policy.name(),
         availability,
+        events: eng.events,
     })
 }
 
@@ -529,7 +603,7 @@ impl Engine<'_, '_> {
                 .active
                 .iter()
                 .enumerate()
-                .map(|(i, s)| ((s.session.cursor(), s.qid, s.unit), i))
+                .map(|(i, s)| ((s.session.cursor(), s.qids[0], s.unit), i))
                 .min()
                 .map(|((cursor, _, _), i)| (cursor, i));
             match (min_shard, event) {
@@ -590,6 +664,7 @@ impl Engine<'_, '_> {
 
     fn process_event(&mut self, t: Tick, class: u8, payload: u32) -> Result<(), EngineInvariant> {
         self.now = t;
+        self.events += 1;
         match class {
             CLASS_CPU_DONE => {
                 self.cpu_done.pop();
@@ -598,6 +673,32 @@ impl Engine<'_, '_> {
             CLASS_ARRIVAL => {
                 self.arrivals.pop();
                 self.arrive(payload, t)?;
+                if self.cfg.batch_admission {
+                    // Batched admission: every arrival due by this
+                    // instant is admitted or shed in this one event, in
+                    // the same `(time, id)` heap order its own events
+                    // would have fired — one queue drain instead of an
+                    // event per arrival. A closed-loop re-arrival with
+                    // zero think time lands at `t` and joins the batch.
+                    while let Some(&Reverse((at, qid))) = self.arrivals.peek() {
+                        if at.max(self.now) > t {
+                            break;
+                        }
+                        // Replay fidelity: the run loop steps any shard
+                        // whose clock lags the next event before
+                        // processing it, so if a lagging shard exists
+                        // the one-at-a-time engine would interleave a
+                        // shard step here. Hand back to the loop — the
+                        // remaining arrivals fire as their own events in
+                        // the identical (time, class, id) order.
+                        let lagging = self.active.iter().any(|s| s.session.cursor() <= t);
+                        if lagging {
+                            break;
+                        }
+                        self.arrivals.pop();
+                        self.arrive(qid, t)?;
+                    }
+                }
             }
             CLASS_RESCUE => {
                 self.rescue_ev.pop();
@@ -635,6 +736,12 @@ impl Engine<'_, '_> {
         rec.submitted = t;
         rec.deadline = slo.map_or(Tick::MAX, |s| t + s);
         let bound = self.admission_bound();
+        // One pre-push depth snapshot feeds both the shed decision and
+        // the trace events: the depth the arrival *observed*. Emitting
+        // the post-push length on the admit branch (as this path once
+        // did) made the two branches disagree by one at the boundary —
+        // harmless solo, but a skew batched admission would compound.
+        let depth = self.queue.len() as u32;
         if self.queue.len() >= bound {
             if self.queue.len() < self.cfg.max_queue.max(1) {
                 // Only the tightened bound shed this arrival; the full
@@ -643,14 +750,12 @@ impl Engine<'_, '_> {
             }
             let rec = &mut self.records[qid as usize];
             rec.mode = ExecMode::Shed;
-            let depth = self.queue.len() as u32;
             self.env
                 .tracer
                 .emit(t, EventKind::QueryShed { query: qid, depth });
             self.schedule_next_client(t);
         } else {
             self.queue.push_back(qid);
-            let depth = self.queue.len() as u32;
             self.env
                 .tracer
                 .emit(t, EventKind::QueryAdmitted { query: qid, depth });
@@ -740,6 +845,29 @@ impl Engine<'_, '_> {
                 .queue
                 .remove(pick)
                 .ok_or(EngineInvariant::QueueIndexVanished)?;
+            // Shared-scan fusion: a plain select pulls more waiting
+            // selects into its device pass as extra predicate lanes —
+            // they all scan the same served column, so grouping "by
+            // column" is grouping every queued select. Co-riders join
+            // in queue order behind the policy's pick; projections keep
+            // their solo path (their chained projection passes don't
+            // fuse) and scalar aggregates their one-shot kernels.
+            let mut group = vec![qid];
+            let cap = self.cfg.fuse_window.min(MAX_FUSED_LANES);
+            if cap >= 2 && self.records[qid as usize].op == QueryOp::Select {
+                let mut i = 0;
+                while group.len() < cap && i < self.queue.len() {
+                    if self.records[self.queue[i] as usize].op == QueryOp::Select {
+                        let q = self
+                            .queue
+                            .remove(i)
+                            .ok_or(EngineInvariant::QueueIndexVanished)?;
+                        group.push(q);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
             if self.policy == SchedPolicy::RankAffinity {
                 // Cross-channel load balance folds into affinity: prefer
                 // units on the least-loaded channel, then closed breakers,
@@ -756,22 +884,36 @@ impl Engine<'_, '_> {
                     )
                 });
             }
-            self.dispatch_device(qid, &free, t);
+            self.dispatch_device(&group, &free, t);
         }
+    }
+
+    /// Byte stride between per-lane bitset slots within a unit's output
+    /// buffer: the full column's bitset rounded up to a whole 64-byte
+    /// line, so every lane's slot starts block-aligned (the device
+    /// requires it, and the CPU fallback writes whole aligned lines).
+    /// Lane 0 sits at the buffer base — solo dispatch is the one-lane
+    /// special case and its addressing is unchanged.
+    fn lane_stride(&self) -> u64 {
+        (self.env.values.len() as u64)
+            .div_ceil(8)
+            .next_multiple_of(64)
     }
 
     /// Freezes a failed shard into the parked slab and schedules its
     /// rescue event; the unit is suspect until the rescue confirms. The
-    /// unit's busy flag stays set — a dark unit frees no capacity.
+    /// unit's busy flag stays set — a dark unit frees no capacity. A
+    /// fused shard parks all its lanes as one: they share the scan, so
+    /// they share the failure.
     #[allow(clippy::too_many_arguments)]
     fn park_shard(
         &mut self,
-        qid: u32,
+        qids: Vec<u32>,
         unit: usize,
         off: u64,
         rows: u64,
         rows_done: u64,
-        matched: u64,
+        matched: Vec<u64>,
         at: Tick,
     ) {
         if self.health.mark_suspect(unit) {
@@ -792,7 +934,7 @@ impl Engine<'_, '_> {
                 self.parked.len() - 1
             });
         self.parked[slot] = Some(ParkedShard {
-            qid,
+            qids,
             from_unit: unit,
             off,
             rows,
@@ -820,33 +962,44 @@ impl Engine<'_, '_> {
     }
 
     /// The rescue event for a parked shard: quarantine the unit, salvage
-    /// the shard's completed bitset prefix functionally (the functional
-    /// store is intact on a dark unit — only the timed path is
-    /// perturbed), and push the shard onto the requeue rung.
+    /// the completed bitset prefix of *every* predicate lane functionally
+    /// (the functional store is intact on a dark unit — only the timed
+    /// path is perturbed), and push the shard onto the requeue rung.
     fn rescue(&mut self, slot: u32, t: Tick) -> Result<(), EngineInvariant> {
         let shard = self.parked[slot as usize]
             .take()
             .ok_or(EngineInvariant::MissingParkedShard { slot })?;
         self.quarantine_unit(shard.from_unit, t);
         let ch = self.env.pool.unit(shard.from_unit).channel;
-        let mut prefix = vec![0u8; shard.rows_done.div_ceil(8) as usize];
-        self.env.modules[ch].data().read(
-            PhysAddr(self.env.outs[shard.from_unit].0 + shard.off / 8),
-            &mut prefix,
-        );
+        let stride = self.lane_stride();
+        let nbytes = shard.rows_done.div_ceil(8) as usize;
+        let prefixes: Vec<Vec<u8>> = (0..shard.qids.len())
+            .map(|lane| {
+                let mut prefix = vec![0u8; nbytes];
+                self.env.modules[ch].data().read(
+                    PhysAddr(
+                        self.env.outs[shard.from_unit].0 + lane as u64 * stride + shard.off / 8,
+                    ),
+                    &mut prefix,
+                );
+                prefix
+            })
+            .collect();
+        for &qid in &shard.qids {
+            self.env
+                .tracer
+                .emit(t, EventKind::QueryRequeued { query: qid });
+        }
         self.rescue_queue.push_back(RescueShard {
-            qid: shard.qid,
+            qids: shard.qids,
             from_unit: shard.from_unit,
             off: shard.off,
             rows: shard.rows,
             rows_done: shard.rows_done,
             matched: shard.matched,
-            prefix,
+            prefixes,
         });
         self.requeues += 1;
-        self.env
-            .tracer
-            .emit(t, EventKind::QueryRequeued { query: shard.qid });
         self.try_dispatch(t)?;
         self.drain_to_host_if_stranded(t)
     }
@@ -862,33 +1015,74 @@ impl Engine<'_, '_> {
     /// into that channel's module.
     fn migrate_shard(&mut self, shard: RescueShard, u: usize, t: Tick) {
         let ch = self.env.pool.unit(u).channel;
+        let stride = self.lane_stride();
         let base = self.env.outs[u].0 + shard.off / 8;
         let mut cost = Tick::ZERO;
-        for (i, chunk) in shard.prefix.chunks(64).enumerate() {
-            let mut line = [0u8; 64];
-            line[..chunk.len()].copy_from_slice(chunk);
-            self.env.modules[ch]
-                .data_mut()
-                .write(PhysAddr(base + i as u64 * 64), &line);
-            cost += self.cfg.resilience.degraded_line_cost;
+        for (lane, prefix) in shard.prefixes.iter().enumerate() {
+            let lane_base = base + lane as u64 * stride;
+            for (i, chunk) in prefix.chunks(64).enumerate() {
+                let mut line = [0u8; 64];
+                line[..chunk.len()].copy_from_slice(chunk);
+                self.env.modules[ch]
+                    .data_mut()
+                    .write(PhysAddr(lane_base + i as u64 * 64), &line);
+                cost += self.cfg.resilience.degraded_line_cost;
+            }
         }
-        let rec = &self.records[shard.qid as usize];
-        let req = SelectRequest {
-            col_addr: PhysAddr(self.env.replicas[u].0 + shard.off * 8),
-            rows: shard.rows,
-            lo: rec.lo,
-            hi: rec.hi,
-            out_addr: PhysAddr(base),
+        let col_addr = PhysAddr(self.env.replicas[u].0 + shard.off * 8);
+        let session = if shard.qids.len() == 1 {
+            let rec = &self.records[shard.qids[0] as usize];
+            let req = SelectRequest {
+                col_addr,
+                rows: shard.rows,
+                lo: rec.lo,
+                hi: rec.hi,
+                out_addr: PhysAddr(base),
+            };
+            ShardSession::Solo(self.env.drivers[u].resume_session(
+                self.env.modules[ch],
+                req,
+                shard.rows_done,
+                shard.matched[0],
+                t + cost,
+            ))
+        } else {
+            let req = FusedSelectRequest {
+                col_addr,
+                rows: shard.rows,
+                preds: shard
+                    .qids
+                    .iter()
+                    .map(|&q| {
+                        let rec = &self.records[q as usize];
+                        (rec.lo, rec.hi)
+                    })
+                    .collect(),
+                out_addrs: (0..shard.qids.len())
+                    .map(|lane| PhysAddr(base + lane as u64 * stride))
+                    .collect(),
+            };
+            ShardSession::Fused(self.env.drivers[u].resume_fused_session(
+                self.env.modules[ch],
+                req,
+                shard.rows_done,
+                shard.matched.clone(),
+                t + cost,
+            ))
         };
-        let session = self.env.drivers[u].resume_session(
-            self.env.modules[ch],
-            req,
-            shard.rows_done,
-            shard.matched,
-            t + cost,
-        );
+        for &qid in &shard.qids {
+            self.env.tracer.emit(
+                t,
+                EventKind::ShardMigrated {
+                    query: qid,
+                    from: shard.from_unit as u32,
+                    to: u as u32,
+                    row: shard.rows_done,
+                },
+            );
+        }
         self.active.push(ActiveShard {
-            qid: shard.qid,
+            qids: shard.qids,
             unit: u,
             off: shard.off,
             rows: shard.rows,
@@ -897,15 +1091,6 @@ impl Engine<'_, '_> {
         self.unit_busy[u] = true;
         self.served_count[u] += 1;
         self.migrations += 1;
-        self.env.tracer.emit(
-            t,
-            EventKind::ShardMigrated {
-                query: shard.qid,
-                from: shard.from_unit as u32,
-                to: u as u32,
-                row: shard.rows_done,
-            },
-        );
     }
 
     /// When no schedulable unit remains, the requeue rung falls through
@@ -928,69 +1113,84 @@ impl Engine<'_, '_> {
 
     /// The requeue rung's floor: recompute the full shard functionally on
     /// the host at the degraded-scan cost, serialized on `host_free`, and
-    /// book it as the shard's completion. The salvaged prefix is ignored
-    /// — recounting the whole shard from the host copy is simpler and
-    /// byte-identical.
+    /// book it as the shard's completion. The salvaged prefixes are
+    /// ignored — recounting the whole shard from the host copy is simpler
+    /// and byte-identical. A fused shard's lanes are independent host
+    /// scans here: the host has no parallel comparator array, so each
+    /// lane pays the full degraded-scan cost in turn.
     fn host_finish_shard(&mut self, shard: RescueShard, t: Tick) -> Result<(), EngineInvariant> {
-        let begin = self.host_free.max(t);
-        let rec = &self.records[shard.qid as usize];
-        let (lo, hi, op) = (rec.lo, rec.hi, rec.op);
         let lo_idx = shard.off as usize;
         let hi_idx = (shard.off + shard.rows) as usize;
-        let slice = &self.env.values[lo_idx..hi_idx];
-        let mut matched = 0u64;
-        let mut bytes = vec![0u8; shard.rows.div_ceil(8) as usize];
-        for (i, &v) in slice.iter().enumerate() {
-            if v >= lo && v <= hi {
-                bytes[i / 8] |= 1 << (i % 8);
-                matched += 1;
+        for &qid in &shard.qids {
+            let begin = self.host_free.max(t);
+            let rec = &self.records[qid as usize];
+            let (lo, hi, op) = (rec.lo, rec.hi, rec.op);
+            let slice = &self.env.values[lo_idx..hi_idx];
+            let mut matched = 0u64;
+            let mut bytes = vec![0u8; shard.rows.div_ceil(8) as usize];
+            for (i, &v) in slice.iter().enumerate() {
+                if v >= lo && v <= hi {
+                    bytes[i / 8] |= 1 << (i % 8);
+                    matched += 1;
+                }
             }
+            let proj_part = if let QueryOp::Project { .. } = op {
+                Some((
+                    shard.off,
+                    slice
+                        .iter()
+                        .copied()
+                        .filter(|&v| v >= lo && v <= hi)
+                        .collect::<Vec<i64>>(),
+                ))
+            } else {
+                None
+            };
+            let out_bytes = match op {
+                QueryOp::Project { k } => u64::from(k.max(1)) * 8 * shard.rows,
+                _ => shard.rows.div_ceil(8),
+            };
+            let cost = self.cfg.cpu_fixed
+                + self.cfg.cpu_per_row * shard.rows
+                + self.cfg.cpu_per_out_byte * out_bytes;
+            let done = begin + cost;
+            self.host_free = done;
+            let at = (shard.off / 8) as usize;
+            let rec = &mut self.records[qid as usize];
+            rec.bitset[at..at + bytes.len()].copy_from_slice(&bytes);
+            self.complete_shard(qid, done, matched, proj_part)?;
         }
-        let proj_part = if let QueryOp::Project { .. } = op {
-            Some((
-                shard.off,
-                slice
-                    .iter()
-                    .copied()
-                    .filter(|&v| v >= lo && v <= hi)
-                    .collect::<Vec<i64>>(),
-            ))
-        } else {
-            None
-        };
-        let out_bytes = match op {
-            QueryOp::Project { k } => u64::from(k.max(1)) * 8 * shard.rows,
-            _ => shard.rows.div_ceil(8),
-        };
-        let cost = self.cfg.cpu_fixed
-            + self.cfg.cpu_per_row * shard.rows
-            + self.cfg.cpu_per_out_byte * out_bytes;
-        let done = begin + cost;
-        self.host_free = done;
-        let at = (shard.off / 8) as usize;
-        let rec = &mut self.records[shard.qid as usize];
-        rec.bitset[at..at + bytes.len()].copy_from_slice(&bytes);
-        self.complete_shard(shard.qid, done, matched, proj_part)
+        Ok(())
     }
 
-    /// Dispatches `qid` onto up to `fanout` of the `free` units (in the
-    /// policy's preference order) with the execution shape its operator
-    /// needs: selects and projections open steppable sessions, scalar
-    /// aggregates run eagerly as one-shot kernels.
-    fn dispatch_device(&mut self, qid: u32, free: &[usize], t: Tick) {
+    /// Dispatches a query group onto up to `fanout` of the `free` units
+    /// (in the policy's preference order) with the execution shape its
+    /// operator needs: selects and projections open steppable sessions,
+    /// scalar aggregates run eagerly as one-shot kernels. A group longer
+    /// than one is always a fused select batch.
+    fn dispatch_device(&mut self, qids: &[u32], free: &[usize], t: Tick) {
+        if qids.len() > 1 {
+            return self.dispatch_select(qids, free, t);
+        }
+        let qid = qids[0];
         match self.records[qid as usize].op {
-            QueryOp::Select | QueryOp::Project { .. } => self.dispatch_select(qid, free, t),
+            QueryOp::Select | QueryOp::Project { .. } => self.dispatch_select(qids, free, t),
             QueryOp::SelectCount => self.dispatch_agg(qid, free, t, AggOp::Count),
             QueryOp::SelectAgg(f) => self.dispatch_agg(qid, free, t, agg_op(f)),
         }
     }
 
     /// Shards a select (or the select pass of a projection) over the free
-    /// units and opens one session per shard.
-    fn dispatch_select(&mut self, qid: u32, free: &[usize], t: Tick) {
+    /// units and opens one session per shard. A one-query group opens the
+    /// plain solo session; a longer group opens one *fused* session per
+    /// shard, each lane's bitset landing in its own stride-separated slot
+    /// of the unit's output buffer — one scan of the shard serves every
+    /// query in the group.
+    fn dispatch_select(&mut self, qids: &[u32], free: &[usize], t: Tick) {
         let rows = self.env.values.len() as u64;
         let k = free.len().min(self.cfg.fanout.max(1)) as u64;
         let chunk = aligned_chunk(rows, k, CHUNK_ROWS);
+        let stride = self.lane_stride();
         let mut off = 0u64;
         let mut used = 0u32;
         for &u in free {
@@ -998,17 +1198,41 @@ impl Engine<'_, '_> {
                 break;
             }
             let len = chunk.min(rows - off);
-            let req = SelectRequest {
-                col_addr: PhysAddr(self.env.replicas[u].0 + off * 8),
-                rows: len,
-                lo: self.records[qid as usize].lo,
-                hi: self.records[qid as usize].hi,
-                out_addr: PhysAddr(self.env.outs[u].0 + off / 8),
-            };
             let ch = self.env.pool.unit(u).channel;
-            let session = self.env.drivers[u].start_session(self.env.modules[ch], req, t);
+            let col_addr = PhysAddr(self.env.replicas[u].0 + off * 8);
+            let session = if qids.len() == 1 {
+                let rec = &self.records[qids[0] as usize];
+                let req = SelectRequest {
+                    col_addr,
+                    rows: len,
+                    lo: rec.lo,
+                    hi: rec.hi,
+                    out_addr: PhysAddr(self.env.outs[u].0 + off / 8),
+                };
+                ShardSession::Solo(self.env.drivers[u].start_session(self.env.modules[ch], req, t))
+            } else {
+                let req = FusedSelectRequest {
+                    col_addr,
+                    rows: len,
+                    preds: qids
+                        .iter()
+                        .map(|&q| {
+                            let rec = &self.records[q as usize];
+                            (rec.lo, rec.hi)
+                        })
+                        .collect(),
+                    out_addrs: (0..qids.len())
+                        .map(|lane| PhysAddr(self.env.outs[u].0 + lane as u64 * stride + off / 8))
+                        .collect(),
+                };
+                ShardSession::Fused(self.env.drivers[u].start_fused_session(
+                    self.env.modules[ch],
+                    req,
+                    t,
+                ))
+            };
             self.active.push(ActiveShard {
-                qid,
+                qids: qids.to_vec(),
                 unit: u,
                 off,
                 rows: len,
@@ -1019,25 +1243,33 @@ impl Engine<'_, '_> {
             off += len;
             used += 1;
         }
-        self.inflight[qid as usize] = Some(Inflight {
-            remaining: used,
-            matched: 0,
-            end: Tick::ZERO,
-            proj: Vec::new(),
-        });
-        let rec = &mut self.records[qid as usize];
-        rec.started = Some(t);
-        rec.mode = ExecMode::Device { ranks: used };
-        rec.bitset = vec![0u8; rows.div_ceil(8) as usize];
-        self.env.tracer.emit(
-            t,
-            EventKind::QueryStarted {
-                query: qid,
-                mode: if used > 1 { "parallel" } else { "single" },
-                op: rec.op.name(),
-                ranks: used,
-            },
-        );
+        for &qid in qids {
+            self.inflight[qid as usize] = Some(Inflight {
+                remaining: used,
+                matched: 0,
+                end: Tick::ZERO,
+                proj: Vec::new(),
+            });
+            let rec = &mut self.records[qid as usize];
+            rec.started = Some(t);
+            rec.mode = ExecMode::Device { ranks: used };
+            rec.bitset = vec![0u8; rows.div_ceil(8) as usize];
+            self.env.tracer.emit(
+                t,
+                EventKind::QueryStarted {
+                    query: qid,
+                    mode: if qids.len() > 1 {
+                        "fused"
+                    } else if used > 1 {
+                        "parallel"
+                    } else {
+                        "single"
+                    },
+                    op: rec.op.name(),
+                    ranks: used,
+                },
+            );
+        }
     }
 
     /// Shards a scalar aggregate over the free units as eager one-shot
@@ -1165,24 +1397,32 @@ impl Engine<'_, '_> {
     fn step_shard(&mut self, idx: usize) -> Result<(), EngineInvariant> {
         let shard = &mut self.active[idx];
         let ch = self.env.pool.unit(shard.unit).channel;
-        self.env.drivers[shard.unit].step_page_failfast(
-            &mut self.env.devices[shard.unit],
-            self.env.modules[ch],
-            &mut shard.session,
-        );
+        match &mut shard.session {
+            ShardSession::Solo(session) => self.env.drivers[shard.unit].step_page_failfast(
+                &mut self.env.devices[shard.unit],
+                self.env.modules[ch],
+                session,
+            ),
+            ShardSession::Fused(session) => self.env.drivers[shard.unit].step_fused_page_failfast(
+                &mut self.env.devices[shard.unit],
+                self.env.modules[ch],
+                session,
+            ),
+        }
         if shard.session.is_parked() {
             // The unit's fail-fast ladder gave up on a page: freeze the
             // shard at its page boundary and let the rescue event (same
-            // tick, deterministic class order) requeue it.
+            // tick, deterministic class order) requeue it. A fused
+            // shard's lanes park together — per-lane match counts ride
+            // into the parked slab.
             let shard = self.active.swap_remove(idx);
-            self.park_shard(
-                shard.qid,
-                shard.unit,
-                shard.off,
-                shard.rows,
+            let (rows_done, matched, at) = (
                 shard.session.next_row(),
                 shard.session.matched(),
                 shard.session.cursor(),
+            );
+            self.park_shard(
+                shard.qids, shard.unit, shard.off, shard.rows, rows_done, matched, at,
             );
             return Ok(());
         }
@@ -1190,13 +1430,44 @@ impl Engine<'_, '_> {
             return Ok(());
         }
         let shard = self.active.swap_remove(idx);
-        let run = shard.session.into_run();
+        let session = match shard.session {
+            ShardSession::Solo(session) => session,
+            ShardSession::Fused(session) => {
+                // A finished fused shard lands k bitset slices at once:
+                // read every lane's stride-separated slot into its own
+                // query record, then book one shard completion per lane.
+                let run = session.into_run();
+                let nbytes = shard.rows.div_ceil(8) as usize;
+                let at = (shard.off / 8) as usize;
+                let stride = self.lane_stride();
+                for (lane, &qid) in shard.qids.iter().enumerate() {
+                    let rec = &mut self.records[qid as usize];
+                    self.env.modules[ch].data().read(
+                        PhysAddr(
+                            self.env.outs[shard.unit].0 + lane as u64 * stride + shard.off / 8,
+                        ),
+                        &mut rec.bitset[at..at + nbytes],
+                    );
+                    if !shard.rows.is_multiple_of(8) {
+                        rec.bitset[at + nbytes - 1] &= (1u8 << (shard.rows % 8)) - 1;
+                    }
+                }
+                self.unit_free_ev
+                    .push(Reverse((run.end.max(self.now), shard.unit as u32)));
+                for (lane, &qid) in shard.qids.iter().enumerate() {
+                    self.complete_shard(qid, run.end, run.matched[lane], None)?;
+                }
+                return Ok(());
+            }
+        };
+        let qid = shard.qids[0];
+        let run = session.into_run();
         // Pull the shard's slice of the selection vector out of DRAM now:
         // the unit is reused only after its unit-free event, which is
         // processed strictly later.
         let nbytes = shard.rows.div_ceil(8) as usize;
         let at = (shard.off / 8) as usize;
-        let rec = &mut self.records[shard.qid as usize];
+        let rec = &mut self.records[qid as usize];
         self.env.modules[ch].data().read(
             PhysAddr(self.env.outs[shard.unit].0 + shard.off / 8),
             &mut rec.bitset[at..at + nbytes],
@@ -1251,12 +1522,12 @@ impl Engine<'_, '_> {
                 // new unit and the k passes re-run there — passes are
                 // byte-identical, so re-running them all is correct.
                 self.park_shard(
-                    shard.qid,
+                    vec![qid],
                     shard.unit,
                     shard.off,
                     shard.rows,
                     shard.rows,
-                    run.matched,
+                    vec![run.matched],
                     t_fail,
                 );
                 return Ok(());
@@ -1269,7 +1540,7 @@ impl Engine<'_, '_> {
         }
         self.unit_free_ev
             .push(Reverse((shard_end.max(self.now), shard.unit as u32)));
-        self.complete_shard(shard.qid, shard_end, run.matched, proj_part)
+        self.complete_shard(qid, shard_end, run.matched, proj_part)
     }
 
     /// Books one finished shard (device or host) against its query's
@@ -2243,5 +2514,245 @@ mod tests {
             assert_eq!(a.units[u].quarantines, 0, "unit {u} undisturbed");
             assert_eq!(a.units[u].downtime, Tick::ZERO);
         }
+    }
+
+    #[test]
+    fn fused_burst_matches_solo_byte_for_byte_and_wins_the_makespan() {
+        // Four selects burst onto one rank: q0 dispatches solo, q1..q3
+        // queue behind it and — with a fuse window open — ride one fused
+        // 3-lane scan when the rank frees. The fused serve must be
+        // byte-identical to the unfused one and strictly cheaper in both
+        // wall time and engine events.
+        let workload = Workload {
+            specs: vec![
+                spec(100, 399, None),
+                spec(0, 499, None),
+                spec(250, 749, None),
+                spec(500, 999, None),
+            ],
+            arrivals: Arrivals::Open(vec![Tick::ZERO; 4]),
+            slo: None,
+        };
+        let solo = rig(1, 45).serve(&workload, SchedPolicy::Fifo, &ServeConfig::default());
+        let (tracer, ring) = SharedTracer::ring(4096);
+        let mut frig = rig(1, 45);
+        frig.tracer = tracer;
+        let fused = frig.serve(
+            &workload,
+            SchedPolicy::Fifo,
+            &ServeConfig {
+                fuse_window: 4,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(solo.completed(), 4);
+        assert_eq!(fused.completed(), 4);
+        for (s, f) in solo.records.iter().zip(&fused.records) {
+            assert_eq!(f.bitset, s.bitset, "query {} selection vector", f.id);
+            assert_eq!(f.bitset, reference_bytes(&frig.values, f.lo, f.hi));
+            assert_eq!(f.matched, s.matched);
+        }
+        // The three co-riders share one dispatch: same start, same end.
+        let fused_modes: Vec<u32> = ring
+            .borrow()
+            .events()
+            .filter_map(|e| match e.kind {
+                EventKind::QueryStarted {
+                    query,
+                    mode: "fused",
+                    ..
+                } => Some(query),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fused_modes, vec![1, 2, 3]);
+        assert_eq!(fused.records[1].started, fused.records[2].started);
+        assert_eq!(fused.records[1].started, fused.records[3].started);
+        assert_eq!(fused.records[1].done, fused.records[2].done);
+        assert_eq!(fused.records[1].done, fused.records[3].done);
+        // One fused pass beats three back-to-back solo scans.
+        assert!(
+            fused.makespan < solo.makespan,
+            "fused {} !< solo {}",
+            fused.makespan,
+            solo.makespan
+        );
+        assert!(
+            fused.events < solo.events,
+            "fewer dispatch cycles means fewer engine events ({} !< {})",
+            fused.events,
+            solo.events
+        );
+    }
+
+    #[test]
+    fn batched_admission_replays_the_one_at_a_time_engine_exactly() {
+        // Draining the whole due-arrival heap at one event must preserve
+        // the (time, class, id) total order: open Poisson and closed-loop
+        // think-time re-arrivals serve identically either way on
+        // fault-free runs.
+        let mix = PredicateMix::UniformRange {
+            min: 0,
+            max: 999,
+            width: 250,
+        };
+        let open = Workload::poisson(mix, 10, Tick::from_ns(600), 51);
+        let closed = Workload::closed(mix, 10, 3, Tick::from_us(1), 53);
+        for (name, workload) in [("open", &open), ("closed", &closed)] {
+            let batched = rig(2, 61).serve(workload, SchedPolicy::Fifo, &ServeConfig::default());
+            let one = rig(2, 61).serve(
+                workload,
+                SchedPolicy::Fifo,
+                &ServeConfig {
+                    batch_admission: false,
+                    ..ServeConfig::default()
+                },
+            );
+            assert_eq!(batched.records, one.records, "{name} workload");
+            assert_eq!(batched.makespan, one.makespan, "{name} workload");
+            assert_eq!(batched.availability, one.availability, "{name} workload");
+        }
+        // A same-instant burst is where batching actually collapses
+        // events — and where the results still must not move.
+        let burst = Workload {
+            specs: (0..6).map(|i| spec(50 * i, 500 + 50 * i, None)).collect(),
+            arrivals: Arrivals::Open(vec![Tick::ZERO; 6]),
+            slo: None,
+        };
+        let batched = rig(2, 61).serve(&burst, SchedPolicy::Fifo, &ServeConfig::default());
+        let one = rig(2, 61).serve(
+            &burst,
+            SchedPolicy::Fifo,
+            &ServeConfig {
+                batch_admission: false,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(batched.records, one.records);
+        assert_eq!(batched.makespan, one.makespan);
+        assert!(
+            batched.events < one.events,
+            "the burst drains in one event instead of six ({} !< {})",
+            batched.events,
+            one.events
+        );
+    }
+
+    #[test]
+    fn admit_and_shed_report_the_same_depth_snapshot() {
+        // Regression: the shed decision tested the pre-push queue length
+        // while QueryAdmitted reported the post-push length, so the two
+        // trace streams disagreed by one at the admission boundary. Both
+        // now carry the depth the arrival observed: on one rank with
+        // max_queue = 2, a 4-burst admits at depths [0, 0, 1] (q0
+        // dispatches immediately, so q1 also sees an empty queue) and
+        // sheds the boundary query at exactly the bound.
+        let workload = Workload {
+            specs: (0..4).map(|_| spec(100, 399, None)).collect(),
+            arrivals: Arrivals::Open(vec![Tick::ZERO; 4]),
+            slo: None,
+        };
+        let cfg = ServeConfig {
+            max_queue: 2,
+            ..ServeConfig::default()
+        };
+        let (tracer, ring) = SharedTracer::ring(4096);
+        let mut r = rig(1, 7);
+        r.tracer = tracer;
+        let report = r.serve(&workload, SchedPolicy::Fifo, &cfg);
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.shed(), 1);
+        let mut admitted = Vec::new();
+        let mut shed = Vec::new();
+        for e in ring.borrow().events() {
+            match e.kind {
+                EventKind::QueryAdmitted { query, depth } => admitted.push((query, depth)),
+                EventKind::QueryShed { query, depth } => shed.push((query, depth)),
+                _ => {}
+            }
+        }
+        assert_eq!(admitted, vec![(0, 0), (1, 0), (2, 1)]);
+        assert_eq!(shed, vec![(3, 2)]);
+        // The boundary is exact: the last admission observed bound - 1,
+        // the first shed observed the bound itself.
+        assert_eq!(shed[0].1, cfg.max_queue as u32);
+        assert_eq!(admitted.last().unwrap().1 + 1, shed[0].1);
+        // And the boundary query's fate is identical without batching.
+        let unbatched = rig(1, 7).serve(
+            &workload,
+            SchedPolicy::Fifo,
+            &ServeConfig {
+                batch_admission: false,
+                ..cfg
+            },
+        );
+        assert_eq!(report.records, unbatched.records);
+    }
+
+    #[test]
+    fn parked_fused_shard_rescues_every_lane_bit_identically() {
+        use jafar_dram::{FaultInjector, FaultPlan};
+        let fcfg = ServeConfig {
+            fuse_window: 4,
+            ..ServeConfig::default()
+        };
+        let workload = Workload {
+            specs: vec![
+                spec(100, 420, None),
+                spec(0, 499, None),
+                spec(250, 749, None),
+                spec(500, 999, None),
+            ],
+            arrivals: Arrivals::Open(vec![
+                Tick::ZERO,
+                Tick::from_ns(1),
+                Tick::from_ns(1),
+                Tick::from_ns(1),
+            ]),
+            slo: None,
+        };
+        // Probe run (fault-free): q0 fans out over both ranks; q1..q3
+        // arrive behind it and ride one fused scan on the first rank to
+        // free. The deterministic timeline tells us when that scan is
+        // mid-flight.
+        let probe = rig(2, 77).serve(&workload, SchedPolicy::Fifo, &fcfg);
+        assert_eq!(probe.completed(), 4);
+        assert_eq!(probe.records[1].started, probe.records[3].started);
+        let f_start = probe.records[1].started.unwrap();
+        let f_done = probe.records[1].done.unwrap();
+        let mid = Tick::from_ps(f_start.as_ps() + (f_done.as_ps() - f_start.as_ps()) / 2);
+        // Real run: rank 0 goes permanently dark mid-fused-scan. The
+        // 3-lane shard parks, every lane's completed bitset prefix is
+        // salvaged, and the shard resumes on the surviving rank — all
+        // three co-riders must still complete byte-identically.
+        let mut sick = rig(2, 77);
+        sick.module
+            .set_fault_injector(Some(FaultInjector::new(FaultPlan::none(3).with_outage(
+                0,
+                mid,
+                Tick::MAX,
+            ))));
+        let report = sick.serve(&workload, SchedPolicy::Fifo, &fcfg);
+        assert_eq!(report.completed(), 4);
+        for rec in &report.records {
+            assert_eq!(
+                rec.bitset,
+                reference_bytes(&sick.values, rec.lo, rec.hi),
+                "query {} selection vector after mid-scan rescue",
+                rec.id
+            );
+            assert_eq!(
+                rec.matched,
+                rec.bitset
+                    .iter()
+                    .map(|b| b.count_ones() as u64)
+                    .sum::<u64>()
+            );
+        }
+        let a = &report.availability;
+        assert!(a.requeues >= 1, "the dark rank's fused shard was rescued");
+        assert!(a.migrations >= 1, "the rescued fused shard moved ranks");
+        assert_eq!(a.units[0].quarantines, 1);
+        assert_eq!(a.units[1].quarantines, 0, "the healthy rank stays clean");
     }
 }

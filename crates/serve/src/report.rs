@@ -155,6 +155,10 @@ pub struct ServeReport {
     pub policy: &'static str,
     /// Per-unit downtime, migrations, requeues and canary outcomes.
     pub availability: Availability,
+    /// Discrete events the engine processed to produce this report —
+    /// the denominator of the engine's own events/sec throughput (see
+    /// the `fig_engine` microbenchmark). Shard steps are not events.
+    pub events: u64,
 }
 
 impl ServeReport {
@@ -220,18 +224,25 @@ impl ServeReport {
     }
 
     /// Per-operator latency/throughput breakdown, one entry per distinct
-    /// operator kind in first-appearance order.
+    /// operator kind in first-appearance order. Operator classes with
+    /// zero completions (every query of the kind shed) are skipped:
+    /// they have no latency sample and no throughput, and an entry of
+    /// `None`s and zeros only invites NaN arithmetic downstream —
+    /// [`Self::ops`] still lists every kind that was *submitted*.
     pub fn op_breakdown(&self) -> Vec<OpBreakdown> {
         self.ops()
             .into_iter()
-            .map(|op| {
+            .filter_map(|op| {
                 let recs: Vec<&QueryRecord> =
                     self.records.iter().filter(|r| r.op.name() == op).collect();
                 let mut lats: Vec<Tick> = recs.iter().filter_map(|r| r.latency()).collect();
                 lats.sort_unstable();
                 let completed = recs.iter().filter(|r| r.done.is_some()).count();
+                if completed == 0 {
+                    return None;
+                }
                 let secs = self.makespan.as_ps() as f64 * 1e-12;
-                OpBreakdown {
+                Some(OpBreakdown {
                     op,
                     submitted: recs.len(),
                     completed,
@@ -245,7 +256,7 @@ impl ServeReport {
                     } else {
                         0.0
                     },
-                }
+                })
             })
             .collect()
     }
@@ -402,7 +413,11 @@ impl fmt::Display for ServeReport {
             self.throughput_qps(),
             self.service_rate_qps(),
         )?;
-        let ms = |t: Option<Tick>| t.map_or(f64::NAN, |t| t.as_ms_f64());
+        // A degenerate run (everything shed) has no latency samples;
+        // render those as 0.000 ms rather than NaN — a report is for
+        // machines and dashboards as much as eyes, and "NaN" poisons
+        // both.
+        let ms = |t: Option<Tick>| t.map_or(0.0, |t| t.as_ms_f64());
         writeln!(
             f,
             "  latency p50 {:.3} / p95 {:.3} / p99 {:.3} ms; mean queue-wait {:.3} ms, mean service {:.3} ms",
@@ -485,6 +500,7 @@ mod tests {
             makespan: Tick::from_ps(100_000),
             policy: "fifo",
             availability: Availability::default(),
+            events: 0,
         };
         assert_eq!(report.p50(), Some(Tick::from_ps(50_000)));
         assert_eq!(report.p95(), Some(Tick::from_ps(95_000)));
@@ -507,6 +523,7 @@ mod tests {
             makespan: Tick::ZERO,
             policy: "fifo",
             availability: Availability::default(),
+            events: 0,
         };
         assert_eq!(report.p99(), None);
         assert_eq!(report.throughput_qps(), 0.0);
@@ -525,6 +542,7 @@ mod tests {
             makespan: Tick::from_ps(100_000),
             policy: "fifo",
             availability: Availability::default(),
+            events: 0,
         };
         assert_eq!(report.latency_percentile(0), Some(Tick::from_ps(1000)));
         assert_eq!(
@@ -544,6 +562,7 @@ mod tests {
             makespan: Tick::from_ps(777),
             policy: "fifo",
             availability: Availability::default(),
+            events: 0,
         };
         for pct in [0, 1, 50, 100, u64::MAX] {
             assert_eq!(one.latency_percentile(pct), Some(Tick::from_ps(777)));
@@ -578,6 +597,7 @@ mod tests {
             makespan,
             policy: "fifo",
             availability: Availability::default(),
+            events: 0,
         };
         assert_eq!(report.shed(), 0);
         assert_eq!(report.completed(), 48);
@@ -617,6 +637,7 @@ mod tests {
             makespan: Tick::from_ps(1000),
             policy: "fifo",
             availability: Availability::default(),
+            events: 0,
         };
         assert_eq!(report.offered_window(), None);
         assert!((report.offered_qps() - 4.0e12 / 1000.0).abs() < 1e-3);
@@ -646,24 +667,64 @@ mod tests {
             makespan: Tick::from_ps(1_000_000),
             policy: "edf",
             availability: Availability::default(),
+            events: 0,
         };
         assert_eq!(report.ops(), vec!["select", "count", "sum"]);
         let breakdown = report.op_breakdown();
-        assert_eq!(breakdown.len(), 3);
+        // "sum" was submitted but fully shed: ops() lists it, the
+        // breakdown skips it (no completions → no latency/throughput row).
+        assert_eq!(breakdown.len(), 2);
         let sel = &breakdown[0];
         assert_eq!((sel.op, sel.submitted, sel.completed), ("select", 2, 2));
         assert_eq!(sel.p99, Some(Tick::from_ps(2000)));
         let cnt = &breakdown[1];
         assert_eq!((cnt.op, cnt.completed, cnt.cpu), ("count", 1, 1));
         assert_eq!(cnt.p50, Some(Tick::from_ps(10_000)));
-        let sm = &breakdown[2];
-        assert_eq!((sm.op, sm.completed, sm.shed), ("sum", 0, 1));
-        assert_eq!(sm.p50, None);
-        assert_eq!(sm.throughput_qps, 0.0);
-        // The rendered report carries the per-operator lines.
+        // The rendered report carries the per-operator lines for the
+        // classes that completed work, and only those.
         let shown = report.to_string();
         assert!(shown.contains("[select]"));
         assert!(shown.contains("[count]"));
-        assert!(shown.contains("[sum]"));
+        assert!(!shown.contains("[sum]"));
+    }
+
+    #[test]
+    fn all_shed_report_stays_finite() {
+        // Regression: a run where admission sheds *everything* used to
+        // render NaN latencies (Display mapped missing percentiles with
+        // f64::NAN) and kept a breakdown row of Nones for each class.
+        // Degenerate inputs must produce finite, zeroed accounting.
+        let records: Vec<QueryRecord> = (0..5)
+            .map(|i| {
+                let mut r = record(i, u64::from(i) * 100, 0, 0);
+                r.mode = ExecMode::Shed;
+                r.started = None;
+                r.done = None;
+                r
+            })
+            .collect();
+        let report = ServeReport {
+            records,
+            makespan: Tick::ZERO,
+            policy: "fifo",
+            availability: Availability::default(),
+            events: 0,
+        };
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.shed(), 5);
+        assert_eq!(report.p50(), None);
+        assert_eq!(report.p99(), None);
+        assert_eq!(report.throughput_qps(), 0.0);
+        assert_eq!(
+            report.service_rate_qps(),
+            0.0,
+            "zero completions over a zero makespan is a zero rate, not 0/0"
+        );
+        assert!(report.op_breakdown().is_empty());
+        let shown = report.to_string();
+        assert!(
+            !shown.contains("NaN") && !shown.contains("inf"),
+            "degenerate report must render finite numbers:\n{shown}"
+        );
     }
 }

@@ -214,7 +214,13 @@ impl ServeCluster {
                         .write_i64(PhysAddr(col.0 + i as u64 * 8), v);
                 }
                 replicas.push(col);
-                outs.push(self.arenas[u].alloc_blocks(rows.div_ceil(8).max(64)));
+                // One bitset lane per fuse slot (engine addresses lane
+                // `l` at `out + l * stride`); fuse_window=1 is the
+                // historical single-lane size.
+                let stride = rows.div_ceil(8).next_multiple_of(64);
+                outs.push(
+                    self.arenas[u].alloc_blocks((stride * cfg.fuse_window.max(1) as u64).max(64)),
+                );
                 proj_outs.push(self.arenas[u].alloc_blocks(rows * 8));
             }
         }

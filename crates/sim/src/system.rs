@@ -833,7 +833,14 @@ impl System {
                     .write_i64(PhysAddr(col.0 + i as u64 * 8), v);
             }
             replicas.push(col);
-            outs.push(self.arenas[r].alloc_blocks(rows.div_ceil(8).max(64)));
+            // One bitset lane per fuse slot: the engine addresses lane
+            // `l` at `out + l * stride` (see engine::lane_stride), so
+            // size the arena slice for the full window. fuse_window=1
+            // degenerates to the historical single-lane size.
+            let stride = rows.div_ceil(8).next_multiple_of(64);
+            outs.push(
+                self.arenas[r].alloc_blocks((stride * cfg.fuse_window.max(1) as u64).max(64)),
+            );
             // Packed projection output: worst case every row qualifies.
             proj_outs.push(self.arenas[r].alloc_blocks(rows * 8));
         }

@@ -124,7 +124,14 @@ fn channel_widths_1_2_4_serve_byte_identical_results() {
         let policy = policies[case % policies.len()];
         case += 1;
 
-        let cfg = ServeConfig::default();
+        // Fusion and batched admission are pure scheduling accelerants:
+        // whatever window the engine fuses under and however it drains
+        // arrivals, the served bytes must stay identical across widths.
+        let cfg = ServeConfig {
+            fuse_window: rng.next_range_inclusive(1, 4) as usize,
+            batch_admission: rng.next_bool(0.5),
+            ..ServeConfig::default()
+        };
         let reference = cluster(1).serve(&values, &workload, policy, &cfg);
         assert_eq!(
             reference.report.completed(),

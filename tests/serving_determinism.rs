@@ -105,6 +105,47 @@ fn same_seed_serves_are_byte_identical() {
 }
 
 #[test]
+fn batched_admission_preserves_the_golden_trace_byte_for_byte() {
+    // Satellite to the batched-admission change: draining every due
+    // arrival in one engine event must leave the *entire* observable
+    // surface untouched on fault-free runs — per-query records,
+    // makespan, availability, and the full trace stream, byte for
+    // byte. Closed-loop think-time re-arrivals are the sharp edge: a
+    // zero think time lands the re-arrival at the completing event's
+    // own timestamp, exactly the case the batch drain folds in.
+    let run_with = |batch: bool, think: Tick| {
+        let mut sys = multi_rank_system(4);
+        sys.enable_tracing(1 << 14);
+        let values: Vec<i64> = (0..4096).map(|i| (i * 37 + 11) % 1000).collect();
+        let mix = PredicateMix::UniformRange {
+            min: 0,
+            max: 999,
+            width: 200,
+        };
+        let workload = Workload::closed(mix, 8, 3, think, 71).with_op_mix(&OP_MIX);
+        let cfg = ServeConfig {
+            batch_admission: batch,
+            ..ServeConfig::default()
+        };
+        let run = sys.serve(&values, &workload, SchedPolicy::Edf, &cfg);
+        (
+            run.report,
+            sys.chrome_trace().expect("tracing enabled"),
+            sys.trace_timeline().expect("tracing enabled"),
+        )
+    };
+    for think in [Tick::ZERO, Tick::from_us(1)] {
+        let (batched, json_b, timeline_b) = run_with(true, think);
+        let (one, json_o, timeline_o) = run_with(false, think);
+        assert_eq!(batched.records, one.records, "think {think}");
+        assert_eq!(batched.makespan, one.makespan, "think {think}");
+        assert_eq!(batched.availability, one.availability, "think {think}");
+        assert_eq!(json_b, json_o, "think {think}: trace JSON byte-identity");
+        assert_eq!(timeline_b, timeline_o, "think {think}: timeline bytes");
+    }
+}
+
+#[test]
 fn different_seeds_serve_differently() {
     // The workload is a pure function of its seed, so a different seed
     // must perturb both the report and the trace bytes.
@@ -160,8 +201,15 @@ fn served_selections_match_solo_runs_across_random_workloads() {
         let policy = policies[case % policies.len()];
         case += 1;
 
+        // Shared-scan fusion and batched admission must not move a
+        // single result byte on any rung, so the sweep randomizes both.
+        let cfg = ServeConfig {
+            fuse_window: rng.next_range_inclusive(1, 4) as usize,
+            batch_admission: rng.next_bool(0.5),
+            ..ServeConfig::default()
+        };
         let mut sys = multi_rank_system(4);
-        let run = sys.serve(&values, &workload, policy, &ServeConfig::default());
+        let run = sys.serve(&values, &workload, policy, &cfg);
         assert_eq!(
             run.report.completed() + run.report.shed(),
             n,
