@@ -19,14 +19,70 @@
 //!   at least the unfused rate on the contention burst, and batched
 //!   admission processing no more events than one-at-a-time draining
 //!   (wall-clock throughput fields are checked for finiteness only —
-//!   they are machine-dependent).
+//!   they are machine-dependent);
+//! - the cluster artifact's acceptance gates: the saturation knee scales
+//!   ≥ 1.6× from one node to two under replica-local routing, the
+//!   node-outage run completed every admitted query with results
+//!   identical to the solo run, and the rf=1 pull run billed exactly one
+//!   page-store transfer per frontend pull;
+//! - the **baseline regression gate**: each artifact may carry a
+//!   `baseline` object with per-mode (`full` / `smoke`) maps of dotted
+//!   field paths to the values last accepted into the trajectory. Every
+//!   gated field (knee multiples and service rates — all deterministic
+//!   simulated quantities, never wall-clock) must sit within 15% of the
+//!   value accepted for the same mode; a drop below `0.85 × baseline`
+//!   fails CI. The modes are separate because CI re-runs the benches
+//!   with `--smoke` before checking — a full-run knee would be compared
+//!   against a smoke-run knee otherwise. After an intentional change,
+//!   re-accept with `bench_check --accept [FILE...]`, which rewrites the
+//!   artifacts with the current values as the new baseline for the
+//!   artifact's current mode — the diff in the committed `BENCH_*.json`
+//!   is the reviewable perf trajectory. Benches carry the accepted
+//!   baseline forward when they rewrite an artifact, so only `--accept`
+//!   ever moves it.
 //!
-//! Usage: `bench_check [FILE...]` — defaults to `BENCH_serving.json`,
-//! `BENCH_scaling.json` and `BENCH_engine.json` in the working
-//! directory, skipping missing defaults but failing on missing explicit
-//! arguments. Exits non-zero with one line per violation.
+//! Usage: `bench_check [--accept] [FILE...]` — defaults to
+//! `BENCH_serving.json`, `BENCH_scaling.json`, `BENCH_engine.json` and
+//! `BENCH_cluster.json` in the working directory, skipping missing
+//! defaults but failing on missing explicit arguments. Exits non-zero
+//! with one line per violation.
 
 use jafar_bench::json::Json;
+
+/// Per-bench gated fields for the baseline regression gate: dotted paths
+/// to higher-is-better, deterministic (simulated-time) numbers.
+fn gated_fields(bench: &str) -> &'static [&'static str] {
+    match bench {
+        "fig_serving" => &[
+            "knee.heavy_service_rate_qps",
+            "knee_2ch_multiple",
+            "knee_4ch_multiple",
+            "fused_knee_multiple",
+        ],
+        "fig_engine" => &["contention.fused_multiple"],
+        "fig_cluster" => &["knee_2node_multiple", "knee_4node_multiple"],
+        _ => &[],
+    }
+}
+
+/// Resolves a dotted path (`knee.heavy_service_rate_qps`) against a doc.
+fn lookup<'a>(doc: &'a Json, path: &str) -> Option<&'a Json> {
+    let mut cur = doc;
+    for seg in path.split('.') {
+        cur = cur.get(seg)?;
+    }
+    Some(cur)
+}
+
+/// Which baseline sub-map this artifact gates against: smoke runs carry
+/// different workload sizes (and so different knees) than full runs.
+fn baseline_mode(doc: &Json) -> &'static str {
+    if doc.get("smoke") == Some(&Json::Bool(true)) {
+        "smoke"
+    } else {
+        "full"
+    }
+}
 
 /// Accumulates violations instead of bailing at the first, so one CI
 /// run reports everything wrong with an artifact.
@@ -65,6 +121,41 @@ impl Check {
             None => {
                 self.fail(format!("`{key}` is not a finite number"));
                 None
+            }
+        }
+    }
+
+    /// The baseline regression gate: every gated field within 15% of
+    /// the value last accepted via `--accept` for the artifact's mode
+    /// (`full` vs `smoke` — the two run very different workload sizes).
+    /// A missing baseline for the mode is reported as a note, not a
+    /// failure — the gate arms itself the first time one is accepted.
+    fn baseline_gate(&mut self, doc: &Json, gated: &[&str]) {
+        if gated.is_empty() {
+            return;
+        }
+        let mode = baseline_mode(doc);
+        let Some(base) = doc.get("baseline").and_then(|b| b.get(mode)) else {
+            println!(
+                "# {}: no accepted `{mode}` baseline (seed one with `bench_check --accept {}`)",
+                self.file, self.file
+            );
+            return;
+        };
+        for &path in gated {
+            let Some(accepted) = base.get(path).and_then(Json::num) else {
+                self.fail(format!("baseline is missing gated field `{path}`"));
+                continue;
+            };
+            let Some(current) = lookup(doc, path).and_then(Json::num) else {
+                self.fail(format!("gated field `{path}` absent from the artifact"));
+                continue;
+            };
+            if current < accepted * 0.85 {
+                self.fail(format!(
+                    "`{path}` regressed > 15%: {current} vs accepted baseline {accepted} \
+                     (re-accept an intentional change with `bench_check --accept`)"
+                ));
             }
         }
     }
@@ -241,12 +332,99 @@ fn check_scaling(c: &mut Check, doc: &Json) {
     }
 }
 
+fn check_cluster(c: &mut Check, doc: &Json) {
+    for key in ["bench", "smoke", "queries", "rows"] {
+        c.require(doc, key);
+    }
+    if let Some(points) = c.require(doc, "node_sweep").and_then(Json::arr) {
+        if points.is_empty() {
+            c.fail("`node_sweep` is empty".into());
+        }
+        for p in points {
+            for key in [
+                "nodes",
+                "replication",
+                "service_rate_qps",
+                "p50_ms",
+                "p99_ms",
+                "completed",
+                "shed",
+                "net_bytes",
+                "net_messages",
+            ] {
+                c.finite(p, key);
+            }
+        }
+    }
+    if let Some(mult) = c.finite(doc, "knee_2node_multiple") {
+        if mult < 1.6 {
+            c.fail(format!(
+                "2-node knee moved only {mult}x the single node (< 1.6x) under replica-local routing"
+            ));
+        }
+    }
+    c.finite(doc, "knee_4node_multiple");
+    if let Some(points) = c.require(doc, "route_sweep").and_then(Json::arr) {
+        if points.is_empty() {
+            c.fail("`route_sweep` is empty".into());
+        }
+        for (i, p) in points.iter().enumerate() {
+            if p.get("route").and_then(Json::str).is_none() {
+                c.fail(format!("route_sweep[{i}]: missing `route` name"));
+            }
+            for key in [
+                "service_rate_qps",
+                "remote_ndp",
+                "remote_cpu",
+                "local_pull",
+                "shed",
+            ] {
+                c.finite(p, key);
+            }
+        }
+    }
+    if let Some(outage) = c.require(doc, "outage") {
+        let queries = c.finite(outage, "queries");
+        let completed = c.finite(outage, "completed");
+        let shed = c.finite(outage, "shed");
+        if let (Some(q), Some(done), Some(shed)) = (queries, completed, shed) {
+            if done + shed < q {
+                c.fail(format!(
+                    "outage run lost queries: {done} completed + {shed} shed of {q}"
+                ));
+            }
+        }
+        c.finite(outage, "remote_cpu");
+        if outage.get("identity_vs_solo") != Some(&Json::Bool(true)) {
+            c.fail("outage run's results were not byte-identical to the solo run".into());
+        }
+    }
+    if let Some(pull) = c.require(doc, "pull") {
+        let pulls = c.finite(pull, "pulls");
+        let messages = c.finite(pull, "store_messages");
+        if let (Some(pulls), Some(messages)) = (pulls, messages) {
+            if pulls >= 1.0 && messages != pulls {
+                c.fail(format!(
+                    "page-store ledger billed {messages} transfers for {pulls} pulls"
+                ));
+            }
+        }
+        c.finite(pull, "store_bytes");
+        c.finite(pull, "completed");
+    }
+}
+
 fn main() {
-    let explicit: Vec<String> = std::env::args().skip(1).collect();
+    let accept = std::env::args().any(|a| a == "--accept");
+    let explicit: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--accept")
+        .collect();
     let defaults = [
         "BENCH_serving.json",
         "BENCH_scaling.json",
         "BENCH_engine.json",
+        "BENCH_cluster.json",
     ];
     let files: Vec<(String, bool)> = if explicit.is_empty() {
         defaults.iter().map(|f| (f.to_string(), false)).collect()
@@ -271,12 +449,51 @@ fn main() {
         let mut c = Check::new(file);
         match Json::parse(&text) {
             Err(e) => c.fail(format!("invalid JSON: {e}")),
-            Ok(doc) => match doc.get("bench").and_then(Json::str) {
-                Some("fig_serving") => check_serving(&mut c, &doc),
-                Some("fig_scaling") => check_scaling(&mut c, &doc),
-                Some("fig_engine") => check_engine(&mut c, &doc),
-                other => c.fail(format!("unknown `bench` tag: {other:?}")),
-            },
+            Ok(mut doc) => {
+                let tag = doc
+                    .get("bench")
+                    .and_then(Json::str)
+                    .map(str::to_string)
+                    .unwrap_or_default();
+                match tag.as_str() {
+                    "fig_serving" => check_serving(&mut c, &doc),
+                    "fig_scaling" => check_scaling(&mut c, &doc),
+                    "fig_engine" => check_engine(&mut c, &doc),
+                    "fig_cluster" => check_cluster(&mut c, &doc),
+                    other => c.fail(format!("unknown `bench` tag: {other:?}")),
+                }
+                let gated = gated_fields(&tag);
+                if accept {
+                    // Re-accept: the current gated values become the
+                    // committed baseline for this artifact's mode
+                    // (schema violations still fail — a broken artifact
+                    // cannot become the trajectory).
+                    if !gated.is_empty() && c.errors.is_empty() {
+                        let fields: Vec<(String, Json)> = gated
+                            .iter()
+                            .filter_map(|&path| {
+                                lookup(&doc, path)
+                                    .and_then(Json::num)
+                                    .map(|n| (path.to_string(), Json::Num(n)))
+                            })
+                            .collect();
+                        let mode = baseline_mode(&doc);
+                        let mut baseline = doc
+                            .get("baseline")
+                            .filter(|b| matches!(b, Json::Obj(_)))
+                            .cloned()
+                            .unwrap_or(Json::Obj(Vec::new()));
+                        baseline.set(mode, Json::Obj(fields));
+                        doc.set("baseline", baseline);
+                        match std::fs::write(file, doc.render()) {
+                            Ok(()) => println!("# {file}: `{mode}` baseline accepted"),
+                            Err(e) => c.fail(format!("cannot rewrite: {e}")),
+                        }
+                    }
+                } else {
+                    c.baseline_gate(&doc, gated);
+                }
+            }
         }
         checked += 1;
         if c.errors.is_empty() {

@@ -22,7 +22,7 @@
 //!
 //! Usage: `fig_engine [--queries N] [--smoke]`
 
-use jafar_bench::{arg, f1, f2, flag, jnum, print_table, write_bench_json};
+use jafar_bench::{arg, carry_baseline, f1, f2, flag, jnum, print_table, write_bench_json};
 use jafar_common::time::Tick;
 use jafar_dram::DramGeometry;
 use jafar_serve::engine::ServeConfig;
@@ -222,13 +222,15 @@ fn main() {
         "{{\n  \"bench\": \"fig_engine\",\n  \"smoke\": {smoke},\n  \"queries\": {n},\n  \
          \"rows\": {rows},\n  \"scenarios\": [\n{}\n  ],\n  \"contention\": {{\"fuse_window\": 4, \
          \"unfused_qps\": {}, \"fused_qps\": {}, \"fused_multiple\": {}}},\n  \
-         \"batching\": {{\"batched_events\": {}, \"unbatched_events\": {}}}\n}}\n",
+         \"batching\": {{\"batched_events\": {}, \"unbatched_events\": {}}},\n  \
+         \"baseline\": {}\n}}\n",
         points.join(",\n"),
         jnum(unfused.sim_service_rate_qps),
         jnum(fused.sim_service_rate_qps),
         jnum(multiple),
         unfused.events,
         unbatched.events,
+        carry_baseline("BENCH_engine.json"),
     );
     write_bench_json("BENCH_engine.json", &body);
 }

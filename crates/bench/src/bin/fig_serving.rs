@@ -45,7 +45,7 @@
 //! points) so CI can execute the sweep — assertions included — in
 //! seconds.
 
-use jafar_bench::{arg, f1, f2, flag, jnum, print_table, write_bench_json};
+use jafar_bench::{arg, carry_baseline, f1, f2, flag, jnum, print_table, write_bench_json};
 use jafar_common::time::Tick;
 use jafar_core::ResilienceConfig;
 use jafar_dram::{DramGeometry, FaultPlan};
@@ -669,7 +669,7 @@ fn main() {
          \"completed\": {}, \"shed\": {}, \"cpu_rung\": {cpu_rung}, \"p99_ms\": {}, \
          \"deadline_misses\": {},\n    \"availability\": {{\n      \"migrations\": {}, \
          \"requeues\": {}, \"sheds_tightened\": {}, \"total_downtime_us\": {},\n      \
-         \"units\": [\n{}\n      ]\n    }}\n  }}\n}}\n",
+         \"units\": [\n{}\n      ]\n    }}\n  }},\n  \"baseline\": {}\n}}\n",
         points.join(",\n"),
         jnum(p99_light),
         jnum(p99_heavy),
@@ -691,6 +691,7 @@ fn main() {
         a.sheds_tightened,
         jnum(a.total_downtime().as_us_f64()),
         units_json.join(",\n"),
+        carry_baseline("BENCH_serving.json"),
     );
     write_bench_json("BENCH_serving.json", &body);
 }

@@ -15,9 +15,11 @@
 //! | `fig_scaling` | rank-parallel scaling sweep (beyond the paper) |
 //! | `fig_serving` | served-load sweep: saturation knee + tail latency (beyond the paper) |
 //! | `fig_engine` | wall-clock engine throughput: fusion + batched admission (beyond the paper) |
+//! | `fig_cluster` | disaggregated serving grid: node-count × replication sweep, outage ladder (beyond the paper) |
 //!
-//! `fig_scaling`, `fig_serving` and `fig_engine` accept `--smoke` for a
-//! seconds-scale CI run that still executes every assertion.
+//! `fig_scaling`, `fig_serving`, `fig_engine` and `fig_cluster` accept
+//! `--smoke` for a seconds-scale CI run that still executes every
+//! assertion.
 //!
 //! Micro-benches over the hot simulator paths live in `benches/` and run
 //! on the in-tree [`micro`] harness (the workspace builds offline, so it
@@ -170,6 +172,85 @@ pub mod json {
             match self {
                 Json::Str(s) => Some(s),
                 _ => None,
+            }
+        }
+
+        /// Serializes this value back to JSON text (2-space indent).
+        /// `Json::parse(v.render())` round-trips for everything the
+        /// grammar covers — `bench_check --accept` uses this to rewrite
+        /// an artifact with a refreshed `baseline` object.
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            self.render_into(&mut out, 0);
+            out.push('\n');
+            out
+        }
+
+        /// Replaces the top-level `key` (or appends it) on an object.
+        /// No-op on non-objects.
+        pub fn set(&mut self, key: &str, value: Json) {
+            if let Json::Obj(fields) = self {
+                match fields.iter_mut().find(|(k, _)| k == key) {
+                    Some((_, v)) => *v = value,
+                    None => fields.push((key.to_string(), value)),
+                }
+            }
+        }
+
+        fn render_into(&self, out: &mut String, depth: usize) {
+            let pad = "  ".repeat(depth + 1);
+            let close = "  ".repeat(depth);
+            match self {
+                Json::Null => out.push_str("null"),
+                Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Json::Num(n) => out.push_str(&crate::jnum(*n)),
+                Json::Str(s) => {
+                    out.push('"');
+                    for c in s.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            '\n' => out.push_str("\\n"),
+                            '\t' => out.push_str("\\t"),
+                            '\r' => out.push_str("\\r"),
+                            other => out.push(other),
+                        }
+                    }
+                    out.push('"');
+                }
+                Json::Arr(items) => {
+                    if items.is_empty() {
+                        out.push_str("[]");
+                        return;
+                    }
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        out.push_str(if i == 0 { "\n" } else { ",\n" });
+                        out.push_str(&pad);
+                        item.render_into(out, depth + 1);
+                    }
+                    out.push('\n');
+                    out.push_str(&close);
+                    out.push(']');
+                }
+                Json::Obj(fields) => {
+                    if fields.is_empty() {
+                        out.push_str("{}");
+                        return;
+                    }
+                    out.push('{');
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        out.push_str(if i == 0 { "\n" } else { ",\n" });
+                        out.push_str(&pad);
+                        out.push('"');
+                        out.push_str(k);
+                        out.push_str("\": ");
+                        v.render_into(out, depth + 1);
+                    }
+                    out.push('\n');
+                    out.push_str(&close);
+                    out.push('}');
+                }
             }
         }
     }
@@ -383,6 +464,31 @@ pub fn write_bench_json(path: &str, body: &str) {
     println!("# wrote {path}");
 }
 
+/// The previous artifact's accepted `baseline` object, rendered as one
+/// JSON value — `"null"` when the file is absent, unparseable, or has
+/// no baseline yet. Benches splice this into the body they are about to
+/// write so re-running a bench never discards the values `bench_check
+/// --accept` committed; only `--accept` moves the baseline.
+pub fn carry_baseline(path: &str) -> String {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return "null".to_string();
+    };
+    match json::Json::parse(&text).ok().and_then(|doc| {
+        doc.get("baseline")
+            .filter(|b| !matches!(b, json::Json::Null))
+            .cloned()
+    }) {
+        Some(baseline) => {
+            let mut out = String::new();
+            // Re-render at top-level depth; the caller embeds it after
+            // `"baseline": ` so nested indentation is cosmetic only.
+            out.push_str(baseline.render().trim_end());
+            out
+        }
+        None => "null".to_string(),
+    }
+}
+
 /// Formats a float with the given precision.
 pub fn fmt(v: impl Display) -> String {
     format!("{v}")
@@ -430,6 +536,20 @@ mod tests {
         assert_eq!(sweep[0].get("b"), Some(&Json::Null));
         assert_eq!(sweep[1].get("a").and_then(Json::num), Some(-2000.0));
         assert_eq!(sweep[1].get("b"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn json_render_round_trips() {
+        use super::json::Json;
+        let doc = r#"{"bench": "fig_x", "baseline": {"knee.qps": 1250.5, "mult": 2}, "sweep": [1, null, true, "s\"t"]}"#;
+        let v = Json::parse(doc).expect("parses");
+        let rendered = v.render();
+        assert_eq!(Json::parse(&rendered).expect("round-trips"), v);
+        let mut v2 = v.clone();
+        v2.set("baseline", Json::Null);
+        assert_eq!(v2.get("baseline"), Some(&Json::Null));
+        v2.set("extra", Json::Num(3.0));
+        assert_eq!(v2.get("extra").and_then(Json::num), Some(3.0));
     }
 
     #[test]

@@ -236,6 +236,34 @@ pub enum EventKind {
         /// True when the canary completed on the device (unit repaired).
         ok: bool,
     },
+    /// The cluster frontend routed a query to a memory node.
+    QueryRouted {
+        /// Submission index of the query within the served workload.
+        query: u32,
+        /// The memory node it was sent to.
+        node: u32,
+        /// Route mnemonic (`"round-robin"`, `"least-outstanding"`,
+        /// `"replica-local"`) or `"failover"` when the preferred holder
+        /// was routed around.
+        via: &'static str,
+    },
+    /// A message crossed a fabric link (request, response, or column
+    /// pull) — the data plane's per-hop ledger entry.
+    NetHop {
+        /// Fabric link id (node links first, extra links after).
+        link: u32,
+        /// Payload bytes carried.
+        bytes: u64,
+    },
+    /// The cross-tier ladder's last rung: no healthy replica holder, so
+    /// the frontend pulled the column over the network and scanned it
+    /// locally.
+    ColumnPulled {
+        /// Submission index of the query within the served workload.
+        query: u32,
+        /// Column bytes pulled over the page-store link.
+        bytes: u64,
+    },
 }
 
 impl EventKind {
@@ -267,6 +295,9 @@ impl EventKind {
             EventKind::ShardMigrated { .. } => "shard-migrated",
             EventKind::QueryRequeued { .. } => "query-requeued",
             EventKind::CanaryProbe { .. } => "canary-probe",
+            EventKind::QueryRouted { .. } => "query-routed",
+            EventKind::NetHop { .. } => "net-hop",
+            EventKind::ColumnPulled { .. } => "column-pulled",
         }
     }
 
@@ -297,6 +328,9 @@ impl EventKind {
             | EventKind::ShardMigrated { .. }
             | EventKind::QueryRequeued { .. }
             | EventKind::CanaryProbe { .. } => "serve",
+            EventKind::QueryRouted { .. }
+            | EventKind::NetHop { .. }
+            | EventKind::ColumnPulled { .. } => "net",
         }
     }
 
@@ -409,6 +443,15 @@ impl EventKind {
             }
             EventKind::CanaryProbe { rank, ok } => {
                 let _ = write!(out, "rank={rank} ok={ok}");
+            }
+            EventKind::QueryRouted { query, node, via } => {
+                let _ = write!(out, "query={query} node={node} via={via}");
+            }
+            EventKind::NetHop { link, bytes } => {
+                let _ = write!(out, "link={link} bytes={bytes}");
+            }
+            EventKind::ColumnPulled { query, bytes } => {
+                let _ = write!(out, "query={query} bytes={bytes}");
             }
         }
     }

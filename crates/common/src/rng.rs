@@ -83,8 +83,36 @@ impl SplitMix64 {
     }
 
     /// Derives an independent child generator (for parallel streams).
+    ///
+    /// `fork` *advances* the parent, so the child stream depends on how
+    /// many forks preceded it. When streams must be stable under
+    /// reconfiguration (adding a node must not perturb the others), use
+    /// [`SplitMix64::split`] instead.
     pub fn fork(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64())
+    }
+
+    /// Derives an independent child generator identified by `label`,
+    /// **without advancing this generator**.
+    ///
+    /// Because derivation is a pure function of `(parent state, label)`,
+    /// the child stream for a given label is the same no matter how many
+    /// other labels are split off, and in what order. This is the stream-
+    /// hygiene primitive for per-node / per-unit RNGs: `root.split("node-1")`
+    /// yields byte-identical draws whether the cluster has one node or
+    /// sixteen.
+    pub fn split(&self, label: &str) -> SplitMix64 {
+        // FNV-1a over the label keeps distinct labels on distinct
+        // streams; one SplitMix64 finalizer over (state ⊕ hash·γ)
+        // decorrelates the child from the parent and from siblings.
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in label.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut z = self.state ^ h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SplitMix64::new(z ^ (z >> 31))
     }
 }
 
@@ -171,6 +199,36 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
         assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn split_does_not_advance_the_parent() {
+        let mut a = SplitMix64::new(77);
+        let mut b = SplitMix64::new(77);
+        let _node0 = a.split("node-0");
+        let _node1 = a.split("node-1");
+        // Parent draws are untouched by any number of splits.
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_streams_are_label_stable_and_distinct() {
+        let root = SplitMix64::new(0xC0FFEE);
+        // The "node-0" stream is identical whether it is the only split
+        // or one of many, and regardless of split order.
+        let mut solo = root.split("node-0");
+        let _ = root.split("node-7");
+        let _ = root.split("link-3");
+        let mut crowded = root.split("node-0");
+        let a: Vec<u64> = (0..32).map(|_| solo.next_u64()).collect();
+        let b: Vec<u64> = (0..32).map(|_| crowded.next_u64()).collect();
+        assert_eq!(a, b, "a label names one stream, independent of siblings");
+
+        let mut other = root.split("node-1");
+        let c: Vec<u64> = (0..32).map(|_| other.next_u64()).collect();
+        assert_ne!(a, c, "distinct labels must yield distinct streams");
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! # jafar-net — deterministic simulated cluster fabric
+//!
+//! The serving engine grew up inside one memory box: a channels × ranks
+//! filter-unit pool behind zero-cost host access. Farview
+//! and Taurus place the NDP units on *disaggregated* memory nodes behind
+//! a real network, where the hop latency, link bandwidth and message
+//! serialization costs are first-class performance axes. This crate
+//! models that fabric deterministically, so cluster serve runs remain
+//! pure functions of `(workload, placement, policies, config, seed)`:
+//!
+//! - [`NetFabric`]: a star fabric — one host frontend connected by one
+//!   link per memory node (plus optional extra links, e.g. a page-store
+//!   link). Each message charged to a link pays a fixed serialization
+//!   cost, the link's propagation latency, a per-byte transmission cost,
+//!   and a seeded uniform jitter draw from that link's **own** RNG
+//!   stream.
+//! - RNG stream hygiene: link streams are derived with
+//!   [`SplitMix64::split`] from the fabric seed using the link's label,
+//!   so adding a node (a new link) never perturbs another link's jitter
+//!   sequence — the cluster-identity tests rely on this to prove a
+//!   2-node run's node-0 traffic is byte-identical to the 1-node run's.
+//! - [`LinkStats`]: per-link message/byte/busy-time accounting, the raw
+//!   material for the serve report's network-bytes and hop-latency
+//!   breakdown.
+//! - [`Placement`]: which memory nodes hold a replica of each column —
+//!   hot columns replicated on every node, cold columns on a subset
+//!   (the `replication factor` axis the `fig_cluster` bench sweeps).
+//!
+//! The fabric is a *cost model*, not a packet simulator: it answers
+//! "what does this message cost on this link right now" and keeps the
+//! ledger. Queueing on the link itself is not modelled (messages are
+//! small relative to the serve-time scale); contention shows up where it
+//! matters for the reproduction — in the node-local engines the messages
+//! feed.
+
+use jafar_common::rng::SplitMix64;
+use jafar_common::time::Tick;
+
+/// Cost parameters of one point-to-point link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpec {
+    /// One-way propagation latency paid by every message.
+    pub latency: Tick,
+    /// Transmission cost per payload byte, in picoseconds (the inverse
+    /// bandwidth: 80 ps/B ≈ 12.5 GB/s ≈ a 100 Gb/s fabric).
+    pub ps_per_byte: u64,
+    /// Upper bound of the per-message uniform jitter draw, in
+    /// picoseconds (0 disables jitter; the draw still happens so stream
+    /// positions stay aligned across configurations).
+    pub jitter_ps: u64,
+}
+
+impl LinkSpec {
+    /// A 100 Gb/s-class datacenter RDMA link: 1.5 µs propagation,
+    /// 80 ps/byte (~12.5 GB/s), up to 200 ns jitter.
+    pub fn datacenter() -> LinkSpec {
+        LinkSpec {
+            latency: Tick::from_ns(1500),
+            ps_per_byte: 80,
+            jitter_ps: 200_000,
+        }
+    }
+
+    /// A slower page-store / capacity-tier link: 5 µs propagation,
+    /// 400 ps/byte (~2.5 GB/s), up to 1 µs jitter. Used for the
+    /// cross-tier ladder's last rung (pull the column over the network).
+    pub fn page_store() -> LinkSpec {
+        LinkSpec {
+            latency: Tick::from_us(5),
+            ps_per_byte: 400,
+            jitter_ps: 1_000_000,
+        }
+    }
+
+    /// An ideal link: zero latency, zero cost, zero jitter. Makes a
+    /// cluster run collapse to the node engines' own timelines — the
+    /// baseline the fabric's overhead is measured against.
+    pub fn ideal() -> LinkSpec {
+        LinkSpec {
+            latency: Tick::ZERO,
+            ps_per_byte: 0,
+            jitter_ps: 0,
+        }
+    }
+}
+
+/// Traffic ledger of one link: what crossed it and what it cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages charged to the link.
+    pub messages: u64,
+    /// Total payload bytes carried.
+    pub bytes: u64,
+    /// Total hop time charged (sum of every message's full delay).
+    pub busy: Tick,
+}
+
+/// One link with its private jitter stream and ledger.
+#[derive(Clone, Debug)]
+struct Link {
+    spec: LinkSpec,
+    rng: SplitMix64,
+    stats: LinkStats,
+}
+
+/// The deterministic star fabric between the host frontend and the
+/// memory nodes. See the crate docs for the cost model.
+#[derive(Clone, Debug)]
+pub struct NetFabric {
+    links: Vec<Link>,
+    msg_fixed: Tick,
+    root: SplitMix64,
+}
+
+impl NetFabric {
+    /// An empty fabric. `seed` roots every link's jitter stream;
+    /// `msg_fixed` is the fixed per-message serialization/processing
+    /// cost (marshalling the request, syscall/NIC doorbell — paid on
+    /// every hop regardless of size).
+    pub fn new(seed: u64, msg_fixed: Tick) -> NetFabric {
+        NetFabric {
+            links: Vec::new(),
+            msg_fixed,
+            root: SplitMix64::new(seed),
+        }
+    }
+
+    /// Adds a link and returns its dense id. The link's jitter stream is
+    /// `root.split(label)`, so streams are a pure function of
+    /// `(fabric seed, label)` — independent of how many other links
+    /// exist or the order they were added in.
+    pub fn add_link(&mut self, label: &str, spec: LinkSpec) -> usize {
+        let rng = self.root.split(label);
+        self.links.push(Link {
+            spec,
+            rng,
+            stats: LinkStats::default(),
+        });
+        self.links.len() - 1
+    }
+
+    /// Number of links.
+    pub fn links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Charges one `bytes`-byte message to `link` and returns its hop
+    /// delay: `msg_fixed + latency + bytes · ps_per_byte + jitter`,
+    /// where jitter is a fresh uniform draw in `[0, jitter_ps]` from the
+    /// link's stream. Updates the link's [`LinkStats`].
+    ///
+    /// # Panics
+    /// Panics if `link` is out of range.
+    pub fn delay(&mut self, link: usize, bytes: u64) -> Tick {
+        let l = &mut self.links[link];
+        let jitter = Tick::from_ps(l.rng.next_below(l.spec.jitter_ps + 1));
+        let wire = Tick::from_ps(bytes.saturating_mul(l.spec.ps_per_byte));
+        let total = self.msg_fixed + l.spec.latency + wire + jitter;
+        l.stats.messages += 1;
+        l.stats.bytes += bytes;
+        l.stats.busy += total;
+        total
+    }
+
+    /// The ledger of one link.
+    ///
+    /// # Panics
+    /// Panics if `link` is out of range.
+    pub fn stats(&self, link: usize) -> LinkStats {
+        self.links[link].stats
+    }
+
+    /// Total payload bytes across all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.links.iter().map(|l| l.stats.bytes).sum()
+    }
+
+    /// Total messages across all links.
+    pub fn total_messages(&self) -> u64 {
+        self.links.iter().map(|l| l.stats.messages).sum()
+    }
+
+    /// Total hop time charged across all links.
+    pub fn total_busy(&self) -> Tick {
+        self.links.iter().map(|l| l.stats.busy).sum()
+    }
+}
+
+/// Where a column's replicas live: the node ids (dense, `0..nodes`)
+/// holding a full copy. The serving tier routes a query to a holder when
+/// one is healthy, and falls back to pulling the column over the network
+/// when none is (the cross-tier ladder's last rung).
+///
+/// "Hot" columns are replicated on every node ([`Placement::hot`]);
+/// "cold" columns keep fewer copies ([`Placement::cold`]) — striping a
+/// cold column across k of N nodes is the placement the `fig_cluster`
+/// replication-factor axis sweeps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    holders: Vec<usize>,
+}
+
+impl Placement {
+    /// Replicate on every one of `nodes` nodes (hot column).
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0`.
+    pub fn hot(nodes: usize) -> Placement {
+        assert!(nodes > 0, "a placement needs at least one node");
+        Placement {
+            holders: (0..nodes).collect(),
+        }
+    }
+
+    /// Replicate on the first `factor` of `nodes` nodes (cold column,
+    /// replication factor < N).
+    ///
+    /// # Panics
+    /// Panics if `factor == 0` or `factor > nodes`.
+    pub fn cold(nodes: usize, factor: usize) -> Placement {
+        assert!(
+            factor > 0 && factor <= nodes,
+            "replication factor {factor} must be in 1..={nodes}"
+        );
+        Placement {
+            holders: (0..factor).collect(),
+        }
+    }
+
+    /// An explicit holder set.
+    ///
+    /// # Panics
+    /// Panics if `holders` is empty or contains duplicates.
+    pub fn on(mut holders: Vec<usize>) -> Placement {
+        assert!(!holders.is_empty(), "a placement needs at least one node");
+        holders.sort_unstable();
+        let len = holders.len();
+        holders.dedup();
+        assert_eq!(holders.len(), len, "duplicate holder node");
+        Placement { holders }
+    }
+
+    /// The holder node ids, sorted ascending.
+    pub fn holders(&self) -> &[usize] {
+        &self.holders
+    }
+
+    /// True when `node` holds a replica.
+    pub fn holds(&self, node: usize) -> bool {
+        self.holders.binary_search(&node).is_ok()
+    }
+
+    /// The replication factor (number of holders).
+    pub fn factor(&self) -> usize {
+        self.holders.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_for_a_seed() {
+        let build = || {
+            let mut f = NetFabric::new(0xFAB, Tick::from_ns(200));
+            for i in 0..3 {
+                f.add_link(&format!("node-{i}"), LinkSpec::datacenter());
+            }
+            f
+        };
+        let mut a = build();
+        let mut b = build();
+        for msg in 0..64u64 {
+            let link = (msg % 3) as usize;
+            assert_eq!(a.delay(link, msg * 64), b.delay(link, msg * 64));
+        }
+    }
+
+    #[test]
+    fn adding_a_link_never_perturbs_existing_streams() {
+        // The satellite guarantee: node-0's hop delays are identical
+        // whether the fabric has one node or four.
+        let mut solo = NetFabric::new(7, Tick::from_ns(200));
+        solo.add_link("node-0", LinkSpec::datacenter());
+        let mut wide = NetFabric::new(7, Tick::from_ns(200));
+        for i in 0..4 {
+            wide.add_link(&format!("node-{i}"), LinkSpec::datacenter());
+        }
+        for bytes in [0u64, 64, 4096, 1 << 20] {
+            assert_eq!(solo.delay(0, bytes), wide.delay(0, bytes));
+        }
+    }
+
+    #[test]
+    fn cost_model_is_exact_without_jitter() {
+        let mut f = NetFabric::new(1, Tick::from_ns(100));
+        let spec = LinkSpec {
+            latency: Tick::from_ns(1000),
+            ps_per_byte: 80,
+            jitter_ps: 0,
+        };
+        f.add_link("node-0", spec);
+        // 100ns fixed + 1000ns latency + 4096 B * 80 ps.
+        assert_eq!(
+            f.delay(0, 4096),
+            Tick::from_ns(1100) + Tick::from_ps(4096 * 80)
+        );
+        let s = f.stats(0);
+        assert_eq!((s.messages, s.bytes), (1, 4096));
+        assert_eq!(s.busy, Tick::from_ns(1100) + Tick::from_ps(4096 * 80));
+    }
+
+    #[test]
+    fn jitter_stays_within_its_bound() {
+        let mut f = NetFabric::new(99, Tick::ZERO);
+        let spec = LinkSpec {
+            latency: Tick::ZERO,
+            ps_per_byte: 0,
+            jitter_ps: 500,
+        };
+        f.add_link("node-0", spec);
+        for _ in 0..10_000 {
+            assert!(f.delay(0, 0) <= Tick::from_ps(500));
+        }
+    }
+
+    #[test]
+    fn ledger_accumulates_across_links() {
+        let mut f = NetFabric::new(3, Tick::ZERO);
+        f.add_link("node-0", LinkSpec::ideal());
+        f.add_link("node-1", LinkSpec::ideal());
+        f.delay(0, 10);
+        f.delay(1, 20);
+        f.delay(1, 30);
+        assert_eq!(f.total_messages(), 3);
+        assert_eq!(f.total_bytes(), 60);
+        assert_eq!(f.stats(1).messages, 2);
+        assert_eq!(f.total_busy(), Tick::ZERO);
+    }
+
+    #[test]
+    fn placement_hot_cold_and_membership() {
+        let hot = Placement::hot(4);
+        assert_eq!(hot.holders(), &[0, 1, 2, 3]);
+        assert_eq!(hot.factor(), 4);
+        let cold = Placement::cold(4, 2);
+        assert_eq!(cold.holders(), &[0, 1]);
+        assert!(cold.holds(1) && !cold.holds(2));
+        let explicit = Placement::on(vec![3, 1]);
+        assert_eq!(explicit.holders(), &[1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn zero_replication_factor_rejected() {
+        let _ = Placement::cold(4, 0);
+    }
+}

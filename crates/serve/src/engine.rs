@@ -381,8 +381,15 @@ const CLASS_UNIT_FREE: u8 = 3;
 const CLASS_PROBE: u8 = 4;
 const CLASS_DEGRADE: u8 = 5;
 
-struct Engine<'a, 'e> {
-    env: &'a mut ServeEnv<'e>,
+/// The serve engine as a steppable object. [`run_serve_checked`] drives
+/// it to completion in one call; the cluster tier ([`crate::cluster`])
+/// instead interleaves N node engines by advancing each only up to the
+/// next fabric event ([`Engine::advance_until`]) and injecting routed
+/// arrivals as they are delivered ([`Engine::inject_arrival`]). Both
+/// drivers replay the identical `(time, class, id)` decision order, so a
+/// node engine's trace is a pure function of the arrivals it is fed.
+pub(crate) struct Engine<'a, 'e> {
+    env: ServeEnv<'e>,
     cfg: &'a ServeConfig,
     policy: SchedPolicy,
     /// Per-query SLO (spec override or workload default), by query id.
@@ -414,6 +421,11 @@ struct Engine<'a, 'e> {
     now: Tick,
     next_spec: usize,
     makespan: Tick,
+    /// Queries finished since the last [`Engine::take_finished`] — the
+    /// completion feed the cluster tier turns into response messages.
+    finished: Vec<u32>,
+    /// Queries shed since the last [`Engine::take_shed`].
+    shed: Vec<u32>,
 }
 
 /// Runs `workload` against the machine in `env` under `policy` and
@@ -448,153 +460,250 @@ pub fn run_serve(
 /// Returns the first violated [`EngineInvariant`]; the trace stream
 /// carries a matching `ErrorSurfaced { site: "serve-engine" }` event.
 pub fn run_serve_checked(
-    mut env: ServeEnv<'_>,
+    env: ServeEnv<'_>,
     workload: &Workload,
     policy: SchedPolicy,
     cfg: &ServeConfig,
 ) -> Result<ServeReport, EngineInvariant> {
-    let nunits = env.pool.units();
-    assert!(nunits > 0, "serving needs at least one filter unit");
-    assert_eq!(env.devices.len(), nunits, "one device per unit");
-    assert_eq!(env.drivers.len(), nunits, "one driver per unit");
-    assert_eq!(env.replicas.len(), nunits, "one column replica per unit");
-    assert_eq!(env.outs.len(), nunits, "one output buffer per unit");
-    assert_eq!(
-        env.proj_outs.len(),
-        nunits,
-        "one projection buffer per unit"
-    );
-    assert_eq!(
-        env.modules.len(),
-        env.pool.channels(),
-        "one DRAM module per pool channel"
-    );
-    assert!(!env.values.is_empty(), "cannot serve an empty column");
-
-    let n = workload.len();
-    let records: Vec<QueryRecord> = workload
-        .specs
-        .iter()
-        .enumerate()
-        .map(|(i, s)| QueryRecord {
-            id: i as u32,
-            lo: s.lo,
-            hi: s.hi,
-            op: s.op,
-            submitted: Tick::ZERO,
-            started: None,
-            done: None,
-            deadline: Tick::MAX,
-            mode: ExecMode::Pending,
-            matched: 0,
-            bitset: Vec::new(),
-            agg: None,
-            projected: Vec::new(),
-        })
-        .collect();
-
-    let slos: Vec<Option<Tick>> = workload
-        .specs
-        .iter()
-        .map(|s| s.slo.or(workload.slo))
-        .collect();
-    let has_slo = slos.iter().any(|s| s.is_some());
-    let mut eng = Engine {
-        cfg,
-        policy,
-        slos,
-        has_slo,
-        think: None,
-        records,
-        queue: VecDeque::new(),
-        active: Vec::new(),
-        inflight: (0..n).map(|_| None).collect(),
-        unit_busy: vec![false; nunits],
-        served_count: vec![0; nunits],
-        health: HealthTracker::new(nunits, cfg.health),
-        parked: Vec::new(),
-        rescue_queue: VecDeque::new(),
-        arrivals: BinaryHeap::new(),
-        unit_free_ev: BinaryHeap::new(),
-        cpu_done: BinaryHeap::new(),
-        rescue_ev: BinaryHeap::new(),
-        probe_ev: BinaryHeap::new(),
-        migrations: 0,
-        requeues: 0,
-        sheds_tightened: 0,
-        events: 0,
-        host_free: cfg.start,
-        now: cfg.start,
-        next_spec: 0,
-        makespan: cfg.start,
-        env: &mut env,
-    };
-
-    match &workload.arrivals {
-        Arrivals::Open(times) => {
-            assert_eq!(times.len(), n, "one arrival instant per query");
-            for (i, &t) in times.iter().enumerate() {
-                eng.arrivals.push(Reverse((cfg.start + t, i as u32)));
-            }
-            eng.next_spec = n;
-        }
-        Arrivals::Closed { clients, think } => {
-            eng.think = Some(*think);
-            let first = (*clients as usize).min(n);
-            for i in 0..first {
-                eng.arrivals.push(Reverse((cfg.start, i as u32)));
-            }
-            eng.next_spec = first;
-        }
-    }
-
-    if let Err(inv) = eng.run() {
-        eng.env.tracer.emit(
-            eng.now,
-            EventKind::ErrorSurfaced {
-                site: "serve-engine",
-                detail: inv.name(),
-            },
-        );
-        return Err(inv);
-    }
-
-    eng.health.finalize(eng.makespan);
-    let availability = Availability {
-        units: (0..nunits)
-            .map(|u| {
-                // The tracker knows only unit ids; stamp the pool's
-                // physical coordinates onto the record here.
-                let mut a = eng.health.availability(u);
-                let fu = eng.env.pool.unit(u);
-                a.channel = fu.channel as u32;
-                a.rank = fu.rank as u32;
-                a
-            })
-            .collect(),
-        migrations: eng.migrations,
-        requeues: eng.requeues,
-        sheds_tightened: eng.sheds_tightened,
-    };
-    let makespan = eng.makespan.saturating_sub(cfg.start);
-    let records = eng.records;
+    let mut eng = Engine::build(env, workload, policy, cfg);
+    eng.seed_arrivals(&workload.arrivals);
+    eng.run()?;
     debug_assert!(
-        records
+        eng.records
             .iter()
             .all(|r| r.done.is_some() || r.mode == ExecMode::Shed),
         "every query completes or is shed"
     );
-    Ok(ServeReport {
-        records,
-        makespan,
-        policy: policy.name(),
-        availability,
-        events: eng.events,
-    })
+    Ok(eng.into_report())
+}
+
+impl<'a, 'e> Engine<'a, 'e> {
+    /// Constructs an idle engine over `env` with one pending record per
+    /// workload spec and **no arrivals scheduled**. [`run_serve_checked`]
+    /// follows this with [`Engine::seed_arrivals`]; the cluster tier
+    /// instead feeds arrivals one at a time via
+    /// [`Engine::inject_arrival`] as the fabric delivers them.
+    ///
+    /// # Panics
+    /// Panics if `env` has no units, mismatched per-unit slices, a module
+    /// count that disagrees with the pool's channel count, or an empty
+    /// column — caller contract violations, not engine state.
+    pub(crate) fn build(
+        env: ServeEnv<'e>,
+        workload: &Workload,
+        policy: SchedPolicy,
+        cfg: &'a ServeConfig,
+    ) -> Engine<'a, 'e> {
+        let nunits = env.pool.units();
+        assert!(nunits > 0, "serving needs at least one filter unit");
+        assert_eq!(env.devices.len(), nunits, "one device per unit");
+        assert_eq!(env.drivers.len(), nunits, "one driver per unit");
+        assert_eq!(env.replicas.len(), nunits, "one column replica per unit");
+        assert_eq!(env.outs.len(), nunits, "one output buffer per unit");
+        assert_eq!(
+            env.proj_outs.len(),
+            nunits,
+            "one projection buffer per unit"
+        );
+        assert_eq!(
+            env.modules.len(),
+            env.pool.channels(),
+            "one DRAM module per pool channel"
+        );
+        assert!(!env.values.is_empty(), "cannot serve an empty column");
+
+        let n = workload.len();
+        let records: Vec<QueryRecord> = workload
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| QueryRecord {
+                id: i as u32,
+                lo: s.lo,
+                hi: s.hi,
+                op: s.op,
+                submitted: Tick::ZERO,
+                started: None,
+                done: None,
+                deadline: Tick::MAX,
+                mode: ExecMode::Pending,
+                matched: 0,
+                bitset: Vec::new(),
+                agg: None,
+                projected: Vec::new(),
+            })
+            .collect();
+
+        let slos: Vec<Option<Tick>> = workload
+            .specs
+            .iter()
+            .map(|s| s.slo.or(workload.slo))
+            .collect();
+        let has_slo = slos.iter().any(|s| s.is_some());
+        Engine {
+            cfg,
+            policy,
+            slos,
+            has_slo,
+            think: None,
+            records,
+            queue: VecDeque::new(),
+            active: Vec::new(),
+            inflight: (0..n).map(|_| None).collect(),
+            unit_busy: vec![false; nunits],
+            served_count: vec![0; nunits],
+            health: HealthTracker::new(nunits, cfg.health),
+            parked: Vec::new(),
+            rescue_queue: VecDeque::new(),
+            arrivals: BinaryHeap::new(),
+            unit_free_ev: BinaryHeap::new(),
+            cpu_done: BinaryHeap::new(),
+            rescue_ev: BinaryHeap::new(),
+            probe_ev: BinaryHeap::new(),
+            migrations: 0,
+            requeues: 0,
+            sheds_tightened: 0,
+            events: 0,
+            host_free: cfg.start,
+            now: cfg.start,
+            next_spec: n,
+            makespan: cfg.start,
+            finished: Vec::new(),
+            shed: Vec::new(),
+            env,
+        }
+    }
+
+    /// Schedules the workload's own arrival process: every open-loop
+    /// instant up front, or the first client wave of a closed loop.
+    pub(crate) fn seed_arrivals(&mut self, arrivals: &Arrivals) {
+        let n = self.records.len();
+        match arrivals {
+            Arrivals::Open(times) => {
+                assert_eq!(times.len(), n, "one arrival instant per query");
+                for (i, &t) in times.iter().enumerate() {
+                    self.arrivals.push(Reverse((self.cfg.start + t, i as u32)));
+                }
+                self.next_spec = n;
+            }
+            Arrivals::Closed { clients, think } => {
+                self.think = Some(*think);
+                let first = (*clients as usize).min(n);
+                for i in 0..first {
+                    self.arrivals.push(Reverse((self.cfg.start, i as u32)));
+                }
+                self.next_spec = first;
+            }
+        }
+    }
+
+    /// Consumes the finished engine into its [`ServeReport`], stamping
+    /// pool coordinates onto the per-unit availability ledger.
+    pub(crate) fn into_report(mut self) -> ServeReport {
+        self.health.finalize(self.makespan);
+        let nunits = self.unit_busy.len();
+        let availability = Availability {
+            units: (0..nunits)
+                .map(|u| {
+                    // The tracker knows only unit ids; stamp the pool's
+                    // physical coordinates onto the record here.
+                    let mut a = self.health.availability(u);
+                    let fu = self.env.pool.unit(u);
+                    a.channel = fu.channel as u32;
+                    a.rank = fu.rank as u32;
+                    a
+                })
+                .collect(),
+            migrations: self.migrations,
+            requeues: self.requeues,
+            sheds_tightened: self.sheds_tightened,
+        };
+        ServeReport {
+            records: self.records,
+            makespan: self.makespan.saturating_sub(self.cfg.start),
+            policy: self.policy.name(),
+            availability,
+            events: self.events,
+        }
+    }
+
+    /// Schedules an externally routed arrival of query `qid` at absolute
+    /// time `t` (the fabric's delivery instant). Sound as long as `t` is
+    /// not in the engine's processed past — the cluster loop guarantees
+    /// this by advancing a node only up to the next fabric event before
+    /// injecting. (Times in the past would be clamped to `now` by the
+    /// event loop rather than corrupting state, but then delivery order
+    /// and admission snapshots would no longer replay.)
+    pub(crate) fn inject_arrival(&mut self, qid: u32, t: Tick) {
+        self.arrivals.push(Reverse((t, qid)));
+    }
+
+    /// When the engine next makes a decision: the earlier of its best
+    /// pending event and its furthest-behind active shard's clock.
+    /// `None` when fully drained (the run-loop termination condition).
+    pub(crate) fn next_time(&self) -> Option<Tick> {
+        let ev = self.best_event().map(|(t, _, _)| t);
+        let shard = self.active.iter().map(|s| s.session.cursor()).min();
+        match (ev, shard) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Queries finished since the last call, in completion order.
+    pub(crate) fn take_finished(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Queries shed by admission since the last call.
+    pub(crate) fn take_shed(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.shed)
+    }
+
+    /// The record of query `qid` as of now (pending fields still open).
+    pub(crate) fn record(&self, qid: u32) -> &QueryRecord {
+        &self.records[qid as usize]
+    }
+
+    /// Current admission-queue depth — the router's load signal.
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Units currently in the schedulable pool (healthy, not
+    /// quarantined) — the router's health signal.
+    pub(crate) fn schedulable_units(&self) -> usize {
+        self.health.schedulable_count()
+    }
 }
 
 impl Engine<'_, '_> {
     fn run(&mut self) -> Result<(), EngineInvariant> {
+        self.advance_until(Tick::MAX)
+    }
+
+    /// Runs the engine forward, processing every event and shard step
+    /// whose decision time is `<= limit`, then stops. `limit ==
+    /// Tick::MAX` reproduces a full run exactly. Repeated calls with
+    /// non-decreasing limits replay the identical `(time, class, id)`
+    /// decision sequence a single full run would make over the same
+    /// arrivals, because the loop's choice at each iteration depends
+    /// only on current state and stopping merely postpones it.
+    pub(crate) fn advance_until(&mut self, limit: Tick) -> Result<(), EngineInvariant> {
+        let r = self.advance_until_inner(limit);
+        if let Err(inv) = &r {
+            self.env.tracer.emit(
+                self.now,
+                EventKind::ErrorSurfaced {
+                    site: "serve-engine",
+                    detail: inv.name(),
+                },
+            );
+        }
+        r
+    }
+
+    fn advance_until_inner(&mut self, limit: Tick) -> Result<(), EngineInvariant> {
         loop {
             let event = self.best_event();
             // Always advance the furthest-behind shard first; decisions
@@ -607,9 +716,24 @@ impl Engine<'_, '_> {
                 .min()
                 .map(|((cursor, _, _), i)| (cursor, i));
             match (min_shard, event) {
-                (Some((cursor, idx)), Some((t, _, _))) if cursor <= t => self.step_shard(idx)?,
-                (Some((_, idx)), None) => self.step_shard(idx)?,
-                (_, Some((t, class, payload))) => self.process_event(t, class, payload)?,
+                (Some((cursor, idx)), Some((t, _, _))) if cursor <= t => {
+                    if cursor > limit {
+                        break;
+                    }
+                    self.step_shard(idx)?;
+                }
+                (Some((cursor, idx)), None) => {
+                    if cursor > limit {
+                        break;
+                    }
+                    self.step_shard(idx)?;
+                }
+                (_, Some((t, class, payload))) => {
+                    if t > limit {
+                        break;
+                    }
+                    self.process_event(t, class, payload)?;
+                }
                 (None, None) => break,
             }
         }
@@ -750,6 +874,7 @@ impl Engine<'_, '_> {
             }
             let rec = &mut self.records[qid as usize];
             rec.mode = ExecMode::Shed;
+            self.shed.push(qid);
             self.env
                 .tracer
                 .emit(t, EventKind::QueryShed { query: qid, depth });
@@ -1664,6 +1789,7 @@ impl Engine<'_, '_> {
     fn finish_query(&mut self, qid: u32, end: Tick) {
         let rec = &mut self.records[qid as usize];
         rec.done = Some(end);
+        self.finished.push(qid);
         self.makespan = self.makespan.max(end);
         let matched = rec.matched;
         self.env.tracer.emit(
@@ -1705,13 +1831,7 @@ impl Engine<'_, '_> {
     /// k·8·rows bytes (the worst case the host budgets for before it
     /// knows the selectivity).
     fn cpu_estimate(&self, op: QueryOp) -> Tick {
-        let rows = self.env.values.len() as u64;
-        let out_bytes = match op {
-            QueryOp::Select => rows.div_ceil(8),
-            QueryOp::SelectCount | QueryOp::SelectAgg(_) => 8,
-            QueryOp::Project { k } => u64::from(k.max(1)) * 8 * rows,
-        };
-        self.cfg.cpu_fixed + self.cfg.cpu_per_row * rows + self.cfg.cpu_per_out_byte * out_bytes
+        host_scan_cost(self.cfg, self.env.values.len() as u64, op)
     }
 
     /// Pulls `qid` off the device queue and runs it on the host: timed
@@ -1788,6 +1908,19 @@ impl Engine<'_, '_> {
         );
         Ok(())
     }
+}
+
+/// Analytical host-scan time for one query: fixed setup, per-row
+/// predicate cost, per-output-byte materialization cost. Shared by the
+/// engine's degrade rung and the cluster frontend's pull-and-scan rung,
+/// so the two CPU tiers price identical work identically.
+pub(crate) fn host_scan_cost(cfg: &ServeConfig, rows: u64, op: QueryOp) -> Tick {
+    let out_bytes = match op {
+        QueryOp::Select => rows.div_ceil(8),
+        QueryOp::SelectCount | QueryOp::SelectAgg(_) => 8,
+        QueryOp::Project { k } => u64::from(k.max(1)) * 8 * rows,
+    };
+    cfg.cpu_fixed + cfg.cpu_per_row * rows + cfg.cpu_per_out_byte * out_bytes
 }
 
 /// The serving-layer aggregate functions mapped onto the device kernel's

@@ -35,7 +35,13 @@
 //!   breakdown, execution rung, selection vector) and aggregate
 //!   p50/p95/p99 latency + throughput;
 //! - [`submit`]: lifting `jafar-columnstore` scan, projection and
-//!   global-aggregate plans into served queries.
+//!   global-aggregate plans into served queries;
+//! - [`cluster`]: the disaggregated tier — a host frontend routing
+//!   queries over a deterministic [`jafar_net::NetFabric`] to N memory
+//!   nodes (each a full node-local engine with its own fault domain),
+//!   with replica-aware routing policies and the degradation ladder
+//!   extended across tiers: remote NDP → remote node CPU →
+//!   pull-the-column-and-scan on the frontend.
 //!
 //! Everything is deterministic: workloads are pure functions of their
 //! seeds, and the engine makes every scheduling decision at an explicit
@@ -48,6 +54,7 @@
 //! DRAM module, replicates the column across the NDP ranks and hands the
 //! engine a [`engine::ServeEnv`].
 
+pub mod cluster;
 pub mod engine;
 pub mod health;
 pub mod policy;
@@ -56,10 +63,14 @@ pub mod report;
 pub mod submit;
 pub mod workload;
 
+pub use cluster::{
+    cluster_fabric, run_cluster, ClusterConfig, ClusterEnv, ClusterQuery, ClusterReport,
+    NodeSummary, RoutePolicy, Tier,
+};
 pub use engine::{run_serve, run_serve_checked, EngineInvariant, ServeConfig, ServeEnv};
 pub use health::{HealthConfig, UnitState};
 pub use policy::SchedPolicy;
-pub use pool::{ChannelRankPool, FilterPool, FilterUnit, SingleDimmPool};
+pub use pool::{ChannelRankPool, FilterPool, FilterUnit, PoolIdError, SingleDimmPool};
 pub use report::{Availability, ExecMode, OpBreakdown, QueryRecord, ServeReport, UnitAvailability};
 pub use submit::SubmitError;
 pub use workload::{AggFn, Arrivals, PredicateMix, QueryOp, QuerySpec, Workload};

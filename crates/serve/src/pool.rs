@@ -45,6 +45,43 @@
 //! canary probing confine failures to one unit without touching its
 //! channel siblings.
 
+use std::fmt;
+
+/// Typed failure from unit-id arithmetic: the `(channel, rank,
+/// bank_group)` coordinates do not map to a dense id, either because a
+/// coordinate is outside the pool's shape or because the id computation
+/// would exceed `usize::MAX` (silent wraparound would alias two distinct
+/// units onto one id — a correctness bug, not a perf bug).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolIdError {
+    /// A coordinate is at or beyond its axis extent.
+    OutOfRange {
+        /// Which axis (`"channel"`, `"rank"`, `"bank_group"`).
+        axis: &'static str,
+        /// The offending coordinate.
+        index: usize,
+        /// The axis extent it must stay below.
+        extent: usize,
+    },
+    /// The dense id (or the pool's total unit count) overflows `usize`.
+    Overflow,
+}
+
+impl fmt::Display for PoolIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolIdError::OutOfRange {
+                axis,
+                index,
+                extent,
+            } => write!(f, "{axis} {index} out of range (extent {extent})"),
+            PoolIdError::Overflow => write!(f, "unit id arithmetic overflows usize"),
+        }
+    }
+}
+
+impl std::error::Error for PoolIdError {}
+
 /// Physical coordinates of one schedulable filter unit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct FilterUnit {
@@ -128,27 +165,38 @@ impl ChannelRankPool {
     /// A pool of `channels × ranks_per_channel` whole-rank units.
     ///
     /// # Panics
-    /// Panics if either dimension is zero.
+    /// Panics if either dimension is zero or the unit count overflows
+    /// `usize` (use [`ChannelRankPool::try_units`] to probe a shape).
     pub fn new(channels: usize, ranks_per_channel: usize) -> Self {
         assert!(
             channels > 0 && ranks_per_channel > 0,
             "a pool needs at least one unit"
         );
-        ChannelRankPool {
+        let pool = ChannelRankPool {
             channels,
             ranks_per_channel,
             bank_groups: 1,
-        }
+        };
+        assert!(
+            pool.try_units().is_ok(),
+            "pool shape {channels}x{ranks_per_channel} overflows usize"
+        );
+        pool
     }
 
     /// Splits every rank into `bank_groups` independently schedulable
     /// units (Membrane-style bank-group parallelism).
     ///
     /// # Panics
-    /// Panics if `bank_groups == 0`.
+    /// Panics if `bank_groups == 0` or the multiplied unit count
+    /// overflows `usize`.
     pub fn with_bank_groups(mut self, bank_groups: usize) -> Self {
         assert!(bank_groups > 0, "a rank has at least one bank group");
         self.bank_groups = bank_groups;
+        assert!(
+            self.try_units().is_ok(),
+            "bank-group split to {bank_groups} overflows usize"
+        );
         self
     }
 
@@ -158,9 +206,45 @@ impl ChannelRankPool {
     }
 
     /// The dense id of `(channel, rank, bank_group)` — the inverse of
-    /// [`FilterPool::unit`].
-    pub fn id_of(&self, channel: usize, rank: usize, bank_group: usize) -> usize {
-        (channel * self.ranks_per_channel + rank) * self.bank_groups + bank_group
+    /// [`FilterPool::unit`]. Checked: out-of-shape coordinates and
+    /// `usize` overflow return a [`PoolIdError`] instead of silently
+    /// wrapping onto some other unit's id.
+    pub fn id_of(
+        &self,
+        channel: usize,
+        rank: usize,
+        bank_group: usize,
+    ) -> Result<usize, PoolIdError> {
+        for (axis, index, extent) in [
+            ("channel", channel, self.channels),
+            ("rank", rank, self.ranks_per_channel),
+            ("bank_group", bank_group, self.bank_groups),
+        ] {
+            if index >= extent {
+                return Err(PoolIdError::OutOfRange {
+                    axis,
+                    index,
+                    extent,
+                });
+            }
+        }
+        channel
+            .checked_mul(self.ranks_per_channel)
+            .and_then(|v| v.checked_add(rank))
+            .and_then(|v| v.checked_mul(self.bank_groups))
+            .and_then(|v| v.checked_add(bank_group))
+            .ok_or(PoolIdError::Overflow)
+    }
+
+    /// Total units, checked: `Err(Overflow)` when `channels ×
+    /// ranks_per_channel × bank_groups` exceeds `usize` — the shape
+    /// validation [`ChannelRankPool::new`] and
+    /// [`ChannelRankPool::with_bank_groups`] enforce by panic.
+    pub fn try_units(&self) -> Result<usize, PoolIdError> {
+        self.channels
+            .checked_mul(self.ranks_per_channel)
+            .and_then(|v| v.checked_mul(self.bank_groups))
+            .ok_or(PoolIdError::Overflow)
     }
 }
 
@@ -215,7 +299,7 @@ mod tests {
         for u in 0..p.units() {
             let fu = p.unit(u);
             assert!(fu.channel < 4 && fu.rank < 3 && fu.bank_group == 0);
-            assert_eq!(p.id_of(fu.channel, fu.rank, fu.bank_group), u);
+            assert_eq!(p.id_of(fu.channel, fu.rank, fu.bank_group), Ok(u));
             assert!(seen.insert(fu), "ids are distinct coordinates");
         }
         // Channel-major: consecutive ids walk ranks within a channel.
@@ -238,13 +322,67 @@ mod tests {
     fn bank_groups_multiply_the_pool() {
         let p = ChannelRankPool::new(2, 2).with_bank_groups(4);
         assert_eq!(p.units(), 16);
-        let fu = p.unit(p.id_of(1, 0, 3));
+        let fu = p.unit(p.id_of(1, 0, 3).unwrap());
         assert_eq!((fu.channel, fu.rank, fu.bank_group), (1, 0, 3));
         // All 16 coordinates are distinct and round-trip.
         for u in 0..p.units() {
             let fu = p.unit(u);
-            assert_eq!(p.id_of(fu.channel, fu.rank, fu.bank_group), u);
+            assert_eq!(p.id_of(fu.channel, fu.rank, fu.bank_group), Ok(u));
         }
+    }
+
+    #[test]
+    fn id_of_rejects_out_of_shape_coordinates() {
+        let p = ChannelRankPool::new(2, 3).with_bank_groups(2);
+        assert_eq!(
+            p.id_of(2, 0, 0),
+            Err(PoolIdError::OutOfRange {
+                axis: "channel",
+                index: 2,
+                extent: 2
+            })
+        );
+        assert_eq!(
+            p.id_of(0, 3, 0),
+            Err(PoolIdError::OutOfRange {
+                axis: "rank",
+                index: 3,
+                extent: 3
+            })
+        );
+        assert_eq!(
+            p.id_of(1, 2, 2),
+            Err(PoolIdError::OutOfRange {
+                axis: "bank_group",
+                index: 2,
+                extent: 2
+            })
+        );
+    }
+
+    #[test]
+    fn id_arithmetic_errors_at_the_overflow_boundary() {
+        // A shape whose id arithmetic is exactly at the usize boundary:
+        // 2 channels × (usize::MAX/2) ranks. The last valid coordinate
+        // maps to usize::MAX - ... fine; one channel further would wrap.
+        let half = usize::MAX / 2;
+        let p = ChannelRankPool {
+            channels: 2,
+            ranks_per_channel: half,
+            bank_groups: 1,
+        };
+        // In-shape extremes still map without wrapping.
+        assert_eq!(p.id_of(1, half - 1, 0), Ok(2 * half - 1));
+        assert_eq!(p.try_units(), Ok(2 * half));
+        // A shape one bank-group split away from overflow is caught as a
+        // typed error, not a wrapped id: 2 × MAX/2 × 2 > usize::MAX.
+        let wide = ChannelRankPool {
+            channels: 2,
+            ranks_per_channel: half,
+            bank_groups: 2,
+        };
+        assert_eq!(wide.try_units(), Err(PoolIdError::Overflow));
+        assert_eq!(wide.id_of(1, half - 1, 1), Err(PoolIdError::Overflow));
     }
 
     #[test]

@@ -25,14 +25,18 @@
 //! Beyond the paper, [`System::serve`] runs a *stream* of select queries
 //! through the `jafar-serve` multi-tenant engine (admission control,
 //! scheduling policies, SLO-driven degradation) over this system's
-//! devices and ranks, and [`cluster::ServeCluster`] widens that pool to
-//! channels × ranks over the interleaved multi-channel memory system.
+//! devices and ranks, [`cluster::ServeCluster`] widens that pool to
+//! channels × ranks over the interleaved multi-channel memory system,
+//! and [`grid::ServeGrid`] disaggregates it across N memory nodes behind
+//! a deterministic cluster fabric with replica routing and a cross-tier
+//! degradation ladder.
 
 pub mod alloc;
 pub mod backend;
 pub mod cluster;
 pub mod config;
 pub mod energy;
+pub mod grid;
 pub mod replay;
 pub mod system;
 
@@ -41,6 +45,7 @@ pub use backend::SimBackend;
 pub use cluster::{ClusterServeRun, ServeCluster};
 pub use config::SystemConfig;
 pub use energy::{HostEnergyModel, SelectEnergy};
+pub use grid::{GridServeRun, ServeGrid};
 pub use replay::{PlacedDb, QueryReplayer, ReplayCosts};
 pub use system::{
     ColumnShard, CpuSelectStats, JafarSelectStats, ParallelSelectStats, PartitionedColumn,

@@ -22,6 +22,8 @@
 //! - [`tpch`]: TPC-H-like generator and queries Q1/Q3/Q6/Q18/Q22.
 //! - [`serve`]: deterministic multi-tenant query-serving engine (admission
 //!   control, scheduling policies, SLO-driven degradation).
+//! - [`net`]: deterministic simulated cluster fabric (per-link cost model,
+//!   seeded jitter, column replica placement) for the disaggregated tier.
 //! - [`sim`]: the full-system simulator tying everything together.
 //!
 //! # Example: one select, both ways
@@ -51,6 +53,7 @@ pub use jafar_core as core;
 pub use jafar_cpu as cpu;
 pub use jafar_dram as dram;
 pub use jafar_memctl as memctl;
+pub use jafar_net as net;
 pub use jafar_serve as serve;
 pub use jafar_sim as sim;
 pub use jafar_tpch as tpch;

@@ -1,0 +1,213 @@
+//! The disaggregated tier's identity contract: whatever the node count,
+//! replication factor, routing policy or node-local scheduling policy,
+//! every query served by a cluster returns the *same bytes* it would
+//! have returned on a single-node grid — and a node-scoped outage stays
+//! confined to exactly one node's ledgers. CI runs this file by name
+//! through the tier-1 `cargo test` lane.
+
+use jafar::common::check::forall;
+use jafar::common::obs::SharedTracer;
+use jafar::common::rng::SplitMix64;
+use jafar::common::time::Tick;
+use jafar::dram::FaultPlan;
+use jafar::net::Placement;
+use jafar::serve::cluster::{cluster_fabric, ClusterConfig, ClusterQuery, RoutePolicy};
+use jafar::serve::{AggFn, PredicateMix, QueryOp, SchedPolicy, ServeConfig, Workload};
+use jafar::sim::{GridServeRun, ServeGrid, SystemConfig};
+
+const ROWS: usize = 4096;
+const OP_MIX: [QueryOp; 5] = [
+    QueryOp::Select,
+    QueryOp::SelectCount,
+    QueryOp::SelectAgg(AggFn::Sum),
+    QueryOp::SelectAgg(AggFn::Min),
+    QueryOp::Project { k: 2 },
+];
+
+fn values(seed: u64) -> Vec<i64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..ROWS)
+        .map(|_| rng.next_range_inclusive(0, 999))
+        .collect()
+}
+
+fn workload(queries: usize, seed: u64, with_slo: bool) -> Workload {
+    let mix = PredicateMix::UniformRange {
+        min: 0,
+        max: 999,
+        width: 250,
+    };
+    let w = Workload::poisson(mix, queries, Tick::from_us(2), seed).with_op_mix(&OP_MIX);
+    if with_slo {
+        w.with_slo_classes(&[Tick::from_ms(2), Tick::from_us(800)])
+    } else {
+        w
+    }
+}
+
+fn serve(
+    nodes: usize,
+    placement: &Placement,
+    route: RoutePolicy,
+    policy: SchedPolicy,
+    wl: &Workload,
+    dark_node: Option<usize>,
+) -> GridServeRun {
+    let mut grid = ServeGrid::new(SystemConfig::test_small(), nodes, SharedTracer::disabled());
+    if let Some(node) = dark_node {
+        let mut plan = FaultPlan::none(11);
+        for unit in 0..grid.units_per_node() as u32 {
+            plan = plan.with_outage(unit, Tick::ZERO, Tick::MAX);
+        }
+        grid.inject_faults_on_node(node, plan);
+    }
+    let mut fabric = grid.fabric(0xF00D);
+    grid.serve(
+        &values(0xC01),
+        placement,
+        &mut fabric,
+        wl,
+        policy,
+        &ServeConfig {
+            max_queue: wl.len(),
+            ..ServeConfig::default()
+        },
+        &ClusterConfig {
+            route,
+            ..ClusterConfig::default()
+        },
+    )
+}
+
+/// Result payloads only — node-side timestamps legitimately shift when
+/// the same stream splits across more nodes.
+fn same_results(a: &[ClusterQuery], b: &[ClusterQuery]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            let (rx, ry) = (&x.record, &y.record);
+            rx.id == ry.id
+                && rx.op == ry.op
+                && rx.matched == ry.matched
+                && rx.bitset == ry.bitset
+                && rx.agg == ry.agg
+                && rx.projected == ry.projected
+        })
+}
+
+#[test]
+fn cluster_results_match_the_solo_run_for_all_shapes() {
+    forall(
+        "cluster == solo across nodes x rf x route x policy",
+        10,
+        |rng| {
+            let nodes = 2 + (rng.next_u64() % 2) as usize; // 2 or 3
+            let rf = 1 + (rng.next_u64() % nodes as u64) as usize;
+            let route = match rng.next_u64() % 3 {
+                0 => RoutePolicy::RoundRobin,
+                1 => RoutePolicy::LeastOutstanding,
+                _ => RoutePolicy::ReplicaLocal,
+            };
+            let policy = if rng.next_u64() % 2 == 0 {
+                SchedPolicy::Fifo
+            } else {
+                SchedPolicy::Edf
+            };
+            let wl = workload(8, rng.next_u64(), rng.next_u64() % 2 == 0);
+
+            let solo = serve(
+                1,
+                &Placement::hot(1),
+                RoutePolicy::ReplicaLocal,
+                SchedPolicy::Fifo,
+                &wl,
+                None,
+            );
+            let cluster = serve(nodes, &Placement::cold(nodes, rf), route, policy, &wl, None);
+            assert_eq!(solo.report.completed(), wl.len(), "solo completes all");
+            assert_eq!(
+                cluster.report.completed(),
+                wl.len(),
+                "{nodes} nodes / rf {rf} / {route:?} / {policy:?}: all complete"
+            );
+            assert!(
+                same_results(&cluster.report.queries, &solo.report.queries),
+                "{nodes} nodes / rf {rf} / {route:?} / {policy:?}: results diverged from solo"
+            );
+        },
+    );
+}
+
+#[test]
+fn node_outage_is_confined_to_exactly_one_node() {
+    let wl = workload(9, 0x0DD, false);
+    let run = serve(
+        3,
+        &Placement::hot(3),
+        RoutePolicy::RoundRobin,
+        SchedPolicy::Fifo,
+        &wl,
+        Some(2),
+    );
+    assert_eq!(
+        run.report.completed(),
+        wl.len(),
+        "a dark node still answers"
+    );
+    let solo = serve(
+        1,
+        &Placement::hot(1),
+        RoutePolicy::ReplicaLocal,
+        SchedPolicy::Fifo,
+        &wl,
+        None,
+    );
+    assert!(
+        same_results(&run.report.queries, &solo.report.queries),
+        "outage run's results diverged from solo"
+    );
+    for node in 0..3usize {
+        let summary = &run.report.nodes[node];
+        if node == 2 {
+            assert!(
+                summary.availability.disturbed(),
+                "the dark node's ledger records its quarantine"
+            );
+            assert!(
+                run.faults[2].as_ref().is_some_and(|f| f.total() > 0),
+                "the dark node's injector rejected commands"
+            );
+        } else {
+            assert!(
+                !summary.availability.disturbed(),
+                "node {node} never sees node 2's outage"
+            );
+            assert!(run.faults[node].is_none(), "node {node} has no injector");
+        }
+    }
+}
+
+/// The satellite regression for `SplitMix64::split`: fabric jitter
+/// streams are derived per link *label*, so growing the grid adds links
+/// without perturbing the streams of the links that were already there —
+/// node 0 (and the page-store) behave identically on a 1-node and a
+/// 4-node fabric.
+#[test]
+fn adding_nodes_never_perturbs_existing_link_streams() {
+    let mut small = cluster_fabric(1, 0x5EED);
+    let mut large = cluster_fabric(4, 0x5EED);
+    let sizes = [64u64, 4096, 256, 1 << 20, 8, 131072, 24, 777];
+    for &bytes in &sizes {
+        assert_eq!(
+            small.delay(0, bytes),
+            large.delay(0, bytes),
+            "node-0 link stream must not depend on the node count"
+        );
+        // The page-store link sits at index `nodes` — 1 vs 4 — but its
+        // stream is keyed by its label, not its position.
+        assert_eq!(
+            small.delay(1, bytes),
+            large.delay(4, bytes),
+            "page-store stream must not depend on the node count"
+        );
+    }
+}
