@@ -31,7 +31,7 @@ fn main() {
         .map(|_| rng.next_range_inclusive(0, 1 << 20))
         .collect();
     micro::run("columnstore/hash_join_32k_x_128k", || {
-        hash_join(black_box(&build), black_box(&probe))
+        hash_join(black_box(&build), black_box(&probe)).expect("in range")
     });
 
     let keys: Vec<i64> = (0..n).map(|_| rng.next_range_inclusive(0, 63)).collect();

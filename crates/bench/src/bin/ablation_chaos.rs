@@ -166,6 +166,9 @@ fn check_cell(tag: &str, values: &[i64], n: usize, report: &ServeReport) {
                     rec.id
                 );
             }
+            QueryOp::SemiJoin { .. } | QueryOp::GroupBy { .. } => {
+                unreachable!("{tag}: the chaos mixes serve no joins or group-bys")
+            }
         }
     }
     for r in &report.availability.units {

@@ -20,6 +20,11 @@
 //!   admission processing no more events than one-at-a-time draining
 //!   (wall-clock throughput fields are checked for finiteness only —
 //!   they are machine-dependent);
+//! - the join artifact's acceptance gates: the Q3/Q13-shaped mix served
+//!   at least one semi-join and one keyed group-by with nothing lost,
+//!   the skew-aware split sustained ≥ 1.3× the naive-hash service rate
+//!   on the Zipf(1.0) key burst, and the split run's group rows were
+//!   byte-identical to naive hashing;
 //! - the cluster artifact's acceptance gates: the saturation knee scales
 //!   ≥ 1.6× from one node to two under replica-local routing, the
 //!   node-outage run completed every admitted query with results
@@ -42,8 +47,9 @@
 //!   ever moves it.
 //!
 //! Usage: `bench_check [--accept] [FILE...]` — defaults to
-//! `BENCH_serving.json`, `BENCH_scaling.json`, `BENCH_engine.json` and
-//! `BENCH_cluster.json` in the working directory, skipping missing
+//! `BENCH_serving.json`, `BENCH_scaling.json`, `BENCH_engine.json`,
+//! `BENCH_cluster.json` and `BENCH_join.json` in the working directory,
+//! skipping missing
 //! defaults but failing on missing explicit arguments. Exits non-zero
 //! with one line per violation.
 
@@ -61,6 +67,7 @@ fn gated_fields(bench: &str) -> &'static [&'static str] {
         ],
         "fig_engine" => &["contention.fused_multiple"],
         "fig_cluster" => &["knee_2node_multiple", "knee_4node_multiple"],
+        "fig_join" => &["skew.split_multiple", "mix.service_rate_qps"],
         _ => &[],
     }
 }
@@ -414,6 +421,70 @@ fn check_cluster(c: &mut Check, doc: &Json) {
     }
 }
 
+fn check_join(c: &mut Check, doc: &Json) {
+    for key in [
+        "bench",
+        "smoke",
+        "queries",
+        "rows",
+        "key_domain",
+        "zipf_theta",
+    ] {
+        c.require(doc, key);
+    }
+    if let Some(mix) = c.require(doc, "mix") {
+        for key in [
+            "queries",
+            "semi_joins",
+            "group_bys",
+            "completed",
+            "shed",
+            "service_rate_qps",
+            "p50_ms",
+            "p99_ms",
+        ] {
+            c.finite(mix, key);
+        }
+        let queries = c.finite(mix, "queries");
+        let completed = c.finite(mix, "completed");
+        let shed = c.finite(mix, "shed");
+        if let (Some(q), Some(done), Some(shed)) = (queries, completed, shed) {
+            if done + shed < q {
+                c.fail(format!(
+                    "mix lost queries: {done} completed + {shed} shed of {q}"
+                ));
+            }
+        }
+        for key in ["semi_joins", "group_bys"] {
+            if c.finite(mix, key).is_some_and(|n| n < 1.0) {
+                c.fail(format!("mix served no `{key}` — not a Q3/Q13-shaped mix"));
+            }
+        }
+    }
+    if let Some(skew) = c.require(doc, "skew") {
+        for key in [
+            "queries",
+            "naive_qps",
+            "split_qps",
+            "naive_makespan_ms",
+            "split_makespan_ms",
+        ] {
+            c.finite(skew, key);
+        }
+        if let Some(mult) = c.finite(skew, "split_multiple") {
+            if mult < 1.3 {
+                c.fail(format!(
+                    "skew-aware split sustained only {mult}x the naive-hash service \
+                     rate on the Zipf(1.0) burst (< 1.3x)"
+                ));
+            }
+        }
+        if skew.get("identity") != Some(&Json::Bool(true)) {
+            c.fail("skew-split group rows were not byte-identical to naive hash".into());
+        }
+    }
+}
+
 fn main() {
     let accept = std::env::args().any(|a| a == "--accept");
     let explicit: Vec<String> = std::env::args()
@@ -425,6 +496,7 @@ fn main() {
         "BENCH_scaling.json",
         "BENCH_engine.json",
         "BENCH_cluster.json",
+        "BENCH_join.json",
     ];
     let files: Vec<(String, bool)> = if explicit.is_empty() {
         defaults.iter().map(|f| (f.to_string(), false)).collect()
@@ -460,6 +532,7 @@ fn main() {
                     "fig_scaling" => check_scaling(&mut c, &doc),
                     "fig_engine" => check_engine(&mut c, &doc),
                     "fig_cluster" => check_cluster(&mut c, &doc),
+                    "fig_join" => check_join(&mut c, &doc),
                     other => c.fail(format!("unknown `bench` tag: {other:?}")),
                 }
                 let gated = gated_fields(&tag);

@@ -1,0 +1,246 @@
+//! Served-join / keyed-group-by benchmark (beyond the paper's Figure 4):
+//! the operator class PR 10 adds to the serving engine, measured two
+//! ways.
+//!
+//! - **q3/q13 mix**: an open stream shaped like TPC-H Q3 and Q13 — semi-
+//!   joins (an order-key build side compressed into predicate ranges,
+//!   probed through the fused select datapath) interleaved with keyed
+//!   group-bys (per-customer folds) and plain selects. Reports the mixed
+//!   service rate and latency percentiles.
+//! - **skew gate**: a saturated burst of keyed group-bys over a
+//!   Zipf(1.0) key column, served once with naive hash partitioning and
+//!   once with the JSPIM-style skew splitter. The deterministic gate:
+//!   the split run must sustain **≥ 1.3×** the naive-hash service rate,
+//!   and both runs must produce byte-identical group rows (the split is
+//!   a placement change, never a semantics change).
+//!
+//! The run persists `BENCH_join.json` every time; `bench_check`
+//! validates the schema, re-checks the 1.3× gate and holds the gated
+//! fields to their accepted baseline in CI.
+//!
+//! Usage: `fig_join [--queries N] [--smoke]`
+
+use jafar_bench::{arg, carry_baseline, f1, f2, flag, jnum, print_table, write_bench_json};
+use jafar_common::time::Tick;
+use jafar_dram::DramGeometry;
+use jafar_serve::engine::ServeConfig;
+use jafar_serve::{
+    zipf_keys, AggFn, Arrivals, KeyRanges, QueryOp, QuerySpec, SchedPolicy, ServeReport, Workload,
+};
+use jafar_sim::{System, SystemConfig};
+
+const SEED: u64 = 0x70A1;
+const ROWS: usize = 32768;
+const KEY_DOMAIN: usize = 4;
+const ZIPF_THETA: f64 = 1.0;
+
+/// The 4-rank machine the serving benches share.
+fn system() -> System {
+    let mut cfg = SystemConfig::test_small();
+    cfg.dram_geometry = DramGeometry {
+        ranks: 4,
+        banks_per_rank: 4,
+        rows_per_bank: 512,
+        row_bytes: 1024,
+    };
+    System::new(cfg)
+}
+
+/// A Q3-shaped build side: order keys clustered into a few contiguous
+/// runs, compressed into the served predicate ranges.
+fn q3_ranges() -> KeyRanges {
+    let keys: Vec<i64> = (0..=120).chain(300..=340).chain(700..=705).collect();
+    KeyRanges::from_keys(&keys).expect("3 runs → 3 ranges")
+}
+
+/// A second, narrower build side (a more selective order window).
+fn q3_narrow_ranges() -> KeyRanges {
+    let keys: Vec<i64> = (500..=530).chain(900..=920).collect();
+    KeyRanges::from_keys(&keys).expect("2 runs → 2 ranges")
+}
+
+/// The Q3/Q13-shaped submission cycle: semi-joins probing the order-key
+/// column, keyed group-bys folding per customer, selects riding along.
+fn mix_specs(n: usize) -> Vec<QuerySpec> {
+    (0..n)
+        .map(|q| match q % 6 {
+            0 => QuerySpec::semi_join(q3_ranges()),
+            1 => QuerySpec::group_by(0, 999, AggFn::Sum),
+            2 => QuerySpec {
+                lo: 100,
+                hi: 399,
+                op: QueryOp::Select,
+                slo: None,
+            },
+            3 => QuerySpec::semi_join(q3_narrow_ranges()),
+            4 => QuerySpec::group_by(200, 899, AggFn::Max),
+            _ => QuerySpec {
+                lo: 0,
+                hi: 999,
+                op: QueryOp::SelectCount,
+                slo: None,
+            },
+        })
+        .collect()
+}
+
+fn p_ms(report: &ServeReport, pct: fn(&ServeReport) -> Option<Tick>) -> f64 {
+    pct(report).map_or(0.0, |t| t.as_ms_f64())
+}
+
+fn main() {
+    let smoke = flag("--smoke");
+    let n: usize = arg("--queries", if smoke { 36 } else { 144 });
+    let g: usize = arg("--groupbys", if smoke { 8 } else { 24 });
+    let values: Vec<i64> = (0..ROWS as i64).map(|i| (i * 37 + 11) % 1000).collect();
+    let keys = zipf_keys(ROWS, KEY_DOMAIN, ZIPF_THETA, SEED);
+    println!(
+        "# Served joins + keyed group-bys: {n} mixed queries, {g}-query skew burst, \
+         {ROWS} rows, Zipf({ZIPF_THETA}) keys over {KEY_DOMAIN}, 4 NDP ranks"
+    );
+    println!();
+
+    // --- Q3/Q13-shaped open mix -------------------------------------
+    let mix = Workload {
+        specs: mix_specs(n),
+        arrivals: Arrivals::Open((0..n).map(|q| Tick::from_us(2) * (q as u64)).collect()),
+        slo: None,
+    };
+    let cfg = ServeConfig {
+        max_queue: n,
+        fuse_window: 4,
+        ..ServeConfig::default()
+    };
+    let mix_run = system().serve_with_keys(&values, &keys, &mix, SchedPolicy::Fifo, &cfg);
+    let mix_report = &mix_run.report;
+    assert_eq!(
+        mix_report.completed(),
+        n,
+        "wide queue, no SLO: the whole mix completes"
+    );
+    let semi_joins = mix_report
+        .records
+        .iter()
+        .filter(|r| matches!(r.op, QueryOp::SemiJoin { .. }))
+        .count();
+    let group_bys = mix_report
+        .records
+        .iter()
+        .filter(|r| matches!(r.op, QueryOp::GroupBy { .. }))
+        .count();
+
+    // --- Skew gate: naive hash vs JSPIM-style split ------------------
+    // One closed-loop client: each group-by gets the full pool, so the
+    // makespan is the sum of per-query critical paths — exactly the
+    // max-loaded-partition time the skew splitter attacks. (An open
+    // burst would instead pipeline queries onto single freed units,
+    // where total work — unchanged by placement — hides the effect.)
+    let burst = Workload {
+        specs: (0..g)
+            .map(|_| QuerySpec::group_by(0, 999, AggFn::Sum))
+            .collect(),
+        arrivals: Arrivals::Closed {
+            clients: 1,
+            think: Tick::ZERO,
+        },
+        slo: None,
+    };
+    // Hot threshold 30%: on Zipf(1.0) over 4 keys only the head key
+    // (~48% of rows) splits; the tail (≤24% each) stays hashed. Splitting
+    // more keys would put every key's fold job on every unit, and the
+    // per-job device overhead would eat the balance win.
+    let skew_cfg = |split: bool| ServeConfig {
+        max_queue: g,
+        skew_split: split,
+        skew_hot_pct: 30,
+        ..ServeConfig::default()
+    };
+    let naive =
+        system().serve_with_keys(&values, &keys, &burst, SchedPolicy::Fifo, &skew_cfg(false));
+    let split =
+        system().serve_with_keys(&values, &keys, &burst, SchedPolicy::Fifo, &skew_cfg(true));
+    assert_eq!(naive.report.completed(), g);
+    assert_eq!(split.report.completed(), g);
+    // The split is a placement decision: every group row must be
+    // byte-identical to the naive-hash run.
+    let identity = naive
+        .report
+        .records
+        .iter()
+        .zip(&split.report.records)
+        .all(|(a, b)| a.groups == b.groups && a.matched == b.matched);
+    assert!(identity, "skew split changed a group row");
+    let naive_qps = naive.report.service_rate_qps();
+    let split_qps = split.report.service_rate_qps();
+    let multiple = split_qps / naive_qps;
+
+    let table = vec![
+        vec![
+            "q3/q13-mix".to_string(),
+            format!("{n}"),
+            format!("{semi_joins}/{group_bys}"),
+            f2(mix_report.makespan.as_ms_f64()),
+            f1(mix_report.service_rate_qps()),
+            f2(p_ms(mix_report, ServeReport::p50)),
+            f2(p_ms(mix_report, ServeReport::p99)),
+        ],
+        vec![
+            "groupby-burst-naive".to_string(),
+            format!("{g}"),
+            "0/-".to_string(),
+            f2(naive.report.makespan.as_ms_f64()),
+            f1(naive_qps),
+            f2(p_ms(&naive.report, ServeReport::p50)),
+            f2(p_ms(&naive.report, ServeReport::p99)),
+        ],
+        vec![
+            "groupby-burst-split".to_string(),
+            format!("{g}"),
+            "0/-".to_string(),
+            f2(split.report.makespan.as_ms_f64()),
+            f1(split_qps),
+            f2(p_ms(&split.report, ServeReport::p50)),
+            f2(p_ms(&split.report, ServeReport::p99)),
+        ],
+    ];
+    print_table(
+        &[
+            "scenario", "queries", "semi/gby", "sim ms", "sim q/s", "p50 ms", "p99 ms",
+        ],
+        &table,
+    );
+    println!();
+    println!(
+        "# skew split: {}x the naive-hash service rate on the Zipf({ZIPF_THETA}) burst \
+         (gate: >= 1.3x), group rows byte-identical.",
+        f2(multiple)
+    );
+    assert!(
+        multiple >= 1.3,
+        "skew-aware split sustained only {multiple:.3}x the naive-hash service rate (< 1.3x)"
+    );
+
+    let body = format!(
+        "{{\n  \"bench\": \"fig_join\",\n  \"smoke\": {smoke},\n  \"queries\": {n},\n  \
+         \"rows\": {ROWS},\n  \"key_domain\": {KEY_DOMAIN},\n  \"zipf_theta\": {ZIPF_THETA},\n  \
+         \"mix\": {{\"queries\": {n}, \"semi_joins\": {semi_joins}, \"group_bys\": {group_bys}, \
+         \"completed\": {}, \"shed\": {}, \"service_rate_qps\": {}, \"p50_ms\": {}, \
+         \"p99_ms\": {}}},\n  \
+         \"skew\": {{\"queries\": {g}, \"naive_qps\": {}, \"split_qps\": {}, \
+         \"split_multiple\": {}, \"naive_makespan_ms\": {}, \"split_makespan_ms\": {}, \
+         \"identity\": {identity}}},\n  \
+         \"baseline\": {}\n}}\n",
+        mix_report.completed(),
+        mix_report.shed(),
+        jnum(mix_report.service_rate_qps()),
+        jnum(p_ms(mix_report, ServeReport::p50)),
+        jnum(p_ms(mix_report, ServeReport::p99)),
+        jnum(naive_qps),
+        jnum(split_qps),
+        jnum(multiple),
+        jnum(naive.report.makespan.as_ms_f64()),
+        jnum(split.report.makespan.as_ms_f64()),
+        carry_baseline("BENCH_join.json"),
+    );
+    write_bench_json("BENCH_join.json", &body);
+}

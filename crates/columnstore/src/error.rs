@@ -32,6 +32,25 @@ pub enum PlanError {
         /// The unencodable value.
         value: String,
     },
+    /// A join input is longer than the `u32` position width addresses:
+    /// emitting positions for it would silently alias rows (the wrap
+    /// `BitSet::to_positions` guards against, surfaced as a typed error
+    /// on the plan path instead of a truncated result).
+    PositionOverflow {
+        /// Which join input overflowed (`"build"` or `"probe"`).
+        side: &'static str,
+        /// The offending input length.
+        rows: u64,
+    },
+}
+
+impl From<crate::ops::JoinError> for PlanError {
+    fn from(e: crate::ops::JoinError) -> Self {
+        PlanError::PositionOverflow {
+            side: e.side,
+            rows: e.rows,
+        }
+    }
 }
 
 impl core::fmt::Display for PlanError {
@@ -44,6 +63,12 @@ impl core::fmt::Display for PlanError {
             PlanError::UnknownFrameColumn { name } => write!(f, "frame has no column {name}"),
             PlanError::ValueNotInDictionary { value } => {
                 write!(f, "value {value:?} not in dictionary")
+            }
+            PlanError::PositionOverflow { side, rows } => {
+                write!(
+                    f,
+                    "join {side} side has {rows} rows, past the u32 position width"
+                )
             }
         }
     }

@@ -138,8 +138,16 @@ impl ExecContext {
 
     /// Hash join of pre-gathered key vectors; returns `(build, probe)`
     /// index pairs into the inputs.
-    pub fn join(&mut self, build_keys: &[i64], probe_keys: &[i64]) -> Vec<(u32, u32)> {
-        let out = hash_join(build_keys, probe_keys);
+    ///
+    /// # Errors
+    /// [`PlanError::PositionOverflow`] when an input outgrows the `u32`
+    /// position width.
+    pub fn join(
+        &mut self,
+        build_keys: &[i64],
+        probe_keys: &[i64],
+    ) -> Result<Vec<(u32, u32)>, PlanError> {
+        let out = hash_join(build_keys, probe_keys)?;
         self.trace.push(TraceEvent::HashBuild {
             rows: build_keys.len() as u64,
         });
@@ -147,12 +155,20 @@ impl ExecContext {
             rows: probe_keys.len() as u64,
             matches: out.len() as u64,
         });
-        out
+        Ok(out)
     }
 
     /// Semi-join (`EXISTS`): probe indices with a build match.
-    pub fn semi_join(&mut self, build_keys: &[i64], probe_keys: &[i64]) -> Vec<u32> {
-        let out = semi_join(build_keys, probe_keys);
+    ///
+    /// # Errors
+    /// [`PlanError::PositionOverflow`] when the probe input outgrows the
+    /// `u32` position width.
+    pub fn semi_join(
+        &mut self,
+        build_keys: &[i64],
+        probe_keys: &[i64],
+    ) -> Result<Vec<u32>, PlanError> {
+        let out = semi_join(build_keys, probe_keys)?;
         self.trace.push(TraceEvent::HashBuild {
             rows: build_keys.len() as u64,
         });
@@ -160,12 +176,20 @@ impl ExecContext {
             rows: probe_keys.len() as u64,
             matches: out.len() as u64,
         });
-        out
+        Ok(out)
     }
 
     /// Anti-join (`NOT EXISTS`): probe indices without a build match.
-    pub fn anti_join(&mut self, build_keys: &[i64], probe_keys: &[i64]) -> Vec<u32> {
-        let out = anti_join(build_keys, probe_keys);
+    ///
+    /// # Errors
+    /// [`PlanError::PositionOverflow`] when the probe input outgrows the
+    /// `u32` position width.
+    pub fn anti_join(
+        &mut self,
+        build_keys: &[i64],
+        probe_keys: &[i64],
+    ) -> Result<Vec<u32>, PlanError> {
+        let out = anti_join(build_keys, probe_keys)?;
         self.trace.push(TraceEvent::HashBuild {
             rows: build_keys.len() as u64,
         });
@@ -173,7 +197,7 @@ impl ExecContext {
             rows: probe_keys.len() as u64,
             matches: out.len() as u64,
         });
-        out
+        Ok(out)
     }
 
     /// Grouped aggregation.
@@ -278,7 +302,7 @@ mod tests {
         let mut cx = ExecContext::new(Planner::default());
         let all: PositionList = (0..6u32).collect();
         let k = cx.project(&t, "k", &all).unwrap();
-        let pairs = cx.join(&k, &[2, 4, 9]);
+        let pairs = cx.join(&k, &[2, 4, 9]).unwrap();
         assert_eq!(pairs.len(), 2);
         let g = cx.project(&t, "g", &all).unwrap();
         let v = cx.project(&t, "v", &all).unwrap();

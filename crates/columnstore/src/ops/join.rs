@@ -4,14 +4,64 @@
 //! build-side keys, probe with the (already selected) probe-side keys,
 //! emit matching position pairs. §4 notes joins "may produce more tuples
 //! than \[their\] input", which is why they stay on the CPU in this design.
+//!
+//! Positions are `u32` (the store-wide position width). Inputs longer
+//! than the addressable range used to wrap silently through `as u32` —
+//! the same truncation class `BitSet::to_positions` guards against — so
+//! every entry point now checks its input lengths up front and returns a
+//! typed [`JoinError`] instead of emitting aliased positions.
 
 use std::collections::HashMap;
+
+/// Position indices in a join output would not fit the `u32` position
+/// width — the input slice is longer than `u32::MAX + 1` rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinError {
+    /// Which input overflowed (`"build"` or `"probe"`).
+    pub side: &'static str,
+    /// The offending input length.
+    pub rows: u64,
+}
+
+impl core::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} side has {} rows; u32 join positions address at most {} — \
+             positions would alias",
+            self.side,
+            self.rows,
+            u64::from(u32::MAX) + 1,
+        )
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Checks that every index `0..len` fits a `u32` position. Extracted so
+/// the overflow boundary is unit-testable without allocating 32 GiB of
+/// keys: the guard sees only the length.
+pub(crate) fn check_side(side: &'static str, len: usize) -> Result<(), JoinError> {
+    if len as u64 > u64::from(u32::MAX) + 1 {
+        Err(JoinError {
+            side,
+            rows: len as u64,
+        })
+    } else {
+        Ok(())
+    }
+}
 
 /// Joins `build_keys[i]` with `probe_keys[j]`, returning `(i, j)` index
 /// pairs (indices into the *input slices*, which the caller maps back to
 /// table positions). Handles duplicate keys on both sides (full cross
 /// products per key).
-pub fn hash_join(build_keys: &[i64], probe_keys: &[i64]) -> Vec<(u32, u32)> {
+///
+/// # Errors
+/// [`JoinError`] when either input is too long for `u32` positions.
+pub fn hash_join(build_keys: &[i64], probe_keys: &[i64]) -> Result<Vec<(u32, u32)>, JoinError> {
+    check_side("build", build_keys.len())?;
+    check_side("probe", probe_keys.len())?;
     let mut table: HashMap<i64, Vec<u32>> = HashMap::with_capacity(build_keys.len());
     for (i, &k) in build_keys.iter().enumerate() {
         table.entry(k).or_default().push(i as u32);
@@ -24,31 +74,39 @@ pub fn hash_join(build_keys: &[i64], probe_keys: &[i64]) -> Vec<(u32, u32)> {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Semi-join: probe-side indices with at least one build-side match
 /// (used for `IN` / `EXISTS` subqueries).
-pub fn semi_join(build_keys: &[i64], probe_keys: &[i64]) -> Vec<u32> {
+///
+/// # Errors
+/// [`JoinError`] when the probe input is too long for `u32` positions.
+pub fn semi_join(build_keys: &[i64], probe_keys: &[i64]) -> Result<Vec<u32>, JoinError> {
+    check_side("probe", probe_keys.len())?;
     let set: std::collections::HashSet<i64> = build_keys.iter().copied().collect();
-    probe_keys
+    Ok(probe_keys
         .iter()
         .enumerate()
         .filter(|(_, k)| set.contains(k))
         .map(|(j, _)| j as u32)
-        .collect()
+        .collect())
 }
 
 /// Anti-join: probe-side indices with *no* build-side match
 /// (used for `NOT EXISTS`, e.g. TPC-H Q22's customers without orders).
-pub fn anti_join(build_keys: &[i64], probe_keys: &[i64]) -> Vec<u32> {
+///
+/// # Errors
+/// [`JoinError`] when the probe input is too long for `u32` positions.
+pub fn anti_join(build_keys: &[i64], probe_keys: &[i64]) -> Result<Vec<u32>, JoinError> {
+    check_side("probe", probe_keys.len())?;
     let set: std::collections::HashSet<i64> = build_keys.iter().copied().collect();
-    probe_keys
+    Ok(probe_keys
         .iter()
         .enumerate()
         .filter(|(_, k)| !set.contains(k))
         .map(|(j, _)| j as u32)
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -59,7 +117,7 @@ mod tests {
     fn inner_join_pairs() {
         let build = [1i64, 2, 3];
         let probe = [3i64, 1, 4, 1];
-        let mut pairs = hash_join(&build, &probe);
+        let mut pairs = hash_join(&build, &probe).expect("in range");
         pairs.sort_unstable();
         assert_eq!(pairs, vec![(0, 1), (0, 3), (2, 0)]);
     }
@@ -68,7 +126,7 @@ mod tests {
     fn duplicate_keys_cross_product() {
         let build = [7i64, 7];
         let probe = [7i64, 7, 8];
-        let pairs = hash_join(&build, &probe);
+        let pairs = hash_join(&build, &probe).expect("in range");
         assert_eq!(pairs.len(), 4, "2 build × 2 probe matches");
     }
 
@@ -77,21 +135,35 @@ mod tests {
         // The §4 caveat: output larger than either input.
         let build = vec![1i64; 10];
         let probe = vec![1i64; 10];
-        assert_eq!(hash_join(&build, &probe).len(), 100);
+        assert_eq!(hash_join(&build, &probe).expect("in range").len(), 100);
     }
 
     #[test]
     fn semi_and_anti_partition_probe() {
         let build = [2i64, 4];
         let probe = [1i64, 2, 3, 4, 5];
-        assert_eq!(semi_join(&build, &probe), vec![1, 3]);
-        assert_eq!(anti_join(&build, &probe), vec![0, 2, 4]);
+        assert_eq!(semi_join(&build, &probe).expect("in range"), vec![1, 3]);
+        assert_eq!(anti_join(&build, &probe).expect("in range"), vec![0, 2, 4]);
     }
 
     #[test]
     fn empty_sides() {
-        assert!(hash_join(&[], &[1, 2]).is_empty());
-        assert!(hash_join(&[1, 2], &[]).is_empty());
-        assert_eq!(anti_join(&[], &[1]), vec![0]);
+        assert!(hash_join(&[], &[1, 2]).expect("in range").is_empty());
+        assert!(hash_join(&[1, 2], &[]).expect("in range").is_empty());
+        assert_eq!(anti_join(&[], &[1]).expect("in range"), vec![0]);
+    }
+
+    /// The pre-fix behaviour wrapped position `2^32` to `0`, silently
+    /// aliasing rows; the guard now rejects the length outright. Checked
+    /// at the extracted guard (allocating 2^32 keys is not testable) and
+    /// pinned exactly at the boundary `BitSet::to_positions` uses.
+    #[test]
+    fn positions_past_u32_are_a_typed_error_not_a_wrap() {
+        let max = u64::from(u32::MAX) + 1;
+        assert_eq!(check_side("probe", max as usize), Ok(()));
+        let err = check_side("probe", max as usize + 1).expect_err("must overflow");
+        assert_eq!(err.rows, max + 1);
+        assert_eq!(err.side, "probe");
+        assert!(err.to_string().contains("alias"));
     }
 }

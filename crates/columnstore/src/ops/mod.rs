@@ -7,7 +7,7 @@ pub mod scan;
 pub mod sort;
 
 pub use agg::{AggKind, AggSpec, GroupedResult};
-pub use join::hash_join;
+pub use join::{hash_join, JoinError};
 pub use project::gather;
 pub use scan::{scan, ScanPredicate};
 pub use sort::sort_rows_by;

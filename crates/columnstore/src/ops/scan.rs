@@ -50,7 +50,17 @@ impl ScanPredicate {
 }
 
 /// Scans `column`, returning qualifying positions.
+///
+/// # Panics
+/// Panics when the column is longer than the `u32` position width
+/// addresses — positions past `2^32` would wrap silently otherwise (the
+/// same truncation class `BitSet::to_positions` guards against).
 pub fn scan(column: &Column, predicate: ScanPredicate) -> PositionList {
+    assert!(
+        column.data().len() as u64 <= u64::from(u32::MAX) + 1,
+        "column of {} rows overflows u32 scan positions",
+        column.data().len(),
+    );
     let (lo, hi) = predicate.bounds();
     column
         .data()

@@ -13,12 +13,19 @@ pub enum Dir {
 /// keys, most-significant first. Stable, so ties preserve input order.
 ///
 /// # Panics
-/// Panics if key columns have differing lengths.
+/// Panics if key columns have differing lengths, or if they are longer
+/// than the `u32` position width addresses — `n as u32` would silently
+/// truncate the index range to a prefix otherwise (the same wrap class
+/// `BitSet::to_positions` guards against).
 pub fn sort_rows_by(keys: &[(&[i64], Dir)]) -> Vec<u32> {
     let n = keys.first().map_or(0, |(c, _)| c.len());
     for (c, _) in keys {
         assert_eq!(c.len(), n, "key column length mismatch");
     }
+    assert!(
+        n as u64 <= u64::from(u32::MAX),
+        "{n} rows overflow u32 sort positions",
+    );
     let mut idx: Vec<u32> = (0..n as u32).collect();
     idx.sort_by(|&a, &b| {
         for (col, dir) in keys {

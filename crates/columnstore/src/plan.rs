@@ -222,7 +222,7 @@ pub fn execute(
         } => {
             let b = execute(build, catalog, cx)?;
             let p = execute(probe, catalog, cx)?;
-            let pairs = cx.join(b.column(build_key)?, p.column(probe_key)?);
+            let pairs = cx.join(b.column(build_key)?, p.column(probe_key)?)?;
             let b_idx: Vec<u32> = pairs.iter().map(|&(i, _)| i).collect();
             let p_idx: Vec<u32> = pairs.iter().map(|&(_, j)| j).collect();
             let mut out = b.take(&b_idx);

@@ -228,6 +228,16 @@ pub enum EventKind {
         /// Submission index of the query within the served workload.
         query: u32,
     },
+    /// The group-by skew detector split a hot key's rows across units
+    /// instead of hashing them onto one.
+    SkewSplit {
+        /// Submission index of the query within the served workload.
+        query: u32,
+        /// The hot key whose rows were split.
+        key: i64,
+        /// Units the key's rows were spread over.
+        parts: u32,
+    },
     /// A canary probe against a quarantined filter unit finished.
     CanaryProbe {
         /// Pool unit id of the probed unit (rank index on a single-DIMM
@@ -294,6 +304,7 @@ impl EventKind {
             EventKind::RankHealth { .. } => "rank-health",
             EventKind::ShardMigrated { .. } => "shard-migrated",
             EventKind::QueryRequeued { .. } => "query-requeued",
+            EventKind::SkewSplit { .. } => "skew-split",
             EventKind::CanaryProbe { .. } => "canary-probe",
             EventKind::QueryRouted { .. } => "query-routed",
             EventKind::NetHop { .. } => "net-hop",
@@ -327,6 +338,7 @@ impl EventKind {
             | EventKind::RankHealth { .. }
             | EventKind::ShardMigrated { .. }
             | EventKind::QueryRequeued { .. }
+            | EventKind::SkewSplit { .. }
             | EventKind::CanaryProbe { .. } => "serve",
             EventKind::QueryRouted { .. }
             | EventKind::NetHop { .. }
@@ -440,6 +452,9 @@ impl EventKind {
             }
             EventKind::QueryRequeued { query } => {
                 let _ = write!(out, "query={query}");
+            }
+            EventKind::SkewSplit { query, key, parts } => {
+                let _ = write!(out, "query={query} key={key} parts={parts}");
             }
             EventKind::CanaryProbe { rank, ok } => {
                 let _ = write!(out, "rank={rank} ok={ok}");

@@ -406,16 +406,18 @@ impl fmt::Display for ClusterReport {
 fn result_bytes(rec: &QueryRecord) -> u64 {
     rec.bitset.len() as u64
         + rec.projected.len() as u64 * 8
+        + rec.groups.len() as u64 * 24
         + if rec.agg.is_some() { 8 } else { 0 }
         + 8
 }
 
 /// Functional scan of the full column into `rec` — the same result
 /// semantics as the node-local CPU rung (bit-identical bitset, wrapping
-/// sum, `None` extremum on an empty selection, packed projection), so
-/// the local-pull tier is indistinguishable from every other tier in
-/// everything but timing.
-fn scan_functional(values: &[i64], rec: &mut QueryRecord) {
+/// sum, `None` extremum on an empty selection, packed projection,
+/// key-sorted groups), so the local-pull tier is indistinguishable from
+/// every other tier in everything but timing. `keys` is the group-by key
+/// column (may be empty for workloads without group-by queries).
+fn scan_functional(values: &[i64], keys: &[i64], rec: &mut QueryRecord) {
     let (lo, hi) = (rec.lo, rec.hi);
     match rec.op {
         QueryOp::Select | QueryOp::Project { .. } => {
@@ -456,6 +458,38 @@ fn scan_functional(values: &[i64], rec: &mut QueryRecord) {
             }
             rec.matched = matched;
             rec.agg = acc;
+        }
+        QueryOp::SemiJoin { ranges } => {
+            let mut bytes = vec![0u8; values.len().div_ceil(8)];
+            let mut matched = 0u64;
+            for (i, &v) in values.iter().enumerate() {
+                if ranges.contains(v) {
+                    bytes[i / 8] |= 1 << (i % 8);
+                    matched += 1;
+                }
+            }
+            rec.bitset = bytes;
+            rec.matched = matched;
+        }
+        QueryOp::GroupBy { agg } => {
+            let mut matched = 0u64;
+            let mut groups: std::collections::BTreeMap<i64, (u64, Option<i64>)> =
+                std::collections::BTreeMap::new();
+            for (i, &v) in values.iter().enumerate() {
+                if v >= lo && v <= hi {
+                    matched += 1;
+                    let e = groups.entry(keys[i]).or_insert((0, None));
+                    e.0 += 1;
+                    e.1 = Some(match (agg, e.1) {
+                        (AggFn::Sum, prev) => prev.unwrap_or(0).wrapping_add(v),
+                        (AggFn::Min | AggFn::Max, None) => v,
+                        (AggFn::Min, Some(p)) => p.min(v),
+                        (AggFn::Max, Some(p)) => p.max(v),
+                    });
+                }
+            }
+            rec.matched = matched;
+            rec.groups = groups.into_iter().map(|(k, (c, a))| (k, c, a)).collect();
         }
     }
 }
@@ -556,6 +590,12 @@ pub fn run_cluster(
         envs.iter()
             .all(|e| std::ptr::eq(e.values, values) || e.values == values),
         "every node must serve the same column"
+    );
+    let keys: &[i64] = envs[0].keys;
+    assert!(
+        envs.iter()
+            .all(|e| std::ptr::eq(e.keys, keys) || e.keys == keys),
+        "every node must serve the same key column"
     );
 
     let mut engines: Vec<Engine<'_, '_>> = envs
@@ -710,8 +750,9 @@ pub fn run_cluster(
                             bitset: Vec::new(),
                             agg: None,
                             projected: Vec::new(),
+                            groups: Vec::new(),
                         };
-                        scan_functional(values, &mut rec);
+                        scan_functional(values, keys, &mut rec);
                         req_hop[q] = pull;
                         local_rec[q] = Some(rec);
                         heap.push(Reverse((done, FCLASS_PULL_DONE, qid)));
@@ -837,12 +878,14 @@ mod tests {
         replicas: Vec<PhysAddr>,
         outs: Vec<PhysAddr>,
         proj_outs: Vec<PhysAddr>,
+        stage_outs: Vec<PhysAddr>,
     }
 
     struct ClusterRig {
         nodes: Vec<NodeRig>,
         pools: Vec<SingleDimmPool>,
         values: Vec<i64>,
+        keys: Vec<i64>,
         tracer: SharedTracer,
     }
 
@@ -850,6 +893,10 @@ mod tests {
         let mut rng = SplitMix64::new(seed);
         let values: Vec<i64> = (0..ROWS)
             .map(|_| rng.next_range_inclusive(0, 999))
+            .collect();
+        let mut krng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        let keys: Vec<i64> = (0..ROWS)
+            .map(|_| krng.next_range_inclusive(0, 15))
             .collect();
         let geom = DramGeometry {
             ranks: ranks_per_node,
@@ -868,6 +915,7 @@ mod tests {
                 let mut replicas = Vec::new();
                 let mut outs = Vec::new();
                 let mut proj_outs = Vec::new();
+                let mut stage_outs = Vec::new();
                 for r in 0..ranks_per_node as u64 {
                     let col = PhysAddr(r * rank_bytes);
                     for (i, &v) in values.iter().enumerate() {
@@ -878,6 +926,7 @@ mod tests {
                     replicas.push(col);
                     outs.push(PhysAddr(r * rank_bytes + 192 * 1024));
                     proj_outs.push(PhysAddr(r * rank_bytes + 64 * 1024));
+                    stage_outs.push(PhysAddr(r * rank_bytes + 128 * 1024));
                 }
                 NodeRig {
                     module,
@@ -890,6 +939,7 @@ mod tests {
                     replicas,
                     outs,
                     proj_outs,
+                    stage_outs,
                 }
             })
             .collect();
@@ -899,6 +949,7 @@ mod tests {
             // them alongside the mutable node machines.
             pools: Vec::new(),
             values,
+            keys,
             tracer: SharedTracer::disabled(),
         }
     }
@@ -917,6 +968,7 @@ mod tests {
                 nodes,
                 pools,
                 values,
+                keys,
                 tracer,
             } = self;
             pools.clear();
@@ -933,6 +985,8 @@ mod tests {
                     outs: &node.outs,
                     proj_outs: &node.proj_outs,
                     values,
+                    keys,
+                    stage_outs: &node.stage_outs,
                     tracer,
                 })
                 .collect();
@@ -993,6 +1047,9 @@ mod tests {
                         .collect();
                     assert_eq!(rec.bitset, reference, "query {} bitset", rec.id);
                     assert_eq!(rec.projected, expect, "query {} projection", rec.id);
+                }
+                QueryOp::SemiJoin { .. } | QueryOp::GroupBy { .. } => {
+                    unreachable!("this case mix does not generate joins or group-bys")
                 }
             }
         }

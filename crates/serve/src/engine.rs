@@ -154,6 +154,17 @@ pub struct ServeConfig {
     /// processed in the same `(time, id)` order the per-arrival events
     /// would have been.
     pub batch_admission: bool,
+    /// Split a group-by's hot keys' rows across units round-robin
+    /// instead of hashing each key onto one unit (the JSPIM-style skew
+    /// guard). Sound because the per-key fold merges commutatively;
+    /// results are byte-identical either way, only the timing differs.
+    pub skew_split: bool,
+    /// Rows the admission-time skew detector samples from the
+    /// qualifying set (deterministic stride sampling). At least 1.
+    pub skew_sample: usize,
+    /// A key is *hot* when it holds at least this percent of the
+    /// sampled rows. Clamped to `1..=100`.
+    pub skew_hot_pct: u32,
     /// Simulated instant the serve run (and its first arrivals) starts.
     pub start: Tick,
 }
@@ -170,6 +181,9 @@ impl Default for ServeConfig {
             health: HealthConfig::default(),
             fuse_window: 1,
             batch_admission: true,
+            skew_split: true,
+            skew_sample: 64,
+            skew_hot_pct: 25,
             start: Tick::ZERO,
         }
     }
@@ -270,6 +284,17 @@ pub struct ServeEnv<'a> {
     /// Host copy of the column, for the degraded CPU rung's functional
     /// result. Every query scans this full column.
     pub values: &'a [i64],
+    /// Host copy of the group-by key column, aligned row-for-row with
+    /// `values`. Empty when the workload has no [`QueryOp::GroupBy`]
+    /// queries; otherwise must be exactly as long as `values`.
+    pub keys: &'a [i64],
+    /// Per-unit 64-byte-aligned base of that unit's group-by staging
+    /// region (channel-local; reused across queries; sized for the full
+    /// column, `values.len() · 8` bytes): partitioned qualifying values
+    /// are staged contiguously per group there, so each group folds as
+    /// one device aggregate kernel. Empty when the workload has no
+    /// group-by queries.
+    pub stage_outs: &'a [PhysAddr],
     /// Trace sink for the `QueryAdmitted/Started/Done/Shed` events.
     pub tracer: &'a SharedTracer,
 }
@@ -477,6 +502,15 @@ pub fn run_serve_checked(
     Ok(eng.into_report())
 }
 
+/// Bitset lanes a unit's output buffer must hold to serve `workload`
+/// under `cfg`: the fusion window, or the widest semi-join's range count
+/// if that is larger — a semi-join's ranges always fuse into one scan,
+/// even when `fuse_window` is 1. Every `ServeEnv` allocator sizes
+/// `outs[u]` as `out_lanes(..) ·` one 64-byte-rounded full-column bitset.
+pub fn out_lanes(cfg: &ServeConfig, workload: &Workload) -> u64 {
+    (cfg.fuse_window.max(1) as u64).max(workload.max_semi_lanes() as u64)
+}
+
 impl<'a, 'e> Engine<'a, 'e> {
     /// Constructs an idle engine over `env` with one pending record per
     /// workload spec and **no arrivals scheduled**. [`run_serve_checked`]
@@ -511,6 +545,26 @@ impl<'a, 'e> Engine<'a, 'e> {
             "one DRAM module per pool channel"
         );
         assert!(!env.values.is_empty(), "cannot serve an empty column");
+        assert!(
+            env.keys.is_empty() || env.keys.len() == env.values.len(),
+            "group-by key column must align row-for-row with the served column"
+        );
+        if workload
+            .specs
+            .iter()
+            .any(|s| matches!(s.op, QueryOp::GroupBy { .. }))
+        {
+            assert_eq!(
+                env.keys.len(),
+                env.values.len(),
+                "a group-by workload needs a key column"
+            );
+            assert_eq!(
+                env.stage_outs.len(),
+                nunits,
+                "a group-by workload needs one staging buffer per unit"
+            );
+        }
 
         let n = workload.len();
         let records: Vec<QueryRecord> = workload
@@ -531,6 +585,7 @@ impl<'a, 'e> Engine<'a, 'e> {
                 bitset: Vec::new(),
                 agg: None,
                 projected: Vec::new(),
+                groups: Vec::new(),
             })
             .collect();
 
@@ -1098,7 +1153,10 @@ impl Engine<'_, '_> {
         let ch = self.env.pool.unit(shard.from_unit).channel;
         let stride = self.lane_stride();
         let nbytes = shard.rows_done.div_ceil(8) as usize;
-        let prefixes: Vec<Vec<u8>> = (0..shard.qids.len())
+        // One prefix per predicate lane — `matched` is per-lane, so its
+        // length is the lane count even for a solo multi-range semi-join
+        // (one query, several lanes).
+        let prefixes: Vec<Vec<u8>> = (0..shard.matched.len())
             .map(|lane| {
                 let mut prefix = vec![0u8; nbytes];
                 self.env.modules[ch].data().read(
@@ -1155,13 +1213,19 @@ impl Engine<'_, '_> {
             }
         }
         let col_addr = PhysAddr(self.env.replicas[u].0 + shard.off * 8);
-        let session = if shard.qids.len() == 1 {
-            let rec = &self.records[shard.qids[0] as usize];
+        // The resumed session's lanes must mirror the parked one's:
+        // `lane_preds` re-derives them from the records (a solo
+        // multi-range semi-join resumes fused over its key ranges, not
+        // its envelope).
+        let preds = self.lane_preds(&shard.qids);
+        debug_assert_eq!(preds.len(), shard.matched.len(), "lane count is stable");
+        let session = if preds.len() == 1 {
+            let (lo, hi) = preds[0];
             let req = SelectRequest {
                 col_addr,
                 rows: shard.rows,
-                lo: rec.lo,
-                hi: rec.hi,
+                lo,
+                hi,
                 out_addr: PhysAddr(base),
             };
             ShardSession::Solo(self.env.drivers[u].resume_session(
@@ -1175,17 +1239,10 @@ impl Engine<'_, '_> {
             let req = FusedSelectRequest {
                 col_addr,
                 rows: shard.rows,
-                preds: shard
-                    .qids
-                    .iter()
-                    .map(|&q| {
-                        let rec = &self.records[q as usize];
-                        (rec.lo, rec.hi)
-                    })
-                    .collect(),
-                out_addrs: (0..shard.qids.len())
+                out_addrs: (0..preds.len())
                     .map(|lane| PhysAddr(base + lane as u64 * stride))
                     .collect(),
+                preds,
             };
             ShardSession::Fused(self.env.drivers[u].resume_fused_session(
                 self.env.modules[ch],
@@ -1250,11 +1307,19 @@ impl Engine<'_, '_> {
             let begin = self.host_free.max(t);
             let rec = &self.records[qid as usize];
             let (lo, hi, op) = (rec.lo, rec.hi, rec.op);
+            // The host recount evaluates the query's *full* predicate in
+            // one pass: a multi-range semi-join's union bitset comes out
+            // of a single scan (the host has no lane array to pay k× for
+            // — and is priced for one lane's output accordingly).
+            let hit = |v: i64| match op {
+                QueryOp::SemiJoin { ranges } => ranges.contains(v),
+                _ => v >= lo && v <= hi,
+            };
             let slice = &self.env.values[lo_idx..hi_idx];
             let mut matched = 0u64;
             let mut bytes = vec![0u8; shard.rows.div_ceil(8) as usize];
             for (i, &v) in slice.iter().enumerate() {
-                if v >= lo && v <= hi {
+                if hit(v) {
                     bytes[i / 8] |= 1 << (i % 8);
                     matched += 1;
                 }
@@ -1265,7 +1330,7 @@ impl Engine<'_, '_> {
                     slice
                         .iter()
                         .copied()
-                        .filter(|&v| v >= lo && v <= hi)
+                        .filter(|&v| hit(v))
                         .collect::<Vec<i64>>(),
                 ))
             } else {
@@ -1302,20 +1367,50 @@ impl Engine<'_, '_> {
             QueryOp::Select | QueryOp::Project { .. } => self.dispatch_select(qids, free, t),
             QueryOp::SelectCount => self.dispatch_agg(qid, free, t, AggOp::Count),
             QueryOp::SelectAgg(f) => self.dispatch_agg(qid, free, t, agg_op(f)),
+            // A semi-join is a select datapath client: 0/1 ranges run as
+            // the solo select over the envelope (`[lo,hi]` == the single
+            // range, or the canonical empty predicate); more ranges fuse
+            // into one multi-lane scan per shard, all lanes owned by the
+            // one query.
+            QueryOp::SemiJoin { .. } => self.dispatch_select(qids, free, t),
+            QueryOp::GroupBy { agg } => self.dispatch_group_by(qid, free, t, agg),
         }
     }
 
-    /// Shards a select (or the select pass of a projection) over the free
-    /// units and opens one session per shard. A one-query group opens the
-    /// plain solo session; a longer group opens one *fused* session per
-    /// shard, each lane's bitset landing in its own stride-separated slot
-    /// of the unit's output buffer — one scan of the shard serves every
-    /// query in the group.
+    /// The predicate lanes a dispatch group scans: one `(lo, hi)` per
+    /// fused query — except a solo multi-range semi-join, whose lanes are
+    /// its build-side key ranges (disjoint, so the union bitset is the
+    /// lanes' OR and the match count the lanes' sum). One lane means a
+    /// plain solo session.
+    fn lane_preds(&self, qids: &[u32]) -> Vec<(i64, i64)> {
+        if let [qid] = qids {
+            if let QueryOp::SemiJoin { ranges } = self.records[*qid as usize].op {
+                if ranges.len() >= 2 {
+                    return ranges.as_slice().to_vec();
+                }
+            }
+        }
+        qids.iter()
+            .map(|&q| {
+                let rec = &self.records[q as usize];
+                (rec.lo, rec.hi)
+            })
+            .collect()
+    }
+
+    /// Shards a select (or the select pass of a projection, or a
+    /// semi-join) over the free units and opens one session per shard. A
+    /// one-lane group opens the plain solo session; a multi-lane group
+    /// opens one *fused* session per shard, each lane's bitset landing in
+    /// its own stride-separated slot of the unit's output buffer — one
+    /// scan of the shard serves every lane, whether the lanes are fused
+    /// queries or one semi-join's key ranges.
     fn dispatch_select(&mut self, qids: &[u32], free: &[usize], t: Tick) {
         let rows = self.env.values.len() as u64;
         let k = free.len().min(self.cfg.fanout.max(1)) as u64;
         let chunk = aligned_chunk(rows, k, CHUNK_ROWS);
         let stride = self.lane_stride();
+        let preds = self.lane_preds(qids);
         let mut off = 0u64;
         let mut used = 0u32;
         for &u in free {
@@ -1325,13 +1420,13 @@ impl Engine<'_, '_> {
             let len = chunk.min(rows - off);
             let ch = self.env.pool.unit(u).channel;
             let col_addr = PhysAddr(self.env.replicas[u].0 + off * 8);
-            let session = if qids.len() == 1 {
-                let rec = &self.records[qids[0] as usize];
+            let session = if preds.len() == 1 {
+                let (lo, hi) = preds[0];
                 let req = SelectRequest {
                     col_addr,
                     rows: len,
-                    lo: rec.lo,
-                    hi: rec.hi,
+                    lo,
+                    hi,
                     out_addr: PhysAddr(self.env.outs[u].0 + off / 8),
                 };
                 ShardSession::Solo(self.env.drivers[u].start_session(self.env.modules[ch], req, t))
@@ -1339,14 +1434,8 @@ impl Engine<'_, '_> {
                 let req = FusedSelectRequest {
                     col_addr,
                     rows: len,
-                    preds: qids
-                        .iter()
-                        .map(|&q| {
-                            let rec = &self.records[q as usize];
-                            (rec.lo, rec.hi)
-                        })
-                        .collect(),
-                    out_addrs: (0..qids.len())
+                    preds: preds.clone(),
+                    out_addrs: (0..preds.len())
                         .map(|lane| PhysAddr(self.env.outs[u].0 + lane as u64 * stride + off / 8))
                         .collect(),
                 };
@@ -1519,6 +1608,231 @@ impl Engine<'_, '_> {
         self.finish_query(qid, end);
     }
 
+    /// Serves a keyed group-by as a rank-partitioned aggregation: the
+    /// qualifying rows' `(key, value)` pairs are partitioned across the
+    /// free units by key hash, each unit stages its partition's values
+    /// contiguously per group (64-byte-aligned groups in the unit's
+    /// staging buffer, priced per staged line plus a per-row scatter
+    /// charge), folds every group with one device aggregate kernel, and
+    /// the frontend merges the per-unit partials commutatively — so the
+    /// merged `(key, count, value)` rows are identical however the rows
+    /// were partitioned.
+    ///
+    /// That order-independence is what makes the skew guard sound: a
+    /// sampled key histogram at dispatch flags *hot* keys
+    /// ([`ServeConfig::skew_hot_pct`] of the sample), and their rows are
+    /// dealt round-robin across all used units instead of hashing onto
+    /// one — a JSPIM-style split that converts a hot-key hotspot into
+    /// balanced partitions without changing a byte of the result.
+    ///
+    /// The failure ladder mirrors [`Engine::dispatch_agg`]: a unit whose
+    /// kernel ladder exhausts is quarantined and its *remaining* groups
+    /// fold on the host, serialized on `host_free`; partials already
+    /// folded on the device are kept (the merge is commutative).
+    fn dispatch_group_by(&mut self, qid: u32, free: &[usize], t: Tick, f: AggFn) {
+        use std::collections::BTreeMap;
+        let op = agg_op(f);
+        let values = self.env.values;
+        let keys = self.env.keys;
+        let (lo, hi) = {
+            let rec = &self.records[qid as usize];
+            (rec.lo, rec.hi)
+        };
+        let qualifying: Vec<usize> = (0..values.len())
+            .filter(|&i| values[i] >= lo && values[i] <= hi)
+            .collect();
+        let units: Vec<usize> = free.iter().copied().take(self.cfg.fanout.max(1)).collect();
+
+        // Deterministic stride-sampled key histogram: a key holding at
+        // least `skew_hot_pct`% of the sample is hot and gets split.
+        let mut hot: Vec<i64> = Vec::new();
+        if self.cfg.skew_split && units.len() > 1 && !qualifying.is_empty() {
+            let sample_n = self.cfg.skew_sample.max(1).min(qualifying.len());
+            let stride = qualifying.len() / sample_n;
+            let mut hist: BTreeMap<i64, usize> = BTreeMap::new();
+            for s in 0..sample_n {
+                *hist.entry(keys[qualifying[s * stride]]).or_insert(0) += 1;
+            }
+            let cut = (sample_n * self.cfg.skew_hot_pct.clamp(1, 100) as usize).div_ceil(100);
+            hot = hist
+                .iter()
+                .filter(|&(_, &c)| c >= cut)
+                .map(|(&k, _)| k)
+                .collect();
+            for &k in &hot {
+                self.env.tracer.emit(
+                    t,
+                    EventKind::SkewSplit {
+                        query: qid,
+                        key: k,
+                        parts: units.len() as u32,
+                    },
+                );
+            }
+        }
+
+        // Partition by key hash (Fibonacci mix, the device group-by's
+        // mixing); hot keys deal round-robin across every used unit.
+        let key_unit = |k: i64| {
+            (((k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % units.len()
+        };
+        let mut parts: Vec<Vec<(i64, i64)>> = vec![Vec::new(); units.len()];
+        let mut rr = 0usize;
+        for &i in &qualifying {
+            let k = keys[i];
+            let p = if hot.binary_search(&k).is_ok() {
+                rr += 1;
+                (rr - 1) % units.len()
+            } else {
+                key_unit(k)
+            };
+            parts[p].push((k, values[i]));
+        }
+
+        let mut partials: BTreeMap<i64, (u64, Option<i64>)> = BTreeMap::new();
+        let mut host_groups: Vec<(i64, Vec<i64>)> = Vec::new();
+        let mut used = 0u32;
+        let mut end = t;
+        let mut requeued = false;
+        for (pi, &u) in units.iter().enumerate() {
+            if parts[pi].is_empty() {
+                continue;
+            }
+            // Group this partition deterministically (sorted by key) and
+            // lay the groups out back-to-back in the unit's staging
+            // buffer, each group's values 64-byte-aligned so one aggregate
+            // kernel folds it in place.
+            let mut grouped: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
+            for &(k, v) in &parts[pi] {
+                grouped.entry(k).or_default().push(v);
+            }
+            let ch = self.env.pool.unit(u).channel;
+            let base = self.env.stage_outs[u];
+            let mut layout: Vec<(i64, u64, Vec<i64>)> = Vec::new();
+            let mut off = 0u64;
+            for (k, vs) in grouped {
+                for (j, &v) in vs.iter().enumerate() {
+                    self.env.modules[ch]
+                        .data_mut()
+                        .write_i64(PhysAddr(base.0 + (off + j as u64) * 8), v);
+                }
+                let len = vs.len() as u64;
+                layout.push((k, off, vs));
+                off = (off + len).next_multiple_of(8);
+            }
+            // Scatter pricing: a per-row partition charge plus one
+            // degraded-line charge per staged 64-byte line.
+            let mut unit_t = t
+                + self.cfg.cpu_per_row * (parts[pi].len() as u64)
+                + self.cfg.resilience.degraded_line_cost * off.div_ceil(8);
+            let mut failed_at: Option<Tick> = None;
+            let mut done_groups = 0usize;
+            for (gi, (_, goff, vs)) in layout.iter().enumerate() {
+                let job = AggregateJob {
+                    col_addr: PhysAddr(base.0 + goff * 8),
+                    rows: vs.len() as u64,
+                    op,
+                    filter: None,
+                };
+                match self.env.drivers[u].try_run_aggregate(
+                    &mut self.env.devices[u],
+                    self.env.modules[ch],
+                    job,
+                    unit_t,
+                ) {
+                    Ok(out) => {
+                        unit_t = out.end;
+                        let e = partials.entry(layout[gi].0).or_insert((0, None));
+                        e.0 += out.count;
+                        e.1 = merge_agg(op, e.1, out.value);
+                        done_groups = gi + 1;
+                    }
+                    Err(t_fail) => {
+                        failed_at = Some(t_fail);
+                        break;
+                    }
+                }
+            }
+            if let Some(t_fail) = failed_at {
+                self.quarantine_unit(u, t_fail);
+                if !requeued {
+                    requeued = true;
+                    self.requeues += 1;
+                    self.env
+                        .tracer
+                        .emit(t_fail, EventKind::QueryRequeued { query: qid });
+                }
+                for (k, _, vs) in layout.into_iter().skip(done_groups) {
+                    host_groups.push((k, vs));
+                }
+                end = end.max(t_fail);
+            } else {
+                self.unit_busy[u] = true;
+                self.served_count[u] += 1;
+                self.unit_free_ev
+                    .push(Reverse((unit_t.max(self.now), u as u32)));
+                used += 1;
+                end = end.max(unit_t);
+            }
+        }
+
+        // Whatever no healthy unit folded finishes on the host,
+        // serialized on `host_free`, with the device kernel's exact fold
+        // semantics — the merged groups stay byte-identical.
+        host_groups.sort_by_key(|&(k, _)| k);
+        for (k, vs) in host_groups {
+            let begin = self.host_free.max(t);
+            let mut acc: Option<i64> = None;
+            for &v in &vs {
+                acc = Some(match (op, acc) {
+                    (AggOp::Min, Some(p)) => p.min(v),
+                    (AggOp::Max, Some(p)) => p.max(v),
+                    (AggOp::Min | AggOp::Max, None) => v,
+                    (_, prev) => prev.unwrap_or(0).wrapping_add(v),
+                });
+            }
+            let cost = self.cfg.cpu_fixed
+                + self.cfg.cpu_per_row * (vs.len() as u64)
+                + self.cfg.cpu_per_out_byte * 24;
+            let done = begin + cost;
+            self.host_free = done;
+            end = end.max(done);
+            let e = partials.entry(k).or_insert((0, None));
+            e.0 += vs.len() as u64;
+            e.1 = merge_agg(op, e.1, acc);
+        }
+        if qualifying.is_empty() {
+            // Nothing qualified: one host setup pass discovers that.
+            let done = self.host_free.max(t) + self.cfg.cpu_fixed;
+            self.host_free = done;
+            end = end.max(done);
+        }
+
+        let rec = &mut self.records[qid as usize];
+        rec.started = Some(t);
+        rec.mode = if used == 0 {
+            ExecMode::Cpu
+        } else {
+            ExecMode::Device { ranks: used }
+        };
+        rec.matched = qualifying.len() as u64;
+        rec.groups = partials.into_iter().map(|(k, (c, a))| (k, c, a)).collect();
+        self.env.tracer.emit(
+            t,
+            EventKind::QueryStarted {
+                query: qid,
+                mode: match used {
+                    0 => "cpu",
+                    1 => "single",
+                    _ => "parallel",
+                },
+                op: rec.op.name(),
+                ranks: used,
+            },
+        );
+        self.finish_query(qid, end);
+    }
+
     fn step_shard(&mut self, idx: usize) -> Result<(), EngineInvariant> {
         let shard = &mut self.active[idx];
         let ch = self.env.pool.unit(shard.unit).channel;
@@ -1561,10 +1875,38 @@ impl Engine<'_, '_> {
                 // A finished fused shard lands k bitset slices at once:
                 // read every lane's stride-separated slot into its own
                 // query record, then book one shard completion per lane.
+                // A solo semi-join's lanes all belong to the one query:
+                // OR them into its bitset (ranges are disjoint, so the
+                // union's popcount is the lane counts' sum) and book a
+                // single completion.
                 let run = session.into_run();
                 let nbytes = shard.rows.div_ceil(8) as usize;
                 let at = (shard.off / 8) as usize;
                 let stride = self.lane_stride();
+                let lanes = run.matched.len();
+                if shard.qids.len() == 1 && lanes > 1 {
+                    let qid = shard.qids[0];
+                    let mut union = vec![0u8; nbytes];
+                    let mut buf = vec![0u8; nbytes];
+                    for lane in 0..lanes {
+                        self.env.modules[ch].data().read(
+                            PhysAddr(
+                                self.env.outs[shard.unit].0 + lane as u64 * stride + shard.off / 8,
+                            ),
+                            &mut buf,
+                        );
+                        for (u_byte, b) in union.iter_mut().zip(&buf) {
+                            *u_byte |= b;
+                        }
+                    }
+                    if !shard.rows.is_multiple_of(8) {
+                        union[nbytes - 1] &= (1u8 << (shard.rows % 8)) - 1;
+                    }
+                    self.records[qid as usize].bitset[at..at + nbytes].copy_from_slice(&union);
+                    self.unit_free_ev
+                        .push(Reverse((run.end.max(self.now), shard.unit as u32)));
+                    return self.complete_shard(qid, run.end, run.matched.iter().sum(), None);
+                }
                 for (lane, &qid) in shard.qids.iter().enumerate() {
                     let rec = &mut self.records[qid as usize];
                     self.env.modules[ch].data().read(
@@ -1895,6 +2237,41 @@ impl Engine<'_, '_> {
                 rec.matched = matched;
                 rec.agg = acc;
             }
+            QueryOp::SemiJoin { ranges } => {
+                // One pass over the full range set — bit-identical to
+                // the OR of the device path's disjoint lane bitsets.
+                let mut bytes = vec![0u8; values.len().div_ceil(8)];
+                let mut matched = 0u64;
+                for (i, &v) in values.iter().enumerate() {
+                    if ranges.contains(v) {
+                        bytes[i / 8] |= 1 << (i % 8);
+                        matched += 1;
+                    }
+                }
+                rec.bitset = bytes;
+                rec.matched = matched;
+            }
+            QueryOp::GroupBy { agg } => {
+                let keys = self.env.keys;
+                let mut matched = 0u64;
+                let mut groups: std::collections::BTreeMap<i64, (u64, Option<i64>)> =
+                    std::collections::BTreeMap::new();
+                for (i, &v) in values.iter().enumerate() {
+                    if v >= lo && v <= hi {
+                        matched += 1;
+                        let e = groups.entry(keys[i]).or_insert((0, None));
+                        e.0 += 1;
+                        e.1 = Some(match (agg, e.1) {
+                            (AggFn::Sum, prev) => prev.unwrap_or(0).wrapping_add(v),
+                            (AggFn::Min | AggFn::Max, None) => v,
+                            (AggFn::Min, Some(p)) => p.min(v),
+                            (AggFn::Max, Some(p)) => p.max(v),
+                        });
+                    }
+                }
+                rec.matched = matched;
+                rec.groups = groups.into_iter().map(|(k, (c, a))| (k, c, a)).collect();
+            }
         }
         self.cpu_done.push(Reverse((done, qid)));
         self.env.tracer.emit(
@@ -1916,9 +2293,17 @@ impl Engine<'_, '_> {
 /// so the two CPU tiers price identical work identically.
 pub(crate) fn host_scan_cost(cfg: &ServeConfig, rows: u64, op: QueryOp) -> Tick {
     let out_bytes = match op {
-        QueryOp::Select => rows.div_ceil(8),
+        // A semi-join emits exactly one bitset — the host evaluates the
+        // whole range set in one pass, so it prices a single lane's
+        // output, never ranges× it (the device fuses its lanes into one
+        // scan for the same reason).
+        QueryOp::Select | QueryOp::SemiJoin { .. } => rows.div_ceil(8),
         QueryOp::SelectCount | QueryOp::SelectAgg(_) => 8,
         QueryOp::Project { k } => u64::from(k.max(1)) * 8 * rows,
+        // Worst case every row is its own group: one (key, count, value)
+        // triple — 24 bytes — per row, the budget before selectivity or
+        // key cardinality is known. Monotone in `rows` like every arm.
+        QueryOp::GroupBy { .. } => 24 * rows,
     };
     cfg.cpu_fixed + cfg.cpu_per_row * rows + cfg.cpu_per_out_byte * out_bytes
 }
@@ -1967,7 +2352,9 @@ mod tests {
         replicas: Vec<PhysAddr>,
         outs: Vec<PhysAddr>,
         proj_outs: Vec<PhysAddr>,
+        stage_outs: Vec<PhysAddr>,
         values: Vec<i64>,
+        keys: Vec<i64>,
         tracer: SharedTracer,
     }
 
@@ -1987,10 +2374,17 @@ mod tests {
         let values: Vec<i64> = (0..ROWS)
             .map(|_| rng.next_range_inclusive(0, 999))
             .collect();
+        // A separate key stream keeps the value stream (and with it
+        // every pre-group-by golden expectation) untouched.
+        let mut krng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        let keys: Vec<i64> = (0..ROWS)
+            .map(|_| krng.next_range_inclusive(0, 15))
+            .collect();
         let rank_bytes = geom.rank_bytes();
         let mut replicas = Vec::new();
         let mut outs = Vec::new();
         let mut proj_outs = Vec::new();
+        let mut stage_outs = Vec::new();
         for r in 0..nranks as u64 {
             let col = PhysAddr(r * rank_bytes);
             for (i, &v) in values.iter().enumerate() {
@@ -2001,6 +2395,7 @@ mod tests {
             replicas.push(col);
             outs.push(PhysAddr(r * rank_bytes + 192 * 1024));
             proj_outs.push(PhysAddr(r * rank_bytes + 64 * 1024));
+            stage_outs.push(PhysAddr(r * rank_bytes + 128 * 1024));
         }
         Rig {
             module,
@@ -2011,7 +2406,9 @@ mod tests {
             replicas,
             outs,
             proj_outs,
+            stage_outs,
             values,
+            keys,
             tracer: SharedTracer::disabled(),
         }
     }
@@ -2034,6 +2431,8 @@ mod tests {
                     outs: &self.outs,
                     proj_outs: &self.proj_outs,
                     values: &self.values,
+                    keys: &self.keys,
+                    stage_outs: &self.stage_outs,
                     tracer: &self.tracer,
                 },
                 workload,
@@ -2261,6 +2660,9 @@ mod tests {
                 QueryOp::Project { .. } => {
                     assert_eq!(rec.bitset, reference_bytes(&rig.values, rec.lo, rec.hi));
                     assert_eq!(rec.projected, matching, "packed projection");
+                }
+                QueryOp::SemiJoin { .. } | QueryOp::GroupBy { .. } => {
+                    unreachable!("this mixed stream does not carry joins or group-bys")
                 }
             }
         }
@@ -2502,7 +2904,9 @@ mod tests {
         replicas: Vec<PhysAddr>,
         outs: Vec<PhysAddr>,
         proj_outs: Vec<PhysAddr>,
+        stage_outs: Vec<PhysAddr>,
         values: Vec<i64>,
+        keys: Vec<i64>,
         tracer: SharedTracer,
     }
 
@@ -2517,11 +2921,16 @@ mod tests {
         let values: Vec<i64> = (0..ROWS)
             .map(|_| rng.next_range_inclusive(0, 999))
             .collect();
+        let mut krng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        let keys: Vec<i64> = (0..ROWS)
+            .map(|_| krng.next_range_inclusive(0, 15))
+            .collect();
         let rank_bytes = geom.rank_bytes();
         let mut modules = Vec::new();
         let mut replicas = Vec::new();
         let mut outs = Vec::new();
         let mut proj_outs = Vec::new();
+        let mut stage_outs = Vec::new();
         for _ch in 0..channels {
             let mut module = DramModule::new(
                 geom,
@@ -2538,6 +2947,7 @@ mod tests {
                 replicas.push(col);
                 outs.push(PhysAddr(r * rank_bytes + 192 * 1024));
                 proj_outs.push(PhysAddr(r * rank_bytes + 64 * 1024));
+                stage_outs.push(PhysAddr(r * rank_bytes + 128 * 1024));
             }
             modules.push(module);
         }
@@ -2552,7 +2962,9 @@ mod tests {
             replicas,
             outs,
             proj_outs,
+            stage_outs,
             values,
+            keys,
             tracer: SharedTracer::disabled(),
         }
     }
@@ -2574,6 +2986,8 @@ mod tests {
                     outs: &self.outs,
                     proj_outs: &self.proj_outs,
                     values: &self.values,
+                    keys: &self.keys,
+                    stage_outs: &self.stage_outs,
                     tracer: &self.tracer,
                 },
                 workload,
@@ -2887,5 +3301,262 @@ mod tests {
         assert!(a.migrations >= 1, "the rescued fused shard moved ranks");
         assert_eq!(a.units[0].quarantines, 1);
         assert_eq!(a.units[1].quarantines, 0, "the healthy rank stays clean");
+    }
+
+    // ---- semi-join + keyed group-by (served joins) ----
+
+    use crate::workload::{zipf_keys, KeyRanges};
+
+    fn reference_semi_bytes(values: &[i64], ranges: &KeyRanges) -> Vec<u8> {
+        let mut bytes = vec![0u8; values.len().div_ceil(8)];
+        for (i, &v) in values.iter().enumerate() {
+            if ranges.contains(v) {
+                bytes[i / 8] |= 1 << (i % 8);
+            }
+        }
+        bytes
+    }
+
+    /// Host-side reference fold with the device kernel's exact
+    /// semantics: wrapping sum, `None`-on-empty extremum.
+    fn reference_groups(
+        values: &[i64],
+        keys: &[i64],
+        lo: i64,
+        hi: i64,
+        f: AggFn,
+    ) -> Vec<(i64, u64, Option<i64>)> {
+        let mut groups: std::collections::BTreeMap<i64, (u64, Option<i64>)> =
+            std::collections::BTreeMap::new();
+        for (i, &v) in values.iter().enumerate() {
+            if v >= lo && v <= hi {
+                let e = groups.entry(keys[i]).or_insert((0, None));
+                e.0 += 1;
+                e.1 = Some(match (f, e.1) {
+                    (AggFn::Sum, prev) => prev.unwrap_or(0).wrapping_add(v),
+                    (AggFn::Min | AggFn::Max, None) => v,
+                    (AggFn::Min, Some(p)) => p.min(v),
+                    (AggFn::Max, Some(p)) => p.max(v),
+                });
+            }
+        }
+        groups.into_iter().map(|(k, (c, a))| (k, c, a)).collect()
+    }
+
+    #[test]
+    fn semi_join_serves_the_union_of_its_key_ranges() {
+        let mut rig = rig(2, 41);
+        // Three disjoint build-side key clusters -> a fused multi-lane
+        // scan; one isolated key -> the solo single-lane path.
+        let multi = KeyRanges::from_keys(&[5, 6, 7, 440, 441, 900]).unwrap();
+        assert!(multi.len() >= 2);
+        let solo = KeyRanges::from_keys(&[250]).unwrap();
+        let workload = Workload {
+            specs: vec![QuerySpec::semi_join(multi), QuerySpec::semi_join(solo)],
+            arrivals: Arrivals::Open(vec![Tick::ZERO, Tick::from_us(40)]),
+            slo: None,
+        };
+        let report = rig.serve(&workload, SchedPolicy::Fifo, &ServeConfig::default());
+        assert_eq!(report.completed(), 2);
+        for (rec, ranges) in report.records.iter().zip([&multi, &solo]) {
+            assert!(matches!(rec.mode, ExecMode::Device { .. }));
+            assert_eq!(
+                rec.bitset,
+                reference_semi_bytes(&rig.values, ranges),
+                "query {} semi-join selection vector",
+                rec.id
+            );
+            assert_eq!(
+                rec.matched,
+                rec.bitset
+                    .iter()
+                    .map(|b| b.count_ones() as u64)
+                    .sum::<u64>()
+            );
+        }
+    }
+
+    #[test]
+    fn semi_join_rides_the_stream_with_fused_selects_unchanged() {
+        // A semi-join interleaved with a fusable select burst: the
+        // selects fuse among themselves, the semi-join keeps its own
+        // multi-lane session, and every bitset matches its reference.
+        let ranges = KeyRanges::from_keys(&[10, 11, 12, 500, 501, 502, 777]).unwrap();
+        let mut specs = vec![QuerySpec::semi_join(ranges)];
+        for i in 0..5 {
+            specs.push(spec(i * 50, i * 50 + 199, None));
+        }
+        let n = specs.len();
+        let workload = Workload {
+            specs,
+            arrivals: Arrivals::Open(vec![Tick::ZERO; n]),
+            slo: None,
+        };
+        let cfg = ServeConfig {
+            fuse_window: 4,
+            ..ServeConfig::default()
+        };
+        let mut first = rig(2, 43);
+        let report = first.serve(&workload, SchedPolicy::Fifo, &cfg);
+        assert_eq!(report.completed(), n);
+        let semi = &report.records[0];
+        assert_eq!(semi.bitset, reference_semi_bytes(&first.values, &ranges));
+        for rec in &report.records[1..] {
+            assert_eq!(
+                rec.bitset,
+                reference_bytes(&first.values, rec.lo, rec.hi),
+                "select {} fused alongside the semi-join",
+                rec.id
+            );
+        }
+        // Determinism with the new op in the mix.
+        let again = rig(2, 43).serve(&workload, SchedPolicy::Fifo, &cfg);
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn group_by_merges_to_the_host_reference_for_every_agg() {
+        for f in [AggFn::Sum, AggFn::Min, AggFn::Max] {
+            let mut rig = rig(4, 47);
+            let workload = Workload {
+                specs: vec![QuerySpec::group_by(100, 799, f)],
+                arrivals: Arrivals::Open(vec![Tick::ZERO]),
+                slo: None,
+            };
+            let report = rig.serve(&workload, SchedPolicy::Fifo, &ServeConfig::default());
+            assert_eq!(report.completed(), 1);
+            let rec = &report.records[0];
+            assert!(matches!(rec.mode, ExecMode::Device { ranks } if ranks >= 2));
+            let want = reference_groups(&rig.values, &rig.keys, 100, 799, f);
+            assert_eq!(rec.groups, want, "{f:?} groups");
+            assert_eq!(
+                rec.matched,
+                want.iter().map(|&(_, c, _)| c).sum::<u64>(),
+                "{f:?} qualifying-row count"
+            );
+        }
+    }
+
+    #[test]
+    fn group_by_with_no_qualifying_rows_completes_empty() {
+        let mut rig = rig(2, 53);
+        let workload = Workload {
+            specs: vec![QuerySpec::group_by(5000, 6000, AggFn::Sum)],
+            arrivals: Arrivals::Open(vec![Tick::ZERO]),
+            slo: None,
+        };
+        let report = rig.serve(&workload, SchedPolicy::Fifo, &ServeConfig::default());
+        assert_eq!(report.completed(), 1);
+        let rec = &report.records[0];
+        assert_eq!(rec.mode, ExecMode::Cpu, "nothing staged, host discovers it");
+        assert!(rec.groups.is_empty());
+        assert_eq!(rec.matched, 0);
+    }
+
+    #[test]
+    fn skew_split_balances_a_hot_key_without_changing_a_byte() {
+        // Zipf(1.0) keys make one key hot enough to trip the sampled
+        // histogram; splitting it across units must not change the
+        // merged groups, only the partition shape.
+        let mut hot_rig = rig(4, 59);
+        hot_rig.keys = zipf_keys(ROWS as usize, 16, 1.0, 61);
+        let workload = Workload {
+            specs: vec![QuerySpec::group_by(0, 999, AggFn::Sum)],
+            arrivals: Arrivals::Open(vec![Tick::ZERO]),
+            slo: None,
+        };
+        let split_cfg = ServeConfig::default();
+        assert!(split_cfg.skew_split, "skew splitting is the default");
+        let naive_cfg = ServeConfig {
+            skew_split: false,
+            ..ServeConfig::default()
+        };
+        let (tracer, ring) = SharedTracer::ring(1 << 12);
+        hot_rig.tracer = tracer;
+        let split = hot_rig.serve(&workload, SchedPolicy::Fifo, &split_cfg);
+        let events = ring.borrow().snapshot();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::SkewSplit { query: 0, .. })),
+            "the Zipf head key must be flagged hot"
+        );
+        let mut naive_rig = rig(4, 59);
+        naive_rig.keys = zipf_keys(ROWS as usize, 16, 1.0, 61);
+        let naive = naive_rig.serve(&workload, SchedPolicy::Fifo, &naive_cfg);
+        let want = reference_groups(&hot_rig.values, &hot_rig.keys, 0, 999, AggFn::Sum);
+        assert_eq!(split.records[0].groups, want);
+        assert_eq!(naive.records[0].groups, want, "split changes nothing");
+    }
+
+    #[test]
+    fn degraded_semi_join_and_group_by_match_the_device_rungs() {
+        // The hopeless-SLO trick pushes each new operator onto the CPU
+        // rung (a blocker holds the only rank, the instant deadline
+        // degrades the target immediately); the degraded result must be
+        // indistinguishable from a healthy device run's.
+        let ranges = KeyRanges::from_keys(&[33, 34, 35, 610, 611]).unwrap();
+        let targets = [
+            QuerySpec::semi_join(ranges),
+            QuerySpec::group_by(200, 899, AggFn::Max),
+        ];
+        for target in targets {
+            let joined = Workload {
+                specs: vec![
+                    spec(0, 999, None),
+                    QuerySpec {
+                        slo: Some(Tick::from_ns(1)),
+                        ..target
+                    },
+                ],
+                arrivals: Arrivals::Open(vec![Tick::ZERO; 2]),
+                slo: None,
+            };
+            let healthy = Workload {
+                specs: vec![target],
+                arrivals: Arrivals::Open(vec![Tick::ZERO]),
+                slo: None,
+            };
+            let cpu = rig(1, 67).serve(&joined, SchedPolicy::Fifo, &ServeConfig::default());
+            let dev = rig(2, 67).serve(&healthy, SchedPolicy::Fifo, &ServeConfig::default());
+            let (c, d) = (&cpu.records[1], &dev.records[0]);
+            assert_eq!(c.mode, ExecMode::Cpu, "{} must degrade", c.op.name());
+            assert!(matches!(d.mode, ExecMode::Device { .. }));
+            assert_eq!(c.bitset, d.bitset, "{} bitset across rungs", c.op.name());
+            assert_eq!(c.matched, d.matched);
+            assert_eq!(c.groups, d.groups, "{} groups across rungs", c.op.name());
+        }
+    }
+
+    #[test]
+    fn host_scan_cost_is_monotone_and_prices_one_semi_lane() {
+        let cfg = ServeConfig::default();
+        let ranges = KeyRanges::from_keys(&[1, 5, 9, 13, 17, 21, 25, 29]).unwrap();
+        assert_eq!(ranges.len(), 8, "maximally fragmented build side");
+        let ops = [
+            QueryOp::Select,
+            QueryOp::SelectCount,
+            QueryOp::SelectAgg(AggFn::Sum),
+            QueryOp::Project { k: 3 },
+            QueryOp::SemiJoin { ranges },
+            QueryOp::GroupBy { agg: AggFn::Sum },
+        ];
+        for op in ops {
+            let mut prev = Tick::ZERO;
+            for rows in [1u64, 7, 8, 64, 512, 4096, 1 << 20] {
+                let c = host_scan_cost(&cfg, rows, op);
+                assert!(c > prev, "{} cost must grow strictly with rows", op.name());
+                prev = c;
+            }
+        }
+        // The victim-lane property: however many ranges the build side
+        // fragments into, the host prices a semi-join exactly like the
+        // one-lane select it degenerates to — never ranges x it.
+        for rows in [64u64, 2048] {
+            assert_eq!(
+                host_scan_cost(&cfg, rows, QueryOp::SemiJoin { ranges }),
+                host_scan_cost(&cfg, rows, QueryOp::Select)
+            );
+        }
     }
 }

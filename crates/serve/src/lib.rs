@@ -67,10 +67,13 @@ pub use cluster::{
     cluster_fabric, run_cluster, ClusterConfig, ClusterEnv, ClusterQuery, ClusterReport,
     NodeSummary, RoutePolicy, Tier,
 };
-pub use engine::{run_serve, run_serve_checked, EngineInvariant, ServeConfig, ServeEnv};
+pub use engine::{out_lanes, run_serve, run_serve_checked, EngineInvariant, ServeConfig, ServeEnv};
 pub use health::{HealthConfig, UnitState};
 pub use policy::SchedPolicy;
 pub use pool::{ChannelRankPool, FilterPool, FilterUnit, PoolIdError, SingleDimmPool};
 pub use report::{Availability, ExecMode, OpBreakdown, QueryRecord, ServeReport, UnitAvailability};
-pub use submit::SubmitError;
-pub use workload::{AggFn, Arrivals, PredicateMix, QueryOp, QuerySpec, Workload};
+pub use submit::{semi_join_spec, spec_from_plan, workload_from_plans, Lowered, SubmitError};
+pub use workload::{
+    uniform_keys, zipf_keys, AggFn, Arrivals, KeyRangeOverflow, KeyRanges, PredicateMix, QueryOp,
+    QuerySpec, Workload, MAX_KEY_RANGES,
+};

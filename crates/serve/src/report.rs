@@ -60,6 +60,11 @@ pub struct QueryRecord {
     /// served column, so they are byte-identical). Empty for the other
     /// operators and if shed.
     pub projected: Vec<i64>,
+    /// The `(key, count, folded value)` rows a [`QueryOp::GroupBy`]
+    /// query produced, sorted by key — identical whichever rung (or mix
+    /// of rungs) the partitions ran on. Empty for the other operators
+    /// and if shed.
+    pub groups: Vec<(i64, u64, Option<i64>)>,
 }
 
 impl QueryRecord {
@@ -487,6 +492,7 @@ mod tests {
             bitset: Vec::new(),
             agg: None,
             projected: Vec::new(),
+            groups: Vec::new(),
         }
     }
 

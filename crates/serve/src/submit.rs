@@ -22,19 +22,31 @@
 //!   over a servable scan: `Count` lifts to [`QueryOp::SelectCount`];
 //!   `Sum`/`Min`/`Max` lift to [`QueryOp::SelectAgg`] when the aggregate
 //!   input column is the filtered column (the engine folds the column it
-//!   filters). `Avg`, grouped aggregation and multi-aggregate plans stay
-//!   on the host.
+//!   filters).
+//! - `Plan::GroupBy` with exactly **one** grouping key and one
+//!   `Sum`/`Min`/`Max` aggregate over the filtered column lifts to
+//!   [`QueryOp::GroupBy`]; the grouping column's name rides along in
+//!   [`Lowered::key_col`] so the embedding can hand the engine that
+//!   column as `ServeEnv::keys`.
+//! - `Plan::Join` lifts through the catalog-aware [`semi_join_spec`]:
+//!   the build side executes on the host, its key set compresses into
+//!   disjoint [`KeyRanges`], and the probe column serves as a fused
+//!   multi-lane select — a bitset-driven semi-join pushdown.
 //! - Everything else — filterless scans, filters spanning several
-//!   columns, joins, sorts — returns `None`: the engine cannot honor
+//!   columns, multi-key grouping, sorts, limits — returns a typed
+//!   [`SubmitError::Unservable`] naming *why*: the engine cannot honor
 //!   those plans, and serving a loosened approximation would silently
-//!   over-match (exactly the bug this module used to have).
+//!   over-match (exactly the bug this module used to have, twice — it
+//!   first served loosened filters, then silently returned a bare
+//!   `None` that erased the reason a plan stayed on the host).
 
-use crate::workload::{AggFn, Arrivals, QueryOp, QuerySpec, Workload};
+use crate::workload::{AggFn, Arrivals, KeyRanges, QueryOp, QuerySpec, Workload};
 use jafar_columnstore::ops::agg::AggKind;
-use jafar_columnstore::plan::Plan;
+use jafar_columnstore::plan::{execute, Catalog, Plan};
+use jafar_columnstore::ExecContext;
 use jafar_common::time::Tick;
 
-/// Why a plan stream could not be lifted into a served workload.
+/// Why a plan (or plan stream) could not be lifted into served queries.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SubmitError {
     /// `Arrivals::Open` carried a different number of instants than
@@ -47,6 +59,13 @@ pub enum SubmitError {
         servable: usize,
         /// Arrival instants supplied.
         arrivals: usize,
+    },
+    /// The engine cannot honor this plan shape exactly; the reason says
+    /// which rule it fell out of. Serving a loosened approximation
+    /// instead would silently over-match the plan's semantics.
+    Unservable {
+        /// Which lifting rule the plan fell out of.
+        reason: &'static str,
     },
 }
 
@@ -62,35 +81,76 @@ impl core::fmt::Display for SubmitError {
                 "open-loop arrivals ({arrivals}) match neither the plan stream \
                  ({plans}) nor its servable queries ({servable})"
             ),
+            SubmitError::Unservable { reason } => {
+                write!(f, "plan is not servable: {reason}")
+            }
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
 
+/// A plan lifted into a served query, plus what the embedding must
+/// supply alongside the served column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lowered {
+    /// The served query.
+    pub spec: QuerySpec,
+    /// For a keyed group-by: the grouping column's name. The embedding
+    /// must hand the engine this column, row-aligned with the served
+    /// column, as `ServeEnv::keys`.
+    pub key_col: Option<String>,
+}
+
+impl Lowered {
+    fn plain(spec: QuerySpec) -> Self {
+        Lowered {
+            spec,
+            key_col: None,
+        }
+    }
+}
+
+fn unservable(reason: &'static str) -> SubmitError {
+    SubmitError::Unservable { reason }
+}
+
 /// Conjuncts every filter of a scan into one inclusive range, provided
-/// they all name the same column. Returns `(column, lo, hi)`; `None`
-/// when the scan has no filter or filters several columns.
-fn conjunct_filters(plan: &Plan) -> Option<(&str, i64, i64)> {
+/// they all name the same column. Returns `(column, lo, hi)`.
+///
+/// # Errors
+/// [`SubmitError::Unservable`] when the scan has no filter (the engine
+/// always filters) or filters several columns (the engine scans one).
+fn conjunct_filters(plan: &Plan) -> Result<(&str, i64, i64), SubmitError> {
     let Plan::Scan { filters, .. } = plan else {
-        return None;
+        return Err(unservable("only scans carry servable filters"));
     };
-    let (first_col, first_pred) = filters.first()?;
+    let Some((first_col, first_pred)) = filters.first() else {
+        return Err(unservable(
+            "a filterless scan matches every row — the engine always filters",
+        ));
+    };
     let (mut lo, mut hi) = first_pred.bounds();
     for (col, pred) in &filters[1..] {
         if col != first_col {
-            return None;
+            return Err(unservable(
+                "filters span several columns; the engine scans one",
+            ));
         }
         let (l, h) = pred.bounds();
         lo = lo.max(l);
         hi = hi.min(h);
     }
-    Some((first_col, lo, hi))
+    Ok((first_col, lo, hi))
 }
 
-/// Lifts one plan into a served query per the module-level rules, or
-/// `None` when the engine cannot honor it exactly.
-pub fn spec_from_plan(plan: &Plan) -> Option<QuerySpec> {
+/// Lifts one plan into a served query per the module-level rules.
+///
+/// # Errors
+/// [`SubmitError::Unservable`] naming the rule the plan fell out of.
+/// Joins are "unservable" here only because their build side needs the
+/// catalog — lift them with [`semi_join_spec`] instead.
+pub fn spec_from_plan(plan: &Plan) -> Result<Lowered, SubmitError> {
     match plan {
         Plan::Scan { columns, .. } => {
             let (_, lo, hi) = conjunct_filters(plan)?;
@@ -101,41 +161,123 @@ pub fn spec_from_plan(plan: &Plan) -> Option<QuerySpec> {
                     k: columns.len() as u32,
                 }
             };
-            Some(QuerySpec {
+            Ok(Lowered::plain(QuerySpec {
                 lo,
                 hi,
                 op,
                 slo: None,
-            })
+            }))
         }
         Plan::GroupBy { input, keys, aggs } => {
-            if !keys.is_empty() {
-                return None;
+            if keys.len() > 1 {
+                return Err(unservable(
+                    "multi-key group-by stays on the host (one key column per query)",
+                ));
             }
             let [(agg_col, kind, _)] = aggs.as_slice() else {
-                return None;
+                return Err(unservable("multi-aggregate plans stay on the host"));
             };
             let (scan_col, lo, hi) = conjunct_filters(input)?;
-            let op = match kind {
-                AggKind::Count => QueryOp::SelectCount,
-                AggKind::Sum if agg_col == scan_col => QueryOp::SelectAgg(AggFn::Sum),
-                AggKind::Min if agg_col == scan_col => QueryOp::SelectAgg(AggFn::Min),
-                AggKind::Max if agg_col == scan_col => QueryOp::SelectAgg(AggFn::Max),
-                _ => return None,
-            };
-            Some(QuerySpec {
-                lo,
-                hi,
-                op,
-                slo: None,
-            })
+            match keys.as_slice() {
+                [] => {
+                    let op = match kind {
+                        AggKind::Count => QueryOp::SelectCount,
+                        AggKind::Sum if agg_col == scan_col => QueryOp::SelectAgg(AggFn::Sum),
+                        AggKind::Min if agg_col == scan_col => QueryOp::SelectAgg(AggFn::Min),
+                        AggKind::Max if agg_col == scan_col => QueryOp::SelectAgg(AggFn::Max),
+                        AggKind::Avg => {
+                            return Err(unservable("avg needs a divide the device fold lacks"));
+                        }
+                        _ => {
+                            return Err(unservable(
+                                "aggregate folds a different column than the filter scans",
+                            ));
+                        }
+                    };
+                    Ok(Lowered::plain(QuerySpec {
+                        lo,
+                        hi,
+                        op,
+                        slo: None,
+                    }))
+                }
+                [key] => {
+                    let agg = match kind {
+                        AggKind::Sum if agg_col == scan_col => AggFn::Sum,
+                        AggKind::Min if agg_col == scan_col => AggFn::Min,
+                        AggKind::Max if agg_col == scan_col => AggFn::Max,
+                        AggKind::Count => {
+                            return Err(unservable("keyed counts stay on the host"));
+                        }
+                        AggKind::Avg => {
+                            return Err(unservable("avg needs a divide the device fold lacks"));
+                        }
+                        _ => {
+                            return Err(unservable(
+                                "aggregate folds a different column than the filter scans",
+                            ));
+                        }
+                    };
+                    Ok(Lowered {
+                        spec: QuerySpec::group_by(lo, hi, agg),
+                        key_col: Some(key.clone()),
+                    })
+                }
+                _ => unreachable!("len > 1 handled above"),
+            }
         }
-        _ => None,
+        Plan::Join { .. } => Err(unservable(
+            "joins lower through semi_join_spec, which needs the catalog",
+        )),
+        Plan::Sort { .. } => Err(unservable("ordering stays on the host")),
+        Plan::Limit { .. } => Err(unservable("row caps stay on the host")),
     }
 }
 
+/// Lifts a `Plan::Join` into a served semi-join: the build side runs on
+/// the host (it is the small input by convention), its distinct key set
+/// compresses into disjoint inclusive [`KeyRanges`], and the resulting
+/// spec filters the **probe key column** — the embedding serves that
+/// column and the engine scans it as one fused multi-lane select whose
+/// lanes OR into the semi-join bitset.
+///
+/// The join's probe *output* columns are not materialized: the served
+/// result is the probe-side selection vector (which rows have a build
+/// match), i.e. the semi-join reduction every hash join begins with.
+///
+/// # Errors
+/// [`SubmitError::Unservable`] when the plan is not a join, the build
+/// side fails to execute or lacks the key column, or the build keys
+/// compress to more disjoint ranges than the device's fused-lane budget
+/// ([`crate::workload::MAX_KEY_RANGES`]).
+pub fn semi_join_spec(
+    plan: &Plan,
+    catalog: &Catalog<'_>,
+    cx: &mut ExecContext,
+) -> Result<Lowered, SubmitError> {
+    let Plan::Join {
+        build, build_key, ..
+    } = plan
+    else {
+        return Err(unservable("only joins lower to semi-joins"));
+    };
+    let frame = execute(build, catalog, cx)
+        .map_err(|_| unservable("the join's build side failed to execute on the host"))?;
+    let keys = frame
+        .column(build_key)
+        .map_err(|_| unservable("the build side does not produce the build key column"))?;
+    let ranges = KeyRanges::from_keys(keys).map_err(|_| {
+        unservable("the build keys compress to more disjoint ranges than the fused-lane budget")
+    })?;
+    Ok(Lowered::plain(QuerySpec::semi_join(ranges)))
+}
+
 /// Builds a served workload from a stream of plans: every servable plan
-/// becomes one query, in plan order.
+/// becomes one query, in plan order; unservable plans are dropped with
+/// their arrival instants (their typed reasons are recoverable per plan
+/// via [`spec_from_plan`]). Returns the workload plus the key column
+/// any keyed group-by in the stream groups on — the embedding must
+/// serve that column as `ServeEnv::keys`.
 ///
 /// For [`Arrivals::Open`] the instants must align: either one instant
 /// per *plan* (instants paired with non-servable plans are dropped with
@@ -144,14 +286,31 @@ pub fn spec_from_plan(plan: &Plan) -> Option<QuerySpec> {
 /// this function used to do handed query *i* plan *j*'s arrival time.
 ///
 /// # Errors
-/// [`SubmitError::ArrivalMismatch`] as above.
+/// [`SubmitError::ArrivalMismatch`] as above, or
+/// [`SubmitError::Unservable`] when two keyed group-bys in one stream
+/// name *different* key columns — the engine carries one key column per
+/// served workload.
 pub fn workload_from_plans(
     plans: &[Plan],
     arrivals: Arrivals,
     slo: Option<Tick>,
-) -> Result<Workload, SubmitError> {
-    let lifted: Vec<Option<QuerySpec>> = plans.iter().map(spec_from_plan).collect();
+) -> Result<(Workload, Option<String>), SubmitError> {
+    let lifted: Vec<Option<Lowered>> = plans.iter().map(|p| spec_from_plan(p).ok()).collect();
     let servable = lifted.iter().flatten().count();
+    let mut key_col: Option<String> = None;
+    for l in lifted.iter().flatten() {
+        if let Some(k) = &l.key_col {
+            match &key_col {
+                None => key_col = Some(k.clone()),
+                Some(prev) if prev == k => {}
+                Some(_) => {
+                    return Err(unservable(
+                        "keyed group-bys in one stream name different key columns",
+                    ));
+                }
+            }
+        }
+    }
     let arrivals = match arrivals {
         Arrivals::Open(times) if times.len() == plans.len() => Arrivals::Open(
             lifted
@@ -170,17 +329,23 @@ pub fn workload_from_plans(
         }
         other => other,
     };
-    Ok(Workload {
-        specs: lifted.into_iter().flatten().collect(),
-        arrivals,
-        slo,
-    })
+    Ok((
+        Workload {
+            specs: lifted.into_iter().flatten().map(|l| l.spec).collect(),
+            arrivals,
+            slo,
+        },
+        key_col,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use jafar_columnstore::ops::scan::ScanPredicate;
+    use jafar_columnstore::Planner;
+    use jafar_tpch::queries::plans::{q1_plan_shape, q3_plan_shape, q6_plan_shape};
+    use jafar_tpch::{TpchConfig, TpchDb};
 
     fn scan(pred: ScanPredicate) -> Plan {
         Plan::Scan {
@@ -210,26 +375,50 @@ mod tests {
         }
     }
 
-    #[test]
-    fn scan_plans_become_specs() {
-        assert_eq!(
-            spec_from_plan(&scan(ScanPredicate::Between(3, 9))),
-            Some(select_spec(3, 9))
-        );
-        assert_eq!(
-            spec_from_plan(&scan(ScanPredicate::Lt(5))),
-            Some(select_spec(i64::MIN, 4))
-        );
+    fn ok_spec(plan: &Plan) -> QuerySpec {
+        spec_from_plan(plan).expect("servable").spec
+    }
+
+    fn reason(plan: &Plan) -> &'static str {
+        match spec_from_plan(plan).expect_err("unservable") {
+            SubmitError::Unservable { reason } => reason,
+            other => panic!("expected Unservable, got {other:?}"),
+        }
     }
 
     #[test]
-    fn unfiltered_scans_are_not_servable() {
-        let plan = Plan::Scan {
+    fn scan_plans_become_specs() {
+        assert_eq!(
+            ok_spec(&scan(ScanPredicate::Between(3, 9))),
+            select_spec(3, 9)
+        );
+        assert_eq!(
+            ok_spec(&scan(ScanPredicate::Lt(5))),
+            select_spec(i64::MIN, 4)
+        );
+    }
+
+    /// Regression (pre-fix the bridge returned a bare `None` here: the
+    /// caller could not tell *why* the plan stayed on the host, and the
+    /// silent drop hid lowering bugs behind "not servable").
+    #[test]
+    fn unservable_shapes_carry_their_reason() {
+        let unfiltered = Plan::Scan {
             table: "t".into(),
             filters: Vec::new(),
             columns: vec!["c".into()],
         };
-        assert_eq!(spec_from_plan(&plan), None);
+        assert!(reason(&unfiltered).contains("filterless"));
+        let sorted = Plan::Sort {
+            input: Box::new(scan(ScanPredicate::Eq(1))),
+            keys: Vec::new(),
+        };
+        assert!(reason(&sorted).contains("ordering"));
+        let limited = Plan::Limit {
+            input: Box::new(scan(ScanPredicate::Eq(1))),
+            n: 10,
+        };
+        assert!(reason(&limited).contains("row caps"));
     }
 
     /// Regression (pre-fix this returned `(5, i64::MAX)` — the `Lt(20)`
@@ -242,7 +431,7 @@ mod tests {
             ("c", ScanPredicate::Lt(20)),
             ("c", ScanPredicate::Between(0, 17)),
         ]);
-        assert_eq!(spec_from_plan(&plan), Some(select_spec(5, 17)));
+        assert_eq!(ok_spec(&plan), select_spec(5, 17));
     }
 
     /// Regression (pre-fix this served the first filter and ignored the
@@ -253,7 +442,7 @@ mod tests {
             ("c", ScanPredicate::Ge(5)),
             ("d", ScanPredicate::Lt(20)),
         ]);
-        assert_eq!(spec_from_plan(&plan), None);
+        assert!(reason(&plan).contains("several columns"));
     }
 
     #[test]
@@ -264,13 +453,13 @@ mod tests {
             columns: vec!["c".into(), "d".into()],
         };
         assert_eq!(
-            spec_from_plan(&plan),
-            Some(QuerySpec {
+            ok_spec(&plan),
+            QuerySpec {
                 lo: 1,
                 hi: 8,
                 op: QueryOp::Project { k: 2 },
                 slo: None,
-            })
+            }
         );
     }
 
@@ -282,33 +471,168 @@ mod tests {
             aggs: vec![(col.into(), kind, "out".into())],
         };
         assert_eq!(
-            spec_from_plan(&agg(AggKind::Count, "anything")).map(|s| s.op),
-            Some(QueryOp::SelectCount)
+            ok_spec(&agg(AggKind::Count, "anything")).op,
+            QueryOp::SelectCount
         );
         assert_eq!(
-            spec_from_plan(&agg(AggKind::Sum, "c")).map(|s| s.op),
-            Some(QueryOp::SelectAgg(AggFn::Sum))
+            ok_spec(&agg(AggKind::Sum, "c")).op,
+            QueryOp::SelectAgg(AggFn::Sum)
         );
         assert_eq!(
-            spec_from_plan(&agg(AggKind::Min, "c")).map(|s| s.op),
-            Some(QueryOp::SelectAgg(AggFn::Min))
+            ok_spec(&agg(AggKind::Min, "c")).op,
+            QueryOp::SelectAgg(AggFn::Min)
         );
-        // Folding a different column than the filter scans, averaging,
-        // or grouping — the engine cannot honor any of these.
-        assert_eq!(spec_from_plan(&agg(AggKind::Sum, "d")), None);
-        assert_eq!(spec_from_plan(&agg(AggKind::Avg, "c")), None);
-        let grouped = Plan::GroupBy {
+        // Folding a different column than the filter scans, or
+        // averaging — the engine cannot honor either.
+        assert!(reason(&agg(AggKind::Sum, "d")).contains("different column"));
+        assert!(reason(&agg(AggKind::Avg, "c")).contains("divide"));
+    }
+
+    #[test]
+    fn single_key_group_by_lowers_and_conveys_its_key_column() {
+        let plan = Plan::GroupBy {
             input: Box::new(scan(ScanPredicate::Between(2, 11))),
             keys: vec!["k".into()],
             aggs: vec![("c".into(), AggKind::Sum, "out".into())],
         };
-        assert_eq!(spec_from_plan(&grouped), None);
+        let lowered = spec_from_plan(&plan).expect("keyed group-by lowers");
+        assert_eq!(lowered.spec.op, QueryOp::GroupBy { agg: AggFn::Sum });
+        assert_eq!((lowered.spec.lo, lowered.spec.hi), (2, 11));
+        assert_eq!(lowered.key_col.as_deref(), Some("k"));
+
+        let two_keys = Plan::GroupBy {
+            input: Box::new(scan(ScanPredicate::Between(2, 11))),
+            keys: vec!["k".into(), "j".into()],
+            aggs: vec![("c".into(), AggKind::Sum, "out".into())],
+        };
+        assert!(reason(&two_keys).contains("multi-key"));
+    }
+
+    #[test]
+    fn join_plans_lower_to_semi_joins_through_the_catalog() {
+        use jafar_columnstore::column::Column;
+        use jafar_columnstore::table::Table;
+        // A compact build side: keys {3,4,5, 20} -> two disjoint ranges.
+        let build_t = Table::new("build", vec![Column::int("bk", vec![20, 4, 3, 5, 4])]);
+        let probe_t = Table::new("probe", vec![Column::int("pk", vec![1, 3, 20, 7])]);
+        let catalog = Catalog::new().add(&build_t).add(&probe_t);
+        let plan = Plan::Join {
+            build: Box::new(Plan::Scan {
+                table: "build".into(),
+                filters: vec![("bk".into(), ScanPredicate::Ge(0))],
+                columns: vec!["bk".into()],
+            }),
+            probe: Box::new(Plan::Scan {
+                table: "probe".into(),
+                filters: Vec::new(),
+                columns: vec!["pk".into()],
+            }),
+            build_key: "bk".into(),
+            probe_key: "pk".into(),
+        };
+        let mut cx = ExecContext::new(Planner::default());
+        let lowered = semi_join_spec(&plan, &catalog, &mut cx).expect("join lowers");
+        let QueryOp::SemiJoin { ranges } = lowered.spec.op else {
+            panic!("expected a semi-join, got {:?}", lowered.spec.op);
+        };
+        assert_eq!(ranges.as_slice(), &[(3, 5), (20, 20)]);
+        assert_eq!((lowered.spec.lo, lowered.spec.hi), (3, 20), "envelope");
+
+        // A build side fragmenting past the 8-lane budget is refused
+        // with its reason, not approximated by the envelope.
+        let wide_t = Table::new(
+            "wide",
+            vec![Column::int("bk", (0..9).map(|i| i * 10).collect())],
+        );
+        let catalog = Catalog::new().add(&wide_t).add(&probe_t);
+        let wide = Plan::Join {
+            build: Box::new(Plan::Scan {
+                table: "wide".into(),
+                filters: vec![("bk".into(), ScanPredicate::Ge(0))],
+                columns: vec!["bk".into()],
+            }),
+            probe: Box::new(Plan::Scan {
+                table: "probe".into(),
+                filters: Vec::new(),
+                columns: vec!["pk".into()],
+            }),
+            build_key: "bk".into(),
+            probe_key: "pk".into(),
+        };
+        let err = semi_join_spec(&wide, &catalog, &mut cx).expect_err("9 ranges > 8 lanes");
+        assert!(matches!(err, SubmitError::Unservable { reason } if reason.contains("fused-lane")));
+    }
+
+    /// The TPC-H lowering contract, pinned: the full Q6 plan stays on
+    /// the host because its filters span three columns (the engine
+    /// scans one); Q1's top is a sort and its grouping is multi-key;
+    /// Q3's top is a row cap — each refusal carries its typed reason,
+    /// never a silent drop. The shapes that DO lower: Q1's filtered
+    /// projecting scan, and Q3's innermost join via the catalog.
+    #[test]
+    fn tpch_plan_shapes_lower_exactly_as_documented() {
+        let db = TpchDb::generate(TpchConfig {
+            sf: 0.0005,
+            seed: 41,
+        });
+        let q6 = q6_plan_shape();
+        assert!(
+            reason(&q6).contains("several columns"),
+            "q6 filters shipdate+discount+quantity; a loosened single-column \
+             serve would over-match"
+        );
+
+        let q1 = q1_plan_shape();
+        // Q1's top is a sort; beneath it, the group-by is multi-key;
+        // beneath THAT, the filtered projecting scan lowers.
+        assert!(reason(&q1).contains("ordering"));
+        let Plan::Sort { input: group, .. } = q1 else {
+            panic!("q1's plan top must be a sort")
+        };
+        assert!(reason(&group).contains("multi-key"));
+        let Plan::GroupBy { input: scan, .. } = *group else {
+            panic!("q1 groups beneath the sort")
+        };
+        let lowered = spec_from_plan(&scan).expect("q1's scan is the servable shape");
+        assert_eq!(lowered.spec.op, QueryOp::Project { k: 4 });
+        assert!(lowered.key_col.is_none());
+
+        let q3 = q3_plan_shape(&db, 10);
+        assert!(reason(&q3).contains("row caps"));
+        // Its innermost join DOES lower through the catalog — the Q3
+        // order-key semi-join is exactly the served join shape.
+        let Plan::Limit { input: sort, .. } = q3 else {
+            panic!("q3's plan top must be a limit")
+        };
+        let Plan::Sort { input: group, .. } = *sort else {
+            panic!("q3 sorts beneath the limit")
+        };
+        let Plan::GroupBy { input: join, .. } = *group else {
+            panic!("q3 groups beneath the sort")
+        };
+        let catalog = Catalog::new()
+            .add(&db.customer)
+            .add(&db.orders)
+            .add(&db.lineitem);
+        let mut cx = ExecContext::new(Planner::default());
+        match semi_join_spec(&join, &catalog, &mut cx) {
+            Ok(lowered) => {
+                assert!(matches!(lowered.spec.op, QueryOp::SemiJoin { .. }));
+            }
+            Err(SubmitError::Unservable { reason }) => {
+                // At larger scale factors the order-key build side may
+                // fragment past the lane budget; the refusal must be
+                // the typed overflow reason, never an approximation.
+                assert!(reason.contains("fused-lane"), "unexpected: {reason}");
+            }
+            Err(other) => panic!("unexpected submit error: {other:?}"),
+        }
     }
 
     #[test]
     fn workload_keeps_plan_order() {
         let plans = vec![scan(ScanPredicate::Eq(1)), scan(ScanPredicate::Eq(2))];
-        let w = workload_from_plans(
+        let (w, key_col) = workload_from_plans(
             &plans,
             Arrivals::Closed {
                 clients: 1,
@@ -318,6 +642,38 @@ mod tests {
         )
         .expect("closed loops have no arrival alignment to violate");
         assert_eq!(w.specs, vec![select_spec(1, 1), select_spec(2, 2)]);
+        assert_eq!(key_col, None);
+    }
+
+    #[test]
+    fn keyed_streams_convey_one_key_column_or_refuse() {
+        let keyed = |key: &str| Plan::GroupBy {
+            input: Box::new(scan(ScanPredicate::Between(0, 9))),
+            keys: vec![key.into()],
+            aggs: vec![("c".into(), AggKind::Sum, "out".into())],
+        };
+        let (w, key_col) = workload_from_plans(
+            &[keyed("k"), scan(ScanPredicate::Eq(1)), keyed("k")],
+            Arrivals::Closed {
+                clients: 1,
+                think: Tick::ZERO,
+            },
+            None,
+        )
+        .expect("one key column across the stream");
+        assert_eq!(w.specs.len(), 3);
+        assert_eq!(key_col.as_deref(), Some("k"));
+
+        let err = workload_from_plans(
+            &[keyed("k"), keyed("j")],
+            Arrivals::Closed {
+                clients: 1,
+                think: Tick::ZERO,
+            },
+            None,
+        )
+        .expect_err("two key columns cannot share ServeEnv::keys");
+        assert!(matches!(err, SubmitError::Unservable { reason } if reason.contains("different")));
     }
 
     /// Regression (pre-fix the non-servable middle plan was silently
@@ -335,7 +691,7 @@ mod tests {
             scan(ScanPredicate::Eq(2)),
         ];
         let times = vec![Tick::from_us(1), Tick::from_us(2), Tick::from_us(3)];
-        let w = workload_from_plans(&plans, Arrivals::Open(times), None)
+        let (w, _) = workload_from_plans(&plans, Arrivals::Open(times), None)
             .expect("per-plan instants align");
         assert_eq!(w.specs.len(), 2);
         assert_eq!(
@@ -371,7 +727,7 @@ mod tests {
             scan(ScanPredicate::Eq(2)),
         ];
         let times = vec![Tick::from_us(4), Tick::from_us(5)];
-        let w = workload_from_plans(&plans, Arrivals::Open(times.clone()), None)
+        let (w, _) = workload_from_plans(&plans, Arrivals::Open(times.clone()), None)
             .expect("per-query instants align");
         assert_eq!(w.arrivals, Arrivals::Open(times));
     }

@@ -33,6 +33,105 @@ pub enum AggFn {
     Max,
 }
 
+/// Most ranges a semi-join key set may compress to — one fused select
+/// lane per range, so the ceiling is the device's fused-lane budget
+/// ([`jafar_core::device::MAX_FUSED_LANES`]).
+pub const MAX_KEY_RANGES: usize = 8;
+
+/// A build-side key set's ranges did not fit the fused-lane budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyRangeOverflow {
+    /// Disjoint ranges the key set compressed to.
+    pub ranges: usize,
+}
+
+impl core::fmt::Display for KeyRangeOverflow {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "build keys compress to {} disjoint ranges, past the {MAX_KEY_RANGES}-lane fused budget",
+            self.ranges
+        )
+    }
+}
+
+impl std::error::Error for KeyRangeOverflow {}
+
+/// A semi-join build side's key set, compressed to at most
+/// [`MAX_KEY_RANGES`] sorted disjoint inclusive ranges. Adjacent integers
+/// coalesce (`{3, 4, 5}` is one range), so dense build sides — the common
+/// shape for dictionary-coded and surrogate keys — compress far below the
+/// ceiling. Inline and `Copy` so a [`QuerySpec`] stays a plain value the
+/// cluster tier can route by copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyRanges {
+    bounds: [(i64, i64); MAX_KEY_RANGES],
+    len: u8,
+}
+
+impl KeyRanges {
+    /// Compresses a build-side key multiset (unsorted, duplicates fine)
+    /// into sorted disjoint ranges. An empty key set is a valid semi-join
+    /// that matches nothing.
+    pub fn from_keys(keys: &[i64]) -> Result<Self, KeyRangeOverflow> {
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let ranges = sorted
+            .windows(2)
+            .filter(|w| w[0] == i64::MAX || w[1] != w[0] + 1)
+            .count()
+            + usize::from(!sorted.is_empty());
+        if ranges > MAX_KEY_RANGES {
+            return Err(KeyRangeOverflow { ranges });
+        }
+        let mut bounds = [(i64::MAX, i64::MIN); MAX_KEY_RANGES];
+        let mut len = 0usize;
+        for &k in &sorted {
+            if len > 0 && bounds[len - 1].1 != i64::MAX && k == bounds[len - 1].1 + 1 {
+                bounds[len - 1].1 = k;
+            } else {
+                bounds[len] = (k, k);
+                len += 1;
+            }
+        }
+        Ok(KeyRanges {
+            bounds,
+            len: len as u8,
+        })
+    }
+
+    /// The ranges, sorted and disjoint.
+    pub fn as_slice(&self) -> &[(i64, i64)] {
+        &self.bounds[..self.len as usize]
+    }
+
+    /// Number of disjoint ranges (fused lanes the semi-join needs).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the build side was empty (the semi-join matches nothing).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when `v` falls inside any range.
+    pub fn contains(&self, v: i64) -> bool {
+        self.as_slice().iter().any(|&(lo, hi)| lo <= v && v <= hi)
+    }
+
+    /// The inclusive envelope `[min lo, max hi]`; the empty set yields
+    /// the canonical empty predicate `(MAX, MIN)` so the envelope alone
+    /// is already a correct (if loose) filter.
+    pub fn envelope(&self) -> (i64, i64) {
+        if self.len == 0 {
+            return (i64::MAX, i64::MIN);
+        }
+        (self.bounds[0].0, self.bounds[self.len as usize - 1].1)
+    }
+}
+
 /// The operator a served query runs over its range predicate — the §4
 /// extensions lifted into the serving layer. Every operator shares the
 /// same inclusive `[lo, hi]` predicate; they differ in what they *emit*
@@ -54,6 +153,22 @@ pub enum QueryOp {
         /// Columns reconstructed at the qualifying positions (≥ 1).
         k: u32,
     },
+    /// Semi-join pushdown: emit the bitset of probe rows whose value
+    /// falls in the build side's key set, compressed to fused-lane
+    /// ranges. The spec's `[lo, hi]` is the ranges' envelope, so every
+    /// single-predicate code path (routing, estimates) stays correct
+    /// without knowing about ranges.
+    SemiJoin {
+        /// The build-side key set as sorted disjoint ranges.
+        ranges: KeyRanges,
+    },
+    /// Keyed group-by: partition the qualifying rows of the served
+    /// column by the workload's key column, fold each group with `agg`,
+    /// and emit the sorted `(key, count, value)` rows.
+    GroupBy {
+        /// The per-group fold.
+        agg: AggFn,
+    },
 }
 
 impl QueryOp {
@@ -67,6 +182,8 @@ impl QueryOp {
             QueryOp::SelectAgg(AggFn::Min) => "min",
             QueryOp::SelectAgg(AggFn::Max) => "max",
             QueryOp::Project { .. } => "project",
+            QueryOp::SemiJoin { .. } => "semi-join",
+            QueryOp::GroupBy { .. } => "group-by",
         }
     }
 }
@@ -264,6 +381,77 @@ impl Workload {
     pub fn is_empty(&self) -> bool {
         self.specs.is_empty()
     }
+
+    /// The widest fused-lane footprint any semi-join in the stream needs
+    /// (0 when none): output buffers must hold this many lanes even when
+    /// `fuse_window` is 1, since a semi-join's ranges fuse regardless.
+    pub fn max_semi_lanes(&self) -> usize {
+        self.specs
+            .iter()
+            .map(|s| match s.op {
+                QueryOp::SemiJoin { ranges } => ranges.len(),
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl QuerySpec {
+    /// A semi-join spec over the given build-side key ranges; `[lo, hi]`
+    /// is the ranges' envelope.
+    pub fn semi_join(ranges: KeyRanges) -> Self {
+        let (lo, hi) = ranges.envelope();
+        QuerySpec {
+            lo,
+            hi,
+            op: QueryOp::SemiJoin { ranges },
+            slo: None,
+        }
+    }
+
+    /// A keyed group-by spec folding `agg` over values in `[lo, hi]`.
+    pub fn group_by(lo: i64, hi: i64, agg: AggFn) -> Self {
+        QuerySpec {
+            lo,
+            hi,
+            op: QueryOp::GroupBy { agg },
+            slo: None,
+        }
+    }
+}
+
+/// A seeded Zipf-distributed key column: `n` draws over keys
+/// `0..domain`, rank-`r` key with probability `∝ 1 / (r+1)^theta`
+/// (`theta = 1.0` is the classic JSPIM hot-key stream). Deterministic in
+/// `(n, domain, theta, seed)` via inverse-CDF sampling — the key column
+/// the served group-by partitions, aligned row-for-row with the served
+/// value column.
+pub fn zipf_keys(n: usize, domain: usize, theta: f64, seed: u64) -> Vec<i64> {
+    assert!(domain > 0, "zipf domain must be non-empty");
+    let mut cdf = Vec::with_capacity(domain);
+    let mut total = 0.0f64;
+    for r in 0..domain {
+        total += 1.0 / ((r + 1) as f64).powf(theta);
+        cdf.push(total);
+    }
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let u = rng.next_f64() * total;
+            cdf.partition_point(|&c| c < u).min(domain - 1) as i64
+        })
+        .collect()
+}
+
+/// A seeded uniform key column over `0..domain` — the unskewed
+/// counterpart of [`zipf_keys`].
+pub fn uniform_keys(n: usize, domain: usize, seed: u64) -> Vec<i64> {
+    assert!(domain > 0, "key domain must be non-empty");
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| rng.next_below(domain as u64) as i64)
+        .collect()
 }
 
 /// The `l_shipdate` column a [`PredicateMix::TpchQ6Shipdate`] workload
@@ -373,6 +561,72 @@ mod tests {
         for s in specs {
             assert!(s.lo <= s.hi, "saturated window stays ordered");
         }
+    }
+
+    #[test]
+    fn key_ranges_coalesce_sort_and_dedup() {
+        let r = KeyRanges::from_keys(&[5, 3, 4, 9, 4, 1]).expect("few ranges");
+        assert_eq!(r.as_slice(), &[(1, 1), (3, 5), (9, 9)]);
+        assert_eq!(r.envelope(), (1, 9));
+        assert!(r.contains(4) && r.contains(9) && !r.contains(2) && !r.contains(10));
+        let dense = KeyRanges::from_keys(&(0..1000).collect::<Vec<i64>>()).expect("one range");
+        assert_eq!(dense.as_slice(), &[(0, 999)]);
+    }
+
+    #[test]
+    fn empty_key_set_is_the_empty_predicate() {
+        let r = KeyRanges::from_keys(&[]).expect("empty is valid");
+        assert!(r.is_empty());
+        assert_eq!(r.envelope(), (i64::MAX, i64::MIN));
+        assert!(!r.contains(0));
+    }
+
+    #[test]
+    fn too_many_ranges_is_a_typed_error() {
+        // 9 isolated keys → 9 ranges, one past the lane budget.
+        let keys: Vec<i64> = (0..9).map(|i| i * 10).collect();
+        let err = KeyRanges::from_keys(&keys).expect_err("over budget");
+        assert_eq!(err.ranges, 9);
+        assert!(err.to_string().contains("9 disjoint ranges"));
+        // i64::MAX next to anything never coalesces past it (the +1 guard).
+        let r = KeyRanges::from_keys(&[i64::MAX - 1, i64::MAX]).expect("one range");
+        assert_eq!(r.as_slice(), &[(i64::MAX - 1, i64::MAX)]);
+    }
+
+    #[test]
+    fn max_semi_lanes_tracks_the_widest_join() {
+        let mut w = Workload::poisson(
+            PredicateMix::UniformRange {
+                min: 0,
+                max: 99,
+                width: 10,
+            },
+            3,
+            Tick::from_us(1),
+            7,
+        );
+        assert_eq!(w.max_semi_lanes(), 0);
+        w.specs[1] = QuerySpec::semi_join(KeyRanges::from_keys(&[1, 5, 9, 13]).unwrap());
+        assert_eq!(w.max_semi_lanes(), 4);
+        assert_eq!(w.specs[1].op.name(), "semi-join");
+        assert_eq!((w.specs[1].lo, w.specs[1].hi), (1, 13));
+    }
+
+    #[test]
+    fn zipf_keys_are_deterministic_and_skewed() {
+        let a = zipf_keys(4096, 64, 1.0, 42);
+        let b = zipf_keys(4096, 64, 1.0, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&k| (0..64).contains(&k)));
+        let hot = a.iter().filter(|&&k| k == 0).count();
+        let cold = a.iter().filter(|&&k| k == 63).count();
+        assert!(
+            hot > 8 * cold.max(1),
+            "rank-0 key ({hot}) must dominate rank-63 ({cold})"
+        );
+        let u = uniform_keys(4096, 64, 42);
+        let u_hot = u.iter().filter(|&&k| k == 0).count();
+        assert!(u_hot < hot / 2, "uniform keys must not share the skew");
     }
 
     #[test]

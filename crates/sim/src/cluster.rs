@@ -26,7 +26,7 @@ use jafar_core::{DriverStats, JafarDevice, ResilienceConfig, ResilientDriver};
 use jafar_dram::{DramModule, FaultInjector, FaultPlan, FaultStats, PhysAddr};
 use jafar_memctl::controller::MemoryController;
 use jafar_memctl::{ChannelConfigError, MultiChannel};
-use jafar_serve::engine::{run_serve, ServeConfig, ServeEnv};
+use jafar_serve::engine::{out_lanes, run_serve, ServeConfig, ServeEnv};
 use jafar_serve::{ChannelRankPool, FilterPool, SchedPolicy, ServeReport, Workload};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -197,12 +197,28 @@ impl ServeCluster {
         policy: SchedPolicy,
         cfg: &ServeConfig,
     ) -> ClusterServeRun {
+        self.serve_with_keys(values, &[], workload, policy, cfg)
+    }
+
+    /// [`ServeCluster::serve`] with a key column alongside the value
+    /// column, for workloads carrying keyed group-by queries. `keys`
+    /// must be row-aligned with `values` (or empty when no query
+    /// groups).
+    pub fn serve_with_keys(
+        &mut self,
+        values: &[i64],
+        keys: &[i64],
+        workload: &Workload,
+        policy: SchedPolicy,
+        cfg: &ServeConfig,
+    ) -> ClusterServeRun {
         assert!(!values.is_empty(), "cannot serve an empty column");
         let rows = values.len() as u64;
         let nunits = self.pool.units();
         let mut replicas = Vec::with_capacity(nunits);
         let mut outs = Vec::with_capacity(nunits);
         let mut proj_outs = Vec::with_capacity(nunits);
+        let mut stage_outs = Vec::with_capacity(nunits);
         {
             let mut modules = self.mc.modules_mut();
             for u in 0..nunits {
@@ -214,14 +230,16 @@ impl ServeCluster {
                         .write_i64(PhysAddr(col.0 + i as u64 * 8), v);
                 }
                 replicas.push(col);
-                // One bitset lane per fuse slot (engine addresses lane
-                // `l` at `out + l * stride`); fuse_window=1 is the
-                // historical single-lane size.
+                // One bitset lane per fuse slot — or per semi-join key
+                // range, whichever is wider (engine addresses lane `l`
+                // at `out + l * stride`); fuse_window=1 with no
+                // semi-joins is the historical single-lane size.
                 let stride = rows.div_ceil(8).next_multiple_of(64);
-                outs.push(
-                    self.arenas[u].alloc_blocks((stride * cfg.fuse_window.max(1) as u64).max(64)),
-                );
+                outs.push(self.arenas[u].alloc_blocks((stride * out_lanes(cfg, workload)).max(64)));
                 proj_outs.push(self.arenas[u].alloc_blocks(rows * 8));
+                // Group-by staging: worst case every row lands on this
+                // unit, each group padded to a 64-byte kernel boundary.
+                stage_outs.push(self.arenas[u].alloc_blocks(rows * 8 + 64));
             }
         }
         let rcfg = ResilienceConfig {
@@ -246,6 +264,8 @@ impl ServeCluster {
                 outs: &outs,
                 proj_outs: &proj_outs,
                 values,
+                keys,
+                stage_outs: &stage_outs,
                 tracer: &self.tracer,
             },
             workload,

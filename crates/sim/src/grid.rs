@@ -29,7 +29,7 @@ use jafar_core::{DriverStats, JafarDevice, ResilienceConfig, ResilientDriver};
 use jafar_dram::{DramModule, FaultInjector, FaultPlan, FaultStats, PhysAddr};
 use jafar_net::{NetFabric, Placement};
 use jafar_serve::cluster::{cluster_fabric, run_cluster, ClusterConfig, ClusterEnv, ClusterReport};
-use jafar_serve::engine::{ServeConfig, ServeEnv};
+use jafar_serve::engine::{out_lanes, ServeConfig, ServeEnv};
 use jafar_serve::{FilterPool, SchedPolicy, SingleDimmPool, Workload};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -182,6 +182,25 @@ impl ServeGrid {
         cfg: &ServeConfig,
         ccfg: &ClusterConfig,
     ) -> GridServeRun {
+        self.serve_with_keys(values, &[], placement, fabric, workload, policy, cfg, ccfg)
+    }
+
+    /// [`ServeGrid::serve`] with a key column alongside the value
+    /// column, for workloads carrying keyed group-by queries. `keys`
+    /// must be row-aligned with `values` (or empty when no query
+    /// groups).
+    #[allow(clippy::too_many_arguments)]
+    pub fn serve_with_keys(
+        &mut self,
+        values: &[i64],
+        keys: &[i64],
+        placement: &Placement,
+        fabric: &mut NetFabric,
+        workload: &Workload,
+        policy: SchedPolicy,
+        cfg: &ServeConfig,
+        ccfg: &ClusterConfig,
+    ) -> GridServeRun {
         assert!(!values.is_empty(), "cannot serve an empty column");
         let rows = values.len() as u64;
         let rcfg = ResilienceConfig {
@@ -191,13 +210,15 @@ impl ServeGrid {
         };
         // Pass 1: identical allocation replay + column write on every
         // node; per-node driver banks.
-        let mut layouts: Vec<(Vec<PhysAddr>, Vec<PhysAddr>, Vec<PhysAddr>)> = Vec::new();
+        type NodeLayout = (Vec<PhysAddr>, Vec<PhysAddr>, Vec<PhysAddr>, Vec<PhysAddr>);
+        let mut layouts: Vec<NodeLayout> = Vec::new();
         let mut drivers: Vec<Vec<ResilientDriver>> = Vec::new();
         for node in &mut self.nodes {
             let units = node.pool.units();
             let mut replicas = Vec::with_capacity(units);
             let mut outs = Vec::with_capacity(units);
             let mut proj_outs = Vec::with_capacity(units);
+            let mut stage_outs = Vec::with_capacity(units);
             for arena in &mut node.arenas {
                 let col = arena.alloc_blocks(rows * 8);
                 for (i, &v) in values.iter().enumerate() {
@@ -207,10 +228,13 @@ impl ServeGrid {
                 }
                 replicas.push(col);
                 let stride = rows.div_ceil(8).next_multiple_of(64);
-                outs.push(arena.alloc_blocks((stride * cfg.fuse_window.max(1) as u64).max(64)));
+                outs.push(arena.alloc_blocks((stride * out_lanes(cfg, workload)).max(64)));
                 proj_outs.push(arena.alloc_blocks(rows * 8));
+                // Group-by staging: worst case every row lands on this
+                // unit, each group padded to a 64-byte kernel boundary.
+                stage_outs.push(arena.alloc_blocks(rows * 8 + 64));
             }
-            layouts.push((replicas, outs, proj_outs));
+            layouts.push((replicas, outs, proj_outs, stage_outs));
             drivers.push(
                 (0..units)
                     .map(|_| {
@@ -229,17 +253,21 @@ impl ServeGrid {
             .iter_mut()
             .zip(drivers.iter_mut())
             .zip(layouts.iter())
-            .map(|((node, drv), (replicas, outs, proj_outs))| ServeEnv {
-                modules: vec![&mut node.module],
-                pool: &node.pool,
-                devices: &mut node.devices,
-                drivers: drv,
-                replicas,
-                outs,
-                proj_outs,
-                values,
-                tracer,
-            })
+            .map(
+                |((node, drv), (replicas, outs, proj_outs, stage_outs))| ServeEnv {
+                    modules: vec![&mut node.module],
+                    pool: &node.pool,
+                    devices: &mut node.devices,
+                    drivers: drv,
+                    replicas,
+                    outs,
+                    proj_outs,
+                    values,
+                    keys,
+                    stage_outs,
+                    tracer,
+                },
+            )
             .collect();
         let report = run_cluster(
             ClusterEnv {

@@ -35,7 +35,7 @@ use jafar_cpu::{ScanEngine, ScanVariant};
 use jafar_dram::{DramModule, FaultInjector, FaultPlan, FaultStats, PhysAddr};
 use jafar_memctl::controller::MemoryController;
 use jafar_memctl::IdleReport;
-use jafar_serve::engine::{run_serve, ServeConfig, ServeEnv};
+use jafar_serve::engine::{out_lanes, run_serve, ServeConfig, ServeEnv};
 use jafar_serve::{SchedPolicy, ServeReport, SingleDimmPool, Workload};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -814,6 +814,22 @@ impl System {
         policy: SchedPolicy,
         cfg: &ServeConfig,
     ) -> ServeRun {
+        self.serve_with_keys(values, &[], workload, policy, cfg)
+    }
+
+    /// [`System::serve`] with a key column alongside the value column,
+    /// for workloads that carry [`jafar_serve::QueryOp::GroupBy`] queries. `keys`
+    /// must be row-aligned with `values` (or empty when no query groups);
+    /// a per-rank staging arena is carved for the partitioned group-by
+    /// scatter.
+    pub fn serve_with_keys(
+        &mut self,
+        values: &[i64],
+        keys: &[i64],
+        workload: &Workload,
+        policy: SchedPolicy,
+        cfg: &ServeConfig,
+    ) -> ServeRun {
         assert!(
             !self.devices.is_empty(),
             "serving requires a JAFAR device (SystemConfig::device)"
@@ -824,6 +840,7 @@ impl System {
         let mut replicas = Vec::with_capacity(nranks);
         let mut outs = Vec::with_capacity(nranks);
         let mut proj_outs = Vec::with_capacity(nranks);
+        let mut stage_outs = Vec::with_capacity(nranks);
         for r in 0..nranks {
             let col = self.arenas[r].alloc_blocks(rows * 8);
             for (i, &v) in values.iter().enumerate() {
@@ -833,16 +850,18 @@ impl System {
                     .write_i64(PhysAddr(col.0 + i as u64 * 8), v);
             }
             replicas.push(col);
-            // One bitset lane per fuse slot: the engine addresses lane
-            // `l` at `out + l * stride` (see engine::lane_stride), so
-            // size the arena slice for the full window. fuse_window=1
-            // degenerates to the historical single-lane size.
+            // One bitset lane per fuse slot — or per semi-join key range,
+            // whichever is wider: the engine addresses lane `l` at
+            // `out + l * stride` (see engine::lane_stride), so size the
+            // arena slice for the full lane budget. fuse_window=1 with no
+            // semi-joins degenerates to the historical single-lane size.
             let stride = rows.div_ceil(8).next_multiple_of(64);
-            outs.push(
-                self.arenas[r].alloc_blocks((stride * cfg.fuse_window.max(1) as u64).max(64)),
-            );
+            outs.push(self.arenas[r].alloc_blocks((stride * out_lanes(cfg, workload)).max(64)));
             // Packed projection output: worst case every row qualifies.
             proj_outs.push(self.arenas[r].alloc_blocks(rows * 8));
+            // Group-by staging: worst case every row lands on this rank,
+            // each group padded to a 64-byte kernel boundary.
+            stage_outs.push(self.arenas[r].alloc_blocks(rows * 8 + 64));
         }
         let rcfg = ResilienceConfig {
             costs: self.cfg.driver,
@@ -871,6 +890,8 @@ impl System {
                 outs: &outs,
                 proj_outs: &proj_outs,
                 values,
+                keys,
+                stage_outs: &stage_outs,
                 tracer: &self.tracer,
             },
             workload,
@@ -1469,6 +1490,9 @@ mod tests {
                 QueryOp::SelectCount => assert_eq!(rec.agg, Some(m.len() as i64)),
                 QueryOp::SelectAgg(AggFn::Max) => assert_eq!(rec.agg, m.iter().copied().max()),
                 QueryOp::SelectAgg(_) => assert_eq!(rec.agg, Some(sum)),
+                QueryOp::SemiJoin { .. } | QueryOp::GroupBy { .. } => {
+                    unreachable!("this workload serves no joins or group-bys")
+                }
             }
         }
         assert!(run.report.cpu_queries() >= 1);

@@ -10,12 +10,12 @@ use jafar_columnstore::plan::{execute, Catalog, Frame, Plan};
 use jafar_columnstore::value::Date;
 use jafar_columnstore::ExecContext;
 
-/// Q6 as a plan: filter lineitem on date/discount/quantity, project the
-/// revenue inputs. Returns the revenue (raw ×100).
-pub fn q6_plan(db: &TpchDb, cx: &mut ExecContext) -> i64 {
+/// Q6's plan shape: filter lineitem on date/discount/quantity, project
+/// the revenue inputs.
+pub fn q6_plan_shape() -> Plan {
     let lo = Date::from_ymd(1994, 1, 1).raw();
     let hi = Date::from_ymd(1995, 1, 1).raw();
-    let plan = Plan::Scan {
+    Plan::Scan {
         table: "lineitem".into(),
         filters: vec![
             ("l_shipdate".into(), ScanPredicate::Between(lo, hi - 1)),
@@ -23,7 +23,12 @@ pub fn q6_plan(db: &TpchDb, cx: &mut ExecContext) -> i64 {
             ("l_quantity".into(), ScanPredicate::Lt(24)),
         ],
         columns: vec!["l_extendedprice".into(), "l_discount".into()],
-    };
+    }
+}
+
+/// Q6 as a plan: executes [`q6_plan_shape`]. Returns the revenue (raw ×100).
+pub fn q6_plan(db: &TpchDb, cx: &mut ExecContext) -> i64 {
+    let plan = q6_plan_shape();
     let catalog = Catalog::new().add(&db.lineitem);
     let f = execute(&plan, &catalog, cx).expect("static TPC-H schema");
     f.column("l_extendedprice")
@@ -39,8 +44,16 @@ pub fn q6_plan(db: &TpchDb, cx: &mut ExecContext) -> i64 {
 /// this covers the qty/base-price/count aggregates). Returns the frame
 /// sorted by (returnflag, linestatus).
 pub fn q1_plan(db: &TpchDb, cx: &mut ExecContext) -> Frame {
+    let plan = q1_plan_shape();
+    let catalog = Catalog::new().add(&db.lineitem);
+    execute(&plan, &catalog, cx).expect("static TPC-H schema")
+}
+
+/// Q1's plan shape: sort over a multi-key group-by over a one-filter
+/// scan.
+pub fn q1_plan_shape() -> Plan {
     let cutoff = Date::from_ymd(1998, 12, 1).plus_days(-90);
-    let plan = Plan::Sort {
+    Plan::Sort {
         keys: vec![
             ("l_returnflag".into(), Dir::Asc),
             ("l_linestatus".into(), Dir::Asc),
@@ -67,14 +80,24 @@ pub fn q1_plan(db: &TpchDb, cx: &mut ExecContext) -> Frame {
                 ],
             }),
         }),
-    };
-    let catalog = Catalog::new().add(&db.lineitem);
-    execute(&plan, &catalog, cx).expect("static TPC-H schema")
+    }
 }
 
 /// The Q3 join skeleton as a plan: BUILDING customers ⋈ early orders ⋈
 /// late lineitems, grouped per order by revenue inputs.
 pub fn q3_plan(db: &TpchDb, cx: &mut ExecContext, limit: usize) -> Frame {
+    let plan = q3_plan_shape(db, limit);
+    let catalog = Catalog::new()
+        .add(&db.customer)
+        .add(&db.orders)
+        .add(&db.lineitem);
+    execute(&plan, &catalog, cx).expect("static TPC-H schema")
+}
+
+/// Q3's plan shape: a row cap over a sort over a per-order group-by over
+/// the customer ⋈ orders ⋈ lineitem join tree. The `db` supplies the
+/// market-segment dictionary encoding.
+pub fn q3_plan_shape(db: &TpchDb, limit: usize) -> Plan {
     let pivot = Date::from_ymd(1995, 3, 15).raw();
     let seg = db.segment_dict.encode("BUILDING").expect("in domain");
     let customers = Plan::Scan {
@@ -96,7 +119,7 @@ pub fn q3_plan(db: &TpchDb, cx: &mut ExecContext, limit: usize) -> Frame {
         filters: vec![("l_shipdate".into(), ScanPredicate::Gt(pivot))],
         columns: vec!["l_orderkey".into(), "l_extendedprice".into()],
     };
-    let plan = Plan::Limit {
+    Plan::Limit {
         n: limit,
         input: Box::new(Plan::Sort {
             keys: vec![
@@ -123,12 +146,7 @@ pub fn q3_plan(db: &TpchDb, cx: &mut ExecContext, limit: usize) -> Frame {
                 }),
             }),
         }),
-    };
-    let catalog = Catalog::new()
-        .add(&db.customer)
-        .add(&db.orders)
-        .add(&db.lineitem);
-    execute(&plan, &catalog, cx).expect("static TPC-H schema")
+    }
 }
 
 #[cfg(test)]

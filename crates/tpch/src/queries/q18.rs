@@ -78,7 +78,9 @@ pub fn run(db: &TpchDb, cx: &mut ExecContext, threshold: i64, limit: usize) -> V
     let o_total = cx
         .project(&db.orders, "o_totalprice", &all_o)
         .expect("static TPC-H schema");
-    let pairs = cx.join(&big_orders, &o_key);
+    let pairs = cx
+        .join(&big_orders, &o_key)
+        .expect("TPC-H inputs fit u32 positions");
 
     let mut rows: Vec<Q18Row> = pairs
         .iter()

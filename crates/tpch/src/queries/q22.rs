@@ -76,7 +76,9 @@ pub fn run(db: &TpchDb, cx: &mut ExecContext) -> Vec<Q22Row> {
     let o_cust = cx
         .project(&db.orders, "o_custkey", &all_orders)
         .expect("static TPC-H schema");
-    let no_orders_idx = cx.anti_join(&o_cust, &above_keys);
+    let no_orders_idx = cx
+        .anti_join(&o_cust, &above_keys)
+        .expect("TPC-H inputs fit u32 positions");
 
     let final_pos: PositionList = no_orders_idx
         .iter()

@@ -76,7 +76,9 @@ pub fn run(db: &TpchDb, cx: &mut ExecContext, limit: usize) -> Vec<Q3Row> {
         .expect("static TPC-H schema");
 
     // customer ⋈ orders (semi-join suffices: customers only filter).
-    let ord_surviving = cx.semi_join(&cust_keys, &ord_cust);
+    let ord_surviving = cx
+        .semi_join(&cust_keys, &ord_cust)
+        .expect("TPC-H inputs fit u32 positions");
     let surv_key: Vec<i64> = ord_surviving.iter().map(|&i| ord_key[i as usize]).collect();
     let surv_date: Vec<i64> = ord_surviving
         .iter()
@@ -88,7 +90,9 @@ pub fn run(db: &TpchDb, cx: &mut ExecContext, limit: usize) -> Vec<Q3Row> {
         .collect();
 
     // orders ⋈ lineitem.
-    let pairs = cx.join(&surv_key, &li_key);
+    let pairs = cx
+        .join(&surv_key, &li_key)
+        .expect("TPC-H inputs fit u32 positions");
     let g_key: Vec<i64> = pairs.iter().map(|&(b, _)| surv_key[b as usize]).collect();
     let g_date: Vec<i64> = pairs.iter().map(|&(b, _)| surv_date[b as usize]).collect();
     let g_prio: Vec<i64> = pairs.iter().map(|&(b, _)| surv_prio[b as usize]).collect();

@@ -212,6 +212,9 @@ fn check_invariants(case: &ChaosCase, report: &ServeReport, timeline: &str) {
                     rec.id
                 );
             }
+            QueryOp::SemiJoin { .. } | QueryOp::GroupBy { .. } => {
+                unreachable!("this case mix does not generate joins or group-bys")
+            }
         }
         // Exactly one completion in the trace — never double-completed.
         let done_lines = timeline
